@@ -1,0 +1,90 @@
+//===-- ablations.cpp - design-choice ablations over the subjects -----------===//
+//
+// Regenerates the paper's design-choice evidence as one table per knob:
+//
+//   - pivot mode (section 4 "Pivot Mode"): reports with and without
+//     root-only filtering;
+//   - the library flows-in rule (section 4 "Flow into Library Methods"):
+//     leaks kept vs lost when container-internal reads count as
+//     retrievals;
+//   - thread modeling (section 5.2, Mckoi): reports with and without the
+//     started-threads-are-outside workaround;
+//   - context sensitivity: context-sensitive vs insensitive site counts
+//     (the LO / LS(ctx) columns).
+//
+// Run:  ./build/bench/ablations
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LeakChecker.h"
+#include "subjects/Scoring.h"
+#include "subjects/Subjects.h"
+
+#include <cstdio>
+
+using namespace lc;
+using namespace lc::subjects;
+
+int main() {
+  std::printf("Design-choice ablations over the eight subjects\n\n");
+  std::printf("%-12s | %11s | %11s | %11s | %11s | %11s | %9s\n", "Subject",
+              "default LS", "no pivot", "no librule", "no threads",
+              "destr.upd", "LO ci/cs");
+  std::printf("%.*s\n", 106,
+              "--------------------------------------------------------------"
+              "----------------------------------------------");
+
+  for (const Subject &S : subjects::all()) {
+    DiagnosticEngine Diags;
+    auto Checker = LeakChecker::fromSource(S.Source, Diags, S.Options);
+    if (!Checker) {
+      std::fprintf(stderr, "%s: compile error\n%s", S.Name.c_str(),
+                   Diags.str().c_str());
+      return 1;
+    }
+    LoopId Loop = Checker->program().findLoop(S.LoopLabel);
+
+    auto Default = Checker->checkWith(Loop, S.Options);
+
+    LeakOptions NoPivot = S.Options;
+    NoPivot.PivotMode = false;
+    auto RNoPivot = Checker->checkWith(Loop, NoPivot);
+
+    LeakOptions NoLib = S.Options;
+    NoLib.LibraryRule = false;
+    auto RNoLib = Checker->checkWith(Loop, NoLib);
+
+    LeakOptions NoThreads = S.Options;
+    NoThreads.ModelThreads = false;
+    auto RNoThreads = Checker->checkWith(Loop, NoThreads);
+
+    LeakOptions NoCtx = S.Options;
+    NoCtx.ContextSensitive = false;
+    auto RNoCtx = Checker->checkWith(Loop, NoCtx);
+
+    // The paper's named future-work refinement.
+    LeakOptions Destr = S.Options;
+    Destr.ModelDestructiveUpdates = true;
+    auto RDestr = Checker->checkWith(Loop, Destr);
+
+    Score Dc = score(Checker->program(), Default);
+    Score Pv = score(Checker->program(), RNoPivot);
+    Score Lb = score(Checker->program(), RNoLib);
+    Score Th = score(Checker->program(), RNoThreads);
+    Score Du = score(Checker->program(), RDestr);
+
+    std::printf("%-12s | %4u (%2zu mi) | %4u (%2zu mi) | %4u (%2zu mi) | "
+                "%4u (%2zu mi) | %4u (%2zu mi) | %4llu/%-4llu\n",
+                S.Name.c_str(), Dc.Reported, Dc.Missed.size(), Pv.Reported,
+                Pv.Missed.size(), Lb.Reported, Lb.Missed.size(), Th.Reported,
+                Th.Missed.size(), Du.Reported, Du.Missed.size(),
+                static_cast<unsigned long long>(RNoCtx.NumInsideCtxSites),
+                static_cast<unsigned long long>(Default.NumInsideCtxSites));
+  }
+
+  std::printf("\n(mi = known leaks missed under that configuration; the "
+              "library-rule and thread\ncolumns show where disabling the "
+              "paper's mechanism loses real leaks; destr.upd\nis the paper's "
+              "future-work refinement -- fewer reports, still zero misses.)\n");
+  return 0;
+}

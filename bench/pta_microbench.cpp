@@ -1,0 +1,109 @@
+//===-- pta_microbench.cpp - points-to substrate microbenchmarks ------------===//
+//
+// google-benchmark measurements of the analysis substrate, supporting the
+// section 4 claim that the demand-driven CFL formulation explores paths
+// "individually for each object ... without requiring an initial
+// whole-program analysis": whole-program Andersen solve time vs the cost
+// of a single demand query, as the program grows.
+//
+// Run:  ./build/bench/pta_microbench
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lower.h"
+#include "pta/CflPta.h"
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+using namespace lc;
+
+namespace {
+
+/// Program with \p N id-function call chains feeding distinct objects.
+std::string makeProgram(unsigned N) {
+  std::ostringstream OS;
+  OS << "class Id { Object id(Object x) { return x; } }\n";
+  for (unsigned C = 0; C < N; ++C)
+    OS << "class Item" << C << " { Object payload; }\n";
+  OS << "class Main { static void main() {\n";
+  OS << "  Id f = new Id();\n";
+  for (unsigned C = 0; C < N; ++C) {
+    OS << "  Item" << C << " v" << C << " = new Item" << C << "();\n";
+    OS << "  Object r" << C << " = f.id(v" << C << ");\n";
+  }
+  OS << "} }\n";
+  return OS.str();
+}
+
+struct Built {
+  Program P;
+  std::unique_ptr<CallGraph> CG;
+  std::unique_ptr<Pag> G;
+};
+
+Built buildIr(unsigned N) {
+  Built B;
+  DiagnosticEngine Diags;
+  bool Ok = compileSource(makeProgram(N), B.P, Diags);
+  if (!Ok)
+    std::abort();
+  B.CG = std::make_unique<CallGraph>(B.P, CallGraphKind::Rta);
+  B.G = std::make_unique<Pag>(B.P, *B.CG);
+  return B;
+}
+
+void BM_AndersenSolve(benchmark::State &State) {
+  Built B = buildIr(static_cast<unsigned>(State.range(0)));
+  for (auto _ : State) {
+    AndersenPta PTA(*B.G);
+    benchmark::DoNotOptimize(PTA.pointsTo(0).count());
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+void BM_CflSingleQuery(benchmark::State &State) {
+  Built B = buildIr(static_cast<unsigned>(State.range(0)));
+  AndersenPta Base(*B.G);
+  CflPta Cfl(*B.G, Base);
+  // Query the last r variable of main.
+  MethodId Main = B.P.EntryMethod;
+  LocalId Target = static_cast<LocalId>(B.P.Methods[Main].Locals.size() - 1);
+  for (auto _ : State) {
+    CflResult R = Cfl.pointsTo(Main, Target);
+    benchmark::DoNotOptimize(R.Objects.size());
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+void BM_CallGraphBuild(benchmark::State &State) {
+  Program P;
+  DiagnosticEngine Diags;
+  if (!compileSource(makeProgram(static_cast<unsigned>(State.range(0))), P,
+                     Diags))
+    std::abort();
+  for (auto _ : State) {
+    CallGraph CG(P, CallGraphKind::Rta);
+    benchmark::DoNotOptimize(CG.numReachable());
+  }
+}
+
+void BM_FrontendCompile(benchmark::State &State) {
+  std::string Src = makeProgram(static_cast<unsigned>(State.range(0)));
+  for (auto _ : State) {
+    Program P;
+    DiagnosticEngine Diags;
+    bool Ok = compileSource(Src, P, Diags);
+    benchmark::DoNotOptimize(Ok);
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_AndersenSolve)->Arg(8)->Arg(32)->Arg(128)->Complexity();
+BENCHMARK(BM_CflSingleQuery)->Arg(8)->Arg(32)->Arg(128)->Complexity();
+BENCHMARK(BM_CallGraphBuild)->Arg(8)->Arg(64);
+BENCHMARK(BM_FrontendCompile)->Arg(8)->Arg(64);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+//===-- scalability.cpp - analysis cost vs program size ---------------------===//
+//
+// Supports the paper's practicality claim ("due to the client-driven
+// nature of the analysis ... LeakChecker is able to quickly detect leaks
+// for all the applications, including large programs such as Eclipse"):
+// generates synthetic programs of growing size -- N independent subsystems,
+// each a cluster of classes and methods, of which the checked loop touches
+// exactly one -- and measures (a) whole-substrate construction time
+// (call graph + PAG + Andersen) and (b) per-loop leak-analysis time.
+// The per-loop time should stay roughly flat as dead-weight subsystems are
+// added, because the checked region does not grow.
+//
+// Run:  ./build/bench/scalability
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LeakChecker.h"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+using namespace lc;
+
+namespace {
+
+/// Emits a program with \p Subsystems clusters. Each cluster has a service
+/// class with a few methods and its own little data model; cluster 0 also
+/// contains the leaky loop.
+std::string makeProgram(unsigned Subsystems) {
+  std::ostringstream OS;
+  for (unsigned C = 0; C < Subsystems; ++C) {
+    OS << "class Record" << C << " { int v; Record" << C << " next; }\n";
+    OS << "class Service" << C << " {\n";
+    OS << "  Record" << C << " head;\n";
+    OS << "  void insert(int v) {\n";
+    OS << "    Record" << C << " r = new Record" << C << "();\n";
+    OS << "    r.v = v;\n";
+    OS << "    r.next = this.head;\n";
+    OS << "    this.head = r;\n";
+    OS << "  }\n";
+    OS << "  int total() {\n";
+    OS << "    int t = 0;\n";
+    OS << "    Record" << C << " r = this.head;\n";
+    OS << "    while (r != null) { t = t + r.v; r = r.next; }\n";
+    OS << "    return t;\n";
+    OS << "  }\n";
+    OS << "  void churn(int n) {\n";
+    OS << "    int i = 0;\n";
+    OS << "    while (i < n) { this.insert(i); i = i + 1; }\n";
+    OS << "  }\n";
+    OS << "}\n";
+  }
+  OS << "class Sink { Object[] kept = new Object[1024]; int n;\n";
+  OS << "  void keep(Object o) { this.kept[this.n] = o; this.n = this.n + 1; }\n";
+  OS << "}\n";
+  OS << "class Main { static void main() {\n";
+  for (unsigned C = 0; C < Subsystems; ++C)
+    OS << "  Service" << C << " s" << C << " = new Service" << C << "();\n";
+  OS << "  Sink sink = new Sink();\n";
+  OS << "  int i = 0;\n";
+  OS << "  hot: while (i < 10) {\n";
+  OS << "    Record0 r = new Record0();\n";
+  OS << "    r.v = i;\n";
+  OS << "    sink.keep(r);\n";
+  OS << "    s0.churn(2);\n";
+  OS << "    i = i + 1;\n";
+  OS << "  }\n";
+  // Touch every subsystem outside the loop so it is call-graph reachable.
+  for (unsigned C = 0; C < Subsystems; ++C)
+    OS << "  s" << C << ".churn(3);\n";
+  OS << "} }\n";
+  return OS.str();
+}
+
+} // namespace
+
+int main() {
+  std::printf("Scalability: checked-loop cost vs whole-program size\n\n");
+  std::printf("%11s %8s %8s %14s %14s %8s\n", "subsystems", "methods",
+              "stmts", "substrate(ms)", "per-loop(ms)", "reports");
+
+  for (unsigned N : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    std::string Src = makeProgram(N);
+    DiagnosticEngine Diags;
+    auto T0 = std::chrono::steady_clock::now();
+    auto Checker = LeakChecker::fromSource(Src, Diags);
+    auto T1 = std::chrono::steady_clock::now();
+    if (!Checker) {
+      std::fprintf(stderr, "compile error:\n%s", Diags.str().c_str());
+      return 1;
+    }
+    LoopId Loop = Checker->program().findLoop("hot");
+    auto Result = Checker->check(Loop);
+    auto T2 = std::chrono::steady_clock::now();
+    std::printf("%11u %8zu %8zu %14.2f %14.2f %8zu\n", N,
+                Checker->reachableMethods(), Checker->reachableStmts(),
+                std::chrono::duration<double, std::milli>(T1 - T0).count(),
+                std::chrono::duration<double, std::milli>(T2 - T1).count(),
+                Result.Reports.size());
+  }
+  std::printf("\nper-loop time should stay near-flat: the demand-driven "
+              "check only explores the\nloop's region, not the growing "
+              "dead weight.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+//===-- table1_main.cpp - regenerates the paper's Table 1 -------------------===//
+//
+// Prints the reproduction of Table 1 ("Analysis results"): for each of the
+// eight subjects, the reachable-method count (Mtds), statement count over
+// reachable methods (Stmts), wall-clock analysis time, context-sensitive
+// inside allocation sites (LO), reported leaking sites (LS, both
+// context-sensitive and site-level), false positives scored against the
+// subjects' ground-truth annotations (FP), and the false-positive rate
+// (FPR). The right-hand columns recall the paper's numbers (taken from the
+// section 5.2 narratives; see EXPERIMENTS.md for the mapping).
+//
+// Run:  ./build/bench/table1_main
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LeakChecker.h"
+#include "subjects/Scoring.h"
+#include "subjects/Subjects.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace lc;
+using namespace lc::subjects;
+
+int main() {
+  std::printf("Table 1 reproduction: LeakChecker analysis results\n");
+  std::printf("(paper columns from the case-study narratives; absolute "
+              "sizes/times are not\ncomparable -- subjects are MJ models, "
+              "not the original bytecode)\n\n");
+  std::printf("%-12s %6s %7s %9s %5s %4s %8s %4s %7s | %8s %8s\n", "Subject",
+              "Mtds", "Stmts", "Time(ms)", "LO", "LS", "LS(ctx)", "FP",
+              "FPR", "paperLS", "paperFP");
+
+  double FprSum = 0;
+  unsigned FprCount = 0;
+  bool AnyMiss = false;
+
+  for (const Subject &S : subjects::all()) {
+    DiagnosticEngine Diags;
+    auto T0 = std::chrono::steady_clock::now();
+    auto Checker = LeakChecker::fromSource(S.Source, Diags, S.Options);
+    if (!Checker) {
+      std::fprintf(stderr, "%s failed to compile:\n%s", S.Name.c_str(),
+                   Diags.str().c_str());
+      return 1;
+    }
+    auto Result = Checker->check(S.LoopLabel);
+    auto T1 = std::chrono::steady_clock::now();
+    if (!Result) {
+      std::fprintf(stderr, "%s: loop %s not found\n", S.Name.c_str(),
+                   S.LoopLabel.c_str());
+      return 1;
+    }
+    double Ms =
+        std::chrono::duration<double, std::milli>(T1 - T0).count();
+    Score Sc = score(Checker->program(), *Result);
+    AnyMiss |= !Sc.Missed.empty();
+    if (Sc.Reported) {
+      FprSum += Sc.fpr();
+      ++FprCount;
+    }
+
+    std::printf("%-12s %6zu %7zu %9.1f %5llu %4u %8llu %4u %6.1f%% | %8u %8u\n",
+                S.Name.c_str(), Checker->reachableMethods(),
+                Checker->reachableStmts(), Ms,
+                static_cast<unsigned long long>(Result->NumInsideCtxSites),
+                Sc.Reported,
+                static_cast<unsigned long long>(Result->NumLeakCtxSites),
+                Sc.falsePositives(), Sc.fpr() * 100, S.PaperLeakSites,
+                S.PaperFalsePos);
+  }
+
+  if (FprCount) {
+    std::printf("\naverage FPR: %.1f%% (paper: 49.8%%)\n",
+                FprSum / FprCount * 100);
+  }
+  std::printf("known leaks missed: %s (paper: none)\n",
+              AnyMiss ? "YES -- regression!" : "none");
+  return AnyMiss ? 1 : 0;
+}

@@ -1,0 +1,52 @@
+//===-- eclipse_plugin.cpp - checkable regions for component code -----------===//
+//
+// Demonstrates the paper's second usage mode: the developer of a component
+// (an Eclipse plugin) does not control the event loop that invokes it, so
+// instead of naming a loop they mark the plugin entry point as a checkable
+// *region* -- an artificial loop. LeakChecker then finds objects that
+// escape one activation of the region and are never used by a later one.
+//
+// This drives the EclipseDiff subject model: the platform's editor History
+// accumulates a HistoryEntry per comparison (the real Eclipse bug took
+// almost a year to root-cause); three GUI temporaries come back as
+// immediately-excludable false positives.
+//
+// Build & run:  ./build/examples/eclipse_plugin
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LeakChecker.h"
+#include "subjects/Scoring.h"
+#include "subjects/Subjects.h"
+
+#include <cstdio>
+
+using namespace lc;
+using namespace lc::subjects;
+
+int main() {
+  const Subject &S = byName("EclipseDiff");
+
+  DiagnosticEngine Diags;
+  auto Checker = LeakChecker::fromSource(S.Source, Diags, S.Options);
+  if (!Checker) {
+    std::fprintf(stderr, "compile error:\n%s", Diags.str().c_str());
+    return 1;
+  }
+
+  std::printf("Checking region \"%s\" (the plugin's runCompare entry "
+              "point)...\n\n",
+              S.LoopLabel.c_str());
+  auto Result = Checker->check(S.LoopLabel);
+  if (!Result)
+    return 1;
+
+  std::printf("%s\n", renderLeakReport(Checker->program(), *Result).c_str());
+
+  Score Sc = score(Checker->program(), *Result);
+  std::printf("scored against ground truth: %s\n", renderScore(Sc).c_str());
+  std::printf("\nTriage hint: reports whose outside holder is a GUI slot "
+              "overwritten per\nactivation are the documented false "
+              "positives; the History list is the bug.\n");
+  return 0;
+}

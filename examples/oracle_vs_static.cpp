@@ -1,0 +1,86 @@
+//===-- oracle_vs_static.cpp - Definition 1 oracle vs the static tool -------===//
+//
+// Runs the same program through both halves of the reproduction:
+//
+//   1. the concrete interpreter (the paper's Fig. 3 semantics), applying
+//      Definition 1 to the recorded heap effects -- the dynamic oracle;
+//   2. the static LeakChecker analysis.
+//
+// and prints both verdicts side by side. This is the measurement loop the
+// property tests automate over random programs.
+//
+// Build & run:  ./build/examples/oracle_vs_static
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LeakChecker.h"
+#include "frontend/Lower.h"
+#include "interp/Interp.h"
+
+#include <cstdio>
+
+using namespace lc;
+
+static const char *Source = R"(
+  class Cache { Entry[] slots = new Entry[64]; int n; Entry hot; }
+  class Entry { int key; }
+  class Main {
+    static void main() {
+      Cache cache = new Cache();
+      int i = 0;
+      fill: while (i < 20) {
+        Entry hot = cache.hot;        // last iteration's entry: flows back
+        Entry e = new Entry();
+        e.key = i;
+        cache.hot = e;                // properly shared across iterations
+        Entry shadow = new Entry();
+        shadow.key = i * 2;
+        cache.slots[cache.n] = shadow; // appended, never read: the leak
+        cache.n = cache.n + 1;
+        i = i + 1;
+      }
+    }
+  }
+)";
+
+int main() {
+  // --- dynamic oracle -------------------------------------------------------
+  Program P;
+  DiagnosticEngine Diags;
+  if (!compileSource(Source, P, Diags)) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  InterpOptions IOpts;
+  IOpts.TrackedLoop = P.findLoop("fill");
+  InterpResult R = interpret(P, IOpts);
+  if (!R.ok()) {
+    std::fprintf(stderr, "trap: %s\n", R.TrapMessage.c_str());
+    return 1;
+  }
+  DynamicLeakReport D = detectDynamicLeaks(R);
+  std::printf("dynamic oracle: %zu steps, %llu iterations, %zu objects, "
+              "%zu leaking instances\n",
+              static_cast<size_t>(R.Steps),
+              static_cast<unsigned long long>(R.TrackedIters),
+              R.Heap.size(), D.Objects.size());
+  for (AllocSiteId S : D.Sites)
+    std::printf("  dynamically leaking site: %s\n",
+                P.allocSiteName(S).c_str());
+
+  // --- static analysis ------------------------------------------------------
+  DiagnosticEngine Diags2;
+  auto Checker = LeakChecker::fromSource(Source, Diags2);
+  auto Result = Checker->check("fill");
+  std::printf("\n%s\n", renderLeakReport(Checker->program(), *Result).c_str());
+
+  // Agreement summary.
+  for (AllocSiteId S : D.Sites) {
+    if (P.AllocSites[S].Ty == kInvalidId)
+      continue;
+    bool Reported = Result->reportsSite(S);
+    std::printf("site %-40s dynamic=LEAK static=%s\n",
+                P.allocSiteName(S).c_str(), Reported ? "LEAK" : "ok");
+  }
+  return 0;
+}

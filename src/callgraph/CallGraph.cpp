@@ -1,0 +1,133 @@
+//===-- CallGraph.cpp -----------------------------------------------------===//
+
+#include "callgraph/CallGraph.h"
+
+#include "support/Worklist.h"
+
+#include <cassert>
+
+using namespace lc;
+
+MethodId lc::dispatch(const Program &P, ClassId Receiver, MethodId Declared) {
+  Symbol Name = P.Methods[Declared].Name;
+  ClassId DeclClass = P.Methods[Declared].Owner;
+  for (ClassId C = Receiver; C != kInvalidId; C = P.Classes[C].Super) {
+    for (MethodId M : P.Classes[C].Methods)
+      if (P.Methods[M].Name == Name && !P.Methods[M].IsStatic)
+        return M;
+    if (C == DeclClass)
+      break;
+  }
+  // Receiver class does not inherit from the declaring class (possible with
+  // imprecise points-to info); no target.
+  return kInvalidId;
+}
+
+CallGraph::CallGraph(const Program &P, CallGraphKind Kind) : Kind(Kind) {
+  Reachable.resize(P.Methods.size());
+  build(P);
+}
+
+CallGraph::CallGraph(const Program &P, VirtualResolver Resolve)
+    : Kind(CallGraphKind::Pta), Resolver(std::move(Resolve)) {
+  Reachable.resize(P.Methods.size());
+  build(P);
+}
+
+const std::vector<MethodId> &CallGraph::calleesAt(MethodId Caller,
+                                                  StmtIdx Index) const {
+  auto It = Callees.find({Caller, Index});
+  return It == Callees.end() ? Empty : It->second;
+}
+
+const std::vector<CallSite> &CallGraph::callersOf(MethodId Callee) const {
+  auto It = Callers.find(Callee);
+  return It == Callers.end() ? EmptySites : It->second;
+}
+
+std::vector<MethodId> CallGraph::resolveCall(const Program &P,
+                                             MethodId Caller, StmtIdx I,
+                                             const Stmt &S,
+                                             const BitSet &Instantiated) const {
+  std::vector<MethodId> Out;
+  if (S.CK == CallKind::Static || S.CK == CallKind::Special) {
+    Out.push_back(S.Callee);
+    return Out;
+  }
+  if (Kind == CallGraphKind::Pta)
+    return Resolver(Caller, I, S.Callee);
+  // Virtual: all overrides in subtypes of the declared owner.
+  ClassId Owner = P.Methods[S.Callee].Owner;
+  for (ClassId C = 0; C < P.Classes.size(); ++C) {
+    if (!P.isSubclassOf(C, Owner))
+      continue;
+    if (Kind == CallGraphKind::Rta && !Instantiated.test(C))
+      continue;
+    MethodId Target = dispatch(P, C, S.Callee);
+    if (Target == kInvalidId)
+      continue;
+    if (std::find(Out.begin(), Out.end(), Target) == Out.end())
+      Out.push_back(Target);
+  }
+  // CHA keeps the declared target callable even when no subtype was
+  // instantiated yet (e.g. receiver comes from unanalyzed code).
+  if (Out.empty() && Kind == CallGraphKind::Cha)
+    Out.push_back(S.Callee);
+  return Out;
+}
+
+void CallGraph::build(const Program &P) {
+  // RTA: set of classes instantiated in reachable code, grown on the fly.
+  BitSet Instantiated(P.Classes.size());
+
+  Worklist<MethodId> WL;
+  auto AddEntry = [&](MethodId M) {
+    if (M != kInvalidId && Reachable.set(M))
+      WL.push(M);
+  };
+  AddEntry(P.EntryMethod);
+  for (MethodId M : P.ClinitMethods)
+    AddEntry(M);
+
+  // Process methods; when RTA discovers new instantiated classes, re-process
+  // methods whose virtual call sites may now have more targets.
+  std::vector<MethodId> Processed;
+  bool InstantiatedChanged = true;
+  while (InstantiatedChanged) {
+    InstantiatedChanged = false;
+    while (!WL.empty()) {
+      MethodId M = WL.pop();
+      Processed.push_back(M);
+      const MethodInfo &MI = P.Methods[M];
+      for (StmtIdx I = 0; I < MI.Body.size(); ++I) {
+        const Stmt &S = MI.Body[I];
+        if (S.isAllocation() && S.Op != Opcode::NewArray) {
+          const Type &T = P.Types.get(S.Ty);
+          if (T.K == Type::Kind::Ref && Instantiated.set(T.Cls))
+            InstantiatedChanged = true;
+        }
+        if (S.Op != Opcode::Invoke)
+          continue;
+        std::vector<MethodId> Targets =
+            resolveCall(P, M, I, S, Instantiated);
+        CallSite Site{M, I};
+        auto &Slot = Callees[Site];
+        for (MethodId T : Targets) {
+          if (std::find(Slot.begin(), Slot.end(), T) != Slot.end())
+            continue;
+          Slot.push_back(T);
+          Callers[T].push_back(Site);
+          if (Reachable.set(T))
+            WL.push(T);
+        }
+      }
+    }
+    if (InstantiatedChanged) {
+      // Re-run all processed methods so virtual sites pick up targets from
+      // newly instantiated classes; calleesAt slots grow monotonically.
+      for (MethodId M : Processed)
+        WL.push(M);
+      Processed.clear();
+    }
+  }
+}

@@ -1,0 +1,105 @@
+//===-- CallGraph.h - CHA/RTA call graphs ----------------------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Call-graph construction: virtual-dispatch resolution over the class
+/// hierarchy, plus two whole-program builders — CHA (all subtypes of the
+/// receiver's declared class) and RTA (only classes instantiated in
+/// reachable code). The leak analysis and points-to analysis consume the
+/// per-call-site callee sets and the reachable-method set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_CALLGRAPH_CALLGRAPH_H
+#define LC_CALLGRAPH_CALLGRAPH_H
+
+#include "ir/Program.h"
+#include "support/BitSet.h"
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace lc {
+
+/// Identifies one call site: a statement inside a method.
+struct CallSite {
+  MethodId Caller = kInvalidId;
+  StmtIdx Index = kInvalidId;
+
+  friend bool operator==(CallSite A, CallSite B) {
+    return A.Caller == B.Caller && A.Index == B.Index;
+  }
+};
+
+struct CallSiteHash {
+  size_t operator()(CallSite S) const {
+    return std::hash<uint64_t>()((uint64_t(S.Caller) << 32) | S.Index);
+  }
+};
+
+/// How virtual call sites are resolved.
+enum class CallGraphKind {
+  Cha, ///< class-hierarchy analysis: any subtype of the declared class
+  Rta, ///< rapid type analysis: subtypes instantiated in reachable code
+  Pta, ///< refined by receiver points-to sets (built via refineCallGraph)
+};
+
+/// Resolves the override of \p Declared for a receiver of dynamic class
+/// \p Receiver (walks up from Receiver to the declaring class).
+/// \returns kInvalidId when Receiver does not inherit the method.
+MethodId dispatch(const Program &P, ClassId Receiver, MethodId Declared);
+
+/// Resolves the callees of one virtual call site; used by the Pta-refined
+/// builder. Return the possible targets of statement (\p Caller, \p I)
+/// whose declared callee is \p Declared.
+using VirtualResolver = std::function<std::vector<MethodId>(
+    MethodId Caller, StmtIdx I, MethodId Declared)>;
+
+/// A whole-program call graph.
+class CallGraph {
+public:
+  /// Builds the call graph for \p P. Entry points: main, all <clinit>.
+  CallGraph(const Program &P, CallGraphKind Kind);
+
+  /// Builds a call graph whose virtual edges come from \p Resolve
+  /// (receiver points-to sets); static/special edges are direct. Kind is
+  /// reported as Pta.
+  CallGraph(const Program &P, VirtualResolver Resolve);
+
+  /// Possible callees of the call at (\p Caller, \p Index).
+  const std::vector<MethodId> &calleesAt(MethodId Caller, StmtIdx Index) const;
+
+  /// Call sites that may invoke \p Callee.
+  const std::vector<CallSite> &callersOf(MethodId Callee) const;
+
+  /// True if \p M is reachable from the entry points.
+  bool isReachable(MethodId M) const { return Reachable.test(M); }
+
+  /// All reachable methods.
+  std::vector<MethodId> reachableMethods() const { return Reachable.toVector(); }
+  size_t numReachable() const { return Reachable.count(); }
+
+  CallGraphKind kind() const { return Kind; }
+
+private:
+  void build(const Program &P);
+  std::vector<MethodId> resolveCall(const Program &P, MethodId Caller,
+                                    StmtIdx I, const Stmt &S,
+                                    const BitSet &Instantiated) const;
+
+  CallGraphKind Kind;
+  VirtualResolver Resolver; ///< set only for Pta graphs
+  BitSet Reachable;
+  std::unordered_map<CallSite, std::vector<MethodId>, CallSiteHash> Callees;
+  std::unordered_map<MethodId, std::vector<CallSite>> Callers;
+  std::vector<MethodId> Empty;
+  std::vector<CallSite> EmptySites;
+};
+
+} // namespace lc
+
+#endif // LC_CALLGRAPH_CALLGRAPH_H

@@ -1,0 +1,112 @@
+//===-- Cfg.cpp -----------------------------------------------------------===//
+
+#include "cfg/Cfg.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+using namespace lc;
+
+Cfg::Cfg(const Program &P, MethodId Method) : Method(Method) {
+  build(P);
+  computeRpo();
+}
+
+void Cfg::build(const Program &P) {
+  const MethodInfo &MI = P.Methods[Method];
+  const std::vector<Stmt> &Body = MI.Body;
+  assert(!Body.empty() && "CFG of an empty method");
+
+  // 1. Find leaders: statement 0, branch targets, and branch/terminator
+  //    successors.
+  std::vector<bool> Leader(Body.size(), false);
+  Leader[0] = true;
+  for (StmtIdx I = 0; I < Body.size(); ++I) {
+    const Stmt &S = Body[I];
+    if (S.isBranch()) {
+      Leader[S.Target] = true;
+      if (I + 1 < Body.size())
+        Leader[I + 1] = true;
+    } else if (S.Op == Opcode::Return && I + 1 < Body.size()) {
+      Leader[I + 1] = true;
+    }
+  }
+
+  // 2. Carve blocks.
+  BlockOfStmt.resize(Body.size());
+  for (StmtIdx I = 0; I < Body.size(); ++I) {
+    if (Leader[I]) {
+      BasicBlock B;
+      B.Begin = I;
+      Blocks.push_back(B);
+    }
+    Blocks.back().End = I + 1;
+    BlockOfStmt[I] = static_cast<uint32_t>(Blocks.size() - 1);
+  }
+
+  // 3. Edges.
+  auto AddEdge = [&](uint32_t From, uint32_t To) {
+    Blocks[From].Succs.push_back(To);
+    Blocks[To].Preds.push_back(From);
+  };
+  for (uint32_t B = 0; B < Blocks.size(); ++B) {
+    const Stmt &Last = Body[Blocks[B].End - 1];
+    switch (Last.Op) {
+    case Opcode::Goto:
+      AddEdge(B, BlockOfStmt[Last.Target]);
+      break;
+    case Opcode::If:
+      AddEdge(B, BlockOfStmt[Last.Target]);
+      if (Blocks[B].End < Body.size())
+        AddEdge(B, BlockOfStmt[Blocks[B].End]);
+      break;
+    case Opcode::Return:
+      break;
+    default:
+      if (Blocks[B].End < Body.size())
+        AddEdge(B, BlockOfStmt[Blocks[B].End]);
+      break;
+    }
+  }
+}
+
+void Cfg::computeRpo() {
+  std::vector<uint8_t> State(Blocks.size(), 0); // 0=unseen 1=onstack 2=done
+  std::vector<uint32_t> Post;
+  // Iterative DFS with explicit stack of (block, next-succ-index).
+  std::vector<std::pair<uint32_t, size_t>> Stack;
+  Stack.push_back({entry(), 0});
+  State[entry()] = 1;
+  while (!Stack.empty()) {
+    auto &[B, Next] = Stack.back();
+    if (Next < Blocks[B].Succs.size()) {
+      uint32_t S = Blocks[B].Succs[Next++];
+      if (State[S] == 0) {
+        State[S] = 1;
+        Stack.push_back({S, 0});
+      }
+    } else {
+      State[B] = 2;
+      Post.push_back(B);
+      Stack.pop_back();
+    }
+  }
+  Rpo.assign(Post.rbegin(), Post.rend());
+  // Unreachable blocks (dead code after returns, etc.) go last.
+  for (uint32_t B = 0; B < Blocks.size(); ++B)
+    if (State[B] == 0)
+      Rpo.push_back(B);
+}
+
+std::string Cfg::str() const {
+  std::ostringstream OS;
+  for (uint32_t B = 0; B < Blocks.size(); ++B) {
+    OS << "B" << B << " [" << Blocks[B].Begin << "," << Blocks[B].End
+       << ") ->";
+    for (uint32_t S : Blocks[B].Succs)
+      OS << " B" << S;
+    OS << "\n";
+  }
+  return OS.str();
+}

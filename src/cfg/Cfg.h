@@ -1,0 +1,66 @@
+//===-- Cfg.h - Control-flow graph -----------------------------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-method control-flow graph over the flat statement vector: basic
+/// blocks, successor/predecessor edges, and reverse postorder. Statement
+/// granularity is preserved (each block stores its statement index range).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_CFG_CFG_H
+#define LC_CFG_CFG_H
+
+#include "ir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace lc {
+
+/// One basic block: the statements [Begin, End) of the method body.
+struct BasicBlock {
+  StmtIdx Begin = 0;
+  StmtIdx End = 0;
+  std::vector<uint32_t> Succs;
+  std::vector<uint32_t> Preds;
+};
+
+/// CFG of one method.
+class Cfg {
+public:
+  /// Builds the CFG of \p Method in \p P.
+  Cfg(const Program &P, MethodId Method);
+
+  MethodId method() const { return Method; }
+  size_t numBlocks() const { return Blocks.size(); }
+  const BasicBlock &block(uint32_t Id) const { return Blocks[Id]; }
+  /// The entry block (always block 0, containing statement 0).
+  uint32_t entry() const { return 0; }
+
+  /// Block containing statement \p I.
+  uint32_t blockOf(StmtIdx I) const { return BlockOfStmt[I]; }
+
+  /// Block ids in reverse postorder from the entry (unreachable blocks
+  /// appended at the end in index order).
+  const std::vector<uint32_t> &reversePostorder() const { return Rpo; }
+
+  /// Text rendering for tests/debugging.
+  std::string str() const;
+
+private:
+  void build(const Program &P);
+  void computeRpo();
+
+  MethodId Method;
+  std::vector<BasicBlock> Blocks;
+  std::vector<uint32_t> BlockOfStmt;
+  std::vector<uint32_t> Rpo;
+};
+
+} // namespace lc
+
+#endif // LC_CFG_CFG_H

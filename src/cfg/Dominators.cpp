@@ -1,0 +1,77 @@
+//===-- Dominators.cpp ----------------------------------------------------===//
+
+#include "cfg/Dominators.h"
+
+#include <cassert>
+
+using namespace lc;
+
+DominatorTree::DominatorTree(const Cfg &G) : G(G) {
+  size_t N = G.numBlocks();
+  Idom.assign(N, kInvalidId);
+  RpoIndex.assign(N, kInvalidId);
+
+  const std::vector<uint32_t> &Rpo = G.reversePostorder();
+  // Only consider blocks reachable from the entry: they form the RPO prefix
+  // computed by DFS; unreachable blocks keep RpoIndex == kInvalidId.
+  std::vector<bool> Reachable(N, false);
+  {
+    std::vector<uint32_t> Stack = {G.entry()};
+    Reachable[G.entry()] = true;
+    while (!Stack.empty()) {
+      uint32_t B = Stack.back();
+      Stack.pop_back();
+      for (uint32_t S : G.block(B).Succs)
+        if (!Reachable[S]) {
+          Reachable[S] = true;
+          Stack.push_back(S);
+        }
+    }
+  }
+  for (uint32_t I = 0; I < Rpo.size(); ++I)
+    if (Reachable[Rpo[I]])
+      RpoIndex[Rpo[I]] = I;
+
+  auto Intersect = [&](uint32_t A, uint32_t B) {
+    while (A != B) {
+      while (RpoIndex[A] > RpoIndex[B])
+        A = Idom[A];
+      while (RpoIndex[B] > RpoIndex[A])
+        B = Idom[B];
+    }
+    return A;
+  };
+
+  Idom[G.entry()] = G.entry();
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t B : Rpo) {
+      if (B == G.entry() || !Reachable[B])
+        continue;
+      uint32_t NewIdom = kInvalidId;
+      for (uint32_t P : G.block(B).Preds) {
+        if (Idom[P] == kInvalidId)
+          continue; // pred not processed yet / unreachable
+        NewIdom = NewIdom == kInvalidId ? P : Intersect(P, NewIdom);
+      }
+      if (NewIdom != kInvalidId && Idom[B] != NewIdom) {
+        Idom[B] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+bool DominatorTree::dominates(uint32_t A, uint32_t B) const {
+  if (Idom[B] == kInvalidId)
+    return false; // B unreachable
+  uint32_t Cur = B;
+  while (true) {
+    if (Cur == A)
+      return true;
+    if (Cur == G.entry())
+      return false;
+    Cur = Idom[Cur];
+  }
+}

@@ -1,0 +1,40 @@
+//===-- Dominators.h - Dominator tree --------------------------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm
+/// ("A Simple, Fast Dominance Algorithm"). Used by natural-loop detection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_CFG_DOMINATORS_H
+#define LC_CFG_DOMINATORS_H
+
+#include "cfg/Cfg.h"
+
+namespace lc {
+
+/// Immediate-dominator table for one CFG.
+class DominatorTree {
+public:
+  explicit DominatorTree(const Cfg &G);
+
+  /// Immediate dominator of \p Block; the entry's idom is itself.
+  /// kInvalidId for blocks unreachable from the entry.
+  uint32_t idom(uint32_t Block) const { return Idom[Block]; }
+
+  /// True if \p A dominates \p B (reflexive).
+  bool dominates(uint32_t A, uint32_t B) const;
+
+private:
+  const Cfg &G;
+  std::vector<uint32_t> Idom;
+  std::vector<uint32_t> RpoIndex;
+};
+
+} // namespace lc
+
+#endif // LC_CFG_DOMINATORS_H

@@ -1,0 +1,75 @@
+//===-- LoopAnalysis.cpp --------------------------------------------------===//
+
+#include "cfg/LoopAnalysis.h"
+
+#include <algorithm>
+
+using namespace lc;
+
+LoopAnalysis::LoopAnalysis(const Cfg &G, const DominatorTree &DT) : G(G) {
+  // A back edge T -> H exists when H dominates T; the natural loop of the
+  // edge is H plus every block that reaches T without passing through H.
+  for (uint32_t T = 0; T < G.numBlocks(); ++T) {
+    for (uint32_t H : G.block(T).Succs) {
+      if (!DT.dominates(H, T))
+        continue;
+      NaturalLoop L;
+      L.Header = H;
+      std::vector<bool> In(G.numBlocks(), false);
+      In[H] = true;
+      std::vector<uint32_t> Stack;
+      if (!In[T]) {
+        In[T] = true;
+        Stack.push_back(T);
+      }
+      while (!Stack.empty()) {
+        uint32_t B = Stack.back();
+        Stack.pop_back();
+        for (uint32_t P : G.block(B).Preds)
+          if (!In[P]) {
+            In[P] = true;
+            Stack.push_back(P);
+          }
+      }
+      for (uint32_t B = 0; B < G.numBlocks(); ++B)
+        if (In[B])
+          L.Blocks.push_back(B);
+      // Merge loops sharing a header (multiple back edges).
+      auto Existing =
+          std::find_if(Loops.begin(), Loops.end(),
+                       [&](const NaturalLoop &E) { return E.Header == H; });
+      if (Existing == Loops.end()) {
+        Loops.push_back(std::move(L));
+      } else {
+        std::vector<uint32_t> Merged;
+        std::set_union(Existing->Blocks.begin(), Existing->Blocks.end(),
+                       L.Blocks.begin(), L.Blocks.end(),
+                       std::back_inserter(Merged));
+        Existing->Blocks = std::move(Merged);
+      }
+    }
+  }
+}
+
+uint32_t LoopAnalysis::innermostLoopOf(uint32_t Block) const {
+  uint32_t Best = kInvalidId;
+  size_t BestSize = 0;
+  for (uint32_t I = 0; I < Loops.size(); ++I) {
+    const NaturalLoop &L = Loops[I];
+    if (!std::binary_search(L.Blocks.begin(), L.Blocks.end(), Block))
+      continue;
+    if (Best == kInvalidId || L.Blocks.size() < BestSize) {
+      Best = I;
+      BestSize = L.Blocks.size();
+    }
+  }
+  return Best;
+}
+
+std::vector<StmtIdx> lc::loopStatements(const Program &P, LoopId L) {
+  const LoopInfo &LI = P.Loops[L];
+  std::vector<StmtIdx> Out;
+  for (StmtIdx I = LI.BodyBegin; I < LI.BodyEnd; ++I)
+    Out.push_back(I);
+  return Out;
+}

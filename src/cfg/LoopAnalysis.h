@@ -1,0 +1,54 @@
+//===-- LoopAnalysis.h - Natural loop detection ----------------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural-loop detection from back edges in the dominator tree, plus the
+/// mapping from the frontend's recorded LoopInfo (labels/regions) to the
+/// detected CFG loops. The leak analysis asks this module for the set of
+/// statements belonging to a user-specified loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_CFG_LOOPANALYSIS_H
+#define LC_CFG_LOOPANALYSIS_H
+
+#include "cfg/Cfg.h"
+#include "cfg/Dominators.h"
+
+#include <vector>
+
+namespace lc {
+
+/// One natural loop: header block plus the set of member blocks.
+struct NaturalLoop {
+  uint32_t Header = kInvalidId;
+  std::vector<uint32_t> Blocks; ///< includes the header
+};
+
+/// Finds the natural loops of one method's CFG.
+class LoopAnalysis {
+public:
+  LoopAnalysis(const Cfg &G, const DominatorTree &DT);
+
+  const std::vector<NaturalLoop> &loops() const { return Loops; }
+
+  /// Innermost natural loop containing \p Block; kInvalidId if none.
+  /// (Smallest loop by block count.)
+  uint32_t innermostLoopOf(uint32_t Block) const;
+
+private:
+  const Cfg &G;
+  std::vector<NaturalLoop> Loops;
+};
+
+/// Statement index set of a frontend-recorded loop (a LoopInfo in the
+/// Program): the lowered range [BodyBegin, BodyEnd). For while loops this
+/// matches the natural loop discovered in the CFG; tests assert that.
+std::vector<StmtIdx> loopStatements(const Program &P, LoopId L);
+
+} // namespace lc
+
+#endif // LC_CFG_LOOPANALYSIS_H

@@ -1,0 +1,69 @@
+//===-- LeakChecker.cpp ---------------------------------------------------===//
+
+#include "core/LeakChecker.h"
+
+#include "frontend/Lower.h"
+
+#include <vector>
+
+using namespace lc;
+
+LeakChecker::LeakChecker(std::unique_ptr<Program> Prog, LeakOptions Opts)
+    : P(std::move(Prog)), Opts(Opts) {
+  CG = std::make_unique<CallGraph>(*P, CallGraphKind::Rta);
+  G = std::make_unique<Pag>(*P, *CG);
+  Base = std::make_unique<AndersenPta>(*G);
+  Cfl = std::make_unique<CflPta>(*G, *Base, Opts.Cfl);
+}
+
+std::unique_ptr<LeakChecker> LeakChecker::fromSource(std::string_view Source,
+                                                     DiagnosticEngine &Diags,
+                                                     LeakOptions Opts) {
+  auto Prog = std::make_unique<Program>();
+  if (!compileSource(Source, *Prog, Diags))
+    return nullptr;
+  return std::unique_ptr<LeakChecker>(
+      new LeakChecker(std::move(Prog), Opts));
+}
+
+std::unique_ptr<LeakChecker>
+LeakChecker::fromProgram(std::unique_ptr<Program> P, LeakOptions Opts) {
+  return std::unique_ptr<LeakChecker>(new LeakChecker(std::move(P), Opts));
+}
+
+std::optional<LeakAnalysisResult>
+LeakChecker::check(std::string_view LoopLabel) const {
+  LoopId L = P->findLoop(LoopLabel);
+  if (L == kInvalidId)
+    return std::nullopt;
+  return check(L);
+}
+
+LeakAnalysisResult LeakChecker::check(LoopId Loop) const {
+  return analyzeLoop(*P, Loop, *CG, *G, *Base, *Cfl, Opts);
+}
+
+LeakAnalysisResult LeakChecker::checkWith(LoopId Loop,
+                                          const LeakOptions &O) const {
+  return analyzeLoop(*P, Loop, *CG, *G, *Base, *Cfl, O);
+}
+
+std::vector<LeakAnalysisResult> LeakChecker::checkAllLabeled() const {
+  std::vector<LeakAnalysisResult> Out;
+  for (LoopId L = 0; L < P->Loops.size(); ++L) {
+    if (P->Loops[L].Label.isEmpty())
+      continue;
+    if (!CG->isReachable(P->Loops[L].Method))
+      continue;
+    Out.push_back(check(L));
+  }
+  return Out;
+}
+
+size_t LeakChecker::reachableStmts() const {
+  size_t N = 0;
+  for (MethodId M = 0; M < P->Methods.size(); ++M)
+    if (CG->isReachable(M))
+      N += P->Methods[M].Body.size();
+  return N;
+}

@@ -1,0 +1,549 @@
+//===-- EffectSystem.cpp --------------------------------------------------===//
+
+#include "effect/EffectSystem.h"
+
+#include "cfg/Dominators.h"
+#include "support/Worklist.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace lc;
+
+namespace {
+
+/// Abstract value: a bounded set of (allocation site, ERA) objects, plus
+/// an Any flag for unknown objects (call results, set overflow). This
+/// refines the paper's single-type lattice -- where joining types with
+/// different allocation sites collapses to the Any type T -- just enough
+/// to keep store effects sound: a store of a joined value still records
+/// one effect per member site. At the cap the set degrades to Any exactly
+/// like the paper's T.
+class AbsSet {
+public:
+  static constexpr size_t Cap = 24;
+
+  static AbsSet bot() { return {}; }
+  static AbsSet any() {
+    AbsSet S;
+    S.HasAny = true;
+    return S;
+  }
+  static AbsSet obj(AllocSiteId Site, Era E) {
+    AbsSet S;
+    S.Objs.push_back({Site, E});
+    return S;
+  }
+
+  bool isBot() const { return Objs.empty() && !HasAny; }
+  bool hasAny() const { return HasAny; }
+  const std::vector<std::pair<AllocSiteId, Era>> &objs() const {
+    return Objs;
+  }
+
+  /// Joins \p O into this set. \returns true on change.
+  bool joinWith(const AbsSet &O) {
+    bool Changed = false;
+    if (O.HasAny && !HasAny) {
+      HasAny = true;
+      Changed = true;
+    }
+    for (const auto &[Site, E] : O.Objs)
+      Changed |= insert(Site, E);
+    if (Objs.size() > Cap) {
+      Objs.clear();
+      HasAny = true;
+      Changed = true;
+    }
+    return Changed;
+  }
+
+  /// Adds (\p Site, \p E), joining ERAs for an existing site.
+  bool insert(AllocSiteId Site, Era E) {
+    for (auto &[S, Old] : Objs) {
+      if (S != Site)
+        continue;
+      Era J = join(Old, E);
+      if (J == Old)
+        return false;
+      Old = J;
+      return true;
+    }
+    Objs.push_back({Site, E});
+    return true;
+  }
+
+  /// Replaces the era of \p Site if present (strong era update at loads).
+  void setEra(AllocSiteId Site, Era E) {
+    for (auto &[S, Old] : Objs)
+      if (S == Site)
+        Old = E;
+  }
+
+  void advanceAll() {
+    for (auto &[S, E] : Objs)
+      E = advance(E);
+  }
+
+  friend bool operator==(const AbsSet &A, const AbsSet &B) {
+    return A.HasAny == B.HasAny && A.Objs == B.Objs;
+  }
+
+private:
+  std::vector<std::pair<AllocSiteId, Era>> Objs;
+  bool HasAny = false;
+};
+
+/// Abstract state at one program point: type environment Gamma plus type
+/// heap H (slot per (base site, field)); AnyHeap[f] collects stores
+/// through unknown bases.
+struct AbsState {
+  std::map<LocalId, AbsSet> Gamma;
+  std::map<std::pair<AllocSiteId, FieldId>, AbsSet> Heap;
+  std::map<FieldId, AbsSet> AnyHeap;
+
+  AbsSet getVar(LocalId L) const {
+    auto It = Gamma.find(L);
+    return It == Gamma.end() ? AbsSet::bot() : It->second;
+  }
+  void setVar(LocalId L, AbsSet T) {
+    if (T.isBot())
+      Gamma.erase(L);
+    else
+      Gamma[L] = std::move(T);
+  }
+
+  bool joinWith(const AbsState &O) {
+    bool Changed = false;
+    auto JoinMap = [&Changed](auto &Mine, const auto &Theirs) {
+      for (const auto &[K, V] : Theirs) {
+        auto It = Mine.find(K);
+        if (It == Mine.end()) {
+          Mine.emplace(K, V);
+          Changed = true;
+        } else {
+          Changed |= It->second.joinWith(V);
+        }
+      }
+    };
+    JoinMap(Gamma, O.Gamma);
+    JoinMap(Heap, O.Heap);
+    JoinMap(AnyHeap, O.AnyHeap);
+    return Changed;
+  }
+
+  void advanceAll() {
+    for (auto &[L, T] : Gamma)
+      T.advanceAll();
+    for (auto &[K, T] : Heap)
+      T.advanceAll();
+    for (auto &[F, T] : AnyHeap)
+      T.advanceAll();
+  }
+};
+
+class EffectInterpreter {
+public:
+  EffectInterpreter(const Program &P, LoopId Loop)
+      : P(P), Loop(P.Loops[Loop]), LoopIdVal(Loop),
+        Method(P.Loops[Loop].Method), G(P, Method) {}
+
+  EffectSummary run() {
+    const MethodInfo &MI = P.Methods[Method];
+    std::vector<AbsState> In(G.numBlocks());
+    std::vector<bool> Seen(G.numBlocks(), false);
+    Seen[G.entry()] = true;
+
+    Worklist<uint32_t> WL;
+    WL.push(G.entry());
+    while (!WL.empty()) {
+      uint32_t B = WL.pop();
+      if (G.blockOf(Loop.BodyBegin) == B)
+        ++Summary.FixpointIters;
+      AbsState S = In[B];
+      for (StmtIdx I = G.block(B).Begin; I < G.block(B).End; ++I)
+        transfer(S, MI.Body[I], I);
+      bool EndsWithBackEdge =
+          MI.Body[G.block(B).End - 1].Op == Opcode::Goto &&
+          MI.Body[G.block(B).End - 1].Target == Loop.BodyBegin &&
+          inLoop(G.block(B).End - 1);
+      if (EndsWithBackEdge)
+        ExitState.joinWith(S);
+      // Regions are artificial loops (paper section 1): no CFG back edge,
+      // so feed the region-end state back to the region head explicitly;
+      // the IterBegin there applies the iteration advance.
+      if (Loop.IsRegion && G.block(B).Begin < Loop.BodyEnd &&
+          G.block(B).End >= Loop.BodyEnd) {
+        ExitState.joinWith(S);
+        uint32_t Head = G.blockOf(Loop.BodyBegin);
+        if (In[Head].joinWith(S))
+          WL.push(Head);
+      }
+      for (uint32_t Succ : G.block(B).Succs) {
+        if (!Seen[Succ]) {
+          Seen[Succ] = true;
+          In[Succ] = S;
+          WL.push(Succ);
+        } else if (In[Succ].joinWith(S)) {
+          WL.push(Succ);
+        }
+      }
+    }
+
+    summarize();
+    return std::move(Summary);
+  }
+
+private:
+  bool inLoop(StmtIdx I) const {
+    return I >= Loop.BodyBegin && I < Loop.BodyEnd;
+  }
+
+  bool refLike(LocalId L) const {
+    return P.Types.isRefLike(P.Methods[Method].Locals[L].Ty);
+  }
+
+  /// Reads the slots for base set \p BaseS, field \p F. Inside the loop a
+  /// Top member observed at a load means "created in a previous iteration
+  /// and now used": it becomes Future, written back into the concrete slot
+  /// (strong era update).
+  AbsSet loadSlot(AbsState &S, const AbsSet &BaseS, FieldId F, bool Inside) {
+    AbsSet Out;
+    auto ReadOne = [&](AbsSet *Slot, bool WriteBack) {
+      if (!Slot)
+        return;
+      if (Inside && WriteBack)
+        for (const auto &[Site, E] : Slot->objs())
+          if (E == Era::Top)
+            Slot->setEra(Site, Era::Future);
+      AbsSet Tmp = *Slot;
+      if (Inside && !WriteBack) {
+        for (const auto &[Site, E] : Tmp.objs())
+          if (E == Era::Top)
+            Tmp.setEra(Site, Era::Future);
+      }
+      Out.joinWith(Tmp);
+    };
+    for (const auto &[BaseSite, BE] : BaseS.objs()) {
+      auto It = S.Heap.find({BaseSite, F});
+      ReadOne(It == S.Heap.end() ? nullptr : &It->second,
+              /*WriteBack=*/true);
+    }
+    if (BaseS.hasAny()) {
+      for (auto &[K, Slot] : S.Heap)
+        if (K.second == F)
+          ReadOne(&Slot, /*WriteBack=*/false);
+    }
+    auto AIt = S.AnyHeap.find(F);
+    if (AIt != S.AnyHeap.end())
+      ReadOne(&AIt->second, /*WriteBack=*/false);
+    return Out;
+  }
+
+  void storeSlot(AbsState &S, const AbsSet &BaseS, FieldId F,
+                 const AbsSet &Val) {
+    if (Val.isBot())
+      return; // null store: no strong update (documented imprecision)
+    for (const auto &[BaseSite, BE] : BaseS.objs()) {
+      auto [It, New] = S.Heap.try_emplace({BaseSite, F}, Val);
+      if (!New)
+        It->second.joinWith(Val); // weak update
+    }
+    if (BaseS.hasAny()) {
+      auto [It, New] = S.AnyHeap.try_emplace(F, Val);
+      if (!New)
+        It->second.joinWith(Val);
+    }
+  }
+
+  void recordEffects(std::set<AbsEffect> &Sink, const AbsSet &Val, FieldId F,
+                     const AbsSet &BaseS) {
+    auto RecordPair = [&](const AbsType &V, const AbsType &B) {
+      Sink.insert({V, F, B});
+    };
+    auto EachVal = [&](const AbsType &B) {
+      for (const auto &[Site, E] : Val.objs())
+        RecordPair(AbsType::obj(Site, E), B);
+      if (Val.hasAny())
+        RecordPair(AbsType::any(), B);
+    };
+    for (const auto &[Site, E] : BaseS.objs())
+      EachVal(AbsType::obj(Site, E));
+    if (BaseS.hasAny())
+      EachVal(AbsType::any());
+  }
+
+  void transfer(AbsState &S, const Stmt &St, StmtIdx I) {
+    bool Inside = inLoop(I);
+    switch (St.Op) {
+    case Opcode::IterBegin:
+      if (St.Loop == LoopIdVal)
+        S.advanceAll();
+      break;
+    case Opcode::New:
+    case Opcode::NewArray:
+    case Opcode::ConstStr:
+      S.setVar(St.Dst, AbsSet::obj(St.Site,
+                                   Inside ? Era::Current : Era::Outside));
+      break;
+    case Opcode::ConstNull:
+    case Opcode::ConstInt:
+    case Opcode::ConstBool:
+    case Opcode::BinOp:
+    case Opcode::UnOp:
+    case Opcode::ArrayLen:
+      if (St.Dst != kInvalidId)
+        S.setVar(St.Dst, AbsSet::bot());
+      break;
+    case Opcode::Copy:
+    case Opcode::Cast:
+      S.setVar(St.Dst, refLike(St.SrcA) ? S.getVar(St.SrcA) : AbsSet::bot());
+      break;
+    case Opcode::Load:
+    case Opcode::ArrayLoad: {
+      FieldId F = St.Op == Opcode::Load ? St.Field : P.ElemField;
+      AbsSet BaseS = S.getVar(St.SrcA);
+      AbsSet V = loadSlot(S, BaseS, F, Inside);
+      if (Inside && !V.isBot() && !BaseS.isBot())
+        recordEffects(Summary.Loads, V, F, BaseS);
+      S.setVar(St.Dst, std::move(V));
+      break;
+    }
+    case Opcode::Store:
+    case Opcode::ArrayStore: {
+      FieldId F = St.Op == Opcode::Store ? St.Field : P.ElemField;
+      LocalId ValL = St.Op == Opcode::Store ? St.SrcB : St.SrcC;
+      AbsSet BaseS = S.getVar(St.SrcA);
+      AbsSet V = refLike(ValL) ? S.getVar(ValL) : AbsSet::bot();
+      storeSlot(S, BaseS, F, V);
+      if (Inside && !V.isBot() && !BaseS.isBot())
+        recordEffects(Summary.Stores, V, F, BaseS);
+      break;
+    }
+    case Opcode::StaticLoad: {
+      // Statics are fields of one imaginary outside holder: model them as
+      // Any-based slots keyed by field.
+      AbsSet V = loadSlot(S, AbsSet::any(), St.Field, Inside);
+      if (Inside && !V.isBot())
+        recordEffects(Summary.Loads, V, St.Field, AbsSet::any());
+      S.setVar(St.Dst, std::move(V));
+      break;
+    }
+    case Opcode::StaticStore: {
+      AbsSet V = refLike(St.SrcB) ? S.getVar(St.SrcB) : AbsSet::bot();
+      storeSlot(S, AbsSet::any(), St.Field, V);
+      if (Inside && !V.isBot())
+        recordEffects(Summary.Stores, V, St.Field, AbsSet::any());
+      break;
+    }
+    case Opcode::Invoke:
+      // The formal fragment is call-free; calls degrade the result to Any.
+      if (St.Dst != kInvalidId && refLike(St.Dst))
+        S.setVar(St.Dst, AbsSet::any());
+      break;
+    default:
+      break;
+    }
+  }
+
+  /// True if \p Site is allocated inside the analyzed loop (the fragment
+  /// is intraprocedural: same method, statement within the loop range).
+  bool siteInside(AllocSiteId Site) const {
+    const AllocSite &A = P.AllocSites[Site];
+    return A.Method == Method && inLoop(A.Index);
+  }
+
+  /// Final per-site ERA. Heap occurrences decide: a site observed flowing
+  /// back through some slot (a Future member surviving to the iteration
+  /// end) is Future even if another slot holds it at Top -- the per-edge
+  /// matching in the detector reports that other slot as the redundant
+  /// reference (the Fig. 1 Order curr-vs-elem situation). A site with only
+  /// Top occurrences in the heap never flows back. A site never reaching
+  /// the heap keeps its environment era (Current for iteration-locals).
+  void summarize() {
+    std::set<AllocSiteId> Sites;
+    auto NoteSet = [&](const AbsSet &T) {
+      for (const auto &[Site, E] : T.objs())
+        Sites.insert(Site);
+    };
+    for (const auto &[L, T] : ExitState.Gamma)
+      NoteSet(T);
+    for (const auto &[K, T] : ExitState.Heap) {
+      NoteSet(T);
+      Sites.insert(K.first);
+    }
+    for (const auto &[F, T] : ExitState.AnyHeap)
+      NoteSet(T);
+    auto NoteEffect = [&](const AbsEffect &E) {
+      if (E.Value.isObj())
+        Sites.insert(E.Value.Site);
+      if (E.Base.isObj())
+        Sites.insert(E.Base.Site);
+    };
+    for (const AbsEffect &E : Summary.Stores)
+      NoteEffect(E);
+    for (const AbsEffect &E : Summary.Loads)
+      NoteEffect(E);
+
+    for (AllocSiteId Site : Sites) {
+      if (!siteInside(Site)) {
+        Summary.SiteEra[Site] = Era::Outside;
+        continue;
+      }
+      bool SlotFuture = false, SlotTop = false;
+      auto Check = [&](const AbsSet &T) {
+        for (const auto &[S2, E] : T.objs()) {
+          if (S2 != Site)
+            continue;
+          SlotFuture |= E == Era::Future;
+          SlotTop |= E == Era::Top;
+        }
+      };
+      for (const auto &[K, T] : ExitState.Heap)
+        Check(T);
+      for (const auto &[F, T] : ExitState.AnyHeap)
+        Check(T);
+      if (SlotFuture) {
+        Summary.SiteEra[Site] = Era::Future;
+        continue;
+      }
+      if (SlotTop) {
+        Summary.SiteEra[Site] = Era::Top;
+        continue;
+      }
+      Era EnvEra = Era::Current;
+      bool Found = false;
+      for (const auto &[L, T] : ExitState.Gamma)
+        for (const auto &[S2, E] : T.objs())
+          if (S2 == Site) {
+            EnvEra = Found ? join(EnvEra, E) : E;
+            Found = true;
+          }
+      Summary.SiteEra[Site] = Found ? EnvEra : Era::Current;
+    }
+  }
+
+  const Program &P;
+  const LoopInfo &Loop;
+  LoopId LoopIdVal;
+  MethodId Method;
+  Cfg G;
+  EffectSummary Summary;
+  AbsState ExitState;
+};
+
+} // namespace
+
+EffectSummary lc::runEffectSystem(const Program &P, LoopId Loop) {
+  return EffectInterpreter(P, Loop).run();
+}
+
+std::string EffectSummary::str(const Program &P) const {
+  std::ostringstream OS;
+  OS << "ERAs:\n";
+  for (const auto &[S, E] : SiteEra)
+    OS << "  " << P.allocSiteName(S) << " : " << eraName(E) << "\n";
+  OS << "Stores:\n";
+  for (const AbsEffect &E : Stores)
+    OS << "  " << E.Value.str() << " >" << P.fieldName(E.Field) << " "
+       << E.Base.str() << "\n";
+  OS << "Loads:\n";
+  for (const AbsEffect &E : Loads)
+    OS << "  " << E.Value.str() << " <" << P.fieldName(E.Field) << " "
+       << E.Base.str() << "\n";
+  return OS.str();
+}
+
+std::vector<EffectLeak> lc::detectEffectLeaks(const Program &P,
+                                              const EffectSummary &S) {
+  (void)P;
+  // Site-level store graph (value -> base, labeled field) and load graph,
+  // from the abstract effects.
+  struct Edge {
+    AllocSiteId From, To;
+    FieldId Field;
+    bool ToOutside;
+    bool ToAny;
+  };
+  auto IsOutside = [&](AllocSiteId Site) {
+    return S.eraOf(Site) == Era::Outside;
+  };
+
+  std::vector<Edge> StoreEdges;
+  for (const AbsEffect &E : S.Stores) {
+    if (!E.Value.isObj())
+      continue;
+    if (E.Base.isAny()) {
+      StoreEdges.push_back({E.Value.Site, kInvalidId, E.Field, true, true});
+    } else if (E.Base.isObj()) {
+      StoreEdges.push_back(
+          {E.Value.Site, E.Base.Site, E.Field, IsOutside(E.Base.Site), false});
+    }
+  }
+
+  // Transitive flows-out: inside site -> closest outside object.
+  std::map<AllocSiteId, std::set<std::pair<FieldId, AllocSiteId>>> FlowsOut;
+  for (const auto &[Site, E] : S.SiteEra) {
+    if (E == Era::Outside)
+      continue;
+    std::set<AllocSiteId> Visited{Site};
+    std::vector<AllocSiteId> Stack = {Site};
+    while (!Stack.empty()) {
+      AllocSiteId Cur = Stack.back();
+      Stack.pop_back();
+      for (const Edge &Ed : StoreEdges) {
+        if (Ed.From != Cur)
+          continue;
+        if (Ed.ToOutside || Ed.ToAny) {
+          FlowsOut[Site].insert({Ed.Field, Ed.ToAny ? kInvalidId : Ed.To});
+        } else if (Visited.insert(Ed.To).second) {
+          Stack.push_back(Ed.To);
+        }
+      }
+    }
+  }
+
+  // Transitive flows-in: (insideSite, fieldOfOutside, outsideSite).
+  std::set<std::tuple<AllocSiteId, FieldId, AllocSiteId>> FlowsIn;
+  {
+    std::vector<std::tuple<AllocSiteId, FieldId, AllocSiteId>> Work;
+    for (const AbsEffect &E : S.Loads) {
+      if (!E.Value.isObj() || IsOutside(E.Value.Site))
+        continue;
+      if (E.Base.isAny()) {
+        Work.push_back({E.Value.Site, E.Field, kInvalidId});
+      } else if (E.Base.isObj() && IsOutside(E.Base.Site)) {
+        Work.push_back({E.Value.Site, E.Field, E.Base.Site});
+      }
+    }
+    while (!Work.empty()) {
+      auto [V, F, B] = Work.back();
+      Work.pop_back();
+      if (!FlowsIn.insert({V, F, B}).second)
+        continue;
+      for (const AbsEffect &E : S.Loads) {
+        if (!E.Base.isObj() || E.Base.Site != V)
+          continue;
+        if (!E.Value.isObj() || IsOutside(E.Value.Site))
+          continue;
+        Work.push_back({E.Value.Site, F, B});
+      }
+    }
+  }
+
+  std::vector<EffectLeak> Leaks;
+  for (const auto &[Site, FOuts] : FlowsOut) {
+    Era E = S.eraOf(Site);
+    if (E == Era::Top) {
+      const auto &[F, B] = *FOuts.begin();
+      Leaks.push_back({Site, F, B, /*EscapesWithoutFlowIn=*/true});
+      continue;
+    }
+    for (const auto &[F, B] : FOuts) {
+      if (FlowsIn.count({Site, F, B}))
+        continue;
+      Leaks.push_back({Site, F, B, /*EscapesWithoutFlowIn=*/false});
+    }
+  }
+  return Leaks;
+}

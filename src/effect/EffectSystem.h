@@ -1,0 +1,97 @@
+//===-- EffectSystem.h - Type and effect system of section 3 ---*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The formal type-and-effect system of the paper (Figs. 4-6), implemented
+/// as an abstract interpreter over the intraprocedural while-language
+/// fragment of the IR (assignments, new, field load/store, if/goto, one
+/// analyzed loop). It computes:
+///
+///   - the ERA of every allocation site with respect to the analyzed loop,
+///   - the abstract store effects  tau1 >_g tau2  (Psi-tilde), and
+///   - the abstract load effects   tau1 <_g tau2  (Omega-tilde),
+///
+/// from which EffectLeakDetector applies Definitions 2-3: an inside object
+/// leaks when its ERA is Top, or when it flows out through a field of an
+/// outside object that is never matched by a flows-in on the same field
+/// and outside object.
+///
+/// This module is the executable counterpart of the formalism; the
+/// practical interprocedural analysis lives in src/leak and is validated
+/// against this one (and against the concrete-semantics oracle in
+/// src/interp) by the property tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_EFFECT_EFFECTSYSTEM_H
+#define LC_EFFECT_EFFECTSYSTEM_H
+
+#include "cfg/Cfg.h"
+#include "effect/Era.h"
+#include "ir/Program.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace lc {
+
+/// An abstract heap effect: the value type, the field, and the base type.
+struct AbsEffect {
+  AbsType Value;
+  FieldId Field = kInvalidId;
+  AbsType Base;
+
+  friend bool operator<(const AbsEffect &A, const AbsEffect &B) {
+    auto Key = [](const AbsType &T) {
+      return std::tuple(static_cast<int>(T.K), T.Site, static_cast<int>(T.E));
+    };
+    return std::tuple(Key(A.Value), A.Field, Key(A.Base)) <
+           std::tuple(Key(B.Value), B.Field, Key(B.Base));
+  }
+};
+
+/// Result of running the effect system on one loop of one method.
+struct EffectSummary {
+  /// Final ERA per allocation site occurring in the method (join over all
+  /// occurrences in the fixed-point state).
+  std::map<AllocSiteId, Era> SiteEra;
+  /// Abstract store effects (Psi-tilde).
+  std::set<AbsEffect> Stores;
+  /// Abstract load effects (Omega-tilde).
+  std::set<AbsEffect> Loads;
+  /// Abstract-iteration count until the loop fixed point converged.
+  unsigned FixpointIters = 0;
+
+  Era eraOf(AllocSiteId S) const {
+    auto It = SiteEra.find(S);
+    return It == SiteEra.end() ? Era::Current : It->second;
+  }
+  std::string str(const Program &P) const;
+};
+
+/// Runs the type-and-effect system on \p Loop (a LoopInfo id of \p P).
+/// Only the enclosing method is analyzed (the formal fragment has no
+/// calls; Invoke statements are treated as opaque: their reference results
+/// become Any).
+EffectSummary runEffectSystem(const Program &P, LoopId Loop);
+
+/// A leak found by matching flows-out and flows-in relations (Defs. 2-3).
+struct EffectLeak {
+  AllocSiteId Site = kInvalidId;      ///< the leaking inside object
+  FieldId Field = kInvalidId;         ///< field of the outside object
+  AllocSiteId Outside = kInvalidId;   ///< closest outside object it escapes to
+  bool EscapesWithoutFlowIn = false;  ///< true: ERA Top; false: unmatched edge
+};
+
+/// Applies Definitions 2-3 to an effect summary.
+std::vector<EffectLeak> detectEffectLeaks(const Program &P,
+                                          const EffectSummary &S);
+
+} // namespace lc
+
+#endif // LC_EFFECT_EFFECTSYSTEM_H

@@ -1,0 +1,138 @@
+//===-- Era.h - Extended recency abstraction lattice -----------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The extended recency abstraction (ERA) of the paper, section 2/3: each
+/// abstract object carries one of four values with respect to a checked
+/// loop l:
+///
+///   Outside (0) -- created outside l
+///   Current (c) -- iteration-local: dies before its creating iteration ends
+///   Future  (f) -- may escape its iteration and flow back into a later one
+///   Top     (T) -- may escape and is never used by a later iteration
+///
+/// plus the join (Fig. 6) and the iteration-advance operator + (rule (6)):
+/// at the start of each abstract iteration every Current object becomes
+/// Top ("created in a previous iteration, not yet seen flowing back").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_EFFECT_ERA_H
+#define LC_EFFECT_ERA_H
+
+#include "ir/Ids.h"
+
+#include <cstdint>
+#include <string>
+
+namespace lc {
+
+/// ERA lattice values.
+enum class Era : uint8_t {
+  Outside, ///< 0: allocated outside the loop
+  Current, ///< c: iteration-local
+  Future,  ///< f: escapes and flows back in
+  Top,     ///< T: escapes and never flows back
+};
+
+/// Join on ERAs. Current < Future < Top; Outside joins only with itself
+/// (a fixed allocation site is either inside or outside the loop, so a
+/// mixed join is defensive and goes straight to Top).
+inline Era join(Era A, Era B) {
+  if (A == B)
+    return A;
+  if (A == Era::Outside || B == Era::Outside)
+    return Era::Top;
+  auto Rank = [](Era E) {
+    return E == Era::Current ? 0 : E == Era::Future ? 1 : 2;
+  };
+  return Rank(A) >= Rank(B) ? A : B;
+}
+
+/// The iteration-advance operator (+): applied to every type in the
+/// abstract state when a new iteration begins.
+inline Era advance(Era E) {
+  switch (E) {
+  case Era::Outside:
+    return Era::Outside;
+  case Era::Current:
+    return Era::Top; // existing instance now belongs to a previous iteration
+  case Era::Future:
+    return Era::Future;
+  case Era::Top:
+    return Era::Top;
+  }
+  return Era::Top;
+}
+
+inline const char *eraName(Era E) {
+  switch (E) {
+  case Era::Outside:
+    return "0";
+  case Era::Current:
+    return "c";
+  case Era::Future:
+    return "f";
+  case Era::Top:
+    return "T";
+  }
+  return "?";
+}
+
+/// An abstract type: an allocation site qualified with an ERA, or the
+/// lattice extremes Bot (no object / null) and Any (unknown type, the
+/// result of joining types with different allocation sites).
+struct AbsType {
+  enum class Kind : uint8_t { Bot, Obj, Any };
+  Kind K = Kind::Bot;
+  AllocSiteId Site = kInvalidId;
+  Era E = Era::Current;
+
+  static AbsType bot() { return {}; }
+  static AbsType any() { return {Kind::Any, kInvalidId, Era::Top}; }
+  static AbsType obj(AllocSiteId S, Era E) { return {Kind::Obj, S, E}; }
+
+  bool isBot() const { return K == Kind::Bot; }
+  bool isAny() const { return K == Kind::Any; }
+  bool isObj() const { return K == Kind::Obj; }
+
+  friend bool operator==(const AbsType &A, const AbsType &B) {
+    return A.K == B.K && A.Site == B.Site && A.E == B.E;
+  }
+
+  std::string str() const {
+    if (isBot())
+      return "_|_";
+    if (isAny())
+      return "T";
+    return "(o" + std::to_string(Site) + "," + eraName(E) + ")";
+  }
+};
+
+/// Type join (Fig. 6): same site joins ERAs; different sites lose track and
+/// go to Any; Bot is the identity.
+inline AbsType join(const AbsType &A, const AbsType &B) {
+  if (A.isBot())
+    return B;
+  if (B.isBot())
+    return A;
+  if (A.isAny() || B.isAny())
+    return AbsType::any();
+  if (A.Site != B.Site)
+    return AbsType::any();
+  return AbsType::obj(A.Site, join(A.E, B.E));
+}
+
+/// Iteration advance lifted to types.
+inline AbsType advance(const AbsType &T) {
+  if (!T.isObj())
+    return T;
+  return AbsType::obj(T.Site, advance(T.E));
+}
+
+} // namespace lc
+
+#endif // LC_EFFECT_ERA_H

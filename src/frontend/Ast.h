@@ -1,0 +1,152 @@
+//===-- Ast.h - MJ abstract syntax tree ------------------------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST produced by the parser and consumed by the lowering pass. Plain
+/// tagged structs with owned children; one enum per syntactic category and
+/// a kind switch in the consumer, which keeps the node set visible at a
+/// glance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_FRONTEND_AST_H
+#define LC_FRONTEND_AST_H
+
+#include "support/SourceLoc.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lc::ast {
+
+// --- Types -----------------------------------------------------------------
+
+/// A syntactic type: base name ("int", "boolean", "void", or a class name)
+/// plus array rank.
+struct TypeRef {
+  std::string Name;
+  unsigned ArrayRank = 0;
+  SourceLoc Loc;
+};
+
+// --- Expressions -------------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Expression node kinds.
+enum class ExprKind : uint8_t {
+  IntLit,    ///< IntVal
+  BoolLit,   ///< IntVal (0/1)
+  StrLit,    ///< Text
+  NullLit,
+  This,
+  Name,      ///< Text: a local, an implicit-this field, or a class name
+  FieldGet,  ///< Base.Text  (also array .length)
+  Index,     ///< Base[IndexExpr]
+  Call,      ///< [Base.]Text(Args); Base null = implicit this / same class
+  SuperCall, ///< super.Text(Args)
+  NewObject, ///< new TypeName(Args)
+  NewArray,  ///< new TypeName[Size] with extra rank
+  CastExpr,  ///< (NewType) Base -- checked reference cast
+  Unary,     ///< OpText: "-" or "!"
+  Binary,    ///< OpText: + - * / % < <= > >= == != && ||
+};
+
+/// One expression node.
+struct Expr {
+  ExprKind Kind;
+  SourceLoc Loc;
+  int64_t IntVal = 0;
+  std::string Text;    ///< name / literal / operator spelling
+  TypeRef NewType;     ///< NewObject/NewArray
+  ExprPtr Base;        ///< FieldGet/Index/Call receiver; Unary/Binary lhs
+  ExprPtr Rhs;         ///< Index subscript; Binary rhs; NewArray size
+  std::vector<ExprPtr> Args;
+};
+
+// --- Statements ----------------------------------------------------------------
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// Statement node kinds.
+enum class StmtKind : uint8_t {
+  Block,     ///< Body
+  VarDecl,   ///< DeclType Text [= Value]
+  Assign,    ///< Target = Value
+  If,        ///< Cond, Then, [Else]
+  While,     ///< [Label:] while (Cond) Then
+  Region,    ///< region "Label" Then
+  Return,    ///< [Value]
+  ExprStmt,  ///< Value (a call)
+  SuperCtor, ///< super(Args)
+};
+
+/// Ground-truth annotation attached to a statement (`@leak` / `@falsepos`).
+enum class StmtAnnot : uint8_t { None, Leak, FalsePos };
+
+/// One statement node.
+struct Stmt {
+  StmtKind Kind;
+  SourceLoc Loc;
+  StmtAnnot Annot = StmtAnnot::None;
+  std::string Text;  ///< VarDecl name / While/Region label
+  TypeRef DeclType;  ///< VarDecl
+  ExprPtr Target;    ///< Assign lvalue
+  ExprPtr Value;     ///< Assign rhs / Return / ExprStmt / While cond / If cond
+  StmtPtr Then;      ///< If then / While body / Region body
+  StmtPtr Else;      ///< If else
+  std::vector<StmtPtr> Body; ///< Block
+  std::vector<ExprPtr> Args; ///< SuperCtor
+};
+
+// --- Declarations -----------------------------------------------------------
+
+/// A field declaration, possibly with an initializer (lowered into the
+/// constructor, or the class initializer for statics).
+struct FieldDecl {
+  std::string Name;
+  TypeRef Type;
+  bool IsStatic = false;
+  ExprPtr Init;
+  SourceLoc Loc;
+};
+
+/// A method or constructor declaration.
+struct MethodDecl {
+  std::string Name;
+  TypeRef ReturnType; ///< ignored for constructors
+  bool IsStatic = false;
+  bool IsCtor = false;
+  struct Param {
+    TypeRef Type;
+    std::string Name;
+  };
+  std::vector<Param> Params;
+  StmtPtr Body;
+  SourceLoc Loc;
+};
+
+/// A class declaration.
+struct ClassDecl {
+  std::string Name;
+  std::string SuperName; ///< empty = Object
+  bool IsLibrary = false;
+  std::vector<FieldDecl> Fields;
+  std::vector<MethodDecl> Methods;
+  SourceLoc Loc;
+};
+
+/// A whole compilation unit.
+struct CompilationUnit {
+  std::vector<ClassDecl> Classes;
+};
+
+} // namespace lc::ast
+
+#endif // LC_FRONTEND_AST_H

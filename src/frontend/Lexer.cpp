@@ -1,0 +1,314 @@
+//===-- Lexer.cpp ---------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace lc;
+
+const char *lc::tokName(Tok K) {
+  switch (K) {
+  case Tok::Eof:
+    return "end of file";
+  case Tok::Ident:
+    return "identifier";
+  case Tok::IntLit:
+    return "integer literal";
+  case Tok::StrLit:
+    return "string literal";
+  case Tok::KwClass:
+    return "'class'";
+  case Tok::KwExtends:
+    return "'extends'";
+  case Tok::KwLibrary:
+    return "'library'";
+  case Tok::KwRegion:
+    return "'region'";
+  case Tok::KwWhile:
+    return "'while'";
+  case Tok::KwFor:
+    return "'for'";
+  case Tok::KwIf:
+    return "'if'";
+  case Tok::KwElse:
+    return "'else'";
+  case Tok::KwReturn:
+    return "'return'";
+  case Tok::KwNew:
+    return "'new'";
+  case Tok::KwThis:
+    return "'this'";
+  case Tok::KwSuper:
+    return "'super'";
+  case Tok::KwNull:
+    return "'null'";
+  case Tok::KwTrue:
+    return "'true'";
+  case Tok::KwFalse:
+    return "'false'";
+  case Tok::KwInt:
+    return "'int'";
+  case Tok::KwBoolean:
+    return "'boolean'";
+  case Tok::KwVoid:
+    return "'void'";
+  case Tok::KwStatic:
+    return "'static'";
+  case Tok::LParen:
+    return "'('";
+  case Tok::RParen:
+    return "')'";
+  case Tok::LBrace:
+    return "'{'";
+  case Tok::RBrace:
+    return "'}'";
+  case Tok::LBracket:
+    return "'['";
+  case Tok::RBracket:
+    return "']'";
+  case Tok::Semi:
+    return "';'";
+  case Tok::Comma:
+    return "','";
+  case Tok::Dot:
+    return "'.'";
+  case Tok::Colon:
+    return "':'";
+  case Tok::At:
+    return "'@'";
+  case Tok::Assign:
+    return "'='";
+  case Tok::EqEq:
+    return "'=='";
+  case Tok::NotEq:
+    return "'!='";
+  case Tok::Lt:
+    return "'<'";
+  case Tok::Le:
+    return "'<='";
+  case Tok::Gt:
+    return "'>'";
+  case Tok::Ge:
+    return "'>='";
+  case Tok::Plus:
+    return "'+'";
+  case Tok::Minus:
+    return "'-'";
+  case Tok::Star:
+    return "'*'";
+  case Tok::Slash:
+    return "'/'";
+  case Tok::Percent:
+    return "'%'";
+  case Tok::AmpAmp:
+    return "'&&'";
+  case Tok::PipePipe:
+    return "'||'";
+  case Tok::Bang:
+    return "'!'";
+  case Tok::Error:
+    return "invalid token";
+  }
+  return "?";
+}
+
+static Tok keywordKind(const std::string &Text) {
+  static const std::unordered_map<std::string, Tok> Keywords = {
+      {"class", Tok::KwClass},     {"extends", Tok::KwExtends},
+      {"library", Tok::KwLibrary}, {"region", Tok::KwRegion},
+      {"while", Tok::KwWhile},     {"for", Tok::KwFor},
+      {"if", Tok::KwIf},           {"else", Tok::KwElse},
+      {"return", Tok::KwReturn},   {"new", Tok::KwNew},
+      {"this", Tok::KwThis},       {"super", Tok::KwSuper},
+      {"null", Tok::KwNull},       {"true", Tok::KwTrue},
+      {"false", Tok::KwFalse},     {"int", Tok::KwInt},
+      {"boolean", Tok::KwBoolean}, {"void", Tok::KwVoid},
+      {"static", Tok::KwStatic},
+  };
+  auto It = Keywords.find(Text);
+  return It == Keywords.end() ? Tok::Ident : It->second;
+}
+
+char Lexer::peek(unsigned Ahead) const {
+  return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char C = peek();
+  ++Pos;
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+bool Lexer::match(char C) {
+  if (peek() != C)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipTrivia() {
+  while (Pos < Source.size()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Source.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start = here();
+      advance();
+      advance();
+      while (Pos < Source.size() && !(peek() == '*' && peek(1) == '/'))
+        advance();
+      if (Pos >= Source.size()) {
+        Diags.error(Start, "unterminated block comment");
+        return;
+      }
+      advance();
+      advance();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::make(Tok K, SourceLoc Loc, std::string Text) {
+  Token T;
+  T.Kind = K;
+  T.Loc = Loc;
+  T.Text = std::move(Text);
+  return T;
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  SourceLoc Loc = here();
+  if (Pos >= Source.size())
+    return make(Tok::Eof, Loc);
+
+  char C = advance();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_' || C == '$') {
+    std::string Text(1, C);
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_' ||
+           peek() == '$')
+      Text += advance();
+    // Compute the kind before moving Text: argument evaluation order is
+    // unspecified.
+    Tok Kind = keywordKind(Text);
+    return make(Kind, Loc, std::move(Text));
+  }
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    std::string Text(1, C);
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Text += advance();
+    Token T = make(Tok::IntLit, Loc, Text);
+    T.IntVal = std::stoll(Text);
+    return T;
+  }
+  if (C == '"') {
+    std::string Text;
+    while (Pos < Source.size() && peek() != '"' && peek() != '\n') {
+      char D = advance();
+      if (D == '\\' && Pos < Source.size()) {
+        char E = advance();
+        switch (E) {
+        case 'n':
+          Text += '\n';
+          break;
+        case 't':
+          Text += '\t';
+          break;
+        default:
+          Text += E;
+          break;
+        }
+        continue;
+      }
+      Text += D;
+    }
+    if (Pos >= Source.size() || peek() == '\n') {
+      Diags.error(Loc, "unterminated string literal");
+      return make(Tok::Error, Loc);
+    }
+    advance(); // closing quote
+    return make(Tok::StrLit, Loc, std::move(Text));
+  }
+
+  switch (C) {
+  case '(':
+    return make(Tok::LParen, Loc);
+  case ')':
+    return make(Tok::RParen, Loc);
+  case '{':
+    return make(Tok::LBrace, Loc);
+  case '}':
+    return make(Tok::RBrace, Loc);
+  case '[':
+    return make(Tok::LBracket, Loc);
+  case ']':
+    return make(Tok::RBracket, Loc);
+  case ';':
+    return make(Tok::Semi, Loc);
+  case ',':
+    return make(Tok::Comma, Loc);
+  case '.':
+    return make(Tok::Dot, Loc);
+  case ':':
+    return make(Tok::Colon, Loc);
+  case '@':
+    return make(Tok::At, Loc);
+  case '=':
+    return make(match('=') ? Tok::EqEq : Tok::Assign, Loc);
+  case '!':
+    return make(match('=') ? Tok::NotEq : Tok::Bang, Loc);
+  case '<':
+    return make(match('=') ? Tok::Le : Tok::Lt, Loc);
+  case '>':
+    return make(match('=') ? Tok::Ge : Tok::Gt, Loc);
+  case '+':
+    return make(Tok::Plus, Loc);
+  case '-':
+    return make(Tok::Minus, Loc);
+  case '*':
+    return make(Tok::Star, Loc);
+  case '/':
+    return make(Tok::Slash, Loc);
+  case '%':
+    return make(Tok::Percent, Loc);
+  case '&':
+    if (match('&'))
+      return make(Tok::AmpAmp, Loc);
+    break;
+  case '|':
+    if (match('|'))
+      return make(Tok::PipePipe, Loc);
+    break;
+  default:
+    break;
+  }
+  Diags.error(Loc, std::string("unexpected character '") + C + "'");
+  return make(Tok::Error, Loc);
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Out;
+  while (true) {
+    Token T = next();
+    bool Done = T.Kind == Tok::Eof;
+    Out.push_back(std::move(T));
+    if (Done)
+      break;
+  }
+  return Out;
+}

@@ -1,0 +1,53 @@
+//===-- Lexer.h - MJ lexer -------------------------------------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for MJ. Skips // and /* */ comments, tracks
+/// line/column positions, and reports malformed input through the
+/// DiagnosticEngine instead of aborting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_FRONTEND_LEXER_H
+#define LC_FRONTEND_LEXER_H
+
+#include "frontend/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string_view>
+#include <vector>
+
+namespace lc {
+
+/// Lexes a whole buffer into a token vector ending with Eof.
+class Lexer {
+public:
+  Lexer(std::string_view Source, DiagnosticEngine &Diags)
+      : Source(Source), Diags(Diags) {}
+
+  /// Runs the lexer over the whole buffer.
+  std::vector<Token> lexAll();
+
+private:
+  Token next();
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool match(char C);
+  void skipTrivia();
+  SourceLoc here() const { return {Line, Col}; }
+
+  Token make(Tok K, SourceLoc Loc, std::string Text = {});
+
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+};
+
+} // namespace lc
+
+#endif // LC_FRONTEND_LEXER_H

@@ -1,0 +1,1188 @@
+//===-- Lower.cpp ---------------------------------------------------------===//
+
+#include "frontend/Lower.h"
+
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+
+#include <cassert>
+
+using namespace lc;
+using namespace lc::ast;
+
+namespace {
+
+/// A lowered rvalue: the local holding it and its static type.
+struct RValue {
+  LocalId Local = kInvalidId;
+  TypeId Ty = kInvalidId;
+};
+
+class LoweringImpl {
+public:
+  LoweringImpl(const CompilationUnit &Unit, Program &P,
+               DiagnosticEngine &Diags)
+      : Unit(Unit), P(P), Diags(Diags), B(P) {}
+
+  bool run() {
+    declareClasses();
+    if (Diags.hasErrors())
+      return false;
+    declareMembers();
+    if (Diags.hasErrors())
+      return false;
+    lowerBodies();
+    return !Diags.hasErrors();
+  }
+
+private:
+  // --- Pass 1: declarations ----------------------------------------------
+
+  void declareClasses() {
+    for (const ClassDecl &C : Unit.Classes) {
+      if (P.findClass(C.Name) != kInvalidId) {
+        Diags.error(C.Loc, "duplicate class '" + C.Name + "'");
+        continue;
+      }
+      ClassId Id = B.addClass(C.Name, kInvalidId, C.IsLibrary);
+      ClassOf[&C] = Id;
+      DeclOf[Id] = &C;
+    }
+    // Resolve superclasses now that every name exists.
+    for (const ClassDecl &C : Unit.Classes) {
+      auto It = ClassOf.find(&C);
+      if (It == ClassOf.end())
+        continue;
+      ClassId Id = It->second;
+      if (C.SuperName.empty())
+        continue;
+      ClassId Super = P.findClass(C.SuperName);
+      if (Super == kInvalidId) {
+        Diags.error(C.Loc, "unknown superclass '" + C.SuperName + "'");
+        continue;
+      }
+      if (Super == Id) {
+        Diags.error(C.Loc, "class '" + C.Name + "' extends itself");
+        continue;
+      }
+      P.Classes[Id].Super = Super;
+    }
+    // Reject inheritance cycles (verifier would also catch them, but a
+    // source-level diagnostic is friendlier).
+    for (const ClassDecl &C : Unit.Classes) {
+      auto It = ClassOf.find(&C);
+      if (It == ClassOf.end())
+        continue;
+      ClassId Slow = It->second, Fast = It->second;
+      while (true) {
+        Fast = P.Classes[Fast].Super;
+        if (Fast == kInvalidId)
+          break;
+        Fast = P.Classes[Fast].Super;
+        Slow = P.Classes[Slow].Super;
+        if (Fast == kInvalidId)
+          break;
+        if (Fast == Slow) {
+          Diags.error(C.Loc, "inheritance cycle involving '" + C.Name + "'");
+          P.Classes[It->second].Super = P.ObjectClass;
+          break;
+        }
+      }
+    }
+  }
+
+  void declareMembers() {
+    for (const ClassDecl &C : Unit.Classes) {
+      auto It = ClassOf.find(&C);
+      if (It == ClassOf.end())
+        continue;
+      ClassId Id = It->second;
+      declareFields(Id, C);
+      declareMethods(Id, C);
+    }
+    // Every user class gets an <init>, synthesized if not declared, so
+    // `new C()` always has a constructor to call (field initializers run
+    // there).
+    for (const ClassDecl &C : Unit.Classes) {
+      auto It = ClassOf.find(&C);
+      if (It == ClassOf.end())
+        continue;
+      ClassId Id = It->second;
+      if (P.findMethodIn(Id, "<init>") == kInvalidId) {
+        MethodId M =
+            B.beginMethod(Id, "<init>", P.Types.voidTy(), false, {});
+        SynthesizedCtors[Id] = M;
+        // Body lowered in pass 2 (super call + field inits).
+        B.emitReturn();
+        B.endMethod();
+      }
+    }
+  }
+
+  void declareFields(ClassId Id, const ClassDecl &C) {
+    for (const FieldDecl &F : C.Fields) {
+      TypeId Ty = resolveType(F.Type, /*AllowVoid=*/false);
+      if (P.resolveField(Id, P.Strings.intern(F.Name)) != kInvalidId &&
+          !F.IsStatic)
+        Diags.warning(F.Loc, "field '" + F.Name + "' shadows an inherited field");
+      for (FieldId Existing : P.Classes[Id].Fields)
+        if (P.fieldName(Existing) == F.Name)
+          Diags.error(F.Loc, "duplicate field '" + F.Name + "'");
+      FieldId FId = B.addField(Id, F.Name, Ty, F.IsStatic);
+      FieldOf[&F] = FId;
+    }
+  }
+
+  void declareMethods(ClassId Id, const ClassDecl &C) {
+    bool SawCtor = false;
+    for (const MethodDecl &M : C.Methods) {
+      std::string Name = M.IsCtor ? "<init>" : M.Name;
+      if (M.IsCtor && SawCtor) {
+        Diags.error(M.Loc, "MJ allows one constructor per class");
+        continue;
+      }
+      SawCtor |= M.IsCtor;
+      if (P.findMethodIn(Id, Name) != kInvalidId) {
+        Diags.error(M.Loc, "duplicate method '" + M.Name +
+                               "' (MJ has no overloading)");
+        continue;
+      }
+      TypeId Ret =
+          M.IsCtor ? P.Types.voidTy() : resolveType(M.ReturnType, true);
+      std::vector<IRBuilder::Param> Params;
+      for (const MethodDecl::Param &Pm : M.Params)
+        Params.push_back({Pm.Name, resolveType(Pm.Type, false)});
+      MethodId MId = B.beginMethod(Id, Name, Ret, M.IsStatic, Params);
+      MethodOf[&M] = MId;
+      if (!M.IsCtor && M.IsStatic && M.Name == "main" && M.Params.empty()) {
+        if (P.EntryMethod != kInvalidId)
+          Diags.error(M.Loc, "multiple 'main' methods");
+        B.markEntry();
+      }
+      // Body replaced in pass 2.
+      B.emitReturn();
+      B.endMethod();
+    }
+  }
+
+  // --- Pass 2: bodies -------------------------------------------------------
+
+  void lowerBodies() {
+    for (const ClassDecl &C : Unit.Classes) {
+      auto It = ClassOf.find(&C);
+      if (It == ClassOf.end())
+        continue;
+      CurClass = It->second;
+      CurDecl = &C;
+      // Static initializers -> <clinit>.
+      lowerClinit(C);
+      for (const MethodDecl &M : C.Methods) {
+        auto MIt = MethodOf.find(&M);
+        if (MIt == MethodOf.end())
+          continue;
+        lowerMethodBody(M, MIt->second);
+      }
+      auto SIt = SynthesizedCtors.find(CurClass);
+      if (SIt != SynthesizedCtors.end())
+        lowerSynthesizedCtor(SIt->second);
+    }
+  }
+
+  /// Prepares the builder to re-emit \p M's body from scratch.
+  void beginBody(MethodId M) {
+    CurMethod = M;
+    P.Methods[M].Body.clear();
+    // Reuse IRBuilder by reopening the method: IRBuilder tracks only the
+    // current method id, so poke it directly.
+    BuilderMethod(M);
+    Scopes.clear();
+    Scopes.emplace_back();
+    const MethodInfo &MI = P.Methods[M];
+    unsigned First = MI.IsStatic ? 0 : 1;
+    for (unsigned I = 0; I < MI.NumParams; ++I) {
+      const LocalInfo &L = MI.Locals[First + I];
+      Scopes.back()[P.Strings.text(L.Name)] = {First + I, L.Ty};
+    }
+  }
+
+  void endBody() {
+    emit(Opcode::Return);
+    FinishBuilder();
+    CurMethod = kInvalidId;
+  }
+
+  // IRBuilder has begin/endMethod designed for fresh construction; expose
+  // tiny adapters that re-enter an existing method.
+  void BuilderMethod(MethodId M) { ReopenedMethod = M; }
+  void FinishBuilder() { ReopenedMethod = kInvalidId; }
+
+  MethodInfo &curInfo() { return P.Methods[CurMethod]; }
+
+  LocalId newTemp(TypeId Ty) {
+    MethodInfo &MI = curInfo();
+    LocalId Id = static_cast<LocalId>(MI.Locals.size());
+    MI.Locals.push_back({Symbol(), Ty});
+    return Id;
+  }
+
+  // Direct statement emission into the reopened method (bypasses
+  // IRBuilder's CurMethod assertion machinery).
+  lc::Stmt &emit(Opcode Op) {
+    MethodInfo &MI = curInfo();
+    MI.Body.emplace_back();
+    lc::Stmt &S = MI.Body.back();
+    S.Op = Op;
+    S.Loc = CurLoc;
+    return S;
+  }
+  StmtIdx nextIdx() const {
+    return static_cast<StmtIdx>(P.Methods[CurMethod].Body.size());
+  }
+
+  AllocSiteId recordSite(TypeId Ty) {
+    AllocSiteId Id = static_cast<AllocSiteId>(P.AllocSites.size());
+    AllocSite S;
+    S.Method = CurMethod;
+    S.Index = nextIdx() - 1;
+    S.Ty = Ty;
+    S.Loc = CurLoc;
+    S.Annot = CurAnnot;
+    P.AllocSites.push_back(S);
+    return Id;
+  }
+
+  // --- Types ----------------------------------------------------------------
+
+  TypeId resolveType(const TypeRef &T, bool AllowVoid) {
+    TypeId Base;
+    if (T.Name == "int")
+      Base = P.Types.intTy();
+    else if (T.Name == "boolean")
+      Base = P.Types.boolTy();
+    else if (T.Name == "void") {
+      if (!AllowVoid || T.ArrayRank != 0) {
+        Diags.error(T.Loc, "'void' is not usable here");
+        return P.Types.intTy();
+      }
+      return P.Types.voidTy();
+    } else {
+      ClassId C = P.findClass(T.Name);
+      if (C == kInvalidId) {
+        Diags.error(T.Loc, "unknown type '" + T.Name + "'");
+        return P.Types.intTy();
+      }
+      Base = P.Types.refTy(C);
+    }
+    for (unsigned I = 0; I < T.ArrayRank; ++I)
+      Base = P.Types.arrayTy(Base);
+    return Base;
+  }
+
+  bool isAssignable(TypeId To, TypeId From) {
+    if (To == From)
+      return true;
+    const Type &TT = P.Types.get(To);
+    const Type &TF = P.Types.get(From);
+    if (TF.K == Type::Kind::Null)
+      return TT.isRefLike();
+    if (TT.K == Type::Kind::Ref && TF.K == Type::Kind::Ref)
+      return P.isSubclassOf(TF.Cls, TT.Cls);
+    // Arrays are Objects.
+    if (TT.K == Type::Kind::Ref && TT.Cls == P.ObjectClass &&
+        TF.K == Type::Kind::Array)
+      return true;
+    // Covariant reference arrays, as in Java.
+    if (TT.K == Type::Kind::Array && TF.K == Type::Kind::Array)
+      return isAssignable(TT.Elem, TF.Elem) &&
+             P.Types.get(TT.Elem).isRefLike() &&
+             P.Types.get(TF.Elem).isRefLike();
+    return false;
+  }
+
+  void checkAssignable(TypeId To, TypeId From, SourceLoc Loc,
+                       const char *What) {
+    if (!isAssignable(To, From))
+      Diags.error(Loc, std::string("type mismatch in ") + What + ": cannot " +
+                           "assign " + P.typeName(From) + " to " +
+                           P.typeName(To));
+  }
+
+  // --- Scopes ----------------------------------------------------------------
+
+  RValue *lookupLocal(const std::string &Name) {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto F = It->find(Name);
+      if (F != It->end())
+        return &F->second;
+    }
+    return nullptr;
+  }
+
+  // --- Body lowering -----------------------------------------------------------
+
+  void lowerClinit(const ClassDecl &C) {
+    std::vector<const FieldDecl *> StaticInits;
+    for (const FieldDecl &F : C.Fields)
+      if (F.IsStatic && F.Init)
+        StaticInits.push_back(&F);
+    if (StaticInits.empty())
+      return;
+    MethodId M = B.beginMethod(CurClass, "<clinit>", P.Types.voidTy(),
+                               /*IsStatic=*/true, {});
+    B.endMethod();
+    P.ClinitMethods.push_back(M);
+    beginBody(M);
+    for (const FieldDecl *F : StaticInits) {
+      CurLoc = F->Loc;
+      auto V = lowerExpr(*F->Init);
+      if (!V)
+        continue;
+      FieldId FId = FieldOf.at(F);
+      checkAssignable(P.Fields[FId].Ty, V->Ty, F->Loc, "static initializer");
+      lc::Stmt &S = emit(Opcode::StaticStore);
+      S.Field = FId;
+      S.SrcB = V->Local;
+    }
+    endBody();
+  }
+
+  /// Emits the constructor preamble: super-<init> call (explicit or
+  /// implicit) followed by instance field initializers.
+  void emitCtorPreamble(const std::vector<StmtPtr> *UserBody,
+                        size_t &FirstUserStmt) {
+    FirstUserStmt = 0;
+    ClassId Super = P.Classes[CurClass].Super;
+    MethodId SuperInit = Super != kInvalidId
+                             ? P.findMethodIn(Super, "<init>")
+                             : kInvalidId;
+    bool ExplicitSuper = UserBody && !UserBody->empty() &&
+                         (*UserBody)[0]->Kind == StmtKind::SuperCtor;
+    if (ExplicitSuper) {
+      const ast::Stmt &S = *(*UserBody)[0];
+      CurLoc = S.Loc;
+      FirstUserStmt = 1;
+      if (SuperInit == kInvalidId) {
+        Diags.error(S.Loc, "superclass has no constructor");
+      } else {
+        std::vector<LocalId> Args;
+        if (!lowerArgs(S.Args, SuperInit, Args, S.Loc))
+          return;
+        lc::Stmt &Call = emit(Opcode::Invoke);
+        Call.CK = CallKind::Special;
+        Call.Callee = SuperInit;
+        Call.SrcA = 0; // this
+        Call.Args = std::move(Args);
+      }
+    } else if (SuperInit != kInvalidId) {
+      if (P.Methods[SuperInit].NumParams != 0) {
+        Diags.error(CurLoc == SourceLoc{} ? SourceLoc{1, 1} : CurLoc,
+                    "superclass constructor takes arguments; add super(...)");
+      } else {
+        lc::Stmt &Call = emit(Opcode::Invoke);
+        Call.CK = CallKind::Special;
+        Call.Callee = SuperInit;
+        Call.SrcA = 0; // this
+      }
+    }
+    // Instance field initializers.
+    for (const FieldDecl &F : CurDecl->Fields) {
+      if (F.IsStatic || !F.Init)
+        continue;
+      CurLoc = F.Loc;
+      auto V = lowerExpr(*F.Init);
+      if (!V)
+        continue;
+      FieldId FId = FieldOf.at(&F);
+      checkAssignable(P.Fields[FId].Ty, V->Ty, F.Loc, "field initializer");
+      lc::Stmt &S = emit(Opcode::Store);
+      S.SrcA = 0; // this
+      S.Field = FId;
+      S.SrcB = V->Local;
+    }
+  }
+
+  void lowerSynthesizedCtor(MethodId M) {
+    beginBody(M);
+    size_t First;
+    emitCtorPreamble(nullptr, First);
+    endBody();
+  }
+
+  void lowerMethodBody(const MethodDecl &M, MethodId Id) {
+    beginBody(Id);
+    CurLoc = M.Loc;
+    size_t FirstUserStmt = 0;
+    const std::vector<StmtPtr> *Body =
+        M.Body && M.Body->Kind == StmtKind::Block ? &M.Body->Body : nullptr;
+    if (M.IsCtor)
+      emitCtorPreamble(Body, FirstUserStmt);
+    if (Body) {
+      Scopes.emplace_back();
+      for (size_t I = FirstUserStmt; I < Body->size(); ++I)
+        lowerStmt(*(*Body)[I]);
+      Scopes.pop_back();
+    }
+    endBody();
+  }
+
+  void lowerStmt(const ast::Stmt &S) {
+    SiteAnnotation Saved = CurAnnot;
+    if (S.Annot == StmtAnnot::Leak)
+      CurAnnot = SiteAnnotation::Leak;
+    else if (S.Annot == StmtAnnot::FalsePos)
+      CurAnnot = SiteAnnotation::FalsePos;
+    CurLoc = S.Loc;
+    switch (S.Kind) {
+    case StmtKind::Block: {
+      Scopes.emplace_back();
+      for (const StmtPtr &Child : S.Body)
+        lowerStmt(*Child);
+      Scopes.pop_back();
+      break;
+    }
+    case StmtKind::VarDecl:
+      lowerVarDecl(S);
+      break;
+    case StmtKind::Assign:
+      lowerAssign(S);
+      break;
+    case StmtKind::If:
+      lowerIf(S);
+      break;
+    case StmtKind::While:
+      lowerWhile(S);
+      break;
+    case StmtKind::Region:
+      lowerRegion(S);
+      break;
+    case StmtKind::Return:
+      lowerReturn(S);
+      break;
+    case StmtKind::ExprStmt: {
+      const ast::Expr &E = *S.Value;
+      if (E.Kind != ExprKind::Call && E.Kind != ExprKind::SuperCall &&
+          E.Kind != ExprKind::NewObject) {
+        Diags.error(S.Loc, "expression statement must be a call");
+        break;
+      }
+      lowerExpr(E);
+      break;
+    }
+    case StmtKind::SuperCtor:
+      Diags.error(S.Loc,
+                  "super(...) is only allowed as the first constructor "
+                  "statement");
+      break;
+    }
+    CurAnnot = Saved;
+  }
+
+  void lowerVarDecl(const ast::Stmt &S) {
+    TypeId Ty = resolveType(S.DeclType, false);
+    if (Scopes.back().count(S.Text)) {
+      Diags.error(S.Loc, "duplicate variable '" + S.Text + "'");
+      return;
+    }
+    MethodInfo &MI = curInfo();
+    LocalId L = static_cast<LocalId>(MI.Locals.size());
+    MI.Locals.push_back({P.Strings.intern(S.Text), Ty});
+    Scopes.back()[S.Text] = {L, Ty};
+    if (S.Value) {
+      auto V = lowerExpr(*S.Value);
+      if (!V)
+        return;
+      checkAssignable(Ty, V->Ty, S.Loc, "initialization");
+      lc::Stmt &C = emit(Opcode::Copy);
+      C.Dst = L;
+      C.SrcA = V->Local;
+    }
+  }
+
+  void lowerAssign(const ast::Stmt &S) {
+    const ast::Expr &T = *S.Target;
+    // x = e
+    if (T.Kind == ExprKind::Name) {
+      if (RValue *L = lookupLocal(T.Text)) {
+        auto V = lowerExpr(*S.Value);
+        if (!V)
+          return;
+        checkAssignable(L->Ty, V->Ty, S.Loc, "assignment");
+        lc::Stmt &C = emit(Opcode::Copy);
+        C.Dst = L->Local;
+        C.SrcA = V->Local;
+        return;
+      }
+      // Implicit this.field or static field of this class.
+      FieldId F = findFieldFor(T.Text, T.Loc);
+      if (F == kInvalidId)
+        return;
+      auto V = lowerExpr(*S.Value);
+      if (!V)
+        return;
+      checkAssignable(P.Fields[F].Ty, V->Ty, S.Loc, "assignment");
+      if (P.Fields[F].IsStatic) {
+        lc::Stmt &St = emit(Opcode::StaticStore);
+        St.Field = F;
+        St.SrcB = V->Local;
+      } else {
+        if (curInfo().IsStatic) {
+          Diags.error(T.Loc, "cannot access instance field '" + T.Text +
+                                 "' from a static method");
+          return;
+        }
+        lc::Stmt &St = emit(Opcode::Store);
+        St.SrcA = 0;
+        St.Field = F;
+        St.SrcB = V->Local;
+      }
+      return;
+    }
+    // base.f = e  (or ClassName.f = e)
+    if (T.Kind == ExprKind::FieldGet) {
+      if (const std::string *ClsName = classNameBase(*T.Base)) {
+        ClassId C = P.findClass(*ClsName);
+        FieldId F = P.resolveField(C, P.Strings.intern(T.Text));
+        if (F == kInvalidId || !P.Fields[F].IsStatic) {
+          Diags.error(T.Loc, "unknown static field '" + *ClsName + "." +
+                                 T.Text + "'");
+          return;
+        }
+        auto V = lowerExpr(*S.Value);
+        if (!V)
+          return;
+        checkAssignable(P.Fields[F].Ty, V->Ty, S.Loc, "assignment");
+        lc::Stmt &St = emit(Opcode::StaticStore);
+        St.Field = F;
+        St.SrcB = V->Local;
+        return;
+      }
+      auto Base = lowerExpr(*T.Base);
+      if (!Base)
+        return;
+      const Type &BT = P.Types.get(Base->Ty);
+      if (BT.K != Type::Kind::Ref) {
+        Diags.error(T.Loc, "field store on non-object of type " +
+                               P.typeName(Base->Ty));
+        return;
+      }
+      FieldId F = P.resolveField(BT.Cls, P.Strings.intern(T.Text));
+      if (F == kInvalidId || P.Fields[F].IsStatic) {
+        Diags.error(T.Loc, "unknown field '" + T.Text + "' in class " +
+                               P.className(BT.Cls));
+        return;
+      }
+      auto V = lowerExpr(*S.Value);
+      if (!V)
+        return;
+      checkAssignable(P.Fields[F].Ty, V->Ty, S.Loc, "assignment");
+      lc::Stmt &St = emit(Opcode::Store);
+      St.SrcA = Base->Local;
+      St.Field = F;
+      St.SrcB = V->Local;
+      return;
+    }
+    // base[i] = e
+    if (T.Kind == ExprKind::Index) {
+      auto Base = lowerExpr(*T.Base);
+      if (!Base)
+        return;
+      const Type &BT = P.Types.get(Base->Ty);
+      if (BT.K != Type::Kind::Array) {
+        Diags.error(T.Loc, "indexing non-array of type " + P.typeName(Base->Ty));
+        return;
+      }
+      auto Index = lowerExpr(*T.Rhs);
+      if (!Index)
+        return;
+      if (Index->Ty != P.Types.intTy())
+        Diags.error(T.Loc, "array index must be int");
+      auto V = lowerExpr(*S.Value);
+      if (!V)
+        return;
+      checkAssignable(BT.Elem, V->Ty, S.Loc, "array store");
+      lc::Stmt &St = emit(Opcode::ArrayStore);
+      St.SrcA = Base->Local;
+      St.SrcB = Index->Local;
+      St.SrcC = V->Local;
+      return;
+    }
+    Diags.error(S.Loc, "invalid assignment target");
+  }
+
+  void lowerIf(const ast::Stmt &S) {
+    auto Cond = lowerExpr(*S.Value);
+    if (!Cond)
+      return;
+    if (Cond->Ty != P.Types.boolTy())
+      Diags.error(S.Loc, "if condition must be boolean");
+    LocalId Neg = newTemp(P.Types.boolTy());
+    lc::Stmt &Not = emit(Opcode::UnOp);
+    Not.Dst = Neg;
+    Not.UK = UnKind::Not;
+    Not.SrcA = Cond->Local;
+    lc::Stmt &Br = emit(Opcode::If);
+    Br.SrcA = Neg;
+    StmtIdx BrIdx = nextIdx() - 1;
+    lowerStmt(*S.Then);
+    if (S.Else) {
+      lc::Stmt &Skip = emit(Opcode::Goto);
+      (void)Skip;
+      StmtIdx SkipIdx = nextIdx() - 1;
+      curInfo().Body[BrIdx].Target = nextIdx();
+      lowerStmt(*S.Else);
+      curInfo().Body[SkipIdx].Target = nextIdx();
+    } else {
+      curInfo().Body[BrIdx].Target = nextIdx();
+    }
+  }
+
+  void lowerWhile(const ast::Stmt &S) {
+    // Head: IterBegin; cond; if !cond goto Exit; body; goto Head; Exit:
+    // Condition evaluation is *inside* the iteration so that allocations in
+    // the condition count as inside the loop.
+    LoopId Loop = static_cast<LoopId>(P.Loops.size());
+    LoopInfo LI;
+    LI.Label = P.Strings.intern(S.Text);
+    LI.Method = CurMethod;
+    LI.BodyBegin = nextIdx();
+    P.Loops.push_back(LI);
+    lc::Stmt &Iter = emit(Opcode::IterBegin);
+    Iter.Loop = Loop;
+    StmtIdx Head = nextIdx() - 1;
+
+    auto Cond = lowerExpr(*S.Value);
+    if (!Cond)
+      return;
+    if (Cond->Ty != P.Types.boolTy())
+      Diags.error(S.Loc, "while condition must be boolean");
+    LocalId Neg = newTemp(P.Types.boolTy());
+    lc::Stmt &Not = emit(Opcode::UnOp);
+    Not.Dst = Neg;
+    Not.UK = UnKind::Not;
+    Not.SrcA = Cond->Local;
+    lc::Stmt &ExitBr = emit(Opcode::If);
+    ExitBr.SrcA = Neg;
+    StmtIdx ExitIdx = nextIdx() - 1;
+
+    lowerStmt(*S.Then);
+
+    lc::Stmt &Back = emit(Opcode::Goto);
+    Back.Target = Head;
+    curInfo().Body[ExitIdx].Target = nextIdx();
+    P.Loops[Loop].BodyEnd = nextIdx();
+  }
+
+  void lowerRegion(const ast::Stmt &S) {
+    LoopId Loop = static_cast<LoopId>(P.Loops.size());
+    LoopInfo LI;
+    LI.Label = P.Strings.intern(S.Text);
+    LI.Method = CurMethod;
+    LI.BodyBegin = nextIdx();
+    LI.IsRegion = true;
+    P.Loops.push_back(LI);
+    lc::Stmt &Iter = emit(Opcode::IterBegin);
+    Iter.Loop = Loop;
+    lowerStmt(*S.Then);
+    P.Loops[Loop].BodyEnd = nextIdx();
+  }
+
+  void lowerReturn(const ast::Stmt &S) {
+    TypeId Ret = curInfo().ReturnTy;
+    if (S.Value) {
+      auto V = lowerExpr(*S.Value);
+      if (!V)
+        return;
+      if (Ret == P.Types.voidTy()) {
+        Diags.error(S.Loc, "void method returns a value");
+        return;
+      }
+      checkAssignable(Ret, V->Ty, S.Loc, "return");
+      lc::Stmt &R = emit(Opcode::Return);
+      R.SrcA = V->Local;
+      return;
+    }
+    if (Ret != P.Types.voidTy())
+      Diags.error(S.Loc, "non-void method returns without a value");
+    emit(Opcode::Return);
+  }
+
+  // --- Expression lowering ----------------------------------------------------
+
+  /// If \p E is a Name that names a class (and not a local), returns the
+  /// class name for static member access.
+  const std::string *classNameBase(const ast::Expr &E) {
+    if (E.Kind != ExprKind::Name)
+      return nullptr;
+    if (lookupLocal(E.Text))
+      return nullptr;
+    if (P.findClass(E.Text) == kInvalidId)
+      return nullptr;
+    // A field of `this` shadows the class-name interpretation.
+    if (!curInfo().IsStatic &&
+        P.resolveField(CurClass, P.Strings.intern(E.Text)) != kInvalidId)
+      return nullptr;
+    return &E.Text;
+  }
+
+  FieldId findFieldFor(const std::string &Name, SourceLoc Loc) {
+    Symbol Sym = P.Strings.intern(Name);
+    FieldId F = P.resolveField(CurClass, Sym);
+    if (F == kInvalidId) {
+      Diags.error(Loc, "unknown variable or field '" + Name + "'");
+      return kInvalidId;
+    }
+    return F;
+  }
+
+  std::optional<RValue> lowerExpr(const ast::Expr &E) {
+    CurLoc = E.Loc;
+    switch (E.Kind) {
+    case ExprKind::IntLit: {
+      LocalId T = newTemp(P.Types.intTy());
+      lc::Stmt &S = emit(Opcode::ConstInt);
+      S.Dst = T;
+      S.IntVal = E.IntVal;
+      return RValue{T, P.Types.intTy()};
+    }
+    case ExprKind::BoolLit: {
+      LocalId T = newTemp(P.Types.boolTy());
+      lc::Stmt &S = emit(Opcode::ConstBool);
+      S.Dst = T;
+      S.IntVal = E.IntVal;
+      return RValue{T, P.Types.boolTy()};
+    }
+    case ExprKind::StrLit: {
+      TypeId Ty = P.Types.refTy(P.StringClass);
+      LocalId T = newTemp(Ty);
+      lc::Stmt &S = emit(Opcode::ConstStr);
+      S.Dst = T;
+      S.StrVal = P.Strings.intern(E.Text);
+      S.Ty = Ty;
+      S.Site = recordSite(Ty);
+      return RValue{T, Ty};
+    }
+    case ExprKind::NullLit: {
+      LocalId T = newTemp(P.Types.nullTy());
+      lc::Stmt &S = emit(Opcode::ConstNull);
+      S.Dst = T;
+      return RValue{T, P.Types.nullTy()};
+    }
+    case ExprKind::This: {
+      if (curInfo().IsStatic) {
+        Diags.error(E.Loc, "'this' in a static method");
+        return std::nullopt;
+      }
+      return RValue{0, P.Types.refTy(CurClass)};
+    }
+    case ExprKind::Name: {
+      if (RValue *L = lookupLocal(E.Text))
+        return *L;
+      if (P.findClass(E.Text) != kInvalidId &&
+          P.resolveField(CurClass, P.Strings.intern(E.Text)) == kInvalidId) {
+        Diags.error(E.Loc, "class name '" + E.Text +
+                               "' is not a value; access a static member");
+        return std::nullopt;
+      }
+      FieldId F = findFieldFor(E.Text, E.Loc);
+      if (F == kInvalidId)
+        return std::nullopt;
+      LocalId T = newTemp(P.Fields[F].Ty);
+      if (P.Fields[F].IsStatic) {
+        lc::Stmt &S = emit(Opcode::StaticLoad);
+        S.Dst = T;
+        S.Field = F;
+      } else {
+        if (curInfo().IsStatic) {
+          Diags.error(E.Loc, "cannot access instance field '" + E.Text +
+                                 "' from a static method");
+          return std::nullopt;
+        }
+        lc::Stmt &S = emit(Opcode::Load);
+        S.Dst = T;
+        S.SrcA = 0;
+        S.Field = F;
+      }
+      return RValue{T, P.Fields[F].Ty};
+    }
+    case ExprKind::FieldGet: {
+      if (const std::string *ClsName = classNameBase(*E.Base)) {
+        ClassId C = P.findClass(*ClsName);
+        FieldId F = P.resolveField(C, P.Strings.intern(E.Text));
+        if (F == kInvalidId || !P.Fields[F].IsStatic) {
+          Diags.error(E.Loc, "unknown static field '" + *ClsName + "." +
+                                 E.Text + "'");
+          return std::nullopt;
+        }
+        LocalId T = newTemp(P.Fields[F].Ty);
+        lc::Stmt &S = emit(Opcode::StaticLoad);
+        S.Dst = T;
+        S.Field = F;
+        return RValue{T, P.Fields[F].Ty};
+      }
+      auto Base = lowerExpr(*E.Base);
+      if (!Base)
+        return std::nullopt;
+      const Type &BT = P.Types.get(Base->Ty);
+      if (BT.K == Type::Kind::Array && E.Text == "length") {
+        LocalId T = newTemp(P.Types.intTy());
+        lc::Stmt &S = emit(Opcode::ArrayLen);
+        S.Dst = T;
+        S.SrcA = Base->Local;
+        return RValue{T, P.Types.intTy()};
+      }
+      if (BT.K != Type::Kind::Ref) {
+        Diags.error(E.Loc,
+                    "field access on non-object of type " + P.typeName(Base->Ty));
+        return std::nullopt;
+      }
+      FieldId F = P.resolveField(BT.Cls, P.Strings.intern(E.Text));
+      if (F == kInvalidId || P.Fields[F].IsStatic) {
+        Diags.error(E.Loc, "unknown field '" + E.Text + "' in class " +
+                               P.className(BT.Cls));
+        return std::nullopt;
+      }
+      LocalId T = newTemp(P.Fields[F].Ty);
+      lc::Stmt &S = emit(Opcode::Load);
+      S.Dst = T;
+      S.SrcA = Base->Local;
+      S.Field = F;
+      return RValue{T, P.Fields[F].Ty};
+    }
+    case ExprKind::Index: {
+      auto Base = lowerExpr(*E.Base);
+      if (!Base)
+        return std::nullopt;
+      const Type &BT = P.Types.get(Base->Ty);
+      if (BT.K != Type::Kind::Array) {
+        Diags.error(E.Loc,
+                    "indexing non-array of type " + P.typeName(Base->Ty));
+        return std::nullopt;
+      }
+      auto Index = lowerExpr(*E.Rhs);
+      if (!Index)
+        return std::nullopt;
+      if (Index->Ty != P.Types.intTy())
+        Diags.error(E.Loc, "array index must be int");
+      LocalId T = newTemp(BT.Elem);
+      lc::Stmt &S = emit(Opcode::ArrayLoad);
+      S.Dst = T;
+      S.SrcA = Base->Local;
+      S.SrcB = Index->Local;
+      return RValue{T, BT.Elem};
+    }
+    case ExprKind::Call:
+      return lowerCall(E);
+    case ExprKind::SuperCall:
+      return lowerSuperCall(E);
+    case ExprKind::NewObject:
+      return lowerNewObject(E);
+    case ExprKind::NewArray:
+      return lowerNewArray(E);
+    case ExprKind::CastExpr: {
+      ClassId C = P.findClass(E.NewType.Name);
+      if (C == kInvalidId) {
+        Diags.error(E.Loc, "unknown class '" + E.NewType.Name + "' in cast");
+        return std::nullopt;
+      }
+      auto V = lowerExpr(*E.Base);
+      if (!V)
+        return std::nullopt;
+      if (!P.Types.isRefLike(V->Ty)) {
+        Diags.error(E.Loc, "cannot cast non-reference of type " +
+                               P.typeName(V->Ty));
+        return std::nullopt;
+      }
+      TypeId Ty = P.Types.refTy(C);
+      LocalId T = newTemp(Ty);
+      lc::Stmt &S = emit(Opcode::Cast);
+      S.Dst = T;
+      S.SrcA = V->Local;
+      S.Ty = Ty;
+      return RValue{T, Ty};
+    }
+    case ExprKind::Unary: {
+      auto V = lowerExpr(*E.Base);
+      if (!V)
+        return std::nullopt;
+      if (E.Text == "-") {
+        if (V->Ty != P.Types.intTy())
+          Diags.error(E.Loc, "unary '-' requires int");
+        LocalId T = newTemp(P.Types.intTy());
+        lc::Stmt &S = emit(Opcode::UnOp);
+        S.Dst = T;
+        S.UK = UnKind::Neg;
+        S.SrcA = V->Local;
+        return RValue{T, P.Types.intTy()};
+      }
+      if (V->Ty != P.Types.boolTy())
+        Diags.error(E.Loc, "'!' requires boolean");
+      LocalId T = newTemp(P.Types.boolTy());
+      lc::Stmt &S = emit(Opcode::UnOp);
+      S.Dst = T;
+      S.UK = UnKind::Not;
+      S.SrcA = V->Local;
+      return RValue{T, P.Types.boolTy()};
+    }
+    case ExprKind::Binary:
+      return lowerBinary(E);
+    }
+    return std::nullopt;
+  }
+
+  std::optional<RValue> lowerBinary(const ast::Expr &E) {
+    auto A = lowerExpr(*E.Base);
+    if (!A)
+      return std::nullopt;
+    auto Bv = lowerExpr(*E.Rhs);
+    if (!Bv)
+      return std::nullopt;
+    const std::string &Op = E.Text;
+    TypeId Int = P.Types.intTy(), Bool = P.Types.boolTy();
+    BinKind BK;
+    TypeId ResTy;
+    if (Op == "+" || Op == "-" || Op == "*" || Op == "/" || Op == "%") {
+      BK = Op == "+"   ? BinKind::Add
+           : Op == "-" ? BinKind::Sub
+           : Op == "*" ? BinKind::Mul
+           : Op == "/" ? BinKind::Div
+                       : BinKind::Rem;
+      if (A->Ty != Int || Bv->Ty != Int)
+        Diags.error(E.Loc, "arithmetic requires int operands");
+      ResTy = Int;
+    } else if (Op == "<" || Op == "<=" || Op == ">" || Op == ">=") {
+      BK = Op == "<"    ? BinKind::CmpLt
+           : Op == "<=" ? BinKind::CmpLe
+           : Op == ">"  ? BinKind::CmpGt
+                        : BinKind::CmpGe;
+      if (A->Ty != Int || Bv->Ty != Int)
+        Diags.error(E.Loc, "comparison requires int operands");
+      ResTy = Bool;
+    } else if (Op == "==" || Op == "!=") {
+      BK = Op == "==" ? BinKind::CmpEq : BinKind::CmpNe;
+      bool BothInt = A->Ty == Int && Bv->Ty == Int;
+      bool BothBool = A->Ty == Bool && Bv->Ty == Bool;
+      bool BothRef = P.Types.isRefLike(A->Ty) && P.Types.isRefLike(Bv->Ty);
+      if (!BothInt && !BothBool && !BothRef)
+        Diags.error(E.Loc, "'==' operands have incompatible types");
+      ResTy = Bool;
+    } else { // && ||  (strict evaluation in MJ; see README)
+      BK = Op == "&&" ? BinKind::And : BinKind::Or;
+      if (A->Ty != Bool || Bv->Ty != Bool)
+        Diags.error(E.Loc, "logical operator requires boolean operands");
+      ResTy = Bool;
+    }
+    LocalId T = newTemp(ResTy);
+    lc::Stmt &S = emit(Opcode::BinOp);
+    S.Dst = T;
+    S.BK = BK;
+    S.SrcA = A->Local;
+    S.SrcB = Bv->Local;
+    return RValue{T, ResTy};
+  }
+
+  /// Type-checks and lowers argument expressions against \p Callee.
+  bool lowerArgs(const std::vector<ExprPtr> &Args, MethodId Callee,
+                 std::vector<LocalId> &Out, SourceLoc Loc) {
+    const MethodInfo &MI = P.Methods[Callee];
+    if (Args.size() != MI.NumParams) {
+      Diags.error(Loc, "wrong number of arguments calling " +
+                           P.qualifiedMethodName(Callee) + ": expected " +
+                           std::to_string(MI.NumParams) + ", got " +
+                           std::to_string(Args.size()));
+      return false;
+    }
+    unsigned First = MI.IsStatic ? 0 : 1;
+    for (size_t I = 0; I < Args.size(); ++I) {
+      auto V = lowerExpr(*Args[I]);
+      if (!V)
+        return false;
+      checkAssignable(MI.Locals[First + I].Ty, V->Ty, Loc, "argument");
+      Out.push_back(V->Local);
+    }
+    return true;
+  }
+
+  std::optional<RValue> emitCall(CallKind CK, MethodId Callee, LocalId Base,
+                                 const std::vector<ExprPtr> &Args,
+                                 SourceLoc Loc) {
+    std::vector<LocalId> ArgLocals;
+    if (!lowerArgs(Args, Callee, ArgLocals, Loc))
+      return std::nullopt;
+    const MethodInfo &MI = P.Methods[Callee];
+    LocalId Dst = kInvalidId;
+    TypeId RetTy = MI.ReturnTy;
+    if (RetTy != P.Types.voidTy())
+      Dst = newTemp(RetTy);
+    lc::Stmt &S = emit(Opcode::Invoke);
+    S.Dst = Dst;
+    S.CK = CK;
+    S.Callee = Callee;
+    S.SrcA = Base;
+    S.Args = std::move(ArgLocals);
+    return RValue{Dst, RetTy};
+  }
+
+  std::optional<RValue> lowerCall(const ast::Expr &E) {
+    // Static call via class name.
+    if (E.Base) {
+      if (const std::string *ClsName = classNameBase(*E.Base)) {
+        ClassId C = P.findClass(*ClsName);
+        MethodId Callee = P.resolveMethod(C, P.Strings.intern(E.Text));
+        if (Callee == kInvalidId || !P.Methods[Callee].IsStatic) {
+          Diags.error(E.Loc, "unknown static method '" + *ClsName + "." +
+                                 E.Text + "'");
+          return std::nullopt;
+        }
+        return emitCall(CallKind::Static, Callee, kInvalidId, E.Args, E.Loc);
+      }
+      auto Base = lowerExpr(*E.Base);
+      if (!Base)
+        return std::nullopt;
+      const Type &BT = P.Types.get(Base->Ty);
+      if (BT.K != Type::Kind::Ref) {
+        Diags.error(E.Loc,
+                    "method call on non-object of type " + P.typeName(Base->Ty));
+        return std::nullopt;
+      }
+      MethodId Callee = P.resolveMethod(BT.Cls, P.Strings.intern(E.Text));
+      if (Callee == kInvalidId) {
+        Diags.error(E.Loc, "unknown method '" + E.Text + "' in class " +
+                               P.className(BT.Cls));
+        return std::nullopt;
+      }
+      if (P.Methods[Callee].IsStatic) {
+        Diags.error(E.Loc, "static method '" + E.Text +
+                               "' called through an instance");
+        return std::nullopt;
+      }
+      return emitCall(CallKind::Virtual, Callee, Base->Local, E.Args, E.Loc);
+    }
+    // Unqualified call: method of the current class (or supers).
+    MethodId Callee = P.resolveMethod(CurClass, P.Strings.intern(E.Text));
+    if (Callee == kInvalidId) {
+      Diags.error(E.Loc, "unknown method '" + E.Text + "'");
+      return std::nullopt;
+    }
+    if (P.Methods[Callee].IsStatic)
+      return emitCall(CallKind::Static, Callee, kInvalidId, E.Args, E.Loc);
+    if (curInfo().IsStatic) {
+      Diags.error(E.Loc, "cannot call instance method '" + E.Text +
+                             "' from a static method");
+      return std::nullopt;
+    }
+    return emitCall(CallKind::Virtual, Callee, 0, E.Args, E.Loc);
+  }
+
+  std::optional<RValue> lowerSuperCall(const ast::Expr &E) {
+    if (curInfo().IsStatic) {
+      Diags.error(E.Loc, "'super' in a static method");
+      return std::nullopt;
+    }
+    ClassId Super = P.Classes[CurClass].Super;
+    MethodId Callee =
+        Super == kInvalidId ? kInvalidId
+                            : P.resolveMethod(Super, P.Strings.intern(E.Text));
+    if (Callee == kInvalidId || P.Methods[Callee].IsStatic) {
+      Diags.error(E.Loc, "unknown superclass method '" + E.Text + "'");
+      return std::nullopt;
+    }
+    return emitCall(CallKind::Special, Callee, 0, E.Args, E.Loc);
+  }
+
+  std::optional<RValue> lowerNewObject(const ast::Expr &E) {
+    if (E.NewType.ArrayRank != 0) {
+      Diags.error(E.Loc, "array type needs a size: new T[n]");
+      return std::nullopt;
+    }
+    ClassId C = P.findClass(E.NewType.Name);
+    if (C == kInvalidId) {
+      Diags.error(E.Loc, "unknown class '" + E.NewType.Name + "'");
+      return std::nullopt;
+    }
+    TypeId Ty = P.Types.refTy(C);
+    LocalId T = newTemp(Ty);
+    lc::Stmt &S = emit(Opcode::New);
+    S.Dst = T;
+    S.Ty = Ty;
+    S.Site = recordSite(Ty);
+    MethodId Init = P.findMethodIn(C, "<init>");
+    if (Init == kInvalidId) {
+      if (!E.Args.empty()) {
+        Diags.error(E.Loc,
+                    "class '" + E.NewType.Name + "' has no constructor");
+        return std::nullopt;
+      }
+      return RValue{T, Ty};
+    }
+    std::vector<LocalId> ArgLocals;
+    if (!lowerArgs(E.Args, Init, ArgLocals, E.Loc))
+      return std::nullopt;
+    lc::Stmt &Call = emit(Opcode::Invoke);
+    Call.CK = CallKind::Special;
+    Call.Callee = Init;
+    Call.SrcA = T;
+    Call.Args = std::move(ArgLocals);
+    return RValue{T, Ty};
+  }
+
+  std::optional<RValue> lowerNewArray(const ast::Expr &E) {
+    TypeRef ElemRef = E.NewType; // rank counts *extra* [] after the size
+    TypeId Elem = resolveType(ElemRef, false);
+    auto Size = lowerExpr(*E.Rhs);
+    if (!Size)
+      return std::nullopt;
+    if (Size->Ty != P.Types.intTy())
+      Diags.error(E.Loc, "array size must be int");
+    TypeId Ty = P.Types.arrayTy(Elem);
+    LocalId T = newTemp(Ty);
+    lc::Stmt &S = emit(Opcode::NewArray);
+    S.Dst = T;
+    S.SrcA = Size->Local;
+    S.Ty = Ty;
+    S.Site = recordSite(Ty);
+    return RValue{T, Ty};
+  }
+
+  // --- Members ------------------------------------------------------------
+
+  const CompilationUnit &Unit;
+  Program &P;
+  DiagnosticEngine &Diags;
+  IRBuilder B;
+
+  std::unordered_map<const ClassDecl *, ClassId> ClassOf;
+  std::unordered_map<ClassId, const ClassDecl *> DeclOf;
+  std::unordered_map<const MethodDecl *, MethodId> MethodOf;
+  std::unordered_map<const FieldDecl *, FieldId> FieldOf;
+  std::unordered_map<ClassId, MethodId> SynthesizedCtors;
+
+  ClassId CurClass = kInvalidId;
+  const ClassDecl *CurDecl = nullptr;
+  MethodId CurMethod = kInvalidId;
+  MethodId ReopenedMethod = kInvalidId;
+  SourceLoc CurLoc;
+  SiteAnnotation CurAnnot = SiteAnnotation::None;
+  std::vector<std::unordered_map<std::string, RValue>> Scopes;
+};
+
+} // namespace
+
+bool lc::lowerUnit(const CompilationUnit &Unit, Program &P,
+                   DiagnosticEngine &Diags) {
+  if (P.Classes.empty())
+    P.initBuiltins();
+  return LoweringImpl(Unit, P, Diags).run();
+}
+
+bool lc::compileSource(std::string_view Source, Program &P,
+                       DiagnosticEngine &Diags) {
+  Lexer Lex(Source, Diags);
+  std::vector<Token> Tokens = Lex.lexAll();
+  if (Diags.hasErrors())
+    return false;
+  Parser Parse(std::move(Tokens), Diags);
+  CompilationUnit Unit = Parse.parseUnit();
+  if (Diags.hasErrors())
+    return false;
+  return lowerUnit(Unit, P, Diags);
+}

@@ -1,0 +1,44 @@
+//===-- Lower.h - AST semantic analysis and IR lowering --------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two-pass lowering from the MJ AST to the IR Program: pass 1 declares
+/// classes, fields, and method signatures (allowing forward references);
+/// pass 2 type-checks and lowers method bodies to three-address statements.
+/// Constructors are synthesized per Java rules (super call, then field
+/// initializers, then the user body); static field initializers go into a
+/// per-class `<clinit>`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_FRONTEND_LOWER_H
+#define LC_FRONTEND_LOWER_H
+
+#include "frontend/Ast.h"
+#include "ir/IRBuilder.h"
+#include "ir/Program.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lc {
+
+/// Lowers \p Unit into \p P.
+/// \returns true on success (no errors were reported).
+bool lowerUnit(const ast::CompilationUnit &Unit, Program &P,
+               DiagnosticEngine &Diags);
+
+/// Convenience: lex + parse + lower a whole MJ source buffer.
+/// \returns true on success.
+bool compileSource(std::string_view Source, Program &P,
+                   DiagnosticEngine &Diags);
+
+} // namespace lc
+
+#endif // LC_FRONTEND_LOWER_H

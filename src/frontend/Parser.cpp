@@ -1,0 +1,814 @@
+//===-- Parser.cpp --------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+using namespace lc;
+using namespace lc::ast;
+
+const Token &Parser::peek(unsigned Ahead) const {
+  size_t I = Pos + Ahead;
+  if (I >= Tokens.size())
+    I = Tokens.size() - 1; // Eof sentinel
+  return Tokens[I];
+}
+
+const Token &Parser::advance() {
+  const Token &T = Tokens[Pos];
+  if (Pos + 1 < Tokens.size())
+    ++Pos;
+  return T;
+}
+
+bool Parser::accept(Tok K) {
+  if (!check(K))
+    return false;
+  advance();
+  return true;
+}
+
+bool Parser::expect(Tok K, const char *Context) {
+  if (accept(K))
+    return true;
+  Diags.error(peek().Loc, std::string("expected ") + tokName(K) + " " +
+                              Context + ", found " + tokName(peek().Kind));
+  return false;
+}
+
+void Parser::syncToDeclBoundary() {
+  while (!check(Tok::Eof) && !check(Tok::KwClass) && !check(Tok::KwLibrary) &&
+         !check(Tok::RBrace))
+    advance();
+}
+
+void Parser::syncToStmtBoundary() {
+  while (!check(Tok::Eof) && !check(Tok::Semi) && !check(Tok::RBrace))
+    advance();
+  accept(Tok::Semi);
+}
+
+CompilationUnit Parser::parseUnit() {
+  CompilationUnit Unit;
+  while (!check(Tok::Eof)) {
+    ClassDecl Cls;
+    if (parseClass(Cls))
+      Unit.Classes.push_back(std::move(Cls));
+    else
+      syncToDeclBoundary();
+  }
+  return Unit;
+}
+
+bool Parser::parseClass(ClassDecl &Out) {
+  Out.IsLibrary = accept(Tok::KwLibrary);
+  Out.Loc = peek().Loc;
+  if (!expect(Tok::KwClass, "at top level"))
+    return false;
+  if (!check(Tok::Ident)) {
+    Diags.error(peek().Loc, "expected class name");
+    return false;
+  }
+  Out.Name = advance().Text;
+  if (accept(Tok::KwExtends)) {
+    if (!check(Tok::Ident)) {
+      Diags.error(peek().Loc, "expected superclass name");
+      return false;
+    }
+    Out.SuperName = advance().Text;
+  }
+  if (!expect(Tok::LBrace, "to open class body"))
+    return false;
+  while (!check(Tok::RBrace) && !check(Tok::Eof)) {
+    if (!parseMember(Out))
+      syncToStmtBoundary();
+  }
+  expect(Tok::RBrace, "to close class body");
+  return true;
+}
+
+bool Parser::looksLikeType() const {
+  Tok K = peek().Kind;
+  return K == Tok::KwInt || K == Tok::KwBoolean || K == Tok::KwVoid ||
+         K == Tok::Ident;
+}
+
+TypeRef Parser::parseTypeRef() {
+  TypeRef T;
+  T.Loc = peek().Loc;
+  switch (peek().Kind) {
+  case Tok::KwInt:
+    T.Name = "int";
+    advance();
+    break;
+  case Tok::KwBoolean:
+    T.Name = "boolean";
+    advance();
+    break;
+  case Tok::KwVoid:
+    T.Name = "void";
+    advance();
+    break;
+  case Tok::Ident:
+    T.Name = advance().Text;
+    break;
+  default:
+    Diags.error(peek().Loc, std::string("expected a type, found ") +
+                                tokName(peek().Kind));
+    T.Name = "int";
+    return T;
+  }
+  while (check(Tok::LBracket) && peek(1).Kind == Tok::RBracket) {
+    advance();
+    advance();
+    ++T.ArrayRank;
+  }
+  return T;
+}
+
+bool Parser::parseMember(ClassDecl &Cls) {
+  SourceLoc Loc = peek().Loc;
+  bool IsStatic = accept(Tok::KwStatic);
+
+  // Constructor: Ident '(' where Ident == class name.
+  if (!IsStatic && check(Tok::Ident) && peek().Text == Cls.Name &&
+      peek(1).Kind == Tok::LParen) {
+    MethodDecl M;
+    M.Name = advance().Text;
+    M.IsCtor = true;
+    M.Loc = Loc;
+    expect(Tok::LParen, "after constructor name");
+    if (!check(Tok::RParen)) {
+      do {
+        MethodDecl::Param P;
+        P.Type = parseTypeRef();
+        if (!check(Tok::Ident)) {
+          Diags.error(peek().Loc, "expected parameter name");
+          return false;
+        }
+        P.Name = advance().Text;
+        M.Params.push_back(std::move(P));
+      } while (accept(Tok::Comma));
+    }
+    if (!expect(Tok::RParen, "after constructor parameters"))
+      return false;
+    M.Body = parseBlock();
+    if (!M.Body)
+      return false;
+    Cls.Methods.push_back(std::move(M));
+    return true;
+  }
+
+  if (!looksLikeType()) {
+    Diags.error(peek().Loc, std::string("expected a member declaration, found ") +
+                                tokName(peek().Kind));
+    return false;
+  }
+  TypeRef Type = parseTypeRef();
+  if (!check(Tok::Ident)) {
+    Diags.error(peek().Loc, "expected member name");
+    return false;
+  }
+  std::string Name = advance().Text;
+
+  if (check(Tok::LParen)) {
+    MethodDecl M;
+    M.Name = std::move(Name);
+    M.ReturnType = std::move(Type);
+    M.IsStatic = IsStatic;
+    M.Loc = Loc;
+    advance(); // '('
+    if (!check(Tok::RParen)) {
+      do {
+        MethodDecl::Param P;
+        P.Type = parseTypeRef();
+        if (!check(Tok::Ident)) {
+          Diags.error(peek().Loc, "expected parameter name");
+          return false;
+        }
+        P.Name = advance().Text;
+        M.Params.push_back(std::move(P));
+      } while (accept(Tok::Comma));
+    }
+    if (!expect(Tok::RParen, "after method parameters"))
+      return false;
+    M.Body = parseBlock();
+    if (!M.Body)
+      return false;
+    Cls.Methods.push_back(std::move(M));
+    return true;
+  }
+
+  FieldDecl F;
+  F.Name = std::move(Name);
+  F.Type = std::move(Type);
+  F.IsStatic = IsStatic;
+  F.Loc = Loc;
+  if (accept(Tok::Assign)) {
+    F.Init = parseExpr();
+    if (!F.Init)
+      return false;
+  }
+  if (!expect(Tok::Semi, "after field declaration"))
+    return false;
+  Cls.Fields.push_back(std::move(F));
+  return true;
+}
+
+StmtPtr Parser::parseBlock() {
+  if (!expect(Tok::LBrace, "to open block"))
+    return nullptr;
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::Block;
+  S->Loc = peek().Loc;
+  while (!check(Tok::RBrace) && !check(Tok::Eof)) {
+    StmtPtr Child = parseStmt();
+    if (Child)
+      S->Body.push_back(std::move(Child));
+    else
+      syncToStmtBoundary();
+  }
+  expect(Tok::RBrace, "to close block");
+  return S;
+}
+
+StmtPtr Parser::parseStmt() {
+  // Optional ground-truth annotation.
+  StmtAnnot Annot = StmtAnnot::None;
+  if (check(Tok::At)) {
+    SourceLoc Loc = peek().Loc;
+    advance();
+    if (check(Tok::Ident) && peek().Text == "leak") {
+      Annot = StmtAnnot::Leak;
+      advance();
+    } else if (check(Tok::Ident) && peek().Text == "falsepos") {
+      Annot = StmtAnnot::FalsePos;
+      advance();
+    } else {
+      Diags.error(Loc, "unknown annotation; expected @leak or @falsepos");
+      return nullptr;
+    }
+  }
+
+  StmtPtr S;
+  switch (peek().Kind) {
+  case Tok::LBrace:
+    S = parseBlock();
+    break;
+  case Tok::KwIf:
+    S = parseIf();
+    break;
+  case Tok::KwWhile:
+    S = parseWhile({});
+    break;
+  case Tok::KwFor:
+    S = parseFor({});
+    break;
+  case Tok::KwRegion:
+    S = parseRegion();
+    break;
+  case Tok::KwReturn:
+    S = parseReturn();
+    break;
+  case Tok::Ident:
+    // Loop label: Ident ':' while/for.
+    if (peek(1).Kind == Tok::Colon &&
+        (peek(2).Kind == Tok::KwWhile || peek(2).Kind == Tok::KwFor)) {
+      std::string Label = advance().Text;
+      advance(); // ':'
+      S = peek().Kind == Tok::KwWhile ? parseWhile(std::move(Label))
+                                      : parseFor(std::move(Label));
+      break;
+    }
+    S = parseSimpleStmt();
+    break;
+  case Tok::KwSuper:
+    if (peek(1).Kind == Tok::LParen) {
+      auto Sup = std::make_unique<Stmt>();
+      Sup->Kind = StmtKind::SuperCtor;
+      Sup->Loc = advance().Loc;
+      advance(); // '('
+      if (!check(Tok::RParen)) {
+        do {
+          ExprPtr Arg = parseExpr();
+          if (!Arg)
+            return nullptr;
+          Sup->Args.push_back(std::move(Arg));
+        } while (accept(Tok::Comma));
+      }
+      if (!expect(Tok::RParen, "after super arguments"))
+        return nullptr;
+      if (!expect(Tok::Semi, "after super call"))
+        return nullptr;
+      S = std::move(Sup);
+      break;
+    }
+    S = parseSimpleStmt();
+    break;
+  default:
+    S = parseSimpleStmt();
+    break;
+  }
+  if (S)
+    S->Annot = Annot;
+  return S;
+}
+
+StmtPtr Parser::parseIf() {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::If;
+  S->Loc = advance().Loc; // 'if'
+  if (!expect(Tok::LParen, "after 'if'"))
+    return nullptr;
+  S->Value = parseExpr();
+  if (!S->Value)
+    return nullptr;
+  if (!expect(Tok::RParen, "after if condition"))
+    return nullptr;
+  S->Then = parseStmt();
+  if (!S->Then)
+    return nullptr;
+  if (accept(Tok::KwElse)) {
+    S->Else = parseStmt();
+    if (!S->Else)
+      return nullptr;
+  }
+  return S;
+}
+
+StmtPtr Parser::parseWhile(std::string Label) {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::While;
+  S->Text = std::move(Label);
+  S->Loc = advance().Loc; // 'while'
+  if (!expect(Tok::LParen, "after 'while'"))
+    return nullptr;
+  S->Value = parseExpr();
+  if (!S->Value)
+    return nullptr;
+  if (!expect(Tok::RParen, "after while condition"))
+    return nullptr;
+  S->Then = parseStmt();
+  if (!S->Then)
+    return nullptr;
+  return S;
+}
+
+StmtPtr Parser::parseFor(std::string Label) {
+  // for (init; cond; step) body  desugars to  { init; label: while (cond) {
+  // body; step; } }  -- init may be a declaration or an assignment.
+  SourceLoc Loc = advance().Loc; // 'for'
+  if (!expect(Tok::LParen, "after 'for'"))
+    return nullptr;
+  StmtPtr Init;
+  if (!check(Tok::Semi)) {
+    Init = parseSimpleStmt(); // consumes the ';'
+    if (!Init)
+      return nullptr;
+  } else {
+    advance(); // ';'
+  }
+  ExprPtr Cond;
+  if (!check(Tok::Semi)) {
+    Cond = parseExpr();
+    if (!Cond)
+      return nullptr;
+  } else {
+    Cond = std::make_unique<Expr>();
+    Cond->Kind = ExprKind::BoolLit;
+    Cond->IntVal = 1;
+    Cond->Loc = Loc;
+  }
+  if (!expect(Tok::Semi, "after for condition"))
+    return nullptr;
+  StmtPtr Step;
+  if (!check(Tok::RParen)) {
+    // Parse the step as an assignment or call without trailing ';'.
+    ExprPtr Lhs = parseExpr();
+    if (!Lhs)
+      return nullptr;
+    auto St = std::make_unique<Stmt>();
+    St->Loc = Lhs->Loc;
+    if (accept(Tok::Assign)) {
+      St->Kind = StmtKind::Assign;
+      St->Target = std::move(Lhs);
+      St->Value = parseExpr();
+      if (!St->Value)
+        return nullptr;
+    } else {
+      St->Kind = StmtKind::ExprStmt;
+      St->Value = std::move(Lhs);
+    }
+    Step = std::move(St);
+  }
+  if (!expect(Tok::RParen, "after for clauses"))
+    return nullptr;
+  StmtPtr Body = parseStmt();
+  if (!Body)
+    return nullptr;
+
+  auto Inner = std::make_unique<Stmt>();
+  Inner->Kind = StmtKind::Block;
+  Inner->Loc = Loc;
+  Inner->Body.push_back(std::move(Body));
+  if (Step)
+    Inner->Body.push_back(std::move(Step));
+
+  auto While = std::make_unique<Stmt>();
+  While->Kind = StmtKind::While;
+  While->Text = std::move(Label);
+  While->Loc = Loc;
+  While->Value = std::move(Cond);
+  While->Then = std::move(Inner);
+
+  auto Outer = std::make_unique<Stmt>();
+  Outer->Kind = StmtKind::Block;
+  Outer->Loc = Loc;
+  if (Init)
+    Outer->Body.push_back(std::move(Init));
+  Outer->Body.push_back(std::move(While));
+  return Outer;
+}
+
+StmtPtr Parser::parseRegion() {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::Region;
+  S->Loc = advance().Loc; // 'region'
+  if (!check(Tok::StrLit)) {
+    Diags.error(peek().Loc, "expected region name string after 'region'");
+    return nullptr;
+  }
+  S->Text = advance().Text;
+  S->Then = parseBlock();
+  if (!S->Then)
+    return nullptr;
+  return S;
+}
+
+StmtPtr Parser::parseReturn() {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::Return;
+  S->Loc = advance().Loc; // 'return'
+  if (!check(Tok::Semi)) {
+    S->Value = parseExpr();
+    if (!S->Value)
+      return nullptr;
+  }
+  if (!expect(Tok::Semi, "after return"))
+    return nullptr;
+  return S;
+}
+
+StmtPtr Parser::parseSimpleStmt() {
+  // Declaration: Type Ident ['=' expr] ';'
+  // Heuristic lookahead: Ident Ident, primitive Ident, or Ident '[' ']' Ident.
+  bool IsDecl = false;
+  if (check(Tok::KwInt) || check(Tok::KwBoolean)) {
+    IsDecl = true;
+  } else if (check(Tok::Ident)) {
+    if (peek(1).Kind == Tok::Ident)
+      IsDecl = true;
+    else if (peek(1).Kind == Tok::LBracket && peek(2).Kind == Tok::RBracket)
+      IsDecl = true;
+  }
+  if (IsDecl) {
+    auto S = std::make_unique<Stmt>();
+    S->Kind = StmtKind::VarDecl;
+    S->Loc = peek().Loc;
+    S->DeclType = parseTypeRef();
+    if (!check(Tok::Ident)) {
+      Diags.error(peek().Loc, "expected variable name");
+      return nullptr;
+    }
+    S->Text = advance().Text;
+    if (accept(Tok::Assign)) {
+      S->Value = parseExpr();
+      if (!S->Value)
+        return nullptr;
+    }
+    if (!expect(Tok::Semi, "after variable declaration"))
+      return nullptr;
+    return S;
+  }
+
+  ExprPtr Lhs = parseExpr();
+  if (!Lhs)
+    return nullptr;
+  auto S = std::make_unique<Stmt>();
+  S->Loc = Lhs->Loc;
+  if (accept(Tok::Assign)) {
+    S->Kind = StmtKind::Assign;
+    S->Target = std::move(Lhs);
+    S->Value = parseExpr();
+    if (!S->Value)
+      return nullptr;
+  } else {
+    S->Kind = StmtKind::ExprStmt;
+    S->Value = std::move(Lhs);
+  }
+  if (!expect(Tok::Semi, "after statement"))
+    return nullptr;
+  return S;
+}
+
+ExprPtr Parser::parseExpr() { return parseOr(); }
+
+static ExprPtr makeBinary(ExprPtr Lhs, std::string Op, ExprPtr Rhs,
+                          SourceLoc Loc) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::Binary;
+  E->Text = std::move(Op);
+  E->Loc = Loc;
+  E->Base = std::move(Lhs);
+  E->Rhs = std::move(Rhs);
+  return E;
+}
+
+ExprPtr Parser::parseOr() {
+  ExprPtr E = parseAnd();
+  while (E && check(Tok::PipePipe)) {
+    SourceLoc Loc = advance().Loc;
+    ExprPtr R = parseAnd();
+    if (!R)
+      return nullptr;
+    E = makeBinary(std::move(E), "||", std::move(R), Loc);
+  }
+  return E;
+}
+
+ExprPtr Parser::parseAnd() {
+  ExprPtr E = parseEquality();
+  while (E && check(Tok::AmpAmp)) {
+    SourceLoc Loc = advance().Loc;
+    ExprPtr R = parseEquality();
+    if (!R)
+      return nullptr;
+    E = makeBinary(std::move(E), "&&", std::move(R), Loc);
+  }
+  return E;
+}
+
+ExprPtr Parser::parseEquality() {
+  ExprPtr E = parseRelational();
+  while (E && (check(Tok::EqEq) || check(Tok::NotEq))) {
+    std::string Op = check(Tok::EqEq) ? "==" : "!=";
+    SourceLoc Loc = advance().Loc;
+    ExprPtr R = parseRelational();
+    if (!R)
+      return nullptr;
+    E = makeBinary(std::move(E), std::move(Op), std::move(R), Loc);
+  }
+  return E;
+}
+
+ExprPtr Parser::parseRelational() {
+  ExprPtr E = parseAdditive();
+  while (E && (check(Tok::Lt) || check(Tok::Le) || check(Tok::Gt) ||
+               check(Tok::Ge))) {
+    std::string Op = check(Tok::Lt)   ? "<"
+                     : check(Tok::Le) ? "<="
+                     : check(Tok::Gt) ? ">"
+                                      : ">=";
+    SourceLoc Loc = advance().Loc;
+    ExprPtr R = parseAdditive();
+    if (!R)
+      return nullptr;
+    E = makeBinary(std::move(E), std::move(Op), std::move(R), Loc);
+  }
+  return E;
+}
+
+ExprPtr Parser::parseAdditive() {
+  ExprPtr E = parseMultiplicative();
+  while (E && (check(Tok::Plus) || check(Tok::Minus))) {
+    std::string Op = check(Tok::Plus) ? "+" : "-";
+    SourceLoc Loc = advance().Loc;
+    ExprPtr R = parseMultiplicative();
+    if (!R)
+      return nullptr;
+    E = makeBinary(std::move(E), std::move(Op), std::move(R), Loc);
+  }
+  return E;
+}
+
+ExprPtr Parser::parseMultiplicative() {
+  ExprPtr E = parseUnary();
+  while (E && (check(Tok::Star) || check(Tok::Slash) || check(Tok::Percent))) {
+    std::string Op = check(Tok::Star)    ? "*"
+                     : check(Tok::Slash) ? "/"
+                                         : "%";
+    SourceLoc Loc = advance().Loc;
+    ExprPtr R = parseUnary();
+    if (!R)
+      return nullptr;
+    E = makeBinary(std::move(E), std::move(Op), std::move(R), Loc);
+  }
+  return E;
+}
+
+ExprPtr Parser::parseUnary() {
+  if (check(Tok::Minus) || check(Tok::Bang)) {
+    std::string Op = check(Tok::Minus) ? "-" : "!";
+    SourceLoc Loc = advance().Loc;
+    ExprPtr Operand = parseUnary();
+    if (!Operand)
+      return nullptr;
+    auto E = std::make_unique<Expr>();
+    E->Kind = ExprKind::Unary;
+    E->Text = std::move(Op);
+    E->Loc = Loc;
+    E->Base = std::move(Operand);
+    return E;
+  }
+  return parsePostfix();
+}
+
+std::vector<ExprPtr> Parser::parseArgs() {
+  std::vector<ExprPtr> Args;
+  if (!expect(Tok::LParen, "to open argument list"))
+    return Args;
+  if (!check(Tok::RParen)) {
+    do {
+      ExprPtr Arg = parseExpr();
+      if (!Arg)
+        break;
+      Args.push_back(std::move(Arg));
+    } while (accept(Tok::Comma));
+  }
+  expect(Tok::RParen, "to close argument list");
+  return Args;
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr E = parsePrimary();
+  while (E) {
+    if (accept(Tok::Dot)) {
+      if (!check(Tok::Ident)) {
+        Diags.error(peek().Loc, "expected member name after '.'");
+        return nullptr;
+      }
+      Token Name = advance();
+      if (check(Tok::LParen)) {
+        auto Call = std::make_unique<Expr>();
+        Call->Kind = ExprKind::Call;
+        Call->Loc = Name.Loc;
+        Call->Text = Name.Text;
+        Call->Base = std::move(E);
+        Call->Args = parseArgs();
+        E = std::move(Call);
+      } else {
+        auto Get = std::make_unique<Expr>();
+        Get->Kind = ExprKind::FieldGet;
+        Get->Loc = Name.Loc;
+        Get->Text = Name.Text;
+        Get->Base = std::move(E);
+        E = std::move(Get);
+      }
+      continue;
+    }
+    if (check(Tok::LBracket)) {
+      SourceLoc Loc = advance().Loc;
+      ExprPtr Index = parseExpr();
+      if (!Index)
+        return nullptr;
+      if (!expect(Tok::RBracket, "to close array index"))
+        return nullptr;
+      auto Ix = std::make_unique<Expr>();
+      Ix->Kind = ExprKind::Index;
+      Ix->Loc = Loc;
+      Ix->Base = std::move(E);
+      Ix->Rhs = std::move(Index);
+      E = std::move(Ix);
+      continue;
+    }
+    break;
+  }
+  return E;
+}
+
+ExprPtr Parser::parsePrimary() {
+  auto E = std::make_unique<Expr>();
+  E->Loc = peek().Loc;
+  switch (peek().Kind) {
+  case Tok::IntLit:
+    E->Kind = ExprKind::IntLit;
+    E->IntVal = advance().IntVal;
+    return E;
+  case Tok::KwTrue:
+  case Tok::KwFalse:
+    E->Kind = ExprKind::BoolLit;
+    E->IntVal = advance().Kind == Tok::KwTrue ? 1 : 0;
+    return E;
+  case Tok::StrLit:
+    E->Kind = ExprKind::StrLit;
+    E->Text = advance().Text;
+    return E;
+  case Tok::KwNull:
+    E->Kind = ExprKind::NullLit;
+    advance();
+    return E;
+  case Tok::KwThis:
+    E->Kind = ExprKind::This;
+    advance();
+    return E;
+  case Tok::KwSuper: {
+    advance();
+    if (!expect(Tok::Dot, "after 'super'"))
+      return nullptr;
+    if (!check(Tok::Ident)) {
+      Diags.error(peek().Loc, "expected method name after 'super.'");
+      return nullptr;
+    }
+    Token Name = advance();
+    E->Kind = ExprKind::SuperCall;
+    E->Text = Name.Text;
+    E->Loc = Name.Loc;
+    E->Args = parseArgs();
+    return E;
+  }
+  case Tok::KwNew: {
+    advance();
+    ast::TypeRef Base;
+    Base.Loc = peek().Loc;
+    if (check(Tok::KwInt)) {
+      Base.Name = "int";
+      advance();
+    } else if (check(Tok::KwBoolean)) {
+      Base.Name = "boolean";
+      advance();
+    } else if (check(Tok::Ident)) {
+      Base.Name = advance().Text;
+    } else {
+      Diags.error(peek().Loc, "expected type after 'new'");
+      return nullptr;
+    }
+    if (check(Tok::LBracket)) {
+      // new T[size]([])*
+      advance();
+      E->Kind = ExprKind::NewArray;
+      E->Rhs = parseExpr();
+      if (!E->Rhs)
+        return nullptr;
+      if (!expect(Tok::RBracket, "to close array size"))
+        return nullptr;
+      while (check(Tok::LBracket) && peek(1).Kind == Tok::RBracket) {
+        advance();
+        advance();
+        ++Base.ArrayRank;
+      }
+      E->NewType = std::move(Base);
+      return E;
+    }
+    E->Kind = ExprKind::NewObject;
+    E->NewType = std::move(Base);
+    if (check(Tok::LParen))
+      E->Args = parseArgs();
+    return E;
+  }
+  case Tok::Ident: {
+    Token Name = advance();
+    if (check(Tok::LParen)) {
+      E->Kind = ExprKind::Call;
+      E->Text = Name.Text;
+      E->Args = parseArgs(); // Base stays null: implicit this / same class
+      return E;
+    }
+    E->Kind = ExprKind::Name;
+    E->Text = Name.Text;
+    return E;
+  }
+  case Tok::LParen: {
+    // Cast or parenthesized expression. "(Ident)" followed by a token that
+    // starts a primary expression is a cast; otherwise parentheses.
+    if (peek(1).Kind == Tok::Ident && peek(2).Kind == Tok::RParen) {
+      Tok After = peek(3).Kind;
+      bool StartsPrimary =
+          After == Tok::Ident || After == Tok::KwThis || After == Tok::KwNew ||
+          After == Tok::IntLit || After == Tok::StrLit ||
+          After == Tok::KwNull || After == Tok::KwTrue ||
+          After == Tok::KwFalse || After == Tok::LParen ||
+          After == Tok::KwSuper;
+      if (StartsPrimary) {
+        advance(); // '('
+        E->Kind = ExprKind::CastExpr;
+        E->NewType.Name = advance().Text;
+        E->NewType.Loc = E->Loc;
+        advance(); // ')'
+        E->Base = parseUnary();
+        if (!E->Base)
+          return nullptr;
+        return E;
+      }
+    }
+    advance();
+    ExprPtr Inner = parseExpr();
+    if (!Inner)
+      return nullptr;
+    expect(Tok::RParen, "to close parenthesized expression");
+    return Inner;
+  }
+  default:
+    Diags.error(peek().Loc, std::string("expected an expression, found ") +
+                                tokName(peek().Kind));
+    advance();
+    return nullptr;
+  }
+}

@@ -1,0 +1,77 @@
+//===-- Parser.h - MJ recursive-descent parser -----------------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for MJ. Produces an AST; on syntax errors it
+/// records a diagnostic and synchronizes at the next ';' or '}' so later
+/// classes still parse (failure-injection tests rely on this).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_FRONTEND_PARSER_H
+#define LC_FRONTEND_PARSER_H
+
+#include "frontend/Ast.h"
+#include "frontend/Token.h"
+#include "support/Diagnostics.h"
+
+#include <vector>
+
+namespace lc {
+
+/// Parses a token stream into a CompilationUnit.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+      : Tokens(std::move(Tokens)), Diags(Diags) {}
+
+  ast::CompilationUnit parseUnit();
+
+private:
+  // Token cursor.
+  const Token &peek(unsigned Ahead = 0) const;
+  const Token &advance();
+  bool check(Tok K) const { return peek().Kind == K; }
+  bool accept(Tok K);
+  /// Consumes \p K or reports an error (and returns false).
+  bool expect(Tok K, const char *Context);
+  void syncToDeclBoundary();
+  void syncToStmtBoundary();
+
+  // Grammar productions.
+  bool parseClass(ast::ClassDecl &Out);
+  bool parseMember(ast::ClassDecl &Cls);
+  ast::TypeRef parseTypeRef();
+  bool looksLikeType() const;
+  ast::StmtPtr parseStmt();
+  ast::StmtPtr parseBlock();
+  ast::StmtPtr parseIf();
+  ast::StmtPtr parseWhile(std::string Label);
+  ast::StmtPtr parseFor(std::string Label);
+  ast::StmtPtr parseRegion();
+  ast::StmtPtr parseReturn();
+  ast::StmtPtr parseSimpleStmt();
+
+  ast::ExprPtr parseExpr();
+  ast::ExprPtr parseOr();
+  ast::ExprPtr parseAnd();
+  ast::ExprPtr parseEquality();
+  ast::ExprPtr parseRelational();
+  ast::ExprPtr parseAdditive();
+  ast::ExprPtr parseMultiplicative();
+  ast::ExprPtr parseUnary();
+  ast::ExprPtr parsePostfix();
+  ast::ExprPtr parsePrimary();
+  std::vector<ast::ExprPtr> parseArgs();
+
+  std::vector<Token> Tokens;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+};
+
+} // namespace lc
+
+#endif // LC_FRONTEND_PARSER_H

@@ -1,0 +1,93 @@
+//===-- Token.h - MJ tokens ------------------------------------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds for the MJ language (the Java-like input language of the
+/// reproduction; see DESIGN.md section 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_FRONTEND_TOKEN_H
+#define LC_FRONTEND_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+
+namespace lc {
+
+/// MJ token kinds.
+enum class Tok : uint8_t {
+  // Literals / identifiers.
+  Eof,
+  Ident,
+  IntLit,
+  StrLit,
+  // Keywords.
+  KwClass,
+  KwExtends,
+  KwLibrary,
+  KwRegion,
+  KwWhile,
+  KwFor,
+  KwIf,
+  KwElse,
+  KwReturn,
+  KwNew,
+  KwThis,
+  KwSuper,
+  KwNull,
+  KwTrue,
+  KwFalse,
+  KwInt,
+  KwBoolean,
+  KwVoid,
+  KwStatic,
+  // Punctuation / operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Dot,
+  Colon,
+  At,
+  Assign,
+  EqEq,
+  NotEq,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  AmpAmp,
+  PipePipe,
+  Bang,
+  Error,
+};
+
+/// One lexed token.
+struct Token {
+  Tok Kind = Tok::Eof;
+  SourceLoc Loc;
+  std::string Text; ///< identifier / literal spelling
+  int64_t IntVal = 0;
+};
+
+/// Human-readable token kind name for diagnostics ("';'", "identifier").
+const char *tokName(Tok K);
+
+} // namespace lc
+
+#endif // LC_FRONTEND_TOKEN_H

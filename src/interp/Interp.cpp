@@ -1,0 +1,438 @@
+//===-- Interp.cpp --------------------------------------------------------===//
+
+#include "interp/Interp.h"
+
+#include "callgraph/CallGraph.h"
+
+#include <cassert>
+
+using namespace lc;
+
+namespace {
+
+/// One activation record.
+struct Frame {
+  MethodId Method = kInvalidId;
+  StmtIdx Pc = 0;
+  std::vector<Value> Locals;
+  /// Destination local in the *caller* for the return value.
+  LocalId CallerDst = kInvalidId;
+  /// True if this frame was entered from inside the tracked loop.
+  bool InsideTracked = false;
+};
+
+class Machine {
+public:
+  Machine(const Program &P, InterpOptions Opts) : P(P), Opts(Opts) {}
+
+  InterpResult run() {
+    // Object 0: synthetic holder of static fields; created "outside".
+    R.Heap.emplace_back();
+    R.Heap[0].Site = kInvalidId;
+
+    for (MethodId M : P.ClinitMethods)
+      if (!runMethod(M))
+        return finish();
+    if (P.EntryMethod != kInvalidId)
+      runMethod(P.EntryMethod);
+    return finish();
+  }
+
+private:
+  InterpResult finish() {
+    R.TrackedIters = TrackedIter;
+    return std::move(R);
+  }
+
+  bool trap(const std::string &Msg) {
+    R.St = InterpResult::Status::Trap;
+    Frame &F = Stack.back();
+    SourceLoc Loc = P.Methods[F.Method].Body[F.Pc].Loc;
+    R.TrapMessage =
+        P.qualifiedMethodName(F.Method) + ":" + Loc.str() + ": " + Msg;
+    return false;
+  }
+
+  /// Is the current execution point dynamically inside an iteration of the
+  /// tracked loop?
+  bool insideTracked() const {
+    if (Opts.TrackedLoop == kInvalidId || Stack.empty())
+      return false;
+    const Frame &F = Stack.back();
+    if (F.InsideTracked)
+      return true;
+    const LoopInfo &L = P.Loops[Opts.TrackedLoop];
+    return F.Method == L.Method && F.Pc >= L.BodyBegin && F.Pc < L.BodyEnd;
+  }
+
+  uint32_t allocate(AllocSiteId Site, TypeId Ty) {
+    RtObject O;
+    O.Site = Site;
+    O.Ty = Ty;
+    O.CreatedIter = TrackedIter;
+    O.CreatedInside = insideTracked();
+    R.Heap.push_back(std::move(O));
+    return static_cast<uint32_t>(R.Heap.size() - 1);
+  }
+
+  void logStore(Value Val, FieldId F, uint32_t Base) {
+    if (Opts.TrackedLoop == kInvalidId || Val.K != Value::Kind::Ref)
+      return;
+    if (!insideTracked())
+      return;
+    R.StoreLog.push_back({Val.Obj, F, Base, TrackedIter});
+  }
+  void logLoad(Value Val, FieldId F, uint32_t Base) {
+    if (Opts.TrackedLoop == kInvalidId || Val.K != Value::Kind::Ref)
+      return;
+    if (!insideTracked())
+      return;
+    R.LoadLog.push_back({Val.Obj, F, Base, TrackedIter});
+  }
+
+  /// Pushes a frame for \p M; binds receiver/arguments from \p Caller.
+  /// \p CallerInside must be computed at the call statement itself (the
+  /// caller's pc has already moved to the return point).
+  void pushFrame(MethodId M, const Stmt &Call, Frame &Caller,
+                 bool CallerInside) {
+    const MethodInfo &MI = P.Methods[M];
+    Frame F;
+    F.Method = M;
+    F.Locals.assign(MI.Locals.size(), Value::null());
+    unsigned First = MI.IsStatic ? 0 : 1;
+    if (!MI.IsStatic)
+      F.Locals[0] = Caller.Locals[Call.SrcA];
+    for (size_t A = 0; A < Call.Args.size(); ++A)
+      F.Locals[First + A] = Caller.Locals[Call.Args[A]];
+    F.CallerDst = Call.Dst;
+    F.InsideTracked = CallerInside;
+    Stack.push_back(std::move(F));
+  }
+
+  /// Runs \p M to completion (used for entry points).
+  bool runMethod(MethodId M) {
+    Frame F;
+    F.Method = M;
+    F.Locals.assign(P.Methods[M].Locals.size(), Value::null());
+    Stack.push_back(std::move(F));
+    return execute();
+  }
+
+  /// Main interpreter loop; returns false on trap/limit.
+  bool execute() {
+    size_t BaseDepth = Stack.size() - 1;
+    while (Stack.size() > BaseDepth) {
+      if (++R.Steps > Opts.MaxSteps) {
+        R.St = InterpResult::Status::StepLimit;
+        return false;
+      }
+      Frame &F = Stack.back();
+      const MethodInfo &MI = P.Methods[F.Method];
+      assert(F.Pc < MI.Body.size() && "fell off a method body");
+      const Stmt &S = MI.Body[F.Pc];
+      switch (S.Op) {
+      case Opcode::Nop:
+        break;
+      case Opcode::IterBegin:
+        if (S.Loop == Opts.TrackedLoop)
+          ++TrackedIter;
+        break;
+      case Opcode::ConstInt:
+        F.Locals[S.Dst] = Value::intV(S.IntVal);
+        break;
+      case Opcode::ConstBool:
+        F.Locals[S.Dst] = Value::boolV(S.IntVal != 0);
+        break;
+      case Opcode::ConstNull:
+        F.Locals[S.Dst] = Value::null();
+        break;
+      case Opcode::ConstStr: {
+        uint32_t O = allocate(S.Site, S.Ty);
+        R.Heap[O].Str = S.StrVal;
+        F.Locals[S.Dst] = Value::ref(O);
+        break;
+      }
+      case Opcode::Copy:
+        F.Locals[S.Dst] = F.Locals[S.SrcA];
+        break;
+      case Opcode::Cast: {
+        Value V = F.Locals[S.SrcA];
+        if (V.K == Value::Kind::Ref) {
+          const Type &Target = P.Types.get(S.Ty);
+          const Type &Actual = P.Types.get(R.Heap[V.Obj].Ty);
+          bool Ok = Target.K == Type::Kind::Ref &&
+                    ((Actual.K == Type::Kind::Ref &&
+                      P.isSubclassOf(Actual.Cls, Target.Cls)) ||
+                     (Actual.K == Type::Kind::Array &&
+                      Target.Cls == P.ObjectClass));
+          if (!Ok)
+            return trap("bad cast to " + P.typeName(S.Ty));
+        }
+        F.Locals[S.Dst] = V;
+        break;
+      }
+      case Opcode::BinOp: {
+        Value A = F.Locals[S.SrcA], B = F.Locals[S.SrcB];
+        Value Out;
+        switch (S.BK) {
+        case BinKind::Add:
+          Out = Value::intV(A.I + B.I);
+          break;
+        case BinKind::Sub:
+          Out = Value::intV(A.I - B.I);
+          break;
+        case BinKind::Mul:
+          Out = Value::intV(A.I * B.I);
+          break;
+        case BinKind::Div:
+          if (B.I == 0)
+            return trap("division by zero");
+          Out = Value::intV(A.I / B.I);
+          break;
+        case BinKind::Rem:
+          if (B.I == 0)
+            return trap("division by zero");
+          Out = Value::intV(A.I % B.I);
+          break;
+        case BinKind::CmpLt:
+          Out = Value::boolV(A.I < B.I);
+          break;
+        case BinKind::CmpLe:
+          Out = Value::boolV(A.I <= B.I);
+          break;
+        case BinKind::CmpGt:
+          Out = Value::boolV(A.I > B.I);
+          break;
+        case BinKind::CmpGe:
+          Out = Value::boolV(A.I >= B.I);
+          break;
+        case BinKind::CmpEq:
+        case BinKind::CmpNe: {
+          bool Eq;
+          if (A.K == Value::Kind::Ref || B.K == Value::Kind::Ref ||
+              A.K == Value::Kind::Null || B.K == Value::Kind::Null) {
+            bool ANull = A.K != Value::Kind::Ref;
+            bool BNull = B.K != Value::Kind::Ref;
+            Eq = ANull && BNull ? true
+                 : ANull != BNull ? false
+                                  : A.Obj == B.Obj;
+          } else {
+            Eq = A.I == B.I;
+          }
+          Out = Value::boolV(S.BK == BinKind::CmpEq ? Eq : !Eq);
+          break;
+        }
+        case BinKind::And:
+          Out = Value::boolV(A.truthy() && B.truthy());
+          break;
+        case BinKind::Or:
+          Out = Value::boolV(A.truthy() || B.truthy());
+          break;
+        }
+        F.Locals[S.Dst] = Out;
+        break;
+      }
+      case Opcode::UnOp:
+        F.Locals[S.Dst] = S.UK == UnKind::Neg
+                              ? Value::intV(-F.Locals[S.SrcA].I)
+                              : Value::boolV(!F.Locals[S.SrcA].truthy());
+        break;
+      case Opcode::New:
+        F.Locals[S.Dst] = Value::ref(allocate(S.Site, S.Ty));
+        break;
+      case Opcode::NewArray: {
+        int64_t Len = F.Locals[S.SrcA].I;
+        if (Len < 0)
+          return trap("negative array size");
+        uint32_t O = allocate(S.Site, S.Ty);
+        R.Heap[O].Elems.assign(static_cast<size_t>(Len), Value::null());
+        F.Locals[S.Dst] = Value::ref(O);
+        break;
+      }
+      case Opcode::Load: {
+        Value Base = F.Locals[S.SrcA];
+        if (Base.K != Value::Kind::Ref)
+          return trap("null dereference reading field " +
+                      P.fieldName(S.Field));
+        auto It = R.Heap[Base.Obj].Fields.find(S.Field);
+        Value V = It == R.Heap[Base.Obj].Fields.end() ? Value::null()
+                                                      : It->second;
+        F.Locals[S.Dst] = V;
+        logLoad(V, S.Field, Base.Obj);
+        break;
+      }
+      case Opcode::Store: {
+        Value Base = F.Locals[S.SrcA];
+        if (Base.K != Value::Kind::Ref)
+          return trap("null dereference writing field " +
+                      P.fieldName(S.Field));
+        Value V = F.Locals[S.SrcB];
+        R.Heap[Base.Obj].Fields[S.Field] = V;
+        logStore(V, S.Field, Base.Obj);
+        break;
+      }
+      case Opcode::StaticLoad: {
+        auto It = R.Heap[0].Fields.find(S.Field);
+        Value V = It == R.Heap[0].Fields.end() ? Value::null() : It->second;
+        F.Locals[S.Dst] = V;
+        logLoad(V, S.Field, 0);
+        break;
+      }
+      case Opcode::StaticStore: {
+        Value V = F.Locals[S.SrcB];
+        R.Heap[0].Fields[S.Field] = V;
+        logStore(V, S.Field, 0);
+        break;
+      }
+      case Opcode::ArrayLoad: {
+        Value Base = F.Locals[S.SrcA];
+        if (Base.K != Value::Kind::Ref)
+          return trap("null dereference indexing array");
+        RtObject &O = R.Heap[Base.Obj];
+        int64_t Ix = F.Locals[S.SrcB].I;
+        if (Ix < 0 || static_cast<size_t>(Ix) >= O.Elems.size())
+          return trap("array index out of bounds");
+        Value V = O.Elems[static_cast<size_t>(Ix)];
+        F.Locals[S.Dst] = V;
+        logLoad(V, P.ElemField, Base.Obj);
+        break;
+      }
+      case Opcode::ArrayStore: {
+        Value Base = F.Locals[S.SrcA];
+        if (Base.K != Value::Kind::Ref)
+          return trap("null dereference indexing array");
+        RtObject &O = R.Heap[Base.Obj];
+        int64_t Ix = F.Locals[S.SrcB].I;
+        if (Ix < 0 || static_cast<size_t>(Ix) >= O.Elems.size())
+          return trap("array index out of bounds");
+        Value V = F.Locals[S.SrcC];
+        O.Elems[static_cast<size_t>(Ix)] = V;
+        logStore(V, P.ElemField, Base.Obj);
+        break;
+      }
+      case Opcode::ArrayLen: {
+        Value Base = F.Locals[S.SrcA];
+        if (Base.K != Value::Kind::Ref)
+          return trap("null dereference reading length");
+        F.Locals[S.Dst] =
+            Value::intV(static_cast<int64_t>(R.Heap[Base.Obj].Elems.size()));
+        break;
+      }
+      case Opcode::Invoke: {
+        MethodId Target = S.Callee;
+        if (S.CK == CallKind::Virtual) {
+          Value Base = F.Locals[S.SrcA];
+          if (Base.K != Value::Kind::Ref)
+            return trap("null dereference calling " + P.methodName(S.Callee));
+          const Type &T = P.Types.get(R.Heap[Base.Obj].Ty);
+          if (T.K == Type::Kind::Ref) {
+            Target = dispatch(P, T.Cls, S.Callee);
+            if (Target == kInvalidId)
+              return trap("no dispatch target for " + P.methodName(S.Callee));
+          }
+        } else if (S.CK == CallKind::Special) {
+          if (F.Locals[S.SrcA].K != Value::Kind::Ref)
+            return trap("null receiver in special call");
+        }
+        {
+          bool CallerInside = insideTracked(); // before the pc moves
+          ++F.Pc; // return to the following statement
+          pushFrame(Target, S, F, CallerInside);
+        }
+        continue; // do not bump the new frame's pc
+      }
+      case Opcode::Return: {
+        Value Ret =
+            S.SrcA != kInvalidId ? F.Locals[S.SrcA] : Value::null();
+        LocalId Dst = F.CallerDst;
+        Stack.pop_back();
+        if (Stack.size() > BaseDepth && Dst != kInvalidId)
+          Stack.back().Locals[Dst] = Ret;
+        continue;
+      }
+      case Opcode::If:
+        if (F.Locals[S.SrcA].truthy()) {
+          F.Pc = S.Target;
+          continue;
+        }
+        break;
+      case Opcode::Goto:
+        F.Pc = S.Target;
+        continue;
+      }
+      ++F.Pc;
+    }
+    return true;
+  }
+
+  const Program &P;
+  InterpOptions Opts;
+  InterpResult R;
+  std::vector<Frame> Stack;
+  uint64_t TrackedIter = 0;
+};
+
+} // namespace
+
+InterpResult lc::interpret(const Program &P, InterpOptions Opts) {
+  return Machine(P, Opts).run();
+}
+
+DynamicLeakReport lc::detectDynamicLeaks(const InterpResult &R) {
+  DynamicLeakReport Out;
+
+  // Reverse store index: children(base) = values stored into it.
+  std::unordered_map<uint32_t, std::vector<uint32_t>> StoredInto;
+  for (const HeapEffect &E : R.StoreLog)
+    StoredInto[E.Base].push_back(E.Val);
+
+  // flowsBack(r): r was the value of some load in an iteration after its
+  // creation (Definition 1, condition (2)).
+  auto FlowsBack = [&](uint32_t Obj) {
+    for (const HeapEffect &E : R.LoadLog)
+      if (E.Val == Obj && E.Iter > R.Heap[Obj].CreatedIter)
+        return true;
+    return false;
+  };
+
+  for (const HeapEffect &Root : R.StoreLog) {
+    const RtObject &Val = R.Heap[Root.Val];
+    const RtObject &Base = R.Heap[Root.Base];
+    // Escape root: inside object saved into an outside object.
+    if (!Val.CreatedInside || Base.CreatedInside)
+      continue;
+    // Condition (1): the root is loaded back through the same reference
+    // (base.field) in a later iteration.
+    bool RootReloaded = false;
+    for (const HeapEffect &L : R.LoadLog)
+      if (L.Val == Root.Val && L.Base == Root.Base && L.Field == Root.Field &&
+          L.Iter > Root.Iter) {
+        RootReloaded = true;
+        break;
+      }
+    // Every inside object hanging off the root (including the root).
+    std::set<uint32_t> Structure;
+    std::vector<uint32_t> Work = {Root.Val};
+    while (!Work.empty()) {
+      uint32_t O = Work.back();
+      Work.pop_back();
+      if (!Structure.insert(O).second)
+        continue;
+      auto It = StoredInto.find(O);
+      if (It == StoredInto.end())
+        continue;
+      for (uint32_t Child : It->second)
+        if (R.Heap[Child].CreatedInside)
+          Work.push_back(Child);
+    }
+    for (uint32_t Obj : Structure) {
+      if (Out.Objects.count(Obj))
+        continue;
+      if (!RootReloaded || !FlowsBack(Obj)) {
+        Out.Objects.insert(Obj);
+        Out.Sites.insert(R.Heap[Obj].Site);
+      }
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,113 @@
+//===-- Interp.h - Concrete interpreter + dynamic leak oracle --*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executable version of the paper's concrete operational semantics
+/// (Fig. 3): a whole-IR interpreter whose run-time objects carry the
+/// iteration of the tracked loop in which they were created, and which
+/// logs the concrete heap store effects (Psi) and load effects (Omega).
+/// detectDynamicLeaks applies Definition 1 to those logs, giving a
+/// ground-truth oracle the property tests compare the static analysis
+/// against.
+///
+/// Dynamic semantics notes (documented deviations, see DESIGN.md):
+///   - Thread.start runs the thread body synchronously (deterministic).
+///   - && and || evaluate both operands (MJ is strict).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_INTERP_INTERP_H
+#define LC_INTERP_INTERP_H
+
+#include "ir/Program.h"
+
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lc {
+
+/// A run-time value: null, int, boolean, or an object reference.
+struct Value {
+  enum class Kind : uint8_t { Null, Int, Bool, Ref };
+  Kind K = Kind::Null;
+  int64_t I = 0;   ///< Int/Bool payload
+  uint32_t Obj = 0; ///< Ref payload (index into the heap)
+
+  static Value null() { return {}; }
+  static Value intV(int64_t V) { return {Kind::Int, V, 0}; }
+  static Value boolV(bool V) { return {Kind::Bool, V ? 1 : 0, 0}; }
+  static Value ref(uint32_t O) { return {Kind::Ref, 0, O}; }
+  bool isNull() const { return K == Kind::Null; }
+  bool truthy() const { return I != 0; }
+};
+
+/// One heap object. Objects are never collected during interpretation (the
+/// oracle needs the full history).
+struct RtObject {
+  AllocSiteId Site = kInvalidId;
+  TypeId Ty = kInvalidId;
+  /// nu(l) of the tracked loop when this object was created.
+  uint64_t CreatedIter = 0;
+  /// True if created dynamically within an iteration of the tracked loop.
+  bool CreatedInside = false;
+  std::unordered_map<FieldId, Value> Fields;
+  std::vector<Value> Elems; ///< arrays only
+  Symbol Str;               ///< strings only
+};
+
+/// One concrete heap effect (store into Psi, load into Omega): object
+/// \p Val moved through field \p Field of object \p Base during tracked
+/// iteration \p Iter.
+struct HeapEffect {
+  uint32_t Val = 0;
+  FieldId Field = kInvalidId;
+  uint32_t Base = 0;
+  uint64_t Iter = 0;
+};
+
+/// Interpreter limits and the loop whose effects are tracked.
+struct InterpOptions {
+  uint64_t MaxSteps = 20'000'000;
+  /// Loop whose iterations tag objects and effects; kInvalidId tracks
+  /// nothing (plain execution).
+  LoopId TrackedLoop = kInvalidId;
+};
+
+/// Result of one interpretation.
+struct InterpResult {
+  enum class Status { Ok, Trap, StepLimit };
+  Status St = Status::Ok;
+  std::string TrapMessage;
+  uint64_t Steps = 0;
+  /// Iterations the tracked loop completed.
+  uint64_t TrackedIters = 0;
+
+  std::vector<RtObject> Heap; ///< object 0 is the synthetic globals holder
+  std::vector<HeapEffect> StoreLog; ///< Psi
+  std::vector<HeapEffect> LoadLog;  ///< Omega
+
+  bool ok() const { return St == Status::Ok; }
+};
+
+/// Runs \p P (static initializers, then main) under \p Opts.
+InterpResult interpret(const Program &P, InterpOptions Opts = {});
+
+/// Ground truth from Definition 1 applied to an interpretation's logs.
+struct DynamicLeakReport {
+  /// Run-time objects classified as leaking.
+  std::set<uint32_t> Objects;
+  /// Their allocation sites (a site leaks if any instance leaks).
+  std::set<AllocSiteId> Sites;
+};
+
+/// Applies Definition 1 (leaking objects of the tracked loop) to \p R.
+DynamicLeakReport detectDynamicLeaks(const InterpResult &R);
+
+} // namespace lc
+
+#endif // LC_INTERP_INTERP_H

@@ -1,0 +1,284 @@
+//===-- IRBuilder.cpp -----------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+
+#include <cassert>
+
+using namespace lc;
+
+ClassId IRBuilder::addClass(std::string_view Name, ClassId Super,
+                            bool IsLibrary) {
+  ClassId Id = static_cast<ClassId>(P.Classes.size());
+  ClassInfo CI;
+  CI.Name = P.Strings.intern(Name);
+  CI.Super = Super == kInvalidId ? P.ObjectClass : Super;
+  CI.IsLibrary = IsLibrary;
+  P.Classes.push_back(CI);
+  return Id;
+}
+
+FieldId IRBuilder::addField(ClassId Owner, std::string_view Name, TypeId Ty,
+                            bool IsStatic) {
+  FieldId Id = static_cast<FieldId>(P.Fields.size());
+  FieldInfo FI;
+  FI.Name = P.Strings.intern(Name);
+  FI.Owner = Owner;
+  FI.Ty = Ty;
+  FI.IsStatic = IsStatic;
+  P.Fields.push_back(FI);
+  P.Classes[Owner].Fields.push_back(Id);
+  return Id;
+}
+
+MethodId IRBuilder::beginMethod(ClassId Owner, std::string_view Name,
+                                TypeId ReturnTy, bool IsStatic,
+                                const std::vector<Param> &Params) {
+  assert(CurMethod == kInvalidId && "previous method not finished");
+  MethodId Id = static_cast<MethodId>(P.Methods.size());
+  MethodInfo MI;
+  MI.Name = P.Strings.intern(Name);
+  MI.Owner = Owner;
+  MI.ReturnTy = ReturnTy;
+  MI.IsStatic = IsStatic;
+  MI.NumParams = static_cast<unsigned>(Params.size());
+  if (!IsStatic)
+    MI.Locals.push_back({P.Strings.intern("this"), P.Types.refTy(Owner)});
+  for (const Param &Pm : Params)
+    MI.Locals.push_back({P.Strings.intern(Pm.Name), Pm.Ty});
+  P.Methods.push_back(std::move(MI));
+  P.Classes[Owner].Methods.push_back(Id);
+  CurMethod = Id;
+  return Id;
+}
+
+LocalId IRBuilder::addLocal(std::string_view Name, TypeId Ty) {
+  MethodInfo &M = cur();
+  LocalId Id = static_cast<LocalId>(M.Locals.size());
+  M.Locals.push_back({P.Strings.intern(Name), Ty});
+  return Id;
+}
+
+void IRBuilder::endMethod() {
+  assert(CurMethod != kInvalidId && "no method under construction");
+#ifndef NDEBUG
+  for (const Stmt &S : cur().Body)
+    if (S.isBranch())
+      assert(S.Target != kInvalidId && "unbound branch target");
+#endif
+  // Guarantee the body ends with a terminator so the interpreter and CFG
+  // never fall off the end.
+  if (cur().Body.empty() || !cur().Body.back().isTerminator())
+    emitReturn();
+  CurMethod = kInvalidId;
+}
+
+void IRBuilder::markEntry() {
+  assert(CurMethod != kInvalidId && "no method under construction");
+  P.EntryMethod = CurMethod;
+}
+
+MethodInfo &IRBuilder::cur() {
+  assert(CurMethod != kInvalidId && "no method under construction");
+  return P.Methods[CurMethod];
+}
+
+Stmt &IRBuilder::emit(Opcode Op) {
+  MethodInfo &M = cur();
+  M.Body.emplace_back();
+  Stmt &S = M.Body.back();
+  S.Op = Op;
+  S.Loc = CurLoc;
+  return S;
+}
+
+StmtIdx IRBuilder::nextIdx() const {
+  return static_cast<StmtIdx>(P.Methods[CurMethod].Body.size());
+}
+
+StmtIdx IRBuilder::emitConstInt(LocalId Dst, int64_t V) {
+  Stmt &S = emit(Opcode::ConstInt);
+  S.Dst = Dst;
+  S.IntVal = V;
+  return nextIdx() - 1;
+}
+
+StmtIdx IRBuilder::emitConstBool(LocalId Dst, bool V) {
+  Stmt &S = emit(Opcode::ConstBool);
+  S.Dst = Dst;
+  S.IntVal = V ? 1 : 0;
+  return nextIdx() - 1;
+}
+
+StmtIdx IRBuilder::emitConstNull(LocalId Dst) {
+  Stmt &S = emit(Opcode::ConstNull);
+  S.Dst = Dst;
+  return nextIdx() - 1;
+}
+
+StmtIdx IRBuilder::emitConstStr(LocalId Dst, std::string_view Text) {
+  Stmt &S = emit(Opcode::ConstStr);
+  S.Dst = Dst;
+  S.StrVal = P.Strings.intern(Text);
+  S.Ty = P.Types.refTy(P.StringClass);
+  S.Site = static_cast<AllocSiteId>(P.AllocSites.size());
+  P.AllocSites.push_back({CurMethod, nextIdx() - 1, S.Ty, CurLoc});
+  return nextIdx() - 1;
+}
+
+StmtIdx IRBuilder::emitCopy(LocalId Dst, LocalId Src) {
+  Stmt &S = emit(Opcode::Copy);
+  S.Dst = Dst;
+  S.SrcA = Src;
+  return nextIdx() - 1;
+}
+
+StmtIdx IRBuilder::emitBinOp(LocalId Dst, BinKind BK, LocalId A, LocalId B) {
+  Stmt &S = emit(Opcode::BinOp);
+  S.Dst = Dst;
+  S.BK = BK;
+  S.SrcA = A;
+  S.SrcB = B;
+  return nextIdx() - 1;
+}
+
+StmtIdx IRBuilder::emitUnOp(LocalId Dst, UnKind UK, LocalId A) {
+  Stmt &S = emit(Opcode::UnOp);
+  S.Dst = Dst;
+  S.UK = UK;
+  S.SrcA = A;
+  return nextIdx() - 1;
+}
+
+StmtIdx IRBuilder::emitNew(LocalId Dst, ClassId C) {
+  Stmt &S = emit(Opcode::New);
+  S.Dst = Dst;
+  S.Ty = P.Types.refTy(C);
+  S.Site = static_cast<AllocSiteId>(P.AllocSites.size());
+  P.AllocSites.push_back({CurMethod, nextIdx() - 1, S.Ty, CurLoc});
+  return nextIdx() - 1;
+}
+
+StmtIdx IRBuilder::emitNewArray(LocalId Dst, TypeId ElemTy, LocalId Len) {
+  Stmt &S = emit(Opcode::NewArray);
+  S.Dst = Dst;
+  S.SrcA = Len;
+  S.Ty = P.Types.arrayTy(ElemTy);
+  S.Site = static_cast<AllocSiteId>(P.AllocSites.size());
+  P.AllocSites.push_back({CurMethod, nextIdx() - 1, S.Ty, CurLoc});
+  return nextIdx() - 1;
+}
+
+StmtIdx IRBuilder::emitLoad(LocalId Dst, LocalId Base, FieldId F) {
+  Stmt &S = emit(Opcode::Load);
+  S.Dst = Dst;
+  S.SrcA = Base;
+  S.Field = F;
+  return nextIdx() - 1;
+}
+
+StmtIdx IRBuilder::emitStore(LocalId Base, FieldId F, LocalId Val) {
+  Stmt &S = emit(Opcode::Store);
+  S.SrcA = Base;
+  S.Field = F;
+  S.SrcB = Val;
+  return nextIdx() - 1;
+}
+
+StmtIdx IRBuilder::emitStaticLoad(LocalId Dst, FieldId F) {
+  Stmt &S = emit(Opcode::StaticLoad);
+  S.Dst = Dst;
+  S.Field = F;
+  return nextIdx() - 1;
+}
+
+StmtIdx IRBuilder::emitStaticStore(FieldId F, LocalId Val) {
+  Stmt &S = emit(Opcode::StaticStore);
+  S.Field = F;
+  S.SrcB = Val;
+  return nextIdx() - 1;
+}
+
+StmtIdx IRBuilder::emitArrayLoad(LocalId Dst, LocalId Base, LocalId Index) {
+  Stmt &S = emit(Opcode::ArrayLoad);
+  S.Dst = Dst;
+  S.SrcA = Base;
+  S.SrcB = Index;
+  return nextIdx() - 1;
+}
+
+StmtIdx IRBuilder::emitArrayStore(LocalId Base, LocalId Index, LocalId Val) {
+  Stmt &S = emit(Opcode::ArrayStore);
+  S.SrcA = Base;
+  S.SrcB = Index;
+  S.SrcC = Val;
+  return nextIdx() - 1;
+}
+
+StmtIdx IRBuilder::emitArrayLen(LocalId Dst, LocalId Base) {
+  Stmt &S = emit(Opcode::ArrayLen);
+  S.Dst = Dst;
+  S.SrcA = Base;
+  return nextIdx() - 1;
+}
+
+StmtIdx IRBuilder::emitInvoke(LocalId Dst, CallKind CK, MethodId Callee,
+                              LocalId Base, std::vector<LocalId> Args) {
+  Stmt &S = emit(Opcode::Invoke);
+  S.Dst = Dst;
+  S.CK = CK;
+  S.Callee = Callee;
+  S.SrcA = Base;
+  S.Args = std::move(Args);
+  return nextIdx() - 1;
+}
+
+StmtIdx IRBuilder::emitReturn(LocalId V) {
+  Stmt &S = emit(Opcode::Return);
+  S.SrcA = V;
+  return nextIdx() - 1;
+}
+
+StmtIdx IRBuilder::emitIf(LocalId Cond) {
+  Stmt &S = emit(Opcode::If);
+  S.SrcA = Cond;
+  return nextIdx() - 1;
+}
+
+StmtIdx IRBuilder::emitGoto() {
+  emit(Opcode::Goto);
+  return nextIdx() - 1;
+}
+
+StmtIdx IRBuilder::emitGotoTo(StmtIdx Target) {
+  Stmt &S = emit(Opcode::Goto);
+  S.Target = Target;
+  return nextIdx() - 1;
+}
+
+StmtIdx IRBuilder::emitNop() {
+  emit(Opcode::Nop);
+  return nextIdx() - 1;
+}
+
+void IRBuilder::bindTarget(StmtIdx Branch, StmtIdx Target) {
+  Stmt &S = cur().Body[Branch];
+  assert(S.isBranch() && "not a branch");
+  S.Target = Target;
+}
+
+LoopId IRBuilder::beginLoopBody(std::string_view Label, bool IsRegion) {
+  LoopId Id = static_cast<LoopId>(P.Loops.size());
+  LoopInfo LI;
+  LI.Label = P.Strings.intern(Label);
+  LI.Method = CurMethod;
+  LI.BodyBegin = nextIdx();
+  LI.IsRegion = IsRegion;
+  P.Loops.push_back(LI);
+  Stmt &S = emit(Opcode::IterBegin);
+  S.Loop = Id;
+  return Id;
+}
+
+void IRBuilder::endLoopBody(LoopId L) {
+  P.Loops[L].BodyEnd = nextIdx();
+}

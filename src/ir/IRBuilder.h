@@ -1,0 +1,132 @@
+//===-- IRBuilder.h - Programmatic IR construction -------------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience API for building Programs directly in C++ (tests, the random
+/// program generator) and used by the frontend lowering. Handles id
+/// bookkeeping: allocation sites, loop records, branch target patching.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_IR_IRBUILDER_H
+#define LC_IR_IRBUILDER_H
+
+#include "ir/Program.h"
+
+#include <string_view>
+#include <vector>
+
+namespace lc {
+
+/// Builds one Program. Typical use:
+/// \code
+///   IRBuilder B(Prog);
+///   ClassId C = B.addClass("Transaction");
+///   FieldId F = B.addField(C, "curr", B.refTy("Order"));
+///   MethodId M = B.beginMethod(C, "process", VoidTy, /*IsStatic=*/false,
+///                              {{"p", OrderTy}});
+///   B.emitStore(ThisLocal, F, PLocal);
+///   B.emitReturn();
+///   B.endMethod();
+/// \endcode
+class IRBuilder {
+public:
+  explicit IRBuilder(Program &P) : P(P) {
+    if (P.Classes.empty())
+      P.initBuiltins();
+  }
+
+  Program &program() { return P; }
+
+  // --- Declarations -------------------------------------------------------
+
+  ClassId addClass(std::string_view Name, ClassId Super = kInvalidId,
+                   bool IsLibrary = false);
+  FieldId addField(ClassId Owner, std::string_view Name, TypeId Ty,
+                   bool IsStatic = false);
+
+  TypeId refTy(ClassId C) { return P.Types.refTy(C); }
+  TypeId arrayTy(TypeId Elem) { return P.Types.arrayTy(Elem); }
+  TypeId intTy() const { return P.Types.intTy(); }
+  TypeId boolTy() const { return P.Types.boolTy(); }
+  TypeId voidTy() const { return P.Types.voidTy(); }
+
+  // --- Method construction -------------------------------------------------
+
+  struct Param {
+    std::string_view Name;
+    TypeId Ty;
+  };
+
+  /// Starts a method; instance methods get `this` as local 0.
+  MethodId beginMethod(ClassId Owner, std::string_view Name, TypeId ReturnTy,
+                       bool IsStatic, const std::vector<Param> &Params);
+  /// Adds a local slot to the current method.
+  LocalId addLocal(std::string_view Name, TypeId Ty);
+  /// Finishes the current method; verifies all branch targets were bound.
+  void endMethod();
+
+  /// Marks the method under construction as the program entry point.
+  void markEntry();
+
+  // --- Statement emission (all return the emitted statement's index) ------
+
+  StmtIdx emitConstInt(LocalId Dst, int64_t V);
+  StmtIdx emitConstBool(LocalId Dst, bool V);
+  StmtIdx emitConstNull(LocalId Dst);
+  StmtIdx emitConstStr(LocalId Dst, std::string_view Text);
+  StmtIdx emitCopy(LocalId Dst, LocalId Src);
+  StmtIdx emitBinOp(LocalId Dst, BinKind BK, LocalId A, LocalId B);
+  StmtIdx emitUnOp(LocalId Dst, UnKind UK, LocalId A);
+  StmtIdx emitNew(LocalId Dst, ClassId C);
+  StmtIdx emitNewArray(LocalId Dst, TypeId ElemTy, LocalId Len);
+  StmtIdx emitLoad(LocalId Dst, LocalId Base, FieldId F);
+  StmtIdx emitStore(LocalId Base, FieldId F, LocalId Val);
+  StmtIdx emitStaticLoad(LocalId Dst, FieldId F);
+  StmtIdx emitStaticStore(FieldId F, LocalId Val);
+  StmtIdx emitArrayLoad(LocalId Dst, LocalId Base, LocalId Index);
+  StmtIdx emitArrayStore(LocalId Base, LocalId Index, LocalId Val);
+  StmtIdx emitArrayLen(LocalId Dst, LocalId Base);
+  StmtIdx emitInvoke(LocalId Dst, CallKind CK, MethodId Callee, LocalId Base,
+                     std::vector<LocalId> Args);
+  StmtIdx emitReturn(LocalId V = kInvalidId);
+  /// Emits a conditional branch with an unbound target; bind later.
+  StmtIdx emitIf(LocalId Cond);
+  /// Emits an unconditional branch with an unbound target; bind later.
+  StmtIdx emitGoto();
+  StmtIdx emitGotoTo(StmtIdx Target);
+  StmtIdx emitNop();
+
+  /// Binds the target of a previously emitted If/Goto to \p Target.
+  void bindTarget(StmtIdx Branch, StmtIdx Target);
+  /// Index the next emitted statement will get.
+  StmtIdx nextIdx() const;
+
+  // --- Loops ----------------------------------------------------------------
+
+  /// Starts a loop body: records the loop and emits its IterBegin marker.
+  /// Pass empty \p Label for unlabeled loops.
+  LoopId beginLoopBody(std::string_view Label, bool IsRegion = false);
+  /// Ends the loop body (exclusive end = next index).
+  void endLoopBody(LoopId L);
+
+  /// Sets the source location attached to subsequently emitted statements.
+  void setLoc(SourceLoc Loc) { CurLoc = Loc; }
+
+  MethodId currentMethod() const { return CurMethod; }
+
+private:
+  Stmt &emit(Opcode Op);
+  MethodInfo &cur();
+
+  Program &P;
+  MethodId CurMethod = kInvalidId;
+  SourceLoc CurLoc;
+};
+
+} // namespace lc
+
+#endif // LC_IR_IRBUILDER_H

@@ -1,0 +1,34 @@
+//===-- Ids.h - Entity id typedefs -----------------------------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dense integer ids for all IR entities. Analyses index vectors and bit
+/// sets by these; kInvalidId marks "absent" (e.g. a statement with no
+/// destination local).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_IR_IDS_H
+#define LC_IR_IDS_H
+
+#include <cstdint>
+
+namespace lc {
+
+using ClassId = uint32_t;
+using FieldId = uint32_t;
+using MethodId = uint32_t;
+using LocalId = uint32_t;
+using TypeId = uint32_t;
+using StmtIdx = uint32_t;
+using AllocSiteId = uint32_t;
+using LoopId = uint32_t;
+
+inline constexpr uint32_t kInvalidId = ~uint32_t(0);
+
+} // namespace lc
+
+#endif // LC_IR_IDS_H

@@ -1,0 +1,192 @@
+//===-- Printer.cpp -------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include <sstream>
+
+using namespace lc;
+
+namespace {
+
+const char *binOpText(BinKind K) {
+  switch (K) {
+  case BinKind::Add:
+    return "+";
+  case BinKind::Sub:
+    return "-";
+  case BinKind::Mul:
+    return "*";
+  case BinKind::Div:
+    return "/";
+  case BinKind::Rem:
+    return "%";
+  case BinKind::CmpLt:
+    return "<";
+  case BinKind::CmpLe:
+    return "<=";
+  case BinKind::CmpGt:
+    return ">";
+  case BinKind::CmpGe:
+    return ">=";
+  case BinKind::CmpEq:
+    return "==";
+  case BinKind::CmpNe:
+    return "!=";
+  case BinKind::And:
+    return "&&";
+  case BinKind::Or:
+    return "||";
+  }
+  return "?";
+}
+
+std::string localName(const Program &P, MethodId M, LocalId L) {
+  if (L == kInvalidId)
+    return "<none>";
+  const MethodInfo &MI = P.Methods[M];
+  const std::string &Name = P.Strings.text(MI.Locals[L].Name);
+  if (Name.empty())
+    return "$t" + std::to_string(L);
+  return Name;
+}
+
+} // namespace
+
+std::string lc::printStmt(const Program &P, MethodId M, const Stmt &S) {
+  auto L = [&](LocalId Id) { return localName(P, M, Id); };
+  std::ostringstream OS;
+  switch (S.Op) {
+  case Opcode::Nop:
+    OS << "nop";
+    break;
+  case Opcode::ConstInt:
+    OS << L(S.Dst) << " = " << S.IntVal;
+    break;
+  case Opcode::ConstBool:
+    OS << L(S.Dst) << " = " << (S.IntVal ? "true" : "false");
+    break;
+  case Opcode::ConstNull:
+    OS << L(S.Dst) << " = null";
+    break;
+  case Opcode::ConstStr:
+    OS << L(S.Dst) << " = \"" << P.Strings.text(S.StrVal) << "\"";
+    break;
+  case Opcode::Copy:
+    OS << L(S.Dst) << " = " << L(S.SrcA);
+    break;
+  case Opcode::Cast:
+    OS << L(S.Dst) << " = (" << P.typeName(S.Ty) << ") " << L(S.SrcA);
+    break;
+  case Opcode::BinOp:
+    OS << L(S.Dst) << " = " << L(S.SrcA) << " " << binOpText(S.BK) << " "
+       << L(S.SrcB);
+    break;
+  case Opcode::UnOp:
+    OS << L(S.Dst) << " = " << (S.UK == UnKind::Neg ? "-" : "!") << L(S.SrcA);
+    break;
+  case Opcode::New:
+    OS << L(S.Dst) << " = new " << P.typeName(S.Ty) << " [site "
+       << S.Site << "]";
+    break;
+  case Opcode::NewArray:
+    OS << L(S.Dst) << " = new " << P.typeName(P.Types.get(S.Ty).Elem) << "["
+       << L(S.SrcA) << "] [site " << S.Site << "]";
+    break;
+  case Opcode::Load:
+    OS << L(S.Dst) << " = " << L(S.SrcA) << "." << P.fieldName(S.Field);
+    break;
+  case Opcode::Store:
+    OS << L(S.SrcA) << "." << P.fieldName(S.Field) << " = " << L(S.SrcB);
+    break;
+  case Opcode::StaticLoad:
+    OS << L(S.Dst) << " = " << P.qualifiedFieldName(S.Field);
+    break;
+  case Opcode::StaticStore:
+    OS << P.qualifiedFieldName(S.Field) << " = " << L(S.SrcB);
+    break;
+  case Opcode::ArrayLoad:
+    OS << L(S.Dst) << " = " << L(S.SrcA) << "[" << L(S.SrcB) << "]";
+    break;
+  case Opcode::ArrayStore:
+    OS << L(S.SrcA) << "[" << L(S.SrcB) << "] = " << L(S.SrcC);
+    break;
+  case Opcode::ArrayLen:
+    OS << L(S.Dst) << " = " << L(S.SrcA) << ".length";
+    break;
+  case Opcode::Invoke: {
+    if (S.Dst != kInvalidId)
+      OS << L(S.Dst) << " = ";
+    const char *Kind = S.CK == CallKind::Virtual   ? "virtual"
+                       : S.CK == CallKind::Static  ? "static"
+                                                   : "special";
+    OS << Kind << " ";
+    if (S.SrcA != kInvalidId)
+      OS << L(S.SrcA) << ".";
+    OS << P.qualifiedMethodName(S.Callee) << "(";
+    for (size_t I = 0; I < S.Args.size(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << L(S.Args[I]);
+    }
+    OS << ")";
+    break;
+  }
+  case Opcode::Return:
+    OS << "return";
+    if (S.SrcA != kInvalidId)
+      OS << " " << L(S.SrcA);
+    break;
+  case Opcode::If:
+    OS << "if " << L(S.SrcA) << " goto " << S.Target;
+    break;
+  case Opcode::Goto:
+    OS << "goto " << S.Target;
+    break;
+  case Opcode::IterBegin:
+    OS << "iter_begin loop " << S.Loop;
+    if (!P.Loops[S.Loop].Label.isEmpty())
+      OS << " \"" << P.Strings.text(P.Loops[S.Loop].Label) << "\"";
+    break;
+  }
+  return OS.str();
+}
+
+std::string lc::printMethod(const Program &P, MethodId M) {
+  const MethodInfo &MI = P.Methods[M];
+  std::ostringstream OS;
+  OS << (MI.IsStatic ? "static " : "") << P.typeName(MI.ReturnTy) << " "
+     << P.qualifiedMethodName(M) << "(";
+  for (unsigned I = 0; I < MI.NumParams; ++I) {
+    if (I)
+      OS << ", ";
+    LocalId L = MI.paramLocal(I);
+    OS << P.typeName(MI.Locals[L].Ty) << " " << P.Strings.text(MI.Locals[L].Name);
+  }
+  OS << ") {\n";
+  for (StmtIdx I = 0; I < MI.Body.size(); ++I)
+    OS << "  " << I << ": " << printStmt(P, M, MI.Body[I]) << "\n";
+  OS << "}\n";
+  return OS.str();
+}
+
+std::string lc::printProgram(const Program &P) {
+  std::ostringstream OS;
+  for (ClassId C = 0; C < P.Classes.size(); ++C) {
+    const ClassInfo &CI = P.Classes[C];
+    if (CI.IsBuiltin && CI.Methods.empty() && CI.Fields.empty())
+      continue;
+    OS << (CI.IsLibrary ? "library " : "") << "class " << P.className(C);
+    if (CI.Super != kInvalidId && CI.Super != P.ObjectClass)
+      OS << " extends " << P.className(CI.Super);
+    OS << " {\n";
+    for (FieldId F : CI.Fields) {
+      const FieldInfo &FI = P.Fields[F];
+      OS << "  " << (FI.IsStatic ? "static " : "") << P.typeName(FI.Ty) << " "
+         << P.fieldName(F) << ";\n";
+    }
+    OS << "}\n";
+  }
+  for (MethodId M = 0; M < P.Methods.size(); ++M)
+    OS << printMethod(P, M);
+  return OS.str();
+}

@@ -1,0 +1,33 @@
+//===-- Printer.h - IR text rendering --------------------------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders methods and whole programs as Jimple-like text, for debugging
+/// and for golden tests of the frontend lowering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_IR_PRINTER_H
+#define LC_IR_PRINTER_H
+
+#include "ir/Program.h"
+
+#include <string>
+
+namespace lc {
+
+/// Renders one statement ("$t0 = b.curr" style).
+std::string printStmt(const Program &P, MethodId M, const Stmt &S);
+
+/// Renders one method body with statement indices.
+std::string printMethod(const Program &P, MethodId M);
+
+/// Renders the whole program.
+std::string printProgram(const Program &P);
+
+} // namespace lc
+
+#endif // LC_IR_PRINTER_H

@@ -1,0 +1,170 @@
+//===-- Program.cpp -------------------------------------------------------===//
+
+#include "ir/Program.h"
+
+using namespace lc;
+
+void Program::initBuiltins() {
+  auto MakeClass = [&](const char *Name) {
+    ClassId Id = static_cast<ClassId>(Classes.size());
+    ClassInfo CI;
+    CI.Name = Strings.intern(Name);
+    CI.IsBuiltin = true;
+    Classes.push_back(CI);
+    return Id;
+  };
+  ObjectClass = MakeClass("Object");
+  StringClass = MakeClass("String");
+  ThreadClass = MakeClass("Thread");
+  Classes[StringClass].Super = ObjectClass;
+  Classes[ThreadClass].Super = ObjectClass;
+  // String and Thread behave like library code for the flows-in rule.
+  Classes[StringClass].IsLibrary = true;
+
+  FieldInfo Elem;
+  Elem.Name = Strings.intern("elem");
+  Elem.Owner = ObjectClass;
+  Elem.Ty = Types.refTy(ObjectClass);
+  ElemField = static_cast<FieldId>(Fields.size());
+  Fields.push_back(Elem);
+
+  // Thread.run(): empty body; subclasses override it.
+  MethodId RunId;
+  {
+    MethodInfo MI;
+    MI.Name = Strings.intern("run");
+    MI.Owner = ThreadClass;
+    MI.ReturnTy = Types.voidTy();
+    MI.IsStatic = false;
+    MI.Locals.push_back({Strings.intern("this"), Types.refTy(ThreadClass)});
+    Stmt Ret;
+    Ret.Op = Opcode::Return;
+    MI.Body.push_back(Ret);
+    RunId = static_cast<MethodId>(Methods.size());
+    Methods.push_back(std::move(MI));
+    Classes[ThreadClass].Methods.push_back(RunId);
+  }
+  // Thread.start() { this.run(); } -- a virtual call, so the call graph,
+  // points-to analysis, and interpreter all see start() dispatching to the
+  // subclass override with no special cases. (Our dynamic semantics runs
+  // the thread body synchronously; see DESIGN.md.)
+  {
+    MethodInfo MI;
+    MI.Name = Strings.intern("start");
+    MI.Owner = ThreadClass;
+    MI.ReturnTy = Types.voidTy();
+    MI.IsStatic = false;
+    MI.Locals.push_back({Strings.intern("this"), Types.refTy(ThreadClass)});
+    Stmt Call;
+    Call.Op = Opcode::Invoke;
+    Call.CK = CallKind::Virtual;
+    Call.Callee = RunId;
+    Call.SrcA = 0;
+    MI.Body.push_back(Call);
+    Stmt Ret;
+    Ret.Op = Opcode::Return;
+    MI.Body.push_back(Ret);
+    MethodId Id = static_cast<MethodId>(Methods.size());
+    Methods.push_back(std::move(MI));
+    Classes[ThreadClass].Methods.push_back(Id);
+  }
+}
+
+std::string Program::qualifiedMethodName(MethodId M) const {
+  return className(Methods[M].Owner) + "." + methodName(M);
+}
+
+std::string Program::qualifiedFieldName(FieldId F) const {
+  return className(Fields[F].Owner) + "." + fieldName(F);
+}
+
+ClassId Program::findClass(std::string_view Name) const {
+  for (ClassId C = 0; C < Classes.size(); ++C)
+    if (Strings.text(Classes[C].Name) == Name)
+      return C;
+  return kInvalidId;
+}
+
+MethodId Program::findMethodIn(ClassId C, std::string_view Name) const {
+  for (MethodId M : Classes[C].Methods)
+    if (Strings.text(Methods[M].Name) == Name)
+      return M;
+  return kInvalidId;
+}
+
+MethodId Program::resolveMethod(ClassId C, Symbol Name) const {
+  for (ClassId Cur = C; Cur != kInvalidId; Cur = Classes[Cur].Super)
+    for (MethodId M : Classes[Cur].Methods)
+      if (Methods[M].Name == Name)
+        return M;
+  return kInvalidId;
+}
+
+FieldId Program::resolveField(ClassId C, Symbol Name) const {
+  for (ClassId Cur = C; Cur != kInvalidId; Cur = Classes[Cur].Super)
+    for (FieldId F : Classes[Cur].Fields)
+      if (Fields[F].Name == Name)
+        return F;
+  return kInvalidId;
+}
+
+FieldId Program::findField(ClassId C, std::string_view Name) const {
+  for (ClassId Cur = C; Cur != kInvalidId; Cur = Classes[Cur].Super)
+    for (FieldId F : Classes[Cur].Fields)
+      if (Strings.text(Fields[F].Name) == Name)
+        return F;
+  return kInvalidId;
+}
+
+bool Program::isSubclassOf(ClassId Sub, ClassId Super) const {
+  for (ClassId Cur = Sub; Cur != kInvalidId; Cur = Classes[Cur].Super)
+    if (Cur == Super)
+      return true;
+  return false;
+}
+
+LoopId Program::findLoop(std::string_view Label, MethodId InMethod) const {
+  for (LoopId L = 0; L < Loops.size(); ++L) {
+    if (Strings.text(Loops[L].Label) != Label)
+      continue;
+    if (InMethod != kInvalidId && Loops[L].Method != InMethod)
+      continue;
+    return L;
+  }
+  return kInvalidId;
+}
+
+size_t Program::totalStmts() const {
+  size_t N = 0;
+  for (const MethodInfo &M : Methods)
+    N += M.Body.size();
+  return N;
+}
+
+std::string Program::typeName(TypeId Ty) const {
+  const Type &T = Types.get(Ty);
+  switch (T.K) {
+  case Type::Kind::Void:
+    return "void";
+  case Type::Kind::Int:
+    return "int";
+  case Type::Kind::Bool:
+    return "boolean";
+  case Type::Kind::Null:
+    return "null";
+  case Type::Kind::Ref:
+    return className(T.Cls);
+  case Type::Kind::Array:
+    return typeName(T.Elem) + "[]";
+  }
+  return "?";
+}
+
+std::string Program::allocSiteName(AllocSiteId Site) const {
+  const AllocSite &S = AllocSites[Site];
+  std::string Out = "new " + typeName(S.Ty) + " @ ";
+  Out += qualifiedMethodName(S.Method);
+  if (S.Loc.isValid())
+    Out += ":" + std::to_string(S.Loc.Line);
+  return Out;
+}

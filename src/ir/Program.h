@@ -1,0 +1,184 @@
+//===-- Program.h - Whole-program IR container -----------------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Program owns every IR entity: the class hierarchy, fields, methods
+/// with their statement bodies, allocation sites, loops/regions, the type
+/// table, and the string interner. Analyses hold a const Program& and index
+/// its dense tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_IR_PROGRAM_H
+#define LC_IR_PROGRAM_H
+
+#include "ir/Ids.h"
+#include "ir/Stmt.h"
+#include "ir/Type.h"
+#include "support/StringInterner.h"
+
+#include <string>
+#include <vector>
+
+namespace lc {
+
+/// One local slot of a method. For instance methods local 0 is `this`,
+/// followed by the parameters, followed by user locals and temporaries.
+struct LocalInfo {
+  Symbol Name;
+  TypeId Ty = kInvalidId;
+};
+
+/// A class declaration.
+struct ClassInfo {
+  Symbol Name;
+  ClassId Super = kInvalidId; ///< kInvalidId only for the root class Object
+  std::vector<FieldId> Fields;
+  std::vector<MethodId> Methods;
+  /// Library classes get the stronger flows-in rule of paper section 4.
+  bool IsLibrary = false;
+  /// Built-in class (Object, Thread, String) synthesized by the frontend.
+  bool IsBuiltin = false;
+};
+
+/// An instance or static field.
+struct FieldInfo {
+  Symbol Name;
+  ClassId Owner = kInvalidId;
+  TypeId Ty = kInvalidId;
+  bool IsStatic = false;
+};
+
+/// A method with its lowered body.
+struct MethodInfo {
+  Symbol Name;
+  ClassId Owner = kInvalidId;
+  TypeId ReturnTy = kInvalidId;
+  bool IsStatic = false;
+  /// Declared parameter count, excluding `this`.
+  unsigned NumParams = 0;
+  std::vector<LocalInfo> Locals;
+  std::vector<Stmt> Body;
+
+  /// Local holding `this` (instance methods only).
+  LocalId thisLocal() const { return 0; }
+  /// Local holding parameter \p I (0-based, excluding `this`).
+  LocalId paramLocal(unsigned I) const { return (IsStatic ? 0 : 1) + I; }
+};
+
+/// Ground-truth annotation attached to an allocation site by the subject
+/// programs (`@leak` / `@falsepos` in MJ source). Used by the Table 1
+/// harness to score reports mechanically instead of by manual inspection.
+enum class SiteAnnotation : uint8_t {
+  None,     ///< must not be reported (reporting it is an unexpected FP)
+  Leak,     ///< true leak: the tool must report it
+  FalsePos, ///< not a leak, but the paper documents the tool reports it
+};
+
+/// Static description of one allocation site (a New/NewArray/ConstStr
+/// statement). The paper's "object" / "allocation site" abstraction.
+struct AllocSite {
+  MethodId Method = kInvalidId;
+  StmtIdx Index = kInvalidId;
+  TypeId Ty = kInvalidId;
+  SourceLoc Loc;
+  SiteAnnotation Annot = SiteAnnotation::None;
+};
+
+/// A source loop (or `region` block, which is an artificial loop). BodyBegin
+/// points at the IterBegin marker; the body is [BodyBegin, BodyEnd).
+struct LoopInfo {
+  Symbol Label; ///< empty for unlabeled loops
+  MethodId Method = kInvalidId;
+  StmtIdx BodyBegin = kInvalidId;
+  StmtIdx BodyEnd = kInvalidId;
+  bool IsRegion = false;
+};
+
+/// Whole-program IR. Built by the frontend (or IRBuilder in tests) and
+/// immutable afterwards.
+class Program {
+public:
+  StringInterner Strings;
+  TypeTable Types;
+
+  std::vector<ClassInfo> Classes;
+  std::vector<FieldInfo> Fields;
+  std::vector<MethodInfo> Methods;
+  std::vector<AllocSite> AllocSites;
+  std::vector<LoopInfo> Loops;
+
+  /// Program entry point (a static main), kInvalidId if absent.
+  MethodId EntryMethod = kInvalidId;
+
+  /// Synthesized static class initializers (`<clinit>`), run before main
+  /// and treated as extra call-graph entry points.
+  std::vector<MethodId> ClinitMethods;
+
+  /// Builtin classes created for every program.
+  ClassId ObjectClass = kInvalidId;
+  ClassId StringClass = kInvalidId;
+  ClassId ThreadClass = kInvalidId;
+  /// The pseudo-field used for all array element accesses ("elem" in the
+  /// paper) and the pseudo-field for String payloads.
+  FieldId ElemField = kInvalidId;
+
+  /// Creates the builtin classes and the elem pseudo-field.
+  void initBuiltins();
+
+  // --- Lookup helpers -----------------------------------------------------
+
+  const std::string &className(ClassId C) const {
+    return Strings.text(Classes[C].Name);
+  }
+  const std::string &fieldName(FieldId F) const {
+    return Strings.text(Fields[F].Name);
+  }
+  const std::string &methodName(MethodId M) const {
+    return Strings.text(Methods[M].Name);
+  }
+  /// "Owner.method" for diagnostics and reports.
+  std::string qualifiedMethodName(MethodId M) const;
+  /// "Owner.field" for reports.
+  std::string qualifiedFieldName(FieldId F) const;
+
+  /// Finds a class by name; kInvalidId if absent.
+  ClassId findClass(std::string_view Name) const;
+  /// Finds a method of \p C by name (MJ has no overloading); kInvalidId if
+  /// absent. Does not search superclasses.
+  MethodId findMethodIn(ClassId C, std::string_view Name) const;
+  /// Finds a method by name searching \p C and its superclasses.
+  MethodId resolveMethod(ClassId C, Symbol Name) const;
+  /// Finds an instance field by name searching \p C and its superclasses.
+  FieldId resolveField(ClassId C, Symbol Name) const;
+  /// Like resolveField, but by text (works on a const Program).
+  FieldId findField(ClassId C, std::string_view Name) const;
+
+  /// True if \p Sub equals or transitively extends \p Super.
+  bool isSubclassOf(ClassId Sub, ClassId Super) const;
+
+  /// True if \p M belongs to a library class.
+  bool isLibraryMethod(MethodId M) const {
+    return Classes[Methods[M].Owner].IsLibrary;
+  }
+
+  /// Finds a loop by its label, optionally restricted to \p InMethod.
+  LoopId findLoop(std::string_view Label,
+                  MethodId InMethod = kInvalidId) const;
+
+  /// Total statement count over all methods (the paper's "Stmts" column).
+  size_t totalStmts() const;
+
+  /// Human-readable short description of an allocation site:
+  /// "new T @ Owner.method:line".
+  std::string allocSiteName(AllocSiteId Site) const;
+  /// Type name rendering ("int", "Order[]", "Customer").
+  std::string typeName(TypeId Ty) const;
+};
+
+} // namespace lc
+
+#endif // LC_IR_PROGRAM_H

@@ -1,0 +1,108 @@
+//===-- Stmt.h - Three-address IR statements -------------------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Jimple-style three-address statements. A method body is a flat vector of
+/// Stmt; structured control flow is lowered to If/Goto with statement-index
+/// targets. Every loop body starts with an IterBegin marker carrying the
+/// LoopId, which the concrete interpreter uses to advance the iteration map
+/// nu (Fig. 3 of the paper); static analyses treat it as a no-op.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_IR_STMT_H
+#define LC_IR_STMT_H
+
+#include "ir/Ids.h"
+#include "support/SourceLoc.h"
+#include "support/StringInterner.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace lc {
+
+/// Statement opcode.
+enum class Opcode : uint8_t {
+  Nop,
+  ConstInt,    ///< Dst = IntVal
+  ConstBool,   ///< Dst = IntVal (0/1)
+  ConstNull,   ///< Dst = null
+  ConstStr,    ///< Dst = "StrVal" (allocates an interned String object)
+  Copy,        ///< Dst = SrcA
+  Cast,        ///< Dst = (Ty) SrcA  -- checked reference downcast
+  BinOp,       ///< Dst = SrcA <BK> SrcB
+  UnOp,        ///< Dst = <UK> SrcA
+  New,         ///< Dst = new Ty          (allocation site Site)
+  NewArray,    ///< Dst = new Elem[SrcA]  (allocation site Site, type Ty)
+  Load,        ///< Dst = SrcA.Field
+  Store,       ///< SrcA.Field = SrcB
+  StaticLoad,  ///< Dst = Class.Field     (Field is static)
+  StaticStore, ///< Class.Field = SrcB
+  ArrayLoad,   ///< Dst = SrcA[SrcB]
+  ArrayStore,  ///< SrcA[SrcB] = SrcC
+  ArrayLen,    ///< Dst = SrcA.length
+  Invoke,      ///< [Dst =] invoke Callee(Args) with base SrcA if instance
+  Return,      ///< return [SrcA]
+  If,          ///< if SrcA goto Target
+  Goto,        ///< goto Target
+  IterBegin,   ///< loop-iteration marker for LoopId (no-op for statics)
+};
+
+/// Binary operator kinds (int x int -> int, or comparisons -> bool;
+/// CmpEq/CmpNe also compare references).
+enum class BinKind : uint8_t {
+  Add, Sub, Mul, Div, Rem,
+  CmpLt, CmpLe, CmpGt, CmpGe, CmpEq, CmpNe,
+  And, Or,
+};
+
+/// Unary operator kinds.
+enum class UnKind : uint8_t { Neg, Not };
+
+/// How a call site dispatches.
+enum class CallKind : uint8_t {
+  Virtual, ///< receiver's dynamic class selects the override
+  Static,  ///< class method, no receiver
+  Special, ///< constructor / super call: exact target, no dispatch
+};
+
+/// One three-address statement. Fields not used by the opcode hold
+/// kInvalidId / zero.
+struct Stmt {
+  Opcode Op = Opcode::Nop;
+  LocalId Dst = kInvalidId;
+  LocalId SrcA = kInvalidId;
+  LocalId SrcB = kInvalidId;
+  LocalId SrcC = kInvalidId;
+  FieldId Field = kInvalidId;
+  MethodId Callee = kInvalidId; ///< statically resolved target (pre-dispatch)
+  CallKind CK = CallKind::Virtual;
+  std::vector<LocalId> Args;
+  BinKind BK = BinKind::Add;
+  UnKind UK = UnKind::Neg;
+  int64_t IntVal = 0;
+  Symbol StrVal;
+  StmtIdx Target = kInvalidId; ///< If/Goto destination statement index
+  LoopId Loop = kInvalidId;    ///< IterBegin's loop
+  AllocSiteId Site = kInvalidId;
+  TypeId Ty = kInvalidId; ///< New: class type; NewArray: array type
+  SourceLoc Loc;
+
+  bool isTerminator() const {
+    return Op == Opcode::Return || Op == Opcode::Goto;
+  }
+  bool isBranch() const { return Op == Opcode::If || Op == Opcode::Goto; }
+  bool isAllocation() const {
+    return Op == Opcode::New || Op == Opcode::NewArray ||
+           Op == Opcode::ConstStr;
+  }
+  bool isCall() const { return Op == Opcode::Invoke; }
+};
+
+} // namespace lc
+
+#endif // LC_IR_STMT_H

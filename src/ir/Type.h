@@ -1,0 +1,92 @@
+//===-- Type.h - IR types --------------------------------------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interned IR types. MJ has void, int, boolean, string literals (modeled
+/// as an opaque reference class), reference types (one per class), the
+/// null type, and arrays of any non-void type. Types are interned in a
+/// TypeTable and referenced by TypeId everywhere else.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_IR_TYPE_H
+#define LC_IR_TYPE_H
+
+#include "ir/Ids.h"
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace lc {
+
+/// Shape of one interned type.
+struct Type {
+  enum class Kind : uint8_t { Void, Int, Bool, Null, Ref, Array };
+
+  Kind K = Kind::Void;
+  /// For Kind::Ref: the class.
+  ClassId Cls = kInvalidId;
+  /// For Kind::Array: element type.
+  TypeId Elem = kInvalidId;
+
+  bool isRefLike() const {
+    return K == Kind::Ref || K == Kind::Array || K == Kind::Null;
+  }
+};
+
+/// Interns types; the primitive types get fixed ids so they can be compared
+/// without a table lookup.
+class TypeTable {
+public:
+  TypeTable() {
+    // Order must match the accessors below.
+    Types.push_back({Type::Kind::Void, kInvalidId, kInvalidId});
+    Types.push_back({Type::Kind::Int, kInvalidId, kInvalidId});
+    Types.push_back({Type::Kind::Bool, kInvalidId, kInvalidId});
+    Types.push_back({Type::Kind::Null, kInvalidId, kInvalidId});
+  }
+
+  TypeId voidTy() const { return 0; }
+  TypeId intTy() const { return 1; }
+  TypeId boolTy() const { return 2; }
+  TypeId nullTy() const { return 3; }
+
+  TypeId refTy(ClassId Cls) {
+    auto [It, New] = RefIndex.try_emplace(Cls, nextId());
+    if (New)
+      Types.push_back({Type::Kind::Ref, Cls, kInvalidId});
+    return It->second;
+  }
+
+  TypeId arrayTy(TypeId Elem) {
+    assert(Elem != voidTy() && "no arrays of void");
+    auto [It, New] = ArrayIndex.try_emplace(Elem, nextId());
+    if (New)
+      Types.push_back({Type::Kind::Array, kInvalidId, Elem});
+    return It->second;
+  }
+
+  const Type &get(TypeId Id) const {
+    assert(Id < Types.size() && "bad type id");
+    return Types[Id];
+  }
+
+  bool isRefLike(TypeId Id) const { return get(Id).isRefLike(); }
+  size_t size() const { return Types.size(); }
+
+private:
+  TypeId nextId() const { return static_cast<TypeId>(Types.size()); }
+
+  std::vector<Type> Types;
+  std::map<ClassId, TypeId> RefIndex;
+  std::map<TypeId, TypeId> ArrayIndex;
+};
+
+} // namespace lc
+
+#endif // LC_IR_TYPE_H

@@ -1,0 +1,169 @@
+//===-- Verifier.cpp ------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include <sstream>
+
+using namespace lc;
+
+namespace {
+
+class VerifierImpl {
+public:
+  explicit VerifierImpl(const Program &P) : P(P) {}
+
+  std::vector<std::string> run() {
+    for (ClassId C = 0; C < P.Classes.size(); ++C)
+      checkClass(C);
+    for (MethodId M = 0; M < P.Methods.size(); ++M)
+      checkMethod(M);
+    for (AllocSiteId S = 0; S < P.AllocSites.size(); ++S)
+      checkAllocSite(S);
+    for (LoopId L = 0; L < P.Loops.size(); ++L)
+      checkLoop(L);
+    if (P.EntryMethod != kInvalidId && P.EntryMethod >= P.Methods.size())
+      problem("entry method id out of range");
+    return std::move(Problems);
+  }
+
+private:
+  void problem(const std::string &Msg) { Problems.push_back(Msg); }
+
+  void checkClass(ClassId C) {
+    const ClassInfo &CI = P.Classes[C];
+    if (C != P.ObjectClass && CI.Super == kInvalidId)
+      problem("class " + P.className(C) + " has no superclass");
+    if (CI.Super != kInvalidId && CI.Super >= P.Classes.size())
+      problem("class " + P.className(C) + " superclass id out of range");
+    // Detect inheritance cycles.
+    ClassId Slow = C, Fast = C;
+    while (true) {
+      if (Fast == kInvalidId)
+        break;
+      Fast = P.Classes[Fast].Super;
+      if (Fast == kInvalidId)
+        break;
+      Fast = P.Classes[Fast].Super;
+      Slow = P.Classes[Slow].Super;
+      if (Fast != kInvalidId && Fast == Slow) {
+        problem("inheritance cycle through class " + P.className(C));
+        break;
+      }
+    }
+    for (FieldId F : CI.Fields)
+      if (F >= P.Fields.size())
+        problem("class " + P.className(C) + " field id out of range");
+    for (MethodId M : CI.Methods)
+      if (M >= P.Methods.size())
+        problem("class " + P.className(C) + " method id out of range");
+  }
+
+  void checkMethod(MethodId M) {
+    const MethodInfo &MI = P.Methods[M];
+    std::string Where = P.qualifiedMethodName(M);
+    if (MI.Owner >= P.Classes.size()) {
+      problem(Where + ": owner class id out of range");
+      return;
+    }
+    unsigned MinLocals = (MI.IsStatic ? 0 : 1) + MI.NumParams;
+    if (MI.Locals.size() < MinLocals)
+      problem(Where + ": fewer locals than parameters");
+    if (MI.Body.empty()) {
+      problem(Where + ": empty body");
+      return;
+    }
+    if (!MI.Body.back().isTerminator())
+      problem(Where + ": body does not end with a terminator");
+
+    for (StmtIdx I = 0; I < MI.Body.size(); ++I) {
+      const Stmt &S = MI.Body[I];
+      auto CheckLocal = [&](LocalId L, const char *Role) {
+        if (L != kInvalidId && L >= MI.Locals.size())
+          problem(Where + " stmt " + std::to_string(I) + ": " + Role +
+                  " local out of range");
+      };
+      CheckLocal(S.Dst, "dst");
+      CheckLocal(S.SrcA, "srcA");
+      CheckLocal(S.SrcB, "srcB");
+      CheckLocal(S.SrcC, "srcC");
+      for (LocalId A : S.Args)
+        CheckLocal(A, "arg");
+      if (S.isBranch()) {
+        if (S.Target == kInvalidId || S.Target >= MI.Body.size())
+          problem(Where + " stmt " + std::to_string(I) +
+                  ": branch target out of range");
+      }
+      if (S.Field != kInvalidId && S.Field >= P.Fields.size())
+        problem(Where + " stmt " + std::to_string(I) +
+                ": field id out of range");
+      if (S.Op == Opcode::Invoke) {
+        if (S.Callee == kInvalidId || S.Callee >= P.Methods.size())
+          problem(Where + " stmt " + std::to_string(I) +
+                  ": callee id out of range");
+        else {
+          const MethodInfo &Callee = P.Methods[S.Callee];
+          if (S.Args.size() != Callee.NumParams)
+            problem(Where + " stmt " + std::to_string(I) +
+                    ": argument count mismatch calling " +
+                    P.qualifiedMethodName(S.Callee));
+          if (!Callee.IsStatic && S.SrcA == kInvalidId)
+            problem(Where + " stmt " + std::to_string(I) +
+                    ": instance call without receiver");
+        }
+      }
+      if (S.isAllocation()) {
+        if (S.Site == kInvalidId || S.Site >= P.AllocSites.size())
+          problem(Where + " stmt " + std::to_string(I) +
+                  ": allocation site id out of range");
+      }
+      if (S.Op == Opcode::IterBegin &&
+          (S.Loop == kInvalidId || S.Loop >= P.Loops.size()))
+        problem(Where + " stmt " + std::to_string(I) +
+                ": loop id out of range");
+    }
+  }
+
+  void checkAllocSite(AllocSiteId Id) {
+    const AllocSite &S = P.AllocSites[Id];
+    std::string Where = "alloc site " + std::to_string(Id);
+    if (S.Method >= P.Methods.size()) {
+      problem(Where + ": method id out of range");
+      return;
+    }
+    const MethodInfo &MI = P.Methods[S.Method];
+    if (S.Index >= MI.Body.size()) {
+      problem(Where + ": statement index out of range");
+      return;
+    }
+    const Stmt &St = MI.Body[S.Index];
+    if (!St.isAllocation() || St.Site != Id)
+      problem(Where + ": does not point at its allocation statement");
+  }
+
+  void checkLoop(LoopId Id) {
+    const LoopInfo &L = P.Loops[Id];
+    std::string Where = "loop " + std::to_string(Id);
+    if (L.Method >= P.Methods.size()) {
+      problem(Where + ": method id out of range");
+      return;
+    }
+    const MethodInfo &MI = P.Methods[L.Method];
+    if (L.BodyBegin >= MI.Body.size() || L.BodyEnd > MI.Body.size() ||
+        L.BodyBegin >= L.BodyEnd) {
+      problem(Where + ": bad body range");
+      return;
+    }
+    const Stmt &First = MI.Body[L.BodyBegin];
+    if (First.Op != Opcode::IterBegin || First.Loop != Id)
+      problem(Where + ": body does not start with its IterBegin marker");
+  }
+
+  const Program &P;
+  std::vector<std::string> Problems;
+};
+
+} // namespace
+
+std::vector<std::string> lc::verifyProgram(const Program &P) {
+  return VerifierImpl(P).run();
+}

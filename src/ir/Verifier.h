@@ -1,0 +1,30 @@
+//===-- Verifier.h - IR well-formedness checks -----------------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural validation of a Program: operand ids in range, branch targets
+/// in range, bodies terminator-terminated, loop records consistent, alloc
+/// site cross-references correct. Analyses assume a verified Program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_IR_VERIFIER_H
+#define LC_IR_VERIFIER_H
+
+#include "ir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace lc {
+
+/// Checks \p P for structural validity.
+/// \returns a list of human-readable problems; empty means valid.
+std::vector<std::string> verifyProgram(const Program &P);
+
+} // namespace lc
+
+#endif // LC_IR_VERIFIER_H

@@ -1,0 +1,804 @@
+//===-- LeakAnalysis.cpp --------------------------------------------------===//
+
+#include "leak/LeakAnalysis.h"
+
+#include "cfg/Dominators.h"
+#include "support/Worklist.h"
+
+#include <memory>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace lc;
+
+namespace {
+
+/// Pseudo allocation-site id for the holder of static fields: always an
+/// outside object.
+AllocSiteId globalsSite(const Program &P) {
+  return static_cast<AllocSiteId>(P.AllocSites.size());
+}
+
+/// The per-run machinery.
+class Analyzer {
+public:
+  Analyzer(const Program &P, LoopId Loop, const CallGraph &CG, const Pag &G,
+           const AndersenPta &Base, const CflPta &Cfl,
+           const LeakOptions &Opts)
+      : P(P), LoopIdVal(Loop), Loop(P.Loops[Loop]), CG(CG), G(G), Base(Base),
+        Cfl(Cfl), Opts(Opts) {}
+
+  LeakAnalysisResult run() {
+    Result.Loop = LoopIdVal;
+    ScopedTimer T(Result.Statistics, "leak-analysis");
+    computeInsideRegion();
+    classifyThreadSites();
+    collectHeapAccesses();
+    computeFlowsOut();
+    computeFlowsIn();
+    match();
+    return std::move(Result);
+  }
+
+private:
+  // --- Step 1: inside region + context enumeration -------------------------
+
+  bool inBodyRange(MethodId M, StmtIdx I) const {
+    return M == Loop.Method && I >= Loop.BodyBegin && I < Loop.BodyEnd;
+  }
+
+  void computeInsideRegion() {
+    // Methods transitively callable from call sites inside the loop body.
+    Worklist<MethodId> WL;
+    for (StmtIdx I = Loop.BodyBegin; I < Loop.BodyEnd; ++I) {
+      const Stmt &S = P.Methods[Loop.Method].Body[I];
+      if (S.Op != Opcode::Invoke)
+        continue;
+      for (MethodId Callee : CG.calleesAt(Loop.Method, I))
+        if (InsideMethods.insert(Callee).second)
+          WL.push(Callee);
+    }
+    while (!WL.empty()) {
+      MethodId M = WL.pop();
+      const MethodInfo &MI = P.Methods[M];
+      for (StmtIdx I = 0; I < MI.Body.size(); ++I) {
+        if (MI.Body[I].Op != Opcode::Invoke)
+          continue;
+        for (MethodId Callee : CG.calleesAt(M, I))
+          if (InsideMethods.insert(Callee).second)
+            WL.push(Callee);
+      }
+    }
+
+    // Inside allocation sites: in the body range, or in inside methods.
+    for (AllocSiteId S = 0; S < P.AllocSites.size(); ++S) {
+      const AllocSite &A = P.AllocSites[S];
+      if (inBodyRange(A.Method, A.Index) || InsideMethods.count(A.Method))
+        InsideSites.insert(S);
+    }
+    Result.NumInsideSites = InsideSites.size();
+
+    enumerateContexts();
+  }
+
+  /// DFS over the call graph from the loop body, collecting the call-site
+  /// chains under which each inside method is reached. Depth- and
+  /// count-limited; recursion is cut by keeping each method at most once
+  /// per path.
+  void enumerateContexts() {
+    std::vector<CallSite> Path;
+    std::set<MethodId> OnPath;
+
+    // Sites directly in the body: one empty context each.
+    for (AllocSiteId S : InsideSites)
+      if (inBodyRange(P.AllocSites[S].Method, P.AllocSites[S].Index))
+        SiteContexts[S].push_back({});
+
+    auto Descend = [&](auto &&Self, MethodId M) -> void {
+      if (Path.size() >= Opts.ContextDepth)
+        return;
+      const MethodInfo &MI = P.Methods[M];
+      // Record contexts for this method's allocation sites.
+      for (StmtIdx I = 0; I < MI.Body.size(); ++I) {
+        const Stmt &S = MI.Body[I];
+        if (S.isAllocation()) {
+          auto &Ctxs = SiteContexts[S.Site];
+          if (Ctxs.size() < Opts.MaxContextsPerSite)
+            Ctxs.push_back(Path);
+          else
+            Result.Statistics.add("contexts-capped");
+        }
+        if (S.Op != Opcode::Invoke)
+          continue;
+        for (MethodId Callee : CG.calleesAt(M, I)) {
+          if (OnPath.count(Callee))
+            continue;
+          Path.push_back({M, I});
+          OnPath.insert(Callee);
+          Self(Self, Callee);
+          OnPath.erase(Callee);
+          Path.pop_back();
+        }
+      }
+    };
+
+    for (StmtIdx I = Loop.BodyBegin; I < Loop.BodyEnd; ++I) {
+      const Stmt &S = P.Methods[Loop.Method].Body[I];
+      if (S.Op != Opcode::Invoke)
+        continue;
+      for (MethodId Callee : CG.calleesAt(Loop.Method, I)) {
+        Path.push_back({Loop.Method, I});
+        OnPath.insert(Callee);
+        Descend(Descend, Callee);
+        OnPath.erase(Callee);
+        Path.pop_back();
+      }
+    }
+
+    if (!Opts.ContextSensitive) {
+      // Ablation: one context per site.
+      for (auto &[S, Ctxs] : SiteContexts)
+        if (!Ctxs.empty())
+          Ctxs.resize(1);
+    }
+    for (AllocSiteId S : InsideSites)
+      Result.NumInsideCtxSites +=
+          std::max<size_t>(1, SiteContexts[S].size());
+  }
+
+  // --- Step 2: thread modeling ------------------------------------------------
+
+  void classifyThreadSites() {
+    if (!Opts.ModelThreads)
+      return;
+    // A site is a started thread if (a) its class extends Thread and
+    // (b) some reachable call site invoking start() may have it as the
+    // receiver.
+    MethodId Start = P.findMethodIn(P.ThreadClass, "start");
+    if (Start == kInvalidId)
+      return;
+    for (MethodId M = 0; M < P.Methods.size(); ++M) {
+      if (!CG.isReachable(M))
+        continue;
+      const MethodInfo &MI = P.Methods[M];
+      for (StmtIdx I = 0; I < MI.Body.size(); ++I) {
+        const Stmt &S = MI.Body[I];
+        if (S.Op != Opcode::Invoke || S.SrcA == kInvalidId)
+          continue;
+        bool CallsStart = false;
+        for (MethodId Callee : CG.calleesAt(M, I))
+          CallsStart |= Callee == Start;
+        if (!CallsStart)
+          continue;
+        Base.pointsTo(M, S.SrcA).forEach([&](size_t Site) {
+          StartedThreads.insert(static_cast<AllocSiteId>(Site));
+        });
+      }
+    }
+    Result.Statistics.add("started-thread-sites", StartedThreads.size());
+  }
+
+  /// Outside = not an inside site, or a started thread (when modeled).
+  bool isOutsideSite(AllocSiteId S) const {
+    if (S == globalsSite(P))
+      return true;
+    if (StartedThreads.count(S))
+      return true;
+    return !InsideSites.count(S);
+  }
+  bool isInsideSite(AllocSiteId S) const {
+    return InsideSites.count(S) && !StartedThreads.count(S);
+  }
+
+  // --- Step 3: heap accesses relevant to the loop ---------------------------
+
+  /// A store/load statement with its "anchor": the loop-body statement
+  /// index through which it executes (its own index if directly in the
+  /// body, else the indices of body call sites whose callee closure
+  /// contains it).
+  struct Access {
+    MethodId Method;
+    StmtIdx Index;
+    FieldId Field;
+    PagNodeId Base;  ///< kInvalidId for statics
+    PagNodeId Value; ///< stored value / loaded destination
+    bool IsStatic;
+    std::vector<StmtIdx> Anchors;
+  };
+
+  /// Anchors of a statement of method \p M (body call sites reaching M).
+  std::vector<StmtIdx> anchorsOf(MethodId M, StmtIdx I) {
+    if (inBodyRange(M, I))
+      return {I};
+    auto It = MethodAnchors.find(M);
+    if (It != MethodAnchors.end())
+      return It->second;
+    // Body call sites whose callee closure contains M.
+    std::vector<StmtIdx> Out;
+    for (StmtIdx B = Loop.BodyBegin; B < Loop.BodyEnd; ++B) {
+      const Stmt &S = P.Methods[Loop.Method].Body[B];
+      if (S.Op != Opcode::Invoke)
+        continue;
+      for (MethodId Callee : CG.calleesAt(Loop.Method, B)) {
+        if (Callee == M || calleeClosureContains(Callee, M)) {
+          Out.push_back(B);
+          break;
+        }
+      }
+    }
+    MethodAnchors[M] = Out;
+    return Out;
+  }
+
+  bool calleeClosureContains(MethodId From, MethodId Target) {
+    auto Key = From;
+    auto It = ClosureCache.find(Key);
+    if (It == ClosureCache.end()) {
+      std::set<MethodId> Seen;
+      Worklist<MethodId> WL;
+      WL.push(From);
+      Seen.insert(From);
+      while (!WL.empty()) {
+        MethodId M = WL.pop();
+        const MethodInfo &MI = P.Methods[M];
+        for (StmtIdx I = 0; I < MI.Body.size(); ++I) {
+          if (MI.Body[I].Op != Opcode::Invoke)
+            continue;
+          for (MethodId Callee : CG.calleesAt(M, I))
+            if (Seen.insert(Callee).second)
+              WL.push(Callee);
+        }
+      }
+      It = ClosureCache.emplace(Key, std::move(Seen)).first;
+    }
+    return It->second.count(Target) != 0;
+  }
+
+  bool stmtInsideLoop(MethodId M, StmtIdx I) const {
+    return inBodyRange(M, I) || InsideMethods.count(M);
+  }
+
+  void collectHeapAccesses() {
+    auto Consider = [&](MethodId M) {
+      const MethodInfo &MI = P.Methods[M];
+      for (StmtIdx I = 0; I < MI.Body.size(); ++I) {
+        const Stmt &S = MI.Body[I];
+        switch (S.Op) {
+        case Opcode::Store:
+          Stores.push_back({M, I, S.Field, G.localNode(M, S.SrcA),
+                            G.localNode(M, S.SrcB), false, anchorsOf(M, I)});
+          break;
+        case Opcode::ArrayStore:
+          Stores.push_back({M, I, P.ElemField, G.localNode(M, S.SrcA),
+                            G.localNode(M, S.SrcC), false, anchorsOf(M, I)});
+          break;
+        case Opcode::StaticStore:
+          Stores.push_back({M, I, S.Field, kInvalidId,
+                            G.localNode(M, S.SrcB), true, anchorsOf(M, I)});
+          break;
+        case Opcode::Load:
+          Loads.push_back({M, I, S.Field, G.localNode(M, S.SrcA),
+                           G.localNode(M, S.Dst), false, anchorsOf(M, I)});
+          break;
+        case Opcode::ArrayLoad:
+          Loads.push_back({M, I, P.ElemField, G.localNode(M, S.SrcA),
+                           G.localNode(M, S.Dst), false, anchorsOf(M, I)});
+          break;
+        case Opcode::StaticLoad:
+          Loads.push_back({M, I, S.Field, kInvalidId, G.localNode(M, S.Dst),
+                           true, anchorsOf(M, I)});
+          break;
+        default:
+          break;
+        }
+      }
+    };
+    // Only accesses executing inside an iteration matter.
+    for (StmtIdx I = Loop.BodyBegin; I < Loop.BodyEnd; ++I)
+      ; // body statements come via Consider(Loop.Method) filtered below
+    std::set<MethodId> Methods(InsideMethods.begin(), InsideMethods.end());
+    Methods.insert(Loop.Method);
+    for (MethodId M : Methods)
+      Consider(M);
+    // Drop accesses of the loop method outside the body range.
+    auto Filter = [&](std::vector<Access> &V) {
+      V.erase(std::remove_if(V.begin(), V.end(),
+                             [&](const Access &A) {
+                               return !stmtInsideLoop(A.Method, A.Index);
+                             }),
+              V.end());
+    };
+    Filter(Stores);
+    Filter(Loads);
+    Result.Statistics.add("inside-stores", Stores.size());
+    Result.Statistics.add("inside-loads", Loads.size());
+  }
+
+  // --- Step 4: transitive flows-out -----------------------------------------
+
+  /// Site-level store edge: Value-site stored into Base-site.
+  struct SiteEdge {
+    AllocSiteId From, To;
+    FieldId Field;
+    const Access *Source;
+  };
+
+  void computeFlowsOut() {
+    // Site-level store edges from the inside stores.
+    for (const Access &A : Stores) {
+      BitSet ValSites = A.IsStatic ? Base.pointsTo(A.Value)
+                                   : Base.pointsTo(A.Value);
+      if (A.IsStatic) {
+        ValSites.forEach([&](size_t V) {
+          StoreGraph.push_back({static_cast<AllocSiteId>(V), globalsSite(P),
+                                A.Field, &A});
+        });
+        continue;
+      }
+      const BitSet &Bases = Base.pointsTo(A.Base);
+      ValSites.forEach([&](size_t V) {
+        Bases.forEach([&](size_t B) {
+          StoreGraph.push_back({static_cast<AllocSiteId>(V),
+                                static_cast<AllocSiteId>(B), A.Field, &A});
+        });
+      });
+    }
+
+    // For each inside site: DFS through inside intermediates to the
+    // closest outside objects.
+    for (AllocSiteId S : InsideSites) {
+      std::set<AllocSiteId> Visited{S};
+      std::vector<AllocSiteId> Stack{S};
+      while (!Stack.empty()) {
+        AllocSiteId Cur = Stack.back();
+        Stack.pop_back();
+        for (const SiteEdge &E : StoreGraph) {
+          if (E.From != Cur)
+            continue;
+          if (isOutsideSite(E.To)) {
+            FlowsOut[S].push_back(&E);
+          } else if (Visited.insert(E.To).second) {
+            Through[S].insert(E.To);
+            Stack.push_back(E.To);
+          }
+        }
+      }
+    }
+    Result.Statistics.add("sites-with-flows-out", FlowsOut.size());
+  }
+
+  // --- Step 5: flows-in -----------------------------------------------------
+
+  /// Library rule: the value loaded at \p A must reach application code.
+  bool reachesApplication(const Access &A) {
+    if (!Opts.LibraryRule || !P.isLibraryMethod(A.Method))
+      return true;
+    auto It = AppReachCache.find(A.Value);
+    if (It != AppReachCache.end())
+      return It->second;
+    // Forward BFS over copy edges from the loaded value.
+    std::unordered_set<PagNodeId> Seen{A.Value};
+    std::vector<PagNodeId> Stack{A.Value};
+    bool Found = false;
+    while (!Stack.empty() && !Found) {
+      PagNodeId N = Stack.back();
+      Stack.pop_back();
+      for (uint32_t Id : G.copiesOut(N)) {
+        const CopyEdge &E = G.copyEdges()[Id];
+        MethodId DstMethod = methodOfNode(E.Dst);
+        if (DstMethod != kInvalidId && !P.isLibraryMethod(DstMethod)) {
+          Found = true;
+          break;
+        }
+        if (Seen.insert(E.Dst).second)
+          Stack.push_back(E.Dst);
+      }
+    }
+    AppReachCache[A.Value] = Found;
+    return Found;
+  }
+
+  MethodId methodOfNode(PagNodeId N) const {
+    // Linear probe over method local bases; fine at our sizes because the
+    // result is cached by the caller.
+    for (MethodId M = 0; M < P.Methods.size(); ++M) {
+      PagNodeId BaseId = G.localNode(M, 0);
+      if (N >= BaseId && N < BaseId + P.Methods[M].Locals.size())
+        return M;
+    }
+    return kInvalidId; // static field node
+  }
+
+  /// True if a *different* store to the same plain-field slot can execute
+  /// at a strictly later anchor than \p ST within one iteration: then ST's
+  /// value may be gone by the iteration's end and a next-iteration load
+  /// cannot be assumed to observe it. This is the site-level analogue of
+  /// the effect system's ERA rule that re-taints a slot when an already-old
+  /// instance is stored over (phase-1 soundness on the while fragment
+  /// depends on it; see tests/property).
+  bool mayBeOverwrittenLater(const Access &ST) {
+    for (const Access &Other : Stores) {
+      if (&Other == &ST || Other.Field != ST.Field)
+        continue;
+      bool SameSlot;
+      if (ST.IsStatic || Other.IsStatic)
+        SameSlot = ST.IsStatic && Other.IsStatic;
+      else
+        SameSlot = Base.pointsTo(ST.Base).intersects(
+            Base.pointsTo(Other.Base));
+      if (!SameSlot)
+        continue;
+      for (StmtIdx A2 : Other.Anchors)
+        for (StmtIdx A : ST.Anchors)
+          if (A2 > A)
+            return true;
+    }
+    return false;
+  }
+
+  /// True if some load with anchors \p LA can observe a value written by a
+  /// store with anchors \p SA in an *earlier* iteration: the load executes
+  /// before the store within the iteration (reads last iteration's value
+  /// before it is overwritten), the stored value survives to the iteration
+  /// end (no later store to the same plain slot), or the slot accumulates
+  /// (array elem keeps old values). Anchor ties (same body call does both)
+  /// resolve toward matching to keep false positives down.
+  bool canReadPreviousIteration(const Access &Load, const Access &Store) {
+    if (Store.Field == P.ElemField)
+      return true; // accumulating slot
+    bool OrderOk = false;
+    for (StmtIdx LA : Load.Anchors)
+      for (StmtIdx SA : Store.Anchors)
+        OrderOk |= LA <= SA;
+    if (!OrderOk)
+      return false;
+    return !mayBeOverwrittenLater(Store);
+  }
+
+  void computeFlowsIn() {
+    // Walk retrieval chains starting at loads whose base may be an outside
+    // object (or a static). Chain *exploration* ignores the library rule:
+    // HashMap.get first loads the (library-internal) entry and only then
+    // its value -- the intermediate hop must not block the chain. The
+    // library rule gates fact *admission*: a (valueSite, field g, outside
+    // b) flows-in fact is recorded only when the specific load producing
+    // that value hands it to application code.
+    struct Item {
+      AllocSiteId V;
+      FieldId F;
+      AllocSiteId B;
+    };
+    std::vector<Item> Work;
+    auto Visit = [&](const Access &A, FieldId F, AllocSiteId B) {
+      bool Admit = reachesApplication(A);
+      Base.pointsTo(A.Value).forEach([&](size_t V) {
+        if (!isInsideSite(static_cast<AllocSiteId>(V)))
+          return;
+        if (Admit)
+          FlowsInSet[{F, B}].insert({static_cast<AllocSiteId>(V), &A});
+        Work.push_back({static_cast<AllocSiteId>(V), F, B});
+      });
+    };
+    for (const Access &A : Loads) {
+      if (A.IsStatic) {
+        Visit(A, A.Field, globalsSite(P));
+        continue;
+      }
+      Base.pointsTo(A.Base).forEach([&](size_t B) {
+        if (isOutsideSite(static_cast<AllocSiteId>(B)))
+          Visit(A, A.Field, static_cast<AllocSiteId>(B));
+      });
+    }
+    // Transitive: deeper loads from already-retrieved inside objects keep
+    // the (field, outside) label of the first hop.
+    std::set<std::tuple<AllocSiteId, FieldId, AllocSiteId>> Seen;
+    while (!Work.empty()) {
+      Item It = Work.back();
+      Work.pop_back();
+      if (!Seen.insert({It.V, It.F, It.B}).second)
+        continue;
+      for (const Access &A : Loads) {
+        if (A.IsStatic)
+          continue;
+        if (!Base.pointsTo(A.Base).test(It.V))
+          continue;
+        Visit(A, It.F, It.B);
+      }
+    }
+    Result.Statistics.add("flows-in-facts", Seen.size());
+  }
+
+  // --- Step 6: matching + reports --------------------------------------------
+
+  /// True if statement \p I of method \p M executes on every call of M
+  /// (its block dominates every return block). Caches per-method CFG +
+  /// dominators.
+  bool unconditionalInMethod(MethodId M, StmtIdx I) {
+    auto It = MethodCfgs.find(M);
+    if (It == MethodCfgs.end()) {
+      auto Cfg_ = std::make_unique<Cfg>(P, M);
+      auto DT = std::make_unique<DominatorTree>(*Cfg_);
+      It = MethodCfgs
+               .emplace(M, std::make_pair(std::move(Cfg_), std::move(DT)))
+               .first;
+    }
+    const Cfg &G2 = *It->second.first;
+    const DominatorTree &DT = *It->second.second;
+    uint32_t B = G2.blockOf(I);
+    const MethodInfo &MI = P.Methods[M];
+    for (uint32_t RB = 0; RB < G2.numBlocks(); ++RB) {
+      if (MI.Body[G2.block(RB).End - 1].Op != Opcode::Return)
+        continue;
+      if (!DT.dominates(B, RB))
+        return false;
+    }
+    return true;
+  }
+
+  /// True if loop-body statement \p Anchor executes on every iteration:
+  /// its block dominates every back edge of the checked loop (for regions,
+  /// the region's last block).
+  bool unconditionalInLoop(StmtIdx Anchor) {
+    auto It = MethodCfgs.find(Loop.Method);
+    if (It == MethodCfgs.end()) {
+      auto Cfg_ = std::make_unique<Cfg>(P, Loop.Method);
+      auto DT = std::make_unique<DominatorTree>(*Cfg_);
+      It = MethodCfgs
+               .emplace(Loop.Method,
+                        std::make_pair(std::move(Cfg_), std::move(DT)))
+               .first;
+    }
+    const Cfg &G2 = *It->second.first;
+    const DominatorTree &DT = *It->second.second;
+    uint32_t AB = G2.blockOf(Anchor);
+    const MethodInfo &MI = P.Methods[Loop.Method];
+    bool SawEnd = false;
+    for (StmtIdx I = Loop.BodyBegin; I < Loop.BodyEnd; ++I) {
+      const Stmt &S = MI.Body[I];
+      bool IsBackEdge =
+          S.Op == Opcode::Goto && S.Target == Loop.BodyBegin;
+      bool IsRegionEnd = Loop.IsRegion && I + 1 == Loop.BodyEnd;
+      if (!IsBackEdge && !IsRegionEnd)
+        continue;
+      SawEnd = true;
+      if (!DT.dominates(AB, G2.blockOf(I)))
+        return false;
+    }
+    return SawEnd;
+  }
+
+  /// Destructive-update refinement: is flows-out edge \p E through a slot
+  /// that each iteration provably overwrites before it could be read?
+  bool isStronglyOverwritten(const SiteEdge &E) {
+    if (E.Field == P.ElemField)
+      return false; // array slots accumulate
+    // The holder must be a genuinely pre-existing outside object (not a
+    // started thread allocated inside the loop): a fresh holder per
+    // iteration means a fresh slot, not an overwrite.
+    if (E.To != globalsSite(P) && InsideSites.count(E.To))
+      return false;
+    // Exactly one inside store can write the slot, through a pointer with
+    // a unique target.
+    const Access *Single = nullptr;
+    for (const Access &A : Stores) {
+      if (A.Field != E.Field)
+        continue;
+      bool Hits = E.To == globalsSite(P)
+                      ? A.IsStatic
+                      : !A.IsStatic && Base.pointsTo(A.Base).test(E.To);
+      if (!Hits)
+        continue;
+      if (Single)
+        return false;
+      Single = &A;
+    }
+    if (!Single || Single != E.Source)
+      return false;
+    if (!Single->IsStatic && Base.pointsTo(Single->Base).count() != 1)
+      return false;
+    // The store must execute on every iteration: for a store in a callee,
+    // it must run on every call of its method AND some anchor call site
+    // must run every iteration; for a store directly in the loop body its
+    // own statement is the anchor (the method-level dominance test does
+    // not apply -- the loop-exit path legitimately bypasses the body).
+    if (!inBodyRange(Single->Method, Single->Index) &&
+        !unconditionalInMethod(Single->Method, Single->Index))
+      return false;
+    for (StmtIdx A : Single->Anchors)
+      if (unconditionalInLoop(A))
+        return true;
+    return false;
+  }
+
+  /// True if \p S may be reported (application sites always; library
+  /// container internals only when asked for).
+  bool isReportable(AllocSiteId S) const {
+    if (Opts.ReportLibrarySites)
+      return true;
+    return !P.isLibraryMethod(P.AllocSites[S].Method);
+  }
+
+  void match() {
+    std::map<AllocSiteId, std::vector<LeakReport>> PerSite;
+    std::set<AllocSiteId> Leaking;
+
+    for (const auto &[S, Edges] : FlowsOut) {
+      if (!isReportable(S))
+        continue;
+      bool AnyFlowIn = false;
+      std::vector<const SiteEdge *> Unmatched;
+      for (const SiteEdge *E : Edges) {
+        bool Matched = false;
+        auto FIt = FlowsInSet.find({E->Field, E->To});
+        if (FIt != FlowsInSet.end()) {
+          for (const auto &[V, Origin] : FIt->second) {
+            if (V != S)
+              continue;
+            if (canReadPreviousIteration(*Origin, *E->Source)) {
+              Matched = true;
+              break;
+            }
+          }
+        }
+        if (!Matched && Opts.ModelDestructiveUpdates &&
+            isStronglyOverwritten(*E)) {
+          Result.Statistics.add("destructive-update-suppressed");
+          Matched = true;
+        }
+        AnyFlowIn |= Matched;
+        if (!Matched)
+          Unmatched.push_back(E);
+      }
+      if (Unmatched.empty())
+        continue;
+      Leaking.insert(S);
+      // One report per unmatched (field, outside) pair; keep the first
+      // witnessing store.
+      std::set<std::pair<FieldId, AllocSiteId>> Done;
+      for (const SiteEdge *E : Unmatched) {
+        if (!Done.insert({E->Field, E->To}).second)
+          continue;
+        LeakReport R;
+        R.Site = S;
+        R.Field = E->Field;
+        R.Outside = E->To == globalsSite(P) ? kInvalidId : E->To;
+        R.StoreMethod = E->Source->Method;
+        R.StoreIndex = E->Source->Index;
+        R.NeverFlowsBack = !AnyFlowIn;
+        R.Contexts = SiteContexts[S];
+        if (R.Contexts.empty())
+          R.Contexts.push_back({});
+        PerSite[S].push_back(std::move(R));
+      }
+    }
+
+    // Pivot mode: drop sites whose escape path passes through another
+    // leaking site (they are inside a reported structure).
+    for (auto &[S, Reports] : PerSite) {
+      if (Opts.PivotMode) {
+        bool Dominated = false;
+        auto TIt = Through.find(S);
+        if (TIt != Through.end())
+          for (AllocSiteId Mid : TIt->second)
+            Dominated |= Leaking.count(Mid) != 0;
+        if (Dominated) {
+          Result.Statistics.add("pivot-suppressed");
+          continue;
+        }
+      }
+      for (LeakReport &R : Reports) {
+        Result.NumLeakCtxSites += R.Contexts.size();
+        Result.Reports.push_back(std::move(R));
+      }
+    }
+    // Count each leaking site's contexts once (not per edge) for LS.
+    Result.NumLeakCtxSites = 0;
+    std::set<AllocSiteId> Counted;
+    for (const LeakReport &R : Result.Reports)
+      if (Counted.insert(R.Site).second)
+        Result.NumLeakCtxSites += R.Contexts.size();
+  }
+
+  // --- Members -----------------------------------------------------------------
+
+  const Program &P;
+  LoopId LoopIdVal;
+  const LoopInfo &Loop;
+  const CallGraph &CG;
+  const Pag &G;
+  const AndersenPta &Base;
+  const CflPta &Cfl;
+  const LeakOptions &Opts;
+
+  LeakAnalysisResult Result;
+
+  std::set<MethodId> InsideMethods;
+  std::set<AllocSiteId> InsideSites;
+  std::set<AllocSiteId> StartedThreads;
+  std::map<AllocSiteId, std::vector<SiteContext>> SiteContexts;
+
+  std::vector<Access> Stores, Loads;
+  std::vector<SiteEdge> StoreGraph;
+  std::map<AllocSiteId, std::vector<const SiteEdge *>> FlowsOut;
+  /// Inside intermediates on each site's escape paths (for pivot mode).
+  std::map<AllocSiteId, std::set<AllocSiteId>> Through;
+  /// (field, outside) -> set of (inside value site, witnessing load).
+  std::map<std::pair<FieldId, AllocSiteId>,
+           std::set<std::pair<AllocSiteId, const Access *>>>
+      FlowsInSet;
+
+  std::unordered_map<MethodId, std::vector<StmtIdx>> MethodAnchors;
+  std::unordered_map<MethodId, std::set<MethodId>> ClosureCache;
+  std::unordered_map<PagNodeId, bool> AppReachCache;
+  std::unordered_map<MethodId,
+                     std::pair<std::unique_ptr<Cfg>,
+                               std::unique_ptr<DominatorTree>>>
+      MethodCfgs;
+};
+
+} // namespace
+
+LeakAnalysisResult lc::analyzeLoop(const Program &P, LoopId Loop,
+                                   const CallGraph &CG, const Pag &G,
+                                   const AndersenPta &Base, const CflPta &Cfl,
+                                   const LeakOptions &Opts) {
+  return Analyzer(P, Loop, CG, G, Base, Cfl, Opts).run();
+}
+
+std::string lc::renderLeakReport(const Program &P,
+                                 const LeakAnalysisResult &R) {
+  std::ostringstream OS;
+  const LoopInfo &L = P.Loops[R.Loop];
+  OS << "=== LeakChecker report: " << (L.IsRegion ? "region" : "loop") << " \""
+     << P.Strings.text(L.Label) << "\" in " << P.qualifiedMethodName(L.Method)
+     << " ===\n";
+  OS << "inside allocation sites: " << R.NumInsideSites
+     << " (context-sensitive: " << R.NumInsideCtxSites << ")\n";
+  OS << "leaking allocation sites: " << R.Reports.size()
+     << " reports over " << R.NumLeakCtxSites << " context-sensitive sites\n";
+  for (const LeakReport &Rep : R.Reports) {
+    OS << "\n* LEAK: " << P.allocSiteName(Rep.Site) << "\n";
+    OS << "    escapes through field '"
+       << (Rep.Field == kInvalidId ? "?" : P.fieldName(Rep.Field))
+       << "' of "
+       << (Rep.Outside == kInvalidId ? std::string("<static/global>")
+                                     : P.allocSiteName(Rep.Outside))
+       << "\n";
+    OS << "    escaping store at " << P.qualifiedMethodName(Rep.StoreMethod);
+    SourceLoc Loc = P.Methods[Rep.StoreMethod].Body[Rep.StoreIndex].Loc;
+    if (Loc.isValid())
+      OS << ":" << Loc.Line;
+    OS << "\n";
+    OS << "    " << (Rep.NeverFlowsBack
+                         ? "never flows back into the loop"
+                         : "redundant reference edge (object flows back "
+                           "through another edge)")
+       << "\n";
+    unsigned Shown = 0;
+    for (const SiteContext &Ctx : Rep.Contexts) {
+      if (++Shown > 4) {
+        OS << "    ... " << Rep.Contexts.size() - 4 << " more contexts\n";
+        break;
+      }
+      OS << "    context: ";
+      if (Ctx.empty()) {
+        OS << "<loop body>";
+      } else {
+        for (size_t I = 0; I < Ctx.size(); ++I) {
+          if (I)
+            OS << " -> ";
+          OS << P.qualifiedMethodName(Ctx[I].Caller);
+          SourceLoc CLoc = P.Methods[Ctx[I].Caller].Body[Ctx[I].Index].Loc;
+          if (CLoc.isValid())
+            OS << ":" << CLoc.Line;
+        }
+      }
+      OS << "\n";
+    }
+  }
+  return OS.str();
+}

@@ -1,0 +1,138 @@
+//===-- LoopSuggestion.cpp --------------------------------------------------===//
+
+#include "leak/LoopSuggestion.h"
+
+#include "support/Worklist.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+using namespace lc;
+
+namespace {
+
+/// Methods transitively callable from call sites in the body of \p L.
+std::set<MethodId> insideMethodsOf(const Program &P, const CallGraph &CG,
+                                   const LoopInfo &L) {
+  std::set<MethodId> Inside;
+  Worklist<MethodId> WL;
+  for (StmtIdx I = L.BodyBegin; I < L.BodyEnd; ++I) {
+    const Stmt &S = P.Methods[L.Method].Body[I];
+    if (S.Op != Opcode::Invoke)
+      continue;
+    for (MethodId Callee : CG.calleesAt(L.Method, I))
+      if (Inside.insert(Callee).second)
+        WL.push(Callee);
+  }
+  while (!WL.empty()) {
+    MethodId M = WL.pop();
+    const MethodInfo &MI = P.Methods[M];
+    for (StmtIdx I = 0; I < MI.Body.size(); ++I) {
+      if (MI.Body[I].Op != Opcode::Invoke)
+        continue;
+      for (MethodId Callee : CG.calleesAt(M, I))
+        if (Inside.insert(Callee).second)
+          WL.push(Callee);
+    }
+  }
+  return Inside;
+}
+
+} // namespace
+
+std::vector<LoopCandidate> lc::suggestLoops(const Program &P,
+                                            const CallGraph &CG, const Pag &G,
+                                            const AndersenPta &Base,
+                                            unsigned TopK) {
+  std::vector<LoopCandidate> Out;
+  for (LoopId L = 0; L < P.Loops.size(); ++L) {
+    const LoopInfo &LI = P.Loops[L];
+    LoopCandidate C;
+    C.Loop = L;
+    C.IsRegion = LI.IsRegion;
+    if (!CG.isReachable(LI.Method)) {
+      Out.push_back(C);
+      continue;
+    }
+    std::set<MethodId> Inside = insideMethodsOf(P, CG, LI);
+    C.Fanout = static_cast<unsigned>(Inside.size());
+
+    auto InRegion = [&](MethodId M, StmtIdx I) {
+      if (M == LI.Method)
+        return I >= LI.BodyBegin && I < LI.BodyEnd;
+      return Inside.count(M) != 0;
+    };
+
+    // Inside allocation sites.
+    std::set<AllocSiteId> InsideSites;
+    for (AllocSiteId S = 0; S < P.AllocSites.size(); ++S)
+      if (InRegion(P.AllocSites[S].Method, P.AllocSites[S].Index))
+        InsideSites.insert(S);
+    C.AllocSites = static_cast<unsigned>(InsideSites.size());
+
+    // Stores in the region whose base may be an outside object (or a
+    // static): escape channels.
+    auto CountStores = [&](MethodId M) {
+      const MethodInfo &MI = P.Methods[M];
+      for (StmtIdx I = 0; I < MI.Body.size(); ++I) {
+        if (!InRegion(M, I))
+          continue;
+        const Stmt &S = MI.Body[I];
+        if (S.Op == Opcode::StaticStore) {
+          ++C.OutsideStores;
+          continue;
+        }
+        if (S.Op != Opcode::Store && S.Op != Opcode::ArrayStore)
+          continue;
+        bool Outside = false;
+        Base.pointsTo(G.localNode(M, S.SrcA)).forEach([&](size_t Site) {
+          Outside |= !InsideSites.count(static_cast<AllocSiteId>(Site));
+        });
+        C.OutsideStores += Outside;
+      }
+    };
+    CountStores(LI.Method);
+    for (MethodId M : Inside)
+      CountStores(M);
+
+    // A leak needs both creation and an escape channel; weight escape
+    // activity highest, then allocation richness, then delegation.
+    C.Score = 4.0 * C.OutsideStores + 2.0 * C.AllocSites +
+              std::log2(1.0 + C.Fanout);
+    if (C.AllocSites == 0 || C.OutsideStores == 0)
+      C.Score = 0; // pattern impossible
+    Out.push_back(C);
+  }
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const LoopCandidate &A, const LoopCandidate &B) {
+                     return A.Score > B.Score;
+                   });
+  if (TopK && Out.size() > TopK)
+    Out.resize(TopK);
+  return Out;
+}
+
+std::string lc::renderSuggestions(const Program &P,
+                                  const std::vector<LoopCandidate> &Cs) {
+  std::ostringstream OS;
+  OS << "rank score   allocs stores fanout  loop\n";
+  unsigned Rank = 0;
+  for (const LoopCandidate &C : Cs) {
+    const LoopInfo &LI = P.Loops[C.Loop];
+    OS << " " << ++Rank << "   ";
+    OS.precision(1);
+    OS << std::fixed << C.Score << "    " << C.AllocSites << "     "
+       << C.OutsideStores << "      " << C.Fanout << "    "
+       << (LI.IsRegion ? "region " : "loop ");
+    if (!LI.Label.isEmpty())
+      OS << "\"" << P.Strings.text(LI.Label) << "\" ";
+    OS << "in " << P.qualifiedMethodName(LI.Method);
+    SourceLoc Loc = P.Methods[LI.Method].Body[LI.BodyBegin].Loc;
+    if (Loc.isValid())
+      OS << ":" << Loc.Line;
+    OS << "\n";
+  }
+  return OS.str();
+}

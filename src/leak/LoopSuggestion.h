@@ -1,0 +1,57 @@
+//===-- LoopSuggestion.h - rank loops worth checking -----------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's closing future-work item: "Approaches to identify
+/// suspicious loops to be checked -- for example, using structural
+/// information extracted from the code ... are also of significant
+/// interest." This module ranks every loop/region of a program by the
+/// structural signals that make the paper's leak pattern possible:
+///
+///   - allocation sites executed by an iteration (something must be
+///     created to leak),
+///   - heap stores in the iteration whose base may be an object created
+///     outside the loop (an escape channel must exist),
+///   - call fan-out of the body (event loops delegate into subsystems),
+///
+/// so a user without application knowledge can start from the top-ranked
+/// candidates. Purely structural: no execution-frequency input.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_LEAK_LOOPSUGGESTION_H
+#define LC_LEAK_LOOPSUGGESTION_H
+
+#include "pta/Andersen.h"
+
+#include <string>
+#include <vector>
+
+namespace lc {
+
+/// One ranked candidate.
+struct LoopCandidate {
+  LoopId Loop = kInvalidId;
+  double Score = 0;
+  unsigned AllocSites = 0;    ///< allocation sites inside the loop region
+  unsigned OutsideStores = 0; ///< stores whose base may be outside the loop
+  unsigned Fanout = 0;        ///< methods reachable from the body
+  bool IsRegion = false;
+};
+
+/// Ranks the loops of \p P (descending score). Unreachable loops score 0
+/// and sort last. \p TopK truncates the result (0 = all).
+std::vector<LoopCandidate> suggestLoops(const Program &P, const CallGraph &CG,
+                                        const Pag &G, const AndersenPta &Base,
+                                        unsigned TopK = 0);
+
+/// Table rendering for CLI/bench output.
+std::string renderSuggestions(const Program &P,
+                              const std::vector<LoopCandidate> &Cs);
+
+} // namespace lc
+
+#endif // LC_LEAK_LOOPSUGGESTION_H

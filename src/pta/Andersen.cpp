@@ -1,0 +1,113 @@
+//===-- Andersen.cpp ------------------------------------------------------===//
+
+#include "pta/Andersen.h"
+
+#include "support/Worklist.h"
+
+using namespace lc;
+
+namespace {
+uint64_t slotKey(AllocSiteId Site, FieldId Field) {
+  return (uint64_t(Site) << 32) | Field;
+}
+} // namespace
+
+AndersenPta::AndersenPta(const Pag &G) : G(G) {
+  VarPts.resize(G.numNodes());
+  solve();
+}
+
+const BitSet &AndersenPta::fieldPointsTo(AllocSiteId Site,
+                                         FieldId Field) const {
+  auto It = FieldPts.find(slotKey(Site, Field));
+  return It == FieldPts.end() ? EmptySet : It->second;
+}
+
+void AndersenPta::solve() {
+  // Seed allocation edges.
+  Worklist<PagNodeId> WL;
+  for (const AllocEdge &E : G.allocEdges()) {
+    VarPts[E.Var].set(E.Site);
+    WL.push(E.Var);
+  }
+
+  // Iterate: propagate along copies; apply loads/stores through heap slots.
+  // Whenever a heap slot grows, re-enqueue the destinations of loads that
+  // read a base pointing at that slot's object. To keep that cheap we also
+  // remember, per slot, the load destinations currently depending on it.
+  std::unordered_map<uint64_t, std::vector<PagNodeId>> SlotReaders;
+
+  while (!WL.empty()) {
+    ++Iterations;
+    PagNodeId N = WL.pop();
+    const BitSet &Pts = VarPts[N];
+
+    // Copy edges out of N.
+    for (uint32_t Id : G.copiesOut(N)) {
+      const CopyEdge &E = G.copyEdges()[Id];
+      if (VarPts[E.Dst].unionWith(Pts))
+        WL.push(E.Dst);
+    }
+
+    // Stores with base N: for each pointee o, slot (o, f) |= pts(Val).
+    for (uint32_t Id : G.storesOnBase(N)) {
+      const StoreEdge &E = G.storeEdges()[Id];
+      const BitSet &Val = VarPts[E.Val];
+      Pts.forEach([&](size_t O) {
+        uint64_t Key = slotKey(static_cast<AllocSiteId>(O), E.Field);
+        BitSet &Slot = FieldPts[Key];
+        if (Slot.unionWith(Val)) {
+          for (PagNodeId R : SlotReaders[Key])
+            if (VarPts[R].unionWith(Slot))
+              WL.push(R);
+        }
+      });
+    }
+
+    // Stores whose *value* is N: handled when the base grows; but the value
+    // set growing also needs pushing into existing slots. Re-run stores
+    // reading N as value by visiting copiesOut-like dependency: we simply
+    // also treat N as a store value here.
+    // (The Pag does not index stores by value; iterate the base's pts each
+    // time the value changes by scanning storesOnBase of all bases would be
+    // expensive, so we index lazily below.)
+    for (uint32_t Id : StoresByValue(N)) {
+      const StoreEdge &E = G.storeEdges()[Id];
+      const BitSet &BasePts = VarPts[E.Base];
+      BasePts.forEach([&](size_t O) {
+        uint64_t Key = slotKey(static_cast<AllocSiteId>(O), E.Field);
+        BitSet &Slot = FieldPts[Key];
+        if (Slot.unionWith(Pts)) {
+          for (PagNodeId R : SlotReaders[Key])
+            if (VarPts[R].unionWith(Slot))
+              WL.push(R);
+        }
+      });
+    }
+
+    // Loads with base N: dst |= slot(o, f) for each pointee o; register as
+    // reader so future slot growth re-propagates.
+    for (uint32_t Id : G.loadsOnBase(N)) {
+      const LoadEdge &E = G.loadEdges()[Id];
+      bool Changed = false;
+      Pts.forEach([&](size_t O) {
+        uint64_t Key = slotKey(static_cast<AllocSiteId>(O), E.Field);
+        auto &Readers = SlotReaders[Key];
+        if (std::find(Readers.begin(), Readers.end(), E.Dst) == Readers.end())
+          Readers.push_back(E.Dst);
+        Changed |= VarPts[E.Dst].unionWith(FieldPts[Key]);
+      });
+      if (Changed)
+        WL.push(E.Dst);
+    }
+  }
+}
+
+const std::vector<uint32_t> &AndersenPta::StoresByValue(PagNodeId N) {
+  if (StoreByValueIndex.empty()) {
+    StoreByValueIndex.resize(G.numNodes());
+    for (uint32_t Id = 0; Id < G.storeEdges().size(); ++Id)
+      StoreByValueIndex[G.storeEdges()[Id].Val].push_back(Id);
+  }
+  return StoreByValueIndex[N];
+}

@@ -1,0 +1,66 @@
+//===-- Andersen.h - Whole-program subset-based points-to ------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Andersen-style inclusion-based points-to analysis over the PAG:
+/// field-sensitive (one heap slot per (allocation site, field)),
+/// context-insensitive, flow-insensitive. Sound for the MJ language; used
+/// directly for alias queries and as the conservative fallback of the
+/// demand-driven CFL analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_PTA_ANDERSEN_H
+#define LC_PTA_ANDERSEN_H
+
+#include "pta/Pag.h"
+#include "support/BitSet.h"
+
+#include <unordered_map>
+
+namespace lc {
+
+/// Solved points-to sets for every PAG node and heap slot.
+class AndersenPta {
+public:
+  /// Solves to a fixed point; cost is roughly cubic in theory, linear-ish
+  /// on our subject sizes.
+  explicit AndersenPta(const Pag &G);
+
+  /// Points-to set of a variable/static node, as allocation site ids.
+  const BitSet &pointsTo(PagNodeId N) const { return VarPts[N]; }
+  const BitSet &pointsTo(MethodId M, LocalId L) const {
+    return VarPts[G.localNode(M, L)];
+  }
+
+  /// Points-to set of heap slot (\p Site, \p Field); empty set if the slot
+  /// was never written.
+  const BitSet &fieldPointsTo(AllocSiteId Site, FieldId Field) const;
+
+  /// May the two variables point to the same object?
+  bool mayAlias(PagNodeId A, PagNodeId B) const {
+    return VarPts[A].intersects(VarPts[B]);
+  }
+
+  /// Solver statistics.
+  uint64_t iterations() const { return Iterations; }
+
+private:
+  void solve();
+  /// Store edges whose value operand is \p N (index built lazily).
+  const std::vector<uint32_t> &StoresByValue(PagNodeId N);
+
+  const Pag &G;
+  std::vector<BitSet> VarPts;
+  std::unordered_map<uint64_t, BitSet> FieldPts; ///< (site<<32|field) -> set
+  std::vector<std::vector<uint32_t>> StoreByValueIndex;
+  BitSet EmptySet;
+  uint64_t Iterations = 0;
+};
+
+} // namespace lc
+
+#endif // LC_PTA_ANDERSEN_H

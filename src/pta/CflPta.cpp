@@ -1,0 +1,197 @@
+//===-- CflPta.cpp --------------------------------------------------------===//
+
+#include "pta/CflPta.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+using namespace lc;
+
+namespace {
+
+/// Hashable traversal state: node + call stack + remaining heap hops.
+/// Saturated states gave up on call-string matching (the k-limit was hit):
+/// they traverse interprocedural edges context-insensitively, which keeps
+/// the result sound at the cost of contexts.
+struct State {
+  PagNodeId Node;
+  std::vector<CallSite> Stack; ///< innermost last
+  uint32_t HopsLeft;
+  bool Saturated = false;
+
+  bool operator<(const State &O) const {
+    if (Node != O.Node)
+      return Node < O.Node;
+    if (HopsLeft != O.HopsLeft)
+      return HopsLeft < O.HopsLeft;
+    if (Saturated != O.Saturated)
+      return Saturated < O.Saturated;
+    auto Key = [](const CallSite &S) {
+      return (uint64_t(S.Caller) << 32) | S.Index;
+    };
+    return std::lexicographical_compare(
+        Stack.begin(), Stack.end(), O.Stack.begin(), O.Stack.end(),
+        [&](const CallSite &A, const CallSite &B) { return Key(A) < Key(B); });
+  }
+};
+
+} // namespace
+
+/// Worklist traversal for one query.
+struct CflPta::Traversal {
+  const Pag &G;
+  const AndersenPta &Base;
+  const CflOptions &Opts;
+  CflResult Result;
+  std::set<State> Visited;
+  std::vector<State> Work;
+  std::set<std::pair<AllocSiteId, size_t>> Emitted; // dedupe (site, ctx hash)
+
+  Traversal(const Pag &G, const AndersenPta &Base, const CflOptions &Opts)
+      : G(G), Base(Base), Opts(Opts) {}
+
+  void push(State S) {
+    if (Result.StatesVisited > Opts.NodeBudget)
+      return;
+    auto [It, New] = Visited.insert(std::move(S));
+    if (New)
+      Work.push_back(*It);
+  }
+
+  void emitObject(AllocSiteId Site, const std::vector<CallSite> &Stack) {
+    // The stack lists descents innermost-last; contexts are reported
+    // outermost-first, which is the same order here (first descent pushed
+    // first).
+    CtxObject O;
+    O.Site = Site;
+    O.Ctx = Stack;
+    size_t H = 0;
+    for (const CallSite &S : Stack)
+      H = H * 1000003 + ((uint64_t(S.Caller) << 17) ^ S.Index);
+    if (Emitted.insert({Site, H}).second)
+      Result.Objects.push_back(std::move(O));
+  }
+
+  /// Runs to completion or budget exhaustion starting from \p Root.
+  void run(PagNodeId Root) {
+    push({Root, {}, Opts.MaxHeapHops, false});
+    while (!Work.empty()) {
+      if (++Result.StatesVisited > Opts.NodeBudget) {
+        Result.FellBack = true;
+        return;
+      }
+      State S = std::move(Work.back());
+      Work.pop_back();
+
+      // Allocation edges: found an object.
+      for (uint32_t Id : G.allocsIn(S.Node))
+        emitObject(G.allocEdges()[Id].Site, S.Stack);
+
+      // Copy edges into this node, traversed backwards.
+      for (uint32_t Id : G.copiesIn(S.Node)) {
+        const CopyEdge &E = G.copyEdges()[Id];
+        switch (E.Kind) {
+        case CopyKind::Plain:
+          push({E.Src, S.Stack, S.HopsLeft, S.Saturated});
+          break;
+        case CopyKind::Return: {
+          // Backwards over "return r -> dst" descends into the callee; the
+          // matching exit must use the same call site.
+          if (S.Saturated || S.Stack.size() >= Opts.MaxCallDepth) {
+            // k-limit: stop matching parentheses on this path. Soundness
+            // over precision: continue context-insensitively.
+            push({E.Src, {}, S.HopsLeft, /*Saturated=*/true});
+            break;
+          }
+          std::vector<CallSite> NewStack = S.Stack;
+          NewStack.push_back(E.Site);
+          push({E.Src, std::move(NewStack), S.HopsLeft, false});
+          break;
+        }
+        case CopyKind::Param: {
+          if (S.Saturated) {
+            push({E.Src, {}, S.HopsLeft, /*Saturated=*/true});
+            break;
+          }
+          // Backwards over "arg -> param" exits the callee to the caller.
+          if (!S.Stack.empty()) {
+            if (!(S.Stack.back() == E.Site))
+              break; // mismatched parentheses: unrealizable path
+            std::vector<CallSite> NewStack = S.Stack;
+            NewStack.pop_back();
+            push({E.Src, std::move(NewStack), S.HopsLeft, false});
+          } else {
+            // Unbalanced-open prefix: query context extends upward into an
+            // arbitrary caller; legal for realizable paths.
+            push({E.Src, {}, S.HopsLeft, false});
+          }
+          break;
+        }
+        }
+      }
+
+      // Loads into this node: hop the heap through matching stores.
+      for (uint32_t LId : loadsInto(S.Node)) {
+        const LoadEdge &L = G.loadEdges()[LId];
+        if (S.HopsLeft == 0) {
+          // Out of hop budget: conservative fallback for this path.
+          Result.FellBack = true;
+          continue;
+        }
+        const BitSet &BasePts = Base.pointsTo(L.Base);
+        for (uint32_t SId : G.storesOfField(L.Field)) {
+          const StoreEdge &St = G.storeEdges()[SId];
+          if (!BasePts.intersects(Base.pointsTo(St.Base)))
+            continue;
+          // Heap hop: call-string context does not transfer across the
+          // heap; restart with an empty stack (standard approximation).
+          push({St.Val, {}, S.HopsLeft - 1, S.Saturated});
+        }
+      }
+    }
+  }
+
+  /// Load edges whose destination is \p N.
+  const std::vector<uint32_t> &loadsInto(PagNodeId N) {
+    if (LoadsIntoIndex.empty()) {
+      LoadsIntoIndex.resize(G.numNodes());
+      for (uint32_t Id = 0; Id < G.loadEdges().size(); ++Id)
+        LoadsIntoIndex[G.loadEdges()[Id].Dst].push_back(Id);
+    }
+    return LoadsIntoIndex[N];
+  }
+
+  std::vector<std::vector<uint32_t>> LoadsIntoIndex;
+};
+
+CflResult CflPta::pointsTo(PagNodeId N) const {
+  Traversal T(G, Base, Opts);
+  T.run(N);
+  CflResult R = std::move(T.Result);
+  if (R.FellBack) {
+    // Merge in the sound Andersen answer with empty contexts.
+    std::set<AllocSiteId> Have;
+    for (const CtxObject &O : R.Objects)
+      Have.insert(O.Site);
+    Base.pointsTo(N).forEach([&](size_t Site) {
+      if (!Have.count(static_cast<AllocSiteId>(Site)))
+        R.Objects.push_back({static_cast<AllocSiteId>(Site), {}});
+    });
+  }
+  return R;
+}
+
+std::string CflPta::ctxString(const CallString &Ctx) const {
+  const Program &P = G.program();
+  std::ostringstream OS;
+  for (size_t I = 0; I < Ctx.size(); ++I) {
+    if (I)
+      OS << " -> ";
+    OS << P.qualifiedMethodName(Ctx[I].Caller);
+    SourceLoc Loc = P.Methods[Ctx[I].Caller].Body[Ctx[I].Index].Loc;
+    if (Loc.isValid())
+      OS << ":" << Loc.Line;
+  }
+  return OS.str();
+}

@@ -1,0 +1,159 @@
+//===-- Pag.cpp -----------------------------------------------------------===//
+
+#include "pta/Pag.h"
+
+#include <sstream>
+
+using namespace lc;
+
+Pag::Pag(const Program &P, const CallGraph &CG) : P(P), CG(CG) {
+  // Assign dense node ids: per-method locals, then static fields.
+  LocalBase.resize(P.Methods.size());
+  PagNodeId Next = 0;
+  for (MethodId M = 0; M < P.Methods.size(); ++M) {
+    LocalBase[M] = Next;
+    Next += static_cast<PagNodeId>(P.Methods[M].Locals.size());
+  }
+  for (FieldId F = 0; F < P.Fields.size(); ++F)
+    if (P.Fields[F].IsStatic)
+      StaticNode[F] = Next++;
+  NumNodes = Next;
+
+  CopyOut.resize(NumNodes);
+  CopyIn.resize(NumNodes);
+  StoreOnBase.resize(NumNodes);
+  LoadOnBase.resize(NumNodes);
+  AllocIn.resize(NumNodes);
+
+  build();
+}
+
+void Pag::addCopy(PagNodeId Src, PagNodeId Dst, CopyKind K, CallSite Site) {
+  uint32_t Id = static_cast<uint32_t>(Copies.size());
+  Copies.push_back({Src, Dst, K, Site});
+  CopyOut[Src].push_back(Id);
+  CopyIn[Dst].push_back(Id);
+}
+
+void Pag::build() {
+  // Precompute, per method, the locals returned by its Return statements;
+  // needed to wire return edges at call sites.
+  std::vector<std::vector<LocalId>> ReturnsOf(P.Methods.size());
+  for (MethodId M = 0; M < P.Methods.size(); ++M)
+    for (const Stmt &S : P.Methods[M].Body)
+      if (S.Op == Opcode::Return && S.SrcA != kInvalidId)
+        ReturnsOf[M].push_back(S.SrcA);
+
+  for (MethodId M = 0; M < P.Methods.size(); ++M) {
+    // Only model reachable methods: matches what the paper's Soot setup
+    // analyzes, and keeps the graph small.
+    if (!CG.isReachable(M))
+      continue;
+    const MethodInfo &MI = P.Methods[M];
+    for (StmtIdx I = 0; I < MI.Body.size(); ++I) {
+      const Stmt &S = MI.Body[I];
+      switch (S.Op) {
+      case Opcode::New:
+      case Opcode::NewArray:
+      case Opcode::ConstStr: {
+        PagNodeId V = localNode(M, S.Dst);
+        uint32_t Id = static_cast<uint32_t>(Allocs.size());
+        Allocs.push_back({S.Site, V});
+        AllocIn[V].push_back(Id);
+        break;
+      }
+      case Opcode::Copy:
+      case Opcode::Cast: // sound: the filter only narrows dynamic types
+        addCopy(localNode(M, S.SrcA), localNode(M, S.Dst));
+        break;
+      case Opcode::Load: {
+        uint32_t Id = static_cast<uint32_t>(Loads.size());
+        Loads.push_back(
+            {localNode(M, S.SrcA), localNode(M, S.Dst), S.Field, M, I});
+        LoadOnBase[localNode(M, S.SrcA)].push_back(Id);
+        LoadByField[S.Field].push_back(Id);
+        break;
+      }
+      case Opcode::Store: {
+        uint32_t Id = static_cast<uint32_t>(Stores.size());
+        Stores.push_back(
+            {localNode(M, S.SrcA), localNode(M, S.SrcB), S.Field, M, I});
+        StoreOnBase[localNode(M, S.SrcA)].push_back(Id);
+        StoreByField[S.Field].push_back(Id);
+        break;
+      }
+      case Opcode::ArrayLoad: {
+        uint32_t Id = static_cast<uint32_t>(Loads.size());
+        Loads.push_back(
+            {localNode(M, S.SrcA), localNode(M, S.Dst), P.ElemField, M, I});
+        LoadOnBase[localNode(M, S.SrcA)].push_back(Id);
+        LoadByField[P.ElemField].push_back(Id);
+        break;
+      }
+      case Opcode::ArrayStore: {
+        uint32_t Id = static_cast<uint32_t>(Stores.size());
+        Stores.push_back(
+            {localNode(M, S.SrcA), localNode(M, S.SrcC), P.ElemField, M, I});
+        StoreOnBase[localNode(M, S.SrcA)].push_back(Id);
+        StoreByField[P.ElemField].push_back(Id);
+        break;
+      }
+      case Opcode::StaticLoad:
+        addCopy(staticNode(S.Field), localNode(M, S.Dst));
+        break;
+      case Opcode::StaticStore:
+        addCopy(localNode(M, S.SrcB), staticNode(S.Field));
+        break;
+      case Opcode::Invoke: {
+        CallSite Site{M, I};
+        for (MethodId Callee : CG.calleesAt(M, I)) {
+          const MethodInfo &CI = P.Methods[Callee];
+          if (!CI.IsStatic && S.SrcA != kInvalidId)
+            addCopy(localNode(M, S.SrcA), localNode(Callee, 0),
+                    CopyKind::Param, Site);
+          for (unsigned A = 0; A < S.Args.size() && A < CI.NumParams; ++A)
+            addCopy(localNode(M, S.Args[A]),
+                    localNode(Callee, CI.paramLocal(A)), CopyKind::Param,
+                    Site);
+          if (S.Dst != kInvalidId)
+            for (LocalId Ret : ReturnsOf[Callee])
+              addCopy(localNode(Callee, Ret), localNode(M, S.Dst),
+                      CopyKind::Return, Site);
+        }
+        break;
+      }
+      default:
+        break;
+      }
+    }
+  }
+}
+
+const std::vector<uint32_t> &Pag::storesOfField(FieldId F) const {
+  auto It = StoreByField.find(F);
+  return It == StoreByField.end() ? Empty : It->second;
+}
+
+const std::vector<uint32_t> &Pag::loadsOfField(FieldId F) const {
+  auto It = LoadByField.find(F);
+  return It == LoadByField.end() ? Empty : It->second;
+}
+
+std::string Pag::nodeName(PagNodeId N) const {
+  for (MethodId M = 0; M < P.Methods.size(); ++M) {
+    PagNodeId Base = LocalBase[M];
+    size_t Count = P.Methods[M].Locals.size();
+    if (N >= Base && N < Base + Count) {
+      const std::string &LName =
+          P.Strings.text(P.Methods[M].Locals[N - Base].Name);
+      std::ostringstream OS;
+      OS << P.qualifiedMethodName(M) << "/"
+         << (LName.empty() ? "$t" + std::to_string(N - Base) : LName);
+      return OS.str();
+    }
+  }
+  for (const auto &[F, Node] : StaticNode)
+    if (Node == N)
+      return "static " + P.qualifiedFieldName(F);
+  return "<node " + std::to_string(N) + ">";
+}

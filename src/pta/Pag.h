@@ -1,0 +1,158 @@
+//===-- Pag.h - Pointer assignment graph -----------------------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pointer assignment graph both points-to analyses run on. Nodes are
+/// local variables (one per method local), static fields, and lazily
+/// created (object, field) heap slots. Edges come in four kinds:
+///
+///   - alloc:  allocation site -> variable           (b = new T)
+///   - copy:   variable -> variable                  (b = c, param/return)
+///   - store:  value var -> field of base var        (c.f = b, c[i] = b)
+///   - load:   field of base var -> destination var  (b = c.f, b = c[i])
+///
+/// Interprocedural copy edges (argument -> parameter, return -> call
+/// destination) carry the call site so the demand-driven analysis can
+/// match call/return parentheses; the Andersen solver ignores the labels.
+/// Array accesses use the program's `elem` pseudo-field, as in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_PTA_PAG_H
+#define LC_PTA_PAG_H
+
+#include "callgraph/CallGraph.h"
+#include "ir/Program.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace lc {
+
+/// Dense PAG node id.
+using PagNodeId = uint32_t;
+
+/// Why a copy edge exists; Param/Return edges carry their call site.
+enum class CopyKind : uint8_t {
+  Plain,  ///< local copy or static-field access
+  Param,  ///< argument -> callee parameter
+  Return, ///< callee return value -> caller destination
+};
+
+/// A copy edge Src -> Dst.
+struct CopyEdge {
+  PagNodeId Src;
+  PagNodeId Dst;
+  CopyKind Kind = CopyKind::Plain;
+  CallSite Site; ///< valid for Param/Return edges
+};
+
+/// A field store: Base.Field = Val.
+struct StoreEdge {
+  PagNodeId Base;
+  PagNodeId Val;
+  FieldId Field;
+  MethodId Method; ///< method containing the store
+  StmtIdx Index;   ///< statement index of the store
+};
+
+/// A field load: Dst = Base.Field.
+struct LoadEdge {
+  PagNodeId Base;
+  PagNodeId Dst;
+  FieldId Field;
+  MethodId Method;
+  StmtIdx Index;
+};
+
+/// An allocation edge: Site's object flows into Var.
+struct AllocEdge {
+  AllocSiteId Site;
+  PagNodeId Var;
+};
+
+/// Pointer assignment graph for a whole program, under a call graph.
+class Pag {
+public:
+  Pag(const Program &P, const CallGraph &CG);
+
+  const Program &program() const { return P; }
+  const CallGraph &callGraph() const { return CG; }
+
+  /// Node of local \p L in method \p M.
+  PagNodeId localNode(MethodId M, LocalId L) const {
+    return LocalBase[M] + L;
+  }
+  /// Node of static field \p F (must be static).
+  PagNodeId staticNode(FieldId F) const { return StaticNode.at(F); }
+
+  /// Total node count (locals + statics).
+  size_t numNodes() const { return NumNodes; }
+
+  const std::vector<AllocEdge> &allocEdges() const { return Allocs; }
+  const std::vector<CopyEdge> &copyEdges() const { return Copies; }
+  const std::vector<StoreEdge> &storeEdges() const { return Stores; }
+  const std::vector<LoadEdge> &loadEdges() const { return Loads; }
+
+  // Indexed adjacency (built once, shared by both solvers).
+  const std::vector<uint32_t> &copiesOut(PagNodeId N) const {
+    return CopyOut[N];
+  }
+  const std::vector<uint32_t> &copiesIn(PagNodeId N) const {
+    return CopyIn[N];
+  }
+  /// Store edges whose Base is \p N.
+  const std::vector<uint32_t> &storesOnBase(PagNodeId N) const {
+    return StoreOnBase[N];
+  }
+  /// Load edges whose Base is \p N.
+  const std::vector<uint32_t> &loadsOnBase(PagNodeId N) const {
+    return LoadOnBase[N];
+  }
+  /// Alloc edges into \p N.
+  const std::vector<uint32_t> &allocsIn(PagNodeId N) const {
+    return AllocIn[N];
+  }
+  /// Store edges writing field \p F (across the whole program).
+  const std::vector<uint32_t> &storesOfField(FieldId F) const;
+  /// Load edges reading field \p F.
+  const std::vector<uint32_t> &loadsOfField(FieldId F) const;
+
+  /// Node that holds the value loaded/stored by statement (M, I), if that
+  /// statement is a Load (its Dst). kInvalidId otherwise.
+  PagNodeId nodeOfLocal(MethodId M, LocalId L) const {
+    return L == kInvalidId ? kInvalidId : localNode(M, L);
+  }
+
+  /// Debug rendering of a node.
+  std::string nodeName(PagNodeId N) const;
+
+private:
+  void build();
+  void addCopy(PagNodeId Src, PagNodeId Dst, CopyKind K = CopyKind::Plain,
+               CallSite Site = {});
+
+  const Program &P;
+  const CallGraph &CG;
+
+  std::vector<PagNodeId> LocalBase; ///< per-method base of local nodes
+  std::unordered_map<FieldId, PagNodeId> StaticNode;
+  size_t NumNodes = 0;
+
+  std::vector<AllocEdge> Allocs;
+  std::vector<CopyEdge> Copies;
+  std::vector<StoreEdge> Stores;
+  std::vector<LoadEdge> Loads;
+
+  std::vector<std::vector<uint32_t>> CopyOut, CopyIn, StoreOnBase, LoadOnBase,
+      AllocIn;
+  std::unordered_map<FieldId, std::vector<uint32_t>> StoreByField, LoadByField;
+  std::vector<uint32_t> Empty;
+};
+
+} // namespace lc
+
+#endif // LC_PTA_PAG_H

@@ -1,0 +1,86 @@
+//===-- RefinedCallGraph.cpp --------------------------------------------------===//
+
+#include "pta/RefinedCallGraph.h"
+
+#include <set>
+
+using namespace lc;
+
+namespace {
+
+/// Edge-set fingerprint for the convergence check.
+size_t fingerprint(const Program &P, const CallGraph &CG) {
+  size_t H = 1469598103934665603ull;
+  auto Mix = [&H](uint64_t V) {
+    H ^= V;
+    H *= 1099511628211ull;
+  };
+  for (MethodId M = 0; M < P.Methods.size(); ++M) {
+    if (!CG.isReachable(M))
+      continue;
+    Mix(0x9e3779b9u ^ M);
+    const MethodInfo &MI = P.Methods[M];
+    for (StmtIdx I = 0; I < MI.Body.size(); ++I) {
+      if (MI.Body[I].Op != Opcode::Invoke)
+        continue;
+      for (MethodId T : CG.calleesAt(M, I))
+        Mix((uint64_t(M) << 40) ^ (uint64_t(I) << 20) ^ T);
+    }
+  }
+  return H;
+}
+
+} // namespace
+
+RefinedSubstrate lc::buildRefinedSubstrate(const Program &P,
+                                           unsigned MaxRounds) {
+  RefinedSubstrate Out;
+  Out.CG = std::make_unique<CallGraph>(P, CallGraphKind::Rta);
+  Out.G = std::make_unique<Pag>(P, *Out.CG);
+  Out.Base = std::make_unique<AndersenPta>(*Out.G);
+
+  size_t LastPrint = fingerprint(P, *Out.CG);
+  for (unsigned Round = 0; Round < MaxRounds; ++Round) {
+    ++Out.Rounds;
+    // Resolve each virtual site through the receiver's points-to set
+    // computed under the previous round's graph. An empty points-to set
+    // (receiver provably null / site dynamically dead) keeps the previous
+    // resolution: soundness over precision for code the solver never saw.
+    const Pag *PrevPag = Out.G.get();
+    const AndersenPta *PrevBase = Out.Base.get();
+    const CallGraph *PrevCg = Out.CG.get();
+    auto Resolve = [&P, PrevPag, PrevBase, PrevCg](
+                       MethodId Caller, StmtIdx I,
+                       MethodId Declared) -> std::vector<MethodId> {
+      const Stmt &S = P.Methods[Caller].Body[I];
+      std::vector<MethodId> Targets;
+      if (S.SrcA == kInvalidId)
+        return PrevCg->calleesAt(Caller, I);
+      const BitSet &Recv = PrevBase->pointsTo(
+          PrevPag->nodeOfLocal(Caller, S.SrcA));
+      if (Recv.empty())
+        return PrevCg->calleesAt(Caller, I);
+      std::set<MethodId> Set;
+      Recv.forEach([&](size_t Site) {
+        const Type &T = P.Types.get(P.AllocSites[Site].Ty);
+        ClassId C = T.K == Type::Kind::Ref ? T.Cls : P.ObjectClass;
+        MethodId Target = dispatch(P, C, Declared);
+        if (Target != kInvalidId)
+          Set.insert(Target);
+      });
+      return {Set.begin(), Set.end()};
+    };
+
+    auto NextCg = std::make_unique<CallGraph>(P, Resolve);
+    size_t Print = fingerprint(P, *NextCg);
+    auto NextPag = std::make_unique<Pag>(P, *NextCg);
+    auto NextBase = std::make_unique<AndersenPta>(*NextPag);
+    Out.CG = std::move(NextCg);
+    Out.G = std::move(NextPag);
+    Out.Base = std::move(NextBase);
+    if (Print == LastPrint)
+      break;
+    LastPrint = Print;
+  }
+  return Out;
+}

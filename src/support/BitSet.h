@@ -1,0 +1,144 @@
+//===-- BitSet.h - Dense bit set -------------------------------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A growable dense bit set used by dataflow fixed points (dominators,
+/// Andersen points-to sets, reachability).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_SUPPORT_BITSET_H
+#define LC_SUPPORT_BITSET_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lc {
+
+/// Growable dense bit set. Bits beyond size() read as false.
+class BitSet {
+public:
+  BitSet() = default;
+  explicit BitSet(size_t N) { resize(N); }
+
+  void resize(size_t N) {
+    NumBits = N;
+    Words.resize((N + 63) / 64, 0);
+  }
+
+  size_t size() const { return NumBits; }
+
+  bool test(size_t I) const {
+    if (I >= NumBits)
+      return false;
+    return (Words[I / 64] >> (I % 64)) & 1;
+  }
+
+  /// Sets bit \p I, growing the set if needed. Returns true if the bit was
+  /// newly set.
+  bool set(size_t I) {
+    if (I >= NumBits)
+      resize(I + 1);
+    uint64_t &W = Words[I / 64];
+    uint64_t Mask = uint64_t(1) << (I % 64);
+    if (W & Mask)
+      return false;
+    W |= Mask;
+    return true;
+  }
+
+  void reset(size_t I) {
+    if (I < NumBits)
+      Words[I / 64] &= ~(uint64_t(1) << (I % 64));
+  }
+
+  void clear() {
+    for (uint64_t &W : Words)
+      W = 0;
+  }
+
+  /// this |= Other. Returns true if any bit changed.
+  bool unionWith(const BitSet &Other) {
+    if (Other.NumBits > NumBits)
+      resize(Other.NumBits);
+    bool Changed = false;
+    for (size_t I = 0, E = Other.Words.size(); I != E; ++I) {
+      uint64_t Before = Words[I];
+      Words[I] |= Other.Words[I];
+      Changed |= Words[I] != Before;
+    }
+    return Changed;
+  }
+
+  /// this &= Other.
+  void intersectWith(const BitSet &Other) {
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      Words[I] &= I < Other.Words.size() ? Other.Words[I] : 0;
+  }
+
+  bool intersects(const BitSet &Other) const {
+    size_t E = std::min(Words.size(), Other.Words.size());
+    for (size_t I = 0; I != E; ++I)
+      if (Words[I] & Other.Words[I])
+        return true;
+    return false;
+  }
+
+  size_t count() const {
+    size_t N = 0;
+    for (uint64_t W : Words)
+      N += static_cast<size_t>(__builtin_popcountll(W));
+    return N;
+  }
+
+  bool empty() const {
+    for (uint64_t W : Words)
+      if (W)
+        return false;
+    return true;
+  }
+
+  friend bool operator==(const BitSet &A, const BitSet &B) {
+    size_t E = std::max(A.Words.size(), B.Words.size());
+    for (size_t I = 0; I != E; ++I) {
+      uint64_t WA = I < A.Words.size() ? A.Words[I] : 0;
+      uint64_t WB = I < B.Words.size() ? B.Words[I] : 0;
+      if (WA != WB)
+        return false;
+    }
+    return true;
+  }
+
+  /// Calls \p F(index) for each set bit in ascending order.
+  template <typename Fn> void forEach(Fn F) const {
+    for (size_t WI = 0, E = Words.size(); WI != E; ++WI) {
+      uint64_t W = Words[WI];
+      while (W) {
+        unsigned Bit = static_cast<unsigned>(__builtin_ctzll(W));
+        F(WI * 64 + Bit);
+        W &= W - 1;
+      }
+    }
+  }
+
+  /// The set bits as a vector, ascending.
+  std::vector<uint32_t> toVector() const {
+    std::vector<uint32_t> Out;
+    forEach([&](size_t I) { Out.push_back(static_cast<uint32_t>(I)); });
+    return Out;
+  }
+
+private:
+  std::vector<uint64_t> Words;
+  size_t NumBits = 0;
+};
+
+} // namespace lc
+
+#endif // LC_SUPPORT_BITSET_H

@@ -1,0 +1,23 @@
+//===-- Diagnostics.cpp ---------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace lc;
+
+std::string Diagnostic::str() const {
+  const char *KindText = "error";
+  if (Kind == DiagKind::Warning)
+    KindText = "warning";
+  else if (Kind == DiagKind::Note)
+    KindText = "note";
+  return Loc.str() + ": " + KindText + ": " + Message;
+}
+
+std::string DiagnosticEngine::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.str();
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,65 @@
+//===-- Diagnostics.h - Frontend diagnostics -------------------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Collected error/warning messages. The frontend never aborts on malformed
+/// input; it records diagnostics and the driver decides what to do.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_SUPPORT_DIAGNOSTICS_H
+#define LC_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace lc {
+
+/// Severity of a diagnostic message.
+enum class DiagKind { Error, Warning, Note };
+
+/// One diagnostic message with its source position.
+struct Diagnostic {
+  DiagKind Kind = DiagKind::Error;
+  SourceLoc Loc;
+  std::string Message;
+
+  /// Renders as "line:col: error: message".
+  std::string str() const;
+};
+
+/// Accumulates diagnostics during a frontend run.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+  void warning(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &all() const { return Diags; }
+
+  /// All diagnostics joined with newlines, for test assertions and CLI
+  /// output.
+  std::string str() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace lc
+
+#endif // LC_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,41 @@
+//===-- SourceLoc.h - Source positions -------------------------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight (line, column) source position carried through the
+/// frontend into the IR so that leak reports can point back at MJ source.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_SUPPORT_SOURCELOC_H
+#define LC_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace lc {
+
+/// A 1-based line/column pair. (0,0) means "unknown location".
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  bool isValid() const { return Line != 0; }
+
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+
+  friend bool operator==(SourceLoc A, SourceLoc B) {
+    return A.Line == B.Line && A.Col == B.Col;
+  }
+};
+
+} // namespace lc
+
+#endif // LC_SUPPORT_SOURCELOC_H

@@ -1,0 +1,16 @@
+//===-- Stats.cpp ---------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <sstream>
+
+using namespace lc;
+
+std::string Stats::str() const {
+  std::ostringstream OS;
+  for (const auto &[Name, Value] : Counters)
+    OS << Name << " = " << Value << '\n';
+  for (const auto &[Phase, Seconds] : Times)
+    OS << Phase << " = " << Seconds << " s\n";
+  return OS.str();
+}

@@ -1,0 +1,20 @@
+//===-- StringInterner.cpp ------------------------------------------------===//
+
+#include "support/StringInterner.h"
+
+using namespace lc;
+
+StringInterner::StringInterner() {
+  Storage.emplace_back("");
+  Index.emplace(Storage.back(), 0);
+}
+
+Symbol StringInterner::intern(std::string_view Text) {
+  auto It = Index.find(Text);
+  if (It != Index.end())
+    return Symbol(It->second);
+  uint32_t Id = static_cast<uint32_t>(Storage.size());
+  Storage.emplace_back(Text);
+  Index.emplace(Storage.back(), Id);
+  return Symbol(Id);
+}

@@ -1,0 +1,79 @@
+//===-- StringInterner.h - String uniquing ---------------------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interned symbols. Every identifier that flows through the compiler and
+/// analyses (class names, field names, labels, ...) is interned once and
+/// afterwards compared by a 32-bit id.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_SUPPORT_STRINGINTERNER_H
+#define LC_SUPPORT_STRINGINTERNER_H
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace lc {
+
+/// An interned string. Value 0 is reserved for the empty symbol so that a
+/// default-constructed Symbol is valid and prints as "".
+class Symbol {
+public:
+  Symbol() = default;
+
+  bool isEmpty() const { return Id == 0; }
+  uint32_t id() const { return Id; }
+
+  friend bool operator==(Symbol A, Symbol B) { return A.Id == B.Id; }
+  friend bool operator!=(Symbol A, Symbol B) { return A.Id != B.Id; }
+  friend bool operator<(Symbol A, Symbol B) { return A.Id < B.Id; }
+
+private:
+  friend class StringInterner;
+  explicit Symbol(uint32_t Id) : Id(Id) {}
+  uint32_t Id = 0;
+};
+
+/// Owns the storage for interned strings and hands out Symbols.
+///
+/// Storage is a deque so that the string objects (and hence the
+/// string_view keys into them) stay stable as the table grows.
+/// Not thread-safe; each Program owns one interner.
+class StringInterner {
+public:
+  StringInterner();
+
+  /// Interns \p Text, returning a stable Symbol for it.
+  Symbol intern(std::string_view Text);
+
+  /// Returns the text of \p S. The reference stays valid for the lifetime
+  /// of the interner.
+  const std::string &text(Symbol S) const {
+    assert(S.id() < Storage.size() && "symbol from another interner");
+    return Storage[S.id()];
+  }
+
+  size_t size() const { return Storage.size(); }
+
+private:
+  std::deque<std::string> Storage;
+  std::unordered_map<std::string_view, uint32_t> Index;
+};
+
+} // namespace lc
+
+template <> struct std::hash<lc::Symbol> {
+  size_t operator()(lc::Symbol S) const noexcept {
+    return std::hash<uint32_t>()(S.id());
+  }
+};
+
+#endif // LC_SUPPORT_STRINGINTERNER_H

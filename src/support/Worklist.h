@@ -1,0 +1,49 @@
+//===-- Worklist.h - Deduplicating worklist --------------------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FIFO worklist that keeps at most one pending copy of each item, the
+/// standard driver for monotone fixed-point solvers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_SUPPORT_WORKLIST_H
+#define LC_SUPPORT_WORKLIST_H
+
+#include <deque>
+#include <unordered_set>
+
+namespace lc {
+
+/// FIFO worklist; enqueueing an item already pending is a no-op.
+template <typename T, typename Hash = std::hash<T>> class Worklist {
+public:
+  /// Returns true if the item was enqueued (i.e. was not already pending).
+  bool push(const T &Item) {
+    if (!Pending.insert(Item).second)
+      return false;
+    Queue.push_back(Item);
+    return true;
+  }
+
+  T pop() {
+    T Item = Queue.front();
+    Queue.pop_front();
+    Pending.erase(Item);
+    return Item;
+  }
+
+  bool empty() const { return Queue.empty(); }
+  size_t size() const { return Queue.size(); }
+
+private:
+  std::deque<T> Queue;
+  std::unordered_set<T, Hash> Pending;
+};
+
+} // namespace lc
+
+#endif // LC_SUPPORT_WORKLIST_H

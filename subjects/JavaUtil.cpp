@@ -1,0 +1,252 @@
+//===-- JavaUtil.cpp - MJ model of the java.util containers ----------------===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+// A hand-written MJ model of the parts of java.util the subject programs
+// use. All classes are `library` classes, so the stronger flows-in rule of
+// paper section 4 applies to their internal heap reads: e.g. HashMap.put
+// probes its backing array, and that probe must NOT count as a flows-in
+// for objects stored in the map.
+//
+//===----------------------------------------------------------------------===//
+
+#include "subjects/Subjects.h"
+
+const char *lc::subjects::miniJavaUtil() {
+  return R"MJ(
+// --- Minimal java.util model (library code) --------------------------------
+
+library class MapEntry {
+  int key;
+  Object value;
+  MapEntry next;
+}
+
+library class HashMap {
+  MapEntry[] table = new MapEntry[16];
+  int size;
+
+  void put(int key, Object value) {
+    int idx = key - (key / 16) * 16;
+    if (idx < 0) { idx = 0 - idx; }
+    // Probe the chain for an existing key: internal reads that must not
+    // count as retrievals (paper section 4, "Flow into Library Methods").
+    MapEntry e = this.table[idx];
+    while (e != null) {
+      if (e.key == key) {
+        e.value = value;
+        return;
+      }
+      e = e.next;
+    }
+    MapEntry fresh = new MapEntry();
+    fresh.key = key;
+    fresh.value = value;
+    fresh.next = this.table[idx];
+    this.table[idx] = fresh;
+    this.size = this.size + 1;
+  }
+
+  Object get(int key) {
+    int idx = key - (key / 16) * 16;
+    if (idx < 0) { idx = 0 - idx; }
+    MapEntry e = this.table[idx];
+    while (e != null) {
+      if (e.key == key) { return e.value; }
+      e = e.next;
+    }
+    return null;
+  }
+
+  boolean containsKey(int key) {
+    MapEntry e = this.table[key - (key / 16) * 16];
+    while (e != null) {
+      if (e.key == key) { return true; }
+      e = e.next;
+    }
+    return false;
+  }
+
+  void remove(int key) {
+    int idx = key - (key / 16) * 16;
+    MapEntry e = this.table[idx];
+    MapEntry prev = null;
+    while (e != null) {
+      if (e.key == key) {
+        if (prev == null) { this.table[idx] = e.next; }
+        else { prev.next = e.next; }
+        this.size = this.size - 1;
+        return;
+      }
+      prev = e;
+      e = e.next;
+    }
+  }
+
+  void clear() {
+    int i = 0;
+    while (i < this.table.length) {
+      this.table[i] = null;
+      i = i + 1;
+    }
+    this.size = 0;
+  }
+
+  int size() { return this.size; }
+}
+
+library class IdentityHashMap {
+  Object[] keys = new Object[1024];
+  Object[] values = new Object[1024];
+  int size;
+
+  void put(Object key, Object value) {
+    int i = 0;
+    while (i < this.size) {
+      if (this.keys[i] == key) {
+        this.values[i] = value;
+        return;
+      }
+      i = i + 1;
+    }
+    this.keys[this.size] = key;
+    this.values[this.size] = value;
+    this.size = this.size + 1;
+  }
+
+  Object get(Object key) {
+    int i = 0;
+    while (i < this.size) {
+      if (this.keys[i] == key) { return this.values[i]; }
+      i = i + 1;
+    }
+    return null;
+  }
+}
+
+library class ArrayList {
+  Object[] data = new Object[8];
+  int size;
+
+  void add(Object v) {
+    if (this.size == this.data.length) { this.grow(); }
+    this.data[this.size] = v;
+    this.size = this.size + 1;
+  }
+
+  void grow() {
+    Object[] bigger = new Object[this.data.length * 2];
+    int i = 0;
+    while (i < this.size) {
+      bigger[i] = this.data[i];
+      i = i + 1;
+    }
+    this.data = bigger;
+  }
+
+  Object get(int i) { return this.data[i]; }
+  int size() { return this.size; }
+  void clear() {
+    int i = 0;
+    while (i < this.size) {
+      this.data[i] = null;
+      i = i + 1;
+    }
+    this.size = 0;
+  }
+}
+
+library class ListNode {
+  Object value;
+  ListNode next;
+  ListNode prev;
+}
+
+library class LinkedList {
+  ListNode head;
+  ListNode tail;
+  int size;
+
+  void addLast(Object v) {
+    ListNode n = new ListNode();
+    n.value = v;
+    n.prev = this.tail;
+    if (this.tail != null) { this.tail.next = n; }
+    else { this.head = n; }
+    this.tail = n;
+    this.size = this.size + 1;
+  }
+
+  Object removeFirst() {
+    if (this.head == null) { return null; }
+    ListNode n = this.head;
+    this.head = n.next;
+    if (this.head == null) { this.tail = null; }
+    else { this.head.prev = null; }
+    this.size = this.size - 1;
+    return n.value;
+  }
+
+  Object getFirst() {
+    if (this.head == null) { return null; }
+    return this.head.value;
+  }
+
+  int size() { return this.size; }
+}
+
+library class Stack {
+  Object[] data = new Object[16];
+  int size;
+
+  void push(Object v) {
+    this.data[this.size] = v;
+    this.size = this.size + 1;
+  }
+
+  Object pop() {
+    if (this.size == 0) { return null; }
+    this.size = this.size - 1;
+    Object v = this.data[this.size];
+    this.data[this.size] = null;
+    return v;
+  }
+
+  Object peek() {
+    if (this.size == 0) { return null; }
+    return this.data[this.size - 1];
+  }
+
+  boolean isEmpty() { return this.size == 0; }
+}
+
+library class Hashtable {
+  MapEntry[] table = new MapEntry[16];
+  int size;
+
+  void put(int key, Object value) {
+    MapEntry fresh = new MapEntry();
+    fresh.key = key;
+    fresh.value = value;
+    int idx = key - (key / 16) * 16;
+    if (idx < 0) { idx = 0 - idx; }
+    fresh.next = this.table[idx];
+    this.table[idx] = fresh;
+    this.size = this.size + 1;
+  }
+
+  Object get(int key) {
+    int idx = key - (key / 16) * 16;
+    if (idx < 0) { idx = 0 - idx; }
+    MapEntry e = this.table[idx];
+    while (e != null) {
+      if (e.key == key) { return e.value; }
+      e = e.next;
+    }
+    return null;
+  }
+
+  int size() { return this.size; }
+}
+)MJ";
+}

@@ -1,0 +1,49 @@
+//===-- Scoring.cpp ----------------------------------------------------------===//
+
+#include "subjects/Scoring.h"
+
+#include <set>
+#include <sstream>
+
+using namespace lc;
+using namespace lc::subjects;
+
+Score lc::subjects::score(const Program &P, const LeakAnalysisResult &R) {
+  Score S;
+  std::set<AllocSiteId> ReportedSites;
+  for (const LeakReport &Rep : R.Reports)
+    ReportedSites.insert(Rep.Site);
+  S.Reported = static_cast<unsigned>(ReportedSites.size());
+
+  for (AllocSiteId Site : ReportedSites) {
+    switch (P.AllocSites[Site].Annot) {
+    case SiteAnnotation::Leak:
+      ++S.TruePositives;
+      break;
+    case SiteAnnotation::FalsePos:
+      ++S.ExpectedFp;
+      break;
+    case SiteAnnotation::None:
+      ++S.UnexpectedFp;
+      break;
+    }
+  }
+
+  for (AllocSiteId Site = 0; Site < P.AllocSites.size(); ++Site)
+    if (P.AllocSites[Site].Annot == SiteAnnotation::Leak &&
+        !ReportedSites.count(Site))
+      S.Missed.push_back(Site);
+  return S;
+}
+
+std::string lc::subjects::renderScore(const Score &S) {
+  std::ostringstream OS;
+  OS << "LS=" << S.Reported << " TP=" << S.TruePositives
+     << " FP=" << S.falsePositives();
+  if (S.UnexpectedFp)
+    OS << " (unexpected=" << S.UnexpectedFp << ")";
+  OS.precision(1);
+  OS << " FPR=" << std::fixed << S.fpr() * 100 << "%"
+     << " miss=" << S.Missed.size();
+  return OS.str();
+}

@@ -1,0 +1,52 @@
+//===-- Scoring.h - ground-truth scoring of leak reports -------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scores a leak-analysis result against the `@leak` / `@falsepos`
+/// annotations carried by the subject programs, replacing the paper's
+/// manual verification of every warning. Reported sites annotated @leak
+/// are true positives; @falsepos are the expected false positives the
+/// paper documents; unannotated reported sites are unexpected false
+/// positives (they still count toward FP/FPR, and the tests assert there
+/// are none). Unreported @leak sites are misses (the tests assert zero,
+/// matching "LeakChecker has not missed any known leaks").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_SUBJECTS_SCORING_H
+#define LC_SUBJECTS_SCORING_H
+
+#include "leak/LeakAnalysis.h"
+
+#include <string>
+#include <vector>
+
+namespace lc::subjects {
+
+/// Outcome of scoring one subject.
+struct Score {
+  unsigned Reported = 0;     ///< distinct reported allocation sites (LS)
+  unsigned TruePositives = 0;
+  unsigned ExpectedFp = 0;   ///< reported @falsepos sites
+  unsigned UnexpectedFp = 0; ///< reported unannotated sites
+  std::vector<AllocSiteId> Missed; ///< @leak sites not reported
+
+  unsigned falsePositives() const { return ExpectedFp + UnexpectedFp; }
+  double fpr() const {
+    return Reported == 0 ? 0.0
+                         : static_cast<double>(falsePositives()) / Reported;
+  }
+};
+
+/// Scores \p R against the annotations in \p P.
+Score score(const Program &P, const LeakAnalysisResult &R);
+
+/// Pretty one-line rendering ("LS=5 TP=1 FP=4 FPR=80.0% miss=0").
+std::string renderScore(const Score &S);
+
+} // namespace lc::subjects
+
+#endif // LC_SUBJECTS_SCORING_H

@@ -1,0 +1,132 @@
+//===-- SubjectDerby.cpp - Apache Derby model --------------------------------===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+// Models the Derby case study (paper section 5.2): a client/server loop
+// executes one SQL query per iteration without calling close() on the
+// statement or result set. Four reported sites are real: result-set
+// machinery saved in the SectionManager's hashtable and never retrieved.
+// Four more are false positives: section bookkeeping objects pushed onto
+// a stack behind singleton guards, so only one instance can ever escape.
+//
+//===----------------------------------------------------------------------===//
+
+#include "subjects/Subjects.h"
+
+const char *lc::subjects::derbySource() {
+  return R"MJ(
+class ResultSetImpl {
+  int openCursors;
+}
+
+class CursorState {
+  int position;
+}
+
+class RowBuffer {
+  int[] cells = new int[16];
+}
+
+class QueryPlan {
+  int cost;
+}
+
+class Section {
+  int sectionNumber;
+}
+
+class SectionKey {
+  int hash;
+}
+
+class StackFrame {
+  int depth;
+}
+
+class PoolMarker {
+  int poolId;
+}
+
+// Server-side bookkeeping of sections and open result sets.
+class SectionManager {
+  Hashtable openResultSets = new Hashtable();
+  Hashtable cursorTable = new Hashtable();
+  Hashtable bufferTable = new Hashtable();
+  Hashtable planCache = new Hashtable();
+  Stack freeSections = new Stack();
+  Section singleSection;
+  SectionKey singleKey;
+  StackFrame singleFrame;
+  PoolMarker singleMarker;
+
+  void recordOpen(int id, ResultSetImpl rs, CursorState cs, RowBuffer rb,
+                  QueryPlan qp) {
+    this.openResultSets.put(id, rs);
+    this.cursorTable.put(id, cs);
+    this.bufferTable.put(id, rb);
+    this.planCache.put(id, qp);
+  }
+
+  // Singleton-guarded setup: at most one instance of each object can ever
+  // be created and pushed, but the analysis cannot prove that.
+  void ensureSectionPool(int id) {
+    if (this.singleSection == null) {
+      @falsepos Section s = new Section();
+      s.sectionNumber = id;
+      this.singleSection = s;
+      this.freeSections.push(s);
+    }
+    if (this.singleKey == null) {
+      @falsepos SectionKey k = new SectionKey();
+      k.hash = id * 31;
+      this.singleKey = k;
+      this.freeSections.push(k);
+    }
+    if (this.singleFrame == null) {
+      @falsepos StackFrame f = new StackFrame();
+      f.depth = 1;
+      this.singleFrame = f;
+      this.freeSections.push(f);
+    }
+    if (this.singleMarker == null) {
+      @falsepos PoolMarker m = new PoolMarker();
+      m.poolId = id;
+      this.singleMarker = m;
+      this.freeSections.push(m);
+    }
+  }
+}
+
+class QueryRunner {
+  SectionManager sections;
+  QueryRunner(SectionManager sm) { this.sections = sm; }
+
+  void runQuery(int id) {
+    this.sections.ensureSectionPool(id);
+    // The statement/result set are never closed; everything recorded for
+    // them stays in the manager's hashtables forever.
+    @leak ResultSetImpl rs = new ResultSetImpl();
+    rs.openCursors = 1;
+    @leak CursorState cs = new CursorState();
+    cs.position = 0;
+    @leak RowBuffer rb = new RowBuffer();
+    rb.cells[0] = id;
+    @leak QueryPlan qp = new QueryPlan();
+    qp.cost = id * 7;
+    this.sections.recordOpen(id, rs, cs, rb, qp);
+  }
+}
+
+class Main {
+  static void main() {
+    SectionManager sm = new SectionManager();
+    QueryRunner runner = new QueryRunner(sm);
+    int i = 0;
+    sql: while (i < 12) {
+      runner.runQuery(i);
+      i = i + 1;
+    }
+  }
+}
+)MJ";
+}

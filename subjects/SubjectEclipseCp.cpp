@@ -1,0 +1,109 @@
+//===-- SubjectEclipseCp.cpp - Eclipse content-provider model --------------===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+// The second Eclipse scenario of Table 1 ("Eclipse CP"). A viewer refresh
+// region: each refresh re-registers label/content/decoration providers
+// with the platform-wide registry and never unregisters them (true
+// leaks), while per-refresh color/font/layout caches land in slots the
+// next refresh overwrites (reported false positives).
+//
+//===----------------------------------------------------------------------===//
+
+#include "subjects/Subjects.h"
+
+const char *lc::subjects::eclipseCpSource() {
+  return R"MJ(
+class TreeItemData {
+  int id;
+}
+
+class LabelProvider {
+  int style;
+}
+
+class ContentProvider {
+  TreeItemData root;
+}
+
+class DecorationJob {
+  int priority;
+}
+
+class ColorCache {
+  int[] rgb = new int[3];
+}
+
+class FontCache {
+  int height;
+}
+
+class LayoutState {
+  int columns;
+}
+
+class ExpandState {
+  int[] expandedIds = new int[16];
+}
+
+// Platform-wide registry; listener lists only ever grow.
+class ProviderRegistry {
+  ArrayList labelProviders = new ArrayList();
+  ArrayList contentProviders = new ArrayList();
+  LinkedList decorationJobs = new LinkedList();
+  ColorCache colors;
+  FontCache fonts;
+  LayoutState layout;
+  ExpandState expansion;
+
+  void registerLabel(LabelProvider p) { this.labelProviders.add(p); }
+  void registerContent(ContentProvider p) { this.contentProviders.add(p); }
+  void scheduleDecoration(DecorationJob j) { this.decorationJobs.addLast(j); }
+}
+
+class TreeViewer {
+  ProviderRegistry registry;
+  TreeViewer(ProviderRegistry r) { this.registry = r; }
+
+  void refresh(int generation) {
+    // Re-registered every refresh, never unregistered: the leaks.
+    @leak LabelProvider lp = new LabelProvider();
+    lp.style = generation;
+    this.registry.registerLabel(lp);
+
+    @leak ContentProvider cp = new ContentProvider();
+    TreeItemData root = new TreeItemData();
+    root.id = generation;
+    cp.root = root;
+    this.registry.registerContent(cp);
+
+    @leak DecorationJob job = new DecorationJob();
+    job.priority = 1;
+    this.registry.scheduleDecoration(job);
+
+    // Per-refresh caches: overwritten slots, reported FPs.
+    @falsepos ColorCache colors = new ColorCache();
+    this.registry.colors = colors;
+    @falsepos FontCache fonts = new FontCache();
+    fonts.height = 12;
+    this.registry.fonts = fonts;
+    @falsepos LayoutState layout = new LayoutState();
+    layout.columns = 3;
+    this.registry.layout = layout;
+    @falsepos ExpandState expansion = new ExpandState();
+    expansion.expandedIds[0] = generation;
+    this.registry.expansion = expansion;
+  }
+}
+
+class Main {
+  static void main() {
+    ProviderRegistry reg = new ProviderRegistry();
+    TreeViewer viewer = new TreeViewer(reg);
+    region "refresh" {
+      viewer.refresh(1);
+    }
+  }
+}
+)MJ";
+}

@@ -1,0 +1,131 @@
+//===-- SubjectEclipseDiff.cpp - Eclipse compare-plugin model --------------===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+// Models the Eclipse Diff case study (paper section 5.2): the compare
+// plugin's runCompare entry point is wrapped in an artificial region (the
+// developer cannot see the platform's event loop). Each invocation creates
+// a HistoryEntry recorded in the platform's History -- a platform class the
+// plugin developer does not own -- and the entries are never cleared: the
+// true leak. Three GUI temporaries (progress dialog, shell, status
+// message) land in platform slots that are overwritten per invocation and
+// are reported as immediately-excludable false positives.
+//
+//===----------------------------------------------------------------------===//
+
+#include "subjects/Subjects.h"
+
+const char *lc::subjects::eclipseDiffSource() {
+  return R"MJ(
+class Selection {
+  int leftId;
+  int rightId;
+}
+
+class ZipStructure {
+  int[] entryHashes = new int[32];
+  int n;
+}
+
+class CompareEditor {
+  ZipStructure left;
+  ZipStructure right;
+  int dirty;
+}
+
+class HistoryEntry {
+  CompareEditor editor;
+  int timestamp;
+}
+
+// Platform class: records the history of opened editors. Entries
+// accumulate in the list and are never cleared (Eclipse bug).
+class History {
+  ArrayList entries = new ArrayList();
+  void addEntry(HistoryEntry e) {
+    this.entries.add(e);
+  }
+}
+
+class ProgressDialog {
+  int percent;
+}
+
+class Shell {
+  int width;
+  int height;
+}
+
+class StatusMessage {
+  int severity;
+}
+
+class StatusBar {
+  StatusMessage current;
+}
+
+// The platform singleton the plugin runs inside.
+class Workbench {
+  History editorHistory = new History();
+  StatusBar statusBar = new StatusBar();
+  ProgressDialog activeDialog;
+  Shell activeShell;
+}
+
+class ComparePlugin {
+  Workbench workbench;
+  ComparePlugin(Workbench wb) { this.workbench = wb; }
+
+  ZipStructure parseStructure(int id) {
+    ZipStructure z = new ZipStructure();
+    int i = 0;
+    while (i < 8) {
+      z.entryHashes[i] = id * 31 + i;
+      z.n = z.n + 1;
+      i = i + 1;
+    }
+    return z;
+  }
+
+  void runCompare(Selection sel) {
+    // Temporary GUI state: overwritten slots, reported as FPs.
+    @falsepos ProgressDialog dialog = new ProgressDialog();
+    this.workbench.activeDialog = dialog;
+    @falsepos Shell shell = new Shell();
+    this.workbench.activeShell = shell;
+    @falsepos StatusMessage msg = new StatusMessage();
+    this.workbench.statusBar.current = msg;
+
+    // The comparison itself: structures and the editor showing them.
+    ZipStructure left = this.parseStructure(sel.leftId);
+    ZipStructure right = this.parseStructure(sel.rightId);
+    CompareEditor editor = new CompareEditor();
+    editor.left = left;
+    editor.right = right;
+
+    // Platform records the opened editor: the leak.
+    @leak HistoryEntry entry = new HistoryEntry();
+    entry.editor = editor;
+    entry.timestamp = sel.leftId;
+    this.workbench.editorHistory.addEntry(entry);
+
+    // Dialog is "closed": the reference is dropped from the dialog slot
+    // only at the start of the next invocation (overwrite).
+    dialog.percent = 100;
+  }
+}
+
+class Main {
+  static void main() {
+    Workbench wb = new Workbench();
+    ComparePlugin plugin = new ComparePlugin(wb);
+    Selection sel = new Selection();
+    sel.leftId = 1;
+    sel.rightId = 2;
+    region "compare" {
+      plugin.runCompare(sel);
+    }
+  }
+}
+)MJ";
+}

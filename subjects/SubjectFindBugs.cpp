@@ -1,0 +1,149 @@
+//===-- SubjectFindBugs.cpp - FindBugs model --------------------------------===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+// Models the FindBugs case study (paper section 5.2): a driver loop
+// iterates over JAR files and parses the classes in each. Nine sites are
+// reported: five are false positives -- objects stored in HashMaps
+// reachable from the global DescriptorFactory that are *cleared* at the
+// end of each iteration (the analysis does not model the destructive
+// update) -- and four are real: method-level records added to a long-lived
+// IdentityHashMap that nobody ever clears.
+//
+//===----------------------------------------------------------------------===//
+
+#include "subjects/Subjects.h"
+
+const char *lc::subjects::findBugsSource() {
+  return R"MJ(
+class ClassDescriptor {
+  int classId;
+}
+
+class ClassInfo {
+  ClassDescriptor descriptor;
+  int accessFlags;
+}
+
+class FieldDescriptor {
+  int fieldId;
+}
+
+class AnalysisResult {
+  int warnings;
+}
+
+class ParseBuffer {
+  int[] bytes = new int[128];
+}
+
+class MethodInfo {
+  int methodId;
+  int signatureHash;
+}
+
+class MethodDescriptor {
+  int slot;
+}
+
+class MethodGen {
+  int maxStack;
+}
+
+class NativeStub {
+  int kind;
+}
+
+// The global factory: per-iteration maps (cleared each JAR) plus the
+// never-cleared identity map of method records.
+class DescriptorFactory {
+  HashMap classMap = new HashMap();
+  HashMap fieldMap = new HashMap();
+  HashMap resultMap = new HashMap();
+  HashMap bufferMap = new HashMap();
+  HashMap descriptorMap = new HashMap();
+  IdentityHashMap methodMap = new IdentityHashMap();
+
+  void endOfJar() {
+    this.classMap.clear();
+    this.fieldMap.clear();
+    this.resultMap.clear();
+    this.bufferMap.clear();
+    this.descriptorMap.clear();
+    // methodMap is forgotten: the bug.
+  }
+}
+
+class ClassParser {
+  DescriptorFactory factory;
+  ClassParser(DescriptorFactory f) { this.factory = f; }
+
+  void parseClass(int classId) {
+    // Cleared-per-iteration maps: reported, but false positives (the
+    // clear() at end of iteration is a destructive update the analysis
+    // does not model).
+    @falsepos ClassDescriptor cd = new ClassDescriptor();
+    cd.classId = classId;
+    this.factory.descriptorMap.put(classId, cd);
+    @falsepos ClassInfo ci = new ClassInfo();
+    ci.accessFlags = 1;
+    this.factory.classMap.put(classId, ci);
+    @falsepos FieldDescriptor fd = new FieldDescriptor();
+    fd.fieldId = classId * 8;
+    this.factory.fieldMap.put(classId, fd);
+    @falsepos AnalysisResult ar = new AnalysisResult();
+    ar.warnings = 0;
+    this.factory.resultMap.put(classId, ar);
+    @falsepos ParseBuffer pb = new ParseBuffer();
+    this.factory.bufferMap.put(classId, pb);
+
+    // Method records into the identity map: never cleared, never read.
+    int m = 0;
+    while (m < 4) {
+      @leak MethodInfo mi = new MethodInfo();
+      mi.methodId = classId * 100 + m;
+      mi.signatureHash = m * 31;
+      @leak MethodDescriptor md = new MethodDescriptor();
+      md.slot = m;
+      this.factory.methodMap.put(mi, md);
+      @leak MethodGen mg = new MethodGen();
+      mg.maxStack = 4;
+      this.factory.methodMap.put(mi, mg);
+      @leak NativeStub ns = new NativeStub();
+      ns.kind = 0;
+      this.factory.methodMap.put(mi, ns);
+      m = m + 1;
+    }
+  }
+}
+
+class FindBugs2 {
+  DescriptorFactory factory;
+  ClassParser parser;
+  FindBugs2() {
+    this.factory = new DescriptorFactory();
+    this.parser = new ClassParser(this.factory);
+  }
+
+  void execute(int jarId) {
+    int cls = 0;
+    while (cls < 3) {
+      this.parser.parseClass(jarId * 10 + cls);
+      cls = cls + 1;
+    }
+    this.factory.endOfJar();
+  }
+}
+
+class Main {
+  static void main() {
+    FindBugs2 engine = new FindBugs2();
+    int jar = 0;
+    jars: while (jar < 6) {
+      engine.execute(jar);
+      jar = jar + 1;
+    }
+  }
+}
+)MJ";
+}

@@ -1,0 +1,92 @@
+//===-- SubjectLog4j.cpp - log4j model --------------------------------------===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+// Models the log4j subject of Table 1 (LS = 4, FP = 0): a tight logging
+// loop. Each log call materializes a LoggingEvent with its throwable
+// information, rendered message, and location info; a misconfigured
+// buffering appender keeps everything in an unbounded in-memory list that
+// is never flushed. All four reported sites are real leaks.
+//
+//===----------------------------------------------------------------------===//
+
+#include "subjects/Subjects.h"
+
+const char *lc::subjects::log4jSource() {
+  return R"MJ(
+class ThrowableInfo {
+  int depth;
+}
+
+class LocationInfo {
+  int line;
+}
+
+class RenderedMessage {
+  String text;
+  RenderedMessage(String text) { this.text = text; }
+}
+
+class LoggingEvent {
+  int level;
+  RenderedMessage message;
+  ThrowableInfo throwable;
+  LocationInfo location;
+}
+
+// A buffering appender whose flush never runs: the event buffer and its
+// side caches (rendered messages, throwable records, location index) all
+// grow without bound.
+class BufferAppender {
+  ArrayList buffer = new ArrayList();
+  ArrayList renderedCache = new ArrayList();
+  LinkedList throwableTable = new LinkedList();
+  ArrayList locationIndex = new ArrayList();
+  int threshold;
+  void doAppend(LoggingEvent ev) {
+    if (ev.level >= this.threshold) {
+      this.buffer.add(ev);
+    }
+  }
+  void cacheRendering(RenderedMessage m) { this.renderedCache.add(m); }
+  void recordThrowable(ThrowableInfo t) { this.throwableTable.addLast(t); }
+  void indexLocation(LocationInfo l) { this.locationIndex.add(l); }
+}
+
+class Logger {
+  BufferAppender appender;
+  int effectiveLevel;
+  Logger(BufferAppender a) {
+    this.appender = a;
+    this.effectiveLevel = 1;
+  }
+
+  void log(int level, String text) {
+    if (level < this.effectiveLevel) { return; }
+    @leak LoggingEvent ev = new LoggingEvent();
+    ev.level = level;
+    @leak RenderedMessage msg = new RenderedMessage(text);
+    this.appender.cacheRendering(msg);
+    @leak ThrowableInfo ti = new ThrowableInfo();
+    ti.depth = level;
+    this.appender.recordThrowable(ti);
+    @leak LocationInfo loc = new LocationInfo();
+    loc.line = level * 10;
+    this.appender.indexLocation(loc);
+    this.appender.doAppend(ev);
+  }
+}
+
+class Main {
+  static void main() {
+    BufferAppender appender = new BufferAppender();
+    Logger logger = new Logger(appender);
+    int i = 0;
+    logging: while (i < 50) {
+      logger.log(2, "request handled");
+      i = i + 1;
+    }
+  }
+}
+)MJ";
+}

@@ -1,0 +1,139 @@
+//===-- SubjectMckoi.cpp - Mckoi database model -----------------------------===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+// Models the Mckoi case study (paper section 5.2): an embedded client
+// repeatedly opens and closes a database connection. The true leak needs
+// thread modeling: every connection creates a DatabaseSystem that a
+// non-terminating DatabaseDispatcher thread keeps alive. With started
+// threads treated as outside objects the analysis finds it -- along with a
+// batch of false positives for objects that escape only into *terminating*
+// worker threads (no thread-termination analysis) and the singleton
+// LocalBootstrap reported on the paper's first run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "subjects/Subjects.h"
+
+const char *lc::subjects::mckoiSource() {
+  return R"MJ(
+class DatabaseSystem {
+  int openTables;
+}
+
+class DispatchEvent {
+  int kind;
+}
+
+// Never terminates: sits in an (abstract) event loop. Objects attached to
+// it live forever -- the root cause of the Mckoi leak.
+class DatabaseDispatcher extends Thread {
+  DatabaseSystem attached;
+  DispatchEvent pending;
+  void run() {
+    int spin = 0;
+    while (spin < 3) { spin = spin + 1; }
+  }
+}
+
+class RequestBuffer {
+  int[] bytes = new int[32];
+}
+
+class SessionState {
+  int transactionId;
+}
+
+class CleanupTask {
+  int deadline;
+}
+
+// Terminates right after the handshake; everything it holds is collectable
+// once it finishes, but the analysis cannot know that. The handshake state
+// is written for a later phase that never runs in this configuration, so
+// nothing reads the fields back.
+class ConnectionWorker extends Thread {
+  RequestBuffer request;
+  SessionState session;
+  CleanupTask cleanup;
+  int spins;
+  void run() {
+    int s = 0;
+    while (s < 2) { s = s + 1; }
+    this.spins = s;
+  }
+}
+
+class JdbcDriver {
+  LocalBootstrap bootstrap;
+  boolean booted;
+}
+
+class LocalBootstrap {
+  int bootCount;
+}
+
+class Connection {
+  DatabaseSystem system;
+  Connection(DatabaseSystem s) { this.system = s; }
+  void close() { this.system = null; }
+}
+
+class DatabaseClient {
+  JdbcDriver driver;
+  DatabaseClient() {
+    this.driver = new JdbcDriver();
+  }
+
+  Connection connect(int attempt) {
+    // Singleton bootstrap: created once (flag-guarded), saved in the
+    // driver, and never read back. Reported on the paper's first run; a
+    // false positive because only one instance can ever exist.
+    if (!this.driver.booted) {
+      this.driver.booted = true;
+      @falsepos LocalBootstrap lb = new LocalBootstrap();
+      lb.bootCount = attempt;
+      this.driver.bootstrap = lb;
+    }
+
+    // The real leak: each connection gets its own dispatcher thread that
+    // never terminates and keeps the DatabaseSystem alive after close().
+    // No outside object references the dispatcher -- only thread modeling
+    // (started threads are outside objects) exposes the escape.
+    @leak DatabaseSystem sys = new DatabaseSystem();
+    sys.openTables = 0;
+    DatabaseDispatcher d = new DatabaseDispatcher();
+    d.attached = sys;
+    d.start();
+
+    // A short-lived worker services the handshake; the objects handed to
+    // it escape only into the (terminating) thread: false positives.
+    ConnectionWorker worker = new ConnectionWorker();
+    @falsepos RequestBuffer req = new RequestBuffer();
+    req.bytes[0] = attempt;
+    worker.request = req;
+    @falsepos SessionState ss = new SessionState();
+    ss.transactionId = attempt;
+    worker.session = ss;
+    @falsepos CleanupTask ct = new CleanupTask();
+    ct.deadline = attempt + 100;
+    worker.cleanup = ct;
+    worker.start();
+
+    return new Connection(sys);
+  }
+}
+
+class Main {
+  static void main() {
+    DatabaseClient client = new DatabaseClient();
+    int i = 0;
+    connections: while (i < 8) {
+      Connection c = client.connect(i);
+      c.close();
+      i = i + 1;
+    }
+  }
+}
+)MJ";
+}

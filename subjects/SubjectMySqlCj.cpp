@@ -1,0 +1,130 @@
+//===-- SubjectMySqlCj.cpp - MySQL Connector/J model ------------------------===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+// Models the MySQL Connector/J subject of Table 1: a client loop that
+// creates a statement and runs a query per iteration. True leaks:
+// statements registered in the connection's open-statements list and
+// never closed; per-query result sets registered with their statement;
+// profiler events appended to the connection's event log. False
+// positives: network buffers and packet headers kept in per-connection
+// slots that each query overwrites, and a metadata cache that *is* read
+// back on later queries (retrieved through a cast).
+//
+//===----------------------------------------------------------------------===//
+
+#include "subjects/Subjects.h"
+
+const char *lc::subjects::mySqlCjSource() {
+  return R"MJ(
+class RowData {
+  int[] cells = new int[8];
+}
+
+class ResultSetImpl {
+  RowData rows;
+  int cursor;
+}
+
+class StatementImpl {
+  int id;
+  StatementImpl(int id) { this.id = id; }
+}
+
+class ProfilerEvent {
+  int durationMillis;
+  int kind;
+}
+
+class NetBuffer {
+  int[] bytes = new int[64];
+}
+
+class PacketHeader {
+  int length;
+  int sequence;
+}
+
+class CachedMetaData {
+  int columnCount;
+}
+
+class ConnectionImpl {
+  ArrayList openStatements = new ArrayList();
+  ArrayList openResultSets = new ArrayList();
+  LinkedList profilerEvents = new LinkedList();
+  HashMap metadataCache = new HashMap();
+  NetBuffer sharedSendBuffer;
+  PacketHeader lastHeader;
+  int nextStatementId;
+
+  StatementImpl createStatement() {
+    this.nextStatementId = this.nextStatementId + 1;
+    @leak StatementImpl st = new StatementImpl(this.nextStatementId);
+    this.openStatements.add(st);     // never removed: close() is missing
+    return st;
+  }
+
+  CachedMetaData metaDataFor(int table) {
+    Object hit = this.metadataCache.get(table);
+    if (hit != null) {
+      CachedMetaData cached = (CachedMetaData) hit;
+      return cached;
+    }
+    CachedMetaData fresh = new CachedMetaData();
+    fresh.columnCount = table + 2;
+    this.metadataCache.put(table, fresh);
+    return fresh;
+  }
+
+  void logProfilerEvent(ProfilerEvent ev) {
+    this.profilerEvents.addLast(ev);  // event log is never drained
+  }
+}
+
+class QueryExecutor {
+  ConnectionImpl conn;
+  QueryExecutor(ConnectionImpl c) { this.conn = c; }
+
+  ResultSetImpl execute(StatementImpl st, int table) {
+    // Per-query I/O state kept in connection slots; the next query
+    // overwrites them (reported false positives).
+    @falsepos NetBuffer buf = new NetBuffer();
+    this.conn.sharedSendBuffer = buf;
+    @falsepos PacketHeader hdr = new PacketHeader();
+    hdr.length = 128;
+    hdr.sequence = table;
+    this.conn.lastHeader = hdr;
+
+    CachedMetaData md = this.conn.metaDataFor(table);
+
+    @leak ResultSetImpl rs = new ResultSetImpl();
+    RowData rows = new RowData();
+    rows.cells[0] = md.columnCount;
+    rs.rows = rows;
+    this.conn.openResultSets.add(rs); // never closed either
+    int stId = st.id;
+
+    @leak ProfilerEvent ev = new ProfilerEvent();
+    ev.durationMillis = table * 3;
+    ev.kind = 1;
+    this.conn.logProfilerEvent(ev);
+    return rs;
+  }
+}
+
+class Client {
+  static void main() {
+    ConnectionImpl conn = new ConnectionImpl();
+    QueryExecutor exec = new QueryExecutor(conn);
+    int i = 0;
+    queries: while (i < 16) {
+      StatementImpl st = conn.createStatement();
+      ResultSetImpl rs = exec.execute(st, i - (i / 4) * 4);
+      int c = rs.cursor;
+      i = i + 1;
+    }
+  }
+}
+)MJ";
+}

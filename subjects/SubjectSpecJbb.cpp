@@ -1,0 +1,226 @@
+//===-- SubjectSpecJbb.cpp - SPECjbb2000 model -----------------------------===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+// Models the SPECjbb2000 case study (paper sections 2 and 5.2): a
+// transaction manager loop retrieves a command per iteration and runs the
+// corresponding transaction. The true leak: Order objects created while
+// processing new-order commands are filed into per-district longBTreeNode
+// containers that hang off long-lived District objects and are never read
+// again. The paper reports the longBTreeNode allocation site; the Orders
+// inside are pivot-suppressed. Four more sites escape into manager/
+// warehouse slots that are overwritten every iteration -- reported, but
+// immediately excludable (false positives).
+//
+//===----------------------------------------------------------------------===//
+
+#include "subjects/Subjects.h"
+
+const char *lc::subjects::specJbbSource() {
+  return R"MJ(
+class Order {
+  int orderId;
+  int custId;
+  int quantity;
+  Order(int id, int cust) {
+    this.orderId = id;
+    this.custId = cust;
+    this.quantity = 1;
+  }
+}
+
+class History {
+  int amount;
+  History(int amount) { this.amount = amount; }
+}
+
+// A node of the order B-tree; holds one filed order.
+class LongBTreeNode {
+  Object key;
+  int height;
+}
+
+// Per-district container of processed orders. Nodes accumulate and are
+// never traversed again by the transaction loop.
+class LongBTree {
+  LongBTreeNode[] nodes = new LongBTreeNode[4096];
+  int n;
+  void add(Object key) {
+    @leak LongBTreeNode node = new LongBTreeNode();
+    node.key = key;
+    node.height = 0;
+    this.nodes[this.n] = node;
+    this.n = this.n + 1;
+  }
+}
+
+class District {
+  LongBTree orderTree = new LongBTree();
+  int nextOrderId;
+  int newOrderId() {
+    this.nextOrderId = this.nextOrderId + 1;
+    return this.nextOrderId;
+  }
+}
+
+class Warehouse {
+  History[] historyTable = new History[8];
+  int cursor;
+  // Bounded history: the oldest entry is overwritten when a new one comes
+  // in. The analysis cannot see the bound; reported but not a real leak.
+  void addHistory(History h) {
+    this.historyTable[this.cursor] = h;
+    this.cursor = this.cursor + 1;
+    if (this.cursor == 8) { this.cursor = 0; }
+  }
+}
+
+class Company {
+  District[] districts = new District[4];
+  Warehouse[] warehouses = new Warehouse[2];
+  Company() {
+    int i = 0;
+    while (i < 4) {
+      this.districts[i] = new District();
+      i = i + 1;
+    }
+    int j = 0;
+    while (j < 2) {
+      this.warehouses[j] = new Warehouse();
+      j = j + 1;
+    }
+  }
+  District districtOf(int cust) {
+    return this.districts[cust - (cust / 4) * 4];
+  }
+  Warehouse warehouseOf(int cust) {
+    return this.warehouses[cust - (cust / 2) * 2];
+  }
+}
+
+// One parsed input command; saved in the manager's lastCommand slot which
+// is overwritten every iteration (reported, false positive).
+class Command {
+  int kind;
+  Command(int kind) { this.kind = kind; }
+}
+
+// Per-iteration status record, also kept in an overwritten slot.
+class StatusRecord {
+  int code;
+}
+
+// Per-iteration timing record, same overwritten-slot pattern.
+class TimerRecord {
+  int startMillis;
+}
+
+class OrderFactory {
+  // Creates an order and files it in the district's order tree. This is
+  // the store that keeps orders alive: the tree is reachable from the
+  // long-lived District.
+  Order makeAndFile(Company co, int cust) {
+    District d = co.districtOf(cust);
+    Order o = new Order(d.newOrderId(), cust);
+    LongBTree tree = d.orderTree;
+    tree.add(o);
+    return o;
+  }
+}
+
+class NewOrderTransaction {
+  Company company;
+  OrderFactory factory;
+  NewOrderTransaction(Company co, OrderFactory f) {
+    this.company = co;
+    this.factory = f;
+  }
+  void process(int cust) {
+    Order o = this.factory.makeAndFile(this.company, cust);
+    int total = o.quantity * 3;
+  }
+}
+
+class MultipleOrdersTransaction {
+  Company company;
+  OrderFactory factory;
+  MultipleOrdersTransaction(Company co, OrderFactory f) {
+    this.company = co;
+    this.factory = f;
+  }
+  void process(int cust) {
+    int j = 0;
+    while (j < 3) {
+      Order o = this.factory.makeAndFile(this.company, cust + j);
+      j = j + 1;
+    }
+  }
+}
+
+class PaymentTransaction {
+  Company company;
+  PaymentTransaction(Company co) { this.company = co; }
+  void process(int cust) {
+    Warehouse w = this.company.warehouseOf(cust);
+    @falsepos History h = new History(cust * 10);
+    w.addHistory(h);
+  }
+}
+
+class TransactionManager {
+  Company company;
+  OrderFactory factory;
+  Command lastCommand;
+  StatusRecord status;
+  TimerRecord timer;
+  int clock;
+
+  TransactionManager(Company co) {
+    this.company = co;
+    this.factory = new OrderFactory();
+  }
+
+  int nextCommand() {
+    this.clock = this.clock + 1;
+    return this.clock - (this.clock / 3) * 3;
+  }
+
+  void go(int iterations) {
+    int i = 0;
+    txloop: while (i < iterations) {
+      int kind = this.nextCommand();
+      @falsepos Command cmd = new Command(kind);
+      this.lastCommand = cmd;          // overwritten next iteration
+      @falsepos StatusRecord st = new StatusRecord();
+      st.code = kind;
+      this.status = st;                // overwritten next iteration
+      @falsepos TimerRecord tr = new TimerRecord();
+      tr.startMillis = i;
+      this.timer = tr;                 // overwritten next iteration
+
+      if (kind == 0) {
+        NewOrderTransaction t = new NewOrderTransaction(this.company, this.factory);
+        t.process(i);
+      } else {
+        if (kind == 1) {
+          MultipleOrdersTransaction t2 = new MultipleOrdersTransaction(this.company, this.factory);
+          t2.process(i);
+        } else {
+          PaymentTransaction t3 = new PaymentTransaction(this.company);
+          t3.process(i);
+        }
+      }
+      i = i + 1;
+    }
+  }
+}
+
+class Main {
+  static void main() {
+    Company co = new Company();
+    TransactionManager mgr = new TransactionManager(co);
+    mgr.go(24);
+  }
+}
+)MJ";
+}

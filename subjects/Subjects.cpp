@@ -1,0 +1,60 @@
+//===-- Subjects.cpp - subject registry -------------------------------------===//
+
+#include "subjects/Subjects.h"
+
+#include <cassert>
+
+using namespace lc;
+using namespace lc::subjects;
+
+namespace {
+
+Subject make(const char *Name, const char *Label, const char *Body,
+             unsigned PaperLs, unsigned PaperFp, bool ModelThreads = false) {
+  Subject S;
+  S.Name = Name;
+  S.LoopLabel = Label;
+  S.Source = std::string(miniJavaUtil()) + "\n" + Body;
+  S.PaperLeakSites = PaperLs;
+  S.PaperFalsePos = PaperFp;
+  S.Options.ModelThreads = ModelThreads;
+  return S;
+}
+
+std::vector<Subject> build() {
+  std::vector<Subject> Out;
+  // Paper-reported site counts follow the section 5.2 narratives (the
+  // scanned Table 1 digits are unreliable; see EXPERIMENTS.md).
+  Out.push_back(make("SPECjbb2000", "txloop", specJbbSource(),
+                     /*PaperLs=*/5, /*PaperFp=*/4));
+  Out.push_back(make("EclipseDiff", "compare", eclipseDiffSource(),
+                     /*PaperLs=*/4, /*PaperFp=*/3));
+  Out.push_back(make("EclipseCP", "refresh", eclipseCpSource(),
+                     /*PaperLs=*/7, /*PaperFp=*/4));
+  Out.push_back(make("MySQL-CJ", "queries", mySqlCjSource(),
+                     /*PaperLs=*/5, /*PaperFp=*/2));
+  Out.push_back(make("log4j", "logging", log4jSource(),
+                     /*PaperLs=*/4, /*PaperFp=*/0));
+  Out.push_back(make("FindBugs", "jars", findBugsSource(),
+                     /*PaperLs=*/9, /*PaperFp=*/5));
+  Out.push_back(make("Derby", "sql", derbySource(),
+                     /*PaperLs=*/8, /*PaperFp=*/4));
+  Out.push_back(make("Mckoi", "connections", mckoiSource(),
+                     /*PaperLs=*/5, /*PaperFp=*/4, /*ModelThreads=*/true));
+  return Out;
+}
+
+} // namespace
+
+const std::vector<Subject> &lc::subjects::all() {
+  static const std::vector<Subject> Subjects = build();
+  return Subjects;
+}
+
+const Subject &lc::subjects::byName(const std::string &Name) {
+  for (const Subject &S : all())
+    if (S.Name == Name)
+      return S;
+  assert(false && "unknown subject");
+  return all().front();
+}

@@ -1,0 +1,59 @@
+//===-- Subjects.h - The eight synthetic subject programs ------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MJ models of the eight leaky subjects of the paper's evaluation
+/// (Table 1 + section 5.2 case studies). Each model reproduces the leak
+/// structure the paper describes (true leak roots, plus the documented
+/// false-positive sources), carries `@leak` / `@falsepos` ground-truth
+/// annotations, and names the loop/region the paper checked. The
+/// substitution rationale is in DESIGN.md section 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_SUBJECTS_SUBJECTS_H
+#define LC_SUBJECTS_SUBJECTS_H
+
+#include "leak/LeakAnalysis.h"
+
+#include <string>
+#include <vector>
+
+namespace lc::subjects {
+
+/// One benchmark subject.
+struct Subject {
+  std::string Name;      ///< Table 1 row name
+  std::string LoopLabel; ///< the checked loop/region
+  std::string Source;    ///< full MJ source (java.util prelude included)
+  LeakOptions Options;   ///< per-subject options (Mckoi: ModelThreads)
+  /// Paper-reported values for EXPERIMENTS.md comparison.
+  unsigned PaperLeakSites = 0; ///< reported leaking allocation sites
+  unsigned PaperFalsePos = 0;  ///< of which false positives
+};
+
+/// The shared `java.util` library prelude (MJ source).
+const char *miniJavaUtil();
+
+// Per-subject MJ sources (without the prelude).
+const char *specJbbSource();
+const char *eclipseDiffSource();
+const char *eclipseCpSource();
+const char *mySqlCjSource();
+const char *log4jSource();
+const char *findBugsSource();
+const char *derbySource();
+const char *mckoiSource();
+
+/// All eight subjects, in Table 1 order.
+const std::vector<Subject> &all();
+
+/// Finds a subject by name; aborts if absent.
+const Subject &byName(const std::string &Name);
+
+} // namespace lc::subjects
+
+#endif // LC_SUBJECTS_SUBJECTS_H

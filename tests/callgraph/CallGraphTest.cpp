@@ -1,0 +1,170 @@
+//===-- CallGraphTest.cpp - unit tests for CHA/RTA call graphs -------------===//
+
+#include "callgraph/CallGraph.h"
+#include "frontend/Lower.h"
+
+#include <gtest/gtest.h>
+
+using namespace lc;
+
+namespace {
+
+Program compile(std::string_view Src) {
+  Program P;
+  DiagnosticEngine Diags;
+  bool Ok = compileSource(Src, P, Diags);
+  EXPECT_TRUE(Ok) << Diags.str();
+  return P;
+}
+
+MethodId methodOf(const Program &P, std::string_view Cls,
+                  std::string_view Name) {
+  ClassId C = P.findClass(Cls);
+  EXPECT_NE(C, kInvalidId) << Cls;
+  MethodId M = P.findMethodIn(C, Name);
+  EXPECT_NE(M, kInvalidId) << Cls << "." << Name;
+  return M;
+}
+
+/// First Invoke statement of \p M whose callee is named \p Callee.
+StmtIdx findCall(const Program &P, MethodId M, std::string_view Callee) {
+  const MethodInfo &MI = P.Methods[M];
+  for (StmtIdx I = 0; I < MI.Body.size(); ++I)
+    if (MI.Body[I].Op == Opcode::Invoke &&
+        P.methodName(MI.Body[I].Callee) == Callee)
+      return I;
+  ADD_FAILURE() << "no call to " << Callee;
+  return kInvalidId;
+}
+
+const char *DispatchProgram = R"(
+  class A { void f() { } }
+  class B extends A { void f() { } }
+  class C extends A { void f() { } }
+  class D extends B { }
+  class Main { static void main() {
+    A a = new B();
+    a.f();
+  } }
+)";
+
+} // namespace
+
+TEST(Dispatch, WalksUpToDeclaringClass) {
+  Program P = compile(DispatchProgram);
+  MethodId Af = methodOf(P, "A", "f");
+  MethodId Bf = methodOf(P, "B", "f");
+  EXPECT_EQ(dispatch(P, P.findClass("A"), Af), Af);
+  EXPECT_EQ(dispatch(P, P.findClass("B"), Af), Bf);
+  // D inherits B.f.
+  EXPECT_EQ(dispatch(P, P.findClass("D"), Af), Bf);
+  // Unrelated class: no target.
+  EXPECT_EQ(dispatch(P, P.findClass("Main"), Af), kInvalidId);
+}
+
+TEST(CallGraph, ChaIncludesAllSubtypeOverrides) {
+  Program P = compile(DispatchProgram);
+  CallGraph CG(P, CallGraphKind::Cha);
+  StmtIdx Call = findCall(P, P.EntryMethod, "f");
+  const auto &Callees = CG.calleesAt(P.EntryMethod, Call);
+  // CHA: A.f, B.f, C.f (D inherits B.f, no new target).
+  EXPECT_EQ(Callees.size(), 3u);
+}
+
+TEST(CallGraph, RtaPrunesUninstantiated) {
+  Program P = compile(DispatchProgram);
+  CallGraph CG(P, CallGraphKind::Rta);
+  StmtIdx Call = findCall(P, P.EntryMethod, "f");
+  const auto &Callees = CG.calleesAt(P.EntryMethod, Call);
+  // Only B is instantiated.
+  ASSERT_EQ(Callees.size(), 1u);
+  EXPECT_EQ(Callees[0], methodOf(P, "B", "f"));
+}
+
+TEST(CallGraph, RtaReachability) {
+  Program P = compile(R"(
+    class A { void used() { } void alsoUnused() { } }
+    class Dead { void never() { } }
+    class Main { static void main() { A a = new A(); a.used(); } }
+  )");
+  CallGraph CG(P, CallGraphKind::Rta);
+  EXPECT_TRUE(CG.isReachable(P.EntryMethod));
+  EXPECT_TRUE(CG.isReachable(methodOf(P, "A", "used")));
+  EXPECT_FALSE(CG.isReachable(methodOf(P, "A", "alsoUnused")));
+  EXPECT_FALSE(CG.isReachable(methodOf(P, "Dead", "never")));
+  // <init> of A is reachable via the constructor call.
+  EXPECT_TRUE(CG.isReachable(methodOf(P, "A", "<init>")));
+}
+
+TEST(CallGraph, ClinitIsEntryPoint) {
+  Program P = compile(R"(
+    class Registry {
+      static Registry instance = new Registry();
+      void ping() { }
+    }
+    class Main { static void main() { } }
+  )");
+  CallGraph CG(P, CallGraphKind::Rta);
+  ASSERT_EQ(P.ClinitMethods.size(), 1u);
+  EXPECT_TRUE(CG.isReachable(P.ClinitMethods[0]));
+  // Registry.<init> reachable from <clinit>.
+  EXPECT_TRUE(CG.isReachable(methodOf(P, "Registry", "<init>")));
+}
+
+TEST(CallGraph, CallersOfTracksInverse) {
+  Program P = compile(R"(
+    class A { void f() { } }
+    class Main {
+      static void one(A a) { a.f(); }
+      static void two(A a) { a.f(); }
+      static void main() { A a = new A(); Main.one(a); Main.two(a); }
+    }
+  )");
+  CallGraph CG(P, CallGraphKind::Rta);
+  MethodId Af = methodOf(P, "A", "f");
+  EXPECT_EQ(CG.callersOf(Af).size(), 2u);
+}
+
+TEST(CallGraph, ThreadStartReachesOverriddenRun) {
+  Program P = compile(R"(
+    class Worker extends Thread {
+      void run() { int x = 1; }
+    }
+    class Main { static void main() {
+      Worker w = new Worker();
+      w.start();
+    } }
+  )");
+  CallGraph CG(P, CallGraphKind::Rta);
+  EXPECT_TRUE(CG.isReachable(methodOf(P, "Worker", "run")));
+}
+
+TEST(CallGraph, RecursionTerminates) {
+  Program P = compile(R"(
+    class Main {
+      static int fib(int n) {
+        if (n < 2) { return n; }
+        return Main.fib(n - 1) + Main.fib(n - 2);
+      }
+      static void main() { int r = Main.fib(10); }
+    }
+  )");
+  CallGraph CG(P, CallGraphKind::Rta);
+  EXPECT_TRUE(CG.isReachable(methodOf(P, "Main", "fib")));
+}
+
+TEST(CallGraph, MutualRecursionAcrossVirtuals) {
+  Program P = compile(R"(
+    class Ping { Pong p; void go(int n) { if (n > 0) { p.go(n - 1); } } }
+    class Pong { Ping q; void go(int n) { if (n > 0) { q.go(n - 1); } } }
+    class Main { static void main() {
+      Ping a = new Ping();
+      Pong b = new Pong();
+      a.p = b; b.q = a;
+      a.go(5);
+    } }
+  )");
+  CallGraph CG(P, CallGraphKind::Rta);
+  EXPECT_TRUE(CG.isReachable(methodOf(P, "Ping", "go")));
+  EXPECT_TRUE(CG.isReachable(methodOf(P, "Pong", "go")));
+}

@@ -1,0 +1,182 @@
+//===-- CfgTest.cpp - unit tests for CFG/dominators/loops ------------------===//
+
+#include "cfg/Cfg.h"
+#include "cfg/Dominators.h"
+#include "cfg/LoopAnalysis.h"
+#include "frontend/Lower.h"
+
+#include <gtest/gtest.h>
+
+using namespace lc;
+
+namespace {
+
+Program compile(std::string_view Src) {
+  Program P;
+  DiagnosticEngine Diags;
+  bool Ok = compileSource(Src, P, Diags);
+  EXPECT_TRUE(Ok) << Diags.str();
+  return P;
+}
+
+MethodId findMethod(const Program &P, std::string_view Name) {
+  for (MethodId M = 0; M < P.Methods.size(); ++M)
+    if (P.methodName(M) == Name)
+      return M;
+  ADD_FAILURE() << "method not found: " << Name;
+  return kInvalidId;
+}
+
+} // namespace
+
+TEST(Cfg, StraightLineIsOneBlock) {
+  Program P = compile(R"(
+    class Main { static void main() { int x = 1; int y = x + 2; } }
+  )");
+  Cfg G(P, P.EntryMethod);
+  EXPECT_EQ(G.numBlocks(), 1u);
+  EXPECT_TRUE(G.block(0).Succs.empty());
+}
+
+TEST(Cfg, IfElseDiamond) {
+  Program P = compile(R"(
+    class Main { static void main() {
+      int x = 1;
+      if (x < 2) { x = 3; } else { x = 4; }
+      int y = x;
+    } }
+  )");
+  Cfg G(P, P.EntryMethod);
+  // entry, then, else, join
+  ASSERT_GE(G.numBlocks(), 4u);
+  const BasicBlock &Entry = G.block(G.entry());
+  EXPECT_EQ(Entry.Succs.size(), 2u);
+  DominatorTree DT(G);
+  // Join block is dominated by entry but not by either arm.
+  uint32_t Join = G.blockOf(P.Methods[P.EntryMethod].Body.size() - 1);
+  EXPECT_TRUE(DT.dominates(G.entry(), Join));
+  for (uint32_t Arm : Entry.Succs)
+    EXPECT_FALSE(DT.dominates(Arm, Join));
+}
+
+TEST(Cfg, WhileLoopHasBackEdgeAndNaturalLoop) {
+  Program P = compile(R"(
+    class Main { static void main() {
+      int i = 0;
+      work: while (i < 10) { i = i + 1; }
+      int z = i;
+    } }
+  )");
+  Cfg G(P, P.EntryMethod);
+  DominatorTree DT(G);
+  LoopAnalysis LA(G, DT);
+  ASSERT_EQ(LA.loops().size(), 1u);
+  const NaturalLoop &L = LA.loops()[0];
+  // The natural-loop header is the block holding IterBegin of loop "work".
+  LoopId Work = P.findLoop("work");
+  ASSERT_NE(Work, kInvalidId);
+  EXPECT_EQ(L.Header, G.blockOf(P.Loops[Work].BodyBegin));
+  // All recorded body statements lie in natural-loop blocks.
+  for (StmtIdx I : loopStatements(P, Work)) {
+    uint32_t B = G.blockOf(I);
+    EXPECT_TRUE(std::binary_search(L.Blocks.begin(), L.Blocks.end(), B))
+        << "stmt " << I;
+  }
+}
+
+TEST(Cfg, NestedLoopsInnermost) {
+  Program P = compile(R"(
+    class Main { static void main() {
+      int i = 0;
+      outer: while (i < 10) {
+        int j = 0;
+        inner: while (j < 10) { j = j + 1; }
+        i = i + 1;
+      }
+    } }
+  )");
+  Cfg G(P, P.EntryMethod);
+  DominatorTree DT(G);
+  LoopAnalysis LA(G, DT);
+  ASSERT_EQ(LA.loops().size(), 2u);
+  LoopId Inner = P.findLoop("inner");
+  uint32_t InnerHeader = G.blockOf(P.Loops[Inner].BodyBegin);
+  uint32_t Innermost = LA.innermostLoopOf(InnerHeader);
+  ASSERT_NE(Innermost, kInvalidId);
+  EXPECT_EQ(LA.loops()[Innermost].Header, InnerHeader);
+  // Inner loop is strictly smaller than outer.
+  LoopId Outer = P.findLoop("outer");
+  uint32_t OuterHeader = G.blockOf(P.Loops[Outer].BodyBegin);
+  uint32_t OuterLoop = LA.innermostLoopOf(OuterHeader);
+  EXPECT_GT(LA.loops()[OuterLoop].Blocks.size(),
+            LA.loops()[Innermost].Blocks.size());
+}
+
+TEST(Cfg, ReturnEndsBlockNoFallthrough) {
+  Program P = compile(R"(
+    class Main {
+      static int pick(int x) {
+        if (x > 0) { return 1; }
+        return 2;
+      }
+      static void main() { int r = Main.pick(3); }
+    }
+  )");
+  MethodId Pick = findMethod(P, "pick");
+  Cfg G(P, Pick);
+  for (uint32_t B = 0; B < G.numBlocks(); ++B) {
+    const Stmt &Last = P.Methods[Pick].Body[G.block(B).End - 1];
+    if (Last.Op == Opcode::Return)
+      EXPECT_TRUE(G.block(B).Succs.empty());
+  }
+}
+
+TEST(Cfg, RpoVisitsPredsBeforeSuccsInAcyclicGraph) {
+  Program P = compile(R"(
+    class Main { static void main() {
+      int x = 0;
+      if (x < 1) { x = 1; } else { x = 2; }
+      if (x < 2) { x = 3; }
+      int y = x;
+    } }
+  )");
+  Cfg G(P, P.EntryMethod);
+  const auto &Rpo = G.reversePostorder();
+  std::vector<uint32_t> Pos(G.numBlocks());
+  for (uint32_t I = 0; I < Rpo.size(); ++I)
+    Pos[Rpo[I]] = I;
+  for (uint32_t B = 0; B < G.numBlocks(); ++B)
+    for (uint32_t S : G.block(B).Succs)
+      EXPECT_LT(Pos[B], Pos[S]) << "B" << B << "->B" << S;
+}
+
+TEST(Cfg, DominatorsOfLinearChain) {
+  Program P = compile(R"(
+    class Main { static void main() {
+      int x = 0;
+      if (x < 1) { x = 1; }
+      if (x < 2) { x = 2; }
+    } }
+  )");
+  Cfg G(P, P.EntryMethod);
+  DominatorTree DT(G);
+  // Entry dominates everything.
+  for (uint32_t B = 0; B < G.numBlocks(); ++B)
+    EXPECT_TRUE(DT.dominates(G.entry(), B));
+  EXPECT_EQ(DT.idom(G.entry()), G.entry());
+}
+
+TEST(Cfg, RegionIsNotANaturalLoop) {
+  Program P = compile(R"(
+    class Main { static void main() { region "r" { int x = 1; } } }
+  )");
+  Cfg G(P, P.EntryMethod);
+  DominatorTree DT(G);
+  LoopAnalysis LA(G, DT);
+  EXPECT_TRUE(LA.loops().empty());
+  // But the LoopInfo record exists and covers the body.
+  LoopId R = P.findLoop("r");
+  ASSERT_NE(R, kInvalidId);
+  EXPECT_TRUE(P.Loops[R].IsRegion);
+  EXPECT_GT(loopStatements(P, R).size(), 1u);
+}

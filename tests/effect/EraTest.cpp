@@ -1,0 +1,96 @@
+//===-- EraTest.cpp - lattice-law tests for the ERA domain -----------------===//
+
+#include "effect/Era.h"
+
+#include <gtest/gtest.h>
+
+using namespace lc;
+
+namespace {
+const Era AllEras[] = {Era::Outside, Era::Current, Era::Future, Era::Top};
+} // namespace
+
+TEST(EraLattice, JoinIdempotent) {
+  for (Era E : AllEras)
+    EXPECT_EQ(join(E, E), E);
+}
+
+TEST(EraLattice, JoinCommutative) {
+  for (Era A : AllEras)
+    for (Era B : AllEras)
+      EXPECT_EQ(join(A, B), join(B, A));
+}
+
+TEST(EraLattice, JoinAssociative) {
+  for (Era A : AllEras)
+    for (Era B : AllEras)
+      for (Era C : AllEras)
+        EXPECT_EQ(join(join(A, B), C), join(A, join(B, C)));
+}
+
+TEST(EraLattice, TopAbsorbs) {
+  for (Era E : AllEras)
+    EXPECT_EQ(join(E, Era::Top), Era::Top);
+}
+
+TEST(EraLattice, InsideChain) {
+  EXPECT_EQ(join(Era::Current, Era::Future), Era::Future);
+  EXPECT_EQ(join(Era::Future, Era::Top), Era::Top);
+  EXPECT_EQ(join(Era::Current, Era::Top), Era::Top);
+}
+
+TEST(EraLattice, AdvanceMonotoneAndIdempotentFromSecondApplication) {
+  // advance(advance(x)) == advance(x) for all x.
+  for (Era E : AllEras)
+    EXPECT_EQ(advance(advance(E)), advance(E));
+  EXPECT_EQ(advance(Era::Current), Era::Top);
+  EXPECT_EQ(advance(Era::Future), Era::Future);
+  EXPECT_EQ(advance(Era::Outside), Era::Outside);
+}
+
+TEST(EraLattice, AdvanceIsInflationaryOnInsideChain) {
+  // x joined with advance(x) gives advance(x): advancing never moves an
+  // inside era downwards. (advance is NOT a join-morphism: advance(c |_| f)
+  // = f but advance(c) |_| advance(f) = T -- recency deliberately jumps
+  // Current straight to Top.)
+  const Era Inside[] = {Era::Current, Era::Future, Era::Top};
+  for (Era E : Inside)
+    EXPECT_EQ(join(E, advance(E)), advance(E));
+}
+
+TEST(AbsTypeLattice, BotIsIdentity) {
+  AbsType O = AbsType::obj(3, Era::Future);
+  EXPECT_EQ(join(AbsType::bot(), O), O);
+  EXPECT_EQ(join(O, AbsType::bot()), O);
+  EXPECT_EQ(join(AbsType::bot(), AbsType::bot()), AbsType::bot());
+}
+
+TEST(AbsTypeLattice, AnyAbsorbs) {
+  AbsType O = AbsType::obj(3, Era::Current);
+  EXPECT_TRUE(join(AbsType::any(), O).isAny());
+  EXPECT_TRUE(join(O, AbsType::any()).isAny());
+}
+
+TEST(AbsTypeLattice, DifferentSitesGoToAny) {
+  AbsType A = AbsType::obj(1, Era::Current);
+  AbsType B = AbsType::obj(2, Era::Current);
+  EXPECT_TRUE(join(A, B).isAny());
+}
+
+TEST(AbsTypeLattice, SameSiteJoinsEras) {
+  AbsType A = AbsType::obj(1, Era::Current);
+  AbsType B = AbsType::obj(1, Era::Top);
+  AbsType J = join(A, B);
+  ASSERT_TRUE(J.isObj());
+  EXPECT_EQ(J.Site, 1u);
+  EXPECT_EQ(J.E, Era::Top);
+}
+
+TEST(AbsTypeLattice, JoinCommutativeOnTypes) {
+  std::vector<AbsType> Samples = {
+      AbsType::bot(), AbsType::any(), AbsType::obj(1, Era::Current),
+      AbsType::obj(1, Era::Future), AbsType::obj(2, Era::Outside)};
+  for (const AbsType &A : Samples)
+    for (const AbsType &B : Samples)
+      EXPECT_EQ(join(A, B), join(B, A)) << A.str() << " " << B.str();
+}

@@ -1,0 +1,127 @@
+//===-- CastTest.cpp - checked-cast parsing and lowering ---------------------===//
+
+#include "frontend/Lower.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace lc;
+
+namespace {
+
+Program compileOk(std::string_view Src) {
+  Program P;
+  DiagnosticEngine Diags;
+  bool Ok = compileSource(Src, P, Diags);
+  EXPECT_TRUE(Ok) << Diags.str();
+  EXPECT_TRUE(verifyProgram(P).empty());
+  return P;
+}
+
+bool compileFails(std::string_view Src) {
+  Program P;
+  DiagnosticEngine Diags;
+  return !compileSource(Src, P, Diags);
+}
+
+unsigned countCasts(const Program &P) {
+  unsigned N = 0;
+  for (const MethodInfo &M : P.Methods)
+    for (const Stmt &S : M.Body)
+      N += S.Op == Opcode::Cast;
+  return N;
+}
+
+} // namespace
+
+TEST(Cast, BasicDowncastLowersToCastStmt) {
+  Program P = compileOk(R"(
+    class A { }
+    class B extends A { }
+    class Main { static void main() {
+      A a = new B();
+      B b = (B) a;
+    } }
+  )");
+  EXPECT_EQ(countCasts(P), 1u);
+}
+
+TEST(Cast, ParenthesizedExpressionIsNotACast) {
+  // "(x) - y" must parse as subtraction of a parenthesized variable.
+  Program P = compileOk(R"(
+    class Main { static void main() {
+      int x = 9;
+      int y = 4;
+      int z = (x) - y;
+    } }
+  )");
+  EXPECT_EQ(countCasts(P), 0u);
+}
+
+TEST(Cast, CastBindsTighterThanBinaryOps) {
+  Program P = compileOk(R"(
+    class A { int v; }
+    class Main { static void main() {
+      Object o = new A();
+      A a = (A) o;
+      int n = a.v + 1;
+    } }
+  )");
+  EXPECT_EQ(countCasts(P), 1u);
+}
+
+TEST(Cast, CastOfCallResult) {
+  Program P = compileOk(R"(
+    class A { }
+    class Box { Object take() { return new A(); } }
+    class Main { static void main() {
+      Box b = new Box();
+      A a = (A) b.take();
+    } }
+  )");
+  EXPECT_EQ(countCasts(P), 1u);
+}
+
+TEST(Cast, ChainedCastAndMemberAccess) {
+  Program P = compileOk(R"(
+    class A { int v; }
+    class Main { static void main() {
+      Object o = new A();
+      int n = ((A) o).v;
+    } }
+  )");
+  EXPECT_EQ(countCasts(P), 1u);
+}
+
+TEST(Cast, UnknownClassInCastIsError) {
+  EXPECT_TRUE(compileFails(R"(
+    class Main { static void main() {
+      Object o = null;
+      Object p = (Bogus) o;
+    } }
+  )"));
+}
+
+TEST(Cast, CastingPrimitiveIsError) {
+  EXPECT_TRUE(compileFails(R"(
+    class A { }
+    class Main { static void main() {
+      int x = 1;
+      A a = (A) x;
+    } }
+  )"));
+}
+
+TEST(Cast, CastResultHasTargetStaticType) {
+  // Assigning the cast result where the target type is required must
+  // type-check (that is the point of the cast).
+  Program P = compileOk(R"(
+    class A { }
+    class B extends A { void only() { } }
+    class Main { static void main() {
+      A a = new B();
+      ((B) a).only();
+    } }
+  )");
+  EXPECT_EQ(countCasts(P), 1u);
+}

@@ -1,0 +1,119 @@
+//===-- LexerTest.cpp - unit tests for the MJ lexer -----------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace lc;
+
+namespace {
+
+std::vector<Token> lex(std::string_view Src, DiagnosticEngine &Diags) {
+  Lexer L(Src, Diags);
+  return L.lexAll();
+}
+
+std::vector<Token> lexOk(std::string_view Src) {
+  DiagnosticEngine Diags;
+  auto Toks = lex(Src, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return Toks;
+}
+
+} // namespace
+
+TEST(Lexer, EmptyInputIsJustEof) {
+  auto Toks = lexOk("");
+  ASSERT_EQ(Toks.size(), 1u);
+  EXPECT_EQ(Toks[0].Kind, Tok::Eof);
+}
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  auto Toks = lexOk("class while foo region library _bar $t3");
+  ASSERT_EQ(Toks.size(), 8u);
+  EXPECT_EQ(Toks[0].Kind, Tok::KwClass);
+  EXPECT_EQ(Toks[1].Kind, Tok::KwWhile);
+  EXPECT_EQ(Toks[2].Kind, Tok::Ident);
+  EXPECT_EQ(Toks[2].Text, "foo");
+  EXPECT_EQ(Toks[3].Kind, Tok::KwRegion);
+  EXPECT_EQ(Toks[4].Kind, Tok::KwLibrary);
+  EXPECT_EQ(Toks[5].Text, "_bar");
+  EXPECT_EQ(Toks[6].Text, "$t3");
+}
+
+TEST(Lexer, IntegerLiterals) {
+  auto Toks = lexOk("0 42 123456789");
+  EXPECT_EQ(Toks[0].IntVal, 0);
+  EXPECT_EQ(Toks[1].IntVal, 42);
+  EXPECT_EQ(Toks[2].IntVal, 123456789);
+}
+
+TEST(Lexer, StringLiteralsWithEscapes) {
+  auto Toks = lexOk(R"("hello" "a\nb" "q\"q")");
+  EXPECT_EQ(Toks[0].Text, "hello");
+  EXPECT_EQ(Toks[1].Text, "a\nb");
+  EXPECT_EQ(Toks[2].Text, "q\"q");
+}
+
+TEST(Lexer, OperatorsMaximalMunch) {
+  auto Toks = lexOk("== = != ! <= < >= > && ||");
+  Tok Expected[] = {Tok::EqEq, Tok::Assign, Tok::NotEq, Tok::Bang,
+                    Tok::Le,   Tok::Lt,     Tok::Ge,    Tok::Gt,
+                    Tok::AmpAmp, Tok::PipePipe};
+  for (size_t I = 0; I < std::size(Expected); ++I)
+    EXPECT_EQ(Toks[I].Kind, Expected[I]) << I;
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  auto Toks = lexOk("a // line comment\nb /* block\n comment */ c");
+  ASSERT_EQ(Toks.size(), 4u);
+  EXPECT_EQ(Toks[0].Text, "a");
+  EXPECT_EQ(Toks[1].Text, "b");
+  EXPECT_EQ(Toks[2].Text, "c");
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  auto Toks = lexOk("a\n  b");
+  EXPECT_EQ(Toks[0].Loc.Line, 1u);
+  EXPECT_EQ(Toks[0].Loc.Col, 1u);
+  EXPECT_EQ(Toks[1].Loc.Line, 2u);
+  EXPECT_EQ(Toks[1].Loc.Col, 3u);
+}
+
+TEST(Lexer, AnnotationTokens) {
+  auto Toks = lexOk("@leak @falsepos");
+  EXPECT_EQ(Toks[0].Kind, Tok::At);
+  EXPECT_EQ(Toks[1].Text, "leak");
+  EXPECT_EQ(Toks[2].Kind, Tok::At);
+  EXPECT_EQ(Toks[3].Text, "falsepos");
+}
+
+TEST(Lexer, UnterminatedStringIsDiagnosed) {
+  DiagnosticEngine Diags;
+  lex("\"abc", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, UnterminatedBlockCommentIsDiagnosed) {
+  DiagnosticEngine Diags;
+  lex("a /* never closed", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, UnexpectedCharacterIsDiagnosedNotFatal) {
+  DiagnosticEngine Diags;
+  auto Toks = lex("a # b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  // Lexing continues after the bad character.
+  EXPECT_EQ(Toks.back().Kind, Tok::Eof);
+  bool SawB = false;
+  for (const Token &T : Toks)
+    SawB |= T.Kind == Tok::Ident && T.Text == "b";
+  EXPECT_TRUE(SawB);
+}
+
+TEST(Lexer, LoneAmpersandIsDiagnosed) {
+  DiagnosticEngine Diags;
+  lex("a & b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}

@@ -1,0 +1,338 @@
+//===-- LowerTest.cpp - unit tests for sema + lowering ---------------------===//
+
+#include "frontend/Lower.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace lc;
+
+namespace {
+
+/// Compiles and verifies; returns the program.
+Program compileOk(std::string_view Src) {
+  Program P;
+  DiagnosticEngine Diags;
+  bool Ok = compileSource(Src, P, Diags);
+  EXPECT_TRUE(Ok) << Diags.str();
+  auto Problems = verifyProgram(P);
+  EXPECT_TRUE(Problems.empty()) << Problems.front() << "\n" << printProgram(P);
+  return P;
+}
+
+bool compileFails(std::string_view Src, std::string_view Needle = {}) {
+  Program P;
+  DiagnosticEngine Diags;
+  bool Ok = compileSource(Src, P, Diags);
+  if (Ok)
+    return false;
+  if (!Needle.empty() && Diags.str().find(Needle) == std::string::npos) {
+    ADD_FAILURE() << "expected diagnostic containing '" << Needle
+                  << "', got:\n"
+                  << Diags.str();
+  }
+  return true;
+}
+
+/// Counts statements of \p Op in method \p Name (searching all classes).
+unsigned countOps(const Program &P, std::string_view MethodName, Opcode Op) {
+  unsigned N = 0;
+  for (const MethodInfo &M : P.Methods)
+    if (P.Strings.text(M.Name) == MethodName)
+      for (const Stmt &S : M.Body)
+        N += S.Op == Op;
+  return N;
+}
+
+} // namespace
+
+TEST(Lower, MinimalMain) {
+  Program P = compileOk("class Main { static void main() { } }");
+  ASSERT_NE(P.EntryMethod, kInvalidId);
+  EXPECT_EQ(P.methodName(P.EntryMethod), "main");
+  EXPECT_TRUE(P.Methods[P.EntryMethod].IsStatic);
+}
+
+TEST(Lower, FieldLoadStoreImplicitThis) {
+  Program P = compileOk(R"(
+    class A {
+      int x;
+      void set(int v) { x = v; }
+      int get() { return x; }
+    }
+  )");
+  EXPECT_EQ(countOps(P, "set", Opcode::Store), 1u);
+  EXPECT_EQ(countOps(P, "get", Opcode::Load), 1u);
+}
+
+TEST(Lower, NewObjectCallsCtor) {
+  Program P = compileOk(R"(
+    class Order { int id; Order(int i) { this.id = i; } }
+    class Main { static void main() { Order o = new Order(3); } }
+  )");
+  EXPECT_EQ(countOps(P, "main", Opcode::New), 1u);
+  EXPECT_EQ(countOps(P, "main", Opcode::Invoke), 1u);
+  // The <init> stores the field.
+  EXPECT_EQ(countOps(P, "<init>", Opcode::Store), 1u);
+}
+
+TEST(Lower, FieldInitializersRunInCtor) {
+  Program P = compileOk(R"(
+    class A { int[] data = new int[8]; }
+    class Main { static void main() { A a = new A(); } }
+  )");
+  // Synthesized <init> contains the NewArray and the Store.
+  EXPECT_EQ(countOps(P, "<init>", Opcode::NewArray), 1u);
+  EXPECT_EQ(countOps(P, "<init>", Opcode::Store), 1u);
+}
+
+TEST(Lower, StaticFieldInitializersGoToClinit) {
+  Program P = compileOk(R"(
+    class Registry { static Registry instance = new Registry(); }
+  )");
+  ASSERT_EQ(P.ClinitMethods.size(), 1u);
+  EXPECT_EQ(countOps(P, "<clinit>", Opcode::New), 1u);
+  EXPECT_EQ(countOps(P, "<clinit>", Opcode::StaticStore), 1u);
+}
+
+TEST(Lower, ExplicitSuperCtorArgs) {
+  Program P = compileOk(R"(
+    class A { int n; A(int n) { this.n = n; } }
+    class B extends A { B() { super(7); } }
+  )");
+  ClassId BId = P.findClass("B");
+  MethodId Init = P.findMethodIn(BId, "<init>");
+  ASSERT_NE(Init, kInvalidId);
+  bool SawSpecial = false;
+  for (const Stmt &S : P.Methods[Init].Body)
+    if (S.Op == Opcode::Invoke && S.CK == CallKind::Special)
+      SawSpecial = true;
+  EXPECT_TRUE(SawSpecial);
+}
+
+TEST(Lower, ImplicitSuperCtorWhenNoArgNeeded) {
+  Program P = compileOk(R"(
+    class A { int x = 5; }
+    class B extends A { }
+    class Main { static void main() { B b = new B(); } }
+  )");
+  ClassId BId = P.findClass("B");
+  MethodId Init = P.findMethodIn(BId, "<init>");
+  unsigned Specials = 0;
+  for (const Stmt &S : P.Methods[Init].Body)
+    Specials += S.Op == Opcode::Invoke && S.CK == CallKind::Special;
+  EXPECT_EQ(Specials, 1u) << "B.<init> must call A.<init>";
+}
+
+TEST(Lower, WhileLoopRecordsLoopInfo) {
+  Program P = compileOk(R"(
+    class Main { static void main() {
+      int i = 0;
+      work: while (i < 10) { i = i + 1; }
+    } }
+  )");
+  LoopId L = P.findLoop("work");
+  ASSERT_NE(L, kInvalidId);
+  const LoopInfo &LI = P.Loops[L];
+  EXPECT_FALSE(LI.IsRegion);
+  const MethodInfo &M = P.Methods[LI.Method];
+  EXPECT_EQ(M.Body[LI.BodyBegin].Op, Opcode::IterBegin);
+  // Back edge: some Goto inside the range targets BodyBegin.
+  bool SawBackEdge = false;
+  for (StmtIdx I = LI.BodyBegin; I < LI.BodyEnd; ++I)
+    if (M.Body[I].Op == Opcode::Goto && M.Body[I].Target == LI.BodyBegin)
+      SawBackEdge = true;
+  EXPECT_TRUE(SawBackEdge);
+}
+
+TEST(Lower, RegionRecordsArtificialLoop) {
+  Program P = compileOk(R"(
+    class Main { static void main() { region "plugin" { int x = 1; } } }
+  )");
+  LoopId L = P.findLoop("plugin");
+  ASSERT_NE(L, kInvalidId);
+  EXPECT_TRUE(P.Loops[L].IsRegion);
+}
+
+TEST(Lower, AnnotationsLandOnAllocSites) {
+  Program P = compileOk(R"(
+    class Order { }
+    class Main { static void main() {
+      @leak Order a = new Order();
+      @falsepos Order b = new Order();
+      Order c = new Order();
+    } }
+  )");
+  unsigned Leaks = 0, FalsePos = 0, Plain = 0;
+  for (const AllocSite &S : P.AllocSites) {
+    if (S.Annot == SiteAnnotation::Leak)
+      ++Leaks;
+    else if (S.Annot == SiteAnnotation::FalsePos)
+      ++FalsePos;
+    else
+      ++Plain;
+  }
+  EXPECT_EQ(Leaks, 1u);
+  EXPECT_EQ(FalsePos, 1u);
+  EXPECT_EQ(Plain, 1u);
+}
+
+TEST(Lower, VirtualDispatchResolvesDeclaredTarget) {
+  Program P = compileOk(R"(
+    class A { void f() { } }
+    class B extends A { void f() { } }
+    class Main { static void main() { A a = new B(); a.f(); } }
+  )");
+  // The call site's static callee is A.f.
+  const MethodInfo &Main = P.Methods[P.EntryMethod];
+  bool Found = false;
+  for (const Stmt &S : Main.Body)
+    if (S.Op == Opcode::Invoke && S.CK == CallKind::Virtual &&
+        P.methodName(S.Callee) == "f") {
+      EXPECT_EQ(P.className(P.Methods[S.Callee].Owner), "A");
+      Found = true;
+    }
+  EXPECT_TRUE(Found);
+}
+
+TEST(Lower, ThreadSubclassOverridesRun) {
+  Program P = compileOk(R"(
+    class Worker extends Thread {
+      void run() { int x = 1; }
+    }
+    class Main { static void main() { Worker w = new Worker(); w.start(); } }
+  )");
+  ClassId Worker = P.findClass("Worker");
+  EXPECT_TRUE(P.isSubclassOf(Worker, P.ThreadClass));
+  // Thread.start's body virtually calls run.
+  MethodId Start = P.resolveMethod(P.ThreadClass, P.Strings.intern("start"));
+  ASSERT_NE(Start, kInvalidId);
+  bool CallsRun = false;
+  for (const Stmt &S : P.Methods[Start].Body)
+    CallsRun |= S.Op == Opcode::Invoke && P.methodName(S.Callee) == "run";
+  EXPECT_TRUE(CallsRun);
+}
+
+TEST(Lower, StaticMembersViaClassName) {
+  Program P = compileOk(R"(
+    class Registry {
+      static Registry instance;
+      static Registry get() { return Registry.instance; }
+    }
+    class Main { static void main() {
+      Registry.instance = new Registry();
+      Registry r = Registry.get();
+    } }
+  )");
+  EXPECT_EQ(countOps(P, "main", Opcode::StaticStore), 1u);
+  EXPECT_EQ(countOps(P, "get", Opcode::StaticLoad), 1u);
+}
+
+TEST(Lower, ArrayOperations) {
+  Program P = compileOk(R"(
+    class Main { static void main() {
+      int[] a = new int[4];
+      a[0] = 7;
+      int x = a[0];
+      int n = a.length;
+    } }
+  )");
+  EXPECT_EQ(countOps(P, "main", Opcode::NewArray), 1u);
+  EXPECT_EQ(countOps(P, "main", Opcode::ArrayStore), 1u);
+  EXPECT_EQ(countOps(P, "main", Opcode::ArrayLoad), 1u);
+  EXPECT_EQ(countOps(P, "main", Opcode::ArrayLen), 1u);
+}
+
+TEST(Lower, StringLiteralIsAllocSite) {
+  Program P = compileOk(R"(
+    class Main { static void main() { String s = "hi"; } }
+  )");
+  EXPECT_EQ(countOps(P, "main", Opcode::ConstStr), 1u);
+  EXPECT_EQ(P.AllocSites.size(), 1u);
+  EXPECT_EQ(P.AllocSites[0].Ty, P.Types.refTy(P.StringClass));
+}
+
+// --- Error cases -----------------------------------------------------------
+
+TEST(LowerErrors, UnknownType) {
+  EXPECT_TRUE(compileFails("class A { Bogus f; }", "unknown type"));
+}
+
+TEST(LowerErrors, UnknownVariable) {
+  EXPECT_TRUE(compileFails("class A { void f() { x = 1; } }",
+                           "unknown variable or field"));
+}
+
+TEST(LowerErrors, TypeMismatchAssign) {
+  EXPECT_TRUE(compileFails(
+      "class A { void f() { int x; boolean b; x = b; } }", "type mismatch"));
+}
+
+TEST(LowerErrors, SubtypeAssignmentDirectionEnforced) {
+  EXPECT_TRUE(compileFails(R"(
+    class A { }
+    class B extends A { }
+    class Main { static void main() { B b = new A(); } }
+  )",
+                           "type mismatch"));
+}
+
+TEST(LowerErrors, ThisInStaticMethod) {
+  EXPECT_TRUE(compileFails(
+      "class A { int x; static void f() { int y = this.x; } }", "'this'"));
+}
+
+TEST(LowerErrors, WrongArgCount) {
+  EXPECT_TRUE(compileFails(R"(
+    class A { void f(int x) { } void g() { this.f(); } }
+  )",
+                           "wrong number of arguments"));
+}
+
+TEST(LowerErrors, DuplicateClass) {
+  EXPECT_TRUE(compileFails("class A { } class A { }", "duplicate class"));
+}
+
+TEST(LowerErrors, DuplicateMethodNoOverloading) {
+  EXPECT_TRUE(compileFails("class A { void f() { } void f(int x) { } }",
+                           "no overloading"));
+}
+
+TEST(LowerErrors, InheritanceCycle) {
+  EXPECT_TRUE(compileFails("class A extends B { } class B extends A { }",
+                           "cycle"));
+}
+
+TEST(LowerErrors, VoidMethodReturnsValue) {
+  EXPECT_TRUE(
+      compileFails("class A { void f() { return 1; } }", "void method"));
+}
+
+TEST(LowerErrors, NonBooleanCondition) {
+  EXPECT_TRUE(compileFails("class A { void f() { if (1) { } } }",
+                           "must be boolean"));
+}
+
+TEST(LowerErrors, CallUnknownMethod) {
+  EXPECT_TRUE(compileFails("class A { void f() { this.g(); } }",
+                           "unknown method"));
+}
+
+TEST(LowerErrors, InstanceFieldFromStatic) {
+  EXPECT_TRUE(compileFails("class A { int x; static void f() { x = 1; } }"));
+}
+
+TEST(LowerErrors, MultipleMains) {
+  EXPECT_TRUE(compileFails(
+      "class A { static void main() { } } class B { static void main() { } }",
+      "multiple 'main'"));
+}
+
+TEST(LowerErrors, SuperCtorNotFirst) {
+  EXPECT_TRUE(compileFails(R"(
+    class A { A(int x) { } }
+    class B extends A { B() { int y = 1; super(1); } }
+  )",
+                           "first constructor"));
+}

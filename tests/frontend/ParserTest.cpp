@@ -1,0 +1,196 @@
+//===-- ParserTest.cpp - unit tests for the MJ parser ----------------------===//
+
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace lc;
+using namespace lc::ast;
+
+namespace {
+
+CompilationUnit parse(std::string_view Src, DiagnosticEngine &Diags) {
+  Lexer L(Src, Diags);
+  Parser P(L.lexAll(), Diags);
+  return P.parseUnit();
+}
+
+CompilationUnit parseOk(std::string_view Src) {
+  DiagnosticEngine Diags;
+  CompilationUnit U = parse(Src, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return U;
+}
+
+} // namespace
+
+TEST(Parser, EmptyClass) {
+  auto U = parseOk("class A { }");
+  ASSERT_EQ(U.Classes.size(), 1u);
+  EXPECT_EQ(U.Classes[0].Name, "A");
+  EXPECT_TRUE(U.Classes[0].SuperName.empty());
+  EXPECT_FALSE(U.Classes[0].IsLibrary);
+}
+
+TEST(Parser, LibraryClassWithExtends) {
+  auto U = parseOk("library class HashMap extends AbstractMap { }");
+  ASSERT_EQ(U.Classes.size(), 1u);
+  EXPECT_TRUE(U.Classes[0].IsLibrary);
+  EXPECT_EQ(U.Classes[0].SuperName, "AbstractMap");
+}
+
+TEST(Parser, FieldsWithTypesAndInitializers) {
+  auto U = parseOk(R"(
+    class A {
+      int x;
+      boolean done;
+      Order[] orders = new Order[10];
+      static A instance;
+    }
+  )");
+  const auto &C = U.Classes[0];
+  ASSERT_EQ(C.Fields.size(), 4u);
+  EXPECT_EQ(C.Fields[0].Type.Name, "int");
+  EXPECT_EQ(C.Fields[2].Type.ArrayRank, 1u);
+  EXPECT_NE(C.Fields[2].Init, nullptr);
+  EXPECT_TRUE(C.Fields[3].IsStatic);
+}
+
+TEST(Parser, MethodsAndConstructor) {
+  auto U = parseOk(R"(
+    class A {
+      A(int n) { this.n = n; }
+      int get() { return this.n; }
+      static void main() { }
+      int n;
+    }
+  )");
+  const auto &C = U.Classes[0];
+  ASSERT_EQ(C.Methods.size(), 3u);
+  EXPECT_TRUE(C.Methods[0].IsCtor);
+  ASSERT_EQ(C.Methods[0].Params.size(), 1u);
+  EXPECT_EQ(C.Methods[0].Params[0].Name, "n");
+  EXPECT_FALSE(C.Methods[1].IsStatic);
+  EXPECT_TRUE(C.Methods[2].IsStatic);
+}
+
+TEST(Parser, LabeledWhileLoop) {
+  auto U = parseOk(R"(
+    class A { void run() { main: while (true) { } } }
+  )");
+  const Stmt &Body = *U.Classes[0].Methods[0].Body;
+  ASSERT_EQ(Body.Body.size(), 1u);
+  const Stmt &While = *Body.Body[0];
+  EXPECT_EQ(While.Kind, StmtKind::While);
+  EXPECT_EQ(While.Text, "main");
+}
+
+TEST(Parser, RegionBlock) {
+  auto U = parseOk(R"(
+    class A { void run() { region "plugin" { int x; } } }
+  )");
+  const Stmt &Region = *U.Classes[0].Methods[0].Body->Body[0];
+  EXPECT_EQ(Region.Kind, StmtKind::Region);
+  EXPECT_EQ(Region.Text, "plugin");
+}
+
+TEST(Parser, ForLoopDesugarsToWhile) {
+  auto U = parseOk(R"(
+    class A { void run() { lp: for (int i = 0; i < 10; i = i + 1) { } } }
+  )");
+  // for desugars to { init; while ... } wrapped in a block.
+  const Stmt &Outer = *U.Classes[0].Methods[0].Body->Body[0];
+  ASSERT_EQ(Outer.Kind, StmtKind::Block);
+  ASSERT_EQ(Outer.Body.size(), 2u);
+  EXPECT_EQ(Outer.Body[0]->Kind, StmtKind::VarDecl);
+  EXPECT_EQ(Outer.Body[1]->Kind, StmtKind::While);
+  EXPECT_EQ(Outer.Body[1]->Text, "lp");
+}
+
+TEST(Parser, AnnotationsAttachToStatements) {
+  auto U = parseOk(R"(
+    class A { void run() {
+      @leak Order o = new Order();
+      @falsepos this.f = new Order();
+    } }
+  )");
+  const auto &Body = U.Classes[0].Methods[0].Body->Body;
+  EXPECT_EQ(Body[0]->Annot, StmtAnnot::Leak);
+  EXPECT_EQ(Body[1]->Annot, StmtAnnot::FalsePos);
+}
+
+TEST(Parser, PrecedenceShape) {
+  auto U = parseOk("class A { int f() { return 1 + 2 * 3 < 4 == true && false; } }");
+  // ((1 + (2*3)) < 4) == true) && false
+  const Expr &E = *U.Classes[0].Methods[0].Body->Body[0]->Value;
+  EXPECT_EQ(E.Kind, ExprKind::Binary);
+  EXPECT_EQ(E.Text, "&&");
+  EXPECT_EQ(E.Base->Text, "==");
+  EXPECT_EQ(E.Base->Base->Text, "<");
+  EXPECT_EQ(E.Base->Base->Base->Text, "+");
+  EXPECT_EQ(E.Base->Base->Base->Rhs->Text, "*");
+}
+
+TEST(Parser, PostfixChains) {
+  auto U = parseOk("class A { void f() { this.a.b[i].c(x, y); } }");
+  const Expr &Call = *U.Classes[0].Methods[0].Body->Body[0]->Value;
+  EXPECT_EQ(Call.Kind, ExprKind::Call);
+  EXPECT_EQ(Call.Text, "c");
+  EXPECT_EQ(Call.Args.size(), 2u);
+  EXPECT_EQ(Call.Base->Kind, ExprKind::Index);
+  EXPECT_EQ(Call.Base->Base->Kind, ExprKind::FieldGet);
+}
+
+TEST(Parser, NewObjectAndNewArray) {
+  auto U = parseOk(R"(
+    class A { void f() {
+      Order o = new Order(1, x);
+      Order[] a = new Order[10];
+      int[][] m = new int[3][];
+    } }
+  )");
+  const auto &Body = U.Classes[0].Methods[0].Body->Body;
+  EXPECT_EQ(Body[0]->Value->Kind, ExprKind::NewObject);
+  EXPECT_EQ(Body[0]->Value->Args.size(), 2u);
+  EXPECT_EQ(Body[1]->Value->Kind, ExprKind::NewArray);
+  EXPECT_EQ(Body[2]->Value->Kind, ExprKind::NewArray);
+  EXPECT_EQ(Body[2]->Value->NewType.ArrayRank, 1u);
+}
+
+TEST(Parser, SuperCallAndSuperCtor) {
+  auto U = parseOk(R"(
+    class B extends A {
+      B() { super(); this.x = 1; }
+      void f() { super.f(); }
+      int x;
+    }
+  )");
+  const auto &Ctor = U.Classes[0].Methods[0];
+  EXPECT_EQ(Ctor.Body->Body[0]->Kind, StmtKind::SuperCtor);
+  const auto &F = U.Classes[0].Methods[1];
+  EXPECT_EQ(F.Body->Body[0]->Value->Kind, ExprKind::SuperCall);
+}
+
+TEST(Parser, SyntaxErrorRecoversToNextClass) {
+  DiagnosticEngine Diags;
+  auto U = parse("class A { int x = ; } class B { }", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  // B should still be parsed.
+  bool SawB = false;
+  for (const auto &C : U.Classes)
+    SawB |= C.Name == "B";
+  EXPECT_TRUE(SawB);
+}
+
+TEST(Parser, MissingSemicolonDiagnosed) {
+  DiagnosticEngine Diags;
+  parse("class A { void f() { int x = 1 } }", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Parser, UnknownAnnotationDiagnosed) {
+  DiagnosticEngine Diags;
+  parse("class A { void f() { @bogus int x; } }", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}

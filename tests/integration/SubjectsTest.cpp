@@ -1,0 +1,255 @@
+//===-- SubjectsTest.cpp - end-to-end tests over the eight subjects --------===//
+//
+// Runs the full pipeline (compile -> call graph -> points-to -> leak
+// analysis -> scoring) on every Table 1 subject and checks the paper's
+// qualitative claims: every known leak is found (zero misses), every
+// reported site is either a true leak or a *documented* false positive,
+// and the per-subject case-study specifics hold. Parameterized over the
+// subject list.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LeakChecker.h"
+#include "frontend/Lower.h"
+#include "interp/Interp.h"
+#include "subjects/Scoring.h"
+#include "subjects/Subjects.h"
+
+#include <gtest/gtest.h>
+
+using namespace lc;
+using namespace lc::subjects;
+
+namespace {
+
+struct SubjectRun {
+  std::unique_ptr<LeakChecker> LC;
+  LeakAnalysisResult Result;
+  Score Sc;
+
+  explicit SubjectRun(const Subject &S) {
+    DiagnosticEngine Diags;
+    LC = LeakChecker::fromSource(S.Source, Diags, S.Options);
+    EXPECT_NE(LC, nullptr) << S.Name << ":\n" << Diags.str();
+    if (!LC)
+      return;
+    auto R = LC->check(S.LoopLabel);
+    EXPECT_TRUE(R.has_value()) << S.Name << ": loop " << S.LoopLabel;
+    if (!R)
+      return;
+    Result = std::move(*R);
+    Sc = score(LC->program(), Result);
+  }
+};
+
+class SubjectTest : public ::testing::TestWithParam<Subject> {};
+
+std::string subjectName(const ::testing::TestParamInfo<Subject> &Info) {
+  std::string N = Info.param.Name;
+  for (char &C : N)
+    if (!isalnum(static_cast<unsigned char>(C)))
+      C = '_';
+  return N;
+}
+
+} // namespace
+
+TEST_P(SubjectTest, CompilesAndAnalyzes) {
+  SubjectRun R(GetParam());
+  ASSERT_NE(R.LC, nullptr);
+  EXPECT_GT(R.LC->reachableMethods(), 5u);
+  EXPECT_GT(R.LC->reachableStmts(), 100u);
+  EXPECT_GT(R.Result.NumInsideSites, 0u) << GetParam().Name;
+}
+
+TEST_P(SubjectTest, NoKnownLeakIsMissed) {
+  SubjectRun R(GetParam());
+  ASSERT_NE(R.LC, nullptr);
+  std::string MissedNames;
+  for (AllocSiteId S : R.Sc.Missed)
+    MissedNames += "  " + R.LC->program().allocSiteName(S) + "\n";
+  EXPECT_TRUE(R.Sc.Missed.empty())
+      << GetParam().Name << " missed @leak sites:\n"
+      << MissedNames << renderLeakReport(R.LC->program(), R.Result);
+}
+
+TEST_P(SubjectTest, NoUndocumentedFalsePositives) {
+  SubjectRun R(GetParam());
+  ASSERT_NE(R.LC, nullptr);
+  EXPECT_EQ(R.Sc.UnexpectedFp, 0u)
+      << GetParam().Name << ": " << renderScore(R.Sc) << "\n"
+      << renderLeakReport(R.LC->program(), R.Result);
+}
+
+TEST_P(SubjectTest, DocumentedFalsePositivesAreReported) {
+  // The paper's FPs are *reports* -- the tool really does emit them; a run
+  // that suppresses them would not reproduce Table 1's FPR.
+  SubjectRun R(GetParam());
+  ASSERT_NE(R.LC, nullptr);
+  unsigned AnnotatedFp = 0;
+  const Program &P = R.LC->program();
+  for (AllocSiteId S = 0; S < P.AllocSites.size(); ++S)
+    AnnotatedFp += P.AllocSites[S].Annot == SiteAnnotation::FalsePos;
+  EXPECT_EQ(R.Sc.ExpectedFp, AnnotatedFp)
+      << GetParam().Name << ": " << renderScore(R.Sc) << "\n"
+      << renderLeakReport(P, R.Result);
+}
+
+TEST_P(SubjectTest, SubjectExecutesWithoutTraps) {
+  // The models are real programs: the concrete interpreter runs them to
+  // completion (sanity for the dynamic-oracle comparisons).
+  const Subject &S = GetParam();
+  Program P;
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(compileSource(S.Source, P, Diags)) << Diags.str();
+  InterpOptions Opts;
+  Opts.TrackedLoop = P.findLoop(S.LoopLabel);
+  InterpResult R = interpret(P, Opts);
+  EXPECT_TRUE(R.ok()) << S.Name << ": " << R.TrapMessage;
+}
+
+TEST_P(SubjectTest, DynamicLeaksAreStaticallyReported) {
+  // Ground-truth cross-check (Definition 1 oracle vs the static tool):
+  // every allocation site with dynamically-leaking instances must be
+  // reported, except sites the paper's pivot mode intentionally folds
+  // into their reported root.
+  const Subject &S = GetParam();
+  SubjectRun StaticRun(S);
+  ASSERT_NE(StaticRun.LC, nullptr);
+
+  Program P;
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(compileSource(S.Source, P, Diags)) << Diags.str();
+  InterpOptions Opts;
+  Opts.TrackedLoop = P.findLoop(S.LoopLabel);
+  ASSERT_NE(Opts.TrackedLoop, kInvalidId);
+  InterpResult R = interpret(P, Opts);
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  DynamicLeakReport D = detectDynamicLeaks(R);
+
+  // Compare at the annotation level: dynamically-leaking *annotated* sites
+  // must be statically reported. (Unannotated dynamic leaks are structure
+  // internals covered by pivot mode.)
+  for (AllocSiteId Site : D.Sites) {
+    if (P.AllocSites[Site].Annot != SiteAnnotation::Leak)
+      continue;
+    EXPECT_TRUE(StaticRun.Result.reportsSite(Site))
+        << S.Name << ": dynamic leak not statically reported: "
+        << P.allocSiteName(Site);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSubjects, SubjectTest,
+                         ::testing::ValuesIn(subjects::all()), subjectName);
+
+// --- Case-study specifics ----------------------------------------------------
+
+TEST(CaseStudies, SpecJbbReportsBTreeNode) {
+  SubjectRun R(byName("SPECjbb2000"));
+  ASSERT_NE(R.LC, nullptr);
+  const Program &P = R.LC->program();
+  bool Node = false;
+  for (const LeakReport &Rep : R.Result.Reports) {
+    const Type &T = P.Types.get(P.AllocSites[Rep.Site].Ty);
+    if (T.K == Type::Kind::Ref && P.className(T.Cls) == "LongBTreeNode")
+      Node = true;
+  }
+  EXPECT_TRUE(Node) << renderLeakReport(P, R.Result);
+}
+
+TEST(CaseStudies, SpecJbbNodeHasMultipleContexts) {
+  // The narrative: the node site is reported under many calling contexts
+  // (new_order and multiple_orders reach it through different chains).
+  SubjectRun R(byName("SPECjbb2000"));
+  ASSERT_NE(R.LC, nullptr);
+  const Program &P = R.LC->program();
+  for (const LeakReport &Rep : R.Result.Reports) {
+    const Type &T = P.Types.get(P.AllocSites[Rep.Site].Ty);
+    if (T.K == Type::Kind::Ref && P.className(T.Cls) == "LongBTreeNode")
+      EXPECT_GE(Rep.Contexts.size(), 2u);
+  }
+}
+
+TEST(CaseStudies, EclipseDiffBlamesHistoryEntry) {
+  SubjectRun R(byName("EclipseDiff"));
+  ASSERT_NE(R.LC, nullptr);
+  const Program &P = R.LC->program();
+  bool Entry = false;
+  for (const LeakReport &Rep : R.Result.Reports) {
+    const Type &T = P.Types.get(P.AllocSites[Rep.Site].Ty);
+    if (T.K == Type::Kind::Ref && P.className(T.Cls) == "HistoryEntry") {
+      Entry = true;
+      EXPECT_EQ(P.AllocSites[Rep.Site].Annot, SiteAnnotation::Leak);
+    }
+  }
+  EXPECT_TRUE(Entry) << renderLeakReport(P, R.Result);
+}
+
+TEST(CaseStudies, FindBugsSplitsFiveToFour) {
+  SubjectRun R(byName("FindBugs"));
+  ASSERT_NE(R.LC, nullptr);
+  EXPECT_EQ(R.Sc.TruePositives, 4u) << renderScore(R.Sc);
+  EXPECT_EQ(R.Sc.ExpectedFp, 5u) << renderScore(R.Sc);
+}
+
+TEST(CaseStudies, DerbyHalfAndHalf) {
+  SubjectRun R(byName("Derby"));
+  ASSERT_NE(R.LC, nullptr);
+  EXPECT_EQ(R.Sc.TruePositives, 4u) << renderScore(R.Sc);
+  EXPECT_EQ(R.Sc.ExpectedFp, 4u) << renderScore(R.Sc);
+}
+
+TEST(CaseStudies, Log4jHasNoFalsePositives) {
+  SubjectRun R(byName("log4j"));
+  ASSERT_NE(R.LC, nullptr);
+  EXPECT_EQ(R.Sc.falsePositives(), 0u) << renderScore(R.Sc);
+  EXPECT_EQ(R.Sc.TruePositives, 4u) << renderScore(R.Sc);
+}
+
+TEST(CaseStudies, MckoiNeedsThreadModeling) {
+  const Subject &S = byName("Mckoi");
+  // First run, as in the paper: threads not modeled -> only the singleton
+  // bootstrap (stored in the outside driver) is reported.
+  DiagnosticEngine Diags;
+  LeakOptions NoThreads = S.Options;
+  NoThreads.ModelThreads = false;
+  auto LC = LeakChecker::fromSource(S.Source, Diags, NoThreads);
+  ASSERT_NE(LC, nullptr) << Diags.str();
+  auto R1 = LC->check(S.LoopLabel);
+  ASSERT_TRUE(R1.has_value());
+  const Program &P = LC->program();
+  for (const LeakReport &Rep : R1->Reports) {
+    const Type &T = P.Types.get(P.AllocSites[Rep.Site].Ty);
+    EXPECT_EQ(P.className(T.Cls), "LocalBootstrap")
+        << renderLeakReport(P, *R1);
+  }
+  // Second run with the workaround: the DatabaseSystem leak appears.
+  auto R2 = LC->checkWith(P.findLoop(S.LoopLabel), S.Options);
+  bool FoundSystem = false;
+  for (const LeakReport &Rep : R2.Reports) {
+    const Type &T = P.Types.get(P.AllocSites[Rep.Site].Ty);
+    FoundSystem |= P.className(T.Cls) == "DatabaseSystem";
+  }
+  EXPECT_TRUE(FoundSystem) << renderLeakReport(P, R2);
+  EXPECT_GT(R2.Reports.size(), R1->Reports.size())
+      << "thread modeling raises the report (and FP) count";
+}
+
+TEST(CaseStudies, AverageFprInPaperBallpark) {
+  // Paper: average FPR 49.8%. Assert the reproduction lands in a sane
+  // band around it (shape, not exact numbers).
+  double Sum = 0;
+  unsigned N = 0;
+  for (const Subject &S : subjects::all()) {
+    SubjectRun R(S);
+    ASSERT_NE(R.LC, nullptr);
+    if (R.Sc.Reported == 0)
+      continue;
+    Sum += R.Sc.fpr();
+    ++N;
+  }
+  ASSERT_GT(N, 0u);
+  double Avg = Sum / N;
+  EXPECT_GT(Avg, 0.25) << "documented FPs vanished";
+  EXPECT_LT(Avg, 0.75) << "report quality collapsed";
+}

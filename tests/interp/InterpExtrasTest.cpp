@@ -1,0 +1,229 @@
+//===-- InterpExtrasTest.cpp - further interpreter coverage ------------------===//
+
+#include "frontend/Lower.h"
+#include "interp/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace lc;
+
+namespace {
+
+struct World {
+  Program P;
+  DiagnosticEngine Diags;
+
+  explicit World(std::string_view Src) {
+    bool Ok = compileSource(Src, P, Diags);
+    EXPECT_TRUE(Ok) << Diags.str();
+  }
+
+  InterpResult run(std::string_view TrackLoop = {}) {
+    InterpOptions Opts;
+    if (!TrackLoop.empty())
+      Opts.TrackedLoop = P.findLoop(TrackLoop);
+    return interpret(P, Opts);
+  }
+
+  unsigned instancesOf(const InterpResult &R, std::string_view Cls) const {
+    unsigned N = 0;
+    for (const RtObject &O : R.Heap) {
+      if (O.Site == kInvalidId)
+        continue;
+      const Type &T = P.Types.get(O.Ty);
+      N += T.K == Type::Kind::Ref && P.className(T.Cls) == Cls;
+    }
+    return N;
+  }
+};
+
+} // namespace
+
+TEST(InterpExtras, UpcastAndDowncastSucceed) {
+  World W(R"(
+    class A { int tag() { return 1; } }
+    class B extends A { int tag() { return 5; } }
+    class Marker { }
+    class Main { static void main() {
+      Object o = new B();
+      A a = (A) o;
+      B b = (B) a;
+      int n = b.tag();
+      int j = 0;
+      while (j < n) { Marker m = new Marker(); j = j + 1; }
+    } }
+  )");
+  InterpResult R = W.run();
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_EQ(W.instancesOf(R, "Marker"), 5u);
+}
+
+TEST(InterpExtras, BadDowncastTraps) {
+  World W(R"(
+    class A { }
+    class B extends A { }
+    class Main { static void main() {
+      A a = new A();
+      B b = (B) a;
+    } }
+  )");
+  InterpResult R = W.run();
+  EXPECT_EQ(R.St, InterpResult::Status::Trap);
+  EXPECT_NE(R.TrapMessage.find("bad cast"), std::string::npos);
+}
+
+TEST(InterpExtras, CastOfNullIsAllowed) {
+  World W(R"(
+    class A { }
+    class Main { static void main() {
+      Object o = null;
+      A a = (A) o;
+    } }
+  )");
+  EXPECT_TRUE(W.run().ok());
+}
+
+TEST(InterpExtras, RegionCountsOneIterationPerEntry) {
+  World W(R"(
+    class Main {
+      static void hit() { region "r" { int x = 1; } }
+      static void main() {
+        Main.hit();
+        Main.hit();
+        Main.hit();
+      }
+    }
+  )");
+  InterpResult R = W.run("r");
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.TrackedIters, 3u);
+}
+
+TEST(InterpExtras, ObjectsInsideRegionAreTagged) {
+  World W(R"(
+    class Item { }
+    class Helper { static Item make() { return new Item(); } }
+    class Main { static void main() {
+      region "r" {
+        Item direct = new Item();
+        Item viaCall = Helper.make();   // created in a callee, still inside
+      }
+      Item outside = new Item();
+    } }
+  )");
+  InterpResult R = W.run("r");
+  ASSERT_TRUE(R.ok());
+  unsigned Inside = 0, Outside = 0;
+  for (const RtObject &O : R.Heap) {
+    if (O.Site == kInvalidId)
+      continue;
+    (O.CreatedInside ? Inside : Outside) += 1;
+  }
+  EXPECT_EQ(Inside, 2u) << "callee allocations count as inside";
+  EXPECT_EQ(Outside, 1u);
+}
+
+TEST(InterpExtras, StringLiteralsAllocateDistinctObjects) {
+  World W(R"(
+    class Main { static void main() {
+      int i = 0;
+      l: while (i < 3) {
+        String s = "hello";
+        i = i + 1;
+      }
+    } }
+  )");
+  InterpResult R = W.run("l");
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(W.instancesOf(R, "String"), 3u);
+}
+
+TEST(InterpExtras, DeepRecursionWithinStepBudget) {
+  World W(R"(
+    class Main {
+      static int down(int n) {
+        if (n == 0) { return 0; }
+        return Main.down(n - 1) + 1;
+      }
+      static void main() { int r = Main.down(500); }
+    }
+  )");
+  EXPECT_TRUE(W.run().ok());
+}
+
+TEST(InterpExtras, ReferenceEqualitySemantics) {
+  World W(R"(
+    class A { }
+    class Marker { }
+    class Main { static void main() {
+      A a = new A();
+      A b = a;
+      A c = new A();
+      int n = 0;
+      if (a == b) { n = n + 1; }     // same object
+      if (a != c) { n = n + 1; }     // different objects
+      if (c != null) { n = n + 1; }  // non-null vs null
+      int j = 0;
+      while (j < n) { Marker m = new Marker(); j = j + 1; }
+    } }
+  )");
+  InterpResult R = W.run();
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(W.instancesOf(R, "Marker"), 3u);
+}
+
+TEST(InterpExtras, CovariantArrayStoreRuns) {
+  World W(R"(
+    class A { }
+    class B extends A { }
+    class Main { static void main() {
+      A[] arr = new B[4];
+      arr[0] = new B();
+      A got = arr[0];
+    } }
+  )");
+  EXPECT_TRUE(W.run().ok());
+}
+
+TEST(InterpExtras, NestedLoopsTrackOnlySelectedOne) {
+  World W(R"(
+    class Item { }
+    class Main { static void main() {
+      int i = 0;
+      outer: while (i < 3) {
+        int j = 0;
+        inner: while (j < 4) {
+          Item x = new Item();
+          j = j + 1;
+        }
+        i = i + 1;
+      }
+    } }
+  )");
+  InterpResult ROuter = W.run("outer");
+  ASSERT_TRUE(ROuter.ok());
+  EXPECT_EQ(ROuter.TrackedIters, 4u); // 3 body entries + final check
+  InterpResult RInner = W.run("inner");
+  ASSERT_TRUE(RInner.ok());
+  // Inner IterBegin fires (4+1) per outer iteration.
+  EXPECT_EQ(RInner.TrackedIters, 15u);
+  // All Items created inside either tracked loop.
+  for (const RtObject &O : RInner.Heap)
+    if (O.Site != kInvalidId)
+      EXPECT_TRUE(O.CreatedInside);
+}
+
+TEST(InterpExtras, EffectLogsEmptyWhenNotTracking) {
+  World W(R"(
+    class Box { Object v; }
+    class Main { static void main() {
+      Box b = new Box();
+      b.v = b;
+      Object o = b.v;
+    } }
+  )");
+  InterpResult R = W.run(); // no tracked loop
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R.StoreLog.empty());
+  EXPECT_TRUE(R.LoadLog.empty());
+}

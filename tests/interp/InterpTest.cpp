@@ -1,0 +1,341 @@
+//===-- InterpTest.cpp - unit tests for the concrete interpreter -----------===//
+
+#include "frontend/Lower.h"
+#include "interp/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace lc;
+
+namespace {
+
+struct World {
+  Program P;
+  DiagnosticEngine Diags;
+
+  explicit World(std::string_view Src) {
+    bool Ok = compileSource(Src, P, Diags);
+    EXPECT_TRUE(Ok) << Diags.str();
+  }
+
+  InterpResult run(std::string_view TrackLoop = {}) {
+    InterpOptions Opts;
+    if (!TrackLoop.empty()) {
+      Opts.TrackedLoop = P.findLoop(TrackLoop);
+      EXPECT_NE(Opts.TrackedLoop, kInvalidId) << "no loop " << TrackLoop;
+    }
+    return interpret(P, Opts);
+  }
+
+  /// Count of run-time objects created at sites of class \p Cls.
+  unsigned instancesOf(const InterpResult &R, std::string_view Cls) const {
+    unsigned N = 0;
+    for (const RtObject &O : R.Heap) {
+      if (O.Site == kInvalidId)
+        continue;
+      const Type &T = P.Types.get(O.Ty);
+      N += T.K == Type::Kind::Ref && P.className(T.Cls) == Cls;
+    }
+    return N;
+  }
+
+  AllocSiteId siteOf(std::string_view Cls) const {
+    for (AllocSiteId S = 0; S < P.AllocSites.size(); ++S) {
+      const Type &T = P.Types.get(P.AllocSites[S].Ty);
+      if (T.K == Type::Kind::Ref && P.className(T.Cls) == Cls)
+        return S;
+    }
+    ADD_FAILURE() << "no site of " << Cls;
+    return kInvalidId;
+  }
+};
+
+} // namespace
+
+TEST(Interp, ArithmeticAndControlFlow) {
+  // fib(10) == 55 observed via the object count trick: allocate one Marker
+  // per fib unit.
+  World W(R"(
+    class Marker { }
+    class Main {
+      static void main() {
+        int a = 0; int b = 1; int i = 0;
+        while (i < 9) { int t = a + b; a = b; b = t; i = i + 1; }
+        int j = 0;
+        while (j < b) { Marker m = new Marker(); j = j + 1; }
+      }
+    }
+  )");
+  InterpResult R = W.run();
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_EQ(W.instancesOf(R, "Marker"), 55u);
+}
+
+TEST(Interp, FieldsAndArrays) {
+  World W(R"(
+    class Box { int v; }
+    class Marker { }
+    class Main { static void main() {
+      Box b = new Box();
+      b.v = 3;
+      int[] a = new int[4];
+      a[2] = b.v + 1;
+      int n = a[2] + a.length;   // 4 + 4
+      int j = 0;
+      while (j < n) { Marker m = new Marker(); j = j + 1; }
+    } }
+  )");
+  InterpResult R = W.run();
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_EQ(W.instancesOf(R, "Marker"), 8u);
+}
+
+TEST(Interp, VirtualDispatchRunsOverride) {
+  World W(R"(
+    class A { int tag() { return 1; } }
+    class B extends A { int tag() { return 7; } }
+    class Marker { }
+    class Main { static void main() {
+      A x = new B();
+      int n = x.tag();
+      int j = 0;
+      while (j < n) { Marker m = new Marker(); j = j + 1; }
+    } }
+  )");
+  InterpResult R = W.run();
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_EQ(W.instancesOf(R, "Marker"), 7u);
+}
+
+TEST(Interp, ConstructorChainAndFieldInit) {
+  World W(R"(
+    class A { int x = 5; A() { this.x = this.x + 1; } }
+    class B extends A { int y; B() { super(); this.y = this.x * 2; } }
+    class Marker { }
+    class Main { static void main() {
+      B b = new B();
+      int j = 0;
+      while (j < b.y) { Marker m = new Marker(); j = j + 1; }
+    } }
+  )");
+  InterpResult R = W.run();
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_EQ(W.instancesOf(R, "Marker"), 12u);
+}
+
+TEST(Interp, StaticsAndClinit) {
+  World W(R"(
+    class G { static int seed = 4; static int bump() { G.seed = G.seed + 1; return G.seed; } }
+    class Marker { }
+    class Main { static void main() {
+      int n = G.bump();   // 5
+      int j = 0;
+      while (j < n) { Marker m = new Marker(); j = j + 1; }
+    } }
+  )");
+  InterpResult R = W.run();
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_EQ(W.instancesOf(R, "Marker"), 5u);
+}
+
+TEST(Interp, ThreadStartRunsBodySynchronously) {
+  World W(R"(
+    class Marker { }
+    class Worker extends Thread {
+      void run() { Marker m = new Marker(); }
+    }
+    class Main { static void main() {
+      Worker w = new Worker();
+      w.start();
+      w.start();
+    } }
+  )");
+  InterpResult R = W.run();
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_EQ(W.instancesOf(R, "Marker"), 2u);
+}
+
+TEST(Interp, NullDereferenceTraps) {
+  World W(R"(
+    class Box { int v; }
+    class Main { static void main() { Box b = null; int x = b.v; } }
+  )");
+  InterpResult R = W.run();
+  EXPECT_EQ(R.St, InterpResult::Status::Trap);
+  EXPECT_NE(R.TrapMessage.find("null dereference"), std::string::npos);
+}
+
+TEST(Interp, ArrayBoundsTrap) {
+  World W(R"(
+    class Main { static void main() { int[] a = new int[2]; int x = a[5]; } }
+  )");
+  InterpResult R = W.run();
+  EXPECT_EQ(R.St, InterpResult::Status::Trap);
+}
+
+TEST(Interp, DivisionByZeroTraps) {
+  World W(R"(
+    class Main { static void main() { int z = 0; int x = 4 / z; } }
+  )");
+  InterpResult R = W.run();
+  EXPECT_EQ(R.St, InterpResult::Status::Trap);
+}
+
+TEST(Interp, StepLimitStopsInfiniteLoop) {
+  World W(R"(
+    class Main { static void main() { while (true) { int x = 1; } } }
+  )");
+  InterpOptions Opts;
+  Opts.MaxSteps = 10000;
+  InterpResult R = interpret(W.P, Opts);
+  EXPECT_EQ(R.St, InterpResult::Status::StepLimit);
+}
+
+TEST(Interp, TracksIterationCounts) {
+  World W(R"(
+    class Main { static void main() {
+      int i = 0;
+      l: while (i < 7) { i = i + 1; }
+    } }
+  )");
+  InterpResult R = W.run("l");
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  // The final failed check also passes IterBegin: 8 abstract iterations.
+  EXPECT_EQ(R.TrackedIters, 8u);
+}
+
+TEST(Interp, EffectLogsRecordStoresAndLoads) {
+  World W(R"(
+    class Holder { Item it; }
+    class Item { }
+    class Main { static void main() {
+      Holder h = new Holder();
+      int i = 0;
+      l: while (i < 3) {
+        Item x = new Item();
+        h.it = x;
+        Item y = h.it;
+        i = i + 1;
+      }
+    } }
+  )");
+  InterpResult R = W.run("l");
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_EQ(R.StoreLog.size(), 3u);
+  EXPECT_EQ(R.LoadLog.size(), 3u);
+  // Objects created inside carry their iteration.
+  unsigned Inside = 0;
+  for (const RtObject &O : R.Heap)
+    Inside += O.CreatedInside;
+  EXPECT_EQ(Inside, 3u);
+}
+
+// --- Definition 1 oracle ----------------------------------------------------
+
+TEST(DynamicOracle, EscapeNeverReadLeaks) {
+  World W(R"(
+    class Holder { Item it; Item[] all; }
+    class Item { }
+    class Main { static void main() {
+      Holder h = new Holder();
+      h.all = new Item[100];
+      int i = 0;
+      l: while (i < 10) {
+        Item x = new Item();
+        h.all[i] = x;
+        i = i + 1;
+      }
+    } }
+  )");
+  InterpResult R = W.run("l");
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  DynamicLeakReport D = detectDynamicLeaks(R);
+  EXPECT_EQ(D.Objects.size(), 10u);
+  EXPECT_TRUE(D.Sites.count(W.siteOf("Item")));
+}
+
+TEST(DynamicOracle, CarriedOverAndReadIsNotLeak) {
+  World W(R"(
+    class Holder { Item it; }
+    class Item { }
+    class Main { static void main() {
+      Holder h = new Holder();
+      int i = 0;
+      l: while (i < 10) {
+        Item prev = h.it;   // reads last iteration's object
+        Item x = new Item();
+        h.it = x;
+        i = i + 1;
+      }
+    } }
+  )");
+  InterpResult R = W.run("l");
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  DynamicLeakReport D = detectDynamicLeaks(R);
+  // The FINAL object is stored and never read (the loop ends); Definition 1
+  // counts it: its root store is never reloaded. All earlier objects were
+  // read back. Hence exactly 1 leaking object.
+  EXPECT_EQ(D.Objects.size(), 1u);
+}
+
+TEST(DynamicOracle, IterationLocalNotLeak) {
+  World W(R"(
+    class Item { int v; }
+    class Main { static void main() {
+      int i = 0;
+      l: while (i < 10) {
+        Item x = new Item();
+        x.v = i;
+        i = i + 1;
+      }
+    } }
+  )");
+  InterpResult R = W.run("l");
+  ASSERT_TRUE(R.ok());
+  DynamicLeakReport D = detectDynamicLeaks(R);
+  EXPECT_TRUE(D.Objects.empty());
+}
+
+TEST(DynamicOracle, TransitiveStructureLeaks) {
+  World W(R"(
+    class Holder { Wrapper w; }
+    class Wrapper { Item it; }
+    class Item { }
+    class Main { static void main() {
+      Holder h = new Holder();
+      int i = 0;
+      l: while (i < 5) {
+        Wrapper wr = new Wrapper();
+        Item x = new Item();
+        wr.it = x;
+        h.w = wr;
+        i = i + 1;
+      }
+    } }
+  )");
+  InterpResult R = W.run("l");
+  ASSERT_TRUE(R.ok());
+  DynamicLeakReport D = detectDynamicLeaks(R);
+  // Wrappers leak; Items leak transitively (both stored and never read).
+  EXPECT_TRUE(D.Sites.count(W.siteOf("Wrapper")));
+  EXPECT_TRUE(D.Sites.count(W.siteOf("Item")));
+}
+
+TEST(DynamicOracle, EscapeToStaticLeaks) {
+  World W(R"(
+    class G { static Object sink; }
+    class Item { }
+    class Main { static void main() {
+      int i = 0;
+      l: while (i < 4) {
+        Item x = new Item();
+        G.sink = x;
+        i = i + 1;
+      }
+    } }
+  )");
+  InterpResult R = W.run("l");
+  ASSERT_TRUE(R.ok());
+  DynamicLeakReport D = detectDynamicLeaks(R);
+  EXPECT_TRUE(D.Sites.count(W.siteOf("Item")));
+}

@@ -1,0 +1,223 @@
+//===-- IrTest.cpp - unit tests for the IR layer ----------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace lc;
+
+namespace {
+
+/// Builds an empty program with builtins installed.
+std::unique_ptr<Program> freshProgram() {
+  auto P = std::make_unique<Program>();
+  P->initBuiltins();
+  return P;
+}
+
+} // namespace
+
+TEST(IrTypes, PrimitiveIdsAreStable) {
+  TypeTable T;
+  EXPECT_EQ(T.voidTy(), 0u);
+  EXPECT_EQ(T.intTy(), 1u);
+  EXPECT_EQ(T.boolTy(), 2u);
+  EXPECT_EQ(T.nullTy(), 3u);
+  EXPECT_FALSE(T.isRefLike(T.intTy()));
+  EXPECT_TRUE(T.isRefLike(T.nullTy()));
+}
+
+TEST(IrTypes, RefAndArrayInterning) {
+  TypeTable T;
+  TypeId R1 = T.refTy(7);
+  TypeId R2 = T.refTy(7);
+  TypeId R3 = T.refTy(8);
+  EXPECT_EQ(R1, R2);
+  EXPECT_NE(R1, R3);
+  TypeId A1 = T.arrayTy(R1);
+  TypeId A2 = T.arrayTy(R1);
+  EXPECT_EQ(A1, A2);
+  EXPECT_EQ(T.get(A1).Elem, R1);
+  // Array-of-array nests.
+  TypeId AA = T.arrayTy(A1);
+  EXPECT_EQ(T.get(AA).Elem, A1);
+}
+
+TEST(IrBuiltins, ObjectStringThreadExist) {
+  auto P = freshProgram();
+  EXPECT_NE(P->ObjectClass, kInvalidId);
+  EXPECT_NE(P->StringClass, kInvalidId);
+  EXPECT_NE(P->ThreadClass, kInvalidId);
+  EXPECT_TRUE(P->isSubclassOf(P->StringClass, P->ObjectClass));
+  EXPECT_TRUE(P->isSubclassOf(P->ThreadClass, P->ObjectClass));
+  EXPECT_FALSE(P->isSubclassOf(P->ObjectClass, P->ThreadClass));
+  // Thread.start virtually calls run.
+  MethodId Start = P->findMethodIn(P->ThreadClass, "start");
+  ASSERT_NE(Start, kInvalidId);
+  bool CallsRun = false;
+  for (const Stmt &S : P->Methods[Start].Body)
+    CallsRun |= S.Op == Opcode::Invoke && P->methodName(S.Callee) == "run";
+  EXPECT_TRUE(CallsRun);
+}
+
+TEST(IrBuilder, BuildsVerifiableMethod) {
+  auto P = freshProgram();
+  IRBuilder B(*P);
+  ClassId C = B.addClass("Box");
+  FieldId F = B.addField(C, "v", B.refTy(P->ObjectClass));
+  MethodId M = B.beginMethod(C, "roundtrip", B.refTy(P->ObjectClass),
+                             /*IsStatic=*/false,
+                             {{"x", B.refTy(P->ObjectClass)}});
+  LocalId This = P->Methods[M].thisLocal();
+  LocalId X = P->Methods[M].paramLocal(0);
+  LocalId T = B.addLocal("t", B.refTy(P->ObjectClass));
+  B.emitStore(This, F, X);
+  B.emitLoad(T, This, F);
+  B.emitReturn(T);
+  B.endMethod();
+
+  auto Problems = verifyProgram(*P);
+  EXPECT_TRUE(Problems.empty()) << Problems.front();
+  std::string Text = printMethod(*P, M);
+  EXPECT_NE(Text.find("this.v = x"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("return t"), std::string::npos) << Text;
+}
+
+TEST(IrBuilder, BranchTargetsAndLoops) {
+  auto P = freshProgram();
+  IRBuilder B(*P);
+  ClassId C = B.addClass("Main");
+  MethodId M = B.beginMethod(C, "main", P->Types.voidTy(), true, {});
+  B.markEntry();
+  LocalId Cond = B.addLocal("c", P->Types.boolTy());
+  B.emitConstBool(Cond, true);
+  LoopId L = B.beginLoopBody("spin");
+  StmtIdx Head = P->Methods[M].Body.size() - 1; // the IterBegin
+  StmtIdx Br = B.emitIf(Cond);
+  B.emitGotoTo(Head);
+  B.bindTarget(Br, B.nextIdx());
+  B.endLoopBody(L);
+  B.emitReturn();
+  B.endMethod();
+
+  EXPECT_EQ(P->EntryMethod, M);
+  EXPECT_EQ(P->findLoop("spin"), L);
+  auto Problems = verifyProgram(*P);
+  EXPECT_TRUE(Problems.empty()) << Problems.front();
+}
+
+TEST(IrBuilder, AllocSitesCrossReference) {
+  auto P = freshProgram();
+  IRBuilder B(*P);
+  ClassId C = B.addClass("Main");
+  MethodId M = B.beginMethod(C, "main", P->Types.voidTy(), true, {});
+  LocalId A = B.addLocal("a", B.refTy(C));
+  LocalId N = B.addLocal("n", P->Types.intTy());
+  B.emitConstInt(N, 4);
+  StmtIdx S1 = B.emitNew(A, C);
+  LocalId Arr = B.addLocal("arr", B.arrayTy(P->Types.intTy()));
+  StmtIdx S2 = B.emitNewArray(Arr, P->Types.intTy(), N);
+  B.endMethod();
+
+  ASSERT_EQ(P->AllocSites.size(), 2u);
+  EXPECT_EQ(P->AllocSites[0].Method, M);
+  EXPECT_EQ(P->AllocSites[0].Index, S1);
+  EXPECT_EQ(P->AllocSites[1].Index, S2);
+  EXPECT_TRUE(verifyProgram(*P).empty());
+}
+
+TEST(IrVerifier, CatchesBadBranchTarget) {
+  auto P = freshProgram();
+  IRBuilder B(*P);
+  ClassId C = B.addClass("Main");
+  B.beginMethod(C, "main", P->Types.voidTy(), true, {});
+  LocalId Cond = B.addLocal("c", P->Types.boolTy());
+  B.emitConstBool(Cond, false);
+  StmtIdx Br = B.emitIf(Cond);
+  B.bindTarget(Br, 9999);
+  B.emitReturn();
+  B.endMethod();
+  auto Problems = verifyProgram(*P);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems.front().find("branch target"), std::string::npos);
+}
+
+TEST(IrVerifier, CatchesOutOfRangeLocal) {
+  auto P = freshProgram();
+  IRBuilder B(*P);
+  ClassId C = B.addClass("Main");
+  MethodId M = B.beginMethod(C, "main", P->Types.voidTy(), true, {});
+  B.emitReturn();
+  B.endMethod();
+  // Corrupt: reference local 42 in a method with no locals.
+  Stmt Bad;
+  Bad.Op = Opcode::Copy;
+  Bad.Dst = 42;
+  Bad.SrcA = 43;
+  P->Methods[M].Body.insert(P->Methods[M].Body.begin(), Bad);
+  auto Problems = verifyProgram(*P);
+  EXPECT_FALSE(Problems.empty());
+}
+
+TEST(IrVerifier, CatchesArgCountMismatch) {
+  auto P = freshProgram();
+  IRBuilder B(*P);
+  ClassId C = B.addClass("Main");
+  MethodId Callee = B.beginMethod(C, "takesTwo", P->Types.voidTy(), true,
+                                  {{"a", P->Types.intTy()},
+                                   {"b", P->Types.intTy()}});
+  B.endMethod();
+  MethodId M = B.beginMethod(C, "main", P->Types.voidTy(), true, {});
+  B.emitInvoke(kInvalidId, CallKind::Static, Callee, kInvalidId, {});
+  B.endMethod();
+  (void)M;
+  auto Problems = verifyProgram(*P);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems.front().find("argument count"), std::string::npos);
+}
+
+TEST(IrProgram, LookupHelpers) {
+  auto P = freshProgram();
+  IRBuilder B(*P);
+  ClassId A = B.addClass("A");
+  ClassId Bc = B.addClass("B", A);
+  FieldId F = B.addField(A, "shared", P->Types.intTy());
+  B.beginMethod(A, "f", P->Types.voidTy(), false, {});
+  B.endMethod();
+
+  EXPECT_EQ(P->findClass("A"), A);
+  EXPECT_EQ(P->findClass("Nope"), kInvalidId);
+  // Field resolution walks up the hierarchy.
+  EXPECT_EQ(P->findField(Bc, "shared"), F);
+  // Method resolution walks up too.
+  Symbol FName = P->Strings.intern("f");
+  EXPECT_NE(P->resolveMethod(Bc, FName), kInvalidId);
+  EXPECT_EQ(P->qualifiedFieldName(F), "A.shared");
+}
+
+TEST(IrProgram, TypeNames) {
+  auto P = freshProgram();
+  IRBuilder B(*P);
+  ClassId C = B.addClass("Order");
+  EXPECT_EQ(P->typeName(P->Types.intTy()), "int");
+  EXPECT_EQ(P->typeName(P->Types.boolTy()), "boolean");
+  EXPECT_EQ(P->typeName(B.refTy(C)), "Order");
+  EXPECT_EQ(P->typeName(B.arrayTy(B.refTy(C))), "Order[]");
+  EXPECT_EQ(P->typeName(B.arrayTy(B.arrayTy(P->Types.intTy()))), "int[][]");
+}
+
+TEST(IrPrinter, WholeProgramRendering) {
+  auto P = freshProgram();
+  IRBuilder B(*P);
+  ClassId C = B.addClass("Node");
+  B.addField(C, "next", B.refTy(C));
+  MethodId M = B.beginMethod(C, "self", B.refTy(C), false, {});
+  B.emitReturn(P->Methods[M].thisLocal());
+  B.endMethod();
+  std::string Text = printProgram(*P);
+  EXPECT_NE(Text.find("class Node"), std::string::npos);
+  EXPECT_NE(Text.find("Node next;"), std::string::npos);
+  EXPECT_NE(Text.find("Node.self"), std::string::npos);
+}

@@ -1,0 +1,256 @@
+//===-- ExtensionsTest.cpp - tests for the future-work extensions ----------===//
+//
+// The paper's conclusion names two refinement directions: "modeling of
+// destructive updates" for higher precision, and "approaches to identify
+// suspicious loops to be checked ... using structural information". Both
+// are implemented behind options; these tests pin their behaviour.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LeakChecker.h"
+#include "frontend/Lower.h"
+#include "leak/LoopSuggestion.h"
+#include "subjects/Scoring.h"
+#include "subjects/Subjects.h"
+
+#include <gtest/gtest.h>
+
+using namespace lc;
+
+namespace {
+
+struct World {
+  std::unique_ptr<LeakChecker> LC;
+  DiagnosticEngine Diags;
+
+  explicit World(std::string_view Src, LeakOptions Opts = {}) {
+    LC = LeakChecker::fromSource(Src, Diags, Opts);
+    EXPECT_NE(LC, nullptr) << Diags.str();
+  }
+  const Program &P() const { return LC->program(); }
+};
+
+} // namespace
+
+// --- Destructive-update modeling ---------------------------------------------
+
+TEST(DestructiveUpdates, SuppressesUnconditionallyOverwrittenSlot) {
+  const char *Src = R"(
+    class Holder { Item it; }
+    class Item { }
+    class Main { static void main() {
+      Holder h = new Holder();
+      int i = 0;
+      l: while (i < 10) {
+        Item x = new Item();
+        h.it = x;           // overwritten every iteration, never read
+        i = i + 1;
+      }
+    } }
+  )";
+  World W(Src);
+  LoopId L = W.P().findLoop("l");
+  LeakOptions Off;
+  auto RDefault = W.LC->checkWith(L, Off);
+  EXPECT_EQ(RDefault.Reports.size(), 1u)
+      << "paper behaviour: overwritten slot is a (false-positive) report";
+  LeakOptions On;
+  On.ModelDestructiveUpdates = true;
+  auto ROn = W.LC->checkWith(L, On);
+  EXPECT_TRUE(ROn.Reports.empty())
+      << renderLeakReport(W.P(), ROn)
+      << "strong-update evidence must suppress the report";
+  EXPECT_GE(ROn.Statistics.get("destructive-update-suppressed"), 1u);
+}
+
+TEST(DestructiveUpdates, ConditionalStoreIsNotSuppressed) {
+  // The guard makes the overwrite conditional: in iterations where the
+  // store is skipped, the previous reference survives -- no suppression.
+  const char *Src = R"(
+    class Holder { Item it; }
+    class Item { }
+    class Main { static void main() {
+      Holder h = new Holder();
+      int i = 0;
+      l: while (i < 10) {
+        Item x = new Item();
+        if (i - (i / 2) * 2 == 0) {
+          h.it = x;
+        }
+        i = i + 1;
+      }
+    } }
+  )";
+  LeakOptions On;
+  On.ModelDestructiveUpdates = true;
+  World W(Src, On);
+  auto R = W.LC->checkWith(W.P().findLoop("l"), On);
+  EXPECT_EQ(R.Reports.size(), 1u) << renderLeakReport(W.P(), R);
+}
+
+TEST(DestructiveUpdates, ArraySlotsAreNeverSuppressed) {
+  // Array elements accumulate under the analysis's elem abstraction.
+  const char *Src = R"(
+    class Holder { Item[] all = new Item[64]; int n; }
+    class Item { }
+    class Main { static void main() {
+      Holder h = new Holder();
+      int i = 0;
+      l: while (i < 10) {
+        Item x = new Item();
+        h.all[h.n] = x;
+        h.n = h.n + 1;
+        i = i + 1;
+      }
+    } }
+  )";
+  LeakOptions On;
+  On.ModelDestructiveUpdates = true;
+  World W(Src, On);
+  auto R = W.LC->checkWith(W.P().findLoop("l"), On);
+  EXPECT_EQ(R.Reports.size(), 1u);
+}
+
+TEST(DestructiveUpdates, FreshHolderPerIterationNotSuppressed) {
+  // The holder itself is created inside the loop: the store hits a fresh
+  // slot each time, not the same one -- nothing is overwritten.
+  const char *Src = R"(
+    class Registry { static Object keep; }
+    class Wrapper { Item it; }
+    class Item { }
+    class Main { static void main() {
+      int i = 0;
+      l: while (i < 10) {
+        Wrapper w = new Wrapper();
+        Item x = new Item();
+        w.it = x;
+        Registry.keep = w;   // single unconditional static store
+        i = i + 1;
+      }
+    } }
+  )";
+  LeakOptions On;
+  On.ModelDestructiveUpdates = true;
+  World W(Src, On);
+  auto R = W.LC->checkWith(W.P().findLoop("l"), On);
+  // Registry.keep IS a strongly-overwritten static slot, so the Wrapper
+  // edge is suppressed; the Item inside each discarded Wrapper dies with
+  // it, so suppressing the whole structure is precise here.
+  // The key assertion: suppression applies to the static slot (holder
+  // genuinely pre-exists), demonstrating statics participate.
+  EXPECT_GE(R.Statistics.get("destructive-update-suppressed"), 1u)
+      << renderLeakReport(W.P(), R);
+}
+
+TEST(DestructiveUpdates, ReducesFprOnSubjectsWithoutLosingLeaks) {
+  // Sweeping the option over all subjects: the overwritten-slot FPs
+  // disappear, no @leak site is lost, and the average FPR drops.
+  double FprDefault = 0, FprRefined = 0;
+  unsigned N = 0;
+  for (const subjects::Subject &S : subjects::all()) {
+    DiagnosticEngine Diags;
+    auto LC = LeakChecker::fromSource(S.Source, Diags, S.Options);
+    ASSERT_NE(LC, nullptr) << S.Name;
+    LoopId L = LC->program().findLoop(S.LoopLabel);
+    auto RDefault = LC->checkWith(L, S.Options);
+    LeakOptions Refined = S.Options;
+    Refined.ModelDestructiveUpdates = true;
+    auto RRefined = LC->checkWith(L, Refined);
+    subjects::Score ScD = subjects::score(LC->program(), RDefault);
+    subjects::Score ScR = subjects::score(LC->program(), RRefined);
+    EXPECT_TRUE(ScR.Missed.empty())
+        << S.Name << ": refinement must not lose leaks\n"
+        << renderLeakReport(LC->program(), RRefined);
+    EXPECT_LE(ScR.falsePositives(), ScD.falsePositives()) << S.Name;
+    if (ScD.Reported) {
+      FprDefault += ScD.fpr();
+      FprRefined += ScR.fpr();
+      ++N;
+    }
+  }
+  ASSERT_GT(N, 0u);
+  EXPECT_LT(FprRefined / N, FprDefault / N)
+      << "destructive-update modeling should lower the average FPR";
+}
+
+// --- Loop suggestion -----------------------------------------------------------
+
+TEST(LoopSuggestion, PrefersAllocatingEscapingLoops) {
+  const char *Src = R"(
+    class Sink { Object[] kept = new Object[256]; int n;
+      void keep(Object o) { this.kept[this.n] = o; this.n = this.n + 1; } }
+    class Item { int v; }
+    class Main { static void main() {
+      Sink sink = new Sink();
+      int total = 0;
+      int i = 0;
+      // Pure computation: no allocations, no escapes.
+      crunch: while (i < 100) { total = total + i; i = i + 1; }
+      int j = 0;
+      // The suspicious one: allocates and escapes every iteration.
+      pump: while (j < 100) {
+        Item x = new Item();
+        x.v = j;
+        sink.keep(x);
+        j = j + 1;
+      }
+    } }
+  )";
+  Program P;
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(compileSource(Src, P, Diags)) << Diags.str();
+  CallGraph CG(P, CallGraphKind::Rta);
+  Pag G(P, CG);
+  AndersenPta Base(G);
+  auto Ranked = suggestLoops(P, CG, G, Base);
+  ASSERT_GE(Ranked.size(), 2u);
+  EXPECT_EQ(Ranked[0].Loop, P.findLoop("pump"))
+      << renderSuggestions(P, Ranked);
+  EXPECT_GT(Ranked[0].Score, 0.0);
+  // The computation loop scores zero: the pattern is impossible there.
+  for (const LoopCandidate &C : Ranked)
+    if (C.Loop == P.findLoop("crunch"))
+      EXPECT_EQ(C.Score, 0.0);
+}
+
+TEST(LoopSuggestion, SubjectCheckedLoopIsTopRanked) {
+  // On every subject, the loop the paper's users selected by hand is the
+  // structurally top-ranked labeled candidate.
+  for (const subjects::Subject &S : subjects::all()) {
+    DiagnosticEngine Diags;
+    Program P;
+    ASSERT_TRUE(compileSource(S.Source, P, Diags)) << S.Name;
+    CallGraph CG(P, CallGraphKind::Rta);
+    Pag G(P, CG);
+    AndersenPta Base(G);
+    auto Ranked = suggestLoops(P, CG, G, Base);
+    ASSERT_FALSE(Ranked.empty()) << S.Name;
+    EXPECT_EQ(Ranked[0].Loop, P.findLoop(S.LoopLabel))
+        << S.Name << "\n"
+        << renderSuggestions(P, Ranked);
+  }
+}
+
+TEST(LoopSuggestion, TopKTruncates) {
+  const char *Src = R"(
+    class Sink { Object o; }
+    class Item { }
+    class Main { static void main() {
+      Sink s = new Sink();
+      int i = 0;
+      a: while (i < 3) { s.o = new Item(); i = i + 1; }
+      int j = 0;
+      b: while (j < 3) { s.o = new Item(); j = j + 1; }
+      int k = 0;
+      c: while (k < 3) { s.o = new Item(); k = k + 1; }
+    } }
+  )";
+  Program P;
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(compileSource(Src, P, Diags)) << Diags.str();
+  CallGraph CG(P, CallGraphKind::Rta);
+  Pag G(P, CG);
+  AndersenPta Base(G);
+  EXPECT_EQ(suggestLoops(P, CG, G, Base, 2).size(), 2u);
+  EXPECT_EQ(suggestLoops(P, CG, G, Base).size(), 3u);
+}

@@ -1,0 +1,130 @@
+//===-- MatchingRegressionTest.cpp - pinned matching-rule regressions --------===//
+//
+// Distilled from property-test counterexamples: cases where the flows-in
+// matching rules needed refinement. Each test pins the distilled program
+// shape so the fix cannot silently regress.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LeakChecker.h"
+
+#include <gtest/gtest.h>
+
+using namespace lc;
+
+namespace {
+
+AllocSiteId siteOfNth(const Program &P, std::string_view Cls, unsigned Nth) {
+  unsigned Seen = 0;
+  for (AllocSiteId S = 0; S < P.AllocSites.size(); ++S) {
+    const Type &T = P.Types.get(P.AllocSites[S].Ty);
+    if (T.K == Type::Kind::Ref && P.className(T.Cls) == Cls)
+      if (Seen++ == Nth)
+        return S;
+  }
+  ADD_FAILURE() << "no site " << Nth << " of " << Cls;
+  return kInvalidId;
+}
+
+} // namespace
+
+// Big-seed 18 counterexample, distilled: an object is held in a local
+// across one iteration, stored into a plain slot, and the SAME slot is
+// then overwritten by a different store later in the iteration. The
+// next-iteration load at the top of the body therefore never observes it
+// -- the load-before-store heuristic alone would wrongly match. The
+// survive-to-iteration-end rule must keep the report.
+TEST(MatchingRegression, StoreOverwrittenLaterInIterationIsNotAFlowsIn) {
+  const char *Src = R"(
+    class Holder { Object slot; }
+    class Victim { }
+    class Filler { }
+    class Main { static void main() {
+      Holder h = new Holder();
+      Object carried = null;
+      int i = 0;
+      l: while (i < 10) {
+        Object top = h.slot;        // reads the slot: sees only Filler
+        if (carried != null) {
+          h.slot = carried;          // Victim stored...
+        }
+        Filler f = new Filler();
+        h.slot = f;                  // ...and always overwritten
+        carried = new Victim();
+        i = i + 1;
+      }
+    } }
+  )";
+  DiagnosticEngine Diags;
+  auto LC = LeakChecker::fromSource(Src, Diags);
+  ASSERT_NE(LC, nullptr) << Diags.str();
+  auto R = LC->check("l");
+  ASSERT_TRUE(R.has_value());
+  AllocSiteId Victim = siteOfNth(LC->program(), "Victim", 0);
+  EXPECT_TRUE(R->reportsSite(Victim))
+      << "the Victim store never survives to the next iteration\n"
+      << renderLeakReport(LC->program(), *R);
+}
+
+// Counter-case: when the possibly-overwriting store sits at an EARLIER
+// anchor, the value does survive the iteration and the match must hold
+// (this is exactly Figure 1's display-then-process ordering on curr).
+TEST(MatchingRegression, EarlierOverwriteDoesNotKillTheMatch) {
+  const char *Src = R"(
+    class Holder { Object slot; }
+    class Item { }
+    class Main { static void main() {
+      Holder h = new Holder();
+      int i = 0;
+      l: while (i < 10) {
+        Object prev = h.slot;       // consume last iteration's item
+        h.slot = null;              // clear (earlier anchor than the store)
+        Item x = new Item();
+        h.slot = x;                 // final store of the iteration
+        i = i + 1;
+      }
+    } }
+  )";
+  DiagnosticEngine Diags;
+  auto LC = LeakChecker::fromSource(Src, Diags);
+  ASSERT_NE(LC, nullptr) << Diags.str();
+  auto R = LC->check("l");
+  ASSERT_TRUE(R.has_value());
+  EXPECT_TRUE(R->Reports.empty())
+      << "the item survives each iteration and is read back\n"
+      << renderLeakReport(LC->program(), *R);
+}
+
+// The k-limit counterexample from the CFL depth tests, at the leak level:
+// a deep forwarding chain must not lose the object (saturation keeps the
+// traversal sound), so the leak is still reported with whatever context
+// precision remains.
+TEST(MatchingRegression, DeepCallChainLeakStillReported) {
+  const char *Src = R"(
+    class Sink { Object[] kept = new Object[64]; int n;
+      void k1(Object o) { this.k2(o); }
+      void k2(Object o) { this.k3(o); }
+      void k3(Object o) { this.k4(o); }
+      void k4(Object o) { this.k5(o); }
+      void k5(Object o) { this.kept[this.n] = o; this.n = this.n + 1; }
+    }
+    class Item { }
+    class Main { static void main() {
+      Sink s = new Sink();
+      int i = 0;
+      l: while (i < 6) {
+        Item x = new Item();
+        s.k1(x);
+        i = i + 1;
+      }
+    } }
+  )";
+  DiagnosticEngine Diags;
+  LeakOptions Opts;
+  Opts.ContextDepth = 2; // far below the chain depth
+  auto LC = LeakChecker::fromSource(Src, Diags, Opts);
+  ASSERT_NE(LC, nullptr) << Diags.str();
+  auto R = LC->checkWith(LC->program().findLoop("l"), Opts);
+  AllocSiteId Item = siteOfNth(LC->program(), "Item", 0);
+  EXPECT_TRUE(R.reportsSite(Item)) << renderLeakReport(LC->program(), R);
+}

@@ -1,0 +1,279 @@
+//===-- PropertyTest.cpp - generator-based property tests -------------------===//
+//
+// Parameterized sweeps over seeded random while-language programs,
+// cross-checking the three implementations of the paper's semantics
+// against one another:
+//
+//   - the concrete interpreter (Fig. 3 + Definition 1 oracle),
+//   - the formal type-and-effect system (Figs. 4-6, intraprocedural), and
+//   - the practical interprocedural analysis (section 4).
+//
+// Soundness property checked: a site whose instances escape the loop and
+// NEVER flow back in ("strict leak": at least two leaking instances and no
+// instance observed by a later iteration) must be reported by both static
+// analyses. This is the fragment where the paper claims its matching never
+// misses a sustained leak.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LeakChecker.h"
+#include "effect/EffectSystem.h"
+#include "frontend/Lower.h"
+#include "interp/Interp.h"
+#include "tests/property/RandomProgram.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace lc;
+using namespace lc::tests;
+
+namespace {
+
+class RandomProgramTest : public ::testing::TestWithParam<unsigned> {};
+
+/// Sites with >= 2 leaking instances and no instance ever loaded in a
+/// later iteration.
+std::set<AllocSiteId> strictLeakSites(const Program &P,
+                                      const InterpResult &R,
+                                      const DynamicLeakReport &D) {
+  std::map<AllocSiteId, unsigned> LeakCount;
+  for (uint32_t Obj : D.Objects)
+    ++LeakCount[R.Heap[Obj].Site];
+  std::set<AllocSiteId> FlowsBack;
+  for (const HeapEffect &E : R.LoadLog)
+    if (E.Iter > R.Heap[E.Val].CreatedIter)
+      FlowsBack.insert(R.Heap[E.Val].Site);
+  std::set<AllocSiteId> Out;
+  for (const auto &[Site, N] : LeakCount) {
+    if (Site == kInvalidId || N < 2)
+      continue;
+    if (FlowsBack.count(Site))
+      continue;
+    // Restrict to application reference-typed sites.
+    const Type &T = P.Types.get(P.AllocSites[Site].Ty);
+    if (T.K == Type::Kind::Array)
+      continue; // the holder's array is outside anyway
+    Out.insert(Site);
+  }
+  return Out;
+}
+
+} // namespace
+
+TEST_P(RandomProgramTest, GeneratedProgramCompilesAndRuns) {
+  GenConfig C;
+  C.Seed = GetParam();
+  std::string Src = generateProgram(C);
+  Program P;
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(compileSource(Src, P, Diags)) << Diags.str() << "\n" << Src;
+  InterpOptions Opts;
+  Opts.TrackedLoop = P.findLoop("loop");
+  ASSERT_NE(Opts.TrackedLoop, kInvalidId);
+  InterpResult R = interpret(P, Opts);
+  // Casts in the generator are guarded by null checks and every temp holds
+  // an Item or null, so execution must finish cleanly.
+  EXPECT_TRUE(R.ok()) << R.TrapMessage << "\n" << Src;
+}
+
+TEST_P(RandomProgramTest, InterpreterIsDeterministic) {
+  GenConfig C;
+  C.Seed = GetParam();
+  std::string Src = generateProgram(C);
+  Program P;
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(compileSource(Src, P, Diags));
+  InterpOptions Opts;
+  Opts.TrackedLoop = P.findLoop("loop");
+  InterpResult A = interpret(P, Opts);
+  InterpResult B = interpret(P, Opts);
+  EXPECT_EQ(A.Steps, B.Steps);
+  EXPECT_EQ(A.Heap.size(), B.Heap.size());
+  EXPECT_EQ(A.StoreLog.size(), B.StoreLog.size());
+  EXPECT_EQ(A.LoadLog.size(), B.LoadLog.size());
+}
+
+TEST_P(RandomProgramTest, LeakAnalysisSoundOnStrictLeaks) {
+  GenConfig C;
+  C.Seed = GetParam();
+  std::string Src = generateProgram(C);
+
+  Program P;
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(compileSource(Src, P, Diags)) << Diags.str();
+  InterpOptions IOpts;
+  IOpts.TrackedLoop = P.findLoop("loop");
+  InterpResult R = interpret(P, IOpts);
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  DynamicLeakReport D = detectDynamicLeaks(R);
+  std::set<AllocSiteId> Strict = strictLeakSites(P, R, D);
+
+  LeakOptions Opts;
+  Opts.PivotMode = false; // compare raw site sets
+  DiagnosticEngine Diags2;
+  auto LC = LeakChecker::fromSource(Src, Diags2, Opts);
+  ASSERT_NE(LC, nullptr);
+  LeakAnalysisResult Res =
+      LC->checkWith(LC->program().findLoop("loop"), Opts);
+
+  for (AllocSiteId Site : Strict)
+    EXPECT_TRUE(Res.reportsSite(Site))
+        << "seed " << C.Seed << ": strict dynamic leak missed: "
+        << P.allocSiteName(Site) << "\n"
+        << Src << "\n"
+        << renderLeakReport(LC->program(), Res);
+}
+
+TEST_P(RandomProgramTest, EffectSystemSoundOnStrictLeaks) {
+  GenConfig C;
+  C.Seed = GetParam();
+  // The effect system is intraprocedural: the generated program's loop is
+  // entirely in main, so it applies directly.
+  std::string Src = generateProgram(C);
+  Program P;
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(compileSource(Src, P, Diags)) << Diags.str();
+
+  InterpOptions IOpts;
+  IOpts.TrackedLoop = P.findLoop("loop");
+  InterpResult R = interpret(P, IOpts);
+  ASSERT_TRUE(R.ok());
+  DynamicLeakReport D = detectDynamicLeaks(R);
+  std::set<AllocSiteId> Strict = strictLeakSites(P, R, D);
+
+  EffectSummary S = runEffectSystem(P, P.findLoop("loop"));
+  auto Leaks = detectEffectLeaks(P, S);
+  std::set<AllocSiteId> Reported;
+  for (const EffectLeak &L : Leaks)
+    Reported.insert(L.Site);
+
+  for (AllocSiteId Site : Strict)
+    EXPECT_TRUE(Reported.count(Site))
+        << "seed " << C.Seed << ": effect system missed strict leak: "
+        << P.allocSiteName(Site) << "\n"
+        << Src << "\n"
+        << S.str(P);
+}
+
+TEST_P(RandomProgramTest, EffectEraConsistentWithDynamics) {
+  // A site the dynamics show flowing back (used in a later iteration) must
+  // not be classified Current (iteration-local) by the effect system.
+  GenConfig C;
+  C.Seed = GetParam();
+  std::string Src = generateProgram(C);
+  Program P;
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(compileSource(Src, P, Diags));
+  InterpOptions IOpts;
+  IOpts.TrackedLoop = P.findLoop("loop");
+  InterpResult R = interpret(P, IOpts);
+  ASSERT_TRUE(R.ok());
+
+  std::set<AllocSiteId> FlowsBack;
+  for (const HeapEffect &E : R.LoadLog)
+    if (E.Iter > R.Heap[E.Val].CreatedIter)
+      FlowsBack.insert(R.Heap[E.Val].Site);
+
+  EffectSummary S = runEffectSystem(P, P.findLoop("loop"));
+  for (AllocSiteId Site : FlowsBack) {
+    if (P.AllocSites[Site].Method != P.EntryMethod)
+      continue;
+    Era E = S.eraOf(Site);
+    EXPECT_NE(E, Era::Current)
+        << "seed " << C.Seed << ": site observed crossing iterations "
+        << P.allocSiteName(Site) << " classified iteration-local\n"
+        << Src;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramTest,
+                         ::testing::Range(1u, 41u));
+
+// A second sweep with larger programs: more temporaries, more fields,
+// longer bodies, deeper nesting -- same invariants.
+namespace {
+
+class BigRandomProgramTest : public ::testing::TestWithParam<unsigned> {};
+
+GenConfig bigConfig(unsigned Seed) {
+  GenConfig C;
+  C.Seed = Seed * 7919 + 13;
+  C.LoopIters = 14;
+  C.NumTemps = 8;
+  C.NumHolderFields = 6;
+  C.NumItemFields = 3;
+  C.NumStmts = 36;
+  C.MaxIfDepth = 3;
+  return C;
+}
+
+} // namespace
+
+TEST_P(BigRandomProgramTest, RunsClean) {
+  GenConfig C = bigConfig(GetParam());
+  std::string Src = generateProgram(C);
+  Program P;
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(compileSource(Src, P, Diags)) << Diags.str() << "\n" << Src;
+  InterpOptions Opts;
+  Opts.TrackedLoop = P.findLoop("loop");
+  InterpResult R = interpret(P, Opts);
+  EXPECT_TRUE(R.ok()) << R.TrapMessage << "\n" << Src;
+}
+
+TEST_P(BigRandomProgramTest, StaticSoundOnStrictLeaks) {
+  GenConfig C = bigConfig(GetParam());
+  std::string Src = generateProgram(C);
+  Program P;
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(compileSource(Src, P, Diags)) << Diags.str();
+  InterpOptions IOpts;
+  IOpts.TrackedLoop = P.findLoop("loop");
+  InterpResult R = interpret(P, IOpts);
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  DynamicLeakReport D = detectDynamicLeaks(R);
+  std::set<AllocSiteId> Strict = strictLeakSites(P, R, D);
+
+  LeakOptions Opts;
+  Opts.PivotMode = false;
+  DiagnosticEngine Diags2;
+  auto LC = LeakChecker::fromSource(Src, Diags2, Opts);
+  ASSERT_NE(LC, nullptr);
+  LeakAnalysisResult Res =
+      LC->checkWith(LC->program().findLoop("loop"), Opts);
+  for (AllocSiteId Site : Strict)
+    EXPECT_TRUE(Res.reportsSite(Site))
+        << "big seed " << GetParam() << ": missed "
+        << P.allocSiteName(Site) << "\n"
+        << Src;
+}
+
+TEST_P(BigRandomProgramTest, EffectSystemSoundOnStrictLeaks) {
+  GenConfig C = bigConfig(GetParam());
+  std::string Src = generateProgram(C);
+  Program P;
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(compileSource(Src, P, Diags)) << Diags.str();
+  InterpOptions IOpts;
+  IOpts.TrackedLoop = P.findLoop("loop");
+  InterpResult R = interpret(P, IOpts);
+  ASSERT_TRUE(R.ok());
+  std::set<AllocSiteId> Strict =
+      strictLeakSites(P, R, detectDynamicLeaks(R));
+  EffectSummary S = runEffectSystem(P, P.findLoop("loop"));
+  auto Leaks = detectEffectLeaks(P, S);
+  std::set<AllocSiteId> Reported;
+  for (const EffectLeak &L : Leaks)
+    Reported.insert(L.Site);
+  for (AllocSiteId Site : Strict)
+    EXPECT_TRUE(Reported.count(Site))
+        << "big seed " << GetParam() << ": effect system missed "
+        << P.allocSiteName(Site) << "\n"
+        << Src << "\n"
+        << S.str(P);
+}
+
+INSTANTIATE_TEST_SUITE_P(BigSeeds, BigRandomProgramTest,
+                         ::testing::Range(1u, 21u));

@@ -1,0 +1,119 @@
+//===-- RandomProgram.h - seeded random while-program generator -*- C++ -*-===//
+//
+// Generates random MJ programs in the paper's while-language fragment: one
+// labeled loop in main, a pool of temporaries, an outside Holder with
+// Object fields and an append-only array, inside Item objects with Object
+// fields, and random allocate/copy/store/load/if statements. The shape is
+// constrained to the fragment where the paper's phase-2 matching is exact
+// (see the SoundnessOnStrictLeaks test): arrays are store-only, loads and
+// stores go through named fields.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_TESTS_PROPERTY_RANDOMPROGRAM_H
+#define LC_TESTS_PROPERTY_RANDOMPROGRAM_H
+
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace lc::tests {
+
+struct GenConfig {
+  unsigned Seed = 1;
+  unsigned LoopIters = 10;
+  unsigned NumTemps = 4;
+  unsigned NumHolderFields = 3;
+  unsigned NumItemFields = 2;
+  unsigned NumStmts = 14;
+  unsigned MaxIfDepth = 2;
+};
+
+/// Generates one program; deterministic in the config.
+inline std::string generateProgram(const GenConfig &C) {
+  std::mt19937 Rng(C.Seed);
+  auto Pick = [&](unsigned N) { return Rng() % N; };
+
+  std::ostringstream OS;
+  OS << "class Item {";
+  for (unsigned F = 0; F < C.NumItemFields; ++F)
+    OS << " Object g" << F << ";";
+  OS << " }\n";
+  OS << "class Holder {";
+  for (unsigned F = 0; F < C.NumHolderFields; ++F)
+    OS << " Object f" << F << ";";
+  // The array is installed by main (not a field initializer) so the
+  // intraprocedural effect system sees the whole heap shape.
+  OS << " Object[] arr; int n; }\n";
+  OS << "class Main { static void main() {\n";
+  OS << "  Holder h = new Holder();\n";
+  OS << "  h.arr = new Object[256];\n";
+  for (unsigned T = 0; T < C.NumTemps; ++T)
+    OS << "  Object t" << T << " = null;\n";
+  OS << "  int i = 0;\n";
+  OS << "  loop: while (i < " << C.LoopIters << ") {\n";
+
+  // Random loop-body statements.
+  unsigned Depth = 0;
+  unsigned OpenIfs = 0;
+  for (unsigned S = 0; S < C.NumStmts; ++S) {
+    std::string Indent(4 + Depth * 2, ' ');
+    switch (Pick(8)) {
+    case 0: // allocate
+    case 1:
+      OS << Indent << "t" << Pick(C.NumTemps) << " = new Item();\n";
+      break;
+    case 2: // copy
+      OS << Indent << "t" << Pick(C.NumTemps) << " = t" << Pick(C.NumTemps)
+         << ";\n";
+      break;
+    case 3: // holder field store
+      OS << Indent << "h.f" << Pick(C.NumHolderFields) << " = t"
+         << Pick(C.NumTemps) << ";\n";
+      break;
+    case 4: // holder field load
+      OS << Indent << "t" << Pick(C.NumTemps) << " = h.f"
+         << Pick(C.NumHolderFields) << ";\n";
+      break;
+    case 5: { // guarded item field store/load between temps
+      unsigned A = Pick(C.NumTemps), B = Pick(C.NumTemps);
+      unsigned G = Pick(C.NumItemFields);
+      OS << Indent << "if (t" << A << " != null) {\n";
+      // A temp holds Object statically; narrow it before the member
+      // access.
+      OS << Indent << "  Item w = (Item) t" << A << ";\n";
+      if (Pick(2))
+        OS << Indent << "  w.g" << G << " = t" << B << ";\n";
+      else
+        OS << Indent << "  t" << B << " = w.g" << G << ";\n";
+      OS << Indent << "}\n";
+      break;
+    }
+    case 6: // append-only array store (never read back: see header)
+      OS << Indent << "h.arr[h.n] = t" << Pick(C.NumTemps) << ";\n";
+      OS << Indent << "h.n = h.n + 1;\n";
+      break;
+    case 7: // open an if block over the next statements
+      if (Depth < C.MaxIfDepth) {
+        OS << Indent << "if (i - (i / 2) * 2 == " << Pick(2) << ") {\n";
+        ++Depth;
+        ++OpenIfs;
+      }
+      break;
+    }
+  }
+  while (OpenIfs--) {
+    std::string Indent(4 + (--Depth + 1) * 2, ' ');
+    OS << Indent << "}\n";
+  }
+
+  OS << "    i = i + 1;\n";
+  OS << "  }\n";
+  OS << "} }\n";
+  return OS.str();
+}
+
+} // namespace lc::tests
+
+#endif // LC_TESTS_PROPERTY_RANDOMPROGRAM_H

@@ -1,0 +1,266 @@
+//===-- AndersenTest.cpp - unit tests for the Andersen solver --------------===//
+
+#include "frontend/Lower.h"
+#include "pta/Andersen.h"
+
+#include <gtest/gtest.h>
+
+using namespace lc;
+
+namespace {
+
+/// Test fixture: compiles, builds RTA call graph + PAG + Andersen.
+struct World {
+  Program P;
+  DiagnosticEngine Diags;
+  std::unique_ptr<CallGraph> CG;
+  std::unique_ptr<Pag> G;
+  std::unique_ptr<AndersenPta> PTA;
+
+  explicit World(std::string_view Src) {
+    bool Ok = compileSource(Src, P, Diags);
+    EXPECT_TRUE(Ok) << Diags.str();
+    CG = std::make_unique<CallGraph>(P, CallGraphKind::Rta);
+    G = std::make_unique<Pag>(P, *CG);
+    PTA = std::make_unique<AndersenPta>(*G);
+  }
+
+  MethodId method(std::string_view Name) const {
+    for (MethodId M = 0; M < P.Methods.size(); ++M)
+      if (P.methodName(M) == Name)
+        return M;
+    ADD_FAILURE() << "no method " << Name;
+    return kInvalidId;
+  }
+
+  /// Local named \p Name in \p M.
+  LocalId local(MethodId M, std::string_view Name) const {
+    const MethodInfo &MI = P.Methods[M];
+    for (LocalId L = 0; L < MI.Locals.size(); ++L)
+      if (P.Strings.text(MI.Locals[L].Name) == Name)
+        return L;
+    ADD_FAILURE() << "no local " << Name;
+    return kInvalidId;
+  }
+
+  /// Alloc sites of class \p Cls.
+  std::vector<AllocSiteId> sitesOf(std::string_view Cls) const {
+    std::vector<AllocSiteId> Out;
+    for (AllocSiteId S = 0; S < P.AllocSites.size(); ++S) {
+      const Type &T = P.Types.get(P.AllocSites[S].Ty);
+      if (T.K == Type::Kind::Ref && P.className(T.Cls) == Cls)
+        Out.push_back(S);
+    }
+    return Out;
+  }
+
+  const BitSet &pts(std::string_view Method, std::string_view Local) const {
+    MethodId M = method(Method);
+    return PTA->pointsTo(M, local(M, Local));
+  }
+};
+
+} // namespace
+
+TEST(Andersen, DirectAllocation) {
+  World W(R"(
+    class A { }
+    class Main { static void main() { A a = new A(); } }
+  )");
+  auto Sites = W.sitesOf("A");
+  ASSERT_EQ(Sites.size(), 1u);
+  EXPECT_TRUE(W.pts("main", "a").test(Sites[0]));
+  EXPECT_EQ(W.pts("main", "a").count(), 1u);
+}
+
+TEST(Andersen, CopyPropagates) {
+  World W(R"(
+    class A { }
+    class Main { static void main() { A a = new A(); A b = a; A c = b; } }
+  )");
+  auto Sites = W.sitesOf("A");
+  EXPECT_TRUE(W.pts("main", "c").test(Sites[0]));
+}
+
+TEST(Andersen, FieldStoreLoad) {
+  World W(R"(
+    class Box { Object v; }
+    class A { }
+    class Main { static void main() {
+      Box b = new Box();
+      A a = new A();
+      b.v = a;
+      Object o = b.v;
+    } }
+  )");
+  auto ASites = W.sitesOf("A");
+  ASSERT_EQ(ASites.size(), 1u);
+  EXPECT_TRUE(W.pts("main", "o").test(ASites[0]));
+  // And the heap slot records it too.
+  auto BoxSites = W.sitesOf("Box");
+  FieldId V = W.P.resolveField(W.P.findClass("Box"), W.P.Strings.intern("v"));
+  EXPECT_TRUE(W.PTA->fieldPointsTo(BoxSites[0], V).test(ASites[0]));
+}
+
+TEST(Andersen, FieldSensitivitySeparatesFields) {
+  World W(R"(
+    class Pair { Object x; Object y; }
+    class A { } class B { }
+    class Main { static void main() {
+      Pair p = new Pair();
+      p.x = new A();
+      p.y = new B();
+      Object fromX = p.x;
+      Object fromY = p.y;
+    } }
+  )");
+  auto ASite = W.sitesOf("A")[0];
+  auto BSite = W.sitesOf("B")[0];
+  EXPECT_TRUE(W.pts("main", "fromX").test(ASite));
+  EXPECT_FALSE(W.pts("main", "fromX").test(BSite));
+  EXPECT_TRUE(W.pts("main", "fromY").test(BSite));
+  EXPECT_FALSE(W.pts("main", "fromY").test(ASite));
+}
+
+TEST(Andersen, ArrayElementsConflated) {
+  // Array elements share one `elem` slot (the paper's model): stores to any
+  // index are visible at loads of any index.
+  World W(R"(
+    class A { } class B { }
+    class Main { static void main() {
+      Object[] arr = new Object[2];
+      arr[0] = new A();
+      arr[1] = new B();
+      Object o = arr[0];
+    } }
+  )");
+  EXPECT_TRUE(W.pts("main", "o").test(W.sitesOf("A")[0]));
+  EXPECT_TRUE(W.pts("main", "o").test(W.sitesOf("B")[0]));
+}
+
+TEST(Andersen, InterproceduralParamReturn) {
+  World W(R"(
+    class A { }
+    class Id { Object id(Object x) { return x; } }
+    class Main { static void main() {
+      Id f = new Id();
+      A a = new A();
+      Object r = f.id(a);
+    } }
+  )");
+  EXPECT_TRUE(W.pts("main", "r").test(W.sitesOf("A")[0]));
+}
+
+TEST(Andersen, ContextInsensitivityMergesCallers) {
+  // The classic imprecision: one id() called with A and B merges both into
+  // both results. The CFL analysis refines this; Andersen must include both
+  // (soundness baseline).
+  World W(R"(
+    class A { } class B { }
+    class Id { Object id(Object x) { return x; } }
+    class Main { static void main() {
+      Id f = new Id();
+      Object ra = f.id(new A());
+      Object rb = f.id(new B());
+    } }
+  )");
+  EXPECT_TRUE(W.pts("main", "ra").test(W.sitesOf("A")[0]));
+  EXPECT_TRUE(W.pts("main", "ra").test(W.sitesOf("B")[0]));
+  EXPECT_TRUE(W.pts("main", "rb").test(W.sitesOf("A")[0]));
+}
+
+TEST(Andersen, StaticFieldsFlow) {
+  World W(R"(
+    class A { }
+    class G { static Object holder; }
+    class Main { static void main() {
+      G.holder = new A();
+      Object o = G.holder;
+    } }
+  )");
+  EXPECT_TRUE(W.pts("main", "o").test(W.sitesOf("A")[0]));
+}
+
+TEST(Andersen, VirtualDispatchThroughReceiver) {
+  World W(R"(
+    class A { }
+    class Maker { Object make() { return new A(); } }
+    class Main { static void main() {
+      Maker m = new Maker();
+      Object o = m.make();
+    } }
+  )");
+  EXPECT_TRUE(W.pts("main", "o").test(W.sitesOf("A")[0]));
+}
+
+TEST(Andersen, ThisParameterBinding) {
+  World W(R"(
+    class A { }
+    class Box {
+      Object v;
+      void fill() { this.v = new A(); }
+      Object take() { return this.v; }
+    }
+    class Main { static void main() {
+      Box b = new Box();
+      b.fill();
+      Object o = b.take();
+    } }
+  )");
+  EXPECT_TRUE(W.pts("main", "o").test(W.sitesOf("A")[0]));
+}
+
+TEST(Andersen, TransitiveHeapChain) {
+  World W(R"(
+    class Node { Node next; Object val; }
+    class A { }
+    class Main { static void main() {
+      Node head = new Node();
+      Node second = new Node();
+      head.next = second;
+      second.val = new A();
+      Node t = head.next;
+      Object o = t.val;
+    } }
+  )");
+  EXPECT_TRUE(W.pts("main", "o").test(W.sitesOf("A")[0]));
+}
+
+TEST(Andersen, MayAliasQueries) {
+  World W(R"(
+    class A { }
+    class Main { static void main() {
+      A a = new A();
+      A b = a;
+      A c = new A();
+    } }
+  )");
+  MethodId M = W.method("main");
+  PagNodeId NA = W.G->localNode(M, W.local(M, "a"));
+  PagNodeId NB = W.G->localNode(M, W.local(M, "b"));
+  PagNodeId NC = W.G->localNode(M, W.local(M, "c"));
+  EXPECT_TRUE(W.PTA->mayAlias(NA, NB));
+  EXPECT_FALSE(W.PTA->mayAlias(NA, NC));
+}
+
+TEST(Andersen, NullsPointNowhere) {
+  World W(R"(
+    class A { }
+    class Main { static void main() { A a = null; } }
+  )");
+  EXPECT_TRUE(W.pts("main", "a").empty());
+}
+
+TEST(Andersen, UnreachableCodeExcluded) {
+  World W(R"(
+    class A { }
+    class Dead { static Object make() { return new A(); } }
+    class Main { static void main() { } }
+  )");
+  // The allocation exists in the program but the PAG skips unreachable
+  // methods, so nothing points to it.
+  auto Sites = W.sitesOf("A");
+  ASSERT_EQ(Sites.size(), 1u);
+  for (PagNodeId N = 0; N < W.G->numNodes(); ++N)
+    EXPECT_FALSE(W.PTA->pointsTo(N).test(Sites[0]));
+}

@@ -1,0 +1,123 @@
+//===-- CflDepthTest.cpp - k-limit and budget behaviour of the CFL PTA -------===//
+
+#include "frontend/Lower.h"
+#include "pta/CflPta.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace lc;
+
+namespace {
+
+/// A chain of k forwarding calls: r = f.hop1(new A()) where hopI calls
+/// hopI+1; the CFL query must track the full call string to keep ra/rb
+/// separate.
+std::string chainProgram(unsigned Depth) {
+  std::ostringstream OS;
+  OS << "class A { } class B { }\n";
+  OS << "class Chain {\n";
+  for (unsigned I = 1; I < Depth; ++I)
+    OS << "  Object hop" << I << "(Object x) { return this.hop" << I + 1
+       << "(x); }\n";
+  OS << "  Object hop" << Depth << "(Object x) { return x; }\n";
+  OS << "}\n";
+  OS << "class Main { static void main() {\n";
+  OS << "  Chain c = new Chain();\n";
+  OS << "  Object ra = c.hop1(new A());\n";
+  OS << "  Object rb = c.hop1(new B());\n";
+  OS << "} }\n";
+  return OS.str();
+}
+
+struct World {
+  Program P;
+  DiagnosticEngine Diags;
+  std::unique_ptr<CallGraph> CG;
+  std::unique_ptr<Pag> G;
+  std::unique_ptr<AndersenPta> Base;
+  std::unique_ptr<CflPta> PTA;
+
+  World(std::string_view Src, CflOptions Opts) {
+    bool Ok = compileSource(Src, P, Diags);
+    EXPECT_TRUE(Ok) << Diags.str();
+    CG = std::make_unique<CallGraph>(P, CallGraphKind::Rta);
+    G = std::make_unique<Pag>(P, *CG);
+    Base = std::make_unique<AndersenPta>(*G);
+    PTA = std::make_unique<CflPta>(*G, *Base, Opts);
+  }
+
+  CflResult query(std::string_view Local) {
+    MethodId M = P.EntryMethod;
+    for (LocalId L = 0; L < P.Methods[M].Locals.size(); ++L)
+      if (P.Strings.text(P.Methods[M].Locals[L].Name) == Local)
+        return PTA->pointsTo(M, L);
+    ADD_FAILURE() << "no local " << Local;
+    return {};
+  }
+
+  AllocSiteId siteOf(std::string_view Cls) {
+    for (AllocSiteId S = 0; S < P.AllocSites.size(); ++S) {
+      const Type &T = P.Types.get(P.AllocSites[S].Ty);
+      if (T.K == Type::Kind::Ref && P.className(T.Cls) == Cls)
+        return S;
+    }
+    return kInvalidId;
+  }
+};
+
+bool hasSite(const CflResult &R, AllocSiteId S) {
+  for (const CtxObject &O : R.Objects)
+    if (O.Site == S)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(CflDepth, DeepChainStaysPreciseWithinLimit) {
+  CflOptions Opts;
+  Opts.MaxCallDepth = 16;
+  World W(chainProgram(6), Opts);
+  CflResult RA = W.query("ra");
+  EXPECT_TRUE(hasSite(RA, W.siteOf("A")));
+  EXPECT_FALSE(hasSite(RA, W.siteOf("B")))
+      << "6-deep chain is within the k-limit";
+}
+
+TEST(CflDepth, BeyondLimitStaysSound) {
+  // With a tiny k-limit the query loses precision but must still contain
+  // the true site (the k-limit drops context, not objects).
+  CflOptions Opts;
+  Opts.MaxCallDepth = 2;
+  World W(chainProgram(6), Opts);
+  CflResult RA = W.query("ra");
+  EXPECT_TRUE(hasSite(RA, W.siteOf("A")))
+      << "truth must survive the k-limit";
+}
+
+TEST(CflDepth, StatesVisitedGrowWithDepth) {
+  CflOptions Opts;
+  World Shallow(chainProgram(2), Opts);
+  World Deep(chainProgram(10), Opts);
+  uint64_t SV = Shallow.query("ra").StatesVisited;
+  uint64_t DV = Deep.query("ra").StatesVisited;
+  EXPECT_GT(DV, SV);
+}
+
+TEST(CflDepth, ContextsRecordFullDescent) {
+  CflOptions Opts;
+  World W(chainProgram(3), Opts);
+  CflResult RA = W.query("ra");
+  ASSERT_FALSE(RA.Objects.empty());
+  bool SawDescent = false;
+  for (const CtxObject &O : RA.Objects)
+    SawDescent |= !O.Ctx.empty();
+  // The allocation is in main itself (new A() is an argument expression),
+  // so its context is the empty string -- but the traversal descended
+  // through the chain to find it. Verify the result is the A site with
+  // empty context rather than a fabricated one.
+  EXPECT_FALSE(SawDescent);
+  EXPECT_EQ(RA.Objects[0].Site, W.siteOf("A"));
+}

@@ -1,0 +1,259 @@
+//===-- CflPtaTest.cpp - unit tests for demand-driven CFL points-to --------===//
+
+#include "frontend/Lower.h"
+#include "pta/CflPta.h"
+
+#include <gtest/gtest.h>
+
+using namespace lc;
+
+namespace {
+
+struct World {
+  Program P;
+  DiagnosticEngine Diags;
+  std::unique_ptr<CallGraph> CG;
+  std::unique_ptr<Pag> G;
+  std::unique_ptr<AndersenPta> Base;
+  std::unique_ptr<CflPta> PTA;
+
+  explicit World(std::string_view Src, CflOptions Opts = {}) {
+    bool Ok = compileSource(Src, P, Diags);
+    EXPECT_TRUE(Ok) << Diags.str();
+    CG = std::make_unique<CallGraph>(P, CallGraphKind::Rta);
+    G = std::make_unique<Pag>(P, *CG);
+    Base = std::make_unique<AndersenPta>(*G);
+    PTA = std::make_unique<CflPta>(*G, *Base, Opts);
+  }
+
+  MethodId method(std::string_view Name) const {
+    for (MethodId M = 0; M < P.Methods.size(); ++M)
+      if (P.methodName(M) == Name)
+        return M;
+    ADD_FAILURE() << "no method " << Name;
+    return kInvalidId;
+  }
+
+  LocalId local(MethodId M, std::string_view Name) const {
+    const MethodInfo &MI = P.Methods[M];
+    for (LocalId L = 0; L < MI.Locals.size(); ++L)
+      if (P.Strings.text(MI.Locals[L].Name) == Name)
+        return L;
+    ADD_FAILURE() << "no local " << Name;
+    return kInvalidId;
+  }
+
+  std::vector<AllocSiteId> sitesOf(std::string_view Cls) const {
+    std::vector<AllocSiteId> Out;
+    for (AllocSiteId S = 0; S < P.AllocSites.size(); ++S) {
+      const Type &T = P.Types.get(P.AllocSites[S].Ty);
+      if (T.K == Type::Kind::Ref && P.className(T.Cls) == Cls)
+        Out.push_back(S);
+    }
+    return Out;
+  }
+
+  CflResult query(std::string_view Method, std::string_view Local) const {
+    MethodId M = method(Method);
+    return PTA->pointsTo(M, local(M, Local));
+  }
+};
+
+bool hasSite(const CflResult &R, AllocSiteId S) {
+  for (const CtxObject &O : R.Objects)
+    if (O.Site == S)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(CflPta, DirectAllocationEmptyContext) {
+  World W(R"(
+    class A { }
+    class Main { static void main() { A a = new A(); } }
+  )");
+  CflResult R = W.query("main", "a");
+  ASSERT_EQ(R.Objects.size(), 1u);
+  EXPECT_EQ(R.Objects[0].Site, W.sitesOf("A")[0]);
+  EXPECT_TRUE(R.Objects[0].Ctx.empty());
+  EXPECT_FALSE(R.FellBack);
+}
+
+TEST(CflPta, ContextSensitivitySeparatesIdCalls) {
+  // The case Andersen merges: CFL matching keeps ra={A}, rb={B}.
+  World W(R"(
+    class A { } class B { }
+    class Id { Object id(Object x) { return x; } }
+    class Main { static void main() {
+      Id f = new Id();
+      Object ra = f.id(new A());
+      Object rb = f.id(new B());
+    } }
+  )");
+  AllocSiteId SA = W.sitesOf("A")[0];
+  AllocSiteId SB = W.sitesOf("B")[0];
+  CflResult RA = W.query("main", "ra");
+  CflResult RB = W.query("main", "rb");
+  EXPECT_FALSE(RA.FellBack);
+  EXPECT_TRUE(hasSite(RA, SA));
+  EXPECT_FALSE(hasSite(RA, SB)) << "CFL must filter the unrealizable path";
+  EXPECT_TRUE(hasSite(RB, SB));
+  EXPECT_FALSE(hasSite(RB, SA));
+}
+
+TEST(CflPta, TwoLevelCallChainKeepsPrecision) {
+  World W(R"(
+    class A { } class B { }
+    class Id {
+      Object id(Object x) { return this.id2(x); }
+      Object id2(Object y) { return y; }
+    }
+    class Main { static void main() {
+      Id f = new Id();
+      Object ra = f.id(new A());
+      Object rb = f.id(new B());
+    } }
+  )");
+  EXPECT_FALSE(hasSite(W.query("main", "ra"), W.sitesOf("B")[0]));
+  EXPECT_FALSE(hasSite(W.query("main", "rb"), W.sitesOf("A")[0]));
+}
+
+TEST(CflPta, AllocInCalleeGetsCallSiteContext) {
+  World W(R"(
+    class A { }
+    class Factory { Object make() { return new A(); } }
+    class Main { static void main() {
+      Factory f = new Factory();
+      Object o1 = f.make();
+      Object o2 = f.make();
+    } }
+  )");
+  CflResult R1 = W.query("main", "o1");
+  ASSERT_EQ(R1.Objects.size(), 1u);
+  // Context: the call site inside main.
+  ASSERT_EQ(R1.Objects[0].Ctx.size(), 1u);
+  EXPECT_EQ(R1.Objects[0].Ctx[0].Caller, W.method("main"));
+  CflResult R2 = W.query("main", "o2");
+  ASSERT_EQ(R2.Objects.size(), 1u);
+  // Different call sites -> different contexts for the same site.
+  EXPECT_NE(R1.Objects[0].Ctx[0].Index, R2.Objects[0].Ctx[0].Index);
+}
+
+TEST(CflPta, HeapHopThroughField) {
+  World W(R"(
+    class Box { Object v; }
+    class A { }
+    class Main { static void main() {
+      Box b = new Box();
+      b.v = new A();
+      Object o = b.v;
+    } }
+  )");
+  EXPECT_TRUE(hasSite(W.query("main", "o"), W.sitesOf("A")[0]));
+}
+
+TEST(CflPta, HeapHopFiltersNonAliasedBases) {
+  World W(R"(
+    class Box { Object v; }
+    class A { } class B { }
+    class Main { static void main() {
+      Box b1 = new Box();
+      Box b2 = new Box();
+      b1.v = new A();
+      b2.v = new B();
+      Object o = b1.v;
+    } }
+  )");
+  CflResult R = W.query("main", "o");
+  EXPECT_TRUE(hasSite(R, W.sitesOf("A")[0]));
+  EXPECT_FALSE(hasSite(R, W.sitesOf("B")[0]))
+      << "distinct Box objects must not conflate their fields";
+}
+
+TEST(CflPta, BudgetExhaustionFallsBackSoundly) {
+  // A long chained-store program with a tiny budget: the query must fall
+  // back and still contain the Andersen answer.
+  World W(R"(
+    class Node { Node next; }
+    class Main { static void main() {
+      Node head = new Node();
+      Node c = head;
+      int i = 0;
+      while (i < 10) {
+        Node n = new Node();
+        c.next = n;
+        c = n;
+        i = i + 1;
+      }
+      Node probe = head.next.next.next.next;
+    } }
+  )",
+          CflOptions{/*MaxCallDepth=*/16, /*NodeBudget=*/1, /*MaxHeapHops=*/8});
+  CflResult R = W.query("main", "probe");
+  EXPECT_TRUE(R.FellBack);
+  MethodId M = W.method("main");
+  const BitSet &Sound = W.Base->pointsTo(M, W.local(M, "probe"));
+  Sound.forEach([&](size_t S) {
+    EXPECT_TRUE(hasSite(R, static_cast<AllocSiteId>(S)))
+        << "fallback lost site " << S;
+  });
+}
+
+TEST(CflPta, RecursionTerminates) {
+  World W(R"(
+    class Node { Node next; }
+    class Main {
+      static Node walk(Node n, int d) {
+        if (d < 1) { return n; }
+        return Main.walk(n.next, d - 1);
+      }
+      static void main() {
+        Node a = new Node();
+        a.next = a;
+        Node r = Main.walk(a, 5);
+      }
+    }
+  )");
+  CflResult R = W.query("main", "r");
+  EXPECT_TRUE(hasSite(R, W.sitesOf("Node")[0]));
+}
+
+TEST(CflPta, CtxStringRendering) {
+  World W(R"(
+    class A { }
+    class Factory { Object make() { return new A(); } }
+    class Main { static void main() {
+      Factory f = new Factory();
+      Object o = f.make();
+    } }
+  )");
+  CflResult R = W.query("main", "o");
+  ASSERT_EQ(R.Objects.size(), 1u);
+  std::string Ctx = W.PTA->ctxString(R.Objects[0].Ctx);
+  EXPECT_NE(Ctx.find("Main.main"), std::string::npos);
+}
+
+TEST(CflPta, ResultSubsetOfAndersen) {
+  // Refinement property: on a program with no fallback, every CFL object is
+  // in the Andersen set (CFL refines, never adds).
+  World W(R"(
+    class A { } class B { }
+    class Id { Object id(Object x) { return x; } }
+    class Box { Object v; }
+    class Main { static void main() {
+      Id f = new Id();
+      Box box = new Box();
+      box.v = f.id(new A());
+      Object o = box.v;
+      Object p = f.id(new B());
+    } }
+  )");
+  for (const char *Var : {"o", "p"}) {
+    CflResult R = W.query("main", Var);
+    MethodId M = W.method("main");
+    const BitSet &Sound = W.Base->pointsTo(M, W.local(M, Var));
+    for (const CtxObject &O : R.Objects)
+      EXPECT_TRUE(Sound.test(O.Site)) << Var;
+  }
+}

@@ -1,0 +1,146 @@
+//===-- PagTest.cpp - unit tests for the pointer assignment graph ----------===//
+
+#include "frontend/Lower.h"
+#include "pta/Pag.h"
+
+#include <gtest/gtest.h>
+
+using namespace lc;
+
+namespace {
+
+struct World {
+  Program P;
+  DiagnosticEngine Diags;
+  std::unique_ptr<CallGraph> CG;
+  std::unique_ptr<Pag> G;
+
+  explicit World(std::string_view Src) {
+    bool Ok = compileSource(Src, P, Diags);
+    EXPECT_TRUE(Ok) << Diags.str();
+    CG = std::make_unique<CallGraph>(P, CallGraphKind::Rta);
+    G = std::make_unique<Pag>(P, *CG);
+  }
+};
+
+} // namespace
+
+TEST(Pag, NodeIdsCoverLocalsAndStatics) {
+  World W(R"(
+    class G { static Object s1; static Object s2; int notAField; }
+    class Main { static void main() { int x = 1; } }
+  )");
+  // Every method local gets a node; every static field gets one.
+  size_t Locals = 0;
+  for (const MethodInfo &M : W.P.Methods)
+    Locals += M.Locals.size();
+  size_t Statics = 0;
+  for (const FieldInfo &F : W.P.Fields)
+    Statics += F.IsStatic;
+  EXPECT_EQ(W.G->numNodes(), Locals + Statics);
+}
+
+TEST(Pag, AllocCopyEdges) {
+  World W(R"(
+    class A { }
+    class Main { static void main() { A a = new A(); A b = a; } }
+  )");
+  EXPECT_EQ(W.G->allocEdges().size(), 1u);
+  // At least the a->b copy (plus ctor-related param edges).
+  EXPECT_GE(W.G->copyEdges().size(), 1u);
+}
+
+TEST(Pag, ParamAndReturnEdgesCarryCallSite) {
+  World W(R"(
+    class Id { Object id(Object x) { return x; } }
+    class Main { static void main() {
+      Id f = new Id();
+      Object r = f.id(f);
+    } }
+  )");
+  unsigned Params = 0, Returns = 0;
+  for (const CopyEdge &E : W.G->copyEdges()) {
+    if (E.Kind == CopyKind::Param) {
+      ++Params;
+      EXPECT_NE(E.Site.Caller, kInvalidId);
+    }
+    if (E.Kind == CopyKind::Return) {
+      ++Returns;
+      EXPECT_NE(E.Site.Caller, kInvalidId);
+    }
+  }
+  // this-binding + one argument (per callee) and one return edge; the
+  // synthesized Id.<init> adds another this-binding.
+  EXPECT_GE(Params, 2u);
+  EXPECT_GE(Returns, 1u);
+}
+
+TEST(Pag, ArrayAccessesUseElemField) {
+  World W(R"(
+    class Main { static void main() {
+      Object[] a = new Object[4];
+      a[0] = a;
+      Object o = a[1];
+    } }
+  )");
+  ASSERT_EQ(W.G->storeEdges().size(), 1u);
+  EXPECT_EQ(W.G->storeEdges()[0].Field, W.P.ElemField);
+  ASSERT_EQ(W.G->loadEdges().size(), 1u);
+  EXPECT_EQ(W.G->loadEdges()[0].Field, W.P.ElemField);
+}
+
+TEST(Pag, StaticAccessesBecomeCopies) {
+  World W(R"(
+    class G { static Object s; }
+    class A { }
+    class Main { static void main() {
+      G.s = new A();
+      Object o = G.s;
+    } }
+  )");
+  FieldId S = kInvalidId;
+  for (FieldId F = 0; F < W.P.Fields.size(); ++F)
+    if (W.P.fieldName(F) == "s")
+      S = F;
+  ASSERT_NE(S, kInvalidId);
+  PagNodeId SN = W.G->staticNode(S);
+  EXPECT_FALSE(W.G->copiesIn(SN).empty());
+  EXPECT_FALSE(W.G->copiesOut(SN).empty());
+}
+
+TEST(Pag, FieldIndexesFindStoresAndLoads) {
+  World W(R"(
+    class Box { Object v; }
+    class Main { static void main() {
+      Box b = new Box();
+      b.v = b;
+      Object o = b.v;
+    } }
+  )");
+  FieldId V = W.P.findField(W.P.findClass("Box"), "v");
+  EXPECT_EQ(W.G->storesOfField(V).size(), 1u);
+  EXPECT_EQ(W.G->loadsOfField(V).size(), 1u);
+  EXPECT_TRUE(W.G->storesOfField(W.P.ElemField).empty());
+}
+
+TEST(Pag, UnreachableMethodsContributeNoEdges) {
+  World W(R"(
+    class Dead { Object make() { return new Dead(); } }
+    class Main { static void main() { int x = 1; } }
+  )");
+  EXPECT_TRUE(W.G->allocEdges().empty());
+}
+
+TEST(Pag, NodeNamesAreHumanReadable) {
+  World W(R"(
+    class Main { static void main() { Object named = null; } }
+  )");
+  MethodId M = W.P.EntryMethod;
+  LocalId L = kInvalidId;
+  for (LocalId I = 0; I < W.P.Methods[M].Locals.size(); ++I)
+    if (W.P.Strings.text(W.P.Methods[M].Locals[I].Name) == "named")
+      L = I;
+  ASSERT_NE(L, kInvalidId);
+  EXPECT_NE(W.G->nodeName(W.G->localNode(M, L)).find("Main.main/named"),
+            std::string::npos);
+}

@@ -1,0 +1,155 @@
+//===-- RefinedCallGraphTest.cpp - points-to call-graph refinement -----------===//
+
+#include "frontend/Lower.h"
+#include "pta/RefinedCallGraph.h"
+
+#include <gtest/gtest.h>
+
+using namespace lc;
+
+namespace {
+
+MethodId methodOf(const Program &P, std::string_view Cls,
+                  std::string_view Name) {
+  ClassId C = P.findClass(Cls);
+  EXPECT_NE(C, kInvalidId) << Cls;
+  MethodId M = P.findMethodIn(C, Name);
+  EXPECT_NE(M, kInvalidId) << Cls << "." << Name;
+  return M;
+}
+
+StmtIdx findCall(const Program &P, MethodId M, std::string_view Callee) {
+  const MethodInfo &MI = P.Methods[M];
+  for (StmtIdx I = 0; I < MI.Body.size(); ++I)
+    if (MI.Body[I].Op == Opcode::Invoke &&
+        P.methodName(MI.Body[I].Callee) == Callee)
+      return I;
+  ADD_FAILURE() << "no call to " << Callee;
+  return kInvalidId;
+}
+
+// Both B and C are instantiated (so RTA keeps both overrides at every
+// site), but each receiver variable only ever holds one of them.
+const char *SplitProgram = R"(
+  class A { int f() { return 0; } }
+  class B extends A { int f() { return 1; } }
+  class C extends A { int f() { return 2; } }
+  class Main {
+    static void main() {
+      A fromB = new B();
+      A fromC = new C();
+      int x = fromB.f();
+      int y = fromC.f();
+    }
+  }
+)";
+
+} // namespace
+
+TEST(RefinedCallGraph, PrunesReceiverInfeasibleEdges) {
+  Program P;
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(compileSource(SplitProgram, P, Diags)) << Diags.str();
+
+  CallGraph Rta(P, CallGraphKind::Rta);
+  RefinedSubstrate R = buildRefinedSubstrate(P);
+
+  MethodId Main = P.EntryMethod;
+  StmtIdx CallB = findCall(P, Main, "f"); // the first f() call (fromB)
+  // RTA: both B.f and C.f at each site.
+  EXPECT_EQ(Rta.calleesAt(Main, CallB).size(), 2u);
+  // Refined: only the feasible override.
+  const auto &Refined = R.CG->calleesAt(Main, CallB);
+  ASSERT_EQ(Refined.size(), 1u);
+  EXPECT_EQ(Refined[0], methodOf(P, "B", "f"));
+  EXPECT_EQ(R.CG->kind(), CallGraphKind::Pta);
+}
+
+TEST(RefinedCallGraph, ConvergesQuickly) {
+  Program P;
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(compileSource(SplitProgram, P, Diags));
+  RefinedSubstrate R = buildRefinedSubstrate(P);
+  EXPECT_LE(R.Rounds, 3u);
+}
+
+TEST(RefinedCallGraph, ReachabilityCanShrink) {
+  // Under RTA the D.f override is a target (D is instantiated); under the
+  // refined graph the call site's receiver never holds a D, so D.f drops
+  // out of the reachable set -- unless it is called elsewhere.
+  const char *Src = R"(
+    class A { int f() { return 0; } }
+    class D extends A { int f() { return 3; } }
+    class Main {
+      static void main() {
+        D unusedReceiver = new D();   // instantiated but only stored
+        A a = new A();
+        int x = a.f();
+      }
+    }
+  )";
+  Program P;
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(compileSource(Src, P, Diags)) << Diags.str();
+  CallGraph Rta(P, CallGraphKind::Rta);
+  RefinedSubstrate R = buildRefinedSubstrate(P);
+  MethodId Df = methodOf(P, "D", "f");
+  EXPECT_TRUE(Rta.isReachable(Df)) << "RTA keeps the instantiated subtype";
+  EXPECT_FALSE(R.CG->isReachable(Df)) << "refinement prunes it";
+}
+
+TEST(RefinedCallGraph, PointsToShrinksWithGraph) {
+  // Pruned edges remove spurious param/return flow: the Andersen result
+  // under the refined graph is a subset of the RTA-based one.
+  const char *Src = R"(
+    class A { Object mk() { return new A(); } }
+    class B extends A { Object mk() { return new B(); } }
+    class Main {
+      static void main() {
+        A onlyA = new A();
+        B onlyB = new B();
+        Object r = onlyA.mk();
+      }
+    }
+  )";
+  Program P;
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(compileSource(Src, P, Diags)) << Diags.str();
+
+  CallGraph Rta(P, CallGraphKind::Rta);
+  Pag G0(P, Rta);
+  AndersenPta Base0(G0);
+  RefinedSubstrate R = buildRefinedSubstrate(P);
+
+  MethodId Main = P.EntryMethod;
+  LocalId RVar = kInvalidId;
+  for (LocalId L = 0; L < P.Methods[Main].Locals.size(); ++L)
+    if (P.Strings.text(P.Methods[Main].Locals[L].Name) == "r")
+      RVar = L;
+  ASSERT_NE(RVar, kInvalidId);
+
+  const BitSet &Coarse = Base0.pointsTo(Main, RVar);
+  const BitSet &Fine = R.Base->pointsTo(Main, RVar);
+  // Subset property...
+  Fine.forEach([&](size_t S) { EXPECT_TRUE(Coarse.test(S)); });
+  // ...and strictly smaller here: B.mk's allocation is gone.
+  EXPECT_LT(Fine.count(), Coarse.count());
+}
+
+TEST(RefinedCallGraph, ThreadStartStillDispatches) {
+  const char *Src = R"(
+    class Worker extends Thread {
+      Object token;
+      void run() { this.token = new Worker(); }
+    }
+    class Main { static void main() {
+      Worker w = new Worker();
+      w.start();
+    } }
+  )";
+  Program P;
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(compileSource(Src, P, Diags)) << Diags.str();
+  RefinedSubstrate R = buildRefinedSubstrate(P);
+  EXPECT_TRUE(R.CG->isReachable(methodOf(P, "Worker", "run")));
+}

@@ -1,0 +1,164 @@
+//===-- SupportTest.cpp - unit tests for lc_support -----------------------===//
+
+#include "support/BitSet.h"
+#include "support/Diagnostics.h"
+#include "support/Stats.h"
+#include "support/StringInterner.h"
+#include "support/Worklist.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+using namespace lc;
+
+TEST(StringInterner, InternsAndDedupes) {
+  StringInterner SI;
+  Symbol A = SI.intern("hello");
+  Symbol B = SI.intern("world");
+  Symbol C = SI.intern("hello");
+  EXPECT_EQ(A, C);
+  EXPECT_NE(A, B);
+  EXPECT_EQ(SI.text(A), "hello");
+  EXPECT_EQ(SI.text(B), "world");
+}
+
+TEST(StringInterner, EmptySymbolIsDefault) {
+  StringInterner SI;
+  Symbol Default;
+  EXPECT_TRUE(Default.isEmpty());
+  EXPECT_EQ(SI.text(Default), "");
+  EXPECT_EQ(SI.intern(""), Default);
+}
+
+TEST(StringInterner, StableAcrossGrowth) {
+  StringInterner SI;
+  std::vector<Symbol> Syms;
+  for (int I = 0; I < 10000; ++I)
+    Syms.push_back(SI.intern("sym" + std::to_string(I)));
+  for (int I = 0; I < 10000; ++I) {
+    EXPECT_EQ(SI.text(Syms[I]), "sym" + std::to_string(I));
+    EXPECT_EQ(SI.intern("sym" + std::to_string(I)), Syms[I]);
+  }
+}
+
+TEST(BitSet, SetTestReset) {
+  BitSet BS;
+  EXPECT_FALSE(BS.test(5));
+  EXPECT_TRUE(BS.set(5));
+  EXPECT_FALSE(BS.set(5)); // already set
+  EXPECT_TRUE(BS.test(5));
+  BS.reset(5);
+  EXPECT_FALSE(BS.test(5));
+}
+
+TEST(BitSet, GrowsOnDemand) {
+  BitSet BS;
+  EXPECT_TRUE(BS.set(1000));
+  EXPECT_TRUE(BS.test(1000));
+  EXPECT_FALSE(BS.test(999));
+  EXPECT_GE(BS.size(), 1001u);
+}
+
+TEST(BitSet, UnionWith) {
+  BitSet A, B;
+  A.set(1);
+  A.set(64);
+  B.set(2);
+  B.set(128);
+  EXPECT_TRUE(A.unionWith(B));
+  EXPECT_FALSE(A.unionWith(B)); // no change the second time
+  EXPECT_TRUE(A.test(1));
+  EXPECT_TRUE(A.test(2));
+  EXPECT_TRUE(A.test(64));
+  EXPECT_TRUE(A.test(128));
+  EXPECT_EQ(A.count(), 4u);
+}
+
+TEST(BitSet, IntersectAndEquality) {
+  BitSet A, B;
+  for (int I : {3, 70, 200})
+    A.set(I);
+  for (int I : {70, 200, 500})
+    B.set(I);
+  EXPECT_TRUE(A.intersects(B));
+  A.intersectWith(B);
+  EXPECT_EQ(A.count(), 2u);
+  EXPECT_TRUE(A.test(70));
+  EXPECT_TRUE(A.test(200));
+  EXPECT_FALSE(A.test(3));
+
+  BitSet C;
+  C.set(70);
+  C.set(200);
+  EXPECT_TRUE(A == C); // equality ignores trailing zero words
+}
+
+TEST(BitSet, ForEachAscending) {
+  BitSet BS;
+  std::set<uint32_t> Expected = {0, 1, 63, 64, 65, 1000};
+  for (uint32_t I : Expected)
+    BS.set(I);
+  std::vector<uint32_t> Seen = BS.toVector();
+  EXPECT_EQ(Seen.size(), Expected.size());
+  EXPECT_TRUE(std::is_sorted(Seen.begin(), Seen.end()));
+  for (uint32_t I : Seen)
+    EXPECT_TRUE(Expected.count(I));
+}
+
+TEST(BitSet, RandomizedAgainstStdSet) {
+  std::mt19937 Rng(42);
+  BitSet BS;
+  std::set<uint32_t> Ref;
+  for (int Step = 0; Step < 2000; ++Step) {
+    uint32_t V = Rng() % 512;
+    if (Rng() % 3 == 0) {
+      BS.reset(V);
+      Ref.erase(V);
+    } else {
+      BS.set(V);
+      Ref.insert(V);
+    }
+  }
+  EXPECT_EQ(BS.count(), Ref.size());
+  for (uint32_t V = 0; V < 512; ++V)
+    EXPECT_EQ(BS.test(V), Ref.count(V) != 0) << V;
+}
+
+TEST(Worklist, DedupesPending) {
+  Worklist<int> WL;
+  EXPECT_TRUE(WL.push(1));
+  EXPECT_FALSE(WL.push(1));
+  EXPECT_TRUE(WL.push(2));
+  EXPECT_EQ(WL.pop(), 1);
+  EXPECT_TRUE(WL.push(1)); // re-addable once popped
+  EXPECT_EQ(WL.pop(), 2);
+  EXPECT_EQ(WL.pop(), 1);
+  EXPECT_TRUE(WL.empty());
+}
+
+TEST(Diagnostics, CountsErrorsOnly) {
+  DiagnosticEngine D;
+  D.warning({1, 2}, "w");
+  EXPECT_FALSE(D.hasErrors());
+  D.error({3, 4}, "e");
+  D.note({3, 5}, "n");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.errorCount(), 1u);
+  EXPECT_NE(D.str().find("3:4: error: e"), std::string::npos);
+  EXPECT_NE(D.str().find("1:2: warning: w"), std::string::npos);
+}
+
+TEST(Stats, CountersAndTimes) {
+  Stats S;
+  S.add("nodes");
+  S.add("nodes", 4);
+  EXPECT_EQ(S.get("nodes"), 5u);
+  EXPECT_EQ(S.get("missing"), 0u);
+  {
+    ScopedTimer T(S, "phase");
+  }
+  EXPECT_GE(S.time("phase"), 0.0);
+  EXPECT_NE(S.str().find("nodes = 5"), std::string::npos);
+}

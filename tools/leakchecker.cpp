@@ -1,0 +1,193 @@
+//===-- leakchecker.cpp - command-line driver --------------------------------===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+// The tool a user of the released system would run:
+//
+//   leakchecker FILE.mj --loop LABEL        check one loop/region
+//   leakchecker FILE.mj --suggest           rank loops worth checking
+//   leakchecker FILE.mj --loop L --run      also run the program and apply
+//                                           the Definition 1 dynamic oracle
+//   leakchecker --subject NAME [...]        use a bundled Table 1 subject
+//   leakchecker FILE.mj --dump-ir           print the lowered IR
+//
+// Options: --no-pivot --no-library-rule --threads --destructive-updates
+//          --context-depth N --list-subjects
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LeakChecker.h"
+#include "frontend/Lower.h"
+#include "interp/Interp.h"
+#include "ir/Printer.h"
+#include "leak/LoopSuggestion.h"
+#include "subjects/Scoring.h"
+#include "subjects/Subjects.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace lc;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [FILE.mj | --subject NAME] [options]\n"
+      "  --loop LABEL           check the loop/region with this label\n"
+      "  --suggest              rank loops worth checking (structural)\n"
+      "  --run                  also execute and apply the dynamic oracle\n"
+      "  --dump-ir              print the lowered IR and exit\n"
+      "  --list-subjects        list the bundled Table 1 subjects\n"
+      "  --no-pivot             report nested sites, not just roots\n"
+      "  --no-library-rule      container-internal reads count as reads\n"
+      "  --threads              model started threads as outside objects\n"
+      "  --destructive-updates  suppress provably-overwritten slots\n"
+      "  --context-depth N      call-string depth for contexts (default 8)\n",
+      Argv0);
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string File, Loop, SubjectName;
+  bool Suggest = false, Run = false, DumpIr = false, ListSubjects = false;
+  LeakOptions Opts;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < argc ? argv[++I] : nullptr;
+    };
+    if (A == "--loop") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      Loop = V;
+    } else if (A == "--subject") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      SubjectName = V;
+    } else if (A == "--context-depth") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      Opts.ContextDepth = static_cast<uint32_t>(std::atoi(V));
+    } else if (A == "--suggest") {
+      Suggest = true;
+    } else if (A == "--run") {
+      Run = true;
+    } else if (A == "--dump-ir") {
+      DumpIr = true;
+    } else if (A == "--list-subjects") {
+      ListSubjects = true;
+    } else if (A == "--no-pivot") {
+      Opts.PivotMode = false;
+    } else if (A == "--no-library-rule") {
+      Opts.LibraryRule = false;
+    } else if (A == "--threads") {
+      Opts.ModelThreads = true;
+    } else if (A == "--destructive-updates") {
+      Opts.ModelDestructiveUpdates = true;
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", A.c_str());
+      return usage(argv[0]);
+    } else {
+      File = A;
+    }
+  }
+
+  if (ListSubjects) {
+    for (const subjects::Subject &S : subjects::all())
+      std::printf("%-12s loop=%s\n", S.Name.c_str(), S.LoopLabel.c_str());
+    return 0;
+  }
+
+  std::string Source;
+  if (!SubjectName.empty()) {
+    const subjects::Subject &S = subjects::byName(SubjectName);
+    Source = S.Source;
+    if (Loop.empty())
+      Loop = S.LoopLabel;
+    Opts.ModelThreads |= S.Options.ModelThreads;
+  } else if (!File.empty()) {
+    std::ifstream In(File);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open %s\n", File.c_str());
+      return 1;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Source = Buf.str();
+  } else {
+    return usage(argv[0]);
+  }
+
+  DiagnosticEngine Diags;
+  auto Checker = LeakChecker::fromSource(Source, Diags, Opts);
+  if (!Checker) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  if (!Diags.str().empty())
+    std::fprintf(stderr, "%s", Diags.str().c_str()); // warnings
+
+  if (DumpIr) {
+    std::printf("%s", printProgram(Checker->program()).c_str());
+    return 0;
+  }
+
+  if (Suggest) {
+    auto Ranked = suggestLoops(Checker->program(), Checker->callGraph(),
+                               Checker->pag(), Checker->andersen(), 10);
+    std::printf("%s", renderSuggestions(Checker->program(), Ranked).c_str());
+    return 0;
+  }
+
+  if (Loop == "all") {
+    for (const LeakAnalysisResult &R : Checker->checkAllLabeled())
+      std::printf("%s\n",
+                  renderLeakReport(Checker->program(), R).c_str());
+    return 0;
+  }
+  if (Loop.empty()) {
+    std::fprintf(stderr, "error: pass --loop LABEL, --loop all, or "
+                         "--suggest\n");
+    return 2;
+  }
+  auto Result = Checker->check(Loop);
+  if (!Result) {
+    std::fprintf(stderr, "error: no loop or region labeled '%s'\n",
+                 Loop.c_str());
+    return 1;
+  }
+  std::printf("%s", renderLeakReport(Checker->program(), *Result).c_str());
+
+  if (Run) {
+    Program P2;
+    DiagnosticEngine D2;
+    if (!compileSource(Source, P2, D2))
+      return 1;
+    InterpOptions IOpts;
+    IOpts.TrackedLoop = P2.findLoop(Loop);
+    InterpResult R = interpret(P2, IOpts);
+    if (!R.ok()) {
+      std::printf("\ndynamic run: %s\n", R.TrapMessage.c_str());
+      return 1;
+    }
+    DynamicLeakReport D = detectDynamicLeaks(R);
+    std::printf("\ndynamic oracle (Definition 1): %zu leaking instances "
+                "over %zu sites\n",
+                D.Objects.size(), D.Sites.size());
+    for (AllocSiteId S : D.Sites)
+      std::printf("  %s  [static: %s]\n", P2.allocSiteName(S).c_str(),
+                  Result->reportsSite(S) ? "reported" : "not reported");
+  }
+  return 0;
+}
