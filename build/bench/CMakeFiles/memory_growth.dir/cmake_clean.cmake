@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_growth.dir/memory_growth.cpp.o"
+  "CMakeFiles/memory_growth.dir/memory_growth.cpp.o.d"
+  "memory_growth"
+  "memory_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pta_microbench.dir/pta_microbench.cpp.o"
+  "CMakeFiles/pta_microbench.dir/pta_microbench.cpp.o.d"
+  "pta_microbench"
+  "pta_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pta_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_transactions.dir/database_transactions.cpp.o"
+  "CMakeFiles/database_transactions.dir/database_transactions.cpp.o.d"
+  "database_transactions"
+  "database_transactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_transactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

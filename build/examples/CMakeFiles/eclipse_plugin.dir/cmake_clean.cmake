@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclipse_plugin.dir/eclipse_plugin.cpp.o"
+  "CMakeFiles/eclipse_plugin.dir/eclipse_plugin.cpp.o.d"
+  "eclipse_plugin"
+  "eclipse_plugin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclipse_plugin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

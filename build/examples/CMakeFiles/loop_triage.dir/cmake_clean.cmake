@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_triage.dir/loop_triage.cpp.o"
+  "CMakeFiles/loop_triage.dir/loop_triage.cpp.o.d"
+  "loop_triage"
+  "loop_triage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_triage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

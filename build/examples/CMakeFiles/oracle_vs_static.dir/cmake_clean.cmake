@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracle_vs_static.dir/oracle_vs_static.cpp.o"
+  "CMakeFiles/oracle_vs_static.dir/oracle_vs_static.cpp.o.d"
+  "oracle_vs_static"
+  "oracle_vs_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracle_vs_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

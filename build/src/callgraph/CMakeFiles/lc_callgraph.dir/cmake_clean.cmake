@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lc_callgraph.dir/CallGraph.cpp.o"
+  "CMakeFiles/lc_callgraph.dir/CallGraph.cpp.o.d"
+  "liblc_callgraph.a"
+  "liblc_callgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lc_callgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lc_cfg.dir/Cfg.cpp.o"
+  "CMakeFiles/lc_cfg.dir/Cfg.cpp.o.d"
+  "CMakeFiles/lc_cfg.dir/Dominators.cpp.o"
+  "CMakeFiles/lc_cfg.dir/Dominators.cpp.o.d"
+  "CMakeFiles/lc_cfg.dir/LoopAnalysis.cpp.o"
+  "CMakeFiles/lc_cfg.dir/LoopAnalysis.cpp.o.d"
+  "liblc_cfg.a"
+  "liblc_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lc_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/LeakChecker.cpp" "src/core/CMakeFiles/lc_core.dir/LeakChecker.cpp.o" "gcc" "src/core/CMakeFiles/lc_core.dir/LeakChecker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/leak/CMakeFiles/lc_leak.dir/DependInfo.cmake"
+  "/root/repo/build/src/effect/CMakeFiles/lc_effect.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/lc_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/lc_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/pta/CMakeFiles/lc_pta.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/lc_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/callgraph/CMakeFiles/lc_callgraph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lc_core.dir/LeakChecker.cpp.o"
+  "CMakeFiles/lc_core.dir/LeakChecker.cpp.o.d"
+  "liblc_core.a"
+  "liblc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

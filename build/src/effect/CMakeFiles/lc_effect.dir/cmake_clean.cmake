@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lc_effect.dir/EffectSystem.cpp.o"
+  "CMakeFiles/lc_effect.dir/EffectSystem.cpp.o.d"
+  "liblc_effect.a"
+  "liblc_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lc_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

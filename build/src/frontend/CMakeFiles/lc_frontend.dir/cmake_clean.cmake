@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lc_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/lc_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/lc_frontend.dir/Lower.cpp.o"
+  "CMakeFiles/lc_frontend.dir/Lower.cpp.o.d"
+  "CMakeFiles/lc_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/lc_frontend.dir/Parser.cpp.o.d"
+  "liblc_frontend.a"
+  "liblc_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lc_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

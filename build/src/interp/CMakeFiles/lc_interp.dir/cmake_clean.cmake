@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lc_interp.dir/Interp.cpp.o"
+  "CMakeFiles/lc_interp.dir/Interp.cpp.o.d"
+  "liblc_interp.a"
+  "liblc_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lc_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

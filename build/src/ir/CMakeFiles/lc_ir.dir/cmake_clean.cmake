@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lc_ir.dir/IRBuilder.cpp.o"
+  "CMakeFiles/lc_ir.dir/IRBuilder.cpp.o.d"
+  "CMakeFiles/lc_ir.dir/Printer.cpp.o"
+  "CMakeFiles/lc_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/lc_ir.dir/Program.cpp.o"
+  "CMakeFiles/lc_ir.dir/Program.cpp.o.d"
+  "CMakeFiles/lc_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/lc_ir.dir/Verifier.cpp.o.d"
+  "liblc_ir.a"
+  "liblc_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lc_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lc_leak.dir/LeakAnalysis.cpp.o"
+  "CMakeFiles/lc_leak.dir/LeakAnalysis.cpp.o.d"
+  "CMakeFiles/lc_leak.dir/LoopSuggestion.cpp.o"
+  "CMakeFiles/lc_leak.dir/LoopSuggestion.cpp.o.d"
+  "liblc_leak.a"
+  "liblc_leak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lc_leak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

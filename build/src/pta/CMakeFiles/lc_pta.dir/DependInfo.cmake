@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pta/Andersen.cpp" "src/pta/CMakeFiles/lc_pta.dir/Andersen.cpp.o" "gcc" "src/pta/CMakeFiles/lc_pta.dir/Andersen.cpp.o.d"
+  "/root/repo/src/pta/CflPta.cpp" "src/pta/CMakeFiles/lc_pta.dir/CflPta.cpp.o" "gcc" "src/pta/CMakeFiles/lc_pta.dir/CflPta.cpp.o.d"
+  "/root/repo/src/pta/Pag.cpp" "src/pta/CMakeFiles/lc_pta.dir/Pag.cpp.o" "gcc" "src/pta/CMakeFiles/lc_pta.dir/Pag.cpp.o.d"
+  "/root/repo/src/pta/RefinedCallGraph.cpp" "src/pta/CMakeFiles/lc_pta.dir/RefinedCallGraph.cpp.o" "gcc" "src/pta/CMakeFiles/lc_pta.dir/RefinedCallGraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/callgraph/CMakeFiles/lc_callgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/lc_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lc_pta.dir/Andersen.cpp.o"
+  "CMakeFiles/lc_pta.dir/Andersen.cpp.o.d"
+  "CMakeFiles/lc_pta.dir/CflPta.cpp.o"
+  "CMakeFiles/lc_pta.dir/CflPta.cpp.o.d"
+  "CMakeFiles/lc_pta.dir/Pag.cpp.o"
+  "CMakeFiles/lc_pta.dir/Pag.cpp.o.d"
+  "CMakeFiles/lc_pta.dir/RefinedCallGraph.cpp.o"
+  "CMakeFiles/lc_pta.dir/RefinedCallGraph.cpp.o.d"
+  "liblc_pta.a"
+  "liblc_pta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lc_pta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lc_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/lc_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/lc_support.dir/Stats.cpp.o"
+  "CMakeFiles/lc_support.dir/Stats.cpp.o.d"
+  "CMakeFiles/lc_support.dir/StringInterner.cpp.o"
+  "CMakeFiles/lc_support.dir/StringInterner.cpp.o.d"
+  "liblc_support.a"
+  "liblc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/subjects/JavaUtil.cpp" "subjects/CMakeFiles/lc_subjects.dir/JavaUtil.cpp.o" "gcc" "subjects/CMakeFiles/lc_subjects.dir/JavaUtil.cpp.o.d"
+  "/root/repo/subjects/Scoring.cpp" "subjects/CMakeFiles/lc_subjects.dir/Scoring.cpp.o" "gcc" "subjects/CMakeFiles/lc_subjects.dir/Scoring.cpp.o.d"
+  "/root/repo/subjects/SubjectDerby.cpp" "subjects/CMakeFiles/lc_subjects.dir/SubjectDerby.cpp.o" "gcc" "subjects/CMakeFiles/lc_subjects.dir/SubjectDerby.cpp.o.d"
+  "/root/repo/subjects/SubjectEclipseCp.cpp" "subjects/CMakeFiles/lc_subjects.dir/SubjectEclipseCp.cpp.o" "gcc" "subjects/CMakeFiles/lc_subjects.dir/SubjectEclipseCp.cpp.o.d"
+  "/root/repo/subjects/SubjectEclipseDiff.cpp" "subjects/CMakeFiles/lc_subjects.dir/SubjectEclipseDiff.cpp.o" "gcc" "subjects/CMakeFiles/lc_subjects.dir/SubjectEclipseDiff.cpp.o.d"
+  "/root/repo/subjects/SubjectFindBugs.cpp" "subjects/CMakeFiles/lc_subjects.dir/SubjectFindBugs.cpp.o" "gcc" "subjects/CMakeFiles/lc_subjects.dir/SubjectFindBugs.cpp.o.d"
+  "/root/repo/subjects/SubjectLog4j.cpp" "subjects/CMakeFiles/lc_subjects.dir/SubjectLog4j.cpp.o" "gcc" "subjects/CMakeFiles/lc_subjects.dir/SubjectLog4j.cpp.o.d"
+  "/root/repo/subjects/SubjectMckoi.cpp" "subjects/CMakeFiles/lc_subjects.dir/SubjectMckoi.cpp.o" "gcc" "subjects/CMakeFiles/lc_subjects.dir/SubjectMckoi.cpp.o.d"
+  "/root/repo/subjects/SubjectMySqlCj.cpp" "subjects/CMakeFiles/lc_subjects.dir/SubjectMySqlCj.cpp.o" "gcc" "subjects/CMakeFiles/lc_subjects.dir/SubjectMySqlCj.cpp.o.d"
+  "/root/repo/subjects/SubjectSpecJbb.cpp" "subjects/CMakeFiles/lc_subjects.dir/SubjectSpecJbb.cpp.o" "gcc" "subjects/CMakeFiles/lc_subjects.dir/SubjectSpecJbb.cpp.o.d"
+  "/root/repo/subjects/Subjects.cpp" "subjects/CMakeFiles/lc_subjects.dir/Subjects.cpp.o" "gcc" "subjects/CMakeFiles/lc_subjects.dir/Subjects.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/leak/CMakeFiles/lc_leak.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/lc_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/pta/CMakeFiles/lc_pta.dir/DependInfo.cmake"
+  "/root/repo/build/src/callgraph/CMakeFiles/lc_callgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/lc_cfg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

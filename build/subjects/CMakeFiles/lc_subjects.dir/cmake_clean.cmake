@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lc_subjects.dir/JavaUtil.cpp.o"
+  "CMakeFiles/lc_subjects.dir/JavaUtil.cpp.o.d"
+  "CMakeFiles/lc_subjects.dir/Scoring.cpp.o"
+  "CMakeFiles/lc_subjects.dir/Scoring.cpp.o.d"
+  "CMakeFiles/lc_subjects.dir/SubjectDerby.cpp.o"
+  "CMakeFiles/lc_subjects.dir/SubjectDerby.cpp.o.d"
+  "CMakeFiles/lc_subjects.dir/SubjectEclipseCp.cpp.o"
+  "CMakeFiles/lc_subjects.dir/SubjectEclipseCp.cpp.o.d"
+  "CMakeFiles/lc_subjects.dir/SubjectEclipseDiff.cpp.o"
+  "CMakeFiles/lc_subjects.dir/SubjectEclipseDiff.cpp.o.d"
+  "CMakeFiles/lc_subjects.dir/SubjectFindBugs.cpp.o"
+  "CMakeFiles/lc_subjects.dir/SubjectFindBugs.cpp.o.d"
+  "CMakeFiles/lc_subjects.dir/SubjectLog4j.cpp.o"
+  "CMakeFiles/lc_subjects.dir/SubjectLog4j.cpp.o.d"
+  "CMakeFiles/lc_subjects.dir/SubjectMckoi.cpp.o"
+  "CMakeFiles/lc_subjects.dir/SubjectMckoi.cpp.o.d"
+  "CMakeFiles/lc_subjects.dir/SubjectMySqlCj.cpp.o"
+  "CMakeFiles/lc_subjects.dir/SubjectMySqlCj.cpp.o.d"
+  "CMakeFiles/lc_subjects.dir/SubjectSpecJbb.cpp.o"
+  "CMakeFiles/lc_subjects.dir/SubjectSpecJbb.cpp.o.d"
+  "CMakeFiles/lc_subjects.dir/Subjects.cpp.o"
+  "CMakeFiles/lc_subjects.dir/Subjects.cpp.o.d"
+  "liblc_subjects.a"
+  "liblc_subjects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lc_subjects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

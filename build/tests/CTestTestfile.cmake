@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("frontend")
+subdirs("ir")
+subdirs("cfg")
+subdirs("callgraph")
+subdirs("pta")
+subdirs("effect")
+subdirs("interp")
+subdirs("leak")
+subdirs("integration")
+subdirs("property")

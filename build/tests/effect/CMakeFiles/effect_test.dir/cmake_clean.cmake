@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/effect_test.dir/EffectExtrasTest.cpp.o"
+  "CMakeFiles/effect_test.dir/EffectExtrasTest.cpp.o.d"
+  "CMakeFiles/effect_test.dir/EffectSystemTest.cpp.o"
+  "CMakeFiles/effect_test.dir/EffectSystemTest.cpp.o.d"
+  "CMakeFiles/effect_test.dir/EraTest.cpp.o"
+  "CMakeFiles/effect_test.dir/EraTest.cpp.o.d"
+  "effect_test"
+  "effect_test.pdb"
+  "effect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/effect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/leak/CoreFacadeTest.cpp" "tests/leak/CMakeFiles/leak_test.dir/CoreFacadeTest.cpp.o" "gcc" "tests/leak/CMakeFiles/leak_test.dir/CoreFacadeTest.cpp.o.d"
+  "/root/repo/tests/leak/ExtensionsTest.cpp" "tests/leak/CMakeFiles/leak_test.dir/ExtensionsTest.cpp.o" "gcc" "tests/leak/CMakeFiles/leak_test.dir/ExtensionsTest.cpp.o.d"
+  "/root/repo/tests/leak/LeakAnalysisTest.cpp" "tests/leak/CMakeFiles/leak_test.dir/LeakAnalysisTest.cpp.o" "gcc" "tests/leak/CMakeFiles/leak_test.dir/LeakAnalysisTest.cpp.o.d"
+  "/root/repo/tests/leak/MatchingRegressionTest.cpp" "tests/leak/CMakeFiles/leak_test.dir/MatchingRegressionTest.cpp.o" "gcc" "tests/leak/CMakeFiles/leak_test.dir/MatchingRegressionTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/leak/CMakeFiles/lc_leak.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/lc_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/effect/CMakeFiles/lc_effect.dir/DependInfo.cmake"
+  "/root/repo/build/src/pta/CMakeFiles/lc_pta.dir/DependInfo.cmake"
+  "/root/repo/build/src/callgraph/CMakeFiles/lc_callgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/lc_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/lc_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lc_support.dir/DependInfo.cmake"
+  "/root/repo/build/subjects/CMakeFiles/lc_subjects.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

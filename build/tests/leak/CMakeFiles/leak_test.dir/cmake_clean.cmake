@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leak_test.dir/CoreFacadeTest.cpp.o"
+  "CMakeFiles/leak_test.dir/CoreFacadeTest.cpp.o.d"
+  "CMakeFiles/leak_test.dir/ExtensionsTest.cpp.o"
+  "CMakeFiles/leak_test.dir/ExtensionsTest.cpp.o.d"
+  "CMakeFiles/leak_test.dir/LeakAnalysisTest.cpp.o"
+  "CMakeFiles/leak_test.dir/LeakAnalysisTest.cpp.o.d"
+  "CMakeFiles/leak_test.dir/MatchingRegressionTest.cpp.o"
+  "CMakeFiles/leak_test.dir/MatchingRegressionTest.cpp.o.d"
+  "leak_test"
+  "leak_test.pdb"
+  "leak_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leak_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

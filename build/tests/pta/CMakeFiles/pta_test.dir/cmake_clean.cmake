@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pta_test.dir/AndersenTest.cpp.o"
+  "CMakeFiles/pta_test.dir/AndersenTest.cpp.o.d"
+  "CMakeFiles/pta_test.dir/CflDepthTest.cpp.o"
+  "CMakeFiles/pta_test.dir/CflDepthTest.cpp.o.d"
+  "CMakeFiles/pta_test.dir/CflPtaTest.cpp.o"
+  "CMakeFiles/pta_test.dir/CflPtaTest.cpp.o.d"
+  "CMakeFiles/pta_test.dir/PagTest.cpp.o"
+  "CMakeFiles/pta_test.dir/PagTest.cpp.o.d"
+  "CMakeFiles/pta_test.dir/RefinedCallGraphTest.cpp.o"
+  "CMakeFiles/pta_test.dir/RefinedCallGraphTest.cpp.o.d"
+  "pta_test"
+  "pta_test.pdb"
+  "pta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

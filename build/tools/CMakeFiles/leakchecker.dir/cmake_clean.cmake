@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leakchecker.dir/leakchecker.cpp.o"
+  "CMakeFiles/leakchecker.dir/leakchecker.cpp.o.d"
+  "leakchecker"
+  "leakchecker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leakchecker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
