@@ -10,7 +10,9 @@
 //   - thread modeling (section 5.2, Mckoi): reports with and without the
 //     started-threads-are-outside workaround;
 //   - context sensitivity: context-sensitive vs insensitive site counts
-//     (the LO / LS(ctx) columns).
+//     (the LO / LS(ctx) columns);
+//   - the escape-analysis pre-filter: per-site flows-out queries skipped,
+//     report identity with the filter on vs off, and the wall-time delta.
 //
 // Run:  ./build/bench/ablations
 //
@@ -20,6 +22,7 @@
 #include "subjects/Scoring.h"
 #include "subjects/Subjects.h"
 
+#include <chrono>
 #include <cstdio>
 
 using namespace lc;
@@ -86,5 +89,70 @@ int main() {
               "library-rule and thread\ncolumns show where disabling the "
               "paper's mechanism loses real leaks; destr.upd\nis the paper's "
               "future-work refinement -- fewer reports, still zero misses.)\n");
-  return 0;
+
+  // --- Escape-analysis pre-filter --------------------------------------------
+
+  std::printf("\nEscape-analysis pre-filter (queries skipped, report "
+              "identity, wall time)\n\n");
+  std::printf("%-12s | %8s | %8s | %9s | %9s | %9s | %8s\n", "Subject",
+              "captured", "skipped", "on (us)", "off (us)", "delta", "reports");
+  std::printf("%.*s\n", 86,
+              "--------------------------------------------------------------"
+              "----------------------------------------------");
+
+  bool AllIdentical = true;
+  for (const Subject &S : subjects::all()) {
+    DiagnosticEngine Diags;
+    auto Checker = LeakChecker::fromSource(S.Source, Diags, S.Options);
+    if (!Checker)
+      return 1;
+    LoopId Loop = Checker->program().findLoop(S.LoopLabel);
+
+    LeakOptions On = S.Options;
+    On.EscapePrefilter = true;
+    LeakOptions Off = S.Options;
+    Off.EscapePrefilter = false;
+
+    // Median-free micro timing: best of N runs per configuration (the
+    // substrate is shared, so only the per-loop analysis is measured).
+    auto TimeBest = [&](const LeakOptions &O) {
+      double Best = 1e18;
+      for (int I = 0; I < 10; ++I) {
+        auto T0 = std::chrono::steady_clock::now();
+        auto R = Checker->checkWith(Loop, O);
+        auto T1 = std::chrono::steady_clock::now();
+        (void)R;
+        double Us =
+            std::chrono::duration<double, std::micro>(T1 - T0).count();
+        if (Us < Best)
+          Best = Us;
+      }
+      return Best;
+    };
+
+    auto ROn = Checker->checkWith(Loop, On);
+    auto ROff = Checker->checkWith(Loop, Off);
+    bool Identical = renderLeakReport(Checker->program(), ROn) ==
+                     renderLeakReport(Checker->program(), ROff);
+    AllIdentical &= Identical;
+    double UsOn = TimeBest(On), UsOff = TimeBest(Off);
+
+    std::printf("%-12s | %8llu | %8llu | %9.0f | %9.0f | %+8.1f%% | %s\n",
+                S.Name.c_str(),
+                static_cast<unsigned long long>(
+                    ROn.Statistics.get("escape-captured-sites")),
+                static_cast<unsigned long long>(
+                    ROn.Statistics.get("cfl-queries-skipped")),
+                UsOn, UsOff, (UsOn - UsOff) / UsOff * 100.0,
+                Identical ? "identical" : "DIFFER");
+  }
+
+  std::printf("\n(captured = sites the escape pre-pass proved iteration-local "
+              "for the checked\nloop; skipped = per-site flows-out queries "
+              "avoided; reports must be identical\nwith the filter on or off "
+              "-- the pruning is an optimization, not a refinement.\nOn these "
+              "miniature subjects the pre-pass's fixed cost can exceed the "
+              "avoided\nquery time; the saving scales with the store graph, "
+              "the overhead does not.)\n");
+  return AllIdentical ? 0 : 1;
 }

@@ -1,0 +1,81 @@
+//===-- EraCrossCheck.cpp -------------------------------------------------===//
+
+#include "core/EraCrossCheck.h"
+
+#include "effect/EffectSystem.h"
+
+#include <sstream>
+
+using namespace lc;
+
+EraCrossCheckResult lc::crossCheckEra(const LeakChecker &LC) {
+  const Program &P = LC.program();
+  EraCrossCheckResult R;
+
+  for (LoopId L = 0; L < P.Loops.size(); ++L) {
+    if (P.Loops[L].Label.isEmpty())
+      continue;
+    if (!LC.callGraph().isReachable(P.Loops[L].Method))
+      continue;
+    ++R.LoopsChecked;
+
+    BitSet Cap = LC.escape().iterationLocal(L);
+    if (Cap.empty())
+      continue;
+
+    // The matcher with the pre-filter disabled, so SiteEras carries its own
+    // classification of every inside site rather than the filter's.
+    LeakOptions O = LC.options();
+    O.EscapePrefilter = false;
+    LeakAnalysisResult Matcher = LC.checkWith(L, O);
+    EffectSummary Effect = runEffectSystem(P, L);
+
+    Cap.forEach([&](size_t SI) {
+      AllocSiteId S = static_cast<AllocSiteId>(SI);
+      ++R.CapturedSites;
+
+      auto EraIt = Matcher.SiteEras.find(S);
+      if (EraIt != Matcher.SiteEras.end()) {
+        // Outside = started-thread modeling forced the site outside; that
+        // is a deliberate override, not a classification disagreement.
+        if (EraIt->second == Era::Outside)
+          return;
+        if (EraIt->second != Era::Current)
+          R.Disagreements.push_back(
+              {L, S,
+               std::string("matcher classifies site as era `") +
+                   eraName(EraIt->second) + "`"});
+      }
+      if (Matcher.reportsSite(S))
+        R.Disagreements.push_back({L, S, "matcher reports site as leaking"});
+
+      Era E = Effect.eraOf(S);
+      if (E != Era::Current)
+        R.Disagreements.push_back(
+            {L, S,
+             std::string("effect system classifies site as era `") +
+                 eraName(E) + "`"});
+    });
+  }
+  return R;
+}
+
+std::string lc::renderEraCrossCheck(const Program &P,
+                                    const EraCrossCheckResult &R) {
+  std::ostringstream OS;
+  OS << "=== ERA cross-check ===\n";
+  OS << "labeled reachable loops checked: " << R.LoopsChecked << "\n";
+  OS << "escape-proved iteration-local sites: " << R.CapturedSites << "\n";
+  if (R.Disagreements.empty()) {
+    OS << "disagreements: none\n";
+    return OS.str();
+  }
+  OS << "disagreements: " << R.Disagreements.size() << "\n";
+  for (const EraDisagreement &D : R.Disagreements) {
+    const AllocSite &A = P.AllocSites[D.Site];
+    OS << "  loop \"" << P.Strings.text(P.Loops[D.Loop].Label) << "\" site #"
+       << D.Site << " (" << P.qualifiedMethodName(A.Method) << " @"
+       << A.Index << "): " << D.Detail << "\n";
+  }
+  return OS.str();
+}

@@ -1,0 +1,52 @@
+//===-- EraCrossCheck.h - Escape vs ERA consistency check ------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diagnostic cross-check behind the tool's --check-era flag: the escape
+/// pre-pass claims that sites it proves iteration-local have ERA `c`
+/// (Current) and can never be reported. This module verifies the claim
+/// against the two independent classifiers -- the formal type-and-effect
+/// system of section 3 and the interprocedural matcher of section 4 (run
+/// with the pre-filter OFF, so its own verdict is compared, not the
+/// filter's). Any disagreement is a soundness bug in one of the three.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_CORE_ERACROSSCHECK_H
+#define LC_CORE_ERACROSSCHECK_H
+
+#include "core/LeakChecker.h"
+
+#include <string>
+#include <vector>
+
+namespace lc {
+
+/// One captured site that a downstream classifier did not agree is
+/// iteration-local.
+struct EraDisagreement {
+  LoopId Loop = kInvalidId;
+  AllocSiteId Site = kInvalidId;
+  /// Which classifier disagreed and what it said.
+  std::string Detail;
+};
+
+struct EraCrossCheckResult {
+  uint64_t LoopsChecked = 0;
+  /// Total escape-proved iteration-local sites examined over all loops.
+  uint64_t CapturedSites = 0;
+  std::vector<EraDisagreement> Disagreements;
+};
+
+/// Cross-checks every labeled reachable loop/region of \p LC's program.
+EraCrossCheckResult crossCheckEra(const LeakChecker &LC);
+
+std::string renderEraCrossCheck(const Program &P,
+                                const EraCrossCheckResult &R);
+
+} // namespace lc
+
+#endif // LC_CORE_ERACROSSCHECK_H

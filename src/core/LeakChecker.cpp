@@ -3,6 +3,7 @@
 #include "core/LeakChecker.h"
 
 #include "frontend/Lower.h"
+#include "ir/Verifier.h"
 
 #include <vector>
 
@@ -14,6 +15,7 @@ LeakChecker::LeakChecker(std::unique_ptr<Program> Prog, LeakOptions Opts)
   G = std::make_unique<Pag>(*P, *CG);
   Base = std::make_unique<AndersenPta>(*G);
   Cfl = std::make_unique<CflPta>(*G, *Base, Opts.Cfl);
+  Esc = std::make_unique<EscapeAnalysis>(*P, *CG);
 }
 
 std::unique_ptr<LeakChecker> LeakChecker::fromSource(std::string_view Source,
@@ -22,6 +24,14 @@ std::unique_ptr<LeakChecker> LeakChecker::fromSource(std::string_view Source,
   auto Prog = std::make_unique<Program>();
   if (!compileSource(Source, *Prog, Diags))
     return nullptr;
+  // The frontend must hand the analyses a well-formed Program; fail fast
+  // with a diagnostic instead of letting an analysis trip over bad IR.
+  std::vector<std::string> Problems = verifyProgram(*Prog);
+  if (!Problems.empty()) {
+    for (const std::string &Prob : Problems)
+      Diags.error({}, "malformed IR: " + Prob);
+    return nullptr;
+  }
   return std::unique_ptr<LeakChecker>(
       new LeakChecker(std::move(Prog), Opts));
 }
@@ -40,12 +50,12 @@ LeakChecker::check(std::string_view LoopLabel) const {
 }
 
 LeakAnalysisResult LeakChecker::check(LoopId Loop) const {
-  return analyzeLoop(*P, Loop, *CG, *G, *Base, *Cfl, Opts);
+  return analyzeLoop(*P, Loop, *CG, *G, *Base, *Cfl, Opts, Esc.get());
 }
 
 LeakAnalysisResult LeakChecker::checkWith(LoopId Loop,
                                           const LeakOptions &O) const {
-  return analyzeLoop(*P, Loop, *CG, *G, *Base, *Cfl, O);
+  return analyzeLoop(*P, Loop, *CG, *G, *Base, *Cfl, O, Esc.get());
 }
 
 std::vector<LeakAnalysisResult> LeakChecker::checkAllLabeled() const {

@@ -17,6 +17,7 @@
 #ifndef LC_CORE_LEAKCHECKER_H
 #define LC_CORE_LEAKCHECKER_H
 
+#include "escape/EscapeAnalysis.h"
 #include "leak/LeakAnalysis.h"
 #include "support/Diagnostics.h"
 
@@ -57,6 +58,8 @@ public:
   const Pag &pag() const { return *G; }
   const AndersenPta &andersen() const { return *Base; }
   const CflPta &cfl() const { return *Cfl; }
+  const EscapeAnalysis &escape() const { return *Esc; }
+  const LeakOptions &options() const { return Opts; }
 
   /// Reachable-method count (Table 1's Mtds) and statement count over
   /// reachable methods (Table 1's Stmts).
@@ -72,6 +75,7 @@ private:
   std::unique_ptr<Pag> G;
   std::unique_ptr<AndersenPta> Base;
   std::unique_ptr<CflPta> Cfl;
+  std::unique_ptr<EscapeAnalysis> Esc;
 };
 
 } // namespace lc

@@ -1,0 +1,203 @@
+//===-- Dataflow.h - Intraprocedural dataflow framework --------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reusable monotone dataflow framework over one method's Cfg. An
+/// analysis instantiates DataflowSolver with a type providing:
+///
+/// \code
+///   struct MyAnalysis {
+///     using Domain = ...;  // value lattice, copyable
+///     static constexpr DataflowDir Direction = DataflowDir::Forward;
+///     Domain initial() const;   // bottom element
+///     Domain boundary() const;  // state at the entry (fwd) / exits (bwd)
+///     /// Joins From into Into; returns true when Into changed.
+///     bool join(Domain &Into, const Domain &From) const;
+///     /// Applies one statement's effect to D (in analysis direction).
+///     void transfer(const Stmt &S, StmtIdx I, Domain &D) const;
+///   };
+/// \endcode
+///
+/// The solver runs the standard worklist fixed point at block granularity
+/// (per-statement states are recovered on demand by replaying transfers
+/// inside a block) and supports extra edges not present in the CFG -- the
+/// feedback edge an artificial `region` loop needs from its last block back
+/// to its head, mirroring the effect system's treatment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_DATAFLOW_DATAFLOW_H
+#define LC_DATAFLOW_DATAFLOW_H
+
+#include "cfg/Cfg.h"
+#include "support/Worklist.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace lc {
+
+/// Direction a dataflow analysis propagates facts in.
+enum class DataflowDir : uint8_t { Forward, Backward };
+
+template <typename AnalysisT> class DataflowSolver {
+public:
+  using Domain = typename AnalysisT::Domain;
+  static constexpr bool IsForward =
+      AnalysisT::Direction == DataflowDir::Forward;
+
+  DataflowSolver(const Program &P, const Cfg &G, const AnalysisT &An)
+      : P(P), G(G), An(An), MI(P.Methods[G.method()]) {}
+
+  /// Adds a control-flow edge \p From -> \p To (block ids, program
+  /// direction) that the Cfg does not contain. Call before solve().
+  void addExtraEdge(uint32_t From, uint32_t To) {
+    ExtraSuccs[From].push_back(To);
+    ExtraPreds[To].push_back(From);
+  }
+
+  /// Runs the fixed point. Every block is seeded once, so blocks that are
+  /// unreachable in the analysis direction still get their transfers
+  /// applied to bottom.
+  void solve() {
+    size_t N = G.numBlocks();
+    In.assign(N, An.initial());
+    if (N == 0)
+      return;
+    if (IsForward) {
+      An.join(In[G.entry()], An.boundary());
+    } else {
+      for (uint32_t B = 0; B < N; ++B)
+        if (MI.Body[G.block(B).End - 1].Op == Opcode::Return)
+          An.join(In[B], An.boundary());
+    }
+    std::vector<uint32_t> Order = G.reversePostorder();
+    if (!IsForward)
+      std::reverse(Order.begin(), Order.end());
+    Worklist<uint32_t> WL;
+    for (uint32_t B : Order)
+      WL.push(B);
+    while (!WL.empty()) {
+      uint32_t B = WL.pop();
+      Domain Out = In[B];
+      applyBlock(B, Out);
+      forEachNext(B, [&](uint32_t Next) {
+        if (An.join(In[Next], Out))
+          WL.push(Next);
+      });
+    }
+  }
+
+  /// Dataflow input of block \p B in analysis direction: the state before
+  /// its first statement (forward) / after its last statement (backward).
+  const Domain &blockInput(uint32_t B) const { return In[B]; }
+
+  /// Dataflow output of block \p B: blockInput with all transfers applied.
+  Domain blockOutput(uint32_t B) const {
+    Domain D = In[B];
+    applyBlock(B, D);
+    return D;
+  }
+
+  /// State holding immediately before statement \p I executes (program
+  /// order, regardless of analysis direction).
+  Domain stateBefore(StmtIdx I) const { return replayTo(I, /*Inclusive=*/false); }
+
+  /// State holding immediately after statement \p I executes.
+  Domain stateAfter(StmtIdx I) const { return replayTo(I, /*Inclusive=*/true); }
+
+private:
+  void applyBlock(uint32_t B, Domain &D) const {
+    const BasicBlock &BB = G.block(B);
+    if (IsForward) {
+      for (StmtIdx I = BB.Begin; I < BB.End; ++I)
+        An.transfer(MI.Body[I], I, D);
+    } else {
+      for (StmtIdx I = BB.End; I > BB.Begin; --I)
+        An.transfer(MI.Body[I - 1], I - 1, D);
+    }
+  }
+
+  Domain replayTo(StmtIdx I, bool Inclusive) const {
+    uint32_t B = G.blockOf(I);
+    const BasicBlock &BB = G.block(B);
+    Domain D = In[B];
+    if (IsForward) {
+      // In[B] holds before BB.Begin; run forward up to (possibly through) I.
+      StmtIdx Stop = Inclusive ? I + 1 : I;
+      for (StmtIdx J = BB.Begin; J < Stop; ++J)
+        An.transfer(MI.Body[J], J, D);
+    } else {
+      // In[B] holds after BB.End-1; run backward down to (through) I.
+      StmtIdx Stop = Inclusive ? I + 1 : I;
+      for (StmtIdx J = BB.End; J > Stop; --J)
+        An.transfer(MI.Body[J - 1], J - 1, D);
+    }
+    return D;
+  }
+
+  template <typename Fn> void forEachNext(uint32_t B, Fn F) const {
+    const BasicBlock &BB = G.block(B);
+    const auto &Base = IsForward ? BB.Succs : BB.Preds;
+    for (uint32_t Next : Base)
+      F(Next);
+    const auto &Extra = IsForward ? ExtraSuccs : ExtraPreds;
+    auto It = Extra.find(B);
+    if (It != Extra.end())
+      for (uint32_t Next : It->second)
+        F(Next);
+  }
+
+  const Program &P;
+  const Cfg &G;
+  const AnalysisT &An;
+  const MethodInfo &MI;
+  std::vector<Domain> In;
+  std::map<uint32_t, std::vector<uint32_t>> ExtraSuccs, ExtraPreds;
+};
+
+/// True if \p Op writes a value into its Dst operand.
+inline bool opcodeWritesDst(Opcode Op) {
+  switch (Op) {
+  case Opcode::ConstInt:
+  case Opcode::ConstBool:
+  case Opcode::ConstNull:
+  case Opcode::ConstStr:
+  case Opcode::Copy:
+  case Opcode::Cast:
+  case Opcode::BinOp:
+  case Opcode::UnOp:
+  case Opcode::New:
+  case Opcode::NewArray:
+  case Opcode::Load:
+  case Opcode::StaticLoad:
+  case Opcode::ArrayLoad:
+  case Opcode::ArrayLen:
+  case Opcode::Invoke:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Calls \p F once for every local the statement reads. SrcA/SrcB/SrcC are
+/// locals for every opcode that sets them, so the generic walk is exact.
+template <typename Fn> void forEachUsedLocal(const Stmt &S, Fn F) {
+  auto Use = [&](LocalId L) {
+    if (L != kInvalidId)
+      F(L);
+  };
+  Use(S.SrcA);
+  Use(S.SrcB);
+  Use(S.SrcC);
+  for (LocalId A : S.Args)
+    Use(A);
+}
+
+} // namespace lc
+
+#endif // LC_DATAFLOW_DATAFLOW_H

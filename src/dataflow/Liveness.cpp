@@ -1,0 +1,9 @@
+//===-- Liveness.cpp ------------------------------------------------------===//
+
+#include "dataflow/Liveness.h"
+
+using namespace lc;
+
+Liveness::Liveness(const Program &P, const Cfg &G) : Solver(P, G, An) {
+  Solver.solve();
+}

@@ -1,0 +1,63 @@
+//===-- Liveness.h - Live-local analysis -----------------------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic backward may-liveness over a method's locals, as the exemplar
+/// backward instance of the dataflow framework. A local is live at a
+/// program point when some path from that point reads it before writing
+/// it. Used by tests as the framework's reference client and available to
+/// future passes (dead-store elimination, register-pressure heuristics).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_DATAFLOW_LIVENESS_H
+#define LC_DATAFLOW_LIVENESS_H
+
+#include "dataflow/Dataflow.h"
+#include "support/BitSet.h"
+
+namespace lc {
+
+/// The analysis instance: domain = set of live locals.
+class LivenessAnalysis {
+public:
+  using Domain = BitSet;
+  static constexpr DataflowDir Direction = DataflowDir::Backward;
+
+  Domain initial() const { return BitSet(); }
+  Domain boundary() const { return BitSet(); }
+  bool join(Domain &Into, const Domain &From) const {
+    return Into.unionWith(From);
+  }
+  void transfer(const Stmt &S, StmtIdx, Domain &D) const {
+    if (S.Dst != kInvalidId && opcodeWritesDst(S.Op))
+      D.reset(S.Dst);
+    forEachUsedLocal(S, [&](LocalId L) { D.set(L); });
+  }
+};
+
+/// Solved liveness for one method.
+class Liveness {
+public:
+  Liveness(const Program &P, const Cfg &G);
+
+  /// Locals live immediately before statement \p I executes.
+  BitSet liveBefore(StmtIdx I) const { return Solver.stateBefore(I); }
+  /// Locals live immediately after statement \p I executes.
+  BitSet liveAfter(StmtIdx I) const { return Solver.stateAfter(I); }
+  /// Locals live on exit from block \p B (before its successors run).
+  const BitSet &liveOutOf(uint32_t Block) const {
+    return Solver.blockInput(Block);
+  }
+
+private:
+  LivenessAnalysis An;
+  DataflowSolver<LivenessAnalysis> Solver;
+};
+
+} // namespace lc
+
+#endif // LC_DATAFLOW_LIVENESS_H

@@ -1,0 +1,323 @@
+//===-- EscapeAnalysis.cpp ------------------------------------------------===//
+
+#include "escape/EscapeAnalysis.h"
+
+#include "dataflow/Dataflow.h"
+#include "support/Worklist.h"
+
+#include <map>
+
+using namespace lc;
+
+EscapeAnalysis::EscapeAnalysis(const Program &P, const CallGraph &CG)
+    : P(P), CG(CG) {
+  ScopedTimer T(Statistics, "escape-analysis");
+  computeEscapingLocals();
+  computeCaptured();
+}
+
+uint64_t EscapeAnalysis::paramSignature(MethodId M) const {
+  const MethodInfo &MI = P.Methods[M];
+  unsigned N = (MI.IsStatic ? 0u : 1u) + MI.NumParams;
+  uint64_t Sig = 0;
+  for (unsigned I = 0; I < N && I < 64; ++I)
+    Sig |= uint64_t(EscLocals[M].test(I)) << I;
+  return Sig;
+}
+
+bool EscapeAnalysis::recomputeMethod(MethodId M) {
+  const MethodInfo &MI = P.Methods[M];
+  BitSet &E = EscLocals[M];
+  uint64_t Before = paramSignature(M);
+  // In unreachable methods the call graph records no callee sets, so no
+  // summaries exist to consult: treat every hand-off as escaping.
+  bool Unreachable = !CG.isReachable(M);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    auto Mark = [&](LocalId L) {
+      if (L != kInvalidId && E.set(L))
+        Changed = true;
+    };
+    for (StmtIdx I = 0; I < MI.Body.size(); ++I) {
+      const Stmt &S = MI.Body[I];
+      switch (S.Op) {
+      case Opcode::Store:
+        Mark(S.SrcB);
+        break;
+      case Opcode::ArrayStore:
+        Mark(S.SrcC);
+        break;
+      case Opcode::StaticStore:
+        Mark(S.SrcB);
+        break;
+      case Opcode::Return:
+        Mark(S.SrcA);
+        break;
+      case Opcode::Invoke: {
+        const std::vector<MethodId> &Callees = CG.calleesAt(M, I);
+        if (Unreachable || Callees.empty()) {
+          Mark(S.SrcA);
+          for (LocalId A : S.Args)
+            Mark(A);
+          break;
+        }
+        for (MethodId C : Callees) {
+          const MethodInfo &CI = P.Methods[C];
+          if (!CI.IsStatic && EscLocals[C].test(CI.thisLocal()))
+            Mark(S.SrcA);
+          for (size_t AI = 0; AI < S.Args.size(); ++AI)
+            if (EscLocals[C].test(CI.paramLocal(static_cast<unsigned>(AI))))
+              Mark(S.Args[AI]);
+        }
+        break;
+      }
+      case Opcode::Copy:
+      case Opcode::Cast:
+        // Backward closure: if the copy's target escapes, so does its
+        // source (the referent is the same object).
+        if (S.Dst != kInvalidId && E.test(S.Dst))
+          Mark(S.SrcA);
+        break;
+      default:
+        break;
+      }
+    }
+  }
+  return paramSignature(M) != Before;
+}
+
+void EscapeAnalysis::computeEscapingLocals() {
+  EscLocals.assign(P.Methods.size(), BitSet());
+  for (MethodId M = 0; M < P.Methods.size(); ++M)
+    EscLocals[M].resize(P.Methods[M].Locals.size());
+  Worklist<MethodId> WL;
+  for (MethodId M = 0; M < P.Methods.size(); ++M)
+    WL.push(M);
+  while (!WL.empty()) {
+    MethodId M = WL.pop();
+    Statistics.add("escape-method-recomputes");
+    if (!recomputeMethod(M))
+      continue;
+    // A parameter summary grew: every caller may now mark more arguments.
+    for (const CallSite &CS : CG.callersOf(M))
+      WL.push(CS.Caller);
+  }
+}
+
+void EscapeAnalysis::computeCaptured() {
+  // Which locals may hold each of the method's own allocation sites:
+  // direct New/NewArray/ConstStr results plus the Copy/Cast closure.
+  Holders.resize(P.Methods.size());
+  for (MethodId M = 0; M < P.Methods.size(); ++M) {
+    const MethodInfo &MI = P.Methods[M];
+    auto &H = Holders[M];
+    H.assign(MI.Locals.size(), BitSet());
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (const Stmt &S : MI.Body) {
+        switch (S.Op) {
+        case Opcode::New:
+        case Opcode::NewArray:
+        case Opcode::ConstStr:
+          if (S.Dst != kInvalidId)
+            Changed |= H[S.Dst].set(S.Site);
+          break;
+        case Opcode::Copy:
+        case Opcode::Cast:
+          if (S.Dst != kInvalidId && S.SrcA != kInvalidId)
+            Changed |= H[S.Dst].unionWith(H[S.SrcA]);
+          break;
+        default:
+          break;
+        }
+      }
+    }
+  }
+
+  Captured.resize(P.AllocSites.size());
+  for (AllocSiteId S = 0; S < P.AllocSites.size(); ++S) {
+    MethodId M = P.AllocSites[S].Method;
+    bool Escapes = false;
+    for (LocalId L = 0; L < Holders[M].size() && !Escapes; ++L)
+      Escapes = Holders[M][L].test(S) && EscLocals[M].test(L);
+    if (!Escapes)
+      Captured.set(S);
+  }
+  Statistics.add("escape-captured-sites", Captured.count());
+}
+
+namespace {
+
+/// Forward staleness analysis over the loop method: for every local, the
+/// candidate sites it may hold, split into values allocated in the current
+/// abstract iteration (Fresh) and values surviving from a previous one
+/// (Stale). IterBegin of the analyzed loop moves Fresh to Stale, mirroring
+/// the effect system's iteration advance (Current -> Top); a candidate
+/// with a stale holder at a back edge would be classified Top there, so it
+/// is not iteration-local.
+struct IterDomain {
+  std::vector<BitSet> Fresh, Stale;
+};
+
+class StalenessAnalysis {
+public:
+  using Domain = IterDomain;
+  static constexpr DataflowDir Direction = DataflowDir::Forward;
+
+  StalenessAnalysis(LoopId Loop, const std::map<AllocSiteId, uint32_t> &CandIdx,
+                    size_t NumLocals)
+      : Loop(Loop), CandIdx(CandIdx), NumLocals(NumLocals) {}
+
+  Domain initial() const {
+    Domain D;
+    D.Fresh.resize(NumLocals);
+    D.Stale.resize(NumLocals);
+    return D;
+  }
+  Domain boundary() const { return initial(); }
+
+  bool join(Domain &Into, const Domain &From) const {
+    bool Changed = false;
+    for (size_t L = 0; L < NumLocals; ++L) {
+      Changed |= Into.Fresh[L].unionWith(From.Fresh[L]);
+      Changed |= Into.Stale[L].unionWith(From.Stale[L]);
+    }
+    return Changed;
+  }
+
+  void transfer(const Stmt &S, StmtIdx, Domain &D) const {
+    switch (S.Op) {
+    case Opcode::IterBegin:
+      if (S.Loop == Loop)
+        for (size_t L = 0; L < NumLocals; ++L) {
+          D.Stale[L].unionWith(D.Fresh[L]);
+          D.Fresh[L].clear();
+        }
+      break;
+    case Opcode::New:
+    case Opcode::NewArray:
+    case Opcode::ConstStr: {
+      if (S.Dst == kInvalidId)
+        break;
+      D.Fresh[S.Dst].clear();
+      D.Stale[S.Dst].clear();
+      auto It = CandIdx.find(S.Site);
+      if (It != CandIdx.end())
+        D.Fresh[S.Dst].set(It->second);
+      break;
+    }
+    case Opcode::Copy:
+    case Opcode::Cast:
+      if (S.Dst == kInvalidId || S.SrcA == kInvalidId)
+        break;
+      D.Fresh[S.Dst] = D.Fresh[S.SrcA];
+      D.Stale[S.Dst] = D.Stale[S.SrcA];
+      break;
+    default:
+      // Candidates are captured, hence never stored: a heap load or call
+      // result cannot produce one, so any other def simply kills.
+      if (S.Dst != kInvalidId && opcodeWritesDst(S.Op)) {
+        D.Fresh[S.Dst].clear();
+        D.Stale[S.Dst].clear();
+      }
+      break;
+    }
+  }
+
+private:
+  LoopId Loop;
+  const std::map<AllocSiteId, uint32_t> &CandIdx;
+  size_t NumLocals;
+};
+
+} // namespace
+
+BitSet EscapeAnalysis::iterationLocal(LoopId L) const {
+  const LoopInfo &Loop = P.Loops[L];
+  std::set<MethodId> Inside;
+  Worklist<MethodId> WL;
+  for (StmtIdx I = Loop.BodyBegin; I < Loop.BodyEnd; ++I) {
+    if (P.Methods[Loop.Method].Body[I].Op != Opcode::Invoke)
+      continue;
+    for (MethodId C : CG.calleesAt(Loop.Method, I))
+      if (Inside.insert(C).second)
+        WL.push(C);
+  }
+  while (!WL.empty()) {
+    MethodId M = WL.pop();
+    const MethodInfo &MI = P.Methods[M];
+    for (StmtIdx I = 0; I < MI.Body.size(); ++I) {
+      if (MI.Body[I].Op != Opcode::Invoke)
+        continue;
+      for (MethodId C : CG.calleesAt(M, I))
+        if (Inside.insert(C).second)
+          WL.push(C);
+    }
+  }
+  return iterationLocal(L, Inside);
+}
+
+BitSet EscapeAnalysis::iterationLocal(
+    LoopId L, const std::set<MethodId> &InsideMethods) const {
+  const LoopInfo &Loop = P.Loops[L];
+  const MethodInfo &MI = P.Methods[Loop.Method];
+  BitSet Out(P.AllocSites.size());
+
+  // Candidates in the loop body need the staleness check below; captured
+  // sites in methods called from the body die before the call returns, so
+  // they are iteration-local outright.
+  std::map<AllocSiteId, uint32_t> CandIdx;
+  for (AllocSiteId S = 0; S < P.AllocSites.size(); ++S) {
+    if (!capturedInMethod(S))
+      continue;
+    const AllocSite &A = P.AllocSites[S];
+    bool InBody = A.Method == Loop.Method && A.Index >= Loop.BodyBegin &&
+                  A.Index < Loop.BodyEnd;
+    if (InBody)
+      CandIdx.emplace(S, static_cast<uint32_t>(CandIdx.size()));
+    else if (A.Method != Loop.Method && InsideMethods.count(A.Method))
+      Out.set(S);
+  }
+  if (CandIdx.empty())
+    return Out;
+
+  Cfg G(P, Loop.Method);
+  StalenessAnalysis An(L, CandIdx, MI.Locals.size());
+  DataflowSolver<StalenessAnalysis> Solver(P, G, An);
+  uint32_t Head = G.blockOf(Loop.BodyBegin);
+  if (Loop.IsRegion) {
+    // Regions have no CFG back edge; feed region-end blocks to the head,
+    // as the effect system does.
+    for (uint32_t B = 0; B < G.numBlocks(); ++B)
+      if (G.block(B).Begin < Loop.BodyEnd && G.block(B).End >= Loop.BodyEnd)
+        Solver.addExtraEdge(B, Head);
+  }
+  Solver.solve();
+
+  // Evaluate at the same points the effect system joins its exit state:
+  // after blocks ending with a back-edge Goto, and after region-end
+  // blocks. A candidate with a stale holder there is carried across
+  // iterations and would be advanced to Top.
+  BitSet Carried;
+  auto Evaluate = [&](uint32_t B) {
+    IterDomain D = Solver.blockOutput(B);
+    for (const BitSet &S : D.Stale)
+      Carried.unionWith(S);
+  };
+  for (uint32_t B = 0; B < G.numBlocks(); ++B) {
+    StmtIdx Last = G.block(B).End - 1;
+    bool BackEdge = MI.Body[Last].Op == Opcode::Goto &&
+                    MI.Body[Last].Target == Loop.BodyBegin &&
+                    Last >= Loop.BodyBegin && Last < Loop.BodyEnd;
+    bool RegionEnd = Loop.IsRegion && G.block(B).Begin < Loop.BodyEnd &&
+                     G.block(B).End >= Loop.BodyEnd;
+    if (BackEdge || RegionEnd)
+      Evaluate(B);
+  }
+  for (const auto &[S, Idx] : CandIdx)
+    if (!Carried.test(Idx))
+      Out.set(S);
+  return Out;
+}

@@ -1,0 +1,94 @@
+//===-- EscapeAnalysis.h - Abstract-interpretation escape analysis -*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A whole-program escape analysis in the style of Hill & Spoto ("Deriving
+/// Escape Analysis by Abstract Interpretation"): per-method summaries of
+/// which locals let their referent escape the frame, computed as a fixed
+/// point over the call graph, plus a per-loop staleness pass built on the
+/// dataflow framework.
+///
+/// An allocation site is *captured in its method* when no local that can
+/// hold it is marked escaping -- the object is never stored to the heap
+/// (instance, array, or static slot), never returned, and never handed to
+/// a callee whose matching parameter escapes. Captured objects cannot be
+/// reached by any heap path, so the leak matcher's per-site flows-out
+/// query for them is guaranteed empty and the site's ERA with respect to
+/// any loop running the allocation is `c` (Current) -- unless a local
+/// carries the object across an iteration boundary, which the staleness
+/// pass rules out by mirroring the effect system's iteration-advance
+/// semantics (IterBegin turns held values stale; stale values surviving to
+/// a back edge would be advanced to Top).
+///
+/// LeakAnalysis uses iterationLocal() as a pre-filter that skips the
+/// per-site points-to queries outright; tools/leakchecker --check-era uses
+/// it as an independent oracle against the effect system and the matcher.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_ESCAPE_ESCAPEANALYSIS_H
+#define LC_ESCAPE_ESCAPEANALYSIS_H
+
+#include "callgraph/CallGraph.h"
+#include "support/BitSet.h"
+#include "support/Stats.h"
+
+#include <set>
+#include <vector>
+
+namespace lc {
+
+class EscapeAnalysis {
+public:
+  /// Builds the per-method summaries for all of \p P (one fixed point over
+  /// \p CG; cheap enough to run eagerly at session setup).
+  EscapeAnalysis(const Program &P, const CallGraph &CG);
+
+  /// True if local \p L of method \p M may let its referent escape M's
+  /// frame (heap store, return, or hand-off to an escaping callee slot).
+  bool localMayEscape(MethodId M, LocalId L) const {
+    return EscLocals[M].test(L);
+  }
+
+  /// True if no instance of site \p S ever escapes the frame of its
+  /// allocating method.
+  bool capturedInMethod(AllocSiteId S) const { return Captured.test(S); }
+
+  /// Allocation sites proven iteration-local with respect to loop \p L:
+  /// captured in their method, and -- for sites in the loop body itself --
+  /// never held by a local across an iteration boundary. Every returned
+  /// site has ERA `c`; the overload takes the precomputed inside-method
+  /// set (methods transitively callable from the body) to avoid
+  /// recomputing it.
+  BitSet iterationLocal(LoopId L) const;
+  BitSet iterationLocal(LoopId L, const std::set<MethodId> &InsideMethods) const;
+
+  const Stats &statistics() const { return Statistics; }
+
+private:
+  void computeEscapingLocals();
+  void computeCaptured();
+  /// Re-runs M's local transfer to a fixed point against current callee
+  /// summaries; returns true when a parameter/this bit changed (callers
+  /// must then be revisited).
+  bool recomputeMethod(MethodId M);
+  uint64_t paramSignature(MethodId M) const;
+
+  const Program &P;
+  const CallGraph &CG;
+  /// Per method: locals whose referent may escape the frame.
+  std::vector<BitSet> EscLocals;
+  /// Per method, per local: allocation sites of this method the local may
+  /// hold directly (New plus Copy/Cast closure; flow-insensitive).
+  std::vector<std::vector<BitSet>> Holders;
+  /// Per allocation site: captured in its allocating method.
+  BitSet Captured;
+  Stats Statistics;
+};
+
+} // namespace lc
+
+#endif // LC_ESCAPE_ESCAPEANALYSIS_H

@@ -96,6 +96,14 @@ private:
       if (S.Field != kInvalidId && S.Field >= P.Fields.size())
         problem(Where + " stmt " + std::to_string(I) +
                 ": field id out of range");
+      else if (S.Op == Opcode::Load || S.Op == Opcode::Store)
+        checkFieldAccess(M, I);
+      else if (S.Op == Opcode::StaticLoad || S.Op == Opcode::StaticStore) {
+        if (S.Field != kInvalidId && !P.Fields[S.Field].IsStatic)
+          problem(Where + " stmt " + std::to_string(I) +
+                  ": static access to instance field " +
+                  P.fieldName(S.Field));
+      }
       if (S.Op == Opcode::Invoke) {
         if (S.Callee == kInvalidId || S.Callee >= P.Methods.size())
           problem(Where + " stmt " + std::to_string(I) +
@@ -120,6 +128,49 @@ private:
           (S.Loop == kInvalidId || S.Loop >= P.Loops.size()))
         problem(Where + " stmt " + std::to_string(I) +
                 ": loop id out of range");
+    }
+  }
+
+  /// Type checks for Load/Store: the field must be an instance field
+  /// declared on (a supertype of) the base's static type. Bases whose type
+  /// is unknown, Null, or Array are tolerated (Array only carries the
+  /// pseudo element field), as are statements with corrupt operands --
+  /// other checks report those.
+  void checkFieldAccess(MethodId M, StmtIdx I) {
+    const MethodInfo &MI = P.Methods[M];
+    const Stmt &S = MI.Body[I];
+    std::string Where =
+        P.qualifiedMethodName(M) + " stmt " + std::to_string(I);
+    if (S.Field == kInvalidId || S.Field == P.ElemField)
+      return;
+    if (P.Fields[S.Field].IsStatic) {
+      problem(Where + ": instance access to static field " +
+              P.fieldName(S.Field));
+      return;
+    }
+    LocalId Base = S.SrcA;
+    if (Base == kInvalidId || Base >= MI.Locals.size())
+      return;
+    TypeId BT = MI.Locals[Base].Ty;
+    if (BT == kInvalidId)
+      return;
+    const Type &T = P.Types.get(BT);
+    switch (T.K) {
+    case Type::Kind::Ref:
+      if (T.Cls != kInvalidId && T.Cls < P.Classes.size() &&
+          !P.isSubclassOf(T.Cls, P.Fields[S.Field].Owner))
+        problem(Where + ": field " + P.fieldName(S.Field) +
+                " is not declared on (a supertype of) class " +
+                P.className(T.Cls));
+      break;
+    case Type::Kind::Int:
+    case Type::Kind::Bool:
+    case Type::Kind::Void:
+      problem(Where + ": field access on non-reference base");
+      break;
+    case Type::Kind::Null:
+    case Type::Kind::Array:
+      break;
     }
   }
 

@@ -3,6 +3,7 @@
 #include "leak/LeakAnalysis.h"
 
 #include "cfg/Dominators.h"
+#include "escape/EscapeAnalysis.h"
 #include "support/Worklist.h"
 
 #include <memory>
@@ -28,15 +29,16 @@ class Analyzer {
 public:
   Analyzer(const Program &P, LoopId Loop, const CallGraph &CG, const Pag &G,
            const AndersenPta &Base, const CflPta &Cfl,
-           const LeakOptions &Opts)
+           const LeakOptions &Opts, const EscapeAnalysis *Esc)
       : P(P), LoopIdVal(Loop), Loop(P.Loops[Loop]), CG(CG), G(G), Base(Base),
-        Cfl(Cfl), Opts(Opts) {}
+        Cfl(Cfl), Opts(Opts), Esc(Esc) {}
 
   LeakAnalysisResult run() {
     Result.Loop = LoopIdVal;
     ScopedTimer T(Result.Statistics, "leak-analysis");
     computeInsideRegion();
     classifyThreadSites();
+    computeEscapeFilter();
     collectHeapAccesses();
     computeFlowsOut();
     computeFlowsIn();
@@ -180,6 +182,24 @@ private:
       }
     }
     Result.Statistics.add("started-thread-sites", StartedThreads.size());
+  }
+
+  // --- Step 2b: escape pre-filter -------------------------------------------
+
+  /// Sites the escape analysis proves iteration-local can have no
+  /// flows-out edge: their per-site query is skipped and their ERA is
+  /// Current by construction. Keeping the skip at query granularity (the
+  /// store graph itself is still built) makes the reports provably
+  /// byte-identical with the filter off.
+  void computeEscapeFilter() {
+    if (!Opts.EscapePrefilter)
+      return;
+    if (!Esc) {
+      OwnedEsc = std::make_unique<EscapeAnalysis>(P, CG);
+      Esc = OwnedEsc.get();
+    }
+    Captured = Esc->iterationLocal(LoopIdVal, InsideMethods);
+    Result.Statistics.add("escape-captured-sites", Captured.count());
   }
 
   /// Outside = not an inside site, or a started thread (when modeled).
@@ -351,6 +371,13 @@ private:
     // For each inside site: DFS through inside intermediates to the
     // closest outside objects.
     for (AllocSiteId S : InsideSites) {
+      if (Captured.test(S) && isInsideSite(S)) {
+        // Iteration-local by the escape pre-pass: the DFS would find no
+        // edge rooted at S, so skip the query outright.
+        Result.SiteEras[S] = Era::Current;
+        Result.Statistics.add("cfl-queries-skipped");
+        continue;
+      }
       std::set<AllocSiteId> Visited{S};
       std::vector<AllocSiteId> Stack{S};
       while (!Stack.empty()) {
@@ -623,14 +650,13 @@ private:
   }
 
   void match() {
-    std::map<AllocSiteId, std::vector<LeakReport>> PerSite;
-    std::set<AllocSiteId> Leaking;
-
+    // Per-edge matching for every site with flows-out -- including
+    // non-reportable library sites, whose classification the matcher-side
+    // ERA below still needs.
+    std::map<AllocSiteId, std::vector<std::pair<const SiteEdge *, bool>>>
+        Matching;
     for (const auto &[S, Edges] : FlowsOut) {
-      if (!isReportable(S))
-        continue;
-      bool AnyFlowIn = false;
-      std::vector<const SiteEdge *> Unmatched;
+      auto &Out = Matching[S];
       for (const SiteEdge *E : Edges) {
         bool Matched = false;
         auto FIt = FlowsInSet.find({E->Field, E->To});
@@ -649,6 +675,19 @@ private:
           Result.Statistics.add("destructive-update-suppressed");
           Matched = true;
         }
+        Out.push_back({E, Matched});
+      }
+    }
+
+    std::map<AllocSiteId, std::vector<LeakReport>> PerSite;
+    std::set<AllocSiteId> Leaking;
+
+    for (const auto &[S, Edges] : Matching) {
+      if (!isReportable(S))
+        continue;
+      bool AnyFlowIn = false;
+      std::vector<const SiteEdge *> Unmatched;
+      for (const auto &[E, Matched] : Edges) {
         AnyFlowIn |= Matched;
         if (!Matched)
           Unmatched.push_back(E);
@@ -701,6 +740,26 @@ private:
     for (const LeakReport &R : Result.Reports)
       if (Counted.insert(R.Site).second)
         Result.NumLeakCtxSites += R.Contexts.size();
+
+    // Matcher-side ERA for every inside site (consumed by --check-era):
+    // pre-filtered sites were set to Current when their query was skipped.
+    for (AllocSiteId S : InsideSites) {
+      if (Result.SiteEras.count(S))
+        continue;
+      if (StartedThreads.count(S)) {
+        Result.SiteEras[S] = Era::Outside;
+        continue;
+      }
+      auto MIt = Matching.find(S);
+      if (MIt == Matching.end() || MIt->second.empty()) {
+        Result.SiteEras[S] = Era::Current;
+        continue;
+      }
+      bool AnyMatched = false;
+      for (const auto &[E, Matched] : MIt->second)
+        AnyMatched |= Matched;
+      Result.SiteEras[S] = AnyMatched ? Era::Future : Era::Top;
+    }
   }
 
   // --- Members -----------------------------------------------------------------
@@ -713,6 +772,10 @@ private:
   const AndersenPta &Base;
   const CflPta &Cfl;
   const LeakOptions &Opts;
+  const EscapeAnalysis *Esc;
+  std::unique_ptr<EscapeAnalysis> OwnedEsc;
+  /// Sites the escape pre-pass proved iteration-local (empty when off).
+  BitSet Captured;
 
   LeakAnalysisResult Result;
 
@@ -745,8 +808,9 @@ private:
 LeakAnalysisResult lc::analyzeLoop(const Program &P, LoopId Loop,
                                    const CallGraph &CG, const Pag &G,
                                    const AndersenPta &Base, const CflPta &Cfl,
-                                   const LeakOptions &Opts) {
-  return Analyzer(P, Loop, CG, G, Base, Cfl, Opts).run();
+                                   const LeakOptions &Opts,
+                                   const EscapeAnalysis *Esc) {
+  return Analyzer(P, Loop, CG, G, Base, Cfl, Opts, Esc).run();
 }
 
 std::string lc::renderLeakReport(const Program &P,

@@ -33,14 +33,18 @@
 #ifndef LC_LEAK_LEAKANALYSIS_H
 #define LC_LEAK_LEAKANALYSIS_H
 
+#include "effect/Era.h"
 #include "pta/CflPta.h"
 #include "support/Stats.h"
 
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
 
 namespace lc {
+
+class EscapeAnalysis;
 
 /// Tuning for one leak-analysis run.
 struct LeakOptions {
@@ -69,6 +73,12 @@ struct LeakOptions {
   /// matter. Off by default to match the paper's reported behaviour
   /// (overwritten-slot reports are its documented false positives).
   bool ModelDestructiveUpdates = false;
+  /// Run the escape-analysis pre-pass and skip the per-site flows-out
+  /// query for allocation sites it proves iteration-local (their ERA is
+  /// `c` by construction, so they can never be reported). Reports are
+  /// byte-identical with the filter on or off; the "cfl-queries-skipped"
+  /// statistic counts the avoided queries.
+  bool EscapePrefilter = true;
   /// Max call depth when enumerating contexts of inside allocation sites.
   uint32_t ContextDepth = 8;
   /// Cap on contexts kept per allocation site.
@@ -110,6 +120,13 @@ struct LeakAnalysisResult {
   /// contexts over all reports.
   uint64_t NumLeakCtxSites = 0;
   std::vector<LeakReport> Reports;
+  /// Matcher-side ERA of every inside allocation site: Current when no
+  /// flows-out edge exists (or the escape pre-filter proved the site
+  /// iteration-local), Future when the site escapes and some edge is
+  /// matched by a flows-in, Top when it escapes and never flows back,
+  /// Outside for started threads forced outside under thread modeling.
+  /// Consumed by the --check-era cross-check; never rendered in reports.
+  std::map<AllocSiteId, Era> SiteEras;
   Stats Statistics;
 
   bool reportsSite(AllocSiteId S) const {
@@ -122,11 +139,14 @@ struct LeakAnalysisResult {
 
 /// Runs the leak analysis for \p Loop of \p P. The caller provides the
 /// shared substrate (call graph, PAG, Andersen, CFL) so that several loops
-/// or option sets can reuse it.
+/// or option sets can reuse it. \p Esc optionally shares a prebuilt escape
+/// analysis for the pre-filter; when null and the filter is enabled, one
+/// is built for this run.
 LeakAnalysisResult analyzeLoop(const Program &P, LoopId Loop,
                                const CallGraph &CG, const Pag &G,
                                const AndersenPta &Base, const CflPta &Cfl,
-                               const LeakOptions &Opts = {});
+                               const LeakOptions &Opts = {},
+                               const EscapeAnalysis *Esc = nullptr);
 
 /// Renders a human-readable report (what the tool prints for a case
 /// study).

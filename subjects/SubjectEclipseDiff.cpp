@@ -60,6 +60,12 @@ class StatusMessage {
   int severity;
 }
 
+// Per-invocation comparison statistics shown in the dialog; discarded
+// when the compare finishes.
+class DiffStats {
+  int changedEntries;
+}
+
 class StatusBar {
   StatusMessage current;
 }
@@ -102,6 +108,9 @@ class ComparePlugin {
     CompareEditor editor = new CompareEditor();
     editor.left = left;
     editor.right = right;
+    DiffStats stats = new DiffStats();
+    stats.changedEntries = left.n + right.n;
+    dialog.percent = stats.changedEntries;
 
     // Platform records the opened editor: the leak.
     @leak HistoryEntry entry = new HistoryEntry();

@@ -34,6 +34,12 @@ class LoggingEvent {
   LocationInfo location;
 }
 
+// Per-call layout scratch used while formatting; never leaves log().
+class FormatBuffer {
+  int width;
+  int padded;
+}
+
 // A buffering appender whose flush never runs: the event buffer and its
 // side caches (rendered messages, throwable records, location index) all
 // grow without bound.
@@ -63,8 +69,11 @@ class Logger {
 
   void log(int level, String text) {
     if (level < this.effectiveLevel) { return; }
+    FormatBuffer fb = new FormatBuffer();
+    fb.width = level * 8;
+    fb.padded = fb.width + 1;
     @leak LoggingEvent ev = new LoggingEvent();
-    ev.level = level;
+    ev.level = fb.padded - fb.width + level - 1;
     @leak RenderedMessage msg = new RenderedMessage(text);
     this.appender.cacheRendering(msg);
     @leak ThrowableInfo ti = new ThrowableInfo();

@@ -115,6 +115,12 @@ class TimerRecord {
   int startMillis;
 }
 
+// Per-transaction pricing scratch; dies when the transaction completes.
+class PriceCalc {
+  int subtotal;
+  int tax;
+}
+
 class OrderFactory {
   // Creates an order and files it in the district's order tree. This is
   // the store that keeps orders alive: the tree is reachable from the
@@ -137,7 +143,10 @@ class NewOrderTransaction {
   }
   void process(int cust) {
     Order o = this.factory.makeAndFile(this.company, cust);
-    int total = o.quantity * 3;
+    PriceCalc calc = new PriceCalc();
+    calc.subtotal = o.quantity * 3;
+    calc.tax = calc.subtotal / 10;
+    int total = calc.subtotal + calc.tax;
   }
 }
 

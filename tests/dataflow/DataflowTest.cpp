@@ -1,0 +1,177 @@
+//===-- DataflowTest.cpp - unit tests for the dataflow framework -----------===//
+
+#include "dataflow/Dataflow.h"
+#include "dataflow/Liveness.h"
+#include "frontend/Lower.h"
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace lc;
+
+namespace {
+
+Program compile(std::string_view Src) {
+  Program P;
+  DiagnosticEngine Diags;
+  bool Ok = compileSource(Src, P, Diags);
+  EXPECT_TRUE(Ok) << Diags.str();
+  return P;
+}
+
+LocalId findLocal(const Program &P, MethodId M, std::string_view Name) {
+  const MethodInfo &MI = P.Methods[M];
+  for (LocalId L = 0; L < MI.Locals.size(); ++L)
+    if (P.Strings.text(MI.Locals[L].Name) == Name)
+      return L;
+  ADD_FAILURE() << "local not found: " << Name;
+  return kInvalidId;
+}
+
+/// Forward may-assigned analysis: the set of locals some path has written.
+/// The minimal forward instance, used to exercise solver mechanics.
+class DefinedLocals {
+public:
+  using Domain = BitSet;
+  static constexpr DataflowDir Direction = DataflowDir::Forward;
+
+  Domain initial() const { return BitSet(); }
+  Domain boundary() const { return BitSet(); }
+  bool join(Domain &Into, const Domain &From) const {
+    return Into.unionWith(From);
+  }
+  void transfer(const Stmt &S, StmtIdx, Domain &D) const {
+    if (S.Dst != kInvalidId && opcodeWritesDst(S.Op))
+      D.set(S.Dst);
+  }
+};
+
+} // namespace
+
+TEST(Dataflow, ForwardDiamondJoinsBothArms) {
+  Program P = compile(R"(
+    class Main { static void main() {
+      int c = 1;
+      int a = 0;
+      int b = 0;
+      if (c < 2) { a = 1; } else { b = 2; }
+      int z = a + b;
+    } }
+  )");
+  MethodId M = P.EntryMethod;
+  Cfg G(P, M);
+  DefinedLocals An;
+  DataflowSolver<DefinedLocals> Solver(P, G, An);
+  Solver.solve();
+  // At the join (the statement computing z), every local written on either
+  // arm -- and before the branch -- is in the may-assigned set.
+  const MethodInfo &MI = P.Methods[M];
+  StmtIdx ZDef = kInvalidId;
+  LocalId Z = findLocal(P, M, "z");
+  for (StmtIdx I = 0; I < MI.Body.size(); ++I)
+    if (MI.Body[I].Dst == Z && opcodeWritesDst(MI.Body[I].Op))
+      ZDef = I;
+  ASSERT_NE(ZDef, kInvalidId);
+  BitSet AtJoin = Solver.stateBefore(ZDef);
+  EXPECT_TRUE(AtJoin.test(findLocal(P, M, "a")));
+  EXPECT_TRUE(AtJoin.test(findLocal(P, M, "b")));
+  EXPECT_TRUE(AtJoin.test(findLocal(P, M, "c")));
+  EXPECT_FALSE(AtJoin.test(Z));
+  EXPECT_TRUE(Solver.stateAfter(ZDef).test(Z));
+}
+
+TEST(Dataflow, ExtraEdgePropagatesAgainstCfg) {
+  // Two straight-line blocks; an extra edge from the second back to the
+  // first (the region feedback shape) must flow the second block's defs
+  // into the first block's input.
+  auto P = std::make_unique<Program>();
+  P->initBuiltins();
+  IRBuilder B(*P);
+  ClassId C = B.addClass("A");
+  MethodId M = B.beginMethod(C, "f", P->Types.voidTy(), /*IsStatic=*/true, {});
+  LocalId A = B.addLocal("a", P->Types.intTy());
+  LocalId D = B.addLocal("d", P->Types.intTy());
+  B.emitConstInt(A, 1);
+  StmtIdx Gt = B.emitGoto();
+  B.bindTarget(Gt, B.nextIdx());
+  B.emitConstInt(D, 2);
+  B.emitReturn();
+  B.endMethod();
+
+  Cfg G(*P, M);
+  ASSERT_EQ(G.numBlocks(), 2u);
+  DefinedLocals An;
+  {
+    DataflowSolver<DefinedLocals> Plain(*P, G, An);
+    Plain.solve();
+    EXPECT_FALSE(Plain.blockInput(G.entry()).test(D));
+  }
+  DataflowSolver<DefinedLocals> WithEdge(*P, G, An);
+  uint32_t Tail = G.entry() == 0 ? 1 : 0;
+  WithEdge.addExtraEdge(Tail, G.entry());
+  WithEdge.solve();
+  EXPECT_TRUE(WithEdge.blockInput(G.entry()).test(D));
+  EXPECT_TRUE(WithEdge.blockInput(G.entry()).test(A));
+}
+
+TEST(Liveness, StraightLineKillsAfterLastUse) {
+  auto P = std::make_unique<Program>();
+  P->initBuiltins();
+  IRBuilder B(*P);
+  ClassId C = B.addClass("A");
+  MethodId M = B.beginMethod(C, "f", P->Types.intTy(), /*IsStatic=*/true, {});
+  LocalId A = B.addLocal("a", P->Types.intTy());
+  LocalId R = B.addLocal("r", P->Types.intTy());
+  B.emitConstInt(A, 1);
+  StmtIdx Add = B.emitBinOp(R, BinKind::Add, A, A);
+  StmtIdx Ret = B.emitReturn(R);
+  B.endMethod();
+
+  Cfg G(*P, M);
+  Liveness LV(*P, G);
+  EXPECT_TRUE(LV.liveBefore(Add).test(A));
+  EXPECT_FALSE(LV.liveAfter(Add).test(A)) << "a is dead after its last use";
+  EXPECT_TRUE(LV.liveAfter(Add).test(R));
+  EXPECT_TRUE(LV.liveBefore(Ret).test(R));
+  EXPECT_TRUE(LV.liveAfter(Ret).empty());
+}
+
+TEST(Liveness, LoopCarriedLocalLiveAroundBackEdge) {
+  Program P = compile(R"(
+    class Main { static void main() {
+      int i = 0;
+      l: while (i < 10) { i = i + 1; }
+      int z = i;
+    } }
+  )");
+  MethodId M = P.EntryMethod;
+  LocalId I = findLocal(P, M, "i");
+  Cfg G(P, M);
+  Liveness LV(P, G);
+  // i is read by the condition of the next iteration and by z afterwards,
+  // so it is live on exit from every block of the loop.
+  const LoopInfo &L = P.Loops[0];
+  for (uint32_t B = 0; B < G.numBlocks(); ++B) {
+    const BasicBlock &BB = G.block(B);
+    if (BB.Begin >= L.BodyBegin && BB.End <= L.BodyEnd) {
+      EXPECT_TRUE(LV.liveOutOf(B).test(I)) << "block " << B;
+    }
+  }
+}
+
+TEST(Liveness, DeadStoreIsNotLive) {
+  auto P = std::make_unique<Program>();
+  P->initBuiltins();
+  IRBuilder B(*P);
+  ClassId C = B.addClass("A");
+  MethodId M = B.beginMethod(C, "f", P->Types.voidTy(), /*IsStatic=*/true, {});
+  LocalId A = B.addLocal("a", P->Types.intTy());
+  StmtIdx Def = B.emitConstInt(A, 1);
+  B.emitReturn();
+  B.endMethod();
+
+  Cfg G(*P, M);
+  Liveness LV(*P, G);
+  EXPECT_FALSE(LV.liveBefore(Def).test(A));
+  EXPECT_FALSE(LV.liveAfter(Def).test(A)) << "value is never read";
+}

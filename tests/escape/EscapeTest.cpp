@@ -1,0 +1,235 @@
+//===-- EscapeTest.cpp - unit tests for the escape analysis ----------------===//
+
+#include "escape/EscapeAnalysis.h"
+#include "frontend/Lower.h"
+
+#include <gtest/gtest.h>
+
+using namespace lc;
+
+namespace {
+
+struct Session {
+  Program P;
+  std::unique_ptr<CallGraph> CG;
+  std::unique_ptr<EscapeAnalysis> Esc;
+
+  explicit Session(std::string_view Src) {
+    DiagnosticEngine Diags;
+    bool Ok = compileSource(Src, P, Diags);
+    EXPECT_TRUE(Ok) << Diags.str();
+    if (!Ok)
+      return;
+    CG = std::make_unique<CallGraph>(P, CallGraphKind::Rta);
+    Esc = std::make_unique<EscapeAnalysis>(P, *CG);
+  }
+
+  /// The allocation site whose allocated class is named \p Cls (must be
+  /// unique in the test program).
+  AllocSiteId siteOf(std::string_view Cls) const {
+    AllocSiteId Found = kInvalidId;
+    for (AllocSiteId S = 0; S < P.AllocSites.size(); ++S) {
+      const Type &T = P.Types.get(P.AllocSites[S].Ty);
+      if (T.K == Type::Kind::Ref && P.className(T.Cls) == Cls) {
+        EXPECT_EQ(Found, kInvalidId) << "ambiguous site for " << Cls;
+        Found = S;
+      }
+    }
+    EXPECT_NE(Found, kInvalidId) << "no site allocates " << Cls;
+    return Found;
+  }
+};
+
+} // namespace
+
+TEST(Escape, LocalTempIsCaptured) {
+  Session S(R"(
+    class Temp { int x; }
+    class Main { static void main() {
+      Temp t = new Temp();
+      t.x = 1;
+      int y = t.x + 2;
+    } }
+  )");
+  EXPECT_TRUE(S.Esc->capturedInMethod(S.siteOf("Temp")));
+}
+
+TEST(Escape, StaticStoreEscapes) {
+  Session S(R"(
+    class Item { int x; }
+    class Glob { static Item last; }
+    class Main { static void main() {
+      Item t = new Item();
+      Glob.last = t;
+    } }
+  )");
+  EXPECT_FALSE(S.Esc->capturedInMethod(S.siteOf("Item")));
+}
+
+TEST(Escape, ReturnEscapes) {
+  Session S(R"(
+    class Item { int x; }
+    class Factory {
+      Item make() { Item t = new Item(); return t; }
+    }
+    class Main { static void main() {
+      Factory f = new Factory();
+      Item i = f.make();
+    } }
+  )");
+  EXPECT_FALSE(S.Esc->capturedInMethod(S.siteOf("Item")));
+}
+
+TEST(Escape, CopyChainToHeapStoreEscapes) {
+  Session S(R"(
+    class Item { int x; }
+    class Sink { Item held; }
+    class Main { static void main() {
+      Sink s = new Sink();
+      Item t = new Item();
+      Item alias = t;
+      s.held = alias;
+    } }
+  )");
+  // The store is through a copy; the backward closure must reach t.
+  EXPECT_FALSE(S.Esc->capturedInMethod(S.siteOf("Item")));
+}
+
+TEST(Escape, EscapeThroughCalleeParameterSummary) {
+  Session S(R"(
+    class Item { int x; }
+    class Sink {
+      Item held;
+      void keep(Item it) { this.held = it; }
+      void ignore(Item it) { int y = it.x; }
+    }
+    class Keep { }
+    class Drop { }
+    class Main { static void main() {
+      Sink s = new Sink();
+      Item kept = new Item();
+      s.keep(kept);
+    } }
+  )");
+  // keep()'s parameter escapes (stored into this.held), so the argument
+  // does too.
+  EXPECT_FALSE(S.Esc->capturedInMethod(S.siteOf("Item")));
+}
+
+TEST(Escape, CapturedWhenCalleeOnlyReads) {
+  Session S(R"(
+    class Item { int x; }
+    class Reader {
+      int read(Item it) { return it.x; }
+    }
+    class Main { static void main() {
+      Reader r = new Reader();
+      Item t = new Item();
+      int v = r.read(t);
+    } }
+  )");
+  EXPECT_TRUE(S.Esc->capturedInMethod(S.siteOf("Item")));
+}
+
+TEST(Escape, IterationLocalTempInLoopBody) {
+  Session S(R"(
+    class Scratch { int x; }
+    class Main { static void main() {
+      int i = 0;
+      l: while (i < 5) {
+        Scratch t = new Scratch();
+        t.x = i;
+        i = i + t.x;
+      }
+    } }
+  )");
+  BitSet IL = S.Esc->iterationLocal(S.P.findLoop("l"));
+  EXPECT_TRUE(IL.test(S.siteOf("Scratch")));
+}
+
+TEST(Escape, ReassignedEachIterationIsIterationLocal) {
+  Session S(R"(
+    class Node { int x; }
+    class Main { static void main() {
+      Node prev = null;
+      int i = 0;
+      l: while (i < 5) {
+        Node cur = new Node();
+        cur.x = i;
+        prev = cur;
+        i = i + 1;
+      }
+      int z = prev.x;
+    } }
+  )");
+  // prev is unconditionally overwritten before each back edge, so no
+  // stale value survives to the effect system's exit-state join points:
+  // the ERA stays `c` (this mirrors the effect system exactly -- the Top
+  // occurrence after IterBegin is killed by the reassignment).
+  EXPECT_TRUE(S.Esc->capturedInMethod(S.siteOf("Node")));
+  BitSet IL = S.Esc->iterationLocal(S.P.findLoop("l"));
+  EXPECT_TRUE(IL.test(S.siteOf("Node")));
+}
+
+TEST(Escape, ConditionallyCarriedIsNotIterationLocal) {
+  Session S(R"(
+    class Node { int x; }
+    class Main { static void main() {
+      Node prev = null;
+      int i = 0;
+      l: while (i < 5) {
+        if (i > 2) {
+          Node cur = new Node();
+          cur.x = i;
+          prev = cur;
+        }
+        i = i + 1;
+      }
+    } }
+  )");
+  // On the branch-not-taken path prev still holds the previous
+  // iteration's object at the back edge -- the effect system would join
+  // Current and Top there and classify the site Top, so the escape pass
+  // must not claim it iteration-local.
+  EXPECT_TRUE(S.Esc->capturedInMethod(S.siteOf("Node")));
+  BitSet IL = S.Esc->iterationLocal(S.P.findLoop("l"));
+  EXPECT_FALSE(IL.test(S.siteOf("Node")));
+}
+
+TEST(Escape, CapturedInCalleeIsIterationLocal) {
+  Session S(R"(
+    class Scratch { int x; }
+    class Worker {
+      int step(int i) {
+        Scratch t = new Scratch();
+        t.x = i * 2;
+        return t.x;
+      }
+    }
+    class Main { static void main() {
+      Worker w = new Worker();
+      int i = 0;
+      l: while (i < 5) {
+        i = i + w.step(i);
+      }
+    } }
+  )");
+  // Allocated in a method called from the body: dies before the call
+  // returns, iteration-local outright (no staleness check needed).
+  BitSet IL = S.Esc->iterationLocal(S.P.findLoop("l"));
+  EXPECT_TRUE(IL.test(S.siteOf("Scratch")));
+}
+
+TEST(Escape, RegionTempIsIterationLocal) {
+  Session S(R"(
+    class Scratch { int x; }
+    class Main { static void main() {
+      region "r" {
+        Scratch t = new Scratch();
+        t.x = 1;
+      }
+    } }
+  )");
+  BitSet IL = S.Esc->iterationLocal(S.P.findLoop("r"));
+  EXPECT_TRUE(IL.test(S.siteOf("Scratch")));
+}

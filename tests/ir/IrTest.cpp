@@ -178,6 +178,89 @@ TEST(IrVerifier, CatchesArgCountMismatch) {
   EXPECT_NE(Problems.front().find("argument count"), std::string::npos);
 }
 
+TEST(IrVerifier, CatchesFieldNotDeclaredOnBaseType) {
+  auto P = freshProgram();
+  IRBuilder B(*P);
+  ClassId A = B.addClass("A");
+  FieldId FA = B.addField(A, "fa", P->Types.intTy());
+  ClassId Other = B.addClass("Other");
+  MethodId M = B.beginMethod(Other, "main", P->Types.voidTy(), true, {});
+  LocalId O = B.addLocal("o", B.refTy(Other));
+  LocalId T = B.addLocal("t", P->Types.intTy());
+  B.emitNew(O, Other);
+  B.emitLoad(T, O, FA); // Other has no field fa
+  B.emitReturn();
+  B.endMethod();
+  (void)M;
+  auto Problems = verifyProgram(*P);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems.front().find("not declared on"), std::string::npos)
+      << Problems.front();
+}
+
+TEST(IrVerifier, AcceptsFieldDeclaredOnSupertype) {
+  auto P = freshProgram();
+  IRBuilder B(*P);
+  ClassId Base = B.addClass("Base");
+  FieldId F = B.addField(Base, "f", P->Types.intTy());
+  ClassId Derived = B.addClass("Derived", Base);
+  MethodId M = B.beginMethod(Derived, "main", P->Types.voidTy(), true, {});
+  LocalId D = B.addLocal("d", B.refTy(Derived));
+  LocalId T = B.addLocal("t", P->Types.intTy());
+  B.emitNew(D, Derived);
+  B.emitLoad(T, D, F); // inherited from Base: fine
+  B.emitStore(D, F, T);
+  B.emitReturn();
+  B.endMethod();
+  (void)M;
+  auto Problems = verifyProgram(*P);
+  EXPECT_TRUE(Problems.empty()) << Problems.front();
+}
+
+TEST(IrVerifier, CatchesStaticInstanceFieldConfusion) {
+  auto P = freshProgram();
+  IRBuilder B(*P);
+  ClassId C = B.addClass("C");
+  FieldId Inst = B.addField(C, "inst", P->Types.intTy());
+  FieldId Stat = B.addField(C, "stat", P->Types.intTy(), /*IsStatic=*/true);
+  MethodId M = B.beginMethod(C, "main", P->Types.voidTy(), true, {});
+  LocalId O = B.addLocal("o", B.refTy(C));
+  LocalId T = B.addLocal("t", P->Types.intTy());
+  B.emitNew(O, C);
+  B.emitStaticLoad(T, Inst); // static access to instance field
+  B.emitLoad(T, O, Stat);    // instance access to static field
+  B.emitReturn();
+  B.endMethod();
+  (void)M;
+  auto Problems = verifyProgram(*P);
+  ASSERT_EQ(Problems.size(), 2u);
+  EXPECT_NE(Problems[0].find("static access to instance field"),
+            std::string::npos)
+      << Problems[0];
+  EXPECT_NE(Problems[1].find("instance access to static field"),
+            std::string::npos)
+      << Problems[1];
+}
+
+TEST(IrVerifier, CatchesFieldAccessOnPrimitiveBase) {
+  auto P = freshProgram();
+  IRBuilder B(*P);
+  ClassId C = B.addClass("C");
+  FieldId F = B.addField(C, "f", P->Types.intTy());
+  MethodId M = B.beginMethod(C, "main", P->Types.voidTy(), true, {});
+  LocalId I = B.addLocal("i", P->Types.intTy());
+  LocalId T = B.addLocal("t", P->Types.intTy());
+  B.emitConstInt(I, 1);
+  B.emitLoad(T, I, F); // base is an int
+  B.emitReturn();
+  B.endMethod();
+  (void)M;
+  auto Problems = verifyProgram(*P);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems.front().find("non-reference base"), std::string::npos)
+      << Problems.front();
+}
+
 TEST(IrProgram, LookupHelpers) {
   auto P = freshProgram();
   IRBuilder B(*P);

@@ -1,0 +1,169 @@
+//===-- LoopSuggestionTest.cpp - tests for structural loop ranking ---------===//
+
+#include "frontend/Lower.h"
+#include "leak/LoopSuggestion.h"
+
+#include <gtest/gtest.h>
+
+using namespace lc;
+
+namespace {
+
+struct Session {
+  Program P;
+  std::unique_ptr<CallGraph> CG;
+  std::unique_ptr<Pag> G;
+  std::unique_ptr<AndersenPta> Base;
+
+  explicit Session(std::string_view Src) {
+    DiagnosticEngine Diags;
+    bool Ok = compileSource(Src, P, Diags);
+    EXPECT_TRUE(Ok) << Diags.str();
+    if (!Ok)
+      return;
+    CG = std::make_unique<CallGraph>(P, CallGraphKind::Rta);
+    G = std::make_unique<Pag>(P, *CG);
+    Base = std::make_unique<AndersenPta>(*G);
+  }
+
+  std::vector<LoopCandidate> suggest(unsigned TopK = 0) {
+    return suggestLoops(P, *CG, *G, *Base, TopK);
+  }
+};
+
+LoopId loopLabeled(const Program &P, std::string_view Label) {
+  LoopId L = P.findLoop(Label);
+  EXPECT_NE(L, kInvalidId) << "no loop labeled " << Label;
+  return L;
+}
+
+} // namespace
+
+TEST(LoopSuggestion, EmptyProgramYieldsNoCandidates) {
+  Session S("class Main { static void main() { } }");
+  auto Cs = S.suggest();
+  EXPECT_TRUE(Cs.empty());
+}
+
+TEST(LoopSuggestion, NestedLoopsAreBothRankedOuterFirst) {
+  Session S(R"(
+    class Sink { Object[] all = new Object[64]; int n; }
+    class Item { }
+    class Main { static void main() {
+      Sink s = new Sink();
+      int i = 0;
+      outer: while (i < 4) {
+        int j = 0;
+        inner: while (j < 4) {
+          Item x = new Item();
+          s.all[s.n] = x;
+          s.n = s.n + 1;
+          j = j + 1;
+        }
+        i = i + 1;
+      }
+    } }
+  )");
+  auto Cs = S.suggest();
+  ASSERT_EQ(Cs.size(), 2u);
+  LoopId Outer = loopLabeled(S.P, "outer");
+  LoopId Inner = loopLabeled(S.P, "inner");
+  auto Find = [&](LoopId L) -> const LoopCandidate * {
+    for (const LoopCandidate &C : Cs)
+      if (C.Loop == L)
+        return &C;
+    return nullptr;
+  };
+  const LoopCandidate *CO = Find(Outer), *CI = Find(Inner);
+  ASSERT_NE(CO, nullptr);
+  ASSERT_NE(CI, nullptr);
+  // The allocation and the escaping store sit in both bodies; both loops
+  // must be live candidates.
+  EXPECT_GT(CO->Score, 0.0);
+  EXPECT_GT(CI->Score, 0.0);
+  EXPECT_GE(CO->AllocSites, 1u);
+  EXPECT_GE(CI->AllocSites, 1u);
+  // The outer body contains the inner body, so its signal counts are at
+  // least as large.
+  EXPECT_GE(CO->AllocSites, CI->AllocSites);
+  EXPECT_GE(CO->OutsideStores, CI->OutsideStores);
+}
+
+TEST(LoopSuggestion, UnlabeledLoopsAreStillCandidates) {
+  // Unlabeled loops (e.g. compiler-introduced or ones the user never
+  // named) must appear in the structural ranking even though
+  // checkAllLabeled() skips them.
+  Session S(R"(
+    class Sink { Object o; }
+    class Item { }
+    class Main { static void main() {
+      Sink s = new Sink();
+      int i = 0;
+      while (i < 8) {
+        Item x = new Item();
+        s.o = x;
+        i = i + 1;
+      }
+    } }
+  )");
+  ASSERT_EQ(S.P.Loops.size(), 1u);
+  EXPECT_TRUE(S.P.Loops[0].Label.isEmpty());
+  auto Cs = S.suggest();
+  ASSERT_EQ(Cs.size(), 1u);
+  EXPECT_GT(Cs[0].Score, 0.0);
+  EXPECT_GE(Cs[0].AllocSites, 1u);
+  // And the rendering does not depend on a label being present.
+  std::string Text = renderSuggestions(S.P, Cs);
+  EXPECT_FALSE(Text.empty());
+}
+
+TEST(LoopSuggestion, AllocationFreeLoopRanksBelowAllocatingLoop) {
+  Session S(R"(
+    class Sink { Object o; }
+    class Item { }
+    class Main { static void main() {
+      Sink s = new Sink();
+      int i = 0;
+      busy: while (i < 100) { i = i + 1; }
+      int j = 0;
+      alloc: while (j < 4) {
+        Item x = new Item();
+        s.o = x;
+        j = j + 1;
+      }
+    } }
+  )");
+  auto Cs = S.suggest();
+  ASSERT_EQ(Cs.size(), 2u);
+  // Descending score order; the allocating loop must come first.
+  EXPECT_EQ(Cs[0].Loop, loopLabeled(S.P, "alloc"));
+  EXPECT_GE(Cs[0].Score, Cs[1].Score);
+  EXPECT_EQ(Cs[1].AllocSites, 0u);
+}
+
+TEST(LoopSuggestion, UnreachableLoopScoresZeroAndSortsLast) {
+  Session S(R"(
+    class Sink { Object o; }
+    class Item { }
+    class Dead {
+      void never() {
+        int i = 0;
+        dead: while (i < 4) { i = i + 1; }
+      }
+    }
+    class Main { static void main() {
+      Sink s = new Sink();
+      int j = 0;
+      live: while (j < 4) {
+        Item x = new Item();
+        s.o = x;
+        j = j + 1;
+      }
+    } }
+  )");
+  auto Cs = S.suggest();
+  ASSERT_EQ(Cs.size(), 2u);
+  EXPECT_EQ(Cs.back().Loop, loopLabeled(S.P, "dead"));
+  EXPECT_EQ(Cs.back().Score, 0.0);
+  EXPECT_EQ(Cs.front().Loop, loopLabeled(S.P, "live"));
+}

@@ -1,0 +1,167 @@
+//===-- PrefilterTest.cpp - escape pre-filter equivalence tests ------------===//
+//
+// The escape pre-filter is an optimization, not a refinement: with it on,
+// reports must be byte-identical to the filter-off baseline on every
+// subject and on representative inline programs, while the statistics
+// show actual queries skipped. The --check-era oracle must find zero
+// disagreements between the escape pass, the effect system, and the
+// matcher across the subject suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/EraCrossCheck.h"
+#include "core/LeakChecker.h"
+#include "subjects/Subjects.h"
+
+#include <gtest/gtest.h>
+
+using namespace lc;
+using namespace lc::subjects;
+
+namespace {
+
+/// Renders every labeled loop's report under the given prefilter setting.
+std::string renderAll(const LeakChecker &LC, bool Prefilter) {
+  LeakOptions O = LC.options();
+  O.EscapePrefilter = Prefilter;
+  std::string Out;
+  for (LoopId L = 0; L < LC.program().Loops.size(); ++L) {
+    if (LC.program().Loops[L].Label.isEmpty())
+      continue;
+    if (!LC.callGraph().isReachable(LC.program().Loops[L].Method))
+      continue;
+    Out += renderLeakReport(LC.program(), LC.checkWith(L, O));
+    Out += "\n";
+  }
+  return Out;
+}
+
+const char *InlinePrograms[] = {
+    // Escaping into an accumulating slot plus an iteration-local temp.
+    R"(
+    class Sink { Object[] all = new Object[32]; int n; }
+    class Item { }
+    class Scratch { int x; }
+    class Main { static void main() {
+      Sink s = new Sink();
+      int i = 0;
+      l: while (i < 5) {
+        Item x = new Item();
+        s.all[s.n] = x;
+        s.n = s.n + 1;
+        Scratch t = new Scratch();
+        t.x = i;
+        i = i + t.x;
+      }
+    } }
+    )",
+    // Overwritten slot (reported) and region form.
+    R"(
+    class Holder { Object cur; }
+    class Item { }
+    class Main { static void main() {
+      Holder h = new Holder();
+      region "r" {
+        Item x = new Item();
+        h.cur = x;
+      }
+    } }
+    )",
+    // Everything iteration-local: no reports at all.
+    R"(
+    class Scratch { int x; }
+    class Main { static void main() {
+      int i = 0;
+      l: while (i < 9) {
+        Scratch t = new Scratch();
+        t.x = i;
+        i = i + 1;
+      }
+    } }
+    )",
+};
+
+} // namespace
+
+TEST(Prefilter, ReportsByteIdenticalOnAllSubjects) {
+  for (const Subject &S : subjects::all()) {
+    DiagnosticEngine Diags;
+    auto LC = LeakChecker::fromSource(S.Source, Diags, S.Options);
+    ASSERT_NE(LC, nullptr) << S.Name << ": " << Diags.str();
+    EXPECT_EQ(renderAll(*LC, true), renderAll(*LC, false)) << S.Name;
+  }
+}
+
+TEST(Prefilter, ReportsByteIdenticalOnInlinePrograms) {
+  for (const char *Src : InlinePrograms) {
+    DiagnosticEngine Diags;
+    auto LC = LeakChecker::fromSource(Src, Diags);
+    ASSERT_NE(LC, nullptr) << Diags.str();
+    EXPECT_EQ(renderAll(*LC, true), renderAll(*LC, false)) << Src;
+  }
+}
+
+TEST(Prefilter, SkipsQueriesOnAtLeastThreeSubjects) {
+  unsigned SubjectsWithSkips = 0;
+  for (const Subject &S : subjects::all()) {
+    DiagnosticEngine Diags;
+    auto LC = LeakChecker::fromSource(S.Source, Diags, S.Options);
+    ASSERT_NE(LC, nullptr) << S.Name;
+    auto R = LC->check(S.LoopLabel);
+    ASSERT_TRUE(R.has_value()) << S.Name;
+    SubjectsWithSkips += R->Statistics.get("cfl-queries-skipped") > 0;
+  }
+  EXPECT_GE(SubjectsWithSkips, 3u);
+}
+
+TEST(Prefilter, SkippedSitesAreClassifiedCurrent) {
+  DiagnosticEngine Diags;
+  auto LC = LeakChecker::fromSource(InlinePrograms[0], Diags);
+  ASSERT_NE(LC, nullptr) << Diags.str();
+  auto R = LC->check("l");
+  ASSERT_TRUE(R.has_value());
+  EXPECT_GT(R->Statistics.get("cfl-queries-skipped"), 0u);
+  // The Scratch temp is skipped and era-Current; the escaping Item is not.
+  const Program &P = LC->program();
+  for (AllocSiteId S = 0; S < P.AllocSites.size(); ++S) {
+    const Type &T = P.Types.get(P.AllocSites[S].Ty);
+    if (T.K != Type::Kind::Ref)
+      continue;
+    auto It = R->SiteEras.find(S);
+    if (P.className(T.Cls) == "Scratch") {
+      ASSERT_NE(It, R->SiteEras.end());
+      EXPECT_EQ(It->second, Era::Current);
+    }
+    if (P.className(T.Cls) == "Item") {
+      ASSERT_NE(It, R->SiteEras.end());
+      EXPECT_NE(It->second, Era::Current);
+    }
+  }
+}
+
+TEST(Prefilter, CrossCheckFindsNoDisagreementsOnSubjects) {
+  uint64_t TotalCaptured = 0;
+  for (const Subject &S : subjects::all()) {
+    DiagnosticEngine Diags;
+    auto LC = LeakChecker::fromSource(S.Source, Diags, S.Options);
+    ASSERT_NE(LC, nullptr) << S.Name;
+    EraCrossCheckResult R = crossCheckEra(*LC);
+    EXPECT_GT(R.LoopsChecked, 0u) << S.Name;
+    EXPECT_TRUE(R.Disagreements.empty())
+        << S.Name << ":\n"
+        << renderEraCrossCheck(LC->program(), R);
+    TotalCaptured += R.CapturedSites;
+  }
+  EXPECT_GT(TotalCaptured, 0u) << "cross-check never exercised a captured site";
+}
+
+TEST(Prefilter, CrossCheckFindsNoDisagreementsOnInlinePrograms) {
+  for (const char *Src : InlinePrograms) {
+    DiagnosticEngine Diags;
+    auto LC = LeakChecker::fromSource(Src, Diags);
+    ASSERT_NE(LC, nullptr) << Diags.str();
+    EraCrossCheckResult R = crossCheckEra(*LC);
+    EXPECT_TRUE(R.Disagreements.empty())
+        << renderEraCrossCheck(LC->program(), R);
+  }
+}

@@ -11,11 +11,16 @@
 //   leakchecker --subject NAME [...]        use a bundled Table 1 subject
 //   leakchecker FILE.mj --dump-ir           print the lowered IR
 //
+//   leakchecker FILE.mj --check-era         cross-check the escape pre-pass
+//                                           against the effect system and
+//                                           the matcher
+//
 // Options: --no-pivot --no-library-rule --threads --destructive-updates
-//          --context-depth N --list-subjects
+//          --no-escape-prefilter --context-depth N --list-subjects
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/EraCrossCheck.h"
 #include "core/LeakChecker.h"
 #include "frontend/Lower.h"
 #include "interp/Interp.h"
@@ -43,10 +48,13 @@ int usage(const char *Argv0) {
       "  --run                  also execute and apply the dynamic oracle\n"
       "  --dump-ir              print the lowered IR and exit\n"
       "  --list-subjects        list the bundled Table 1 subjects\n"
+      "  --check-era            cross-check the escape pre-pass against\n"
+      "                         the effect system and the matcher\n"
       "  --no-pivot             report nested sites, not just roots\n"
       "  --no-library-rule      container-internal reads count as reads\n"
       "  --threads              model started threads as outside objects\n"
       "  --destructive-updates  suppress provably-overwritten slots\n"
+      "  --no-escape-prefilter  disable the escape-analysis query pruning\n"
       "  --context-depth N      call-string depth for contexts (default 8)\n",
       Argv0);
   return 2;
@@ -57,6 +65,7 @@ int usage(const char *Argv0) {
 int main(int argc, char **argv) {
   std::string File, Loop, SubjectName;
   bool Suggest = false, Run = false, DumpIr = false, ListSubjects = false;
+  bool CheckEra = false;
   LeakOptions Opts;
 
   for (int I = 1; I < argc; ++I) {
@@ -95,6 +104,10 @@ int main(int argc, char **argv) {
       Opts.ModelThreads = true;
     } else if (A == "--destructive-updates") {
       Opts.ModelDestructiveUpdates = true;
+    } else if (A == "--no-escape-prefilter") {
+      Opts.EscapePrefilter = false;
+    } else if (A == "--check-era") {
+      CheckEra = true;
     } else if (!A.empty() && A[0] == '-') {
       std::fprintf(stderr, "unknown option: %s\n", A.c_str());
       return usage(argv[0]);
@@ -141,6 +154,12 @@ int main(int argc, char **argv) {
   if (DumpIr) {
     std::printf("%s", printProgram(Checker->program()).c_str());
     return 0;
+  }
+
+  if (CheckEra) {
+    EraCrossCheckResult R = crossCheckEra(*Checker);
+    std::printf("%s", renderEraCrossCheck(Checker->program(), R).c_str());
+    return R.Disagreements.empty() ? 0 : 1;
   }
 
   if (Suggest) {
