@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Gate on the scalability bench: fail CI when the single-thread wall time
+regresses by more than 25% against the checked-in baseline.
+
+Usage: check_regression.py BENCH_scalability.json [baseline.json]
+
+The quick-mode subject finishes in well under a millisecond, where timer
+and scheduler noise dwarfs any 25% band, so the relative check carries an
+absolute grace (default 5 ms, override with --grace-ms): a run only fails
+when it exceeds baseline * 1.25 + grace. A real regression (an accidental
+quadratic walk, a lock on the query path) blows far past that; noise does
+not.
+
+Also sanity-checks the run itself: the jobs sweep must exist, the
+single-thread run must have visited states and issued queries, and the
+states-visited totals must agree across job counts (the engine's
+determinism contract).
+"""
+
+import json
+import sys
+
+
+def die(msg):
+    print(f"check_regression: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    grace_ms = 5.0
+    for a in argv[1:]:
+        if a.startswith("--grace-ms="):
+            grace_ms = float(a.split("=", 1)[1])
+    if not args:
+        print(__doc__, file=sys.stderr)
+        return 2
+    run_path = args[0]
+    base_path = args[1] if len(args) > 1 else "bench/scalability_baseline.json"
+
+    with open(run_path) as f:
+        run = json.load(f)
+    with open(base_path) as f:
+        base = json.load(f)
+
+    sweep = run.get("jobs_sweep") or die("jobs_sweep missing or empty")
+    single = next((r for r in sweep if r.get("jobs") == 1), None)
+    if single is None:
+        die("no jobs=1 entry in jobs_sweep")
+    if single.get("states_visited", 0) <= 0:
+        die("jobs=1 run visited no CFL states -- queries not running?")
+
+    states = {r["states_visited"] for r in sweep}
+    if len(states) != 1:
+        die(f"states_visited differs across job counts: {sorted(states)} "
+            "(deterministic accounting is broken)")
+
+    base_single = next(
+        (r for r in base.get("jobs_sweep", []) if r.get("jobs") == 1), None)
+    if base_single is None:
+        die(f"no jobs=1 entry in baseline {base_path}")
+
+    wall = float(single["wall_ms"])
+    base_wall = float(base_single["wall_ms"])
+    limit = base_wall * 1.25 + grace_ms
+    verdict = "OK" if wall <= limit else "FAIL"
+    print(f"check_regression: single-thread wall {wall:.3f} ms, "
+          f"baseline {base_wall:.3f} ms, limit {limit:.3f} ms "
+          f"(1.25x + {grace_ms:g} ms grace): {verdict}")
+    if wall > limit:
+        die(f"single-thread wall time regressed >25%: {wall:.3f} ms "
+            f"vs baseline {base_wall:.3f} ms")
+
+    memo = run.get("memo_ablation", {})
+    rate = memo.get("cache_hit_rate", 0.0)
+    print(f"check_regression: memo cache hit rate {rate:.1%}, "
+          f"single-thread improvement "
+          f"{memo.get('single_thread_improvement', 0):.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

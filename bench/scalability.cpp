@@ -1,24 +1,34 @@
-//===-- scalability.cpp - analysis cost vs program size ---------------------===//
+//===-- scalability.cpp - analysis cost vs program size & parallelism -------===//
 //
 // Supports the paper's practicality claim ("due to the client-driven
 // nature of the analysis ... LeakChecker is able to quickly detect leaks
-// for all the applications, including large programs such as Eclipse"):
-// generates synthetic programs of growing size -- N independent subsystems,
-// each a cluster of classes and methods, of which the checked loop touches
-// exactly one -- and measures (a) whole-substrate construction time
-// (call graph + PAG + Andersen) and (b) per-loop leak-analysis time.
-// The per-loop time should stay roughly flat as dead-weight subsystems are
-// added, because the checked region does not grow.
+// for all the applications, including large programs such as Eclipse")
+// and records the perf trajectory of the demand-query engine:
 //
-// Run:  ./build/bench/scalability
+//   (a) size sweep -- synthetic programs of growing size (N independent
+//       subsystems of which the checked loop touches one); per-loop time
+//       should stay near-flat as dead weight is added;
+//   (b) jobs sweep -- a heavy subject whose loop region spans every
+//       subsystem, analyzed at --jobs 1/2/4/8; wall time, states visited
+//       and memo-cache hit rates per width;
+//   (c) memo ablation -- the same subject single-threaded with the CFL
+//       sub-traversal cache on vs off.
+//
+// Emits BENCH_scalability.json (see --out) so CI can track regressions.
+//
+// Run:  ./build/bench/scalability [--quick] [--out PATH]
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/LeakChecker.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <sstream>
+#include <string>
+#include <vector>
 
 using namespace lc;
 
@@ -26,7 +36,8 @@ namespace {
 
 /// Emits a program with \p Subsystems clusters. Each cluster has a service
 /// class with a few methods and its own little data model; cluster 0 also
-/// contains the leaky loop.
+/// contains the leaky loop. Only cluster 0 is touched by the loop: this is
+/// the "dead weight" shape for the size sweep.
 std::string makeProgram(unsigned Subsystems) {
   std::ostringstream OS;
   for (unsigned C = 0; C < Subsystems; ++C) {
@@ -73,14 +84,140 @@ std::string makeProgram(unsigned Subsystems) {
   return OS.str();
 }
 
+/// Emits the heavy subject for the jobs sweep: the checked loop calls into
+/// every cluster, so the inside region (and the per-site query set) grows
+/// with \p Clusters. Every cluster keeps its records in one shared Sink
+/// and reads them back through its own load statements, so each cluster's
+/// demand queries hop through the same accumulating array-element slot --
+/// exactly the overlapping-sub-traversal shape the memo cache exists for:
+/// the slot's flow set spans all clusters and is computed once.
+std::string makeHeavySubject(unsigned Clusters) {
+  std::ostringstream OS;
+  OS << "class Sink { Object[] kept = new Object[4096]; int n;\n";
+  OS << "  void keep(Object o) { this.kept[this.n] = o; this.n = this.n + 1; }\n";
+  OS << "}\n";
+  for (unsigned C = 0; C < Clusters; ++C) {
+    OS << "class Rec" << C << " { int v; Rec" << C << " next; }\n";
+    OS << "class Svc" << C << " {\n";
+    OS << "  Rec" << C << " head;\n";
+    OS << "  Sink store;\n";
+    OS << "  Rec" << C << " make() {\n";
+    OS << "    Rec" << C << " r = new Rec" << C << "();\n";
+    OS << "    this.head = r;\n";
+    OS << "    return r;\n";
+    OS << "  }\n";
+    OS << "  void step(Sink s) {\n";
+    OS << "    this.store = s;\n";
+    OS << "    Rec" << C << " r = this.make();\n";
+    OS << "    s.keep(r);\n";
+    OS << "    Sink t = this.store;\n";
+    OS << "    Object o0 = t.kept[0];\n";
+    OS << "    Object o1 = t.kept[1];\n";
+    OS << "    Object o2 = t.kept[2];\n";
+    OS << "    Object o3 = t.kept[3];\n";
+    OS << "    r.v = r.v + 1;\n";
+    OS << "  }\n";
+    OS << "}\n";
+  }
+  OS << "class Main { static void main() {\n";
+  OS << "  Sink sink = new Sink();\n";
+  for (unsigned C = 0; C < Clusters; ++C)
+    OS << "  Svc" << C << " s" << C << " = new Svc" << C << "();\n";
+  OS << "  int i = 0;\n";
+  OS << "  hot: while (i < 4) {\n";
+  for (unsigned C = 0; C < Clusters; ++C)
+    OS << "    s" << C << ".step(sink);\n";
+  OS << "    i = i + 1;\n";
+  OS << "  }\n";
+  OS << "} }\n";
+  return OS.str();
+}
+
+struct RunSample {
+  double WallMs = 0;
+  uint64_t StatesVisited = 0;
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  size_t Reports = 0;
+};
+
+/// One cold-cache end-to-end analysis of the heavy subject: fresh
+/// substrate (so the memo cache starts empty), timed over check() only.
+RunSample runOnce(const std::string &Src, uint32_t Jobs, bool Memoize) {
+  LeakOptions Opts;
+  Opts.Jobs = Jobs;
+  Opts.Cfl.Memoize = Memoize;
+  DiagnosticEngine Diags;
+  auto Checker = LeakChecker::fromSource(Src, Diags, Opts);
+  if (!Checker) {
+    std::fprintf(stderr, "compile error:\n%s", Diags.str().c_str());
+    std::exit(1);
+  }
+  LoopId Loop = Checker->program().findLoop("hot");
+  auto T0 = std::chrono::steady_clock::now();
+  LeakAnalysisResult R = Checker->check(Loop);
+  auto T1 = std::chrono::steady_clock::now();
+  RunSample S;
+  S.WallMs = std::chrono::duration<double, std::milli>(T1 - T0).count();
+  S.StatesVisited = R.Statistics.get("cfl-states-visited");
+  S.CacheHits = R.Statistics.get("cfl-cache-hits");
+  S.CacheMisses = R.Statistics.get("cfl-cache-misses");
+  S.Reports = R.Reports.size();
+  return S;
+}
+
+/// Best-of-N to shave scheduler noise; stats come from the fastest run
+/// (they are identical across runs anyway, cache splits aside).
+RunSample runBest(const std::string &Src, uint32_t Jobs, bool Memoize,
+                  unsigned Reps) {
+  RunSample Best;
+  for (unsigned I = 0; I < Reps; ++I) {
+    RunSample S = runOnce(Src, Jobs, Memoize);
+    if (I == 0 || S.WallMs < Best.WallMs) {
+      double Wall = S.WallMs;
+      Best = S;
+      Best.WallMs = Wall;
+    }
+  }
+  return Best;
+}
+
+double hitRate(const RunSample &S) {
+  uint64_t Total = S.CacheHits + S.CacheMisses;
+  return Total == 0 ? 0.0 : double(S.CacheHits) / double(Total);
+}
+
 } // namespace
 
-int main() {
-  std::printf("Scalability: checked-loop cost vs whole-program size\n\n");
+int main(int argc, char **argv) {
+  bool Quick = false;
+  std::string OutPath = "BENCH_scalability.json";
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--quick"))
+      Quick = true;
+    else if (!std::strcmp(argv[I], "--out") && I + 1 < argc)
+      OutPath = argv[++I];
+    else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // --- (a) size sweep: dead weight must stay off the per-loop bill --------
+  std::printf("Scalability (a): checked-loop cost vs whole-program size\n\n");
   std::printf("%11s %8s %8s %14s %14s %8s\n", "subsystems", "methods",
               "stmts", "substrate(ms)", "per-loop(ms)", "reports");
 
-  for (unsigned N : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+  struct SizeRow {
+    unsigned Subsystems;
+    size_t Methods, Stmts, Reports;
+    double SubstrateMs, PerLoopMs;
+  };
+  std::vector<SizeRow> SizeRows;
+  std::vector<unsigned> Sizes =
+      Quick ? std::vector<unsigned>{1u, 4u, 16u}
+            : std::vector<unsigned>{1u, 2u, 4u, 8u, 16u, 32u, 64u};
+  for (unsigned N : Sizes) {
     std::string Src = makeProgram(N);
     DiagnosticEngine Diags;
     auto T0 = std::chrono::steady_clock::now();
@@ -93,14 +230,117 @@ int main() {
     LoopId Loop = Checker->program().findLoop("hot");
     auto Result = Checker->check(Loop);
     auto T2 = std::chrono::steady_clock::now();
-    std::printf("%11u %8zu %8zu %14.2f %14.2f %8zu\n", N,
-                Checker->reachableMethods(), Checker->reachableStmts(),
+    SizeRow Row{N,
+                Checker->reachableMethods(),
+                Checker->reachableStmts(),
+                Result.Reports.size(),
                 std::chrono::duration<double, std::milli>(T1 - T0).count(),
-                std::chrono::duration<double, std::milli>(T2 - T1).count(),
-                Result.Reports.size());
+                std::chrono::duration<double, std::milli>(T2 - T1).count()};
+    SizeRows.push_back(Row);
+    std::printf("%11u %8zu %8zu %14.2f %14.2f %8zu\n", Row.Subsystems,
+                Row.Methods, Row.Stmts, Row.SubstrateMs, Row.PerLoopMs,
+                Row.Reports);
   }
-  std::printf("\nper-loop time should stay near-flat: the demand-driven "
-              "check only explores the\nloop's region, not the growing "
-              "dead weight.\n");
+
+  // --- (b) jobs sweep on the heavy subject --------------------------------
+  unsigned Clusters = Quick ? 12 : 48;
+  unsigned Reps = Quick ? 2 : 3;
+  std::string Heavy = makeHeavySubject(Clusters);
+  size_t HeavyMethods = 0, HeavyStmts = 0;
+  {
+    DiagnosticEngine Diags;
+    auto Checker = LeakChecker::fromSource(Heavy, Diags);
+    if (!Checker) {
+      std::fprintf(stderr, "compile error:\n%s", Diags.str().c_str());
+      return 1;
+    }
+    HeavyMethods = Checker->reachableMethods();
+    HeavyStmts = Checker->reachableStmts();
+  }
+
+  std::printf("\nScalability (b): heavy subject (%u clusters, %zu methods, "
+              "%zu stmts) vs --jobs\n\n",
+              Clusters, HeavyMethods, HeavyStmts);
+  std::printf("%6s %12s %16s %12s %10s %8s\n", "jobs", "wall(ms)",
+              "states-visited", "cache-hits", "hit-rate", "speedup");
+
+  struct JobsRow {
+    uint32_t Jobs;
+    RunSample S;
+    double Speedup;
+  };
+  std::vector<JobsRow> JobsRows;
+  double BaseMs = 0;
+  for (uint32_t J : {1u, 2u, 4u, 8u}) {
+    RunSample S = runBest(Heavy, J, /*Memoize=*/true, Reps);
+    if (J == 1)
+      BaseMs = S.WallMs;
+    double Speedup = S.WallMs > 0 ? BaseMs / S.WallMs : 0.0;
+    JobsRows.push_back({J, S, Speedup});
+    std::printf("%6u %12.2f %16llu %12llu %9.1f%% %7.2fx\n", J, S.WallMs,
+                static_cast<unsigned long long>(S.StatesVisited),
+                static_cast<unsigned long long>(S.CacheHits),
+                hitRate(S) * 100.0, Speedup);
+  }
+
+  // --- (c) memo-cache ablation, single thread ------------------------------
+  RunSample MemoOn = runBest(Heavy, 1, /*Memoize=*/true, Reps);
+  RunSample MemoOff = runBest(Heavy, 1, /*Memoize=*/false, Reps);
+  double MemoSpeedup = MemoOn.WallMs > 0 ? MemoOff.WallMs / MemoOn.WallMs : 0;
+  std::printf("\nScalability (c): CFL memo cache, single thread\n");
+  std::printf("  memo on : %10.2f ms  (hit rate %.1f%%)\n", MemoOn.WallMs,
+              hitRate(MemoOn) * 100.0);
+  std::printf("  memo off: %10.2f ms\n", MemoOff.WallMs);
+  std::printf("  single-thread improvement: %.2fx\n", MemoSpeedup);
+
+  // --- JSON ----------------------------------------------------------------
+  FILE *Out = std::fopen(OutPath.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write %s\n", OutPath.c_str());
+    return 1;
+  }
+  std::fprintf(Out, "{\n  \"bench\": \"scalability\",\n");
+  std::fprintf(Out, "  \"quick\": %s,\n", Quick ? "true" : "false");
+  std::fprintf(Out,
+               "  \"heavy_subject\": {\"clusters\": %u, \"methods\": %zu, "
+               "\"stmts\": %zu},\n",
+               Clusters, HeavyMethods, HeavyStmts);
+  std::fprintf(Out, "  \"jobs_sweep\": [\n");
+  for (size_t I = 0; I < JobsRows.size(); ++I) {
+    const JobsRow &R = JobsRows[I];
+    std::fprintf(Out,
+                 "    {\"jobs\": %u, \"wall_ms\": %.3f, \"states_visited\": "
+                 "%llu, \"cache_hits\": %llu, \"cache_misses\": %llu, "
+                 "\"cache_hit_rate\": %.4f, \"speedup\": %.3f}%s\n",
+                 R.Jobs, R.S.WallMs,
+                 static_cast<unsigned long long>(R.S.StatesVisited),
+                 static_cast<unsigned long long>(R.S.CacheHits),
+                 static_cast<unsigned long long>(R.S.CacheMisses),
+                 hitRate(R.S), R.Speedup,
+                 I + 1 < JobsRows.size() ? "," : "");
+  }
+  std::fprintf(Out, "  ],\n");
+  std::fprintf(Out,
+               "  \"memo_ablation\": {\"on_wall_ms\": %.3f, \"off_wall_ms\": "
+               "%.3f, \"single_thread_improvement\": %.3f, "
+               "\"cache_hit_rate\": %.4f},\n",
+               MemoOn.WallMs, MemoOff.WallMs, MemoSpeedup, hitRate(MemoOn));
+  std::fprintf(Out, "  \"size_sweep\": [\n");
+  for (size_t I = 0; I < SizeRows.size(); ++I) {
+    const SizeRow &R = SizeRows[I];
+    std::fprintf(Out,
+                 "    {\"subsystems\": %u, \"methods\": %zu, \"stmts\": %zu, "
+                 "\"substrate_ms\": %.3f, \"per_loop_ms\": %.3f, "
+                 "\"reports\": %zu}%s\n",
+                 R.Subsystems, R.Methods, R.Stmts, R.SubstrateMs, R.PerLoopMs,
+                 R.Reports, I + 1 < SizeRows.size() ? "," : "");
+  }
+  std::fprintf(Out, "  ]\n}\n");
+  std::fclose(Out);
+  std::printf("\nwrote %s\n", OutPath.c_str());
+
+  std::printf("\nper-loop time should stay near-flat in (a): the "
+              "demand-driven check only explores\nthe loop's region, not "
+              "the growing dead weight.\n");
   return 0;
 }

@@ -16,6 +16,7 @@ LeakChecker::LeakChecker(std::unique_ptr<Program> Prog, LeakOptions Opts)
   Base = std::make_unique<AndersenPta>(*G);
   Cfl = std::make_unique<CflPta>(*G, *Base, Opts.Cfl);
   Esc = std::make_unique<EscapeAnalysis>(*P, *CG);
+  Pool = std::make_unique<ThreadPool>(Opts.Jobs);
 }
 
 std::unique_ptr<LeakChecker> LeakChecker::fromSource(std::string_view Source,
@@ -50,12 +51,16 @@ LeakChecker::check(std::string_view LoopLabel) const {
 }
 
 LeakAnalysisResult LeakChecker::check(LoopId Loop) const {
-  return analyzeLoop(*P, Loop, *CG, *G, *Base, *Cfl, Opts, Esc.get());
+  return analyzeLoop(*P, Loop, *CG, *G, *Base, *Cfl, Opts, Esc.get(),
+                     Pool.get());
 }
 
 LeakAnalysisResult LeakChecker::checkWith(LoopId Loop,
                                           const LeakOptions &O) const {
-  return analyzeLoop(*P, Loop, *CG, *G, *Base, *Cfl, O, Esc.get());
+  // The session pool is reused when O asks for the same width; otherwise
+  // analyzeLoop builds a right-sized one for this run.
+  return analyzeLoop(*P, Loop, *CG, *G, *Base, *Cfl, O, Esc.get(),
+                     Pool.get());
 }
 
 std::vector<LeakAnalysisResult> LeakChecker::checkAllLabeled() const {

@@ -20,6 +20,7 @@
 #include "escape/EscapeAnalysis.h"
 #include "leak/LeakAnalysis.h"
 #include "support/Diagnostics.h"
+#include "support/ThreadPool.h"
 
 #include <memory>
 #include <optional>
@@ -60,6 +61,8 @@ public:
   const CflPta &cfl() const { return *Cfl; }
   const EscapeAnalysis &escape() const { return *Esc; }
   const LeakOptions &options() const { return Opts; }
+  /// The session's query fan-out pool, shared across check() calls.
+  ThreadPool &pool() const { return *Pool; }
 
   /// Reachable-method count (Table 1's Mtds) and statement count over
   /// reachable methods (Table 1's Stmts).
@@ -76,6 +79,7 @@ private:
   std::unique_ptr<AndersenPta> Base;
   std::unique_ptr<CflPta> Cfl;
   std::unique_ptr<EscapeAnalysis> Esc;
+  std::unique_ptr<ThreadPool> Pool;
 };
 
 } // namespace lc

@@ -4,12 +4,14 @@
 
 #include "cfg/Dominators.h"
 #include "escape/EscapeAnalysis.h"
+#include "support/ThreadPool.h"
 #include "support/Worklist.h"
 
 #include <memory>
 
 #include <algorithm>
 #include <map>
+#include <mutex>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
@@ -29,18 +31,30 @@ class Analyzer {
 public:
   Analyzer(const Program &P, LoopId Loop, const CallGraph &CG, const Pag &G,
            const AndersenPta &Base, const CflPta &Cfl,
-           const LeakOptions &Opts, const EscapeAnalysis *Esc)
+           const LeakOptions &Opts, const EscapeAnalysis *Esc,
+           ThreadPool *SharedPool)
       : P(P), LoopIdVal(Loop), Loop(P.Loops[Loop]), CG(CG), G(G), Base(Base),
-        Cfl(Cfl), Opts(Opts), Esc(Esc) {}
+        Cfl(Cfl), Opts(Opts), Esc(Esc) {
+    unsigned Jobs =
+        Opts.Jobs == 0 ? ThreadPool::defaultJobs() : Opts.Jobs;
+    if (SharedPool && SharedPool->jobs() == Jobs) {
+      Pool = SharedPool;
+    } else {
+      OwnedPool = std::make_unique<ThreadPool>(Jobs);
+      Pool = OwnedPool.get();
+    }
+  }
 
   LeakAnalysisResult run() {
     Result.Loop = LoopIdVal;
+    Result.Statistics.add("jobs", Pool->jobs());
     ScopedTimer T(Result.Statistics, "leak-analysis");
     computeInsideRegion();
     classifyThreadSites();
     computeEscapeFilter();
     collectHeapAccesses();
     computeFlowsOut();
+    corroborateWithCfl();
     computeFlowsIn();
     match();
     return std::move(Result);
@@ -368,45 +382,145 @@ private:
       });
     }
 
+    // Store-graph edges indexed by source site, preserving StoreGraph
+    // order so per-site walks see edges in the same order a linear scan
+    // would.
+    std::unordered_map<AllocSiteId, std::vector<uint32_t>> EdgesFrom;
+    for (uint32_t I = 0; I < StoreGraph.size(); ++I)
+      EdgesFrom[StoreGraph[I].From].push_back(I);
+
     // For each inside site: DFS through inside intermediates to the
-    // closest outside objects.
-    for (AllocSiteId S : InsideSites) {
+    // closest outside objects. The walks are independent, so they fan out
+    // across the pool; each writes only its own indexed slot and the
+    // merge below runs in ascending site order, keeping every downstream
+    // structure (and therefore the reports) byte-identical to a
+    // sequential run.
+    std::vector<AllocSiteId> SiteList(InsideSites.begin(), InsideSites.end());
+    struct SiteFlow {
+      bool Skipped = false;
+      std::vector<const SiteEdge *> Edges;
+      std::set<AllocSiteId> Through;
+    };
+    std::vector<SiteFlow> Flows(SiteList.size());
+    Pool->parallelFor(SiteList.size(), [&](size_t I) {
+      AllocSiteId S = SiteList[I];
+      SiteFlow &F = Flows[I];
       if (Captured.test(S) && isInsideSite(S)) {
         // Iteration-local by the escape pre-pass: the DFS would find no
         // edge rooted at S, so skip the query outright.
-        Result.SiteEras[S] = Era::Current;
-        Result.Statistics.add("cfl-queries-skipped");
-        continue;
+        F.Skipped = true;
+        return;
       }
       std::set<AllocSiteId> Visited{S};
       std::vector<AllocSiteId> Stack{S};
       while (!Stack.empty()) {
         AllocSiteId Cur = Stack.back();
         Stack.pop_back();
-        for (const SiteEdge &E : StoreGraph) {
-          if (E.From != Cur)
-            continue;
+        auto EIt = EdgesFrom.find(Cur);
+        if (EIt == EdgesFrom.end())
+          continue;
+        for (uint32_t Id : EIt->second) {
+          const SiteEdge &E = StoreGraph[Id];
           if (isOutsideSite(E.To)) {
-            FlowsOut[S].push_back(&E);
+            F.Edges.push_back(&E);
           } else if (Visited.insert(E.To).second) {
-            Through[S].insert(E.To);
+            F.Through.insert(E.To);
             Stack.push_back(E.To);
           }
         }
       }
+    });
+    for (size_t I = 0; I < SiteList.size(); ++I) {
+      AllocSiteId S = SiteList[I];
+      SiteFlow &F = Flows[I];
+      if (F.Skipped) {
+        Result.SiteEras[S] = Era::Current;
+        Result.Statistics.add("cfl-queries-skipped");
+        continue;
+      }
+      if (!F.Edges.empty())
+        FlowsOut[S] = std::move(F.Edges);
+      if (!F.Through.empty())
+        Through[S] = std::move(F.Through);
     }
     Result.Statistics.add("sites-with-flows-out", FlowsOut.size());
+  }
+
+  // --- Step 4b: demand CFL corroboration ------------------------------------
+
+  /// Fans one demand CFL query per distinct flows-out/flows-in endpoint
+  /// (the value node of every inside store and load) across the pool.
+  /// The queries exercise the paper's refinement machinery against the
+  /// run's own endpoints: their aggregate work (states visited, budget
+  /// fallbacks) and the number of Andersen value/site pairs the
+  /// context-sensitive answer refutes land in Stats. Reports never
+  /// depend on this step, so it is byte-identical-safe at any job count.
+  void corroborateWithCfl() {
+    if (!Opts.CflCorroborate)
+      return;
+    ScopedTimer T(Result.Statistics, "cfl-corroboration");
+    std::set<PagNodeId> NodeSet;
+    for (const Access &A : Stores)
+      NodeSet.insert(A.Value);
+    for (const Access &A : Loads)
+      NodeSet.insert(A.Value);
+    std::vector<PagNodeId> Nodes(NodeSet.begin(), NodeSet.end());
+
+    struct QueryOut {
+      uint64_t States = 0;
+      bool FellBack = false;
+      uint64_t Refuted = 0;
+    };
+    std::vector<QueryOut> Out(Nodes.size());
+    CflCacheStats CacheBefore = Cfl.cacheStats();
+    Pool->parallelFor(Nodes.size(), [&](size_t I) {
+      CflResult R = Cfl.pointsTo(Nodes[I]);
+      Out[I].States = R.StatesVisited;
+      Out[I].FellBack = R.FellBack;
+      if (R.FellBack)
+        return; // fallback answers are the Andersen set; nothing refuted
+      std::set<AllocSiteId> Refined;
+      for (const CtxObject &O : R.Objects)
+        Refined.insert(O.Site);
+      Base.pointsTo(Nodes[I]).forEach([&](size_t S) {
+        if (!Refined.count(static_cast<AllocSiteId>(S)))
+          ++Out[I].Refuted;
+      });
+    });
+    CflCacheStats CacheAfter = Cfl.cacheStats();
+
+    uint64_t States = 0, Fallbacks = 0, Refuted = 0;
+    for (const QueryOut &O : Out) {
+      States += O.States;
+      Fallbacks += O.FellBack;
+      Refuted += O.Refuted;
+    }
+    Result.Statistics.add("cfl-queries", Nodes.size());
+    Result.Statistics.add("cfl-states-visited", States);
+    Result.Statistics.add("cfl-fallbacks", Fallbacks);
+    Result.Statistics.add("cfl-refuted-value-sites", Refuted);
+    Result.Statistics.add("cfl-cache-hits", CacheAfter.Hits - CacheBefore.Hits);
+    Result.Statistics.add("cfl-cache-misses",
+                          CacheAfter.Misses - CacheBefore.Misses);
+    Result.Statistics.add("cfl-cache-evictions",
+                          CacheAfter.Evictions - CacheBefore.Evictions);
   }
 
   // --- Step 5: flows-in -----------------------------------------------------
 
   /// Library rule: the value loaded at \p A must reach application code.
+  /// Safe to call from pool workers: the memo cache is mutex-guarded and
+  /// the BFS reads only immutable substrate (racing threads may compute
+  /// the same pure answer twice, never a different one).
   bool reachesApplication(const Access &A) {
     if (!Opts.LibraryRule || !P.isLibraryMethod(A.Method))
       return true;
-    auto It = AppReachCache.find(A.Value);
-    if (It != AppReachCache.end())
-      return It->second;
+    {
+      std::lock_guard<std::mutex> L(AppReachMutex);
+      auto It = AppReachCache.find(A.Value);
+      if (It != AppReachCache.end())
+        return It->second;
+    }
     // Forward BFS over copy edges from the loaded value.
     std::unordered_set<PagNodeId> Seen{A.Value};
     std::vector<PagNodeId> Stack{A.Value};
@@ -425,7 +539,10 @@ private:
           Stack.push_back(E.Dst);
       }
     }
-    AppReachCache[A.Value] = Found;
+    {
+      std::lock_guard<std::mutex> L(AppReachMutex);
+      AppReachCache[A.Value] = Found;
+    }
     return Found;
   }
 
@@ -494,30 +611,48 @@ private:
     // library rule gates fact *admission*: a (valueSite, field g, outside
     // b) flows-in fact is recorded only when the specific load producing
     // that value hands it to application code.
+    //
+    // Phase A (parallel): per-load facts that are expensive or consumed
+    // repeatedly by the closure below -- the library-rule admission BFS
+    // and the inside sites the loaded value may hold. Each worker writes
+    // only its own indexed slot.
+    std::vector<char> Admit(Loads.size());
+    std::vector<std::vector<AllocSiteId>> InsideVals(Loads.size());
+    Pool->parallelFor(Loads.size(), [&](size_t I) {
+      const Access &A = Loads[I];
+      Admit[I] = reachesApplication(A);
+      Base.pointsTo(A.Value).forEach([&](size_t V) {
+        if (isInsideSite(static_cast<AllocSiteId>(V)))
+          InsideVals[I].push_back(static_cast<AllocSiteId>(V));
+      });
+    });
+
+    // Phase B (sequential): seeding and transitive closure over the
+    // precomputed facts, in load order -- the same visit order as a fully
+    // sequential run.
     struct Item {
       AllocSiteId V;
       FieldId F;
       AllocSiteId B;
     };
     std::vector<Item> Work;
-    auto Visit = [&](const Access &A, FieldId F, AllocSiteId B) {
-      bool Admit = reachesApplication(A);
-      Base.pointsTo(A.Value).forEach([&](size_t V) {
-        if (!isInsideSite(static_cast<AllocSiteId>(V)))
-          return;
-        if (Admit)
-          FlowsInSet[{F, B}].insert({static_cast<AllocSiteId>(V), &A});
-        Work.push_back({static_cast<AllocSiteId>(V), F, B});
-      });
+    auto Visit = [&](size_t LoadIdx, FieldId F, AllocSiteId B) {
+      const Access &A = Loads[LoadIdx];
+      for (AllocSiteId V : InsideVals[LoadIdx]) {
+        if (Admit[LoadIdx])
+          FlowsInSet[{F, B}].insert({V, &A});
+        Work.push_back({V, F, B});
+      }
     };
-    for (const Access &A : Loads) {
+    for (size_t I = 0; I < Loads.size(); ++I) {
+      const Access &A = Loads[I];
       if (A.IsStatic) {
-        Visit(A, A.Field, globalsSite(P));
+        Visit(I, A.Field, globalsSite(P));
         continue;
       }
       Base.pointsTo(A.Base).forEach([&](size_t B) {
         if (isOutsideSite(static_cast<AllocSiteId>(B)))
-          Visit(A, A.Field, static_cast<AllocSiteId>(B));
+          Visit(I, A.Field, static_cast<AllocSiteId>(B));
       });
     }
     // Transitive: deeper loads from already-retrieved inside objects keep
@@ -528,12 +663,13 @@ private:
       Work.pop_back();
       if (!Seen.insert({It.V, It.F, It.B}).second)
         continue;
-      for (const Access &A : Loads) {
+      for (size_t I = 0; I < Loads.size(); ++I) {
+        const Access &A = Loads[I];
         if (A.IsStatic)
           continue;
         if (!Base.pointsTo(A.Base).test(It.V))
           continue;
-        Visit(A, It.F, It.B);
+        Visit(I, It.F, It.B);
       }
     }
     Result.Statistics.add("flows-in-facts", Seen.size());
@@ -774,6 +910,9 @@ private:
   const LeakOptions &Opts;
   const EscapeAnalysis *Esc;
   std::unique_ptr<EscapeAnalysis> OwnedEsc;
+  /// Executor for the per-site query fan-out; inline when jobs == 1.
+  ThreadPool *Pool = nullptr;
+  std::unique_ptr<ThreadPool> OwnedPool;
   /// Sites the escape pre-pass proved iteration-local (empty when off).
   BitSet Captured;
 
@@ -796,6 +935,7 @@ private:
 
   std::unordered_map<MethodId, std::vector<StmtIdx>> MethodAnchors;
   std::unordered_map<MethodId, std::set<MethodId>> ClosureCache;
+  std::mutex AppReachMutex; ///< guards AppReachCache under the pool
   std::unordered_map<PagNodeId, bool> AppReachCache;
   std::unordered_map<MethodId,
                      std::pair<std::unique_ptr<Cfg>,
@@ -809,8 +949,9 @@ LeakAnalysisResult lc::analyzeLoop(const Program &P, LoopId Loop,
                                    const CallGraph &CG, const Pag &G,
                                    const AndersenPta &Base, const CflPta &Cfl,
                                    const LeakOptions &Opts,
-                                   const EscapeAnalysis *Esc) {
-  return Analyzer(P, Loop, CG, G, Base, Cfl, Opts, Esc).run();
+                                   const EscapeAnalysis *Esc,
+                                   ThreadPool *Pool) {
+  return Analyzer(P, Loop, CG, G, Base, Cfl, Opts, Esc, Pool).run();
 }
 
 std::string lc::renderLeakReport(const Program &P,

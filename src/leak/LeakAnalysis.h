@@ -45,6 +45,7 @@
 namespace lc {
 
 class EscapeAnalysis;
+class ThreadPool;
 
 /// Tuning for one leak-analysis run.
 struct LeakOptions {
@@ -79,6 +80,17 @@ struct LeakOptions {
   /// byte-identical with the filter on or off; the "cfl-queries-skipped"
   /// statistic counts the avoided queries.
   bool EscapePrefilter = true;
+  /// Run per-site demand CFL queries (the paper's refinement machinery)
+  /// against the flows-out/flows-in endpoints and aggregate their
+  /// StatesVisited / fallback counts into Stats. The queries corroborate
+  /// the Andersen-based matcher (counting edges the refinement would
+  /// prune) but never change reports.
+  bool CflCorroborate = true;
+  /// Worker threads for the per-site query fan-out (flows-out walks,
+  /// CFL corroboration, flows-in seeding). 0 = hardware_concurrency;
+  /// 1 = run everything inline on the calling thread (the sequential
+  /// path). Reports are byte-identical at any job count.
+  uint32_t Jobs = 0;
   /// Max call depth when enumerating contexts of inside allocation sites.
   uint32_t ContextDepth = 8;
   /// Cap on contexts kept per allocation site.
@@ -141,12 +153,15 @@ struct LeakAnalysisResult {
 /// shared substrate (call graph, PAG, Andersen, CFL) so that several loops
 /// or option sets can reuse it. \p Esc optionally shares a prebuilt escape
 /// analysis for the pre-filter; when null and the filter is enabled, one
-/// is built for this run.
+/// is built for this run. \p Pool optionally shares a thread pool for the
+/// per-site query fan-out; when null (or when its size disagrees with
+/// Opts.Jobs), one is created for this run.
 LeakAnalysisResult analyzeLoop(const Program &P, LoopId Loop,
                                const CallGraph &CG, const Pag &G,
                                const AndersenPta &Base, const CflPta &Cfl,
                                const LeakOptions &Opts = {},
-                               const EscapeAnalysis *Esc = nullptr);
+                               const EscapeAnalysis *Esc = nullptr,
+                               ThreadPool *Pool = nullptr);
 
 /// Renders a human-readable report (what the tool prints for a case
 /// study).

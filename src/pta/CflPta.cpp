@@ -36,24 +36,34 @@ struct State {
   }
 };
 
+size_t ctxHash(const std::vector<CallSite> &Stack) {
+  size_t H = 0;
+  for (const CallSite &S : Stack)
+    H = H * 1000003 + ((uint64_t(S.Caller) << 17) ^ S.Index);
+  return H;
+}
+
 } // namespace
 
-/// Worklist traversal for one query.
+/// Worklist traversal for one (sub-)query. The call string starts empty:
+/// a traversal explores everything reachable without crossing a heap hop,
+/// and delegates each hop target to Owner.runQuery so the hop's
+/// exploration can be memoized and shared.
 struct CflPta::Traversal {
+  const CflPta &Owner;
   const Pag &G;
   const AndersenPta &Base;
   const CflOptions &Opts;
-  CflResult Result;
+  QueryCtx &Q;
+  CacheEntry Entry;
   std::set<State> Visited;
   std::vector<State> Work;
   std::set<std::pair<AllocSiteId, size_t>> Emitted; // dedupe (site, ctx hash)
 
-  Traversal(const Pag &G, const AndersenPta &Base, const CflOptions &Opts)
-      : G(G), Base(Base), Opts(Opts) {}
+  Traversal(const CflPta &Owner, QueryCtx &Q)
+      : Owner(Owner), G(Owner.G), Base(Owner.Base), Opts(Owner.Opts), Q(Q) {}
 
   void push(State S) {
-    if (Result.StatesVisited > Opts.NodeBudget)
-      return;
     auto [It, New] = Visited.insert(std::move(S));
     if (New)
       Work.push_back(*It);
@@ -63,22 +73,26 @@ struct CflPta::Traversal {
     // The stack lists descents innermost-last; contexts are reported
     // outermost-first, which is the same order here (first descent pushed
     // first).
-    CtxObject O;
-    O.Site = Site;
-    O.Ctx = Stack;
-    size_t H = 0;
-    for (const CallSite &S : Stack)
-      H = H * 1000003 + ((uint64_t(S.Caller) << 17) ^ S.Index);
-    if (Emitted.insert({Site, H}).second)
-      Result.Objects.push_back(std::move(O));
+    if (Emitted.insert({Site, ctxHash(Stack)}).second)
+      Entry.Objects.push_back({Site, Stack});
+  }
+
+  /// Folds a completed hop sub-traversal into this one. Sub-results carry
+  /// full contexts already (the hop reset the call string), so they merge
+  /// verbatim.
+  void mergeSub(const CacheEntry &Sub) {
+    for (const CtxObject &O : Sub.Objects)
+      emitObject(O.Site, O.Ctx);
+    Entry.FellBack |= Sub.FellBack;
   }
 
   /// Runs to completion or budget exhaustion starting from \p Root.
-  void run(PagNodeId Root) {
-    push({Root, {}, Opts.MaxHeapHops, false});
+  void run(PagNodeId Root, uint32_t Hops, bool Saturated) {
+    push({Root, {}, Hops, Saturated});
     while (!Work.empty()) {
-      if (++Result.StatesVisited > Opts.NodeBudget) {
-        Result.FellBack = true;
+      if (++Q.Used > Opts.NodeBudget) {
+        Q.Exhausted = true;
+        Entry.FellBack = true;
         return;
       }
       State S = std::move(Work.back());
@@ -131,12 +145,14 @@ struct CflPta::Traversal {
         }
       }
 
-      // Loads into this node: hop the heap through matching stores.
-      for (uint32_t LId : loadsInto(S.Node)) {
+      // Loads into this node: hop the heap through matching stores. The
+      // hop resets the call string, so each hop target is an independent
+      // sub-query answered through the memo cache.
+      for (uint32_t LId : Owner.LoadsInto[S.Node]) {
         const LoadEdge &L = G.loadEdges()[LId];
         if (S.HopsLeft == 0) {
           // Out of hop budget: conservative fallback for this path.
-          Result.FellBack = true;
+          Entry.FellBack = true;
           continue;
         }
         const BitSet &BasePts = Base.pointsTo(L.Base);
@@ -144,31 +160,94 @@ struct CflPta::Traversal {
           const StoreEdge &St = G.storeEdges()[SId];
           if (!BasePts.intersects(Base.pointsTo(St.Base)))
             continue;
-          // Heap hop: call-string context does not transfer across the
-          // heap; restart with an empty stack (standard approximation).
-          push({St.Val, {}, S.HopsLeft - 1, S.Saturated});
+          EntryPtr Sub =
+              Owner.runQuery(St.Val, S.HopsLeft - 1, S.Saturated, Q);
+          if (Q.Exhausted) {
+            // The sub-traversal (or its charged cost) blew the budget:
+            // unwind without merging its partial answer, so the outcome
+            // does not depend on cache warmth or thread schedule.
+            Entry.FellBack = true;
+            return;
+          }
+          mergeSub(*Sub);
         }
       }
     }
   }
-
-  /// Load edges whose destination is \p N.
-  const std::vector<uint32_t> &loadsInto(PagNodeId N) {
-    if (LoadsIntoIndex.empty()) {
-      LoadsIntoIndex.resize(G.numNodes());
-      for (uint32_t Id = 0; Id < G.loadEdges().size(); ++Id)
-        LoadsIntoIndex[G.loadEdges()[Id].Dst].push_back(Id);
-    }
-    return LoadsIntoIndex[N];
-  }
-
-  std::vector<std::vector<uint32_t>> LoadsIntoIndex;
 };
 
+CflPta::CflPta(const Pag &G, const AndersenPta &Base, CflOptions Opts)
+    : G(G), Base(Base), Opts(Opts) {
+  LoadsInto.resize(G.numNodes());
+  for (uint32_t Id = 0; Id < G.loadEdges().size(); ++Id)
+    LoadsInto[G.loadEdges()[Id].Dst].push_back(Id);
+}
+
+CflPta::EntryPtr CflPta::runQuery(PagNodeId N, uint32_t Hops, bool Sat,
+                                  QueryCtx &Q) const {
+  uint64_t Key = cacheKey(N, Hops, Sat);
+
+  // Query-local memo first: bounds recomputation within one root query
+  // even when the shared cache is disabled. A hit is charged the entry's
+  // recorded cost so accounting is identical whether or not the work was
+  // actually redone.
+  auto LIt = Q.Local.find(Key);
+  if (LIt != Q.Local.end()) {
+    Q.Used += LIt->second->States;
+    if (Q.Used > Opts.NodeBudget)
+      Q.Exhausted = true;
+    return LIt->second;
+  }
+
+  if (Opts.Memoize) {
+    EntryPtr Cached;
+    {
+      Shard &S = shardFor(Key);
+      std::lock_guard<std::mutex> L(S.M);
+      auto It = S.Map.find(Key);
+      if (It != S.Map.end())
+        Cached = It->second;
+    }
+    if (Cached) {
+      Hits.fetch_add(1, std::memory_order_relaxed);
+      Q.Local.emplace(Key, Cached);
+      Q.Used += Cached->States;
+      if (Q.Used > Opts.NodeBudget)
+        Q.Exhausted = true;
+      return Cached;
+    }
+    Misses.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t Before = Q.Used;
+  Traversal T(*this, Q);
+  T.run(N, Hops, Sat);
+  auto E = std::make_shared<CacheEntry>(std::move(T.Entry));
+  E->States = Q.Used - Before;
+  if (!Q.Exhausted) {
+    // Only completed sub-traversals are reusable (or even meaningful).
+    Q.Local.emplace(Key, E);
+    if (Opts.Memoize) {
+      Shard &S = shardFor(Key);
+      std::lock_guard<std::mutex> L(S.M);
+      if (S.Map.size() >= Opts.CacheShardCapacity) {
+        Evictions.fetch_add(S.Map.size(), std::memory_order_relaxed);
+        S.Map.clear();
+      }
+      // First writer wins; racing writers computed the same entry anyway.
+      S.Map.emplace(Key, E);
+    }
+  }
+  return E;
+}
+
 CflResult CflPta::pointsTo(PagNodeId N) const {
-  Traversal T(G, Base, Opts);
-  T.run(N);
-  CflResult R = std::move(T.Result);
+  QueryCtx Q;
+  EntryPtr E = runQuery(N, Opts.MaxHeapHops, /*Sat=*/false, Q);
+  CflResult R;
+  R.Objects = E->Objects;
+  R.FellBack = E->FellBack || Q.Exhausted;
+  R.StatesVisited = Q.Used;
   if (R.FellBack) {
     // Merge in the sound Andersen answer with empty contexts.
     std::set<AllocSiteId> Have;

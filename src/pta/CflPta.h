@@ -23,6 +23,19 @@
 /// falls back to the Andersen result (sound over-approximation, empty
 /// context), so clients never lose soundness to the refinement.
 ///
+/// Queries decompose at heap hops: a hop resets the call string, so the
+/// exploration from a hop target depends only on (node, remaining hops,
+/// saturation) — never on how the outer query got there. Those
+/// sub-traversals are memoized in a sharded, thread-safe cache keyed by
+/// exactly that triple, so overlapping work is computed once and reused
+/// across the many per-site queries a leak-analysis run issues, from any
+/// number of threads. State accounting charges a cache hit the entry's
+/// recorded cost (as if recomputed), which keeps `StatesVisited`, budget
+/// exhaustion, and therefore results independent of thread schedule and
+/// cache warmth. The solver is safe for concurrent `pointsTo` calls: all
+/// substrate is immutable after construction and the only shared mutable
+/// state is the mutex-sharded cache plus atomic hit/miss/evict counters.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LC_PTA_CFLPTA_H
@@ -31,7 +44,12 @@
 #include "pta/Andersen.h"
 #include "pta/Pag.h"
 
+#include <array>
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace lc {
@@ -56,7 +74,8 @@ struct CflResult {
   /// True when the budget ran out and Objects came from the Andersen
   /// fallback (sound, context-free).
   bool FellBack = false;
-  /// Visited traversal states (work spent).
+  /// Visited traversal states (work spent), with memoized sub-traversals
+  /// charged at their recorded cost.
   uint64_t StatesVisited = 0;
 };
 
@@ -65,14 +84,22 @@ struct CflOptions {
   uint32_t MaxCallDepth = 16;    ///< call-string k-limit
   uint64_t NodeBudget = 200000;  ///< visited states before falling back
   uint32_t MaxHeapHops = 8;      ///< chained load->store matches per path
+  bool Memoize = true;           ///< reuse sub-traversals across queries
+  uint32_t CacheShardCapacity = 4096; ///< entries per shard before eviction
 };
 
-/// Demand-driven points-to solver. Queries are independent; the solver
-/// keeps no mutable state besides statistics.
+/// Snapshot of the memo-cache counters (monotonic over the solver's life).
+struct CflCacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;
+};
+
+/// Demand-driven points-to solver. Queries are independent and safe to
+/// issue from multiple threads concurrently.
 class CflPta {
 public:
-  CflPta(const Pag &G, const AndersenPta &Base, CflOptions Opts = {})
-      : G(G), Base(Base), Opts(Opts) {}
+  CflPta(const Pag &G, const AndersenPta &Base, CflOptions Opts = {});
 
   /// Context-sensitive points-to set of a local variable.
   CflResult pointsTo(MethodId M, LocalId L) const {
@@ -85,12 +112,66 @@ public:
 
   const CflOptions &options() const { return Opts; }
 
+  /// Memo-cache counters since construction (atomic snapshot). Unlike
+  /// query results, hit/miss totals are schedule-dependent under
+  /// concurrency (two threads may race to populate one key).
+  CflCacheStats cacheStats() const {
+    return {Hits.load(std::memory_order_relaxed),
+            Misses.load(std::memory_order_relaxed),
+            Evictions.load(std::memory_order_relaxed)};
+  }
+
 private:
   struct Traversal;
+  friend struct Traversal;
+
+  /// A completed sub-traversal from (node, hops, saturated) with an empty
+  /// call string: the objects it finds, whether any path exhausted its hop
+  /// budget, and what it cost to compute fresh.
+  struct CacheEntry {
+    std::vector<CtxObject> Objects;
+    bool FellBack = false;
+    uint64_t States = 0;
+  };
+  using EntryPtr = std::shared_ptr<const CacheEntry>;
+
+  /// Per-root-query bookkeeping threaded through sub-traversals: the
+  /// shared budget and a query-local memo that bounds recomputation even
+  /// with the global cache disabled.
+  struct QueryCtx {
+    uint64_t Used = 0;
+    bool Exhausted = false;
+    std::unordered_map<uint64_t, EntryPtr> Local;
+  };
+
+  static constexpr unsigned kShards = 64;
+  struct Shard {
+    mutable std::mutex M;
+    std::unordered_map<uint64_t, EntryPtr> Map;
+  };
+
+  static uint64_t cacheKey(PagNodeId N, uint32_t Hops, bool Sat) {
+    return (uint64_t(N) << 16) | (uint64_t(Hops & 0x7fff) << 1) |
+           (Sat ? 1 : 0);
+  }
+  Shard &shardFor(uint64_t Key) const {
+    return Shards[(Key ^ (Key >> 17)) % kShards];
+  }
+
+  /// Computes (or recalls) the sub-traversal for (N, Hops, Sat), charging
+  /// its cost against \p Q's budget. Never returns null; on budget
+  /// exhaustion the entry is partial and Q.Exhausted is set.
+  EntryPtr runQuery(PagNodeId N, uint32_t Hops, bool Sat, QueryCtx &Q) const;
 
   const Pag &G;
   const AndersenPta &Base;
   CflOptions Opts;
+  /// Load edges indexed by destination node, built once at construction
+  /// (immutable afterwards, shared by all concurrent queries).
+  std::vector<std::vector<uint32_t>> LoadsInto;
+
+  mutable std::array<Shard, kShards> Shards;
+  mutable std::atomic<uint64_t> Hits{0}, Misses{0}, Evictions{0};
 };
 
 } // namespace lc

@@ -40,6 +40,15 @@ public:
     return It == Times.end() ? 0.0 : It->second;
   }
 
+  /// Adds every counter and phase time of \p O into this bag (used to
+  /// aggregate per-loop runs into one tool-level summary).
+  void merge(const Stats &O) {
+    for (const auto &[Name, Value] : O.Counters)
+      Counters[Name] += Value;
+    for (const auto &[Phase, Seconds] : O.Times)
+      Times[Phase] += Seconds;
+  }
+
   const std::map<std::string, uint64_t> &counters() const { return Counters; }
   const std::map<std::string, double> &times() const { return Times; }
 

@@ -1,0 +1,140 @@
+//===-- ThreadPool.cpp ----------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace lc;
+
+unsigned ThreadPool::defaultJobs() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}
+
+ThreadPool::ThreadPool(unsigned Jobs) {
+  NumJobs = Jobs == 0 ? defaultJobs() : Jobs;
+  if (NumJobs <= 1)
+    return; // inline mode: no workers, no threads
+  Workers.reserve(NumJobs);
+  for (unsigned I = 0; I < NumJobs; ++I)
+    Workers.push_back(std::make_unique<Worker>());
+  Threads.reserve(NumJobs);
+  for (unsigned I = 0; I < NumJobs; ++I)
+    Threads.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  Stop.store(true, std::memory_order_release);
+  WakeCv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void ThreadPool::submit(Task T) {
+  // Round-robin the initial placement; stealing evens out imbalance.
+  unsigned W = NextVictim.fetch_add(1, std::memory_order_relaxed) % NumJobs;
+  {
+    std::lock_guard<std::mutex> L(Workers[W]->M);
+    Workers[W]->Deque.push_back(std::move(T));
+  }
+  Pending.fetch_add(1, std::memory_order_release);
+  WakeCv.notify_one();
+}
+
+bool ThreadPool::takeTask(unsigned Self, Task &Out) {
+  // Own deque first (LIFO: newest task, warmest caches) ...
+  {
+    Worker &W = *Workers[Self];
+    std::lock_guard<std::mutex> L(W.M);
+    if (!W.Deque.empty()) {
+      Out = std::move(W.Deque.back());
+      W.Deque.pop_back();
+      return true;
+    }
+  }
+  // ... then steal from the others (FIFO: the oldest, likely biggest
+  // remaining chunk of the victim's work).
+  for (unsigned D = 1; D < NumJobs; ++D) {
+    Worker &V = *Workers[(Self + D) % NumJobs];
+    std::lock_guard<std::mutex> L(V.M);
+    if (!V.Deque.empty()) {
+      Out = std::move(V.Deque.front());
+      V.Deque.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::workerLoop(unsigned Self) {
+  for (;;) {
+    Task T;
+    if (takeTask(Self, T)) {
+      Pending.fetch_sub(1, std::memory_order_acq_rel);
+      T();
+      continue;
+    }
+    std::unique_lock<std::mutex> L(WakeM);
+    WakeCv.wait(L, [this] {
+      return Stop.load(std::memory_order_acquire) ||
+             Pending.load(std::memory_order_acquire) > 0;
+    });
+    if (Stop.load(std::memory_order_acquire) &&
+        Pending.load(std::memory_order_acquire) == 0)
+      return;
+  }
+}
+
+void ThreadPool::parallelFor(size_t N, const std::function<void(size_t)> &F) {
+  if (N == 0)
+    return;
+  if (NumJobs <= 1 || N == 1) {
+    for (size_t I = 0; I < N; ++I)
+      F(I);
+    return;
+  }
+
+  struct Ctl {
+    std::atomic<size_t> Next{0};
+    std::atomic<unsigned> Live{0};
+    std::mutex M;
+    std::condition_variable Done;
+    std::exception_ptr Err;
+    size_t N;
+    const std::function<void(size_t)> *F;
+  };
+  auto C = std::make_shared<Ctl>();
+  C->N = N;
+  C->F = &F;
+
+  unsigned Tasks = static_cast<unsigned>(std::min<size_t>(NumJobs, N));
+  C->Live.store(Tasks, std::memory_order_release);
+  auto Body = [C] {
+    for (;;) {
+      size_t I = C->Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= C->N)
+        break;
+      try {
+        (*C->F)(I);
+      } catch (...) {
+        std::lock_guard<std::mutex> L(C->M);
+        if (!C->Err)
+          C->Err = std::current_exception();
+        // Drain the remaining iterations so the loop still terminates.
+        C->Next.store(C->N, std::memory_order_relaxed);
+        break;
+      }
+    }
+    if (C->Live.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> L(C->M);
+      C->Done.notify_all();
+    }
+  };
+  for (unsigned T = 0; T < Tasks; ++T)
+    submit(Body);
+
+  std::unique_lock<std::mutex> L(C->M);
+  C->Done.wait(L, [&] { return C->Live.load(std::memory_order_acquire) == 0; });
+  if (C->Err)
+    std::rethrow_exception(C->Err);
+}

@@ -1,0 +1,85 @@
+//===-- ThreadPool.h - Work-stealing thread pool ---------------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small work-stealing thread pool used to fan independent analysis
+/// queries (per-site CFL traversals, flows-out/flows-in store-graph walks)
+/// across cores. Each worker owns a deque: it pops its own tasks LIFO for
+/// locality and steals FIFO from a victim when empty, so uneven per-query
+/// costs balance without a central queue becoming the bottleneck.
+///
+/// A pool of size 1 spawns no threads at all: every task runs inline on
+/// the submitting thread in submission order, which makes `--jobs 1`
+/// exactly today's sequential path. Parallel callers are expected to write
+/// results into pre-sized, index-addressed slots and merge them on the
+/// calling thread in a deterministic order, so the analysis output is
+/// byte-identical at any job count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_SUPPORT_THREADPOOL_H
+#define LC_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lc {
+
+class ThreadPool {
+public:
+  using Task = std::function<void()>;
+
+  /// \p Jobs = 0 picks hardware_concurrency; 1 runs everything inline.
+  explicit ThreadPool(unsigned Jobs = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Worker count (>= 1). 1 means inline execution, no threads.
+  unsigned jobs() const { return NumJobs; }
+
+  /// What a Jobs value of 0 resolves to on this machine.
+  static unsigned defaultJobs();
+
+  /// Runs F(I) for every I in [0, N). Blocks until all iterations are
+  /// done; rethrows the first exception any iteration threw. Iterations
+  /// are claimed one at a time from a shared counter, so long and short
+  /// items interleave across workers (iteration-level stealing on top of
+  /// the deque-level stealing used for submitted tasks).
+  void parallelFor(size_t N, const std::function<void(size_t)> &F);
+
+private:
+  struct Worker {
+    std::mutex M;
+    std::deque<Task> Deque;
+  };
+
+  void workerLoop(unsigned Self);
+  bool takeTask(unsigned Self, Task &Out);
+  void submit(Task T);
+
+  unsigned NumJobs = 1;
+  std::vector<std::unique_ptr<Worker>> Workers;
+  std::vector<std::thread> Threads;
+  std::mutex WakeM;
+  std::condition_variable WakeCv;
+  std::atomic<size_t> Pending{0};
+  std::atomic<bool> Stop{false};
+  std::atomic<unsigned> NextVictim{0};
+};
+
+} // namespace lc
+
+#endif // LC_SUPPORT_THREADPOOL_H

@@ -1,0 +1,176 @@
+//===-- ParallelTest.cpp - parallel query-engine equivalence tests ---------===//
+//
+// The parallel demand-query engine is an optimization, not a refinement:
+// reports at --jobs N must be byte-identical to the sequential --jobs 1
+// path on every subject and on representative inline programs, the
+// deterministic statistics (queries, states visited, fallbacks, skips)
+// must agree across job counts, and the CFL corroboration pass must
+// actually aggregate traversal work into the run statistics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LeakChecker.h"
+#include "subjects/Subjects.h"
+
+#include <gtest/gtest.h>
+
+using namespace lc;
+using namespace lc::subjects;
+
+namespace {
+
+/// Renders every labeled loop's report under the given job count.
+std::string renderAll(const LeakChecker &LC, uint32_t Jobs, bool Memoize) {
+  LeakOptions O = LC.options();
+  O.Jobs = Jobs;
+  O.Cfl.Memoize = Memoize;
+  std::string Out;
+  for (LoopId L = 0; L < LC.program().Loops.size(); ++L) {
+    if (LC.program().Loops[L].Label.isEmpty())
+      continue;
+    if (!LC.callGraph().isReachable(LC.program().Loops[L].Method))
+      continue;
+    Out += renderLeakReport(LC.program(), LC.checkWith(L, O));
+    Out += "\n";
+  }
+  return Out;
+}
+
+const char *InlinePrograms[] = {
+    // Escaping into an accumulating slot plus an iteration-local temp.
+    R"(
+    class Sink { Object[] all = new Object[32]; int n; }
+    class Item { }
+    class Scratch { int x; }
+    class Main { static void main() {
+      Sink s = new Sink();
+      int i = 0;
+      l: while (i < 5) {
+        Item x = new Item();
+        s.all[s.n] = x;
+        s.n = s.n + 1;
+        Scratch t = new Scratch();
+        t.x = i;
+        i = i + t.x;
+      }
+    } }
+    )",
+    // Two slots, one overwritten, reads through a helper.
+    R"(
+    class Holder { Object cur; Object prev; }
+    class Item { }
+    class Util {
+      Object snap(Holder h) { Object o = h.cur; return o; }
+    }
+    class Main { static void main() {
+      Holder h = new Holder();
+      Util u = new Util();
+      int i = 0;
+      l: while (i < 7) {
+        Item x = new Item();
+        h.prev = h.cur;
+        h.cur = x;
+        Object seen = u.snap(h);
+        i = i + 1;
+      }
+    } }
+    )",
+    // Everything iteration-local: no reports at all.
+    R"(
+    class Scratch { int x; }
+    class Main { static void main() {
+      int i = 0;
+      l: while (i < 9) {
+        Scratch t = new Scratch();
+        t.x = i;
+        i = i + 1;
+      }
+    } }
+    )",
+};
+
+} // namespace
+
+TEST(ParallelEngine, ReportsByteIdenticalAcrossJobCountsOnSubjects) {
+  for (const Subject &S : subjects::all()) {
+    DiagnosticEngine Diags;
+    auto LC = LeakChecker::fromSource(S.Source, Diags, S.Options);
+    ASSERT_NE(LC, nullptr) << S.Name << ": " << Diags.str();
+    std::string Sequential = renderAll(*LC, 1, true);
+    EXPECT_EQ(renderAll(*LC, 4, true), Sequential) << S.Name << " jobs=4";
+    EXPECT_EQ(renderAll(*LC, 2, true), Sequential) << S.Name << " jobs=2";
+  }
+}
+
+TEST(ParallelEngine, ReportsByteIdenticalAcrossJobCountsOnInlinePrograms) {
+  for (const char *Src : InlinePrograms) {
+    DiagnosticEngine Diags;
+    auto LC = LeakChecker::fromSource(Src, Diags);
+    ASSERT_NE(LC, nullptr) << Diags.str();
+    EXPECT_EQ(renderAll(*LC, 4, true), renderAll(*LC, 1, true)) << Src;
+  }
+}
+
+TEST(ParallelEngine, ReportsUnaffectedByMemoCache) {
+  for (const Subject &S : subjects::all()) {
+    DiagnosticEngine Diags;
+    auto LC = LeakChecker::fromSource(S.Source, Diags, S.Options);
+    ASSERT_NE(LC, nullptr) << S.Name;
+    EXPECT_EQ(renderAll(*LC, 1, true), renderAll(*LC, 1, false)) << S.Name;
+  }
+}
+
+TEST(ParallelEngine, DeterministicStatsAgreeAcrossJobCounts) {
+  // Counter totals that describe the analysis itself (not the machine)
+  // must be schedule-independent; this is the charge-on-hit contract.
+  const char *Deterministic[] = {"cfl-queries", "cfl-states-visited",
+                                 "cfl-fallbacks", "cfl-queries-skipped",
+                                 "cfl-refuted-value-sites"};
+  for (const Subject &S : subjects::all()) {
+    DiagnosticEngine Diags;
+    auto LC = LeakChecker::fromSource(S.Source, Diags, S.Options);
+    ASSERT_NE(LC, nullptr) << S.Name;
+    LoopId L = LC->program().findLoop(S.LoopLabel);
+    ASSERT_NE(L, kInvalidId) << S.Name;
+    LeakOptions O1 = LC->options();
+    O1.Jobs = 1;
+    LeakOptions O4 = LC->options();
+    O4.Jobs = 4;
+    LeakAnalysisResult R1 = LC->checkWith(L, O1);
+    LeakAnalysisResult R4 = LC->checkWith(L, O4);
+    for (const char *Key : Deterministic)
+      EXPECT_EQ(R1.Statistics.get(Key), R4.Statistics.get(Key))
+          << S.Name << " counter " << Key;
+    EXPECT_EQ(R1.Statistics.get("jobs"), 1u) << S.Name;
+    EXPECT_EQ(R4.Statistics.get("jobs"), 4u) << S.Name;
+  }
+}
+
+TEST(ParallelEngine, CorroborationAggregatesTraversalWork) {
+  DiagnosticEngine Diags;
+  auto LC = LeakChecker::fromSource(InlinePrograms[0], Diags);
+  ASSERT_NE(LC, nullptr) << Diags.str();
+  auto R = LC->check("l");
+  ASSERT_TRUE(R.has_value());
+  EXPECT_GT(R->Statistics.get("cfl-queries"), 0u);
+  EXPECT_GT(R->Statistics.get("cfl-states-visited"), 0u);
+  // Corroboration never refutes the sound Andersen answer on this program.
+  EXPECT_EQ(R->Statistics.get("cfl-refuted-value-sites"), 0u);
+}
+
+TEST(ParallelEngine, CorroborationCanBeDisabled) {
+  DiagnosticEngine Diags;
+  auto LC = LeakChecker::fromSource(InlinePrograms[0], Diags);
+  ASSERT_NE(LC, nullptr) << Diags.str();
+  LeakOptions O = LC->options();
+  O.CflCorroborate = false;
+  LoopId L = LC->program().findLoop("l");
+  ASSERT_NE(L, kInvalidId);
+  LeakAnalysisResult R = LC->checkWith(L, O);
+  EXPECT_EQ(R.Statistics.get("cfl-queries"), 0u);
+  // Reports are independent of the corroboration pass by construction.
+  LeakOptions On = LC->options();
+  LeakAnalysisResult ROn = LC->checkWith(L, On);
+  EXPECT_EQ(renderLeakReport(LC->program(), R),
+            renderLeakReport(LC->program(), ROn));
+}

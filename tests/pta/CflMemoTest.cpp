@@ -1,0 +1,224 @@
+//===-- CflMemoTest.cpp - memoized CFL sub-traversal cache tests -----------===//
+//
+// The memo cache is an optimization, never a refinement: with it on, every
+// query must return the same context-qualified objects, the same fallback
+// flag, and the same states-visited total as the uncached traversal.
+// Hits must actually occur on workloads with overlapping sub-traversals,
+// and concurrent queries must agree with sequential ones.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lower.h"
+#include "pta/CflPta.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+using namespace lc;
+
+namespace {
+
+struct World {
+  Program P;
+  DiagnosticEngine Diags;
+  std::unique_ptr<CallGraph> CG;
+  std::unique_ptr<Pag> G;
+  std::unique_ptr<AndersenPta> Base;
+  std::unique_ptr<CflPta> PTA;
+
+  explicit World(std::string_view Src, CflOptions Opts = {}) {
+    bool Ok = compileSource(Src, P, Diags);
+    EXPECT_TRUE(Ok) << Diags.str();
+    CG = std::make_unique<CallGraph>(P, CallGraphKind::Rta);
+    G = std::make_unique<Pag>(P, *CG);
+    Base = std::make_unique<AndersenPta>(*G);
+    PTA = std::make_unique<CflPta>(*G, *Base, Opts);
+  }
+};
+
+/// Canonical rendering of a query answer, independent of discovery order.
+std::string canon(const CflPta &PTA, const CflResult &R) {
+  std::vector<std::string> Lines;
+  for (const CtxObject &O : R.Objects) {
+    std::ostringstream OS;
+    OS << O.Site << " [" << PTA.ctxString(O.Ctx) << "]";
+    Lines.push_back(OS.str());
+  }
+  std::sort(Lines.begin(), Lines.end());
+  std::string Out = R.FellBack ? "FALLBACK\n" : "";
+  for (const std::string &L : Lines)
+    Out += L + "\n";
+  return Out;
+}
+
+/// A program whose queries share sub-traversals: many producers store into
+/// one shared sink slot, and many consumers load it back.
+const char *SharedSinkSrc = R"(
+  class Box { Object val; }
+  class A { }
+  class B { }
+  class Maker {
+    Object makeA() { A a = new A(); return a; }
+    Object makeB() { B b = new B(); return b; }
+    void fill(Box box) {
+      Object x = this.makeA();
+      box.val = x;
+      Object y = this.makeB();
+      box.val = y;
+    }
+  }
+  class Reader {
+    Object read1(Box box) { Object r = box.val; return r; }
+    Object read2(Box box) { Object r = box.val; return r; }
+    Object read3(Box box) { Object r = box.val; return r; }
+  }
+  class Main { static void main() {
+    Box box = new Box();
+    Maker m = new Maker();
+    m.fill(box);
+    Reader rd = new Reader();
+    Object p = rd.read1(box);
+    Object q = rd.read2(box);
+    Object s = rd.read3(box);
+  } }
+)";
+
+PagNodeId nodeOf(const World &W, std::string_view Method,
+                 std::string_view Local) {
+  for (MethodId M = 0; M < W.P.Methods.size(); ++M) {
+    if (W.P.methodName(M) != Method)
+      continue;
+    const MethodInfo &MI = W.P.Methods[M];
+    for (LocalId L = 0; L < MI.Locals.size(); ++L)
+      if (W.P.Strings.text(MI.Locals[L].Name) == Local)
+        return W.G->localNode(M, L);
+  }
+  ADD_FAILURE() << "no local " << Method << "." << Local;
+  return kInvalidId;
+}
+
+} // namespace
+
+TEST(CflMemo, CachedAndUncachedAgreeOnEveryLocal) {
+  CflOptions On;
+  On.Memoize = true;
+  CflOptions Off;
+  Off.Memoize = false;
+  World WOn(SharedSinkSrc, On);
+  World WOff(SharedSinkSrc, Off);
+  // Query every pointer-typed local in the program both ways.
+  unsigned Queried = 0;
+  for (MethodId M = 0; M < WOn.P.Methods.size(); ++M) {
+    const MethodInfo &MI = WOn.P.Methods[M];
+    for (LocalId L = 0; L < MI.Locals.size(); ++L) {
+      PagNodeId N = WOn.G->localNode(M, L);
+      if (N == kInvalidId)
+        continue;
+      CflResult ROn = WOn.PTA->pointsTo(N);
+      CflResult ROff = WOff.PTA->pointsTo(N);
+      EXPECT_EQ(canon(*WOn.PTA, ROn), canon(*WOff.PTA, ROff))
+          << WOn.P.methodName(M) << " local " << L;
+      // Charge-on-hit accounting: the work a query is billed for must not
+      // depend on cache warmth, or budget exhaustion (and therefore the
+      // answer) would depend on query order.
+      EXPECT_EQ(ROn.StatesVisited, ROff.StatesVisited)
+          << WOn.P.methodName(M) << " local " << L;
+      EXPECT_EQ(ROn.FellBack, ROff.FellBack);
+      ++Queried;
+    }
+  }
+  EXPECT_GT(Queried, 10u);
+}
+
+TEST(CflMemo, RepeatedOverlappingQueriesHitTheCache) {
+  World W(SharedSinkSrc);
+  // The three readers' results all hop through Box.val: after the first
+  // query computes that sub-traversal, the others must reuse it.
+  CflResult R1 = W.PTA->pointsTo(nodeOf(W, "read1", "r"));
+  CflResult R2 = W.PTA->pointsTo(nodeOf(W, "read2", "r"));
+  CflResult R3 = W.PTA->pointsTo(nodeOf(W, "read3", "r"));
+  EXPECT_EQ(canon(*W.PTA, R1), canon(*W.PTA, R2));
+  EXPECT_EQ(canon(*W.PTA, R2), canon(*W.PTA, R3));
+  CflCacheStats S = W.PTA->cacheStats();
+  EXPECT_GT(S.Hits, 0u);
+  EXPECT_GT(S.Misses, 0u);
+  // All readers see both A and B through the shared slot.
+  EXPECT_EQ(R1.Objects.size(), 2u);
+}
+
+TEST(CflMemo, IdenticalQueryIsFullyCached) {
+  World W(SharedSinkSrc);
+  PagNodeId N = nodeOf(W, "read1", "r");
+  CflResult First = W.PTA->pointsTo(N);
+  CflCacheStats After1 = W.PTA->cacheStats();
+  CflResult Second = W.PTA->pointsTo(N);
+  CflCacheStats After2 = W.PTA->cacheStats();
+  EXPECT_EQ(canon(*W.PTA, First), canon(*W.PTA, Second));
+  EXPECT_EQ(First.StatesVisited, Second.StatesVisited);
+  EXPECT_GT(After2.Hits, After1.Hits);
+  EXPECT_EQ(After2.Misses, After1.Misses);
+}
+
+TEST(CflMemo, ConcurrentQueriesMatchSequentialBaseline) {
+  // Compute the sequential baseline on an uncached fresh solver, then hammer
+  // one shared solver from several threads and require identical answers.
+  CflOptions Off;
+  Off.Memoize = false;
+  World WBase(SharedSinkSrc, Off);
+  World W(SharedSinkSrc);
+
+  std::vector<PagNodeId> Nodes;
+  std::vector<std::string> Want;
+  for (MethodId M = 0; M < WBase.P.Methods.size(); ++M) {
+    const MethodInfo &MI = WBase.P.Methods[M];
+    for (LocalId L = 0; L < MI.Locals.size(); ++L) {
+      PagNodeId N = WBase.G->localNode(M, L);
+      if (N == kInvalidId)
+        continue;
+      Nodes.push_back(N);
+      Want.push_back(canon(*WBase.PTA, WBase.PTA->pointsTo(N)));
+    }
+  }
+  ASSERT_FALSE(Nodes.empty());
+
+  constexpr unsigned kThreads = 4, kRounds = 8;
+  std::vector<std::vector<std::string>> Got(kThreads);
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < kThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (unsigned Round = 0; Round < kRounds; ++Round)
+        for (size_t I = 0; I < Nodes.size(); ++I) {
+          // Interleave differently per thread to vary cache warmth.
+          size_t Idx = (I * (T + 1) + Round) % Nodes.size();
+          std::string C = canon(*W.PTA, W.PTA->pointsTo(Nodes[Idx]));
+          if (C != Want[Idx])
+            Got[T].push_back("node " + std::to_string(Nodes[Idx]) +
+                             " diverged:\n" + C + "want:\n" + Want[Idx]);
+        }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  for (unsigned T = 0; T < kThreads; ++T)
+    EXPECT_TRUE(Got[T].empty()) << Got[T].front();
+}
+
+TEST(CflMemo, EvictionKeepsAnswersCorrect) {
+  CflOptions Tiny;
+  Tiny.CacheShardCapacity = 1; // force constant eviction
+  World WTiny(SharedSinkSrc, Tiny);
+  World WRef(SharedSinkSrc);
+  for (MethodId M = 0; M < WTiny.P.Methods.size(); ++M) {
+    const MethodInfo &MI = WTiny.P.Methods[M];
+    for (LocalId L = 0; L < MI.Locals.size(); ++L) {
+      PagNodeId N = WTiny.G->localNode(M, L);
+      if (N == kInvalidId)
+        continue;
+      EXPECT_EQ(canon(*WTiny.PTA, WTiny.PTA->pointsTo(N)),
+                canon(*WRef.PTA, WRef.PTA->pointsTo(N)));
+    }
+  }
+}

@@ -1,0 +1,111 @@
+//===-- ThreadPoolTest.cpp - unit tests for the work-stealing pool ---------===//
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+using namespace lc;
+
+TEST(ThreadPool, DefaultJobsIsPositive) {
+  EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+  ThreadPool P;
+  EXPECT_EQ(P.jobs(), ThreadPool::defaultJobs());
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  for (unsigned Jobs : {1u, 2u, 4u, 8u}) {
+    ThreadPool P(Jobs);
+    EXPECT_EQ(P.jobs(), Jobs);
+    for (size_t N : {size_t(0), size_t(1), size_t(3), size_t(1000)}) {
+      std::vector<std::atomic<unsigned>> Seen(N);
+      P.parallelFor(N, [&](size_t I) {
+        Seen[I].fetch_add(1, std::memory_order_relaxed);
+      });
+      for (size_t I = 0; I < N; ++I)
+        ASSERT_EQ(Seen[I].load(), 1u) << "jobs=" << Jobs << " N=" << N
+                                      << " index " << I;
+    }
+  }
+}
+
+TEST(ThreadPool, SingleJobRunsInline) {
+  // jobs=1 is the sequential path: every body runs on the calling thread,
+  // in order, with no worker threads involved.
+  ThreadPool P(1);
+  std::thread::id Caller = std::this_thread::get_id();
+  std::vector<size_t> Order;
+  P.parallelFor(64, [&](size_t I) {
+    EXPECT_EQ(std::this_thread::get_id(), Caller);
+    Order.push_back(I);
+  });
+  std::vector<size_t> Expect(64);
+  std::iota(Expect.begin(), Expect.end(), size_t(0));
+  EXPECT_EQ(Order, Expect);
+}
+
+TEST(ThreadPool, ParallelForAccumulatesCorrectSum) {
+  ThreadPool P(4);
+  std::atomic<uint64_t> Sum{0};
+  P.parallelFor(10000, [&](size_t I) {
+    Sum.fetch_add(I, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(Sum.load(), uint64_t(10000) * 9999 / 2);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool P(4);
+  for (int Round = 0; Round < 50; ++Round) {
+    std::atomic<size_t> Count{0};
+    P.parallelFor(17, [&](size_t) {
+      Count.fetch_add(1, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(Count.load(), 17u) << "round " << Round;
+  }
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives) {
+  ThreadPool P(4);
+  EXPECT_THROW(P.parallelFor(100,
+                             [&](size_t I) {
+                               if (I == 42)
+                                 throw std::runtime_error("boom");
+                             }),
+               std::runtime_error);
+  // The pool must still be usable after an exceptional run.
+  std::atomic<size_t> Count{0};
+  P.parallelFor(8, [&](size_t) {
+    Count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(Count.load(), 8u);
+}
+
+TEST(ThreadPool, ExceptionFromInlinePathPropagates) {
+  ThreadPool P(1);
+  EXPECT_THROW(P.parallelFor(3,
+                             [](size_t I) {
+                               if (I == 1)
+                                 throw std::runtime_error("inline boom");
+                             }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, NestedWorkFromWorkerThreads) {
+  // Tasks submitted from inside tasks (the leak analysis never does this,
+  // but steal-loops must not deadlock if a body itself uses the pool's
+  // caller-runs fallback).
+  ThreadPool Outer(2);
+  std::atomic<size_t> Total{0};
+  Outer.parallelFor(4, [&](size_t) {
+    ThreadPool Inner(1);
+    Inner.parallelFor(5, [&](size_t) {
+      Total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(Total.load(), 20u);
+}

@@ -17,6 +17,7 @@
 //
 // Options: --no-pivot --no-library-rule --threads --destructive-updates
 //          --no-escape-prefilter --context-depth N --list-subjects
+//          --jobs N --no-cfl-memo --no-stats
 //
 //===----------------------------------------------------------------------===//
 
@@ -55,9 +56,28 @@ int usage(const char *Argv0) {
       "  --threads              model started threads as outside objects\n"
       "  --destructive-updates  suppress provably-overwritten slots\n"
       "  --no-escape-prefilter  disable the escape-analysis query pruning\n"
-      "  --context-depth N      call-string depth for contexts (default 8)\n",
+      "  --context-depth N      call-string depth for contexts (default 8)\n"
+      "  --jobs N               worker threads for the per-site query\n"
+      "                         fan-out (default: all cores; 1 = the\n"
+      "                         sequential path; reports are identical)\n"
+      "  --no-cfl-memo          disable the CFL sub-traversal memo cache\n"
+      "  --no-stats             omit the run-statistics summary\n",
       Argv0);
   return 2;
+}
+
+/// Aggregated run statistics, printed after the reports. Counter totals
+/// (queries, states visited, fallbacks, skips) are deterministic for a
+/// given input and job count; cache hit/miss splits and phase times are
+/// machine- and schedule-dependent.
+void printStatsSummary(const Stats &S) {
+  std::printf("\n--- run statistics ---\n");
+  for (const auto &[Name, Value] : S.counters())
+    std::printf("  %-28s %llu\n", Name.c_str(),
+                static_cast<unsigned long long>(Value));
+  for (const auto &[Phase, Seconds] : S.times())
+    std::printf("  %-28s %.3f ms\n", (Phase + " (time)").c_str(),
+                Seconds * 1e3);
 }
 
 } // namespace
@@ -65,7 +85,7 @@ int usage(const char *Argv0) {
 int main(int argc, char **argv) {
   std::string File, Loop, SubjectName;
   bool Suggest = false, Run = false, DumpIr = false, ListSubjects = false;
-  bool CheckEra = false;
+  bool CheckEra = false, ShowStats = true;
   LeakOptions Opts;
 
   for (int I = 1; I < argc; ++I) {
@@ -106,6 +126,15 @@ int main(int argc, char **argv) {
       Opts.ModelDestructiveUpdates = true;
     } else if (A == "--no-escape-prefilter") {
       Opts.EscapePrefilter = false;
+    } else if (A == "--jobs") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      Opts.Jobs = static_cast<uint32_t>(std::atoi(V));
+    } else if (A == "--no-cfl-memo") {
+      Opts.Cfl.Memoize = false;
+    } else if (A == "--no-stats") {
+      ShowStats = false;
     } else if (A == "--check-era") {
       CheckEra = true;
     } else if (!A.empty() && A[0] == '-') {
@@ -170,9 +199,14 @@ int main(int argc, char **argv) {
   }
 
   if (Loop == "all") {
-    for (const LeakAnalysisResult &R : Checker->checkAllLabeled())
+    Stats Agg;
+    for (const LeakAnalysisResult &R : Checker->checkAllLabeled()) {
       std::printf("%s\n",
                   renderLeakReport(Checker->program(), R).c_str());
+      Agg.merge(R.Statistics);
+    }
+    if (ShowStats)
+      printStatsSummary(Agg);
     return 0;
   }
   if (Loop.empty()) {
@@ -187,6 +221,8 @@ int main(int argc, char **argv) {
     return 1;
   }
   std::printf("%s", renderLeakReport(Checker->program(), *Result).c_str());
+  if (ShowStats)
+    printStatsSummary(Result->Statistics);
 
   if (Run) {
     Program P2;
