@@ -3,6 +3,7 @@
 #include "pta/CflPta.h"
 
 #include <algorithm>
+#include <cassert>
 #include <set>
 #include <sstream>
 
@@ -178,6 +179,13 @@ struct CflPta::Traversal {
 
 CflPta::CflPta(const Pag &G, const AndersenPta &Base, CflOptions Opts)
     : G(G), Base(Base), Opts(Opts) {
+  // cacheKey packs the hop budget into 15 bits; a larger MaxHeapHops would
+  // alias distinct budgets to one memo key and silently return wrong
+  // cached results. Enforce the invariant instead of masking it away.
+  assert(Opts.MaxHeapHops < 0x8000 &&
+         "MaxHeapHops must fit cacheKey's 15-bit hop field");
+  if (this->Opts.MaxHeapHops >= 0x8000)
+    this->Opts.MaxHeapHops = 0x7fff; // keep NDEBUG builds correct
   LoadsInto.resize(G.numNodes());
   for (uint32_t Id = 0; Id < G.loadEdges().size(); ++Id)
     LoadsInto[G.loadEdges()[Id].Dst].push_back(Id);
@@ -193,9 +201,7 @@ CflPta::EntryPtr CflPta::runQuery(PagNodeId N, uint32_t Hops, bool Sat,
   // actually redone.
   auto LIt = Q.Local.find(Key);
   if (LIt != Q.Local.end()) {
-    Q.Used += LIt->second->States;
-    if (Q.Used > Opts.NodeBudget)
-      Q.Exhausted = true;
+    Q.charge(LIt->second->States, Opts.NodeBudget);
     return LIt->second;
   }
 
@@ -211,9 +217,7 @@ CflPta::EntryPtr CflPta::runQuery(PagNodeId N, uint32_t Hops, bool Sat,
     if (Cached) {
       Hits.fetch_add(1, std::memory_order_relaxed);
       Q.Local.emplace(Key, Cached);
-      Q.Used += Cached->States;
-      if (Q.Used > Opts.NodeBudget)
-        Q.Exhausted = true;
+      Q.charge(Cached->States, Opts.NodeBudget);
       return Cached;
     }
     Misses.fetch_add(1, std::memory_order_relaxed);

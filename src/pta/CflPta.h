@@ -30,9 +30,10 @@
 /// exactly that triple, so overlapping work is computed once and reused
 /// across the many per-site queries a leak-analysis run issues, from any
 /// number of threads. State accounting charges a cache hit the entry's
-/// recorded cost (as if recomputed), which keeps `StatesVisited`, budget
-/// exhaustion, and therefore results independent of thread schedule and
-/// cache warmth. The solver is safe for concurrent `pointsTo` calls: all
+/// recorded cost (as if recomputed), saturating at NodeBudget + 1 — the
+/// exact point an incremental cold traversal stops — which keeps
+/// `StatesVisited`, budget exhaustion, and therefore results independent
+/// of thread schedule and cache warmth even when a query exhausts. The solver is safe for concurrent `pointsTo` calls: all
 /// substrate is immutable after construction and the only shared mutable
 /// state is the mutex-sharded cache plus atomic hit/miss/evict counters.
 ///
@@ -84,6 +85,9 @@ struct CflOptions {
   uint32_t MaxCallDepth = 16;    ///< call-string k-limit
   uint64_t NodeBudget = 200000;  ///< visited states before falling back
   uint32_t MaxHeapHops = 8;      ///< chained load->store matches per path
+                                 ///  (must be < 0x8000: the memo key packs
+                                 ///  the hop budget into 15 bits; enforced
+                                 ///  in the CflPta constructor)
   bool Memoize = true;           ///< reuse sub-traversals across queries
   uint32_t CacheShardCapacity = 4096; ///< entries per shard before eviction
 };
@@ -142,6 +146,17 @@ private:
     uint64_t Used = 0;
     bool Exhausted = false;
     std::unordered_map<uint64_t, EntryPtr> Local;
+
+    /// Charges a memo hit the entry's recorded cost, saturating at
+    /// \p Budget + 1 — the exact value an incremental cold traversal stops
+    /// at — so exhausted queries account identically (and StatesVisited
+    /// stays schedule- and warmth-independent) whether the work was redone
+    /// or recalled.
+    void charge(uint64_t States, uint64_t Budget) {
+      Used = Used + States > Budget ? Budget + 1 : Used + States;
+      if (Used > Budget)
+        Exhausted = true;
+    }
   };
 
   static constexpr unsigned kShards = 64;

@@ -24,7 +24,13 @@ ThreadPool::ThreadPool(unsigned Jobs) {
 }
 
 ThreadPool::~ThreadPool() {
-  Stop.store(true, std::memory_order_release);
+  {
+    // Publish under WakeM: a worker that just saw Stop==false while holding
+    // the lock is guaranteed to be blocked in wait() before we store, so
+    // the notify below cannot be lost.
+    std::lock_guard<std::mutex> L(WakeM);
+    Stop.store(true, std::memory_order_release);
+  }
   WakeCv.notify_all();
   for (std::thread &T : Threads)
     T.join();
@@ -37,7 +43,14 @@ void ThreadPool::submit(Task T) {
     std::lock_guard<std::mutex> L(Workers[W]->M);
     Workers[W]->Deque.push_back(std::move(T));
   }
-  Pending.fetch_add(1, std::memory_order_release);
+  {
+    // The increment must be ordered with the workers' predicate check:
+    // without the lock it could land between a worker evaluating the wait
+    // predicate and blocking, losing the notify and parking the pool with
+    // work queued.
+    std::lock_guard<std::mutex> L(WakeM);
+    Pending.fetch_add(1, std::memory_order_release);
+  }
   WakeCv.notify_one();
 }
 

@@ -163,6 +163,79 @@ TEST(CflMemo, IdenticalQueryIsFullyCached) {
   EXPECT_EQ(After2.Misses, After1.Misses);
 }
 
+/// A cheap reader whose query completes (caching the Box.val hop
+/// sub-traversal) next to a reader with a long pre-hop copy chain, so at
+/// some budget the chain query reaches the hop nearly out of budget and
+/// answers it from the warm cache.
+const char *ChainedReaderSrc = R"(
+  class Box { Object val; }
+  class A { }
+  class Maker {
+    void fill(Box box) { A a = new A(); box.val = a; }
+  }
+  class Reader {
+    Object readShort(Box box) { Object r = box.val; return r; }
+    Object readLong(Box box) {
+      Object c0 = box.val;
+      Object c1 = c0;
+      Object c2 = c1;
+      Object c3 = c2;
+      Object c4 = c3;
+      Object c5 = c4;
+      Object c6 = c5;
+      Object c7 = c6;
+      Object r = c7;
+      return r;
+    }
+  }
+  class Main { static void main() {
+    Box box = new Box();
+    Maker m = new Maker();
+    m.fill(box);
+    Reader rd = new Reader();
+    Object p = rd.readShort(box);
+    Object q = rd.readLong(box);
+  } }
+)";
+
+TEST(CflMemo, ExhaustedQueriesAccountIdenticallyWarmAndCold) {
+  // Sweeping budgets guarantees some query hits the cached Box.val
+  // sub-traversal with most of its budget already spent. The charged hit
+  // cost must saturate at NodeBudget + 1 — the exact point an incremental
+  // cold traversal stops — not overshoot by the entry's full recorded
+  // cost, or StatesVisited (and the CI determinism gate over it) would
+  // depend on cache warmth and thread schedule.
+  unsigned Exhausted = 0;
+  for (uint64_t Budget = 2; Budget <= 24; ++Budget) {
+    CflOptions Tiny;
+    Tiny.NodeBudget = Budget;
+    CflOptions TinyOff = Tiny;
+    TinyOff.Memoize = false;
+    World WOn(ChainedReaderSrc, Tiny);
+    for (MethodId M = 0; M < WOn.P.Methods.size(); ++M) {
+      const MethodInfo &MI = WOn.P.Methods[M];
+      for (LocalId L = 0; L < MI.Locals.size(); ++L) {
+        PagNodeId N = WOn.G->localNode(M, L);
+        if (N == kInvalidId)
+          continue;
+        CflResult Warm = WOn.PTA->pointsTo(N);  // shared cache accumulates
+        World WCold(ChainedReaderSrc, TinyOff); // stone-cold fresh solver
+        CflResult Cold = WCold.PTA->pointsTo(N);
+        EXPECT_EQ(canon(*WOn.PTA, Warm), canon(*WCold.PTA, Cold))
+            << "budget " << Budget << " " << WOn.P.methodName(M) << "." << L;
+        EXPECT_EQ(Warm.StatesVisited, Cold.StatesVisited)
+            << "budget " << Budget << " " << WOn.P.methodName(M) << "." << L;
+        EXPECT_LE(Warm.StatesVisited, Budget + 1);
+        EXPECT_LE(Cold.StatesVisited, Budget + 1);
+        EXPECT_EQ(Warm.FellBack, Cold.FellBack);
+        if (Warm.StatesVisited > Budget)
+          ++Exhausted;
+      }
+    }
+  }
+  EXPECT_GT(Exhausted, 0u) << "budget never bit; test exercises nothing";
+}
+
 TEST(CflMemo, ConcurrentQueriesMatchSequentialBaseline) {
   // Compute the sequential baseline on an uncached fresh solver, then hammer
   // one shared solver from several threads and require identical answers.

@@ -69,6 +69,21 @@ TEST(ThreadPool, ReusableAcrossCalls) {
   }
 }
 
+TEST(ThreadPool, WakeupsAreNotLostAcrossManyTinyRounds) {
+  // Each tiny round lets the workers park before the next submit, so this
+  // loop hammers the submit-vs-wait handoff: a notify issued between a
+  // worker's predicate check and its block (the classic lost wakeup) would
+  // leave the round's task queued with all workers asleep and hang here.
+  ThreadPool P(4);
+  for (int Round = 0; Round < 2000; ++Round) {
+    std::atomic<size_t> Count{0};
+    P.parallelFor(2, [&](size_t) {
+      Count.fetch_add(1, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(Count.load(), 2u) << "round " << Round;
+  }
+}
+
 TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives) {
   ThreadPool P(4);
   EXPECT_THROW(P.parallelFor(100,
