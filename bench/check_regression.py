@@ -1,8 +1,10 @@
 #!/usr/bin/env python3
-"""Gate on the scalability bench: fail CI when the single-thread wall time
-regresses by more than 25% against the checked-in baseline.
+"""Gate on the perf benches: fail CI when wall time regresses by more than
+25% against the checked-in baseline, or (Andersen mode) when the solver's
+answer changes at all.
 
 Usage: check_regression.py BENCH_scalability.json [baseline.json]
+       check_regression.py --andersen BENCH_andersen.json [baseline.json]
 
 The quick-mode subject finishes in well under a millisecond, where timer
 and scheduler noise dwarfs any 25% band, so the relative check carries an
@@ -15,6 +17,15 @@ Also sanity-checks the run itself: the jobs sweep must exist, the
 single-thread run must have visited states and issued queries, and the
 states-visited totals must agree across job counts (the engine's
 determinism contract).
+
+Andersen mode reads the wave-propagation sweep (BENCH_andersen.json).
+Time is checked with the same 1.25x + grace band on each sweep size the
+run and baseline share (a --quick run only covers the small sizes). The
+points-to cardinality fingerprints (var_pts_total / field_pts_total) are
+exact: ANY difference from the baseline fails, because the workload is
+deterministic and a changed total means the solver computes a different
+fixed point. The wave solver must also still beat the naive reference by
+at least 2x at the largest shared size.
 """
 
 import json
@@ -26,9 +37,60 @@ def die(msg):
     sys.exit(1)
 
 
+def check_andersen(run_path, base_path, grace_ms):
+    with open(run_path) as f:
+        run = json.load(f)
+    with open(base_path) as f:
+        base = json.load(f)
+
+    sweep = run.get("sweep") or die("sweep missing or empty")
+    base_rows = {r["n"]: r for r in base.get("sweep", [])}
+    shared = [r for r in sweep if r["n"] in base_rows]
+    if not shared:
+        die(f"no sweep sizes shared with baseline {base_path}")
+
+    for row in shared:
+        n = row["n"]
+        ref = base_rows[n]
+        for key in ("var_pts_total", "field_pts_total"):
+            if row.get(key) != ref.get(key):
+                die(f"n={n}: {key} changed: {row.get(key)} vs baseline "
+                    f"{ref.get(key)} (the solver's answer changed)")
+        wave = float(row["wave_ms"])
+        base_wave = float(ref["wave_ms"])
+        limit = base_wave * 1.25 + grace_ms
+        verdict = "OK" if wave <= limit else "FAIL"
+        print(f"check_regression: andersen n={n} wave {wave:.3f} ms, "
+              f"baseline {base_wave:.3f} ms, limit {limit:.3f} ms: {verdict}")
+        if wave > limit:
+            die(f"n={n}: wave solve regressed >25%: {wave:.3f} ms "
+                f"vs baseline {base_wave:.3f} ms")
+
+    largest = max(shared, key=lambda r: r["n"])
+    speedup = float(largest["speedup"])
+    print(f"check_regression: andersen n={largest['n']} speedup over naive "
+          f"{speedup:.2f}x (need >= 2.0)")
+    if speedup < 2.0:
+        die(f"wave solver no longer >= 2x the naive reference at "
+            f"n={largest['n']}: {speedup:.2f}x")
+
+    refine = run.get("refine")
+    if refine:
+        frac = float(refine.get("round2plus_max_fraction", 0.0))
+        print(f"check_regression: andersen refine n={refine.get('n')} "
+              f"rounds={refine.get('rounds')} "
+              f"round2plus_max_fraction={frac:.3f}, "
+              f"incremental_solves={refine.get('incremental_solves')}")
+        if refine.get("incremental_solves", 0) <= 0:
+            die("refinement ran no incremental solves -- the re-solve "
+                "path fell back to scratch")
+    return 0
+
+
 def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     grace_ms = 5.0
+    andersen = "--andersen" in argv[1:]
     for a in argv[1:]:
         if a.startswith("--grace-ms="):
             grace_ms = float(a.split("=", 1)[1])
@@ -36,6 +98,9 @@ def main(argv):
         print(__doc__, file=sys.stderr)
         return 2
     run_path = args[0]
+    if andersen:
+        base_path = args[1] if len(args) > 1 else "bench/andersen_baseline.json"
+        return check_andersen(run_path, base_path, grace_ms)
     base_path = args[1] if len(args) > 1 else "bench/scalability_baseline.json"
 
     with open(run_path) as f:

@@ -8,13 +8,29 @@
 //
 // Run:  ./build/bench/pta_microbench
 //
+// The wave-propagation solver additionally has a dedicated sweep mode
+// that bypasses google-benchmark:
+//
+//   ./build/bench/pta_microbench --andersen-sweep [--quick] [--out PATH]
+//
+// It solves a family of synthetic programs (copy rings, mutually
+// recursive call rings, hot heap slots with reader feedback) with both
+// the production wave solver and the retained naive reference, checks
+// they agree, times a multi-round incremental refinement, and emits
+// BENCH_andersen.json for bench/check_regression.py --andersen.
+//
 //===----------------------------------------------------------------------===//
 
 #include "frontend/Lower.h"
+#include "pta/AndersenRef.h"
 #include "pta/CflPta.h"
+#include "pta/RefinedCallGraph.h"
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <sstream>
 
 using namespace lc;
@@ -99,6 +115,228 @@ void BM_FrontendCompile(benchmark::State &State) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// --andersen-sweep mode
+//===----------------------------------------------------------------------===//
+
+/// Stress program for the inclusion solver, sized by \p N. The dominant
+/// structure is a length-N copy *chain* with allocation sites staggered
+/// along it in reverse order -- the textbook worst case for full-set
+/// re-propagation (every upstream arrival makes the naive solver re-push
+/// complete sets down the rest of the chain, Theta(N^2) unions) and the
+/// best case for rank-ordered difference propagation (each node drains
+/// one coalesced delta, Theta(N) unions). On top of that: merge diamonds
+/// (fan-out/fan-in), a modest copy ring hanging off the chain's tail
+/// (SCC for the collapse pass), a ring of mutually recursive static
+/// methods (param/return cycles across methods), and a hot heap slot
+/// with many readers. With \p Devirt, a chained-devirtualization tail is
+/// appended so call-graph refinement runs several rounds over the same
+/// large PAG -- the incremental re-solve workload.
+std::string makeSweepProgram(unsigned N, bool Devirt) {
+  unsigned Chain = N;
+  unsigned Sites = std::max(8u, N / 2);
+  unsigned RingLen = std::max(8u, N / 16);
+  unsigned MethodRing = std::max(4u, N / 32);
+  std::ostringstream OS;
+  OS << "class Box { Object f; Box link; }\n";
+  OS << "class Gen {\n";
+  for (unsigned M = 0; M < MethodRing; ++M)
+    OS << "  static Object m" << M << "(Object v, int n) { if (n > 0) { "
+       << "return Gen.m" << (M + 1) % MethodRing
+       << "(v, n - 1); } return v; }\n";
+  OS << "}\n";
+  if (Devirt) {
+    OS << "class A0 { A0 next() { return this; } }\n";
+    for (unsigned D = 1; D <= 5; ++D)
+      OS << "class A" << D << " extends A0 { A0 next() { return "
+         << (D < 5 ? "new A" + std::to_string(D + 1) + "()" : "this")
+         << "; } }\n";
+  }
+  OS << "class Main { static void main() {\n";
+  for (unsigned T = 0; T <= Chain; ++T)
+    OS << "  Object t" << T << " = null;\n";
+  // Reverse-staggered allocation sites: the site nearest the chain's end
+  // is seeded first, so naive FIFO propagation keeps arriving upstream.
+  for (unsigned S = 0; S < Sites; ++S)
+    OS << "  t" << Chain - 1 - (S * Chain) / Sites << " = new Box();\n";
+  for (unsigned K = 0; K < Chain; ++K)
+    OS << "  t" << K + 1 << " = t" << K << ";\n";
+  // Merge diamonds every 16 links.
+  for (unsigned K = 0; K + 1 <= Chain; K += 16) {
+    OS << "  Object u" << K << " = t" << K << ";\n";
+    OS << "  Object w" << K << " = t" << K << ";\n";
+    OS << "  t" << K + 1 << " = u" << K << ";\n";
+    OS << "  t" << K + 1 << " = w" << K << ";\n";
+  }
+  // A modest ring off the tail: one SCC for the collapse pass.
+  for (unsigned R = 0; R < RingLen; ++R)
+    OS << "  Object g" << R << " = null;\n";
+  OS << "  g0 = t" << Chain << ";\n";
+  for (unsigned R = 0; R + 1 < RingLen; ++R)
+    OS << "  g" << R + 1 << " = g" << R << ";\n";
+  OS << "  g0 = g" << RingLen - 1 << ";\n";
+  // Push a sample of chain nodes through the method ring. The result
+  // lands in a fresh local (not back into the chain): the chain must
+  // stay acyclic or every 32-link segment would collapse away and the
+  // rank-ordering comparison would degenerate.
+  for (unsigned K = 0; K < Chain; K += 32)
+    OS << "  Object x" << K << " = Gen.m0(t" << K << ", 3);\n";
+  // Hot slot: stores from along the chain, many readers.
+  OS << "  Box b = new Box();\n";
+  for (unsigned K = 0; K < Chain; K += 8)
+    OS << "  b.f = t" << K << ";\n";
+  for (unsigned R = 0; R < Chain / 8; ++R)
+    OS << "  Object r" << R << " = b.f;\n";
+  if (Devirt) {
+    OS << "  A0 a = new A1();\n";
+    OS << "  A0 d0 = a.next();\n";
+    for (unsigned D = 1; D <= 4; ++D)
+      OS << "  A0 d" << D << " = d" << D - 1 << ".next();\n";
+  }
+  OS << "} }\n";
+  return OS.str();
+}
+
+double nowMs(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+/// Sum of points-to cardinalities over all variable nodes / all heap
+/// slots -- the regression gate's precision fingerprint.
+template <typename Solver>
+uint64_t varPtsTotal(const Pag &G, const Solver &S) {
+  uint64_t Total = 0;
+  for (PagNodeId V = 0; V < G.numNodes(); ++V)
+    Total += S.pointsTo(V).count();
+  return Total;
+}
+template <typename Solver>
+uint64_t fieldPtsTotal(const Program &P, const Solver &S) {
+  uint64_t Total = 0;
+  for (AllocSiteId Site = 0; Site < P.AllocSites.size(); ++Site)
+    for (FieldId F = 0; F < P.Fields.size(); ++F)
+      Total += S.fieldPointsTo(Site, F).count();
+  return Total;
+}
+
+int runAndersenSweep(bool Quick, const char *OutPath) {
+  std::vector<unsigned> Sizes =
+      Quick ? std::vector<unsigned>{128, 256}
+            : std::vector<unsigned>{256, 512, 1024, 2048};
+  unsigned Reps = Quick ? 1 : 3;
+
+  std::ostringstream J;
+  J << "{\n  \"sweep\": [\n";
+  bool FirstRow = true;
+  for (unsigned N : Sizes) {
+    Program P;
+    DiagnosticEngine Diags;
+    if (!compileSource(makeSweepProgram(N, false), P, Diags)) {
+      std::fprintf(stderr, "sweep program %u failed to compile:\n%s\n", N,
+                   Diags.str().c_str());
+      return 1;
+    }
+    CallGraph CG(P, CallGraphKind::Rta);
+    Pag G(P, CG);
+
+    double NaiveMs = 1e300, WaveMs = 1e300;
+    uint64_t VarTotal = 0, FieldTotal = 0;
+    AndersenCounters Counters;
+    for (unsigned R = 0; R < Reps; ++R) {
+      auto T0 = std::chrono::steady_clock::now();
+      NaiveAndersenRef Naive(G);
+      NaiveMs = std::min(NaiveMs, nowMs(T0));
+
+      auto T1 = std::chrono::steady_clock::now();
+      AndersenPta Wave(G);
+      WaveMs = std::min(WaveMs, nowMs(T1));
+
+      uint64_t WaveVar = varPtsTotal(G, Wave);
+      uint64_t NaiveVar = varPtsTotal(G, Naive);
+      uint64_t WaveField = fieldPtsTotal(P, Wave);
+      uint64_t NaiveField = fieldPtsTotal(P, Naive);
+      if (WaveVar != NaiveVar || WaveField != NaiveField) {
+        std::fprintf(stderr,
+                     "sweep %u: solver disagreement (var %llu vs %llu, "
+                     "field %llu vs %llu)\n",
+                     N, (unsigned long long)WaveVar,
+                     (unsigned long long)NaiveVar,
+                     (unsigned long long)WaveField,
+                     (unsigned long long)NaiveField);
+        return 1;
+      }
+      VarTotal = WaveVar;
+      FieldTotal = WaveField;
+      Counters = Wave.counters();
+    }
+
+    std::printf("sweep n=%-4u nodes=%-6zu naive=%9.3fms wave=%9.3fms "
+                "speedup=%6.2fx sccs=%llu merged=%llu\n",
+                N, G.numNodes(), NaiveMs, WaveMs, NaiveMs / WaveMs,
+                (unsigned long long)Counters.SccsCollapsed,
+                (unsigned long long)Counters.SccNodesMerged);
+
+    J << (FirstRow ? "" : ",\n");
+    FirstRow = false;
+    J << "    {\"n\": " << N << ", \"nodes\": " << G.numNodes()
+      << ", \"naive_ms\": " << NaiveMs << ", \"wave_ms\": " << WaveMs
+      << ", \"speedup\": " << NaiveMs / WaveMs
+      << ", \"var_pts_total\": " << VarTotal
+      << ", \"field_pts_total\": " << FieldTotal
+      << ", \"sccs_collapsed\": " << Counters.SccsCollapsed
+      << ", \"scc_nodes_merged\": " << Counters.SccNodesMerged
+      << ", \"online_collapse_passes\": " << Counters.OnlineCollapsePasses
+      << ", \"delta_pushes\": " << Counters.DeltaPushes << "}";
+  }
+  J << "\n  ],\n";
+
+  // Refinement workload: chained devirtualization on top of the largest
+  // sweep body. Rounds 2+ are incremental re-solves; the gate watches
+  // their cost relative to the initial from-scratch round.
+  {
+    unsigned N = Sizes.back();
+    Program P;
+    DiagnosticEngine Diags;
+    if (!compileSource(makeSweepProgram(N, true), P, Diags)) {
+      std::fprintf(stderr, "refine program failed to compile:\n%s\n",
+                   Diags.str().c_str());
+      return 1;
+    }
+    RefinedSubstrate R = buildRefinedSubstrate(P, 6);
+    double MaxFrac = 0;
+    for (size_t I = 2; I < R.SolveSeconds.size(); ++I)
+      MaxFrac = std::max(MaxFrac, R.SolveSeconds[I] / R.SolveSeconds[0]);
+    std::printf("refine n=%u rounds=%u solves:", N, R.Rounds);
+    for (double S : R.SolveSeconds)
+      std::printf(" %.3fms", S * 1e3);
+    std::printf(" round2plus_max_fraction=%.3f\n", MaxFrac);
+
+    J << "  \"refine\": {\"n\": " << N << ", \"rounds\": " << R.Rounds
+      << ", \"round_ms\": [";
+    for (size_t I = 0; I < R.SolveSeconds.size(); ++I)
+      J << (I ? ", " : "") << R.SolveSeconds[I] * 1e3;
+    J << "], \"round2plus_max_fraction\": " << MaxFrac
+      << ", \"affected_vars\": "
+      << R.Statistics.get("andersen-affected-vars")
+      << ", \"reused_vars\": " << R.Statistics.get("andersen-reused-vars")
+      << ", \"incremental_solves\": "
+      << R.Statistics.get("andersen-incremental-solves") << "}\n";
+  }
+  J << "}\n";
+
+  if (std::FILE *F = std::fopen(OutPath, "w")) {
+    std::fputs(J.str().c_str(), F);
+    std::fclose(F);
+    std::printf("wrote %s\n", OutPath);
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", OutPath);
+    return 1;
+  }
+  return 0;
+}
+
 } // namespace
 
 BENCHMARK(BM_AndersenSolve)->Arg(8)->Arg(32)->Arg(128)->Complexity();
@@ -106,4 +344,28 @@ BENCHMARK(BM_CflSingleQuery)->Arg(8)->Arg(32)->Arg(128)->Complexity();
 BENCHMARK(BM_CallGraphBuild)->Arg(8)->Arg(64);
 BENCHMARK(BM_FrontendCompile)->Arg(8)->Arg(64);
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  bool Sweep = false, Quick = false;
+  const char *Out = "BENCH_andersen.json";
+  std::vector<char *> Rest;
+  for (int I = 0; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--andersen-sweep") == 0)
+      Sweep = true;
+    else if (std::strcmp(argv[I], "--quick") == 0)
+      Quick = true;
+    else if (std::strcmp(argv[I], "--out") == 0 && I + 1 < argc)
+      Out = argv[++I];
+    else
+      Rest.push_back(argv[I]);
+  }
+  if (Sweep)
+    return runAndersenSweep(Quick, Out);
+
+  int RestArgc = static_cast<int>(Rest.size());
+  benchmark::Initialize(&RestArgc, Rest.data());
+  if (benchmark::ReportUnrecognizedArguments(RestArgc, Rest.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -13,7 +13,17 @@ LeakChecker::LeakChecker(std::unique_ptr<Program> Prog, LeakOptions Opts)
     : P(std::move(Prog)), Opts(Opts) {
   CG = std::make_unique<CallGraph>(*P, CallGraphKind::Rta);
   G = std::make_unique<Pag>(*P, *CG);
-  Base = std::make_unique<AndersenPta>(*G);
+  {
+    ScopedTimer T(SubstrateStats, "andersen-solve");
+    Base = std::make_unique<AndersenPta>(*G);
+  }
+  const AndersenCounters &AC = Base->counters();
+  SubstrateStats.add("andersen-sccs-collapsed", AC.SccsCollapsed);
+  SubstrateStats.add("andersen-scc-nodes-merged", AC.SccNodesMerged);
+  SubstrateStats.add("andersen-online-collapse-passes",
+                     AC.OnlineCollapsePasses);
+  SubstrateStats.add("andersen-delta-pushes", AC.DeltaPushes);
+  SubstrateStats.add("andersen-solve-iterations", AC.Iterations);
   Cfl = std::make_unique<CflPta>(*G, *Base, Opts.Cfl);
   Esc = std::make_unique<EscapeAnalysis>(*P, *CG);
   Pool = std::make_unique<ThreadPool>(Opts.Jobs);

@@ -20,6 +20,7 @@
 #include "escape/EscapeAnalysis.h"
 #include "leak/LeakAnalysis.h"
 #include "support/Diagnostics.h"
+#include "support/Stats.h"
 #include "support/ThreadPool.h"
 
 #include <memory>
@@ -64,6 +65,10 @@ public:
   /// The session's query fan-out pool, shared across check() calls.
   ThreadPool &pool() const { return *Pool; }
 
+  /// One-time substrate construction statistics (`andersen-*` counters
+  /// and the solve wall time), recorded when the session was built.
+  const Stats &substrateStats() const { return SubstrateStats; }
+
   /// Reachable-method count (Table 1's Mtds) and statement count over
   /// reachable methods (Table 1's Stmts).
   size_t reachableMethods() const { return CG->numReachable(); }
@@ -80,6 +85,7 @@ private:
   std::unique_ptr<CflPta> Cfl;
   std::unique_ptr<EscapeAnalysis> Esc;
   std::unique_ptr<ThreadPool> Pool;
+  Stats SubstrateStats;
 };
 
 } // namespace lc

@@ -571,6 +571,10 @@ private:
       bool SameSlot;
       if (ST.IsStatic || Other.IsStatic)
         SameSlot = ST.IsStatic && Other.IsStatic;
+      else if (Base.repOf(ST.Base) == Base.repOf(Other.Base))
+        // Same collapsed SCC: identical sets, so they intersect iff
+        // non-empty -- no bit scan needed.
+        SameSlot = !Base.pointsTo(ST.Base).empty();
       else
         SameSlot = Base.pointsTo(ST.Base).intersects(
             Base.pointsTo(Other.Base));

@@ -8,6 +8,7 @@
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <unordered_map>
 
 using namespace lc;
 
@@ -73,7 +74,18 @@ std::vector<LoopCandidate> lc::suggestLoops(const Program &P,
     C.AllocSites = static_cast<unsigned>(InsideSites.size());
 
     // Stores in the region whose base may be an outside object (or a
-    // static): escape channels.
+    // static): escape channels. Bases in one collapsed SCC share a
+    // points-to set, so the outside verdict is memoized per solver
+    // representative (per candidate -- InsideSites differs between them).
+    std::unordered_map<PagNodeId, bool> OutsideByRep;
+    auto BaseEscapes = [&](PagNodeId N) {
+      auto [It, New] = OutsideByRep.try_emplace(Base.repOf(N), false);
+      if (New)
+        Base.pointsTo(N).forEach([&](size_t Site) {
+          It->second |= !InsideSites.count(static_cast<AllocSiteId>(Site));
+        });
+      return It->second;
+    };
     auto CountStores = [&](MethodId M) {
       const MethodInfo &MI = P.Methods[M];
       for (StmtIdx I = 0; I < MI.Body.size(); ++I) {
@@ -86,11 +98,7 @@ std::vector<LoopCandidate> lc::suggestLoops(const Program &P,
         }
         if (S.Op != Opcode::Store && S.Op != Opcode::ArrayStore)
           continue;
-        bool Outside = false;
-        Base.pointsTo(G.localNode(M, S.SrcA)).forEach([&](size_t Site) {
-          Outside |= !InsideSites.count(static_cast<AllocSiteId>(Site));
-        });
-        C.OutsideStores += Outside;
+        C.OutsideStores += BaseEscapes(G.localNode(M, S.SrcA));
       }
     };
     CountStores(LI.Method);

@@ -1,8 +1,36 @@
 //===-- Andersen.cpp ------------------------------------------------------===//
+//
+// Wave-propagation implementation. Solver node space: PAG variable nodes
+// first, then heap slots (allocation site x field) materialized on demand.
+// Stores/loads are resolved into plain copy edges between value/destination
+// variables and slot nodes as the base's points-to set grows, after which
+// difference propagation treats everything uniformly. Cycles among those
+// materialized edges are collapsed lazily: when enough pushes turn out to
+// be redundant (the classic symptom of an uncollapsed cycle), the solver
+// re-runs Tarjan over the live graph and re-ranks the condensation.
+//
+// The static copy subgraph is never copied into solver-side adjacency:
+// propagation and cycle detection walk the PAG's CSR rows directly,
+// mapped through the union-find (a collapsed representative walks every
+// absorbed member's row). Only dynamically materialized slot edges live
+// in per-node Succ vectors.
+//
+// The incremental constructor *steals* the previous solver's state rather
+// than recomputing it: the per-node sets, the slot table, the union-find
+// merges, the wave ranks and the previous PAG's sorted edge keys all
+// move. A refinement round therefore pays for sorting the new graph's
+// edges, the affected cone, and whatever propagation the cone needs --
+// not for rebuilding the unchanged bulk of the fixed point.
+//
+//===----------------------------------------------------------------------===//
 
 #include "pta/Andersen.h"
 
 #include "support/Worklist.h"
+
+#include <algorithm>
+#include <cassert>
+#include <iterator>
 
 using namespace lc;
 
@@ -10,104 +38,609 @@ namespace {
 uint64_t slotKey(AllocSiteId Site, FieldId Field) {
   return (uint64_t(Site) << 32) | Field;
 }
+
+// Sorted edge-key vectors for the incremental diff. Set membership and
+// subtraction are binary searches and linear merges over contiguous
+// memory -- far cheaper than hash sets at PAG sizes.
+
+std::vector<uint64_t> sortedCopyKeys(const Pag &P) {
+  std::vector<uint64_t> K;
+  K.reserve(P.copyEdges().size());
+  for (const CopyEdge &E : P.copyEdges())
+    K.push_back((uint64_t(E.Src) << 32) | E.Dst);
+  std::sort(K.begin(), K.end());
+  return K;
+}
+
+std::vector<uint64_t> sortedAllocKeys(const Pag &P) {
+  std::vector<uint64_t> K;
+  K.reserve(P.allocEdges().size());
+  for (const AllocEdge &E : P.allocEdges())
+    K.push_back((uint64_t(E.Site) << 32) | E.Var);
+  std::sort(K.begin(), K.end());
+  return K;
+}
+
+std::vector<std::array<uint32_t, 3>> sortedStoreKeys(const Pag &P) {
+  std::vector<std::array<uint32_t, 3>> K;
+  K.reserve(P.storeEdges().size());
+  for (const StoreEdge &E : P.storeEdges())
+    K.push_back({E.Base, E.Val, E.Field});
+  std::sort(K.begin(), K.end());
+  return K;
+}
+
+std::vector<std::array<uint32_t, 3>> sortedLoadKeys(const Pag &P) {
+  std::vector<std::array<uint32_t, 3>> K;
+  K.reserve(P.loadEdges().size());
+  for (const LoadEdge &E : P.loadEdges())
+    K.push_back({E.Base, E.Dst, E.Field});
+  std::sort(K.begin(), K.end());
+  return K;
+}
+
+template <typename T>
+std::vector<T> sortedDiff(const std::vector<T> &A, const std::vector<T> &B) {
+  std::vector<T> Out;
+  std::set_difference(A.begin(), A.end(), B.begin(), B.end(),
+                      std::back_inserter(Out));
+  return Out;
+}
+
+template <typename Vec, typename Key>
+bool contains(const Vec &Sorted, const Key &K) {
+  return std::binary_search(Sorted.begin(), Sorted.end(), K);
+}
 } // namespace
 
-AndersenPta::AndersenPta(const Pag &G) : G(G) {
-  VarPts.resize(G.numNodes());
-  solve();
+struct AndersenPta::WorkState {
+  PriorityWorklist<uint32_t> WL;
+};
+
+AndersenPta::AndersenPta(const Pag &G) : G(G) { solve(nullptr); }
+
+AndersenPta::AndersenPta(const Pag &G, AndersenPta &&Prev) : G(G) {
+  // Incremental solving requires a stable node numbering; PAGs for the
+  // same Program always agree on it (ids cover all methods' locals plus
+  // statics, reachable or not).
+  solve(Prev.G.numNodes() == G.numNodes() ? &Prev : nullptr);
+#ifndef NDEBUG
+  if (C.Incremental)
+    verifyAgainstScratch();
+#endif
 }
 
 const BitSet &AndersenPta::fieldPointsTo(AllocSiteId Site,
                                          FieldId Field) const {
-  auto It = FieldPts.find(slotKey(Site, Field));
-  return It == FieldPts.end() ? EmptySet : It->second;
+  auto It = SlotOf.find(slotKey(Site, Field));
+  return It == SlotOf.end() ? EmptySet : Pts[Rep[It->second]];
 }
 
-void AndersenPta::solve() {
+uint32_t AndersenPta::find(uint32_t N) {
+  while (Parent[N] != N) {
+    Parent[N] = Parent[Parent[N]]; // path halving
+    N = Parent[N];
+  }
+  return N;
+}
+
+void AndersenPta::unite(uint32_t A, uint32_t B) {
+  // Callers pass representatives. Keep the smaller id: slots are numbered
+  // after variables, so a group containing a variable is always
+  // represented by a variable and the var-only CSR walks stay simple.
+  if (A == B)
+    return;
+  uint32_t R = std::min(A, B), O = std::max(A, B);
+  Parent[O] = R;
+  Pts[R].unionWith(Pts[O]);
+  Pts[O] = BitSet();
+  Delta[R].unionWith(Delta[O]);
+  Delta[O] = BitSet();
+  Succ[R].insert(Succ[R].end(), Succ[O].begin(), Succ[O].end());
+  Succ[O] = {};
+  Members[R].push_back(O);
+  Members[R].insert(Members[R].end(), Members[O].begin(), Members[O].end());
+  Members[O] = {};
+  RankOf[R] = std::min(RankOf[R], RankOf[O]);
+}
+
+uint32_t AndersenPta::slotNode(AllocSiteId Site, FieldId Field) {
+  auto [It, New] =
+      SlotOf.try_emplace(slotKey(Site, Field),
+                         static_cast<uint32_t>(Parent.size()));
+  if (New) {
+    uint32_t N = It->second;
+    Parent.push_back(N);
+    // Fresh slots rank after everything currently ordered; the next
+    // collapse pass gives them a real topological position.
+    RankOf.push_back(static_cast<uint32_t>(RankOf.size()));
+    Pts.emplace_back();
+    Delta.emplace_back();
+    Succ.emplace_back();
+    Members.emplace_back();
+  }
+  return It->second;
+}
+
+void AndersenPta::pushNode(uint32_t N) { W->WL.push(N, RankOf[N]); }
+
+void AndersenPta::addEdge(uint32_t Src, uint32_t Dst,
+                          bool SeedKnownSatisfied) {
+  uint32_t A = find(Src), B = find(Dst);
+  if (A == B)
+    return; // intra-SCC or self copy: nothing to propagate
+  if (!EdgeSeen.insert((uint64_t(A) << 32) | B).second)
+    return;
+  Succ[A].push_back(B);
+  // Seed the new edge with everything the source already holds; later
+  // growth arrives through normal difference propagation. An incremental
+  // solve marks edges whose endpoints both kept the previous fixed point:
+  // there pts(src) <= pts(dst) already holds and the subset scan is
+  // skipped (the bulk of re-seeding an unchanged graph).
+  if (SeedKnownSatisfied)
+    return;
+  if (Delta[B].unionWithMinus(Pts[A], Pts[B])) {
+    ++C.DeltaPushes;
+    pushNode(B);
+  }
+}
+
+/// Iterative Tarjan over the live copy graph (dynamic Succ edges plus the
+/// static CSR rows of every group member); merges every non-trivial SCC
+/// and assigns wave ranks from the condensation's topological order
+/// (sources rank lowest, so the priority worklist drains in waves).
+void AndersenPta::collapseAndRank() {
+  size_t N = Parent.size();
+  size_t NumVars = G.numNodes();
+
+  // Materialize the representatives' adjacency for this pass. Collapse
+  // passes are rare (once offline per scratch solve, then only when
+  // redundant pushes accumulate), so an O(E) rebuild here is cheaper than
+  // maintaining a solver-side copy of the static subgraph at all times.
+  std::vector<std::vector<uint32_t>> Adj(N);
+  for (uint32_t V = 0; V < N; ++V) {
+    if (find(V) != V)
+      continue;
+    std::vector<uint32_t> &A = Adj[V];
+    for (uint32_t S0 : Succ[V])
+      A.push_back(find(S0));
+    auto AddStatic = [&](uint32_t M) {
+      if (M >= NumVars)
+        return; // slots have no static copy rows
+      for (uint32_t Id : G.copiesOut(M))
+        A.push_back(find(G.copyEdges()[Id].Dst));
+    };
+    AddStatic(V);
+    for (uint32_t M : Members[V])
+      AddStatic(M);
+  }
+
+  std::vector<uint32_t> Index(N, 0), Low(N, 0);
+  std::vector<uint8_t> OnStack(N, 0);
+  std::vector<uint32_t> Stack;
+  std::vector<std::vector<uint32_t>> Sccs;
+  uint32_t NextIdx = 1;
+
+  struct Frame {
+    uint32_t Node;
+    size_t EdgeIx;
+  };
+  std::vector<Frame> Dfs;
+
+  for (uint32_t Root = 0; Root < N; ++Root) {
+    if (find(Root) != Root || Index[Root])
+      continue;
+    Index[Root] = Low[Root] = NextIdx++;
+    Stack.push_back(Root);
+    OnStack[Root] = 1;
+    Dfs.push_back({Root, 0});
+    while (!Dfs.empty()) {
+      Frame &F = Dfs.back();
+      uint32_t V = F.Node;
+      if (F.EdgeIx < Adj[V].size()) {
+        uint32_t Wn = Adj[V][F.EdgeIx++];
+        if (Wn == V)
+          continue;
+        if (!Index[Wn]) {
+          Index[Wn] = Low[Wn] = NextIdx++;
+          Stack.push_back(Wn);
+          OnStack[Wn] = 1;
+          Dfs.push_back({Wn, 0});
+        } else if (OnStack[Wn]) {
+          Low[V] = std::min(Low[V], Index[Wn]);
+        }
+      } else {
+        Dfs.pop_back();
+        if (!Dfs.empty())
+          Low[Dfs.back().Node] = std::min(Low[Dfs.back().Node], Low[V]);
+        if (Low[V] == Index[V]) {
+          Sccs.emplace_back();
+          while (true) {
+            uint32_t Wn = Stack.back();
+            Stack.pop_back();
+            OnStack[Wn] = 0;
+            Sccs.back().push_back(Wn);
+            if (Wn == V)
+              break;
+          }
+        }
+      }
+    }
+  }
+
+  for (const std::vector<uint32_t> &Scc : Sccs) {
+    if (Scc.size() < 2)
+      continue;
+    ++C.SccsCollapsed;
+    C.SccNodesMerged += Scc.size() - 1;
+    uint32_t R = *std::min_element(Scc.begin(), Scc.end());
+    for (uint32_t M : Scc)
+      unite(R, M);
+  }
+
+  // Tarjan emits an SCC only after all its successors: emission index i
+  // counts up from the sinks, so rank = |Sccs| - i orders sources first.
+  uint32_t Total = static_cast<uint32_t>(Sccs.size());
+  for (uint32_t I = 0; I < Total; ++I)
+    RankOf[find(Sccs[I][0])] = Total - I;
+
+  // Merged deltas must stay schedulable: re-enqueue every representative
+  // with pending work (push() dedups, stale heap entries remap on pop).
+  for (uint32_t V = 0; V < N; ++V)
+    if (find(V) == V && !Delta[V].empty())
+      pushNode(V);
+}
+
+void AndersenPta::solve(AndersenPta *Prev) {
+  size_t NumVars = G.numNodes();
+  WorkState WS;
+  W = &WS;
+
+  if (Prev) {
+    seedFromPrevious(*Prev);
+  } else {
+    Parent.resize(NumVars);
+    for (uint32_t V = 0; V < NumVars; ++V)
+      Parent[V] = V;
+    RankOf.assign(NumVars, 0);
+    Pts.resize(NumVars);
+    Delta.resize(NumVars);
+    Succ.resize(NumVars);
+    Members.resize(NumVars);
+    // Offline Tarjan over the static copy rows: collapse cycles and rank
+    // the condensation before any propagation happens. An incremental
+    // solve skips this -- edge removal never creates a cycle, so it
+    // inherits the previous merges (re-applied in seedFromPrevious) and
+    // leaves any cycle among *added* edges to the online collapse below.
+    collapseAndRank();
+  }
+
+  // Incremental edge seeding. All sets start empty in a scratch solve, so
+  // only a re-solve has anything to seed: edges new in this PAG, plus the
+  // new graph's in-edges of every reset variable (their sources kept a
+  // fixed point the reset threw away). Every other static edge was
+  // satisfied by the reused solution already -- pts(src) <= pts(dst)
+  // holds verbatim -- and is not even looked at.
+  if (Prev) {
+    auto SeedEdge = [&](uint32_t Src, uint32_t Dst) {
+      uint32_t A = find(Src), B = find(Dst);
+      if (A == B)
+        return;
+      if (Delta[B].unionWithMinus(Pts[A], Pts[B])) {
+        ++C.DeltaPushes;
+        pushNode(B);
+      }
+    };
+    for (uint64_t Key : AddedCopyKeys)
+      SeedEdge(static_cast<uint32_t>(Key >> 32),
+               static_cast<uint32_t>(Key & 0xffffffffu));
+    for (uint32_t D = 0; D < NumVars; ++D)
+      if (AffVar[D])
+        for (uint32_t Id : G.copiesIn(D))
+          SeedEdge(G.copyEdges()[Id].Src, D);
+  }
+
   // Seed allocation edges.
-  Worklist<PagNodeId> WL;
   for (const AllocEdge &E : G.allocEdges()) {
-    VarPts[E.Var].set(E.Site);
-    WL.push(E.Var);
+    uint32_t V = find(E.Var);
+    if (!Pts[V].test(E.Site) && Delta[V].set(E.Site))
+      pushNode(V);
   }
 
-  // Iterate: propagate along copies; apply loads/stores through heap slots.
-  // Whenever a heap slot grows, re-enqueue the destinations of loads that
-  // read a base pointing at that slot's object. To keep that cheap we also
-  // remember, per slot, the load destinations currently depending on it.
-  std::unordered_map<uint64_t, std::vector<PagNodeId>> SlotReaders;
-
-  while (!WL.empty()) {
-    ++Iterations;
-    PagNodeId N = WL.pop();
-    const BitSet &Pts = VarPts[N];
-
-    // Copy edges out of N.
-    for (uint32_t Id : G.copiesOut(N)) {
-      const CopyEdge &E = G.copyEdges()[Id];
-      if (VarPts[E.Dst].unionWith(Pts))
-        WL.push(E.Dst);
-    }
-
-    // Stores with base N: for each pointee o, slot (o, f) |= pts(Val).
-    for (uint32_t Id : G.storesOnBase(N)) {
-      const StoreEdge &E = G.storeEdges()[Id];
-      const BitSet &Val = VarPts[E.Val];
-      Pts.forEach([&](size_t O) {
-        uint64_t Key = slotKey(static_cast<AllocSiteId>(O), E.Field);
-        BitSet &Slot = FieldPts[Key];
-        if (Slot.unionWith(Val)) {
-          for (PagNodeId R : SlotReaders[Key])
-            if (VarPts[R].unionWith(Slot))
-              WL.push(R);
-        }
-      });
-    }
-
-    // Stores whose *value* is N: handled when the base grows; but the value
-    // set growing also needs pushing into existing slots. Re-run stores
-    // reading N as value by visiting copiesOut-like dependency: we simply
-    // also treat N as a store value here.
-    // (The Pag does not index stores by value; iterate the base's pts each
-    // time the value changes by scanning storesOnBase of all bases would be
-    // expensive, so we index lazily below.)
-    for (uint32_t Id : StoresByValue(N)) {
-      const StoreEdge &E = G.storeEdges()[Id];
-      const BitSet &BasePts = VarPts[E.Base];
+  // Incremental: replay the load/store obligations of every pre-seeded
+  // base set once -- those objects never arrive as deltas, so their
+  // slot edges must be materialized here. Subset seeds are word-level
+  // no-ops for the untouched part of the graph.
+  if (Prev) {
+    for (const StoreEdge &E : G.storeEdges()) {
+      bool OldEdge = !contains(
+          AddedStoreKeys, std::array<uint32_t, 3>{E.Base, E.Val, E.Field});
+      BitSet BasePts = Pts[find(E.Base)]; // copy: slotNode may reallocate
       BasePts.forEach([&](size_t O) {
-        uint64_t Key = slotKey(static_cast<AllocSiteId>(O), E.Field);
-        BitSet &Slot = FieldPts[Key];
-        if (Slot.unionWith(Pts)) {
-          for (PagNodeId R : SlotReaders[Key])
-            if (VarPts[R].unionWith(Slot))
-              WL.push(R);
-        }
+        uint64_t Key = (uint64_t(O) << 32) | E.Field;
+        bool Satisfied = OldEdge && !AffVar[E.Base] && !AffVar[E.Val] &&
+                         !AffSlot.count(Key);
+        addEdge(E.Val, slotNode(static_cast<AllocSiteId>(O), E.Field),
+                Satisfied);
       });
     }
-
-    // Loads with base N: dst |= slot(o, f) for each pointee o; register as
-    // reader so future slot growth re-propagates.
-    for (uint32_t Id : G.loadsOnBase(N)) {
-      const LoadEdge &E = G.loadEdges()[Id];
-      bool Changed = false;
-      Pts.forEach([&](size_t O) {
-        uint64_t Key = slotKey(static_cast<AllocSiteId>(O), E.Field);
-        auto &Readers = SlotReaders[Key];
-        if (std::find(Readers.begin(), Readers.end(), E.Dst) == Readers.end())
-          Readers.push_back(E.Dst);
-        Changed |= VarPts[E.Dst].unionWith(FieldPts[Key]);
+    for (const LoadEdge &E : G.loadEdges()) {
+      bool OldEdge = !contains(
+          AddedLoadKeys, std::array<uint32_t, 3>{E.Base, E.Dst, E.Field});
+      BitSet BasePts = Pts[find(E.Base)];
+      BasePts.forEach([&](size_t O) {
+        uint64_t Key = (uint64_t(O) << 32) | E.Field;
+        bool Satisfied = OldEdge && !AffVar[E.Base] && !AffVar[E.Dst] &&
+                         !AffSlot.count(Key);
+        addEdge(slotNode(static_cast<AllocSiteId>(O), E.Field), E.Dst,
+                Satisfied);
       });
-      if (Changed)
-        WL.push(E.Dst);
     }
   }
+
+  // Main wave loop: drain deltas in topological rank order; materialize
+  // slot edges for base deltas; push copy deltas (dynamic Succ edges plus
+  // every member's static CSR row); collapse online when redundant pushes
+  // pile up (lazy cycle detection).
+  BitSet NewBits;
+  uint64_t Redundant = 0;
+  uint64_t Threshold = 256 + NumVars / 4;
+  while (!WS.WL.empty()) {
+    uint32_t N = find(WS.WL.pop());
+    if (Delta[N].empty())
+      continue; // stale entry (merged or already drained)
+    BitSet In = std::move(Delta[N]);
+    Delta[N] = BitSet();
+    if (!Pts[N].unionWithDelta(In, NewBits))
+      continue;
+    ++C.Iterations;
+
+    auto PushTo = [&](uint32_t S0) {
+      uint32_t S = find(S0);
+      if (S == N)
+        return;
+      if (Delta[S].unionWithMinus(NewBits, Pts[S])) {
+        ++C.DeltaPushes;
+        pushNode(S);
+      } else {
+        ++Redundant;
+      }
+    };
+    auto ProcessVar = [&](uint32_t M) {
+      if (M >= NumVars)
+        return; // slots have no static PAG rows
+      for (uint32_t Id : G.storesOnBase(M)) {
+        const StoreEdge &E = G.storeEdges()[Id];
+        NewBits.forEach([&](size_t O) {
+          addEdge(E.Val, slotNode(static_cast<AllocSiteId>(O), E.Field));
+        });
+      }
+      for (uint32_t Id : G.loadsOnBase(M)) {
+        const LoadEdge &E = G.loadEdges()[Id];
+        NewBits.forEach([&](size_t O) {
+          addEdge(slotNode(static_cast<AllocSiteId>(O), E.Field), E.Dst);
+        });
+      }
+      for (uint32_t Id : G.copiesOut(M))
+        PushTo(G.copyEdges()[Id].Dst);
+    };
+    ProcessVar(N);
+    for (uint32_t M : Members[N])
+      ProcessVar(M);
+    for (uint32_t S0 : Succ[N])
+      PushTo(S0);
+
+    if (Redundant >= Threshold) {
+      collapseAndRank();
+      ++C.OnlineCollapsePasses;
+      Redundant = 0;
+      Threshold *= 2;
+    }
+  }
+
+  // Finalize: freeze fully-compressed representatives for the accessors,
+  // sort this PAG's edge keys for the next round to steal, and drop
+  // solve-only state.
+  Rep.resize(Parent.size());
+  for (uint32_t V = 0; V < Parent.size(); ++V)
+    Rep[V] = find(V);
+  CopyKeys = sortedCopyKeys(G);
+  AllocKeys = sortedAllocKeys(G);
+  StoreKeys = sortedStoreKeys(G);
+  LoadKeys = sortedLoadKeys(G);
+  W = nullptr;
+  Delta.clear();
+  Delta.shrink_to_fit();
+  Succ.clear();
+  Succ.shrink_to_fit();
+  Members.clear();
+  Members.shrink_to_fit();
+  EdgeSeen.clear();
+  AffVar.clear();
+  AffVar.shrink_to_fit();
+  AffSlot.clear();
+  AddedCopyKeys.clear();
+  AddedCopyKeys.shrink_to_fit();
+  AddedStoreKeys.clear();
+  AddedStoreKeys.shrink_to_fit();
+  AddedLoadKeys.clear();
+  AddedLoadKeys.shrink_to_fit();
 }
 
-const std::vector<uint32_t> &AndersenPta::StoresByValue(PagNodeId N) {
-  if (StoreByValueIndex.empty()) {
-    StoreByValueIndex.resize(G.numNodes());
-    for (uint32_t Id = 0; Id < G.storeEdges().size(); ++Id)
-      StoreByValueIndex[G.storeEdges()[Id].Val].push_back(Id);
+/// Seeds this solve with \p Prev's fixed point. Exactness argument: a
+/// devirtualization round only rewires interprocedural edges, so diff the
+/// two PAGs; any node whose solution could *shrink* sits downstream of a
+/// removed edge in Prev's derived dependency graph (copies, base->slot and
+/// value->slot for stores, base->dst and slot->dst for loads, expanded
+/// through Prev's own sets, which over-approximate the new ones). That
+/// affected cone is reset and re-solved; everything else keeps its old
+/// set, which the incremental seeding in solve() treats as already
+/// propagated. Added edges need no reset -- their effect is growth, and
+/// growth is what difference propagation does anyway.
+void AndersenPta::seedFromPrevious(AndersenPta &Prev) {
+  const Pag &PG = Prev.G;
+  size_t NumVars = G.numNodes();
+
+  // --- Steal the previous fixed point wholesale. ------------------------
+  // Slot ids are stable across rounds (the slot table moves with the
+  // sets), so this solve keeps Prev's solver-node space -- PAG nodes in
+  // [0, NumVars), then Prev's slots, then anything newly materialized.
+  Pts = std::move(Prev.Pts);
+  SlotOf = std::move(Prev.SlotOf);
+  RankOf = std::move(Prev.RankOf);
+  std::vector<uint32_t> OldRep = std::move(Prev.Rep);
+  std::vector<uint64_t> PrevCopyKeys = std::move(Prev.CopyKeys);
+  std::vector<uint64_t> PrevAllocKeys = std::move(Prev.AllocKeys);
+  std::vector<std::array<uint32_t, 3>> PrevStoreKeys =
+      std::move(Prev.StoreKeys);
+  std::vector<std::array<uint32_t, 3>> PrevLoadKeys = std::move(Prev.LoadKeys);
+  size_t S = OldRep.size();
+  auto OldPts = [&](uint32_t N) -> const BitSet & { return Pts[OldRep[N]]; };
+
+  Parent.resize(S);
+  for (uint32_t V = 0; V < S; ++V)
+    Parent[V] = V;
+  Delta.resize(S);
+  Succ.resize(S);
+  Members.resize(S);
+
+  // --- Diff the edge sets; collect the removal roots. -------------------
+  // Only this PAG's keys need sorting; Prev's were sorted when it solved.
+  CopyKeys = sortedCopyKeys(G);
+  AllocKeys = sortedAllocKeys(G);
+  StoreKeys = sortedStoreKeys(G);
+  LoadKeys = sortedLoadKeys(G);
+  AddedCopyKeys = sortedDiff(CopyKeys, PrevCopyKeys);
+  AddedStoreKeys = sortedDiff(StoreKeys, PrevStoreKeys);
+  AddedLoadKeys = sortedDiff(LoadKeys, PrevLoadKeys);
+
+  std::vector<uint32_t> VarRoots;
+  std::vector<uint64_t> SlotRoots;
+  for (uint64_t Key : sortedDiff(PrevCopyKeys, CopyKeys))
+    VarRoots.push_back(static_cast<uint32_t>(Key & 0xffffffffu));
+  for (uint64_t Key : sortedDiff(PrevAllocKeys, AllocKeys))
+    VarRoots.push_back(static_cast<uint32_t>(Key & 0xffffffffu));
+  for (const std::array<uint32_t, 3> &K : sortedDiff(PrevLoadKeys, LoadKeys))
+    VarRoots.push_back(K[1]);
+  for (const std::array<uint32_t, 3> &K :
+       sortedDiff(PrevStoreKeys, StoreKeys)) {
+    FieldId F = K[2];
+    OldPts(K[0]).forEach([&](size_t O) {
+      SlotRoots.push_back(slotKey(static_cast<AllocSiteId>(O), F));
+    });
   }
-  return StoreByValueIndex[N];
+
+  // --- Forward closure over Prev's derived dependency graph. ------------
+  AffVar.assign(NumVars, 0);
+  std::vector<uint32_t> VarW;
+  std::vector<uint64_t> SlotW;
+  auto MarkV = [&](uint32_t V) {
+    if (!AffVar[V]) {
+      AffVar[V] = 1;
+      VarW.push_back(V);
+    }
+  };
+  auto MarkS = [&](uint64_t K) {
+    if (AffSlot.insert(K).second)
+      SlotW.push_back(K);
+  };
+  for (uint32_t V : VarRoots)
+    MarkV(V);
+  for (uint64_t K : SlotRoots)
+    MarkS(K);
+  while (!VarW.empty() || !SlotW.empty()) {
+    if (!VarW.empty()) {
+      uint32_t V = VarW.back();
+      VarW.pop_back();
+      for (uint32_t Id : PG.copiesOut(V))
+        MarkV(PG.copyEdges()[Id].Dst);
+      for (uint32_t Id : PG.loadsOnBase(V))
+        MarkV(PG.loadEdges()[Id].Dst);
+      for (uint32_t Id : PG.storesOnBase(V)) {
+        FieldId F = PG.storeEdges()[Id].Field;
+        OldPts(V).forEach([&](size_t O) {
+          MarkS(slotKey(static_cast<AllocSiteId>(O), F));
+        });
+      }
+      for (uint32_t Id : PG.storesByValue(V)) {
+        const StoreEdge &E = PG.storeEdges()[Id];
+        OldPts(E.Base).forEach([&](size_t O) {
+          MarkS(slotKey(static_cast<AllocSiteId>(O), E.Field));
+        });
+      }
+    } else {
+      uint64_t K = SlotW.back();
+      SlotW.pop_back();
+      AllocSiteId Site = static_cast<AllocSiteId>(K >> 32);
+      FieldId F = static_cast<FieldId>(K & 0xffffffffu);
+      for (uint32_t Id : PG.loadsOfField(F)) {
+        const LoadEdge &E = PG.loadEdges()[Id];
+        if (OldPts(E.Base).test(Site))
+          MarkV(E.Dst);
+      }
+    }
+  }
+
+  // --- Reset the cone; keep everything else verbatim. -------------------
+  for (uint32_t V = 0; V < NumVars; ++V) {
+    if (AffVar[V]) {
+      ++C.AffectedVars;
+      Pts[V] = BitSet();
+    }
+  }
+  C.ReusedVars = NumVars - C.AffectedVars;
+  for (const auto &[Key, Node] : SlotOf)
+    if (AffSlot.count(Key))
+      Pts[Node] = BitSet();
+
+  // --- Re-apply the previous merges outside the cone. -------------------
+  // Sound because the cone swallows whole groups: the closure follows
+  // exactly the derived edges any solver copy cycle is made of (static
+  // copies, value->slot via the base's old set, slot->destination), so an
+  // affected SCC member drags every other member in. A group the cone
+  // missed therefore lost no internal edge -- it is still one SCC in the
+  // new graph and its merged set was kept verbatim above.
+  std::vector<uint8_t> GroupAff(S, 0);
+  for (uint32_t V = 0; V < NumVars; ++V)
+    if (AffVar[V])
+      GroupAff[OldRep[V]] = 1;
+  for (uint64_t K : AffSlot) {
+    auto It = SlotOf.find(K);
+    if (It != SlotOf.end())
+      GroupAff[OldRep[It->second]] = 1;
+  }
+#ifndef NDEBUG
+  for (uint32_t V = 0; V < NumVars; ++V)
+    assert((AffVar[V] || !GroupAff[OldRep[V]]) &&
+           "affected cone must cover whole collapsed groups");
+#endif
+  for (uint32_t N = 0; N < S; ++N) {
+    uint32_t R = OldRep[N];
+    if (R != N && !GroupAff[R])
+      unite(find(R), N); // inherited, not counted as a new collapse
+  }
+
+  C.Incremental = true;
 }
+
+#ifndef NDEBUG
+void AndersenPta::verifyAgainstScratch() const {
+  AndersenPta Scratch(G);
+  for (PagNodeId N = 0; N < G.numNodes(); ++N)
+    assert(pointsTo(N) == Scratch.pointsTo(N) &&
+           "incremental fixed point diverged from scratch (variables)");
+  auto CheckSlots = [](const AndersenPta &X, const AndersenPta &Y) {
+    for (const auto &[Key, Node] : X.SlotOf) {
+      (void)Node;
+      AllocSiteId S = static_cast<AllocSiteId>(Key >> 32);
+      FieldId F = static_cast<FieldId>(Key & 0xffffffffu);
+      assert(X.fieldPointsTo(S, F) == Y.fieldPointsTo(S, F) &&
+             "incremental fixed point diverged from scratch (slots)");
+    }
+  };
+  CheckSlots(*this, Scratch);
+  CheckSlots(Scratch, *this);
+}
+#else
+void AndersenPta::verifyAgainstScratch() const {}
+#endif

@@ -11,6 +11,26 @@
 /// directly for alias queries and as the conservative fallback of the
 /// demand-driven CFL analysis.
 ///
+/// The solver is a modern wave-propagation engine rather than the textbook
+/// worklist (which survives as NaiveAndersenRef, the executable spec):
+///
+///   - Copy-edge SCCs are collapsed offline (iterative Tarjan/Nuutila over
+///     the static copy subgraph) into representative nodes behind a
+///     union-find that every client queries through, and lazily online
+///     when load/store processing materializes copy edges between heap
+///     slots and their readers that close new cycles.
+///   - Propagation is by difference: each node keeps a points-to set and a
+///     pending delta, and copies/stores/loads only ever push the delta.
+///     The worklist is rank-ordered by the topological order of the
+///     condensed graph, so deltas travel in waves instead of ping-ponging.
+///   - A solve can be seeded from a previous fixed point over a PAG for
+///     the same Program (the refinement loop's re-solve): only the cone
+///     affected by removed edges is recomputed and only new edges' deltas
+///     propagate. Debug builds assert the incremental fixed point equals a
+///     from-scratch solve.
+///
+/// See docs/ANALYSES.md, "The Andersen substrate".
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LC_PTA_ANDERSEN_H
@@ -19,46 +39,122 @@
 #include "pta/Pag.h"
 #include "support/BitSet.h"
 
+#include <array>
 #include <unordered_map>
+#include <unordered_set>
 
 namespace lc {
+
+/// Work-done counters of one solver run, surfaced as `andersen-*` run
+/// statistics and recorded by the benchmarks.
+struct AndersenCounters {
+  uint64_t SccsCollapsed = 0;  ///< non-trivial SCCs merged (offline+online)
+  uint64_t SccNodesMerged = 0; ///< nodes absorbed into representatives
+  uint64_t OnlineCollapsePasses = 0; ///< lazy online cycle-detection passes
+  uint64_t DeltaPushes = 0;    ///< non-empty delta propagations along edges
+  uint64_t Iterations = 0;     ///< worklist pops that carried new bits
+  bool Incremental = false;    ///< seeded from a previous fixed point
+  uint64_t AffectedVars = 0;   ///< incremental: variables re-solved
+  uint64_t ReusedVars = 0;     ///< incremental: variables reused verbatim
+};
 
 /// Solved points-to sets for every PAG node and heap slot.
 class AndersenPta {
 public:
-  /// Solves to a fixed point; cost is roughly cubic in theory, linear-ish
-  /// on our subject sizes.
+  /// Solves from scratch to the least fixed point.
   explicit AndersenPta(const Pag &G);
 
+  /// Incremental re-solve: consumes \p Prev's fixed point (its per-node
+  /// sets, slot table, union-find merges and ranks are *moved*, not
+  /// copied) and recomputes only what the edge difference between
+  /// \p Prev's PAG and \p G can change. Both PAGs must be over the same
+  /// Program (identical node numbering); otherwise this falls back to a
+  /// from-scratch solve and leaves \p Prev untouched. The result is
+  /// exactly the from-scratch fixed point of \p G (assert-checked in
+  /// debug builds). \p Prev is left in a valid but unspecified state.
+  AndersenPta(const Pag &G, AndersenPta &&Prev);
+
   /// Points-to set of a variable/static node, as allocation site ids.
-  const BitSet &pointsTo(PagNodeId N) const { return VarPts[N]; }
+  /// Nodes in one collapsed SCC share their representative's set.
+  const BitSet &pointsTo(PagNodeId N) const { return Pts[Rep[N]]; }
   const BitSet &pointsTo(MethodId M, LocalId L) const {
-    return VarPts[G.localNode(M, L)];
+    return pointsTo(G.localNode(M, L));
   }
 
   /// Points-to set of heap slot (\p Site, \p Field); empty set if the slot
   /// was never written.
   const BitSet &fieldPointsTo(AllocSiteId Site, FieldId Field) const;
 
+  /// Union-find representative of \p N after SCC collapse. Nodes with the
+  /// same representative provably share one points-to set -- clients use
+  /// this for O(1) alias fast paths and per-SCC memoization.
+  PagNodeId repOf(PagNodeId N) const { return Rep[N]; }
+
   /// May the two variables point to the same object?
   bool mayAlias(PagNodeId A, PagNodeId B) const {
-    return VarPts[A].intersects(VarPts[B]);
+    if (Rep[A] == Rep[B]) // one collapsed SCC: identical sets
+      return !Pts[Rep[A]].empty();
+    return Pts[Rep[A]].intersects(Pts[Rep[B]]);
   }
 
   /// Solver statistics.
-  uint64_t iterations() const { return Iterations; }
+  uint64_t iterations() const { return C.Iterations; }
+  const AndersenCounters &counters() const { return C; }
 
 private:
-  void solve();
-  /// Store edges whose value operand is \p N (index built lazily).
-  const std::vector<uint32_t> &StoresByValue(PagNodeId N);
+  void solve(AndersenPta *Prev);
+  void seedFromPrevious(AndersenPta &Prev);
+  uint32_t find(uint32_t N);
+  void unite(uint32_t A, uint32_t B);
+  uint32_t slotNode(AllocSiteId Site, FieldId Field);
+  void addEdge(uint32_t Src, uint32_t Dst, bool SeedKnownSatisfied = false);
+  void pushNode(uint32_t N);
+  void collapseAndRank();
+  void verifyAgainstScratch() const;
 
   const Pag &G;
-  std::vector<BitSet> VarPts;
-  std::unordered_map<uint64_t, BitSet> FieldPts; ///< (site<<32|field) -> set
-  std::vector<std::vector<uint32_t>> StoreByValueIndex;
+
+  // Solver node space: PAG nodes [0, G.numNodes()) followed by heap slots
+  // materialized on demand. All per-node state is indexed by solver node.
+  std::vector<uint32_t> Parent; ///< union-find parent (self = rep)
+  std::vector<uint32_t> RankOf; ///< wave rank (topo order of condensation)
+  std::vector<BitSet> Pts;      ///< per-representative points-to set
+  std::vector<BitSet> Delta;    ///< pending difference, disjoint from Pts
+  /// Dynamically materialized copy successors (store/load resolution).
+  /// Static copy edges are never duplicated here -- the solver walks the
+  /// PAG's CopyOut CSR through the union-find instead.
+  std::vector<std::vector<uint32_t>> Succ;
+  /// Nodes absorbed into this representative (empty for singleton groups);
+  /// lets the solver walk every member's static PAG rows on a rep's pop.
+  std::vector<std::vector<uint32_t>> Members;
+  std::unordered_set<uint64_t> EdgeSeen; ///< dedup for materialized edges
+  std::unordered_map<uint64_t, uint32_t> SlotOf; ///< slot key -> solver node
+
+  /// Final, fully path-compressed representative of every solver node;
+  /// what the accessors go through once solving is done.
+  std::vector<uint32_t> Rep;
   BitSet EmptySet;
-  uint64_t Iterations = 0;
+  AndersenCounters C;
+
+  /// Sorted edge keys of this solve's PAG, built once in finalization and
+  /// kept: the next refinement round steals them (along with the sets) so
+  /// an incremental diff only ever sorts the *new* graph's edges.
+  std::vector<uint64_t> CopyKeys, AllocKeys;
+  std::vector<std::array<uint32_t, 3>> StoreKeys, LoadKeys;
+
+  // Transient worklist shared between solve() helpers (addEdge needs to
+  // enqueue); lives only during construction.
+  struct WorkState;
+  WorkState *W = nullptr;
+
+  // Transient incremental-seeding state (set by seedFromPrevious, cleared
+  // when solving finishes). AffVar/AffSlot mark the affected cone whose
+  // solution was reset; the sorted Added*Keys vectors are the edges new
+  // in this round's PAG, whose seeding can never be skipped.
+  std::vector<uint8_t> AffVar;
+  std::unordered_set<uint64_t> AffSlot;
+  std::vector<uint64_t> AddedCopyKeys;
+  std::vector<std::array<uint32_t, 3>> AddedStoreKeys, AddedLoadKeys;
 };
 
 } // namespace lc

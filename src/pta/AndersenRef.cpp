@@ -1,0 +1,104 @@
+//===-- AndersenRef.cpp ---------------------------------------------------===//
+
+#include "pta/AndersenRef.h"
+
+#include "support/Worklist.h"
+
+using namespace lc;
+
+namespace {
+uint64_t slotKey(AllocSiteId Site, FieldId Field) {
+  return (uint64_t(Site) << 32) | Field;
+}
+} // namespace
+
+NaiveAndersenRef::NaiveAndersenRef(const Pag &G) : G(G) {
+  VarPts.resize(G.numNodes());
+  solve();
+}
+
+const BitSet &NaiveAndersenRef::fieldPointsTo(AllocSiteId Site,
+                                              FieldId Field) const {
+  auto It = FieldPts.find(slotKey(Site, Field));
+  return It == FieldPts.end() ? EmptySet : It->second;
+}
+
+void NaiveAndersenRef::solve() {
+  // Seed allocation edges.
+  Worklist<PagNodeId> WL;
+  for (const AllocEdge &E : G.allocEdges()) {
+    VarPts[E.Var].set(E.Site);
+    WL.push(E.Var);
+  }
+
+  // Iterate: propagate along copies; apply loads/stores through heap slots.
+  // Whenever a heap slot grows, re-enqueue the destinations of loads that
+  // read a base pointing at that slot's object. Per slot we remember the
+  // load destinations currently depending on it; membership is a dense
+  // BitSet so registering a reader is O(1) instead of a linear scan (the
+  // old std::find was quadratic on subjects with hot slots).
+  struct Readers {
+    std::vector<PagNodeId> List;
+    BitSet Members;
+  };
+  std::unordered_map<uint64_t, Readers> SlotReaders;
+
+  while (!WL.empty()) {
+    PagNodeId N = WL.pop();
+    const BitSet &Pts = VarPts[N];
+
+    // Copy edges out of N.
+    for (uint32_t Id : G.copiesOut(N)) {
+      const CopyEdge &E = G.copyEdges()[Id];
+      if (VarPts[E.Dst].unionWith(Pts))
+        WL.push(E.Dst);
+    }
+
+    // Stores with base N: for each pointee o, slot (o, f) |= pts(Val).
+    for (uint32_t Id : G.storesOnBase(N)) {
+      const StoreEdge &E = G.storeEdges()[Id];
+      const BitSet &Val = VarPts[E.Val];
+      Pts.forEach([&](size_t O) {
+        uint64_t Key = slotKey(static_cast<AllocSiteId>(O), E.Field);
+        BitSet &Slot = FieldPts[Key];
+        if (Slot.unionWith(Val)) {
+          for (PagNodeId R : SlotReaders[Key].List)
+            if (VarPts[R].unionWith(Slot))
+              WL.push(R);
+        }
+      });
+    }
+
+    // Stores whose *value* is N: the value set growing needs pushing into
+    // the slots of every base pointee (the PAG's stores-by-value index).
+    for (uint32_t Id : G.storesByValue(N)) {
+      const StoreEdge &E = G.storeEdges()[Id];
+      const BitSet &BasePts = VarPts[E.Base];
+      BasePts.forEach([&](size_t O) {
+        uint64_t Key = slotKey(static_cast<AllocSiteId>(O), E.Field);
+        BitSet &Slot = FieldPts[Key];
+        if (Slot.unionWith(Pts)) {
+          for (PagNodeId R : SlotReaders[Key].List)
+            if (VarPts[R].unionWith(Slot))
+              WL.push(R);
+        }
+      });
+    }
+
+    // Loads with base N: dst |= slot(o, f) for each pointee o; register as
+    // reader so future slot growth re-propagates.
+    for (uint32_t Id : G.loadsOnBase(N)) {
+      const LoadEdge &E = G.loadEdges()[Id];
+      bool Changed = false;
+      Pts.forEach([&](size_t O) {
+        uint64_t Key = slotKey(static_cast<AllocSiteId>(O), E.Field);
+        Readers &R = SlotReaders[Key];
+        if (R.Members.set(E.Dst))
+          R.List.push_back(E.Dst);
+        Changed |= VarPts[E.Dst].unionWith(FieldPts[Key]);
+      });
+      if (Changed)
+        WL.push(E.Dst);
+    }
+  }
+}

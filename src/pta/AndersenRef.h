@@ -1,0 +1,46 @@
+//===-- AndersenRef.h - Naive reference Andersen solver --------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The textbook worklist formulation of the inclusion-based solver, kept
+/// as an executable specification for the production wave-propagation
+/// solver in Andersen.h: the differential property tests and the
+/// `bench/pta_microbench --andersen-sweep` speedup measurements run both
+/// and compare. Full-set re-propagation, no cycle elimination -- slow on
+/// purpose, simple on purpose.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_PTA_ANDERSENREF_H
+#define LC_PTA_ANDERSENREF_H
+
+#include "pta/Pag.h"
+#include "support/BitSet.h"
+
+#include <unordered_map>
+
+namespace lc {
+
+/// Naive solved points-to sets for every PAG node and heap slot.
+class NaiveAndersenRef {
+public:
+  explicit NaiveAndersenRef(const Pag &G);
+
+  const BitSet &pointsTo(PagNodeId N) const { return VarPts[N]; }
+  const BitSet &fieldPointsTo(AllocSiteId Site, FieldId Field) const;
+
+private:
+  void solve();
+
+  const Pag &G;
+  std::vector<BitSet> VarPts;
+  std::unordered_map<uint64_t, BitSet> FieldPts; ///< (site<<32|field) -> set
+  BitSet EmptySet;
+};
+
+} // namespace lc
+
+#endif // LC_PTA_ANDERSENREF_H

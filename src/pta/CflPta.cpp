@@ -157,10 +157,17 @@ struct CflPta::Traversal {
           continue;
         }
         const BitSet &BasePts = Base.pointsTo(L.Base);
+        PagNodeId LoadRep = Base.repOf(L.Base);
         for (uint32_t SId : G.storesOfField(L.Field)) {
           const StoreEdge &St = G.storeEdges()[SId];
-          if (!BasePts.intersects(Base.pointsTo(St.Base)))
+          // Same collapsed SCC means provably identical points-to sets:
+          // intersects(S, S) reduces to !S.empty(), skipping the bit scan.
+          if (Base.repOf(St.Base) == LoadRep) {
+            if (BasePts.empty())
+              continue;
+          } else if (!BasePts.intersects(Base.pointsTo(St.Base))) {
             continue;
+          }
           EntryPtr Sub =
               Owner.runQuery(St.Val, S.HopsLeft - 1, S.Saturated, Q);
           if (Q.Exhausted) {

@@ -19,20 +19,27 @@ Pag::Pag(const Program &P, const CallGraph &CG) : P(P), CG(CG) {
       StaticNode[F] = Next++;
   NumNodes = Next;
 
-  CopyOut.resize(NumNodes);
-  CopyIn.resize(NumNodes);
-  StoreOnBase.resize(NumNodes);
-  LoadOnBase.resize(NumNodes);
-  AllocIn.resize(NumNodes);
-
   build();
+  indexEdges();
 }
 
 void Pag::addCopy(PagNodeId Src, PagNodeId Dst, CopyKind K, CallSite Site) {
-  uint32_t Id = static_cast<uint32_t>(Copies.size());
   Copies.push_back({Src, Dst, K, Site});
-  CopyOut[Src].push_back(Id);
-  CopyIn[Dst].push_back(Id);
+}
+
+void Pag::indexEdges() {
+  CopyOut.build(NumNodes, Copies.size(),
+                [this](size_t E) { return Copies[E].Src; });
+  CopyIn.build(NumNodes, Copies.size(),
+               [this](size_t E) { return Copies[E].Dst; });
+  StoreOnBase.build(NumNodes, Stores.size(),
+                    [this](size_t E) { return Stores[E].Base; });
+  StoreByValue.build(NumNodes, Stores.size(),
+                     [this](size_t E) { return Stores[E].Val; });
+  LoadOnBase.build(NumNodes, Loads.size(),
+                   [this](size_t E) { return Loads[E].Base; });
+  AllocIn.build(NumNodes, Allocs.size(),
+                [this](size_t E) { return Allocs[E].Var; });
 }
 
 void Pag::build() {
@@ -55,49 +62,35 @@ void Pag::build() {
       switch (S.Op) {
       case Opcode::New:
       case Opcode::NewArray:
-      case Opcode::ConstStr: {
-        PagNodeId V = localNode(M, S.Dst);
-        uint32_t Id = static_cast<uint32_t>(Allocs.size());
-        Allocs.push_back({S.Site, V});
-        AllocIn[V].push_back(Id);
+      case Opcode::ConstStr:
+        Allocs.push_back({S.Site, localNode(M, S.Dst)});
         break;
-      }
       case Opcode::Copy:
       case Opcode::Cast: // sound: the filter only narrows dynamic types
         addCopy(localNode(M, S.SrcA), localNode(M, S.Dst));
         break;
-      case Opcode::Load: {
-        uint32_t Id = static_cast<uint32_t>(Loads.size());
+      case Opcode::Load:
+        LoadByField[S.Field].push_back(static_cast<uint32_t>(Loads.size()));
         Loads.push_back(
             {localNode(M, S.SrcA), localNode(M, S.Dst), S.Field, M, I});
-        LoadOnBase[localNode(M, S.SrcA)].push_back(Id);
-        LoadByField[S.Field].push_back(Id);
         break;
-      }
-      case Opcode::Store: {
-        uint32_t Id = static_cast<uint32_t>(Stores.size());
+      case Opcode::Store:
+        StoreByField[S.Field].push_back(static_cast<uint32_t>(Stores.size()));
         Stores.push_back(
             {localNode(M, S.SrcA), localNode(M, S.SrcB), S.Field, M, I});
-        StoreOnBase[localNode(M, S.SrcA)].push_back(Id);
-        StoreByField[S.Field].push_back(Id);
         break;
-      }
-      case Opcode::ArrayLoad: {
-        uint32_t Id = static_cast<uint32_t>(Loads.size());
+      case Opcode::ArrayLoad:
+        LoadByField[P.ElemField].push_back(
+            static_cast<uint32_t>(Loads.size()));
         Loads.push_back(
             {localNode(M, S.SrcA), localNode(M, S.Dst), P.ElemField, M, I});
-        LoadOnBase[localNode(M, S.SrcA)].push_back(Id);
-        LoadByField[P.ElemField].push_back(Id);
         break;
-      }
-      case Opcode::ArrayStore: {
-        uint32_t Id = static_cast<uint32_t>(Stores.size());
+      case Opcode::ArrayStore:
+        StoreByField[P.ElemField].push_back(
+            static_cast<uint32_t>(Stores.size()));
         Stores.push_back(
             {localNode(M, S.SrcA), localNode(M, S.SrcC), P.ElemField, M, I});
-        StoreOnBase[localNode(M, S.SrcA)].push_back(Id);
-        StoreByField[P.ElemField].push_back(Id);
         break;
-      }
       case Opcode::StaticLoad:
         addCopy(staticNode(S.Field), localNode(M, S.Dst));
         break;

@@ -74,6 +74,52 @@ struct AllocEdge {
   PagNodeId Var;
 };
 
+/// Borrowed view of a contiguous run of edge ids (one CSR row).
+class IdSpan {
+public:
+  IdSpan() = default;
+  IdSpan(const uint32_t *B, const uint32_t *E) : B(B), E(E) {}
+  const uint32_t *begin() const { return B; }
+  const uint32_t *end() const { return E; }
+  size_t size() const { return static_cast<size_t>(E - B); }
+  bool empty() const { return B == E; }
+  uint32_t operator[](size_t I) const { return B[I]; }
+
+private:
+  const uint32_t *B = nullptr;
+  const uint32_t *E = nullptr;
+};
+
+/// CSR-style adjacency: a flat edge-id array plus per-node offsets.
+/// Replaces the old vector-of-vectors indexes -- one allocation, cache
+/// friendly rows, and edge ids stay ascending within a row (so iteration
+/// order matches the old push_back order exactly).
+class CsrIndex {
+public:
+  /// Builds the index for \p NumEdges edges over \p NumNodes nodes;
+  /// \p Key(E) names the node edge E is filed under.
+  template <typename KeyFn>
+  void build(size_t NumNodes, size_t NumEdges, KeyFn Key) {
+    Off.assign(NumNodes + 1, 0);
+    for (size_t E = 0; E < NumEdges; ++E)
+      ++Off[Key(E) + 1];
+    for (size_t N = 0; N < NumNodes; ++N)
+      Off[N + 1] += Off[N];
+    Ids.resize(NumEdges);
+    std::vector<uint32_t> Cursor(Off.begin(), Off.end() - 1);
+    for (size_t E = 0; E < NumEdges; ++E)
+      Ids[Cursor[Key(E)]++] = static_cast<uint32_t>(E);
+  }
+
+  IdSpan row(uint32_t N) const {
+    return {Ids.data() + Off[N], Ids.data() + Off[N + 1]};
+  }
+
+private:
+  std::vector<uint32_t> Off{0};
+  std::vector<uint32_t> Ids;
+};
+
 /// Pointer assignment graph for a whole program, under a call graph.
 class Pag {
 public:
@@ -97,25 +143,17 @@ public:
   const std::vector<StoreEdge> &storeEdges() const { return Stores; }
   const std::vector<LoadEdge> &loadEdges() const { return Loads; }
 
-  // Indexed adjacency (built once, shared by both solvers).
-  const std::vector<uint32_t> &copiesOut(PagNodeId N) const {
-    return CopyOut[N];
-  }
-  const std::vector<uint32_t> &copiesIn(PagNodeId N) const {
-    return CopyIn[N];
-  }
+  // Indexed adjacency (CSR, built once, shared by both solvers).
+  IdSpan copiesOut(PagNodeId N) const { return CopyOut.row(N); }
+  IdSpan copiesIn(PagNodeId N) const { return CopyIn.row(N); }
   /// Store edges whose Base is \p N.
-  const std::vector<uint32_t> &storesOnBase(PagNodeId N) const {
-    return StoreOnBase[N];
-  }
+  IdSpan storesOnBase(PagNodeId N) const { return StoreOnBase.row(N); }
+  /// Store edges whose Val is \p N (the solver's store-value dependency).
+  IdSpan storesByValue(PagNodeId N) const { return StoreByValue.row(N); }
   /// Load edges whose Base is \p N.
-  const std::vector<uint32_t> &loadsOnBase(PagNodeId N) const {
-    return LoadOnBase[N];
-  }
+  IdSpan loadsOnBase(PagNodeId N) const { return LoadOnBase.row(N); }
   /// Alloc edges into \p N.
-  const std::vector<uint32_t> &allocsIn(PagNodeId N) const {
-    return AllocIn[N];
-  }
+  IdSpan allocsIn(PagNodeId N) const { return AllocIn.row(N); }
   /// Store edges writing field \p F (across the whole program).
   const std::vector<uint32_t> &storesOfField(FieldId F) const;
   /// Load edges reading field \p F.
@@ -132,6 +170,7 @@ public:
 
 private:
   void build();
+  void indexEdges();
   void addCopy(PagNodeId Src, PagNodeId Dst, CopyKind K = CopyKind::Plain,
                CallSite Site = {});
 
@@ -147,8 +186,7 @@ private:
   std::vector<StoreEdge> Stores;
   std::vector<LoadEdge> Loads;
 
-  std::vector<std::vector<uint32_t>> CopyOut, CopyIn, StoreOnBase, LoadOnBase,
-      AllocIn;
+  CsrIndex CopyOut, CopyIn, StoreOnBase, StoreByValue, LoadOnBase, AllocIn;
   std::unordered_map<FieldId, std::vector<uint32_t>> StoreByField, LoadByField;
   std::vector<uint32_t> Empty;
 };

@@ -2,11 +2,40 @@
 
 #include "pta/RefinedCallGraph.h"
 
+#include <chrono>
 #include <set>
 
 using namespace lc;
 
 namespace {
+
+/// Folds one solver run's counters and wall time into the substrate's
+/// statistics bag (surfaced by the driver as `andersen-*`).
+void recordSolve(RefinedSubstrate &Out, const AndersenPta &Base,
+                 double Seconds) {
+  const AndersenCounters &C = Base.counters();
+  Out.Statistics.add("andersen-sccs-collapsed", C.SccsCollapsed);
+  Out.Statistics.add("andersen-scc-nodes-merged", C.SccNodesMerged);
+  Out.Statistics.add("andersen-online-collapse-passes",
+                     C.OnlineCollapsePasses);
+  Out.Statistics.add("andersen-delta-pushes", C.DeltaPushes);
+  Out.Statistics.add("andersen-solve-iterations", C.Iterations);
+  if (C.Incremental) {
+    Out.Statistics.add("andersen-incremental-solves");
+    Out.Statistics.add("andersen-affected-vars", C.AffectedVars);
+    Out.Statistics.add("andersen-reused-vars", C.ReusedVars);
+  }
+  Out.Statistics.addTime("andersen-solve", Seconds);
+  Out.SolveSeconds.push_back(Seconds);
+}
+
+template <typename Fn> double timed(Fn &&F) {
+  auto Start = std::chrono::steady_clock::now();
+  F();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
 
 /// Edge-set fingerprint for the convergence check.
 size_t fingerprint(const Program &P, const CallGraph &CG) {
@@ -37,7 +66,8 @@ RefinedSubstrate lc::buildRefinedSubstrate(const Program &P,
   RefinedSubstrate Out;
   Out.CG = std::make_unique<CallGraph>(P, CallGraphKind::Rta);
   Out.G = std::make_unique<Pag>(P, *Out.CG);
-  Out.Base = std::make_unique<AndersenPta>(*Out.G);
+  double Sec = timed([&] { Out.Base = std::make_unique<AndersenPta>(*Out.G); });
+  recordSolve(Out, *Out.Base, Sec);
 
   size_t LastPrint = fingerprint(P, *Out.CG);
   for (unsigned Round = 0; Round < MaxRounds; ++Round) {
@@ -74,7 +104,15 @@ RefinedSubstrate lc::buildRefinedSubstrate(const Program &P,
     auto NextCg = std::make_unique<CallGraph>(P, Resolve);
     size_t Print = fingerprint(P, *NextCg);
     auto NextPag = std::make_unique<Pag>(P, *NextCg);
-    auto NextBase = std::make_unique<AndersenPta>(*NextPag);
+    // Incremental re-solve: consume the previous round's fixed point.
+    // Resolve (which reads PrevBase) already ran while building NextCg,
+    // so the old solver's sets are free to be stolen here; the old Pag
+    // must stay alive through the construction for the edge diff.
+    std::unique_ptr<AndersenPta> NextBase;
+    double RoundSec = timed([&] {
+      NextBase = std::make_unique<AndersenPta>(*NextPag, std::move(*Out.Base));
+    });
+    recordSolve(Out, *NextBase, RoundSec);
     Out.CG = std::move(NextCg);
     Out.G = std::move(NextPag);
     Out.Base = std::move(NextBase);

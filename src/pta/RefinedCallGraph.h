@@ -12,14 +12,22 @@
 /// stabilizes. Typically one or two rounds. The result prunes RTA edges
 /// whose receiver can never actually hold the subtype at that site.
 ///
+/// Rounds after the first are solved *incrementally*: the solver is
+/// seeded with the previous round's fixed point and recomputes only the
+/// cone affected by the edges the refinement removed (refinement only
+/// ever rewires interprocedural edges; node numbering is stable). Debug
+/// builds assert the incremental result equals a from-scratch solve.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LC_PTA_REFINEDCALLGRAPH_H
 #define LC_PTA_REFINEDCALLGRAPH_H
 
 #include "pta/Andersen.h"
+#include "support/Stats.h"
 
 #include <memory>
+#include <vector>
 
 namespace lc {
 
@@ -29,6 +37,9 @@ struct RefinedSubstrate {
   std::unique_ptr<Pag> G;          ///< PAG built under that graph
   std::unique_ptr<AndersenPta> Base;
   unsigned Rounds = 0;             ///< refinement rounds until stable
+  Stats Statistics;                ///< andersen-* counters and solve time
+  std::vector<double> SolveSeconds; ///< Andersen solve wall time per round
+                                    ///< (index 0 = initial RTA solve)
 };
 
 /// Builds the refined substrate for \p P. \p MaxRounds bounds the

@@ -76,6 +76,44 @@ public:
     return Changed;
   }
 
+  /// this |= Other, with \p NewBits overwritten by the bits that were in
+  /// Other but not in this (the difference-propagation delta). Word-level:
+  /// one pass, no per-bit tests. Returns true if any bit changed.
+  bool unionWithDelta(const BitSet &Other, BitSet &NewBits) {
+    if (Other.NumBits > NumBits)
+      resize(Other.NumBits);
+    if (NewBits.NumBits < NumBits)
+      NewBits.resize(NumBits);
+    bool Changed = false;
+    size_t E = Other.Words.size();
+    for (size_t I = 0, N = NewBits.Words.size(); I != N; ++I) {
+      uint64_t Add = I < E ? Other.Words[I] & ~Words[I] : 0;
+      NewBits.Words[I] = Add;
+      if (Add) {
+        Words[I] |= Add;
+        Changed = true;
+      }
+    }
+    return Changed;
+  }
+
+  /// this |= (Add & ~Minus), word-level. Returns true if any bit changed.
+  /// Used to push a delta into a successor while filtering out bits the
+  /// successor already holds.
+  bool unionWithMinus(const BitSet &Add, const BitSet &Minus) {
+    if (Add.NumBits > NumBits)
+      resize(Add.NumBits);
+    bool Changed = false;
+    for (size_t I = 0, E = Add.Words.size(); I != E; ++I) {
+      uint64_t W =
+          Add.Words[I] & ~(I < Minus.Words.size() ? Minus.Words[I] : 0);
+      uint64_t Before = Words[I];
+      Words[I] |= W;
+      Changed |= Words[I] != Before;
+    }
+    return Changed;
+  }
+
   /// this &= Other.
   void intersectWith(const BitSet &Other) {
     for (size_t I = 0, E = Words.size(); I != E; ++I)

@@ -5,16 +5,22 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// FIFO worklist that keeps at most one pending copy of each item, the
-/// standard driver for monotone fixed-point solvers.
+/// Worklists that keep at most one pending copy of each item, the standard
+/// drivers for monotone fixed-point solvers: a FIFO variant and a
+/// priority variant ordered by an external rank (used for wave propagation
+/// over the topological order of a condensed constraint graph).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef LC_SUPPORT_WORKLIST_H
 #define LC_SUPPORT_WORKLIST_H
 
+#include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <queue>
 #include <unordered_set>
+#include <vector>
 
 namespace lc {
 
@@ -42,6 +48,46 @@ public:
 private:
   std::deque<T> Queue;
   std::unordered_set<T, Hash> Pending;
+};
+
+/// Min-rank-first worklist; enqueueing an item already pending is a no-op
+/// (even with a different rank -- the first rank wins until the item is
+/// popped). Pops are deterministic: ties on rank break by insertion order.
+/// Ranks are advisory; a stale rank costs efficiency, never correctness,
+/// which is exactly the contract wave propagation needs when the condensed
+/// graph is re-ranked mid-solve.
+template <typename T, typename Hash = std::hash<T>> class PriorityWorklist {
+public:
+  /// Returns true if the item was enqueued (i.e. was not already pending).
+  bool push(const T &Item, uint32_t Rank) {
+    if (!Pending.insert(Item).second)
+      return false;
+    Heap.push(Entry{Rank, Seq++, Item});
+    return true;
+  }
+
+  T pop() {
+    Entry E = Heap.top();
+    Heap.pop();
+    Pending.erase(E.Item);
+    return E.Item;
+  }
+
+  bool empty() const { return Heap.empty(); }
+  size_t size() const { return Heap.size(); }
+
+private:
+  struct Entry {
+    uint32_t Rank;
+    uint64_t Seq;
+    T Item;
+    bool operator>(const Entry &O) const {
+      return Rank != O.Rank ? Rank > O.Rank : Seq > O.Seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> Heap;
+  std::unordered_set<T, Hash> Pending;
+  uint64_t Seq = 0;
 };
 
 } // namespace lc

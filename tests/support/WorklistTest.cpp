@@ -1,0 +1,64 @@
+//===-- WorklistTest.cpp - dedup & ordering of the worklists ---------------===//
+
+#include "support/Worklist.h"
+
+#include <gtest/gtest.h>
+
+using namespace lc;
+
+TEST(Worklist, PushWhilePendingIsNoOp) {
+  Worklist<int> WL;
+  EXPECT_TRUE(WL.push(7));
+  EXPECT_FALSE(WL.push(7)); // already pending: must not double-process
+  EXPECT_EQ(WL.size(), 1u);
+  EXPECT_EQ(WL.pop(), 7);
+  EXPECT_TRUE(WL.empty());
+  // After the pop the item may be enqueued again.
+  EXPECT_TRUE(WL.push(7));
+  EXPECT_EQ(WL.pop(), 7);
+}
+
+TEST(Worklist, FifoOrder) {
+  Worklist<int> WL;
+  WL.push(3);
+  WL.push(1);
+  WL.push(2);
+  EXPECT_EQ(WL.pop(), 3);
+  EXPECT_EQ(WL.pop(), 1);
+  EXPECT_EQ(WL.pop(), 2);
+}
+
+TEST(PriorityWorklist, PushWhilePendingIsNoOp) {
+  PriorityWorklist<int> WL;
+  EXPECT_TRUE(WL.push(7, 5));
+  // Re-push with any rank (even a better one) is a no-op while pending:
+  // the solver re-reads the node's full delta on pop, so one entry is
+  // enough and double-processing would only waste work.
+  EXPECT_FALSE(WL.push(7, 1));
+  EXPECT_EQ(WL.size(), 1u);
+  EXPECT_EQ(WL.pop(), 7);
+  EXPECT_TRUE(WL.empty());
+  EXPECT_TRUE(WL.push(7, 2));
+  EXPECT_EQ(WL.pop(), 7);
+}
+
+TEST(PriorityWorklist, MinRankFirstInsertionOrderOnTies) {
+  PriorityWorklist<int> WL;
+  WL.push(10, 3);
+  WL.push(11, 1);
+  WL.push(12, 2);
+  WL.push(13, 1); // ties with 11: insertion order breaks the tie
+  EXPECT_EQ(WL.pop(), 11);
+  EXPECT_EQ(WL.pop(), 13);
+  EXPECT_EQ(WL.pop(), 12);
+  EXPECT_EQ(WL.pop(), 10);
+}
+
+TEST(PriorityWorklist, FirstRankWinsUntilPopped) {
+  PriorityWorklist<int> WL;
+  WL.push(1, 9);
+  WL.push(1, 0); // ignored: rank 9 entry stays
+  WL.push(2, 5);
+  EXPECT_EQ(WL.pop(), 2); // 5 < 9
+  EXPECT_EQ(WL.pop(), 1);
+}

@@ -200,6 +200,7 @@ int main(int argc, char **argv) {
 
   if (Loop == "all") {
     Stats Agg;
+    Agg.merge(Checker->substrateStats());
     for (const LeakAnalysisResult &R : Checker->checkAllLabeled()) {
       std::printf("%s\n",
                   renderLeakReport(Checker->program(), R).c_str());
@@ -221,8 +222,12 @@ int main(int argc, char **argv) {
     return 1;
   }
   std::printf("%s", renderLeakReport(Checker->program(), *Result).c_str());
-  if (ShowStats)
-    printStatsSummary(Result->Statistics);
+  if (ShowStats) {
+    Stats Agg;
+    Agg.merge(Checker->substrateStats());
+    Agg.merge(Result->Statistics);
+    printStatsSummary(Agg);
+  }
 
   if (Run) {
     Program P2;
