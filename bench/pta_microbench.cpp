@@ -25,6 +25,7 @@
 #include "pta/AndersenRef.h"
 #include "pta/CflPta.h"
 #include "pta/RefinedCallGraph.h"
+#include "support/Stats.h"
 
 #include <benchmark/benchmark.h>
 
@@ -243,7 +244,9 @@ int runAndersenSweep(bool Quick, const char *OutPath) {
 
     double NaiveMs = 1e300, WaveMs = 1e300;
     uint64_t VarTotal = 0, FieldTotal = 0;
-    AndersenCounters Counters;
+    // Counters come through the same recordStats mapping every other
+    // consumer (driver, refinement loop) uses, not the raw counter struct.
+    MetricsRegistry Counters;
     for (unsigned R = 0; R < Reps; ++R) {
       auto T0 = std::chrono::steady_clock::now();
       NaiveAndersenRef Naive(G);
@@ -269,14 +272,15 @@ int runAndersenSweep(bool Quick, const char *OutPath) {
       }
       VarTotal = WaveVar;
       FieldTotal = WaveField;
-      Counters = Wave.counters();
+      Counters = MetricsRegistry();
+      Wave.recordStats(Counters);
     }
 
     std::printf("sweep n=%-4u nodes=%-6zu naive=%9.3fms wave=%9.3fms "
                 "speedup=%6.2fx sccs=%llu merged=%llu\n",
                 N, G.numNodes(), NaiveMs, WaveMs, NaiveMs / WaveMs,
-                (unsigned long long)Counters.SccsCollapsed,
-                (unsigned long long)Counters.SccNodesMerged);
+                (unsigned long long)Counters.get("andersen-sccs-collapsed"),
+                (unsigned long long)Counters.get("andersen-scc-nodes-merged"));
 
     J << (FirstRow ? "" : ",\n");
     FirstRow = false;
@@ -285,10 +289,13 @@ int runAndersenSweep(bool Quick, const char *OutPath) {
       << ", \"speedup\": " << NaiveMs / WaveMs
       << ", \"var_pts_total\": " << VarTotal
       << ", \"field_pts_total\": " << FieldTotal
-      << ", \"sccs_collapsed\": " << Counters.SccsCollapsed
-      << ", \"scc_nodes_merged\": " << Counters.SccNodesMerged
-      << ", \"online_collapse_passes\": " << Counters.OnlineCollapsePasses
-      << ", \"delta_pushes\": " << Counters.DeltaPushes << "}";
+      << ", \"sccs_collapsed\": " << Counters.get("andersen-sccs-collapsed")
+      << ", \"scc_nodes_merged\": "
+      << Counters.get("andersen-scc-nodes-merged")
+      << ", \"online_collapse_passes\": "
+      << Counters.get("andersen-online-collapse-passes")
+      << ", \"delta_pushes\": " << Counters.get("andersen-delta-pushes")
+      << "}";
   }
   J << "\n  ],\n";
 

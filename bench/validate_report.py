@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Validate the tool's machine-readable outputs against the checked-in
+schemas, with no third-party dependencies (CI runners only have the
+standard library, so this implements the small JSON Schema subset the
+schemas actually use rather than importing `jsonschema`).
+
+Usage: validate_report.py REPORT.json [--schema bench/report_schema.json]
+       validate_report.py --trace TRACE.json [--schema bench/trace_schema.json]
+
+Supported keywords: type (string or list; "integer" excludes bools),
+const, enum, required, properties, additionalProperties (false or a
+schema), items, minItems, maxItems, minimum. Anything else in a schema is
+a hard error -- better to crash in CI than to silently not validate.
+
+Beyond the schema, the report check asserts cross-field invariants the
+schema language cannot express: every witness path ends at the blamed
+(field, outside) pair of its report, and every timing histogram's bucket
+counts sum to its sample count.
+"""
+
+import json
+import os
+import sys
+
+HANDLED = {
+    "type", "const", "enum", "required", "properties",
+    "additionalProperties", "items", "minItems", "maxItems", "minimum",
+    "$comment",
+}
+
+
+def fail(path, msg):
+    print(f"validate_report: FAIL at {path or '$'}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def type_ok(value, name):
+    if name == "object":
+        return isinstance(value, dict)
+    if name == "array":
+        return isinstance(value, list)
+    if name == "string":
+        return isinstance(value, str)
+    if name == "boolean":
+        return isinstance(value, bool)
+    if name == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if name == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if name == "null":
+        return value is None
+    raise ValueError(f"unknown type name {name!r} in schema")
+
+
+def validate(value, schema, path=""):
+    unknown = set(schema) - HANDLED
+    if unknown:
+        fail(path, f"schema uses unsupported keywords {sorted(unknown)}")
+
+    if "type" in schema:
+        names = schema["type"]
+        names = names if isinstance(names, list) else [names]
+        if not any(type_ok(value, n) for n in names):
+            fail(path, f"expected type {names}, got {type(value).__name__}")
+    if "const" in schema and value != schema["const"]:
+        fail(path, f"expected {schema['const']!r}, got {value!r}")
+    if "enum" in schema and value not in schema["enum"]:
+        fail(path, f"{value!r} not in {schema['enum']}")
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool) and value < schema["minimum"]:
+        fail(path, f"{value} < minimum {schema['minimum']}")
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                fail(path, f"missing required key {key!r}")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties", True)
+        for key, item in value.items():
+            if key in props:
+                validate(item, props[key], f"{path}.{key}")
+            elif extra is False:
+                fail(path, f"unexpected key {key!r}")
+            elif isinstance(extra, dict):
+                validate(item, extra, f"{path}.{key}")
+
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            fail(path, f"{len(value)} items < minItems {schema['minItems']}")
+        if "maxItems" in schema and len(value) > schema["maxItems"]:
+            fail(path, f"{len(value)} items > maxItems {schema['maxItems']}")
+        if "items" in schema:
+            for i, item in enumerate(value):
+                validate(item, schema["items"], f"{path}[{i}]")
+
+
+def check_report_invariants(doc):
+    for li, loop in enumerate(doc["loops"]):
+        for ri, rep in enumerate(loop["reports"]):
+            where = f"$.loops[{li}].reports[{ri}]"
+            last = rep["witness"]["path"][-1]
+            if last["field"] != rep["field"] or last["to"] != rep["outside"]:
+                fail(where, "witness path does not end at the blamed "
+                            f"(field, outside) pair: last hop stores into "
+                            f"({last['field']!r}, {last['to']!r}), report "
+                            f"blames ({rep['field']!r}, {rep['outside']!r})")
+    for name, t in doc["metrics"]["timing"].items():
+        if sum(t["histogram_us_pow2"]) != t["samples"]:
+            fail(f"$.metrics.timing.{name}",
+                 "histogram buckets do not sum to the sample count")
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    trace_mode = "--trace" in argv
+    schema_path = None
+    if "--schema" in argv:
+        schema_path = argv[argv.index("--schema") + 1]
+        args = [a for a in args if a != schema_path]
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    here = os.path.dirname(os.path.abspath(__file__))
+    if schema_path is None:
+        schema_path = os.path.join(
+            here, "trace_schema.json" if trace_mode else "report_schema.json")
+
+    with open(args[0]) as f:
+        doc = json.load(f)
+    with open(schema_path) as f:
+        schema = json.load(f)
+
+    validate(doc, schema)
+    if not trace_mode:
+        check_report_invariants(doc)
+
+    what = "trace" if trace_mode else "report"
+    n = len(doc["traceEvents"]) if trace_mode else sum(
+        len(l["reports"]) for l in doc["loops"])
+    print(f"validate_report: OK: {args[0]} is a valid {what} "
+          f"({n} {'events' if trace_mode else 'reports'})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -4,6 +4,7 @@
 
 #include "frontend/Lower.h"
 #include "ir/Verifier.h"
+#include "support/Trace.h"
 
 #include <vector>
 
@@ -11,21 +12,28 @@ using namespace lc;
 
 LeakChecker::LeakChecker(std::unique_ptr<Program> Prog, LeakOptions Opts)
     : P(std::move(Prog)), Opts(Opts) {
-  CG = std::make_unique<CallGraph>(*P, CallGraphKind::Rta);
-  G = std::make_unique<Pag>(*P, *CG);
   {
+    trace::TraceSpan Span("substrate.callgraph", "substrate");
+    CG = std::make_unique<CallGraph>(*P, CallGraphKind::Rta);
+  }
+  {
+    trace::TraceSpan Span("substrate.pag", "substrate");
+    G = std::make_unique<Pag>(*P, *CG);
+  }
+  {
+    trace::TraceSpan Span("substrate.andersen", "substrate");
     ScopedTimer T(SubstrateStats, "andersen-solve");
     Base = std::make_unique<AndersenPta>(*G);
   }
-  const AndersenCounters &AC = Base->counters();
-  SubstrateStats.add("andersen-sccs-collapsed", AC.SccsCollapsed);
-  SubstrateStats.add("andersen-scc-nodes-merged", AC.SccNodesMerged);
-  SubstrateStats.add("andersen-online-collapse-passes",
-                     AC.OnlineCollapsePasses);
-  SubstrateStats.add("andersen-delta-pushes", AC.DeltaPushes);
-  SubstrateStats.add("andersen-solve-iterations", AC.Iterations);
-  Cfl = std::make_unique<CflPta>(*G, *Base, Opts.Cfl);
-  Esc = std::make_unique<EscapeAnalysis>(*P, *CG);
+  Base->recordStats(SubstrateStats);
+  {
+    trace::TraceSpan Span("substrate.cfl", "substrate");
+    Cfl = std::make_unique<CflPta>(*G, *Base, Opts.Cfl);
+  }
+  {
+    trace::TraceSpan Span("substrate.escape", "substrate");
+    Esc = std::make_unique<EscapeAnalysis>(*P, *CG);
+  }
   Pool = std::make_unique<ThreadPool>(Opts.Jobs);
 }
 

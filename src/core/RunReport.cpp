@@ -1,0 +1,176 @@
+//===-- RunReport.cpp -----------------------------------------------------===//
+
+#include "core/RunReport.h"
+
+#include "support/Json.h"
+
+#include <sstream>
+
+using namespace lc;
+using lc::json::num;
+using lc::json::quote;
+
+namespace {
+
+const char *detKey(MetricDet D) {
+  switch (D) {
+  case MetricDet::Stable:
+    return "stable";
+  case MetricDet::Environment:
+    return "environment";
+  case MetricDet::Timing:
+    return "timing";
+  }
+  return "stable";
+}
+
+std::string siteOrNull(const Program &P, AllocSiteId S) {
+  return S == kInvalidId ? std::string("null") : quote(P.allocSiteName(S));
+}
+
+std::string lineOrNull(const Program &P, MethodId M, StmtIdx I) {
+  SourceLoc Loc = P.Methods[M].Body[I].Loc;
+  return Loc.isValid() ? std::to_string(Loc.Line) : std::string("null");
+}
+
+void emitWitness(std::ostream &OS, const Program &P, const LeakReport &Rep,
+                 const char *Ind) {
+  const LeakWitness &W = Rep.Witness;
+  OS << Ind << "\"witness\": {\n";
+  OS << Ind << "  \"verdict\": " << quote(eraName(W.Verdict)) << ",\n";
+  OS << Ind << "  \"path\": [";
+  for (size_t I = 0; I < W.Path.size(); ++I) {
+    const WitnessHop &H = W.Path[I];
+    OS << (I ? "," : "") << "\n";
+    OS << Ind << "    {\n";
+    OS << Ind << "      \"from\": " << quote(P.allocSiteName(H.From)) << ",\n";
+    OS << Ind << "      \"field\": " << quote(P.fieldName(H.Field)) << ",\n";
+    OS << Ind << "      \"to\": " << siteOrNull(P, H.To) << ",\n";
+    OS << Ind << "      \"store_method\": "
+       << quote(P.qualifiedMethodName(H.Method)) << ",\n";
+    OS << Ind << "      \"store_line\": " << lineOrNull(P, H.Method, H.Index)
+       << "\n";
+    OS << Ind << "    }";
+  }
+  if (!W.Path.empty())
+    OS << "\n" << Ind << "  ";
+  OS << "],\n";
+  OS << Ind << "  \"flows_in\": {\n";
+  OS << Ind << "    \"facts_at_slot\": " << W.FlowsInFactsAtSlot << ",\n";
+  OS << Ind << "    \"facts_for_site\": " << W.FlowsInFactsForSite << ",\n";
+  OS << Ind << "    \"order_rejected\": " << W.FlowsInOrderRejected << "\n";
+  OS << Ind << "  },\n";
+  OS << Ind << "  \"cfl\": {\n";
+  OS << Ind << "    \"corroborated\": "
+     << (W.CflCorroborated ? "true" : "false") << ",\n";
+  OS << Ind << "    \"states_visited\": " << W.CflStatesVisited << ",\n";
+  OS << Ind << "    \"node_budget\": " << W.CflNodeBudget << ",\n";
+  OS << Ind << "    \"fell_back\": " << (W.CflFellBack ? "true" : "false")
+     << ",\n";
+  OS << Ind << "    \"refuted_value_sites\": " << W.CflRefutedSites << "\n";
+  OS << Ind << "  }\n";
+  OS << Ind << "}";
+}
+
+void emitReport(std::ostream &OS, const Program &P, const LeakReport &Rep) {
+  OS << "        {\n";
+  OS << "          \"site\": " << quote(P.allocSiteName(Rep.Site)) << ",\n";
+  OS << "          \"field\": "
+     << (Rep.Field == kInvalidId ? std::string("null")
+                                 : quote(P.fieldName(Rep.Field)))
+     << ",\n";
+  OS << "          \"outside\": " << siteOrNull(P, Rep.Outside) << ",\n";
+  OS << "          \"store_method\": "
+     << quote(P.qualifiedMethodName(Rep.StoreMethod)) << ",\n";
+  OS << "          \"store_line\": "
+     << lineOrNull(P, Rep.StoreMethod, Rep.StoreIndex) << ",\n";
+  OS << "          \"never_flows_back\": "
+     << (Rep.NeverFlowsBack ? "true" : "false") << ",\n";
+  OS << "          \"num_contexts\": " << Rep.Contexts.size() << ",\n";
+  emitWitness(OS, P, Rep, "          ");
+  OS << "\n        }";
+}
+
+void emitLoop(std::ostream &OS, const Program &P,
+              const LeakAnalysisResult &R) {
+  const LoopInfo &L = P.Loops[R.Loop];
+  OS << "    {\n";
+  OS << "      \"label\": " << quote(P.Strings.text(L.Label)) << ",\n";
+  OS << "      \"method\": " << quote(P.qualifiedMethodName(L.Method))
+     << ",\n";
+  OS << "      \"kind\": " << (L.IsRegion ? "\"region\"" : "\"loop\"")
+     << ",\n";
+  OS << "      \"inside_sites\": " << R.NumInsideSites << ",\n";
+  OS << "      \"inside_ctx_sites\": " << R.NumInsideCtxSites << ",\n";
+  OS << "      \"leak_ctx_sites\": " << R.NumLeakCtxSites << ",\n";
+  OS << "      \"reports\": [";
+  for (size_t I = 0; I < R.Reports.size(); ++I) {
+    OS << (I ? "," : "") << "\n";
+    emitReport(OS, P, R.Reports[I]);
+  }
+  if (!R.Reports.empty())
+    OS << "\n      ";
+  OS << "]\n";
+  OS << "    }";
+}
+
+/// One determinism section of the metrics object. Counters and gauges
+/// render as plain numbers; timings as {seconds, samples, histogram}.
+void emitMetricSection(std::ostream &OS, const MetricsRegistry &M,
+                       MetricDet Det) {
+  OS << "    " << quote(detKey(Det)) << ": {";
+  bool First = true;
+  for (const MetricsRegistry::Metric &E : M.metrics()) {
+    if (E.Det != Det)
+      continue;
+    OS << (First ? "" : ",") << "\n";
+    First = false;
+    if (E.Kind == MetricKind::Timing) {
+      OS << "      " << quote(E.Name) << ": {\n";
+      OS << "        \"seconds\": " << num(E.Seconds) << ",\n";
+      OS << "        \"samples\": " << E.Hist.samples() << ",\n";
+      OS << "        \"histogram_us_pow2\": [";
+      for (unsigned I = 0; I < TimingHistogram::kBuckets; ++I)
+        OS << (I ? ", " : "") << E.Hist.Count[I];
+      OS << "]\n";
+      OS << "      }";
+    } else {
+      OS << "      " << quote(E.Name) << ": " << E.Value;
+    }
+  }
+  if (!First)
+    OS << "\n    ";
+  OS << "}";
+}
+
+} // namespace
+
+std::string lc::renderRunReportJson(
+    const Program &P, std::string_view InputName,
+    const std::vector<LeakAnalysisResult> &Results,
+    const MetricsRegistry &Merged) {
+  std::ostringstream OS;
+  OS << "{\n";
+  OS << "  \"schema\": " << quote(kRunReportSchema) << ",\n";
+  OS << "  \"version\": " << kRunReportVersion << ",\n";
+  OS << "  \"input\": " << quote(InputName) << ",\n";
+  OS << "  \"loops\": [";
+  for (size_t I = 0; I < Results.size(); ++I) {
+    OS << (I ? "," : "") << "\n";
+    emitLoop(OS, P, Results[I]);
+  }
+  if (!Results.empty())
+    OS << "\n  ";
+  OS << "],\n";
+  OS << "  \"metrics\": {\n";
+  // Section order is the byte-comparison contract: everything above the
+  // "environment" line is stable for a given input (see RunReport.h).
+  emitMetricSection(OS, Merged, MetricDet::Stable);
+  OS << ",\n";
+  emitMetricSection(OS, Merged, MetricDet::Environment);
+  OS << ",\n";
+  emitMetricSection(OS, Merged, MetricDet::Timing);
+  OS << "\n  }\n";
+  OS << "}\n";
+  return OS.str();
+}

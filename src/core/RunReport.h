@@ -1,0 +1,48 @@
+//===-- RunReport.h - Versioned machine-readable run report ----*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `--stats-json` run report: one versioned JSON document per tool
+/// invocation carrying the leak reports (with their provenance
+/// witnesses) and every metric of the run, grouped by determinism class.
+/// The schema is checked in at bench/report_schema.json and validated in
+/// CI; docs/OBSERVABILITY.md describes the format.
+///
+/// Layout contract consumers rely on:
+///   - two-space indentation, one key per line, fixed key order;
+///   - inside "metrics", the "stable" section precedes "environment"
+///     which precedes "timing". Everything before the "environment" line
+///     is byte-identical for a given input across --jobs counts and memo
+///     cache configurations -- the determinism tests compare exactly that
+///     prefix.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_CORE_RUNREPORT_H
+#define LC_CORE_RUNREPORT_H
+
+#include "leak/LeakAnalysis.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lc {
+
+inline constexpr const char *kRunReportSchema = "leakchecker-run-report";
+inline constexpr int kRunReportVersion = 1;
+
+/// Renders the run report for \p Results (one entry per checked loop,
+/// in check order) and the merged metrics \p Merged (substrate stats plus
+/// every result's statistics). \p InputName identifies what was analyzed
+/// (subject name or file path).
+std::string renderRunReportJson(const Program &P, std::string_view InputName,
+                                const std::vector<LeakAnalysisResult> &Results,
+                                const MetricsRegistry &Merged);
+
+} // namespace lc
+
+#endif // LC_CORE_RUNREPORT_H

@@ -5,6 +5,7 @@
 #include "cfg/Dominators.h"
 #include "escape/EscapeAnalysis.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 #include "support/Worklist.h"
 
 #include <memory>
@@ -47,20 +48,60 @@ public:
 
   LeakAnalysisResult run() {
     Result.Loop = LoopIdVal;
-    Result.Statistics.add("jobs", Pool->jobs());
-    ScopedTimer T(Result.Statistics, "leak-analysis");
-    computeInsideRegion();
-    classifyThreadSites();
-    computeEscapeFilter();
-    collectHeapAccesses();
-    computeFlowsOut();
-    corroborateWithCfl();
-    computeFlowsIn();
-    match();
+    // Worker count is an environment fact, not an analysis result: it must
+    // not participate in the byte-identical comparison across job counts.
+    Result.Statistics.setGauge("jobs", Pool->jobs());
+    // Scoped block: the timer must record before Result is moved out of
+    // the Analyzer below, or the sample lands in the moved-from bag.
+    {
+      ScopedTimer T(Result.Statistics, "leak-analysis");
+      runPhases();
+    }
     return std::move(Result);
   }
 
 private:
+  void runPhases() {
+    {
+      trace::TraceSpan Span("leak.inside-region", "leak");
+      computeInsideRegion();
+      Span.arg("sites", Result.NumInsideSites);
+    }
+    {
+      trace::TraceSpan Span("leak.thread-sites", "leak");
+      classifyThreadSites();
+    }
+    {
+      trace::TraceSpan Span("leak.escape-filter", "leak");
+      computeEscapeFilter();
+    }
+    {
+      trace::TraceSpan Span("leak.heap-accesses", "leak");
+      collectHeapAccesses();
+    }
+    {
+      trace::TraceSpan Span("leak.flows-out", "leak");
+      ScopedTimer T2(Result.Statistics, "leak-flows-out");
+      computeFlowsOut();
+      Span.arg("sites", FlowsOut.size());
+    }
+    {
+      trace::TraceSpan Span("leak.cfl-corroborate", "leak");
+      corroborateWithCfl();
+    }
+    {
+      trace::TraceSpan Span("leak.flows-in", "leak");
+      ScopedTimer T2(Result.Statistics, "leak-flows-in");
+      computeFlowsIn();
+    }
+    {
+      trace::TraceSpan Span("leak.match", "leak");
+      ScopedTimer T2(Result.Statistics, "leak-match");
+      match();
+      Span.arg("reports", Result.Reports.size());
+    }
+  }
+
   // --- Step 1: inside region + context enumeration -------------------------
 
   bool inBodyRange(MethodId M, StmtIdx I) const {
@@ -400,6 +441,9 @@ private:
       bool Skipped = false;
       std::vector<const SiteEdge *> Edges;
       std::set<AllocSiteId> Through;
+      /// Discovery edge of each inside intermediate (witness paths walk
+      /// these back from an escaping edge's source to the root site).
+      std::map<AllocSiteId, const SiteEdge *> Parent;
     };
     std::vector<SiteFlow> Flows(SiteList.size());
     Pool->parallelFor(SiteList.size(), [&](size_t I) {
@@ -425,6 +469,7 @@ private:
             F.Edges.push_back(&E);
           } else if (Visited.insert(E.To).second) {
             F.Through.insert(E.To);
+            F.Parent[E.To] = &E;
             Stack.push_back(E.To);
           }
         }
@@ -442,6 +487,8 @@ private:
         FlowsOut[S] = std::move(F.Edges);
       if (!F.Through.empty())
         Through[S] = std::move(F.Through);
+      if (!F.Parent.empty())
+        ParentEdges[S] = std::move(F.Parent);
     }
     Result.Statistics.add("sites-with-flows-out", FlowsOut.size());
   }
@@ -466,12 +513,7 @@ private:
       NodeSet.insert(A.Value);
     std::vector<PagNodeId> Nodes(NodeSet.begin(), NodeSet.end());
 
-    struct QueryOut {
-      uint64_t States = 0;
-      bool FellBack = false;
-      uint64_t Refuted = 0;
-    };
-    std::vector<QueryOut> Out(Nodes.size());
+    std::vector<CflQueryOut> Out(Nodes.size());
     CflCacheStats CacheBefore = Cfl.cacheStats();
     Pool->parallelFor(Nodes.size(), [&](size_t I) {
       CflResult R = Cfl.pointsTo(Nodes[I]);
@@ -490,20 +532,29 @@ private:
     CflCacheStats CacheAfter = Cfl.cacheStats();
 
     uint64_t States = 0, Fallbacks = 0, Refuted = 0;
-    for (const QueryOut &O : Out) {
-      States += O.States;
-      Fallbacks += O.FellBack;
-      Refuted += O.Refuted;
+    for (size_t I = 0; I < Nodes.size(); ++I) {
+      States += Out[I].States;
+      Fallbacks += Out[I].FellBack;
+      Refuted += Out[I].Refuted;
+      // Witness lookup: per-node outcomes are warmth-independent (the
+      // charge-on-hit accounting), so reports may embed them verbatim.
+      CflByNode[Nodes[I]] = Out[I];
     }
     Result.Statistics.add("cfl-queries", Nodes.size());
     Result.Statistics.add("cfl-states-visited", States);
     Result.Statistics.add("cfl-fallbacks", Fallbacks);
     Result.Statistics.add("cfl-refuted-value-sites", Refuted);
-    Result.Statistics.add("cfl-cache-hits", CacheAfter.Hits - CacheBefore.Hits);
-    Result.Statistics.add("cfl-cache-misses",
-                          CacheAfter.Misses - CacheBefore.Misses);
-    Result.Statistics.add("cfl-cache-evictions",
-                          CacheAfter.Evictions - CacheBefore.Evictions);
+    // Hit/miss/evict splits depend on thread schedule and cache warmth:
+    // environment class, excluded from cross-config byte comparison.
+    Result.Statistics.addCounter("cfl-cache-hits",
+                                 CacheAfter.Hits - CacheBefore.Hits,
+                                 MetricDet::Environment);
+    Result.Statistics.addCounter("cfl-cache-misses",
+                                 CacheAfter.Misses - CacheBefore.Misses,
+                                 MetricDet::Environment);
+    Result.Statistics.addCounter("cfl-cache-evictions",
+                                 CacheAfter.Evictions - CacheBefore.Evictions,
+                                 MetricDet::Environment);
   }
 
   // --- Step 5: flows-in -----------------------------------------------------
@@ -781,6 +832,56 @@ private:
     return false;
   }
 
+  /// Assembles the provenance witness of one report: the matcher's ERA
+  /// verdict, the hop-by-hop escape path from root \p S through the DFS's
+  /// discovery edges to the blamed edge \p E, the flows-in facts the
+  /// matcher weighed for (E.Field, E.To), and the corroboration query's
+  /// outcome at the escaping store's value node. Pure function of matcher
+  /// state that is itself schedule-independent, so witnesses are too.
+  LeakWitness buildWitness(AllocSiteId S, const SiteEdge &E, bool AnyFlowIn) {
+    LeakWitness W;
+    W.Verdict = AnyFlowIn ? Era::Future : Era::Top;
+    // Escape path: walk discovery edges back from E.From to the root,
+    // then emit root-first with the blamed edge last.
+    std::vector<const SiteEdge *> Chain{&E};
+    auto PIt = ParentEdges.find(S);
+    AllocSiteId Cur = E.From;
+    while (Cur != S && PIt != ParentEdges.end()) {
+      auto DIt = PIt->second.find(Cur);
+      if (DIt == PIt->second.end())
+        break; // unreachable: the DFS discovered E.From from S
+      Chain.push_back(DIt->second);
+      Cur = DIt->second->From;
+    }
+    for (auto It = Chain.rbegin(); It != Chain.rend(); ++It) {
+      const SiteEdge *H = *It;
+      W.Path.push_back({H->From, H->To == globalsSite(P) ? kInvalidId : H->To,
+                        H->Field, H->Source->Method, H->Source->Index});
+    }
+    // Flows-in facts at the blamed (g, b) slot: how close the matcher came
+    // to matching this edge, and why it did not.
+    auto FIt = FlowsInSet.find({E.Field, E.To});
+    if (FIt != FlowsInSet.end()) {
+      W.FlowsInFactsAtSlot = FIt->second.size();
+      for (const auto &[V, Origin] : FIt->second) {
+        if (V != S)
+          continue;
+        ++W.FlowsInFactsForSite;
+        if (!canReadPreviousIteration(*Origin, *E.Source))
+          ++W.FlowsInOrderRejected;
+      }
+    }
+    auto CIt = CflByNode.find(E.Source->Value);
+    if (CIt != CflByNode.end()) {
+      W.CflCorroborated = true;
+      W.CflStatesVisited = CIt->second.States;
+      W.CflNodeBudget = Opts.Cfl.NodeBudget;
+      W.CflFellBack = CIt->second.FellBack;
+      W.CflRefutedSites = CIt->second.Refuted;
+    }
+    return W;
+  }
+
   /// True if \p S may be reported (application sites always; library
   /// container internals only when asked for).
   bool isReportable(AllocSiteId S) const {
@@ -848,6 +949,7 @@ private:
         R.StoreMethod = E->Source->Method;
         R.StoreIndex = E->Source->Index;
         R.NeverFlowsBack = !AnyFlowIn;
+        R.Witness = buildWitness(S, *E, AnyFlowIn);
         R.Contexts = SiteContexts[S];
         if (R.Contexts.empty())
           R.Contexts.push_back({});
@@ -927,11 +1029,23 @@ private:
   std::set<AllocSiteId> StartedThreads;
   std::map<AllocSiteId, std::vector<SiteContext>> SiteContexts;
 
+  /// Outcome of one corroboration query, kept per node for witnesses.
+  struct CflQueryOut {
+    uint64_t States = 0;
+    bool FellBack = false;
+    uint64_t Refuted = 0;
+  };
+
   std::vector<Access> Stores, Loads;
   std::vector<SiteEdge> StoreGraph;
   std::map<AllocSiteId, std::vector<const SiteEdge *>> FlowsOut;
   /// Inside intermediates on each site's escape paths (for pivot mode).
   std::map<AllocSiteId, std::set<AllocSiteId>> Through;
+  /// Per root site: discovery edge of each intermediate its flows-out DFS
+  /// visited (witness path reconstruction).
+  std::map<AllocSiteId, std::map<AllocSiteId, const SiteEdge *>> ParentEdges;
+  /// Per flows-out/flows-in endpoint: the corroboration query's outcome.
+  std::map<PagNodeId, CflQueryOut> CflByNode;
   /// (field, outside) -> set of (inside value site, witnessing load).
   std::map<std::pair<FieldId, AllocSiteId>,
            std::set<std::pair<AllocSiteId, const Access *>>>
@@ -1007,6 +1121,64 @@ std::string lc::renderLeakReport(const Program &P,
         }
       }
       OS << "\n";
+    }
+  }
+  return OS.str();
+}
+
+std::string lc::renderLeakExplanations(const Program &P,
+                                       const LeakAnalysisResult &R) {
+  if (R.Reports.empty())
+    return {};
+  auto SiteName = [&](AllocSiteId S) {
+    return S == kInvalidId ? std::string("<static/global>")
+                           : P.allocSiteName(S);
+  };
+  std::ostringstream OS;
+  OS << "=== Witnesses ===\n";
+  for (const LeakReport &Rep : R.Reports) {
+    const LeakWitness &W = Rep.Witness;
+    OS << "\n* WITNESS: " << P.allocSiteName(Rep.Site) << "\n";
+    OS << "    verdict: ERA " << eraName(W.Verdict)
+       << (W.Verdict == Era::Top
+               ? " (escapes, nothing ever flows back into the loop)"
+               : " (flows back through another edge; this edge is the "
+                 "redundant reference)")
+       << "\n";
+    OS << "    flows-out (" << W.Path.size()
+       << (W.Path.size() == 1 ? " hop" : " hops") << "): ";
+    for (size_t I = 0; I < W.Path.size(); ++I) {
+      const WitnessHop &H = W.Path[I];
+      if (I == 0)
+        OS << SiteName(H.From);
+      OS << " --["
+         << (H.Field == kInvalidId ? "?" : P.fieldName(H.Field)) << "]--> "
+         << SiteName(H.To);
+    }
+    OS << "\n";
+    for (const WitnessHop &H : W.Path) {
+      OS << "      store '"
+         << (H.Field == kInvalidId ? "?" : P.fieldName(H.Field)) << "' at "
+         << P.qualifiedMethodName(H.Method);
+      SourceLoc Loc = P.Methods[H.Method].Body[H.Index].Loc;
+      if (Loc.isValid())
+        OS << ":" << Loc.Line;
+      OS << "\n";
+    }
+    OS << "    flows-in at ("
+       << (Rep.Field == kInvalidId ? "?" : P.fieldName(Rep.Field)) << ", "
+       << SiteName(Rep.Outside) << "): " << W.FlowsInFactsAtSlot
+       << (W.FlowsInFactsAtSlot == 1 ? " fact" : " facts")
+       << " observed, " << W.FlowsInFactsForSite << " retrieve this site, "
+       << W.FlowsInOrderRejected << " rejected by iteration ordering\n";
+    if (W.CflCorroborated) {
+      OS << "    cfl: " << W.CflStatesVisited << " states (budget "
+         << W.CflNodeBudget << "), "
+         << (W.CflFellBack ? "exhausted -> Andersen fallback" : "completed")
+         << ", refuted " << W.CflRefutedSites << " Andersen value-site"
+         << (W.CflRefutedSites == 1 ? "" : "s") << "\n";
+    } else {
+      OS << "    cfl: corroboration not run\n";
     }
   }
   return OS.str();

@@ -103,6 +103,44 @@ struct LeakOptions {
 /// allocating method (empty = allocation directly in the body).
 using SiteContext = std::vector<CallSite>;
 
+/// One hop of a flows-out witness chain: the object from allocation site
+/// \p From is stored into field \p Field of the object from site \p To by
+/// the statement at (\p Method, \p Index). The last hop of a chain is the
+/// report's redundant reference -- its (Field, To) is the `(g, b)` pair
+/// the report blames.
+struct WitnessHop {
+  AllocSiteId From = kInvalidId;
+  /// Target site; kInvalidId = the static/global holder.
+  AllocSiteId To = kInvalidId;
+  FieldId Field = kInvalidId;
+  MethodId Method = kInvalidId;
+  StmtIdx Index = kInvalidId;
+};
+
+/// Explainable provenance of one leak report: why the analysis believes
+/// this site leaks. Rendered by `--explain` and embedded in the JSON run
+/// report; every field is deterministic for a given input (schedule-,
+/// jobs- and cache-warmth-independent).
+struct LeakWitness {
+  /// Matcher-side ERA of the site (Future: some other edge flows back;
+  /// Top: nothing ever flows back).
+  Era Verdict = Era::Top;
+  /// The escape path: site -> (inside intermediates) -> outside holder.
+  std::vector<WitnessHop> Path;
+  /// Flows-in facts the matcher considered for the blamed `(g, b)` slot.
+  uint64_t FlowsInFactsAtSlot = 0;   ///< any inside site retrieved from it
+  uint64_t FlowsInFactsForSite = 0;  ///< ... retrieving this very site
+  uint64_t FlowsInOrderRejected = 0; ///< ... rejected by the
+                                     ///  previous-iteration ordering test
+  /// Demand-CFL corroboration of the escaping store's value node (only
+  /// populated when the corroboration pass ran).
+  bool CflCorroborated = false;
+  uint64_t CflStatesVisited = 0; ///< warmth-independent charged cost
+  uint64_t CflNodeBudget = 0;    ///< the budget those states ran against
+  bool CflFellBack = false;      ///< budget exhausted, Andersen fallback
+  uint64_t CflRefutedSites = 0;  ///< Andersen pairs the refinement refuted
+};
+
 /// One reported leak.
 struct LeakReport {
   AllocSiteId Site = kInvalidId;
@@ -119,6 +157,8 @@ struct LeakReport {
   /// True when no flows-in exists at all for this site (ERA Top); false
   /// when only this edge is unmatched (ERA Future, redundant edge).
   bool NeverFlowsBack = false;
+  /// Why: the evidence chain behind this report.
+  LeakWitness Witness;
 };
 
 /// Result of analyzing one loop.
@@ -166,6 +206,14 @@ LeakAnalysisResult analyzeLoop(const Program &P, LoopId Loop,
 /// Renders a human-readable report (what the tool prints for a case
 /// study).
 std::string renderLeakReport(const Program &P, const LeakAnalysisResult &R);
+
+/// Renders the witness chains of \p R's reports (`--explain`): one block
+/// per report naming the ERA verdict, the hop-by-hop flows-out path to
+/// the blamed `(g, b)` pair, the flows-in facts considered, and the
+/// demand-CFL corroboration of the escaping store. Deterministic for a
+/// given input; empty string when there are no reports.
+std::string renderLeakExplanations(const Program &P,
+                                   const LeakAnalysisResult &R);
 
 } // namespace lc
 

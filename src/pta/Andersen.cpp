@@ -26,6 +26,8 @@
 
 #include "pta/Andersen.h"
 
+#include "support/Stats.h"
+#include "support/Trace.h"
 #include "support/Worklist.h"
 
 #include <algorithm>
@@ -110,6 +112,19 @@ AndersenPta::AndersenPta(const Pag &G, AndersenPta &&Prev) : G(G) {
 #endif
 }
 
+void AndersenPta::recordStats(MetricsRegistry &S) const {
+  S.addCounter("andersen-sccs-collapsed", C.SccsCollapsed);
+  S.addCounter("andersen-scc-nodes-merged", C.SccNodesMerged);
+  S.addCounter("andersen-online-collapse-passes", C.OnlineCollapsePasses);
+  S.addCounter("andersen-delta-pushes", C.DeltaPushes);
+  S.addCounter("andersen-solve-iterations", C.Iterations);
+  if (C.Incremental) {
+    S.addCounter("andersen-incremental-solves");
+    S.addCounter("andersen-affected-vars", C.AffectedVars);
+    S.addCounter("andersen-reused-vars", C.ReusedVars);
+  }
+}
+
 const BitSet &AndersenPta::fieldPointsTo(AllocSiteId Site,
                                          FieldId Field) const {
   auto It = SlotOf.find(slotKey(Site, Field));
@@ -190,6 +205,7 @@ void AndersenPta::addEdge(uint32_t Src, uint32_t Dst,
 /// and assigns wave ranks from the condensation's topological order
 /// (sources rank lowest, so the priority worklist drains in waves).
 void AndersenPta::collapseAndRank() {
+  trace::TraceSpan Span("andersen.collapse", "andersen");
   size_t N = Parent.size();
   size_t NumVars = G.numNodes();
 
@@ -292,6 +308,9 @@ void AndersenPta::collapseAndRank() {
 }
 
 void AndersenPta::solve(AndersenPta *Prev) {
+  trace::TraceSpan Span(Prev ? "andersen.resolve" : "andersen.solve",
+                        "andersen");
+  Span.arg("nodes", G.numNodes());
   size_t NumVars = G.numNodes();
   WorkState WS;
   W = &WS;

@@ -45,6 +45,8 @@
 
 namespace lc {
 
+class MetricsRegistry;
+
 /// Work-done counters of one solver run, surfaced as `andersen-*` run
 /// statistics and recorded by the benchmarks.
 struct AndersenCounters {
@@ -100,6 +102,12 @@ public:
   /// Solver statistics.
   uint64_t iterations() const { return C.Iterations; }
   const AndersenCounters &counters() const { return C; }
+
+  /// Publishes this run's counters into \p S as the canonical `andersen-*`
+  /// metrics (incremental runs additionally record the affected/reused
+  /// split). Every consumer -- the driver's substrate stats, the
+  /// refinement loop, the benches -- goes through this one mapping.
+  void recordStats(MetricsRegistry &S) const;
 
 private:
   void solve(AndersenPta *Prev);

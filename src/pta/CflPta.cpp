@@ -2,6 +2,8 @@
 
 #include "pta/CflPta.h"
 
+#include "support/Trace.h"
+
 #include <algorithm>
 #include <cassert>
 #include <set>
@@ -253,8 +255,11 @@ CflPta::EntryPtr CflPta::runQuery(PagNodeId N, uint32_t Hops, bool Sat,
 }
 
 CflResult CflPta::pointsTo(PagNodeId N) const {
+  trace::TraceSpan Span("cfl.query", "cfl");
   QueryCtx Q;
   EntryPtr E = runQuery(N, Opts.MaxHeapHops, /*Sat=*/false, Q);
+  Span.arg("node", N);
+  Span.arg("states", Q.Used);
   CflResult R;
   R.Objects = E->Objects;
   R.FellBack = E->FellBack || Q.Exhausted;

@@ -13,18 +13,7 @@ namespace {
 /// statistics bag (surfaced by the driver as `andersen-*`).
 void recordSolve(RefinedSubstrate &Out, const AndersenPta &Base,
                  double Seconds) {
-  const AndersenCounters &C = Base.counters();
-  Out.Statistics.add("andersen-sccs-collapsed", C.SccsCollapsed);
-  Out.Statistics.add("andersen-scc-nodes-merged", C.SccNodesMerged);
-  Out.Statistics.add("andersen-online-collapse-passes",
-                     C.OnlineCollapsePasses);
-  Out.Statistics.add("andersen-delta-pushes", C.DeltaPushes);
-  Out.Statistics.add("andersen-solve-iterations", C.Iterations);
-  if (C.Incremental) {
-    Out.Statistics.add("andersen-incremental-solves");
-    Out.Statistics.add("andersen-affected-vars", C.AffectedVars);
-    Out.Statistics.add("andersen-reused-vars", C.ReusedVars);
-  }
+  Base.recordStats(Out.Statistics);
   Out.Statistics.addTime("andersen-solve", Seconds);
   Out.SolveSeconds.push_back(Seconds);
 }

@@ -1,0 +1,76 @@
+//===-- Json.h - Minimal JSON emission helpers -----------------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String escaping and number formatting for the hand-rolled JSON the
+/// diagnostics layer emits (Chrome trace events, the versioned run
+/// report, the bench result files). Emission stays manual -- every
+/// producer controls its own key order, which is what makes the run
+/// report's stable section byte-comparable -- but escaping and float
+/// formatting live here so no producer gets them subtly wrong.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_SUPPORT_JSON_H
+#define LC_SUPPORT_JSON_H
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace lc::json {
+
+/// Escapes \p S for use inside a JSON string literal (quotes not
+/// included). Control characters become \uXXXX.
+inline std::string escape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}
+
+/// A quoted, escaped JSON string literal.
+inline std::string quote(std::string_view S) {
+  return "\"" + escape(S) + "\"";
+}
+
+/// Formats a double with enough digits to round-trip small timing values
+/// without dragging in locale-dependent iostream state.
+inline std::string num(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+  return Buf;
+}
+
+} // namespace lc::json
+
+#endif // LC_SUPPORT_JSON_H

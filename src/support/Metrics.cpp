@@ -1,0 +1,61 @@
+//===-- Metrics.cpp -------------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+#include <sstream>
+
+using namespace lc;
+
+unsigned TimingHistogram::bucketFor(double Seconds) {
+  double Us = Seconds * 1e6;
+  unsigned B = 0;
+  // bucket i holds samples < 2^i us; linear scan over 20 buckets beats
+  // pulling in log2/FP-classification corner cases for a cold path.
+  while (B + 1 < kBuckets && Us >= double(1ull << B))
+    ++B;
+  return B;
+}
+
+MetricsRegistry::Metric &MetricsRegistry::slot(const std::string &Name,
+                                               MetricKind Kind,
+                                               MetricDet Det) {
+  auto It = Index.find(Name);
+  if (It != Index.end())
+    return Order[It->second];
+  Index.emplace(Name, Order.size());
+  Metric M;
+  M.Name = Name;
+  M.Kind = Kind;
+  M.Det = Det;
+  Order.push_back(std::move(M));
+  return Order.back();
+}
+
+void MetricsRegistry::merge(const MetricsRegistry &O) {
+  for (const Metric &In : O.Order) {
+    Metric &M = slot(In.Name, In.Kind, In.Det);
+    switch (In.Kind) {
+    case MetricKind::Counter:
+      M.Value += In.Value;
+      break;
+    case MetricKind::Gauge:
+      M.Value = In.Value;
+      break;
+    case MetricKind::Timing:
+      M.Seconds += In.Seconds;
+      M.Hist.merge(In.Hist);
+      break;
+    }
+  }
+}
+
+std::string MetricsRegistry::str() const {
+  std::ostringstream OS;
+  for (const Metric &M : Order) {
+    if (M.Kind == MetricKind::Timing)
+      OS << M.Name << " = " << M.Seconds << " s\n";
+    else
+      OS << M.Name << " = " << M.Value << '\n';
+  }
+  return OS.str();
+}

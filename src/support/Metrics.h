@@ -1,0 +1,183 @@
+//===-- Metrics.h - Typed metrics registry ---------------------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The typed replacement for the stringly stats bag: a registry of named
+/// metrics where every entry carries a kind (counter, gauge, timing) and a
+/// determinism class, and the registry remembers registration order so
+/// dumps and reports diff stably between runs.
+///
+/// The determinism class is the contract the JSON run report is built on:
+///
+///   Stable      -- identical for a given input at any --jobs count, with
+///                  the memo cache on or off, on any machine. The
+///                  determinism tests byte-compare exactly this section.
+///   Environment -- configuration- or schedule-dependent (the jobs gauge,
+///                  memo-cache hit/miss splits). Real data, but two valid
+///                  runs may legitimately disagree.
+///   Timing      -- wall-clock. Never compared, always reported.
+///
+/// Timings keep both a running total and a fixed-bucket histogram of the
+/// individual samples (power-of-two microsecond buckets), so a phase that
+/// runs once per loop exposes its per-call distribution, not just a sum.
+///
+/// `merge` keeps the determinism guarantee of the old bag: merging happens
+/// on the calling thread in a deterministic order (counters and timings
+/// add, gauges overwrite), so any value that was schedule-independent in
+/// the parts stays schedule-independent in the whole.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_SUPPORT_METRICS_H
+#define LC_SUPPORT_METRICS_H
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lc {
+
+/// What a metric measures.
+enum class MetricKind : uint8_t {
+  Counter, ///< monotonically accumulated count (merge adds)
+  Gauge,   ///< last-set value, e.g. a configuration knob (merge overwrites)
+  Timing,  ///< accumulated wall-clock seconds + per-sample histogram
+};
+
+/// Who is allowed to change a metric's value between two equivalent runs.
+enum class MetricDet : uint8_t {
+  Stable,      ///< schedule-, warmth- and jobs-independent
+  Environment, ///< configuration- or schedule-dependent
+  Timing,      ///< wall-clock
+};
+
+/// Fixed power-of-two microsecond buckets: bucket i counts samples with
+/// duration < 2^i microseconds (the last bucket absorbs everything
+/// larger). Fixed boundaries keep histograms mergeable and the report
+/// schema closed.
+struct TimingHistogram {
+  static constexpr unsigned kBuckets = 20; ///< up to ~0.5 s, then overflow
+
+  std::array<uint64_t, kBuckets> Count{};
+
+  static unsigned bucketFor(double Seconds);
+  void record(double Seconds) { ++Count[bucketFor(Seconds)]; }
+  void merge(const TimingHistogram &O) {
+    for (unsigned I = 0; I < kBuckets; ++I)
+      Count[I] += O.Count[I];
+  }
+  uint64_t samples() const {
+    uint64_t N = 0;
+    for (uint64_t C : Count)
+      N += C;
+    return N;
+  }
+};
+
+/// A bag of named, typed metrics owned by one analysis run (or one
+/// aggregation of runs). Not thread-safe: parallel stages record into
+/// per-slot results that are merged on the calling thread, exactly like
+/// every other analysis output.
+class MetricsRegistry {
+public:
+  struct Metric {
+    std::string Name;
+    MetricKind Kind = MetricKind::Counter;
+    MetricDet Det = MetricDet::Stable;
+    uint64_t Value = 0;    ///< counter / gauge payload
+    double Seconds = 0;    ///< timing payload
+    TimingHistogram Hist;  ///< timing payload (per-sample distribution)
+  };
+
+  // --- Typed surface ------------------------------------------------------
+
+  /// Accumulates \p Delta into counter \p Name (registered on first use).
+  void addCounter(const std::string &Name, uint64_t Delta = 1,
+                  MetricDet Det = MetricDet::Stable) {
+    slot(Name, MetricKind::Counter, Det).Value += Delta;
+  }
+  /// Sets gauge \p Name to \p Value.
+  void setGauge(const std::string &Name, uint64_t Value,
+                MetricDet Det = MetricDet::Environment) {
+    slot(Name, MetricKind::Gauge, Det).Value = Value;
+  }
+  /// Records one wall-clock sample into timing \p Name.
+  void recordTime(const std::string &Name, double Seconds) {
+    Metric &M = slot(Name, MetricKind::Timing, MetricDet::Timing);
+    M.Seconds += Seconds;
+    M.Hist.record(Seconds);
+  }
+
+  /// All metrics, in registration order.
+  const std::vector<Metric> &metrics() const { return Order; }
+
+  /// Looks a metric up by name; nullptr when never registered.
+  const Metric *lookup(const std::string &Name) const {
+    auto It = Index.find(Name);
+    return It == Index.end() ? nullptr : &Order[It->second];
+  }
+
+  // --- Stats-compatible surface (the old stringly API) --------------------
+
+  void add(const std::string &Name, uint64_t Delta = 1) {
+    addCounter(Name, Delta);
+  }
+  uint64_t get(const std::string &Name) const {
+    const Metric *M = lookup(Name);
+    return M ? M->Value : 0;
+  }
+  void addTime(const std::string &Phase, double Seconds) {
+    recordTime(Phase, Seconds);
+  }
+  double time(const std::string &Phase) const {
+    const Metric *M = lookup(Phase);
+    return M ? M->Seconds : 0.0;
+  }
+
+  /// Adds every metric of \p O into this bag in \p O's registration order
+  /// (used to aggregate per-loop runs into one tool-level summary).
+  /// Counters and timings accumulate; gauges take \p O's value.
+  void merge(const MetricsRegistry &O);
+
+  /// Human-readable dump, one line per entry, in registration order --
+  /// diffs between two runs line up even when the runs registered extra
+  /// trailing metrics.
+  std::string str() const;
+
+private:
+  Metric &slot(const std::string &Name, MetricKind Kind, MetricDet Det);
+
+  std::vector<Metric> Order;                    ///< registration order
+  std::unordered_map<std::string, size_t> Index; ///< name -> Order index
+};
+
+/// RAII wall-clock timer that records one sample into a timing metric on
+/// destruction.
+class ScopedTimer {
+public:
+  ScopedTimer(MetricsRegistry &S, std::string Phase)
+      : S(S), Phase(std::move(Phase)),
+        Start(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    auto End = std::chrono::steady_clock::now();
+    S.recordTime(Phase, std::chrono::duration<double>(End - Start).count());
+  }
+
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+private:
+  MetricsRegistry &S;
+  std::string Phase;
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace lc
+
+#endif // LC_SUPPORT_METRICS_H

@@ -1,84 +1,29 @@
-//===-- Stats.h - Analysis statistics and timers ---------------*- C++ -*-===//
+//===-- Stats.h - Analysis statistics (compat shim) ------------*- C++ -*-===//
 //
 // Part of the LeakChecker reproduction, MIT license.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Named counters and wall-clock timers. Analyses record how much work they
-/// did (nodes visited, budget spent) and how long phases took; Table 1's
-/// "Time" column is produced from these.
+/// `Stats` is the historical name of the per-run statistics bag. It is now
+/// the typed metrics registry of Metrics.h -- named counters, gauges and
+/// timing histograms with registration-order dumps and determinism
+/// classes -- kept under the old name because every analysis carries a
+/// `Stats` member and the old `add`/`get`/`addTime`/`merge` surface is
+/// still the convenient recording API. New code that cares about metric
+/// kinds or determinism classes should use the typed surface
+/// (`addCounter`/`setGauge`/`recordTime`, `metrics()`).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef LC_SUPPORT_STATS_H
 #define LC_SUPPORT_STATS_H
 
-#include <chrono>
-#include <cstdint>
-#include <map>
-#include <string>
+#include "support/Metrics.h"
 
 namespace lc {
 
-/// A bag of named counters plus phase timings, owned by a driver run.
-class Stats {
-public:
-  void add(const std::string &Name, uint64_t Delta = 1) {
-    Counters[Name] += Delta;
-  }
-  uint64_t get(const std::string &Name) const {
-    auto It = Counters.find(Name);
-    return It == Counters.end() ? 0 : It->second;
-  }
-
-  void addTime(const std::string &Phase, double Seconds) {
-    Times[Phase] += Seconds;
-  }
-  double time(const std::string &Phase) const {
-    auto It = Times.find(Phase);
-    return It == Times.end() ? 0.0 : It->second;
-  }
-
-  /// Adds every counter and phase time of \p O into this bag (used to
-  /// aggregate per-loop runs into one tool-level summary).
-  void merge(const Stats &O) {
-    for (const auto &[Name, Value] : O.Counters)
-      Counters[Name] += Value;
-    for (const auto &[Phase, Seconds] : O.Times)
-      Times[Phase] += Seconds;
-  }
-
-  const std::map<std::string, uint64_t> &counters() const { return Counters; }
-  const std::map<std::string, double> &times() const { return Times; }
-
-  /// Human-readable dump, one line per entry.
-  std::string str() const;
-
-private:
-  std::map<std::string, uint64_t> Counters;
-  std::map<std::string, double> Times;
-};
-
-/// RAII wall-clock timer that records into a Stats phase on destruction.
-class ScopedTimer {
-public:
-  ScopedTimer(Stats &S, std::string Phase)
-      : S(S), Phase(std::move(Phase)),
-        Start(std::chrono::steady_clock::now()) {}
-  ~ScopedTimer() {
-    auto End = std::chrono::steady_clock::now();
-    S.addTime(Phase, std::chrono::duration<double>(End - Start).count());
-  }
-
-  ScopedTimer(const ScopedTimer &) = delete;
-  ScopedTimer &operator=(const ScopedTimer &) = delete;
-
-private:
-  Stats &S;
-  std::string Phase;
-  std::chrono::steady_clock::time_point Start;
-};
+using Stats = MetricsRegistry;
 
 } // namespace lc
 

@@ -2,6 +2,8 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/Trace.h"
+
 #include <algorithm>
 
 using namespace lc;
@@ -84,7 +86,10 @@ void ThreadPool::workerLoop(unsigned Self) {
     Task T;
     if (takeTask(Self, T)) {
       Pending.fetch_sub(1, std::memory_order_acq_rel);
-      T();
+      {
+        trace::TraceSpan Span("pool.task", "pool");
+        T();
+      }
       continue;
     }
     std::unique_lock<std::mutex> L(WakeM);
@@ -102,6 +107,8 @@ void ThreadPool::parallelFor(size_t N, const std::function<void(size_t)> &F) {
   if (N == 0)
     return;
   if (NumJobs <= 1 || N == 1) {
+    trace::TraceSpan Span("pool.inline", "pool");
+    Span.arg("items", N);
     for (size_t I = 0; I < N; ++I)
       F(I);
     return;

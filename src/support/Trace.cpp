@@ -1,0 +1,132 @@
+//===-- Trace.cpp ---------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include "support/Json.h"
+
+#include <algorithm>
+
+using namespace lc::trace;
+
+std::atomic<bool> Tracer::Active{false};
+
+Tracer &Tracer::instance() {
+  static Tracer T;
+  return T;
+}
+
+Tracer::Tracer() : Epoch(std::chrono::steady_clock::now()) {}
+
+uint64_t Tracer::nowNs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Epoch)
+          .count());
+}
+
+Tracer::Ring &Tracer::threadRing() {
+  thread_local Ring *Mine = nullptr;
+  if (Mine)
+    return *Mine;
+  std::lock_guard<std::mutex> L(RegM);
+  auto R = std::make_unique<Ring>();
+  R->Buf.resize(kRingCapacity);
+  R->Tid = static_cast<uint32_t>(Rings.size());
+  Mine = R.get();
+  Rings.push_back(std::move(R));
+  return *Mine;
+}
+
+void Tracer::record(SpanRecord R) {
+  Ring &Ring_ = threadRing();
+  uint64_t N = Ring_.Count.load(std::memory_order_relaxed);
+  R.Tid = Ring_.Tid;
+  Ring_.Buf[N % kRingCapacity] = R;
+  // Single-writer ring: the release publish pairs with the quiescent
+  // reader's acquire (and, in the tool flow, with the thread join).
+  Ring_.Count.store(N + 1, std::memory_order_release);
+}
+
+size_t Tracer::spanCount() const {
+  std::lock_guard<std::mutex> L(RegM);
+  size_t Total = 0;
+  for (const auto &R : Rings)
+    Total += static_cast<size_t>(std::min<uint64_t>(
+        R->Count.load(std::memory_order_acquire), kRingCapacity));
+  return Total;
+}
+
+uint64_t Tracer::droppedCount() const {
+  std::lock_guard<std::mutex> L(RegM);
+  uint64_t Dropped = 0;
+  for (const auto &R : Rings) {
+    uint64_t N = R->Count.load(std::memory_order_acquire);
+    if (N > kRingCapacity)
+      Dropped += N - kRingCapacity;
+  }
+  return Dropped;
+}
+
+void Tracer::reset() {
+  std::lock_guard<std::mutex> L(RegM);
+  for (auto &R : Rings)
+    R->Count.store(0, std::memory_order_release);
+}
+
+void Tracer::writeChromeTrace(std::ostream &OS) const {
+  std::vector<SpanRecord> Events;
+  {
+    std::lock_guard<std::mutex> L(RegM);
+    for (const auto &R : Rings) {
+      uint64_t N = R->Count.load(std::memory_order_acquire);
+      uint64_t Keep = std::min<uint64_t>(N, kRingCapacity);
+      // Oldest retained entry first; a wrapped ring keeps the newest
+      // kRingCapacity spans.
+      for (uint64_t I = N - Keep; I < N; ++I)
+        Events.push_back(R->Buf[I % kRingCapacity]);
+    }
+  }
+  std::stable_sort(Events.begin(), Events.end(),
+                   [](const SpanRecord &A, const SpanRecord &B) {
+                     if (A.StartNs != B.StartNs)
+                       return A.StartNs < B.StartNs;
+                     return A.Tid < B.Tid;
+                   });
+
+  OS << "{\"traceEvents\": [\n";
+  for (size_t I = 0; I < Events.size(); ++I) {
+    const SpanRecord &E = Events[I];
+    OS << "  {\"name\": " << json::quote(E.Name)
+       << ", \"cat\": " << json::quote(E.Cat)
+       << ", \"ph\": \"X\", \"pid\": 1, \"tid\": " << E.Tid
+       << ", \"ts\": " << json::num(double(E.StartNs) / 1e3)
+       << ", \"dur\": " << json::num(double(E.DurNs) / 1e3);
+    if (E.ArgName) {
+      OS << ", \"args\": {" << json::quote(E.ArgName) << ": " << E.Arg;
+      if (E.Arg2Name)
+        OS << ", " << json::quote(E.Arg2Name) << ": " << E.Arg2;
+      OS << "}";
+    }
+    OS << "}" << (I + 1 < Events.size() ? "," : "") << "\n";
+  }
+  OS << "], \"displayTimeUnit\": \"ms\", \"otherData\": "
+        "{\"tool\": \"leakchecker\", \"dropped_spans\": "
+     << droppedCount() << "}}\n";
+}
+
+void TraceSpan::begin(const char *Name, const char *Cat) {
+  R.Name = Name;
+  R.Cat = Cat;
+  R.StartNs = Tracer::instance().nowNs();
+  Live = true;
+}
+
+void TraceSpan::end() {
+  // Re-check the flag: if tracing was switched off mid-span, drop it
+  // rather than record into a sink the exporter already consumed.
+  if (!Tracer::active())
+    return;
+  Tracer &T = Tracer::instance();
+  R.DurNs = T.nowNs() - R.StartNs;
+  T.record(R);
+}

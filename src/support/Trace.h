@@ -1,0 +1,157 @@
+//===-- Trace.h - Structured tracing spans ---------------------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RAII span tracing for the analysis pipeline. A `TraceSpan` marks one
+/// timed region (a thread-pool task, a demand CFL query, an Andersen
+/// solve, a leak-analysis phase); completed spans land in lock-free
+/// per-thread ring buffers owned by the process-wide `Tracer`, which can
+/// export everything as Chrome trace-event JSON (`--trace-out`, loadable
+/// in Perfetto / chrome://tracing) so the parallel query fan-out is
+/// inspectable span by span.
+///
+/// Cost contract: when tracing is disabled (the default), constructing and
+/// destroying a span is one relaxed atomic load and a branch -- no clock
+/// read, no allocation, no stores (unit-tested via an allocation-counting
+/// operator new). Span names and categories must therefore be string
+/// literals: the tracer stores the pointers, never copies.
+///
+/// Recording is wait-free for the owning thread: each thread registers a
+/// fixed-capacity ring once (the only mutex touch) and then appends with
+/// plain stores plus one release publish. Rings overwrite their oldest
+/// entries when full and count the drops. Export must be quiescent: call
+/// it after the analysis session (and its thread pool) has been torn
+/// down -- thread join is the happens-before edge that makes every
+/// worker's final spans visible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_SUPPORT_TRACE_H
+#define LC_SUPPORT_TRACE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+namespace lc::trace {
+
+/// One completed span. All text fields point at string literals.
+struct SpanRecord {
+  const char *Name = nullptr;
+  const char *Cat = nullptr;
+  uint64_t StartNs = 0;
+  uint64_t DurNs = 0;
+  const char *ArgName = nullptr; ///< optional numeric argument
+  uint64_t Arg = 0;
+  const char *Arg2Name = nullptr;
+  uint64_t Arg2 = 0;
+  uint32_t Tid = 0;
+};
+
+/// Process-wide span sink. All methods are safe to call from any thread
+/// except `writeChromeTrace`/`reset`, which require quiescence (no spans
+/// in flight; join worker threads first).
+class Tracer {
+public:
+  static Tracer &instance();
+
+  /// The span fast-path flag. Spans record only while this is true.
+  static bool active() { return Active.load(std::memory_order_relaxed); }
+
+  void enable() { Active.store(true, std::memory_order_relaxed); }
+  void disable() { Active.store(false, std::memory_order_relaxed); }
+
+  /// Appends \p R to the calling thread's ring (wait-free after the
+  /// thread's first call).
+  void record(SpanRecord R);
+
+  /// Nanoseconds since the tracer's epoch (first use in the process).
+  uint64_t nowNs() const;
+
+  /// Writes every retained span as Chrome trace-event JSON. Events are
+  /// sorted by start time so the file diffs sanely. Requires quiescence.
+  void writeChromeTrace(std::ostream &OS) const;
+
+  /// Total spans currently retained across all rings (quiescent only).
+  size_t spanCount() const;
+  /// Spans overwritten because a ring filled up (quiescent only).
+  uint64_t droppedCount() const;
+
+  /// Drops all retained spans and drop counts; rings stay registered.
+  /// Requires quiescence.
+  void reset();
+
+  /// Ring capacity in spans (per thread).
+  static constexpr size_t kRingCapacity = 1 << 14;
+
+private:
+  Tracer();
+
+  struct Ring {
+    std::vector<SpanRecord> Buf;       ///< fixed size kRingCapacity
+    std::atomic<uint64_t> Count{0};    ///< total spans ever written
+    uint32_t Tid = 0;
+  };
+
+  Ring &threadRing();
+
+  static std::atomic<bool> Active;
+
+  mutable std::mutex RegM;                   ///< guards Rings registration
+  std::vector<std::unique_ptr<Ring>> Rings;  ///< one per thread ever seen
+  std::chrono::steady_clock::time_point Epoch;
+};
+
+/// Sentinel for "no numeric argument".
+inline constexpr const char *kNoArg = nullptr;
+
+/// RAII span. Does nothing (and allocates nothing) while tracing is
+/// disabled. \p Name and \p Cat must be string literals.
+class TraceSpan {
+public:
+  TraceSpan(const char *Name, const char *Cat) {
+    if (!Tracer::active())
+      return;
+    begin(Name, Cat);
+  }
+  ~TraceSpan() {
+    if (Live)
+      end();
+  }
+
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+  /// Attaches a named numeric argument (first call fills the first slot,
+  /// second call the second; further calls are ignored). \p Name must be
+  /// a string literal. No-op while disabled.
+  void arg(const char *Name, uint64_t Value) {
+    if (!Live)
+      return;
+    if (!R.ArgName) {
+      R.ArgName = Name;
+      R.Arg = Value;
+    } else if (!R.Arg2Name) {
+      R.Arg2Name = Name;
+      R.Arg2 = Value;
+    }
+  }
+
+private:
+  void begin(const char *Name, const char *Cat);
+  void end();
+
+  SpanRecord R;
+  bool Live = false;
+};
+
+} // namespace lc::trace
+
+#endif // LC_SUPPORT_TRACE_H

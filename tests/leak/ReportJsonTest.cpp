@@ -1,0 +1,113 @@
+//===-- ReportJsonTest.cpp - run-report determinism tests ------------------===//
+//
+// The `--stats-json` run report's contract: a fixed schema header, leak
+// reports with embedded witnesses, and metrics grouped stable before
+// environment before timing -- where everything up to the "environment"
+// line is byte-identical for a given input across --jobs counts and memo
+// cache configurations. The memo knob is fixed at substrate construction,
+// so each configuration gets a fresh checker.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LeakChecker.h"
+#include "core/RunReport.h"
+#include "subjects/Subjects.h"
+
+#include <gtest/gtest.h>
+
+using namespace lc;
+using namespace lc::subjects;
+
+namespace {
+
+/// Renders the run report for one subject under the given configuration,
+/// building a fresh substrate (the memo option cannot be toggled on an
+/// existing one).
+std::string renderFor(const Subject &S, uint32_t Jobs, bool Memoize) {
+  DiagnosticEngine Diags;
+  LeakOptions O = S.Options;
+  O.Jobs = Jobs;
+  O.Cfl.Memoize = Memoize;
+  auto LC = LeakChecker::fromSource(S.Source, Diags, O);
+  EXPECT_NE(LC, nullptr) << S.Name << ": " << Diags.str();
+  if (!LC)
+    return "";
+  auto R = LC->check(S.LoopLabel);
+  EXPECT_TRUE(R.has_value()) << S.Name;
+  if (!R)
+    return "";
+  std::vector<LeakAnalysisResult> Results;
+  Results.push_back(std::move(*R));
+  MetricsRegistry Merged;
+  Merged.merge(LC->substrateStats());
+  Merged.merge(Results[0].Statistics);
+  return renderRunReportJson(LC->program(), S.Name, Results, Merged);
+}
+
+/// The deterministic prefix: everything before the environment metrics
+/// section. Timing follows environment, so this drops both.
+std::string stablePrefix(const std::string &J) {
+  size_t At = J.find("\"environment\": {");
+  EXPECT_NE(At, std::string::npos) << J.substr(0, 400);
+  return At == std::string::npos ? J : J.substr(0, At);
+}
+
+} // namespace
+
+TEST(ReportJson, CarriesSchemaHeaderAndSections) {
+  const Subject &S = subjects::all().front();
+  std::string J = renderFor(S, 1, true);
+  EXPECT_NE(J.find("\"schema\": \"leakchecker-run-report\""),
+            std::string::npos);
+  EXPECT_NE(J.find("\"version\": 1"), std::string::npos);
+  EXPECT_NE(J.find("\"input\": "), std::string::npos);
+  EXPECT_NE(J.find("\"loops\": ["), std::string::npos);
+  EXPECT_NE(J.find("\"metrics\": {"), std::string::npos);
+  // Section order is part of the layout contract.
+  size_t Stable = J.find("\"stable\": {");
+  size_t Env = J.find("\"environment\": {");
+  size_t Timing = J.find("\"timing\": {");
+  ASSERT_NE(Stable, std::string::npos);
+  ASSERT_NE(Env, std::string::npos);
+  ASSERT_NE(Timing, std::string::npos);
+  EXPECT_LT(Stable, Env);
+  EXPECT_LT(Env, Timing);
+}
+
+TEST(ReportJson, ReportsEmbedWitnessChains) {
+  // Find a subject that actually produces reports.
+  for (const Subject &S : subjects::all()) {
+    std::string J = renderFor(S, 1, true);
+    if (J.find("\"reports\": []") != std::string::npos)
+      continue;
+    EXPECT_NE(J.find("\"witness\": {"), std::string::npos) << S.Name;
+    EXPECT_NE(J.find("\"verdict\": "), std::string::npos) << S.Name;
+    EXPECT_NE(J.find("\"path\": ["), std::string::npos) << S.Name;
+    EXPECT_NE(J.find("\"flows_in\": {"), std::string::npos) << S.Name;
+    EXPECT_NE(J.find("\"cfl\": {"), std::string::npos) << S.Name;
+    return;
+  }
+  FAIL() << "no subject produced any leak report";
+}
+
+TEST(ReportJson, StablePrefixByteIdenticalAcrossJobsAndMemo) {
+  for (const Subject &S : subjects::all()) {
+    std::string Baseline = stablePrefix(renderFor(S, 1, true));
+    ASSERT_FALSE(Baseline.empty()) << S.Name;
+    EXPECT_EQ(stablePrefix(renderFor(S, 4, true)), Baseline)
+        << S.Name << " jobs=4 memo=on";
+    EXPECT_EQ(stablePrefix(renderFor(S, 1, false)), Baseline)
+        << S.Name << " jobs=1 memo=off";
+    EXPECT_EQ(stablePrefix(renderFor(S, 4, false)), Baseline)
+        << S.Name << " jobs=4 memo=off";
+  }
+}
+
+TEST(ReportJson, TimingMetricsCarryHistograms) {
+  const Subject &S = subjects::all().front();
+  std::string J = renderFor(S, 1, true);
+  EXPECT_NE(J.find("\"leak-analysis\": {"), std::string::npos);
+  EXPECT_NE(J.find("\"seconds\": "), std::string::npos);
+  EXPECT_NE(J.find("\"samples\": "), std::string::npos);
+  EXPECT_NE(J.find("\"histogram_us_pow2\": ["), std::string::npos);
+}

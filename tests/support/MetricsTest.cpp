@@ -1,0 +1,110 @@
+//===-- MetricsTest.cpp - typed metrics registry tests ---------------------===//
+//
+// The registry is the observability layer's source of truth: registration
+// order must be preserved (dumps and reports diff stably), merge must keep
+// the old stats bag's determinism guarantees, and the timing histogram's
+// fixed buckets must bin samples where the schema says they land.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+#include <gtest/gtest.h>
+
+using namespace lc;
+
+TEST(Metrics, StrFollowsRegistrationOrderNotNameOrder) {
+  MetricsRegistry M;
+  // Deliberately anti-alphabetical: a map-ordered dump would sort these.
+  M.addCounter("zeta", 3);
+  M.addCounter("alpha", 1);
+  M.recordTime("mid-phase", 0.25);
+  M.addCounter("beta", 2);
+  std::string S = M.str();
+  size_t Zeta = S.find("zeta"), Alpha = S.find("alpha"),
+         Mid = S.find("mid-phase"), Beta = S.find("beta");
+  ASSERT_NE(Zeta, std::string::npos);
+  ASSERT_NE(Alpha, std::string::npos);
+  ASSERT_NE(Mid, std::string::npos);
+  ASSERT_NE(Beta, std::string::npos);
+  EXPECT_LT(Zeta, Alpha);
+  EXPECT_LT(Alpha, Mid);
+  EXPECT_LT(Mid, Beta);
+}
+
+TEST(Metrics, MetricsVectorKeepsKindAndDeterminismClass) {
+  MetricsRegistry M;
+  M.addCounter("stable-count", 7);
+  M.addCounter("env-count", 1, MetricDet::Environment);
+  M.setGauge("jobs", 4);
+  M.recordTime("phase", 0.001);
+  ASSERT_EQ(M.metrics().size(), 4u);
+  EXPECT_EQ(M.metrics()[0].Kind, MetricKind::Counter);
+  EXPECT_EQ(M.metrics()[0].Det, MetricDet::Stable);
+  EXPECT_EQ(M.metrics()[1].Det, MetricDet::Environment);
+  EXPECT_EQ(M.metrics()[2].Kind, MetricKind::Gauge);
+  EXPECT_EQ(M.metrics()[2].Det, MetricDet::Environment);
+  EXPECT_EQ(M.metrics()[3].Kind, MetricKind::Timing);
+  EXPECT_EQ(M.metrics()[3].Det, MetricDet::Timing);
+}
+
+TEST(Metrics, MergeAddsCountersOverwritesGaugesAndAppendsInOrder) {
+  MetricsRegistry A, B;
+  A.addCounter("shared", 5);
+  A.setGauge("jobs", 1);
+  A.recordTime("phase", 0.5);
+
+  B.addCounter("shared", 2);
+  B.setGauge("jobs", 8);
+  B.recordTime("phase", 0.25);
+  B.addCounter("only-in-b-late");
+  B.addCounter("only-in-b-later");
+
+  A.merge(B);
+  EXPECT_EQ(A.get("shared"), 7u);
+  EXPECT_EQ(A.get("jobs"), 8u); // gauge: last merge wins
+  EXPECT_DOUBLE_EQ(A.time("phase"), 0.75);
+  ASSERT_EQ(A.metrics().size(), 5u);
+  // New names appended in B's registration order, after A's entries.
+  EXPECT_EQ(A.metrics()[3].Name, "only-in-b-late");
+  EXPECT_EQ(A.metrics()[4].Name, "only-in-b-later");
+}
+
+TEST(Metrics, LookupAndCompatSurface) {
+  MetricsRegistry M;
+  EXPECT_EQ(M.lookup("missing"), nullptr);
+  EXPECT_EQ(M.get("missing"), 0u);
+  EXPECT_DOUBLE_EQ(M.time("missing"), 0.0);
+  M.add("legacy"); // Stats-compat spelling
+  M.add("legacy", 4);
+  M.addTime("legacy-phase", 0.125);
+  EXPECT_EQ(M.get("legacy"), 5u);
+  EXPECT_DOUBLE_EQ(M.time("legacy-phase"), 0.125);
+  ASSERT_NE(M.lookup("legacy"), nullptr);
+  EXPECT_EQ(M.lookup("legacy")->Kind, MetricKind::Counter);
+}
+
+TEST(Metrics, HistogramBucketsArePowerOfTwoMicroseconds) {
+  // Bucket i holds samples < 2^i us; the last bucket absorbs the rest.
+  EXPECT_EQ(TimingHistogram::bucketFor(0.0), 0u);
+  EXPECT_EQ(TimingHistogram::bucketFor(0.5e-6), 0u);   // 0.5 us
+  EXPECT_EQ(TimingHistogram::bucketFor(1.0e-6), 1u);   // exactly 1 us
+  EXPECT_EQ(TimingHistogram::bucketFor(1.5e-6), 1u);   // < 2 us
+  EXPECT_EQ(TimingHistogram::bucketFor(3.0e-6), 2u);   // < 4 us
+  EXPECT_EQ(TimingHistogram::bucketFor(1.0e-3), 10u);  // 1000 us < 1024 us
+  EXPECT_EQ(TimingHistogram::bucketFor(100.0),
+            TimingHistogram::kBuckets - 1); // overflow bucket
+}
+
+TEST(Metrics, TimingKeepsTotalAndPerSampleHistogram) {
+  MetricsRegistry M;
+  M.recordTime("phase", 0.5e-6);
+  M.recordTime("phase", 3.0e-6);
+  M.recordTime("phase", 3.1e-6);
+  const MetricsRegistry::Metric *T = M.lookup("phase");
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(T->Hist.samples(), 3u);
+  EXPECT_EQ(T->Hist.Count[0], 1u);
+  EXPECT_EQ(T->Hist.Count[2], 2u);
+  EXPECT_NEAR(T->Seconds, 6.6e-6, 1e-12);
+}

@@ -1,0 +1,64 @@
+//===-- TraceAllocTest.cpp - span fast-path allocation tests ---------------===//
+//
+// Enforces the tracer's cost contract (support/Trace.h): while tracing is
+// disabled, constructing and destroying a TraceSpan -- args included --
+// performs ZERO heap allocations; and once a thread's ring is registered,
+// enabled-path recording is allocation-free too. This file overrides the
+// global operator new/delete to count allocations, which is why it links
+// into its own test binary (trace_alloc_test) instead of support_test.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+std::atomic<uint64_t> GAllocCount{0};
+}
+
+void *operator new(std::size_t N) {
+  GAllocCount.fetch_add(1, std::memory_order_relaxed);
+  if (void *P = std::malloc(N ? N : 1))
+    return P;
+  throw std::bad_alloc();
+}
+void *operator new[](std::size_t N) { return ::operator new(N); }
+void operator delete(void *P) noexcept { std::free(P); }
+void operator delete[](void *P) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t) noexcept { std::free(P); }
+void operator delete[](void *P, std::size_t) noexcept { std::free(P); }
+
+using namespace lc::trace;
+
+TEST(TraceAlloc, DisabledSpanFastPathAllocatesNothing) {
+  Tracer::instance().disable();
+  Tracer::instance().reset();
+  uint64_t Before = GAllocCount.load(std::memory_order_relaxed);
+  for (int I = 0; I < 1000; ++I) {
+    TraceSpan S("alloc.test", "test");
+    S.arg("i", static_cast<uint64_t>(I));
+  }
+  uint64_t After = GAllocCount.load(std::memory_order_relaxed);
+  EXPECT_EQ(After - Before, 0u);
+}
+
+TEST(TraceAlloc, EnabledRecordingIsAllocationFreeAfterRingRegistration) {
+  Tracer::instance().reset();
+  Tracer::instance().enable();
+  // First span on this thread registers the ring (allocates once).
+  { TraceSpan Warm("alloc.warm", "test"); }
+  uint64_t Before = GAllocCount.load(std::memory_order_relaxed);
+  for (int I = 0; I < 1000; ++I) {
+    TraceSpan S("alloc.hot", "test");
+    S.arg("i", static_cast<uint64_t>(I));
+  }
+  uint64_t After = GAllocCount.load(std::memory_order_relaxed);
+  Tracer::instance().disable();
+  Tracer::instance().reset();
+  EXPECT_EQ(After - Before, 0u);
+}

@@ -19,16 +19,22 @@
 //          --no-escape-prefilter --context-depth N --list-subjects
 //          --jobs N --no-cfl-memo --no-stats
 //
+// Diagnostics (docs/OBSERVABILITY.md): --explain prints a provenance
+// witness per report, --stats-json FILE writes the versioned run report,
+// --trace-out FILE writes a Chrome/Perfetto trace of the run's spans.
+//
 //===----------------------------------------------------------------------===//
 
 #include "core/EraCrossCheck.h"
 #include "core/LeakChecker.h"
+#include "core/RunReport.h"
 #include "frontend/Lower.h"
 #include "interp/Interp.h"
 #include "ir/Printer.h"
 #include "leak/LoopSuggestion.h"
 #include "subjects/Scoring.h"
 #include "subjects/Subjects.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 #include <cstring>
@@ -61,31 +67,50 @@ int usage(const char *Argv0) {
       "                         fan-out (default: all cores; 1 = the\n"
       "                         sequential path; reports are identical)\n"
       "  --no-cfl-memo          disable the CFL sub-traversal memo cache\n"
-      "  --no-stats             omit the run-statistics summary\n",
+      "  --no-stats             omit the run-statistics summary\n"
+      "  --explain              print a provenance witness per report\n"
+      "  --stats-json FILE      write the versioned JSON run report\n"
+      "  --trace-out FILE       write a Chrome trace of the run's spans\n",
       Argv0);
   return 2;
 }
 
-/// Aggregated run statistics, printed after the reports. Counter totals
-/// (queries, states visited, fallbacks, skips) are deterministic for a
-/// given input and job count; cache hit/miss splits and phase times are
-/// machine- and schedule-dependent.
+/// Aggregated run statistics, printed after the reports in registration
+/// order (counter totals are deterministic for a given input; gauges,
+/// cache splits and phase times are configuration- or machine-dependent;
+/// see the determinism classes in support/Metrics.h).
 void printStatsSummary(const Stats &S) {
   std::printf("\n--- run statistics ---\n");
-  for (const auto &[Name, Value] : S.counters())
-    std::printf("  %-28s %llu\n", Name.c_str(),
-                static_cast<unsigned long long>(Value));
-  for (const auto &[Phase, Seconds] : S.times())
-    std::printf("  %-28s %.3f ms\n", (Phase + " (time)").c_str(),
-                Seconds * 1e3);
+  for (const MetricsRegistry::Metric &M : S.metrics()) {
+    if (M.Kind == MetricKind::Timing)
+      std::printf("  %-28s %.3f ms\n", (M.Name + " (time)").c_str(),
+                  M.Seconds * 1e3);
+    else
+      std::printf("  %-28s %llu\n", M.Name.c_str(),
+                  static_cast<unsigned long long>(M.Value));
+  }
 }
 
-} // namespace
+/// Fails fast, before any analysis runs, when an output path given on the
+/// command line cannot be written. The append-mode probe never truncates
+/// an existing file.
+bool probeWritable(const std::string &Path, const char *Flag) {
+  std::ofstream Probe(Path, std::ios::app);
+  if (!Probe) {
+    std::fprintf(stderr, "error: %s: cannot open '%s' for writing\n", Flag,
+                 Path.c_str());
+    return false;
+  }
+  return true;
+}
 
-int main(int argc, char **argv) {
-  std::string File, Loop, SubjectName;
+/// The tool proper. Runs inside main so that every session object (in
+/// particular the thread pool, whose join is the happens-before edge the
+/// trace rings need) is destroyed before main exports the trace.
+int runTool(int argc, char **argv, std::string &TraceOut) {
+  std::string File, Loop, SubjectName, StatsJson, TraceOutArg;
   bool Suggest = false, Run = false, DumpIr = false, ListSubjects = false;
-  bool CheckEra = false, ShowStats = true;
+  bool CheckEra = false, ShowStats = true, Explain = false;
   LeakOptions Opts;
 
   for (int I = 1; I < argc; ++I) {
@@ -135,6 +160,18 @@ int main(int argc, char **argv) {
       Opts.Cfl.Memoize = false;
     } else if (A == "--no-stats") {
       ShowStats = false;
+    } else if (A == "--explain") {
+      Explain = true;
+    } else if (A == "--stats-json") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      StatsJson = V;
+    } else if (A == "--trace-out") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      TraceOutArg = V;
     } else if (A == "--check-era") {
       CheckEra = true;
     } else if (!A.empty() && A[0] == '-') {
@@ -143,6 +180,17 @@ int main(int argc, char **argv) {
     } else {
       File = A;
     }
+  }
+
+  // Reject unwritable output paths up front: a long analysis must not run
+  // to completion only to discover it cannot save its results.
+  if (!StatsJson.empty() && !probeWritable(StatsJson, "--stats-json"))
+    return 1;
+  if (!TraceOutArg.empty()) {
+    if (!probeWritable(TraceOutArg, "--trace-out"))
+      return 1;
+    TraceOut = TraceOutArg;
+    trace::Tracer::instance().enable();
   }
 
   if (ListSubjects) {
@@ -170,6 +218,7 @@ int main(int argc, char **argv) {
   } else {
     return usage(argv[0]);
   }
+  std::string InputName = !SubjectName.empty() ? SubjectName : File;
 
   DiagnosticEngine Diags;
   auto Checker = LeakChecker::fromSource(Source, Diags, Opts);
@@ -198,38 +247,62 @@ int main(int argc, char **argv) {
     return 0;
   }
 
+  // Check the requested loop(s), collecting results so the run report can
+  // cover the whole invocation.
+  std::vector<LeakAnalysisResult> Results;
   if (Loop == "all") {
-    Stats Agg;
-    Agg.merge(Checker->substrateStats());
-    for (const LeakAnalysisResult &R : Checker->checkAllLabeled()) {
-      std::printf("%s\n",
-                  renderLeakReport(Checker->program(), R).c_str());
-      Agg.merge(R.Statistics);
-    }
-    if (ShowStats)
-      printStatsSummary(Agg);
-    return 0;
-  }
-  if (Loop.empty()) {
+    Results = Checker->checkAllLabeled();
+  } else if (Loop.empty()) {
     std::fprintf(stderr, "error: pass --loop LABEL, --loop all, or "
                          "--suggest\n");
     return 2;
+  } else {
+    auto Result = Checker->check(Loop);
+    if (!Result) {
+      std::fprintf(stderr, "error: no loop or region labeled '%s'\n",
+                   Loop.c_str());
+      return 1;
+    }
+    Results.push_back(std::move(*Result));
   }
-  auto Result = Checker->check(Loop);
-  if (!Result) {
-    std::fprintf(stderr, "error: no loop or region labeled '%s'\n",
-                 Loop.c_str());
-    return 1;
+
+  for (size_t I = 0; I < Results.size(); ++I) {
+    if (I || Loop == "all")
+      std::printf("%s\n",
+                  renderLeakReport(Checker->program(), Results[I]).c_str());
+    else
+      std::printf("%s",
+                  renderLeakReport(Checker->program(), Results[I]).c_str());
+    if (Explain) {
+      std::string Why = renderLeakExplanations(Checker->program(), Results[I]);
+      if (!Why.empty())
+        std::printf("\n%s", Why.c_str());
+    }
   }
-  std::printf("%s", renderLeakReport(Checker->program(), *Result).c_str());
-  if (ShowStats) {
-    Stats Agg;
-    Agg.merge(Checker->substrateStats());
-    Agg.merge(Result->Statistics);
+
+  Stats Agg;
+  Agg.merge(Checker->substrateStats());
+  for (const LeakAnalysisResult &R : Results)
+    Agg.merge(R.Statistics);
+  if (ShowStats)
     printStatsSummary(Agg);
+
+  if (!StatsJson.empty()) {
+    std::ofstream OS(StatsJson, std::ios::trunc);
+    OS << renderRunReportJson(Checker->program(), InputName, Results, Agg);
+    OS.flush();
+    if (!OS) {
+      std::fprintf(stderr, "error: --stats-json: failed writing '%s'\n",
+                   StatsJson.c_str());
+      return 1;
+    }
   }
 
   if (Run) {
+    if (Loop == "all") {
+      std::fprintf(stderr, "error: --run needs a single --loop LABEL\n");
+      return 2;
+    }
     Program P2;
     DiagnosticEngine D2;
     if (!compileSource(Source, P2, D2))
@@ -247,7 +320,28 @@ int main(int argc, char **argv) {
                 D.Objects.size(), D.Sites.size());
     for (AllocSiteId S : D.Sites)
       std::printf("  %s  [static: %s]\n", P2.allocSiteName(S).c_str(),
-                  Result->reportsSite(S) ? "reported" : "not reported");
+                  Results[0].reportsSite(S) ? "reported" : "not reported");
   }
   return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string TraceOut;
+  int RC = runTool(argc, argv, TraceOut);
+  // Export after runTool returned: the session (and its thread pool) is
+  // destroyed, so every worker joined and the per-thread span rings are
+  // quiescent.
+  if (!TraceOut.empty()) {
+    std::ofstream OS(TraceOut, std::ios::trunc);
+    trace::Tracer::instance().writeChromeTrace(OS);
+    OS.flush();
+    if (!OS) {
+      std::fprintf(stderr, "error: --trace-out: failed writing '%s'\n",
+                   TraceOut.c_str());
+      return RC == 0 ? 1 : RC;
+    }
+  }
+  return RC;
 }
