@@ -1,0 +1,202 @@
+//===-- service_throughput.cpp - warm vs cold request throughput ------------===//
+//
+// Measures the payoff of the analysis service's session cache: the same
+// stream of all-labeled requests over the eight paper subjects is executed
+// (a) cold -- a fresh LeakChecker substrate per request, the pre-service
+// workflow -- and (b) warm -- one AnalysisService whose LRU keeps every
+// subject's session resident after the first round.
+//
+// The two streams must agree byte-for-byte (the service is a cache, not an
+// approximation); the interesting number is requests/sec and the warm/cold
+// wall-clock ratio. Emits BENCH_service.json so CI can track the ratio.
+//
+// Run:  ./build/bench/service_throughput [--quick] [--rounds N]
+//                                        [--min-speedup X] [--out PATH]
+//
+// --min-speedup X exits non-zero when warm/cold falls below X (CI gates on
+// the ISSUE's >= 3x acceptance with --min-speedup 3).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/AnalysisService.h"
+#include "subjects/Subjects.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace lc;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point T0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - T0).count();
+}
+
+/// One request: a subject, all labeled loops, default options.
+AnalysisRequest makeRequest(const subjects::Subject &S, unsigned Round) {
+  AnalysisRequest R;
+  R.Id = std::string(S.Name) + "#" + std::to_string(Round);
+  R.Source = S.Source;
+  R.ProgramName = S.Name;
+  R.Loops = LoopSet::allLabeled();
+  return R;
+}
+
+/// The rendered reports of an outcome, flattened for byte comparison.
+std::string flatten(const AnalysisOutcome &O) {
+  std::string Flat;
+  for (size_t I = 0; I < O.RenderedReports.size(); ++I) {
+    Flat += O.LoopLabels[I];
+    Flat += '\n';
+    Flat += O.RenderedReports[I];
+    Flat += '\n';
+  }
+  return Flat;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Quick = false;
+  unsigned Rounds = 0; // 0 = pick by --quick below
+  double MinSpeedup = 0.0;
+  std::string OutPath = "BENCH_service.json";
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--quick"))
+      Quick = true;
+    else if (!std::strcmp(argv[I], "--rounds") && I + 1 < argc)
+      Rounds = static_cast<unsigned>(std::atoi(argv[++I]));
+    else if (!std::strcmp(argv[I], "--min-speedup") && I + 1 < argc)
+      MinSpeedup = std::atof(argv[++I]);
+    else if (!std::strcmp(argv[I], "--out") && I + 1 < argc)
+      OutPath = argv[++I];
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--rounds N] [--min-speedup X] "
+                   "[--out PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  // The ratio grows with rounds (cold pays substrate construction per
+  // request, warm only on first touch); even --quick needs enough rounds
+  // to amortize the warm stream's eight builds.
+  if (Rounds == 0)
+    Rounds = Quick ? 8 : 16;
+
+  const std::vector<subjects::Subject> &Subjects = subjects::all();
+  std::printf("Service throughput: %zu subjects x %u rounds, all labeled "
+              "loops per request\n\n",
+              Subjects.size(), Rounds);
+
+  // --- cold: fresh substrate per request ----------------------------------
+  std::vector<std::string> ColdFlat;
+  Clock::time_point T0 = Clock::now();
+  for (unsigned Round = 0; Round < Rounds; ++Round) {
+    for (const subjects::Subject &S : Subjects) {
+      DiagnosticEngine Diags;
+      auto Checker = LeakChecker::fromSource(S.Source, Diags);
+      if (!Checker) {
+        std::fprintf(stderr, "compile error in %s:\n%s", S.Name,
+                     Diags.str().c_str());
+        return 1;
+      }
+      AnalysisOutcome O = Checker->run(makeRequest(S, Round));
+      if (!O.ok()) {
+        std::fprintf(stderr, "cold request %s degraded: %s\n", O.Id.c_str(),
+                     outcomeStatusName(O.Status));
+        return 1;
+      }
+      ColdFlat.push_back(flatten(O));
+    }
+  }
+  double ColdMs = msSince(T0);
+
+  // --- warm: one service, sessions stay resident across rounds ------------
+  ServiceOptions SvcOpts;
+  SvcOpts.MaxSessions = Subjects.size() + 1;
+  AnalysisService Service(SvcOpts);
+  std::vector<std::string> WarmFlat;
+  T0 = Clock::now();
+  for (unsigned Round = 0; Round < Rounds; ++Round) {
+    for (const subjects::Subject &S : Subjects) {
+      AnalysisOutcome O = Service.run(makeRequest(S, Round));
+      if (!O.ok()) {
+        std::fprintf(stderr, "warm request %s degraded: %s\n", O.Id.c_str(),
+                     outcomeStatusName(O.Status));
+        return 1;
+      }
+      WarmFlat.push_back(flatten(O));
+    }
+  }
+  double WarmMs = msSince(T0);
+
+  // The service must be a pure cache: identical bytes per request.
+  if (WarmFlat != ColdFlat) {
+    std::fprintf(stderr,
+                 "FAIL: warm outcomes diverge from cold outcomes "
+                 "(the session cache changed an answer)\n");
+    return 1;
+  }
+  uint64_t Builds = Service.stats().get("service-session-builds");
+  uint64_t Hits = Service.stats().get("service-session-hits");
+  if (Builds != Subjects.size()) {
+    std::fprintf(stderr,
+                 "FAIL: expected exactly %zu substrate builds, saw %llu\n",
+                 Subjects.size(), static_cast<unsigned long long>(Builds));
+    return 1;
+  }
+
+  size_t Requests = Subjects.size() * Rounds;
+  double ColdRps = Requests / (ColdMs / 1e3);
+  double WarmRps = Requests / (WarmMs / 1e3);
+  double Speedup = WarmMs > 0 ? ColdMs / WarmMs : 0.0;
+
+  std::printf("%8s %10s %12s %12s\n", "stream", "requests", "wall(ms)",
+              "req/sec");
+  std::printf("%8s %10zu %12.2f %12.1f\n", "cold", Requests, ColdMs, ColdRps);
+  std::printf("%8s %10zu %12.2f %12.1f\n", "warm", Requests, WarmMs, WarmRps);
+  std::printf("\nwarm sessions: %llu builds, %llu hits (outcomes "
+              "byte-identical to cold)\n",
+              static_cast<unsigned long long>(Builds),
+              static_cast<unsigned long long>(Hits));
+  std::printf("warm/cold wall-clock improvement: %.2fx\n", Speedup);
+
+  FILE *Out = std::fopen(OutPath.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write %s\n", OutPath.c_str());
+    return 1;
+  }
+  std::fprintf(Out, "{\n  \"bench\": \"service_throughput\",\n");
+  std::fprintf(Out, "  \"quick\": %s,\n", Quick ? "true" : "false");
+  std::fprintf(Out, "  \"subjects\": %zu,\n  \"rounds\": %u,\n",
+               Subjects.size(), Rounds);
+  std::fprintf(Out, "  \"requests\": %zu,\n", Requests);
+  std::fprintf(Out, "  \"cold_wall_ms\": %.3f,\n  \"warm_wall_ms\": %.3f,\n",
+               ColdMs, WarmMs);
+  std::fprintf(Out, "  \"cold_rps\": %.3f,\n  \"warm_rps\": %.3f,\n", ColdRps,
+               WarmRps);
+  std::fprintf(Out,
+               "  \"session_builds\": %llu,\n  \"session_hits\": %llu,\n",
+               static_cast<unsigned long long>(Builds),
+               static_cast<unsigned long long>(Hits));
+  std::fprintf(Out, "  \"speedup\": %.3f,\n", Speedup);
+  std::fprintf(Out, "  \"byte_identical\": true\n}\n");
+  std::fclose(Out);
+  std::printf("\nwrote %s\n", OutPath.c_str());
+
+  if (MinSpeedup > 0 && Speedup < MinSpeedup) {
+    std::fprintf(stderr,
+                 "FAIL: warm/cold improvement %.2fx is below the required "
+                 "%.2fx\n",
+                 Speedup, MinSpeedup);
+    return 1;
+  }
+  return 0;
+}

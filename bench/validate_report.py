@@ -6,6 +6,13 @@ schemas actually use rather than importing `jsonschema`).
 
 Usage: validate_report.py REPORT.json [--schema bench/report_schema.json]
        validate_report.py --trace TRACE.json [--schema bench/trace_schema.json]
+       validate_report.py --outcomes TRANSCRIPT.jsonl \
+                          [--schema bench/outcome_schema.json]
+
+--outcomes validates a --serve / --batch transcript: one AnalysisOutcome
+JSON document per line, each checked against outcome_schema.json plus the
+cross-field outcome invariants (a loop-not-found outcome names the missing
+label, partial loops carry a stop reason, site counters are consistent).
 
 Supported keywords: type (string or list; "integer" excludes bools),
 const, enum, required, properties, additionalProperties (false or a
@@ -110,9 +117,67 @@ def check_report_invariants(doc):
                  "histogram buckets do not sum to the sample count")
 
 
+def check_outcome_invariants(doc, where):
+    status = doc["status"]
+    for li, loop in enumerate(doc["loops"]):
+        at = f"{where}.loops[{li}]"
+        if loop["sites_completed"] > loop["sites_total"]:
+            fail(at, "sites_completed exceeds sites_total")
+        if loop["partial"] and loop["stop_reason"] == "none":
+            fail(at, "a partial loop must carry a stop reason")
+        if loop["partial"] and status not in ("deadline-expired", "cancelled"):
+            fail(at, f"partial loop inside a {status!r} outcome")
+    if status == "loop-not-found":
+        if "missing_label" not in doc or "known_labels" not in doc:
+            fail(where, "loop-not-found must name the missing label and "
+                        "list the known ones")
+        if doc["loops"]:
+            fail(where, "loop-not-found outcomes run no loops")
+    if status in ("compile-error", "invalid-request"):
+        if not doc.get("diagnostics"):
+            fail(where, f"{status} must carry diagnostics")
+    if status == "ok":
+        if "loops_not_run" in doc:
+            fail(where, "an ok outcome ran every requested loop")
+        for li, loop in enumerate(doc["loops"]):
+            if loop["partial"]:
+                fail(f"{where}.loops[{li}]", "an ok outcome has no partial "
+                                             "loops")
+
+
+def validate_outcomes(path, schema):
+    counts = {}
+    with open(path) as f:
+        lines = f.readlines()
+    n = 0
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        where = f"line[{i + 1}]"
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(where, f"not a JSON document: {e}")
+        validate(doc, schema, where)
+        check_outcome_invariants(doc, where)
+        counts[doc["status"]] = counts.get(doc["status"], 0) + 1
+        n += 1
+    if n == 0:
+        fail("$", "transcript contains no outcomes")
+    breakdown = ", ".join(f"{k}: {v}" for k, v in sorted(counts.items()))
+    print(f"validate_report: OK: {path} holds {n} valid outcomes "
+          f"({breakdown})")
+
+
 def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     trace_mode = "--trace" in argv
+    outcomes_mode = "--outcomes" in argv
+    if trace_mode and outcomes_mode:
+        print("validate_report: --trace and --outcomes are exclusive",
+              file=sys.stderr)
+        return 2
     schema_path = None
     if "--schema" in argv:
         schema_path = argv[argv.index("--schema") + 1]
@@ -123,13 +188,20 @@ def main(argv):
 
     here = os.path.dirname(os.path.abspath(__file__))
     if schema_path is None:
-        schema_path = os.path.join(
-            here, "trace_schema.json" if trace_mode else "report_schema.json")
+        default = ("trace_schema.json" if trace_mode else
+                   "outcome_schema.json" if outcomes_mode else
+                   "report_schema.json")
+        schema_path = os.path.join(here, default)
+
+    with open(schema_path) as f:
+        schema = json.load(f)
+
+    if outcomes_mode:
+        validate_outcomes(args[0], schema)
+        return 0
 
     with open(args[0]) as f:
         doc = json.load(f)
-    with open(schema_path) as f:
-        schema = json.load(f)
 
     validate(doc, schema)
     if not trace_mode:

@@ -60,35 +60,133 @@ LeakChecker::fromProgram(std::unique_ptr<Program> P, LeakOptions Opts) {
   return std::unique_ptr<LeakChecker>(new LeakChecker(std::move(P), Opts));
 }
 
-std::optional<LeakAnalysisResult>
-LeakChecker::check(std::string_view LoopLabel) const {
-  LoopId L = P->findLoop(LoopLabel);
-  if (L == kInvalidId)
-    return std::nullopt;
-  return check(L);
-}
-
-LeakAnalysisResult LeakChecker::check(LoopId Loop) const {
-  return analyzeLoop(*P, Loop, *CG, *G, *Base, *Cfl, Opts, Esc.get(),
-                     Pool.get());
-}
-
-LeakAnalysisResult LeakChecker::checkWith(LoopId Loop,
-                                          const LeakOptions &O) const {
+LeakAnalysisResult LeakChecker::runOne(LoopId Loop,
+                                       const LeakOptions &O) const {
   // The session pool is reused when O asks for the same width; otherwise
   // analyzeLoop builds a right-sized one for this run.
   return analyzeLoop(*P, Loop, *CG, *G, *Base, *Cfl, O, Esc.get(),
                      Pool.get());
 }
 
+std::vector<std::string> LeakChecker::knownLabels() const {
+  std::vector<std::string> Out;
+  for (LoopId L = 0; L < P->Loops.size(); ++L)
+    if (!P->Loops[L].Label.isEmpty())
+      Out.push_back(P->Strings.text(P->Loops[L].Label));
+  return Out;
+}
+
+AnalysisOutcome LeakChecker::run(const AnalysisRequest &R) const {
+  trace::TraceSpan Span("leakchecker.run", "analysis");
+  AnalysisOutcome O;
+  O.Id = R.Id;
+  O.SubstrateBuilt = true;
+  O.SubstrateStats = SubstrateStats;
+
+  // Resolve the loop set up front: a request that names a loop the
+  // program does not define fails as a whole, before any analysis runs,
+  // so callers never have to puzzle over a half-analyzed mixed outcome.
+  std::vector<LoopId> Loops;
+  std::vector<std::string> Labels;
+  if (R.Loops.AllLabeled) {
+    for (LoopId L = 0; L < P->Loops.size(); ++L) {
+      if (P->Loops[L].Label.isEmpty())
+        continue;
+      if (!CG->isReachable(P->Loops[L].Method))
+        continue;
+      Loops.push_back(L);
+      Labels.push_back(P->Strings.text(P->Loops[L].Label));
+    }
+  } else {
+    if (R.Loops.Labels.empty()) {
+      O.Status = OutcomeStatus::InvalidRequest;
+      O.Diagnostics = "request names no loops: set AllLabeled or list at "
+                      "least one label";
+      return O;
+    }
+    for (const std::string &Label : R.Loops.Labels) {
+      LoopId L = P->findLoop(Label);
+      if (L == kInvalidId) {
+        O.Status = OutcomeStatus::LoopNotFound;
+        O.MissingLabel = Label;
+        O.KnownLabels = knownLabels();
+        return O;
+      }
+      Loops.push_back(L);
+      Labels.push_back(Label);
+    }
+  }
+
+  LeakOptions Run = R.Options.leakOptions();
+  Run.Cancel = R.Deadline;
+
+  for (size_t I = 0; I < Loops.size(); ++I) {
+    // Between-loop checkpoint: completed loops are already in O.Results,
+    // so an expiring deadline degrades the outcome without discarding
+    // work.
+    if (R.Deadline.poll()) {
+      for (size_t J = I; J < Loops.size(); ++J)
+        O.LoopsNotRun.push_back(Labels[J]);
+      O.Status = R.Deadline.reason() == StopReason::Cancel
+                     ? OutcomeStatus::Cancelled
+                     : OutcomeStatus::DeadlineExpired;
+      return O;
+    }
+    LeakAnalysisResult Res = runOne(Loops[I], Run);
+    bool Partial = Res.Partial;
+    StopReason Why = Res.Stopped;
+    O.LoopLabels.push_back(Labels[I]);
+    O.RenderedReports.push_back(renderLeakReport(*P, Res));
+    O.Results.push_back(std::move(Res));
+    if (Partial) {
+      for (size_t J = I + 1; J < Loops.size(); ++J)
+        O.LoopsNotRun.push_back(Labels[J]);
+      O.Status = Why == StopReason::Cancel ? OutcomeStatus::Cancelled
+                                           : OutcomeStatus::DeadlineExpired;
+      return O;
+    }
+  }
+  O.Status = OutcomeStatus::Ok;
+  return O;
+}
+
+std::optional<LeakAnalysisResult>
+LeakChecker::check(std::string_view LoopLabel) const {
+  LoopId L = P->findLoop(LoopLabel);
+  if (L == kInvalidId)
+    return std::nullopt;
+  return runOne(L, Opts);
+}
+
+LeakAnalysisResult LeakChecker::check(LoopId Loop) const {
+  return runOne(Loop, Opts);
+}
+
+LeakAnalysisResult LeakChecker::checkWith(LoopId Loop,
+                                          const LeakOptions &O) const {
+  return runOne(Loop, O);
+}
+
 std::vector<LeakAnalysisResult> LeakChecker::checkAllLabeled() const {
+  AnalysisRequest R;
+  R.Loops = LoopSet::allLabeled();
+  std::optional<SessionOptions> SO =
+      SessionOptionsBuilder().fromLegacy(Opts).build();
+  if (SO) {
+    R.Options = *SO;
+    AnalysisOutcome O = run(R);
+    return std::move(O.Results);
+  }
+  // The legacy wrappers never validated, so a session constructed with an
+  // option combination build() now rejects still analyzes the old way
+  // instead of crashing its caller.
   std::vector<LeakAnalysisResult> Out;
   for (LoopId L = 0; L < P->Loops.size(); ++L) {
     if (P->Loops[L].Label.isEmpty())
       continue;
     if (!CG->isReachable(P->Loops[L].Method))
       continue;
-    Out.push_back(check(L));
+    Out.push_back(runOne(L, Opts));
   }
   return Out;
 }

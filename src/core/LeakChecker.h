@@ -19,6 +19,7 @@
 
 #include "escape/EscapeAnalysis.h"
 #include "leak/LeakAnalysis.h"
+#include "service/Request.h"
 #include "support/Diagnostics.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
@@ -41,19 +42,42 @@ public:
   static std::unique_ptr<LeakChecker> fromProgram(std::unique_ptr<Program> P,
                                                   LeakOptions Opts = {});
 
-  /// Checks the loop/region labeled \p LoopLabel.
+  /// The session's single analysis entry point: resolves the request's
+  /// loop set (explicit labels, or every labeled reachable loop for
+  /// AllLabeled), runs each loop under the request's validated options and
+  /// deadline, and returns a typed outcome. Degradations come back as
+  /// statuses, never as empty vectors: an unknown label yields LoopNotFound
+  /// with the program's known labels, an expired deadline yields
+  /// DeadlineExpired carrying the completed prefix (the token is polled
+  /// between loops, and within a loop between per-site query batches), an
+  /// explicit cancel() yields Cancelled. The outcome carries each result's
+  /// rendered report text, so callers byte-compare against single-shot
+  /// runs without re-rendering.
+  AnalysisOutcome run(const AnalysisRequest &R) const;
+
+  // --- Deprecated entry points ---------------------------------------------
+  // Thin wrappers over the same path run() takes; they survive one
+  // deprecation cycle for embedders (see docs/API.md) and will be removed.
+
+  /// \deprecated Use run() with LoopSet::of({LoopLabel}); this wrapper
+  /// cannot report the known labels when the lookup fails.
   /// \returns nullopt when no such loop exists.
   std::optional<LeakAnalysisResult> check(std::string_view LoopLabel) const;
-  /// Checks loop \p Loop.
+  /// \deprecated Use run(); kept for callers holding raw LoopIds.
   LeakAnalysisResult check(LoopId Loop) const;
 
-  /// Re-runs with different options (substrate is reused).
+  /// \deprecated Use run() with per-request options (substrate is reused).
   LeakAnalysisResult checkWith(LoopId Loop, const LeakOptions &Opts) const;
 
-  /// Checks every labeled loop and region of the program (unlabeled loops
-  /// are skipped: they are compiler-introduced or uninteresting inner
-  /// loops unless the user names them). Results come back in loop order.
+  /// \deprecated Use run() with LoopSet::allLabeled(). Checks every
+  /// labeled loop and region of the program (unlabeled loops are skipped:
+  /// they are compiler-introduced or uninteresting inner loops unless the
+  /// user names them). Results come back in loop order.
   std::vector<LeakAnalysisResult> checkAllLabeled() const;
+
+  /// Labels of every labeled loop/region, in loop order (what a
+  /// LoopNotFound outcome reports as KnownLabels).
+  std::vector<std::string> knownLabels() const;
 
   const Program &program() const { return *P; }
   const CallGraph &callGraph() const { return *CG; }
@@ -76,6 +100,10 @@ public:
 
 private:
   LeakChecker(std::unique_ptr<Program> P, LeakOptions Opts);
+
+  /// The one place a loop is actually analyzed; run() and every deprecated
+  /// wrapper funnel through here.
+  LeakAnalysisResult runOne(LoopId Loop, const LeakOptions &O) const;
 
   std::unique_ptr<Program> P;
   LeakOptions Opts;

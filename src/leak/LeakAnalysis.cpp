@@ -27,6 +27,12 @@ AllocSiteId globalsSite(const Program &P) {
   return static_cast<AllocSiteId>(P.AllocSites.size());
 }
 
+/// Per-site flows-out queries fanned out between two cancellation
+/// checkpoints. Fixed (never derived from Jobs) so the checkpoint
+/// sequence -- and therefore where a tripping token cuts the site list --
+/// is identical at any job count.
+constexpr size_t kSiteBatch = 64;
+
 /// The per-run machinery.
 class Analyzer {
 public:
@@ -61,12 +67,31 @@ public:
   }
 
 private:
+  /// Coordinator checkpoint: polls the run's cancellation token and, on
+  /// the first trip, records why the run is partial. Only ever called on
+  /// the coordinating thread at deterministic points, so every schedule
+  /// observes the same checkpoint sequence.
+  bool stopped() {
+    if (!Opts.Cancel.poll())
+      return false;
+    Result.Partial = true;
+    Result.Stopped = Opts.Cancel.reason();
+    return true;
+  }
+
   void runPhases() {
+    // A deadline that expired before the request even started trips here:
+    // the outcome carries zero attempted sites on every schedule.
+    if (stopped())
+      return;
     {
       trace::TraceSpan Span("leak.inside-region", "leak");
       computeInsideRegion();
       Span.arg("sites", Result.NumInsideSites);
     }
+    Result.SitesTotal = InsideSites.size();
+    if (stopped())
+      return;
     {
       trace::TraceSpan Span("leak.thread-sites", "leak");
       classifyThreadSites();
@@ -79,13 +104,19 @@ private:
       trace::TraceSpan Span("leak.heap-accesses", "leak");
       collectHeapAccesses();
     }
+    if (stopped())
+      return;
     {
       trace::TraceSpan Span("leak.flows-out", "leak");
       ScopedTimer T2(Result.Statistics, "leak-flows-out");
       computeFlowsOut();
       Span.arg("sites", FlowsOut.size());
     }
-    {
+    // Sites completed before a mid-fan-out cut are still matched and
+    // reported below; only the stats-only corroboration pass is dropped
+    // for partial runs (a deadline that already fired must not fund a
+    // fleet of CFL queries that change no report).
+    if (!Result.Partial && !stopped()) {
       trace::TraceSpan Span("leak.cfl-corroborate", "leak");
       corroborateWithCfl();
     }
@@ -436,6 +467,13 @@ private:
     // merge below runs in ascending site order, keeping every downstream
     // structure (and therefore the reports) byte-identical to a
     // sequential run.
+    //
+    // The fan-out proceeds in fixed-size batches in ascending site order,
+    // polling the run's cancellation token between batches on the
+    // coordinating thread. A token that trips between batches cuts the
+    // analysis at a site boundary that is the same at any job count, so
+    // partial results are prefix-consistent and reproducible; the sites of
+    // completed batches still flow through matching and reporting.
     std::vector<AllocSiteId> SiteList(InsideSites.begin(), InsideSites.end());
     struct SiteFlow {
       bool Skipped = false;
@@ -446,7 +484,7 @@ private:
       std::map<AllocSiteId, const SiteEdge *> Parent;
     };
     std::vector<SiteFlow> Flows(SiteList.size());
-    Pool->parallelFor(SiteList.size(), [&](size_t I) {
+    auto RunSite = [&](size_t I) {
       AllocSiteId S = SiteList[I];
       SiteFlow &F = Flows[I];
       if (Captured.test(S) && isInsideSite(S)) {
@@ -474,8 +512,25 @@ private:
           }
         }
       }
-    });
-    for (size_t I = 0; I < SiteList.size(); ++I) {
+    };
+    size_t Done = 0;
+    while (Done < SiteList.size()) {
+      if (stopped())
+        break;
+      size_t End = std::min(Done + kSiteBatch, SiteList.size());
+      Pool->parallelFor(End - Done,
+                        [&](size_t I) { RunSite(Done + I); });
+      Done = End;
+    }
+    Result.SitesCompleted = Done;
+    if (Done < SiteList.size()) {
+      // Sites the cut skipped were never analyzed: the matcher must not
+      // classify them (no flows-out is not the same as not attempted).
+      Unattempted.insert(SiteList.begin() + Done, SiteList.end());
+      Result.Statistics.add("cancel-skipped-sites",
+                            SiteList.size() - Done);
+    }
+    for (size_t I = 0; I < Done; ++I) {
       AllocSiteId S = SiteList[I];
       SiteFlow &F = Flows[I];
       if (F.Skipped) {
@@ -516,7 +571,10 @@ private:
     std::vector<CflQueryOut> Out(Nodes.size());
     CflCacheStats CacheBefore = Cfl.cacheStats();
     Pool->parallelFor(Nodes.size(), [&](size_t I) {
-      CflResult R = Cfl.pointsTo(Nodes[I]);
+      // Cancel-aware: an asynchronous cancel() mid-fan-out makes each
+      // in-flight query bail to its Andersen fallback (stats-only pass,
+      // reports never depend on it).
+      CflResult R = Cfl.pointsTo(Nodes[I], &Opts.Cancel);
       Out[I].States = R.StatesVisited;
       Out[I].FellBack = R.FellBack;
       if (R.FellBack)
@@ -985,7 +1043,10 @@ private:
 
     // Matcher-side ERA for every inside site (consumed by --check-era):
     // pre-filtered sites were set to Current when their query was skipped.
+    // Sites a cancellation cut never attempted get no classification.
     for (AllocSiteId S : InsideSites) {
+      if (Unattempted.count(S))
+        continue;
       if (Result.SiteEras.count(S))
         continue;
       if (StartedThreads.count(S)) {
@@ -1027,6 +1088,9 @@ private:
   std::set<MethodId> InsideMethods;
   std::set<AllocSiteId> InsideSites;
   std::set<AllocSiteId> StartedThreads;
+  /// Inside sites a cancellation cut skipped (suffix of the site order);
+  /// excluded from matching and ERA classification.
+  std::set<AllocSiteId> Unattempted;
   std::map<AllocSiteId, std::vector<SiteContext>> SiteContexts;
 
   /// Outcome of one corroboration query, kept per node for witnesses.

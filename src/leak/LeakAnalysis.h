@@ -35,6 +35,7 @@
 
 #include "effect/Era.h"
 #include "pta/CflPta.h"
+#include "support/Cancellation.h"
 #include "support/Stats.h"
 
 #include <map>
@@ -96,6 +97,15 @@ struct LeakOptions {
   /// Cap on contexts kept per allocation site.
   uint32_t MaxContextsPerSite = 64;
   CflOptions Cfl;
+  /// Cooperative stop signal for this run (deadline, explicit cancel, or
+  /// a deterministic poll budget). The default token never stops. The
+  /// analysis polls it only at deterministic coordinator checkpoints --
+  /// between phases and between fixed-size batches of per-site flows-out
+  /// queries -- so the cut point (and therefore the partial result) is a
+  /// pure function of the poll at which the token trips, independent of
+  /// Jobs and thread schedule. Sites completed before the cut are still
+  /// matched and reported; see LeakAnalysisResult::Partial.
+  CancellationToken Cancel;
 };
 
 /// One context under which an inside allocation site is reached from the
@@ -178,7 +188,25 @@ struct LeakAnalysisResult {
   /// matched by a flows-in, Top when it escapes and never flows back,
   /// Outside for started threads forced outside under thread modeling.
   /// Consumed by the --check-era cross-check; never rendered in reports.
+  /// On partial runs only sites whose flows-out query actually ran have
+  /// an entry.
   std::map<AllocSiteId, Era> SiteEras;
+  /// True when the run's cancellation token stopped it before every
+  /// per-site flows-out query ran. The first SitesCompleted sites (in
+  /// ascending site order) were fully analyzed, matched, and reported;
+  /// the rest were never attempted. A partial result is prefix-consistent:
+  /// it is byte-identical to what any schedule produces when the token
+  /// trips at the same checkpoint, and its reports are exactly the full
+  /// run's reports restricted to the completed prefix (modulo pivot
+  /// suppression by not-yet-analyzed sites and the skipped CFL
+  /// corroboration pass).
+  bool Partial = false;
+  /// Why the token stopped the run (None for complete runs).
+  StopReason Stopped = StopReason::None;
+  /// Per-site flows-out queries completed / total inside sites, in
+  /// ascending site order. Equal when the run completed.
+  uint64_t SitesCompleted = 0;
+  uint64_t SitesTotal = 0;
   Stats Statistics;
 
   bool reportsSite(AllocSiteId S) const {

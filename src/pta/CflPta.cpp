@@ -98,6 +98,13 @@ struct CflPta::Traversal {
         Entry.FellBack = true;
         return;
       }
+      if (Q.Cancel && Q.Cancel->stopRequested()) {
+        // Cancelled: abandon refinement. Marked exhausted so the partial
+        // entry is never cached and the caller falls back to Andersen.
+        Q.Exhausted = true;
+        Entry.FellBack = true;
+        return;
+      }
       State S = std::move(Work.back());
       Work.pop_back();
 
@@ -254,9 +261,11 @@ CflPta::EntryPtr CflPta::runQuery(PagNodeId N, uint32_t Hops, bool Sat,
   return E;
 }
 
-CflResult CflPta::pointsTo(PagNodeId N) const {
+CflResult CflPta::pointsTo(PagNodeId N,
+                           const CancellationToken *Cancel) const {
   trace::TraceSpan Span("cfl.query", "cfl");
   QueryCtx Q;
+  Q.Cancel = Cancel;
   EntryPtr E = runQuery(N, Opts.MaxHeapHops, /*Sat=*/false, Q);
   Span.arg("node", N);
   Span.arg("states", Q.Used);

@@ -44,6 +44,7 @@
 
 #include "pta/Andersen.h"
 #include "pta/Pag.h"
+#include "support/Cancellation.h"
 
 #include <array>
 #include <atomic>
@@ -109,7 +110,13 @@ public:
   CflResult pointsTo(MethodId M, LocalId L) const {
     return pointsTo(G.localNode(M, L));
   }
-  CflResult pointsTo(PagNodeId N) const;
+  CflResult pointsTo(PagNodeId N) const { return pointsTo(N, nullptr); }
+  /// Cancel-aware query: when \p Cancel is non-null and stops mid-
+  /// traversal, the query abandons refinement and returns the sound
+  /// Andersen fallback immediately (FellBack = true). Cancelled
+  /// sub-traversals are never cached, so a later uncancelled query
+  /// recomputes them in full.
+  CflResult pointsTo(PagNodeId N, const CancellationToken *Cancel) const;
 
   /// Renders a call string as "A.f:3 -> B.g:7" (outermost first).
   std::string ctxString(const CallString &Ctx) const;
@@ -145,6 +152,10 @@ private:
   struct QueryCtx {
     uint64_t Used = 0;
     bool Exhausted = false;
+    /// Optional stop signal checked once per visited state (one relaxed
+    /// load); a stop reads as budget exhaustion so nothing partial is
+    /// cached.
+    const CancellationToken *Cancel = nullptr;
     std::unordered_map<uint64_t, EntryPtr> Local;
 
     /// Charges a memo hit the entry's recorded cost, saturating at

@@ -1,0 +1,166 @@
+//===-- AnalysisService.cpp -----------------------------------------------===//
+
+#include "service/AnalysisService.h"
+
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <numeric>
+
+using namespace lc;
+
+namespace {
+
+uint64_t fnv1a(std::string_view S, uint64_t H = 0xcbf29ce484222325ULL) {
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+uint64_t mix(uint64_t H, uint64_t V) {
+  H ^= V + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
+  return H;
+}
+
+} // namespace
+
+AnalysisService::AnalysisService(ServiceOptions Opts) : Opts(Opts) {
+  // MaxSessions == 0 would make every request thrash; clamp to one
+  // resident session rather than exporting another invalid state.
+  if (this->Opts.MaxSessions == 0)
+    this->Opts.MaxSessions = 1;
+}
+
+AnalysisService::~AnalysisService() = default;
+
+uint64_t AnalysisService::programHash(std::string_view Source) {
+  return fnv1a(Source);
+}
+
+uint64_t AnalysisService::approxSessionBytes(const LeakChecker &Session) {
+  // A linear model of the substrate's dominant structures: statements and
+  // PAG nodes (locals, fields, allocation slots) drive the Andersen
+  // points-to sets and the CFL indices. Deliberately coarse -- the budget
+  // bounds growth, it does not meter an allocator.
+  const Program &P = Session.program();
+  uint64_t Stmts = P.totalStmts();
+  uint64_t Nodes = Session.pag().numNodes();
+  uint64_t Sites = P.AllocSites.size();
+  return 64 * 1024                   // fixed per-session overhead
+         + Stmts * 96                // IR + call graph + escape analysis
+         + Nodes * (64 + Sites / 4)  // PAG + Andersen bit sets
+         + Sites * 256;              // site tables, CFL alloc index
+}
+
+LeakChecker *AnalysisService::sessionFor(const AnalysisRequest &R,
+                                         bool &Built, std::string &Error) {
+  uint64_t Key =
+      mix(programHash(R.Source), R.Options.substrateFingerprint());
+  auto It = ByKey.find(Key);
+  if (It != ByKey.end()) {
+    ServiceStats.add("service-session-hits");
+    // Touch: move to the front of the LRU list.
+    Lru.splice(Lru.begin(), Lru, It->second);
+    Built = false;
+    return It->second->Checker.get();
+  }
+
+  trace::TraceSpan Span("service.build-session", "service");
+  DiagnosticEngine Diags;
+  auto Checker =
+      LeakChecker::fromSource(R.Source, Diags, R.Options.leakOptions());
+  if (!Checker) {
+    Error = Diags.str();
+    return nullptr;
+  }
+  ServiceStats.add("service-session-builds");
+  Built = true;
+
+  Session S;
+  S.Key = Key;
+  S.ApproxBytes = approxSessionBytes(*Checker);
+  S.Checker = std::move(Checker);
+  ResidentBytes += S.ApproxBytes;
+  Lru.push_front(std::move(S));
+  ByKey[Key] = Lru.begin();
+  evictOver(Key);
+  ServiceStats.setGauge("service-resident-bytes", ResidentBytes);
+  return Lru.begin()->Checker.get();
+}
+
+void AnalysisService::evictOver(size_t KeepKey) {
+  // Evict least-recently-used sessions until both limits hold. The
+  // session serving the current request is never evicted, even when it
+  // alone exceeds the budget -- a request must run somewhere.
+  while (Lru.size() > 1 && (Lru.size() > Opts.MaxSessions ||
+                            ResidentBytes > Opts.MemoryBudgetBytes)) {
+    auto Victim = std::prev(Lru.end());
+    if (Victim->Key == KeepKey)
+      break;
+    ServiceStats.add("service-session-evictions");
+    ResidentBytes -= Victim->ApproxBytes;
+    ByKey.erase(Victim->Key);
+    Lru.erase(Victim);
+  }
+}
+
+AnalysisOutcome AnalysisService::run(const AnalysisRequest &R) {
+  trace::TraceSpan Span("service.request", "service");
+  ServiceStats.add("service-requests");
+
+  bool Built = false;
+  std::string Error;
+  LeakChecker *S = sessionFor(R, Built, Error);
+  if (!S) {
+    ServiceStats.add("service-compile-errors");
+    AnalysisOutcome O;
+    O.Id = R.Id;
+    O.Status = OutcomeStatus::CompileError;
+    O.Diagnostics = Error;
+    O.SubstrateBuilt = false;
+    return O;
+  }
+
+  AnalysisOutcome O = S->run(R);
+  O.SubstrateBuilt = Built;
+  if (!Built) {
+    // Warm hit: the substrate was built (and its stats reported) by an
+    // earlier request. Re-reporting the andersen-* counters here would
+    // double-count construction work that never happened.
+    O.SubstrateStats = Stats();
+  }
+  switch (O.Status) {
+  case OutcomeStatus::DeadlineExpired:
+    ServiceStats.add("service-deadline-expired");
+    break;
+  case OutcomeStatus::Cancelled:
+    ServiceStats.add("service-cancelled");
+    break;
+  case OutcomeStatus::LoopNotFound:
+    ServiceStats.add("service-loop-not-found");
+    break;
+  case OutcomeStatus::InvalidRequest:
+    ServiceStats.add("service-invalid-requests");
+    break;
+  default:
+    break;
+  }
+  return O;
+}
+
+std::vector<AnalysisOutcome>
+AnalysisService::runBatch(const std::vector<AnalysisRequest> &Rs) {
+  // Schedule by priority (descending; stable for ties), answer in
+  // submission order.
+  std::vector<size_t> Order(Rs.size());
+  std::iota(Order.begin(), Order.end(), size_t(0));
+  std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    return Rs[A].Priority > Rs[B].Priority;
+  });
+  std::vector<AnalysisOutcome> Out(Rs.size());
+  for (size_t I : Order)
+    Out[I] = run(Rs[I]);
+  return Out;
+}

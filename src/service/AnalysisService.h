@@ -1,0 +1,114 @@
+//===-- AnalysisService.h - Persistent multi-program service ---*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The long-lived layer between clients and the analysis engine. A
+/// `LeakChecker` session is expensive -- call graph, PAG, Andersen solve,
+/// CFL engine -- while the paper's workflow is many queries against few
+/// programs ("once the important loops and code regions are specified by
+/// the tool user, the rest of the approach is fully automated"). The
+/// service amortizes that: it owns a cache of warm sessions keyed by
+/// program content hash plus substrate fingerprint, LRU-evicted under a
+/// configurable memory budget, and executes `AnalysisRequest`s against
+/// them. Requests naming the same program share one substrate and fan
+/// their per-loop work through the session's `ThreadPool`; deadlines and
+/// cancellation degrade an outcome instead of failing it.
+///
+/// Batches are scheduled by priority (descending; ties keep submission
+/// order) but outcomes always come back in submission order, so callers
+/// index responses by request position or by echoed Id.
+///
+/// The service is single-threaded by contract: one thread calls run() /
+/// runBatch() at a time (each request parallelizes internally). This is
+/// the layer future multi-client serving, sharding, and incremental
+/// re-analysis plug into.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_SERVICE_ANALYSISSERVICE_H
+#define LC_SERVICE_ANALYSISSERVICE_H
+
+#include "core/LeakChecker.h"
+#include "service/Request.h"
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+namespace lc {
+
+/// Configuration of the session cache.
+struct ServiceOptions {
+  /// Maximum number of warm sessions kept resident.
+  size_t MaxSessions = 8;
+  /// Approximate memory budget over all cached sessions. Eviction keeps
+  /// the *estimated* footprint (see AnalysisService::approxSessionBytes)
+  /// under this; the estimate is a deliberately simple linear model of
+  /// program and PAG size, not an allocator census.
+  uint64_t MemoryBudgetBytes = 512ull << 20;
+};
+
+class AnalysisService {
+public:
+  explicit AnalysisService(ServiceOptions Opts = {});
+  ~AnalysisService();
+
+  /// Executes one request: resolves (or builds) the session for the
+  /// request's program, then runs its loop set under its deadline. Never
+  /// throws on analysis-level failure -- compile errors, unknown labels,
+  /// expired deadlines all come back as typed outcomes.
+  AnalysisOutcome run(const AnalysisRequest &R);
+
+  /// Executes a queue of requests, highest Priority first (stable for
+  /// ties). Outcomes are returned in *submission* order regardless of
+  /// execution order.
+  std::vector<AnalysisOutcome> runBatch(const std::vector<AnalysisRequest> &Rs);
+
+  /// Warm sessions currently resident.
+  size_t cachedSessions() const { return Lru.size(); }
+  /// Estimated footprint of the resident sessions.
+  uint64_t residentBytes() const { return ResidentBytes; }
+
+  /// Service-level counters: service-session-builds / -hits / -evictions
+  /// plus per-request degradation counts. Monotonic over the service's
+  /// life.
+  const Stats &stats() const { return ServiceStats; }
+
+  /// The footprint estimate used for the memory budget (exposed so tests
+  /// can size budgets that force eviction deterministically).
+  static uint64_t approxSessionBytes(const LeakChecker &Session);
+
+  /// Content hash of a program source (the cache key's program part).
+  static uint64_t programHash(std::string_view Source);
+
+private:
+  struct Session {
+    uint64_t Key = 0;
+    std::unique_ptr<LeakChecker> Checker;
+    uint64_t ApproxBytes = 0;
+  };
+
+  /// Returns the warm session for (source, substrate fingerprint),
+  /// building and inserting it on a miss. Null when the program does not
+  /// compile (\p Error then carries the diagnostics). The returned
+  /// pointer stays valid for the current request only (a later request
+  /// may evict it).
+  LeakChecker *sessionFor(const AnalysisRequest &R, bool &Built,
+                          std::string &Error);
+  void evictOver(size_t KeepKey);
+
+  ServiceOptions Opts;
+  /// LRU list, most-recently-used first; the map indexes into it.
+  std::list<Session> Lru;
+  std::unordered_map<uint64_t, std::list<Session>::iterator> ByKey;
+  uint64_t ResidentBytes = 0;
+  Stats ServiceStats;
+};
+
+} // namespace lc
+
+#endif // LC_SERVICE_ANALYSISSERVICE_H

@@ -1,0 +1,23 @@
+//===-- Request.cpp -------------------------------------------------------===//
+
+#include "service/Request.h"
+
+using namespace lc;
+
+const char *lc::outcomeStatusName(OutcomeStatus S) {
+  switch (S) {
+  case OutcomeStatus::Ok:
+    return "ok";
+  case OutcomeStatus::DeadlineExpired:
+    return "deadline-expired";
+  case OutcomeStatus::Cancelled:
+    return "cancelled";
+  case OutcomeStatus::LoopNotFound:
+    return "loop-not-found";
+  case OutcomeStatus::CompileError:
+    return "compile-error";
+  case OutcomeStatus::InvalidRequest:
+    return "invalid-request";
+  }
+  return "ok";
+}

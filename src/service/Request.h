@@ -1,0 +1,137 @@
+//===-- Request.h - The analysis request/response API ----------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The stable request/response surface every client of the analysis
+/// engine speaks -- the CLI's single-shot mode, `--batch`, `--serve`, the
+/// benches, and library embedders all construct `AnalysisRequest`s and
+/// consume `AnalysisOutcome`s. One request names a program (inline source
+/// or, at the service layer, a cached session), a loop set (explicit
+/// labels or every labeled loop), per-request option overrides, a
+/// deadline/cancellation token, and a scheduling priority. One outcome is
+/// either a full set of per-loop results or a *typed degradation*:
+/// deadline-expired-with-a-partial-prefix, cancelled, loop-not-found
+/// (with the known labels), compile-error (with diagnostics), or
+/// invalid-request (with the validation errors). Clients switch on the
+/// status; nothing is signalled through empty vectors or nullopt any
+/// more.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_SERVICE_REQUEST_H
+#define LC_SERVICE_REQUEST_H
+
+#include "service/SessionOptions.h"
+
+#include <string>
+#include <vector>
+
+namespace lc {
+
+/// Which loops of the program a request checks.
+struct LoopSet {
+  /// Explicit loop/region labels, checked in the given order. Empty +
+  /// AllLabeled => every labeled reachable loop in loop order.
+  std::vector<std::string> Labels;
+  bool AllLabeled = false;
+
+  static LoopSet allLabeled() {
+    LoopSet S;
+    S.AllLabeled = true;
+    return S;
+  }
+  static LoopSet of(std::vector<std::string> Labels) {
+    LoopSet S;
+    S.Labels = std::move(Labels);
+    return S;
+  }
+};
+
+/// One unit of work for the analysis service.
+struct AnalysisRequest {
+  /// Client-chosen identifier, echoed verbatim in the outcome so batched
+  /// responses can be correlated.
+  std::string Id;
+  /// Program source (MJ). At the service layer the session cache is keyed
+  /// by a content hash of exactly this string.
+  std::string Source;
+  /// Human-readable name of the program (subject name or file path);
+  /// diagnostic only.
+  std::string ProgramName;
+  /// The loops to check.
+  LoopSet Loops;
+  /// Validated engine configuration for this request.
+  SessionOptions Options;
+  /// Larger runs first within a batch; ties keep submission order.
+  int32_t Priority = 0;
+  /// Deadline/cancellation for this request. The token is polled between
+  /// loops and threaded into each loop's analysis; loops (and, within a
+  /// loop, per-site queries) completed before it trips are still
+  /// reported.
+  CancellationToken Deadline;
+};
+
+/// How a request ended.
+enum class OutcomeStatus : uint8_t {
+  Ok,              ///< every requested loop ran to completion
+  DeadlineExpired, ///< deadline hit; Results holds the completed prefix
+  Cancelled,       ///< cancel() hit; Results holds the completed prefix
+  LoopNotFound,    ///< a requested label does not exist (KnownLabels set)
+  CompileError,    ///< the program failed to compile (Diagnostics set)
+  InvalidRequest,  ///< the request itself is malformed (Diagnostics set)
+};
+
+/// Names an outcome status for logs and JSON ("ok", "deadline-expired"...).
+const char *outcomeStatusName(OutcomeStatus S);
+
+/// The response to one AnalysisRequest.
+struct AnalysisOutcome {
+  /// The request's Id, echoed.
+  std::string Id;
+  OutcomeStatus Status = OutcomeStatus::Ok;
+  /// Per-loop results, in request order (loop order for AllLabeled).
+  /// On DeadlineExpired/Cancelled this is the completed prefix; the last
+  /// entry may itself be partial (LeakAnalysisResult::Partial, carrying
+  /// its per-site completion counts).
+  std::vector<LeakAnalysisResult> Results;
+  /// Label of each Results entry (aligned), so outcomes are meaningful
+  /// without the Program at hand.
+  std::vector<std::string> LoopLabels;
+  /// renderLeakReport() text of each Results entry (aligned): exactly what
+  /// the single-shot CLI prints, so batch outcomes byte-compare against
+  /// one-loop-per-process runs.
+  std::vector<std::string> RenderedReports;
+  /// Labels of requested loops the deadline cut before their analysis
+  /// started (empty unless degraded).
+  std::vector<std::string> LoopsNotRun;
+  /// For LoopNotFound: the label that failed to resolve, and every label
+  /// the program does define (the CLI prints these).
+  std::string MissingLabel;
+  std::vector<std::string> KnownLabels;
+  /// For CompileError / InvalidRequest: what went wrong.
+  std::string Diagnostics;
+  /// True when this outcome's session was built by this request (a cache
+  /// miss at the service layer; always true for direct LeakChecker::run).
+  bool SubstrateBuilt = true;
+  /// Substrate construction statistics, populated only when
+  /// SubstrateBuilt (the andersen-* counters land exactly once per
+  /// session, which is how the batch tests assert single construction).
+  Stats SubstrateStats;
+
+  bool ok() const { return Status == OutcomeStatus::Ok; }
+  /// True when any completed loop reported at least one leak (the CLI's
+  /// exit-2 condition).
+  bool anyLeaks() const {
+    for (const LeakAnalysisResult &R : Results)
+      if (!R.Reports.empty())
+        return true;
+    return false;
+  }
+};
+
+} // namespace lc
+
+#endif // LC_SERVICE_REQUEST_H

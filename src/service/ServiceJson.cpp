@@ -1,0 +1,333 @@
+//===-- ServiceJson.cpp ---------------------------------------------------===//
+
+#include "service/ServiceJson.h"
+
+#include <cmath>
+
+using namespace lc;
+using lc::json::Value;
+
+namespace {
+
+/// A non-negative integral number (request files carry no fractional
+/// budgets; 3.5 jobs is a typo, not a request).
+bool asCount(const Value &V, uint64_t &Out) {
+  if (!V.isNumber())
+    return false;
+  double D = V.asNumber();
+  if (D < 0 || D != std::floor(D))
+    return false;
+  Out = static_cast<uint64_t>(D);
+  return true;
+}
+
+bool parseOptions(const Value &V, SessionOptionsBuilder &B,
+                  std::string &Error) {
+  if (!V.isObject()) {
+    Error = "\"options\" must be an object";
+    return false;
+  }
+  for (const auto &[Key, Val] : V.members()) {
+    uint64_t N = 0;
+    if (Key == "jobs") {
+      if (Val.isString() && Val.asString() == "all") {
+        B.allCores();
+      } else if (asCount(Val, N)) {
+        B.jobs(static_cast<uint32_t>(N));
+      } else {
+        Error = "options.jobs must be a non-negative integer or \"all\"";
+        return false;
+      }
+      continue;
+    }
+    if (Key == "memoize" || Key == "pivot" || Key == "model_threads" ||
+        Key == "library_rule" || Key == "report_library_sites" ||
+        Key == "context_sensitive" || Key == "model_destructive_updates" ||
+        Key == "escape_prefilter" || Key == "cfl_corroborate") {
+      if (!Val.isBool()) {
+        Error = "options." + Key + " must be a boolean";
+        return false;
+      }
+      bool On = Val.asBool();
+      if (Key == "memoize")
+        B.cflMemoize(On);
+      else if (Key == "pivot")
+        B.pivotMode(On);
+      else if (Key == "model_threads")
+        B.modelThreads(On);
+      else if (Key == "library_rule")
+        B.libraryRule(On);
+      else if (Key == "report_library_sites")
+        B.reportLibrarySites(On);
+      else if (Key == "context_sensitive")
+        B.contextSensitive(On);
+      else if (Key == "model_destructive_updates")
+        B.modelDestructiveUpdates(On);
+      else if (Key == "escape_prefilter")
+        B.escapePrefilter(On);
+      else
+        B.cflCorroborate(On);
+      continue;
+    }
+    if (Key == "cache_capacity" || Key == "node_budget" ||
+        Key == "max_heap_hops" || Key == "max_call_depth" ||
+        Key == "context_depth" || Key == "max_contexts_per_site") {
+      if (!asCount(Val, N)) {
+        Error = "options." + Key + " must be a non-negative integer";
+        return false;
+      }
+      if (Key == "cache_capacity")
+        B.cflCacheCapacity(static_cast<uint32_t>(N));
+      else if (Key == "node_budget")
+        B.cflNodeBudget(N);
+      else if (Key == "max_heap_hops")
+        B.cflMaxHeapHops(static_cast<uint32_t>(N));
+      else if (Key == "max_call_depth")
+        B.cflMaxCallDepth(static_cast<uint32_t>(N));
+      else if (Key == "context_depth")
+        B.contextDepth(static_cast<uint32_t>(N));
+      else
+        B.maxContextsPerSite(static_cast<uint32_t>(N));
+      continue;
+    }
+    Error = "unknown option \"" + Key + "\"";
+    return false;
+  }
+  return true;
+}
+
+bool parseLoops(const Value &V, LoopSet &Loops, std::string &Error) {
+  if (V.isString()) {
+    if (V.asString() == "all") {
+      Loops = LoopSet::allLabeled();
+      return true;
+    }
+    if (V.asString().empty()) {
+      Error = "\"loops\" label must not be empty";
+      return false;
+    }
+    Loops = LoopSet::of({V.asString()});
+    return true;
+  }
+  if (V.isArray()) {
+    std::vector<std::string> Labels;
+    for (const Value &Item : V.items()) {
+      if (!Item.isString() || Item.asString().empty()) {
+        Error = "\"loops\" array entries must be non-empty label strings";
+        return false;
+      }
+      Labels.push_back(Item.asString());
+    }
+    if (Labels.empty()) {
+      Error = "\"loops\" array must not be empty";
+      return false;
+    }
+    Loops = LoopSet::of(std::move(Labels));
+    return true;
+  }
+  Error = "\"loops\" must be \"all\", a label string, or an array of labels";
+  return false;
+}
+
+std::string joinErrors(const std::vector<std::string> &Errors) {
+  std::string Out;
+  for (const std::string &E : Errors) {
+    if (!Out.empty())
+      Out += "; ";
+    Out += E;
+  }
+  return Out;
+}
+
+} // namespace
+
+bool lc::parseAnalysisRequest(const Value &V, AnalysisRequest &R,
+                              RequestSourceRef &Ref, std::string &Error) {
+  if (!V.isObject()) {
+    Error = "request must be a JSON object";
+    return false;
+  }
+
+  R = AnalysisRequest();
+  Ref = RequestSourceRef();
+  SessionOptionsBuilder B;
+  bool HaveLoops = false;
+  bool HaveDeadlineMs = false, HaveDeadlinePolls = false;
+  uint64_t DeadlineMs = 0, DeadlinePolls = 0;
+
+  for (const auto &[Key, Val] : V.members()) {
+    if (Key == "id") {
+      if (!Val.isString()) {
+        Error = "\"id\" must be a string";
+        return false;
+      }
+      R.Id = Val.asString();
+    } else if (Key == "subject" || Key == "file" || Key == "source") {
+      if (!Val.isString() || Val.asString().empty()) {
+        Error = "\"" + Key + "\" must be a non-empty string";
+        return false;
+      }
+      if (!Ref.Subject.empty() || !Ref.File.empty() || !Ref.Source.empty()) {
+        Error = "exactly one of \"subject\", \"file\", \"source\" may name "
+                "the program";
+        return false;
+      }
+      if (Key == "subject")
+        Ref.Subject = Val.asString();
+      else if (Key == "file")
+        Ref.File = Val.asString();
+      else
+        Ref.Source = Val.asString();
+    } else if (Key == "loops") {
+      if (!parseLoops(Val, R.Loops, Error))
+        return false;
+      HaveLoops = true;
+    } else if (Key == "priority") {
+      if (!Val.isNumber() || Val.asNumber() != std::floor(Val.asNumber())) {
+        Error = "\"priority\" must be an integer";
+        return false;
+      }
+      R.Priority = static_cast<int32_t>(Val.asInt());
+    } else if (Key == "deadline_ms") {
+      if (!asCount(Val, DeadlineMs) || DeadlineMs == 0) {
+        Error = "\"deadline_ms\" must be a positive integer";
+        return false;
+      }
+      HaveDeadlineMs = true;
+    } else if (Key == "deadline_polls") {
+      if (!asCount(Val, DeadlinePolls)) {
+        Error = "\"deadline_polls\" must be a non-negative integer";
+        return false;
+      }
+      HaveDeadlinePolls = true;
+    } else if (Key == "options") {
+      if (!parseOptions(Val, B, Error))
+        return false;
+    } else {
+      Error = "unknown request key \"" + Key + "\"";
+      return false;
+    }
+  }
+
+  if (Ref.Subject.empty() && Ref.File.empty() && Ref.Source.empty()) {
+    Error = "request must name a program via \"subject\", \"file\", or "
+            "\"source\"";
+    return false;
+  }
+  if (!HaveLoops) {
+    Error = "request must name its loops (\"all\", a label, or an array)";
+    return false;
+  }
+  if (HaveDeadlineMs && HaveDeadlinePolls) {
+    Error = "\"deadline_ms\" and \"deadline_polls\" are mutually exclusive";
+    return false;
+  }
+  // deadline_ms measures from submission (parse), the service-level
+  // meaning of a deadline: time spent queued behind higher-priority work
+  // counts against it.
+  if (HaveDeadlineMs)
+    R.Deadline = CancellationToken::afterMillis(
+        static_cast<int64_t>(DeadlineMs));
+  else if (HaveDeadlinePolls)
+    R.Deadline = CancellationToken::afterPolls(DeadlinePolls);
+
+  std::optional<SessionOptions> Opts = B.build();
+  if (!Opts) {
+    Error = "invalid options: " + joinErrors(B.errors());
+    return false;
+  }
+  R.Options = *Opts;
+  return true;
+}
+
+bool lc::parseRequestBatch(const Value &V, std::vector<AnalysisRequest> &Rs,
+                           std::vector<RequestSourceRef> &Refs,
+                           std::string &Error) {
+  const std::vector<Value> *Items = nullptr;
+  if (V.isArray()) {
+    Items = &V.items();
+  } else if (V.isObject()) {
+    const Value *Reqs = V.get("requests");
+    if (!Reqs || !Reqs->isArray()) {
+      Error = "batch object must carry a \"requests\" array";
+      return false;
+    }
+    for (const auto &[Key, Val] : V.members()) {
+      (void)Val;
+      if (Key != "requests") {
+        Error = "unknown batch key \"" + Key + "\"";
+        return false;
+      }
+    }
+    Items = &Reqs->items();
+  } else {
+    Error = "batch must be a JSON array of requests (or {\"requests\": [...]})";
+    return false;
+  }
+
+  Rs.clear();
+  Refs.clear();
+  for (size_t I = 0; I < Items->size(); ++I) {
+    AnalysisRequest R;
+    RequestSourceRef Ref;
+    std::string E;
+    if (!parseAnalysisRequest((*Items)[I], R, Ref, E)) {
+      Error = "request " + std::to_string(I) + ": " + E;
+      return false;
+    }
+    Rs.push_back(std::move(R));
+    Refs.push_back(std::move(Ref));
+  }
+  return true;
+}
+
+std::string lc::renderOutcomeJson(const AnalysisOutcome &O) {
+  std::string J = "{";
+  J += "\"id\":" + json::quote(O.Id);
+  J += ",\"status\":" + json::quote(outcomeStatusName(O.Status));
+  J += ",\"substrate_built\":";
+  J += O.SubstrateBuilt ? "true" : "false";
+
+  J += ",\"loops\":[";
+  for (size_t I = 0; I < O.Results.size(); ++I) {
+    const LeakAnalysisResult &R = O.Results[I];
+    if (I)
+      J += ",";
+    J += "{\"label\":" +
+         json::quote(I < O.LoopLabels.size() ? O.LoopLabels[I] : "");
+    J += ",\"leaks\":" + std::to_string(R.Reports.size());
+    J += ",\"partial\":";
+    J += R.Partial ? "true" : "false";
+    J += ",\"stop_reason\":" + json::quote(stopReasonName(R.Stopped));
+    J += ",\"sites_completed\":" + std::to_string(R.SitesCompleted);
+    J += ",\"sites_total\":" + std::to_string(R.SitesTotal);
+    if (I < O.RenderedReports.size())
+      J += ",\"report\":" + json::quote(O.RenderedReports[I]);
+    J += "}";
+  }
+  J += "]";
+
+  if (!O.LoopsNotRun.empty()) {
+    J += ",\"loops_not_run\":[";
+    for (size_t I = 0; I < O.LoopsNotRun.size(); ++I) {
+      if (I)
+        J += ",";
+      J += json::quote(O.LoopsNotRun[I]);
+    }
+    J += "]";
+  }
+  if (O.Status == OutcomeStatus::LoopNotFound) {
+    J += ",\"missing_label\":" + json::quote(O.MissingLabel);
+    J += ",\"known_labels\":[";
+    for (size_t I = 0; I < O.KnownLabels.size(); ++I) {
+      if (I)
+        J += ",";
+      J += json::quote(O.KnownLabels[I]);
+    }
+    J += "]";
+  }
+  if (!O.Diagnostics.empty())
+    J += ",\"diagnostics\":" + json::quote(O.Diagnostics);
+  J += "}";
+  return J;
+}

@@ -1,0 +1,69 @@
+//===-- ServiceJson.h - Wire format of the service layer -------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// JSON encoding of `AnalysisRequest` / `AnalysisOutcome` for the CLI's
+/// `--batch` (a file holding an array of request objects, or an object
+/// with a "requests" array) and `--serve` (one request object per input
+/// line, one outcome object per output line). Parsing is strict: unknown
+/// request or option keys are errors, because a typo'd knob silently
+/// ignored is exactly the option-soup failure mode the SessionOptions
+/// builder exists to kill. The outcome encoding is stable and versioned
+/// by `bench/outcome_schema.json`, validated in CI.
+///
+/// A request object:
+///
+///   {"id": "r1", "subject": "SPECjbb2000",      // or "file" / "source"
+///    "loops": "all",                             // or a label, or [labels]
+///    "priority": 5, "deadline_ms": 200,          // optional
+///    "deadline_polls": 3,                        // optional, deterministic
+///    "options": {"jobs": 4, "pivot": false}}     // optional overrides
+///
+/// The program naming (`subject` / `file`) is resolved by the caller --
+/// the service itself only ever sees inline source -- so this header
+/// exposes the unresolved reference alongside the parsed request.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_SERVICE_SERVICEJSON_H
+#define LC_SERVICE_SERVICEJSON_H
+
+#include "service/Request.h"
+#include "support/Json.h"
+
+#include <string>
+
+namespace lc {
+
+/// How a request JSON named its program; exactly one field is non-empty
+/// after a successful parse. The caller resolves Subject/File to source
+/// text (the service layer never touches the filesystem or the subject
+/// table itself).
+struct RequestSourceRef {
+  std::string Subject; ///< bundled Table 1 subject name
+  std::string File;    ///< path to an .mj file
+  std::string Source;  ///< inline program text
+};
+
+/// Parses one request object. On failure returns false and fills
+/// \p Error; the caller typically turns that into an InvalidRequest
+/// outcome rather than aborting the whole batch.
+bool parseAnalysisRequest(const json::Value &V, AnalysisRequest &R,
+                          RequestSourceRef &Ref, std::string &Error);
+
+/// Parses a batch document: a JSON array of request objects, or an object
+/// {"requests": [...]}.
+bool parseRequestBatch(const json::Value &V, std::vector<AnalysisRequest> &Rs,
+                       std::vector<RequestSourceRef> &Refs,
+                       std::string &Error);
+
+/// Renders one outcome as a single-line JSON object (the --serve line
+/// protocol; --batch emits one line per request too).
+std::string renderOutcomeJson(const AnalysisOutcome &O);
+
+} // namespace lc
+
+#endif // LC_SERVICE_SERVICEJSON_H

@@ -1,0 +1,169 @@
+//===-- SessionOptions.cpp ------------------------------------------------===//
+
+#include "service/SessionOptions.h"
+
+#include "support/ThreadPool.h"
+
+using namespace lc;
+
+namespace {
+
+/// FNV-1a over a little scalar soup; good enough to key a session cache.
+uint64_t hashMix(uint64_t H, uint64_t V) {
+  H ^= V;
+  H *= 0x100000001b3ULL;
+  return H;
+}
+
+} // namespace
+
+SessionOptions::SessionOptions() {
+  Opts.Jobs = ThreadPool::defaultJobs();
+}
+
+uint64_t SessionOptions::substrateFingerprint() const {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  H = hashMix(H, Opts.Jobs);
+  H = hashMix(H, Opts.Cfl.Memoize ? 1 : 0);
+  H = hashMix(H, Opts.Cfl.CacheShardCapacity);
+  H = hashMix(H, Opts.Cfl.NodeBudget);
+  H = hashMix(H, Opts.Cfl.MaxHeapHops);
+  H = hashMix(H, Opts.Cfl.MaxCallDepth);
+  return H;
+}
+
+SessionOptionsBuilder::SessionOptionsBuilder() {
+  // The builder's resting state resolves "all cores" eagerly: a sealed
+  // SessionOptions never carries the 0 sentinel, so downstream code has
+  // one less invalid state to defend against.
+  Opts.Jobs = ThreadPool::defaultJobs();
+}
+
+SessionOptionsBuilder &SessionOptionsBuilder::jobs(uint32_t N) {
+  JobsSet = true;
+  JobsExplicitZero = N == 0;
+  if (N != 0)
+    Opts.Jobs = N;
+  return *this;
+}
+
+SessionOptionsBuilder &SessionOptionsBuilder::allCores() {
+  JobsSet = true;
+  JobsExplicitZero = false;
+  Opts.Jobs = ThreadPool::defaultJobs();
+  return *this;
+}
+
+SessionOptionsBuilder &SessionOptionsBuilder::cflMemoize(bool On) {
+  MemoizeOff = !On;
+  Opts.Cfl.Memoize = On;
+  return *this;
+}
+
+SessionOptionsBuilder &
+SessionOptionsBuilder::cflCacheCapacity(uint32_t EntriesPerShard) {
+  CapacitySet = true;
+  Opts.Cfl.CacheShardCapacity = EntriesPerShard;
+  return *this;
+}
+
+SessionOptionsBuilder &SessionOptionsBuilder::cflNodeBudget(uint64_t Budget) {
+  Opts.Cfl.NodeBudget = Budget;
+  return *this;
+}
+
+SessionOptionsBuilder &SessionOptionsBuilder::cflMaxHeapHops(uint32_t Hops) {
+  Opts.Cfl.MaxHeapHops = Hops;
+  return *this;
+}
+
+SessionOptionsBuilder &SessionOptionsBuilder::cflMaxCallDepth(uint32_t Depth) {
+  Opts.Cfl.MaxCallDepth = Depth;
+  return *this;
+}
+
+SessionOptionsBuilder &SessionOptionsBuilder::pivotMode(bool On) {
+  Opts.PivotMode = On;
+  return *this;
+}
+SessionOptionsBuilder &SessionOptionsBuilder::modelThreads(bool On) {
+  Opts.ModelThreads = On;
+  return *this;
+}
+SessionOptionsBuilder &SessionOptionsBuilder::libraryRule(bool On) {
+  Opts.LibraryRule = On;
+  return *this;
+}
+SessionOptionsBuilder &SessionOptionsBuilder::reportLibrarySites(bool On) {
+  Opts.ReportLibrarySites = On;
+  return *this;
+}
+SessionOptionsBuilder &SessionOptionsBuilder::contextSensitive(bool On) {
+  Opts.ContextSensitive = On;
+  return *this;
+}
+SessionOptionsBuilder &SessionOptionsBuilder::modelDestructiveUpdates(bool On) {
+  Opts.ModelDestructiveUpdates = On;
+  return *this;
+}
+SessionOptionsBuilder &SessionOptionsBuilder::escapePrefilter(bool On) {
+  Opts.EscapePrefilter = On;
+  return *this;
+}
+SessionOptionsBuilder &SessionOptionsBuilder::cflCorroborate(bool On) {
+  Opts.CflCorroborate = On;
+  return *this;
+}
+SessionOptionsBuilder &SessionOptionsBuilder::contextDepth(uint32_t Depth) {
+  Opts.ContextDepth = Depth;
+  return *this;
+}
+SessionOptionsBuilder &SessionOptionsBuilder::maxContextsPerSite(uint32_t Max) {
+  Opts.MaxContextsPerSite = Max;
+  return *this;
+}
+SessionOptionsBuilder &
+SessionOptionsBuilder::fromLegacy(const LeakOptions &Legacy) {
+  Opts = Legacy;
+  if (Opts.Jobs == 0)
+    Opts.Jobs = ThreadPool::defaultJobs();
+  JobsSet = true;
+  JobsExplicitZero = false;
+  MemoizeOff = !Legacy.Cfl.Memoize;
+  CapacitySet = false;
+  return *this;
+}
+
+std::optional<SessionOptions> SessionOptionsBuilder::build() {
+  Errors.clear();
+  if (JobsExplicitZero)
+    Errors.push_back("jobs must be >= 1 (use allCores() for the machine "
+                     "default; the 0 sentinel is not a valid session "
+                     "configuration)");
+  if (MemoizeOff && CapacitySet)
+    Errors.push_back("contradictory memo flags: a CFL cache capacity was "
+                     "configured while memoization is disabled");
+  if (MemoizeOff && Opts.CflCorroborate && Opts.Cfl.NodeBudget == 0)
+    Errors.push_back("cfl node budget must be > 0 when corroboration runs "
+                     "without the memo cache");
+  if (Opts.Cfl.NodeBudget == 0)
+    Errors.push_back("cfl node budget must be > 0 (a zero budget makes "
+                     "every query fall back)");
+  if (Opts.Cfl.MaxHeapHops >= 0x8000)
+    Errors.push_back("cfl max heap hops must be < 32768 (memo keys pack "
+                     "the hop budget into 15 bits)");
+  if (Opts.Cfl.MaxCallDepth == 0)
+    Errors.push_back("cfl max call depth must be > 0");
+  if (Opts.Cfl.Memoize && Opts.Cfl.CacheShardCapacity == 0)
+    Errors.push_back("contradictory memo flags: memoization is enabled "
+                     "with a zero cache capacity");
+  if (Opts.ContextDepth == 0)
+    Errors.push_back("context depth must be > 0");
+  if (Opts.MaxContextsPerSite == 0)
+    Errors.push_back("max contexts per site must be > 0");
+  if (!Errors.empty())
+    return std::nullopt;
+  SessionOptions Out;
+  Out.Opts = Opts;
+  return Out;
+}

@@ -1,0 +1,138 @@
+//===-- SessionOptions.h - Validated engine configuration ------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One validated bag of knobs for an analysis session, replacing the
+/// scattered trio the engine grew historically (`LeakOptions`,
+/// `CflOptions::Memoize`, `LeakOptions::Jobs`). A `SessionOptions` can
+/// only be obtained from `SessionOptionsBuilder`, whose `build()` rejects
+/// inconsistent combinations -- a zero worker count, memoization knobs
+/// that contradict each other, out-of-range CFL budgets -- so a request
+/// can no longer construct an engine in a state the engine itself would
+/// misbehave in. CLI flag parsing and JSON request decoding are pure
+/// translations into builder calls; every validation rule lives here,
+/// once.
+///
+/// The struct splits conceptually in two, and the service layer's session
+/// cache depends on that split:
+///
+///   - *substrate* knobs (worker count, CFL traversal configuration)
+///     shape the warm session itself -- `substrateFingerprint()` hashes
+///     exactly these, and requests agreeing on them share one cached
+///     substrate;
+///   - *per-run* knobs (pivot mode, thread modeling, context depth, ...)
+///     only affect a single `analyzeLoop` run and may vary freely between
+///     requests against the same session.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_SERVICE_SESSIONOPTIONS_H
+#define LC_SERVICE_SESSIONOPTIONS_H
+
+#include "leak/LeakAnalysis.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lc {
+
+/// Validated, internally-consistent engine configuration. Construct via
+/// SessionOptionsBuilder.
+class SessionOptions {
+public:
+  /// Default configuration (always valid): all cores, memoized CFL,
+  /// paper-default leak options. Out of line so the worker count resolves
+  /// eagerly -- a SessionOptions never carries the legacy "0 = auto"
+  /// sentinel.
+  SessionOptions();
+
+  /// The per-run leak options this configuration denotes. The request
+  /// path hands exactly this to the engine, so a validated SessionOptions
+  /// and the engine can never disagree.
+  const LeakOptions &leakOptions() const { return Opts; }
+
+  /// Resolved worker count (>= 1; never the "0 = auto" sentinel).
+  uint32_t jobs() const { return Opts.Jobs; }
+
+  /// Hash of the substrate-shaping knobs only (jobs, CFL traversal
+  /// configuration). Two SessionOptions with equal fingerprints can share
+  /// one warm session; per-run knobs are excluded on purpose.
+  uint64_t substrateFingerprint() const;
+
+private:
+  friend class SessionOptionsBuilder;
+  LeakOptions Opts;
+};
+
+/// Accumulates settings, then validates the whole configuration at once.
+/// `build()` returns nullopt and fills `errors()` when any rule fails;
+/// every violation is reported, not just the first.
+class SessionOptionsBuilder {
+public:
+  SessionOptionsBuilder();
+
+  // --- Substrate knobs ------------------------------------------------------
+
+  /// Worker threads for per-site query fan-out. 1 = sequential path.
+  /// Zero is rejected at build() -- callers that want "all cores" say so
+  /// explicitly via allCores().
+  SessionOptionsBuilder &jobs(uint32_t N);
+  /// Resolve the worker count to the machine's core count.
+  SessionOptionsBuilder &allCores();
+  /// Enable/disable the shared CFL sub-traversal memo cache.
+  SessionOptionsBuilder &cflMemoize(bool On);
+  /// Memo-cache capacity per shard. Setting a capacity while also
+  /// disabling memoization is contradictory and rejected at build().
+  SessionOptionsBuilder &cflCacheCapacity(uint32_t EntriesPerShard);
+  /// CFL node budget before a query falls back to Andersen (> 0).
+  SessionOptionsBuilder &cflNodeBudget(uint64_t Budget);
+  /// CFL heap-hop limit (must fit the memo key's 15-bit hop field).
+  SessionOptionsBuilder &cflMaxHeapHops(uint32_t Hops);
+  /// CFL call-string k-limit (> 0).
+  SessionOptionsBuilder &cflMaxCallDepth(uint32_t Depth);
+
+  // --- Per-run knobs --------------------------------------------------------
+
+  SessionOptionsBuilder &pivotMode(bool On);
+  SessionOptionsBuilder &modelThreads(bool On);
+  SessionOptionsBuilder &libraryRule(bool On);
+  SessionOptionsBuilder &reportLibrarySites(bool On);
+  SessionOptionsBuilder &contextSensitive(bool On);
+  SessionOptionsBuilder &modelDestructiveUpdates(bool On);
+  SessionOptionsBuilder &escapePrefilter(bool On);
+  SessionOptionsBuilder &cflCorroborate(bool On);
+  SessionOptionsBuilder &contextDepth(uint32_t Depth);
+  SessionOptionsBuilder &maxContextsPerSite(uint32_t Max);
+  // Note: there is deliberately no cancel() knob. The cancellation token
+  // rides on the AnalysisRequest -- SessionOptions is pure configuration,
+  // fingerprintable and reusable across requests.
+
+  /// Seeds every knob from a legacy LeakOptions bag (used by the
+  /// deprecated entry points; new code should speak builder calls).
+  SessionOptionsBuilder &fromLegacy(const LeakOptions &Legacy);
+
+  /// Validates the accumulated configuration. On success returns the
+  /// sealed options; on failure returns nullopt and errors() lists every
+  /// violated rule.
+  std::optional<SessionOptions> build();
+
+  /// Validation diagnostics of the last build() (empty on success).
+  const std::vector<std::string> &errors() const { return Errors; }
+
+private:
+  LeakOptions Opts;
+  bool JobsSet = false;        ///< jobs()/allCores() called
+  bool JobsExplicitZero = false;
+  bool MemoizeOff = false;     ///< cflMemoize(false) called
+  bool CapacitySet = false;    ///< cflCacheCapacity() called
+  std::vector<std::string> Errors;
+};
+
+} // namespace lc
+
+#endif // LC_SERVICE_SESSIONOPTIONS_H

@@ -1,0 +1,160 @@
+//===-- Cancellation.h - Cooperative cancellation tokens -------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cooperative cancellation for long-running analysis requests: deadlines,
+/// explicit cancel, and (for tests) deterministic poll budgets, behind one
+/// token type that analysis loops check at well-defined points.
+///
+/// The token distinguishes two check sites, and that split is what makes
+/// partial results reproducible:
+///
+///   - `poll()` is the *coordinating thread's* checkpoint. It is called at
+///     deterministic points only -- between analysis phases and between
+///     fixed-size site batches, never from pool workers -- and it is the
+///     only call that advances the poll counter or consults the clock.
+///     Once `poll()` observes expiry it latches: the token stays stopped
+///     forever. Because the sequence of `poll()` calls is a pure function
+///     of the input program, a token that trips "after N polls" cuts the
+///     analysis at the same site boundary at any `--jobs` count, which is
+///     how the deadline tests assert byte-identical partial results across
+///     schedules.
+///
+///   - `stopRequested()` is the cheap latched read (one relaxed atomic
+///     load). Pool workers and the CFL traversal inner loop use it to bail
+///     out of work whose result is about to be thrown away. It never
+///     advances any counter, so calling it from racing threads cannot
+///     perturb where the deterministic cut lands.
+///
+/// Wall-clock deadlines are inherently racy against the work they bound;
+/// the latch confines that nondeterminism to *which* batch boundary the
+/// cut lands on. A deadline that is already expired when the request
+/// starts (the "deliberately tiny deadline" case) trips at the first
+/// `poll()` on every schedule, making even the wall-clock path
+/// deterministic at its extreme.
+///
+/// Tokens are value types sharing state through a `shared_ptr`: copy one
+/// into a request, keep another to `cancel()` from a different thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_SUPPORT_CANCELLATION_H
+#define LC_SUPPORT_CANCELLATION_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+
+namespace lc {
+
+/// Why a token stopped (None while still running).
+enum class StopReason : uint8_t {
+  None,     ///< not stopped
+  Deadline, ///< the wall-clock deadline passed
+  Cancel,   ///< someone called cancel()
+  Budget,   ///< the poll budget ran out (deterministic test tokens)
+};
+
+class CancellationToken {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  /// A token that never stops on its own (cancel() still works).
+  CancellationToken() : S(std::make_shared<Shared>()) {}
+
+  /// Stops once the wall clock passes \p Deadline.
+  static CancellationToken withDeadline(Clock::time_point Deadline) {
+    CancellationToken T;
+    T.S->Deadline = Deadline;
+    T.S->HasDeadline = true;
+    return T;
+  }
+  /// Stops \p Budget milliseconds from now.
+  static CancellationToken afterMillis(int64_t Ms) {
+    return withDeadline(Clock::now() + std::chrono::milliseconds(Ms));
+  }
+  /// Stops after \p Polls coordinator checkpoints: deterministic for a
+  /// given input at any job count (the checkpoint sequence lives on the
+  /// coordinating thread). Polls == 0 trips at the first checkpoint.
+  static CancellationToken afterPolls(uint64_t Polls) {
+    CancellationToken T;
+    T.S->PollBudget = Polls;
+    T.S->HasPollBudget = true;
+    return T;
+  }
+
+  /// Requests cancellation (thread-safe; idempotent).
+  void cancel() const { latch(StopReason::Cancel); }
+
+  /// Coordinator checkpoint: consults the deadline/poll budget, latches on
+  /// expiry, returns true when the analysis should stop. Call only from
+  /// the thread driving the analysis, at deterministic points.
+  bool poll() const {
+    if (stopRequested())
+      return true;
+    if (S->HasPollBudget) {
+      uint64_t Done = S->PollsDone.fetch_add(1, std::memory_order_relaxed);
+      if (Done >= S->PollBudget) {
+        latch(StopReason::Budget);
+        return true;
+      }
+    }
+    if (S->HasDeadline && Clock::now() >= S->Deadline) {
+      latch(StopReason::Deadline);
+      return true;
+    }
+    return false;
+  }
+
+  /// Latched stop flag: one relaxed load, safe and cheap from any thread.
+  bool stopRequested() const {
+    return S->Reason.load(std::memory_order_relaxed) != StopReason::None;
+  }
+
+  /// Why the token stopped (None while running).
+  StopReason reason() const {
+    return S->Reason.load(std::memory_order_relaxed);
+  }
+
+private:
+  struct Shared {
+    std::atomic<StopReason> Reason{StopReason::None};
+    std::atomic<uint64_t> PollsDone{0};
+    Clock::time_point Deadline{};
+    uint64_t PollBudget = 0;
+    bool HasDeadline = false;
+    bool HasPollBudget = false;
+  };
+
+  void latch(StopReason R) const {
+    StopReason Expected = StopReason::None;
+    S->Reason.compare_exchange_strong(Expected, R,
+                                      std::memory_order_relaxed);
+  }
+
+  std::shared_ptr<Shared> S;
+};
+
+/// Names a stop reason for diagnostics and outcome JSON.
+inline const char *stopReasonName(StopReason R) {
+  switch (R) {
+  case StopReason::None:
+    return "none";
+  case StopReason::Deadline:
+    return "deadline";
+  case StopReason::Cancel:
+    return "cancel";
+  case StopReason::Budget:
+    return "budget";
+  }
+  return "none";
+}
+
+} // namespace lc
+
+#endif // LC_SUPPORT_CANCELLATION_H

@@ -1,0 +1,259 @@
+//===-- Json.cpp - Recursive-descent JSON parser --------------------------===//
+
+#include "support/Json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace lc::json;
+
+namespace lc::json {
+
+/// Strict JSON parser over a string_view. No allocation beyond the value
+/// tree; errors carry the byte offset of the first offending character.
+class Parser {
+public:
+  Parser(std::string_view Text, std::string &Error)
+      : Text(Text), Error(Error) {}
+
+  bool run(Value &Out) {
+    skipWs();
+    if (!parseValue(Out))
+      return false;
+    skipWs();
+    if (Pos != Text.size())
+      return fail("trailing characters after document");
+    return true;
+  }
+
+private:
+  bool fail(const std::string &Msg) {
+    Error = "json: " + Msg + " at offset " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == ' ' || C == '\t' || C == '\n' || C == '\r')
+        ++Pos;
+      else
+        break;
+    }
+  }
+
+  bool peekIs(char C) const { return Pos < Text.size() && Text[Pos] == C; }
+
+  bool consume(char C) {
+    if (!peekIs(C))
+      return false;
+    ++Pos;
+    return true;
+  }
+
+  bool literal(std::string_view Word) {
+    if (Text.substr(Pos, Word.size()) != Word)
+      return fail("invalid literal");
+    Pos += Word.size();
+    return true;
+  }
+
+  bool parseValue(Value &Out) {
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    switch (Text[Pos]) {
+    case '{':
+      return parseObject(Out);
+    case '[':
+      return parseArray(Out);
+    case '"': {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = Value::string(std::move(S));
+      return true;
+    }
+    case 't':
+      if (!literal("true"))
+        return false;
+      Out = Value::boolean(true);
+      return true;
+    case 'f':
+      if (!literal("false"))
+        return false;
+      Out = Value::boolean(false);
+      return true;
+    case 'n':
+      if (!literal("null"))
+        return false;
+      Out = Value::null();
+      return true;
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseObject(Value &Out) {
+    ++Pos; // '{'
+    Out = Value();
+    Out.K = Value::Kind::Object;
+    skipWs();
+    if (consume('}'))
+      return true;
+    for (;;) {
+      skipWs();
+      std::string Key;
+      if (!peekIs('"'))
+        return fail("expected object key string");
+      if (!parseString(Key))
+        return false;
+      skipWs();
+      if (!consume(':'))
+        return fail("expected ':' after object key");
+      skipWs();
+      Value V;
+      if (!parseValue(V))
+        return false;
+      Out.Members.emplace_back(std::move(Key), std::move(V));
+      skipWs();
+      if (consume(','))
+        continue;
+      if (consume('}'))
+        return true;
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parseArray(Value &Out) {
+    ++Pos; // '['
+    Out = Value();
+    Out.K = Value::Kind::Array;
+    skipWs();
+    if (consume(']'))
+      return true;
+    for (;;) {
+      skipWs();
+      Value V;
+      if (!parseValue(V))
+        return false;
+      Out.Items.push_back(std::move(V));
+      skipWs();
+      if (consume(','))
+        continue;
+      if (consume(']'))
+        return true;
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    ++Pos; // '"'
+    Out.clear();
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (static_cast<unsigned char>(C) < 0x20)
+        return fail("unescaped control character in string");
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        unsigned V = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = Text[Pos++];
+          V <<= 4;
+          if (H >= '0' && H <= '9')
+            V |= unsigned(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            V |= unsigned(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            V |= unsigned(H - 'A' + 10);
+          else
+            return fail("invalid hex digit in \\u escape");
+        }
+        // UTF-8 encode the code point (surrogate pairs are passed through
+        // as two separately-encoded units; the emitter never produces
+        // them for our ASCII-ish payloads).
+        if (V < 0x80) {
+          Out += static_cast<char>(V);
+        } else if (V < 0x800) {
+          Out += static_cast<char>(0xC0 | (V >> 6));
+          Out += static_cast<char>(0x80 | (V & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (V >> 12));
+          Out += static_cast<char>(0x80 | ((V >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (V & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail("invalid escape character");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseNumber(Value &Out) {
+    size_t Start = Pos;
+    if (peekIs('-'))
+      ++Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '+' || Text[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return fail("expected a value");
+    std::string Num(Text.substr(Start, Pos - Start));
+    char *End = nullptr;
+    double V = std::strtod(Num.c_str(), &End);
+    if (!End || *End != '\0') {
+      Pos = Start;
+      return fail("malformed number");
+    }
+    Out = Value::number(V);
+    return true;
+  }
+
+  std::string_view Text;
+  std::string &Error;
+  size_t Pos = 0;
+};
+
+bool parse(std::string_view Text, Value &Out, std::string &Error) {
+  return Parser(Text, Error).run(Out);
+}
+
+} // namespace lc::json

@@ -12,14 +12,25 @@
 /// report's stable section byte-comparable -- but escaping and float
 /// formatting live here so no producer gets them subtly wrong.
 ///
+/// The service layer also *consumes* JSON (batch request files, the
+/// --serve line protocol), so this header additionally carries a small
+/// recursive-descent parser into an owning `Value` tree. It accepts
+/// strict JSON (objects, arrays, strings with the escapes `escape()`
+/// emits plus \uXXXX, numbers, booleans, null), reports the byte offset
+/// of the first error, and preserves object key order so request fields
+/// round-trip stably.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LC_SUPPORT_JSON_H
 #define LC_SUPPORT_JSON_H
 
 #include <cstdio>
+#include <map>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace lc::json {
 
@@ -70,6 +81,75 @@ inline std::string num(double V) {
   std::snprintf(Buf, sizeof(Buf), "%.6g", V);
   return Buf;
 }
+
+// --- Parsing ---------------------------------------------------------------
+
+/// One parsed JSON value. Owning tree; object members keep source order.
+class Value {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool(bool Default = false) const { return isBool() ? B : Default; }
+  double asNumber(double Default = 0) const { return isNumber() ? N : Default; }
+  int64_t asInt(int64_t Default = 0) const {
+    return isNumber() ? static_cast<int64_t>(N) : Default;
+  }
+  const std::string &asString() const { return S; }
+
+  const std::vector<Value> &items() const { return Items; }
+  /// Object members in source order.
+  const std::vector<std::pair<std::string, Value>> &members() const {
+    return Members;
+  }
+  /// Member lookup; nullptr when absent (or not an object).
+  const Value *get(std::string_view Key) const {
+    for (const auto &[K2, V] : Members)
+      if (K2 == Key)
+        return &V;
+    return nullptr;
+  }
+
+  static Value null() { return Value(); }
+  static Value boolean(bool V) {
+    Value X;
+    X.K = Kind::Bool;
+    X.B = V;
+    return X;
+  }
+  static Value number(double V) {
+    Value X;
+    X.K = Kind::Number;
+    X.N = V;
+    return X;
+  }
+  static Value string(std::string V) {
+    Value X;
+    X.K = Kind::String;
+    X.S = std::move(V);
+    return X;
+  }
+
+private:
+  friend class Parser;
+  Kind K = Kind::Null;
+  bool B = false;
+  double N = 0;
+  std::string S;
+  std::vector<Value> Items;
+  std::vector<std::pair<std::string, Value>> Members;
+};
+
+/// Parses \p Text as one JSON document. On failure returns false and fills
+/// \p Error with a message carrying the byte offset of the problem.
+bool parse(std::string_view Text, Value &Out, std::string &Error);
 
 } // namespace lc::json
 

@@ -1,0 +1,259 @@
+//===-- JsonWireTest.cpp - request/outcome wire format ------------------------===//
+
+#include "service/ServiceJson.h"
+
+#include <gtest/gtest.h>
+
+using namespace lc;
+
+namespace {
+
+json::Value parseOk(const std::string &Text) {
+  json::Value V;
+  std::string Error;
+  EXPECT_TRUE(json::parse(Text, V, Error)) << Error;
+  return V;
+}
+
+bool parseRequest(const std::string &Text, AnalysisRequest &R,
+                  RequestSourceRef &Ref, std::string &Error) {
+  json::Value V;
+  if (!json::parse(Text, V, Error))
+    return false;
+  return parseAnalysisRequest(V, R, Ref, Error);
+}
+
+} // namespace
+
+// --- JSON parser ------------------------------------------------------------
+
+TEST(JsonParse, Document) {
+  json::Value V = parseOk(
+      R"({"a": [1, 2.5, -3], "b": {"nested": true}, "c": null, "s": "x\n\"y\u0041"})");
+  ASSERT_TRUE(V.isObject());
+  const json::Value *A = V.get("a");
+  ASSERT_NE(A, nullptr);
+  ASSERT_TRUE(A->isArray());
+  ASSERT_EQ(A->items().size(), 3u);
+  EXPECT_EQ(A->items()[0].asInt(), 1);
+  EXPECT_DOUBLE_EQ(A->items()[1].asNumber(), 2.5);
+  EXPECT_EQ(A->items()[2].asInt(), -3);
+  EXPECT_TRUE(V.get("b")->get("nested")->asBool());
+  EXPECT_TRUE(V.get("c")->isNull());
+  EXPECT_EQ(V.get("s")->asString(), "x\n\"yA");
+  // Source order of members survives.
+  EXPECT_EQ(V.members()[0].first, "a");
+  EXPECT_EQ(V.members()[3].first, "s");
+}
+
+TEST(JsonParse, ErrorsCarryOffsets) {
+  json::Value V;
+  std::string Error;
+  EXPECT_FALSE(json::parse("{\"a\": }", V, Error));
+  EXPECT_NE(Error.find("offset"), std::string::npos);
+  EXPECT_FALSE(json::parse("[1, 2] trailing", V, Error));
+  EXPECT_FALSE(json::parse("", V, Error));
+}
+
+TEST(JsonParse, RoundTripsEscapedStrings) {
+  std::string Nasty = "line1\nline2\t\"quoted\" \\slash\x01";
+  json::Value V = parseOk("{\"s\": " + json::quote(Nasty) + "}");
+  EXPECT_EQ(V.get("s")->asString(), Nasty);
+}
+
+// --- Request parsing --------------------------------------------------------
+
+TEST(RequestJson, FullRequest) {
+  AnalysisRequest R;
+  RequestSourceRef Ref;
+  std::string Error;
+  ASSERT_TRUE(parseRequest(
+      R"({"id": "r1", "subject": "SPECjbb2000", "loops": "all",
+          "priority": 5, "deadline_polls": 3,
+          "options": {"jobs": 2, "pivot": false, "context_depth": 4}})",
+      R, Ref, Error))
+      << Error;
+  EXPECT_EQ(R.Id, "r1");
+  EXPECT_EQ(Ref.Subject, "SPECjbb2000");
+  EXPECT_TRUE(Ref.File.empty());
+  EXPECT_TRUE(R.Loops.AllLabeled);
+  EXPECT_EQ(R.Priority, 5);
+  EXPECT_EQ(R.Options.jobs(), 2u);
+  EXPECT_FALSE(R.Options.leakOptions().PivotMode);
+  EXPECT_EQ(R.Options.leakOptions().ContextDepth, 4u);
+  // afterPolls(3): three polls pass, the fourth trips.
+  EXPECT_FALSE(R.Deadline.poll());
+  EXPECT_FALSE(R.Deadline.poll());
+  EXPECT_FALSE(R.Deadline.poll());
+  EXPECT_TRUE(R.Deadline.poll());
+  EXPECT_EQ(R.Deadline.reason(), StopReason::Budget);
+}
+
+TEST(RequestJson, LoopsVariants) {
+  AnalysisRequest R;
+  RequestSourceRef Ref;
+  std::string Error;
+  ASSERT_TRUE(parseRequest(R"({"source": "class M {}", "loops": "main"})", R,
+                           Ref, Error));
+  ASSERT_EQ(R.Loops.Labels.size(), 1u);
+  EXPECT_EQ(R.Loops.Labels[0], "main");
+  EXPECT_FALSE(R.Loops.AllLabeled);
+
+  ASSERT_TRUE(parseRequest(
+      R"({"source": "class M {}", "loops": ["a", "b"]})", R, Ref, Error));
+  ASSERT_EQ(R.Loops.Labels.size(), 2u);
+  EXPECT_EQ(R.Loops.Labels[1], "b");
+
+  EXPECT_FALSE(
+      parseRequest(R"({"source": "x", "loops": []})", R, Ref, Error));
+  EXPECT_FALSE(
+      parseRequest(R"({"source": "x", "loops": 3})", R, Ref, Error));
+}
+
+TEST(RequestJson, StrictUnknownKeyRejection) {
+  AnalysisRequest R;
+  RequestSourceRef Ref;
+  std::string Error;
+  EXPECT_FALSE(parseRequest(
+      R"({"source": "x", "loops": "all", "dealine_ms": 5})", R, Ref, Error));
+  EXPECT_NE(Error.find("dealine_ms"), std::string::npos);
+  EXPECT_FALSE(parseRequest(
+      R"({"source": "x", "loops": "all", "options": {"pivto": true}})", R,
+      Ref, Error));
+  EXPECT_NE(Error.find("pivto"), std::string::npos);
+}
+
+TEST(RequestJson, ProgramNamingIsExclusiveAndRequired) {
+  AnalysisRequest R;
+  RequestSourceRef Ref;
+  std::string Error;
+  EXPECT_FALSE(parseRequest(R"({"loops": "all"})", R, Ref, Error));
+  EXPECT_FALSE(parseRequest(
+      R"({"subject": "a", "file": "b.mj", "loops": "all"})", R, Ref, Error));
+  EXPECT_NE(Error.find("exactly one"), std::string::npos);
+}
+
+TEST(RequestJson, DeadlinesAreMutuallyExclusive) {
+  AnalysisRequest R;
+  RequestSourceRef Ref;
+  std::string Error;
+  EXPECT_FALSE(parseRequest(
+      R"({"source": "x", "loops": "all", "deadline_ms": 5,
+          "deadline_polls": 2})",
+      R, Ref, Error));
+  EXPECT_NE(Error.find("mutually exclusive"), std::string::npos);
+  EXPECT_FALSE(parseRequest(
+      R"({"source": "x", "loops": "all", "deadline_ms": 0})", R, Ref, Error));
+}
+
+TEST(RequestJson, OptionValidationSurfacesBuilderErrors) {
+  AnalysisRequest R;
+  RequestSourceRef Ref;
+  std::string Error;
+  EXPECT_FALSE(parseRequest(
+      R"({"source": "x", "loops": "all", "options": {"jobs": 0}})", R, Ref,
+      Error));
+  EXPECT_NE(Error.find("jobs"), std::string::npos);
+  EXPECT_FALSE(parseRequest(
+      R"({"source": "x", "loops": "all",
+          "options": {"memoize": false, "cache_capacity": 64}})",
+      R, Ref, Error));
+  EXPECT_NE(Error.find("contradictory"), std::string::npos);
+  // "all" resolves the worker count like the allCores() builder call.
+  ASSERT_TRUE(parseRequest(
+      R"({"source": "x", "loops": "all", "options": {"jobs": "all"}})", R,
+      Ref, Error))
+      << Error;
+  EXPECT_GE(R.Options.jobs(), 1u);
+}
+
+TEST(RequestJson, BatchForms) {
+  std::vector<AnalysisRequest> Rs;
+  std::vector<RequestSourceRef> Refs;
+  std::string Error;
+  ASSERT_TRUE(parseRequestBatch(
+      parseOk(R"([{"source": "x", "loops": "all"},
+                  {"source": "y", "loops": "l2"}])"),
+      Rs, Refs, Error))
+      << Error;
+  ASSERT_EQ(Rs.size(), 2u);
+  EXPECT_EQ(Refs[1].Source, "y");
+
+  ASSERT_TRUE(parseRequestBatch(
+      parseOk(R"({"requests": [{"source": "x", "loops": "all"}]})"), Rs,
+      Refs, Error))
+      << Error;
+  ASSERT_EQ(Rs.size(), 1u);
+
+  EXPECT_FALSE(parseRequestBatch(
+      parseOk(R"({"requests": [], "extra": 1})"), Rs, Refs, Error));
+  // A bad request is named by its batch position.
+  EXPECT_FALSE(parseRequestBatch(
+      parseOk(R"([{"source": "x", "loops": "all"}, {"loops": "all"}])"), Rs,
+      Refs, Error));
+  EXPECT_NE(Error.find("request 1"), std::string::npos);
+}
+
+// --- Outcome rendering ------------------------------------------------------
+
+TEST(OutcomeJson, RendersAndRoundTrips) {
+  AnalysisOutcome O;
+  O.Id = "r\"1"; // id needing escaping
+  O.Status = OutcomeStatus::DeadlineExpired;
+  O.SubstrateBuilt = true;
+  LeakAnalysisResult R;
+  R.Partial = true;
+  R.Stopped = StopReason::Budget;
+  R.SitesCompleted = 64;
+  R.SitesTotal = 200;
+  R.Reports.resize(3);
+  O.Results.push_back(std::move(R));
+  O.LoopLabels.push_back("big");
+  O.RenderedReports.push_back("line1\nline2");
+  O.LoopsNotRun.push_back("second");
+
+  std::string J = renderOutcomeJson(O);
+  // Single line, machine-parseable.
+  EXPECT_EQ(J.find('\n'), std::string::npos);
+  json::Value V = parseOk(J);
+  EXPECT_EQ(V.get("id")->asString(), "r\"1");
+  EXPECT_EQ(V.get("status")->asString(), "deadline-expired");
+  EXPECT_TRUE(V.get("substrate_built")->asBool());
+  ASSERT_EQ(V.get("loops")->items().size(), 1u);
+  const json::Value &L = V.get("loops")->items()[0];
+  EXPECT_EQ(L.get("label")->asString(), "big");
+  EXPECT_EQ(L.get("leaks")->asInt(), 3);
+  EXPECT_TRUE(L.get("partial")->asBool());
+  EXPECT_EQ(L.get("stop_reason")->asString(), "budget");
+  EXPECT_EQ(L.get("sites_completed")->asInt(), 64);
+  EXPECT_EQ(L.get("sites_total")->asInt(), 200);
+  EXPECT_EQ(L.get("report")->asString(), "line1\nline2");
+  ASSERT_EQ(V.get("loops_not_run")->items().size(), 1u);
+  EXPECT_EQ(V.get("loops_not_run")->items()[0].asString(), "second");
+  EXPECT_EQ(V.get("missing_label"), nullptr);
+}
+
+TEST(OutcomeJson, LoopNotFoundCarriesKnownLabels) {
+  AnalysisOutcome O;
+  O.Id = "miss";
+  O.Status = OutcomeStatus::LoopNotFound;
+  O.SubstrateBuilt = false;
+  O.MissingLabel = "nosuch";
+  O.KnownLabels = {"a", "b"};
+  json::Value V = parseOk(renderOutcomeJson(O));
+  EXPECT_EQ(V.get("status")->asString(), "loop-not-found");
+  EXPECT_EQ(V.get("missing_label")->asString(), "nosuch");
+  ASSERT_EQ(V.get("known_labels")->items().size(), 2u);
+  EXPECT_EQ(V.get("known_labels")->items()[1].asString(), "b");
+}
+
+TEST(OutcomeJson, DiagnosticsOnlyWhenPresent) {
+  AnalysisOutcome O;
+  O.Id = "ok";
+  json::Value V = parseOk(renderOutcomeJson(O));
+  EXPECT_EQ(V.get("diagnostics"), nullptr);
+  O.Status = OutcomeStatus::CompileError;
+  O.Diagnostics = "error: parse\n";
+  V = parseOk(renderOutcomeJson(O));
+  EXPECT_EQ(V.get("diagnostics")->asString(), "error: parse\n");
+}

@@ -1,0 +1,263 @@
+//===-- ServiceTest.cpp - session cache and batch semantics -------------------===//
+
+#include "service/AnalysisService.h"
+
+#include "subjects/Subjects.h"
+
+#include <gtest/gtest.h>
+
+using namespace lc;
+
+namespace {
+
+const char *kTinyLeak = R"(
+  class Sink { Object[] kept = new Object[64]; int n;
+    void keep(Object o) { this.kept[this.n] = o; this.n = this.n + 1; } }
+  class Item { }
+  class Main { static void main() {
+    Sink sink = new Sink();
+    int i = 0;
+    work: while (i < 5) {
+      Item x = new Item();
+      sink.keep(x);
+      i = i + 1;
+    }
+  } }
+)";
+
+/// A second program, textually distinct so it hashes to its own session.
+const char *kTinyClean = R"(
+  class Main { static void main() {
+    int i = 0;
+    spin: while (i < 5) { i = i + 1; }
+  } }
+)";
+
+const char *kThirdProgram = R"(
+  class Pair { Object a; }
+  class Main { static void main() {
+    Pair p = new Pair();
+    int i = 0;
+    fill: while (i < 5) {
+      p.a = new Pair();
+      i = i + 1;
+    }
+  } }
+)";
+
+AnalysisRequest requestFor(std::string Id, const char *Source,
+                           LoopSet Loops) {
+  AnalysisRequest R;
+  R.Id = std::move(Id);
+  R.Source = Source;
+  R.Loops = std::move(Loops);
+  return R;
+}
+
+} // namespace
+
+/// The acceptance property at unit scale: a warm batch over every bundled
+/// subject produces byte-identical rendered reports to one fresh session
+/// per subject, while building each substrate exactly once.
+TEST(AnalysisService, WarmBatchMatchesColdSingleRuns) {
+  // Baseline: one throwaway session per subject, exactly what eight
+  // separate CLI invocations would do.
+  std::vector<std::string> Cold;
+  for (const subjects::Subject &S : subjects::all()) {
+    DiagnosticEngine Diags;
+    auto Checker = LeakChecker::fromSource(
+        S.Source, Diags,
+        SessionOptionsBuilder().fromLegacy(S.Options).build()->leakOptions());
+    ASSERT_NE(Checker, nullptr) << S.Name << ": " << Diags.str();
+    AnalysisRequest R;
+    R.Loops = LoopSet::of({S.LoopLabel});
+    R.Options = *SessionOptionsBuilder().fromLegacy(S.Options).build();
+    AnalysisOutcome O = Checker->run(R);
+    ASSERT_TRUE(O.ok()) << S.Name;
+    ASSERT_EQ(O.RenderedReports.size(), 1u);
+    Cold.push_back(O.RenderedReports[0]);
+  }
+
+  // The batch: every subject twice, so the second round is all warm hits.
+  std::vector<AnalysisRequest> Batch;
+  for (int Round = 0; Round < 2; ++Round)
+    for (const subjects::Subject &S : subjects::all()) {
+      AnalysisRequest R;
+      R.Id = S.Name + (Round ? "-warm" : "-cold");
+      R.Source = S.Source;
+      R.ProgramName = S.Name;
+      R.Loops = LoopSet::of({S.LoopLabel});
+      R.Options = *SessionOptionsBuilder().fromLegacy(S.Options).build();
+      Batch.push_back(std::move(R));
+    }
+
+  AnalysisService Svc;
+  std::vector<AnalysisOutcome> Out = Svc.runBatch(Batch);
+  ASSERT_EQ(Out.size(), Batch.size());
+
+  size_t N = subjects::all().size();
+  for (size_t I = 0; I < N; ++I) {
+    SCOPED_TRACE(Batch[I].Id);
+    ASSERT_TRUE(Out[I].ok());
+    ASSERT_TRUE(Out[I + N].ok());
+    // Byte-identity: cold service run == warm service run == fresh session.
+    ASSERT_EQ(Out[I].RenderedReports.size(), 1u);
+    EXPECT_EQ(Out[I].RenderedReports[0], Cold[I]);
+    EXPECT_EQ(Out[I + N].RenderedReports[0], Cold[I]);
+    // Substrate built exactly once per subject: the cold outcome carries
+    // the construction stats (andersen-* counters), the warm one must not.
+    EXPECT_TRUE(Out[I].SubstrateBuilt);
+    EXPECT_FALSE(Out[I + N].SubstrateBuilt);
+    EXPECT_NE(Out[I].SubstrateStats.lookup("andersen-solve"), nullptr);
+    EXPECT_TRUE(Out[I + N].SubstrateStats.metrics().empty());
+  }
+  EXPECT_EQ(Svc.stats().get("service-session-builds"), N);
+  EXPECT_EQ(Svc.stats().get("service-session-hits"), N);
+  EXPECT_EQ(Svc.cachedSessions(), N);
+}
+
+TEST(AnalysisService, PerRunOptionsShareOneSubstrate) {
+  AnalysisService Svc;
+  AnalysisRequest A = requestFor("pivot-on", kTinyLeak, LoopSet::of({"work"}));
+  AnalysisRequest B = A;
+  B.Id = "pivot-off";
+  B.Options = *SessionOptionsBuilder().pivotMode(false).build();
+  AnalysisOutcome OA = Svc.run(A);
+  AnalysisOutcome OB = Svc.run(B);
+  ASSERT_TRUE(OA.ok());
+  ASSERT_TRUE(OB.ok());
+  // Pivot mode is a per-run knob: same fingerprint, one session.
+  EXPECT_EQ(Svc.stats().get("service-session-builds"), 1u);
+  EXPECT_EQ(Svc.stats().get("service-session-hits"), 1u);
+}
+
+TEST(AnalysisService, SubstrateKnobsForkTheSession) {
+  AnalysisService Svc;
+  AnalysisRequest A = requestFor("j1", kTinyLeak, LoopSet::of({"work"}));
+  A.Options = *SessionOptionsBuilder().jobs(1).build();
+  AnalysisRequest B = requestFor("j2", kTinyLeak, LoopSet::of({"work"}));
+  B.Options = *SessionOptionsBuilder().jobs(2).build();
+  EXPECT_TRUE(Svc.run(A).ok());
+  EXPECT_TRUE(Svc.run(B).ok());
+  EXPECT_EQ(Svc.stats().get("service-session-builds"), 2u);
+  // Same program text, but the sessions must not be conflated: the
+  // reports still agree byte-for-byte (the determinism contract).
+  AnalysisOutcome OA = Svc.run(A);
+  AnalysisOutcome OB = Svc.run(B);
+  ASSERT_EQ(OA.RenderedReports.size(), 1u);
+  ASSERT_EQ(OB.RenderedReports.size(), 1u);
+  EXPECT_EQ(OA.RenderedReports[0], OB.RenderedReports[0]);
+  EXPECT_EQ(Svc.stats().get("service-session-hits"), 2u);
+}
+
+TEST(AnalysisService, LruEvictionUnderSessionCap) {
+  ServiceOptions Opts;
+  Opts.MaxSessions = 2;
+  AnalysisService Svc(Opts);
+  EXPECT_TRUE(
+      Svc.run(requestFor("a", kTinyLeak, LoopSet::of({"work"}))).ok());
+  EXPECT_TRUE(
+      Svc.run(requestFor("b", kTinyClean, LoopSet::of({"spin"}))).ok());
+  EXPECT_TRUE(
+      Svc.run(requestFor("c", kThirdProgram, LoopSet::of({"fill"}))).ok());
+  EXPECT_EQ(Svc.cachedSessions(), 2u);
+  EXPECT_EQ(Svc.stats().get("service-session-evictions"), 1u);
+  // The least-recently-used session (program a) was the victim: asking
+  // for it again rebuilds.
+  AnalysisOutcome O = Svc.run(requestFor("a2", kTinyLeak, LoopSet::of({"work"})));
+  ASSERT_TRUE(O.ok());
+  EXPECT_TRUE(O.SubstrateBuilt);
+  EXPECT_EQ(Svc.stats().get("service-session-builds"), 4u);
+  // ... while program c, recently used, is still warm.
+  AnalysisOutcome OC =
+      Svc.run(requestFor("c2", kThirdProgram, LoopSet::of({"fill"})));
+  ASSERT_TRUE(OC.ok());
+  EXPECT_FALSE(OC.SubstrateBuilt);
+}
+
+TEST(AnalysisService, MemoryBudgetEvictsButNeverTheServingSession) {
+  ServiceOptions Opts;
+  Opts.MemoryBudgetBytes = 1; // every session is over budget
+  AnalysisService Svc(Opts);
+  EXPECT_TRUE(
+      Svc.run(requestFor("a", kTinyLeak, LoopSet::of({"work"}))).ok());
+  // The session serving the request survives even though it alone busts
+  // the budget -- a request must run somewhere.
+  EXPECT_EQ(Svc.cachedSessions(), 1u);
+  EXPECT_TRUE(
+      Svc.run(requestFor("b", kTinyClean, LoopSet::of({"spin"}))).ok());
+  EXPECT_EQ(Svc.cachedSessions(), 1u);
+  EXPECT_GE(Svc.stats().get("service-session-evictions"), 1u);
+  EXPECT_GT(Svc.residentBytes(), 0u);
+}
+
+TEST(AnalysisService, CompileErrorIsATypedOutcome) {
+  AnalysisService Svc;
+  AnalysisOutcome O =
+      Svc.run(requestFor("bad", "class {", LoopSet::allLabeled()));
+  EXPECT_EQ(O.Status, OutcomeStatus::CompileError);
+  EXPECT_FALSE(O.Diagnostics.empty());
+  EXPECT_FALSE(O.SubstrateBuilt);
+  EXPECT_TRUE(O.Results.empty());
+  EXPECT_EQ(O.Id, "bad");
+  EXPECT_EQ(Svc.stats().get("service-compile-errors"), 1u);
+  EXPECT_EQ(Svc.cachedSessions(), 0u);
+}
+
+TEST(AnalysisService, LoopNotFoundReportsKnownLabels) {
+  AnalysisService Svc;
+  AnalysisOutcome O =
+      Svc.run(requestFor("miss", kTinyLeak, LoopSet::of({"nosuch"})));
+  EXPECT_EQ(O.Status, OutcomeStatus::LoopNotFound);
+  EXPECT_EQ(O.MissingLabel, "nosuch");
+  ASSERT_EQ(O.KnownLabels.size(), 1u);
+  EXPECT_EQ(O.KnownLabels[0], "work");
+  EXPECT_TRUE(O.Results.empty());
+  // The lookup failed but the session was built and stays warm.
+  EXPECT_EQ(Svc.cachedSessions(), 1u);
+  EXPECT_EQ(Svc.stats().get("service-loop-not-found"), 1u);
+}
+
+TEST(AnalysisService, EmptyLoopSetIsInvalid) {
+  AnalysisService Svc;
+  AnalysisOutcome O = Svc.run(requestFor("empty", kTinyLeak, LoopSet()));
+  EXPECT_EQ(O.Status, OutcomeStatus::InvalidRequest);
+  EXPECT_FALSE(O.Diagnostics.empty());
+}
+
+TEST(AnalysisService, BatchAnswersInSubmissionOrderRunsByPriority) {
+  AnalysisService Svc;
+  std::vector<AnalysisRequest> Batch;
+  Batch.push_back(requestFor("low", kTinyLeak, LoopSet::of({"work"})));
+  Batch.push_back(requestFor("high", kTinyLeak, LoopSet::of({"work"})));
+  Batch.push_back(requestFor("mid", kTinyLeak, LoopSet::of({"work"})));
+  Batch[0].Priority = 0;
+  Batch[1].Priority = 5;
+  Batch[2].Priority = 1;
+  std::vector<AnalysisOutcome> Out = Svc.runBatch(Batch);
+  ASSERT_EQ(Out.size(), 3u);
+  // Submission order in the answers...
+  EXPECT_EQ(Out[0].Id, "low");
+  EXPECT_EQ(Out[1].Id, "high");
+  EXPECT_EQ(Out[2].Id, "mid");
+  // ... but priority order in execution: the highest-priority request ran
+  // first, so it (and only it) built the shared substrate.
+  EXPECT_FALSE(Out[0].SubstrateBuilt);
+  EXPECT_TRUE(Out[1].SubstrateBuilt);
+  EXPECT_FALSE(Out[2].SubstrateBuilt);
+  EXPECT_EQ(Svc.stats().get("service-session-builds"), 1u);
+}
+
+TEST(AnalysisService, AllLabeledMatchesExplicitLabels) {
+  AnalysisService Svc;
+  AnalysisOutcome All =
+      Svc.run(requestFor("all", kTinyLeak, LoopSet::allLabeled()));
+  AnalysisOutcome One =
+      Svc.run(requestFor("one", kTinyLeak, LoopSet::of({"work"})));
+  ASSERT_TRUE(All.ok());
+  ASSERT_TRUE(One.ok());
+  ASSERT_EQ(All.Results.size(), 1u);
+  ASSERT_EQ(All.LoopLabels.size(), 1u);
+  EXPECT_EQ(All.LoopLabels[0], "work");
+  EXPECT_EQ(All.RenderedReports[0], One.RenderedReports[0]);
+}

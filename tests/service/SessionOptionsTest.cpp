@@ -1,0 +1,141 @@
+//===-- SessionOptionsTest.cpp - builder validation rules ---------------------===//
+
+#include "service/SessionOptions.h"
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+using namespace lc;
+
+namespace {
+
+bool anyErrorContains(const SessionOptionsBuilder &B, const char *Needle) {
+  for (const std::string &E : B.errors())
+    if (E.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(SessionOptions, DefaultBuildIsValid) {
+  SessionOptionsBuilder B;
+  auto SO = B.build();
+  ASSERT_TRUE(SO.has_value());
+  EXPECT_TRUE(B.errors().empty());
+  // The sealed options never carry the legacy "0 = auto" sentinel.
+  EXPECT_GE(SO->jobs(), 1u);
+  EXPECT_EQ(SO->jobs(), SO->leakOptions().Jobs);
+}
+
+TEST(SessionOptions, DefaultConstructedIsResolvedToo) {
+  // A default SessionOptions (no builder) must equal the builder default:
+  // this is what AnalysisRequest{} carries.
+  SessionOptions SO;
+  EXPECT_GE(SO.jobs(), 1u);
+  EXPECT_EQ(SO.jobs(), ThreadPool::defaultJobs());
+}
+
+TEST(SessionOptions, ExplicitZeroJobsRejected) {
+  SessionOptionsBuilder B;
+  EXPECT_FALSE(B.jobs(0).build().has_value());
+  EXPECT_TRUE(anyErrorContains(B, "jobs"));
+}
+
+TEST(SessionOptions, AllCoresResolvesEagerly) {
+  SessionOptionsBuilder B;
+  auto SO = B.allCores().build();
+  ASSERT_TRUE(SO.has_value());
+  EXPECT_EQ(SO->jobs(), ThreadPool::defaultJobs());
+}
+
+TEST(SessionOptions, ContradictoryMemoFlagsRejected) {
+  SessionOptionsBuilder B;
+  EXPECT_FALSE(B.cflMemoize(false).cflCacheCapacity(512).build().has_value());
+  EXPECT_TRUE(anyErrorContains(B, "contradictory"));
+}
+
+TEST(SessionOptions, MemoizeWithZeroCapacityRejected) {
+  SessionOptionsBuilder B;
+  EXPECT_FALSE(B.cflMemoize(true).cflCacheCapacity(0).build().has_value());
+  EXPECT_TRUE(anyErrorContains(B, "zero cache capacity"));
+}
+
+TEST(SessionOptions, ZeroCflBudgetsRejected) {
+  {
+    SessionOptionsBuilder B;
+    EXPECT_FALSE(B.cflNodeBudget(0).build().has_value());
+    EXPECT_TRUE(anyErrorContains(B, "node budget"));
+  }
+  {
+    SessionOptionsBuilder B;
+    EXPECT_FALSE(B.cflMaxCallDepth(0).build().has_value());
+    EXPECT_TRUE(anyErrorContains(B, "call depth"));
+  }
+  {
+    SessionOptionsBuilder B;
+    EXPECT_FALSE(B.cflMaxHeapHops(0x8000).build().has_value());
+    EXPECT_TRUE(anyErrorContains(B, "heap hops"));
+  }
+}
+
+TEST(SessionOptions, ZeroContextKnobsRejected) {
+  {
+    SessionOptionsBuilder B;
+    EXPECT_FALSE(B.contextDepth(0).build().has_value());
+  }
+  {
+    SessionOptionsBuilder B;
+    EXPECT_FALSE(B.maxContextsPerSite(0).build().has_value());
+  }
+}
+
+TEST(SessionOptions, EveryViolationReportedAtOnce) {
+  SessionOptionsBuilder B;
+  B.jobs(0).cflNodeBudget(0).contextDepth(0);
+  EXPECT_FALSE(B.build().has_value());
+  EXPECT_GE(B.errors().size(), 3u);
+}
+
+TEST(SessionOptions, BuilderIsReusableAfterFailure) {
+  SessionOptionsBuilder B;
+  EXPECT_FALSE(B.jobs(0).build().has_value());
+  auto SO = B.jobs(2).build();
+  ASSERT_TRUE(SO.has_value());
+  EXPECT_TRUE(B.errors().empty());
+  EXPECT_EQ(SO->jobs(), 2u);
+}
+
+TEST(SessionOptions, FromLegacyResolvesAutoJobs) {
+  LeakOptions Legacy;
+  Legacy.Jobs = 0; // the historical "all cores" sentinel
+  SessionOptionsBuilder B;
+  auto SO = B.fromLegacy(Legacy).build();
+  ASSERT_TRUE(SO.has_value());
+  EXPECT_GE(SO->jobs(), 1u);
+}
+
+TEST(SessionOptions, FingerprintIgnoresPerRunKnobs) {
+  auto Base = SessionOptionsBuilder().jobs(2).build();
+  auto Pivot = SessionOptionsBuilder().jobs(2).pivotMode(false).build();
+  auto Threads = SessionOptionsBuilder()
+                     .jobs(2)
+                     .modelThreads(true)
+                     .contextDepth(3)
+                     .build();
+  ASSERT_TRUE(Base && Pivot && Threads);
+  EXPECT_EQ(Base->substrateFingerprint(), Pivot->substrateFingerprint());
+  EXPECT_EQ(Base->substrateFingerprint(), Threads->substrateFingerprint());
+}
+
+TEST(SessionOptions, FingerprintCoversSubstrateKnobs) {
+  auto Base = SessionOptionsBuilder().jobs(2).build();
+  auto MoreJobs = SessionOptionsBuilder().jobs(3).build();
+  auto NoMemo = SessionOptionsBuilder().jobs(2).cflMemoize(false).build();
+  auto Budget = SessionOptionsBuilder().jobs(2).cflNodeBudget(12345).build();
+  ASSERT_TRUE(Base && MoreJobs && NoMemo && Budget);
+  EXPECT_NE(Base->substrateFingerprint(), MoreJobs->substrateFingerprint());
+  EXPECT_NE(Base->substrateFingerprint(), NoMemo->substrateFingerprint());
+  EXPECT_NE(Base->substrateFingerprint(), Budget->substrateFingerprint());
+}

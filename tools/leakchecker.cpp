@@ -10,6 +10,10 @@
 //                                           the Definition 1 dynamic oracle
 //   leakchecker --subject NAME [...]        use a bundled Table 1 subject
 //   leakchecker FILE.mj --dump-ir           print the lowered IR
+//   leakchecker --batch REQUESTS.json       run a batch of JSON requests
+//                                           through the analysis service
+//   leakchecker --serve                     line-delimited JSON requests on
+//                                           stdin, outcomes on stdout
 //
 //   leakchecker FILE.mj --check-era         cross-check the escape pre-pass
 //                                           against the effect system and
@@ -17,11 +21,17 @@
 //
 // Options: --no-pivot --no-library-rule --threads --destructive-updates
 //          --no-escape-prefilter --context-depth N --list-subjects
-//          --jobs N --no-cfl-memo --no-stats
+//          --jobs N --no-cfl-memo --no-stats --deadline-ms N
 //
 // Diagnostics (docs/OBSERVABILITY.md): --explain prints a provenance
 // witness per report, --stats-json FILE writes the versioned run report,
 // --trace-out FILE writes a Chrome/Perfetto trace of the run's spans.
+//
+// Exit codes (docs/API.md): 0 = the analysis ran clean and reported no
+// leaks; 1 = usage, compile, or I/O error (including an unknown loop
+// label, which lists the known labels); 2 = the analysis ran and reported
+// leaks. Batch/serve modes exit 1 only for protocol-level errors --
+// per-request failures are typed outcomes in the output stream.
 //
 //===----------------------------------------------------------------------===//
 
@@ -32,6 +42,8 @@
 #include "interp/Interp.h"
 #include "ir/Printer.h"
 #include "leak/LoopSuggestion.h"
+#include "service/AnalysisService.h"
+#include "service/ServiceJson.h"
 #include "subjects/Scoring.h"
 #include "subjects/Subjects.h"
 #include "support/Trace.h"
@@ -39,6 +51,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 
@@ -57,6 +70,11 @@ int usage(const char *Argv0) {
       "  --list-subjects        list the bundled Table 1 subjects\n"
       "  --check-era            cross-check the escape pre-pass against\n"
       "                         the effect system and the matcher\n"
+      "  --batch FILE           run a JSON request batch through the\n"
+      "                         analysis service; one outcome line per\n"
+      "                         request on stdout (docs/API.md)\n"
+      "  --serve                read line-delimited JSON requests from\n"
+      "                         stdin, write outcome lines to stdout\n"
       "  --no-pivot             report nested sites, not just roots\n"
       "  --no-library-rule      container-internal reads count as reads\n"
       "  --threads              model started threads as outside objects\n"
@@ -66,13 +84,17 @@ int usage(const char *Argv0) {
       "  --jobs N               worker threads for the per-site query\n"
       "                         fan-out (default: all cores; 1 = the\n"
       "                         sequential path; reports are identical)\n"
+      "  --deadline-ms N        stop the analysis after N ms; loops and\n"
+      "                         sites completed by then are still reported\n"
       "  --no-cfl-memo          disable the CFL sub-traversal memo cache\n"
       "  --no-stats             omit the run-statistics summary\n"
       "  --explain              print a provenance witness per report\n"
       "  --stats-json FILE      write the versioned JSON run report\n"
-      "  --trace-out FILE       write a Chrome trace of the run's spans\n",
+      "  --trace-out FILE       write a Chrome trace of the run's spans\n"
+      "exit codes: 0 = ran clean, no leaks; 1 = usage/compile/IO error;\n"
+      "            2 = leaks reported\n",
       Argv0);
-  return 2;
+  return 1;
 }
 
 /// Aggregated run statistics, printed after the reports in registration
@@ -104,14 +126,163 @@ bool probeWritable(const std::string &Path, const char *Flag) {
   return true;
 }
 
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  Out = Buf.str();
+  return true;
+}
+
+/// Looks a subject up without subjects::byName's abort-on-unknown.
+const subjects::Subject *findSubject(const std::string &Name) {
+  for (const subjects::Subject &S : subjects::all())
+    if (S.Name == Name)
+      return &S;
+  return nullptr;
+}
+
+/// Resolves a parsed request's program reference (subject name, file
+/// path, or inline source) into the request's Source/ProgramName. Subject
+/// defaults (Mckoi's thread modeling) are OR-ed into the request options,
+/// exactly like the single-shot --subject path does.
+bool resolveSourceRef(const RequestSourceRef &Ref, AnalysisRequest &R,
+                      std::string &Error) {
+  if (!Ref.Subject.empty()) {
+    const subjects::Subject *S = findSubject(Ref.Subject);
+    if (!S) {
+      Error = "unknown subject \"" + Ref.Subject + "\" (see --list-subjects)";
+      return false;
+    }
+    R.Source = S->Source;
+    R.ProgramName = S->Name;
+    if (R.Loops.Labels.empty() && !R.Loops.AllLabeled)
+      R.Loops = LoopSet::of({S->LoopLabel});
+    if (S->Options.ModelThreads && !R.Options.leakOptions().ModelThreads) {
+      LeakOptions L = R.Options.leakOptions();
+      L.ModelThreads = true;
+      // fromLegacy of an already-validated configuration cannot fail.
+      R.Options = SessionOptionsBuilder().fromLegacy(L).build().value();
+    }
+    return true;
+  }
+  if (!Ref.File.empty()) {
+    if (!readFile(Ref.File, R.Source)) {
+      Error = "cannot open \"" + Ref.File + "\"";
+      return false;
+    }
+    R.ProgramName = Ref.File;
+    return true;
+  }
+  R.Source = Ref.Source;
+  R.ProgramName = "<inline>";
+  return true;
+}
+
+AnalysisOutcome invalidRequestOutcome(std::string Id, std::string Why) {
+  AnalysisOutcome O;
+  O.Id = std::move(Id);
+  O.Status = OutcomeStatus::InvalidRequest;
+  O.Diagnostics = std::move(Why);
+  O.SubstrateBuilt = false;
+  return O;
+}
+
+/// --batch FILE: parse the whole request file, run it through one
+/// AnalysisService (so same-program requests share a warm session), print
+/// one outcome line per request in submission order.
+int runBatchMode(const std::string &Path) {
+  std::string Text;
+  if (!readFile(Path, Text)) {
+    std::fprintf(stderr, "error: --batch: cannot open '%s'\n", Path.c_str());
+    return 1;
+  }
+  json::Value Doc;
+  std::string Error;
+  if (!json::parse(Text, Doc, Error)) {
+    std::fprintf(stderr, "error: --batch: %s\n", Error.c_str());
+    return 1;
+  }
+  std::vector<AnalysisRequest> Rs;
+  std::vector<RequestSourceRef> Refs;
+  if (!parseRequestBatch(Doc, Rs, Refs, Error)) {
+    std::fprintf(stderr, "error: --batch: %s\n", Error.c_str());
+    return 1;
+  }
+
+  // Requests whose program reference does not resolve degrade to
+  // InvalidRequest outcomes; the rest of the batch still runs.
+  std::vector<AnalysisOutcome> Out(Rs.size());
+  std::vector<AnalysisRequest> Runnable;
+  std::vector<size_t> RunnableIdx;
+  for (size_t I = 0; I < Rs.size(); ++I) {
+    if (!resolveSourceRef(Refs[I], Rs[I], Error)) {
+      Out[I] = invalidRequestOutcome(Rs[I].Id, Error);
+      continue;
+    }
+    Runnable.push_back(Rs[I]);
+    RunnableIdx.push_back(I);
+  }
+
+  AnalysisService Svc;
+  std::vector<AnalysisOutcome> Ran = Svc.runBatch(Runnable);
+  for (size_t I = 0; I < Ran.size(); ++I)
+    Out[RunnableIdx[I]] = std::move(Ran[I]);
+
+  bool Leaks = false;
+  for (const AnalysisOutcome &O : Out) {
+    std::printf("%s\n", renderOutcomeJson(O).c_str());
+    Leaks |= O.anyLeaks();
+  }
+  return Leaks ? 2 : 0;
+}
+
+/// --serve: one JSON request per stdin line, one outcome per stdout line.
+/// Malformed lines come back as invalid-request outcomes; the server keeps
+/// serving. A persistent AnalysisService keeps sessions warm across
+/// requests -- the point of the mode.
+int runServeMode() {
+  AnalysisService Svc;
+  std::string Line;
+  bool Leaks = false;
+  while (std::getline(std::cin, Line)) {
+    if (Line.find_first_not_of(" \t\r") == std::string::npos)
+      continue;
+    json::Value Doc;
+    std::string Error;
+    AnalysisOutcome O;
+    if (!json::parse(Line, Doc, Error)) {
+      O = invalidRequestOutcome("", Error);
+    } else {
+      AnalysisRequest R;
+      RequestSourceRef Ref;
+      if (!parseAnalysisRequest(Doc, R, Ref, Error) ||
+          !resolveSourceRef(Ref, R, Error))
+        O = invalidRequestOutcome(R.Id, Error);
+      else
+        O = Svc.run(R);
+    }
+    std::printf("%s\n", renderOutcomeJson(O).c_str());
+    std::fflush(stdout);
+    Leaks |= O.anyLeaks();
+  }
+  return Leaks ? 2 : 0;
+}
+
 /// The tool proper. Runs inside main so that every session object (in
 /// particular the thread pool, whose join is the happens-before edge the
 /// trace rings need) is destroyed before main exports the trace.
 int runTool(int argc, char **argv, std::string &TraceOut) {
-  std::string File, Loop, SubjectName, StatsJson, TraceOutArg;
+  std::string File, Loop, SubjectName, StatsJson, TraceOutArg, BatchFile;
   bool Suggest = false, Run = false, DumpIr = false, ListSubjects = false;
-  bool CheckEra = false, ShowStats = true, Explain = false;
-  LeakOptions Opts;
+  bool CheckEra = false, ShowStats = true, Explain = false, Serve = false;
+  int64_t DeadlineMs = 0;
+  // Flags translate into builder calls; every validation rule lives in
+  // SessionOptionsBuilder::build(), not here.
+  SessionOptionsBuilder B;
+  bool ModelThreadsFlag = false;
 
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
@@ -132,7 +303,7 @@ int runTool(int argc, char **argv, std::string &TraceOut) {
       const char *V = Next();
       if (!V)
         return usage(argv[0]);
-      Opts.ContextDepth = static_cast<uint32_t>(std::atoi(V));
+      B.contextDepth(static_cast<uint32_t>(std::atoi(V)));
     } else if (A == "--suggest") {
       Suggest = true;
     } else if (A == "--run") {
@@ -142,22 +313,31 @@ int runTool(int argc, char **argv, std::string &TraceOut) {
     } else if (A == "--list-subjects") {
       ListSubjects = true;
     } else if (A == "--no-pivot") {
-      Opts.PivotMode = false;
+      B.pivotMode(false);
     } else if (A == "--no-library-rule") {
-      Opts.LibraryRule = false;
+      B.libraryRule(false);
     } else if (A == "--threads") {
-      Opts.ModelThreads = true;
+      ModelThreadsFlag = true;
     } else if (A == "--destructive-updates") {
-      Opts.ModelDestructiveUpdates = true;
+      B.modelDestructiveUpdates(true);
     } else if (A == "--no-escape-prefilter") {
-      Opts.EscapePrefilter = false;
+      B.escapePrefilter(false);
     } else if (A == "--jobs") {
       const char *V = Next();
       if (!V)
         return usage(argv[0]);
-      Opts.Jobs = static_cast<uint32_t>(std::atoi(V));
+      B.jobs(static_cast<uint32_t>(std::atoi(V)));
+    } else if (A == "--deadline-ms") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      DeadlineMs = std::atoll(V);
+      if (DeadlineMs <= 0) {
+        std::fprintf(stderr, "error: --deadline-ms needs a positive count\n");
+        return 1;
+      }
     } else if (A == "--no-cfl-memo") {
-      Opts.Cfl.Memoize = false;
+      B.cflMemoize(false);
     } else if (A == "--no-stats") {
       ShowStats = false;
     } else if (A == "--explain") {
@@ -174,6 +354,13 @@ int runTool(int argc, char **argv, std::string &TraceOut) {
       TraceOutArg = V;
     } else if (A == "--check-era") {
       CheckEra = true;
+    } else if (A == "--batch") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      BatchFile = V;
+    } else if (A == "--serve") {
+      Serve = true;
     } else if (!A.empty() && A[0] == '-') {
       std::fprintf(stderr, "unknown option: %s\n", A.c_str());
       return usage(argv[0]);
@@ -199,29 +386,46 @@ int runTool(int argc, char **argv, std::string &TraceOut) {
     return 0;
   }
 
+  // Service modes carry their own per-request options; flags configuring
+  // the single-shot engine don't apply.
+  if (!BatchFile.empty())
+    return runBatchMode(BatchFile);
+  if (Serve)
+    return runServeMode();
+
   std::string Source;
   if (!SubjectName.empty()) {
-    const subjects::Subject &S = subjects::byName(SubjectName);
-    Source = S.Source;
+    const subjects::Subject *S = findSubject(SubjectName);
+    if (!S) {
+      std::fprintf(stderr,
+                   "error: unknown subject '%s' (see --list-subjects)\n",
+                   SubjectName.c_str());
+      return 1;
+    }
+    Source = S->Source;
     if (Loop.empty())
-      Loop = S.LoopLabel;
-    Opts.ModelThreads |= S.Options.ModelThreads;
+      Loop = S->LoopLabel;
+    ModelThreadsFlag |= S->Options.ModelThreads;
   } else if (!File.empty()) {
-    std::ifstream In(File);
-    if (!In) {
+    if (!readFile(File, Source)) {
       std::fprintf(stderr, "error: cannot open %s\n", File.c_str());
       return 1;
     }
-    std::ostringstream Buf;
-    Buf << In.rdbuf();
-    Source = Buf.str();
   } else {
     return usage(argv[0]);
   }
   std::string InputName = !SubjectName.empty() ? SubjectName : File;
 
+  B.modelThreads(ModelThreadsFlag);
+  std::optional<SessionOptions> SO = B.build();
+  if (!SO) {
+    for (const std::string &E : B.errors())
+      std::fprintf(stderr, "error: %s\n", E.c_str());
+    return 1;
+  }
+
   DiagnosticEngine Diags;
-  auto Checker = LeakChecker::fromSource(Source, Diags, Opts);
+  auto Checker = LeakChecker::fromSource(Source, Diags, SO->leakOptions());
   if (!Checker) {
     std::fprintf(stderr, "%s", Diags.str().c_str());
     return 1;
@@ -247,32 +451,42 @@ int runTool(int argc, char **argv, std::string &TraceOut) {
     return 0;
   }
 
-  // Check the requested loop(s), collecting results so the run report can
-  // cover the whole invocation.
-  std::vector<LeakAnalysisResult> Results;
-  if (Loop == "all") {
-    Results = Checker->checkAllLabeled();
-  } else if (Loop.empty()) {
+  if (Loop.empty()) {
     std::fprintf(stderr, "error: pass --loop LABEL, --loop all, or "
                          "--suggest\n");
-    return 2;
-  } else {
-    auto Result = Checker->check(Loop);
-    if (!Result) {
-      std::fprintf(stderr, "error: no loop or region labeled '%s'\n",
-                   Loop.c_str());
-      return 1;
-    }
-    Results.push_back(std::move(*Result));
+    return 1;
   }
 
+  // Check the requested loop(s) through the request path -- the same code
+  // every other client (batch, serve, library embedders) runs.
+  AnalysisRequest Req;
+  Req.ProgramName = InputName;
+  Req.Loops =
+      Loop == "all" ? LoopSet::allLabeled() : LoopSet::of({Loop});
+  Req.Options = *SO;
+  if (DeadlineMs > 0)
+    Req.Deadline = CancellationToken::afterMillis(DeadlineMs);
+  AnalysisOutcome Outcome = Checker->run(Req);
+
+  if (Outcome.Status == OutcomeStatus::LoopNotFound) {
+    std::fprintf(stderr, "error: no loop or region labeled '%s'\n",
+                 Outcome.MissingLabel.c_str());
+    if (Outcome.KnownLabels.empty()) {
+      std::fprintf(stderr, "the program defines no labeled loops\n");
+    } else {
+      std::fprintf(stderr, "known labels:\n");
+      for (const std::string &L : Outcome.KnownLabels)
+        std::fprintf(stderr, "  %s\n", L.c_str());
+    }
+    return 1;
+  }
+
+  std::vector<LeakAnalysisResult> &Results = Outcome.Results;
   for (size_t I = 0; I < Results.size(); ++I) {
     if (I || Loop == "all")
-      std::printf("%s\n",
-                  renderLeakReport(Checker->program(), Results[I]).c_str());
+      std::printf("%s\n", Outcome.RenderedReports[I].c_str());
     else
-      std::printf("%s",
-                  renderLeakReport(Checker->program(), Results[I]).c_str());
+      std::printf("%s", Outcome.RenderedReports[I].c_str());
     if (Explain) {
       std::string Why = renderLeakExplanations(Checker->program(), Results[I]);
       if (!Why.empty())
@@ -298,10 +512,22 @@ int runTool(int argc, char **argv, std::string &TraceOut) {
     }
   }
 
+  bool Leaks = Outcome.anyLeaks();
+
+  if (Outcome.Status == OutcomeStatus::DeadlineExpired ||
+      Outcome.Status == OutcomeStatus::Cancelled) {
+    std::fprintf(stderr,
+                 "error: %s after %zu of %zu loops (the reports above "
+                 "cover the completed prefix)\n",
+                 outcomeStatusName(Outcome.Status), Results.size(),
+                 Results.size() + Outcome.LoopsNotRun.size());
+    return Leaks ? 2 : 1;
+  }
+
   if (Run) {
     if (Loop == "all") {
       std::fprintf(stderr, "error: --run needs a single --loop LABEL\n");
-      return 2;
+      return 1;
     }
     Program P2;
     DiagnosticEngine D2;
@@ -322,7 +548,7 @@ int runTool(int argc, char **argv, std::string &TraceOut) {
       std::printf("  %s  [static: %s]\n", P2.allocSiteName(S).c_str(),
                   Results[0].reportsSite(S) ? "reported" : "not reported");
   }
-  return 0;
+  return Leaks ? 2 : 0;
 }
 
 } // namespace
