@@ -6,6 +6,12 @@ answer changes at all.
 Usage: check_regression.py BENCH_scalability.json [baseline.json]
        check_regression.py --andersen BENCH_andersen.json [baseline.json]
 
+With --summaries the scalability run must also carry a summary_ablation
+section proving the method-summary pass earns its keep: at the largest
+sweep size, cfl-states-visited with summaries must be at most 0.7x the
+no-summaries run, and the rendered reports must be byte-identical at
+every size (any diff means composition is not exact and fails hard).
+
 The quick-mode subject finishes in well under a millisecond, where timer
 and scheduler noise dwarfs any 25% band, so the relative check carries an
 absolute grace (default 5 ms, override with --grace-ms): a run only fails
@@ -91,6 +97,7 @@ def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     grace_ms = 5.0
     andersen = "--andersen" in argv[1:]
+    summaries = "--summaries" in argv[1:]
     for a in argv[1:]:
         if a.startswith("--grace-ms="):
             grace_ms = float(a.split("=", 1)[1])
@@ -141,7 +148,34 @@ def main(argv):
     print(f"check_regression: memo cache hit rate {rate:.1%}, "
           f"single-thread improvement "
           f"{memo.get('single_thread_improvement', 0):.2f}x")
+
+    if summaries:
+        check_summaries(run)
     return 0
+
+
+def check_summaries(run):
+    rows = run.get("summary_ablation") or die(
+        "--summaries: summary_ablation missing or empty")
+    for row in rows:
+        if not row.get("reports_identical", False):
+            die(f"summary ablation at {row.get('clusters')} clusters: "
+                "reports differ with summaries on vs off (composition is "
+                "not exact)")
+    largest = max(rows, key=lambda r: r.get("clusters", 0))
+    on = largest.get("states_on", 0)
+    off = largest.get("states_off", 0)
+    if off <= 0:
+        die("--summaries: no-summaries run visited no CFL states")
+    ratio = on / off
+    verdict = "OK" if ratio <= 0.7 else "FAIL"
+    print(f"check_regression: summary ablation at {largest['clusters']} "
+          f"clusters: states {on} vs {off} (ratio {ratio:.3f}, "
+          f"need <= 0.7): {verdict}")
+    if ratio > 0.7:
+        die(f"method summaries save too little at "
+            f"{largest['clusters']} clusters: states ratio {ratio:.3f} "
+            "> 0.7")
 
 
 if __name__ == "__main__":

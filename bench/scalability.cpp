@@ -12,7 +12,11 @@
 //       subsystem, analyzed at --jobs 1/2/4/8; wall time, states visited
 //       and memo-cache hit rates per width;
 //   (c) memo ablation -- the same subject single-threaded with the CFL
-//       sub-traversal cache on vs off.
+//       sub-traversal cache on vs off;
+//   (d) summary ablation -- the heavy subject at two sizes with method
+//       summaries on vs off: states visited must drop substantially
+//       (composition short-circuits the per-cluster call chains) while
+//       the rendered reports stay byte-identical.
 //
 // Emits BENCH_scalability.json (see --out) so CI can track regressions.
 //
@@ -106,9 +110,20 @@ std::string makeHeavySubject(unsigned Clusters) {
     OS << "    this.head = r;\n";
     OS << "    return r;\n";
     OS << "  }\n";
+    // A four-deep wrapper chain over make(): the demand queries' value
+    // cones descend it at every cluster, which is exactly the shape the
+    // method-summary pass collapses to a single composition step.
+    for (unsigned W = 1; W <= 4; ++W) {
+      OS << "  Rec" << C << " m" << W << "() {\n";
+      OS << "    Rec" << C << " r = this."
+         << (W == 1 ? std::string("make") : "m" + std::to_string(W - 1))
+         << "();\n";
+      OS << "    return r;\n";
+      OS << "  }\n";
+    }
     OS << "  void step(Sink s) {\n";
     OS << "    this.store = s;\n";
-    OS << "    Rec" << C << " r = this.make();\n";
+    OS << "    Rec" << C << " r = this.m4();\n";
     OS << "    s.keep(r);\n";
     OS << "    Sink t = this.store;\n";
     OS << "    Object o0 = t.kept[0];\n";
@@ -139,16 +154,19 @@ struct RunSample {
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0;
   size_t Reports = 0;
+  std::string Report; ///< rendered leak report (ablation byte-diffs)
 };
 
 /// One cold-cache end-to-end analysis of the heavy subject: fresh
 /// substrate (so the memo cache starts empty). All accounting -- wall
 /// time included -- comes from the run's own metrics registry; the bench
 /// keeps no stopwatch of its own.
-RunSample runOnce(const std::string &Src, uint32_t Jobs, bool Memoize) {
+RunSample runOnce(const std::string &Src, uint32_t Jobs, bool Memoize,
+                  bool Summaries = true) {
   LeakOptions Opts;
   Opts.Jobs = Jobs;
   Opts.Cfl.Memoize = Memoize;
+  Opts.Summaries = Summaries;
   DiagnosticEngine Diags;
   auto Checker = LeakChecker::fromSource(Src, Diags, Opts);
   if (!Checker) {
@@ -163,19 +181,20 @@ RunSample runOnce(const std::string &Src, uint32_t Jobs, bool Memoize) {
   S.CacheHits = R.Statistics.get("cfl-cache-hits");
   S.CacheMisses = R.Statistics.get("cfl-cache-misses");
   S.Reports = R.Reports.size();
+  S.Report = renderLeakReport(Checker->program(), R);
   return S;
 }
 
 /// Best-of-N to shave scheduler noise; stats come from the fastest run
 /// (they are identical across runs anyway, cache splits aside).
 RunSample runBest(const std::string &Src, uint32_t Jobs, bool Memoize,
-                  unsigned Reps) {
+                  unsigned Reps, bool Summaries = true) {
   RunSample Best;
   for (unsigned I = 0; I < Reps; ++I) {
-    RunSample S = runOnce(Src, Jobs, Memoize);
+    RunSample S = runOnce(Src, Jobs, Memoize, Summaries);
     if (I == 0 || S.WallMs < Best.WallMs) {
       double Wall = S.WallMs;
-      Best = S;
+      Best = std::move(S);
       Best.WallMs = Wall;
     }
   }
@@ -294,6 +313,41 @@ int main(int argc, char **argv) {
   std::printf("  memo off: %10.2f ms\n", MemoOff.WallMs);
   std::printf("  single-thread improvement: %.2fx\n", MemoSpeedup);
 
+  // --- (d) summary ablation, single thread ---------------------------------
+  struct SummaryRow {
+    unsigned Clusters;
+    RunSample On, Off;
+    bool ReportsIdentical;
+  };
+  std::vector<SummaryRow> SummaryRows;
+  std::printf("\nScalability (d): method summaries, single thread\n\n");
+  std::printf("%9s %14s %14s %8s %12s %12s %9s\n", "clusters", "states-on",
+              "states-off", "ratio", "wall-on(ms)", "wall-off(ms)",
+              "reports");
+  for (unsigned N : {Clusters / 2, Clusters}) {
+    std::string Src = N == Clusters ? Heavy : makeHeavySubject(N);
+    RunSample On = runBest(Src, 1, /*Memoize=*/true, Reps,
+                           /*Summaries=*/true);
+    RunSample Off = runBest(Src, 1, /*Memoize=*/true, Reps,
+                            /*Summaries=*/false);
+    bool Same = On.Report == Off.Report;
+    double Ratio = Off.StatesVisited
+                       ? double(On.StatesVisited) / double(Off.StatesVisited)
+                       : 0.0;
+    SummaryRows.push_back({N, std::move(On), std::move(Off), Same});
+    const SummaryRow &R = SummaryRows.back();
+    std::printf("%9u %14llu %14llu %7.2fx %12.2f %12.2f %9s\n", N,
+                static_cast<unsigned long long>(R.On.StatesVisited),
+                static_cast<unsigned long long>(R.Off.StatesVisited), Ratio,
+                R.On.WallMs, R.Off.WallMs,
+                Same ? "identical" : "DIFFER");
+    if (!Same)
+      std::fprintf(stderr,
+                   "warning: reports differ with summaries on vs off at "
+                   "%u clusters -- composition is not exact\n",
+                   N);
+  }
+
   // --- JSON ----------------------------------------------------------------
   FILE *Out = std::fopen(OutPath.c_str(), "w");
   if (!Out) {
@@ -326,6 +380,24 @@ int main(int argc, char **argv) {
                "%.3f, \"single_thread_improvement\": %.3f, "
                "\"cache_hit_rate\": %.4f},\n",
                MemoOn.WallMs, MemoOff.WallMs, MemoSpeedup, hitRate(MemoOn));
+  std::fprintf(Out, "  \"summary_ablation\": [\n");
+  for (size_t I = 0; I < SummaryRows.size(); ++I) {
+    const SummaryRow &R = SummaryRows[I];
+    double Ratio = R.Off.StatesVisited ? double(R.On.StatesVisited) /
+                                             double(R.Off.StatesVisited)
+                                       : 0.0;
+    std::fprintf(Out,
+                 "    {\"clusters\": %u, \"states_on\": %llu, \"states_off\": "
+                 "%llu, \"states_ratio\": %.4f, \"wall_on_ms\": %.3f, "
+                 "\"wall_off_ms\": %.3f, \"reports_identical\": %s}%s\n",
+                 R.Clusters,
+                 static_cast<unsigned long long>(R.On.StatesVisited),
+                 static_cast<unsigned long long>(R.Off.StatesVisited), Ratio,
+                 R.On.WallMs, R.Off.WallMs,
+                 R.ReportsIdentical ? "true" : "false",
+                 I + 1 < SummaryRows.size() ? "," : "");
+  }
+  std::fprintf(Out, "  ],\n");
   std::fprintf(Out, "  \"size_sweep\": [\n");
   for (size_t I = 0; I < SizeRows.size(); ++I) {
     const SizeRow &R = SizeRows[I];

@@ -8,6 +8,15 @@ Usage: validate_report.py REPORT.json [--schema bench/report_schema.json]
        validate_report.py --trace TRACE.json [--schema bench/trace_schema.json]
        validate_report.py --outcomes TRANSCRIPT.jsonl \
                           [--schema bench/outcome_schema.json]
+       validate_report.py --diff-stable A.json B.json \
+                          [--ignore-stable key,prefix-,...]
+
+--diff-stable compares the deterministic portion of two run reports: the
+input block, every loop's reports (witnesses included), and the stable
+metrics section must be equal. --ignore-stable names stable counters the
+caller expects to differ between the two configurations (an entry ending
+in "-" matches as a prefix); CI uses it to ablate the method-summary pass
+while still insisting the analysis *answers* are unchanged.
 
 --outcomes validates a --serve / --batch transcript: one AnalysisOutcome
 JSON document per line, each checked against outcome_schema.json plus the
@@ -170,10 +179,60 @@ def validate_outcomes(path, schema):
           f"({breakdown})")
 
 
+def diff_stable(path_a, path_b, ignore):
+    def load(path):
+        with open(path) as f:
+            return json.load(f)
+
+    def strip(doc):
+        stable = {
+            k: v for k, v in doc["metrics"]["stable"].items()
+            if not any(k == e or (e.endswith("-") and k.startswith(e))
+                       for e in ignore)
+        }
+        loops = json.loads(json.dumps(doc["loops"]))
+        if "cfl-states-visited" in ignore:
+            # The per-witness cfl block echoes the blamed query's cost;
+            # ignoring the counter ignores its echo too. The answer-level
+            # fields (fell_back, refuted_value_sites) always compare.
+            for loop in loops:
+                for rep in loop.get("reports", []):
+                    if isinstance(rep.get("cfl"), dict):
+                        rep["cfl"].pop("states_visited", None)
+        return {"input": doc["input"], "loops": loops, "stable": stable}
+
+    a, b = strip(load(path_a)), strip(load(path_b))
+    for section in ("input", "loops", "stable"):
+        if a[section] != b[section]:
+            if section == "stable":
+                keys = sorted(set(a["stable"]) | set(b["stable"]))
+                for k in keys:
+                    if a["stable"].get(k) != b["stable"].get(k):
+                        fail(f"$.metrics.stable.{k}",
+                             f"{a['stable'].get(k)} vs "
+                             f"{b['stable'].get(k)} (not in the ignore "
+                             "list)")
+            fail(f"$.{section}", f"differs between {path_a} and {path_b}")
+    ignored = ", ".join(ignore) if ignore else "none"
+    print(f"validate_report: OK: {path_a} and {path_b} agree on input, "
+          f"loops and stable metrics (ignored: {ignored})")
+
+
 def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     trace_mode = "--trace" in argv
     outcomes_mode = "--outcomes" in argv
+    if "--diff-stable" in argv:
+        ignore = []
+        if "--ignore-stable" in argv:
+            raw = argv[argv.index("--ignore-stable") + 1]
+            ignore = [e for e in raw.split(",") if e]
+            args = [a for a in args if a != raw]
+        if len(args) != 2:
+            print(__doc__, file=sys.stderr)
+            return 2
+        diff_stable(args[0], args[1], ignore)
+        return 0
     if trace_mode and outcomes_mode:
         print("validate_report: --trace and --outcomes are exclusive",
               file=sys.stderr)

@@ -26,9 +26,15 @@ LeakChecker::LeakChecker(std::unique_ptr<Program> Prog, LeakOptions Opts)
     Base = std::make_unique<AndersenPta>(*G);
   }
   Base->recordStats(SubstrateStats);
+  if (Opts.Summaries) {
+    trace::TraceSpan Span("substrate.summarize", "substrate");
+    ScopedTimer T(SubstrateStats, "summarize");
+    Sums = std::make_unique<Summaries>(*G, *Base, Opts.Cfl.MaxCallDepth);
+    Sums->recordStats(SubstrateStats);
+  }
   {
     trace::TraceSpan Span("substrate.cfl", "substrate");
-    Cfl = std::make_unique<CflPta>(*G, *Base, Opts.Cfl);
+    Cfl = std::make_unique<CflPta>(*G, *Base, Opts.Cfl, Sums.get());
   }
   {
     trace::TraceSpan Span("substrate.escape", "substrate");

@@ -19,6 +19,7 @@
 
 #include "escape/EscapeAnalysis.h"
 #include "leak/LeakAnalysis.h"
+#include "pta/Summaries.h"
 #include "service/Request.h"
 #include "support/Diagnostics.h"
 #include "support/Stats.h"
@@ -84,6 +85,9 @@ public:
   const Pag &pag() const { return *G; }
   const AndersenPta &andersen() const { return *Base; }
   const CflPta &cfl() const { return *Cfl; }
+  /// The method-summary table the CFL solver composes, or nullptr when
+  /// the session was built with LeakOptions::Summaries off.
+  const Summaries *summaries() const { return Sums.get(); }
   const EscapeAnalysis &escape() const { return *Esc; }
   const LeakOptions &options() const { return Opts; }
   /// The session's query fan-out pool, shared across check() calls.
@@ -110,6 +114,7 @@ private:
   std::unique_ptr<CallGraph> CG;
   std::unique_ptr<Pag> G;
   std::unique_ptr<AndersenPta> Base;
+  std::unique_ptr<Summaries> Sums;
   std::unique_ptr<CflPta> Cfl;
   std::unique_ptr<EscapeAnalysis> Esc;
   std::unique_ptr<ThreadPool> Pool;

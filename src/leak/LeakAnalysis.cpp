@@ -570,6 +570,7 @@ private:
 
     std::vector<CflQueryOut> Out(Nodes.size());
     CflCacheStats CacheBefore = Cfl.cacheStats();
+    CflSummaryStats SumBefore = Cfl.summaryStats();
     Pool->parallelFor(Nodes.size(), [&](size_t I) {
       // Cancel-aware: an asynchronous cancel() mid-fan-out makes each
       // in-flight query bail to its Andersen fallback (stats-only pass,
@@ -612,6 +613,16 @@ private:
                                  MetricDet::Environment);
     Result.Statistics.addCounter("cfl-cache-evictions",
                                  CacheAfter.Evictions - CacheBefore.Evictions,
+                                 MetricDet::Environment);
+    // Summary composition splits are likewise warmth-dependent: a memoized
+    // sub-traversal never reaches its Return edges, so how many descents a
+    // summary answered varies with cache state even though results don't.
+    CflSummaryStats SumAfter = Cfl.summaryStats();
+    Result.Statistics.addCounter("cfl-summary-applications",
+                                 SumAfter.Applications - SumBefore.Applications,
+                                 MetricDet::Environment);
+    Result.Statistics.addCounter("cfl-summary-fallbacks",
+                                 SumAfter.Fallbacks - SumBefore.Fallbacks,
                                  MetricDet::Environment);
   }
 

@@ -87,6 +87,13 @@ struct LeakOptions {
   /// the Andersen-based matcher (counting edges the refinement would
   /// prune) but never change reports.
   bool CflCorroborate = true;
+  /// Build the bottom-up method-summary table (pta/Summaries.h) with the
+  /// substrate and let the CFL solver compose callee summaries at call
+  /// sites instead of re-traversing callee bodies. Composition is exact:
+  /// reports are byte-identical on or off; only the per-query state
+  /// accounting (and therefore wall time) changes. Off gives the
+  /// no-summaries ablation (`--no-summaries`).
+  bool Summaries = true;
   /// Worker threads for the per-site query fan-out (flows-out walks,
   /// CFL corroboration, flows-in seeding). 0 = hardware_concurrency;
   /// 1 = run everything inline on the calling thread (the sequential

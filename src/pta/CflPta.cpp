@@ -2,6 +2,7 @@
 
 #include "pta/CflPta.h"
 
+#include "pta/Summaries.h"
 #include "support/Trace.h"
 
 #include <algorithm>
@@ -89,6 +90,65 @@ struct CflPta::Traversal {
     Entry.FellBack |= Sub.FellBack;
   }
 
+  /// Composes the callee summary for Return edge \p E into this traversal,
+  /// exactly as the inline descent would explore the callee cone: objects
+  /// gain the descent prefix, the callee's open-exit frontier resumes in
+  /// the caller through \p E's call site, and heap hops run as ordinary
+  /// memoized sub-queries. Returns false — leaving the edge to the inline
+  /// descent — when no applicable summary exists. On budget exhaustion the
+  /// caller must unwind (Q.Exhausted is set), matching the inline path.
+  bool applySummary(const CopyEdge &E, const State &S) {
+    const MethodSummary *Sum = Owner.Sums->summaryFor(E.Src);
+    // Applicable only when complete and no state in the callee cone could
+    // saturate: a Return encounter at relative depth d sits at absolute
+    // depth |Stack| + 1 + d, which must stay within the k-limit.
+    if (!Sum || !Sum->Complete ||
+        S.Stack.size() + 1 + Sum->MaxRelDepth > Opts.MaxCallDepth) {
+      Owner.SumFallbacks.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    Owner.SumApps.fetch_add(1, std::memory_order_relaxed);
+    // A composed descent costs one state — deterministic, schedule- and
+    // warmth-independent, and still subject to the budget.
+    Q.charge(1, Opts.NodeBudget);
+    if (Q.Exhausted) {
+      Entry.FellBack = true;
+      return true;
+    }
+
+    for (const SummaryObject &O : Sum->Objects) {
+      std::vector<CallSite> Ctx = S.Stack;
+      Ctx.push_back(E.Site);
+      Ctx.insert(Ctx.end(), O.RelCtx.begin(), O.RelCtx.end());
+      emitObject(O.Site, Ctx);
+    }
+    // Open exits: the callee's bottom frame is E.Site, so exactly that
+    // site's Param edges pop it, resuming in the caller with our stack.
+    for (PagNodeId X : Sum->ParamExits)
+      for (uint32_t Id : G.copiesIn(X)) {
+        const CopyEdge &E2 = G.copyEdges()[Id];
+        if (E2.Kind == CopyKind::Param && E2.Site == E.Site)
+          push({E2.Src, S.Stack, S.HopsLeft, false});
+      }
+    if (Sum->HasLoads) {
+      if (S.HopsLeft == 0) {
+        // The inline traversal would trip its hop-exhaustion fallback at
+        // each load in the cone (after emitting the same objects/exits).
+        Entry.FellBack = true;
+        return true;
+      }
+      for (PagNodeId T : Sum->HopTargets) {
+        EntryPtr Sub = Owner.runQuery(T, S.HopsLeft - 1, S.Saturated, Q);
+        if (Q.Exhausted) {
+          Entry.FellBack = true;
+          return true;
+        }
+        mergeSub(*Sub);
+      }
+    }
+    return true;
+  }
+
   /// Runs to completion or budget exhaustion starting from \p Root.
   void run(PagNodeId Root, uint32_t Hops, bool Saturated) {
     push({Root, {}, Hops, Saturated});
@@ -127,6 +187,15 @@ struct CflPta::Traversal {
             // over precision: continue context-insensitively.
             push({E.Src, {}, S.HopsLeft, /*Saturated=*/true});
             break;
+          }
+          if (Owner.Sums) {
+            bool Applied = applySummary(E, S);
+            if (Q.Exhausted) {
+              Entry.FellBack = true;
+              return;
+            }
+            if (Applied)
+              break;
           }
           std::vector<CallSite> NewStack = S.Stack;
           NewStack.push_back(E.Site);
@@ -193,8 +262,9 @@ struct CflPta::Traversal {
   }
 };
 
-CflPta::CflPta(const Pag &G, const AndersenPta &Base, CflOptions Opts)
-    : G(G), Base(Base), Opts(Opts) {
+CflPta::CflPta(const Pag &G, const AndersenPta &Base, CflOptions Opts,
+               const Summaries *Sums)
+    : G(G), Base(Base), Opts(Opts), Sums(Sums) {
   // cacheKey packs the hop budget into 15 bits; a larger MaxHeapHops would
   // alias distinct budgets to one memo key and silently return wrong
   // cached results. Enforce the invariant instead of masking it away.
@@ -202,6 +272,12 @@ CflPta::CflPta(const Pag &G, const AndersenPta &Base, CflOptions Opts)
          "MaxHeapHops must fit cacheKey's 15-bit hop field");
   if (this->Opts.MaxHeapHops >= 0x8000)
     this->Opts.MaxHeapHops = 0x7fff; // keep NDEBUG builds correct
+  // Summaries encode depth bounds relative to the k-limit they were built
+  // under; composing under a different one would mis-handle saturation.
+  assert((!Sums || Sums->maxCallDepth() == this->Opts.MaxCallDepth) &&
+         "summary table built under a different MaxCallDepth");
+  if (Sums && Sums->maxCallDepth() != this->Opts.MaxCallDepth)
+    this->Sums = nullptr; // keep NDEBUG builds correct
   LoadsInto.resize(G.numNodes());
   for (uint32_t Id = 0; Id < G.loadEdges().size(); ++Id)
     LoadsInto[G.loadEdges()[Id].Dst].push_back(Id);

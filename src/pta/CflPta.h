@@ -29,7 +29,17 @@
 /// sub-traversals are memoized in a sharded, thread-safe cache keyed by
 /// exactly that triple, so overlapping work is computed once and reused
 /// across the many per-site queries a leak-analysis run issues, from any
-/// number of threads. State accounting charges a cache hit the entry's
+/// number of threads.
+///
+/// When constructed with a summary table (pta/Summaries.h), descents into
+/// callee bodies at Return edges *compose* the callee's precomputed
+/// transfer relation instead of re-traversing its cone, whenever the
+/// summary fully covers the callee's heap effect at the current stack
+/// depth (complete summary, no saturation possible). Composition is
+/// exact — same objects, same caller-side continuations, same heap-hop
+/// sub-queries through the same memo cache — so results are identical
+/// with summaries on or off; only the deterministic state accounting
+/// shrinks. Inapplicable sites fall back to the inline descent. State accounting charges a cache hit the entry's
 /// recorded cost (as if recomputed), saturating at NodeBudget + 1 — the
 /// exact point an incremental cold traversal stops — which keeps
 /// `StatesVisited`, budget exhaustion, and therefore results independent
@@ -100,11 +110,25 @@ struct CflCacheStats {
   uint64_t Evictions = 0;
 };
 
+/// Snapshot of summary-composition counters (monotonic). Totals depend on
+/// memo warmth (a cached sub-traversal never reaches its Return edges), so
+/// like cache stats they are Environment-class, not result-bearing.
+struct CflSummaryStats {
+  uint64_t Applications = 0; ///< call-site descents answered by a summary
+  uint64_t Fallbacks = 0;    ///< descents inlined (absent/incomplete/deep)
+};
+
+class Summaries;
+
 /// Demand-driven points-to solver. Queries are independent and safe to
 /// issue from multiple threads concurrently.
 class CflPta {
 public:
-  CflPta(const Pag &G, const AndersenPta &Base, CflOptions Opts = {});
+  /// \p Sums, when non-null, enables summary composition at Return edges
+  /// (see the file comment). The table must outlive the solver and must
+  /// have been built with the same MaxCallDepth as \p Opts.
+  CflPta(const Pag &G, const AndersenPta &Base, CflOptions Opts = {},
+         const Summaries *Sums = nullptr);
 
   /// Context-sensitive points-to set of a local variable.
   CflResult pointsTo(MethodId M, LocalId L) const {
@@ -130,6 +154,13 @@ public:
     return {Hits.load(std::memory_order_relaxed),
             Misses.load(std::memory_order_relaxed),
             Evictions.load(std::memory_order_relaxed)};
+  }
+
+  /// Summary-composition counters since construction (atomic snapshot;
+  /// both stay zero when no summary table was supplied).
+  CflSummaryStats summaryStats() const {
+    return {SumApps.load(std::memory_order_relaxed),
+            SumFallbacks.load(std::memory_order_relaxed)};
   }
 
 private:
@@ -192,12 +223,15 @@ private:
   const Pag &G;
   const AndersenPta &Base;
   CflOptions Opts;
+  /// Optional summary table for call-site composition (owned elsewhere).
+  const Summaries *Sums = nullptr;
   /// Load edges indexed by destination node, built once at construction
   /// (immutable afterwards, shared by all concurrent queries).
   std::vector<std::vector<uint32_t>> LoadsInto;
 
   mutable std::array<Shard, kShards> Shards;
   mutable std::atomic<uint64_t> Hits{0}, Misses{0}, Evictions{0};
+  mutable std::atomic<uint64_t> SumApps{0}, SumFallbacks{0};
 };
 
 } // namespace lc

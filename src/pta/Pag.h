@@ -134,6 +134,11 @@ public:
   }
   /// Node of static field \p F (must be static).
   PagNodeId staticNode(FieldId F) const { return StaticNode.at(F); }
+  /// All static-field nodes (field -> node), for passes that classify
+  /// nodes by origin (the summary pass's region tracking).
+  const std::unordered_map<FieldId, PagNodeId> &staticNodes() const {
+    return StaticNode;
+  }
 
   /// Total node count (locals + statics).
   size_t numNodes() const { return NumNodes; }

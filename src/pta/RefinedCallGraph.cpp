@@ -2,6 +2,8 @@
 
 #include "pta/RefinedCallGraph.h"
 
+#include "pta/CflPta.h"
+
 #include <chrono>
 #include <set>
 
@@ -57,6 +59,8 @@ RefinedSubstrate lc::buildRefinedSubstrate(const Program &P,
   Out.G = std::make_unique<Pag>(P, *Out.CG);
   double Sec = timed([&] { Out.Base = std::make_unique<AndersenPta>(*Out.G); });
   recordSolve(Out, *Out.Base, Sec);
+  Out.Sums = std::make_unique<Summaries>(*Out.G, *Out.Base,
+                                         CflOptions{}.MaxCallDepth);
 
   size_t LastPrint = fingerprint(P, *Out.CG);
   for (unsigned Round = 0; Round < MaxRounds; ++Round) {
@@ -102,12 +106,20 @@ RefinedSubstrate lc::buildRefinedSubstrate(const Program &P,
       NextBase = std::make_unique<AndersenPta>(*NextPag, std::move(*Out.Base));
     });
     recordSolve(Out, *NextBase, RoundSec);
+    // Incremental summary rebuild against the new PAG and solution:
+    // region-stable summaries carry over (node numbering is stable), and
+    // the reuse/recompute split lands in the statistics.
+    auto NextSums = std::make_unique<Summaries>(
+        *NextPag, *NextBase, CflOptions{}.MaxCallDepth, *Out.Sums);
     Out.CG = std::move(NextCg);
     Out.G = std::move(NextPag);
     Out.Base = std::move(NextBase);
+    Out.Sums = std::move(NextSums);
     if (Print == LastPrint)
       break;
     LastPrint = Print;
   }
+  // The last round's table records its build and reuse/recompute split.
+  Out.Sums->recordStats(Out.Statistics);
   return Out;
 }

@@ -24,6 +24,7 @@
 #define LC_PTA_REFINEDCALLGRAPH_H
 
 #include "pta/Andersen.h"
+#include "pta/Summaries.h"
 #include "support/Stats.h"
 
 #include <memory>
@@ -36,8 +37,14 @@ struct RefinedSubstrate {
   std::unique_ptr<CallGraph> CG;   ///< Pta-kind call graph
   std::unique_ptr<Pag> G;          ///< PAG built under that graph
   std::unique_ptr<AndersenPta> Base;
+  /// Method-summary table over the final PAG/solution, rebuilt with each
+  /// round *incrementally*: only summaries whose PAG cone (methods +
+  /// static fields, including alias-matched store sets) changed are
+  /// recomputed; the rest carry over, mirroring the Andersen re-solve.
+  std::unique_ptr<Summaries> Sums;
   unsigned Rounds = 0;             ///< refinement rounds until stable
-  Stats Statistics;                ///< andersen-* counters and solve time
+  Stats Statistics;                ///< andersen-*/summary-* counters and
+                                   ///< solve time
   std::vector<double> SolveSeconds; ///< Andersen solve wall time per round
                                     ///< (index 0 = initial RTA solve)
 };

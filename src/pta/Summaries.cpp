@@ -1,0 +1,552 @@
+//===-- Summaries.cpp -----------------------------------------------------===//
+
+#include "pta/Summaries.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace lc;
+
+namespace {
+
+/// Per-summary build budget (traversal states). A summary that cannot be
+/// finished within it is marked Incomplete(Cap); queries fall back to the
+/// inline traversal, and SCC fixpoint passes retry it once siblings have
+/// summaries to compose.
+constexpr uint64_t kBuildBudget = 100000;
+
+/// How many extra fixpoint passes a non-trivial SCC gets. Exactness makes
+/// the content fixpoint immediate; passes only ever upgrade Incomplete
+/// members once their siblings finished, so a small bound suffices.
+constexpr unsigned kMaxSccPasses = 4;
+
+/// Build-time traversal state: node + *relative* call string (the part of
+/// the stack pushed since the summarized return node; innermost last).
+struct RelState {
+  PagNodeId Node;
+  std::vector<CallSite> Stack;
+
+  bool operator<(const RelState &O) const {
+    if (Node != O.Node)
+      return Node < O.Node;
+    auto Key = [](const CallSite &S) {
+      return (uint64_t(S.Caller) << 32) | S.Index;
+    };
+    return std::lexicographical_compare(
+        Stack.begin(), Stack.end(), O.Stack.begin(), O.Stack.end(),
+        [&](const CallSite &A, const CallSite &B) { return Key(A) < Key(B); });
+  }
+};
+
+/// Same context hash the CFL traversal uses for object dedup, so the
+/// summary's Objects dedup exactly like the inline traversal's.
+size_t ctxHash(const std::vector<CallSite> &Stack) {
+  size_t H = 0;
+  for (const CallSite &S : Stack)
+    H = H * 1000003 + ((uint64_t(S.Caller) << 17) ^ S.Index);
+  return H;
+}
+
+uint64_t mix64(uint64_t X) {
+  // splitmix64 finalizer: spreads structured edge descriptors before the
+  // commutative sum so field swaps cannot cancel.
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+uint64_t fp(std::initializer_list<uint64_t> Vs) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (uint64_t V : Vs) {
+    H ^= V;
+    H *= 0x100000001b3ull;
+  }
+  return mix64(H);
+}
+
+} // namespace
+
+/// All build-time scaffolding: node-origin maps, the loads-into index, the
+/// method condensation, per-region fingerprints, and the per-return-node
+/// summary traversal.
+struct Summaries::Builder {
+  const Pag &G;
+  const AndersenPta &Base;
+  Summaries &Out;
+
+  /// Owning method of each local node; kInvalidId for static-field nodes.
+  std::vector<MethodId> NodeMethod;
+  /// Static-field node -> field, the other half of node classification.
+  std::unordered_map<PagNodeId, FieldId> NodeStatic;
+  /// Load edges by destination node (the CFL traversal's index, rebuilt
+  /// here because summaries are computed before any CflPta exists).
+  std::vector<std::vector<uint32_t>> LoadsInto;
+
+  Builder(const Pag &G, const AndersenPta &Base, Summaries &Out)
+      : G(G), Base(Base), Out(Out) {
+    const Program &P = G.program();
+    NodeMethod.assign(G.numNodes(), kInvalidId);
+    for (MethodId M = 0; M < P.Methods.size(); ++M)
+      for (LocalId L = 0; L < P.Methods[M].Locals.size(); ++L)
+        NodeMethod[G.localNode(M, L)] = M;
+    for (const auto &[F, N] : G.staticNodes())
+      NodeStatic.emplace(N, F);
+    LoadsInto.resize(G.numNodes());
+    for (uint32_t Id = 0; Id < G.loadEdges().size(); ++Id)
+      LoadsInto[G.loadEdges()[Id].Dst].push_back(Id);
+  }
+
+  /// Commutative per-method / per-static-field hashes over every PAG fact
+  /// a summary's content can depend on. Loads additionally fold in their
+  /// alias-matched store set under the *current* Andersen solution, so a
+  /// refinement re-solve that changes a match invalidates dependents even
+  /// when no edge touching the method changed.
+  void computeFingerprints() {
+    Out.MethodFp.assign(G.program().Methods.size(), 0x9e3779b97f4a7c15ull);
+    Out.StaticFp.clear();
+    auto addNode = [&](PagNodeId N, uint64_t H) {
+      MethodId M = NodeMethod[N];
+      if (M != kInvalidId) {
+        Out.MethodFp[M] += H;
+        return;
+      }
+      auto It = NodeStatic.find(N);
+      if (It != NodeStatic.end())
+        Out.StaticFp[It->second] += H;
+    };
+    for (const AllocEdge &E : G.allocEdges())
+      addNode(E.Var, fp({1, E.Site, E.Var}));
+    for (const CopyEdge &E : G.copyEdges()) {
+      uint64_t H = fp({2, E.Src, E.Dst, uint64_t(E.Kind), E.Site.Caller,
+                       E.Site.Index});
+      addNode(E.Src, H);
+      addNode(E.Dst, H);
+    }
+    for (const StoreEdge &E : G.storeEdges()) {
+      uint64_t H = fp({3, E.Base, E.Val, E.Field, E.Method, E.Index});
+      addNode(E.Base, H);
+      addNode(E.Val, H);
+    }
+    for (const LoadEdge &L : G.loadEdges()) {
+      uint64_t H = fp({4, L.Base, L.Dst, L.Field, L.Method, L.Index});
+      addNode(L.Base, H);
+      addNode(L.Dst, H);
+      const BitSet &BasePts = Base.pointsTo(L.Base);
+      PagNodeId LoadRep = Base.repOf(L.Base);
+      for (uint32_t SId : G.storesOfField(L.Field)) {
+        const StoreEdge &St = G.storeEdges()[SId];
+        if (Base.repOf(St.Base) == LoadRep) {
+          if (BasePts.empty())
+            continue;
+        } else if (!BasePts.intersects(Base.pointsTo(St.Base))) {
+          continue;
+        }
+        addNode(L.Dst, fp({5, St.Method, St.Index, St.Val}));
+      }
+    }
+  }
+
+  /// SCCs of the method-level call relation derived from the PAG's
+  /// Param/Return edge labels, emitted callees-first (standard iterative
+  /// Tarjan pops a component only after everything it reaches). Each
+  /// element is one SCC's members, sorted ascending.
+  std::vector<std::vector<MethodId>> methodSccsBottomUp() {
+    size_t N = G.program().Methods.size();
+    std::vector<std::vector<MethodId>> Adj(N); // caller -> callees
+    auto addEdge = [&](MethodId From, MethodId To) {
+      if (From != kInvalidId && To != kInvalidId)
+        Adj[From].push_back(To);
+    };
+    for (const CopyEdge &E : G.copyEdges()) {
+      if (E.Kind == CopyKind::Return)
+        addEdge(E.Site.Caller, NodeMethod[E.Src]);
+      else if (E.Kind == CopyKind::Param)
+        addEdge(E.Site.Caller, NodeMethod[E.Dst]);
+    }
+    for (auto &Row : Adj) {
+      std::sort(Row.begin(), Row.end());
+      Row.erase(std::unique(Row.begin(), Row.end()), Row.end());
+    }
+
+    std::vector<std::vector<MethodId>> Sccs;
+    std::vector<uint32_t> Num(N, 0), Low(N, 0);
+    std::vector<bool> OnStack(N, false);
+    std::vector<MethodId> Stack;
+    uint32_t Next = 1;
+    struct Frame {
+      MethodId M;
+      size_t EdgeIdx;
+    };
+    std::vector<Frame> Dfs;
+    for (MethodId Root = 0; Root < N; ++Root) {
+      if (Num[Root])
+        continue;
+      Dfs.push_back({Root, 0});
+      Num[Root] = Low[Root] = Next++;
+      Stack.push_back(Root);
+      OnStack[Root] = true;
+      while (!Dfs.empty()) {
+        Frame &F = Dfs.back();
+        if (F.EdgeIdx < Adj[F.M].size()) {
+          MethodId To = Adj[F.M][F.EdgeIdx++];
+          if (!Num[To]) {
+            Num[To] = Low[To] = Next++;
+            Stack.push_back(To);
+            OnStack[To] = true;
+            Dfs.push_back({To, 0});
+          } else if (OnStack[To]) {
+            Low[F.M] = std::min(Low[F.M], Num[To]);
+          }
+          continue;
+        }
+        MethodId M = F.M;
+        Dfs.pop_back();
+        if (!Dfs.empty())
+          Low[Dfs.back().M] = std::min(Low[Dfs.back().M], Low[M]);
+        if (Low[M] == Num[M]) {
+          std::vector<MethodId> Scc;
+          MethodId Top;
+          do {
+            Top = Stack.back();
+            Stack.pop_back();
+            OnStack[Top] = false;
+            Scc.push_back(Top);
+          } while (Top != M);
+          std::sort(Scc.begin(), Scc.end());
+          Sccs.push_back(std::move(Scc));
+        }
+      }
+    }
+    return Sccs;
+  }
+
+  /// Summarizes the cone of \p Ret into \p S: the exact backward CFL
+  /// traversal of CflPta::Traversal::run, with the call string kept
+  /// *relative* to the summary entry and Param/heap-hop effects recorded
+  /// instead of followed. Composes already-Complete callee summaries.
+  void buildOne(PagNodeId Ret, MethodSummary &S) {
+    S = MethodSummary{};
+    // Relative strings deeper than K-1 can never compose without inline
+    // saturation (the composing call pushes one more frame), so recursion
+    // is cut there and the summary conservatively declared incomplete.
+    const uint32_t RelCap = Out.KLimit > 0 ? Out.KLimit - 1 : 0;
+
+    uint64_t States = 0;
+    std::set<RelState> Visited;
+    std::vector<RelState> Work;
+    std::set<std::pair<AllocSiteId, size_t>> Emitted;
+    std::set<PagNodeId> HopSeen, ExitSeen;
+    std::set<MethodId> Region;
+    std::set<FieldId> Statics;
+
+    auto push = [&](RelState RS) {
+      if (RS.Stack.size() > S.MaxRelDepth)
+        S.MaxRelDepth = static_cast<uint32_t>(RS.Stack.size());
+      auto [It, New] = Visited.insert(std::move(RS));
+      if (New)
+        Work.push_back(*It);
+    };
+    auto emit = [&](AllocSiteId Site, std::vector<CallSite> Ctx) {
+      if (Emitted.insert({Site, ctxHash(Ctx)}).second)
+        S.Objects.push_back({Site, std::move(Ctx)});
+    };
+    auto addHop = [&](PagNodeId T) {
+      if (HopSeen.insert(T).second)
+        S.HopTargets.push_back(T);
+    };
+
+    push({Ret, {}});
+    while (!Work.empty()) {
+      ++Out.Counters.BuildStates;
+      if (++States > kBuildBudget) {
+        S.Gap = SummaryGap::Cap;
+        break;
+      }
+      RelState RS = std::move(Work.back());
+      Work.pop_back();
+
+      // Region tracking for incremental invalidation.
+      if (MethodId M = NodeMethod[RS.Node]; M != kInvalidId)
+        Region.insert(M);
+      else if (auto It = NodeStatic.find(RS.Node); It != NodeStatic.end())
+        Statics.insert(It->second);
+
+      for (uint32_t Id : G.allocsIn(RS.Node))
+        emit(G.allocEdges()[Id].Site, RS.Stack);
+
+      for (uint32_t Id : G.copiesIn(RS.Node)) {
+        const CopyEdge &E = G.copyEdges()[Id];
+        switch (E.Kind) {
+        case CopyKind::Plain:
+          push({E.Src, RS.Stack});
+          break;
+        case CopyKind::Return: {
+          // Descend into the callee: compose its summary when it is
+          // already Complete (bottom-up order makes that the common
+          // case), otherwise inline its cone under the extended string.
+          if (const MethodSummary *Sub = Out.summaryFor(E.Src);
+              Sub && Sub->Complete && Sub != &S) {
+            uint64_t Need = RS.Stack.size() + 1 + Sub->MaxRelDepth;
+            if (Need > RelCap) {
+              // Inlining would reach the same depth and abort anyway.
+              S.Gap = SummaryGap::Depth;
+              break;
+            }
+            if (Need > S.MaxRelDepth)
+              S.MaxRelDepth = static_cast<uint32_t>(Need);
+            for (const SummaryObject &O : Sub->Objects) {
+              std::vector<CallSite> Ctx = RS.Stack;
+              Ctx.push_back(E.Site);
+              Ctx.insert(Ctx.end(), O.RelCtx.begin(), O.RelCtx.end());
+              emit(O.Site, std::move(Ctx));
+            }
+            S.HasLoads |= Sub->HasLoads;
+            for (PagNodeId T : Sub->HopTargets)
+              addHop(T);
+            Region.insert(Sub->MethodRegion.begin(), Sub->MethodRegion.end());
+            Statics.insert(Sub->StaticRegion.begin(), Sub->StaticRegion.end());
+            // The callee's open-exit frontier resumes in this cone: its
+            // entry frame is E.Site, so only Param edges of that site
+            // match the (relative) bottom of the callee's stack.
+            for (PagNodeId X : Sub->ParamExits)
+              for (uint32_t Id2 : G.copiesIn(X)) {
+                const CopyEdge &E2 = G.copyEdges()[Id2];
+                if (E2.Kind == CopyKind::Param && E2.Site == E.Site)
+                  push({E2.Src, RS.Stack});
+              }
+            break;
+          }
+          if (RS.Stack.size() + 1 > RelCap) {
+            // Where the inline traversal saturates, the summary must give
+            // up: saturation is a query-level property it cannot express.
+            S.Gap = SummaryGap::Depth;
+            break;
+          }
+          std::vector<CallSite> NewStack = RS.Stack;
+          NewStack.push_back(E.Site);
+          push({E.Src, std::move(NewStack)});
+          break;
+        }
+        case CopyKind::Param: {
+          if (!RS.Stack.empty()) {
+            if (!(RS.Stack.back() == E.Site))
+              break; // mismatched parentheses: unrealizable path
+            std::vector<CallSite> NewStack = RS.Stack;
+            NewStack.pop_back();
+            push({E.Src, std::move(NewStack)});
+          } else if (ExitSeen.insert(RS.Node).second) {
+            // Empty relative string: this Param edge exits through the
+            // frame the composing call site will push. Record the node;
+            // composition filters its Param edges by that site.
+            S.ParamExits.push_back(RS.Node);
+          }
+          break;
+        }
+        }
+        if (S.Gap != SummaryGap::None)
+          break;
+      }
+      if (S.Gap != SummaryGap::None)
+        break;
+
+      for (uint32_t LId : LoadsInto[RS.Node]) {
+        const LoadEdge &L = G.loadEdges()[LId];
+        // The inline traversal trips its hop-exhaustion fallback on every
+        // load encountered, matched or not; HasLoads reproduces that.
+        S.HasLoads = true;
+        const BitSet &BasePts = Base.pointsTo(L.Base);
+        PagNodeId LoadRep = Base.repOf(L.Base);
+        for (uint32_t SId : G.storesOfField(L.Field)) {
+          const StoreEdge &St = G.storeEdges()[SId];
+          if (Base.repOf(St.Base) == LoadRep) {
+            if (BasePts.empty())
+              continue;
+          } else if (!BasePts.intersects(Base.pointsTo(St.Base))) {
+            continue;
+          }
+          addHop(St.Val);
+        }
+      }
+    }
+
+    if (S.Gap != SummaryGap::None) {
+      // Partial content is never composed; drop it, keep the diagnosis.
+      S.Objects.clear();
+      S.HopTargets.clear();
+      S.ParamExits.clear();
+      S.Complete = false;
+    } else {
+      S.Complete = true;
+    }
+    S.MethodRegion.assign(Region.begin(), Region.end());
+    S.StaticRegion.assign(Statics.begin(), Statics.end());
+  }
+};
+
+Summaries::Summaries(const Pag &G, const AndersenPta &Base,
+                     uint32_t MaxCallDepth)
+    : KLimit(MaxCallDepth) {
+  build(G, Base, nullptr);
+}
+
+Summaries::Summaries(const Pag &G, const AndersenPta &Base,
+                     uint32_t MaxCallDepth, const Summaries &Prev)
+    : KLimit(MaxCallDepth) {
+  // Reuse requires the refinement loop's stable node numbering and an
+  // unchanged k-limit; anything else falls back to a full build.
+  const Summaries *Usable =
+      (Prev.KLimit == MaxCallDepth && Prev.Index.size() == G.numNodes())
+          ? &Prev
+          : nullptr;
+  build(G, Base, Usable);
+#ifndef NDEBUG
+  if (Usable) {
+    // The incremental table must be indistinguishable from scratch.
+    Summaries Scratch(G, Base, MaxCallDepth);
+    assert(Table.size() == Scratch.Table.size());
+    for (size_t I = 0; I < Table.size(); ++I) {
+      const MethodSummary &A = Table[I], &B = Scratch.Table[I];
+      assert(A.Complete == B.Complete && A.Gap == B.Gap &&
+             A.MaxRelDepth == B.MaxRelDepth && A.HasLoads == B.HasLoads &&
+             A.HopTargets == B.HopTargets && A.ParamExits == B.ParamExits &&
+             A.MethodRegion == B.MethodRegion &&
+             A.StaticRegion == B.StaticRegion &&
+             A.Objects.size() == B.Objects.size());
+      for (size_t J = 0; J < A.Objects.size(); ++J)
+        assert(A.Objects[J].Site == B.Objects[J].Site &&
+               A.Objects[J].RelCtx == B.Objects[J].RelCtx);
+    }
+  }
+#endif
+}
+
+void Summaries::build(const Pag &G, const AndersenPta &Base,
+                      const Summaries *Prev) {
+  Builder B(G, Base, *this);
+  B.computeFingerprints();
+
+  // One summary slot per distinct return node, in edge order.
+  Index.assign(G.numNodes(), -1);
+  std::vector<PagNodeId> ReturnNodes;
+  for (const CopyEdge &E : G.copyEdges()) {
+    if (E.Kind != CopyKind::Return || Index[E.Src] >= 0)
+      continue;
+    Index[E.Src] = static_cast<int32_t>(ReturnNodes.size());
+    ReturnNodes.push_back(E.Src);
+  }
+  Table.assign(ReturnNodes.size(), MethodSummary{});
+  Counters.Returns = ReturnNodes.size();
+  {
+    std::set<MethodId> Ms;
+    for (PagNodeId R : ReturnNodes)
+      if (B.NodeMethod[R] != kInvalidId)
+        Ms.insert(B.NodeMethod[R]);
+    Counters.Methods = Ms.size();
+  }
+
+  // Incremental reuse: a previous Complete summary whose whole recorded
+  // region (methods + static fields) is fingerprint-stable is carried
+  // over verbatim -- its build would retrace identical edges and alias
+  // matches. Incomplete summaries record no trustworthy region and are
+  // always recomputed.
+  std::vector<bool> Reused(ReturnNodes.size(), false);
+  if (Prev) {
+    auto regionStable = [&](const MethodSummary &S) {
+      for (MethodId M : S.MethodRegion) {
+        if (M >= MethodFp.size() || M >= Prev->MethodFp.size() ||
+            MethodFp[M] != Prev->MethodFp[M])
+          return false;
+      }
+      for (FieldId F : S.StaticRegion) {
+        auto A = StaticFp.find(F);
+        auto P = Prev->StaticFp.find(F);
+        if (A == StaticFp.end() || P == Prev->StaticFp.end() ||
+            A->second != P->second)
+          return false;
+      }
+      return true;
+    };
+    for (size_t I = 0; I < ReturnNodes.size(); ++I) {
+      const MethodSummary *Old = Prev->summaryFor(ReturnNodes[I]);
+      if (Old && Old->Complete && regionStable(*Old)) {
+        Table[I] = *Old;
+        Reused[I] = true;
+        ++Counters.Reused;
+      }
+    }
+  }
+
+  // Bottom-up over the condensation: callees first, so callers compose
+  // finished summaries. Within a non-trivial SCC, extra passes retry
+  // members that stayed incomplete while a prior pass improved anything.
+  std::unordered_map<MethodId, std::vector<size_t>> SlotsOf;
+  for (size_t I = 0; I < ReturnNodes.size(); ++I)
+    if (MethodId M = B.NodeMethod[ReturnNodes[I]]; M != kInvalidId)
+      SlotsOf[M].push_back(I);
+  auto returnsOf = [&](const std::vector<MethodId> &Ms) {
+    std::vector<size_t> Slots;
+    for (MethodId M : Ms)
+      if (auto It = SlotsOf.find(M); It != SlotsOf.end())
+        Slots.insert(Slots.end(), It->second.begin(), It->second.end());
+    return Slots;
+  };
+  auto buildSlot = [&](size_t I) {
+    B.buildOne(ReturnNodes[I], Table[I]);
+    if (Prev)
+      ++Counters.Recomputed;
+  };
+
+  std::vector<size_t> StaticSlots; // return nodes that are static nodes
+  for (size_t I = 0; I < ReturnNodes.size(); ++I)
+    if (B.NodeMethod[ReturnNodes[I]] == kInvalidId)
+      StaticSlots.push_back(I);
+
+  for (const std::vector<MethodId> &Scc : B.methodSccsBottomUp()) {
+    std::vector<size_t> Slots = returnsOf(Scc);
+    for (size_t I : Slots)
+      if (!Reused[I])
+        buildSlot(I);
+    if (Scc.size() <= 1)
+      continue;
+    for (unsigned Pass = 0; Pass < kMaxSccPasses; ++Pass) {
+      bool Improved = false;
+      for (size_t I : Slots) {
+        if (Reused[I] || Table[I].Complete)
+          continue;
+        buildSlot(I);
+        Improved |= Table[I].Complete;
+      }
+      if (!Improved)
+        break;
+      ++Counters.SccPasses;
+    }
+  }
+  for (size_t I : StaticSlots)
+    if (!Reused[I])
+      buildSlot(I);
+
+  for (const MethodSummary &S : Table) {
+    if (S.Complete)
+      ++Counters.CompleteCount;
+    else if (S.Gap == SummaryGap::Depth)
+      ++Counters.IncompleteDepth;
+    else
+      ++Counters.IncompleteCap;
+  }
+}
+
+void Summaries::recordStats(Stats &S) const {
+  S.addCounter("summary-methods", Counters.Methods);
+  S.addCounter("summary-returns", Counters.Returns);
+  S.addCounter("summary-complete", Counters.CompleteCount);
+  S.addCounter("summary-incomplete-depth", Counters.IncompleteDepth);
+  S.addCounter("summary-incomplete-cap", Counters.IncompleteCap);
+  S.addCounter("summary-build-states", Counters.BuildStates);
+  S.addCounter("summary-scc-passes", Counters.SccPasses);
+  if (Counters.Reused || Counters.Recomputed) {
+    S.addCounter("summary-reused", Counters.Reused);
+    S.addCounter("summary-recomputed", Counters.Recomputed);
+  }
+}

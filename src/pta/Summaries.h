@@ -1,0 +1,176 @@
+//===-- Summaries.h - Bottom-up method summaries for CFL queries *- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bottom-up, SCC-ordered computation of compact per-method summaries over
+/// the PAG, in the spirit of LeakGuard's function summaries and Khedker's
+/// composable per-procedure heap abstractions (PAPERS.md): instead of
+/// re-traversing a callee's body on every demand query that descends a
+/// `Return` edge, the CFL solver composes a precomputed transfer relation.
+///
+/// A summary is keyed by a *return node* (the `Src` of one or more
+/// Return copy edges) and records exactly what the backward traversal
+/// rooted there, started with an empty *relative* call string, produces:
+///
+///   - `Objects`    allocation sites reached, each with the relative call
+///                  string active at the allocation (param-to-return flow
+///                  through callee-internal calls, global captures through
+///                  static nodes -- whatever the traversal reaches);
+///   - `ParamExits` nodes at which the traversal hit a `Param` edge with
+///                  an empty relative string, i.e. where it would exit
+///                  into the caller through the call site that entered;
+///   - `HopTargets` store-value nodes of alias-matched stores for every
+///                  field load in the summary's cone (the heap hops),
+///                  resolved at composition time through the solver's
+///                  ordinary memoized sub-queries;
+///   - `HasLoads`   whether any load edge exists in the cone at all (the
+///                  hop-budget-exhaustion fallback must fire identically
+///                  with and without summaries);
+///   - `MaxRelDepth` the deepest relative call string the traversal
+///                  builds, which decides at composition time whether the
+///                  inline traversal could have saturated (in which case
+///                  the summary must not be used).
+///
+/// Summaries are *exact*: composing one yields the same objects, the same
+/// caller-side continuations, and the same heap-hop sub-queries as
+/// descending inline, so reports are byte-identical with summaries on or
+/// off (enforced by the differential test gate). What changes is cost:
+/// a composed descent charges a small deterministic amount instead of the
+/// callee cone's state count.
+///
+/// Computation is bottom-up over the call graph's SCC condensation
+/// (iterative Tarjan, callee components first), so summarizing a caller
+/// composes its callees' already-finished summaries. Within a non-trivial
+/// SCC, members are iterated to a fixpoint: a member whose first pass ran
+/// out of its build budget is retried with the siblings' summaries now
+/// available (exactness makes the content fixpoint immediate; iteration
+/// only ever upgrades Incomplete to Complete). Recursion that would need
+/// a relative string deeper than the k-limit is collapsed conservatively:
+/// the summary is marked incomplete and queries fall back to the inline
+/// traversal, which saturates as usual.
+///
+/// Incremental invalidation (the refinement loop): each summary records
+/// the methods and static fields its cone touched, and every build
+/// fingerprints each method's PAG edges -- including the alias-matched
+/// store set of every load, so an Andersen re-solve that changes a match
+/// invalidates dependents. Rebuilding against a previous `Summaries`
+/// reuses any summary whose whole recorded region is fingerprint-stable
+/// (node numbering is stable across refinement rounds, see
+/// RefinedCallGraph.h) and recomputes the rest. Debug builds verify the
+/// incremental result against a from-scratch build.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_PTA_SUMMARIES_H
+#define LC_PTA_SUMMARIES_H
+
+#include "pta/Andersen.h"
+#include "pta/Pag.h"
+#include "support/Stats.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace lc {
+
+/// One allocation the summarized traversal reaches: the site plus the
+/// relative call string (innermost-last) active at the allocation.
+struct SummaryObject {
+  AllocSiteId Site = kInvalidId;
+  std::vector<CallSite> RelCtx;
+};
+
+/// Why a summary could not be completed.
+enum class SummaryGap : uint8_t {
+  None,  ///< complete
+  Depth, ///< relative string would exceed the k-limit (recursion collapse)
+  Cap,   ///< per-summary build budget exhausted
+};
+
+/// The transfer relation of one return node (see file comment).
+struct MethodSummary {
+  bool Complete = false;
+  SummaryGap Gap = SummaryGap::None;
+  /// Deepest relative call string the cone builds; at a call site with
+  /// absolute stack depth B the summary applies only when
+  /// B + 1 + MaxRelDepth <= MaxCallDepth (otherwise the inline traversal
+  /// could saturate, which the summary cannot express).
+  uint32_t MaxRelDepth = 0;
+  /// Any load edge in the cone (fires the hop-exhaustion fallback).
+  bool HasLoads = false;
+  std::vector<SummaryObject> Objects;
+  std::vector<PagNodeId> HopTargets;
+  std::vector<PagNodeId> ParamExits;
+  /// Dependency record for incremental invalidation: methods whose locals
+  /// and static fields whose nodes the cone visited.
+  std::vector<MethodId> MethodRegion;
+  std::vector<FieldId> StaticRegion;
+};
+
+/// Build/reuse statistics, recorded as `summary-*` counters.
+struct SummaryCounters {
+  uint64_t Methods = 0;         ///< methods with at least one return node
+  uint64_t Returns = 0;         ///< return nodes summarized
+  uint64_t CompleteCount = 0;   ///< of which complete (composable)
+  uint64_t IncompleteDepth = 0; ///< collapsed recursion / deep chains
+  uint64_t IncompleteCap = 0;   ///< build budget exhausted
+  uint64_t BuildStates = 0;     ///< traversal states spent building
+  uint64_t SccPasses = 0;       ///< extra fixpoint passes over SCCs
+  uint64_t Reused = 0;          ///< summaries carried over incrementally
+  uint64_t Recomputed = 0;      ///< summaries rebuilt incrementally
+};
+
+/// The per-substrate summary table. Immutable after construction; safe to
+/// share with any number of concurrent CFL queries.
+class Summaries {
+public:
+  /// Full bottom-up build over \p G using \p Base for alias matching.
+  /// \p MaxCallDepth is the CFL k-limit the summaries will be composed
+  /// under (CflOptions::MaxCallDepth); it bounds relative-string depth.
+  Summaries(const Pag &G, const AndersenPta &Base, uint32_t MaxCallDepth);
+
+  /// Incremental rebuild against \p Prev, which must have been built on a
+  /// PAG with the same node numbering (the refinement loop's contract)
+  /// and the same k-limit. Summaries whose recorded region is
+  /// fingerprint-stable are reused; the rest are recomputed bottom-up.
+  Summaries(const Pag &G, const AndersenPta &Base, uint32_t MaxCallDepth,
+            const Summaries &Prev);
+
+  /// Summary for \p ReturnNode, or nullptr when the node is not the
+  /// source of any Return edge.
+  const MethodSummary *summaryFor(PagNodeId ReturnNode) const {
+    if (ReturnNode >= Index.size() || Index[ReturnNode] < 0)
+      return nullptr;
+    return &Table[static_cast<size_t>(Index[ReturnNode])];
+  }
+
+  uint32_t maxCallDepth() const { return KLimit; }
+  const SummaryCounters &counters() const { return Counters; }
+
+  /// Records the `summary-*` counters (all Stable: deterministic for a
+  /// given substrate) into \p S.
+  void recordStats(Stats &S) const;
+
+private:
+  struct Builder;
+  friend struct Builder;
+
+  void build(const Pag &G, const AndersenPta &Base, const Summaries *Prev);
+
+  uint32_t KLimit;
+  /// numNodes-sized map return node -> Table slot (-1 = not a return node).
+  std::vector<int32_t> Index;
+  std::vector<MethodSummary> Table;
+  /// Per-method and per-static-field PAG fingerprints of the build,
+  /// retained so the next incremental build can diff against them.
+  std::vector<uint64_t> MethodFp;
+  std::unordered_map<FieldId, uint64_t> StaticFp;
+  SummaryCounters Counters;
+};
+
+} // namespace lc
+
+#endif // LC_PTA_SUMMARIES_H

@@ -43,7 +43,8 @@ bool parseOptions(const Value &V, SessionOptionsBuilder &B,
     if (Key == "memoize" || Key == "pivot" || Key == "model_threads" ||
         Key == "library_rule" || Key == "report_library_sites" ||
         Key == "context_sensitive" || Key == "model_destructive_updates" ||
-        Key == "escape_prefilter" || Key == "cfl_corroborate") {
+        Key == "escape_prefilter" || Key == "cfl_corroborate" ||
+        Key == "summaries") {
       if (!Val.isBool()) {
         Error = "options." + Key + " must be a boolean";
         return false;
@@ -65,8 +66,10 @@ bool parseOptions(const Value &V, SessionOptionsBuilder &B,
         B.modelDestructiveUpdates(On);
       else if (Key == "escape_prefilter")
         B.escapePrefilter(On);
-      else
+      else if (Key == "cfl_corroborate")
         B.cflCorroborate(On);
+      else
+        B.summaries(On);
       continue;
     }
     if (Key == "cache_capacity" || Key == "node_budget" ||

@@ -29,6 +29,7 @@ uint64_t SessionOptions::substrateFingerprint() const {
   H = hashMix(H, Opts.Cfl.NodeBudget);
   H = hashMix(H, Opts.Cfl.MaxHeapHops);
   H = hashMix(H, Opts.Cfl.MaxCallDepth);
+  H = hashMix(H, Opts.Summaries ? 1 : 0);
   return H;
 }
 
@@ -79,6 +80,11 @@ SessionOptionsBuilder &SessionOptionsBuilder::cflMaxHeapHops(uint32_t Hops) {
 
 SessionOptionsBuilder &SessionOptionsBuilder::cflMaxCallDepth(uint32_t Depth) {
   Opts.Cfl.MaxCallDepth = Depth;
+  return *this;
+}
+
+SessionOptionsBuilder &SessionOptionsBuilder::summaries(bool On) {
+  Opts.Summaries = On;
   return *this;
 }
 

@@ -95,6 +95,11 @@ public:
   SessionOptionsBuilder &cflMaxHeapHops(uint32_t Hops);
   /// CFL call-string k-limit (> 0).
   SessionOptionsBuilder &cflMaxCallDepth(uint32_t Depth);
+  /// Build the method-summary table with the substrate and compose
+  /// summaries at call sites during demand queries (`--no-summaries`
+  /// disables). Substrate knob: the table is part of the warm session,
+  /// so the fingerprint includes it.
+  SessionOptionsBuilder &summaries(bool On);
 
   // --- Per-run knobs --------------------------------------------------------
 

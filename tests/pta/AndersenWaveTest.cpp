@@ -9,127 +9,22 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "RandomMjProgram.h"
 #include "frontend/Lower.h"
 #include "pta/AndersenRef.h"
+#include "pta/CflPta.h"
 #include "pta/RefinedCallGraph.h"
+#include "pta/Summaries.h"
 
 #include <gtest/gtest.h>
 
 #include <random>
+#include <set>
 #include <sstream>
 
 using namespace lc;
 
 namespace {
-
-/// Seeded random MJ program exercising every PAG edge kind: copy chains
-/// and cycles, virtual and static calls (param/return flow, recursion),
-/// field stores/loads, a link field between Boxes, statics, and arrays.
-std::string randomProgram(unsigned Seed) {
-  std::mt19937 Rng(Seed);
-  auto Pick = [&](unsigned N) { return Rng() % N; };
-  unsigned NumTemps = 4 + Pick(4);
-  unsigned NumBoxes = 2 + Pick(3);
-  unsigned NumStmts = 24 + Pick(24);
-
-  std::ostringstream OS;
-  OS << "class Box {\n"
-        "  Object f; Object g; Box link;\n"
-        "  Object get() { return this.f; }\n"
-        "  Object swap(Object v) { Object old = this.g; this.g = v; "
-        "return old; }\n"
-        "}\n"
-        "class Kid extends Box {\n"
-        "  Object get() { return this.g; }\n"
-        "}\n"
-        "class S { static Object s0; static Box s1; }\n"
-        "class H { Object[] arr; }\n"
-        "class Gen {\n"
-        "  static Object id(Object v) { return v; }\n"
-        "  static Object pick(Object a, Object b, int k) {\n"
-        "    if (k > 0) { return a; }\n"
-        "    return Gen.id(b);\n"
-        "  }\n"
-        "  static Object spin(Object v, int n) {\n"
-        "    if (n > 0) { return Gen.spin(Gen.id(v), n - 1); }\n"
-        "    return v;\n"
-        "  }\n"
-        "}\n"
-        "class Main { static void main() {\n";
-  OS << "  H h = new H();\n";
-  OS << "  h.arr = new Object[8];\n";
-  for (unsigned B = 0; B < NumBoxes; ++B)
-    OS << "  Box b" << B << " = new " << (Pick(2) ? "Kid" : "Box")
-       << "();\n";
-  for (unsigned T = 0; T < NumTemps; ++T)
-    OS << "  Object t" << T << " = null;\n";
-  OS << "  int i = 0;\n";
-
-  auto T = [&] { return "t" + std::to_string(Pick(NumTemps)); };
-  auto B = [&] { return "b" + std::to_string(Pick(NumBoxes)); };
-  auto F = [&] { return Pick(2) ? "f" : "g"; };
-  for (unsigned St = 0; St < NumStmts; ++St) {
-    switch (Pick(12)) {
-    case 0:
-      OS << "  " << T() << " = new " << (Pick(2) ? "Kid" : "Box")
-         << "();\n";
-      break;
-    case 1:
-      OS << "  " << T() << " = " << T() << ";\n";
-      break;
-    case 2: { // guaranteed copy cycle
-      std::string A = T(), C = T(), D = T();
-      OS << "  " << A << " = " << C << ";\n";
-      OS << "  " << C << " = " << D << ";\n";
-      OS << "  " << D << " = " << A << ";\n";
-      break;
-    }
-    case 3:
-      OS << "  " << B() << "." << F() << " = " << T() << ";\n";
-      break;
-    case 4:
-      OS << "  " << T() << " = " << B() << "." << F() << ";\n";
-      break;
-    case 5:
-      OS << "  " << B() << ".link = " << B() << ";\n";
-      OS << "  " << B() << " = " << B() << ".link;\n";
-      break;
-    case 6:
-      if (Pick(2))
-        OS << "  S.s0 = " << T() << ";\n";
-      else
-        OS << "  " << T() << " = S.s0;\n";
-      break;
-    case 7:
-      if (Pick(2))
-        OS << "  S.s1 = " << B() << ";\n";
-      else
-        OS << "  " << B() << " = S.s1;\n";
-      break;
-    case 8:
-      if (Pick(2))
-        OS << "  h.arr[i] = " << T() << ";\n";
-      else
-        OS << "  " << T() << " = h.arr[i];\n";
-      break;
-    case 9:
-      OS << "  " << T() << " = " << B() << ".get();\n";
-      break;
-    case 10:
-      OS << "  " << T() << " = " << B() << ".swap(" << T() << ");\n";
-      break;
-    case 11:
-      if (Pick(2))
-        OS << "  " << T() << " = Gen.pick(" << T() << ", " << T()
-           << ", i);\n";
-      else
-        OS << "  " << T() << " = Gen.spin(" << T() << ", 3);\n";
-      break;
-    }
-  }
-  OS << "} }\n";
-  return OS.str();
-}
 
 /// Asserts the wave solver and the naive reference agree on every variable
 /// node and every (site, field) slot of \p G.
@@ -150,7 +45,7 @@ void expectSolversAgree(const Program &P, const Pag &G,
 
 TEST(AndersenWave, MatchesNaiveOnRandomPrograms) {
   for (unsigned Seed = 1; Seed <= 50; ++Seed) {
-    std::string Src = randomProgram(Seed);
+    std::string Src = testgen::randomMjProgram(Seed);
     Program P;
     DiagnosticEngine Diags;
     ASSERT_TRUE(compileSource(Src, P, Diags))
@@ -287,7 +182,7 @@ TEST(AndersenWave, IncrementalMatchesOnRandomPrograms) {
   // end-to-end substrate must agree with a from-scratch solve of its own
   // final PAG (debug builds also assert inside each incremental round).
   for (unsigned Seed = 100; Seed < 110; ++Seed) {
-    std::string Src = randomProgram(Seed);
+    std::string Src = testgen::randomMjProgram(Seed);
     Program P;
     DiagnosticEngine Diags;
     ASSERT_TRUE(compileSource(Src, P, Diags)) << "seed " << Seed;
@@ -296,5 +191,65 @@ TEST(AndersenWave, IncrementalMatchesOnRandomPrograms) {
     for (PagNodeId N = 0; N < R.G->numNodes(); ++N)
       ASSERT_TRUE(R.Base->pointsTo(N) == Fresh.pointsTo(N))
           << "seed " << Seed << ": " << R.G->nodeName(N);
+  }
+}
+
+namespace {
+
+/// Order-independent rendering of a CFL answer: sorted "site @ ctx" lines
+/// prefixed by the fallback flag.
+std::string canonCfl(const CflResult &R) {
+  std::vector<std::string> Lines;
+  for (const CtxObject &O : R.Objects) {
+    std::ostringstream OS;
+    OS << O.Site << " @";
+    for (const CallSite &C : O.Ctx)
+      OS << " " << C.Caller << ":" << C.Index;
+    Lines.push_back(OS.str());
+  }
+  std::sort(Lines.begin(), Lines.end());
+  std::string Out = R.FellBack ? "FALLBACK\n" : "";
+  for (const std::string &L : Lines)
+    Out += L + "\n";
+  return Out;
+}
+
+} // namespace
+
+TEST(AndersenWave, ThreeWayCflSummariesMatchOnRandomPrograms) {
+  // Third leg of the differential: on the same 50 random programs the
+  // Andersen/naive pair agrees on, the demand CFL solver must produce the
+  // same context-qualified answer (and so the same points-to cardinality)
+  // for every node whether it composes method summaries or descends
+  // inline -- and its flat site set must stay within the sound Andersen
+  // set either way.
+  for (unsigned Seed = 1; Seed <= 50; ++Seed) {
+    std::string Src = testgen::randomMjProgram(Seed);
+    Program P;
+    DiagnosticEngine Diags;
+    ASSERT_TRUE(compileSource(Src, P, Diags)) << "seed " << Seed;
+    CallGraph CG(P, CallGraphKind::Rta);
+    Pag G(P, CG);
+    AndersenPta Wave(G);
+    NaiveAndersenRef Ref(G);
+    expectSolversAgree(P, G, Wave, Ref, Seed);
+
+    Summaries Sums(G, Wave, CflOptions{}.MaxCallDepth);
+    CflPta WithSums(G, Wave, {}, &Sums);
+    CflPta Inline(G, Wave, {});
+    for (PagNodeId N = 0; N < G.numNodes(); ++N) {
+      CflResult A = WithSums.pointsTo(N);
+      CflResult B = Inline.pointsTo(N);
+      ASSERT_EQ(canonCfl(A), canonCfl(B))
+          << "seed " << Seed << ": summarized vs inline CFL differ at "
+          << G.nodeName(N);
+      std::set<AllocSiteId> Flat;
+      for (const CtxObject &O : A.Objects)
+        Flat.insert(O.Site);
+      for (AllocSiteId S : Flat)
+        ASSERT_TRUE(Ref.pointsTo(N).test(S))
+            << "seed " << Seed << ": CFL site " << S
+            << " outside the Andersen set at " << G.nodeName(N);
+    }
   }
 }

@@ -1,0 +1,129 @@
+//===-- RandomMjProgram.h - seeded random MJ source for pta tests ---------===//
+//
+// Shared by the solver differential suites (AndersenWaveTest,
+// SummariesTest): one seeded generator, so "the 50 random PAGs" mean the
+// same programs across every property test that quantifies over them.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_TESTS_PTA_RANDOMMJPROGRAM_H
+#define LC_TESTS_PTA_RANDOMMJPROGRAM_H
+
+#include <random>
+#include <sstream>
+#include <string>
+
+namespace lc::testgen {
+
+/// Seeded random MJ program exercising every PAG edge kind: copy chains
+/// and cycles, virtual and static calls (param/return flow, recursion),
+/// field stores/loads, a link field between Boxes, statics, and arrays.
+inline std::string randomMjProgram(unsigned Seed) {
+  std::mt19937 Rng(Seed);
+  auto Pick = [&](unsigned N) { return Rng() % N; };
+  unsigned NumTemps = 4 + Pick(4);
+  unsigned NumBoxes = 2 + Pick(3);
+  unsigned NumStmts = 24 + Pick(24);
+
+  std::ostringstream OS;
+  OS << "class Box {\n"
+        "  Object f; Object g; Box link;\n"
+        "  Object get() { return this.f; }\n"
+        "  Object swap(Object v) { Object old = this.g; this.g = v; "
+        "return old; }\n"
+        "}\n"
+        "class Kid extends Box {\n"
+        "  Object get() { return this.g; }\n"
+        "}\n"
+        "class S { static Object s0; static Box s1; }\n"
+        "class H { Object[] arr; }\n"
+        "class Gen {\n"
+        "  static Object id(Object v) { return v; }\n"
+        "  static Object pick(Object a, Object b, int k) {\n"
+        "    if (k > 0) { return a; }\n"
+        "    return Gen.id(b);\n"
+        "  }\n"
+        "  static Object spin(Object v, int n) {\n"
+        "    if (n > 0) { return Gen.spin(Gen.id(v), n - 1); }\n"
+        "    return v;\n"
+        "  }\n"
+        "}\n"
+        "class Main { static void main() {\n";
+  OS << "  H h = new H();\n";
+  OS << "  h.arr = new Object[8];\n";
+  for (unsigned B = 0; B < NumBoxes; ++B)
+    OS << "  Box b" << B << " = new " << (Pick(2) ? "Kid" : "Box")
+       << "();\n";
+  for (unsigned T = 0; T < NumTemps; ++T)
+    OS << "  Object t" << T << " = null;\n";
+  OS << "  int i = 0;\n";
+
+  auto T = [&] { return "t" + std::to_string(Pick(NumTemps)); };
+  auto B = [&] { return "b" + std::to_string(Pick(NumBoxes)); };
+  auto F = [&] { return Pick(2) ? "f" : "g"; };
+  for (unsigned St = 0; St < NumStmts; ++St) {
+    switch (Pick(12)) {
+    case 0:
+      OS << "  " << T() << " = new " << (Pick(2) ? "Kid" : "Box")
+         << "();\n";
+      break;
+    case 1:
+      OS << "  " << T() << " = " << T() << ";\n";
+      break;
+    case 2: { // guaranteed copy cycle
+      std::string A = T(), C = T(), D = T();
+      OS << "  " << A << " = " << C << ";\n";
+      OS << "  " << C << " = " << D << ";\n";
+      OS << "  " << D << " = " << A << ";\n";
+      break;
+    }
+    case 3:
+      OS << "  " << B() << "." << F() << " = " << T() << ";\n";
+      break;
+    case 4:
+      OS << "  " << T() << " = " << B() << "." << F() << ";\n";
+      break;
+    case 5:
+      OS << "  " << B() << ".link = " << B() << ";\n";
+      OS << "  " << B() << " = " << B() << ".link;\n";
+      break;
+    case 6:
+      if (Pick(2))
+        OS << "  S.s0 = " << T() << ";\n";
+      else
+        OS << "  " << T() << " = S.s0;\n";
+      break;
+    case 7:
+      if (Pick(2))
+        OS << "  S.s1 = " << B() << ";\n";
+      else
+        OS << "  " << B() << " = S.s1;\n";
+      break;
+    case 8:
+      if (Pick(2))
+        OS << "  h.arr[i] = " << T() << ";\n";
+      else
+        OS << "  " << T() << " = h.arr[i];\n";
+      break;
+    case 9:
+      OS << "  " << T() << " = " << B() << ".get();\n";
+      break;
+    case 10:
+      OS << "  " << T() << " = " << B() << ".swap(" << T() << ");\n";
+      break;
+    case 11:
+      if (Pick(2))
+        OS << "  " << T() << " = Gen.pick(" << T() << ", " << T()
+           << ", i);\n";
+      else
+        OS << "  " << T() << " = Gen.spin(" << T() << ", 3);\n";
+      break;
+    }
+  }
+  OS << "} }\n";
+  return OS.str();
+}
+
+} // namespace lc::testgen
+
+#endif // LC_TESTS_PTA_RANDOMMJPROGRAM_H

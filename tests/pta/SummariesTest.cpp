@@ -1,0 +1,380 @@
+//===-- SummariesTest.cpp - bottom-up method summary tests -----------------===//
+//
+// The summary table is an optimization, never a refinement: composing a
+// summary at a call site must yield exactly the objects and contexts the
+// inline descent finds, on targeted programs (param-to-return flow,
+// global captures, recursion collapse, depth-bound fallback) and under
+// every cache configuration. Incremental rebuilds must reuse summaries
+// whose PAG region is unchanged, concurrent summarized queries must match
+// sequential ones, and the build counters must land in the stats registry.
+//
+//===----------------------------------------------------------------------===//
+
+#include "RandomMjProgram.h"
+#include "frontend/Lower.h"
+#include "pta/CflPta.h"
+#include "pta/RefinedCallGraph.h"
+#include "pta/Summaries.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <thread>
+
+using namespace lc;
+
+namespace {
+
+struct World {
+  Program P;
+  DiagnosticEngine Diags;
+  std::unique_ptr<CallGraph> CG;
+  std::unique_ptr<Pag> G;
+  std::unique_ptr<AndersenPta> Base;
+  std::unique_ptr<Summaries> Sums;
+  std::unique_ptr<CflPta> With;   ///< composes summaries
+  std::unique_ptr<CflPta> Inline; ///< same options, no summary table
+
+  explicit World(std::string_view Src, CflOptions Opts = {}) {
+    bool Ok = compileSource(Src, P, Diags);
+    EXPECT_TRUE(Ok) << Diags.str();
+    CG = std::make_unique<CallGraph>(P, CallGraphKind::Rta);
+    G = std::make_unique<Pag>(P, *CG);
+    Base = std::make_unique<AndersenPta>(*G);
+    Sums = std::make_unique<Summaries>(*G, *Base, Opts.MaxCallDepth);
+    With = std::make_unique<CflPta>(*G, *Base, Opts, Sums.get());
+    Inline = std::make_unique<CflPta>(*G, *Base, Opts);
+  }
+
+  PagNodeId nodeOf(std::string_view Method, std::string_view Local) const {
+    for (MethodId M = 0; M < P.Methods.size(); ++M) {
+      if (P.methodName(M) != Method)
+        continue;
+      const MethodInfo &MI = P.Methods[M];
+      for (LocalId L = 0; L < MI.Locals.size(); ++L)
+        if (P.Strings.text(MI.Locals[L].Name) == Local)
+          return G->localNode(M, L);
+    }
+    ADD_FAILURE() << "no local " << Method << "." << Local;
+    return kInvalidId;
+  }
+};
+
+/// Canonical rendering of a query answer, independent of discovery order.
+std::string canon(const CflPta &PTA, const CflResult &R) {
+  std::vector<std::string> Lines;
+  for (const CtxObject &O : R.Objects) {
+    std::ostringstream OS;
+    OS << O.Site << " [" << PTA.ctxString(O.Ctx) << "]";
+    Lines.push_back(OS.str());
+  }
+  std::sort(Lines.begin(), Lines.end());
+  std::string Out = R.FellBack ? "FALLBACK\n" : "";
+  for (const std::string &L : Lines)
+    Out += L + "\n";
+  return Out;
+}
+
+/// Asserts summarized and inline answers agree on every node, and returns
+/// the two state totals (summed over all nodes) for cost comparisons.
+std::pair<uint64_t, uint64_t> expectAgreeEverywhere(const World &W) {
+  uint64_t StatesWith = 0, StatesInline = 0;
+  for (PagNodeId N = 0; N < W.G->numNodes(); ++N) {
+    CflResult A = W.With->pointsTo(N);
+    CflResult B = W.Inline->pointsTo(N);
+    EXPECT_EQ(canon(*W.With, A), canon(*W.Inline, B))
+        << "answers diverge at " << W.G->nodeName(N);
+    StatesWith += A.StatesVisited;
+    StatesInline += B.StatesVisited;
+  }
+  return {StatesWith, StatesInline};
+}
+
+/// Call-chain program: allocation flows through two helper frames and an
+/// identity method before reaching main's locals.
+const char *ChainSrc = R"(
+  class A { }
+  class Maker {
+    static Object make() { A a = new A(); return a; }
+    static Object wrap() { Object o = Maker.make(); return o; }
+    static Object id(Object v) { return v; }
+  }
+  class Main { static void main() {
+    Object x = Maker.wrap();
+    Object y = Maker.id(x);
+    Object z = Maker.id(Maker.wrap());
+  } }
+)";
+
+/// Global capture: the helper publishes into a static and returns what
+/// another static holds.
+const char *GlobalSrc = R"(
+  class A { }
+  class B { }
+  class S { static Object pub; static Object inbox; }
+  class Io {
+    static Object exchange() {
+      A a = new A();
+      S.pub = a;
+      Object got = S.inbox;
+      return got;
+    }
+  }
+  class Main { static void main() {
+    B b = new B();
+    S.inbox = b;
+    Object r = Io.exchange();
+  } }
+)";
+
+/// Summarized method with a field load in its return cone: composition
+/// must resolve the heap hop through the ordinary sub-query path.
+const char *LoadSrc = R"(
+  class Box { Object val; }
+  class A { }
+  class Rd {
+    static Object grab(Box b) { Object r = b.val; return r; }
+  }
+  class Main { static void main() {
+    Box box = new Box();
+    A a = new A();
+    box.val = a;
+    Object x = Rd.grab(box);
+    Object y = Rd.grab(box);
+  } }
+)";
+
+/// Self-recursive identity: the return-value cone contains its own return
+/// node through the recursive call, so the summary must collapse.
+const char *RecursiveSrc = R"(
+  class A { }
+  class R {
+    static Object spin(Object v, int n) {
+      if (n > 0) { return R.spin(v, n - 1); }
+      return v;
+    }
+  }
+  class Main { static void main() {
+    A a = new A();
+    Object r = R.spin(a, 3);
+  } }
+)";
+
+} // namespace
+
+TEST(Summaries, ParamToReturnChainIsSummarizedExactly) {
+  World W(ChainSrc);
+  // make()'s return cone is a plain allocation: complete, depth 0, no
+  // exits. wrap() composes it one frame deeper; id() is a pure exit.
+  const MethodSummary *Make = W.Sums->summaryFor(W.nodeOf("make", "a"));
+  ASSERT_NE(Make, nullptr);
+  EXPECT_TRUE(Make->Complete);
+  EXPECT_EQ(Make->MaxRelDepth, 0u);
+  ASSERT_EQ(Make->Objects.size(), 1u);
+  EXPECT_TRUE(Make->Objects[0].RelCtx.empty());
+  EXPECT_TRUE(Make->ParamExits.empty());
+  EXPECT_FALSE(Make->HasLoads);
+
+  const MethodSummary *Wrap = W.Sums->summaryFor(W.nodeOf("wrap", "o"));
+  ASSERT_NE(Wrap, nullptr);
+  EXPECT_TRUE(Wrap->Complete);
+  EXPECT_EQ(Wrap->MaxRelDepth, 1u);
+  ASSERT_EQ(Wrap->Objects.size(), 1u);
+  EXPECT_EQ(Wrap->Objects[0].RelCtx.size(), 1u);
+
+  const MethodSummary *Id = W.Sums->summaryFor(W.nodeOf("id", "v"));
+  ASSERT_NE(Id, nullptr);
+  EXPECT_TRUE(Id->Complete);
+  EXPECT_TRUE(Id->Objects.empty());
+  ASSERT_EQ(Id->ParamExits.size(), 1u);
+
+  auto [StatesWith, StatesInline] = expectAgreeEverywhere(W);
+  EXPECT_LT(StatesWith, StatesInline);
+  EXPECT_GT(W.With->summaryStats().Applications, 0u);
+  EXPECT_EQ(W.Inline->summaryStats().Applications, 0u);
+}
+
+TEST(Summaries, GlobalCapturesFlowThroughSummaries) {
+  World W(GlobalSrc);
+  // exchange()'s return cone wanders through the static node: the caller's
+  // seed (B) is reachable only via the outer store to S.inbox, which the
+  // cone reaches as a plain copy. The summary must carry that Plain-edge
+  // frontier exactly like the inline traversal.
+  expectAgreeEverywhere(W);
+  CflResult R = W.With->pointsTo(W.nodeOf("main", "r"));
+  std::set<AllocSiteId> Sites;
+  for (const CtxObject &O : R.Objects)
+    Sites.insert(O.Site);
+  EXPECT_EQ(Sites.size(), 1u) << "r holds exactly the B allocation";
+}
+
+TEST(Summaries, RecursionCollapsesConservatively) {
+  World W(RecursiveSrc);
+  // The spin() summary keyed by the recursive-result temp cannot complete
+  // within the k-limit; queries must fall back to the inline descent and
+  // still agree everywhere.
+  EXPECT_GE(W.Sums->counters().IncompleteDepth, 1u);
+  expectAgreeEverywhere(W);
+  EXPECT_GT(W.With->summaryStats().Fallbacks, 0u);
+}
+
+TEST(Summaries, DeepStacksFallBackToInlineDescent) {
+  // The recursive return keeps outer()'s temp-return summary incomplete,
+  // so queries descend into outer() inline, pushing a frame. At stack
+  // depth 1 they meet the Return edge from `o`, whose summary IS complete
+  // (rel depth 1, it composes make()) -- but 1 + 1 + 1 exceeds a k-limit
+  // of 2, so the applicability bound must reject the composition and the
+  // saturating inline descent must take over, with identical results.
+  const char *Src = R"(
+    class A { }
+    class Maker { static Object make() { A a = new A(); return a; } }
+    class R {
+      static Object outer(int n) {
+        if (n > 0) { return R.outer(n - 1); }
+        Object o = Maker.make();
+        return o;
+      }
+    }
+    class Main { static void main() { Object z = R.outer(3); } }
+  )";
+  CflOptions Tight;
+  Tight.MaxCallDepth = 2;
+  World W(Src, Tight);
+  const MethodSummary *O = W.Sums->summaryFor(W.nodeOf("outer", "o"));
+  ASSERT_NE(O, nullptr);
+  EXPECT_TRUE(O->Complete);
+  EXPECT_EQ(O->MaxRelDepth, 1u);
+  expectAgreeEverywhere(W);
+  // Both paths fire: composition at stack depth 0 (where 0+1+1 fits) and
+  // rejection at depth 1 inside the inline descent.
+  EXPECT_GT(W.With->summaryStats().Applications, 0u);
+  EXPECT_GT(W.With->summaryStats().Fallbacks, 0u);
+}
+
+TEST(Summaries, ComposedHopsRespectMemoizeOption) {
+  // Summary hop targets resolve through the ordinary runQuery path, so
+  // with the memo cache disabled nothing may be cached or counted -- the
+  // summary table itself is substrate, not a query cache.
+  CflOptions NoMemo;
+  NoMemo.Memoize = false;
+  World Off(LoadSrc, NoMemo);
+  World On(LoadSrc);
+  for (PagNodeId N = 0; N < Off.G->numNodes(); ++N)
+    EXPECT_EQ(canon(*Off.With, Off.With->pointsTo(N)),
+              canon(*On.With, On.With->pointsTo(N)));
+  CflCacheStats C = Off.With->cacheStats();
+  EXPECT_EQ(C.Hits + C.Misses + C.Evictions, 0u);
+  EXPECT_GT(Off.With->summaryStats().Applications, 0u);
+  // With the cache on, the same workload records hits/misses as usual.
+  CflCacheStats D = On.With->cacheStats();
+  EXPECT_GT(D.Misses, 0u);
+}
+
+TEST(Summaries, StatesVisitedAreWarmthIndependentWithSummaries) {
+  // charge-on-hit must keep per-query costs identical between a cold and
+  // a warm solver even when composition replaced inline descents.
+  World W(ChainSrc);
+  std::vector<uint64_t> Cold;
+  for (PagNodeId N = 0; N < W.G->numNodes(); ++N)
+    Cold.push_back(W.With->pointsTo(N).StatesVisited);
+  for (PagNodeId N = 0; N < W.G->numNodes(); ++N)
+    EXPECT_EQ(W.With->pointsTo(N).StatesVisited, Cold[N])
+        << "warm cost differs at " << W.G->nodeName(N);
+}
+
+TEST(Summaries, IncrementalRebuildReusesStableRegions) {
+  World W(ChainSrc);
+  // Same PAG, same solution: every complete summary's region fingerprints
+  // are unchanged, so the rebuild reuses all of them (debug builds also
+  // assert incremental == scratch inside the constructor).
+  Summaries Again(*W.G, *W.Base, CflOptions{}.MaxCallDepth, *W.Sums);
+  EXPECT_EQ(Again.counters().Reused, W.Sums->counters().CompleteCount);
+  EXPECT_EQ(Again.counters().Recomputed,
+            W.Sums->counters().Returns - W.Sums->counters().CompleteCount);
+  // A k-limit change disqualifies the previous table entirely.
+  Summaries Rekeyed(*W.G, *W.Base, 5, *W.Sums);
+  EXPECT_EQ(Rekeyed.counters().Reused, 0u);
+}
+
+TEST(Summaries, RefinementLoopCarriesSummariesIncrementally) {
+  // Virtual dispatch that refinement devirtualizes: the refined substrate
+  // must come with a summary table over its final PAG, and the recorded
+  // statistics must include the summary build.
+  for (unsigned Seed = 100; Seed < 105; ++Seed) {
+    Program P;
+    DiagnosticEngine Diags;
+    ASSERT_TRUE(compileSource(testgen::randomMjProgram(Seed), P, Diags));
+    RefinedSubstrate R = buildRefinedSubstrate(P);
+    ASSERT_NE(R.Sums, nullptr);
+    EXPECT_EQ(R.Statistics.get("summary-returns"),
+              R.Sums->counters().Returns);
+    // The final table composes exactly like a scratch build over the
+    // final PAG (also assert-checked in debug builds).
+    Summaries Fresh(*R.G, *R.Base, CflOptions{}.MaxCallDepth);
+    CflPta A(*R.G, *R.Base, {}, R.Sums.get());
+    CflPta B(*R.G, *R.Base, {}, &Fresh);
+    for (PagNodeId N = 0; N < R.G->numNodes(); ++N)
+      ASSERT_EQ(canon(A, A.pointsTo(N)), canon(B, B.pointsTo(N)))
+          << "seed " << Seed << ": " << R.G->nodeName(N);
+  }
+}
+
+TEST(Summaries, ConcurrentSummarizedQueriesMatchSequential) {
+  // Summary composition adds no mutable state to the query path (the
+  // table is immutable; hops go through the sharded cache), so parallel
+  // summarized queries must agree with the sequential baseline. This is
+  // the TSan job's summary-composition workload.
+  World W(ChainSrc);
+  std::vector<std::string> Sequential;
+  for (PagNodeId N = 0; N < W.G->numNodes(); ++N)
+    Sequential.push_back(canon(*W.With, W.With->pointsTo(N)));
+
+  World Fresh(ChainSrc);
+  unsigned NumThreads = 4;
+  std::vector<std::vector<std::string>> Got(NumThreads);
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (PagNodeId N = 0; N < Fresh.G->numNodes(); ++N)
+        Got[T].push_back(canon(*Fresh.With, Fresh.With->pointsTo(N)));
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  for (unsigned T = 0; T < NumThreads; ++T)
+    for (PagNodeId N = 0; N < Fresh.G->numNodes(); ++N)
+      EXPECT_EQ(Got[T][N], Sequential[N])
+          << "thread " << T << " diverges at " << Fresh.G->nodeName(N);
+}
+
+TEST(Summaries, BuildCountersLandInStats) {
+  World W(ChainSrc);
+  Stats S;
+  W.Sums->recordStats(S);
+  const SummaryCounters &C = W.Sums->counters();
+  EXPECT_EQ(S.get("summary-returns"), C.Returns);
+  EXPECT_EQ(S.get("summary-methods"), C.Methods);
+  EXPECT_EQ(S.get("summary-complete"), C.CompleteCount);
+  EXPECT_EQ(C.CompleteCount + C.IncompleteDepth + C.IncompleteCap,
+            C.Returns);
+  EXPECT_GT(S.get("summary-build-states"), 0u);
+}
+
+TEST(Summaries, RandomProgramsAgreeOnAndOffAcrossCacheConfigs) {
+  // Beyond the 50-seed three-way in AndersenWaveTest: a denser sweep over
+  // cache configurations on a handful of seeds, since composition
+  // interacts with the memo through hop sub-queries. No cost inequality
+  // here -- on arbitrary tangles a composition (1 + hop sub-queries) can
+  // cost marginally more than a Visited-deduped inline subtree; the big
+  // wins are asserted on call-chain shapes and gated in the bench.
+  for (unsigned Seed : {3u, 7u, 11u, 19u}) {
+    std::string Src = testgen::randomMjProgram(Seed);
+    for (bool Memo : {true, false}) {
+      CflOptions Opts;
+      Opts.Memoize = Memo;
+      World W(Src, Opts);
+      expectAgreeEverywhere(W);
+    }
+  }
+}

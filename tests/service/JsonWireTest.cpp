@@ -167,6 +167,21 @@ TEST(RequestJson, OptionValidationSurfacesBuilderErrors) {
   EXPECT_GE(R.Options.jobs(), 1u);
 }
 
+TEST(RequestJson, SummariesOptionKeyReachesTheBuilder) {
+  AnalysisRequest R;
+  RequestSourceRef Ref;
+  std::string Error;
+  ASSERT_TRUE(parseRequest(
+      R"({"source": "x", "loops": "all", "options": {"summaries": false}})",
+      R, Ref, Error))
+      << Error;
+  EXPECT_FALSE(R.Options.leakOptions().Summaries);
+  ASSERT_TRUE(parseRequest(R"({"source": "x", "loops": "all"})", R, Ref,
+                           Error))
+      << Error;
+  EXPECT_TRUE(R.Options.leakOptions().Summaries);
+}
+
 TEST(RequestJson, BatchForms) {
   std::vector<AnalysisRequest> Rs;
   std::vector<RequestSourceRef> Refs;

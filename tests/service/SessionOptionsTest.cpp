@@ -134,8 +134,12 @@ TEST(SessionOptions, FingerprintCoversSubstrateKnobs) {
   auto MoreJobs = SessionOptionsBuilder().jobs(3).build();
   auto NoMemo = SessionOptionsBuilder().jobs(2).cflMemoize(false).build();
   auto Budget = SessionOptionsBuilder().jobs(2).cflNodeBudget(12345).build();
-  ASSERT_TRUE(Base && MoreJobs && NoMemo && Budget);
+  auto NoSums = SessionOptionsBuilder().jobs(2).summaries(false).build();
+  ASSERT_TRUE(Base && MoreJobs && NoMemo && Budget && NoSums);
   EXPECT_NE(Base->substrateFingerprint(), MoreJobs->substrateFingerprint());
   EXPECT_NE(Base->substrateFingerprint(), NoMemo->substrateFingerprint());
   EXPECT_NE(Base->substrateFingerprint(), Budget->substrateFingerprint());
+  // The summary table is built with the substrate, so sessions must not
+  // be shared across the toggle.
+  EXPECT_NE(Base->substrateFingerprint(), NoSums->substrateFingerprint());
 }

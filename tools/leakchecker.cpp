@@ -21,7 +21,7 @@
 //
 // Options: --no-pivot --no-library-rule --threads --destructive-updates
 //          --no-escape-prefilter --context-depth N --list-subjects
-//          --jobs N --no-cfl-memo --no-stats --deadline-ms N
+//          --jobs N --no-cfl-memo --no-summaries --no-stats --deadline-ms N
 //
 // Diagnostics (docs/OBSERVABILITY.md): --explain prints a provenance
 // witness per report, --stats-json FILE writes the versioned run report,
@@ -87,6 +87,9 @@ int usage(const char *Argv0) {
       "  --deadline-ms N        stop the analysis after N ms; loops and\n"
       "                         sites completed by then are still reported\n"
       "  --no-cfl-memo          disable the CFL sub-traversal memo cache\n"
+      "  --no-summaries         disable method-summary composition in CFL\n"
+      "                         queries (reports are identical; states\n"
+      "                         visited grow)\n"
       "  --no-stats             omit the run-statistics summary\n"
       "  --explain              print a provenance witness per report\n"
       "  --stats-json FILE      write the versioned JSON run report\n"
@@ -338,6 +341,8 @@ int runTool(int argc, char **argv, std::string &TraceOut) {
       }
     } else if (A == "--no-cfl-memo") {
       B.cflMemoize(false);
+    } else if (A == "--no-summaries") {
+      B.summaries(false);
     } else if (A == "--no-stats") {
       ShowStats = false;
     } else if (A == "--explain") {
