@@ -6,6 +6,13 @@ answer changes at all.
 Usage: check_regression.py BENCH_scalability.json [baseline.json]
        check_regression.py --andersen BENCH_andersen.json [baseline.json]
 
+With --allocs the scalability run's memory section is gated too: the
+heap-allocation count of the cold single-thread heavy-subject check (an
+exact counter from lc_alloc_hook, immune to timer noise) and the peak
+RSS must each stay within 1.25x of the baseline. Allocation counts are
+the leading indicator the memory-engineering work optimizes for -- a
+regression there shows up long before wall time moves.
+
 With --summaries the scalability run must also carry a summary_ablation
 section proving the method-summary pass earns its keep: at the largest
 sweep size, cfl-states-visited with summaries must be at most 0.7x the
@@ -98,6 +105,7 @@ def main(argv):
     grace_ms = 5.0
     andersen = "--andersen" in argv[1:]
     summaries = "--summaries" in argv[1:]
+    allocs = "--allocs" in argv[1:]
     for a in argv[1:]:
         if a.startswith("--grace-ms="):
             grace_ms = float(a.split("=", 1)[1])
@@ -149,9 +157,40 @@ def main(argv):
           f"single-thread improvement "
           f"{memo.get('single_thread_improvement', 0):.2f}x")
 
+    if allocs:
+        check_allocs(run, base)
     if summaries:
         check_summaries(run)
     return 0
+
+
+def check_allocs(run, base):
+    mem = run.get("memory") or die("--allocs: run has no memory section")
+    ref = base.get("memory") or die(
+        "--allocs: baseline has no memory section (regenerate it from a "
+        "build that links lc_alloc_hook)")
+    if not mem.get("alloc_hook", False):
+        die("--allocs: run counted no allocations (lc_alloc_hook not "
+            "linked into the bench)")
+    if ref.get("alloc_hook", False):
+        n = int(mem["heap_allocs"])
+        base_n = int(ref["heap_allocs"])
+        limit = base_n * 1.25
+        verdict = "OK" if n <= limit else "FAIL"
+        print(f"check_regression: heap allocations {n}, baseline {base_n}, "
+              f"limit {limit:.0f} (1.25x): {verdict}")
+        if n > limit:
+            die(f"heap allocations regressed >25%: {n} vs baseline {base_n}")
+    # Peak RSS is page-granular and process-wide, so give it a small
+    # absolute grace on top of the relative band.
+    rss = int(mem["peak_rss_kb"])
+    base_rss = int(ref["peak_rss_kb"])
+    rss_limit = base_rss * 1.25 + 512
+    verdict = "OK" if rss <= rss_limit else "FAIL"
+    print(f"check_regression: peak RSS {rss} KiB, baseline {base_rss} KiB, "
+          f"limit {rss_limit:.0f} KiB (1.25x + 512): {verdict}")
+    if rss > rss_limit:
+        die(f"peak RSS regressed >25%: {rss} KiB vs baseline {base_rss} KiB")
 
 
 def check_summaries(run):

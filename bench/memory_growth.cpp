@@ -17,6 +17,8 @@
 #include "interp/Interp.h"
 #include "subjects/Subjects.h"
 
+#include "support/MemStats.h"
+
 #include <cstdio>
 #include <map>
 
@@ -25,10 +27,12 @@ using namespace lc::subjects;
 
 int main() {
   std::printf("Dynamic leak growth per subject (Definition 1 oracle)\n\n");
-  std::printf("%-12s %6s %9s %9s %9s %12s\n", "Subject", "iters",
-              "created", "leaking", "leak/iter", "top leaking site");
+  std::printf("%-12s %6s %9s %9s %9s %10s %12s\n", "Subject", "iters",
+              "created", "leaking", "leak/iter", "allocs", "top leaking site");
 
+  uint64_t StartAllocs = lc::mem::heapAllocs();
   for (const Subject &S : all()) {
+    uint64_t AllocsBefore = lc::mem::heapAllocs();
     Program P;
     DiagnosticEngine Diags;
     if (!compileSource(S.Source, P, Diags)) {
@@ -68,14 +72,26 @@ int main() {
                          ? static_cast<double>(D.Objects.size()) /
                                static_cast<double>(R.TrackedIters)
                          : 0.0;
-    std::printf("%-12s %6llu %9zu %9zu %9.2f %s (%u)\n", S.Name.c_str(),
+    std::printf("%-12s %6llu %9zu %9zu %9.2f %10llu %s (%u)\n", S.Name.c_str(),
                 static_cast<unsigned long long>(R.TrackedIters),
                 CreatedInside, D.Objects.size(), PerIter,
+                static_cast<unsigned long long>(lc::mem::heapAllocs() -
+                                                AllocsBefore),
                 Top == kInvalidId ? "-" : P.allocSiteName(Top).c_str(),
                 TopN);
   }
   std::printf("\nEvery subject accrues unnecessary references at a steady "
               "per-iteration rate --\nthe sustained behaviour the static "
               "analysis is designed to catch.\n");
+  if (lc::mem::heapAllocsAvailable())
+    std::printf("\nmemory: %llu heap allocations across all subjects, "
+                "peak RSS %llu KiB\n",
+                static_cast<unsigned long long>(lc::mem::heapAllocs() -
+                                                StartAllocs),
+                static_cast<unsigned long long>(lc::mem::peakRssKb()));
+  else
+    std::printf("\nmemory: allocation counting unavailable "
+                "(lc_alloc_hook not linked), peak RSS %llu KiB\n",
+                static_cast<unsigned long long>(lc::mem::peakRssKb()));
   return 0;
 }

@@ -26,6 +26,9 @@
 
 #include "core/LeakChecker.h"
 
+#include "frontend/Lower.h"
+#include "support/MemStats.h"
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -153,6 +156,7 @@ struct RunSample {
   uint64_t StatesVisited = 0;
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0;
+  uint64_t Queries = 0;
   size_t Reports = 0;
   std::string Report; ///< rendered leak report (ablation byte-diffs)
 };
@@ -180,6 +184,7 @@ RunSample runOnce(const std::string &Src, uint32_t Jobs, bool Memoize,
   S.StatesVisited = R.Statistics.get("cfl-states-visited");
   S.CacheHits = R.Statistics.get("cfl-cache-hits");
   S.CacheMisses = R.Statistics.get("cfl-cache-misses");
+  S.Queries = R.Statistics.get("cfl-queries");
   S.Reports = R.Reports.size();
   S.Report = renderLeakReport(Checker->program(), R);
   return S;
@@ -276,6 +281,52 @@ int main(int argc, char **argv) {
     }
     HeavyMethods = Checker->reachableMethods();
     HeavyStmts = Checker->reachableStmts();
+  }
+
+  // --- (m) memory: heap allocations + peak RSS on the largest size --------
+  // One cold single-thread substrate construction + analysis of the heavy
+  // subject, bracketed by the counting operator new (lc_alloc_hook). The
+  // source is compiled outside the bracket: the gate covers the analysis
+  // layer this repo engineers (PAG, Andersen, summaries, CFL, leak
+  // check), not the string-heavy frontend. The allocation delta is exact;
+  // peak RSS is process-wide at this point (after the size sweep), which
+  // is stable enough for the 25% regression band.
+  uint64_t MemAllocs = 0, MemPeakRssKb = 0, MemQueries = 0;
+  uint64_t MemSubstrateAllocs = 0, MemCheckAllocs = 0;
+  bool AllocHook = lc::mem::heapAllocsAvailable();
+  {
+    auto P = std::make_unique<Program>();
+    DiagnosticEngine MemDiags;
+    if (!compileSource(Heavy, *P, MemDiags)) {
+      std::fprintf(stderr, "compile error:\n%s", MemDiags.str().c_str());
+      return 1;
+    }
+    LeakOptions MemOpts;
+    MemOpts.Jobs = 1;
+    uint64_t Before = lc::mem::heapAllocs();
+    auto Checker = LeakChecker::fromProgram(std::move(P), MemOpts);
+    LoopId Loop = Checker->program().findLoop("hot");
+    MemSubstrateAllocs = lc::mem::heapAllocs() - Before;
+    LeakAnalysisResult R = Checker->check(Loop);
+    MemAllocs = lc::mem::heapAllocs() - Before;
+    MemCheckAllocs = MemAllocs - MemSubstrateAllocs;
+    MemQueries = R.Statistics.get("cfl-queries");
+    MemPeakRssKb = lc::mem::peakRssKb();
+    std::printf("\nScalability (m): memory on the heavy subject "
+                "(single thread, cold substrate)\n");
+    if (AllocHook)
+      std::printf("  heap allocations: %llu  (substrate %llu, check %llu; "
+                  "%.1f per query, %llu queries)\n",
+                  static_cast<unsigned long long>(MemAllocs),
+                  static_cast<unsigned long long>(MemSubstrateAllocs),
+                  static_cast<unsigned long long>(MemCheckAllocs),
+                  MemQueries ? double(MemAllocs) / double(MemQueries) : 0.0,
+                  static_cast<unsigned long long>(MemQueries));
+    else
+      std::printf("  heap allocations: unavailable (lc_alloc_hook not "
+                  "linked)\n");
+    std::printf("  peak RSS: %llu KiB\n",
+                static_cast<unsigned long long>(MemPeakRssKb));
   }
 
   std::printf("\nScalability (b): heavy subject (%u clusters, %zu methods, "
@@ -398,6 +449,15 @@ int main(int argc, char **argv) {
                  I + 1 < SummaryRows.size() ? "," : "");
   }
   std::fprintf(Out, "  ],\n");
+  std::fprintf(Out,
+               "  \"memory\": {\"alloc_hook\": %s, \"heap_allocs\": %llu, "
+               "\"queries\": %llu, \"allocs_per_query\": %.2f, "
+               "\"peak_rss_kb\": %llu},\n",
+               AllocHook ? "true" : "false",
+               static_cast<unsigned long long>(MemAllocs),
+               static_cast<unsigned long long>(MemQueries),
+               MemQueries ? double(MemAllocs) / double(MemQueries) : 0.0,
+               static_cast<unsigned long long>(MemPeakRssKb));
   std::fprintf(Out, "  \"size_sweep\": [\n");
   for (size_t I = 0; I < SizeRows.size(); ++I) {
     const SizeRow &R = SizeRows[I];

@@ -36,26 +36,28 @@ CallGraph::CallGraph(const Program &P, VirtualResolver Resolve)
 
 const std::vector<MethodId> &CallGraph::calleesAt(MethodId Caller,
                                                   StmtIdx Index) const {
-  auto It = Callees.find({Caller, Index});
-  return It == Callees.end() ? Empty : It->second;
+  const std::vector<MethodId> *V =
+      Callees.lookup((uint64_t(Caller) << 32) | Index);
+  return V ? *V : Empty;
 }
 
 const std::vector<CallSite> &CallGraph::callersOf(MethodId Callee) const {
-  auto It = Callers.find(Callee);
-  return It == Callers.end() ? EmptySites : It->second;
+  const std::vector<CallSite> *V = Callers.lookup(Callee);
+  return V ? *V : EmptySites;
 }
 
-std::vector<MethodId> CallGraph::resolveCall(const Program &P,
-                                             MethodId Caller, StmtIdx I,
-                                             const Stmt &S,
-                                             const BitSet &Instantiated) const {
-  std::vector<MethodId> Out;
+void CallGraph::resolveCall(const Program &P, MethodId Caller, StmtIdx I,
+                            const Stmt &S, const BitSet &Instantiated,
+                            std::vector<MethodId> &Out) const {
+  Out.clear();
   if (S.CK == CallKind::Static || S.CK == CallKind::Special) {
     Out.push_back(S.Callee);
-    return Out;
+    return;
   }
-  if (Kind == CallGraphKind::Pta)
-    return Resolver(Caller, I, S.Callee);
+  if (Kind == CallGraphKind::Pta) {
+    Out = Resolver(Caller, I, S.Callee);
+    return;
+  }
   // Virtual: all overrides in subtypes of the declared owner.
   ClassId Owner = P.Methods[S.Callee].Owner;
   for (ClassId C = 0; C < P.Classes.size(); ++C) {
@@ -73,7 +75,6 @@ std::vector<MethodId> CallGraph::resolveCall(const Program &P,
   // instantiated yet (e.g. receiver comes from unanalyzed code).
   if (Out.empty() && Kind == CallGraphKind::Cha)
     Out.push_back(S.Callee);
-  return Out;
 }
 
 void CallGraph::build(const Program &P) {
@@ -92,6 +93,7 @@ void CallGraph::build(const Program &P) {
   // Process methods; when RTA discovers new instantiated classes, re-process
   // methods whose virtual call sites may now have more targets.
   std::vector<MethodId> Processed;
+  std::vector<MethodId> Targets; // resolveCall scratch, reused per invoke
   bool InstantiatedChanged = true;
   while (InstantiatedChanged) {
     InstantiatedChanged = false;
@@ -108,10 +110,13 @@ void CallGraph::build(const Program &P) {
         }
         if (S.Op != Opcode::Invoke)
           continue;
-        std::vector<MethodId> Targets =
-            resolveCall(P, M, I, S, Instantiated);
+        resolveCall(P, M, I, S, Instantiated, Targets);
         CallSite Site{M, I};
-        auto &Slot = Callees[Site];
+        // The slot pointer stays valid across the Callers inserts below
+        // (they touch a different table) but not across another Callees
+        // insert -- there is none until the next iteration's tryEmplace.
+        std::vector<MethodId> &Slot =
+            *Callees.tryEmplace((uint64_t(M) << 32) | I).first;
         for (MethodId T : Targets) {
           if (std::find(Slot.begin(), Slot.end(), T) != Slot.end())
             continue;

@@ -18,9 +18,9 @@
 
 #include "ir/Program.h"
 #include "support/BitSet.h"
+#include "support/FlatMap.h"
 
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 namespace lc {
@@ -87,15 +87,20 @@ public:
 
 private:
   void build(const Program &P);
-  std::vector<MethodId> resolveCall(const Program &P, MethodId Caller,
-                                    StmtIdx I, const Stmt &S,
-                                    const BitSet &Instantiated) const;
+  /// Clears and refills \p Out (the build loop reuses one buffer across
+  /// every invoke it processes).
+  void resolveCall(const Program &P, MethodId Caller, StmtIdx I, const Stmt &S,
+                   const BitSet &Instantiated,
+                   std::vector<MethodId> &Out) const;
 
   CallGraphKind Kind;
   VirtualResolver Resolver; ///< set only for Pta graphs
   BitSet Reachable;
-  std::unordered_map<CallSite, std::vector<MethodId>, CallSiteHash> Callees;
-  std::unordered_map<MethodId, std::vector<CallSite>> Callers;
+  /// Flat tables keyed by (Caller << 32) | Index resp. the callee id.
+  /// Keyed lookups only -- nothing iterates them, so the unsorted table
+  /// order is invisible to clients.
+  FlatMap64<std::vector<MethodId>> Callees;
+  FlatMap64<std::vector<CallSite>> Callers;
   std::vector<MethodId> Empty;
   std::vector<CallSite> EmptySites;
 };

@@ -4,6 +4,9 @@
 
 #include "cfg/Dominators.h"
 #include "escape/EscapeAnalysis.h"
+#include "support/Arena.h"
+#include "support/FlatMap.h"
+#include "support/MemStats.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
 #include "support/Worklist.h"
@@ -79,6 +82,23 @@ private:
     return true;
   }
 
+  /// Records the heap-allocation count of one phase as an Environment
+  /// counter (`mem-allocs-<phase>`) when the counting allocator is linked.
+  /// The per-phase splits are the map for memory tuning; like all
+  /// Environment metrics they never enter the stable report section.
+  struct PhaseAllocs {
+    MetricsRegistry &Stats;
+    const char *Name;
+    uint64_t Before;
+    PhaseAllocs(MetricsRegistry &Stats, const char *Name)
+        : Stats(Stats), Name(Name), Before(mem::heapAllocs()) {}
+    ~PhaseAllocs() {
+      if (mem::heapAllocsAvailable())
+        Stats.addCounter(Name, mem::heapAllocs() - Before,
+                         MetricDet::Environment);
+    }
+  };
+
   void runPhases() {
     // A deadline that expired before the request even started trips here:
     // the outcome carries zero attempted sites on every schedule.
@@ -86,6 +106,7 @@ private:
       return;
     {
       trace::TraceSpan Span("leak.inside-region", "leak");
+      PhaseAllocs A(Result.Statistics, "mem-allocs-inside-region");
       computeInsideRegion();
       Span.arg("sites", Result.NumInsideSites);
     }
@@ -98,10 +119,12 @@ private:
     }
     {
       trace::TraceSpan Span("leak.escape-filter", "leak");
+      PhaseAllocs A(Result.Statistics, "mem-allocs-escape-filter");
       computeEscapeFilter();
     }
     {
       trace::TraceSpan Span("leak.heap-accesses", "leak");
+      PhaseAllocs A(Result.Statistics, "mem-allocs-heap-accesses");
       collectHeapAccesses();
     }
     if (stopped())
@@ -109,6 +132,7 @@ private:
     {
       trace::TraceSpan Span("leak.flows-out", "leak");
       ScopedTimer T2(Result.Statistics, "leak-flows-out");
+      PhaseAllocs A(Result.Statistics, "mem-allocs-flows-out");
       computeFlowsOut();
       Span.arg("sites", FlowsOut.size());
     }
@@ -118,16 +142,19 @@ private:
     // fleet of CFL queries that change no report).
     if (!Result.Partial && !stopped()) {
       trace::TraceSpan Span("leak.cfl-corroborate", "leak");
+      PhaseAllocs A(Result.Statistics, "mem-allocs-cfl-corroborate");
       corroborateWithCfl();
     }
     {
       trace::TraceSpan Span("leak.flows-in", "leak");
       ScopedTimer T2(Result.Statistics, "leak-flows-in");
+      PhaseAllocs A(Result.Statistics, "mem-allocs-flows-in");
       computeFlowsIn();
     }
     {
       trace::TraceSpan Span("leak.match", "leak");
       ScopedTimer T2(Result.Statistics, "leak-match");
+      PhaseAllocs A(Result.Statistics, "mem-allocs-match");
       match();
       Span.arg("reports", Result.Reports.size());
     }
@@ -313,17 +340,32 @@ private:
     PagNodeId Base;  ///< kInvalidId for statics
     PagNodeId Value; ///< stored value / loaded destination
     bool IsStatic;
-    std::vector<StmtIdx> Anchors;
   };
 
-  /// Anchors of a statement of method \p M (body call sites reaching M).
-  std::vector<StmtIdx> anchorsOf(MethodId M, StmtIdx I) {
-    if (inBodyRange(M, I))
-      return {I};
+  /// Borrowed view of an access's anchor indices; aliases either the
+  /// access itself (in-body: the anchor is its own statement index) or
+  /// the per-method cache, so accesses own no anchor storage at all.
+  struct AnchorSpan {
+    const StmtIdx *First;
+    size_t Num;
+    const StmtIdx *begin() const { return First; }
+    const StmtIdx *end() const { return First + Num; }
+  };
+  AnchorSpan anchorsFor(const Access &A) {
+    if (inBodyRange(A.Method, A.Index))
+      return {&A.Index, 1};
+    const std::vector<StmtIdx> &V = methodAnchors(A.Method);
+    return {V.data(), V.size()};
+  }
+
+  /// Anchors of out-of-body statements of \p M: the body call sites whose
+  /// callee closure reaches M. Computed on first use per method; the
+  /// mapped vectors are address-stable (node-based map), which AnchorSpan
+  /// relies on.
+  const std::vector<StmtIdx> &methodAnchors(MethodId M) {
     auto It = MethodAnchors.find(M);
     if (It != MethodAnchors.end())
       return It->second;
-    // Body call sites whose callee closure contains M.
     std::vector<StmtIdx> Out;
     for (StmtIdx B = Loop.BodyBegin; B < Loop.BodyEnd; ++B) {
       const Stmt &S = P.Methods[Loop.Method].Body[B];
@@ -336,8 +378,7 @@ private:
         }
       }
     }
-    MethodAnchors[M] = Out;
-    return Out;
+    return MethodAnchors.emplace(M, std::move(Out)).first->second;
   }
 
   bool calleeClosureContains(MethodId From, MethodId Target) {
@@ -376,40 +417,48 @@ private:
         switch (S.Op) {
         case Opcode::Store:
           Stores.push_back({M, I, S.Field, G.localNode(M, S.SrcA),
-                            G.localNode(M, S.SrcB), false, anchorsOf(M, I)});
+                            G.localNode(M, S.SrcB), false});
           break;
         case Opcode::ArrayStore:
           Stores.push_back({M, I, P.ElemField, G.localNode(M, S.SrcA),
-                            G.localNode(M, S.SrcC), false, anchorsOf(M, I)});
+                            G.localNode(M, S.SrcC), false});
           break;
         case Opcode::StaticStore:
-          Stores.push_back({M, I, S.Field, kInvalidId,
-                            G.localNode(M, S.SrcB), true, anchorsOf(M, I)});
+          Stores.push_back(
+              {M, I, S.Field, kInvalidId, G.localNode(M, S.SrcB), true});
           break;
         case Opcode::Load:
           Loads.push_back({M, I, S.Field, G.localNode(M, S.SrcA),
-                           G.localNode(M, S.Dst), false, anchorsOf(M, I)});
+                           G.localNode(M, S.Dst), false});
           break;
         case Opcode::ArrayLoad:
           Loads.push_back({M, I, P.ElemField, G.localNode(M, S.SrcA),
-                           G.localNode(M, S.Dst), false, anchorsOf(M, I)});
+                           G.localNode(M, S.Dst), false});
           break;
         case Opcode::StaticLoad:
-          Loads.push_back({M, I, S.Field, kInvalidId, G.localNode(M, S.Dst),
-                           true, anchorsOf(M, I)});
+          Loads.push_back(
+              {M, I, S.Field, kInvalidId, G.localNode(M, S.Dst), true});
           break;
         default:
           break;
         }
       }
     };
-    // Only accesses executing inside an iteration matter.
-    for (StmtIdx I = Loop.BodyBegin; I < Loop.BodyEnd; ++I)
-      ; // body statements come via Consider(Loop.Method) filtered below
-    std::set<MethodId> Methods(InsideMethods.begin(), InsideMethods.end());
-    Methods.insert(Loop.Method);
-    for (MethodId M : Methods)
+    // Only accesses executing inside an iteration matter. Visit the loop
+    // method merged into the (sorted) inside set at its ordered position,
+    // without materializing the union.
+    bool SawLoopMethod = false;
+    for (MethodId M : InsideMethods) {
+      if (!SawLoopMethod && Loop.Method < M) {
+        Consider(Loop.Method);
+        SawLoopMethod = true;
+      }
       Consider(M);
+      if (M == Loop.Method)
+        SawLoopMethod = true;
+    }
+    if (!SawLoopMethod)
+      Consider(Loop.Method);
     // Drop accesses of the loop method outside the body range.
     auto Filter = [&](std::vector<Access> &V) {
       V.erase(std::remove_if(V.begin(), V.end(),
@@ -561,12 +610,14 @@ private:
     if (!Opts.CflCorroborate)
       return;
     ScopedTimer T(Result.Statistics, "cfl-corroboration");
-    std::set<PagNodeId> NodeSet;
+    std::vector<PagNodeId> Nodes;
+    Nodes.reserve(Stores.size() + Loads.size());
     for (const Access &A : Stores)
-      NodeSet.insert(A.Value);
+      Nodes.push_back(A.Value);
     for (const Access &A : Loads)
-      NodeSet.insert(A.Value);
-    std::vector<PagNodeId> Nodes(NodeSet.begin(), NodeSet.end());
+      Nodes.push_back(A.Value);
+    std::sort(Nodes.begin(), Nodes.end());
+    Nodes.erase(std::unique(Nodes.begin(), Nodes.end()), Nodes.end());
 
     std::vector<CflQueryOut> Out(Nodes.size());
     CflCacheStats CacheBefore = Cfl.cacheStats();
@@ -575,16 +626,23 @@ private:
       // Cancel-aware: an asynchronous cancel() mid-fan-out makes each
       // in-flight query bail to its Andersen fallback (stats-only pass,
       // reports never depend on it).
-      CflResult R = Cfl.pointsTo(Nodes[I], &Opts.Cancel);
+      // Sites-only projection: corroboration never reads contexts (report
+      // contexts come from the call-graph walk), so skip copying them.
+      // The result scratch is thread-local so the sites buffer's capacity
+      // is reused across the whole fan-out: queries past the first few
+      // allocate nothing here.
+      static thread_local CflSitesResult R;
+      Cfl.pointsToSites(Nodes[I], &Opts.Cancel, R);
       Out[I].States = R.StatesVisited;
       Out[I].FellBack = R.FellBack;
       if (R.FellBack)
         return; // fallback answers are the Andersen set; nothing refuted
-      std::set<AllocSiteId> Refined;
-      for (const CtxObject &O : R.Objects)
-        Refined.insert(O.Site);
+      // Membership by sorted scan instead of a per-query hash set; the
+      // sites' order is irrelevant once the query returned.
+      std::sort(R.Sites.begin(), R.Sites.end());
       Base.pointsTo(Nodes[I]).forEach([&](size_t S) {
-        if (!Refined.count(static_cast<AllocSiteId>(S)))
+        if (!std::binary_search(R.Sites.begin(), R.Sites.end(),
+                                static_cast<AllocSiteId>(S)))
           ++Out[I].Refuted;
       });
     });
@@ -614,6 +672,11 @@ private:
     Result.Statistics.addCounter("cfl-cache-evictions",
                                  CacheAfter.Evictions - CacheBefore.Evictions,
                                  MetricDet::Environment);
+    // Slab entries materialized by this pass: the memory-engineering
+    // regression signal (warm repeats must add zero).
+    Result.Statistics.addCounter("cfl-memo-entries",
+                                 CacheAfter.Entries - CacheBefore.Entries,
+                                 MetricDet::Environment);
     // Summary composition splits are likewise warmth-dependent: a memoized
     // sub-traversal never reaches its Return edges, so how many descents a
     // summary answered varies with cache state even though results don't.
@@ -629,41 +692,43 @@ private:
   // --- Step 5: flows-in -----------------------------------------------------
 
   /// Library rule: the value loaded at \p A must reach application code.
-  /// Safe to call from pool workers: the memo cache is mutex-guarded and
-  /// the BFS reads only immutable substrate (racing threads may compute
-  /// the same pure answer twice, never a different one).
+  /// A lookup into the AppReach table -- safe from pool workers, which
+  /// only read it (buildAppReach ran before the pool fanned out).
   bool reachesApplication(const Access &A) {
     if (!Opts.LibraryRule || !P.isLibraryMethod(A.Method))
       return true;
-    {
-      std::lock_guard<std::mutex> L(AppReachMutex);
-      auto It = AppReachCache.find(A.Value);
-      if (It != AppReachCache.end())
-        return It->second;
-    }
-    // Forward BFS over copy edges from the loaded value.
-    std::unordered_set<PagNodeId> Seen{A.Value};
-    std::vector<PagNodeId> Stack{A.Value};
-    bool Found = false;
-    while (!Stack.empty() && !Found) {
-      PagNodeId N = Stack.back();
-      Stack.pop_back();
-      for (uint32_t Id : G.copiesOut(N)) {
+    return AppReach[A.Value] != 0;
+  }
+
+  /// One backward sweep replacing a per-load forward BFS: AppReach[N] is
+  /// set iff some copy edge on N's forward closure targets an application
+  /// local -- exactly what the old BFS from each loaded value decided,
+  /// computed for every node at once with O(1) allocations.
+  void buildAppReach() {
+    AppReach.assign(G.numNodes(), 0);
+    std::vector<PagNodeId> Work;
+    auto MarkPreds = [&](PagNodeId D) {
+      for (uint32_t Id : G.copiesIn(D)) {
         const CopyEdge &E = G.copyEdges()[Id];
-        MethodId DstMethod = methodOfNode(E.Dst);
-        if (DstMethod != kInvalidId && !P.isLibraryMethod(DstMethod)) {
-          Found = true;
-          break;
+        if (!AppReach[E.Src]) {
+          AppReach[E.Src] = 1;
+          Work.push_back(E.Src);
         }
-        if (Seen.insert(E.Dst).second)
-          Stack.push_back(E.Dst);
       }
+    };
+    // Seed: predecessors of application locals reach application code.
+    for (MethodId M = 0; M < P.Methods.size(); ++M) {
+      if (P.isLibraryMethod(M))
+        continue;
+      PagNodeId BaseId = G.localNode(M, 0);
+      for (size_t L = 0; L < P.Methods[M].Locals.size(); ++L)
+        MarkPreds(BaseId + static_cast<PagNodeId>(L));
     }
-    {
-      std::lock_guard<std::mutex> L(AppReachMutex);
-      AppReachCache[A.Value] = Found;
+    while (!Work.empty()) {
+      PagNodeId N = Work.back();
+      Work.pop_back();
+      MarkPreds(N);
     }
-    return Found;
   }
 
   MethodId methodOfNode(PagNodeId N) const {
@@ -700,8 +765,8 @@ private:
             Base.pointsTo(Other.Base));
       if (!SameSlot)
         continue;
-      for (StmtIdx A2 : Other.Anchors)
-        for (StmtIdx A : ST.Anchors)
+      for (StmtIdx A2 : anchorsFor(Other))
+        for (StmtIdx A : anchorsFor(ST))
           if (A2 > A)
             return true;
     }
@@ -719,8 +784,8 @@ private:
     if (Store.Field == P.ElemField)
       return true; // accumulating slot
     bool OrderOk = false;
-    for (StmtIdx LA : Load.Anchors)
-      for (StmtIdx SA : Store.Anchors)
+    for (StmtIdx LA : anchorsFor(Load))
+      for (StmtIdx SA : anchorsFor(Store))
         OrderOk |= LA <= SA;
     if (!OrderOk)
       return false;
@@ -737,9 +802,11 @@ private:
     // that value hands it to application code.
     //
     // Phase A (parallel): per-load facts that are expensive or consumed
-    // repeatedly by the closure below -- the library-rule admission BFS
+    // repeatedly by the closure below -- the library-rule admission check
     // and the inside sites the loaded value may hold. Each worker writes
     // only its own indexed slot.
+    if (Opts.LibraryRule)
+      buildAppReach();
     std::vector<char> Admit(Loads.size());
     std::vector<std::vector<AllocSiteId>> InsideVals(Loads.size());
     Pool->parallelFor(Loads.size(), [&](size_t I) {
@@ -764,7 +831,10 @@ private:
       const Access &A = Loads[LoadIdx];
       for (AllocSiteId V : InsideVals[LoadIdx]) {
         if (Admit[LoadIdx])
-          FlowsInSet[{F, B}].insert({V, &A});
+          FlowsInSet
+              .try_emplace({F, B}, std::less<FlowsInVal>{},
+                           ArenaAllocator<FlowsInVal>{FlowsMem})
+              .first->second.insert({V, &A});
         Work.push_back({V, F, B});
       }
     };
@@ -895,7 +965,7 @@ private:
     if (!inBodyRange(Single->Method, Single->Index) &&
         !unconditionalInMethod(Single->Method, Single->Index))
       return false;
-    for (StmtIdx A : Single->Anchors)
+    for (StmtIdx A : anchorsFor(*Single))
       if (unconditionalInLoop(A))
         return true;
     return false;
@@ -940,13 +1010,12 @@ private:
           ++W.FlowsInOrderRejected;
       }
     }
-    auto CIt = CflByNode.find(E.Source->Value);
-    if (CIt != CflByNode.end()) {
+    if (const CflQueryOut *Q = CflByNode.lookup(E.Source->Value)) {
       W.CflCorroborated = true;
-      W.CflStatesVisited = CIt->second.States;
+      W.CflStatesVisited = Q->States;
       W.CflNodeBudget = Opts.Cfl.NodeBudget;
-      W.CflFellBack = CIt->second.FellBack;
-      W.CflRefutedSites = CIt->second.Refuted;
+      W.CflFellBack = Q->FellBack;
+      W.CflRefutedSites = Q->Refuted;
     }
     return W;
   }
@@ -1120,16 +1189,32 @@ private:
   /// visited (witness path reconstruction).
   std::map<AllocSiteId, std::map<AllocSiteId, const SiteEdge *>> ParentEdges;
   /// Per flows-out/flows-in endpoint: the corroboration query's outcome.
-  std::map<PagNodeId, CflQueryOut> CflByNode;
+  /// Keyed lookups only (witness embedding), never iterated -- safe as a
+  /// flat map despite its unsorted table order.
+  FlatMap64<CflQueryOut> CflByNode;
+  /// Backing store for the flows-in fact tables: one node per admitted
+  /// (value, load) pair adds up to thousands of tree nodes on container
+  /// substrates, all with identical lifetime (built by computeFlowsIn,
+  /// read by match, freed with the analysis). Declared before FlowsInSet
+  /// so the arena outlives the containers drawing from it.
+  Arena FlowsMem;
   /// (field, outside) -> set of (inside value site, witnessing load).
-  std::map<std::pair<FieldId, AllocSiteId>,
-           std::set<std::pair<AllocSiteId, const Access *>>>
-      FlowsInSet;
+  using FlowsInVal = std::pair<AllocSiteId, const Access *>;
+  using FlowsInValSet =
+      std::set<FlowsInVal, std::less<FlowsInVal>, ArenaAllocator<FlowsInVal>>;
+  using FlowsInKey = std::pair<FieldId, AllocSiteId>;
+  std::map<FlowsInKey, FlowsInValSet, std::less<FlowsInKey>,
+           ArenaAllocator<std::pair<const FlowsInKey, FlowsInValSet>>>
+      FlowsInSet{std::less<FlowsInKey>{},
+                 ArenaAllocator<std::pair<const FlowsInKey, FlowsInValSet>>{
+                     FlowsMem}};
 
   std::unordered_map<MethodId, std::vector<StmtIdx>> MethodAnchors;
   std::unordered_map<MethodId, std::set<MethodId>> ClosureCache;
-  std::mutex AppReachMutex; ///< guards AppReachCache under the pool
-  std::unordered_map<PagNodeId, bool> AppReachCache;
+  /// Per node: does its copy-edge closure hand a value to application
+  /// code? Built by one backward sweep (buildAppReach) before the flows-in
+  /// phase; read lock-free by the pool workers.
+  std::vector<uint8_t> AppReach;
   std::unordered_map<MethodId,
                      std::pair<std::unique_ptr<Cfg>,
                                std::unique_ptr<DominatorTree>>>

@@ -123,12 +123,16 @@ void AndersenPta::recordStats(MetricsRegistry &S) const {
     S.addCounter("andersen-affected-vars", C.AffectedVars);
     S.addCounter("andersen-reused-vars", C.ReusedVars);
   }
+  // Environment-class memory gauges: chunk counts and byte usage depend
+  // on growth history (incremental vs scratch), never on the answer.
+  if (SolveArena)
+    SolveArena->recordStats(S, "andersen");
 }
 
 const BitSet &AndersenPta::fieldPointsTo(AllocSiteId Site,
                                          FieldId Field) const {
-  auto It = SlotOf.find(slotKey(Site, Field));
-  return It == SlotOf.end() ? EmptySet : Pts[Rep[It->second]];
+  const uint32_t *N = SlotOf.lookup(slotKey(Site, Field));
+  return N ? Pts[Rep[*N]] : EmptySet;
 }
 
 uint32_t AndersenPta::find(uint32_t N) {
@@ -160,21 +164,21 @@ void AndersenPta::unite(uint32_t A, uint32_t B) {
 }
 
 uint32_t AndersenPta::slotNode(AllocSiteId Site, FieldId Field) {
-  auto [It, New] =
-      SlotOf.try_emplace(slotKey(Site, Field),
-                         static_cast<uint32_t>(Parent.size()));
+  auto [Node, New] =
+      SlotOf.tryEmplace(slotKey(Site, Field),
+                        static_cast<uint32_t>(Parent.size()));
+  uint32_t N = *Node; // read before anything can rehash the map
   if (New) {
-    uint32_t N = It->second;
     Parent.push_back(N);
     // Fresh slots rank after everything currently ordered; the next
     // collapse pass gives them a real topological position.
     RankOf.push_back(static_cast<uint32_t>(RankOf.size()));
-    Pts.emplace_back();
-    Delta.emplace_back();
-    Succ.emplace_back();
-    Members.emplace_back();
+    Pts.emplace_back(SolveArena.get());
+    Delta.emplace_back(SolveArena.get());
+    Succ.emplace_back(ArenaAllocator<uint32_t>(*SolveArena));
+    Members.emplace_back(ArenaAllocator<uint32_t>(*SolveArena));
   }
-  return It->second;
+  return N;
 }
 
 void AndersenPta::pushNode(uint32_t N) { W->WL.push(N, RankOf[N]); }
@@ -184,7 +188,7 @@ void AndersenPta::addEdge(uint32_t Src, uint32_t Dst,
   uint32_t A = find(Src), B = find(Dst);
   if (A == B)
     return; // intra-SCC or self copy: nothing to propagate
-  if (!EdgeSeen.insert((uint64_t(A) << 32) | B).second)
+  if (!EdgeSeen.insert((uint64_t(A) << 32) | B))
     return;
   Succ[A].push_back(B);
   // Seed the new edge with everything the source already holds; later
@@ -209,32 +213,53 @@ void AndersenPta::collapseAndRank() {
   size_t N = Parent.size();
   size_t NumVars = G.numNodes();
 
-  // Materialize the representatives' adjacency for this pass. Collapse
-  // passes are rare (once offline per scratch solve, then only when
-  // redundant pushes accumulate), so an O(E) rebuild here is cheaper than
-  // maintaining a solver-side copy of the static subgraph at all times.
-  std::vector<std::vector<uint32_t>> Adj(N);
+  // Materialize the representatives' adjacency for this pass, in CSR form
+  // (count, prefix-sum, fill: three flat arrays instead of an inner vector
+  // per node). Collapse passes are rare (once offline per scratch solve,
+  // then only when redundant pushes accumulate), so an O(E) rebuild here
+  // is cheaper than maintaining a solver-side copy of the static subgraph
+  // at all times.
+  std::vector<uint32_t> AdjOff(N + 1, 0);
+  auto StaticDegree = [&](uint32_t M) -> size_t {
+    return M < NumVars ? G.copiesOut(M).size() : 0;
+  };
   for (uint32_t V = 0; V < N; ++V) {
     if (find(V) != V)
       continue;
-    std::vector<uint32_t> &A = Adj[V];
-    for (uint32_t S0 : Succ[V])
-      A.push_back(find(S0));
-    auto AddStatic = [&](uint32_t M) {
-      if (M >= NumVars)
-        return; // slots have no static copy rows
-      for (uint32_t Id : G.copiesOut(M))
-        A.push_back(find(G.copyEdges()[Id].Dst));
-    };
-    AddStatic(V);
+    size_t D = Succ[V].size() + StaticDegree(V);
     for (uint32_t M : Members[V])
-      AddStatic(M);
+      D += StaticDegree(M);
+    AdjOff[V + 1] = static_cast<uint32_t>(D);
+  }
+  for (uint32_t V = 0; V < N; ++V)
+    AdjOff[V + 1] += AdjOff[V];
+  std::vector<uint32_t> AdjDat(AdjOff[N]);
+  {
+    std::vector<uint32_t> Fill(AdjOff.begin(), AdjOff.end() - 1);
+    for (uint32_t V = 0; V < N; ++V) {
+      if (find(V) != V)
+        continue;
+      for (uint32_t S0 : Succ[V])
+        AdjDat[Fill[V]++] = find(S0);
+      auto AddStatic = [&](uint32_t M) {
+        if (M >= NumVars)
+          return; // slots have no static copy rows
+        for (uint32_t Id : G.copiesOut(M))
+          AdjDat[Fill[V]++] = find(G.copyEdges()[Id].Dst);
+      };
+      AddStatic(V);
+      for (uint32_t M : Members[V])
+        AddStatic(M);
+    }
   }
 
   std::vector<uint32_t> Index(N, 0), Low(N, 0);
   std::vector<uint8_t> OnStack(N, 0);
   std::vector<uint32_t> Stack;
-  std::vector<std::vector<uint32_t>> Sccs;
+  // SCCs in emission order, flattened: the i-th SCC's members are
+  // SccFlat[SccStart[i] .. SccStart[i+1]) in Tarjan pop order (component
+  // root last). Two flat arrays instead of a vector per component.
+  std::vector<uint32_t> SccFlat, SccStart;
   uint32_t NextIdx = 1;
 
   struct Frame {
@@ -253,8 +278,8 @@ void AndersenPta::collapseAndRank() {
     while (!Dfs.empty()) {
       Frame &F = Dfs.back();
       uint32_t V = F.Node;
-      if (F.EdgeIx < Adj[V].size()) {
-        uint32_t Wn = Adj[V][F.EdgeIx++];
+      if (AdjOff[V] + F.EdgeIx < AdjOff[V + 1]) {
+        uint32_t Wn = AdjDat[AdjOff[V] + F.EdgeIx++];
         if (Wn == V)
           continue;
         if (!Index[Wn]) {
@@ -270,12 +295,12 @@ void AndersenPta::collapseAndRank() {
         if (!Dfs.empty())
           Low[Dfs.back().Node] = std::min(Low[Dfs.back().Node], Low[V]);
         if (Low[V] == Index[V]) {
-          Sccs.emplace_back();
+          SccStart.push_back(static_cast<uint32_t>(SccFlat.size()));
           while (true) {
             uint32_t Wn = Stack.back();
             Stack.pop_back();
             OnStack[Wn] = 0;
-            Sccs.back().push_back(Wn);
+            SccFlat.push_back(Wn);
             if (Wn == V)
               break;
           }
@@ -284,21 +309,23 @@ void AndersenPta::collapseAndRank() {
     }
   }
 
-  for (const std::vector<uint32_t> &Scc : Sccs) {
-    if (Scc.size() < 2)
+  uint32_t Total = static_cast<uint32_t>(SccStart.size());
+  SccStart.push_back(static_cast<uint32_t>(SccFlat.size()));
+  for (uint32_t I = 0; I < Total; ++I) {
+    uint32_t Lo = SccStart[I], Hi = SccStart[I + 1];
+    if (Hi - Lo < 2)
       continue;
     ++C.SccsCollapsed;
-    C.SccNodesMerged += Scc.size() - 1;
-    uint32_t R = *std::min_element(Scc.begin(), Scc.end());
-    for (uint32_t M : Scc)
-      unite(R, M);
+    C.SccNodesMerged += (Hi - Lo) - 1;
+    uint32_t R = *std::min_element(SccFlat.begin() + Lo, SccFlat.begin() + Hi);
+    for (uint32_t J = Lo; J < Hi; ++J)
+      unite(R, SccFlat[J]);
   }
 
   // Tarjan emits an SCC only after all its successors: emission index i
   // counts up from the sinks, so rank = |Sccs| - i orders sources first.
-  uint32_t Total = static_cast<uint32_t>(Sccs.size());
   for (uint32_t I = 0; I < Total; ++I)
-    RankOf[find(Sccs[I][0])] = Total - I;
+    RankOf[find(SccFlat[SccStart[I]])] = Total - I;
 
   // Merged deltas must stay schedulable: re-enqueue every representative
   // with pending work (push() dedups, stale heap entries remap on pop).
@@ -318,14 +345,19 @@ void AndersenPta::solve(AndersenPta *Prev) {
   if (Prev) {
     seedFromPrevious(*Prev);
   } else {
+    SolveArena = std::make_unique<Arena>();
     Parent.resize(NumVars);
     for (uint32_t V = 0; V < NumVars; ++V)
       Parent[V] = V;
     RankOf.assign(NumVars, 0);
     Pts.resize(NumVars);
     Delta.resize(NumVars);
-    Succ.resize(NumVars);
-    Members.resize(NumVars);
+    Succ.resize(NumVars, AdjVec(ArenaAllocator<uint32_t>(*SolveArena)));
+    Members.resize(NumVars, AdjVec(ArenaAllocator<uint32_t>(*SolveArena)));
+    for (uint32_t V = 0; V < NumVars; ++V) {
+      Pts[V].setArena(SolveArena.get());
+      Delta[V].setArena(SolveArena.get());
+    }
     // Offline Tarjan over the static copy rows: collapse cycles and rank
     // the condensation before any propagation happens. An incremental
     // solve skips this -- edge removal never creates a cycle, so it
@@ -371,14 +403,17 @@ void AndersenPta::solve(AndersenPta *Prev) {
   // slot edges must be materialized here. Subset seeds are word-level
   // no-ops for the untouched part of the graph.
   if (Prev) {
+    // One reused copy buffer: slotNode may reallocate Pts mid-walk, so the
+    // base set is copied out first; copy-assignment reuses its words.
+    BitSet BasePts;
     for (const StoreEdge &E : G.storeEdges()) {
       bool OldEdge = !contains(
           AddedStoreKeys, std::array<uint32_t, 3>{E.Base, E.Val, E.Field});
-      BitSet BasePts = Pts[find(E.Base)]; // copy: slotNode may reallocate
+      BasePts = Pts[find(E.Base)];
       BasePts.forEach([&](size_t O) {
         uint64_t Key = (uint64_t(O) << 32) | E.Field;
         bool Satisfied = OldEdge && !AffVar[E.Base] && !AffVar[E.Val] &&
-                         !AffSlot.count(Key);
+                         !AffSlot.contains(Key);
         addEdge(E.Val, slotNode(static_cast<AllocSiteId>(O), E.Field),
                 Satisfied);
       });
@@ -386,11 +421,11 @@ void AndersenPta::solve(AndersenPta *Prev) {
     for (const LoadEdge &E : G.loadEdges()) {
       bool OldEdge = !contains(
           AddedLoadKeys, std::array<uint32_t, 3>{E.Base, E.Dst, E.Field});
-      BitSet BasePts = Pts[find(E.Base)];
+      BasePts = Pts[find(E.Base)];
       BasePts.forEach([&](size_t O) {
         uint64_t Key = (uint64_t(O) << 32) | E.Field;
         bool Satisfied = OldEdge && !AffVar[E.Base] && !AffVar[E.Dst] &&
-                         !AffSlot.count(Key);
+                         !AffSlot.contains(Key);
         addEdge(slotNode(static_cast<AllocSiteId>(O), E.Field), E.Dst,
                 Satisfied);
       });
@@ -401,15 +436,19 @@ void AndersenPta::solve(AndersenPta *Prev) {
   // slot edges for base deltas; push copy deltas (dynamic Succ edges plus
   // every member's static CSR row); collapse online when redundant pushes
   // pile up (lazy cycle detection).
-  BitSet NewBits;
+  // Loop-lifetime scratch sets, arena-backed: the swap hands Delta[N]'s
+  // words to In and In's (cleared) words back to Delta[N], so the drain
+  // loop allocates nothing once the buffers have grown.
+  BitSet NewBits(SolveArena.get());
+  BitSet In(SolveArena.get());
   uint64_t Redundant = 0;
   uint64_t Threshold = 256 + NumVars / 4;
   while (!WS.WL.empty()) {
     uint32_t N = find(WS.WL.pop());
     if (Delta[N].empty())
       continue; // stale entry (merged or already drained)
-    BitSet In = std::move(Delta[N]);
-    Delta[N] = BitSet();
+    std::swap(In, Delta[N]);
+    Delta[N].clear();
     if (!Pts[N].unionWithDelta(In, NewBits))
       continue;
     ++C.Iterations;
@@ -504,6 +543,10 @@ void AndersenPta::seedFromPrevious(AndersenPta &Prev) {
   // Slot ids are stable across rounds (the slot table moves with the
   // sets), so this solve keeps Prev's solver-node space -- PAG nodes in
   // [0, NumVars), then Prev's slots, then anything newly materialized.
+  // The arena moves first: the stolen sets' word arrays live inside it.
+  SolveArena = std::move(Prev.SolveArena);
+  if (!SolveArena)
+    SolveArena = std::make_unique<Arena>();
   Pts = std::move(Prev.Pts);
   SlotOf = std::move(Prev.SlotOf);
   RankOf = std::move(Prev.RankOf);
@@ -520,8 +563,10 @@ void AndersenPta::seedFromPrevious(AndersenPta &Prev) {
   for (uint32_t V = 0; V < S; ++V)
     Parent[V] = V;
   Delta.resize(S);
-  Succ.resize(S);
-  Members.resize(S);
+  for (uint32_t V = 0; V < S; ++V)
+    Delta[V].setArena(SolveArena.get());
+  Succ.resize(S, AdjVec(ArenaAllocator<uint32_t>(*SolveArena)));
+  Members.resize(S, AdjVec(ArenaAllocator<uint32_t>(*SolveArena)));
 
   // --- Diff the edge sets; collect the removal roots. -------------------
   // Only this PAG's keys need sorting; Prev's were sorted when it solved.
@@ -560,7 +605,7 @@ void AndersenPta::seedFromPrevious(AndersenPta &Prev) {
     }
   };
   auto MarkS = [&](uint64_t K) {
-    if (AffSlot.insert(K).second)
+    if (AffSlot.insert(K))
       SlotW.push_back(K);
   };
   for (uint32_t V : VarRoots)
@@ -608,9 +653,10 @@ void AndersenPta::seedFromPrevious(AndersenPta &Prev) {
     }
   }
   C.ReusedVars = NumVars - C.AffectedVars;
-  for (const auto &[Key, Node] : SlotOf)
-    if (AffSlot.count(Key))
+  SlotOf.forEach([&](uint64_t Key, uint32_t Node) {
+    if (AffSlot.contains(Key))
       Pts[Node] = BitSet();
+  });
 
   // --- Re-apply the previous merges outside the cone. -------------------
   // Sound because the cone swallows whole groups: the closure follows
@@ -623,11 +669,10 @@ void AndersenPta::seedFromPrevious(AndersenPta &Prev) {
   for (uint32_t V = 0; V < NumVars; ++V)
     if (AffVar[V])
       GroupAff[OldRep[V]] = 1;
-  for (uint64_t K : AffSlot) {
-    auto It = SlotOf.find(K);
-    if (It != SlotOf.end())
-      GroupAff[OldRep[It->second]] = 1;
-  }
+  AffSlot.forEach([&](uint64_t K) {
+    if (const uint32_t *Node = SlotOf.lookup(K))
+      GroupAff[OldRep[*Node]] = 1;
+  });
 #ifndef NDEBUG
   for (uint32_t V = 0; V < NumVars; ++V)
     assert((AffVar[V] || !GroupAff[OldRep[V]]) &&
@@ -649,13 +694,14 @@ void AndersenPta::verifyAgainstScratch() const {
     assert(pointsTo(N) == Scratch.pointsTo(N) &&
            "incremental fixed point diverged from scratch (variables)");
   auto CheckSlots = [](const AndersenPta &X, const AndersenPta &Y) {
-    for (const auto &[Key, Node] : X.SlotOf) {
-      (void)Node;
+    X.SlotOf.forEach([&](uint64_t Key, const uint32_t &) {
       AllocSiteId S = static_cast<AllocSiteId>(Key >> 32);
       FieldId F = static_cast<FieldId>(Key & 0xffffffffu);
       assert(X.fieldPointsTo(S, F) == Y.fieldPointsTo(S, F) &&
              "incremental fixed point diverged from scratch (slots)");
-    }
+      (void)S;
+      (void)F;
+    });
   };
   CheckSlots(*this, Scratch);
   CheckSlots(Scratch, *this);

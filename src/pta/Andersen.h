@@ -37,11 +37,12 @@
 #define LC_PTA_ANDERSEN_H
 
 #include "pta/Pag.h"
+#include "support/Arena.h"
 #include "support/BitSet.h"
+#include "support/FlatMap.h"
 
 #include <array>
-#include <unordered_map>
-#include <unordered_set>
+#include <memory>
 
 namespace lc {
 
@@ -128,21 +129,32 @@ private:
   std::vector<uint32_t> RankOf; ///< wave rank (topo order of condensation)
   std::vector<BitSet> Pts;      ///< per-representative points-to set
   std::vector<BitSet> Delta;    ///< pending difference, disjoint from Pts
+  /// Adjacency rows draw from SolveArena: they live only while solving
+  /// (cleared in finalization) and the arena outlives every solve,
+  /// including incremental steals. Rows that grow abandon their old
+  /// storage inside the arena -- reclaimed in bulk with the solver.
+  using AdjVec = std::vector<uint32_t, ArenaAllocator<uint32_t>>;
   /// Dynamically materialized copy successors (store/load resolution).
   /// Static copy edges are never duplicated here -- the solver walks the
   /// PAG's CopyOut CSR through the union-find instead.
-  std::vector<std::vector<uint32_t>> Succ;
+  std::vector<AdjVec> Succ;
   /// Nodes absorbed into this representative (empty for singleton groups);
   /// lets the solver walk every member's static PAG rows on a rep's pop.
-  std::vector<std::vector<uint32_t>> Members;
-  std::unordered_set<uint64_t> EdgeSeen; ///< dedup for materialized edges
-  std::unordered_map<uint64_t, uint32_t> SlotOf; ///< slot key -> solver node
+  std::vector<AdjVec> Members;
+  FlatSet64 EdgeSeen;            ///< dedup for materialized edges
+  FlatMap64<uint32_t> SlotOf;    ///< slot key -> solver node
 
   /// Final, fully path-compressed representative of every solver node;
   /// what the accessors go through once solving is done.
   std::vector<uint32_t> Rep;
   BitSet EmptySet;
   AndersenCounters C;
+
+  /// Backing store for every points-to/delta word array that outgrows the
+  /// BitSet inline words. Owned behind a unique_ptr so the arena's address
+  /// is stable when an incremental re-solve steals the previous solver's
+  /// sets (whose words point into it); reclaimed in bulk with the solver.
+  std::unique_ptr<Arena> SolveArena;
 
   /// Sorted edge keys of this solve's PAG, built once in finalization and
   /// kept: the next refinement round steals them (along with the sets) so
@@ -160,7 +172,7 @@ private:
   // solution was reset; the sorted Added*Keys vectors are the edges new
   // in this round's PAG, whose seeding can never be skipped.
   std::vector<uint8_t> AffVar;
-  std::unordered_set<uint64_t> AffSlot;
+  FlatSet64 AffSlot;
   std::vector<uint64_t> AddedCopyKeys;
   std::vector<std::array<uint32_t, 3>> AddedStoreKeys, AddedLoadKeys;
 };

@@ -14,13 +14,20 @@ using namespace lc;
 
 namespace {
 
+/// Call stacks of in-flight traversal states live in the query's arena:
+/// every push/copy/extend bumps a pointer instead of hitting the heap, and
+/// the whole lot is reclaimed (chunks recycled) when the query ends. Only
+/// results that outlive the query (cache entries, CflResult objects) are
+/// converted to plain heap CallStrings, at publication time.
+using ArenaStack = std::vector<CallSite, ArenaAllocator<CallSite>>;
+
 /// Hashable traversal state: node + call stack + remaining heap hops.
 /// Saturated states gave up on call-string matching (the k-limit was hit):
 /// they traverse interprocedural edges context-insensitively, which keeps
 /// the result sound at the cost of contexts.
 struct State {
   PagNodeId Node;
-  std::vector<CallSite> Stack; ///< innermost last
+  ArenaStack Stack; ///< innermost last
   uint32_t HopsLeft;
   bool Saturated = false;
 
@@ -40,7 +47,7 @@ struct State {
   }
 };
 
-size_t ctxHash(const std::vector<CallSite> &Stack) {
+template <typename Vec> size_t ctxHash(const Vec &Stack) {
   size_t H = 0;
   for (const CallSite &S : Stack)
     H = H * 1000003 + ((uint64_t(S.Caller) << 17) ^ S.Index);
@@ -59,35 +66,93 @@ struct CflPta::Traversal {
   const AndersenPta &Base;
   const CflOptions &Opts;
   QueryCtx &Q;
-  CacheEntry Entry;
-  std::set<State> Visited;
-  std::vector<State> Work;
-  std::set<std::pair<AllocSiteId, size_t>> Emitted; // dedupe (site, ctx hash)
+  /// Entry content accumulates in the arena while the traversal runs;
+  /// takeEntry() copies it into exact-size heap vectors at publication, so
+  /// an entry never pays vector-growth reallocations.
+  std::vector<ObjRef, ArenaAllocator<ObjRef>> Objects;
+  std::vector<CallSite, ArenaAllocator<CallSite>> CtxPool;
+  bool FellBack = false;
+  /// Traversal-set nodes come from the query's arena: freed in bulk when
+  /// the query ends, and the chunks are recycled across queries through
+  /// the solver's pool. Set nodes are address-stable, so the worklist
+  /// holds pointers into Visited instead of copying call stacks around.
+  std::set<State, std::less<State>, ArenaAllocator<State>> Visited;
+  std::vector<const State *, ArenaAllocator<const State *>> Work;
+  /// Dedupe of emitted (site, ctx hash) pairs.
+  std::set<std::pair<AllocSiteId, size_t>,
+           std::less<std::pair<AllocSiteId, size_t>>,
+           ArenaAllocator<std::pair<AllocSiteId, size_t>>>
+      Emitted;
+  /// Allocator handed to every call stack the traversal creates; copies of
+  /// a state's stack inherit it (select_on_container_copy_construction).
+  ArenaAllocator<CallSite> StackAlloc;
 
   Traversal(const CflPta &Owner, QueryCtx &Q)
-      : Owner(Owner), G(Owner.G), Base(Owner.Base), Opts(Owner.Opts), Q(Q) {}
+      : Owner(Owner), G(Owner.G), Base(Owner.Base), Opts(Owner.Opts), Q(Q),
+        Objects(ArenaAllocator<ObjRef>(Q.Mem)),
+        CtxPool(ArenaAllocator<CallSite>(Q.Mem)),
+        Visited(std::less<State>(), ArenaAllocator<State>(Q.Mem)),
+        Work(ArenaAllocator<const State *>(Q.Mem)),
+        Emitted(std::less<std::pair<AllocSiteId, size_t>>(),
+                ArenaAllocator<std::pair<AllocSiteId, size_t>>(Q.Mem)),
+        StackAlloc(Q.Mem) {}
+
+  /// Copies the accumulated result into \p Into as exact-size arrays and
+  /// returns the POD entry referencing them -- no heap allocation. States
+  /// is filled in by the caller.
+  CacheEntry materialize(Arena &Into) const {
+    ObjRef *O = nullptr;
+    CallSite *C = nullptr;
+    if (!Objects.empty()) {
+      O = static_cast<ObjRef *>(
+          Into.allocate(Objects.size() * sizeof(ObjRef), alignof(ObjRef)));
+      std::copy(Objects.begin(), Objects.end(), O);
+    }
+    if (!CtxPool.empty()) {
+      C = static_cast<CallSite *>(
+          Into.allocate(CtxPool.size() * sizeof(CallSite), alignof(CallSite)));
+      std::copy(CtxPool.begin(), CtxPool.end(), C);
+    }
+    return {O, C, static_cast<uint32_t>(Objects.size()), FellBack, 0};
+  }
 
   void push(State S) {
     auto [It, New] = Visited.insert(std::move(S));
     if (New)
-      Work.push_back(*It);
+      Work.push_back(&*It);
   }
 
-  void emitObject(AllocSiteId Site, const std::vector<CallSite> &Stack) {
+  template <typename Vec> void emitObject(AllocSiteId Site, const Vec &Stack) {
     // The stack lists descents innermost-last; contexts are reported
     // outermost-first, which is the same order here (first descent pushed
-    // first).
-    if (Emitted.insert({Site, ctxHash(Stack)}).second)
-      Entry.Objects.push_back({Site, Stack});
+    // first). Emitted objects outlive the query: the context is appended
+    // to the entry's flat pool -- two heap arrays per entry total, not
+    // one per context.
+    if (Emitted.insert({Site, ctxHash(Stack)}).second) {
+      Objects.push_back({Site, static_cast<uint32_t>(CtxPool.size()),
+                         static_cast<uint32_t>(Stack.size())});
+      CtxPool.insert(CtxPool.end(), Stack.begin(), Stack.end());
+    }
   }
+
+  /// Borrowed view of one context inside an entry's flat pool.
+  struct CtxSpan {
+    const CallSite *B;
+    size_t N;
+    const CallSite *begin() const { return B; }
+    const CallSite *end() const { return B + N; }
+    size_t size() const { return N; }
+  };
 
   /// Folds a completed hop sub-traversal into this one. Sub-results carry
   /// full contexts already (the hop reset the call string), so they merge
-  /// verbatim.
+  /// verbatim, straight out of the sub-entry's pool.
   void mergeSub(const CacheEntry &Sub) {
-    for (const CtxObject &O : Sub.Objects)
-      emitObject(O.Site, O.Ctx);
-    Entry.FellBack |= Sub.FellBack;
+    for (uint32_t I = 0; I < Sub.NumObjects; ++I) {
+      const ObjRef &O = Sub.Objects[I];
+      emitObject(O.Site, CtxSpan{Sub.CtxPool + O.CtxOff, O.CtxLen});
+    }
+    FellBack |= Sub.FellBack;
   }
 
   /// Composes the callee summary for Return edge \p E into this traversal,
@@ -112,12 +177,12 @@ struct CflPta::Traversal {
     // warmth-independent, and still subject to the budget.
     Q.charge(1, Opts.NodeBudget);
     if (Q.Exhausted) {
-      Entry.FellBack = true;
+      FellBack = true;
       return true;
     }
 
     for (const SummaryObject &O : Sum->Objects) {
-      std::vector<CallSite> Ctx = S.Stack;
+      ArenaStack Ctx = S.Stack;
       Ctx.push_back(E.Site);
       Ctx.insert(Ctx.end(), O.RelCtx.begin(), O.RelCtx.end());
       emitObject(O.Site, Ctx);
@@ -134,13 +199,13 @@ struct CflPta::Traversal {
       if (S.HopsLeft == 0) {
         // The inline traversal would trip its hop-exhaustion fallback at
         // each load in the cone (after emitting the same objects/exits).
-        Entry.FellBack = true;
+        FellBack = true;
         return true;
       }
       for (PagNodeId T : Sum->HopTargets) {
         EntryPtr Sub = Owner.runQuery(T, S.HopsLeft - 1, S.Saturated, Q);
         if (Q.Exhausted) {
-          Entry.FellBack = true;
+          FellBack = true;
           return true;
         }
         mergeSub(*Sub);
@@ -151,21 +216,21 @@ struct CflPta::Traversal {
 
   /// Runs to completion or budget exhaustion starting from \p Root.
   void run(PagNodeId Root, uint32_t Hops, bool Saturated) {
-    push({Root, {}, Hops, Saturated});
+    push({Root, ArenaStack(StackAlloc), Hops, Saturated});
     while (!Work.empty()) {
       if (++Q.Used > Opts.NodeBudget) {
         Q.Exhausted = true;
-        Entry.FellBack = true;
+        FellBack = true;
         return;
       }
       if (Q.Cancel && Q.Cancel->stopRequested()) {
         // Cancelled: abandon refinement. Marked exhausted so the partial
         // entry is never cached and the caller falls back to Andersen.
         Q.Exhausted = true;
-        Entry.FellBack = true;
+        FellBack = true;
         return;
       }
-      State S = std::move(Work.back());
+      const State &S = *Work.back();
       Work.pop_back();
 
       // Allocation edges: found an object.
@@ -185,39 +250,41 @@ struct CflPta::Traversal {
           if (S.Saturated || S.Stack.size() >= Opts.MaxCallDepth) {
             // k-limit: stop matching parentheses on this path. Soundness
             // over precision: continue context-insensitively.
-            push({E.Src, {}, S.HopsLeft, /*Saturated=*/true});
+            push({E.Src, ArenaStack(StackAlloc), S.HopsLeft,
+                  /*Saturated=*/true});
             break;
           }
           if (Owner.Sums) {
             bool Applied = applySummary(E, S);
             if (Q.Exhausted) {
-              Entry.FellBack = true;
+              FellBack = true;
               return;
             }
             if (Applied)
               break;
           }
-          std::vector<CallSite> NewStack = S.Stack;
+          ArenaStack NewStack = S.Stack;
           NewStack.push_back(E.Site);
           push({E.Src, std::move(NewStack), S.HopsLeft, false});
           break;
         }
         case CopyKind::Param: {
           if (S.Saturated) {
-            push({E.Src, {}, S.HopsLeft, /*Saturated=*/true});
+            push({E.Src, ArenaStack(StackAlloc), S.HopsLeft,
+                  /*Saturated=*/true});
             break;
           }
           // Backwards over "arg -> param" exits the callee to the caller.
           if (!S.Stack.empty()) {
             if (!(S.Stack.back() == E.Site))
               break; // mismatched parentheses: unrealizable path
-            std::vector<CallSite> NewStack = S.Stack;
+            ArenaStack NewStack = S.Stack;
             NewStack.pop_back();
             push({E.Src, std::move(NewStack), S.HopsLeft, false});
           } else {
             // Unbalanced-open prefix: query context extends upward into an
             // arbitrary caller; legal for realizable paths.
-            push({E.Src, {}, S.HopsLeft, false});
+            push({E.Src, ArenaStack(StackAlloc), S.HopsLeft, false});
           }
           break;
         }
@@ -231,7 +298,7 @@ struct CflPta::Traversal {
         const LoadEdge &L = G.loadEdges()[LId];
         if (S.HopsLeft == 0) {
           // Out of hop budget: conservative fallback for this path.
-          Entry.FellBack = true;
+          FellBack = true;
           continue;
         }
         const BitSet &BasePts = Base.pointsTo(L.Base);
@@ -252,7 +319,7 @@ struct CflPta::Traversal {
             // The sub-traversal (or its charged cost) blew the budget:
             // unwind without merging its partial answer, so the outcome
             // does not depend on cache warmth or thread schedule.
-            Entry.FellBack = true;
+            FellBack = true;
             return;
           }
           mergeSub(*Sub);
@@ -284,31 +351,33 @@ CflPta::CflPta(const Pag &G, const AndersenPta &Base, CflOptions Opts,
 }
 
 CflPta::EntryPtr CflPta::runQuery(PagNodeId N, uint32_t Hops, bool Sat,
-                                  QueryCtx &Q) const {
+                                  QueryCtx &Q, bool Root) const {
   uint64_t Key = cacheKey(N, Hops, Sat);
 
   // Query-local memo first: bounds recomputation within one root query
   // even when the shared cache is disabled. A hit is charged the entry's
   // recorded cost so accounting is identical whether or not the work was
-  // actually redone.
-  auto LIt = Q.Local.find(Key);
-  if (LIt != Q.Local.end()) {
-    Q.charge(LIt->second->States, Opts.NodeBudget);
-    return LIt->second;
-  }
+  // actually redone. The root key never participates (see the decl).
+  if (!Root)
+    if (EntryPtr *L = Q.Local.lookup(Key)) {
+      Q.charge((*L)->States, Opts.NodeBudget);
+      return *L;
+    }
 
   if (Opts.Memoize) {
-    EntryPtr Cached;
+    EntryPtr Cached = nullptr;
     {
       Shard &S = shardFor(Key);
       std::lock_guard<std::mutex> L(S.M);
-      auto It = S.Map.find(Key);
-      if (It != S.Map.end())
-        Cached = It->second;
+      if (const EntryPtr *P = S.Map.lookup(Key))
+        Cached = *P;
     }
     if (Cached) {
+      // A warm hit touches no allocator at all: no entry, no refcount,
+      // just the pointer into the shard's slab.
       Hits.fetch_add(1, std::memory_order_relaxed);
-      Q.Local.emplace(Key, Cached);
+      if (!Root)
+        Q.Local.tryEmplace(Key, Cached);
       Q.charge(Cached->States, Opts.NodeBudget);
       return Cached;
     }
@@ -318,48 +387,121 @@ CflPta::EntryPtr CflPta::runQuery(PagNodeId N, uint32_t Hops, bool Sat,
   uint64_t Before = Q.Used;
   Traversal T(*this, Q);
   T.run(N, Hops, Sat);
-  auto E = std::make_shared<CacheEntry>(std::move(T.Entry));
-  E->States = Q.Used - Before;
-  if (!Q.Exhausted) {
-    // Only completed sub-traversals are reusable (or even meaningful).
-    Q.Local.emplace(Key, E);
-    if (Opts.Memoize) {
-      Shard &S = shardFor(Key);
-      std::lock_guard<std::mutex> L(S.M);
-      if (S.Map.size() >= Opts.CacheShardCapacity) {
-        Evictions.fetch_add(S.Map.size(), std::memory_order_relaxed);
-        S.Map.clear();
-      }
-      // First writer wins; racing writers computed the same entry anyway.
-      S.Map.emplace(Key, E);
-    }
+  uint64_t States = Q.Used - Before;
+  if (Q.Exhausted) {
+    // Partial results are never published or reused; the query's own pool
+    // and arena keep this alive just long enough for the root caller to
+    // read it.
+    CacheEntry *Partial = Q.Owned.create(T.materialize(Q.Mem));
+    Partial->States = States;
+    return Partial;
   }
+  EntryPtr E;
+  if (Opts.Memoize) {
+    Shard &S = shardFor(Key);
+    std::lock_guard<std::mutex> L(S.M);
+    if (S.Map.size() >= Opts.CacheShardCapacity) {
+      Evictions.fetch_add(S.Map.size(), std::memory_order_relaxed);
+      // Drops the pointers only: the entries stay in the shard's slab
+      // (in-flight query-local memos may still hold them) and are
+      // reclaimed at solver teardown.
+      S.Map.clear();
+    }
+    auto [Slot, New] = S.Map.tryEmplace(Key, nullptr);
+    if (New) {
+      // Copy the payload into the shard's arena under the lock (a pair of
+      // memcpys); losing the publication race instead abandons nothing.
+      CacheEntry Done = T.materialize(S.Payload);
+      Done.States = States;
+      *Slot = S.Pool.create(Done);
+      EntryCount.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Otherwise a racing query published first; both computed the same
+    // immutable content, so adopt the published entry.
+    E = *Slot;
+  } else {
+    CacheEntry *Own = Q.Owned.create(T.materialize(Q.Mem));
+    Own->States = States;
+    E = Own;
+  }
+  if (!Root)
+    Q.Local.tryEmplace(Key, E);
   return E;
 }
 
 CflResult CflPta::pointsTo(PagNodeId N,
                            const CancellationToken *Cancel) const {
   trace::TraceSpan Span("cfl.query", "cfl");
-  QueryCtx Q;
+  QueryCtx Q(QueryChunks);
   Q.Cancel = Cancel;
-  EntryPtr E = runQuery(N, Opts.MaxHeapHops, /*Sat=*/false, Q);
+  EntryPtr E = runQuery(N, Opts.MaxHeapHops, /*Sat=*/false, Q, /*Root=*/true);
   Span.arg("node", N);
   Span.arg("states", Q.Used);
   CflResult R;
-  R.Objects = E->Objects;
+  R.Objects.reserve(E->NumObjects);
+  for (uint32_t I = 0; I < E->NumObjects; ++I) {
+    const ObjRef &O = E->Objects[I];
+    R.Objects.push_back({O.Site, CallString(E->CtxPool + O.CtxOff,
+                                            E->CtxPool + O.CtxOff + O.CtxLen)});
+  }
   R.FellBack = E->FellBack || Q.Exhausted;
   R.StatesVisited = Q.Used;
   if (R.FellBack) {
     // Merge in the sound Andersen answer with empty contexts.
-    std::set<AllocSiteId> Have;
+    FlatSet64 Have;
     for (const CtxObject &O : R.Objects)
       Have.insert(O.Site);
     Base.pointsTo(N).forEach([&](size_t Site) {
-      if (!Have.count(static_cast<AllocSiteId>(Site)))
+      if (!Have.contains(Site))
         R.Objects.push_back({static_cast<AllocSiteId>(Site), {}});
     });
   }
   return R;
+}
+
+CflSitesResult CflPta::pointsToSites(PagNodeId N,
+                                     const CancellationToken *Cancel) const {
+  CflSitesResult R;
+  pointsToSites(N, Cancel, R);
+  return R;
+}
+
+void CflPta::pointsToSites(PagNodeId N, const CancellationToken *Cancel,
+                           CflSitesResult &R) const {
+  trace::TraceSpan Span("cfl.query", "cfl");
+  QueryCtx Q(QueryChunks);
+  Q.Cancel = Cancel;
+  EntryPtr E = runQuery(N, Opts.MaxHeapHops, /*Sat=*/false, Q, /*Root=*/true);
+  Span.arg("node", N);
+  Span.arg("states", Q.Used);
+  R.Sites.clear();
+  R.FellBack = E->FellBack || Q.Exhausted;
+  R.StatesVisited = Q.Used;
+  // Small result sets (the common case) dedup by linear scan over the
+  // output itself, so a warm query's only allocation is the Sites vector.
+  auto have = [&R](AllocSiteId S) {
+    return std::find(R.Sites.begin(), R.Sites.end(), S) != R.Sites.end();
+  };
+  if (E->NumObjects <= 64) {
+    for (uint32_t I = 0; I < E->NumObjects; ++I)
+      if (!have(E->Objects[I].Site))
+        R.Sites.push_back(E->Objects[I].Site);
+    if (R.FellBack)
+      Base.pointsTo(N).forEach([&](size_t Site) {
+        if (!have(static_cast<AllocSiteId>(Site)))
+          R.Sites.push_back(static_cast<AllocSiteId>(Site));
+      });
+    return;
+  }
+  FlatSet64 Seen;
+  for (uint32_t I = 0; I < E->NumObjects; ++I)
+    if (Seen.insert(E->Objects[I].Site))
+      R.Sites.push_back(E->Objects[I].Site);
+  if (R.FellBack)
+    Base.pointsTo(N).forEach([&](size_t Site) {
+      if (Seen.insert(Site))
+        R.Sites.push_back(static_cast<AllocSiteId>(Site));
+    });
 }
 
 std::string CflPta::ctxString(const CallString &Ctx) const {

@@ -54,14 +54,14 @@
 
 #include "pta/Andersen.h"
 #include "pta/Pag.h"
+#include "support/Arena.h"
 #include "support/Cancellation.h"
+#include "support/FlatMap.h"
 
 #include <array>
 #include <atomic>
-#include <memory>
 #include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace lc {
@@ -91,6 +91,16 @@ struct CflResult {
   uint64_t StatesVisited = 0;
 };
 
+/// Context-free projection of a demand query: the distinct allocation
+/// sites only. For callers that discard contexts (the leak analysis
+/// corroboration pass re-derives report contexts from the call graph),
+/// this skips copying every context vector out of the cache entry.
+struct CflSitesResult {
+  std::vector<AllocSiteId> Sites;
+  bool FellBack = false;
+  uint64_t StatesVisited = 0;
+};
+
 /// Tuning knobs for the demand-driven traversal.
 struct CflOptions {
   uint32_t MaxCallDepth = 16;    ///< call-string k-limit
@@ -108,6 +118,9 @@ struct CflCacheStats {
   uint64_t Hits = 0;
   uint64_t Misses = 0;
   uint64_t Evictions = 0;
+  /// Entries materialized in the shards' slab pools. Warm hits create
+  /// none -- the allocation-count test gates on exactly that.
+  uint64_t Entries = 0;
 };
 
 /// Snapshot of summary-composition counters (monotonic). Totals depend on
@@ -142,6 +155,18 @@ public:
   /// recomputes them in full.
   CflResult pointsTo(PagNodeId N, const CancellationToken *Cancel) const;
 
+  /// Same traversal, memoization, budget, and accounting as pointsTo, but
+  /// returns only the distinct sites (first-discovery order, then Andersen
+  /// fallback ascending). No per-context copies are made.
+  CflSitesResult pointsToSites(PagNodeId N,
+                               const CancellationToken *Cancel) const;
+  /// Reuse-friendly variant: clears and refills \p R so a caller looping
+  /// over many queries keeps one sites buffer's capacity across all of
+  /// them (the corroboration fan-out's hot path allocates nothing per
+  /// warm query this way).
+  void pointsToSites(PagNodeId N, const CancellationToken *Cancel,
+                     CflSitesResult &R) const;
+
   /// Renders a call string as "A.f:3 -> B.g:7" (outermost first).
   std::string ctxString(const CallString &Ctx) const;
 
@@ -153,7 +178,8 @@ public:
   CflCacheStats cacheStats() const {
     return {Hits.load(std::memory_order_relaxed),
             Misses.load(std::memory_order_relaxed),
-            Evictions.load(std::memory_order_relaxed)};
+            Evictions.load(std::memory_order_relaxed),
+            EntryCount.load(std::memory_order_relaxed)};
   }
 
   /// Summary-composition counters since construction (atomic snapshot;
@@ -170,24 +196,53 @@ private:
   /// A completed sub-traversal from (node, hops, saturated) with an empty
   /// call string: the objects it finds, whether any path exhausted its hop
   /// budget, and what it cost to compute fresh.
+  ///
+  /// Entries are immutable once published. Published entries live in their
+  /// shard's slab pool until the solver is destroyed -- eviction drops the
+  /// shard's *pointers* only, because any number of in-flight query-local
+  /// memos may still reference the entries (this replaces the per-entry
+  /// shared_ptr refcount with one bulk lifetime). Unpublished entries
+  /// (budget-exhausted partials, memoization disabled) live in the query's
+  /// own pool and die with it.
+  ///
+  /// Contexts are stored flattened: one shared CallSite pool per entry
+  /// with (offset, length) references. The entry is POD -- its arrays
+  /// live in the arena that owns the entry (the shard's payload arena
+  /// for published entries, the query's arena otherwise), so publishing
+  /// an entry performs no heap allocation at all. pointsTo
+  /// re-materializes per-object CallStrings for its callers;
+  /// pointsToSites and sub-traversal merges read the pool in place.
+  struct ObjRef {
+    AllocSiteId Site = kInvalidId;
+    uint32_t CtxOff = 0;
+    uint32_t CtxLen = 0;
+  };
   struct CacheEntry {
-    std::vector<CtxObject> Objects;
+    const ObjRef *Objects = nullptr;
+    const CallSite *CtxPool = nullptr;
+    uint32_t NumObjects = 0;
     bool FellBack = false;
     uint64_t States = 0;
   };
-  using EntryPtr = std::shared_ptr<const CacheEntry>;
+  using EntryPtr = const CacheEntry *;
 
   /// Per-root-query bookkeeping threaded through sub-traversals: the
-  /// shared budget and a query-local memo that bounds recomputation even
-  /// with the global cache disabled.
+  /// shared budget, a query-local memo that bounds recomputation even with
+  /// the global cache disabled, and the query's transient memory -- an
+  /// arena leased from the solver's chunk pool (traversal sets) plus a
+  /// slab pool for entries that are never published.
   struct QueryCtx {
+    explicit QueryCtx(ChunkPool &Chunks) : Mem(Chunks) {}
+
     uint64_t Used = 0;
     bool Exhausted = false;
     /// Optional stop signal checked once per visited state (one relaxed
     /// load); a stop reads as budget exhaustion so nothing partial is
     /// cached.
     const CancellationToken *Cancel = nullptr;
-    std::unordered_map<uint64_t, EntryPtr> Local;
+    FlatMap64<EntryPtr> Local;
+    Arena Mem;
+    SlabPool<CacheEntry> Owned;
 
     /// Charges a memo hit the entry's recorded cost, saturating at
     /// \p Budget + 1 — the exact value an incremental cold traversal stops
@@ -204,7 +259,16 @@ private:
   static constexpr unsigned kShards = 64;
   struct Shard {
     mutable std::mutex M;
-    std::unordered_map<uint64_t, EntryPtr> Map;
+    FlatMap64<EntryPtr> Map;
+    /// Backing store of every entry this shard ever published; entries
+    /// outlive eviction (see CacheEntry) and are reclaimed here, in bulk,
+    /// at solver teardown.
+    SlabPool<CacheEntry> Pool;
+    /// Owns published entries' object/context arrays (bump-allocated under
+    /// the shard mutex at publication; same bulk lifetime as Pool). Small
+    /// chunks: payloads spread across up to 64 shards, so default-sized
+    /// chunks would multiply idle footprint by the shard count.
+    Arena Payload{4 * 1024};
   };
 
   static uint64_t cacheKey(PagNodeId N, uint32_t Hops, bool Sat) {
@@ -217,8 +281,12 @@ private:
 
   /// Computes (or recalls) the sub-traversal for (N, Hops, Sat), charging
   /// its cost against \p Q's budget. Never returns null; on budget
-  /// exhaustion the entry is partial and Q.Exhausted is set.
-  EntryPtr runQuery(PagNodeId N, uint32_t Hops, bool Sat, QueryCtx &Q) const;
+  /// exhaustion the entry is partial and Q.Exhausted is set. \p Root marks
+  /// the query's top-level call: its key is skipped in the query-local
+  /// memo, because sub-queries always run under a smaller hop budget and
+  /// can never ask for it again (a warm root hit then allocates nothing).
+  EntryPtr runQuery(PagNodeId N, uint32_t Hops, bool Sat, QueryCtx &Q,
+                    bool Root = false) const;
 
   const Pag &G;
   const AndersenPta &Base;
@@ -230,7 +298,11 @@ private:
   std::vector<std::vector<uint32_t>> LoadsInto;
 
   mutable std::array<Shard, kShards> Shards;
+  /// Recycles query arenas' chunks: after warmup, starting a query costs
+  /// no heap allocation for traversal storage.
+  mutable ChunkPool QueryChunks;
   mutable std::atomic<uint64_t> Hits{0}, Misses{0}, Evictions{0};
+  mutable std::atomic<uint64_t> EntryCount{0};
   mutable std::atomic<uint64_t> SumApps{0}, SumFallbacks{0};
 };
 

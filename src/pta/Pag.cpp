@@ -15,8 +15,11 @@ Pag::Pag(const Program &P, const CallGraph &CG) : P(P), CG(CG) {
     Next += static_cast<PagNodeId>(P.Methods[M].Locals.size());
   }
   for (FieldId F = 0; F < P.Fields.size(); ++F)
-    if (P.Fields[F].IsStatic)
-      StaticNode[F] = Next++;
+    if (P.Fields[F].IsStatic) {
+      StaticNode[F] = Next;
+      StaticList.emplace_back(F, Next); // ascending by construction
+      ++Next;
+    }
   NumNodes = Next;
 
   build();
@@ -123,13 +126,13 @@ void Pag::build() {
 }
 
 const std::vector<uint32_t> &Pag::storesOfField(FieldId F) const {
-  auto It = StoreByField.find(F);
-  return It == StoreByField.end() ? Empty : It->second;
+  const std::vector<uint32_t> *V = StoreByField.lookup(F);
+  return V ? *V : Empty;
 }
 
 const std::vector<uint32_t> &Pag::loadsOfField(FieldId F) const {
-  auto It = LoadByField.find(F);
-  return It == LoadByField.end() ? Empty : It->second;
+  const std::vector<uint32_t> *V = LoadByField.lookup(F);
+  return V ? *V : Empty;
 }
 
 std::string Pag::nodeName(PagNodeId N) const {
@@ -145,7 +148,7 @@ std::string Pag::nodeName(PagNodeId N) const {
       return OS.str();
     }
   }
-  for (const auto &[F, Node] : StaticNode)
+  for (const auto &[F, Node] : StaticList)
     if (Node == N)
       return "static " + P.qualifiedFieldName(F);
   return "<node " + std::to_string(N) + ">";

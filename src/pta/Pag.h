@@ -26,8 +26,9 @@
 
 #include "callgraph/CallGraph.h"
 #include "ir/Program.h"
+#include "support/FlatMap.h"
 
-#include <unordered_map>
+#include <cassert>
 #include <vector>
 
 namespace lc {
@@ -133,11 +134,16 @@ public:
     return LocalBase[M] + L;
   }
   /// Node of static field \p F (must be static).
-  PagNodeId staticNode(FieldId F) const { return StaticNode.at(F); }
-  /// All static-field nodes (field -> node), for passes that classify
-  /// nodes by origin (the summary pass's region tracking).
-  const std::unordered_map<FieldId, PagNodeId> &staticNodes() const {
-    return StaticNode;
+  PagNodeId staticNode(FieldId F) const {
+    const PagNodeId *N = StaticNode.lookup(F);
+    assert(N && "staticNode of a non-static field");
+    return *N;
+  }
+  /// All static-field nodes as (field, node) pairs, ascending by field id
+  /// -- a deterministic iteration order for passes that classify nodes by
+  /// origin (the summary pass's region tracking).
+  const std::vector<std::pair<FieldId, PagNodeId>> &staticNodes() const {
+    return StaticList;
   }
 
   /// Total node count (locals + statics).
@@ -183,7 +189,8 @@ private:
   const CallGraph &CG;
 
   std::vector<PagNodeId> LocalBase; ///< per-method base of local nodes
-  std::unordered_map<FieldId, PagNodeId> StaticNode;
+  FlatMap64<PagNodeId> StaticNode;
+  std::vector<std::pair<FieldId, PagNodeId>> StaticList; ///< sorted by field
   size_t NumNodes = 0;
 
   std::vector<AllocEdge> Allocs;
@@ -192,7 +199,7 @@ private:
   std::vector<LoadEdge> Loads;
 
   CsrIndex CopyOut, CopyIn, StoreOnBase, StoreByValue, LoadOnBase, AllocIn;
-  std::unordered_map<FieldId, std::vector<uint32_t>> StoreByField, LoadByField;
+  FlatMap64<std::vector<uint32_t>> StoreByField, LoadByField;
   std::vector<uint32_t> Empty;
 };
 

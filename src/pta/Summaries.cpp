@@ -2,6 +2,8 @@
 
 #include "pta/Summaries.h"
 
+#include "support/Arena.h"
+
 #include <algorithm>
 #include <cassert>
 #include <set>
@@ -21,11 +23,16 @@ constexpr uint64_t kBuildBudget = 100000;
 /// members once their siblings finished, so a small bound suffices.
 constexpr unsigned kMaxSccPasses = 4;
 
+/// Relative call strings of in-flight build states draw from the builder's
+/// arena (reset before each summary): pushes bump a pointer, and only
+/// published summary content is copied to plain heap CallStrings.
+using RelStack = std::vector<CallSite, ArenaAllocator<CallSite>>;
+
 /// Build-time traversal state: node + *relative* call string (the part of
 /// the stack pushed since the summarized return node; innermost last).
 struct RelState {
   PagNodeId Node;
-  std::vector<CallSite> Stack;
+  RelStack Stack;
 
   bool operator<(const RelState &O) const {
     if (Node != O.Node)
@@ -41,7 +48,7 @@ struct RelState {
 
 /// Same context hash the CFL traversal uses for object dedup, so the
 /// summary's Objects dedup exactly like the inline traversal's.
-size_t ctxHash(const std::vector<CallSite> &Stack) {
+template <typename Vec> size_t ctxHash(const Vec &Stack) {
   size_t H = 0;
   for (const CallSite &S : Stack)
     H = H * 1000003 + ((uint64_t(S.Caller) << 17) ^ S.Index);
@@ -79,10 +86,14 @@ struct Summaries::Builder {
   /// Owning method of each local node; kInvalidId for static-field nodes.
   std::vector<MethodId> NodeMethod;
   /// Static-field node -> field, the other half of node classification.
-  std::unordered_map<PagNodeId, FieldId> NodeStatic;
+  FlatMap64<FieldId> NodeStatic;
   /// Load edges by destination node (the CFL traversal's index, rebuilt
   /// here because summaries are computed before any CflPta exists).
   std::vector<std::vector<uint32_t>> LoadsInto;
+  /// Scratch arena for one buildOne traversal (states, stacks, dedup
+  /// sets). Reset -- chunks kept -- before each summary, so after the
+  /// first few methods the whole traversal runs without heap traffic.
+  Arena BuildMem;
 
   Builder(const Pag &G, const AndersenPta &Base, Summaries &Out)
       : G(G), Base(Base), Out(Out) {
@@ -92,7 +103,7 @@ struct Summaries::Builder {
       for (LocalId L = 0; L < P.Methods[M].Locals.size(); ++L)
         NodeMethod[G.localNode(M, L)] = M;
     for (const auto &[F, N] : G.staticNodes())
-      NodeStatic.emplace(N, F);
+      NodeStatic.tryEmplace(N, F);
     LoadsInto.resize(G.numNodes());
     for (uint32_t Id = 0; Id < G.loadEdges().size(); ++Id)
       LoadsInto[G.loadEdges()[Id].Dst].push_back(Id);
@@ -112,9 +123,8 @@ struct Summaries::Builder {
         Out.MethodFp[M] += H;
         return;
       }
-      auto It = NodeStatic.find(N);
-      if (It != NodeStatic.end())
-        Out.StaticFp[It->second] += H;
+      if (const FieldId *F = NodeStatic.lookup(N))
+        Out.StaticFp[*F] += H;
     };
     for (const AllocEdge &E : G.allocEdges())
       addNode(E.Var, fp({1, E.Site, E.Var}));
@@ -234,44 +244,66 @@ struct Summaries::Builder {
     const uint32_t RelCap = Out.KLimit > 0 ? Out.KLimit - 1 : 0;
 
     uint64_t States = 0;
-    std::set<RelState> Visited;
-    std::vector<RelState> Work;
-    std::set<std::pair<AllocSiteId, size_t>> Emitted;
-    std::set<PagNodeId> HopSeen, ExitSeen;
-    std::set<MethodId> Region;
-    std::set<FieldId> Statics;
+    // Everything transient lives in the builder's arena: freed in bulk by
+    // the reset, with the chunks recycled across summaries.
+    BuildMem.reset();
+    ArenaAllocator<CallSite> StackAlloc(BuildMem);
+    std::set<RelState, std::less<RelState>, ArenaAllocator<RelState>> Visited{
+        std::less<RelState>{}, ArenaAllocator<RelState>{BuildMem}};
+    // Set nodes are address-stable; the worklist points into Visited.
+    std::vector<const RelState *, ArenaAllocator<const RelState *>> Work{
+        ArenaAllocator<const RelState *>{BuildMem}};
+    std::set<std::pair<AllocSiteId, size_t>,
+             std::less<std::pair<AllocSiteId, size_t>>,
+             ArenaAllocator<std::pair<AllocSiteId, size_t>>>
+        Emitted{std::less<std::pair<AllocSiteId, size_t>>{},
+                ArenaAllocator<std::pair<AllocSiteId, size_t>>{BuildMem}};
+    using NodeSet =
+        std::set<PagNodeId, std::less<PagNodeId>, ArenaAllocator<PagNodeId>>;
+    NodeSet HopSeen{std::less<PagNodeId>{}, ArenaAllocator<PagNodeId>{BuildMem}};
+    NodeSet ExitSeen{std::less<PagNodeId>{},
+                     ArenaAllocator<PagNodeId>{BuildMem}};
+    // Ordered sets so the MethodRegion/StaticRegion assignment below stays
+    // sorted -- the incremental-rebuild diff and report plumbing depend on
+    // that order.
+    std::set<MethodId, std::less<MethodId>, ArenaAllocator<MethodId>> Region{
+        std::less<MethodId>{}, ArenaAllocator<MethodId>{BuildMem}};
+    std::set<FieldId, std::less<FieldId>, ArenaAllocator<FieldId>> Statics{
+        std::less<FieldId>{}, ArenaAllocator<FieldId>{BuildMem}};
 
     auto push = [&](RelState RS) {
       if (RS.Stack.size() > S.MaxRelDepth)
         S.MaxRelDepth = static_cast<uint32_t>(RS.Stack.size());
       auto [It, New] = Visited.insert(std::move(RS));
       if (New)
-        Work.push_back(*It);
+        Work.push_back(&*It);
     };
-    auto emit = [&](AllocSiteId Site, std::vector<CallSite> Ctx) {
+    auto emit = [&](AllocSiteId Site, const auto &Ctx) {
+      // Published objects outlive the arena: copy to a plain heap vector.
       if (Emitted.insert({Site, ctxHash(Ctx)}).second)
-        S.Objects.push_back({Site, std::move(Ctx)});
+        S.Objects.push_back(
+            {Site, std::vector<CallSite>(Ctx.begin(), Ctx.end())});
     };
     auto addHop = [&](PagNodeId T) {
       if (HopSeen.insert(T).second)
         S.HopTargets.push_back(T);
     };
 
-    push({Ret, {}});
+    push({Ret, RelStack(StackAlloc)});
     while (!Work.empty()) {
       ++Out.Counters.BuildStates;
       if (++States > kBuildBudget) {
         S.Gap = SummaryGap::Cap;
         break;
       }
-      RelState RS = std::move(Work.back());
+      const RelState &RS = *Work.back();
       Work.pop_back();
 
       // Region tracking for incremental invalidation.
       if (MethodId M = NodeMethod[RS.Node]; M != kInvalidId)
         Region.insert(M);
-      else if (auto It = NodeStatic.find(RS.Node); It != NodeStatic.end())
-        Statics.insert(It->second);
+      else if (const FieldId *F = NodeStatic.lookup(RS.Node))
+        Statics.insert(*F);
 
       for (uint32_t Id : G.allocsIn(RS.Node))
         emit(G.allocEdges()[Id].Site, RS.Stack);
@@ -297,10 +329,10 @@ struct Summaries::Builder {
             if (Need > S.MaxRelDepth)
               S.MaxRelDepth = static_cast<uint32_t>(Need);
             for (const SummaryObject &O : Sub->Objects) {
-              std::vector<CallSite> Ctx = RS.Stack;
+              RelStack Ctx = RS.Stack;
               Ctx.push_back(E.Site);
               Ctx.insert(Ctx.end(), O.RelCtx.begin(), O.RelCtx.end());
-              emit(O.Site, std::move(Ctx));
+              emit(O.Site, Ctx);
             }
             S.HasLoads |= Sub->HasLoads;
             for (PagNodeId T : Sub->HopTargets)
@@ -324,7 +356,7 @@ struct Summaries::Builder {
             S.Gap = SummaryGap::Depth;
             break;
           }
-          std::vector<CallSite> NewStack = RS.Stack;
+          RelStack NewStack = RS.Stack;
           NewStack.push_back(E.Site);
           push({E.Src, std::move(NewStack)});
           break;
@@ -333,7 +365,7 @@ struct Summaries::Builder {
           if (!RS.Stack.empty()) {
             if (!(RS.Stack.back() == E.Site))
               break; // mismatched parentheses: unrealizable path
-            std::vector<CallSite> NewStack = RS.Stack;
+            RelStack NewStack = RS.Stack;
             NewStack.pop_back();
             push({E.Src, std::move(NewStack)});
           } else if (ExitSeen.insert(RS.Node).second) {
@@ -460,10 +492,9 @@ void Summaries::build(const Pag &G, const AndersenPta &Base,
           return false;
       }
       for (FieldId F : S.StaticRegion) {
-        auto A = StaticFp.find(F);
-        auto P = Prev->StaticFp.find(F);
-        if (A == StaticFp.end() || P == Prev->StaticFp.end() ||
-            A->second != P->second)
+        const uint64_t *A = StaticFp.lookup(F);
+        const uint64_t *B = Prev->StaticFp.lookup(F);
+        if (!A || !B || *A != *B)
           return false;
       }
       return true;
@@ -481,15 +512,15 @@ void Summaries::build(const Pag &G, const AndersenPta &Base,
   // Bottom-up over the condensation: callees first, so callers compose
   // finished summaries. Within a non-trivial SCC, extra passes retry
   // members that stayed incomplete while a prior pass improved anything.
-  std::unordered_map<MethodId, std::vector<size_t>> SlotsOf;
+  FlatMap64<std::vector<size_t>> SlotsOf;
   for (size_t I = 0; I < ReturnNodes.size(); ++I)
     if (MethodId M = B.NodeMethod[ReturnNodes[I]]; M != kInvalidId)
       SlotsOf[M].push_back(I);
   auto returnsOf = [&](const std::vector<MethodId> &Ms) {
     std::vector<size_t> Slots;
     for (MethodId M : Ms)
-      if (auto It = SlotsOf.find(M); It != SlotsOf.end())
-        Slots.insert(Slots.end(), It->second.begin(), It->second.end());
+      if (const std::vector<size_t> *S = SlotsOf.lookup(M))
+        Slots.insert(Slots.end(), S->begin(), S->end());
     return Slots;
   };
   auto buildSlot = [&](size_t I) {

@@ -69,9 +69,9 @@
 
 #include "pta/Andersen.h"
 #include "pta/Pag.h"
+#include "support/FlatMap.h"
 #include "support/Stats.h"
 
-#include <unordered_map>
 #include <vector>
 
 namespace lc {
@@ -167,7 +167,7 @@ private:
   /// Per-method and per-static-field PAG fingerprints of the build,
   /// retained so the next incremental build can diff against them.
   std::vector<uint64_t> MethodFp;
-  std::unordered_map<FieldId, uint64_t> StaticFp;
+  FlatMap64<uint64_t> StaticFp;
   SummaryCounters Counters;
 };
 

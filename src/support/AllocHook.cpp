@@ -1,0 +1,80 @@
+//===-- AllocHook.cpp - Counting global operator new ----------------------===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Opt-in heap-allocation counter: a global operator new/delete that
+/// counts every allocation, linked only into binaries that gate on
+/// allocation behavior (benches, the leakchecker tool, the CFL alloc
+/// test). Built as the `lc_alloc_hook` object library -- never part of
+/// lc_support, so test binaries that define their own counting operator
+/// new (trace_alloc_test) and sanitizer builds that interpose malloc keep
+/// working untouched. MemStats.cpp consumes the count through the weak
+/// `lcHeapAllocCount` symbol.
+///
+//===----------------------------------------------------------------------===//
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace {
+std::atomic<uint64_t> GAllocCount{0};
+
+void *countedAlloc(std::size_t Size) {
+  GAllocCount.fetch_add(1, std::memory_order_relaxed);
+  if (void *P = std::malloc(Size ? Size : 1))
+    return P;
+  throw std::bad_alloc();
+}
+
+void *countedAllocAligned(std::size_t Size, std::size_t Align) {
+  GAllocCount.fetch_add(1, std::memory_order_relaxed);
+  if (void *P = std::aligned_alloc(Align, (Size + Align - 1) / Align * Align))
+    return P;
+  throw std::bad_alloc();
+}
+} // namespace
+
+extern "C" uint64_t lcHeapAllocCount() {
+  return GAllocCount.load(std::memory_order_relaxed);
+}
+
+void *operator new(std::size_t Size) { return countedAlloc(Size); }
+void *operator new[](std::size_t Size) { return countedAlloc(Size); }
+void *operator new(std::size_t Size, const std::nothrow_t &) noexcept {
+  GAllocCount.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(Size ? Size : 1);
+}
+void *operator new[](std::size_t Size, const std::nothrow_t &) noexcept {
+  GAllocCount.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(Size ? Size : 1);
+}
+void *operator new(std::size_t Size, std::align_val_t Align) {
+  return countedAllocAligned(Size, static_cast<std::size_t>(Align));
+}
+void *operator new[](std::size_t Size, std::align_val_t Align) {
+  return countedAllocAligned(Size, static_cast<std::size_t>(Align));
+}
+
+void operator delete(void *P) noexcept { std::free(P); }
+void operator delete[](void *P) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t) noexcept { std::free(P); }
+void operator delete[](void *P, std::size_t) noexcept { std::free(P); }
+void operator delete(void *P, const std::nothrow_t &) noexcept {
+  std::free(P);
+}
+void operator delete[](void *P, const std::nothrow_t &) noexcept {
+  std::free(P);
+}
+void operator delete(void *P, std::align_val_t) noexcept { std::free(P); }
+void operator delete[](void *P, std::align_val_t) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t, std::align_val_t) noexcept {
+  std::free(P);
+}
+void operator delete[](void *P, std::size_t, std::align_val_t) noexcept {
+  std::free(P);
+}

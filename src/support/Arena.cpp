@@ -1,0 +1,22 @@
+//===-- Arena.cpp - Bump-pointer arenas and slab pools --------------------===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Arena.h"
+
+#include "support/Metrics.h"
+
+namespace lc {
+
+std::atomic<uint64_t> ThreadCachedArena::NextId{1};
+
+void Arena::recordStats(MetricsRegistry &S, const std::string &Prefix) const {
+  S.setGauge(Prefix + "-arena-used-bytes", Used_, MetricDet::Environment);
+  S.setGauge(Prefix + "-arena-reserved-bytes", Reserved_,
+             MetricDet::Environment);
+  S.setGauge(Prefix + "-arena-chunks", Chunks.size(), MetricDet::Environment);
+}
+
+} // namespace lc

@@ -1,0 +1,472 @@
+//===-- Arena.h - Bump-pointer arenas and slab pools -----------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The memory-engineering layer under the analysis substrate, in the
+/// style of gperftools' span/central-free-list design: general-purpose
+/// malloc is replaced on the hot paths by
+///
+///   - `Arena`            a chunked bump-pointer allocator: allocation is
+///                        an aligned pointer bump, reclamation is bulk
+///                        (reset or destruction). Chunks can come from the
+///                        heap or be borrowed from a shared `ChunkPool`;
+///   - `ChunkPool`        a mutex-guarded central free list of equal-sized
+///                        chunks shared by many short-lived arenas (the
+///                        per-query scratch arenas), so steady-state
+///                        queries recycle chunks instead of calling malloc;
+///   - `ThreadCachedArena` a thread-caching front end over a central
+///                        arena: each thread bumps a private block and
+///                        takes the lock only to refill it;
+///   - `SlabPool<T>`      a freelist-backed pool of fixed-size objects
+///                        carved from 64-slot slabs, with per-slot
+///                        liveness tracking so destruction runs the
+///                        destructors of exactly the live objects;
+///   - `ArenaAllocator<T>` a standard-conforming allocator adapter so
+///                        existing containers (the CFL traversal's
+///                        visited sets, call-stack vectors) can draw from
+///                        an arena without changing their code.
+///
+/// Ownership rule used throughout the analyses: an arena outlives every
+/// object allocated from it, and objects allocated from an arena are
+/// trivially reclaimable (no destructor obligations) -- anything needing
+/// a destructor goes through `SlabPool`, which tracks liveness. See
+/// docs/ANALYSES.md, "Memory engineering".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_SUPPORT_ARENA_H
+#define LC_SUPPORT_ARENA_H
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lc {
+
+class MetricsRegistry;
+
+/// Central free list of equal-sized chunks. Arenas constructed over a
+/// pool acquire standard chunks here and return them wholesale on reset
+/// or destruction; the pool hands recycled chunks back out before ever
+/// touching malloc. Thread-safe (one mutex; taken once per chunk, not
+/// once per allocation).
+class ChunkPool {
+public:
+  explicit ChunkPool(size_t ChunkBytes = 64 * 1024)
+      : ChunkBytes_(ChunkBytes) {}
+
+  size_t chunkBytes() const { return ChunkBytes_; }
+
+  /// Pops a recycled chunk, or allocates a fresh one.
+  std::unique_ptr<char[]> acquire() {
+    {
+      std::lock_guard<std::mutex> L(M);
+      if (!Free.empty()) {
+        std::unique_ptr<char[]> C = std::move(Free.back());
+        Free.pop_back();
+        return C;
+      }
+    }
+    Allocated.fetch_add(1, std::memory_order_relaxed);
+    return std::unique_ptr<char[]>(new char[ChunkBytes_]);
+  }
+
+  void release(std::unique_ptr<char[]> C) {
+    if (!C)
+      return;
+    std::lock_guard<std::mutex> L(M);
+    Free.push_back(std::move(C));
+  }
+
+  /// Chunks ever allocated from the heap (recycled chunks not counted).
+  uint64_t chunksAllocated() const {
+    return Allocated.load(std::memory_order_relaxed);
+  }
+  size_t freeChunks() const {
+    std::lock_guard<std::mutex> L(M);
+    return Free.size();
+  }
+
+private:
+  const size_t ChunkBytes_;
+  mutable std::mutex M;
+  std::vector<std::unique_ptr<char[]>> Free;
+  std::atomic<uint64_t> Allocated{0};
+};
+
+/// Chunked bump-pointer arena. Not thread-safe (wrap in ThreadCachedArena
+/// or keep one per thread/query); reclamation is bulk only.
+class Arena {
+public:
+  static constexpr size_t kDefaultChunkBytes = 64 * 1024;
+
+  explicit Arena(size_t ChunkBytes = kDefaultChunkBytes)
+      : ChunkBytes_(ChunkBytes) {}
+  /// Pool-backed: standard chunks are borrowed from \p Pool (and returned
+  /// on destruction); oversized requests still get dedicated heap chunks.
+  explicit Arena(ChunkPool &Pool)
+      : ChunkBytes_(Pool.chunkBytes()), Pool_(&Pool) {}
+  ~Arena() {
+    if (Pool_)
+      for (Chunk &C : Chunks)
+        if (!C.Oversized)
+          Pool_->release(std::move(C.Mem));
+  }
+
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  void *allocate(size_t Bytes, size_t Align = alignof(std::max_align_t)) {
+    assert(Align && (Align & (Align - 1)) == 0 && "alignment not a power of 2");
+    uintptr_t P = reinterpret_cast<uintptr_t>(Ptr);
+    uintptr_t Aligned = (P + (Align - 1)) & ~uintptr_t(Align - 1);
+    if (Aligned + Bytes > reinterpret_cast<uintptr_t>(End)) {
+      refill(Bytes + Align - 1);
+      P = reinterpret_cast<uintptr_t>(Ptr);
+      Aligned = (P + (Align - 1)) & ~uintptr_t(Align - 1);
+    }
+    Ptr = reinterpret_cast<char *>(Aligned + Bytes);
+    Used_ += (Aligned + Bytes) - P;
+    return reinterpret_cast<void *>(Aligned);
+  }
+
+  template <typename T> T *allocateArray(size_t N) {
+    return static_cast<T *>(allocate(N * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds to empty, keeping (and re-using) every chunk already
+  /// reserved. Previously handed-out pointers become invalid.
+  void reset() {
+    CurChunk = 0;
+    Used_ = 0;
+    if (Chunks.empty()) {
+      Ptr = End = nullptr;
+    } else {
+      Ptr = Chunks[0].Mem.get();
+      End = Ptr + Chunks[0].Size;
+    }
+  }
+
+  size_t bytesUsed() const { return Used_; }
+  size_t bytesReserved() const { return Reserved_; }
+  size_t chunkCount() const { return Chunks.size(); }
+
+  /// Publishes `<Prefix>-arena-used-bytes/-reserved-bytes/-chunks` as
+  /// Environment-class gauges into \p S.
+  void recordStats(MetricsRegistry &S, const std::string &Prefix) const;
+
+private:
+  struct Chunk {
+    std::unique_ptr<char[]> Mem;
+    size_t Size = 0;
+    bool Oversized = false; ///< dedicated heap chunk, never pooled
+  };
+
+  void refill(size_t Need) {
+    // Advance past (or skip) existing chunks until one fits; the skipped
+    // ones are re-used on the next reset() pass.
+    while (CurChunk + 1 < Chunks.size()) {
+      ++CurChunk;
+      if (Chunks[CurChunk].Size >= Need) {
+        Ptr = Chunks[CurChunk].Mem.get();
+        End = Ptr + Chunks[CurChunk].Size;
+        return;
+      }
+    }
+    Chunk C;
+    if (Need <= ChunkBytes_) {
+      C.Mem = Pool_ ? Pool_->acquire()
+                    : std::unique_ptr<char[]>(new char[ChunkBytes_]);
+      C.Size = ChunkBytes_;
+    } else {
+      C.Mem = std::unique_ptr<char[]>(new char[Need]);
+      C.Size = Need;
+      C.Oversized = true;
+    }
+    Reserved_ += C.Size;
+    Ptr = C.Mem.get();
+    End = Ptr + C.Size;
+    Chunks.push_back(std::move(C));
+    CurChunk = Chunks.size() - 1;
+  }
+
+  const size_t ChunkBytes_;
+  ChunkPool *Pool_ = nullptr;
+  std::vector<Chunk> Chunks;
+  size_t CurChunk = 0;
+  char *Ptr = nullptr;
+  char *End = nullptr;
+  size_t Used_ = 0;
+  size_t Reserved_ = 0;
+};
+
+/// Thread-caching front end over a central arena, gperftools-style: each
+/// thread holds a private bump block refilled from the central chunk list
+/// under a mutex, so concurrent allocations take the lock once per block,
+/// not once per allocation. Reclamation is bulk (reset/destruction), and
+/// stale thread caches are invalidated by a generation id -- a reset (or
+/// a new ThreadCachedArena reusing the same address) can never serve
+/// memory through a block cached before it.
+class ThreadCachedArena {
+public:
+  explicit ThreadCachedArena(size_t BlockBytes = 4096,
+                             size_t ChunkBytes = Arena::kDefaultChunkBytes)
+      : BlockBytes_(BlockBytes), Central(ChunkBytes),
+        Id(NextId.fetch_add(1, std::memory_order_relaxed)) {}
+
+  ThreadCachedArena(const ThreadCachedArena &) = delete;
+  ThreadCachedArena &operator=(const ThreadCachedArena &) = delete;
+
+  void *allocate(size_t Bytes, size_t Align = alignof(std::max_align_t)) {
+    if (Bytes + Align > BlockBytes_) { // oversized: straight to central
+      std::lock_guard<std::mutex> L(M);
+      return Central.allocate(Bytes, Align);
+    }
+    TlsBlock &B = slotFor();
+    if (B.Id == Id) {
+      uintptr_t P = reinterpret_cast<uintptr_t>(B.Ptr);
+      uintptr_t Aligned = (P + (Align - 1)) & ~uintptr_t(Align - 1);
+      if (Aligned + Bytes <= reinterpret_cast<uintptr_t>(B.End)) {
+        B.Ptr = reinterpret_cast<char *>(Aligned + Bytes);
+        return reinterpret_cast<void *>(Aligned);
+      }
+    }
+    return refill(B, Bytes, Align);
+  }
+
+  template <typename T> T *allocateArray(size_t N) {
+    return static_cast<T *>(allocate(N * sizeof(T), alignof(T)));
+  }
+
+  /// Bulk-invalidates every thread's cache and rewinds the central arena.
+  /// Callers must guarantee no concurrent allocate().
+  void reset() {
+    Id = NextId.fetch_add(1, std::memory_order_relaxed);
+    Central.reset();
+  }
+
+  size_t bytesReserved() const {
+    std::lock_guard<std::mutex> L(M);
+    return Central.bytesReserved();
+  }
+  size_t bytesUsed() const {
+    std::lock_guard<std::mutex> L(M);
+    return Central.bytesUsed();
+  }
+  size_t chunkCount() const {
+    std::lock_guard<std::mutex> L(M);
+    return Central.chunkCount();
+  }
+  void recordStats(MetricsRegistry &S, const std::string &Prefix) const {
+    std::lock_guard<std::mutex> L(M);
+    Central.recordStats(S, Prefix);
+  }
+
+private:
+  struct TlsBlock {
+    uint64_t Id = 0; ///< generation of the owning arena; 0 = empty
+    char *Ptr = nullptr;
+    char *End = nullptr;
+  };
+  static constexpr unsigned kTlsSlots = 8;
+
+  TlsBlock &slotFor() {
+    static thread_local TlsBlock Slots[kTlsSlots];
+    return Slots[Id % kTlsSlots];
+  }
+
+  void *refill(TlsBlock &B, size_t Bytes, size_t Align) {
+    std::lock_guard<std::mutex> L(M);
+    char *Block =
+        static_cast<char *>(Central.allocate(BlockBytes_, alignof(std::max_align_t)));
+    B.Id = Id;
+    B.Ptr = Block;
+    B.End = Block + BlockBytes_;
+    uintptr_t P = reinterpret_cast<uintptr_t>(B.Ptr);
+    uintptr_t Aligned = (P + (Align - 1)) & ~uintptr_t(Align - 1);
+    B.Ptr = reinterpret_cast<char *>(Aligned + Bytes);
+    return reinterpret_cast<void *>(Aligned);
+  }
+
+  const size_t BlockBytes_;
+  mutable std::mutex M;
+  Arena Central;
+  uint64_t Id;
+  static std::atomic<uint64_t> NextId;
+};
+
+/// Freelist-backed pool of fixed-size objects, carved from 64-slot slabs.
+/// Objects are created with `create` and either returned individually
+/// with `destroy` (freelist reuse) or reclaimed wholesale: `releaseAll`
+/// destroys every live object and rewinds the pool for reuse, and the
+/// destructor does the same before freeing the slabs. Per-slot liveness
+/// bits make both exact -- only live objects are destroyed. Not
+/// thread-safe; shard it or guard it like any other mutable state.
+///
+/// Slab storage comes from the heap, or from a ThreadCachedArena when one
+/// is supplied (the CFL memo's per-shard pools share one arena; the arena
+/// then owns the memory and must outlive the pool).
+template <typename T> class SlabPool {
+public:
+  static constexpr unsigned kSlotsPerSlab = 64;
+
+  SlabPool() = default;
+  explicit SlabPool(ThreadCachedArena &Mem) : Mem_(&Mem) {}
+  ~SlabPool() { destroyLive(); }
+
+  SlabPool(const SlabPool &) = delete;
+  SlabPool &operator=(const SlabPool &) = delete;
+
+  template <typename... Args> T *create(Args &&...A) {
+    Slot *S;
+    if (FreeHead) {
+      S = FreeHead;
+      FreeHead = S->nextFree();
+    } else {
+      if (Slabs.empty() || CurSlot >= kSlotsPerSlab)
+        advanceSlab();
+      S = Slabs[CurSlab].Slots + CurSlot;
+      S->SlabIdx = static_cast<uint32_t>(CurSlab);
+      S->SlotIdx = CurSlot;
+      ++CurSlot;
+    }
+    T *Obj = new (S->Storage) T(std::forward<Args>(A)...);
+    Slabs[S->SlabIdx].LiveMask |= uint64_t(1) << S->SlotIdx;
+    ++Created_;
+    ++Live_;
+    return Obj;
+  }
+
+  void destroy(T *Obj) {
+    Slot *S = slotOf(Obj);
+    Obj->~T();
+    Slabs[S->SlabIdx].LiveMask &= ~(uint64_t(1) << S->SlotIdx);
+    S->nextFree() = FreeHead;
+    FreeHead = S;
+    --Live_;
+  }
+
+  /// Destroys every live object and rewinds for reuse (slabs kept).
+  void releaseAll() {
+    destroyLive();
+    FreeHead = nullptr;
+    CurSlab = 0;
+    CurSlot = 0;
+    Live_ = 0;
+  }
+
+  uint64_t liveCount() const { return Live_; }
+  uint64_t createdCount() const { return Created_; }
+  size_t slabCount() const { return Slabs.size(); }
+  size_t bytesReserved() const {
+    return Slabs.size() * kSlotsPerSlab * sizeof(Slot);
+  }
+
+private:
+  /// One slot: permanent slab coordinates (so destroy() is O(1)) plus raw
+  /// storage for T. The freelist link is threaded through the storage of
+  /// dead slots -- a slot is either live (holds a T) or on the freelist,
+  /// never both.
+  struct Slot {
+    uint32_t SlabIdx;
+    uint32_t SlotIdx;
+    alignas(alignof(T)) unsigned char Storage[sizeof(T)];
+
+    Slot *&nextFree() { return *reinterpret_cast<Slot **>(Storage); }
+  };
+  static_assert(sizeof(T) >= sizeof(void *),
+                "SlabPool slots thread the freelist through dead storage");
+
+  struct SlabRec {
+    Slot *Slots = nullptr;
+    uint64_t LiveMask = 0;
+    std::unique_ptr<char[]> Owned; ///< null when arena-backed
+  };
+
+  static Slot *slotOf(T *Obj) {
+    return reinterpret_cast<Slot *>(reinterpret_cast<char *>(Obj) -
+                                    offsetof(Slot, Storage));
+  }
+
+  void advanceSlab() {
+    if (CurSlab + 1 < Slabs.size()) { // rewound pool: reuse the next slab
+      ++CurSlab;
+      CurSlot = 0;
+      return;
+    }
+    SlabRec R;
+    size_t Bytes = kSlotsPerSlab * sizeof(Slot);
+    if (Mem_) {
+      R.Slots = static_cast<Slot *>(Mem_->allocate(Bytes, alignof(Slot)));
+    } else {
+      R.Owned.reset(new char[Bytes + alignof(Slot)]);
+      uintptr_t P = reinterpret_cast<uintptr_t>(R.Owned.get());
+      uintptr_t Aligned =
+          (P + (alignof(Slot) - 1)) & ~uintptr_t(alignof(Slot) - 1);
+      R.Slots = reinterpret_cast<Slot *>(Aligned);
+    }
+    Slabs.push_back(std::move(R));
+    CurSlab = Slabs.size() - 1;
+    CurSlot = 0;
+  }
+
+  void destroyLive() {
+    for (SlabRec &R : Slabs) {
+      uint64_t Mask = R.LiveMask;
+      while (Mask) {
+        unsigned Bit = static_cast<unsigned>(__builtin_ctzll(Mask));
+        Mask &= Mask - 1;
+        reinterpret_cast<T *>(R.Slots[Bit].Storage)->~T();
+      }
+      R.LiveMask = 0;
+    }
+  }
+
+  ThreadCachedArena *Mem_ = nullptr;
+  std::vector<SlabRec> Slabs;
+  Slot *FreeHead = nullptr;
+  size_t CurSlab = 0;
+  unsigned CurSlot = kSlotsPerSlab; // force first advanceSlab()
+  uint64_t Created_ = 0;
+  uint64_t Live_ = 0;
+};
+
+/// Standard-conforming allocator over an Arena: allocation bumps,
+/// deallocation is a no-op (the arena reclaims in bulk). Containers using
+/// this must not outlive the arena.
+template <typename T> class ArenaAllocator {
+public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena &A) : A(&A) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U> &O) : A(O.A) {}
+
+  T *allocate(size_t N) {
+    return static_cast<T *>(A->allocate(N * sizeof(T), alignof(T)));
+  }
+  void deallocate(T *, size_t) noexcept {}
+
+  template <typename U> bool operator==(const ArenaAllocator<U> &O) const {
+    return A == O.A;
+  }
+  template <typename U> bool operator!=(const ArenaAllocator<U> &O) const {
+    return A != O.A;
+  }
+
+  Arena *A;
+};
+
+} // namespace lc
+
+#endif // LC_SUPPORT_ARENA_H

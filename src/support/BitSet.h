@@ -8,10 +8,20 @@
 /// A growable dense bit set used by dataflow fixed points (dominators,
 /// Andersen points-to sets, reachability).
 ///
+/// Storage is engineered for the Andersen solver's population: most
+/// points-to sets are tiny, a few are huge. The first two words (128
+/// bits) live inline in the object -- no heap traffic at all for small
+/// sets -- and larger sets grow geometrically into either the heap or,
+/// when an arena is attached (`setArena`), the solver's bump arena:
+/// growth then abandons the old word array for the arena to reclaim in
+/// bulk, and destruction is free.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LC_SUPPORT_BITSET_H
 #define LC_SUPPORT_BITSET_H
+
+#include "support/Arena.h"
 
 #include <algorithm>
 #include <cassert>
@@ -26,10 +36,71 @@ class BitSet {
 public:
   BitSet() = default;
   explicit BitSet(size_t N) { resize(N); }
+  /// Empty set whose word storage, once it outgrows the inline words,
+  /// comes from \p A. The arena must outlive the set.
+  explicit BitSet(Arena *A) : A(A) {}
+
+  ~BitSet() {
+    if (Owned)
+      delete[] W;
+  }
+
+  BitSet(const BitSet &O) {
+    // Copies never inherit the source's arena: a copy routinely outlives
+    // the solve that owns the arena (query results, incremental seeds).
+    size_t OW = O.numWords();
+    if (OW > Cap)
+      growTo(OW);
+    std::copy(O.W, O.W + OW, W);
+    NumBits = O.NumBits;
+  }
+
+  BitSet(BitSet &&O) noexcept { stealFrom(O); }
+
+  BitSet &operator=(const BitSet &O) {
+    if (this == &O)
+      return *this;
+    size_t OW = O.numWords();
+    size_t MyW = numWords();
+    if (OW > Cap)
+      growTo(OW);
+    std::copy(O.W, O.W + OW, W);
+    if (MyW > OW)
+      std::fill(W + OW, W + MyW, 0);
+    NumBits = O.NumBits;
+    return *this;
+  }
+
+  BitSet &operator=(BitSet &&O) noexcept {
+    if (this == &O)
+      return *this;
+    // Keep this set's arena: assigning a fresh BitSet() into an
+    // arena-backed slot (the solver's "free this set" idiom) must not
+    // detach the slot from its arena -- the slot may grow again during an
+    // incremental re-solve.
+    Arena *MyArena = A;
+    if (Owned)
+      delete[] W;
+    stealFrom(O);
+    A = MyArena;
+    return *this;
+  }
+
+  /// Attaches \p NewArena as the backing store for future growth. Only
+  /// valid before the set has outgrown its inline words.
+  void setArena(Arena *NewArena) {
+    assert(W == Inline && "setArena after heap growth");
+    A = NewArena;
+  }
 
   void resize(size_t N) {
+    size_t NewWords = wordsFor(N);
+    size_t OldWords = numWords();
+    if (NewWords > Cap)
+      growTo(NewWords);
+    else if (NewWords < OldWords)
+      std::fill(W + NewWords, W + OldWords, 0); // dropped words read as 0
     NumBits = N;
-    Words.resize((N + 63) / 64, 0);
   }
 
   size_t size() const { return NumBits; }
@@ -37,30 +108,30 @@ public:
   bool test(size_t I) const {
     if (I >= NumBits)
       return false;
-    return (Words[I / 64] >> (I % 64)) & 1;
+    return (W[I / 64] >> (I % 64)) & 1;
   }
 
   /// Sets bit \p I, growing the set if needed. Returns true if the bit was
-  /// newly set.
+  /// newly set. Capacity grows geometrically, so one-past-the-end sets in
+  /// a loop are amortized O(1).
   bool set(size_t I) {
     if (I >= NumBits)
       resize(I + 1);
-    uint64_t &W = Words[I / 64];
+    uint64_t &Word = W[I / 64];
     uint64_t Mask = uint64_t(1) << (I % 64);
-    if (W & Mask)
+    if (Word & Mask)
       return false;
-    W |= Mask;
+    Word |= Mask;
     return true;
   }
 
   void reset(size_t I) {
     if (I < NumBits)
-      Words[I / 64] &= ~(uint64_t(1) << (I % 64));
+      W[I / 64] &= ~(uint64_t(1) << (I % 64));
   }
 
   void clear() {
-    for (uint64_t &W : Words)
-      W = 0;
+    std::fill(W, W + numWords(), 0);
   }
 
   /// this |= Other. Returns true if any bit changed.
@@ -68,10 +139,10 @@ public:
     if (Other.NumBits > NumBits)
       resize(Other.NumBits);
     bool Changed = false;
-    for (size_t I = 0, E = Other.Words.size(); I != E; ++I) {
-      uint64_t Before = Words[I];
-      Words[I] |= Other.Words[I];
-      Changed |= Words[I] != Before;
+    for (size_t I = 0, E = Other.numWords(); I != E; ++I) {
+      uint64_t Before = W[I];
+      W[I] |= Other.W[I];
+      Changed |= W[I] != Before;
     }
     return Changed;
   }
@@ -85,12 +156,12 @@ public:
     if (NewBits.NumBits < NumBits)
       NewBits.resize(NumBits);
     bool Changed = false;
-    size_t E = Other.Words.size();
-    for (size_t I = 0, N = NewBits.Words.size(); I != N; ++I) {
-      uint64_t Add = I < E ? Other.Words[I] & ~Words[I] : 0;
-      NewBits.Words[I] = Add;
+    size_t E = Other.numWords();
+    for (size_t I = 0, N = NewBits.numWords(); I != N; ++I) {
+      uint64_t Add = I < E ? Other.W[I] & ~W[I] : 0;
+      NewBits.W[I] = Add;
       if (Add) {
-        Words[I] |= Add;
+        W[I] |= Add;
         Changed = true;
       }
     }
@@ -104,49 +175,50 @@ public:
     if (Add.NumBits > NumBits)
       resize(Add.NumBits);
     bool Changed = false;
-    for (size_t I = 0, E = Add.Words.size(); I != E; ++I) {
-      uint64_t W =
-          Add.Words[I] & ~(I < Minus.Words.size() ? Minus.Words[I] : 0);
-      uint64_t Before = Words[I];
-      Words[I] |= W;
-      Changed |= Words[I] != Before;
+    size_t MinusWords = Minus.numWords();
+    for (size_t I = 0, E = Add.numWords(); I != E; ++I) {
+      uint64_t Word = Add.W[I] & ~(I < MinusWords ? Minus.W[I] : 0);
+      uint64_t Before = W[I];
+      W[I] |= Word;
+      Changed |= W[I] != Before;
     }
     return Changed;
   }
 
   /// this &= Other.
   void intersectWith(const BitSet &Other) {
-    for (size_t I = 0, E = Words.size(); I != E; ++I)
-      Words[I] &= I < Other.Words.size() ? Other.Words[I] : 0;
+    size_t OtherWords = Other.numWords();
+    for (size_t I = 0, E = numWords(); I != E; ++I)
+      W[I] &= I < OtherWords ? Other.W[I] : 0;
   }
 
   bool intersects(const BitSet &Other) const {
-    size_t E = std::min(Words.size(), Other.Words.size());
+    size_t E = std::min(numWords(), Other.numWords());
     for (size_t I = 0; I != E; ++I)
-      if (Words[I] & Other.Words[I])
+      if (W[I] & Other.W[I])
         return true;
     return false;
   }
 
   size_t count() const {
     size_t N = 0;
-    for (uint64_t W : Words)
-      N += static_cast<size_t>(__builtin_popcountll(W));
+    for (size_t I = 0, E = numWords(); I != E; ++I)
+      N += static_cast<size_t>(__builtin_popcountll(W[I]));
     return N;
   }
 
   bool empty() const {
-    for (uint64_t W : Words)
-      if (W)
+    for (size_t I = 0, E = numWords(); I != E; ++I)
+      if (W[I])
         return false;
     return true;
   }
 
   friend bool operator==(const BitSet &A, const BitSet &B) {
-    size_t E = std::max(A.Words.size(), B.Words.size());
+    size_t E = std::max(A.numWords(), B.numWords());
     for (size_t I = 0; I != E; ++I) {
-      uint64_t WA = I < A.Words.size() ? A.Words[I] : 0;
-      uint64_t WB = I < B.Words.size() ? B.Words[I] : 0;
+      uint64_t WA = I < A.numWords() ? A.W[I] : 0;
+      uint64_t WB = I < B.numWords() ? B.W[I] : 0;
       if (WA != WB)
         return false;
     }
@@ -155,12 +227,12 @@ public:
 
   /// Calls \p F(index) for each set bit in ascending order.
   template <typename Fn> void forEach(Fn F) const {
-    for (size_t WI = 0, E = Words.size(); WI != E; ++WI) {
-      uint64_t W = Words[WI];
-      while (W) {
-        unsigned Bit = static_cast<unsigned>(__builtin_ctzll(W));
+    for (size_t WI = 0, E = numWords(); WI != E; ++WI) {
+      uint64_t Word = W[WI];
+      while (Word) {
+        unsigned Bit = static_cast<unsigned>(__builtin_ctzll(Word));
         F(WI * 64 + Bit);
-        W &= W - 1;
+        Word &= Word - 1;
       }
     }
   }
@@ -173,8 +245,55 @@ public:
   }
 
 private:
-  std::vector<uint64_t> Words;
+  static constexpr size_t kInlineWords = 2; ///< 128 bits with no heap at all
+
+  static size_t wordsFor(size_t Bits) { return (Bits + 63) / 64; }
+  size_t numWords() const { return wordsFor(NumBits); }
+
+  /// Grows capacity to at least \p NeedWords, geometrically. Arena-backed
+  /// sets abandon the old array (the arena reclaims in bulk on reset).
+  void growTo(size_t NeedWords) {
+    size_t NewCap = std::max<size_t>(size_t(Cap) * 2, NeedWords);
+    uint64_t *NewW = A ? A->allocateArray<uint64_t>(NewCap)
+                       : new uint64_t[NewCap];
+    size_t OldWords = numWords();
+    std::copy(W, W + OldWords, NewW);
+    std::fill(NewW + OldWords, NewW + NewCap, 0);
+    if (Owned)
+      delete[] W;
+    W = NewW;
+    Cap = static_cast<uint32_t>(NewCap);
+    Owned = (A == nullptr);
+  }
+
+  /// Takes O's storage; O is left empty (inline, arena kept). noexcept so
+  /// vector<BitSet> relocates by move.
+  void stealFrom(BitSet &O) noexcept {
+    A = O.A;
+    NumBits = O.NumBits;
+    if (O.W == O.Inline) {
+      std::copy(O.Inline, O.Inline + kInlineWords, Inline);
+      W = Inline;
+      Cap = kInlineWords;
+      Owned = false;
+    } else {
+      W = O.W;
+      Cap = O.Cap;
+      Owned = O.Owned;
+      O.W = O.Inline;
+      O.Cap = kInlineWords;
+      O.Owned = false;
+      std::fill(O.Inline, O.Inline + kInlineWords, 0);
+    }
+    O.NumBits = 0;
+  }
+
+  uint64_t Inline[kInlineWords] = {0, 0};
+  uint64_t *W = Inline;
+  uint32_t Cap = kInlineWords;
+  bool Owned = false; ///< W is a heap array this set must delete
   size_t NumBits = 0;
+  Arena *A = nullptr;
 };
 
 } // namespace lc

@@ -1,0 +1,253 @@
+//===-- FlatMap.h - Open-addressing hash map for packed ids ----*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `FlatMap64<V>` / `FlatSet64`: open-addressing (linear probing,
+/// power-of-two capacity) hash containers keyed by `uint64_t`, for the
+/// analysis hot maps whose keys are packed ids -- Andersen's
+/// `slotKey(Site, Field)`, the PAG's field indexes, the CFL memo's
+/// `cacheKey`. Compared to `std::unordered_map` they allocate one flat
+/// slot array instead of a node per key, probe contiguous memory, and
+/// support the only operations the analyses need: insert, lookup, whole-
+/// container clear (no per-key erase).
+///
+/// Constraints, asserted where cheap:
+///   - the key `~0ull` is reserved as the empty sentinel (packed ids
+///     never produce it: every packer keeps some high bits clear);
+///   - pointers returned by lookup/tryEmplace are invalidated by the next
+///     insert (the table rehashes in place), unlike unordered_map;
+///   - iteration (`forEach`) visits slots in table order, which is a
+///     deterministic function of the insertion sequence but NOT sorted;
+///     callers needing a canonical order must sort, as they already did
+///     for unordered_map.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_SUPPORT_FLATMAP_H
+#define LC_SUPPORT_FLATMAP_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace lc {
+
+namespace detail {
+/// splitmix64 finalizer: cheap, and strong enough to break up the packed
+/// id patterns ((Site<<32)|Field and friends) that make identity hashing
+/// cluster.
+inline uint64_t mixHash64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+} // namespace detail
+
+template <typename V> class FlatMap64 {
+public:
+  static constexpr uint64_t kEmptyKey = ~0ull;
+
+  FlatMap64() = default;
+
+  V *lookup(uint64_t Key) {
+    if (Count == 0)
+      return nullptr;
+    size_t I = detail::mixHash64(Key) & Mask;
+    while (true) {
+      Slot &S = Table[I];
+      if (S.Key == Key)
+        return &S.Val;
+      if (S.Key == kEmptyKey)
+        return nullptr;
+      I = (I + 1) & Mask;
+    }
+  }
+  const V *lookup(uint64_t Key) const {
+    return const_cast<FlatMap64 *>(this)->lookup(Key);
+  }
+  bool contains(uint64_t Key) const { return lookup(Key) != nullptr; }
+
+  /// Inserts default-or-given value if absent. Returns (slot, inserted).
+  /// The pointer is invalidated by the next insert.
+  template <typename... Args>
+  std::pair<V *, bool> tryEmplace(uint64_t Key, Args &&...A) {
+    assert(Key != kEmptyKey && "key collides with the empty sentinel");
+    if ((Count + 1) * 4 > capacity() * 3)
+      grow();
+    size_t I = detail::mixHash64(Key) & Mask;
+    while (true) {
+      Slot &S = Table[I];
+      if (S.Key == Key)
+        return {&S.Val, false};
+      if (S.Key == kEmptyKey) {
+        S.Key = Key;
+        S.Val = V(std::forward<Args>(A)...);
+        ++Count;
+        return {&S.Val, true};
+      }
+      I = (I + 1) & Mask;
+    }
+  }
+
+  V &operator[](uint64_t Key) { return *tryEmplace(Key).first; }
+
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  /// Empties the map but keeps the slot array for reuse (shard eviction,
+  /// per-query reset). Held values are destroyed via assignment of V{}.
+  void clear() {
+    if (Count == 0)
+      return;
+    for (Slot &S : Table) {
+      if (S.Key != kEmptyKey) {
+        S.Key = kEmptyKey;
+        S.Val = V();
+      }
+    }
+    Count = 0;
+  }
+
+  void reserve(size_t N) {
+    size_t Need = 16;
+    while (N * 4 > Need * 3)
+      Need <<= 1;
+    if (Need > capacity())
+      rehash(Need);
+  }
+
+  template <typename Fn> void forEach(Fn F) {
+    for (Slot &S : Table)
+      if (S.Key != kEmptyKey)
+        F(S.Key, S.Val);
+  }
+  template <typename Fn> void forEach(Fn F) const {
+    for (const Slot &S : Table)
+      if (S.Key != kEmptyKey)
+        F(S.Key, S.Val);
+  }
+
+private:
+  struct Slot {
+    uint64_t Key = kEmptyKey;
+    V Val{};
+  };
+
+  size_t capacity() const { return Table.size(); }
+
+  void grow() { rehash(Table.empty() ? 16 : Table.size() * 2); }
+
+  void rehash(size_t NewCap) {
+    std::vector<Slot> Old;
+    Old.swap(Table);
+    Table.resize(NewCap);
+    Mask = NewCap - 1;
+    for (Slot &S : Old) {
+      if (S.Key == kEmptyKey)
+        continue;
+      size_t I = detail::mixHash64(S.Key) & Mask;
+      while (Table[I].Key != kEmptyKey)
+        I = (I + 1) & Mask;
+      Table[I].Key = S.Key;
+      Table[I].Val = std::move(S.Val);
+    }
+  }
+
+  std::vector<Slot> Table;
+  size_t Mask = 0;
+  size_t Count = 0;
+};
+
+/// Set sibling of FlatMap64: same probing, bare keys, half the footprint.
+class FlatSet64 {
+public:
+  static constexpr uint64_t kEmptyKey = ~0ull;
+
+  /// Returns true if \p Key was newly inserted.
+  bool insert(uint64_t Key) {
+    assert(Key != kEmptyKey && "key collides with the empty sentinel");
+    if ((Count + 1) * 4 > Table.size() * 3)
+      grow();
+    size_t I = detail::mixHash64(Key) & Mask;
+    while (true) {
+      if (Table[I] == Key)
+        return false;
+      if (Table[I] == kEmptyKey) {
+        Table[I] = Key;
+        ++Count;
+        return true;
+      }
+      I = (I + 1) & Mask;
+    }
+  }
+
+  bool contains(uint64_t Key) const {
+    if (Count == 0)
+      return false;
+    size_t I = detail::mixHash64(Key) & Mask;
+    while (true) {
+      if (Table[I] == Key)
+        return true;
+      if (Table[I] == kEmptyKey)
+        return false;
+      I = (I + 1) & Mask;
+    }
+  }
+
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  void clear() {
+    if (Count == 0)
+      return;
+    std::fill(Table.begin(), Table.end(), kEmptyKey);
+    Count = 0;
+  }
+
+  void reserve(size_t N) {
+    size_t Need = 16;
+    while (N * 4 > Need * 3)
+      Need <<= 1;
+    if (Need > Table.size())
+      rehash(Need);
+  }
+
+  template <typename Fn> void forEach(Fn F) const {
+    for (uint64_t K : Table)
+      if (K != kEmptyKey)
+        F(K);
+  }
+
+private:
+  void grow() { rehash(Table.empty() ? 16 : Table.size() * 2); }
+
+  void rehash(size_t NewCap) {
+    std::vector<uint64_t> Old;
+    Old.swap(Table);
+    Table.assign(NewCap, kEmptyKey);
+    Mask = NewCap - 1;
+    for (uint64_t K : Old) {
+      if (K == kEmptyKey)
+        continue;
+      size_t I = detail::mixHash64(K) & Mask;
+      while (Table[I] != kEmptyKey)
+        I = (I + 1) & Mask;
+      Table[I] = K;
+    }
+  }
+
+  std::vector<uint64_t> Table;
+  size_t Mask = 0;
+  size_t Count = 0;
+};
+
+} // namespace lc
+
+#endif // LC_SUPPORT_FLATMAP_H

@@ -1,0 +1,50 @@
+//===-- MemStats.cpp - Process memory statistics --------------------------===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MemStats.h"
+
+#include <cstdio>
+#include <cstring>
+
+// Provided (strongly) by AllocHook.cpp in binaries that link
+// lc_alloc_hook; everywhere else the weak definition resolves to null and
+// the counters read as unavailable.
+extern "C" uint64_t lcHeapAllocCount() __attribute__((weak));
+
+namespace lc {
+namespace mem {
+
+static uint64_t readStatusKb(const char *Field) {
+  FILE *F = std::fopen("/proc/self/status", "r");
+  if (!F)
+    return 0;
+  char Line[256];
+  size_t FieldLen = std::strlen(Field);
+  uint64_t Kb = 0;
+  while (std::fgets(Line, sizeof(Line), F)) {
+    if (std::strncmp(Line, Field, FieldLen) == 0 && Line[FieldLen] == ':') {
+      unsigned long long V = 0;
+      if (std::sscanf(Line + FieldLen + 1, "%llu", &V) == 1)
+        Kb = V;
+      break;
+    }
+  }
+  std::fclose(F);
+  return Kb;
+}
+
+uint64_t peakRssKb() { return readStatusKb("VmHWM"); }
+
+uint64_t currentRssKb() { return readStatusKb("VmRSS"); }
+
+bool heapAllocsAvailable() { return lcHeapAllocCount != nullptr; }
+
+uint64_t heapAllocs() {
+  return lcHeapAllocCount ? lcHeapAllocCount() : 0;
+}
+
+} // namespace mem
+} // namespace lc

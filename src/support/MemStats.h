@@ -1,0 +1,41 @@
+//===-- MemStats.h - Process memory statistics ------------------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Process-level memory numbers for the run report and the allocation
+/// gates: peak/current RSS read from /proc/self/status, and the global
+/// heap-allocation count when the binary links the counting operator new
+/// (`lc_alloc_hook`, see AllocHook.cpp). The hook is opt-in per binary --
+/// a weak symbol keeps ordinary builds free of any counting overhead, and
+/// `heapAllocsAvailable()` tells callers whether the number is real.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_SUPPORT_MEMSTATS_H
+#define LC_SUPPORT_MEMSTATS_H
+
+#include <cstdint>
+
+namespace lc {
+namespace mem {
+
+/// Peak resident set size (VmHWM) in KiB; 0 if unavailable.
+uint64_t peakRssKb();
+
+/// Current resident set size (VmRSS) in KiB; 0 if unavailable.
+uint64_t currentRssKb();
+
+/// True when this binary links lc_alloc_hook and heapAllocs() is live.
+bool heapAllocsAvailable();
+
+/// Number of heap allocations (operator new calls) since process start,
+/// or 0 when the counting hook is not linked in.
+uint64_t heapAllocs();
+
+} // namespace mem
+} // namespace lc
+
+#endif // LC_SUPPORT_MEMSTATS_H

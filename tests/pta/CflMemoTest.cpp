@@ -163,6 +163,28 @@ TEST(CflMemo, IdenticalQueryIsFullyCached) {
   EXPECT_EQ(After2.Misses, After1.Misses);
 }
 
+TEST(CflMemo, WarmRepeatQueryAllocatesNoMemoEntries) {
+  // The memory-engineering contract on the hot path: once the cache holds
+  // a sub-traversal, answering it again materializes zero slab entries --
+  // a warm hit is a pointer read, not an allocation. Entries counts every
+  // CacheEntry the shards ever created.
+  World W(SharedSinkSrc);
+  std::vector<PagNodeId> Nodes = {nodeOf(W, "read1", "r"),
+                                  nodeOf(W, "read2", "r"),
+                                  nodeOf(W, "read3", "r")};
+  for (PagNodeId N : Nodes)
+    W.PTA->pointsTo(N); // cold pass populates the shards
+  CflCacheStats Cold = W.PTA->cacheStats();
+  EXPECT_GT(Cold.Entries, 0u);
+  for (int Round = 0; Round < 3; ++Round)
+    for (PagNodeId N : Nodes)
+      W.PTA->pointsTo(N);
+  CflCacheStats Warm = W.PTA->cacheStats();
+  EXPECT_EQ(Warm.Entries, Cold.Entries) << "warm repeats must not allocate";
+  EXPECT_EQ(Warm.Misses, Cold.Misses);
+  EXPECT_GT(Warm.Hits, Cold.Hits);
+}
+
 /// A cheap reader whose query completes (caching the Box.val hop
 /// sub-traversal) next to a reader with a long pre-hop copy chain, so at
 /// some budget the chain query reaches the hop nearly out of budget and

@@ -1,0 +1,224 @@
+//===-- ArenaTest.cpp - Arena / slab pool / allocator tests ---------------===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Arena.h"
+
+#include "support/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace lc {
+namespace {
+
+TEST(ArenaTest, AlignmentHonored) {
+  Arena A(256);
+  for (size_t Align : {1ul, 2ul, 8ul, 16ul, 64ul}) {
+    void *P = A.allocate(3, Align);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % Align, 0u)
+        << "align " << Align;
+  }
+  // Interleaved odd sizes keep subsequent allocations aligned.
+  A.allocate(1, 1);
+  void *P = A.allocate(8, 8);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % 8, 0u);
+}
+
+TEST(ArenaTest, ChunkSpillAndOversized) {
+  Arena A(128);
+  EXPECT_EQ(A.chunkCount(), 0u);
+  A.allocate(100, 1);
+  EXPECT_EQ(A.chunkCount(), 1u);
+  A.allocate(100, 1); // does not fit the tail of chunk 0
+  EXPECT_EQ(A.chunkCount(), 2u);
+  // Oversized request gets a dedicated chunk of its own size.
+  void *Big = A.allocate(4096, 8);
+  std::memset(Big, 0xab, 4096);
+  EXPECT_EQ(A.chunkCount(), 3u);
+  EXPECT_GE(A.bytesReserved(), 128u + 128u + 4096u);
+  EXPECT_GE(A.bytesUsed(), 100u + 100u + 4096u);
+}
+
+TEST(ArenaTest, ResetReusesChunks) {
+  Arena A(128);
+  void *First = A.allocate(64, 8);
+  A.allocate(100, 8);
+  size_t Reserved = A.bytesReserved();
+  size_t Chunks = A.chunkCount();
+  A.reset();
+  EXPECT_EQ(A.bytesUsed(), 0u);
+  EXPECT_EQ(A.bytesReserved(), Reserved) << "reset must keep chunks";
+  void *Again = A.allocate(64, 8);
+  EXPECT_EQ(Again, First) << "reset must rewind to the first chunk";
+  A.allocate(100, 8);
+  EXPECT_EQ(A.chunkCount(), Chunks) << "reuse, not reallocation";
+}
+
+TEST(ArenaTest, PoolRecyclesChunks) {
+  ChunkPool Pool(256);
+  {
+    Arena A(Pool);
+    A.allocate(200, 8);
+    A.allocate(200, 8);
+    EXPECT_EQ(Pool.chunksAllocated(), 2u);
+  } // chunks go back to the pool
+  EXPECT_EQ(Pool.freeChunks(), 2u);
+  {
+    Arena B(Pool);
+    B.allocate(200, 8);
+    B.allocate(200, 8);
+    EXPECT_EQ(Pool.chunksAllocated(), 2u) << "steady state: no new chunks";
+  }
+  EXPECT_EQ(Pool.freeChunks(), 2u);
+}
+
+TEST(ArenaTest, RecordStatsPublishesGauges) {
+  Arena A(1024);
+  A.allocate(100, 8);
+  MetricsRegistry S;
+  A.recordStats(S, "test");
+  const auto *Used = S.lookup("test-arena-used-bytes");
+  const auto *Reserved = S.lookup("test-arena-reserved-bytes");
+  const auto *Chunks = S.lookup("test-arena-chunks");
+  ASSERT_NE(Used, nullptr);
+  ASSERT_NE(Reserved, nullptr);
+  ASSERT_NE(Chunks, nullptr);
+  EXPECT_GE(Used->Value, 100u);
+  EXPECT_EQ(Reserved->Value, 1024u);
+  EXPECT_EQ(Chunks->Value, 1u);
+  EXPECT_EQ(Used->Det, MetricDet::Environment);
+}
+
+TEST(ThreadCachedArenaTest, HandoffAcrossThreads) {
+  ThreadCachedArena A(512);
+  constexpr unsigned kThreads = 4, kAllocs = 1000;
+  std::vector<std::thread> Ts;
+  std::vector<std::vector<uint32_t *>> Ptrs(kThreads);
+  for (unsigned T = 0; T < kThreads; ++T)
+    Ts.emplace_back([&, T] {
+      for (unsigned I = 0; I < kAllocs; ++I) {
+        uint32_t *P = A.allocateArray<uint32_t>(1);
+        *P = T * kAllocs + I;
+        Ptrs[T].push_back(P);
+      }
+    });
+  for (auto &T : Ts)
+    T.join();
+  // Every allocation is distinct and holds its value: no two thread
+  // caches ever handed out overlapping memory.
+  std::set<uint32_t *> All;
+  for (unsigned T = 0; T < kThreads; ++T)
+    for (unsigned I = 0; I < kAllocs; ++I) {
+      EXPECT_EQ(*Ptrs[T][I], T * kAllocs + I);
+      All.insert(Ptrs[T][I]);
+    }
+  EXPECT_EQ(All.size(), size_t(kThreads) * kAllocs);
+  EXPECT_GE(A.bytesUsed(), size_t(kThreads) * kAllocs * sizeof(uint32_t));
+}
+
+TEST(ThreadCachedArenaTest, ResetInvalidatesThreadCaches) {
+  ThreadCachedArena A(256);
+  void *P1 = A.allocate(16, 8);
+  ASSERT_NE(P1, nullptr);
+  A.reset();
+  EXPECT_EQ(A.bytesUsed(), 0u);
+  // The cached block from before the reset must not be bumped further:
+  // the first allocation after reset comes from the rewound central
+  // arena, i.e. the same address as the very first block.
+  void *P2 = A.allocate(16, 8);
+  EXPECT_EQ(P2, P1);
+}
+
+TEST(ThreadCachedArenaTest, OversizedBypassesCache) {
+  ThreadCachedArena A(128);
+  void *P = A.allocate(4096, 8);
+  std::memset(P, 0x5a, 4096);
+  EXPECT_GE(A.bytesUsed(), 4096u);
+}
+
+struct Tracked {
+  static int Live;
+  int V;
+  explicit Tracked(int V) : V(V) { ++Live; }
+  ~Tracked() { --Live; }
+  char Pad[24]; // comfortably above sizeof(void*) for the freelist
+};
+int Tracked::Live = 0;
+
+TEST(SlabPoolTest, CreateDestroyFreelistReuse) {
+  SlabPool<Tracked> P;
+  Tracked *A = P.create(1);
+  Tracked *B = P.create(2);
+  EXPECT_EQ(Tracked::Live, 2);
+  EXPECT_EQ(P.liveCount(), 2u);
+  P.destroy(A);
+  EXPECT_EQ(Tracked::Live, 1);
+  Tracked *C = P.create(3);
+  EXPECT_EQ(C, A) << "freelist must hand back the dead slot";
+  EXPECT_EQ(B->V, 2);
+  EXPECT_EQ(C->V, 3);
+  EXPECT_EQ(P.createdCount(), 3u);
+}
+
+TEST(SlabPoolTest, DestructorDestroysExactlyLive) {
+  {
+    SlabPool<Tracked> P;
+    for (int I = 0; I < 100; ++I) // spans two slabs
+      P.create(I);
+    EXPECT_EQ(P.slabCount(), 2u);
+    EXPECT_EQ(Tracked::Live, 100);
+  }
+  EXPECT_EQ(Tracked::Live, 0);
+}
+
+TEST(SlabPoolTest, ReleaseAllRewindsForReuse) {
+  SlabPool<Tracked> P;
+  std::vector<Tracked *> First;
+  for (int I = 0; I < 70; ++I)
+    First.push_back(P.create(I));
+  P.destroy(First[10]); // exercise freelist + releaseAll interaction
+  P.releaseAll();
+  EXPECT_EQ(Tracked::Live, 0);
+  size_t Slabs = P.slabCount();
+  Tracked *Again = P.create(7);
+  EXPECT_EQ(Again, First[0]) << "rewound pool must reuse slot 0";
+  EXPECT_EQ(P.slabCount(), Slabs) << "no new slab after rewind";
+  P.releaseAll();
+}
+
+TEST(SlabPoolTest, ArenaBackedSlabs) {
+  ThreadCachedArena Mem(16 * 1024);
+  {
+    SlabPool<Tracked> P(Mem);
+    for (int I = 0; I < 100; ++I)
+      P.create(I);
+    EXPECT_GE(Mem.bytesUsed(), 2 * 64 * sizeof(Tracked));
+  }
+  EXPECT_EQ(Tracked::Live, 0);
+}
+
+TEST(ArenaAllocatorTest, StdContainersDrawFromArena) {
+  Arena A;
+  {
+    std::vector<int, ArenaAllocator<int>> V{ArenaAllocator<int>(A)};
+    for (int I = 0; I < 1000; ++I)
+      V.push_back(I);
+    EXPECT_EQ(V[999], 999);
+    std::set<int, std::less<int>, ArenaAllocator<int>> S{
+        std::less<int>(), ArenaAllocator<int>(A)};
+    for (int I = 0; I < 100; ++I)
+      S.insert(I % 37);
+    EXPECT_EQ(S.size(), 37u);
+  }
+  EXPECT_GT(A.bytesUsed(), 1000 * sizeof(int));
+}
+
+} // namespace
+} // namespace lc

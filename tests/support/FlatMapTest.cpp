@@ -1,0 +1,141 @@
+//===-- FlatMapTest.cpp - FlatMap64 / FlatSet64 tests ---------------------===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FlatMap.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace lc {
+namespace {
+
+TEST(FlatMapTest, Basics) {
+  FlatMap64<uint32_t> M;
+  EXPECT_TRUE(M.empty());
+  EXPECT_EQ(M.lookup(42), nullptr);
+  auto [P, New] = M.tryEmplace(42, 7u);
+  EXPECT_TRUE(New);
+  EXPECT_EQ(*P, 7u);
+  auto [P2, New2] = M.tryEmplace(42, 9u);
+  EXPECT_FALSE(New2);
+  EXPECT_EQ(*P2, 7u) << "tryEmplace must not overwrite";
+  M[42] = 11;
+  EXPECT_EQ(*M.lookup(42), 11u);
+  EXPECT_EQ(M.size(), 1u);
+}
+
+TEST(FlatMapTest, DifferentialAgainstUnorderedMap) {
+  std::mt19937_64 Rng(0xc0ffee);
+  FlatMap64<uint64_t> M;
+  std::unordered_map<uint64_t, uint64_t> Ref;
+  for (int Round = 0; Round < 3; ++Round) {
+    for (int I = 0; I < 20000; ++I) {
+      // Small key space forces collisions of both kinds: duplicate keys
+      // and distinct keys probing into each other.
+      uint64_t Key = Rng() % 4096;
+      // Mimic the packed-id shape: ids spread across high and low words.
+      Key = (Key << 32) | (Key * 0x9e37 % 1024);
+      uint64_t Val = Rng();
+      switch (Rng() % 3) {
+      case 0: {
+        auto [P, New] = M.tryEmplace(Key, Val);
+        auto [It, RefNew] = Ref.try_emplace(Key, Val);
+        EXPECT_EQ(New, RefNew);
+        EXPECT_EQ(*P, It->second);
+        break;
+      }
+      case 1:
+        M[Key] = Val;
+        Ref[Key] = Val;
+        break;
+      default: {
+        const uint64_t *P = M.lookup(Key);
+        auto It = Ref.find(Key);
+        ASSERT_EQ(P != nullptr, It != Ref.end());
+        if (P) {
+          EXPECT_EQ(*P, It->second);
+        }
+        break;
+      }
+      }
+    }
+    ASSERT_EQ(M.size(), Ref.size());
+    // Full-content sweep both directions.
+    size_t Seen = 0;
+    M.forEach([&](uint64_t K, uint64_t &V) {
+      auto It = Ref.find(K);
+      ASSERT_NE(It, Ref.end());
+      EXPECT_EQ(V, It->second);
+      ++Seen;
+    });
+    EXPECT_EQ(Seen, Ref.size());
+    // clear() keeps working across rounds (reuse path).
+    M.clear();
+    Ref.clear();
+    EXPECT_TRUE(M.empty());
+    EXPECT_EQ(M.lookup(1), nullptr);
+  }
+}
+
+TEST(FlatMapTest, ReserveAvoidsGrowthAndKeepsContents) {
+  FlatMap64<int> M;
+  M.reserve(1000);
+  for (uint64_t I = 0; I < 1000; ++I)
+    M.tryEmplace(I, static_cast<int>(I));
+  for (uint64_t I = 0; I < 1000; ++I) {
+    const int *P = M.lookup(I);
+    ASSERT_NE(P, nullptr);
+    EXPECT_EQ(*P, static_cast<int>(I));
+  }
+}
+
+TEST(FlatMapTest, NonTrivialValues) {
+  FlatMap64<std::vector<uint32_t>> M;
+  for (uint64_t K = 0; K < 200; ++K)
+    for (uint32_t V = 0; V < 5; ++V)
+      M[K].push_back(K * 10 + V);
+  EXPECT_EQ(M.size(), 200u);
+  const std::vector<uint32_t> *P = M.lookup(199);
+  ASSERT_NE(P, nullptr);
+  ASSERT_EQ(P->size(), 5u);
+  EXPECT_EQ((*P)[4], 1994u);
+  M.clear();
+  EXPECT_EQ(M.lookup(199), nullptr);
+  EXPECT_EQ(M.size(), 0u);
+}
+
+TEST(FlatSetTest, DifferentialAgainstUnorderedSet) {
+  std::mt19937_64 Rng(0xfeedface);
+  FlatSet64 S;
+  std::unordered_set<uint64_t> Ref;
+  for (int I = 0; I < 30000; ++I) {
+    uint64_t Key = Rng() % 8192;
+    Key = (Key << 17) ^ (Key * 31);
+    if (Rng() % 2) {
+      EXPECT_EQ(S.insert(Key), Ref.insert(Key).second);
+    } else {
+      EXPECT_EQ(S.contains(Key), Ref.count(Key) > 0);
+    }
+  }
+  ASSERT_EQ(S.size(), Ref.size());
+  size_t Seen = 0;
+  S.forEach([&](uint64_t K) {
+    EXPECT_TRUE(Ref.count(K));
+    ++Seen;
+  });
+  EXPECT_EQ(Seen, Ref.size());
+  S.clear();
+  EXPECT_TRUE(S.empty());
+  EXPECT_FALSE(S.contains(1));
+  EXPECT_TRUE(S.insert(1));
+}
+
+} // namespace
+} // namespace lc

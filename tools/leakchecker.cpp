@@ -46,6 +46,7 @@
 #include "service/ServiceJson.h"
 #include "subjects/Scoring.h"
 #include "subjects/Subjects.h"
+#include "support/MemStats.h"
 #include "support/Trace.h"
 
 #include <cstdio>
@@ -503,6 +504,15 @@ int runTool(int argc, char **argv, std::string &TraceOut) {
   Agg.merge(Checker->substrateStats());
   for (const LeakAnalysisResult &R : Results)
     Agg.merge(R.Statistics);
+  // Process-level memory footprint: machine-dependent (Environment class),
+  // reported alongside the analysis counters in --stats and the JSON run
+  // report. Heap-allocation totals appear only when the counting
+  // operator new (lc_alloc_hook) is linked in, as in the benches.
+  if (uint64_t Peak = mem::peakRssKb())
+    Agg.setGauge("mem-peak-rss-kb", Peak, MetricDet::Environment);
+  if (mem::heapAllocsAvailable())
+    Agg.setGauge("mem-heap-allocs", mem::heapAllocs(),
+                 MetricDet::Environment);
   if (ShowStats)
     printStatsSummary(Agg);
 
