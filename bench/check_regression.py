@@ -5,6 +5,14 @@ answer changes at all.
 
 Usage: check_regression.py BENCH_scalability.json [baseline.json]
        check_regression.py --andersen BENCH_andersen.json [baseline.json]
+       check_regression.py --edits BENCH_edit_storm.json
+
+All metric gates are evaluated before the script exits: a failing run
+prints one `FAIL <metric>: baseline ..., observed ..., ratio ...` line
+per offending metric and exits 1 at the end, so a CI log shows the whole
+regression surface at once instead of just the first tripwire. Only
+structural errors (missing file, missing section) still abort
+immediately.
 
 With --allocs the scalability run's memory section is gated too: the
 heap-allocation count of the cold single-thread heavy-subject check (an
@@ -39,15 +47,57 @@ exact: ANY difference from the baseline fails, because the workload is
 deterministic and a changed total means the solver computes a different
 fixed point. The wave solver must also still beat the naive reference by
 at least 2x at the largest shared size.
+
+Edits mode reads the incremental re-analysis storm (BENCH_edit_storm.json,
+no baseline: the gate is self-relative). For every config in the
+{jobs} x {memo} x {summaries} matrix, the median incremental (patched)
+re-analysis must cost at most 0.25x of a cold from-scratch analysis of
+the same edited source (plus a 1 ms timer grace -- this mode defaults
+lower than the others because --quick medians are sub-millisecond and a
+5 ms grace would swallow the whole budget), every edit must have been
+served by the patch path rather than a cold fallback, and the patched
+report must be byte-identical to the cold report at every edit --
+incremental reuse is only allowed to change the bill, never the answer.
 """
 
 import json
 import sys
 
+# One entry per failed metric gate; printed and counted at exit so a run
+# reports every offending metric, not just the first.
+_failures = []
+
 
 def die(msg):
+    """Structural failure (missing file/section): abort immediately."""
     print(f"check_regression: FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
+
+
+def fail_metric(metric, baseline, observed, limit=None, note=""):
+    """Record one offending metric: baseline vs observed plus their ratio."""
+    try:
+        b = float(baseline)
+        ratio = f"{float(observed) / b:.3f}x" if b else "inf"
+    except (TypeError, ValueError):
+        ratio = "n/a"
+    line = f"{metric}: baseline {baseline}, observed {observed}, ratio {ratio}"
+    if limit is not None:
+        line += f", limit {limit}"
+    if note:
+        line += f" ({note})"
+    _failures.append(line)
+    print(f"check_regression: FAIL {line}", file=sys.stderr)
+
+
+def finish():
+    """Exit status for the whole run: 1 if any metric gate failed."""
+    if _failures:
+        print(f"check_regression: {len(_failures)} metric gate(s) failed",
+              file=sys.stderr)
+        return 1
+    print("check_regression: all gates passed")
+    return 0
 
 
 def check_andersen(run_path, base_path, grace_ms):
@@ -67,8 +117,8 @@ def check_andersen(run_path, base_path, grace_ms):
         ref = base_rows[n]
         for key in ("var_pts_total", "field_pts_total"):
             if row.get(key) != ref.get(key):
-                die(f"n={n}: {key} changed: {row.get(key)} vs baseline "
-                    f"{ref.get(key)} (the solver's answer changed)")
+                fail_metric(f"andersen n={n} {key}", ref.get(key),
+                            row.get(key), note="the solver's answer changed")
         wave = float(row["wave_ms"])
         base_wave = float(ref["wave_ms"])
         limit = base_wave * 1.25 + grace_ms
@@ -76,16 +126,17 @@ def check_andersen(run_path, base_path, grace_ms):
         print(f"check_regression: andersen n={n} wave {wave:.3f} ms, "
               f"baseline {base_wave:.3f} ms, limit {limit:.3f} ms: {verdict}")
         if wave > limit:
-            die(f"n={n}: wave solve regressed >25%: {wave:.3f} ms "
-                f"vs baseline {base_wave:.3f} ms")
+            fail_metric(f"andersen n={n} wave_ms", f"{base_wave:.3f}",
+                        f"{wave:.3f}", f"{limit:.3f} (1.25x + grace)")
 
     largest = max(shared, key=lambda r: r["n"])
     speedup = float(largest["speedup"])
     print(f"check_regression: andersen n={largest['n']} speedup over naive "
           f"{speedup:.2f}x (need >= 2.0)")
     if speedup < 2.0:
-        die(f"wave solver no longer >= 2x the naive reference at "
-            f"n={largest['n']}: {speedup:.2f}x")
+        fail_metric(f"andersen n={largest['n']} speedup-over-naive", "2.0",
+                    f"{speedup:.2f}",
+                    note="wave solver no longer >= 2x the naive reference")
 
     refine = run.get("refine")
     if refine:
@@ -95,20 +146,66 @@ def check_andersen(run_path, base_path, grace_ms):
               f"round2plus_max_fraction={frac:.3f}, "
               f"incremental_solves={refine.get('incremental_solves')}")
         if refine.get("incremental_solves", 0) <= 0:
-            die("refinement ran no incremental solves -- the re-solve "
-                "path fell back to scratch")
-    return 0
+            fail_metric("andersen refine incremental_solves", "> 0",
+                        refine.get("incremental_solves"),
+                        note="the re-solve path fell back to scratch")
+    return finish()
+
+
+def check_edits(run_path, grace_ms):
+    with open(run_path) as f:
+        run = json.load(f)
+    configs = run.get("configs") or die("--edits: configs missing or empty")
+    edits = int(run.get("edits", 0))
+    if edits <= 0:
+        die("--edits: run applied no edits")
+    for c in configs:
+        tag = (f"jobs={c.get('jobs')} memo={'on' if c.get('memo') else 'off'} "
+               f"summaries={'on' if c.get('summaries') else 'off'}")
+        cold = float(c["cold_ms"])
+        med = float(c["median_edit_ms"])
+        if cold <= 0:
+            die(f"--edits: {tag}: cold_ms is zero")
+        limit = cold * 0.25 + grace_ms
+        ratio = med / cold
+        verdict = "OK" if med <= limit else "FAIL"
+        print(f"check_regression: edit-storm {tag}: median edit {med:.3f} ms "
+              f"vs cold {cold:.3f} ms (ratio {ratio:.3f}, limit "
+              f"{limit:.3f} ms = 0.25x + {grace_ms:g} ms grace): {verdict}")
+        if med > limit:
+            fail_metric(f"edit-storm median_edit_ms ({tag})", f"{cold:.3f}",
+                        f"{med:.3f}", f"{limit:.3f} (0.25x cold + grace)",
+                        note="incremental re-analysis lost its edge")
+        if not c.get("reports_identical", False):
+            fail_metric(f"edit-storm reports_identical ({tag})", True,
+                        c.get("reports_identical", False),
+                        note="patched report diverged from cold re-analysis")
+        if int(c.get("patched", 0)) != edits:
+            fail_metric(f"edit-storm patched edits ({tag})", edits,
+                        c.get("patched", 0),
+                        note="some edits fell back to a cold rebuild")
+    if not run.get("cross_config_identical", True):
+        fail_metric("edit-storm cross_config_identical", True, False,
+                    note="reports differ across the jobs/memo/summaries "
+                         "matrix for the same edited source")
+    return finish()
 
 
 def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
-    grace_ms = 5.0
+    grace_ms = None
     andersen = "--andersen" in argv[1:]
     summaries = "--summaries" in argv[1:]
     allocs = "--allocs" in argv[1:]
+    edits = "--edits" in argv[1:]
     for a in argv[1:]:
         if a.startswith("--grace-ms="):
             grace_ms = float(a.split("=", 1)[1])
+    if grace_ms is None:
+        # The edit-storm medians are sub-millisecond in --quick runs, so a
+        # 5 ms grace would swallow the whole 0.25x budget there; 1 ms only
+        # absorbs timer jitter.
+        grace_ms = 1.0 if edits else 5.0
     if not args:
         print(__doc__, file=sys.stderr)
         return 2
@@ -116,6 +213,8 @@ def main(argv):
     if andersen:
         base_path = args[1] if len(args) > 1 else "bench/andersen_baseline.json"
         return check_andersen(run_path, base_path, grace_ms)
+    if edits:
+        return check_edits(run_path, grace_ms)
     base_path = args[1] if len(args) > 1 else "bench/scalability_baseline.json"
 
     with open(run_path) as f:
@@ -128,12 +227,15 @@ def main(argv):
     if single is None:
         die("no jobs=1 entry in jobs_sweep")
     if single.get("states_visited", 0) <= 0:
-        die("jobs=1 run visited no CFL states -- queries not running?")
+        fail_metric("jobs=1 states_visited", "> 0",
+                    single.get("states_visited", 0),
+                    note="queries not running?")
 
     states = {r["states_visited"] for r in sweep}
     if len(states) != 1:
-        die(f"states_visited differs across job counts: {sorted(states)} "
-            "(deterministic accounting is broken)")
+        fail_metric("states_visited across job counts", "one total",
+                    sorted(states),
+                    note="deterministic accounting is broken")
 
     base_single = next(
         (r for r in base.get("jobs_sweep", []) if r.get("jobs") == 1), None)
@@ -148,8 +250,8 @@ def main(argv):
           f"baseline {base_wall:.3f} ms, limit {limit:.3f} ms "
           f"(1.25x + {grace_ms:g} ms grace): {verdict}")
     if wall > limit:
-        die(f"single-thread wall time regressed >25%: {wall:.3f} ms "
-            f"vs baseline {base_wall:.3f} ms")
+        fail_metric("single-thread wall_ms", f"{base_wall:.3f}",
+                    f"{wall:.3f}", f"{limit:.3f} (1.25x + grace)")
 
     memo = run.get("memo_ablation", {})
     rate = memo.get("cache_hit_rate", 0.0)
@@ -161,7 +263,7 @@ def main(argv):
         check_allocs(run, base)
     if summaries:
         check_summaries(run)
-    return 0
+    return finish()
 
 
 def check_allocs(run, base):
@@ -180,7 +282,7 @@ def check_allocs(run, base):
         print(f"check_regression: heap allocations {n}, baseline {base_n}, "
               f"limit {limit:.0f} (1.25x): {verdict}")
         if n > limit:
-            die(f"heap allocations regressed >25%: {n} vs baseline {base_n}")
+            fail_metric("heap_allocs", base_n, n, f"{limit:.0f} (1.25x)")
     # Peak RSS is page-granular and process-wide, so give it a small
     # absolute grace on top of the relative band.
     rss = int(mem["peak_rss_kb"])
@@ -190,7 +292,8 @@ def check_allocs(run, base):
     print(f"check_regression: peak RSS {rss} KiB, baseline {base_rss} KiB, "
           f"limit {rss_limit:.0f} KiB (1.25x + 512): {verdict}")
     if rss > rss_limit:
-        die(f"peak RSS regressed >25%: {rss} KiB vs baseline {base_rss} KiB")
+        fail_metric("peak_rss_kb", base_rss, rss,
+                    f"{rss_limit:.0f} (1.25x + 512)")
 
 
 def check_summaries(run):
@@ -198,9 +301,11 @@ def check_summaries(run):
         "--summaries: summary_ablation missing or empty")
     for row in rows:
         if not row.get("reports_identical", False):
-            die(f"summary ablation at {row.get('clusters')} clusters: "
-                "reports differ with summaries on vs off (composition is "
-                "not exact)")
+            fail_metric(
+                f"summary ablation reports at {row.get('clusters')} clusters",
+                True, row.get("reports_identical", False),
+                note="reports differ with summaries on vs off -- "
+                     "composition is not exact")
     largest = max(rows, key=lambda r: r.get("clusters", 0))
     on = largest.get("states_on", 0)
     off = largest.get("states_off", 0)
@@ -212,9 +317,10 @@ def check_summaries(run):
           f"clusters: states {on} vs {off} (ratio {ratio:.3f}, "
           f"need <= 0.7): {verdict}")
     if ratio > 0.7:
-        die(f"method summaries save too little at "
-            f"{largest['clusters']} clusters: states ratio {ratio:.3f} "
-            "> 0.7")
+        fail_metric(
+            f"summary ablation states ratio at {largest['clusters']} "
+            "clusters", off, on, "0.7x",
+            note="method summaries save too little")
 
 
 if __name__ == "__main__":

@@ -4,11 +4,62 @@
 
 #include "frontend/Lower.h"
 #include "ir/Verifier.h"
+#include "pta/PagRemap.h"
 #include "support/Trace.h"
 
+#include <cassert>
+#include <cstdio>
 #include <vector>
 
 using namespace lc;
+
+namespace {
+
+/// True when every changed method keeps its exact call and allocation
+/// layout: invokes at the same statement indices with the same declared
+/// callee and call kind, and allocations at the same statement indices
+/// instantiating the same types. RTA's fixpoint inputs are exactly these
+/// two per-method sequences plus the (byte-identical) class hierarchy and
+/// entry points, and the call-graph tables are keyed by statement index,
+/// so a shape-preserving edit cannot move a call edge, a callee set, or
+/// the reachable set -- the previous session's call graph transfers
+/// verbatim.
+bool callShapePreserved(const Program &Old, const Program &New,
+                        const std::vector<uint8_t> &Changed) {
+  if (Old.Methods.size() != New.Methods.size())
+    return false;
+  for (MethodId M = 0; M < New.Methods.size(); ++M) {
+    if (M >= Changed.size() || !Changed[M])
+      continue;
+    const std::vector<Stmt> &OB = Old.Methods[M].Body;
+    const std::vector<Stmt> &NB = New.Methods[M].Body;
+    StmtIdx I = 0, J = 0;
+    while (true) {
+      while (I < OB.size() && !OB[I].isCall() && !OB[I].isAllocation())
+        ++I;
+      while (J < NB.size() && !NB[J].isCall() && !NB[J].isAllocation())
+        ++J;
+      if ((I < OB.size()) != (J < NB.size()))
+        return false;
+      if (I >= OB.size())
+        break;
+      if (I != J) // Callees is keyed by (method, statement index)
+        return false;
+      const Stmt &A = OB[I], &B = NB[J];
+      if (A.Op != B.Op)
+        return false;
+      if (A.isCall() && (A.Callee != B.Callee || A.CK != B.CK))
+        return false;
+      if (A.isAllocation() && A.Ty != B.Ty)
+        return false;
+      ++I;
+      ++J;
+    }
+  }
+  return true;
+}
+
+} // namespace
 
 LeakChecker::LeakChecker(std::unique_ptr<Program> Prog, LeakOptions Opts)
     : P(std::move(Prog)), Opts(Opts) {
@@ -64,6 +115,154 @@ std::unique_ptr<LeakChecker> LeakChecker::fromSource(std::string_view Source,
 std::unique_ptr<LeakChecker>
 LeakChecker::fromProgram(std::unique_ptr<Program> P, LeakOptions Opts) {
   return std::unique_ptr<LeakChecker>(new LeakChecker(std::move(P), Opts));
+}
+
+std::unique_ptr<LeakChecker>
+LeakChecker::patchFrom(LeakChecker &Prev, std::string_view NewSource,
+                       DiagnosticEngine &Diags) {
+  trace::TraceSpan Span("substrate.patch", "substrate");
+
+  // --- Fallible phase: only reads Prev. Any bail-out here leaves the
+  // previous session fully warm (the caller falls back to fromSource and
+  // may keep Prev serving its own source).
+  DeclIndex Idx = scanDeclarations(NewSource);
+  if (!Idx.Valid) {
+    Diags.error({}, "incremental patch: cannot segment the edited source "
+                    "into declarations");
+    return nullptr;
+  }
+  ProgramDiff Diff = diffDeclarations(Prev.P->Decls, Idx);
+  if (!Diff.Patchable) {
+    Diags.error({}, "incremental patch: the edit is not body-level "
+                    "patchable (signature/field/class changes need a "
+                    "from-scratch build)");
+    return nullptr;
+  }
+  auto Prog = std::make_unique<Program>(*Prev.P); // deep clone, interner-safe
+  std::vector<uint8_t> Changed;
+  if (!patchProgram(*Prog, NewSource, Idx, Diff, Diags, &Changed))
+    return nullptr; // a changed body no longer compiles; Diags has why
+  {
+    // Scoped verification: the patch only re-lowered the changed bodies,
+    // so only those methods (and the sites/loops they own) can be newly
+    // malformed. Debug builds still cross-check the whole program below.
+    std::vector<std::string> Problems = verifyMethods(*Prog, Changed);
+    if (!Problems.empty()) {
+      for (const std::string &Prob : Problems)
+        Diags.error({}, "malformed IR after patch: " + Prob);
+      return nullptr;
+    }
+    assert(verifyProgram(*Prog).empty() &&
+           "scoped verify passed but the full program is malformed");
+  }
+#ifndef NDEBUG
+  {
+    // Byte-identity starts here: the patched clone must be
+    // indistinguishable (ids, bodies, tables) from a clean compile.
+    Program Scratch;
+    DiagnosticEngine DScratch;
+    bool Compiles = compileSource(NewSource, Scratch, DScratch);
+    assert(Compiles && "patched program compiled but scratch build failed");
+    std::string Why;
+    bool Same = Compiles && programsEquivalent(*Prog, Scratch, &Why);
+    if (!Same)
+      std::fprintf(stderr, "patchFrom mismatch vs scratch: %s\n",
+                   Why.c_str());
+    assert(Same && "patched program must equal a clean compile");
+  }
+#endif
+
+  // --- Infallible phase: build the new substrate, consuming Prev's
+  // solver state where reuse pays.
+  std::unique_ptr<LeakChecker> C(new LeakChecker(PatchTag{}));
+  C->P = std::move(Prog);
+  C->Opts = Prev.Opts;
+  bool CgReused = false;
+  {
+    trace::TraceSpan S2("substrate.callgraph", "substrate");
+    if (callShapePreserved(*Prev.P, *C->P, Changed)) {
+      CgReused = true;
+      // The edit kept every changed method's call/alloc layout, so the
+      // old graph is bit-for-bit what a rebuild would produce (the RTA
+      // builder is deterministic over ids and statement indices). Moving
+      // the object transfers ownership without invalidating the address
+      // Prev's Pag still references.
+      C->CG = std::move(Prev.CG);
+      C->SubstrateStats.add("patch-callgraph-reused", 1);
+#ifndef NDEBUG
+      {
+        CallGraph Fresh(*C->P, CallGraphKind::Rta);
+        assert(C->CG->numReachable() == Fresh.numReachable());
+        for (MethodId M = 0; M < C->P->Methods.size(); ++M) {
+          assert(C->CG->isReachable(M) == Fresh.isReachable(M));
+          const std::vector<Stmt> &Body = C->P->Methods[M].Body;
+          for (StmtIdx I = 0; I < Body.size(); ++I)
+            if (Body[I].isCall())
+              assert(C->CG->calleesAt(M, I) == Fresh.calleesAt(M, I) &&
+                     "reused call graph diverges from a rebuild");
+          assert(C->CG->callersOf(M) == Fresh.callersOf(M) &&
+                 "reused caller table diverges from a rebuild");
+        }
+      }
+#endif
+    } else {
+      C->CG = std::make_unique<CallGraph>(*C->P, CallGraphKind::Rta);
+    }
+  }
+  {
+    trace::TraceSpan S2("substrate.pag", "substrate");
+    C->G = std::make_unique<Pag>(*C->P, *C->CG);
+  }
+  PagRemap R = buildPagRemap(*Prev.G, *C->G, Changed);
+  // Seeds read the *old* Andersen solution (removed-store alias matches);
+  // the incremental re-solve below steals it, so this must come first.
+  std::vector<PagNodeId> Seeds =
+      collectCflPatchSeeds(*Prev.G, *Prev.Base, Changed);
+  {
+    trace::TraceSpan S2("substrate.andersen", "substrate");
+    ScopedTimer T(C->SubstrateStats, "andersen-solve");
+    C->Base = std::make_unique<AndersenPta>(*C->G, std::move(*Prev.Base), R);
+  }
+  C->Base->recordStats(C->SubstrateStats);
+  if (C->Opts.Summaries) {
+    trace::TraceSpan S2("substrate.summarize", "substrate");
+    ScopedTimer T(C->SubstrateStats, "summarize");
+    C->Sums = Prev.Sums
+                  ? std::make_unique<Summaries>(*C->G, *C->Base,
+                                                C->Opts.Cfl.MaxCallDepth,
+                                                *Prev.Sums, R)
+                  : std::make_unique<Summaries>(*C->G, *C->Base,
+                                                C->Opts.Cfl.MaxCallDepth);
+    C->Sums->recordStats(C->SubstrateStats);
+  }
+  {
+    trace::TraceSpan S2("substrate.cfl", "substrate");
+    C->Cfl = std::make_unique<CflPta>(*C->G, *C->Base, C->Opts.Cfl,
+                                      C->Sums.get(), *Prev.Cfl, R, Changed,
+                                      Seeds);
+  }
+  {
+    trace::TraceSpan S2("substrate.escape", "substrate");
+    // The cone restart is only exact when the caller tables are the old
+    // ones verbatim; a rebuilt graph (shape changed, so RTA may have
+    // re-derived callee sets anywhere) forces the full fixed point.
+    if (CgReused && Prev.Esc) {
+      C->Esc = std::make_unique<EscapeAnalysis>(*C->P, *C->CG,
+                                                std::move(*Prev.Esc), Changed);
+      C->SubstrateStats.add("patch-escape-incremental", 1);
+    } else {
+      C->Esc = std::make_unique<EscapeAnalysis>(*C->P, *C->CG);
+    }
+  }
+  // The previous session is consumed either way; reuse its warm pool
+  // instead of spawning a fresh set of workers per edit.
+  C->Pool = std::move(Prev.Pool);
+  if (!C->Pool)
+    C->Pool = std::make_unique<ThreadPool>(C->Opts.Jobs);
+  C->SubstrateStats.add("patch-methods-changed", Diff.MethodsBodyChanged);
+  C->SubstrateStats.add("patch-methods-unchanged",
+                        Diff.MethodsUnchanged + Diff.MethodsLocShifted);
+  return C;
 }
 
 LeakAnalysisResult LeakChecker::runOne(LoopId Loop,

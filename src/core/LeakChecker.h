@@ -43,6 +43,25 @@ public:
   static std::unique_ptr<LeakChecker> fromProgram(std::unique_ptr<Program> P,
                                                   LeakOptions Opts = {});
 
+  /// Incremental session construction for the edit workload: when
+  /// \p NewSource differs from \p Prev's program only in method bodies,
+  /// builds the new session by patching a *clone* of the program and
+  /// carrying the expensive substrate across the edit -- the Andersen
+  /// fixed point is re-solved from \p Prev's (consuming it), unchanged
+  /// method summaries are reused via their stable-coordinate region
+  /// fingerprints, and the CFL memo adopts every cached entry whose
+  /// backward cone avoids the edit. Returns nullptr (with \p Diags
+  /// explaining why) when the edit is not body-level patchable or the
+  /// changed bodies no longer compile; \p Prev is then untouched and
+  /// still serves its own source. On success \p Prev's solver state has
+  /// been consumed and the session must be discarded. Reports from the
+  /// patched session are byte-identical to a from-scratch build of
+  /// \p NewSource (debug builds assert the program, points-to sets,
+  /// summaries, and memo results against scratch rebuilds).
+  static std::unique_ptr<LeakChecker> patchFrom(LeakChecker &Prev,
+                                                std::string_view NewSource,
+                                                DiagnosticEngine &Diags);
+
   /// The session's single analysis entry point: resolves the request's
   /// loop set (explicit labels, or every labeled reachable loop for
   /// AllLabeled), runs each loop under the request's validated options and
@@ -104,6 +123,12 @@ public:
 
 private:
   LeakChecker(std::unique_ptr<Program> P, LeakOptions Opts);
+
+  /// Tag ctor for patchFrom: members are filled piecewise because the
+  /// patched substrate interleaves old-session reads with new-session
+  /// construction (seed collection must precede the Andersen steal).
+  struct PatchTag {};
+  explicit LeakChecker(PatchTag) {}
 
   /// The one place a loop is actually analyzed; run() and every deprecated
   /// wrapper funnel through here.

@@ -5,6 +5,7 @@
 #include "dataflow/Dataflow.h"
 #include "support/Worklist.h"
 
+#include <cassert>
 #include <map>
 
 using namespace lc;
@@ -14,6 +15,69 @@ EscapeAnalysis::EscapeAnalysis(const Program &P, const CallGraph &CG)
   ScopedTimer T(Statistics, "escape-analysis");
   computeEscapingLocals();
   computeCaptured();
+}
+
+EscapeAnalysis::EscapeAnalysis(const Program &P, const CallGraph &CG,
+                               EscapeAnalysis &&Prev,
+                               const std::vector<uint8_t> &ChangedMethods)
+    : P(P), CG(CG) {
+  ScopedTimer T(Statistics, "escape-analysis");
+  assert(Prev.EscLocals.size() == P.Methods.size() &&
+         "body-level patch cannot add or remove methods");
+  EscLocals = std::move(Prev.EscLocals);
+
+  // The cone of methods whose summary can differ from the previous
+  // revision's: the changed methods (their transfer equations read new
+  // bodies) plus, transitively, their callers (a changed callee's
+  // parameter bits feed the caller's Invoke transfer). With the call
+  // graph reused verbatim, no other method's equation mentions anything
+  // that changed, so its old least-fixpoint value is still exact.
+  std::vector<uint8_t> InCone(P.Methods.size(), 0);
+  std::vector<MethodId> Cone;
+  for (MethodId M = 0; M < P.Methods.size(); ++M)
+    if (M < ChangedMethods.size() && ChangedMethods[M]) {
+      InCone[M] = 1;
+      Cone.push_back(M);
+    }
+  for (size_t I = 0; I < Cone.size(); ++I)
+    for (const CallSite &CS : CG.callersOf(Cone[I]))
+      if (!InCone[CS.Caller]) {
+        InCone[CS.Caller] = 1;
+        Cone.push_back(CS.Caller);
+      }
+
+  // Restart the cone from bottom (a changed body can also *shrink* the
+  // summary; monotone re-use of the old bits would be imprecise, and the
+  // differential gate demands the exact scratch result). Sizes are
+  // re-taken from the new bodies -- re-lowering may renumber locals.
+  Worklist<MethodId> WL;
+  for (MethodId M : Cone) {
+    EscLocals[M] = BitSet();
+    EscLocals[M].resize(P.Methods[M].Locals.size());
+    WL.push(M);
+  }
+  Statistics.add("escape-incremental-cone", Cone.size());
+  while (!WL.empty()) {
+    MethodId M = WL.pop();
+    Statistics.add("escape-method-recomputes");
+    if (!recomputeMethod(M))
+      continue;
+    for (const CallSite &CS : CG.callersOf(M)) {
+      assert(InCone[CS.Caller] && "escape cone must be caller-closed");
+      WL.push(CS.Caller);
+    }
+  }
+  computeCaptured();
+#ifndef NDEBUG
+  { // The cone restart must land on the whole-program least fixpoint.
+    EscapeAnalysis Scratch(P, CG);
+    for (MethodId M = 0; M < P.Methods.size(); ++M)
+      assert(EscLocals[M] == Scratch.EscLocals[M] &&
+             "incremental escape summary diverged from scratch");
+    assert(Captured == Scratch.Captured &&
+           "incremental captured set diverged from scratch");
+  }
+#endif
 }
 
 uint64_t EscapeAnalysis::paramSignature(MethodId M) const {

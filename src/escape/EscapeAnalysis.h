@@ -47,6 +47,21 @@ public:
   /// \p CG; cheap enough to run eagerly at session setup).
   EscapeAnalysis(const Program &P, const CallGraph &CG);
 
+  /// Incremental rebuild across a body-level program patch. Only valid
+  /// when \p CG is unchanged from \p Prev's session (patchFrom takes this
+  /// path exactly when the previous call graph was reused verbatim):
+  /// then only the changed methods' transfer equations differ, so the
+  /// interprocedural fixed point restarts from bottom over the
+  /// caller-closure cone of the edit -- the changed methods plus,
+  /// transitively, their callers, the only methods a shrunken parameter
+  /// summary can reach -- while every summary outside the cone is stolen
+  /// from \p Prev verbatim. The per-site captured classification is
+  /// recomputed in full (site ids are renumbered by the patch; the pass
+  /// is intraprocedural and linear). Debug builds assert equality against
+  /// a scratch run. \p Prev is consumed.
+  EscapeAnalysis(const Program &P, const CallGraph &CG, EscapeAnalysis &&Prev,
+                 const std::vector<uint8_t> &ChangedMethods);
+
   /// True if local \p L of method \p M may let its referent escape M's
   /// frame (heap store, return, or hand-off to an escaping callee slot).
   bool localMayEscape(MethodId M, LocalId L) const {

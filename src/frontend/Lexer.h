@@ -28,6 +28,15 @@ public:
   Lexer(std::string_view Source, DiagnosticEngine &Diags)
       : Source(Source), Diags(Diags) {}
 
+  /// Starts lexing at byte \p StartPos of \p Source, reporting positions
+  /// from \p StartLine/\p StartCol. The incremental re-lowering path uses
+  /// this to lex a single member span out of a full buffer with source
+  /// locations that match a whole-buffer lex.
+  Lexer(std::string_view Source, DiagnosticEngine &Diags, size_t StartPos,
+        uint32_t StartLine, uint32_t StartCol)
+      : Source(Source), Diags(Diags), Pos(StartPos), Line(StartLine),
+        Col(StartCol) {}
+
   /// Runs the lexer over the whole buffer.
   std::vector<Token> lexAll();
 

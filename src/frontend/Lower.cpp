@@ -5,7 +5,9 @@
 #include "frontend/Lexer.h"
 #include "frontend/Parser.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cctype>
 
 using namespace lc;
 using namespace lc::ast;
@@ -23,6 +25,23 @@ public:
   LoweringImpl(const CompilationUnit &Unit, Program &P,
                DiagnosticEngine &Diags)
       : Unit(Unit), P(P), Diags(Diags), B(P) {}
+
+  /// Incremental entry: re-lowers the body of the already-declared method
+  /// \p M of class \p Cls from the freshly parsed \p Decl, discarding the
+  /// old body, temps, and scopes. Declaration passes do not run -- the
+  /// patch pipeline guarantees signatures, fields and ids are unchanged.
+  bool patchBody(ClassId Cls, MethodId M, const MethodDecl &Decl) {
+    assert(!Decl.IsCtor && "constructor edits take the from-scratch path");
+    MethodInfo &MI = P.Methods[M];
+    if (Decl.IsStatic != MI.IsStatic || Decl.Params.size() != MI.NumParams)
+      return false; // signature drifted; the diff should have caught this
+    // Drop the old temps/user locals; `this` + params keep their slots.
+    MI.Locals.resize((MI.IsStatic ? 0 : 1) + MI.NumParams);
+    CurClass = Cls;
+    CurDecl = nullptr; // only constructor preambles consult it
+    lowerMethodBody(Decl, M);
+    return !Diags.hasErrors();
+  }
 
   bool run() {
     declareClasses();
@@ -191,6 +210,12 @@ private:
   /// Prepares the builder to re-emit \p M's body from scratch.
   void beginBody(MethodId M) {
     CurMethod = M;
+    // Reset the location cursor so bodies that never set one (synthesized
+    // constructors) emit deterministic unknown locations instead of
+    // whatever the previously lowered body left behind -- the incremental
+    // patch path depends on statement locations being a function of the
+    // method's own source text.
+    CurLoc = SourceLoc{};
     P.Methods[M].Body.clear();
     // Reuse IRBuilder by reopening the method: IRBuilder tracks only the
     // current method id, so poke it directly.
@@ -1184,5 +1209,747 @@ bool lc::compileSource(std::string_view Source, Program &P,
   CompilationUnit Unit = Parse.parseUnit();
   if (Diags.hasErrors())
     return false;
-  return lowerUnit(Unit, P, Diags);
+  if (!lowerUnit(Unit, P, Diags))
+    return false;
+  P.Decls = scanDeclarations(Source);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental re-lowering: declaration scanning, diffing, and patching.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// FNV-1a over \p Bytes with a splitmix64 finalizer; never returns 0 so a
+/// real hash cannot collide with the "field has no body" sentinel.
+uint64_t hashBytes(std::string_view Bytes) {
+  uint64_t H = 1469598103934665603ull;
+  for (char C : Bytes) {
+    H ^= (unsigned char)C;
+    H *= 1099511628211ull;
+  }
+  H ^= H >> 30;
+  H *= 0xbf58476d1ce4e5b9ull;
+  H ^= H >> 27;
+  H *= 0x94d049bb133111ebull;
+  H ^= H >> 31;
+  return H ? H : 1;
+}
+
+/// Lightweight raw-source cursor for the declaration scanner: tracks
+/// line/column exactly like the Lexer and knows how to skip comments,
+/// string literals, and balanced bracket runs. Sets Bad instead of
+/// guessing when the source cannot be segmented confidently.
+struct ScanCursor {
+  std::string_view Src;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+  bool Bad = false;
+
+  bool atEnd() const { return Pos >= Src.size(); }
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+  void bump() {
+    if (atEnd())
+      return;
+    if (Src[Pos] == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    ++Pos;
+  }
+
+  /// Skips a string literal starting at the opening quote. MJ strings are
+  /// single-line with backslash escapes.
+  void skipString() {
+    bump();
+    while (!atEnd()) {
+      char C = peek();
+      if (C == '"') {
+        bump();
+        return;
+      }
+      if (C == '\n') {
+        Bad = true;
+        return;
+      }
+      if (C == '\\') {
+        bump();
+        if (atEnd())
+          break;
+      }
+      bump();
+    }
+    Bad = true;
+  }
+
+  void skipTrivia() {
+    while (!atEnd()) {
+      char C = peek();
+      if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+        bump();
+        continue;
+      }
+      if (C == '/' && peek(1) == '/') {
+        while (!atEnd() && peek() != '\n')
+          bump();
+        continue;
+      }
+      if (C == '/' && peek(1) == '*') {
+        bump();
+        bump();
+        while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
+          bump();
+        if (atEnd()) {
+          Bad = true;
+          return;
+        }
+        bump();
+        bump();
+        continue;
+      }
+      return;
+    }
+  }
+
+  std::string readWord() {
+    std::string W;
+    char C = peek();
+    if (!(std::isalpha((unsigned char)C) || C == '_'))
+      return W;
+    while (!atEnd()) {
+      C = peek();
+      if (!(std::isalnum((unsigned char)C) || C == '_'))
+        break;
+      W += C;
+      bump();
+    }
+    return W;
+  }
+
+  /// Skips a balanced \p Open.. \p Close run starting at \p Open,
+  /// comment- and string-aware. \returns true when the matching close was
+  /// consumed.
+  bool skipBalanced(char Open, char Close) {
+    unsigned Depth = 0;
+    while (!atEnd()) {
+      skipTrivia();
+      if (Bad || atEnd())
+        break;
+      char C = peek();
+      if (C == '"') {
+        skipString();
+        if (Bad)
+          return false;
+        continue;
+      }
+      if (C == Open) {
+        ++Depth;
+        bump();
+        continue;
+      }
+      if (C == Close) {
+        if (Depth == 0)
+          break;
+        --Depth;
+        bump();
+        if (Depth == 0)
+          return true;
+        continue;
+      }
+      bump();
+    }
+    Bad = true;
+    return false;
+  }
+};
+
+} // namespace
+
+DeclIndex lc::scanDeclarations(std::string_view Source) {
+  DeclIndex Idx;
+  ScanCursor S{Source};
+  while (true) {
+    S.skipTrivia();
+    if (S.Bad)
+      return {};
+    if (S.atEnd())
+      break;
+
+    // Class header: [library] class Name [extends Name] '{'.
+    size_t HeaderBegin = S.Pos;
+    DeclClass Cls;
+    Cls.Line = S.Line;
+    Cls.Col = S.Col;
+    std::string W = S.readWord();
+    if (W == "library") {
+      S.skipTrivia();
+      W = S.readWord();
+    }
+    if (W != "class")
+      return {};
+    S.skipTrivia();
+    Cls.Name = S.readWord();
+    if (Cls.Name.empty())
+      return {};
+    S.skipTrivia();
+    if (S.Bad)
+      return {};
+    if (S.peek() != '{') {
+      if (S.readWord() != "extends")
+        return {};
+      S.skipTrivia();
+      if (S.readWord().empty())
+        return {};
+      S.skipTrivia();
+    }
+    if (S.Bad || S.peek() != '{')
+      return {};
+    Cls.HeaderHash = hashBytes(Source.substr(HeaderBegin, S.Pos - HeaderBegin));
+    S.bump(); // '{'
+
+    // Members until the class's closing '}'.
+    while (true) {
+      S.skipTrivia();
+      if (S.Bad || S.atEnd())
+        return {};
+      if (S.peek() == '}') {
+        S.bump();
+        break;
+      }
+      DeclMember Mem;
+      Mem.Line = S.Line;
+      Mem.Col = S.Col;
+      Mem.Begin = S.Pos;
+      // Words (modifier, type, name) and array brackets up to the
+      // disambiguating token: '(' = method, '='/';' = field.
+      std::string LastWord;
+      unsigned WordCount = 0;
+      bool IsMethodDecl = false;
+      while (true) {
+        S.skipTrivia();
+        if (S.Bad || S.atEnd())
+          return {};
+        char C = S.peek();
+        if (C == '(') {
+          IsMethodDecl = true;
+          break;
+        }
+        if (C == '=' || C == ';')
+          break;
+        if (C == '[' || C == ']') {
+          S.bump();
+          continue;
+        }
+        std::string W2 = S.readWord();
+        if (W2.empty())
+          return {};
+        if (WordCount == 0 && W2 == "static")
+          Mem.IsStatic = true;
+        LastWord = W2;
+        ++WordCount;
+      }
+      unsigned NameWords = WordCount - (Mem.IsStatic ? 1 : 0);
+      Mem.Name = LastWord;
+      if (IsMethodDecl) {
+        Mem.IsMethod = true;
+        if (NameWords == 1) {
+          // No return type: a constructor, which must bear the class name.
+          Mem.IsCtor = true;
+          if (Mem.IsStatic || Mem.Name != Cls.Name)
+            return {};
+        } else if (NameWords != 2) {
+          return {};
+        }
+        if (!S.skipBalanced('(', ')'))
+          return {};
+        Mem.SigHash = hashBytes(Source.substr(Mem.Begin, S.Pos - Mem.Begin));
+        S.skipTrivia();
+        if (S.Bad || S.peek() != '{')
+          return {};
+        size_t BodyBegin = S.Pos;
+        if (!S.skipBalanced('{', '}'))
+          return {};
+        Mem.BodyHash = hashBytes(Source.substr(BodyBegin, S.Pos - BodyBegin));
+        Mem.End = S.Pos;
+      } else {
+        // Field: Type Name [= Expr] ';'. The whole declaration is the
+        // signature (an initializer edit changes <clinit>/ctor bodies).
+        if (NameWords != 2)
+          return {};
+        unsigned Depth = 0;
+        while (true) {
+          S.skipTrivia();
+          if (S.Bad || S.atEnd())
+            return {};
+          char C = S.peek();
+          if (C == '"') {
+            S.skipString();
+            if (S.Bad)
+              return {};
+            continue;
+          }
+          if (C == '{' || C == '}')
+            return {};
+          if (C == '(') {
+            ++Depth;
+            S.bump();
+            continue;
+          }
+          if (C == ')') {
+            if (Depth == 0)
+              return {};
+            --Depth;
+            S.bump();
+            continue;
+          }
+          if (C == ';' && Depth == 0) {
+            S.bump();
+            break;
+          }
+          S.bump();
+        }
+        Mem.End = S.Pos;
+        Mem.SigHash = hashBytes(Source.substr(Mem.Begin, Mem.End - Mem.Begin));
+        Mem.BodyHash = 0;
+      }
+      Cls.Members.push_back(std::move(Mem));
+    }
+    Idx.Classes.push_back(std::move(Cls));
+  }
+  Idx.Valid = true;
+  return Idx;
+}
+
+ProgramDiff lc::diffDeclarations(const DeclIndex &Old, const DeclIndex &New) {
+  ProgramDiff D;
+  if (!Old.Valid || !New.Valid)
+    return D;
+
+  // Patchability requires a positionally identical declaration skeleton:
+  // same classes with same headers, same members with same name/kind.
+  bool SameShape = Old.Classes.size() == New.Classes.size();
+  for (size_t I = 0; SameShape && I < Old.Classes.size(); ++I) {
+    const DeclClass &OC = Old.Classes[I], &NC = New.Classes[I];
+    if (OC.Name != NC.Name || OC.HeaderHash != NC.HeaderHash ||
+        OC.Members.size() != NC.Members.size()) {
+      SameShape = false;
+      break;
+    }
+    for (size_t J = 0; J < OC.Members.size(); ++J) {
+      const DeclMember &OM = OC.Members[J], &NM = NC.Members[J];
+      if (OM.Name != NM.Name || OM.IsMethod != NM.IsMethod ||
+          OM.IsCtor != NM.IsCtor || OM.IsStatic != NM.IsStatic) {
+        SameShape = false;
+        break;
+      }
+    }
+  }
+
+  if (!SameShape) {
+    // Structure changed: classify by name for stats, never patch.
+    for (const DeclClass &NC : New.Classes) {
+      const DeclClass *OC = nullptr;
+      for (const DeclClass &Cand : Old.Classes)
+        if (Cand.Name == NC.Name) {
+          OC = &Cand;
+          break;
+        }
+      for (const DeclMember &NM : NC.Members) {
+        if (!NM.IsMethod)
+          continue;
+        const DeclMember *OM = nullptr;
+        if (OC)
+          for (const DeclMember &Cand : OC->Members)
+            if (Cand.IsMethod && Cand.Name == NM.Name) {
+              OM = &Cand;
+              break;
+            }
+        if (!OM)
+          ++D.MethodsAdded;
+        else if (OM->SigHash != NM.SigHash)
+          ++D.MethodsSigChanged;
+        else if (OM->BodyHash != NM.BodyHash)
+          ++D.MethodsBodyChanged;
+        else if (OM->Line != NM.Line)
+          ++D.MethodsLocShifted;
+        else
+          ++D.MethodsUnchanged;
+      }
+    }
+    for (const DeclClass &OC : Old.Classes) {
+      const DeclClass *NC = nullptr;
+      for (const DeclClass &Cand : New.Classes)
+        if (Cand.Name == OC.Name) {
+          NC = &Cand;
+          break;
+        }
+      for (const DeclMember &OM : OC.Members) {
+        if (!OM.IsMethod)
+          continue;
+        bool Found = false;
+        if (NC)
+          for (const DeclMember &Cand : NC->Members)
+            if (Cand.IsMethod && Cand.Name == OM.Name) {
+              Found = true;
+              break;
+            }
+        if (!Found)
+          ++D.MethodsRemoved;
+      }
+    }
+    return D;
+  }
+
+  bool Patchable = true;
+  for (size_t I = 0; I < Old.Classes.size(); ++I) {
+    const DeclClass &OC = Old.Classes[I], &NC = New.Classes[I];
+    for (size_t J = 0; J < OC.Members.size(); ++J) {
+      const DeclMember &OM = OC.Members[J], &NM = NC.Members[J];
+      if (!OM.IsMethod) {
+        // Field edits change layouts and <clinit>/ctor bodies; a column
+        // drift would desync <clinit> statement locations.
+        if (OM.SigHash != NM.SigHash || OM.Col != NM.Col)
+          Patchable = false;
+        continue;
+      }
+      if (OM.SigHash != NM.SigHash) {
+        ++D.MethodsSigChanged;
+        Patchable = false;
+        continue;
+      }
+      if (OM.BodyHash == NM.BodyHash && OM.Col == NM.Col) {
+        if (OM.Line == NM.Line) {
+          ++D.MethodsUnchanged;
+        } else {
+          ++D.MethodsLocShifted;
+          D.Edits.push_back({I, J, MethodEditKind::LocShifted,
+                             (int32_t)NM.Line - (int32_t)OM.Line});
+        }
+        continue;
+      }
+      // Body bytes changed -- or only the column moved, which we handle by
+      // re-lowering too so statement locations come out exact.
+      ++D.MethodsBodyChanged;
+      if (OM.IsCtor) {
+        // Constructor bodies embed field-initializer preambles resolved
+        // through AST maps; leave them to the from-scratch path.
+        Patchable = false;
+        continue;
+      }
+      D.Edits.push_back({I, J, MethodEditKind::BodyChanged, 0});
+    }
+  }
+  D.Patchable = Patchable;
+  if (!Patchable)
+    D.Edits.clear();
+  return D;
+}
+
+bool lc::patchProgram(Program &P, std::string_view NewSource,
+                      const DeclIndex &NewIndex, const ProgramDiff &Diff,
+                      DiagnosticEngine &Diags,
+                      std::vector<uint8_t> *ChangedMethods) {
+  assert(Diff.Patchable && "patchProgram requires a patchable diff");
+  const DeclIndex &OldIndex = P.Decls;
+  if (!OldIndex.Valid || !NewIndex.Valid ||
+      OldIndex.Classes.size() != NewIndex.Classes.size())
+    return false;
+
+  // --- 1. Piecewise old-line -> line-delta map over every matched
+  // declaration. Matched decls have byte-identical text, so all lines
+  // inside one shift by its start-line delta.
+  std::vector<std::pair<uint32_t, int32_t>> LineMap;
+  LineMap.emplace_back(0u, 0);
+  for (size_t I = 0; I < OldIndex.Classes.size(); ++I) {
+    const DeclClass &OC = OldIndex.Classes[I], &NC = NewIndex.Classes[I];
+    LineMap.emplace_back(OC.Line, (int32_t)NC.Line - (int32_t)OC.Line);
+    if (OC.Members.size() != NC.Members.size())
+      return false;
+    for (size_t J = 0; J < OC.Members.size(); ++J)
+      LineMap.emplace_back(OC.Members[J].Line, (int32_t)NC.Members[J].Line -
+                                                   (int32_t)OC.Members[J].Line);
+  }
+  std::sort(LineMap.begin(), LineMap.end());
+  bool AnyShift = false;
+  for (size_t I = 1; I < LineMap.size(); ++I) {
+    if (LineMap[I].first == LineMap[I - 1].first &&
+        LineMap[I].second != LineMap[I - 1].second)
+      return false; // two decls on one line moved by different amounts
+    if (LineMap[I].second != 0)
+      AnyShift = true;
+  }
+  auto shiftLine = [&LineMap](uint32_t L) -> uint32_t {
+    size_t Lo = 0, Hi = LineMap.size();
+    while (Lo + 1 < Hi) {
+      size_t Mid = (Lo + Hi) / 2;
+      if (LineMap[Mid].first <= L)
+        Lo = Mid;
+      else
+        Hi = Mid;
+    }
+    return (uint32_t)((int64_t)L + LineMap[Lo].second);
+  };
+
+  // --- 2. Resolve the edited methods.
+  struct BodyPatch {
+    ClassId C = kInvalidId;
+    MethodId M = kInvalidId;
+    const DeclClass *Cls = nullptr;
+    const DeclMember *Mem = nullptr;
+  };
+  std::vector<BodyPatch> Patches;
+  std::vector<bool> Relowered(P.Methods.size(), false);
+  for (const MethodEdit &E : Diff.Edits) {
+    if (E.Kind != MethodEditKind::BodyChanged)
+      continue;
+    const DeclClass &NC = NewIndex.Classes[E.ClassIdx];
+    const DeclMember &NM = NC.Members[E.MemberIdx];
+    ClassId C = P.findClass(NC.Name);
+    if (C == kInvalidId)
+      return false;
+    MethodId M = P.findMethodIn(C, NM.Name);
+    if (M == kInvalidId)
+      return false;
+    Relowered[M] = true;
+    Patches.push_back({C, M, &NC, &NM});
+  }
+
+  // --- 3. Shift source locations everywhere we will not re-derive them.
+  if (AnyShift) {
+    for (size_t M = 0; M < P.Methods.size(); ++M) {
+      if (Relowered[M])
+        continue;
+      for (Stmt &St : P.Methods[M].Body)
+        if (St.Loc.Line > 0)
+          St.Loc.Line = shiftLine(St.Loc.Line);
+    }
+    for (AllocSite &Site : P.AllocSites)
+      if (!Relowered[Site.Method] && Site.Loc.Line > 0)
+        Site.Loc.Line = shiftLine(Site.Loc.Line);
+  }
+
+  // --- 4. Re-lex, re-parse, re-lower each edited body. New allocation
+  // sites and loops append at the table tails; step 5 renumbers them.
+  const uint32_t OldSiteCount = (uint32_t)P.AllocSites.size();
+  const uint32_t OldLoopCount = (uint32_t)P.Loops.size();
+  static const CompilationUnit EmptyUnit;
+  LoweringImpl Impl(EmptyUnit, P, Diags);
+  for (const BodyPatch &BP : Patches) {
+    Lexer Lex(NewSource.substr(0, BP.Mem->End), Diags, BP.Mem->Begin,
+              BP.Mem->Line, BP.Mem->Col);
+    std::vector<Token> Tokens = Lex.lexAll();
+    if (Diags.hasErrors())
+      return false;
+    ClassDecl Shell;
+    Shell.Name = BP.Cls->Name;
+    Parser Parse(std::move(Tokens), Diags);
+    if (!Parse.parseSingleMember(Shell) || Diags.hasErrors())
+      return false;
+    if (Shell.Methods.size() != 1 || !Shell.Fields.empty())
+      return false;
+    const MethodDecl &Decl = Shell.Methods.front();
+    if (Decl.IsCtor || Decl.Name != BP.Mem->Name)
+      return false;
+    if (!Impl.patchBody(BP.C, BP.M, Decl) || Diags.hasErrors())
+      return false;
+  }
+
+  // --- 5. Renumber sites and loops into from-scratch order. A clean
+  // compile lowers bodies per class in declaration order: <clinit> (when
+  // present), declared methods in order, then the synthesized ctor;
+  // within a method, sites follow statement order and loops creation
+  // (= BodyBegin) order.
+  std::vector<uint32_t> LowerRank(P.Methods.size(), UINT32_MAX);
+  uint32_t Rank = 0;
+  for (const DeclClass &NC : NewIndex.Classes) {
+    ClassId C = P.findClass(NC.Name);
+    if (C == kInvalidId)
+      return false;
+    MethodId Clinit = P.findMethodIn(C, "<clinit>");
+    if (Clinit != kInvalidId)
+      LowerRank[Clinit] = Rank++;
+    bool SawCtor = false;
+    for (const DeclMember &Mem : NC.Members) {
+      if (!Mem.IsMethod)
+        continue;
+      MethodId M = P.findMethodIn(C, Mem.IsCtor ? "<init>" : Mem.Name);
+      if (M == kInvalidId)
+        return false;
+      LowerRank[M] = Rank++;
+      SawCtor |= Mem.IsCtor;
+    }
+    if (!SawCtor) {
+      MethodId Synth = P.findMethodIn(C, "<init>");
+      if (Synth == kInvalidId)
+        return false;
+      LowerRank[Synth] = Rank++;
+    }
+  }
+
+  struct RenumberKey {
+    uint32_t Rank;
+    uint32_t Within;
+    uint32_t OldId;
+  };
+  auto renumber = [](std::vector<RenumberKey> &Alive) {
+    std::stable_sort(Alive.begin(), Alive.end(),
+                     [](const RenumberKey &A, const RenumberKey &B) {
+                       return A.Rank != B.Rank ? A.Rank < B.Rank
+                                               : A.Within < B.Within;
+                     });
+  };
+
+  std::vector<RenumberKey> AliveSites;
+  for (uint32_t Id = 0; Id < P.AllocSites.size(); ++Id) {
+    const AllocSite &Site = P.AllocSites[Id];
+    if (Id < OldSiteCount && Relowered[Site.Method])
+      continue; // replaced by the re-lowered body's fresh sites
+    if (LowerRank[Site.Method] == UINT32_MAX)
+      return false; // a site in a method outside the declaration index
+    AliveSites.push_back({LowerRank[Site.Method], Site.Index, Id});
+  }
+  renumber(AliveSites);
+  std::vector<AllocSiteId> SiteRemap(P.AllocSites.size(), kInvalidId);
+  std::vector<AllocSite> NewSitesTab;
+  NewSitesTab.reserve(AliveSites.size());
+  for (const RenumberKey &K : AliveSites) {
+    SiteRemap[K.OldId] = (AllocSiteId)NewSitesTab.size();
+    NewSitesTab.push_back(P.AllocSites[K.OldId]);
+  }
+  P.AllocSites = std::move(NewSitesTab);
+
+  std::vector<RenumberKey> AliveLoops;
+  for (uint32_t Id = 0; Id < P.Loops.size(); ++Id) {
+    const LoopInfo &L = P.Loops[Id];
+    if (Id < OldLoopCount && Relowered[L.Method])
+      continue;
+    if (LowerRank[L.Method] == UINT32_MAX)
+      return false;
+    AliveLoops.push_back({LowerRank[L.Method], L.BodyBegin, Id});
+  }
+  renumber(AliveLoops);
+  std::vector<LoopId> LoopRemap(P.Loops.size(), kInvalidId);
+  std::vector<LoopInfo> NewLoopsTab;
+  NewLoopsTab.reserve(AliveLoops.size());
+  for (const RenumberKey &K : AliveLoops) {
+    LoopRemap[K.OldId] = (LoopId)NewLoopsTab.size();
+    NewLoopsTab.push_back(P.Loops[K.OldId]);
+  }
+  P.Loops = std::move(NewLoopsTab);
+
+  for (MethodInfo &MI : P.Methods)
+    for (Stmt &St : MI.Body) {
+      if (St.Site != kInvalidId) {
+        if (St.Site >= SiteRemap.size() || SiteRemap[St.Site] == kInvalidId)
+          return false;
+        St.Site = SiteRemap[St.Site];
+      }
+      if (St.Loop != kInvalidId) {
+        if (St.Loop >= LoopRemap.size() || LoopRemap[St.Loop] == kInvalidId)
+          return false;
+        St.Loop = LoopRemap[St.Loop];
+      }
+    }
+
+  P.Decls = NewIndex;
+  if (ChangedMethods) {
+    ChangedMethods->assign(P.Methods.size(), 0);
+    for (size_t M = 0; M < P.Methods.size(); ++M)
+      (*ChangedMethods)[M] = Relowered[M];
+  }
+  return true;
+}
+
+bool lc::programsEquivalent(const Program &A, const Program &B,
+                            std::string *Why) {
+  auto Fail = [&](std::string Msg) {
+    if (Why)
+      *Why = std::move(Msg);
+    return false;
+  };
+  auto SymEq = [&](Symbol SA, Symbol SB) {
+    return A.Strings.text(SA) == B.Strings.text(SB);
+  };
+  auto TyEq = [&](TypeId TA, TypeId TB) {
+    if (TA == kInvalidId || TB == kInvalidId)
+      return TA == TB;
+    return A.typeName(TA) == B.typeName(TB);
+  };
+
+  if (A.Classes.size() != B.Classes.size())
+    return Fail("class count");
+  for (size_t I = 0; I < A.Classes.size(); ++I) {
+    const ClassInfo &CA = A.Classes[I], &CB = B.Classes[I];
+    if (!SymEq(CA.Name, CB.Name) || CA.Super != CB.Super ||
+        CA.Fields != CB.Fields || CA.Methods != CB.Methods ||
+        CA.IsLibrary != CB.IsLibrary || CA.IsBuiltin != CB.IsBuiltin)
+      return Fail("class " + std::to_string(I) + " (" + A.className(I) + ")");
+  }
+  if (A.Fields.size() != B.Fields.size())
+    return Fail("field count");
+  for (size_t I = 0; I < A.Fields.size(); ++I) {
+    const FieldInfo &FA = A.Fields[I], &FB = B.Fields[I];
+    if (!SymEq(FA.Name, FB.Name) || FA.Owner != FB.Owner ||
+        !TyEq(FA.Ty, FB.Ty) || FA.IsStatic != FB.IsStatic)
+      return Fail("field " + std::to_string(I) + " (" + A.fieldName(I) + ")");
+  }
+  if (A.Methods.size() != B.Methods.size())
+    return Fail("method count");
+  for (size_t I = 0; I < A.Methods.size(); ++I) {
+    const MethodInfo &MA = A.Methods[I], &MB = B.Methods[I];
+    if (!SymEq(MA.Name, MB.Name) || MA.Owner != MB.Owner ||
+        !TyEq(MA.ReturnTy, MB.ReturnTy) || MA.IsStatic != MB.IsStatic ||
+        MA.NumParams != MB.NumParams || MA.Locals.size() != MB.Locals.size() ||
+        MA.Body.size() != MB.Body.size())
+      return Fail("method " + std::to_string(I) + " (" +
+                  A.qualifiedMethodName((MethodId)I) + ") shape");
+    for (size_t L = 0; L < MA.Locals.size(); ++L)
+      if (!SymEq(MA.Locals[L].Name, MB.Locals[L].Name) ||
+          !TyEq(MA.Locals[L].Ty, MB.Locals[L].Ty))
+        return Fail("method " + A.qualifiedMethodName((MethodId)I) + " local " +
+                    std::to_string(L));
+    for (size_t S = 0; S < MA.Body.size(); ++S) {
+      const Stmt &SA = MA.Body[S], &SB = MB.Body[S];
+      if (SA.Op != SB.Op || SA.Dst != SB.Dst || SA.SrcA != SB.SrcA ||
+          SA.SrcB != SB.SrcB || SA.SrcC != SB.SrcC || SA.Field != SB.Field ||
+          SA.Callee != SB.Callee || SA.CK != SB.CK || SA.Args != SB.Args ||
+          SA.BK != SB.BK || SA.UK != SB.UK || SA.IntVal != SB.IntVal ||
+          !SymEq(SA.StrVal, SB.StrVal) || SA.Target != SB.Target ||
+          SA.Loop != SB.Loop || SA.Site != SB.Site || !TyEq(SA.Ty, SB.Ty) ||
+          !(SA.Loc == SB.Loc))
+        return Fail("method " + A.qualifiedMethodName((MethodId)I) + " stmt " +
+                    std::to_string(S));
+    }
+  }
+  if (A.AllocSites.size() != B.AllocSites.size())
+    return Fail("site count");
+  for (size_t I = 0; I < A.AllocSites.size(); ++I) {
+    const AllocSite &SA = A.AllocSites[I], &SB = B.AllocSites[I];
+    if (SA.Method != SB.Method || SA.Index != SB.Index ||
+        !TyEq(SA.Ty, SB.Ty) || !(SA.Loc == SB.Loc) || SA.Annot != SB.Annot)
+      return Fail("site " + std::to_string(I));
+  }
+  if (A.Loops.size() != B.Loops.size())
+    return Fail("loop count");
+  for (size_t I = 0; I < A.Loops.size(); ++I) {
+    const LoopInfo &LA = A.Loops[I], &LB = B.Loops[I];
+    if (!SymEq(LA.Label, LB.Label) || LA.Method != LB.Method ||
+        LA.BodyBegin != LB.BodyBegin || LA.BodyEnd != LB.BodyEnd ||
+        LA.IsRegion != LB.IsRegion)
+      return Fail("loop " + std::to_string(I));
+  }
+  if (A.EntryMethod != B.EntryMethod)
+    return Fail("entry method");
+  if (A.ClinitMethods != B.ClinitMethods)
+    return Fail("clinit list");
+  if (A.ObjectClass != B.ObjectClass || A.StringClass != B.StringClass ||
+      A.ThreadClass != B.ThreadClass || A.ElemField != B.ElemField)
+    return Fail("builtin ids");
+  return true;
 }

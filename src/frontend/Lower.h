@@ -34,10 +34,83 @@ namespace lc {
 bool lowerUnit(const ast::CompilationUnit &Unit, Program &P,
                DiagnosticEngine &Diags);
 
-/// Convenience: lex + parse + lower a whole MJ source buffer.
+/// Convenience: lex + parse + lower a whole MJ source buffer. Also scans
+/// the buffer into P.Decls so a later edit can be diffed incrementally.
 /// \returns true on success.
 bool compileSource(std::string_view Source, Program &P,
                    DiagnosticEngine &Diags);
+
+// --- Incremental re-lowering across edits ---------------------------------
+
+/// Scans raw MJ source into a per-declaration fingerprint index without
+/// materializing tokens: comment- and string-aware, it segments classes
+/// and members, hashes each member's signature and body bytes separately,
+/// and records the byte span + start location needed to re-lex one member.
+/// Any structure the scanner cannot confidently segment yields an invalid
+/// index (the caller then takes the from-scratch path).
+DeclIndex scanDeclarations(std::string_view Source);
+
+/// How one matched method differs between two declaration scans.
+enum class MethodEditKind : uint8_t {
+  Unchanged,  ///< identical text at the identical position
+  LocShifted, ///< identical text, start line shifted by LineDelta
+  BodyChanged ///< same signature, different body bytes (re-lower it)
+};
+
+/// One method-level difference between two scans, naming the member by
+/// position in the NEW index.
+struct MethodEdit {
+  size_t ClassIdx = 0;  ///< index into DeclIndex::Classes (new scan)
+  size_t MemberIdx = 0; ///< index into DeclClass::Members (new scan)
+  MethodEditKind Kind = MethodEditKind::Unchanged;
+  int32_t LineDelta = 0; ///< LocShifted: new start line - old start line
+};
+
+/// Result of diffing two declaration indexes: the edit classification the
+/// service reports, and whether the difference is small enough to patch a
+/// compiled session in place (every difference is a body-level edit of a
+/// non-constructor method, so ids, signatures and field layouts are
+/// untouched).
+struct ProgramDiff {
+  bool Patchable = false;
+  /// Body-changed and loc-shifted methods (empty when not patchable).
+  std::vector<MethodEdit> Edits;
+  // Classification counters over matched classes (diagnostic/stats).
+  uint32_t MethodsUnchanged = 0;
+  uint32_t MethodsBodyChanged = 0;
+  uint32_t MethodsSigChanged = 0;
+  uint32_t MethodsAdded = 0;
+  uint32_t MethodsRemoved = 0;
+  uint32_t MethodsLocShifted = 0;
+};
+
+/// Diffs two declaration scans (Old = the compiled session's index, New =
+/// the incoming source's index).
+ProgramDiff diffDeclarations(const DeclIndex &Old, const DeclIndex &New);
+
+/// Applies a patchable \p Diff to \p P in place: re-lexes, re-parses and
+/// re-lowers exactly the body-changed methods from \p NewSource, shifts
+/// source locations of loc-shifted declarations, and renumbers allocation
+/// sites and loops back to the dense from-scratch order (so every id in
+/// the patched Program equals a clean compile of \p NewSource; only
+/// string/type interning order may differ, which nothing renders).
+/// On failure (a body edit that no longer compiles) returns false with
+/// diagnostics in \p Diags; \p P is then in an unspecified state and must
+/// be discarded. When \p ChangedMethods is non-null it receives a by-
+/// MethodId mask of the re-lowered methods (the shape pta/PagRemap.h
+/// consumes); unchanged on failure.
+bool patchProgram(Program &P, std::string_view NewSource,
+                  const DeclIndex &NewIndex, const ProgramDiff &Diff,
+                  DiagnosticEngine &Diags,
+                  std::vector<uint8_t> *ChangedMethods = nullptr);
+
+/// Debug-build comparator: true when two Programs are equivalent at the
+/// text level -- identical class/field/method/site/loop tables and bodies
+/// with every dense id equal and every interned symbol/type resolving to
+/// the same text (interner order itself may differ). On mismatch, \p Why
+/// (when non-null) receives a short description of the first difference.
+bool programsEquivalent(const Program &A, const Program &B,
+                        std::string *Why = nullptr);
 
 } // namespace lc
 

@@ -30,6 +30,15 @@ public:
 
   ast::CompilationUnit parseUnit();
 
+  /// Parses exactly one member declaration into \p Cls (whose Name must be
+  /// set: constructor detection compares against it). Entry point of the
+  /// incremental re-lowering path, which re-lexes a single member span.
+  /// \returns true when the member parsed cleanly and the tokens were
+  /// fully consumed.
+  bool parseSingleMember(ast::ClassDecl &Cls) {
+    return parseMember(Cls) && check(Tok::Eof);
+  }
+
 private:
   // Token cursor.
   const Token &peek(unsigned Ahead = 0) const;

@@ -98,6 +98,43 @@ struct LoopInfo {
   bool IsRegion = false;
 };
 
+/// One scanned top-level member declaration: a fingerprint of its source
+/// text, split into signature and body so the incremental pipeline can
+/// classify edits (see frontend/Lower.cpp's declaration scanner). Offsets
+/// and the start location let the patcher re-lex exactly this member.
+struct DeclMember {
+  std::string Name;     ///< declared identifier (ctor: the class name)
+  bool IsMethod = false;
+  bool IsCtor = false;
+  bool IsStatic = false;
+  uint64_t SigHash = 0;  ///< member start through the param-list ')' (fields:
+                         ///< the whole declaration)
+  uint64_t BodyHash = 0; ///< '{'..'}' body bytes (fields: 0)
+  uint32_t Line = 0;     ///< source position of the member's first token
+  uint32_t Col = 0;
+  size_t Begin = 0; ///< byte span of the member, [Begin, End)
+  size_t End = 0;
+};
+
+/// One scanned class with its member list in declaration order.
+struct DeclClass {
+  std::string Name;
+  uint64_t HeaderHash = 0; ///< 'library'/'class'/name/'extends' header bytes
+  uint32_t Line = 0;       ///< source position of the class's first token
+  uint32_t Col = 0;
+  std::vector<DeclMember> Members;
+};
+
+/// Per-declaration fingerprint index of one source buffer, computed by the
+/// frontend during compilation and kept on the Program so a later edit can
+/// be diffed and patched without re-lowering the whole unit. Valid is
+/// false when the scanner could not confidently segment the source (the
+/// safety valve: such programs always take the from-scratch path).
+struct DeclIndex {
+  bool Valid = false;
+  std::vector<DeclClass> Classes;
+};
+
 /// Whole-program IR. Built by the frontend (or IRBuilder in tests) and
 /// immutable afterwards.
 class Program {
@@ -117,6 +154,11 @@ public:
   /// Synthesized static class initializers (`<clinit>`), run before main
   /// and treated as extra call-graph entry points.
   std::vector<MethodId> ClinitMethods;
+
+  /// Declaration fingerprints of the source this Program was compiled
+  /// from (empty/invalid for IRBuilder-built programs). The incremental
+  /// patch path diffs a new source's scan against this index.
+  DeclIndex Decls;
 
   /// Builtin classes created for every program.
   ClassId ObjectClass = kInvalidId;

@@ -26,6 +26,24 @@ public:
     return std::move(Problems);
   }
 
+  std::vector<std::string> run(const std::vector<uint8_t> &Methods) {
+    // A site/loop whose owner id is out of range cannot be attributed to
+    // any method; treat it as flagged so the corruption is still caught.
+    auto Flagged = [&](MethodId M) {
+      return M >= P.Methods.size() || (M < Methods.size() && Methods[M]);
+    };
+    for (MethodId M = 0; M < P.Methods.size(); ++M)
+      if (Flagged(M))
+        checkMethod(M);
+    for (AllocSiteId S = 0; S < P.AllocSites.size(); ++S)
+      if (Flagged(P.AllocSites[S].Method))
+        checkAllocSite(S);
+    for (LoopId L = 0; L < P.Loops.size(); ++L)
+      if (Flagged(P.Loops[L].Method))
+        checkLoop(L);
+    return std::move(Problems);
+  }
+
 private:
   void problem(const std::string &Msg) { Problems.push_back(Msg); }
 
@@ -217,4 +235,9 @@ private:
 
 std::vector<std::string> lc::verifyProgram(const Program &P) {
   return VerifierImpl(P).run();
+}
+
+std::vector<std::string>
+lc::verifyMethods(const Program &P, const std::vector<uint8_t> &Methods) {
+  return VerifierImpl(P).run(Methods);
 }

@@ -25,6 +25,16 @@ namespace lc {
 /// \returns a list of human-readable problems; empty means valid.
 std::vector<std::string> verifyProgram(const Program &P);
 
+/// Structural validity limited to the methods flagged in \p Methods
+/// (indexed by MethodId, as produced by patchProgram) plus the alloc
+/// sites and loops those methods own. A body-level patch can only
+/// invalidate state inside the re-lowered bodies -- classes, fields and
+/// every other method are bit-identical to the already-verified previous
+/// program -- so this is the full verifyProgram contract restricted to
+/// what the edit could have broken.
+std::vector<std::string> verifyMethods(const Program &P,
+                                       const std::vector<uint8_t> &Methods);
+
 } // namespace lc
 
 #endif // LC_IR_VERIFIER_H

@@ -677,6 +677,14 @@ private:
     Result.Statistics.addCounter("cfl-memo-entries",
                                  CacheAfter.Entries - CacheBefore.Entries,
                                  MetricDet::Environment);
+    // Cross-patch adoption outcome (zero for from-scratch solvers): how
+    // much of the previous revision's memo survived the edit, and how
+    // much the taint closure swept. Absolute, set once at construction.
+    Result.Statistics.addCounter("cfl-memo-adopted", CacheAfter.Adopted,
+                                 MetricDet::Environment);
+    Result.Statistics.addCounter("cfl-memo-invalidated",
+                                 CacheAfter.Invalidated,
+                                 MetricDet::Environment);
     // Summary composition splits are likewise warmth-dependent: a memoized
     // sub-traversal never reaches its Return edges, so how many descents a
     // summary answered varies with cache state even though results don't.

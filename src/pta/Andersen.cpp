@@ -112,6 +112,19 @@ AndersenPta::AndersenPta(const Pag &G, AndersenPta &&Prev) : G(G) {
 #endif
 }
 
+AndersenPta::AndersenPta(const Pag &G, AndersenPta &&Prev, const PagRemap &R)
+    : G(G) {
+  bool Usable = R.Node.size() == Prev.G.numNodes() &&
+                R.NodeInv.size() == G.numNodes() &&
+                R.Site.size() == Prev.G.program().AllocSites.size() &&
+                R.SiteInv.size() == G.program().AllocSites.size();
+  solve(Usable ? &Prev : nullptr, Usable ? &R : nullptr);
+#ifndef NDEBUG
+  if (C.Incremental)
+    verifyAgainstScratch();
+#endif
+}
+
 void AndersenPta::recordStats(MetricsRegistry &S) const {
   S.addCounter("andersen-sccs-collapsed", C.SccsCollapsed);
   S.addCounter("andersen-scc-nodes-merged", C.SccNodesMerged);
@@ -334,7 +347,7 @@ void AndersenPta::collapseAndRank() {
       pushNode(V);
 }
 
-void AndersenPta::solve(AndersenPta *Prev) {
+void AndersenPta::solve(AndersenPta *Prev, const PagRemap *R) {
   trace::TraceSpan Span(Prev ? "andersen.resolve" : "andersen.solve",
                         "andersen");
   Span.arg("nodes", G.numNodes());
@@ -343,7 +356,10 @@ void AndersenPta::solve(AndersenPta *Prev) {
   W = &WS;
 
   if (Prev) {
-    seedFromPrevious(*Prev);
+    if (R)
+      seedFromPreviousRemapped(*Prev, *R);
+    else
+      seedFromPrevious(*Prev);
   } else {
     SolveArena = std::make_unique<Arena>();
     Parent.resize(NumVars);
@@ -507,6 +523,12 @@ void AndersenPta::solve(AndersenPta *Prev) {
   StoreKeys = sortedStoreKeys(G);
   LoadKeys = sortedLoadKeys(G);
   W = nullptr;
+  // Keep the affected cone around for consumers (memo invalidation) in a
+  // durable form before the transient AffVar marks are dropped.
+  AffectedList.clear();
+  for (uint32_t V = 0; V < AffVar.size(); ++V)
+    if (AffVar[V])
+      AffectedList.push_back(V);
   Delta.clear();
   Delta.shrink_to_fit();
   Succ.clear();
@@ -683,6 +705,288 @@ void AndersenPta::seedFromPrevious(AndersenPta &Prev) {
     if (R != N && !GroupAff[R])
       unite(find(R), N); // inherited, not counted as a new collapse
   }
+
+  C.Incremental = true;
+}
+
+/// Cross-patch variant of seedFromPrevious: \p Prev solved a PAG over the
+/// *previous revision* of the Program and \p R translates its node and
+/// site ids into this graph's numbering (edited methods' locals and sites
+/// have no counterpart on either side). The scheme is the same-program
+/// one run in two coordinate spaces:
+///
+///   1. Diff in the new space: Prev's edge keys are translated through R
+///      (monotone on survivors, so sorted stays sorted); an edge with a
+///      vanished endpoint or whose translation is absent from this PAG is
+///      a removal. Removal roots -- plus every vanished node and
+///      vanished-site slot outright -- are collected in OLD ids and
+///      closed forward over Prev's derived dependency graph, because that
+///      is the graph the stale solution flowed through.
+///   2. Steal in the new space: surviving sets move positionally through
+///      the solver-node map (PAG vars via R.Node; surviving slots pack
+///      after the new vars in creation order), with their site bits
+///      remapped; affected and vanished entries are dropped. Merges of
+///      untouched groups are re-applied on translated ids -- min-id
+///      representatives survive translation because R is monotone.
+///
+/// Every node the old program never had (edited methods' fresh locals) is
+/// marked affected: its set starts empty and all its edges are new.
+void AndersenPta::seedFromPreviousRemapped(AndersenPta &Prev,
+                                           const PagRemap &R) {
+  const Pag &PG = Prev.G;
+  const size_t OldVars = PG.numNodes();
+  const size_t NumVars = G.numNodes();
+  constexpr uint32_t kNone = PagRemap::kNone;
+
+  // --- Steal the previous fixed point (still indexed in OLD space). -----
+  SolveArena = std::move(Prev.SolveArena);
+  if (!SolveArena)
+    SolveArena = std::make_unique<Arena>();
+  std::vector<BitSet> OldPtsVec = std::move(Prev.Pts);
+  FlatMap64<uint32_t> OldSlotOf = std::move(Prev.SlotOf);
+  std::vector<uint32_t> OldRank = std::move(Prev.RankOf);
+  std::vector<uint32_t> OldRep = std::move(Prev.Rep);
+  std::vector<uint64_t> PrevCopyKeys = std::move(Prev.CopyKeys);
+  std::vector<uint64_t> PrevAllocKeys = std::move(Prev.AllocKeys);
+  std::vector<std::array<uint32_t, 3>> PrevStoreKeys =
+      std::move(Prev.StoreKeys);
+  std::vector<std::array<uint32_t, 3>> PrevLoadKeys = std::move(Prev.LoadKeys);
+  const size_t SOld = OldRep.size();
+  auto OldPts = [&](uint32_t N) -> const BitSet & {
+    return OldPtsVec[OldRep[N]];
+  };
+
+  CopyKeys = sortedCopyKeys(G);
+  AllocKeys = sortedAllocKeys(G);
+  StoreKeys = sortedStoreKeys(G);
+  LoadKeys = sortedLoadKeys(G);
+
+  // --- Removal roots, in old ids. ---------------------------------------
+  std::vector<uint8_t> AffOld(OldVars, 0);
+  FlatSet64 AffSlotOld;
+  std::vector<uint32_t> VarW;
+  std::vector<uint64_t> SlotW;
+  auto MarkV = [&](uint32_t V) {
+    if (!AffOld[V]) {
+      AffOld[V] = 1;
+      VarW.push_back(V);
+    }
+  };
+  auto MarkS = [&](uint64_t K) {
+    if (AffSlotOld.insert(K))
+      SlotW.push_back(K);
+  };
+
+  // Translate Prev's sorted keys, rooting edges with vanished endpoints as
+  // they drop out. Duplicates (parallel interprocedural copies) are kept:
+  // the multiset difference below must see them to catch an edge whose
+  // multiplicity shrank.
+  std::vector<uint64_t> TransCopy;
+  TransCopy.reserve(PrevCopyKeys.size());
+  for (uint64_t Key : PrevCopyKeys) {
+    uint32_t Src = static_cast<uint32_t>(Key >> 32);
+    uint32_t Dst = static_cast<uint32_t>(Key & 0xffffffffu);
+    if (R.Node[Src] == kNone || R.Node[Dst] == kNone)
+      MarkV(Dst);
+    else
+      TransCopy.push_back((uint64_t(R.Node[Src]) << 32) | R.Node[Dst]);
+  }
+  std::vector<uint64_t> TransAlloc;
+  TransAlloc.reserve(PrevAllocKeys.size());
+  for (uint64_t Key : PrevAllocKeys) {
+    uint32_t Site = static_cast<uint32_t>(Key >> 32);
+    uint32_t Var = static_cast<uint32_t>(Key & 0xffffffffu);
+    if (R.Site[Site] == kNone || R.Node[Var] == kNone)
+      MarkV(Var);
+    else
+      TransAlloc.push_back((uint64_t(R.Site[Site]) << 32) | R.Node[Var]);
+  }
+  std::vector<std::array<uint32_t, 3>> TransStore;
+  TransStore.reserve(PrevStoreKeys.size());
+  for (const std::array<uint32_t, 3> &K : PrevStoreKeys) {
+    if (R.Node[K[0]] == kNone || R.Node[K[1]] == kNone) {
+      FieldId F = K[2];
+      OldPts(K[0]).forEach([&](size_t O) {
+        MarkS(slotKey(static_cast<AllocSiteId>(O), F));
+      });
+    } else {
+      TransStore.push_back({R.Node[K[0]], R.Node[K[1]], K[2]});
+    }
+  }
+  std::vector<std::array<uint32_t, 3>> TransLoad;
+  TransLoad.reserve(PrevLoadKeys.size());
+  for (const std::array<uint32_t, 3> &K : PrevLoadKeys) {
+    if (R.Node[K[0]] == kNone || R.Node[K[1]] == kNone)
+      MarkV(K[1]);
+    else
+      TransLoad.push_back({R.Node[K[0]], R.Node[K[1]], K[2]});
+  }
+
+  // Surviving-but-removed edges: multiset-diff the translated keys against
+  // this PAG's, then map the roots back to old ids (both endpoints
+  // survived, so the inverse maps are defined).
+  for (uint64_t Key : sortedDiff(TransCopy, CopyKeys))
+    MarkV(R.NodeInv[static_cast<uint32_t>(Key & 0xffffffffu)]);
+  for (uint64_t Key : sortedDiff(TransAlloc, AllocKeys))
+    MarkV(R.NodeInv[static_cast<uint32_t>(Key & 0xffffffffu)]);
+  for (const std::array<uint32_t, 3> &K : sortedDiff(TransLoad, LoadKeys))
+    MarkV(R.NodeInv[K[1]]);
+  for (const std::array<uint32_t, 3> &K : sortedDiff(TransStore, StoreKeys)) {
+    FieldId F = K[2];
+    OldPts(R.NodeInv[K[0]]).forEach([&](size_t O) {
+      MarkS(slotKey(static_cast<AllocSiteId>(O), F));
+    });
+  }
+
+  // Vanished nodes and vanished-site slots are roots outright: whatever
+  // their old solution fed downstream must be recomputed, and their
+  // collapsed groups must not be re-merged.
+  for (uint32_t V = 0; V < OldVars; ++V)
+    if (R.Node[V] == kNone)
+      MarkV(V);
+  OldSlotOf.forEach([&](uint64_t Key, uint32_t) {
+    if (R.Site[static_cast<uint32_t>(Key >> 32)] == kNone)
+      MarkS(Key);
+  });
+
+  AddedCopyKeys = sortedDiff(CopyKeys, TransCopy);
+  AddedStoreKeys = sortedDiff(StoreKeys, TransStore);
+  AddedLoadKeys = sortedDiff(LoadKeys, TransLoad);
+
+  // --- Forward closure over Prev's derived dependency graph. ------------
+  while (!VarW.empty() || !SlotW.empty()) {
+    if (!VarW.empty()) {
+      uint32_t V = VarW.back();
+      VarW.pop_back();
+      for (uint32_t Id : PG.copiesOut(V))
+        MarkV(PG.copyEdges()[Id].Dst);
+      for (uint32_t Id : PG.loadsOnBase(V))
+        MarkV(PG.loadEdges()[Id].Dst);
+      for (uint32_t Id : PG.storesOnBase(V)) {
+        FieldId F = PG.storeEdges()[Id].Field;
+        OldPts(V).forEach([&](size_t O) {
+          MarkS(slotKey(static_cast<AllocSiteId>(O), F));
+        });
+      }
+      for (uint32_t Id : PG.storesByValue(V)) {
+        const StoreEdge &E = PG.storeEdges()[Id];
+        OldPts(E.Base).forEach([&](size_t O) {
+          MarkS(slotKey(static_cast<AllocSiteId>(O), E.Field));
+        });
+      }
+    } else {
+      uint64_t K = SlotW.back();
+      SlotW.pop_back();
+      AllocSiteId Site = static_cast<AllocSiteId>(K >> 32);
+      FieldId F = static_cast<FieldId>(K & 0xffffffffu);
+      for (uint32_t Id : PG.loadsOfField(F)) {
+        const LoadEdge &E = PG.loadEdges()[Id];
+        if (OldPts(E.Base).test(Site))
+          MarkV(E.Dst);
+      }
+    }
+  }
+
+  // --- Old solver node -> new solver node. Surviving slots keep their
+  // relative creation order and pack right after the new PAG's variables,
+  // so min-id group representatives translate to min-id representatives.
+  std::vector<std::pair<uint32_t, uint64_t>> OldSlots; // (node, key) sorted
+  OldSlotOf.forEach(
+      [&](uint64_t Key, uint32_t Node) { OldSlots.push_back({Node, Key}); });
+  std::sort(OldSlots.begin(), OldSlots.end());
+  std::vector<uint32_t> SolverMap(SOld, kNone);
+  std::vector<uint8_t> AffOldNode(SOld, 0);
+  for (uint32_t V = 0; V < OldVars; ++V) {
+    SolverMap[V] = R.Node[V];
+    AffOldNode[V] = AffOld[V];
+  }
+  uint32_t NextNew = static_cast<uint32_t>(NumVars);
+  for (const auto &[Node, Key] : OldSlots) {
+    AffOldNode[Node] = AffSlotOld.contains(Key);
+    AllocSiteId NewSite = R.Site[static_cast<uint32_t>(Key >> 32)];
+    if (NewSite == kNone)
+      continue;
+    SolverMap[Node] = NextNew++;
+    SlotOf.tryEmplace(slotKey(NewSite, static_cast<FieldId>(Key & 0xffffffffu)),
+                      SolverMap[Node]);
+  }
+  const size_t SNew = NextNew;
+
+  // --- Translate the stolen solution. -----------------------------------
+  Parent.resize(SNew);
+  for (uint32_t V = 0; V < SNew; ++V)
+    Parent[V] = V;
+  uint32_t MaxRank = 0;
+  for (uint32_t N = 0; N < SOld; ++N)
+    MaxRank = std::max(MaxRank, OldRank[N]);
+  RankOf.assign(SNew, MaxRank + 1); // added nodes rank after everything
+  Pts.resize(SNew);
+  Delta.resize(SNew);
+  for (uint32_t V = 0; V < SNew; ++V) {
+    Pts[V].setArena(SolveArena.get());
+    Delta[V].setArena(SolveArena.get());
+  }
+  Succ.resize(SNew, AdjVec(ArenaAllocator<uint32_t>(*SolveArena)));
+  Members.resize(SNew, AdjVec(ArenaAllocator<uint32_t>(*SolveArena)));
+
+  // A group is stale when any member was affected or vanished; its merge
+  // is not re-applied and its set is dropped (the members re-solve).
+  std::vector<uint8_t> GroupAff(SOld, 0);
+  for (uint32_t N = 0; N < SOld; ++N)
+    if (AffOldNode[N] || SolverMap[N] == kNone)
+      GroupAff[OldRep[N]] = 1;
+#ifndef NDEBUG
+  for (uint32_t N = 0; N < SOld; ++N)
+    assert((AffOldNode[N] || !GroupAff[OldRep[N]]) &&
+           "affected cone must cover whole collapsed groups");
+#endif
+
+  bool SiteIdentity = true;
+  for (uint32_t I = 0; I < R.Site.size() && SiteIdentity; ++I)
+    SiteIdentity = R.Site[I] == I;
+
+  size_t Affected = 0;
+  for (uint32_t N = 0; N < SOld; ++N) {
+    uint32_t T = SolverMap[N];
+    if (T == kNone)
+      continue;
+    RankOf[T] = OldRank[N];
+    if (OldRep[N] != N || GroupAff[N])
+      continue; // set lives at the rep / group re-solves from empty
+    if (SiteIdentity) {
+      Pts[T] = std::move(OldPtsVec[N]);
+    } else {
+      BitSet &Dst = Pts[T];
+      OldPtsVec[N].forEach([&](size_t B) {
+        assert(R.Site[B] != PagRemap::kNone && "kept set holds vanished site");
+        Dst.set(R.Site[B]);
+      });
+    }
+  }
+  for (uint32_t N = 0; N < SOld; ++N) {
+    uint32_t Rp = OldRep[N];
+    if (Rp == N || GroupAff[Rp])
+      continue;
+    unite(find(SolverMap[Rp]), SolverMap[N]); // inherited, not counted
+  }
+
+  // --- New-space affected marks drive solve()'s re-seeding. -------------
+  AffVar.assign(NumVars, 0);
+  for (uint32_t V = 0; V < OldVars; ++V)
+    if (AffOld[V] && R.Node[V] != kNone)
+      AffVar[R.Node[V]] = 1;
+  for (uint32_t V = 0; V < NumVars; ++V)
+    if (R.NodeInv[V] == kNone)
+      AffVar[V] = 1; // fresh node of an edited method
+  for (uint32_t V = 0; V < NumVars; ++V)
+    Affected += AffVar[V];
+  C.AffectedVars = Affected;
+  C.ReusedVars = NumVars - Affected;
+  AffSlotOld.forEach([&](uint64_t K) {
+    AllocSiteId NewSite = R.Site[static_cast<uint32_t>(K >> 32)];
+    if (NewSite != kNone)
+      AffSlot.insert(slotKey(NewSite, static_cast<FieldId>(K & 0xffffffffu)));
+  });
 
   C.Incremental = true;
 }

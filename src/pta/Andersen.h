@@ -37,6 +37,7 @@
 #define LC_PTA_ANDERSEN_H
 
 #include "pta/Pag.h"
+#include "pta/PagRemap.h"
 #include "support/Arena.h"
 #include "support/BitSet.h"
 #include "support/FlatMap.h"
@@ -77,6 +78,17 @@ public:
   /// debug builds). \p Prev is left in a valid but unspecified state.
   AndersenPta(const Pag &G, AndersenPta &&Prev);
 
+  /// Incremental re-solve across a *program patch*: \p Prev solved a PAG
+  /// for the previous revision of the Program and \p R translates its
+  /// node/site ids (see pta/PagRemap.h). Steals \p Prev's fixed point like
+  /// the same-program constructor, translating the stolen sets, slot
+  /// table, merges and ranks through \p R; everything belonging to an
+  /// edited method is re-solved, everything else is kept verbatim. Falls
+  /// back to a from-scratch solve when \p R's shape does not match the two
+  /// graphs. The result is exactly the from-scratch fixed point of \p G
+  /// (assert-checked in debug builds).
+  AndersenPta(const Pag &G, AndersenPta &&Prev, const PagRemap &R);
+
   /// Points-to set of a variable/static node, as allocation site ids.
   /// Nodes in one collapsed SCC share their representative's set.
   const BitSet &pointsTo(PagNodeId N) const { return Pts[Rep[N]]; }
@@ -100,6 +112,13 @@ public:
     return Pts[Rep[A]].intersects(Pts[Rep[B]]);
   }
 
+  /// Variable nodes (new-space PAG ids) whose solution was reset and
+  /// recomputed by the last incremental solve -- the affected cone plus,
+  /// for a cross-patch solve, every node of an edited method. Empty for
+  /// scratch solves. Kept after finalization: the memo-invalidation taint
+  /// pass seeds from it.
+  const std::vector<PagNodeId> &affectedVars() const { return AffectedList; }
+
   /// Solver statistics.
   uint64_t iterations() const { return C.Iterations; }
   const AndersenCounters &counters() const { return C; }
@@ -111,8 +130,9 @@ public:
   void recordStats(MetricsRegistry &S) const;
 
 private:
-  void solve(AndersenPta *Prev);
+  void solve(AndersenPta *Prev, const PagRemap *R = nullptr);
   void seedFromPrevious(AndersenPta &Prev);
+  void seedFromPreviousRemapped(AndersenPta &Prev, const PagRemap &R);
   uint32_t find(uint32_t N);
   void unite(uint32_t A, uint32_t B);
   uint32_t slotNode(AllocSiteId Site, FieldId Field);
@@ -175,6 +195,10 @@ private:
   FlatSet64 AffSlot;
   std::vector<uint64_t> AddedCopyKeys;
   std::vector<std::array<uint32_t, 3>> AddedStoreKeys, AddedLoadKeys;
+
+  /// Durable copy of AffVar's set bits, harvested in finalization (AffVar
+  /// itself is solve-transient); see affectedVars().
+  std::vector<PagNodeId> AffectedList;
 };
 
 } // namespace lc

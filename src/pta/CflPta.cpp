@@ -350,6 +350,227 @@ CflPta::CflPta(const Pag &G, const AndersenPta &Base, CflOptions Opts,
     LoadsInto[G.loadEdges()[Id].Dst].push_back(Id);
 }
 
+CflPta::CflPta(const Pag &G, const AndersenPta &Base, CflOptions Opts,
+               const Summaries *Sums, const CflPta &Prev, const PagRemap &R,
+               const std::vector<uint8_t> &MethodChanged,
+               const std::vector<PagNodeId> &PatchSeeds)
+    : CflPta(G, Base, Opts, Sums) {
+  adoptMemo(Prev, R, MethodChanged, PatchSeeds);
+}
+
+std::vector<PagNodeId>
+lc::collectCflPatchSeeds(const Pag &OldG, const AndersenPta &OldA,
+                         const std::vector<uint8_t> &MethodChanged) {
+  // A store the edit removes stops feeding every load it alias-matched;
+  // those loads' hop results are stale. The match is judged under the
+  // solution the cached traversals actually used -- the old one, which
+  // only exists before the incremental Andersen steals it.
+  std::vector<PagNodeId> Seeds;
+  std::vector<uint8_t> Seen(OldG.numNodes(), 0);
+  for (const StoreEdge &St : OldG.storeEdges()) {
+    if (St.Method >= MethodChanged.size() || !MethodChanged[St.Method])
+      continue;
+    const BitSet &StorePts = OldA.pointsTo(St.Base);
+    PagNodeId StoreRep = OldA.repOf(St.Base);
+    for (uint32_t LId : OldG.loadsOfField(St.Field)) {
+      const LoadEdge &L = OldG.loadEdges()[LId];
+      if (Seen[L.Dst])
+        continue;
+      if (OldA.repOf(L.Base) == StoreRep) {
+        if (StorePts.empty())
+          continue;
+      } else if (!StorePts.intersects(OldA.pointsTo(L.Base))) {
+        continue;
+      }
+      Seen[L.Dst] = 1;
+      Seeds.push_back(L.Dst);
+    }
+  }
+  return Seeds;
+}
+
+void CflPta::adoptMemo(const CflPta &Prev, const PagRemap &R,
+                       const std::vector<uint8_t> &MethodChanged,
+                       const std::vector<PagNodeId> &PatchSeeds) {
+  const Pag &OldG = Prev.G;
+  constexpr uint32_t kNone = PagRemap::kNone;
+  // An entry encodes its hop budget in the key and its cost under the
+  // node budget; the k-limit shapes every recorded context. Any
+  // disagreement (or a remap that does not fit the graphs) means the
+  // entries are not reusable as-is: start cold.
+  if (!Opts.Memoize || !Prev.Opts.Memoize ||
+      Prev.Opts.MaxCallDepth != Opts.MaxCallDepth ||
+      Prev.Opts.NodeBudget != Opts.NodeBudget ||
+      Prev.Opts.MaxHeapHops != Opts.MaxHeapHops ||
+      R.Node.size() != OldG.numNodes() || R.NodeInv.size() != G.numNodes())
+    return;
+
+  // --- Taint closure in the previous graph's node space. An entry keyed
+  // at N caches the backward cone of N; it survives iff no node of that
+  // cone (and no alias match its hops depend on) could differ after the
+  // edit. Staleness is propagated *forward* -- from a dirtied node along
+  // copy edges and store-value -> alias-matched-load-destination hops --
+  // which reaches exactly the keys whose backward cones contain it.
+  std::vector<uint8_t> Tainted(OldG.numNodes(), 0);
+  std::vector<PagNodeId> Work;
+  auto taint = [&](PagNodeId V) {
+    if (!Tainted[V]) {
+      Tainted[V] = 1;
+      Work.push_back(V);
+    }
+  };
+
+  // Seed 1: everything of an edited method (its cone changed outright).
+  const Program &OldP = OldG.program();
+  for (MethodId M = 0; M < OldP.Methods.size(); ++M)
+    if (M < MethodChanged.size() && MethodChanged[M])
+      for (LocalId L = 0; L < OldP.Methods[M].Locals.size(); ++L)
+        taint(OldG.localNode(M, L));
+  // Seed 2: loads whose hops matched a store the edit removes (computed
+  // against the old Andersen solution, before it was stolen).
+  for (PagNodeId V : PatchSeeds)
+    if (V < Tainted.size())
+      taint(V);
+  // Seed 3: survivors gaining an in-edge the old graph need not have had:
+  // from a node the edit added, or from any edited-method node (the remap
+  // carries those positionally, so both endpoints can translate even
+  // though the edge -- or the value flowing over it -- is new).
+  std::vector<uint8_t> EditedNew(G.numNodes(), 0);
+  const Program &NewP = G.program();
+  for (MethodId M = 0; M < NewP.Methods.size(); ++M)
+    if (M < MethodChanged.size() && MethodChanged[M])
+      for (LocalId L = 0; L < NewP.Methods[M].Locals.size(); ++L)
+        EditedNew[G.localNode(M, L)] = 1;
+  for (const CopyEdge &E : G.copyEdges())
+    if ((R.NodeInv[E.Src] == kNone || EditedNew[E.Src]) &&
+        R.NodeInv[E.Dst] != kNone)
+      taint(R.NodeInv[E.Dst]);
+  // Seed 4: Andersen-affected survivors. Their sets were re-solved, so
+  // any alias filter they feed may answer differently.
+  std::vector<uint8_t> AffOld(OldG.numNodes(), 0);
+  for (PagNodeId V : Base.affectedVars())
+    if (R.NodeInv[V] != kNone) {
+      AffOld[R.NodeInv[V]] = 1;
+      taint(R.NodeInv[V]);
+    }
+  // Alias match under the *new* solution, asked with old ids. Vanished
+  // endpoints read as matched (conservative).
+  auto matchNew = [&](PagNodeId OldB, PagNodeId OldSB) {
+    PagNodeId B = R.Node[OldB], SB = R.Node[OldSB];
+    if (B == kNone || SB == kNone)
+      return true;
+    const BitSet &BP = Base.pointsTo(B);
+    if (Base.repOf(B) == Base.repOf(SB))
+      return !BP.empty();
+    return BP.intersects(Base.pointsTo(SB));
+  };
+  // Seed 4a: a load over an affected base filters against a changed set.
+  for (const LoadEdge &L : OldG.loadEdges())
+    if (AffOld[L.Base])
+      taint(L.Dst);
+  // Seed 4b: a store over an affected base may enter/leave the match set
+  // of any same-field load.
+  for (const StoreEdge &St : OldG.storeEdges())
+    if (AffOld[St.Base])
+      for (uint32_t LId : OldG.loadsOfField(St.Field)) {
+        const LoadEdge &L = OldG.loadEdges()[LId];
+        if (AffOld[L.Base] || matchNew(L.Base, St.Base))
+          taint(L.Dst);
+      }
+  // Seed 5: stores the edit adds feed surviving loads they alias-match
+  // (judged under the new solution -- the store's base is a new node).
+  for (const StoreEdge &St : G.storeEdges()) {
+    if (St.Method >= MethodChanged.size() || !MethodChanged[St.Method])
+      continue;
+    const BitSet &StorePts = Base.pointsTo(St.Base);
+    PagNodeId StoreRep = Base.repOf(St.Base);
+    for (uint32_t LId : OldG.loadsOfField(St.Field)) {
+      const LoadEdge &L = OldG.loadEdges()[LId];
+      PagNodeId NewBase = R.Node[L.Base];
+      if (NewBase == kNone)
+        continue; // the load vanished with its own method
+      if (!AffOld[L.Base]) {
+        if (Base.repOf(NewBase) == StoreRep) {
+          if (StorePts.empty())
+            continue;
+        } else if (!StorePts.intersects(Base.pointsTo(NewBase))) {
+          continue;
+        }
+      }
+      taint(L.Dst);
+    }
+  }
+
+  // Forward closure. Edges between survivors are identical in both
+  // graphs (every added/removed edge has an edited-method endpoint), so
+  // closing over the old graph covers the new one. Match flips are
+  // already seeded above, so the hop rule may use the new solution.
+  while (!Work.empty()) {
+    PagNodeId V = Work.back();
+    Work.pop_back();
+    for (uint32_t Id : OldG.copiesOut(V))
+      taint(OldG.copyEdges()[Id].Dst);
+    for (uint32_t Id : OldG.storesByValue(V)) {
+      const StoreEdge &St = OldG.storeEdges()[Id];
+      for (uint32_t LId : OldG.loadsOfField(St.Field)) {
+        const LoadEdge &L = OldG.loadEdges()[LId];
+        if (AffOld[L.Base] || AffOld[St.Base] || matchNew(L.Base, St.Base))
+          taint(L.Dst);
+      }
+    }
+  }
+
+  // --- Copy surviving entries into this solver's shards (re-sharding:
+  // the translated key may hash elsewhere). Payloads are rewritten into
+  // the receiving shard's arena with sites translated; contexts are
+  // (method, statement) coordinates of unchanged methods and carry
+  // verbatim. No locks: both solvers are quiescent during construction.
+  uint64_t NumAdopted = 0, NumInvalidated = 0;
+  for (const Shard &PS : Prev.Shards) {
+    PS.Map.forEach([&](uint64_t Key, EntryPtr E) {
+      PagNodeId N = static_cast<PagNodeId>(Key >> 16);
+      if (R.Node[N] == kNone || Tainted[N]) {
+        ++NumInvalidated;
+        return;
+      }
+      uint64_t NewKey = (uint64_t(R.Node[N]) << 16) | (Key & 0xffffu);
+      Shard &NS = shardFor(NewKey);
+      if (NS.Map.size() >= Opts.CacheShardCapacity)
+        return; // full shard: drop silently, like an eviction would
+      auto [Slot, New] = NS.Map.tryEmplace(NewKey, nullptr);
+      if (!New)
+        return; // two old keys cannot collide; defensive only
+      ObjRef *O = nullptr;
+      const CallSite *C = nullptr;
+      uint32_t CtxLen = 0;
+      if (E->NumObjects) {
+        O = static_cast<ObjRef *>(NS.Payload.allocate(
+            E->NumObjects * sizeof(ObjRef), alignof(ObjRef)));
+        for (uint32_t I = 0; I < E->NumObjects; ++I) {
+          O[I] = E->Objects[I];
+          AllocSiteId NewSite = R.Site[O[I].Site];
+          assert(NewSite != kNone &&
+                 "untainted memo entry references a vanished site");
+          O[I].Site = NewSite;
+          CtxLen = std::max(CtxLen, O[I].CtxOff + O[I].CtxLen);
+        }
+      }
+      if (CtxLen) {
+        CallSite *CM = static_cast<CallSite *>(NS.Payload.allocate(
+            CtxLen * sizeof(CallSite), alignof(CallSite)));
+        std::copy(E->CtxPool, E->CtxPool + CtxLen, CM);
+        C = CM;
+      }
+      *Slot = NS.Pool.create(
+          CacheEntry{O, C, E->NumObjects, E->FellBack, E->States});
+      ++NumAdopted;
+    });
+  }
+  EntryCount.fetch_add(NumAdopted, std::memory_order_relaxed);
+  AdoptedCount = NumAdopted;
+  InvalidatedCount = NumInvalidated;
+}
+
 CflPta::EntryPtr CflPta::runQuery(PagNodeId N, uint32_t Hops, bool Sat,
                                   QueryCtx &Q, bool Root) const {
   uint64_t Key = cacheKey(N, Hops, Sat);

@@ -121,6 +121,12 @@ struct CflCacheStats {
   /// Entries materialized in the shards' slab pools. Warm hits create
   /// none -- the allocation-count test gates on exactly that.
   uint64_t Entries = 0;
+  /// Cross-patch adoption (the constructor taking a previous solver):
+  /// entries carried over with their ids translated, and entries dropped
+  /// because their key vanished or their recorded cone roots into the
+  /// edit's taint. Zero for ordinary construction.
+  uint64_t Adopted = 0;
+  uint64_t Invalidated = 0;
 };
 
 /// Snapshot of summary-composition counters (monotonic). Totals depend on
@@ -142,6 +148,26 @@ public:
   /// have been built with the same MaxCallDepth as \p Opts.
   CflPta(const Pag &G, const AndersenPta &Base, CflOptions Opts = {},
          const Summaries *Sums = nullptr);
+
+  /// Cross-patch construction: like the plain constructor, then adopts
+  /// \p Prev's memo cache across a program patch. Entries survive when
+  /// their key node maps through \p R and their recorded sub-traversal
+  /// provably cannot have changed: a taint closure over the *previous*
+  /// graph -- seeded with the edited methods' nodes, new in-edges landing
+  /// on survivors, Andersen-affected variables (plus the load
+  /// destinations whose alias filters those feed), the edit's store
+  /// additions, and \p PatchSeeds (see collectCflPatchSeeds) -- marks
+  /// every node whose backward cone the edit could reach; untainted
+  /// entries are copied into this solver's shards with node/site ids
+  /// translated. Charge-on-hit accounting makes adopted entries
+  /// indistinguishable from recomputed ones, so results stay byte-
+  /// identical to a cold solver. Adoption is skipped entirely (cold
+  /// cache) when \p Opts disagrees with \p Prev's on anything an entry
+  /// encodes, or \p R's shape does not match the two graphs.
+  CflPta(const Pag &G, const AndersenPta &Base, CflOptions Opts,
+         const Summaries *Sums, const CflPta &Prev, const PagRemap &R,
+         const std::vector<uint8_t> &MethodChanged,
+         const std::vector<PagNodeId> &PatchSeeds);
 
   /// Context-sensitive points-to set of a local variable.
   CflResult pointsTo(MethodId M, LocalId L) const {
@@ -179,7 +205,9 @@ public:
     return {Hits.load(std::memory_order_relaxed),
             Misses.load(std::memory_order_relaxed),
             Evictions.load(std::memory_order_relaxed),
-            EntryCount.load(std::memory_order_relaxed)};
+            EntryCount.load(std::memory_order_relaxed),
+            AdoptedCount,
+            InvalidatedCount};
   }
 
   /// Summary-composition counters since construction (atomic snapshot;
@@ -297,6 +325,12 @@ private:
   /// (immutable afterwards, shared by all concurrent queries).
   std::vector<std::vector<uint32_t>> LoadsInto;
 
+  /// Cross-patch memo adoption; only ever called from the adopting
+  /// constructor, before any query can run.
+  void adoptMemo(const CflPta &Prev, const PagRemap &R,
+                 const std::vector<uint8_t> &MethodChanged,
+                 const std::vector<PagNodeId> &PatchSeeds);
+
   mutable std::array<Shard, kShards> Shards;
   /// Recycles query arenas' chunks: after warmup, starting a query costs
   /// no heap allocation for traversal storage.
@@ -304,7 +338,20 @@ private:
   mutable std::atomic<uint64_t> Hits{0}, Misses{0}, Evictions{0};
   mutable std::atomic<uint64_t> EntryCount{0};
   mutable std::atomic<uint64_t> SumApps{0}, SumFallbacks{0};
+  /// Set once during construction (adoption), immutable afterwards.
+  uint64_t AdoptedCount = 0, InvalidatedCount = 0;
 };
+
+/// Old-space seeds for cross-patch memo invalidation that can only be
+/// computed while the previous revision's Andersen solution is still
+/// alive (the incremental Andersen re-solve *steals* it, so the adopting
+/// CflPta constructor can no longer ask it anything): the load
+/// destinations whose heap hops alias-matched a store that the edit
+/// removes. Call this after diffing but before constructing the new
+/// AndersenPta, and hand the result to CflPta's adopting constructor.
+std::vector<PagNodeId>
+collectCflPatchSeeds(const Pag &OldG, const AndersenPta &OldA,
+                     const std::vector<uint8_t> &MethodChanged);
 
 } // namespace lc
 

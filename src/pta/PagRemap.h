@@ -1,0 +1,120 @@
+//===-- PagRemap.h - PAG node/site maps across a program patch -*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// When the analysis service patches a compiled Program in place (see
+/// frontend/Lower.h's incremental pipeline), the re-lowered method bodies
+/// change local counts and allocation-site numbering, which shifts the
+/// dense PAG node ids of every later method. The PagRemap records how the
+/// old ids translate: every local of an unchanged method and every static
+/// field maps to its node in the new graph, and every allocation site
+/// maps by its (method, statement) coordinates.
+///
+/// Edited methods are mapped too -- locals positionally (old local L to
+/// new local L, up to the shorter count), sites by surviving (method,
+/// statement) keys. The map is a pure *renaming*, not a claim that the
+/// entities are semantically the same: every consumer diffs actual edge
+/// keys (the Andersen steal) or invalidates whole edited methods (memo
+/// adoption, summary regions, escape cones) under it, so a mismatched
+/// pairing merely surfaces as removed-plus-added edges and re-solves.
+/// What the extra coverage buys is the common IDE case: an edit that only
+/// touches scalar code leaves the method's PAG subgraph bit-identical, so
+/// the positional map makes the whole patch a pure positional steal
+/// instead of vanishing the method's nodes and cone-invalidating every
+/// consumer of its call-boundary edges. Both maps are strictly monotone
+/// on survivors -- the old and new numbering enumerate methods, locals,
+/// and sites in the same order, and positions within an edited method's
+/// contiguous node block keep their relative order -- which downstream
+/// consumers (the Andersen steal, memo adoption) rely on to keep sorted
+/// key vectors sorted and min-id union-find representatives stable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_PTA_PAGREMAP_H
+#define LC_PTA_PAGREMAP_H
+
+#include "pta/Pag.h"
+
+#include <cassert>
+#include <vector>
+
+namespace lc {
+
+/// Old-to-new id translation between two PAGs built for a patched Program
+/// and its predecessor.
+struct PagRemap {
+  /// "No counterpart": the old entity vanished with an edited method, or
+  /// (in the inverse maps) the new entity was added by one.
+  static constexpr uint32_t kNone = 0xffffffffu;
+
+  std::vector<PagNodeId> Node;        ///< old PAG node -> new PAG node
+  std::vector<PagNodeId> NodeInv;     ///< new PAG node -> old PAG node
+  std::vector<AllocSiteId> Site;      ///< old allocation site -> new
+  std::vector<AllocSiteId> SiteInv;   ///< new allocation site -> old
+};
+
+/// Builds the remap between \p OldG and \p NewG, whose Programs must have
+/// identical class/field/method tables (the patchable-diff guarantee).
+/// \p MethodChanged flags the re-lowered methods by MethodId; all their
+/// locals and sites map to kNone.
+inline PagRemap buildPagRemap(const Pag &OldG, const Pag &NewG,
+                              const std::vector<uint8_t> &MethodChanged) {
+  const Program &OldP = OldG.program();
+  const Program &NewP = NewG.program();
+  assert(OldP.Methods.size() == NewP.Methods.size() &&
+         "patched programs keep their method table");
+
+  PagRemap R;
+  R.Node.assign(OldG.numNodes(), PagRemap::kNone);
+  R.NodeInv.assign(NewG.numNodes(), PagRemap::kNone);
+  for (MethodId M = 0; M < OldP.Methods.size(); ++M) {
+    bool Edited = M < MethodChanged.size() && MethodChanged[M];
+    size_t NumLocals = OldP.Methods[M].Locals.size();
+    assert((Edited || NumLocals == NewP.Methods[M].Locals.size()) &&
+           "unchanged method grew locals");
+    // Edited methods map positionally up to the shorter local count; the
+    // tail on either side vanishes / counts as added. See file comment
+    // for why an arbitrary pairing stays sound.
+    if (Edited)
+      NumLocals = std::min(NumLocals, NewP.Methods[M].Locals.size());
+    for (LocalId L = 0; L < NumLocals; ++L) {
+      PagNodeId O = OldG.localNode(M, L), N = NewG.localNode(M, L);
+      R.Node[O] = N;
+      R.NodeInv[N] = O;
+    }
+  }
+  for (const auto &[Field, OldNode] : OldG.staticNodes()) {
+    PagNodeId NewNode = NewG.staticNode(Field);
+    R.Node[OldNode] = NewNode;
+    R.NodeInv[NewNode] = OldNode;
+  }
+
+  R.Site.assign(OldP.AllocSites.size(), PagRemap::kNone);
+  R.SiteInv.assign(NewP.AllocSites.size(), PagRemap::kNone);
+  FlatMap64<uint32_t> NewSiteAt;
+  NewSiteAt.reserve(NewP.AllocSites.size());
+  for (uint32_t I = 0; I < NewP.AllocSites.size(); ++I) {
+    const AllocSite &S = NewP.AllocSites[I];
+    NewSiteAt.tryEmplace((uint64_t(S.Method) << 32) | S.Index, I);
+  }
+  for (uint32_t I = 0; I < OldP.AllocSites.size(); ++I) {
+    const AllocSite &S = OldP.AllocSites[I];
+    const uint32_t *N = NewSiteAt.lookup((uint64_t(S.Method) << 32) | S.Index);
+    // Only an edited method may shift or drop a site's statement index; a
+    // missed lookup there just means the site vanished.
+    assert((N || (S.Method < MethodChanged.size() && MethodChanged[S.Method])) &&
+           "unchanged method lost an allocation site");
+    if (N) {
+      R.Site[I] = *N;
+      R.SiteInv[*N] = I;
+    }
+  }
+  return R;
+}
+
+} // namespace lc
+
+#endif // LC_PTA_PAGREMAP_H

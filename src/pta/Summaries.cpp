@@ -109,13 +109,63 @@ struct Summaries::Builder {
       LoadsInto[G.loadEdges()[Id].Dst].push_back(Id);
   }
 
+  /// Identity of \p N in *stable coordinates*: (method, local index) for
+  /// locals, the field id for statics. Injective within one program like
+  /// the raw node id, but -- unlike it -- unchanged when an edit to some
+  /// other method shifts the dense numbering, so per-region fingerprints
+  /// carry across a program patch (the session's incremental re-analysis
+  /// compares them between two differently-numbered PAGs).
+  uint64_t stableNode(PagNodeId N) const {
+    MethodId M = NodeMethod[N];
+    if (M != kInvalidId)
+      return fp({10, M, N - G.localNode(M, 0)});
+    if (const FieldId *F = NodeStatic.lookup(N))
+      return fp({11, *F});
+    return fp({12, N}); // unreachable: every node is a local or a static
+  }
+
+  /// One load's alias-matched store contributions under the current
+  /// Andersen solution, summed commutatively. This is the quadratic part
+  /// of fingerprinting (every load scans its field's stores), which is
+  /// why computeFingerprints caches the sums by content key.
+  uint64_t rescanLoad(const LoadEdge &L) const {
+    uint64_t Sum = 0;
+    const BitSet &BasePts = Base.pointsTo(L.Base);
+    PagNodeId LoadRep = Base.repOf(L.Base);
+    for (uint32_t SId : G.storesOfField(L.Field)) {
+      const StoreEdge &St = G.storeEdges()[SId];
+      if (Base.repOf(St.Base) == LoadRep) {
+        if (BasePts.empty())
+          continue;
+      } else if (!BasePts.intersects(Base.pointsTo(St.Base))) {
+        continue;
+      }
+      Sum += fp({5, St.Method, St.Index, stableNode(St.Val)});
+    }
+    return Sum;
+  }
+
   /// Commutative per-method / per-static-field hashes over every PAG fact
-  /// a summary's content can depend on. Loads additionally fold in their
-  /// alias-matched store set under the *current* Andersen solution, so a
-  /// refinement re-solve that changes a match invalidates dependents even
-  /// when no edge touching the method changed.
-  void computeFingerprints() {
-    Out.MethodFp.assign(G.program().Methods.size(), 0x9e3779b97f4a7c15ull);
+  /// a summary's content can depend on, in stable coordinates (see
+  /// stableNode; allocation sites hash as their (method, statement)
+  /// position). Loads additionally fold in their alias-matched store set
+  /// under the *current* Andersen solution, so a re-solve that changes a
+  /// match invalidates dependents even when no edge touching the method
+  /// changed.
+  ///
+  /// A load's match-set contribution is a pure function of the two
+  /// points-to set contents involved (the same-representative branch
+  /// below is only a fast path: same rep means the very same set, where
+  /// non-emptiness and self-intersection coincide), of the field's store
+  /// roster, and of the load's own identity. \p PrevLoadFp carries the
+  /// previous build's sums keyed by a hash of exactly those inputs, so
+  /// across an incremental rebuild every load whose inputs are unchanged
+  /// folds its cached sum in O(1) instead of rescanning the field's
+  /// stores -- the term that makes fingerprinting quadratic on hot
+  /// shared fields.
+  void computeFingerprints(const FlatMap64<uint64_t> *PrevLoadFp) {
+    const Program &P = G.program();
+    Out.MethodFp.assign(P.Methods.size(), 0x9e3779b97f4a7c15ull);
     Out.StaticFp.clear();
     auto addNode = [&](PagNodeId N, uint64_t H) {
       MethodId M = NodeMethod[N];
@@ -126,35 +176,66 @@ struct Summaries::Builder {
       if (const FieldId *F = NodeStatic.lookup(N))
         Out.StaticFp[*F] += H;
     };
+    auto stableSite = [&](AllocSiteId S) {
+      const AllocSite &Site = P.AllocSites[S];
+      return fp({13, Site.Method, Site.Index});
+    };
     for (const AllocEdge &E : G.allocEdges())
-      addNode(E.Var, fp({1, E.Site, E.Var}));
+      addNode(E.Var, fp({1, stableSite(E.Site), stableNode(E.Var)}));
     for (const CopyEdge &E : G.copyEdges()) {
-      uint64_t H = fp({2, E.Src, E.Dst, uint64_t(E.Kind), E.Site.Caller,
-                       E.Site.Index});
+      uint64_t H = fp({2, stableNode(E.Src), stableNode(E.Dst),
+                       uint64_t(E.Kind), E.Site.Caller, E.Site.Index});
       addNode(E.Src, H);
       addNode(E.Dst, H);
     }
+    // Points-to content hash, memoized per representative (members share
+    // the representative's set, so they share its hash).
+    FlatMap64<uint64_t> RepHash;
+    auto ptsHash = [&](PagNodeId N) {
+      auto [Slot, New] = RepHash.tryEmplace(Base.repOf(N), 0);
+      if (New) {
+        uint64_t H = 0xcbf29ce484222325ull;
+        Base.pointsTo(N).forEach([&](size_t B) {
+          H ^= B + 0x9e3779b97f4a7c15ull;
+          H *= 0x100000001b3ull;
+        });
+        *Slot = mix64(H);
+      }
+      return *Slot;
+    };
+
+    FlatMap64<uint64_t> FieldStoreFp;
     for (const StoreEdge &E : G.storeEdges()) {
-      uint64_t H = fp({3, E.Base, E.Val, E.Field, E.Method, E.Index});
+      uint64_t H = fp({3, stableNode(E.Base), stableNode(E.Val), E.Field,
+                       E.Method, E.Index});
       addNode(E.Base, H);
       addNode(E.Val, H);
+      // Field digest for the match-sum cache key: every store that could
+      // enter some load's match set, with the set content its match
+      // predicate reads.
+      FieldStoreFp[E.Field] +=
+          fp({6, E.Method, E.Index, stableNode(E.Val), ptsHash(E.Base)});
     }
     for (const LoadEdge &L : G.loadEdges()) {
-      uint64_t H = fp({4, L.Base, L.Dst, L.Field, L.Method, L.Index});
+      uint64_t H = fp({4, stableNode(L.Base), stableNode(L.Dst), L.Field,
+                       L.Method, L.Index});
       addNode(L.Base, H);
       addNode(L.Dst, H);
-      const BitSet &BasePts = Base.pointsTo(L.Base);
-      PagNodeId LoadRep = Base.repOf(L.Base);
-      for (uint32_t SId : G.storesOfField(L.Field)) {
-        const StoreEdge &St = G.storeEdges()[SId];
-        if (Base.repOf(St.Base) == LoadRep) {
-          if (BasePts.empty())
-            continue;
-        } else if (!BasePts.intersects(Base.pointsTo(St.Base))) {
-          continue;
-        }
-        addNode(L.Dst, fp({5, St.Method, St.Index, St.Val}));
+      const uint64_t *FFp = FieldStoreFp.lookup(L.Field);
+      uint64_t Key = fp({14, H, ptsHash(L.Base), FFp ? *FFp : 0});
+      uint64_t MatchSum;
+      if (const uint64_t *Cached = PrevLoadFp ? PrevLoadFp->lookup(Key)
+                                              : nullptr) {
+        MatchSum = *Cached;
+        ++Out.Counters.LoadFpReused;
+        assert(MatchSum == rescanLoad(L) &&
+               "cached load match-sum diverged from a rescan");
+      } else {
+        MatchSum = rescanLoad(L);
+        ++Out.Counters.LoadFpRescanned;
       }
+      addNode(L.Dst, MatchSum); // += of the per-store sum == adding each
+      Out.LoadMatchFp[Key] = MatchSum;
     }
   }
 
@@ -434,30 +515,116 @@ Summaries::Summaries(const Pag &G, const AndersenPta &Base,
           : nullptr;
   build(G, Base, Usable);
 #ifndef NDEBUG
-  if (Usable) {
-    // The incremental table must be indistinguishable from scratch.
-    Summaries Scratch(G, Base, MaxCallDepth);
-    assert(Table.size() == Scratch.Table.size());
-    for (size_t I = 0; I < Table.size(); ++I) {
-      const MethodSummary &A = Table[I], &B = Scratch.Table[I];
-      assert(A.Complete == B.Complete && A.Gap == B.Gap &&
-             A.MaxRelDepth == B.MaxRelDepth && A.HasLoads == B.HasLoads &&
-             A.HopTargets == B.HopTargets && A.ParamExits == B.ParamExits &&
-             A.MethodRegion == B.MethodRegion &&
-             A.StaticRegion == B.StaticRegion &&
-             A.Objects.size() == B.Objects.size());
-      for (size_t J = 0; J < A.Objects.size(); ++J)
-        assert(A.Objects[J].Site == B.Objects[J].Site &&
-               A.Objects[J].RelCtx == B.Objects[J].RelCtx);
-    }
-  }
+  if (Usable)
+    assertEqualsScratch(G, Base);
 #endif
 }
+
+Summaries::Summaries(const Pag &G, const AndersenPta &Base,
+                     uint32_t MaxCallDepth, const Summaries &Prev,
+                     const PagRemap &R)
+    : KLimit(MaxCallDepth) {
+  if (Prev.KLimit != MaxCallDepth || R.Node.size() != Prev.Index.size() ||
+      R.NodeInv.size() != G.numNodes()) {
+    build(G, Base, nullptr);
+    return;
+  }
+
+  // Translate Prev into this graph's numbering. Fingerprints are already
+  // in stable coordinates and carry verbatim; table content is remapped
+  // entry by entry, and an entry touching anything vanished (a re-lowered
+  // method's local or site) is simply left out -- the build recomputes it
+  // like any other fingerprint-unstable summary.
+  constexpr uint32_t kNone = PagRemap::kNone;
+  Summaries Trans;
+  Trans.KLimit = Prev.KLimit;
+  Trans.MethodFp = Prev.MethodFp;
+  Trans.StaticFp = Prev.StaticFp;
+  Trans.LoadMatchFp = Prev.LoadMatchFp; // content-keyed: carries verbatim
+  Trans.Index.assign(G.numNodes(), -1);
+  Trans.Table.reserve(Prev.Table.size());
+  for (PagNodeId Old = 0; Old < Prev.Index.size(); ++Old) {
+    if (Prev.Index[Old] < 0 || R.Node[Old] == kNone)
+      continue;
+    MethodSummary S = Prev.Table[static_cast<size_t>(Prev.Index[Old])];
+    bool Ok = true;
+    auto mapNodes = [&](std::vector<PagNodeId> &V) {
+      for (PagNodeId &N : V) {
+        if (R.Node[N] == kNone) {
+          Ok = false;
+          return;
+        }
+        N = R.Node[N];
+      }
+    };
+    mapNodes(S.HopTargets);
+    if (Ok)
+      mapNodes(S.ParamExits);
+    for (SummaryObject &O : S.Objects) {
+      if (!Ok)
+        break;
+      if (R.Site[O.Site] == kNone)
+        Ok = false;
+      else
+        O.Site = R.Site[O.Site]; // RelCtx call sites are (method, stmt)
+                                 // coordinates: stable, kept verbatim
+    }
+    if (!Ok)
+      continue;
+    Trans.Index[R.Node[Old]] = static_cast<int32_t>(Trans.Table.size());
+    Trans.Table.push_back(std::move(S));
+  }
+
+  build(G, Base, &Trans);
+#ifndef NDEBUG
+  assertEqualsScratch(G, Base);
+#endif
+}
+
+#ifndef NDEBUG
+/// The incremental table must be indistinguishable from scratch.
+void Summaries::assertEqualsScratch(const Pag &G,
+                                    const AndersenPta &Base) const {
+  Summaries Scratch(G, Base, KLimit);
+  assert(Table.size() == Scratch.Table.size());
+  assert(Index == Scratch.Index);
+  // Fingerprints feed the NEXT incremental build's reuse decisions; a
+  // stale one would silently poison that build, so hold them to the same
+  // scratch-equality bar as the table itself.
+  assert(MethodFp == Scratch.MethodFp);
+  assert(StaticFp.size() == Scratch.StaticFp.size());
+  StaticFp.forEach([&](uint64_t F, const uint64_t &V) {
+    const uint64_t *S = Scratch.StaticFp.lookup(F);
+    assert(S && *S == V && "static fingerprint diverged from scratch");
+    (void)S;
+  });
+  assert(LoadMatchFp.size() == Scratch.LoadMatchFp.size());
+  LoadMatchFp.forEach([&](uint64_t K, const uint64_t &V) {
+    const uint64_t *S = Scratch.LoadMatchFp.lookup(K);
+    assert(S && *S == V && "load match-sum cache diverged from scratch");
+    (void)S;
+  });
+  for (size_t I = 0; I < Table.size(); ++I) {
+    const MethodSummary &A = Table[I], &B = Scratch.Table[I];
+    assert(A.Complete == B.Complete && A.Gap == B.Gap &&
+           A.MaxRelDepth == B.MaxRelDepth && A.HasLoads == B.HasLoads &&
+           A.HopTargets == B.HopTargets && A.ParamExits == B.ParamExits &&
+           A.MethodRegion == B.MethodRegion &&
+           A.StaticRegion == B.StaticRegion &&
+           A.Objects.size() == B.Objects.size());
+    for (size_t J = 0; J < A.Objects.size(); ++J)
+      assert(A.Objects[J].Site == B.Objects[J].Site &&
+             A.Objects[J].RelCtx == B.Objects[J].RelCtx);
+  }
+}
+#else
+void Summaries::assertEqualsScratch(const Pag &, const AndersenPta &) const {}
+#endif
 
 void Summaries::build(const Pag &G, const AndersenPta &Base,
                       const Summaries *Prev) {
   Builder B(G, Base, *this);
-  B.computeFingerprints();
+  B.computeFingerprints(Prev ? &Prev->LoadMatchFp : nullptr);
 
   // One summary slot per distinct return node, in edge order.
   Index.assign(G.numNodes(), -1);
@@ -579,5 +746,9 @@ void Summaries::recordStats(Stats &S) const {
   if (Counters.Reused || Counters.Recomputed) {
     S.addCounter("summary-reused", Counters.Reused);
     S.addCounter("summary-recomputed", Counters.Recomputed);
+  }
+  if (Counters.LoadFpReused) {
+    S.addCounter("summary-loadfp-reused", Counters.LoadFpReused);
+    S.addCounter("summary-loadfp-rescanned", Counters.LoadFpRescanned);
   }
 }

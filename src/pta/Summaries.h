@@ -121,6 +121,8 @@ struct SummaryCounters {
   uint64_t SccPasses = 0;       ///< extra fixpoint passes over SCCs
   uint64_t Reused = 0;          ///< summaries carried over incrementally
   uint64_t Recomputed = 0;      ///< summaries rebuilt incrementally
+  uint64_t LoadFpReused = 0;    ///< load match-sums reused by content key
+  uint64_t LoadFpRescanned = 0; ///< load match-sets rescanned store by store
 };
 
 /// The per-substrate summary table. Immutable after construction; safe to
@@ -138,6 +140,17 @@ public:
   /// fingerprint-stable are reused; the rest are recomputed bottom-up.
   Summaries(const Pag &G, const AndersenPta &Base, uint32_t MaxCallDepth,
             const Summaries &Prev);
+
+  /// Incremental rebuild across a *program patch*: \p Prev was built for
+  /// the previous revision and \p R translates its node/site numbering
+  /// (see pta/PagRemap.h). Region fingerprints are in stable coordinates,
+  /// so they compare directly across the patch; a reused summary's
+  /// recorded content (return node, objects, hop targets, param exits) is
+  /// translated through \p R, and any summary touching a vanished entity
+  /// is recomputed instead. Falls back to a full build when \p R's shape
+  /// or \p Prev's k-limit does not match.
+  Summaries(const Pag &G, const AndersenPta &Base, uint32_t MaxCallDepth,
+            const Summaries &Prev, const PagRemap &R);
 
   /// Summary for \p ReturnNode, or nullptr when the node is not the
   /// source of any Return edge.
@@ -158,9 +171,12 @@ private:
   struct Builder;
   friend struct Builder;
 
-  void build(const Pag &G, const AndersenPta &Base, const Summaries *Prev);
+  Summaries() = default; // shell for the patch translation below
 
-  uint32_t KLimit;
+  void build(const Pag &G, const AndersenPta &Base, const Summaries *Prev);
+  void assertEqualsScratch(const Pag &G, const AndersenPta &Base) const;
+
+  uint32_t KLimit = 0;
   /// numNodes-sized map return node -> Table slot (-1 = not a return node).
   std::vector<int32_t> Index;
   std::vector<MethodSummary> Table;
@@ -168,6 +184,16 @@ private:
   /// retained so the next incremental build can diff against them.
   std::vector<uint64_t> MethodFp;
   FlatMap64<uint64_t> StaticFp;
+  /// Per-load alias-match contributions of the last fingerprint pass,
+  /// keyed by a content hash of everything the match-set depends on: the
+  /// load's stable identity, the base's points-to set, and a per-field
+  /// digest of every store's identity, value and base set. A load whose
+  /// key reappears in the next build folds the cached sum instead of
+  /// rescanning the field's stores -- the scan that makes fingerprinting
+  /// quadratic on hot shared fields. Exact modulo 64-bit collision, the
+  /// same gamble the region fingerprints take (debug builds rescan and
+  /// assert on every hit). Rebuilt each pass, so stale keys don't pile up.
+  FlatMap64<uint64_t> LoadMatchFp;
   SummaryCounters Counters;
 };
 

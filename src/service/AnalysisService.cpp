@@ -2,6 +2,7 @@
 
 #include "service/AnalysisService.h"
 
+#include "frontend/Lower.h"
 #include "support/Trace.h"
 
 #include <algorithm>
@@ -55,16 +56,24 @@ uint64_t AnalysisService::approxSessionBytes(const LeakChecker &Session) {
 }
 
 LeakChecker *AnalysisService::sessionFor(const AnalysisRequest &R,
-                                         bool &Built, std::string &Error) {
-  uint64_t Key =
-      mix(programHash(R.Source), R.Options.substrateFingerprint());
+                                         SubstrateOrigin &Origin,
+                                         std::string &Error) {
+  uint64_t OptionsFp = R.Options.substrateFingerprint();
+  uint64_t Key = mix(programHash(R.Source), OptionsFp);
   auto It = ByKey.find(Key);
   if (It != ByKey.end()) {
     ServiceStats.add("service-session-hits");
     // Touch: move to the front of the LRU list.
     Lru.splice(Lru.begin(), Lru, It->second);
-    Built = false;
+    Origin = SubstrateOrigin::ReusedWarm;
     return It->second->Checker.get();
+  }
+
+  // Exact miss: before paying for a cold build, try carrying a resident
+  // session across the edit.
+  if (LeakChecker *Patched = patchNearestAncestor(R, OptionsFp, Key)) {
+    Origin = SubstrateOrigin::ReusedIncremental;
+    return Patched;
   }
 
   trace::TraceSpan Span("service.build-session", "service");
@@ -76,18 +85,72 @@ LeakChecker *AnalysisService::sessionFor(const AnalysisRequest &R,
     return nullptr;
   }
   ServiceStats.add("service-session-builds");
-  Built = true;
+  Origin = SubstrateOrigin::Built;
 
   Session S;
-  S.Key = Key;
+  S.OptionsFp = OptionsFp;
   S.ApproxBytes = approxSessionBytes(*Checker);
   S.Checker = std::move(Checker);
+  insertSession(std::move(S), Key);
+  return Lru.begin()->Checker.get();
+}
+
+LeakChecker *AnalysisService::patchNearestAncestor(const AnalysisRequest &R,
+                                                   uint64_t OptionsFp,
+                                                   uint64_t NewKey) {
+  if (Lru.empty())
+    return nullptr;
+  DeclIndex Idx = scanDeclarations(R.Source);
+  if (!Idx.Valid)
+    return nullptr;
+  // Nearest ancestor: among patchable candidates built under the same
+  // substrate options, the one with the fewest changed bodies (its
+  // solver state overlaps the edited program the most).
+  auto Best = Lru.end();
+  uint32_t BestChanged = ~0u;
+  for (auto It = Lru.begin(); It != Lru.end(); ++It) {
+    if (It->OptionsFp != OptionsFp)
+      continue;
+    ProgramDiff Diff = diffDeclarations(It->Checker->program().Decls, Idx);
+    if (!Diff.Patchable)
+      continue;
+    if (Diff.MethodsBodyChanged < BestChanged) {
+      BestChanged = Diff.MethodsBodyChanged;
+      Best = It;
+    }
+  }
+  if (Best == Lru.end())
+    return nullptr;
+
+  trace::TraceSpan Span("service.patch-session", "service");
+  DiagnosticEngine Diags;
+  std::unique_ptr<LeakChecker> Patched =
+      LeakChecker::patchFrom(*Best->Checker, R.Source, Diags);
+  if (!Patched)
+    return nullptr; // failed patches leave the ancestor warm; cold-build
+
+  // The ancestor's solver state was consumed by the patch: its cache
+  // entry is replaced by the patched session under the new source key.
+  ServiceStats.add("service-session-patches");
+  ResidentBytes -= Best->ApproxBytes;
+  ByKey.erase(Best->Key);
+  Lru.erase(Best);
+
+  Session S;
+  S.OptionsFp = OptionsFp;
+  S.ApproxBytes = approxSessionBytes(*Patched);
+  S.Checker = std::move(Patched);
+  insertSession(std::move(S), NewKey);
+  return Lru.begin()->Checker.get();
+}
+
+void AnalysisService::insertSession(Session S, uint64_t Key) {
+  S.Key = Key;
   ResidentBytes += S.ApproxBytes;
   Lru.push_front(std::move(S));
   ByKey[Key] = Lru.begin();
   evictOver(Key);
   ServiceStats.setGauge("service-resident-bytes", ResidentBytes);
-  return Lru.begin()->Checker.get();
 }
 
 void AnalysisService::evictOver(size_t KeepKey) {
@@ -110,9 +173,12 @@ AnalysisOutcome AnalysisService::run(const AnalysisRequest &R) {
   trace::TraceSpan Span("service.request", "service");
   ServiceStats.add("service-requests");
 
-  bool Built = false;
+  SubstrateOrigin Origin = SubstrateOrigin::Built;
   std::string Error;
-  LeakChecker *S = sessionFor(R, Built, Error);
+  uint64_t EvictionsBefore = ServiceStats.get("service-session-evictions");
+  LeakChecker *S = sessionFor(R, Origin, Error);
+  uint64_t EvictionsNow =
+      ServiceStats.get("service-session-evictions") - EvictionsBefore;
   if (!S) {
     ServiceStats.add("service-compile-errors");
     AnalysisOutcome O;
@@ -124,13 +190,26 @@ AnalysisOutcome AnalysisService::run(const AnalysisRequest &R) {
   }
 
   AnalysisOutcome O = S->run(R);
-  O.SubstrateBuilt = Built;
-  if (!Built) {
+  O.Origin = Origin;
+  O.SubstrateBuilt = Origin != SubstrateOrigin::ReusedWarm;
+  if (Origin == SubstrateOrigin::ReusedWarm) {
     // Warm hit: the substrate was built (and its stats reported) by an
     // earlier request. Re-reporting the andersen-* counters here would
-    // double-count construction work that never happened.
+    // double-count construction work that never happened. (An
+    // incremental patch keeps its stats: that work did run now.)
     O.SubstrateStats = Stats();
   }
+  // Per-request cache behavior, merged into the run report alongside the
+  // analysis counters so --stats-json shows the warm path. Environment
+  // class: depends on what earlier requests left resident.
+  O.SubstrateStats.addCounter("session-cache-hit",
+                              Origin == SubstrateOrigin::ReusedWarm ? 1 : 0,
+                              MetricDet::Environment);
+  O.SubstrateStats.addCounter("session-cache-miss",
+                              Origin == SubstrateOrigin::ReusedWarm ? 0 : 1,
+                              MetricDet::Environment);
+  O.SubstrateStats.addCounter("session-evictions", EvictionsNow,
+                              MetricDet::Environment);
   switch (O.Status) {
   case OutcomeStatus::DeadlineExpired:
     ServiceStats.add("service-deadline-expired");

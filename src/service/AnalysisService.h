@@ -21,10 +21,19 @@
 /// order) but outcomes always come back in submission order, so callers
 /// index responses by request position or by echoed Id.
 ///
+/// Edited programs take an incremental path: a request whose source
+/// misses the cache is diffed (method-level declaration fingerprints)
+/// against resident sessions with the same option fingerprint, and when
+/// some session's program differs only in method bodies, that nearest
+/// ancestor is *patched* across the edit (LeakChecker::patchFrom) instead
+/// of cold-built -- re-lowering only changed methods and carrying the
+/// Andersen fixed point, method summaries, and CFL memo over. The outcome
+/// reports this as SubstrateOrigin::ReusedIncremental; reports stay
+/// byte-identical to a from-scratch build.
+///
 /// The service is single-threaded by contract: one thread calls run() /
 /// runBatch() at a time (each request parallelizes internally). This is
-/// the layer future multi-client serving, sharding, and incremental
-/// re-analysis plug into.
+/// the layer future multi-client serving and sharding plug into.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -88,17 +97,36 @@ public:
 private:
   struct Session {
     uint64_t Key = 0;
+    /// Option part of the key (SessionOptions::substrateFingerprint):
+    /// only sessions solved under identical substrate knobs are legal
+    /// patch ancestors for an edited program.
+    uint64_t OptionsFp = 0;
     std::unique_ptr<LeakChecker> Checker;
     uint64_t ApproxBytes = 0;
   };
 
   /// Returns the warm session for (source, substrate fingerprint),
-  /// building and inserting it on a miss. Null when the program does not
-  /// compile (\p Error then carries the diagnostics). The returned
+  /// building and inserting it on a miss. A miss first tries the
+  /// nearest-ancestor incremental path (see patchNearestAncestor); only
+  /// when no cached session can be patched does it cold-build. Null when
+  /// the program does not compile (\p Error then carries the
+  /// diagnostics). \p Origin reports which path served. The returned
   /// pointer stays valid for the current request only (a later request
   /// may evict it).
-  LeakChecker *sessionFor(const AnalysisRequest &R, bool &Built,
+  LeakChecker *sessionFor(const AnalysisRequest &R, SubstrateOrigin &Origin,
                           std::string &Error);
+  /// The edit workload's fast path: among cached sessions built under
+  /// the same option fingerprint, finds the one whose program differs
+  /// from \p R's source by the fewest body-level method edits and is
+  /// patchable at all, then carries its substrate across the edit with
+  /// LeakChecker::patchFrom. On success the ancestor's cache entry is
+  /// replaced by the patched session under \p NewKey (the ancestor's
+  /// solver state was consumed). Returns null when no candidate exists
+  /// or the patch bails (the caller cold-builds; ancestors are untouched
+  /// by failed attempts).
+  LeakChecker *patchNearestAncestor(const AnalysisRequest &R,
+                                    uint64_t OptionsFp, uint64_t NewKey);
+  void insertSession(Session S, uint64_t Key);
   void evictOver(size_t KeepKey);
 
   ServiceOptions Opts;

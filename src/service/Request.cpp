@@ -21,3 +21,15 @@ const char *lc::outcomeStatusName(OutcomeStatus S) {
   }
   return "ok";
 }
+
+const char *lc::substrateOriginName(SubstrateOrigin O) {
+  switch (O) {
+  case SubstrateOrigin::Built:
+    return "built";
+  case SubstrateOrigin::ReusedWarm:
+    return "warm";
+  case SubstrateOrigin::ReusedIncremental:
+    return "patched";
+  }
+  return "built";
+}

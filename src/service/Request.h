@@ -87,6 +87,17 @@ enum class OutcomeStatus : uint8_t {
 /// Names an outcome status for logs and JSON ("ok", "deadline-expired"...).
 const char *outcomeStatusName(OutcomeStatus S);
 
+/// How the session that served a request came to be.
+enum class SubstrateOrigin : uint8_t {
+  Built,             ///< cold build: compiled and solved from scratch
+  ReusedWarm,        ///< exact cache hit: an existing session served as-is
+  ReusedIncremental, ///< patched: a cached ancestor session was carried
+                     ///< across a body-level edit (LeakChecker::patchFrom)
+};
+
+/// Names an origin for logs and JSON ("built", "warm", "patched").
+const char *substrateOriginName(SubstrateOrigin O);
+
 /// The response to one AnalysisRequest.
 struct AnalysisOutcome {
   /// The request's Id, echoed.
@@ -115,7 +126,13 @@ struct AnalysisOutcome {
   std::string Diagnostics;
   /// True when this outcome's session was built by this request (a cache
   /// miss at the service layer; always true for direct LeakChecker::run).
+  /// Incremental reuse counts as built: substrate work ran (and its stats
+  /// are populated), just far less of it.
   bool SubstrateBuilt = true;
+  /// Finer-grained than SubstrateBuilt: distinguishes a cold build from
+  /// an incremental patch of a cached ancestor (the --serve edit
+  /// workload). Always Built for direct LeakChecker::run.
+  SubstrateOrigin Origin = SubstrateOrigin::Built;
   /// Substrate construction statistics, populated only when
   /// SubstrateBuilt (the andersen-* counters land exactly once per
   /// session, which is how the batch tests assert single construction).

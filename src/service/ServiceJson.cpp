@@ -2,6 +2,7 @@
 
 #include "service/ServiceJson.h"
 
+#include <algorithm>
 #include <cmath>
 
 using namespace lc;
@@ -11,6 +12,22 @@ namespace {
 
 /// A non-negative integral number (request files carry no fractional
 /// budgets; 3.5 jobs is a typo, not a request).
+/// Rejects a repeated object key. The JSON parser keeps members in
+/// source order including duplicates, so without this check a repeated
+/// key would silently last-win -- the same typo-swallowing failure mode
+/// strict unknown-key rejection exists to kill.
+bool checkDuplicate(std::vector<const std::string *> &Seen,
+                    const std::string &Key, const char *What,
+                    std::string &Error) {
+  for (const std::string *S : Seen)
+    if (*S == Key) {
+      Error = std::string("duplicate ") + What + " key \"" + Key + "\"";
+      return false;
+    }
+  Seen.push_back(&Key);
+  return true;
+}
+
 bool asCount(const Value &V, uint64_t &Out) {
   if (!V.isNumber())
     return false;
@@ -27,7 +44,10 @@ bool parseOptions(const Value &V, SessionOptionsBuilder &B,
     Error = "\"options\" must be an object";
     return false;
   }
+  std::vector<const std::string *> Seen;
   for (const auto &[Key, Val] : V.members()) {
+    if (!checkDuplicate(Seen, Key, "options", Error))
+      return false;
     uint64_t N = 0;
     if (Key == "jobs") {
       if (Val.isString() && Val.asString() == "all") {
@@ -158,7 +178,10 @@ bool lc::parseAnalysisRequest(const Value &V, AnalysisRequest &R,
   bool HaveDeadlineMs = false, HaveDeadlinePolls = false;
   uint64_t DeadlineMs = 0, DeadlinePolls = 0;
 
+  std::vector<const std::string *> Seen;
   for (const auto &[Key, Val] : V.members()) {
+    if (!checkDuplicate(Seen, Key, "request", Error))
+      return false;
     if (Key == "id") {
       if (!Val.isString()) {
         Error = "\"id\" must be a string";
@@ -255,12 +278,18 @@ bool lc::parseRequestBatch(const Value &V, std::vector<AnalysisRequest> &Rs,
       Error = "batch object must carry a \"requests\" array";
       return false;
     }
+    size_t RequestsKeys = 0;
     for (const auto &[Key, Val] : V.members()) {
       (void)Val;
       if (Key != "requests") {
         Error = "unknown batch key \"" + Key + "\"";
         return false;
       }
+      ++RequestsKeys;
+    }
+    if (RequestsKeys > 1) {
+      Error = "duplicate batch key \"requests\"";
+      return false;
     }
     Items = &Reqs->items();
   } else {
@@ -290,6 +319,10 @@ std::string lc::renderOutcomeJson(const AnalysisOutcome &O) {
   J += ",\"status\":" + json::quote(outcomeStatusName(O.Status));
   J += ",\"substrate_built\":";
   J += O.SubstrateBuilt ? "true" : "false";
+  // Finer-grained origin alongside the boolean (kept for grep/tooling
+  // compatibility): "built" (cold), "warm" (exact hit), or "patched"
+  // (incremental reuse of a cached ancestor across an edit).
+  J += ",\"substrate_origin\":" + json::quote(substrateOriginName(O.Origin));
 
   J += ",\"loops\":[";
   for (size_t I = 0; I < O.Results.size(); ++I) {

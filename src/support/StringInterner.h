@@ -20,6 +20,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 
 namespace lc {
 
@@ -50,6 +51,28 @@ private:
 class StringInterner {
 public:
   StringInterner();
+
+  /// Copies rebuild Index over the copy's own Storage -- the member-wise
+  /// default would keep string_view keys into the source's strings, which
+  /// dangle once the source dies (the session clone-and-patch path copies
+  /// whole Programs and may outlive the original).
+  StringInterner(const StringInterner &Other) : Storage(Other.Storage) {
+    Index.reserve(Storage.size());
+    for (uint32_t I = 0; I < Storage.size(); ++I)
+      Index.emplace(Storage[I], I);
+  }
+  StringInterner &operator=(const StringInterner &Other) {
+    if (this != &Other) {
+      StringInterner Tmp(Other);
+      Storage = std::move(Tmp.Storage);
+      Index = std::move(Tmp.Index);
+    }
+    return *this;
+  }
+  /// Moves keep element addresses (deque steals its blocks), so the moved
+  /// Index's views stay valid.
+  StringInterner(StringInterner &&) = default;
+  StringInterner &operator=(StringInterner &&) = default;
 
   /// Interns \p Text, returning a stable Symbol for it.
   Symbol intern(std::string_view Text);

@@ -1,0 +1,271 @@
+//===-- IncrementalLowerTest.cpp - declaration scan / diff / patch ---------===//
+
+#include "frontend/Lower.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace lc;
+
+namespace {
+
+DeclIndex scanOk(std::string_view Src) {
+  DeclIndex Idx = scanDeclarations(Src);
+  EXPECT_TRUE(Idx.Valid);
+  return Idx;
+}
+
+/// Compiles OldSrc, patches the program to NewSrc, and expects the result
+/// to be equivalent to a from-scratch compile of NewSrc.
+void expectPatchEqualsScratch(std::string_view OldSrc,
+                              std::string_view NewSrc) {
+  Program P;
+  DiagnosticEngine D1;
+  ASSERT_TRUE(compileSource(OldSrc, P, D1)) << D1.str();
+  DeclIndex NewIdx = scanDeclarations(NewSrc);
+  ASSERT_TRUE(NewIdx.Valid);
+  ProgramDiff Diff = diffDeclarations(P.Decls, NewIdx);
+  ASSERT_TRUE(Diff.Patchable);
+  DiagnosticEngine D2;
+  ASSERT_TRUE(patchProgram(P, NewSrc, NewIdx, Diff, D2)) << D2.str();
+  auto Problems = verifyProgram(P);
+  ASSERT_TRUE(Problems.empty()) << Problems.front() << "\n" << printProgram(P);
+  Program Scratch;
+  DiagnosticEngine D3;
+  ASSERT_TRUE(compileSource(NewSrc, Scratch, D3)) << D3.str();
+  std::string Why;
+  EXPECT_TRUE(programsEquivalent(P, Scratch, &Why))
+      << "patched != scratch: " << Why << "\n--- patched:\n"
+      << printProgram(P) << "\n--- scratch:\n"
+      << printProgram(Scratch);
+}
+
+const char *kBase = R"(
+class Node {
+  Node next;
+  int val;
+  Node(int v) { this.val = v; }
+  Node tail() {
+    Node n = this;
+    while (n.next != null) { n = n.next; }
+    return n;
+  }
+}
+class Main {
+  static Node head = new Node(0);
+  static void grow(int k) {
+    while (k > 0) {
+      Node n = new Node(k);
+      n.next = Main.head;
+      Main.head = n;
+      k = k - 1;
+    }
+  }
+  static void main() {
+    Main.grow(10);
+    Node t = Main.head.tail();
+  }
+}
+)";
+
+} // namespace
+
+TEST(DeclScan, SegmentsClassesAndMembers) {
+  DeclIndex Idx = scanOk(kBase);
+  ASSERT_EQ(Idx.Classes.size(), 2u);
+  EXPECT_EQ(Idx.Classes[0].Name, "Node");
+  EXPECT_EQ(Idx.Classes[1].Name, "Main");
+  ASSERT_EQ(Idx.Classes[0].Members.size(), 4u);
+  EXPECT_FALSE(Idx.Classes[0].Members[0].IsMethod); // next
+  EXPECT_FALSE(Idx.Classes[0].Members[1].IsMethod); // val
+  EXPECT_TRUE(Idx.Classes[0].Members[2].IsCtor);    // Node(int)
+  EXPECT_EQ(Idx.Classes[0].Members[3].Name, "tail");
+  ASSERT_EQ(Idx.Classes[1].Members.size(), 3u);
+  EXPECT_FALSE(Idx.Classes[1].Members[0].IsMethod); // head
+  EXPECT_TRUE(Idx.Classes[1].Members[1].IsStatic);  // grow
+  EXPECT_EQ(Idx.Classes[1].Members[2].Name, "main");
+  // Fields hash their whole declaration and have no body hash.
+  EXPECT_EQ(Idx.Classes[1].Members[0].BodyHash, 0u);
+  EXPECT_NE(Idx.Classes[1].Members[1].BodyHash, 0u);
+}
+
+TEST(DeclScan, CommentAndStringAware) {
+  DeclIndex Idx = scanOk(R"(
+    class A {
+      // a } comment with a brace
+      static void f() { String s = "not a } brace \" either"; }
+      /* block } comment */
+      static void main() { A.f(); }
+    }
+  )");
+  ASSERT_EQ(Idx.Classes.size(), 1u);
+  EXPECT_EQ(Idx.Classes[0].Members.size(), 2u);
+}
+
+TEST(DeclScan, UnbalancedSourceYieldsInvalidIndex) {
+  EXPECT_FALSE(scanDeclarations("class A { static void f() { ").Valid);
+  EXPECT_FALSE(scanDeclarations("class A { /* unterminated ").Valid);
+  EXPECT_FALSE(scanDeclarations("struct A { }").Valid);
+}
+
+TEST(DeclDiff, IdenticalSourceIsAllUnchanged) {
+  DeclIndex A = scanOk(kBase), B = scanOk(kBase);
+  ProgramDiff D = diffDeclarations(A, B);
+  EXPECT_TRUE(D.Patchable);
+  EXPECT_TRUE(D.Edits.empty());
+  EXPECT_EQ(D.MethodsUnchanged, 4u); // Node ctor, tail, grow, main
+  EXPECT_EQ(D.MethodsBodyChanged, 0u);
+}
+
+TEST(DeclDiff, BodyEditIsPatchable) {
+  std::string Edited = kBase;
+  size_t Pos = Edited.find("Main.grow(10)");
+  ASSERT_NE(Pos, std::string::npos);
+  Edited.replace(Pos, 13, "Main.grow(99)");
+  ProgramDiff D = diffDeclarations(scanOk(kBase), scanOk(Edited));
+  EXPECT_TRUE(D.Patchable);
+  ASSERT_EQ(D.Edits.size(), 1u);
+  EXPECT_EQ(D.Edits[0].Kind, MethodEditKind::BodyChanged);
+  EXPECT_EQ(D.MethodsBodyChanged, 1u);
+  EXPECT_EQ(D.MethodsUnchanged, 3u);
+}
+
+TEST(DeclDiff, SignatureEditIsNotPatchable) {
+  std::string Edited = kBase;
+  size_t Pos = Edited.find("static void grow(int k)");
+  ASSERT_NE(Pos, std::string::npos);
+  Edited.replace(Pos, 23, "static void grow(int k, int j)");
+  ProgramDiff D = diffDeclarations(scanOk(kBase), scanOk(Edited));
+  EXPECT_FALSE(D.Patchable);
+  EXPECT_EQ(D.MethodsSigChanged, 1u);
+}
+
+TEST(DeclDiff, CtorBodyEditIsNotPatchable) {
+  std::string Edited = kBase;
+  size_t Pos = Edited.find("{ this.val = v; }");
+  ASSERT_NE(Pos, std::string::npos);
+  Edited.replace(Pos, 17, "{ this.val = v + 1; }");
+  ProgramDiff D = diffDeclarations(scanOk(kBase), scanOk(Edited));
+  EXPECT_FALSE(D.Patchable);
+  EXPECT_EQ(D.MethodsBodyChanged, 1u);
+}
+
+TEST(DeclDiff, AddedMethodIsNotPatchable) {
+  std::string Edited = kBase;
+  size_t Pos = Edited.find("static void main()");
+  ASSERT_NE(Pos, std::string::npos);
+  Edited.insert(Pos, "static void extra() { }\n  ");
+  ProgramDiff D = diffDeclarations(scanOk(kBase), scanOk(Edited));
+  EXPECT_FALSE(D.Patchable);
+  EXPECT_EQ(D.MethodsAdded, 1u);
+}
+
+TEST(DeclDiff, FieldEditIsNotPatchable) {
+  std::string Edited = kBase;
+  size_t Pos = Edited.find("static Node head = new Node(0);");
+  ASSERT_NE(Pos, std::string::npos);
+  Edited.replace(Pos, 31, "static Node head = new Node(7);");
+  ProgramDiff D = diffDeclarations(scanOk(kBase), scanOk(Edited));
+  EXPECT_FALSE(D.Patchable);
+}
+
+TEST(DeclDiff, LineShiftOnlyIsLocShifted) {
+  std::string Edited = kBase;
+  size_t Pos = Edited.find("  static void main()");
+  ASSERT_NE(Pos, std::string::npos);
+  Edited.insert(Pos, "\n\n");
+  ProgramDiff D = diffDeclarations(scanOk(kBase), scanOk(Edited));
+  EXPECT_TRUE(D.Patchable);
+  EXPECT_EQ(D.MethodsLocShifted, 1u);
+  ASSERT_EQ(D.Edits.size(), 1u);
+  EXPECT_EQ(D.Edits[0].Kind, MethodEditKind::LocShifted);
+  EXPECT_EQ(D.Edits[0].LineDelta, 2);
+}
+
+TEST(PatchProgram, SimpleBodyEdit) {
+  std::string Edited = kBase;
+  size_t Pos = Edited.find("Main.grow(10)");
+  ASSERT_NE(Pos, std::string::npos);
+  Edited.replace(Pos, 13, "Main.grow(99)");
+  expectPatchEqualsScratch(kBase, Edited);
+}
+
+TEST(PatchProgram, EditChangingAllocationsAndLoops) {
+  // The new grow body adds a second allocation site and a nested loop;
+  // site/loop ids of the later methods (main, tail, <clinit>) must be
+  // renumbered back into scratch order.
+  std::string Edited = kBase;
+  size_t Pos = Edited.find("      Node n = new Node(k);");
+  ASSERT_NE(Pos, std::string::npos);
+  Edited.insert(Pos, "      Node extra = new Node(k + 1);\n"
+                     "      int j = k;\n"
+                     "      while (j > 0) { j = j - 1; }\n");
+  expectPatchEqualsScratch(kBase, Edited);
+}
+
+TEST(PatchProgram, EditShrinkingABody) {
+  std::string Edited = kBase;
+  size_t Pos = Edited.find("    Main.grow(10);\n");
+  ASSERT_NE(Pos, std::string::npos);
+  Edited.erase(Pos, 19);
+  expectPatchEqualsScratch(kBase, Edited);
+}
+
+TEST(PatchProgram, PureLineShift) {
+  std::string Edited = kBase;
+  size_t Pos = Edited.find("class Main");
+  ASSERT_NE(Pos, std::string::npos);
+  Edited.insert(Pos, "\n\n\n");
+  expectPatchEqualsScratch(kBase, Edited);
+}
+
+TEST(PatchProgram, EditPlusLineShift) {
+  // A body edit that changes the line count shifts every later member.
+  std::string Edited = kBase;
+  size_t Pos = Edited.find("    Node n = this;");
+  ASSERT_NE(Pos, std::string::npos);
+  Edited.insert(Pos, "    int steps = 0;\n    steps = steps + 1;\n");
+  expectPatchEqualsScratch(kBase, Edited);
+}
+
+TEST(PatchProgram, TwoBodiesEditedAtOnce) {
+  std::string Edited = kBase;
+  size_t Pos = Edited.find("Main.grow(10)");
+  ASSERT_NE(Pos, std::string::npos);
+  Edited.replace(Pos, 13, "Main.grow(42)");
+  Pos = Edited.find("    Node n = this;");
+  ASSERT_NE(Pos, std::string::npos);
+  Edited.insert(Pos, "    int probes = 7;\n");
+  expectPatchEqualsScratch(kBase, Edited);
+}
+
+TEST(PatchProgram, BrokenEditFailsCleanly) {
+  Program P;
+  DiagnosticEngine D1;
+  ASSERT_TRUE(compileSource(kBase, P, D1));
+  std::string Edited = kBase;
+  size_t Pos = Edited.find("Main.grow(10)");
+  ASSERT_NE(Pos, std::string::npos);
+  Edited.replace(Pos, 13, "Main.grw(10)"); // unknown method
+  DeclIndex NewIdx = scanDeclarations(Edited);
+  ASSERT_TRUE(NewIdx.Valid);
+  ProgramDiff Diff = diffDeclarations(P.Decls, NewIdx);
+  ASSERT_TRUE(Diff.Patchable); // textually fine; fails in sema
+  DiagnosticEngine D2;
+  EXPECT_FALSE(patchProgram(P, Edited, NewIdx, Diff, D2));
+  EXPECT_TRUE(D2.hasErrors());
+}
+
+TEST(PatchProgram, EquivalentCatchesRealDifferences) {
+  Program A, B;
+  DiagnosticEngine D1, D2;
+  ASSERT_TRUE(compileSource(kBase, A, D1));
+  std::string Edited = kBase;
+  size_t Pos = Edited.find("Main.grow(10)");
+  Edited.replace(Pos, 13, "Main.grow(11)");
+  ASSERT_TRUE(compileSource(Edited, B, D2));
+  std::string Why;
+  EXPECT_FALSE(programsEquivalent(A, B, &Why));
+  EXPECT_FALSE(Why.empty());
+}

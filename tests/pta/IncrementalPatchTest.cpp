@@ -1,0 +1,363 @@
+//===-- IncrementalPatchTest.cpp - cross-patch Andersen re-solve ----------===//
+//
+// Exercises the pipeline behind the analysis service's incremental path:
+// compile a program, solve it, patch a *clone* to the edited source, build
+// the new PAG, translate the old fixed point through a PagRemap, and check
+// the incrementally re-solved sets equal a from-scratch solve of the new
+// graph (debug builds additionally assert inside the solver).
+//
+//===----------------------------------------------------------------------===//
+
+#include "callgraph/CallGraph.h"
+#include "frontend/Lower.h"
+#include "pta/Andersen.h"
+#include "pta/CflPta.h"
+#include "pta/PagRemap.h"
+#include "pta/Summaries.h"
+
+#include <gtest/gtest.h>
+
+using namespace lc;
+
+namespace {
+
+const char *kBase = R"(
+class Node {
+  Node next;
+  int val;
+  Node(int v) { this.val = v; }
+  Node tail() {
+    Node n = this;
+    while (n.next != null) { n = n.next; }
+    return n;
+  }
+}
+class Cache {
+  static Node hot = new Node(1);
+  static void stash(Node n) { n.next = Cache.hot; Cache.hot = n; }
+}
+class Main {
+  static void grow(int k) {
+    while (k > 0) {
+      Node n = new Node(k);
+      Cache.stash(n);
+      k = k - 1;
+    }
+  }
+  static void main() {
+    Main.grow(10);
+    Node t = Cache.hot.tail();
+  }
+}
+)";
+
+struct Session {
+  Program P;
+  std::unique_ptr<CallGraph> CG;
+  std::unique_ptr<Pag> G;
+  std::unique_ptr<AndersenPta> A;
+
+  void buildSubstrate() {
+    CG = std::make_unique<CallGraph>(P, CallGraphKind::Rta);
+    G = std::make_unique<Pag>(P, *CG);
+  }
+};
+
+void expectEqualSolutions(const Program &P, const Pag &G,
+                          const AndersenPta &Inc, const AndersenPta &Fresh,
+                          const char *What) {
+  for (PagNodeId N = 0; N < G.numNodes(); ++N)
+    ASSERT_TRUE(Inc.pointsTo(N) == Fresh.pointsTo(N))
+        << What << ": var sets differ at " << G.nodeName(N);
+  for (AllocSiteId S = 0; S < P.AllocSites.size(); ++S)
+    for (FieldId F = 0; F < P.Fields.size(); ++F)
+      ASSERT_TRUE(Inc.fieldPointsTo(S, F) == Fresh.fieldPointsTo(S, F))
+          << What << ": slot sets differ at site " << S << " field " << F;
+}
+
+/// Compiles \p OldSrc, solves it, patches a clone to \p NewSrc, and
+/// re-solves through the remap. Returns the counters of the incremental
+/// solve after asserting it equals scratch.
+AndersenCounters patchAndResolve(const std::string &OldSrc,
+                                 const std::string &NewSrc) {
+  Session Old;
+  DiagnosticEngine D1;
+  EXPECT_TRUE(compileSource(OldSrc, Old.P, D1)) << D1.str();
+  Old.buildSubstrate();
+  Old.A = std::make_unique<AndersenPta>(*Old.G);
+
+  // Patch a clone: the old PAG keeps referencing the untouched original.
+  Session New;
+  New.P = Old.P;
+  DeclIndex NewIdx = scanDeclarations(NewSrc);
+  EXPECT_TRUE(NewIdx.Valid);
+  ProgramDiff Diff = diffDeclarations(New.P.Decls, NewIdx);
+  EXPECT_TRUE(Diff.Patchable);
+  DiagnosticEngine D2;
+  std::vector<uint8_t> Changed;
+  EXPECT_TRUE(patchProgram(New.P, NewSrc, NewIdx, Diff, D2, &Changed))
+      << D2.str();
+  New.buildSubstrate();
+
+  PagRemap R = buildPagRemap(*Old.G, *New.G, Changed);
+  AndersenPta Inc(*New.G, std::move(*Old.A), R);
+  AndersenPta Fresh(*New.G);
+  expectEqualSolutions(New.P, *New.G, Inc, Fresh, "after patch");
+  return Inc.counters();
+}
+
+std::string editBase(std::string_view From, std::string_view To) {
+  std::string S = kBase;
+  size_t Pos = S.find(From);
+  EXPECT_NE(Pos, std::string::npos) << From;
+  S.replace(Pos, From.size(), To);
+  return S;
+}
+
+} // namespace
+
+TEST(AndersenPatch, BodyEditResolvesIncrementally) {
+  AndersenCounters C =
+      patchAndResolve(kBase, editBase("Main.grow(10)", "Main.grow(99)"));
+  EXPECT_TRUE(C.Incremental);
+  // The edit touched only main; the other methods' variables are reused.
+  EXPECT_GT(C.ReusedVars, 0u);
+}
+
+TEST(AndersenPatch, EditAddingAnAllocationSite) {
+  // grow gains a second allocation: site ids of later-lowered methods
+  // shift, so the remap's site translation carries real work.
+  AndersenCounters C = patchAndResolve(
+      kBase, editBase("      Node n = new Node(k);",
+                      "      Node n = new Node(k);\n"
+                      "      Node spare = new Node(k + 1);\n"
+                      "      Cache.stash(spare);"));
+  EXPECT_TRUE(C.Incremental);
+  EXPECT_GT(C.ReusedVars, 0u);
+}
+
+TEST(AndersenPatch, EditRemovingAnAllocationSite) {
+  // The vanished site must be scrubbed from every translated set (the
+  // affected cone covers everything it reached through Cache.stash).
+  AndersenCounters C = patchAndResolve(
+      kBase, editBase("    while (k > 0) {\n"
+                      "      Node n = new Node(k);\n"
+                      "      Cache.stash(n);\n"
+                      "      k = k - 1;\n"
+                      "    }",
+                      "    k = 0;"));
+  EXPECT_TRUE(C.Incremental);
+}
+
+TEST(AndersenPatch, EditRewiringDataflow) {
+  // tail() stops walking next and returns a fresh node instead: load
+  // edges vanish, an allocation appears, and main's t changes solution.
+  AndersenCounters C = patchAndResolve(
+      kBase, editBase("    Node n = this;\n"
+                      "    while (n.next != null) { n = n.next; }\n"
+                      "    return n;",
+                      "    Node n = new Node(0);\n"
+                      "    n.next = this;\n"
+                      "    return n;"));
+  EXPECT_TRUE(C.Incremental);
+}
+
+TEST(AndersenPatch, ChainOfEditsStaysEqualToScratch) {
+  // An IDE-style session: each revision patches the previous session's
+  // clone and re-solves through the chain (never from the original).
+  const std::string Rev1 = editBase("Main.grow(10)", "Main.grow(3)");
+  const std::string Rev2 = [&] {
+    std::string S = Rev1;
+    size_t Pos = S.find("      Cache.stash(n);");
+    EXPECT_NE(Pos, std::string::npos);
+    S.insert(Pos, "      Node twin = new Node(k);\n"
+                  "      Cache.stash(twin);\n");
+    return S;
+  }();
+  const std::string Rev3 = kBase; // revert everything
+
+  Session Cur;
+  DiagnosticEngine D0;
+  ASSERT_TRUE(compileSource(kBase, Cur.P, D0)) << D0.str();
+  Cur.buildSubstrate();
+  Cur.A = std::make_unique<AndersenPta>(*Cur.G);
+
+  for (const std::string *Src : {&Rev1, &Rev2, &Rev3}) {
+    Session Next;
+    Next.P = Cur.P;
+    DeclIndex Idx = scanDeclarations(*Src);
+    ASSERT_TRUE(Idx.Valid);
+    ProgramDiff Diff = diffDeclarations(Next.P.Decls, Idx);
+    ASSERT_TRUE(Diff.Patchable);
+    DiagnosticEngine D;
+    std::vector<uint8_t> Changed;
+    ASSERT_TRUE(patchProgram(Next.P, *Src, Idx, Diff, D, &Changed)) << D.str();
+    Next.buildSubstrate();
+    PagRemap R = buildPagRemap(*Cur.G, *Next.G, Changed);
+    Next.A = std::make_unique<AndersenPta>(*Next.G, std::move(*Cur.A), R);
+    ASSERT_TRUE(Next.A->counters().Incremental);
+    AndersenPta Fresh(*Next.G);
+    expectEqualSolutions(Next.P, *Next.G, *Next.A, Fresh, "chain revision");
+    Cur = std::move(Next);
+  }
+}
+
+TEST(SummariesPatch, UnchangedRegionsAreReusedAcrossAPatch) {
+  // An edit to main() must not invalidate summaries whose region is the
+  // untouched Node/Cache corner; the remap-aware rebuild carries them
+  // over (and, in debug builds, asserts equality with a scratch build).
+  Session Old;
+  DiagnosticEngine D1;
+  ASSERT_TRUE(compileSource(kBase, Old.P, D1)) << D1.str();
+  Old.buildSubstrate();
+  Old.A = std::make_unique<AndersenPta>(*Old.G);
+  const uint32_t K = CflOptions{}.MaxCallDepth;
+  Summaries Prev(*Old.G, *Old.A, K);
+  ASSERT_GT(Prev.counters().Returns, 0u);
+
+  Session New;
+  New.P = Old.P;
+  std::string NewSrc = editBase("Node t = Cache.hot.tail();",
+                                "Node t = Cache.hot.tail();\n"
+                                "    Node u = new Node(5);\n"
+                                "    Cache.stash(u);");
+  DeclIndex Idx = scanDeclarations(NewSrc);
+  ASSERT_TRUE(Idx.Valid);
+  ProgramDiff Diff = diffDeclarations(New.P.Decls, Idx);
+  ASSERT_TRUE(Diff.Patchable);
+  DiagnosticEngine D2;
+  std::vector<uint8_t> Changed;
+  ASSERT_TRUE(patchProgram(New.P, NewSrc, Idx, Diff, D2, &Changed)) << D2.str();
+  New.buildSubstrate();
+  PagRemap R = buildPagRemap(*Old.G, *New.G, Changed);
+  AndersenPta NewBase(*New.G, std::move(*Old.A), R);
+
+  Summaries Inc(*New.G, NewBase, K, Prev, R);
+  EXPECT_GT(Inc.counters().Reused, 0u);
+  // tail()'s summary roots in an untouched region: reused, not rebuilt.
+  EXPECT_LT(Inc.counters().Recomputed, Inc.counters().Returns);
+}
+
+TEST(SummariesPatch, MismatchedRemapFallsBackToFullBuild) {
+  Session S;
+  DiagnosticEngine D;
+  ASSERT_TRUE(compileSource(kBase, S.P, D)) << D.str();
+  S.buildSubstrate();
+  S.A = std::make_unique<AndersenPta>(*S.G);
+  const uint32_t K = CflOptions{}.MaxCallDepth;
+  Summaries Prev(*S.G, *S.A, K);
+  PagRemap Bogus; // empty maps: wrong shape for any real graph pair
+  Summaries Fresh(*S.G, *S.A, K, Prev, Bogus);
+  EXPECT_EQ(Fresh.counters().Reused, 0u);
+  EXPECT_EQ(Fresh.counters().Returns, Prev.counters().Returns);
+}
+
+namespace {
+
+std::string canon(const CflResult &R) {
+  std::vector<std::string> Lines;
+  for (const CtxObject &O : R.Objects) {
+    std::string S = std::to_string(O.Site) + " @";
+    for (const CallSite &C : O.Ctx)
+      S += " " + std::to_string(C.Caller) + ":" + std::to_string(C.Index);
+    Lines.push_back(std::move(S));
+  }
+  std::sort(Lines.begin(), Lines.end());
+  std::string Out = R.FellBack ? "FALLBACK\n" : "";
+  for (const std::string &L : Lines)
+    Out += L + "\n";
+  return Out;
+}
+
+} // namespace
+
+TEST(CflMemoPatch, AdoptedCacheIsByteIdenticalToCold) {
+  Session Old;
+  DiagnosticEngine D1;
+  ASSERT_TRUE(compileSource(kBase, Old.P, D1)) << D1.str();
+  Old.buildSubstrate();
+  Old.A = std::make_unique<AndersenPta>(*Old.G);
+  CflOptions Opts;
+  CflPta Warm(*Old.G, *Old.A, Opts);
+  for (PagNodeId N = 0; N < Old.G->numNodes(); ++N)
+    Warm.pointsTo(N); // populate the memo
+  ASSERT_GT(Warm.cacheStats().Entries, 0u);
+
+  Session New;
+  New.P = Old.P;
+  std::string NewSrc =
+      editBase("n.next = Cache.hot; Cache.hot = n;",
+               "Cache.hot = n;"); // drop the next-chain store
+  DeclIndex Idx = scanDeclarations(NewSrc);
+  ASSERT_TRUE(Idx.Valid);
+  ProgramDiff Diff = diffDeclarations(New.P.Decls, Idx);
+  ASSERT_TRUE(Diff.Patchable);
+  DiagnosticEngine D2;
+  std::vector<uint8_t> Changed;
+  ASSERT_TRUE(patchProgram(New.P, NewSrc, Idx, Diff, D2, &Changed)) << D2.str();
+  New.buildSubstrate();
+  PagRemap R = buildPagRemap(*Old.G, *New.G, Changed);
+
+  // Old-solution-dependent seeds come first; the incremental Andersen
+  // then steals that solution.
+  std::vector<PagNodeId> Seeds =
+      collectCflPatchSeeds(*Old.G, *Old.A, Changed);
+  AndersenPta NewBase(*New.G, std::move(*Old.A), R);
+
+  CflPta Adopted(*New.G, NewBase, Opts, nullptr, Warm, R, Changed, Seeds);
+  CflPta Cold(*New.G, NewBase, Opts);
+  CflCacheStats After = Adopted.cacheStats();
+  EXPECT_GT(After.Adopted, 0u);
+  EXPECT_GT(After.Invalidated, 0u); // the edited store's cone was dropped
+
+  for (PagNodeId N = 0; N < New.G->numNodes(); ++N) {
+    CflResult A = Adopted.pointsTo(N);
+    CflResult B = Cold.pointsTo(N);
+    ASSERT_EQ(canon(A), canon(B)) << New.G->nodeName(N);
+    ASSERT_EQ(A.StatesVisited, B.StatesVisited)
+        << "adopted entries must charge like recomputed ones at "
+        << New.G->nodeName(N);
+    ASSERT_EQ(A.FellBack, B.FellBack) << New.G->nodeName(N);
+  }
+}
+
+TEST(CflMemoPatch, OptionMismatchStartsCold) {
+  Session S;
+  DiagnosticEngine D;
+  ASSERT_TRUE(compileSource(kBase, S.P, D)) << D.str();
+  S.buildSubstrate();
+  S.A = std::make_unique<AndersenPta>(*S.G);
+  CflOptions Opts;
+  CflPta Warm(*S.G, *S.A, Opts);
+  for (PagNodeId N = 0; N < S.G->numNodes(); ++N)
+    Warm.pointsTo(N);
+
+  PagRemap Identity = buildPagRemap(*S.G, *S.G, {});
+  std::vector<uint8_t> NoChange(S.P.Methods.size(), 0);
+  CflOptions Narrow = Opts;
+  Narrow.MaxHeapHops = Opts.MaxHeapHops - 1;
+  CflPta Mismatched(*S.G, *S.A, Narrow, nullptr, Warm, Identity, NoChange, {});
+  EXPECT_EQ(Mismatched.cacheStats().Adopted, 0u);
+  EXPECT_EQ(Mismatched.cacheStats().Entries, 0u);
+
+  CflPta Same(*S.G, *S.A, Opts, nullptr, Warm, Identity, NoChange, {});
+  EXPECT_EQ(Same.cacheStats().Adopted, Warm.cacheStats().Entries);
+  EXPECT_EQ(Same.cacheStats().Invalidated, 0u);
+}
+
+TEST(AndersenPatch, ClonedProgramIsIndependent) {
+  // The clone used by patch-on-clone must not share interner storage with
+  // the original: interning into the copy after the original dies is the
+  // service's steady state.
+  auto Orig = std::make_unique<Program>();
+  DiagnosticEngine D;
+  ASSERT_TRUE(compileSource(kBase, *Orig, D));
+  Program Clone = *Orig;
+  std::string Why;
+  EXPECT_TRUE(programsEquivalent(*Orig, Clone, &Why)) << Why;
+  Orig.reset();
+  Symbol S1 = Clone.Strings.intern("freshly-interned");
+  Symbol S2 = Clone.Strings.intern("freshly-interned");
+  EXPECT_EQ(S1, S2);
+  EXPECT_EQ(Clone.Strings.text(S1), "freshly-interned");
+}

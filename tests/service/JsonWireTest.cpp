@@ -123,6 +123,38 @@ TEST(RequestJson, StrictUnknownKeyRejection) {
   EXPECT_NE(Error.find("pivto"), std::string::npos);
 }
 
+TEST(RequestJson, DuplicateKeysAreRejectedByName) {
+  // The JSON parser keeps duplicate members in source order; without a
+  // dedicated check the later one would silently win -- e.g. a request
+  // editing its "loops" line in place but forgetting to delete the old
+  // one would analyze the wrong loops without any error.
+  AnalysisRequest R;
+  RequestSourceRef Ref;
+  std::string Error;
+  EXPECT_FALSE(parseRequest(
+      R"({"source": "x", "loops": "all", "loops": "other"})", R, Ref, Error));
+  EXPECT_NE(Error.find("duplicate request key"), std::string::npos);
+  EXPECT_NE(Error.find("loops"), std::string::npos);
+
+  EXPECT_FALSE(parseRequest(
+      R"({"id": "a", "id": "b", "source": "x", "loops": "all"})", R, Ref,
+      Error));
+  EXPECT_NE(Error.find("\"id\""), std::string::npos);
+
+  EXPECT_FALSE(parseRequest(
+      R"({"source": "x", "loops": "all",
+          "options": {"jobs": 1, "jobs": 2}})",
+      R, Ref, Error));
+  EXPECT_NE(Error.find("duplicate options key"), std::string::npos);
+  EXPECT_NE(Error.find("jobs"), std::string::npos);
+
+  std::vector<AnalysisRequest> Rs;
+  std::vector<RequestSourceRef> Refs;
+  EXPECT_FALSE(parseRequestBatch(
+      parseOk(R"({"requests": [], "requests": []})"), Rs, Refs, Error));
+  EXPECT_NE(Error.find("duplicate batch key"), std::string::npos);
+}
+
 TEST(RequestJson, ProgramNamingIsExclusiveAndRequired) {
   AnalysisRequest R;
   RequestSourceRef Ref;

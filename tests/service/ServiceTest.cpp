@@ -109,7 +109,11 @@ TEST(AnalysisService, WarmBatchMatchesColdSingleRuns) {
     EXPECT_TRUE(Out[I].SubstrateBuilt);
     EXPECT_FALSE(Out[I + N].SubstrateBuilt);
     EXPECT_NE(Out[I].SubstrateStats.lookup("andersen-solve"), nullptr);
-    EXPECT_TRUE(Out[I + N].SubstrateStats.metrics().empty());
+    EXPECT_EQ(Out[I + N].SubstrateStats.lookup("andersen-solve"), nullptr);
+    // Both rounds carry the per-request cache counters (the only stats a
+    // warm outcome reports).
+    EXPECT_EQ(Out[I].SubstrateStats.get("session-cache-miss"), 1u);
+    EXPECT_EQ(Out[I + N].SubstrateStats.get("session-cache-hit"), 1u);
   }
   EXPECT_EQ(Svc.stats().get("service-session-builds"), N);
   EXPECT_EQ(Svc.stats().get("service-session-hits"), N);
@@ -246,6 +250,101 @@ TEST(AnalysisService, BatchAnswersInSubmissionOrderRunsByPriority) {
   EXPECT_TRUE(Out[1].SubstrateBuilt);
   EXPECT_FALSE(Out[2].SubstrateBuilt);
   EXPECT_EQ(Svc.stats().get("service-session-builds"), 1u);
+}
+
+TEST(AnalysisService, EditedProgramIsPatchedNotRebuilt) {
+  // A body-level edit of the cached program: the dataflow changes (kept
+  // items now conditional) but no signature, field, or class does.
+  std::string Edited(kTinyLeak);
+  size_t Pos = Edited.find("sink.keep(x);");
+  ASSERT_NE(Pos, std::string::npos);
+  Edited.replace(Pos, std::string("sink.keep(x);").size(),
+                 "if (i < 3) { sink.keep(x); }");
+
+  // Ground truth: a fresh service cold-builds the edited revision.
+  AnalysisService Fresh;
+  AnalysisOutcome ColdEdited =
+      Fresh.run(requestFor("cold-edit", Edited.c_str(), LoopSet::of({"work"})));
+  ASSERT_TRUE(ColdEdited.ok());
+
+  AnalysisService Svc;
+  AnalysisOutcome First =
+      Svc.run(requestFor("v1", kTinyLeak, LoopSet::of({"work"})));
+  ASSERT_TRUE(First.ok());
+  EXPECT_EQ(First.Origin, SubstrateOrigin::Built);
+
+  AnalysisOutcome Second =
+      Svc.run(requestFor("v2", Edited.c_str(), LoopSet::of({"work"})));
+  ASSERT_TRUE(Second.ok());
+  // The edit rode the incremental path -- no second cold build -- and the
+  // report is byte-identical to the from-scratch analysis of the edit.
+  EXPECT_EQ(Second.Origin, SubstrateOrigin::ReusedIncremental);
+  EXPECT_TRUE(Second.SubstrateBuilt);
+  EXPECT_EQ(Svc.stats().get("service-session-builds"), 1u);
+  EXPECT_EQ(Svc.stats().get("service-session-patches"), 1u);
+  ASSERT_EQ(Second.RenderedReports.size(), 1u);
+  EXPECT_EQ(Second.RenderedReports[0], ColdEdited.RenderedReports[0]);
+  // Patched outcomes carry their (much smaller) substrate stats.
+  EXPECT_NE(Second.SubstrateStats.lookup("patch-methods-changed"), nullptr);
+  EXPECT_NE(Second.SubstrateStats.lookup("andersen-solve"), nullptr);
+
+  // The patched session replaced its ancestor and now serves the edited
+  // source as an exact warm hit.
+  EXPECT_EQ(Svc.cachedSessions(), 1u);
+  AnalysisOutcome Third =
+      Svc.run(requestFor("v2-again", Edited.c_str(), LoopSet::of({"work"})));
+  EXPECT_EQ(Third.Origin, SubstrateOrigin::ReusedWarm);
+  EXPECT_FALSE(Third.SubstrateBuilt);
+
+  // Asking for the original source again patches *back* across the same
+  // edit (the ancestor's own session was consumed by the first patch).
+  AnalysisOutcome Fourth =
+      Svc.run(requestFor("v1-again", kTinyLeak, LoopSet::of({"work"})));
+  ASSERT_TRUE(Fourth.ok());
+  EXPECT_EQ(Fourth.Origin, SubstrateOrigin::ReusedIncremental);
+  ASSERT_EQ(Fourth.RenderedReports.size(), 1u);
+  EXPECT_EQ(Fourth.RenderedReports[0], First.RenderedReports[0]);
+  EXPECT_EQ(Svc.stats().get("service-session-builds"), 1u);
+}
+
+TEST(AnalysisService, StructuralEditColdBuildsAndKeepsAncestor) {
+  AnalysisService Svc;
+  ASSERT_TRUE(
+      Svc.run(requestFor("v1", kTinyLeak, LoopSet::of({"work"}))).ok());
+  // Adding a class is not body-level patchable: the service must fall
+  // back to a cold build and leave the ancestor session untouched.
+  std::string Structural(kTinyLeak);
+  Structural += "\nclass Extra { Object held; }\n";
+  AnalysisOutcome O =
+      Svc.run(requestFor("v2", Structural.c_str(), LoopSet::of({"work"})));
+  ASSERT_TRUE(O.ok());
+  EXPECT_EQ(O.Origin, SubstrateOrigin::Built);
+  EXPECT_EQ(Svc.stats().get("service-session-patches"), 0u);
+  EXPECT_EQ(Svc.stats().get("service-session-builds"), 2u);
+  EXPECT_EQ(Svc.cachedSessions(), 2u);
+  // The ancestor still serves its own source warm.
+  AnalysisOutcome Back =
+      Svc.run(requestFor("v1-again", kTinyLeak, LoopSet::of({"work"})));
+  EXPECT_EQ(Back.Origin, SubstrateOrigin::ReusedWarm);
+}
+
+TEST(AnalysisService, OptionForkNeverPatchesAcrossFingerprints) {
+  AnalysisService Svc;
+  AnalysisRequest A = requestFor("v1-j1", kTinyLeak, LoopSet::of({"work"}));
+  A.Options = *SessionOptionsBuilder().jobs(1).build();
+  ASSERT_TRUE(Svc.run(A).ok());
+  // Same program family, different substrate fingerprint: a body edit
+  // under other options must not adopt the jobs(1) session.
+  std::string Edited(kTinyLeak);
+  size_t Pos = Edited.find("i = i + 1;");
+  ASSERT_NE(Pos, std::string::npos);
+  Edited.replace(Pos, std::string("i = i + 1;").size(), "i = i + 2;");
+  AnalysisRequest B = requestFor("v2-j2", Edited.c_str(), LoopSet::of({"work"}));
+  B.Options = *SessionOptionsBuilder().jobs(2).build();
+  AnalysisOutcome O = Svc.run(B);
+  ASSERT_TRUE(O.ok());
+  EXPECT_EQ(O.Origin, SubstrateOrigin::Built);
+  EXPECT_EQ(Svc.stats().get("service-session-patches"), 0u);
 }
 
 TEST(AnalysisService, AllLabeledMatchesExplicitLabels) {

@@ -79,6 +79,43 @@ TEST(ArenaTest, PoolRecyclesChunks) {
   EXPECT_EQ(Pool.freeChunks(), 2u);
 }
 
+TEST(ArenaTest, ResetAfterPoolDrainReusesHeldChunks) {
+  // The per-query scratch pattern under memory pressure: an arena holds
+  // pooled chunks while some other consumer drains the central free list
+  // dry. reset() must keep serving from the chunks the arena already
+  // owns -- no pool traffic, no fresh heap chunks.
+  ChunkPool Pool(256);
+  Arena A(Pool);
+  A.allocate(200, 8);
+  A.allocate(200, 8);
+  EXPECT_EQ(A.chunkCount(), 2u);
+  uint64_t HeapChunks = Pool.chunksAllocated();
+  {
+    // Drain: another consumer takes every free chunk and keeps it.
+    std::vector<std::unique_ptr<char[]>> Held;
+    while (Pool.freeChunks() > 0)
+      Held.push_back(Pool.acquire());
+    EXPECT_EQ(Pool.freeChunks(), 0u);
+    // Dropping Held frees the chunks to the heap, not back to the pool.
+  }
+  for (int Round = 0; Round < 3; ++Round) {
+    A.reset();
+    EXPECT_EQ(A.bytesUsed(), 0u);
+    void *P1 = A.allocate(200, 8);
+    void *P2 = A.allocate(200, 8);
+    EXPECT_NE(P1, nullptr);
+    EXPECT_NE(P2, nullptr);
+    EXPECT_EQ(A.chunkCount(), 2u) << "round " << Round;
+  }
+  EXPECT_EQ(Pool.chunksAllocated(), HeapChunks)
+      << "reset cycles over a drained pool must not allocate";
+  // Growing past the held chunks goes to the (empty) pool, which falls
+  // back to the heap exactly once for the new chunk.
+  A.allocate(200, 8);
+  EXPECT_EQ(A.chunkCount(), 3u);
+  EXPECT_EQ(Pool.chunksAllocated(), HeapChunks + 1);
+}
+
 TEST(ArenaTest, RecordStatsPublishesGauges) {
   Arena A(1024);
   A.allocate(100, 8);

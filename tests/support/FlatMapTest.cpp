@@ -137,5 +137,85 @@ TEST(FlatSetTest, DifferentialAgainstUnorderedSet) {
   EXPECT_TRUE(S.insert(1));
 }
 
+/// Keys whose mixed hash lands on one slot of a \p Cap-sized table: the
+/// worst case for open addressing. Probing must walk (and wrap) a chain
+/// the full cluster long.
+std::vector<uint64_t> collidingKeys(size_t Cap, size_t Slot, size_t N) {
+  std::vector<uint64_t> Keys;
+  for (uint64_t K = 0; Keys.size() < N; ++K)
+    if ((detail::mixHash64(K) & (Cap - 1)) == Slot)
+      Keys.push_back(K);
+  return Keys;
+}
+
+TEST(FlatMapTest, CollidingKeysProbeWrapAndSurviveGrowth) {
+  // 40 keys all hashing to the last slot of the initial 16-slot table:
+  // every probe chain wraps past the table end, and inserting them walks
+  // the map through two forced rehashes (16 -> 32 -> 64).
+  std::vector<uint64_t> Keys = collidingKeys(16, 15, 40);
+  FlatMap64<uint64_t> M;
+  for (size_t I = 0; I < Keys.size(); ++I) {
+    auto [P, New] = M.tryEmplace(Keys[I], Keys[I] * 3);
+    EXPECT_TRUE(New);
+    EXPECT_EQ(*P, Keys[I] * 3);
+    // Every earlier key stays findable mid-cluster, across each growth.
+    for (size_t J = 0; J <= I; ++J) {
+      const uint64_t *Q = M.lookup(Keys[J]);
+      ASSERT_NE(Q, nullptr) << "key " << J << " lost after insert " << I;
+      EXPECT_EQ(*Q, Keys[J] * 3);
+    }
+  }
+  EXPECT_EQ(M.size(), Keys.size());
+  // Duplicate inserts keep probing to the existing slot, not a new one.
+  for (uint64_t K : Keys) {
+    auto [P, New] = M.tryEmplace(K, 0ull);
+    EXPECT_FALSE(New);
+    EXPECT_EQ(*P, K * 3);
+  }
+  // clear() empties the cluster but keeps the table usable.
+  M.clear();
+  EXPECT_EQ(M.size(), 0u);
+  for (uint64_t K : Keys)
+    EXPECT_EQ(M.lookup(K), nullptr);
+  EXPECT_TRUE(M.tryEmplace(Keys[0], 1ull).second);
+}
+
+TEST(FlatMapTest, GrowthUnderLoadKeepsEveryEntry) {
+  // No reserve(): 1 << 17 inserts force the full doubling ladder from 16
+  // slots up, with values large enough to catch any slot mixed up during
+  // a rehash move.
+  constexpr size_t N = 1 << 17;
+  FlatMap64<uint64_t> M;
+  for (uint64_t I = 0; I < N; ++I)
+    M.tryEmplace(I * 0x9e3779b97f4a7c15ull, I);
+  ASSERT_EQ(M.size(), N);
+  uint64_t Sum = 0;
+  M.forEach([&](uint64_t, uint64_t &V) { Sum += V; });
+  EXPECT_EQ(Sum, uint64_t(N) * (N - 1) / 2);
+  for (uint64_t I = 0; I < N; I += 997) {
+    const uint64_t *P = M.lookup(I * 0x9e3779b97f4a7c15ull);
+    ASSERT_NE(P, nullptr);
+    EXPECT_EQ(*P, I);
+  }
+}
+
+TEST(FlatSetTest, CollidingKeysProbeWrapAndSurviveGrowth) {
+  std::vector<uint64_t> Keys = collidingKeys(16, 15, 40);
+  FlatSet64 S;
+  for (size_t I = 0; I < Keys.size(); ++I) {
+    EXPECT_TRUE(S.insert(Keys[I]));
+    EXPECT_FALSE(S.insert(Keys[I])) << "duplicate must probe to itself";
+    for (size_t J = 0; J <= I; ++J)
+      ASSERT_TRUE(S.contains(Keys[J]))
+          << "key " << J << " lost after insert " << I;
+  }
+  EXPECT_EQ(S.size(), Keys.size());
+  // Absent keys that hash into the middle of the cluster terminate at
+  // the first empty slot instead of scanning forever.
+  std::vector<uint64_t> Absent = collidingKeys(16, 15, 50);
+  for (size_t I = 40; I < 50; ++I)
+    EXPECT_FALSE(S.contains(Absent[I]));
+}
+
 } // namespace
 } // namespace lc

@@ -513,6 +513,13 @@ int runTool(int argc, char **argv, std::string &TraceOut) {
   if (mem::heapAllocsAvailable())
     Agg.setGauge("mem-heap-allocs", mem::heapAllocs(),
                  MetricDet::Environment);
+  // A single-shot process is definitionally one cold session. Recording
+  // the session-cache counters anyway keeps run reports field-compatible
+  // with service-backed runs (--serve / --batch), where warm hits and
+  // incremental patches make these non-trivial.
+  Agg.addCounter("session-cache-hit", 0, MetricDet::Environment);
+  Agg.addCounter("session-cache-miss", 1, MetricDet::Environment);
+  Agg.addCounter("session-evictions", 0, MetricDet::Environment);
   if (ShowStats)
     printStatsSummary(Agg);
 
