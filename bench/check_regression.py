@@ -6,6 +6,7 @@ answer changes at all.
 Usage: check_regression.py BENCH_scalability.json [baseline.json]
        check_regression.py --andersen BENCH_andersen.json [baseline.json]
        check_regression.py --edits BENCH_edit_storm.json
+       check_regression.py --service BENCH_service.json
 
 All metric gates are evaluated before the script exits: a failing run
 prints one `FAIL <metric>: baseline ..., observed ..., ratio ...` line
@@ -47,6 +48,17 @@ exact: ANY difference from the baseline fails, because the workload is
 deterministic and a changed total means the solver computes a different
 fixed point. The wave solver must also still beat the naive reference by
 at least 2x at the largest shared size.
+
+Service mode reads the service-throughput run (BENCH_service.json, no
+baseline: the gate is self-relative). The observability leg -- the same
+warm request stream with per-request attribution, a flushed-per-event
+structured log, and periodic snapshot dumps -- must cost at most 3% over
+the attribution-off warm leg, measured over the hot rounds only (every
+session already resident in both legs, so substrate-build noise cannot
+swamp the band): obs_hot_wall_ms <= warm_hot_wall_ms * 1.03 + grace; the
+default 5 ms grace absorbs --quick timer noise where a 3% band is
+sub-millisecond. Outcomes must be byte-identical with observability on
+(obs_byte_identical), and the leg must actually have streamed events.
 
 Edits mode reads the incremental re-analysis storm (BENCH_edit_storm.json,
 no baseline: the gate is self-relative). For every config in the
@@ -191,6 +203,39 @@ def check_edits(run_path, grace_ms):
     return finish()
 
 
+def check_service(run_path, grace_ms):
+    with open(run_path) as f:
+        run = json.load(f)
+    warm = float(run.get("warm_hot_wall_ms", 0))
+    obs = float(run.get("obs_hot_wall_ms", 0))
+    if warm <= 0:
+        die("--service: warm_hot_wall_ms missing or zero")
+    if obs <= 0:
+        die("--service: obs_hot_wall_ms missing or zero (observability leg "
+            "did not run)")
+    limit = warm * 1.03 + grace_ms
+    ratio = obs / warm
+    verdict = "OK" if obs <= limit else "FAIL"
+    print(f"check_regression: service observability leg (hot rounds) "
+          f"{obs:.3f} ms vs warm {warm:.3f} ms (ratio {ratio:.3f}, limit "
+          f"{limit:.3f} ms = 1.03x + {grace_ms:g} ms grace): {verdict}")
+    if obs > limit:
+        fail_metric("service obs_hot_wall_ms", f"{warm:.3f}", f"{obs:.3f}",
+                    f"{limit:.3f} (1.03x warm + grace)",
+                    note="the observability plane costs more than 3%")
+    if not run.get("obs_byte_identical", False):
+        fail_metric("service obs_byte_identical", True,
+                    run.get("obs_byte_identical", False),
+                    note="attribution changed an analysis answer")
+    events = int(run.get("events_emitted", 0))
+    requests = int(run.get("requests", 0))
+    # Every request logs at least received + admitted + terminal.
+    if events < requests * 3:
+        fail_metric("service events_emitted", f">= {requests * 3}", events,
+                    note="the event log missed request events")
+    return finish()
+
+
 def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     grace_ms = None
@@ -198,6 +243,7 @@ def main(argv):
     summaries = "--summaries" in argv[1:]
     allocs = "--allocs" in argv[1:]
     edits = "--edits" in argv[1:]
+    service = "--service" in argv[1:]
     for a in argv[1:]:
         if a.startswith("--grace-ms="):
             grace_ms = float(a.split("=", 1)[1])
@@ -215,6 +261,8 @@ def main(argv):
         return check_andersen(run_path, base_path, grace_ms)
     if edits:
         return check_edits(run_path, grace_ms)
+    if service:
+        return check_service(run_path, grace_ms)
     base_path = args[1] if len(args) > 1 else "bench/scalability_baseline.json"
 
     with open(run_path) as f:

@@ -10,8 +10,16 @@
 // approximation); the interesting number is requests/sec and the warm/cold
 // wall-clock ratio. Emits BENCH_service.json so CI can track the ratio.
 //
+// A third leg re-runs the warm stream with the full observability plane on
+// -- per-request attribution, a flushed-per-event structured event log,
+// and periodic snapshot auto-dumps -- against a baseline warm leg that
+// runs with attribution off. The overhead ratio (obs_wall_ms /
+// warm_wall_ms) is the number check_regression.py --service gates at 3%;
+// outcomes must stay byte-identical with observability on.
+//
 // Run:  ./build/bench/service_throughput [--quick] [--rounds N]
 //                                        [--min-speedup X] [--out PATH]
+//                                        [--events-out PATH]
 //
 // --min-speedup X exits non-zero when warm/cold falls below X (CI gates on
 // the ISSUE's >= 3x acceptance with --min-speedup 3).
@@ -19,6 +27,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "service/AnalysisService.h"
+#include "service/EventLog.h"
 #include "subjects/Subjects.h"
 
 #include <chrono>
@@ -67,6 +76,7 @@ int main(int argc, char **argv) {
   unsigned Rounds = 0; // 0 = pick by --quick below
   double MinSpeedup = 0.0;
   std::string OutPath = "BENCH_service.json";
+  std::string EventsOut = "BENCH_service_events.jsonl";
   for (int I = 1; I < argc; ++I) {
     if (!std::strcmp(argv[I], "--quick"))
       Quick = true;
@@ -76,10 +86,12 @@ int main(int argc, char **argv) {
       MinSpeedup = std::atof(argv[++I]);
     else if (!std::strcmp(argv[I], "--out") && I + 1 < argc)
       OutPath = argv[++I];
+    else if (!std::strcmp(argv[I], "--events-out") && I + 1 < argc)
+      EventsOut = argv[++I];
     else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--rounds N] [--min-speedup X] "
-                   "[--out PATH]\n",
+                   "[--out PATH] [--events-out PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -119,12 +131,21 @@ int main(int argc, char **argv) {
   double ColdMs = msSince(T0);
 
   // --- warm: one service, sessions stay resident across rounds ------------
+  // Attribution off: this leg is the clean floor the observability leg's
+  // overhead is measured against.
   ServiceOptions SvcOpts;
   SvcOpts.MaxSessions = Subjects.size() + 1;
+  SvcOpts.Attribution = false;
   AnalysisService Service(SvcOpts);
   std::vector<std::string> WarmFlat;
   T0 = Clock::now();
+  Clock::time_point THot = T0;
   for (unsigned Round = 0; Round < Rounds; ++Round) {
+    // Round 0 pays the eight builds; everything after runs hot. The hot
+    // window is the denominator of the observability-overhead gate --
+    // build times are milliseconds of noise that would swamp a 3% band.
+    if (Round == 1)
+      THot = Clock::now();
     for (const subjects::Subject &S : Subjects) {
       AnalysisOutcome O = Service.run(makeRequest(S, Round));
       if (!O.ok()) {
@@ -136,6 +157,7 @@ int main(int argc, char **argv) {
     }
   }
   double WarmMs = msSince(T0);
+  double WarmHotMs = msSince(THot);
 
   // The service must be a pure cache: identical bytes per request.
   if (WarmFlat != ColdFlat) {
@@ -153,20 +175,79 @@ int main(int argc, char **argv) {
     return 1;
   }
 
+  // --- obs: the warm stream again, full observability plane on ------------
+  // Fresh service (its first round rebuilds the eight sessions, exactly
+  // like the warm leg's first round did), per-request attribution, a
+  // flushed-per-event structured log, and a snapshot auto-dump per round.
+  ServiceOptions ObsOpts;
+  ObsOpts.MaxSessions = Subjects.size() + 1;
+  ObsOpts.Attribution = true;
+  AnalysisService ObsService(ObsOpts);
+  ServiceEventLog Log(EventsOut);
+  if (!Log.ok()) {
+    std::fprintf(stderr, "error: cannot write %s\n", EventsOut.c_str());
+    return 1;
+  }
+  ObsService.setEventLog(&Log);
+  ObsService.setSnapshotEvery(Subjects.size());
+  std::vector<std::string> ObsFlat;
+  T0 = Clock::now();
+  THot = T0;
+  for (unsigned Round = 0; Round < Rounds; ++Round) {
+    if (Round == 1)
+      THot = Clock::now();
+    for (const subjects::Subject &S : Subjects) {
+      AnalysisOutcome O = ObsService.run(makeRequest(S, Round));
+      if (!O.ok()) {
+        std::fprintf(stderr, "obs request %s degraded: %s\n", O.Id.c_str(),
+                     outcomeStatusName(O.Status));
+        return 1;
+      }
+      if (!O.Observability.Valid) {
+        std::fprintf(stderr, "FAIL: obs leg outcome %s carries no "
+                             "attribution\n",
+                     O.Id.c_str());
+        return 1;
+      }
+      ObsFlat.push_back(flatten(O));
+    }
+  }
+  double ObsMs = msSince(T0);
+  double ObsHotMs = msSince(THot);
+
+  // Observability must be a pure observer: identical bytes per request.
+  if (ObsFlat != ColdFlat) {
+    std::fprintf(stderr,
+                 "FAIL: outcomes with observability on diverge from cold "
+                 "outcomes (attribution changed an answer)\n");
+    return 1;
+  }
+  uint64_t Events = Log.eventsEmitted();
+
   size_t Requests = Subjects.size() * Rounds;
   double ColdRps = Requests / (ColdMs / 1e3);
   double WarmRps = Requests / (WarmMs / 1e3);
+  double ObsRps = Requests / (ObsMs / 1e3);
   double Speedup = WarmMs > 0 ? ColdMs / WarmMs : 0.0;
+  // Overhead over the hot window only: every session resident in both
+  // legs, so the ratio isolates the observability plane itself.
+  double ObsOverhead = WarmHotMs > 0 ? ObsHotMs / WarmHotMs : 0.0;
 
   std::printf("%8s %10s %12s %12s\n", "stream", "requests", "wall(ms)",
               "req/sec");
   std::printf("%8s %10zu %12.2f %12.1f\n", "cold", Requests, ColdMs, ColdRps);
   std::printf("%8s %10zu %12.2f %12.1f\n", "warm", Requests, WarmMs, WarmRps);
+  std::printf("%8s %10zu %12.2f %12.1f\n", "obs", Requests, ObsMs, ObsRps);
   std::printf("\nwarm sessions: %llu builds, %llu hits (outcomes "
               "byte-identical to cold)\n",
               static_cast<unsigned long long>(Builds),
               static_cast<unsigned long long>(Hits));
   std::printf("warm/cold wall-clock improvement: %.2fx\n", Speedup);
+  std::printf("observability overhead (hot rounds, %.2f vs %.2f ms): "
+              "%.2f%% (%llu events; outcomes byte-identical with "
+              "attribution on)\n",
+              ObsHotMs, WarmHotMs, (ObsOverhead - 1.0) * 100.0,
+              static_cast<unsigned long long>(Events));
 
   FILE *Out = std::fopen(OutPath.c_str(), "w");
   if (!Out) {
@@ -187,6 +268,15 @@ int main(int argc, char **argv) {
                static_cast<unsigned long long>(Builds),
                static_cast<unsigned long long>(Hits));
   std::fprintf(Out, "  \"speedup\": %.3f,\n", Speedup);
+  std::fprintf(Out, "  \"obs_wall_ms\": %.3f,\n  \"obs_rps\": %.3f,\n", ObsMs,
+               ObsRps);
+  std::fprintf(Out,
+               "  \"warm_hot_wall_ms\": %.3f,\n  \"obs_hot_wall_ms\": %.3f,\n",
+               WarmHotMs, ObsHotMs);
+  std::fprintf(Out, "  \"obs_overhead\": %.4f,\n", ObsOverhead);
+  std::fprintf(Out, "  \"events_emitted\": %llu,\n",
+               static_cast<unsigned long long>(Events));
+  std::fprintf(Out, "  \"obs_byte_identical\": true,\n");
   std::fprintf(Out, "  \"byte_identical\": true\n}\n");
   std::fclose(Out);
   std::printf("\nwrote %s\n", OutPath.c_str());

@@ -8,6 +8,8 @@ Usage: validate_report.py REPORT.json [--schema bench/report_schema.json]
        validate_report.py --trace TRACE.json [--schema bench/trace_schema.json]
        validate_report.py --outcomes TRANSCRIPT.jsonl \
                           [--schema bench/outcome_schema.json]
+       validate_report.py --events EVENTS.jsonl \
+                          [--schema bench/event_schema.json]
        validate_report.py --diff-stable A.json B.json \
                           [--ignore-stable key,prefix-,...]
 
@@ -22,6 +24,16 @@ while still insisting the analysis *answers* are unchanged.
 JSON document per line, each checked against outcome_schema.json plus the
 cross-field outcome invariants (a loop-not-found outcome names the missing
 label, partial loops carry a stop reason, site counters are consistent).
+Snapshot lines answering {"control":"stats"|"health"} verbs (they carry a
+"type" key, which no outcome has) are recognized and counted, not forced
+through the outcome schema.
+
+--events validates a --event-log stream: one typed service event per line,
+each checked against event_schema.json, plus the cross-line invariants the
+schema cannot express: seq strictly increasing from 1, ts_us
+non-decreasing, per-type payload keys present, and every
+request-completed/request-degraded event paired with a preceding
+request-received for the same req.
 
 Supported keywords: type (string or list; "integer" excludes bools),
 const, enum, required, properties, additionalProperties (false or a
@@ -154,8 +166,76 @@ def check_outcome_invariants(doc, where):
                                              "loops")
 
 
+def check_snapshot_line(doc, where):
+    """Light shape check on a stats/health line (the full stats shape is
+    exercised by the C++ tests; here we pin the keys greps rely on)."""
+    required = {
+        "stats": ("v", "uptime_us", "requests", "queue_depth", "by_status",
+                  "by_origin", "sessions", "mem"),
+        "health": ("v", "status", "uptime_us", "requests", "sessions",
+                   "queue_depth"),
+    }[doc["type"]]
+    for key in required:
+        if key not in doc:
+            fail(where, f"{doc['type']} line missing key {key!r}")
+    if doc["v"] != 1:
+        fail(where, f"unknown snapshot version {doc['v']!r}")
+
+
 def validate_outcomes(path, schema):
     counts = {}
+    with open(path) as f:
+        lines = f.readlines()
+    n = snapshots = 0
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        where = f"line[{i + 1}]"
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(where, f"not a JSON document: {e}")
+        # Control-verb answers interleave with outcomes on the serve wire;
+        # outcomes never carry a "type" key (the schema is closed).
+        if isinstance(doc, dict) and doc.get("type") in ("stats", "health"):
+            check_snapshot_line(doc, where)
+            snapshots += 1
+            continue
+        validate(doc, schema, where)
+        check_outcome_invariants(doc, where)
+        counts[doc["status"]] = counts.get(doc["status"], 0) + 1
+        n += 1
+    if n == 0:
+        fail("$", "transcript contains no outcomes")
+    breakdown = ", ".join(f"{k}: {v}" for k, v in sorted(counts.items()))
+    extra = f" and {snapshots} snapshot lines" if snapshots else ""
+    print(f"validate_report: OK: {path} holds {n} valid outcomes "
+          f"({breakdown}){extra}")
+
+
+# Per-event-type payload keys the schema's closed-but-flat property table
+# cannot tie to the "type" value.
+EVENT_PAYLOAD = {
+    "request-received": ("id", "req", "queue_us"),
+    "request-admitted": ("id", "req", "origin"),
+    "request-completed": ("id", "req", "status", "wall_us"),
+    "request-degraded": ("id", "req", "status", "wall_us"),
+    "session-insert": ("req", "key", "bytes"),
+    "session-hit": ("req", "key"),
+    "session-patch": ("req", "ancestor_key", "key", "changed_bodies"),
+    "session-evict": ("req", "key", "bytes"),
+    "deadline-expired": ("id", "req", "loops_completed", "loops_not_run"),
+    "cancelled": ("id", "req", "loops_completed", "loops_not_run"),
+    "snapshot": ("stats",),
+}
+
+
+def validate_events(path, schema):
+    counts = {}
+    prev_seq = 0
+    prev_ts = 0
+    received = set()
     with open(path) as f:
         lines = f.readlines()
     n = 0
@@ -169,13 +249,44 @@ def validate_outcomes(path, schema):
         except json.JSONDecodeError as e:
             fail(where, f"not a JSON document: {e}")
         validate(doc, schema, where)
-        check_outcome_invariants(doc, where)
-        counts[doc["status"]] = counts.get(doc["status"], 0) + 1
+
+        if doc["seq"] != prev_seq + 1:
+            fail(where, f"seq {doc['seq']} breaks the contiguous sequence "
+                        f"(previous was {prev_seq})")
+        prev_seq = doc["seq"]
+        if doc["ts_us"] < prev_ts:
+            fail(where, f"ts_us {doc['ts_us']} moves backwards "
+                        f"(previous was {prev_ts})")
+        prev_ts = doc["ts_us"]
+
+        etype = doc["type"]
+        for key in EVENT_PAYLOAD[etype]:
+            if key not in doc:
+                fail(where, f"{etype} event missing key {key!r}")
+        if etype == "request-received":
+            received.add(doc["req"])
+        elif etype in ("request-completed", "request-degraded"):
+            if doc["req"] not in received:
+                fail(where, f"{etype} for req {doc['req']} without a "
+                            "preceding request-received")
+            if etype == "request-completed" and doc["status"] != "ok":
+                fail(where, "request-completed must carry status \"ok\"")
+            if etype == "request-degraded" and doc["status"] == "ok":
+                fail(where, "request-degraded cannot carry status \"ok\"")
+        elif etype == "snapshot":
+            if doc["stats"].get("type") != "stats":
+                fail(where, "snapshot events embed a stats rendering")
+        counts[etype] = counts.get(etype, 0) + 1
         n += 1
     if n == 0:
-        fail("$", "transcript contains no outcomes")
+        fail("$", "event log contains no events")
+    terminal = counts.get("request-completed", 0) + \
+        counts.get("request-degraded", 0)
+    if terminal != len(received):
+        fail("$", f"{len(received)} requests received but {terminal} "
+                  "completed/degraded events (every request must terminate)")
     breakdown = ", ".join(f"{k}: {v}" for k, v in sorted(counts.items()))
-    print(f"validate_report: OK: {path} holds {n} valid outcomes "
+    print(f"validate_report: OK: {path} holds {n} valid events "
           f"({breakdown})")
 
 
@@ -222,6 +333,7 @@ def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     trace_mode = "--trace" in argv
     outcomes_mode = "--outcomes" in argv
+    events_mode = "--events" in argv
     if "--diff-stable" in argv:
         ignore = []
         if "--ignore-stable" in argv:
@@ -233,9 +345,9 @@ def main(argv):
             return 2
         diff_stable(args[0], args[1], ignore)
         return 0
-    if trace_mode and outcomes_mode:
-        print("validate_report: --trace and --outcomes are exclusive",
-              file=sys.stderr)
+    if sum((trace_mode, outcomes_mode, events_mode)) > 1:
+        print("validate_report: --trace, --outcomes and --events are "
+              "exclusive", file=sys.stderr)
         return 2
     schema_path = None
     if "--schema" in argv:
@@ -249,6 +361,7 @@ def main(argv):
     if schema_path is None:
         default = ("trace_schema.json" if trace_mode else
                    "outcome_schema.json" if outcomes_mode else
+                   "event_schema.json" if events_mode else
                    "report_schema.json")
         schema_path = os.path.join(here, default)
 
@@ -257,6 +370,9 @@ def main(argv):
 
     if outcomes_mode:
         validate_outcomes(args[0], schema)
+        return 0
+    if events_mode:
+        validate_events(args[0], schema)
         return 0
 
     with open(args[0]) as f:

@@ -3,6 +3,8 @@
 #include "service/AnalysisService.h"
 
 #include "frontend/Lower.h"
+#include "service/EventLog.h"
+#include "support/MemStats.h"
 #include "support/Trace.h"
 
 #include <algorithm>
@@ -25,9 +27,21 @@ uint64_t mix(uint64_t H, uint64_t V) {
   return H;
 }
 
+uint64_t usBetween(std::chrono::steady_clock::time_point From,
+                   std::chrono::steady_clock::time_point To) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(To - From)
+          .count());
+}
+
+uint64_t toUs(double Seconds) {
+  return Seconds <= 0 ? 0 : static_cast<uint64_t>(Seconds * 1e6);
+}
+
 } // namespace
 
-AnalysisService::AnalysisService(ServiceOptions Opts) : Opts(Opts) {
+AnalysisService::AnalysisService(ServiceOptions Opts)
+    : Opts(Opts), Epoch(std::chrono::steady_clock::now()) {
   // MaxSessions == 0 would make every request thrash; clamp to one
   // resident session rather than exporting another invalid state.
   if (this->Opts.MaxSessions == 0)
@@ -63,6 +77,8 @@ LeakChecker *AnalysisService::sessionFor(const AnalysisRequest &R,
   auto It = ByKey.find(Key);
   if (It != ByKey.end()) {
     ServiceStats.add("service-session-hits");
+    if (Log)
+      Log->event("session-hit").num("req", RequestSeq).num("key", Key);
     // Touch: move to the front of the LRU list.
     Lru.splice(Lru.begin(), Lru, It->second);
     Origin = SubstrateOrigin::ReusedWarm;
@@ -132,6 +148,12 @@ LeakChecker *AnalysisService::patchNearestAncestor(const AnalysisRequest &R,
   // The ancestor's solver state was consumed by the patch: its cache
   // entry is replaced by the patched session under the new source key.
   ServiceStats.add("service-session-patches");
+  if (Log)
+    Log->event("session-patch")
+        .num("req", RequestSeq)
+        .num("ancestor_key", Best->Key)
+        .num("key", NewKey)
+        .num("changed_bodies", BestChanged);
   ResidentBytes -= Best->ApproxBytes;
   ByKey.erase(Best->Key);
   Lru.erase(Best);
@@ -147,6 +169,12 @@ LeakChecker *AnalysisService::patchNearestAncestor(const AnalysisRequest &R,
 void AnalysisService::insertSession(Session S, uint64_t Key) {
   S.Key = Key;
   ResidentBytes += S.ApproxBytes;
+  ++SessionInserts;
+  if (Log)
+    Log->event("session-insert")
+        .num("req", RequestSeq)
+        .num("key", Key)
+        .num("bytes", S.ApproxBytes);
   Lru.push_front(std::move(S));
   ByKey[Key] = Lru.begin();
   evictOver(Key);
@@ -163,6 +191,11 @@ void AnalysisService::evictOver(size_t KeepKey) {
     if (Victim->Key == KeepKey)
       break;
     ServiceStats.add("service-session-evictions");
+    if (Log)
+      Log->event("session-evict")
+          .num("req", RequestSeq)
+          .num("key", Victim->Key)
+          .num("bytes", Victim->ApproxBytes);
     ResidentBytes -= Victim->ApproxBytes;
     ByKey.erase(Victim->Key);
     Lru.erase(Victim);
@@ -170,8 +203,24 @@ void AnalysisService::evictOver(size_t KeepKey) {
 }
 
 AnalysisOutcome AnalysisService::run(const AnalysisRequest &R) {
+  auto T0 = std::chrono::steady_clock::now();
+  uint64_t Seq = ++RequestSeq;
+  // Queue wait: time between batch admission and this request's turn.
+  // Direct run() calls never queued.
+  uint64_t QueueUs = InBatch ? usBetween(BatchSubmit, T0) : 0;
+  if (Log)
+    Log->event("request-received")
+        .str("id", R.Id)
+        .num("req", Seq)
+        .num("queue_us", QueueUs);
+
   trace::TraceSpan Span("service.request", "service");
+  if (Opts.Attribution)
+    trace::Tracer::setCurrentRequest(Seq);
   ServiceStats.add("service-requests");
+
+  const bool CountAllocs = Opts.Attribution && mem::heapAllocsAvailable();
+  const uint64_t AllocsBefore = CountAllocs ? mem::heapAllocs() : 0;
 
   SubstrateOrigin Origin = SubstrateOrigin::Built;
   std::string Error;
@@ -179,53 +228,116 @@ AnalysisOutcome AnalysisService::run(const AnalysisRequest &R) {
   LeakChecker *S = sessionFor(R, Origin, Error);
   uint64_t EvictionsNow =
       ServiceStats.get("service-session-evictions") - EvictionsBefore;
+
+  AnalysisOutcome O;
   if (!S) {
     ServiceStats.add("service-compile-errors");
-    AnalysisOutcome O;
     O.Id = R.Id;
     O.Status = OutcomeStatus::CompileError;
     O.Diagnostics = Error;
     O.SubstrateBuilt = false;
-    return O;
+  } else {
+    if (Log)
+      Log->event("request-admitted")
+          .str("id", R.Id)
+          .num("req", Seq)
+          .str("origin", substrateOriginName(Origin));
+    O = S->run(R);
+    O.Origin = Origin;
+    O.SubstrateBuilt = Origin != SubstrateOrigin::ReusedWarm;
+    if (Origin == SubstrateOrigin::ReusedWarm) {
+      // Warm hit: the substrate was built (and its stats reported) by an
+      // earlier request. Re-reporting the andersen-* counters here would
+      // double-count construction work that never happened. (An
+      // incremental patch keeps its stats: that work did run now.)
+      O.SubstrateStats = Stats();
+    }
+    // Per-request cache behavior, merged into the run report alongside the
+    // analysis counters so --stats-json shows the warm path. Environment
+    // class: depends on what earlier requests left resident.
+    O.SubstrateStats.addCounter("session-cache-hit",
+                                Origin == SubstrateOrigin::ReusedWarm ? 1 : 0,
+                                MetricDet::Environment);
+    O.SubstrateStats.addCounter("session-cache-miss",
+                                Origin == SubstrateOrigin::ReusedWarm ? 0 : 1,
+                                MetricDet::Environment);
+    O.SubstrateStats.addCounter("session-evictions", EvictionsNow,
+                                MetricDet::Environment);
+    switch (O.Status) {
+    case OutcomeStatus::DeadlineExpired:
+      ServiceStats.add("service-deadline-expired");
+      if (Log)
+        Log->event("deadline-expired")
+            .str("id", R.Id)
+            .num("req", Seq)
+            .num("loops_completed", O.Results.size())
+            .num("loops_not_run", O.LoopsNotRun.size());
+      break;
+    case OutcomeStatus::Cancelled:
+      ServiceStats.add("service-cancelled");
+      if (Log)
+        Log->event("cancelled")
+            .str("id", R.Id)
+            .num("req", Seq)
+            .num("loops_completed", O.Results.size())
+            .num("loops_not_run", O.LoopsNotRun.size());
+      break;
+    case OutcomeStatus::LoopNotFound:
+      ServiceStats.add("service-loop-not-found");
+      break;
+    case OutcomeStatus::InvalidRequest:
+      ServiceStats.add("service-invalid-requests");
+      break;
+    default:
+      break;
+    }
   }
 
-  AnalysisOutcome O = S->run(R);
-  O.Origin = Origin;
-  O.SubstrateBuilt = Origin != SubstrateOrigin::ReusedWarm;
-  if (Origin == SubstrateOrigin::ReusedWarm) {
-    // Warm hit: the substrate was built (and its stats reported) by an
-    // earlier request. Re-reporting the andersen-* counters here would
-    // double-count construction work that never happened. (An
-    // incremental patch keeps its stats: that work did run now.)
-    O.SubstrateStats = Stats();
+  // --- Epilogue: rolling state, attribution, terminal event ---------------
+  auto T1 = std::chrono::steady_clock::now();
+  const uint64_t WallUs = usBetween(T0, T1);
+  StatusCounts[static_cast<size_t>(O.Status)]++;
+  // Latency quantiles cover requests that reached a session; rejections
+  // (compile-error, invalid-request) are error rates, not latencies.
+  if (S && O.Status != OutcomeStatus::InvalidRequest) {
+    OriginLatency[static_cast<size_t>(Origin)].record(
+        std::chrono::duration<double>(T1 - T0).count());
+    OriginCounts[static_cast<size_t>(Origin)]++;
   }
-  // Per-request cache behavior, merged into the run report alongside the
-  // analysis counters so --stats-json shows the warm path. Environment
-  // class: depends on what earlier requests left resident.
-  O.SubstrateStats.addCounter("session-cache-hit",
-                              Origin == SubstrateOrigin::ReusedWarm ? 1 : 0,
-                              MetricDet::Environment);
-  O.SubstrateStats.addCounter("session-cache-miss",
-                              Origin == SubstrateOrigin::ReusedWarm ? 0 : 1,
-                              MetricDet::Environment);
-  O.SubstrateStats.addCounter("session-evictions", EvictionsNow,
-                              MetricDet::Environment);
-  switch (O.Status) {
-  case OutcomeStatus::DeadlineExpired:
-    ServiceStats.add("service-deadline-expired");
-    break;
-  case OutcomeStatus::Cancelled:
-    ServiceStats.add("service-cancelled");
-    break;
-  case OutcomeStatus::LoopNotFound:
-    ServiceStats.add("service-loop-not-found");
-    break;
-  case OutcomeStatus::InvalidRequest:
-    ServiceStats.add("service-invalid-requests");
-    break;
-  default:
-    break;
+
+  if (Opts.Attribution) {
+    RequestObservability &Obs = O.Observability;
+    Obs.Valid = true;
+    Obs.Seq = Seq;
+    Obs.WallUs = WallUs;
+    Obs.QueueUs = QueueUs;
+    // Substrate phases bill to the request that paid for them: warm hits
+    // had SubstrateStats cleared above, so they honestly report zero.
+    Obs.AndersenUs = toUs(O.SubstrateStats.time("andersen-solve"));
+    Obs.SummarizeUs = toUs(O.SubstrateStats.time("summarize"));
+    for (const LeakAnalysisResult &Res : O.Results) {
+      Obs.LeakAnalysisUs += toUs(Res.Statistics.time("leak-analysis"));
+      Obs.MemoHits += Res.Statistics.get("cfl-cache-hits");
+      Obs.MemoMisses += Res.Statistics.get("cfl-cache-misses");
+    }
+    Obs.EvictionsCaused = EvictionsNow;
+    if (CountAllocs) {
+      Obs.HeapAllocsValid = true;
+      Obs.HeapAllocs = mem::heapAllocs() - AllocsBefore;
+    }
+    trace::Tracer::setCurrentRequest(0);
   }
+
+  if (Log)
+    Log->event(O.Status == OutcomeStatus::Ok ? "request-completed"
+                                             : "request-degraded")
+        .str("id", R.Id)
+        .num("req", Seq)
+        .str("status", outcomeStatusName(O.Status))
+        .num("wall_us", WallUs);
+
+  if (Log && SnapshotEvery && Seq % SnapshotEvery == 0)
+    Log->event("snapshot").raw("stats", renderSnapshotJson(snapshot()));
   return O;
 }
 
@@ -239,7 +351,43 @@ AnalysisService::runBatch(const std::vector<AnalysisRequest> &Rs) {
     return Rs[A].Priority > Rs[B].Priority;
   });
   std::vector<AnalysisOutcome> Out(Rs.size());
-  for (size_t I : Order)
+  InBatch = true;
+  BatchSubmit = std::chrono::steady_clock::now();
+  QueueDepth = Rs.size();
+  for (size_t I : Order) {
+    --QueueDepth; // this request leaves the queue as it starts executing
     Out[I] = run(Rs[I]);
+  }
+  InBatch = false;
+  QueueDepth = 0;
   return Out;
+}
+
+ServiceSnapshot AnalysisService::snapshot() const {
+  ServiceSnapshot S;
+  S.UptimeUs = usBetween(Epoch, std::chrono::steady_clock::now());
+  S.Requests = RequestSeq;
+  S.QueueDepth = QueueDepth;
+  for (size_t I = 0; I < 6; ++I)
+    S.StatusCounts[I] = StatusCounts[I];
+  for (size_t I = 0; I < 3; ++I) {
+    ServiceSnapshot::OriginLatency &L = S.ByOrigin[I];
+    L.Count = OriginCounts[I];
+    L.P50Us = OriginLatency[I].quantileUpperUs(0.50);
+    L.P95Us = OriginLatency[I].quantileUpperUs(0.95);
+    L.P99Us = OriginLatency[I].quantileUpperUs(0.99);
+  }
+  S.SessionsResident = Lru.size();
+  S.SessionBytes = ResidentBytes;
+  S.SessionInserts = SessionInserts;
+  S.SessionHits = ServiceStats.get("service-session-hits");
+  S.SessionPatches = ServiceStats.get("service-session-patches");
+  S.SessionEvictions = ServiceStats.get("service-session-evictions");
+  S.PeakRssKb = mem::peakRssKb();
+  S.CurrentRssKb = mem::currentRssKb();
+  S.HeapAllocsAvailable = mem::heapAllocsAvailable();
+  if (S.HeapAllocsAvailable)
+    S.HeapAllocs = mem::heapAllocs();
+  S.EventsEmitted = Log ? Log->eventsEmitted() : 0;
+  return S;
 }

@@ -35,6 +35,14 @@
 /// runBatch() at a time (each request parallelizes internally). This is
 /// the layer future multi-client serving and sharding plug into.
 ///
+/// The service is also the observability plane's anchor: every request
+/// gets a monotonic sequence number, trace spans recorded while serving
+/// it carry that number (Tracer::setCurrentRequest), each outcome embeds
+/// a `RequestObservability` delta of exactly the work it caused, typed
+/// events stream to an attached `ServiceEventLog`, and `snapshot()`
+/// assembles the live view (latency quantiles per origin, status counts,
+/// cache occupancy) the `stats`/`health` wire verbs serve.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LC_SERVICE_ANALYSISSERVICE_H
@@ -42,13 +50,17 @@
 
 #include "core/LeakChecker.h"
 #include "service/Request.h"
+#include "service/Snapshot.h"
 
+#include <chrono>
 #include <cstdint>
 #include <list>
 #include <memory>
 #include <unordered_map>
 
 namespace lc {
+
+class ServiceEventLog;
 
 /// Configuration of the session cache.
 struct ServiceOptions {
@@ -59,6 +71,13 @@ struct ServiceOptions {
   /// under this; the estimate is a deliberately simple linear model of
   /// program and PAG size, not an allocator census.
   uint64_t MemoryBudgetBytes = 512ull << 20;
+  /// Per-request attribution: fill AnalysisOutcome::Observability and
+  /// stamp trace spans with the serving request's sequence number. On by
+  /// default; the throughput bench's baseline leg turns it off so the
+  /// observability leg measures the whole plane against a clean floor.
+  /// Never affects analysis results -- reports are byte-identical either
+  /// way.
+  bool Attribution = true;
 };
 
 class AnalysisService {
@@ -86,6 +105,21 @@ public:
   /// plus per-request degradation counts. Monotonic over the service's
   /// life.
   const Stats &stats() const { return ServiceStats; }
+
+  /// Attaches a structured event log (non-owning; null detaches). The
+  /// log must outlive the service or be detached first. Events stream
+  /// from the next request on.
+  void setEventLog(ServiceEventLog *Log) { this->Log = Log; }
+
+  /// Auto-dumps a "snapshot" event into the event log every \p N
+  /// requests (0, the default, disables auto-dumping).
+  void setSnapshotEvery(uint64_t N) { SnapshotEvery = N; }
+
+  /// Assembles the live view of this service: rolling latency quantiles
+  /// per substrate origin, request counts by status, queue depth,
+  /// session-cache occupancy and bytes, uptime, and process memory
+  /// gauges. Cheap enough to answer on every `stats` wire verb.
+  ServiceSnapshot snapshot() const;
 
   /// The footprint estimate used for the memory budget (exposed so tests
   /// can size budgets that force eviction deterministically).
@@ -135,6 +169,27 @@ private:
   std::unordered_map<uint64_t, std::list<Session>::iterator> ByKey;
   uint64_t ResidentBytes = 0;
   Stats ServiceStats;
+
+  // --- Observability plane ------------------------------------------------
+  ServiceEventLog *Log = nullptr; ///< non-owning; null = no event stream
+  uint64_t SnapshotEvery = 0;     ///< auto-dump period in requests; 0 = off
+  uint64_t RequestSeq = 0;        ///< requests ever entered run()
+  /// Construction time; uptime and event/queue timestamps are relative
+  /// to it.
+  std::chrono::steady_clock::time_point Epoch;
+  /// Set while runBatch() drains its queue: requests admitted in this
+  /// batch but not yet executed (snapshot's queue_depth) and the batch
+  /// entry time each executed request's queue wait is measured from.
+  uint64_t QueueDepth = 0;
+  std::chrono::steady_clock::time_point BatchSubmit;
+  bool InBatch = false;
+  /// Rolling latency per SubstrateOrigin over requests that analyzed
+  /// (rejections -- compile-error / invalid-request -- are not latency).
+  TimingHistogram OriginLatency[3];
+  uint64_t OriginCounts[3] = {};
+  /// Outcome counts indexed by OutcomeStatus.
+  uint64_t StatusCounts[6] = {};
+  uint64_t SessionInserts = 0; ///< insertSession calls (builds + patches)
 };
 
 } // namespace lc

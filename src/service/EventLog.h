@@ -1,0 +1,99 @@
+//===-- EventLog.h - Structured service event log --------------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `--event-log` stream: one line of JSON per typed service event
+/// (request received/admitted/completed/degraded, session
+/// insert/hit/patch/evict, deadline expiry, cancellation, periodic
+/// snapshots). Where the run report answers "what did this process do
+/// overall" and a trace answers "where did the time go", the event log is
+/// the *operational* record of a long-lived `--serve` process: every
+/// line carries a monotonic sequence number and a microsecond timestamp,
+/// and the stream is flushed after every event, so a crashed or killed
+/// server loses at most the line being written.
+///
+/// Events are versioned (`"v"`) and validated in CI against
+/// `bench/event_schema.json` by `validate_report.py --events`, which also
+/// checks the cross-line invariants: sequence numbers strictly
+/// increasing, timestamps non-decreasing, and every completed/degraded
+/// event paired with a preceding received event for the same request.
+///
+/// The log is single-writer, matching the analysis service's
+/// single-threaded contract; it performs no locking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_SERVICE_EVENTLOG_H
+#define LC_SERVICE_EVENTLOG_H
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace lc {
+
+/// Version of the event-line shape (the "v" key on every line). Bump when
+/// bench/event_schema.json changes shape.
+inline constexpr int kServiceEventVersion = 1;
+
+class ServiceEventLog {
+public:
+  /// Opens \p Path for writing (truncating). ok() reports whether the
+  /// open succeeded; a failed log swallows every event silently, so
+  /// callers should check ok() once at startup and fail fast.
+  explicit ServiceEventLog(const std::string &Path);
+  ~ServiceEventLog();
+
+  ServiceEventLog(const ServiceEventLog &) = delete;
+  ServiceEventLog &operator=(const ServiceEventLog &) = delete;
+
+  bool ok() const { return Out != nullptr; }
+
+  /// Events emitted so far (== the last line's sequence number).
+  uint64_t eventsEmitted() const { return Seq; }
+
+  /// One event line under construction. Append fields with num()/str()/
+  /// raw(); the destructor writes the completed line and flushes it.
+  /// Field keys must be string literals (they are written verbatim).
+  class Event {
+  public:
+    Event(ServiceEventLog *Log, const char *Type);
+    ~Event();
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+    Event(Event &&O) noexcept : Log(O.Log), Line(std::move(O.Line)) {
+      O.Log = nullptr;
+    }
+
+    Event &num(const char *Key, uint64_t Value);
+    Event &str(const char *Key, std::string_view Value);
+    /// Embeds \p Json verbatim as the value of \p Key (it must already be
+    /// a complete JSON document, e.g. a rendered snapshot object).
+    Event &raw(const char *Key, std::string_view Json);
+
+  private:
+    ServiceEventLog *Log; ///< null = no-op event (log absent or failed)
+    std::string Line;
+  };
+
+  /// Starts one event of \p Type (a literal from the event taxonomy).
+  /// Assigns the next sequence number and timestamps the line.
+  Event event(const char *Type) { return Event(ok() ? this : nullptr, Type); }
+
+private:
+  friend class Event;
+
+  std::FILE *Out = nullptr;
+  uint64_t Seq = 0;
+  std::chrono::steady_clock::time_point Epoch;
+};
+
+} // namespace lc
+
+#endif // LC_SERVICE_EVENTLOG_H

@@ -98,6 +98,48 @@ enum class SubstrateOrigin : uint8_t {
 /// Names an origin for logs and JSON ("built", "warm", "patched").
 const char *substrateOriginName(SubstrateOrigin O);
 
+/// Version of the per-request attribution payload (the "observability"
+/// object on each wire outcome line). Bump when the shape changes; the
+/// object is validated as part of bench/outcome_schema.json.
+inline constexpr int kObservabilityVersion = 1;
+
+/// Per-request observability deltas, attributed by the analysis service
+/// to exactly the work this request caused: wall time inside the
+/// service (session resolution included), batch queue wait, the phase
+/// timings it paid for (substrate solve/summarize only when this request
+/// built or patched the session), its CFL memo hit/miss split, evictions
+/// it triggered, and its heap-allocation delta when the counting
+/// operator new is linked. Everything here is telemetry -- two valid
+/// runs may disagree -- and nothing here feeds back into analysis
+/// results (reports are byte-identical with attribution on or off).
+struct RequestObservability {
+  /// False for outcomes produced outside the service (direct
+  /// LeakChecker::run) or with ServiceOptions::Attribution off; the wire
+  /// omits the object entirely then.
+  bool Valid = false;
+  /// Service-assigned monotonic request sequence number (1-based). Trace
+  /// spans recorded while serving this request carry the same number as
+  /// their "req" arg, which is the trace<->wire join key.
+  uint64_t Seq = 0;
+  uint64_t WallUs = 0;  ///< service-side wall time for this request
+  uint64_t QueueUs = 0; ///< batch wait before execution began (0 direct)
+  /// Phase timings billed to this request, in microseconds.
+  uint64_t AndersenUs = 0;     ///< substrate solve (0 on a warm hit)
+  uint64_t SummarizeUs = 0;    ///< summary build (0 on a warm hit)
+  uint64_t LeakAnalysisUs = 0; ///< per-loop analysis over all loops
+  /// CFL memo-cache split over this request's queries (warmth- and
+  /// schedule-dependent by nature).
+  uint64_t MemoHits = 0;
+  uint64_t MemoMisses = 0;
+  /// Sessions evicted to make room while serving this request.
+  uint64_t EvictionsCaused = 0;
+  /// operator-new delta while serving; valid only when lc_alloc_hook is
+  /// linked into the binary (HeapAllocsValid), omitted on the wire
+  /// otherwise.
+  bool HeapAllocsValid = false;
+  uint64_t HeapAllocs = 0;
+};
+
 /// The response to one AnalysisRequest.
 struct AnalysisOutcome {
   /// The request's Id, echoed.
@@ -137,6 +179,9 @@ struct AnalysisOutcome {
   /// SubstrateBuilt (the andersen-* counters land exactly once per
   /// session, which is how the batch tests assert single construction).
   Stats SubstrateStats;
+  /// Per-request attribution filled by the analysis service when
+  /// ServiceOptions::Attribution is on (Valid false otherwise).
+  RequestObservability Observability;
 
   bool ok() const { return Status == OutcomeStatus::Ok; }
   /// True when any completed loop reported at least one leak (the CLI's

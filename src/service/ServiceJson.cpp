@@ -364,6 +364,64 @@ std::string lc::renderOutcomeJson(const AnalysisOutcome &O) {
   }
   if (!O.Diagnostics.empty())
     J += ",\"diagnostics\":" + json::quote(O.Diagnostics);
+
+  // Per-request attribution, appended last so line-prefix greps over the
+  // stable keys keep working whether or not the service attributed. The
+  // object is schema-versioned ("v") and only present when the serving
+  // AnalysisService had Attribution on.
+  if (O.Observability.Valid) {
+    const RequestObservability &Obs = O.Observability;
+    J += ",\"observability\":{\"v\":" + std::to_string(kObservabilityVersion);
+    J += ",\"seq\":" + std::to_string(Obs.Seq);
+    J += ",\"wall_us\":" + std::to_string(Obs.WallUs);
+    J += ",\"queue_us\":" + std::to_string(Obs.QueueUs);
+    J += ",\"phase_us\":{\"andersen\":" + std::to_string(Obs.AndersenUs);
+    J += ",\"summarize\":" + std::to_string(Obs.SummarizeUs);
+    J += ",\"leak_analysis\":" + std::to_string(Obs.LeakAnalysisUs);
+    J += "}";
+    J += ",\"memo_hits\":" + std::to_string(Obs.MemoHits);
+    J += ",\"memo_misses\":" + std::to_string(Obs.MemoMisses);
+    J += ",\"evictions\":" + std::to_string(Obs.EvictionsCaused);
+    if (Obs.HeapAllocsValid)
+      J += ",\"heap_allocs\":" + std::to_string(Obs.HeapAllocs);
+    J += "}";
+  }
   J += "}";
   return J;
+}
+
+bool lc::parseControlLine(const Value &V, std::string &Verb,
+                          std::string &Error) {
+  Verb.clear();
+  Error.clear();
+  if (!V.isObject())
+    return false;
+  const Value *C = V.get("control");
+  if (!C)
+    return false; // not a control line; try parsing it as a request
+  if (!C->isString()) {
+    Error = "\"control\" must be a string";
+    return true;
+  }
+  // Same strictness as requests: a control line carries exactly one key.
+  size_t Keys = 0;
+  for (const auto &[Key, Val] : V.members()) {
+    (void)Val;
+    if (Key != "control") {
+      Error = "unknown control key \"" + Key + "\"";
+      return true;
+    }
+    ++Keys;
+  }
+  if (Keys > 1) {
+    Error = "duplicate control key \"control\"";
+    return true;
+  }
+  const std::string &Want = C->asString();
+  if (Want != "stats" && Want != "health") {
+    Error = "unknown control verb \"" + Want + "\" (known: stats, health)";
+    return true;
+  }
+  Verb = Want;
+  return true;
 }

@@ -61,8 +61,19 @@ bool parseRequestBatch(const json::Value &V, std::vector<AnalysisRequest> &Rs,
                        std::string &Error);
 
 /// Renders one outcome as a single-line JSON object (the --serve line
-/// protocol; --batch emits one line per request too).
+/// protocol; --batch emits one line per request too). When the outcome
+/// carries valid per-request attribution (service Attribution on), an
+/// "observability" object is appended after every stable key.
 std::string renderOutcomeJson(const AnalysisOutcome &O);
+
+/// Recognizes a `--serve` control line: `{"control": "stats"}` or
+/// `{"control": "health"}`. Returns false when \p V is not a control
+/// line at all (no "control" key -- the caller parses it as a request).
+/// Returns true when it is one: \p Verb holds the verb, or \p Error the
+/// reason the line is malformed (non-string verb, unknown verb, extra
+/// keys -- same strictness as requests).
+bool parseControlLine(const json::Value &V, std::string &Verb,
+                      std::string &Error);
 
 } // namespace lc
 

@@ -1,0 +1,82 @@
+//===-- Snapshot.cpp ------------------------------------------------------===//
+
+#include "service/Snapshot.h"
+
+#include "service/Request.h"
+#include "support/Json.h"
+
+using namespace lc;
+
+namespace {
+
+void appendOrigin(std::string &J, const char *Name,
+                  const ServiceSnapshot::OriginLatency &L) {
+  J += json::quote(Name);
+  J += ":{\"count\":" + std::to_string(L.Count);
+  J += ",\"p50_us\":" + std::to_string(L.P50Us);
+  J += ",\"p95_us\":" + std::to_string(L.P95Us);
+  J += ",\"p99_us\":" + std::to_string(L.P99Us);
+  J += "}";
+}
+
+} // namespace
+
+std::string lc::renderSnapshotJson(const ServiceSnapshot &S) {
+  std::string J = "{\"type\":\"stats\"";
+  J += ",\"v\":" + std::to_string(kServiceSnapshotVersion);
+  J += ",\"uptime_us\":" + std::to_string(S.UptimeUs);
+  J += ",\"requests\":" + std::to_string(S.Requests);
+  J += ",\"queue_depth\":" + std::to_string(S.QueueDepth);
+
+  J += ",\"by_status\":{";
+  for (int I = 0; I < 6; ++I) {
+    if (I)
+      J += ",";
+    J += json::quote(outcomeStatusName(static_cast<OutcomeStatus>(I)));
+    J += ":" + std::to_string(S.StatusCounts[I]);
+  }
+  J += "}";
+
+  J += ",\"by_origin\":{";
+  for (int I = 0; I < 3; ++I) {
+    if (I)
+      J += ",";
+    appendOrigin(J, substrateOriginName(static_cast<SubstrateOrigin>(I)),
+                 S.ByOrigin[I]);
+  }
+  J += "}";
+
+  J += ",\"sessions\":{\"resident\":" + std::to_string(S.SessionsResident);
+  J += ",\"bytes\":" + std::to_string(S.SessionBytes);
+  J += ",\"inserts\":" + std::to_string(S.SessionInserts);
+  J += ",\"hits\":" + std::to_string(S.SessionHits);
+  J += ",\"patches\":" + std::to_string(S.SessionPatches);
+  J += ",\"evictions\":" + std::to_string(S.SessionEvictions);
+  J += "}";
+
+  // Memory pressure without a full --stats-json run: RSS always (0 when
+  // /proc is unavailable), the allocation count only when this binary
+  // links the counting operator new -- absent beats a fake zero, same
+  // rule as the run report.
+  J += ",\"mem\":{\"peak_rss_kb\":" + std::to_string(S.PeakRssKb);
+  J += ",\"current_rss_kb\":" + std::to_string(S.CurrentRssKb);
+  if (S.HeapAllocsAvailable)
+    J += ",\"heap_allocs\":" + std::to_string(S.HeapAllocs);
+  J += "}";
+
+  J += ",\"events_emitted\":" + std::to_string(S.EventsEmitted);
+  J += "}";
+  return J;
+}
+
+std::string lc::renderHealthJson(const ServiceSnapshot &S) {
+  std::string J = "{\"type\":\"health\"";
+  J += ",\"v\":" + std::to_string(kServiceSnapshotVersion);
+  J += ",\"status\":\"ok\"";
+  J += ",\"uptime_us\":" + std::to_string(S.UptimeUs);
+  J += ",\"requests\":" + std::to_string(S.Requests);
+  J += ",\"sessions\":" + std::to_string(S.SessionsResident);
+  J += ",\"queue_depth\":" + std::to_string(S.QueueDepth);
+  J += "}";
+  return J;
+}

@@ -1,0 +1,90 @@
+//===-- Snapshot.h - Live service state snapshot ---------------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The on-demand view of a live `--serve` process: rolling latency
+/// quantiles per substrate origin (cold-built / warm / patched), request
+/// counts by outcome status, batch queue depth, session-cache occupancy
+/// and estimated bytes, uptime, and process memory pressure
+/// (`mem::peakRssKb` / `mem::heapAllocs`). `AnalysisService::snapshot()`
+/// assembles one from the service's rolling state; the wire serves it
+/// through the `{"control":"stats"}` and `{"control":"health"}` verbs
+/// (docs/API.md) and the event log embeds one every N requests when
+/// auto-dumping is enabled.
+///
+/// Latency quantiles come from the same fixed power-of-two microsecond
+/// histograms the metrics layer uses (TimingHistogram), so a reported
+/// p99 is the *upper bound* of the bucket holding the p99 sample --
+/// resolution is a factor of two, which is plenty for admission-control
+/// decisions and keeps snapshots allocation-light.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_SERVICE_SNAPSHOT_H
+#define LC_SERVICE_SNAPSHOT_H
+
+#include <cstdint>
+#include <string>
+
+namespace lc {
+
+/// Version of the snapshot shape (the "v" key on stats/health lines and
+/// embedded snapshot events). Bump when the rendering changes shape.
+inline constexpr int kServiceSnapshotVersion = 1;
+
+/// Point-in-time state of one AnalysisService. Plain data: everything is
+/// copied out under the service's single-threaded contract, so a
+/// snapshot never dangles into live service state.
+struct ServiceSnapshot {
+  /// Rolling latency of requests served through one substrate origin.
+  /// Quantiles are power-of-two bucket upper bounds in microseconds.
+  struct OriginLatency {
+    uint64_t Count = 0;
+    uint64_t P50Us = 0;
+    uint64_t P95Us = 0;
+    uint64_t P99Us = 0;
+  };
+
+  uint64_t UptimeUs = 0;   ///< since service construction
+  uint64_t Requests = 0;   ///< requests ever entered run()
+  uint64_t QueueDepth = 0; ///< batch requests admitted but not yet run
+
+  /// Outcome counts indexed by OutcomeStatus (Ok..InvalidRequest).
+  uint64_t StatusCounts[6] = {};
+  /// Latency indexed by SubstrateOrigin (Built, ReusedWarm,
+  /// ReusedIncremental). Only requests that actually analyzed (not
+  /// compile-error / invalid-request rejections) are recorded.
+  OriginLatency ByOrigin[3];
+
+  uint64_t SessionsResident = 0;
+  uint64_t SessionBytes = 0; ///< approxSessionBytes over residents
+  uint64_t SessionInserts = 0;
+  uint64_t SessionHits = 0;
+  uint64_t SessionPatches = 0;
+  uint64_t SessionEvictions = 0;
+
+  uint64_t PeakRssKb = 0;    ///< mem::peakRssKb(); 0 when unavailable
+  uint64_t CurrentRssKb = 0; ///< mem::currentRssKb(); 0 when unavailable
+  bool HeapAllocsAvailable = false; ///< lc_alloc_hook linked?
+  uint64_t HeapAllocs = 0;
+
+  uint64_t EventsEmitted = 0; ///< event-log lines written (0 = no log)
+};
+
+/// Renders the full snapshot as one line of JSON -- the answer to the
+/// `{"control":"stats"}` wire verb and the payload of auto-dumped
+/// "snapshot" events ({"type":"stats","v":1,...}).
+std::string renderSnapshotJson(const ServiceSnapshot &S);
+
+/// Renders the cheap liveness view -- the answer to
+/// `{"control":"health"}`: uptime, request count, resident sessions,
+/// queue depth, and a constant "ok" (the process answered; that is the
+/// health check).
+std::string renderHealthJson(const ServiceSnapshot &S);
+
+} // namespace lc
+
+#endif // LC_SERVICE_SNAPSHOT_H

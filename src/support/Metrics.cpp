@@ -16,6 +16,28 @@ unsigned TimingHistogram::bucketFor(double Seconds) {
   return B;
 }
 
+uint64_t TimingHistogram::quantileUpperUs(double Q) const {
+  uint64_t Total = samples();
+  if (Total == 0)
+    return 0;
+  if (Q < 0)
+    Q = 0;
+  if (Q > 1)
+    Q = 1;
+  // The smallest rank that covers the quantile; at least one sample so
+  // Q=0 degenerates to the minimum bucket rather than "nothing".
+  uint64_t Need = static_cast<uint64_t>(Q * Total);
+  if (Need * 1.0 < Q * Total || Need == 0)
+    ++Need;
+  uint64_t Cum = 0;
+  for (unsigned B = 0; B < kBuckets; ++B) {
+    Cum += Count[B];
+    if (Cum >= Need)
+      return 1ull << B;
+  }
+  return 1ull << (kBuckets - 1);
+}
+
 MetricsRegistry::Metric &MetricsRegistry::slot(const std::string &Name,
                                                MetricKind Kind,
                                                MetricDet Det) {

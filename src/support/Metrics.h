@@ -78,6 +78,13 @@ struct TimingHistogram {
       N += C;
     return N;
   }
+  /// Upper bound, in microseconds, of the bucket holding the \p Q-quantile
+  /// sample (0 < Q <= 1): the smallest power of two such that at least
+  /// ceil(Q * samples) samples fall below it. The bucket boundaries cap
+  /// the resolution at a factor of two, which is what the service
+  /// snapshot's p50/p95/p99 gauges advertise. Returns 0 when empty; the
+  /// overflow bucket reports its lower bound (there is no upper one).
+  uint64_t quantileUpperUs(double Q) const;
 };
 
 /// A bag of named, typed metrics owned by one analysis run (or one

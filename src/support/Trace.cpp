@@ -9,6 +9,7 @@
 using namespace lc::trace;
 
 std::atomic<bool> Tracer::Active{false};
+std::atomic<uint64_t> Tracer::CurrentReq{0};
 
 Tracer &Tracer::instance() {
   static Tracer T;
@@ -101,10 +102,18 @@ void Tracer::writeChromeTrace(std::ostream &OS) const {
        << ", \"ph\": \"X\", \"pid\": 1, \"tid\": " << E.Tid
        << ", \"ts\": " << json::num(double(E.StartNs) / 1e3)
        << ", \"dur\": " << json::num(double(E.DurNs) / 1e3);
-    if (E.ArgName) {
-      OS << ", \"args\": {" << json::quote(E.ArgName) << ": " << E.Arg;
-      if (E.Arg2Name)
-        OS << ", " << json::quote(E.Arg2Name) << ": " << E.Arg2;
+    if (E.ArgName || E.Req) {
+      OS << ", \"args\": {";
+      const char *Sep = "";
+      if (E.Req) {
+        OS << "\"req\": " << E.Req;
+        Sep = ", ";
+      }
+      if (E.ArgName) {
+        OS << Sep << json::quote(E.ArgName) << ": " << E.Arg;
+        if (E.Arg2Name)
+          OS << ", " << json::quote(E.Arg2Name) << ": " << E.Arg2;
+      }
       OS << "}";
     }
     OS << "}" << (I + 1 < Events.size() ? "," : "") << "\n";
@@ -117,6 +126,7 @@ void Tracer::writeChromeTrace(std::ostream &OS) const {
 void TraceSpan::begin(const char *Name, const char *Cat) {
   R.Name = Name;
   R.Cat = Cat;
+  R.Req = Tracer::currentRequest();
   R.StartNs = Tracer::instance().nowNs();
   Live = true;
 }

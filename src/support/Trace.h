@@ -52,6 +52,11 @@ struct SpanRecord {
   uint64_t Arg = 0;
   const char *Arg2Name = nullptr;
   uint64_t Arg2 = 0;
+  /// The serving request's service-assigned sequence number, stamped at
+  /// span begin from the process-wide attribution slot (0 = recorded
+  /// outside any request). Exported as the "req" arg, so a Perfetto
+  /// query can slice the whole parallel fan-out by request.
+  uint64_t Req = 0;
   uint32_t Tid = 0;
 };
 
@@ -67,6 +72,19 @@ public:
 
   void enable() { Active.store(true, std::memory_order_relaxed); }
   void disable() { Active.store(false, std::memory_order_relaxed); }
+
+  /// Request attribution: spans that begin while a request is current are
+  /// stamped with its sequence number (the analysis service sets this
+  /// around each request it serves; workers inherit it because one
+  /// request runs at a time -- the service's single-threaded contract).
+  /// 0 clears the slot. Relaxed stores/loads: attribution is telemetry,
+  /// never synchronization.
+  static void setCurrentRequest(uint64_t Seq) {
+    CurrentReq.store(Seq, std::memory_order_relaxed);
+  }
+  static uint64_t currentRequest() {
+    return CurrentReq.load(std::memory_order_relaxed);
+  }
 
   /// Appends \p R to the calling thread's ring (wait-free after the
   /// thread's first call).
@@ -103,6 +121,7 @@ private:
   Ring &threadRing();
 
   static std::atomic<bool> Active;
+  static std::atomic<uint64_t> CurrentReq;
 
   mutable std::mutex RegM;                   ///< guards Rings registration
   std::vector<std::unique_ptr<Ring>> Rings;  ///< one per thread ever seen

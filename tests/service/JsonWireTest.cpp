@@ -304,3 +304,87 @@ TEST(OutcomeJson, DiagnosticsOnlyWhenPresent) {
   V = parseOk(renderOutcomeJson(O));
   EXPECT_EQ(V.get("diagnostics")->asString(), "error: parse\n");
 }
+
+TEST(OutcomeJson, ObservabilityRendersLastAndOnlyWhenValid) {
+  AnalysisOutcome O;
+  O.Id = "obs";
+  // Invalid attribution (direct LeakChecker::run, or Attribution off):
+  // the wire omits the object entirely.
+  EXPECT_EQ(renderOutcomeJson(O).find("\"observability\""), std::string::npos);
+
+  O.Observability.Valid = true;
+  O.Observability.Seq = 7;
+  O.Observability.WallUs = 1234;
+  O.Observability.QueueUs = 56;
+  O.Observability.AndersenUs = 400;
+  O.Observability.SummarizeUs = 80;
+  O.Observability.LeakAnalysisUs = 600;
+  O.Observability.MemoHits = 21;
+  O.Observability.MemoMisses = 4;
+  O.Observability.EvictionsCaused = 1;
+
+  std::string J = renderOutcomeJson(O);
+  json::Value V = parseOk(J);
+  const json::Value *Obs = V.get("observability");
+  ASSERT_NE(Obs, nullptr);
+  EXPECT_EQ(Obs->get("v")->asInt(), kObservabilityVersion);
+  EXPECT_EQ(Obs->get("seq")->asInt(), 7);
+  EXPECT_EQ(Obs->get("wall_us")->asInt(), 1234);
+  EXPECT_EQ(Obs->get("queue_us")->asInt(), 56);
+  EXPECT_EQ(Obs->get("phase_us")->get("andersen")->asInt(), 400);
+  EXPECT_EQ(Obs->get("phase_us")->get("summarize")->asInt(), 80);
+  EXPECT_EQ(Obs->get("phase_us")->get("leak_analysis")->asInt(), 600);
+  EXPECT_EQ(Obs->get("memo_hits")->asInt(), 21);
+  EXPECT_EQ(Obs->get("memo_misses")->asInt(), 4);
+  EXPECT_EQ(Obs->get("evictions")->asInt(), 1);
+  // heap_allocs only when the counting allocator was observed.
+  EXPECT_EQ(Obs->get("heap_allocs"), nullptr);
+  O.Observability.HeapAllocsValid = true;
+  O.Observability.HeapAllocs = 4912;
+  V = parseOk(renderOutcomeJson(O));
+  EXPECT_EQ(V.get("observability")->get("heap_allocs")->asInt(), 4912);
+
+  // Attribution is appended after every result-bearing key, so transcript
+  // consumers grepping line prefixes ("id", "status", ...) keep working.
+  EXPECT_EQ(V.members().back().first, "observability");
+}
+
+// --- Control lines ----------------------------------------------------------
+
+TEST(ControlJson, VerbsParse) {
+  std::string Verb, Error;
+  EXPECT_TRUE(parseControlLine(parseOk(R"({"control": "stats"})"), Verb, Error));
+  EXPECT_EQ(Verb, "stats");
+  EXPECT_TRUE(Error.empty());
+  EXPECT_TRUE(parseControlLine(parseOk(R"({"control": "health"})"), Verb, Error));
+  EXPECT_EQ(Verb, "health");
+  EXPECT_TRUE(Error.empty());
+}
+
+TEST(ControlJson, NonControlLinesAreNotClaimed) {
+  // Requests (and anything else without a "control" key) fall through to
+  // the request parser untouched.
+  std::string Verb, Error;
+  EXPECT_FALSE(parseControlLine(parseOk(R"({"source": "class A {}"})"), Verb,
+                                Error));
+  EXPECT_FALSE(parseControlLine(parseOk(R"("stats")"), Verb, Error));
+  EXPECT_FALSE(parseControlLine(parseOk(R"(["control"])"), Verb, Error));
+}
+
+TEST(ControlJson, MalformedControlLinesCarryDiagnostics) {
+  std::string Verb, Error;
+  // Unknown verb: claimed as a control line, rejected with the known set.
+  EXPECT_TRUE(parseControlLine(parseOk(R"({"control": "restart"})"), Verb,
+                               Error));
+  EXPECT_NE(Error.find("unknown control verb"), std::string::npos);
+  EXPECT_NE(Error.find("stats"), std::string::npos);
+  // Non-string verb.
+  Error.clear();
+  EXPECT_TRUE(parseControlLine(parseOk(R"({"control": 1})"), Verb, Error));
+  EXPECT_FALSE(Error.empty());
+  // Extra keys: strict like the request parser.
+  Error.clear();
+  EXPECT_TRUE(
+      parseControlLine(parseOk(R"({"control": "stats", "x": 1})"), Verb, Error));
+  EXPECT_NE(Error.find("x"), std::string::npos);
+}

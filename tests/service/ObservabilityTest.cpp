@@ -1,0 +1,376 @@
+//===-- ObservabilityTest.cpp - event log, snapshots, attribution -------------===//
+
+#include "service/AnalysisService.h"
+#include "service/EventLog.h"
+#include "service/ServiceJson.h"
+#include "service/Snapshot.h"
+
+#include "subjects/Subjects.h"
+#include "support/MemStats.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace lc;
+
+namespace {
+
+const char *kLeaky = R"(
+  class Sink { Object[] kept = new Object[64]; int n;
+    void keep(Object o) { this.kept[this.n] = o; this.n = this.n + 1; } }
+  class Item { }
+  class Main { static void main() {
+    Sink sink = new Sink();
+    int i = 0;
+    work: while (i < 5) {
+      Item x = new Item();
+      sink.keep(x);
+      i = i + 1;
+    }
+  } }
+)";
+
+/// Textually distinct so it hashes to its own session.
+const char *kClean = R"(
+  class Main { static void main() {
+    int i = 0;
+    spin: while (i < 5) { i = i + 1; }
+  } }
+)";
+
+AnalysisRequest requestFor(std::string Id, const char *Source) {
+  AnalysisRequest R;
+  R.Id = std::move(Id);
+  R.Source = Source;
+  R.Loops = LoopSet::allLabeled();
+  return R;
+}
+
+/// A temp path for one test's event log; removed by the fixture below.
+class ObservabilityTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Path = ::testing::TempDir() + "lc_observability_test_events.jsonl";
+  }
+  void TearDown() override { std::remove(Path.c_str()); }
+
+  /// Reads the log back as one parsed JSON document per line.
+  std::vector<json::Value> readEvents() {
+    std::vector<json::Value> Docs;
+    std::ifstream In(Path);
+    EXPECT_TRUE(In.good()) << Path;
+    std::string Line;
+    while (std::getline(In, Line)) {
+      json::Value V;
+      std::string Error;
+      EXPECT_TRUE(json::parse(Line, V, Error)) << Error << "\n" << Line;
+      Docs.push_back(std::move(V));
+    }
+    return Docs;
+  }
+
+  static std::vector<std::string> typesOf(const std::vector<json::Value> &Es) {
+    std::vector<std::string> Ts;
+    for (const json::Value &E : Es)
+      Ts.push_back(E.get("type")->asString());
+    return Ts;
+  }
+
+  static size_t countType(const std::vector<json::Value> &Es,
+                          const std::string &T) {
+    size_t N = 0;
+    for (const json::Value &E : Es)
+      N += E.get("type")->asString() == T;
+    return N;
+  }
+
+  std::string Path;
+};
+
+} // namespace
+
+// --- Event log --------------------------------------------------------------
+
+TEST_F(ObservabilityTest, EventLogRecordsRequestLifecycle) {
+  {
+    ServiceEventLog Log(Path);
+    ASSERT_TRUE(Log.ok());
+    AnalysisService Svc;
+    Svc.setEventLog(&Log);
+
+    EXPECT_TRUE(Svc.run(requestFor("cold", kLeaky)).ok());
+    EXPECT_TRUE(Svc.run(requestFor("warm", kLeaky)).ok());
+    AnalysisOutcome Bad = Svc.run(requestFor("broken", "class ("));
+    EXPECT_EQ(Bad.Status, OutcomeStatus::CompileError);
+    EXPECT_EQ(Log.eventsEmitted(), 10u);
+  }
+
+  std::vector<json::Value> Es = readEvents();
+  ASSERT_EQ(Es.size(), 10u);
+
+  // Every line carries the versioned envelope; seq is contiguous from 1
+  // and timestamps never go backwards.
+  uint64_t PrevTs = 0;
+  for (size_t I = 0; I < Es.size(); ++I) {
+    ASSERT_TRUE(Es[I].isObject());
+    EXPECT_EQ(Es[I].get("v")->asInt(), kServiceEventVersion);
+    EXPECT_EQ(Es[I].get("seq")->asInt(), int64_t(I + 1));
+    uint64_t Ts = uint64_t(Es[I].get("ts_us")->asInt());
+    EXPECT_GE(Ts, PrevTs);
+    PrevTs = Ts;
+  }
+
+  // The exact lifecycle: cold request inserts a session between admission
+  // and completion; the warm request hits instead; the compile error is
+  // received and degraded without ever being admitted.
+  EXPECT_EQ(typesOf(Es),
+            (std::vector<std::string>{
+                "request-received", "session-insert", "request-admitted",
+                "request-completed", "request-received", "session-hit",
+                "request-admitted", "request-completed", "request-received",
+                "request-degraded"}));
+
+  // Terminal events join back to their request by both id and req.
+  EXPECT_EQ(Es[3].get("id")->asString(), "cold");
+  EXPECT_EQ(Es[3].get("req")->asInt(), 1);
+  EXPECT_EQ(Es[3].get("status")->asString(), "ok");
+  EXPECT_EQ(Es[7].get("id")->asString(), "warm");
+  EXPECT_EQ(Es[7].get("req")->asInt(), 2);
+  EXPECT_EQ(Es[9].get("id")->asString(), "broken");
+  EXPECT_EQ(Es[9].get("status")->asString(), "compile-error");
+  EXPECT_EQ(Es[9].get("req")->asInt(), 3);
+
+  // The warm hit resolves the same cache key the insert created.
+  EXPECT_EQ(Es[5].get("key")->asInt(), Es[1].get("key")->asInt());
+  EXPECT_GT(Es[1].get("bytes")->asInt(), 0);
+}
+
+TEST_F(ObservabilityTest, EventLogRecordsEvictionsAndSnapshots) {
+  ServiceEventLog Log(Path);
+  ASSERT_TRUE(Log.ok());
+  ServiceOptions Opts;
+  Opts.MaxSessions = 1;
+  AnalysisService Svc(Opts);
+  Svc.setEventLog(&Log);
+  Svc.setSnapshotEvery(2);
+
+  EXPECT_TRUE(Svc.run(requestFor("a", kLeaky)).ok());
+  EXPECT_TRUE(Svc.run(requestFor("b", kClean)).ok());
+
+  std::vector<json::Value> Es = readEvents();
+  EXPECT_EQ(countType(Es, "session-evict"), 1u);
+  ASSERT_EQ(countType(Es, "snapshot"), 1u);
+
+  // The auto-dumped snapshot embeds a full stats rendering.
+  const json::Value *Snap = nullptr;
+  for (const json::Value &E : Es)
+    if (E.get("type")->asString() == "snapshot")
+      Snap = E.get("stats");
+  ASSERT_NE(Snap, nullptr);
+  EXPECT_EQ(Snap->get("type")->asString(), "stats");
+  EXPECT_EQ(Snap->get("v")->asInt(), kServiceSnapshotVersion);
+  EXPECT_EQ(Snap->get("requests")->asInt(), 2);
+
+  // The evict names the key the first insert created, with its bytes.
+  const json::Value *Evict = nullptr, *Insert = nullptr;
+  for (const json::Value &E : Es) {
+    if (E.get("type")->asString() == "session-evict" && !Evict)
+      Evict = &E;
+    if (E.get("type")->asString() == "session-insert" && !Insert)
+      Insert = &E;
+  }
+  ASSERT_NE(Evict, nullptr);
+  ASSERT_NE(Insert, nullptr);
+  EXPECT_EQ(Evict->get("key")->asInt(), Insert->get("key")->asInt());
+  EXPECT_EQ(Evict->get("bytes")->asInt(), Insert->get("bytes")->asInt());
+}
+
+// --- Snapshots --------------------------------------------------------------
+
+TEST_F(ObservabilityTest, SnapshotTracksCountsQuantilesAndGauges) {
+  ServiceEventLog Log(Path);
+  ASSERT_TRUE(Log.ok());
+  AnalysisService Svc;
+  Svc.setEventLog(&Log);
+
+  EXPECT_TRUE(Svc.run(requestFor("c1", kLeaky)).ok());
+  EXPECT_TRUE(Svc.run(requestFor("w1", kLeaky)).ok());
+  EXPECT_TRUE(Svc.run(requestFor("w2", kLeaky)).ok());
+  EXPECT_EQ(Svc.run(requestFor("bad", "class (")).Status,
+            OutcomeStatus::CompileError);
+
+  ServiceSnapshot S = Svc.snapshot();
+  EXPECT_EQ(S.Requests, 4u);
+  EXPECT_EQ(S.QueueDepth, 0u);
+  EXPECT_GT(S.UptimeUs, 0u);
+  EXPECT_EQ(S.StatusCounts[size_t(OutcomeStatus::Ok)], 3u);
+  EXPECT_EQ(S.StatusCounts[size_t(OutcomeStatus::CompileError)], 1u);
+
+  // Latency is recorded per origin for requests that analyzed; the
+  // rejection contributes no latency sample. Quantiles are power-of-two
+  // bucket upper bounds, so any recorded sample yields p50<=p95<=p99.
+  const ServiceSnapshot::OriginLatency &Built =
+      S.ByOrigin[size_t(SubstrateOrigin::Built)];
+  const ServiceSnapshot::OriginLatency &Warm =
+      S.ByOrigin[size_t(SubstrateOrigin::ReusedWarm)];
+  EXPECT_EQ(Built.Count, 1u);
+  EXPECT_EQ(Warm.Count, 2u);
+  EXPECT_EQ(S.ByOrigin[size_t(SubstrateOrigin::ReusedIncremental)].Count, 0u);
+  EXPECT_GT(Built.P50Us, 0u);
+  EXPECT_LE(Built.P50Us, Built.P95Us);
+  EXPECT_LE(Built.P95Us, Built.P99Us);
+  EXPECT_GT(Warm.P50Us, 0u);
+
+  EXPECT_EQ(S.SessionsResident, 1u);
+  EXPECT_GT(S.SessionBytes, 0u);
+  EXPECT_EQ(S.SessionInserts, 1u);
+  EXPECT_EQ(S.SessionHits, 2u);
+  EXPECT_EQ(S.SessionEvictions, 0u);
+
+  // Memory gauges mirror the process-wide mem:: probes.
+  EXPECT_EQ(S.HeapAllocsAvailable, mem::heapAllocsAvailable());
+#ifdef __linux__
+  EXPECT_GT(S.PeakRssKb, 0u);
+  EXPECT_GT(S.CurrentRssKb, 0u);
+#endif
+  EXPECT_EQ(S.EventsEmitted, Log.eventsEmitted());
+
+  // Both renderings parse and lead with their dispatch type.
+  json::Value Stats, Health;
+  std::string Error;
+  ASSERT_TRUE(json::parse(renderSnapshotJson(S), Stats, Error)) << Error;
+  ASSERT_TRUE(json::parse(renderHealthJson(S), Health, Error)) << Error;
+  EXPECT_EQ(Stats.members()[0].first, "type");
+  EXPECT_EQ(Stats.get("type")->asString(), "stats");
+  EXPECT_EQ(Stats.get("requests")->asInt(), 4);
+  EXPECT_EQ(Stats.get("by_origin")->get("warm")->get("count")->asInt(), 2);
+  EXPECT_EQ(Stats.get("by_status")->get("ok")->asInt(), 3);
+  EXPECT_EQ(Stats.get("sessions")->get("resident")->asInt(), 1);
+  EXPECT_EQ(Health.get("type")->asString(), "health");
+  EXPECT_EQ(Health.get("status")->asString(), "ok");
+  EXPECT_EQ(Health.get("requests")->asInt(), 4);
+}
+
+// --- Per-request attribution ------------------------------------------------
+
+TEST(RequestAttribution, ColdPaysSubstrateWarmDoesNot) {
+  AnalysisService Svc;
+  AnalysisOutcome Cold = Svc.run(requestFor("cold", kLeaky));
+  AnalysisOutcome Warm = Svc.run(requestFor("warm", kLeaky));
+  ASSERT_TRUE(Cold.ok());
+  ASSERT_TRUE(Warm.ok());
+
+  ASSERT_TRUE(Cold.Observability.Valid);
+  ASSERT_TRUE(Warm.Observability.Valid);
+  EXPECT_EQ(Cold.Observability.Seq, 1u);
+  EXPECT_EQ(Warm.Observability.Seq, 2u);
+  EXPECT_GT(Cold.Observability.WallUs, 0u);
+  EXPECT_EQ(Cold.Observability.QueueUs, 0u); // direct run(): no batch wait
+
+  // The warm hit is billed zero substrate time: it did not solve or
+  // summarize anything, and its attribution says so honestly.
+  EXPECT_EQ(Warm.Observability.AndersenUs, 0u);
+  EXPECT_EQ(Warm.Observability.SummarizeUs, 0u);
+
+  // Both requests ran the leak analysis and touched the CFL memo.
+  EXPECT_GT(Cold.Observability.MemoHits + Cold.Observability.MemoMisses, 0u);
+  EXPECT_GT(Warm.Observability.MemoHits + Warm.Observability.MemoMisses, 0u);
+  EXPECT_EQ(Cold.Observability.EvictionsCaused, 0u);
+  EXPECT_EQ(Cold.Observability.HeapAllocsValid, mem::heapAllocsAvailable());
+}
+
+TEST(RequestAttribution, EvictionsAreBilledToTheRequestCausingThem) {
+  ServiceOptions Opts;
+  Opts.MaxSessions = 1;
+  AnalysisService Svc(Opts);
+  AnalysisOutcome A = Svc.run(requestFor("a", kLeaky));
+  AnalysisOutcome B = Svc.run(requestFor("b", kClean));
+  ASSERT_TRUE(A.ok());
+  ASSERT_TRUE(B.ok());
+  EXPECT_EQ(A.Observability.EvictionsCaused, 0u);
+  EXPECT_EQ(B.Observability.EvictionsCaused, 1u);
+}
+
+TEST(RequestAttribution, AttributionOffLeavesOutcomesClean) {
+  ServiceOptions Opts;
+  Opts.Attribution = false;
+  AnalysisService Svc(Opts);
+  AnalysisOutcome O = Svc.run(requestFor("plain", kLeaky));
+  ASSERT_TRUE(O.ok());
+  EXPECT_FALSE(O.Observability.Valid);
+  EXPECT_EQ(renderOutcomeJson(O).find("\"observability\""), std::string::npos);
+}
+
+TEST(RequestAttribution, BatchRequestsCarryQueueWait) {
+  AnalysisService Svc;
+  std::vector<AnalysisRequest> Batch;
+  Batch.push_back(requestFor("b1", kLeaky));
+  Batch.push_back(requestFor("b2", kLeaky));
+  Batch.push_back(requestFor("b3", kClean));
+  std::vector<AnalysisOutcome> Out = Svc.runBatch(Batch);
+  ASSERT_EQ(Out.size(), 3u);
+  for (const AnalysisOutcome &O : Out) {
+    ASSERT_TRUE(O.ok()) << O.Id;
+    ASSERT_TRUE(O.Observability.Valid);
+  }
+  // Later-executed requests waited at least as long as earlier ones
+  // (equal priorities keep submission order).
+  EXPECT_LE(Out[0].Observability.QueueUs, Out[1].Observability.QueueUs);
+  EXPECT_LE(Out[1].Observability.QueueUs, Out[2].Observability.QueueUs);
+  EXPECT_EQ(Svc.snapshot().QueueDepth, 0u); // drained
+}
+
+/// The acceptance property: the observability plane never changes
+/// analysis results. One bundled subject, across the option matrix that
+/// exercises scheduling (jobs), the CFL memo, and summaries, with
+/// attribution+event log on vs fully off -- rendered reports must be
+/// byte-identical.
+TEST_F(ObservabilityTest, ReportsByteIdenticalWithObservabilityOnOrOff) {
+  const subjects::Subject &Subj = subjects::all().front();
+  for (uint32_t Jobs : {1u, 2u})
+    for (bool Memo : {true, false})
+      for (bool Summaries : {true, false}) {
+        SCOPED_TRACE("jobs=" + std::to_string(Jobs) +
+                     " memo=" + std::to_string(Memo) +
+                     " summaries=" + std::to_string(Summaries));
+        AnalysisRequest R;
+        R.Id = Subj.Name;
+        R.Source = Subj.Source;
+        R.Loops = LoopSet::of({Subj.LoopLabel});
+        R.Options = *SessionOptionsBuilder()
+                         .fromLegacy(Subj.Options)
+                         .jobs(Jobs)
+                         .cflMemoize(Memo)
+                         .summaries(Summaries)
+                         .build();
+
+        ServiceOptions On;
+        On.Attribution = true;
+        AnalysisService Instrumented(On);
+        ServiceEventLog Log(Path);
+        ASSERT_TRUE(Log.ok());
+        Instrumented.setEventLog(&Log);
+        Instrumented.setSnapshotEvery(1);
+
+        ServiceOptions Off;
+        Off.Attribution = false;
+        AnalysisService Plain(Off);
+
+        // Cold then warm on both services.
+        for (const char *Round : {"cold", "warm"}) {
+          SCOPED_TRACE(Round);
+          AnalysisOutcome A = Instrumented.run(R);
+          AnalysisOutcome B = Plain.run(R);
+          ASSERT_TRUE(A.ok());
+          ASSERT_TRUE(B.ok());
+          EXPECT_TRUE(A.Observability.Valid);
+          EXPECT_FALSE(B.Observability.Valid);
+          ASSERT_EQ(A.RenderedReports.size(), B.RenderedReports.size());
+          for (size_t I = 0; I < A.RenderedReports.size(); ++I)
+            EXPECT_EQ(A.RenderedReports[I], B.RenderedReports[I]);
+        }
+      }
+}

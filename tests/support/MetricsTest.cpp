@@ -108,3 +108,107 @@ TEST(Metrics, TimingKeepsTotalAndPerSampleHistogram) {
   EXPECT_EQ(T->Hist.Count[2], 2u);
   EXPECT_NEAR(T->Seconds, 6.6e-6, 1e-12);
 }
+
+TEST(Metrics, QuantileUpperUsReportsBucketUpperBounds) {
+  TimingHistogram H;
+  EXPECT_EQ(H.quantileUpperUs(0.5), 0u); // empty
+
+  // One sample at 3 us lands in bucket 2 (< 4 us): every quantile is 4.
+  H.record(3.0e-6);
+  EXPECT_EQ(H.quantileUpperUs(0.5), 4u);
+  EXPECT_EQ(H.quantileUpperUs(0.99), 4u);
+  EXPECT_EQ(H.quantileUpperUs(1.0), 4u);
+
+  // 90 fast samples (< 1 us) and 10 slow ones (1000 us < 1024 us): the
+  // p50/p90 stay in the fast bucket, p95/p99 move to the slow one.
+  TimingHistogram M;
+  for (int I = 0; I < 90; ++I)
+    M.record(0.5e-6);
+  for (int I = 0; I < 10; ++I)
+    M.record(1.0e-3);
+  EXPECT_EQ(M.quantileUpperUs(0.50), 1u);
+  EXPECT_EQ(M.quantileUpperUs(0.90), 1u);
+  EXPECT_EQ(M.quantileUpperUs(0.95), 1024u);
+  EXPECT_EQ(M.quantileUpperUs(0.99), 1024u);
+
+  // Overflow bucket has no upper bound; it reports its lower one.
+  TimingHistogram O;
+  O.record(100.0);
+  EXPECT_EQ(O.quantileUpperUs(0.5),
+            uint64_t(1) << (TimingHistogram::kBuckets - 1));
+}
+
+TEST(Metrics, MergePreservesDeterminismClasses) {
+  MetricsRegistry A;
+  A.addCounter("stable-count", 1, MetricDet::Stable);
+  A.addCounter("env-count", 2, MetricDet::Environment);
+  A.recordTime("phase", 0.001);
+
+  MetricsRegistry B;
+  B.addCounter("stable-count", 10, MetricDet::Stable);
+  B.addCounter("env-count", 20, MetricDet::Environment);
+  B.recordTime("phase", 0.002);
+  B.setGauge("new-gauge", 7, MetricDet::Environment);
+
+  A.merge(B);
+  EXPECT_EQ(A.lookup("stable-count")->Det, MetricDet::Stable);
+  EXPECT_EQ(A.lookup("env-count")->Det, MetricDet::Environment);
+  EXPECT_EQ(A.lookup("phase")->Det, MetricDet::Timing);
+  // A metric merge introduces keeps the class its source registered.
+  ASSERT_NE(A.lookup("new-gauge"), nullptr);
+  EXPECT_EQ(A.lookup("new-gauge")->Det, MetricDet::Environment);
+  EXPECT_EQ(A.lookup("new-gauge")->Kind, MetricKind::Gauge);
+  EXPECT_EQ(A.get("stable-count"), 11u);
+  EXPECT_EQ(A.get("env-count"), 22u);
+}
+
+TEST(Metrics, MergedHistogramSumsEqualSamples) {
+  MetricsRegistry A, B;
+  A.recordTime("phase", 0.5e-6);
+  A.recordTime("phase", 3.0e-6);
+  B.recordTime("phase", 3.0e-6);
+  B.recordTime("phase", 1.0e-3);
+  B.recordTime("phase", 100.0);
+
+  A.merge(B);
+  const MetricsRegistry::Metric *T = A.lookup("phase");
+  ASSERT_NE(T, nullptr);
+  // No sample is lost or double-counted by the bucket-wise merge: the
+  // histogram total equals the number of recordTime calls on both sides,
+  // and every per-bucket count is the sum of its parts.
+  EXPECT_EQ(T->Hist.samples(), 5u);
+  EXPECT_EQ(T->Hist.Count[0], 1u);
+  EXPECT_EQ(T->Hist.Count[2], 2u);
+  EXPECT_EQ(T->Hist.Count[10], 1u);
+  EXPECT_EQ(T->Hist.Count[TimingHistogram::kBuckets - 1], 1u);
+  EXPECT_NEAR(T->Seconds, 100.0010065, 1e-6);
+}
+
+TEST(Metrics, StrByteStableAcrossSourceRegistrationOrder) {
+  // The aggregation pattern the tool uses: a canonical prefix (the
+  // substrate stats) merged first pins the dump order; per-loop sources
+  // may register the same names in any schedule-dependent order without
+  // perturbing the merged dump.
+  MetricsRegistry Canon;
+  Canon.addCounter("alpha", 1);
+  Canon.addCounter("beta", 2);
+  Canon.recordTime("phase", 0.001);
+
+  MetricsRegistry S1;
+  S1.recordTime("phase", 0.002);
+  S1.addCounter("beta", 5);
+  S1.addCounter("alpha", 3);
+
+  MetricsRegistry S2; // same content as S1, opposite registration order
+  S2.addCounter("alpha", 3);
+  S2.addCounter("beta", 5);
+  S2.recordTime("phase", 0.002);
+
+  MetricsRegistry Acc1;
+  Acc1.merge(Canon);
+  Acc1.merge(S1);
+  MetricsRegistry Acc2;
+  Acc2.merge(Canon);
+  Acc2.merge(S2);
+  EXPECT_EQ(Acc1.str(), Acc2.str());
+}

@@ -110,3 +110,29 @@ TEST_F(TraceTest, ResetClearsRetainedSpans) {
   EXPECT_EQ(Tracer::instance().spanCount(), 0u);
   EXPECT_EQ(Tracer::instance().droppedCount(), 0u);
 }
+
+TEST_F(TraceTest, SpansCarryTheServingRequestSeq) {
+  Tracer::instance().enable();
+  Tracer::setCurrentRequest(7);
+  { TraceSpan S("test.served", "test"); }
+  Tracer::setCurrentRequest(0);
+  { TraceSpan S("test.idle", "test"); }
+  Tracer::instance().disable();
+
+  std::ostringstream OS;
+  Tracer::instance().writeChromeTrace(OS);
+  std::string J = OS.str();
+
+  // The span recorded while request 7 was being served carries the seq
+  // as its "req" arg -- the join key against wire observability and the
+  // event log -- and the idle span carries none.
+  size_t Served = J.find("test.served");
+  size_t Idle = J.find("test.idle");
+  ASSERT_NE(Served, std::string::npos);
+  ASSERT_NE(Idle, std::string::npos);
+  size_t Req = J.find("\"req\": 7");
+  ASSERT_NE(Req, std::string::npos);
+  EXPECT_GT(Req, Served);
+  EXPECT_LT(Req, Idle);
+  EXPECT_EQ(J.find("\"req\"", Req + 1), std::string::npos);
+}

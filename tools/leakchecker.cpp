@@ -14,6 +14,8 @@
 //                                           through the analysis service
 //   leakchecker --serve                     line-delimited JSON requests on
 //                                           stdin, outcomes on stdout
+//                                           ({"control":"stats"|"health"}
+//                                           answers a live snapshot line)
 //
 //   leakchecker FILE.mj --check-era         cross-check the escape pre-pass
 //                                           against the effect system and
@@ -25,7 +27,9 @@
 //
 // Diagnostics (docs/OBSERVABILITY.md): --explain prints a provenance
 // witness per report, --stats-json FILE writes the versioned run report,
-// --trace-out FILE writes a Chrome/Perfetto trace of the run's spans.
+// --trace-out FILE writes a Chrome/Perfetto trace of the run's spans,
+// --event-log FILE streams typed service events (serve/batch modes) and
+// --snapshot-every N embeds a service snapshot into it every N requests.
 //
 // Exit codes (docs/API.md): 0 = the analysis ran clean and reported no
 // leaks; 1 = usage, compile, or I/O error (including an unknown loop
@@ -43,7 +47,9 @@
 #include "ir/Printer.h"
 #include "leak/LoopSuggestion.h"
 #include "service/AnalysisService.h"
+#include "service/EventLog.h"
 #include "service/ServiceJson.h"
+#include "service/Snapshot.h"
 #include "subjects/Scoring.h"
 #include "subjects/Subjects.h"
 #include "support/MemStats.h"
@@ -75,7 +81,13 @@ int usage(const char *Argv0) {
       "                         analysis service; one outcome line per\n"
       "                         request on stdout (docs/API.md)\n"
       "  --serve                read line-delimited JSON requests from\n"
-      "                         stdin, write outcome lines to stdout\n"
+      "                         stdin, write outcome lines to stdout;\n"
+      "                         {\"control\":\"stats\"|\"health\"} lines\n"
+      "                         answer a live service snapshot\n"
+      "  --event-log FILE       stream typed service events (JSONL, one\n"
+      "                         flushed line per event; serve/batch only)\n"
+      "  --snapshot-every N     embed a service snapshot into the event\n"
+      "                         log every N requests (needs --event-log)\n"
       "  --no-pivot             report nested sites, not just roots\n"
       "  --no-library-rule      container-internal reads count as reads\n"
       "  --threads              model started threads as outside objects\n"
@@ -194,10 +206,36 @@ AnalysisOutcome invalidRequestOutcome(std::string Id, std::string Why) {
   return O;
 }
 
+/// Observability knobs shared by the service modes (--serve / --batch).
+struct ServeObservability {
+  std::string EventLogPath; ///< empty = no event stream
+  uint64_t SnapshotEvery = 0;
+};
+
+/// Opens the event log (when requested) and attaches it to \p Svc. A
+/// path that cannot be opened is a startup error, not a silent no-op.
+std::unique_ptr<ServiceEventLog> attachEventLog(AnalysisService &Svc,
+                                                const ServeObservability &Obs,
+                                                bool &Ok) {
+  Ok = true;
+  if (Obs.EventLogPath.empty())
+    return nullptr;
+  auto Log = std::make_unique<ServiceEventLog>(Obs.EventLogPath);
+  if (!Log->ok()) {
+    std::fprintf(stderr, "error: --event-log: cannot open '%s' for writing\n",
+                 Obs.EventLogPath.c_str());
+    Ok = false;
+    return nullptr;
+  }
+  Svc.setEventLog(Log.get());
+  Svc.setSnapshotEvery(Obs.SnapshotEvery);
+  return Log;
+}
+
 /// --batch FILE: parse the whole request file, run it through one
 /// AnalysisService (so same-program requests share a warm session), print
 /// one outcome line per request in submission order.
-int runBatchMode(const std::string &Path) {
+int runBatchMode(const std::string &Path, const ServeObservability &Obs) {
   std::string Text;
   if (!readFile(Path, Text)) {
     std::fprintf(stderr, "error: --batch: cannot open '%s'\n", Path.c_str());
@@ -231,6 +269,10 @@ int runBatchMode(const std::string &Path) {
   }
 
   AnalysisService Svc;
+  bool LogOk = true;
+  std::unique_ptr<ServiceEventLog> Log = attachEventLog(Svc, Obs, LogOk);
+  if (!LogOk)
+    return 1;
   std::vector<AnalysisOutcome> Ran = Svc.runBatch(Runnable);
   for (size_t I = 0; I < Ran.size(); ++I)
     Out[RunnableIdx[I]] = std::move(Ran[I]);
@@ -246,9 +288,15 @@ int runBatchMode(const std::string &Path) {
 /// --serve: one JSON request per stdin line, one outcome per stdout line.
 /// Malformed lines come back as invalid-request outcomes; the server keeps
 /// serving. A persistent AnalysisService keeps sessions warm across
-/// requests -- the point of the mode.
-int runServeMode() {
+/// requests -- the point of the mode. Control lines
+/// ({"control":"stats"|"health"}) answer a live snapshot line instead of
+/// an outcome.
+int runServeMode(const ServeObservability &Obs) {
   AnalysisService Svc;
+  bool LogOk = true;
+  std::unique_ptr<ServiceEventLog> Log = attachEventLog(Svc, Obs, LogOk);
+  if (!LogOk)
+    return 1;
   std::string Line;
   bool Leaks = false;
   while (std::getline(std::cin, Line)) {
@@ -260,13 +308,30 @@ int runServeMode() {
     if (!json::parse(Line, Doc, Error)) {
       O = invalidRequestOutcome("", Error);
     } else {
-      AnalysisRequest R;
-      RequestSourceRef Ref;
-      if (!parseAnalysisRequest(Doc, R, Ref, Error) ||
-          !resolveSourceRef(Ref, R, Error))
-        O = invalidRequestOutcome(R.Id, Error);
-      else
-        O = Svc.run(R);
+      std::string Verb;
+      if (parseControlLine(Doc, Verb, Error)) {
+        // A control line (well-formed or not) never reaches the request
+        // parser; malformed ones degrade to invalid-request outcomes so
+        // the one-line-in/one-line-out protocol holds.
+        if (!Error.empty()) {
+          O = invalidRequestOutcome("", Error);
+        } else {
+          ServiceSnapshot Snap = Svc.snapshot();
+          std::printf("%s\n", Verb == "stats"
+                                  ? renderSnapshotJson(Snap).c_str()
+                                  : renderHealthJson(Snap).c_str());
+          std::fflush(stdout);
+          continue;
+        }
+      } else {
+        AnalysisRequest R;
+        RequestSourceRef Ref;
+        if (!parseAnalysisRequest(Doc, R, Ref, Error) ||
+            !resolveSourceRef(Ref, R, Error))
+          O = invalidRequestOutcome(R.Id, Error);
+        else
+          O = Svc.run(R);
+      }
     }
     std::printf("%s\n", renderOutcomeJson(O).c_str());
     std::fflush(stdout);
@@ -282,6 +347,7 @@ int runTool(int argc, char **argv, std::string &TraceOut) {
   std::string File, Loop, SubjectName, StatsJson, TraceOutArg, BatchFile;
   bool Suggest = false, Run = false, DumpIr = false, ListSubjects = false;
   bool CheckEra = false, ShowStats = true, Explain = false, Serve = false;
+  ServeObservability Obs;
   int64_t DeadlineMs = 0;
   // Flags translate into builder calls; every validation rule lives in
   // SessionOptionsBuilder::build(), not here.
@@ -367,6 +433,22 @@ int runTool(int argc, char **argv, std::string &TraceOut) {
       BatchFile = V;
     } else if (A == "--serve") {
       Serve = true;
+    } else if (A == "--event-log") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      Obs.EventLogPath = V;
+    } else if (A == "--snapshot-every") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      int64_t N = std::atoll(V);
+      if (N <= 0) {
+        std::fprintf(stderr,
+                     "error: --snapshot-every needs a positive count\n");
+        return 1;
+      }
+      Obs.SnapshotEvery = static_cast<uint64_t>(N);
     } else if (!A.empty() && A[0] == '-') {
       std::fprintf(stderr, "unknown option: %s\n", A.c_str());
       return usage(argv[0]);
@@ -392,12 +474,35 @@ int runTool(int argc, char **argv, std::string &TraceOut) {
     return 0;
   }
 
+  // The event log is a service-mode artifact: a single-shot run has no
+  // request stream to record. Reject rather than silently produce an
+  // empty file.
+  if (BatchFile.empty() && !Serve) {
+    if (!Obs.EventLogPath.empty()) {
+      std::fprintf(stderr,
+                   "error: --event-log requires --serve or --batch\n");
+      return 1;
+    }
+    if (Obs.SnapshotEvery) {
+      std::fprintf(stderr,
+                   "error: --snapshot-every requires --serve or --batch\n");
+      return 1;
+    }
+  }
+  if (Obs.SnapshotEvery && Obs.EventLogPath.empty()) {
+    std::fprintf(stderr, "error: --snapshot-every requires --event-log\n");
+    return 1;
+  }
+  if (!Obs.EventLogPath.empty() &&
+      !probeWritable(Obs.EventLogPath, "--event-log"))
+    return 1;
+
   // Service modes carry their own per-request options; flags configuring
   // the single-shot engine don't apply.
   if (!BatchFile.empty())
-    return runBatchMode(BatchFile);
+    return runBatchMode(BatchFile, Obs);
   if (Serve)
-    return runServeMode();
+    return runServeMode(Obs);
 
   std::string Source;
   if (!SubjectName.empty()) {
@@ -513,6 +618,15 @@ int runTool(int argc, char **argv, std::string &TraceOut) {
   if (mem::heapAllocsAvailable())
     Agg.setGauge("mem-heap-allocs", mem::heapAllocs(),
                  MetricDet::Environment);
+  // Trace-ring overflow: spans silently overwritten because a thread's
+  // fixed ring filled. Reported only when tracing ran (the counter is
+  // meaningless otherwise), so --trace-out consumers can tell a complete
+  // trace from a truncated one without eyeballing span counts. Safe to
+  // read here: the session's workers joined when the outcome completed.
+  if (trace::Tracer::active())
+    Agg.addCounter("trace-spans-dropped",
+                   trace::Tracer::instance().droppedCount(),
+                   MetricDet::Environment);
   // A single-shot process is definitionally one cold session. Recording
   // the session-cache counters anyway keeps run reports field-compatible
   // with service-backed runs (--serve / --batch), where warm hits and
