@@ -1,0 +1,54 @@
+//===-- RunLoop.h - bench shim over LeakChecker::run -----------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One-loop-one-result helper the benches share. Benches always name an
+/// existing labeled loop and pass options that validate, so failures here
+/// are harness bugs -- abort loudly rather than skewing a measurement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_BENCH_RUNLOOP_H
+#define LC_BENCH_RUNLOOP_H
+
+#include "core/LeakChecker.h"
+#include "service/Request.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace lc::bench {
+
+inline LeakAnalysisResult runLoop(const LeakChecker &LC,
+                                  std::string_view Label,
+                                  const LeakOptions &Opts) {
+  AnalysisRequest R;
+  R.Loops = LoopSet::of({std::string(Label)});
+  R.Options = SessionOptionsBuilder().fromLegacy(Opts).build().value();
+  AnalysisOutcome O = LC.run(R);
+  if (O.Results.size() != 1) {
+    std::fprintf(stderr, "bench runLoop(\"%s\"): %s %s\n",
+                 std::string(Label).c_str(), outcomeStatusName(O.Status),
+                 O.Diagnostics.c_str());
+    std::abort();
+  }
+  return std::move(O.Results.front());
+}
+
+inline LeakAnalysisResult runLoop(const LeakChecker &LC, LoopId L,
+                                  const LeakOptions &Opts) {
+  const Program &P = LC.program();
+  return runLoop(LC, P.Strings.text(P.Loops[L].Label), Opts);
+}
+
+inline LeakAnalysisResult runLoop(const LeakChecker &LC, LoopId L) {
+  return runLoop(LC, L, LC.options());
+}
+
+} // namespace lc::bench
+
+#endif // LC_BENCH_RUNLOOP_H

@@ -19,6 +19,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/LeakChecker.h"
+#include "bench/RunLoop.h"
 #include "subjects/Scoring.h"
 #include "subjects/Subjects.h"
 
@@ -47,28 +48,28 @@ int main() {
     }
     LoopId Loop = Checker->program().findLoop(S.LoopLabel);
 
-    auto Default = Checker->checkWith(Loop, S.Options);
+    auto Default = bench::runLoop(*Checker, Loop, S.Options);
 
     LeakOptions NoPivot = S.Options;
     NoPivot.PivotMode = false;
-    auto RNoPivot = Checker->checkWith(Loop, NoPivot);
+    auto RNoPivot = bench::runLoop(*Checker, Loop, NoPivot);
 
     LeakOptions NoLib = S.Options;
     NoLib.LibraryRule = false;
-    auto RNoLib = Checker->checkWith(Loop, NoLib);
+    auto RNoLib = bench::runLoop(*Checker, Loop, NoLib);
 
     LeakOptions NoThreads = S.Options;
     NoThreads.ModelThreads = false;
-    auto RNoThreads = Checker->checkWith(Loop, NoThreads);
+    auto RNoThreads = bench::runLoop(*Checker, Loop, NoThreads);
 
     LeakOptions NoCtx = S.Options;
     NoCtx.ContextSensitive = false;
-    auto RNoCtx = Checker->checkWith(Loop, NoCtx);
+    auto RNoCtx = bench::runLoop(*Checker, Loop, NoCtx);
 
     // The paper's named future-work refinement.
     LeakOptions Destr = S.Options;
     Destr.ModelDestructiveUpdates = true;
-    auto RDestr = Checker->checkWith(Loop, Destr);
+    auto RDestr = bench::runLoop(*Checker, Loop, Destr);
 
     Score Dc = score(Checker->program(), Default);
     Score Pv = score(Checker->program(), RNoPivot);
@@ -119,7 +120,7 @@ int main() {
       double Best = 1e18;
       for (int I = 0; I < 10; ++I) {
         auto T0 = std::chrono::steady_clock::now();
-        auto R = Checker->checkWith(Loop, O);
+        auto R = bench::runLoop(*Checker, Loop, O);
         auto T1 = std::chrono::steady_clock::now();
         (void)R;
         double Us =
@@ -130,8 +131,8 @@ int main() {
       return Best;
     };
 
-    auto ROn = Checker->checkWith(Loop, On);
-    auto ROff = Checker->checkWith(Loop, Off);
+    auto ROn = bench::runLoop(*Checker, Loop, On);
+    auto ROff = bench::runLoop(*Checker, Loop, Off);
     bool Identical = renderLeakReport(Checker->program(), ROn) ==
                      renderLeakReport(Checker->program(), ROff);
     AllIdentical &= Identical;

@@ -7,6 +7,7 @@ Usage: check_regression.py BENCH_scalability.json [baseline.json]
        check_regression.py --andersen BENCH_andersen.json [baseline.json]
        check_regression.py --edits BENCH_edit_storm.json
        check_regression.py --service BENCH_service.json
+       check_regression.py --fleet BENCH_fleet.json
 
 All metric gates are evaluated before the script exits: a failing run
 prints one `FAIL <metric>: baseline ..., observed ..., ratio ...` line
@@ -59,6 +60,21 @@ swamp the band): obs_hot_wall_ms <= warm_hot_wall_ms * 1.03 + grace; the
 default 5 ms grace absorbs --quick timer noise where a 3% band is
 sub-millisecond. Outcomes must be byte-identical with observability on
 (obs_byte_identical), and the leg must actually have streamed events.
+
+Fleet mode reads the sharded front-end run (BENCH_fleet.json, no
+baseline: the gates are structural). The fleet is only allowed to change
+the bill, never the answer: every response across >= 32 concurrent
+connections must have byte-compared identical to a single-process
+service (byte_identical), with no client-side failures. Consistent-hash
+routing must actually deliver warmth -- the fleet-wide session hit rate
+over the hot leg must clear 0.9 (one insert per subject per owning
+worker, everything else a hit; a broken ring scatters repeats and
+rebuilds sessions instead). Admission control must hold: everything
+admitted completes, peak in-flight never passes the bound in either leg,
+and the overload leg must both see typed `overloaded` rejections (> 0,
+with nothing unaccounted) and answer them fast -- rejection is a
+front-end-only path, so its p99 is gated at 50 ms + grace even while
+every worker is busy.
 
 Edits mode reads the incremental re-analysis storm (BENCH_edit_storm.json,
 no baseline: the gate is self-relative). For every config in the
@@ -236,6 +252,82 @@ def check_service(run_path, grace_ms):
     return finish()
 
 
+def check_fleet(run_path, grace_ms):
+    with open(run_path) as f:
+        run = json.load(f)
+    if not run.get("byte_identical", False):
+        fail_metric("fleet byte_identical", True,
+                    run.get("byte_identical", False),
+                    note="a fleet response diverged from the "
+                         "single-process service")
+    failures = int(run.get("client_failures", 0))
+    if failures:
+        fail_metric("fleet client_failures", 0, failures,
+                    note="clients lost their connection or got no answer")
+    clients = int(run.get("clients", 0))
+    print(f"check_regression: fleet {clients} concurrent clients, "
+          f"{run.get('hot_requests', 0)} hot requests at "
+          f"{float(run.get('hot_rps', 0)):.0f} req/s "
+          f"(p50 {float(run.get('hot_p50_ms', 0)):.3f} ms, "
+          f"p99 {float(run.get('hot_p99_ms', 0)):.3f} ms)")
+    if clients < 32:
+        fail_metric("fleet clients", ">= 32", clients,
+                    note="the run covered fewer concurrent connections "
+                         "than the acceptance floor")
+    rate = float(run.get("warm_hit_rate", 0.0))
+    verdict = "OK" if rate >= 0.9 else "FAIL"
+    print(f"check_regression: fleet warm hit rate {rate:.1%} "
+          f"({run.get('session_hits', 0)} hits, "
+          f"{run.get('session_inserts', 0)} inserts; need >= 90%): {verdict}")
+    if rate < 0.9:
+        fail_metric("fleet warm_hit_rate", ">= 0.9", f"{rate:.4f}",
+                    note="repeats are not reaching the worker that "
+                         "holds their session")
+    admitted = int(run.get("admitted", 0))
+    completed = int(run.get("completed", 0))
+    if admitted <= 0:
+        die("--fleet: run admitted no requests")
+    if completed != admitted:
+        fail_metric("fleet completed", admitted, completed,
+                    note="admitted requests went unanswered")
+    peak = int(run.get("peak_inflight", 0))
+    bound = int(run.get("max_inflight", 0))
+    if peak > bound:
+        fail_metric("fleet peak_inflight", f"<= {bound}", peak,
+                    note="admission control failed to bound the queue")
+    ov = run.get("overload") or die("--fleet: overload leg missing")
+    sent = int(ov.get("sent", 0))
+    ok = int(ov.get("ok", 0))
+    rejected = int(ov.get("rejected", 0))
+    other = int(ov.get("other", 0))
+    print(f"check_regression: fleet overload {sent} sent -> {ok} ok, "
+          f"{rejected} overloaded, {other} other; reject p99 "
+          f"{float(ov.get('reject_p99_ms', 0)):.3f} ms, peak in-flight "
+          f"{ov.get('peak_inflight', 0)} (bound {ov.get('max_inflight', 0)})")
+    if rejected <= 0:
+        fail_metric("fleet overload rejected", "> 0", rejected,
+                    note="the blast never tripped admission control")
+    if other or ok + rejected + other != sent:
+        fail_metric("fleet overload accounting", sent,
+                    f"{ok} ok + {rejected} rejected + {other} other",
+                    note="responses went missing or came back untyped")
+    if int(ov.get("peak_inflight", 0)) > int(ov.get("max_inflight", 0)):
+        fail_metric("fleet overload peak_inflight",
+                    f"<= {ov.get('max_inflight', 0)}",
+                    ov.get("peak_inflight", 0),
+                    note="the bound did not hold under the blast")
+    rej_p99 = float(ov.get("reject_p99_ms", 0.0))
+    limit = 50.0 + grace_ms
+    verdict = "OK" if rej_p99 <= limit else "FAIL"
+    print(f"check_regression: fleet reject p99 {rej_p99:.3f} ms, limit "
+          f"{limit:.3f} ms (50 ms + {grace_ms:g} ms grace): {verdict}")
+    if rej_p99 > limit:
+        fail_metric("fleet overload reject_p99_ms", "50.0", f"{rej_p99:.3f}",
+                    f"{limit:.3f} (50 ms + grace)",
+                    note="rejections are queuing behind analysis work")
+    return finish()
+
+
 def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     grace_ms = None
@@ -244,6 +336,7 @@ def main(argv):
     allocs = "--allocs" in argv[1:]
     edits = "--edits" in argv[1:]
     service = "--service" in argv[1:]
+    fleet = "--fleet" in argv[1:]
     for a in argv[1:]:
         if a.startswith("--grace-ms="):
             grace_ms = float(a.split("=", 1)[1])
@@ -263,6 +356,8 @@ def main(argv):
         return check_edits(run_path, grace_ms)
     if service:
         return check_service(run_path, grace_ms)
+    if fleet:
+        return check_fleet(run_path, grace_ms)
     base_path = args[1] if len(args) > 1 else "bench/scalability_baseline.json"
 
     with open(run_path) as f:

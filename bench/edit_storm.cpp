@@ -25,6 +25,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/LeakChecker.h"
+#include "bench/RunLoop.h"
 
 #include <algorithm>
 #include <chrono>
@@ -145,7 +146,7 @@ Analyzed analyzeCold(const std::string &Src, const LeakOptions &Opts) {
     std::fprintf(stderr, "compile error:\n%s", Diags.str().c_str());
     std::exit(1);
   }
-  LeakAnalysisResult R = Checker->check(Checker->program().findLoop("hot"));
+  LeakAnalysisResult R = bench::runLoop(*Checker, "hot", Checker->options());
   Analyzed A;
   A.WallMs = msSince(T0);
   A.Report = renderLeakReport(Checker->program(), R);
@@ -162,7 +163,7 @@ Analyzed analyzePatched(LeakChecker &Prev, const std::string &Src) {
   auto Checker = LeakChecker::patchFrom(Prev, Src, Diags);
   if (!Checker)
     return {};
-  LeakAnalysisResult R = Checker->check(Checker->program().findLoop("hot"));
+  LeakAnalysisResult R = bench::runLoop(*Checker, "hot", Checker->options());
   Analyzed A;
   A.WallMs = msSince(T0);
   A.Report = renderLeakReport(Checker->program(), R);

@@ -1,0 +1,313 @@
+#!/usr/bin/env python3
+"""Smoke-test the real `leakchecker --listen` fleet front end over TCP.
+
+Launches the CLI with an ephemeral port and a fleet event log, then
+exercises the deployment surface a client actually sees:
+
+ - a concurrent mix of analysis requests across the paper subjects plus
+   control verbs, every response typed and well-formed;
+ - warm routing: a repeated subject must come back substrate_origin
+   "warm" (the consistent-hash ring sent it to the worker already
+   holding the session);
+ - typed degradation: an unknown label (loop-not-found), a malformed
+   line (invalid-request), and a legacy v1 envelope (the fleet speaks
+   only v2: unsupported-version, id echoed);
+ - supervision: SIGKILL one worker pid (from the worker-spawn events),
+   then prove the fleet still answers and logged a respawn;
+ - admission control: a second, one-worker listener with
+   --max-inflight 1 is blasted concurrently and must produce typed
+   `overloaded` rejections while still answering the rest;
+ - clean shutdown: SIGTERM exits 0.
+
+The collected response transcript and the event log are written next to
+--out so CI can validate them against the schemas
+(validate_report.py --outcomes / --events).
+
+Usage: fleet_smoke.py [--binary build/tools/leakchecker] [--out DIR]
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+SUBJECTS = ["SPECjbb2000", "EclipseDiff", "EclipseCP", "MySQL-CJ",
+            "log4j", "FindBugs", "Derby", "Mckoi"]
+
+_failures = []
+
+
+def fail(msg):
+    _failures.append(msg)
+    print(f"fleet_smoke: FAIL: {msg}", file=sys.stderr)
+
+
+def request_line(rid, subject, loops="all"):
+    return json.dumps({"v": 2, "id": rid, "subject": subject,
+                       "loops": loops, "options": {"jobs": 1}})
+
+
+class LineClient:
+    def __init__(self, port):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=60)
+        self.buf = b""
+
+    def send(self, line):
+        self.sock.sendall(line.encode() + b"\n")
+
+    def recv_line(self):
+        while b"\n" not in self.buf:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                return None
+            self.buf += chunk
+        line, self.buf = self.buf.split(b"\n", 1)
+        return line.decode()
+
+    def ask(self, line):
+        self.send(line)
+        return self.recv_line()
+
+    def close(self):
+        self.sock.close()
+
+
+def start_listener(binary, events_path, extra_args=()):
+    proc = subprocess.Popen(
+        [binary, "--listen", "127.0.0.1:0", "--event-log", events_path,
+         *extra_args],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    banner = proc.stdout.readline().strip()
+    try:
+        doc = json.loads(banner)
+    except json.JSONDecodeError:
+        proc.kill()
+        err = proc.stderr.read()
+        sys.exit(f"fleet_smoke: no fleet-listening banner, got {banner!r} "
+                 f"(stderr: {err.strip()!r})")
+    if doc.get("type") != "fleet-listening" or not doc.get("port"):
+        proc.kill()
+        sys.exit(f"fleet_smoke: bad banner {banner!r}")
+    return proc, doc["port"], banner
+
+
+def status_of(line):
+    try:
+        doc = json.loads(line)
+    except (json.JSONDecodeError, TypeError):
+        return None
+    return doc.get("status") if isinstance(doc, dict) else None
+
+
+def main(argv):
+    binary = "build/tools/leakchecker"
+    outdir = "."
+    args = argv[1:]
+    while args:
+        a = args.pop(0)
+        if a == "--binary" and args:
+            binary = args.pop(0)
+        elif a == "--out" and args:
+            outdir = args.pop(0)
+        else:
+            print(__doc__, file=sys.stderr)
+            return 2
+    os.makedirs(outdir, exist_ok=True)
+    events_path = os.path.join(outdir, "fleet_smoke_events.jsonl")
+    transcript_path = os.path.join(outdir, "fleet_smoke_outcomes.jsonl")
+    transcript = []
+    transcript_lock = threading.Lock()
+
+    def record(line):
+        if line is not None:
+            with transcript_lock:
+                transcript.append(line)
+
+    proc, port, banner = start_listener(binary, events_path)
+    print(f"fleet_smoke: listening on port {port}")
+
+    try:
+        # --- concurrent client mix: analyses + control verbs ------------
+        def client_job(ci, errors):
+            c = LineClient(port)
+            try:
+                for subject in SUBJECTS:
+                    line = c.ask(request_line(f"c{ci}-{subject}", subject))
+                    record(line)
+                    if status_of(line) != "ok":
+                        errors.append(f"client {ci} {subject}: {line!r}")
+                if ci % 2 == 0:
+                    line = c.ask('{"control":"health"}')
+                    record(line)
+                    if line is None or '"type":"fleet-health"' not in line:
+                        errors.append(f"client {ci} health: {line!r}")
+            finally:
+                c.close()
+
+        errors = []
+        threads = [threading.Thread(target=client_job, args=(ci, errors))
+                   for ci in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for e in errors[:5]:
+            fail(e)
+        print(f"fleet_smoke: mix OK ({8 * len(SUBJECTS)} analyses over "
+              "8 concurrent connections)")
+
+        c = LineClient(port)
+
+        # --- warm routing: the repeat must hit a resident session -------
+        warm = c.ask(request_line("warm-check", "Mckoi"))
+        record(warm)
+        if '"substrate_origin":"warm"' not in (warm or ""):
+            fail(f"repeat of a primed subject did not run warm: {warm!r}")
+        else:
+            print("fleet_smoke: warm routing OK")
+
+        # --- typed degradation ------------------------------------------
+        bad_label = c.ask(json.dumps(
+            {"v": 2, "id": "bad-label", "subject": "EclipseCP",
+             "loops": "nosuch"}))
+        record(bad_label)
+        if status_of(bad_label) != "loop-not-found":
+            fail(f"unknown label: {bad_label!r}")
+
+        malformed = c.ask("this is not json")
+        record(malformed)
+        if status_of(malformed) != "invalid-request":
+            fail(f"malformed line: {malformed!r}")
+
+        legacy = c.ask(json.dumps(
+            {"id": "legacy-v1", "subject": "Mckoi", "loops": "all"}))
+        record(legacy)
+        if status_of(legacy) != "unsupported-version" \
+                or '"id":"legacy-v1"' not in legacy:
+            fail(f"v1 envelope on the fleet: {legacy!r}")
+        else:
+            print("fleet_smoke: typed degradation OK "
+                  "(loop-not-found, invalid-request, unsupported-version)")
+
+        stats = c.ask('{"control":"stats"}')
+        record(stats)
+        if stats is None or '"type":"fleet-stats"' not in stats \
+                or '"per_worker":[' not in stats:
+            fail(f"fleet-stats: {stats!r}")
+
+        # --- supervision: kill a worker, the fleet keeps answering ------
+        with open(events_path) as f:
+            spawns = [json.loads(l) for l in f if '"worker-spawn"' in l]
+        if not spawns:
+            fail("no worker-spawn events logged")
+        else:
+            victim = spawns[0]["pid"]
+            os.kill(victim, signal.SIGKILL)
+            deadline = time.time() + 10
+            respawned = False
+            while time.time() < deadline and not respawned:
+                time.sleep(0.05)
+                with open(events_path) as f:
+                    content = f.read()
+                respawned = '"worker-exit"' in content and \
+                    content.count('"worker-spawn"') > len(spawns)
+            if not respawned:
+                fail(f"no respawn logged after killing pid {victim}")
+            after = c.ask(request_line("after-kill", SUBJECTS[0]))
+            record(after)
+            if status_of(after) != "ok":
+                fail(f"request after worker kill: {after!r}")
+            else:
+                print(f"fleet_smoke: supervision OK (killed pid {victim}, "
+                      "slot respawned, fleet kept answering)")
+
+        c.close()
+    finally:
+        # --- clean shutdown ---------------------------------------------
+        proc.send_signal(signal.SIGTERM)
+        try:
+            code = proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            code = None
+    if code != 0:
+        fail(f"SIGTERM exit code {code!r} (want 0)")
+    else:
+        print("fleet_smoke: clean SIGTERM shutdown OK")
+
+    # --- overload: a one-worker fleet with a tiny admission bound -------
+    ov_events = os.path.join(outdir, "fleet_smoke_overload_events.jsonl")
+    proc, port, _ = start_listener(binary, ov_events,
+                                   ("--workers", "1", "--max-inflight", "1"))
+    counts = {"ok": 0, "overloaded": 0, "other": 0}
+    counts_lock = threading.Lock()
+    try:
+        def blast_job(ci):
+            c = LineClient(port)
+            try:
+                for i in range(4):
+                    # Distinct source per request: every one is a cold
+                    # build, keeping the lone worker busy so admissions
+                    # pile past the bound.
+                    src = (f"class S{ci}_{i} {{ Object[] a = new Object[8]; "
+                           f"int n; }}\n"
+                           f"class M {{ static void main() {{\n"
+                           f"  S{ci}_{i} s = new S{ci}_{i}();\n"
+                           f"  int i = 0;\n"
+                           f"  l: while (i < 3) {{\n"
+                           f"    s.a[s.n] = new Object(); s.n = s.n + 1;\n"
+                           f"    i = i + 1;\n"
+                           f"  }}\n"
+                           f"}} }}\n")
+                    line = c.ask(json.dumps(
+                        {"v": 2, "id": f"ov-{ci}-{i}", "source": src,
+                         "loops": "l", "options": {"jobs": 1}}))
+                    record(line)
+                    st = status_of(line)
+                    key = st if st in ("ok", "overloaded") else "other"
+                    with counts_lock:
+                        counts[key] += 1
+            finally:
+                c.close()
+
+        threads = [threading.Thread(target=blast_job, args=(ci,))
+                   for ci in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+    print(f"fleet_smoke: overload blast: {counts['ok']} ok, "
+          f"{counts['overloaded']} overloaded, {counts['other']} other")
+    if counts["overloaded"] == 0:
+        fail("the blast produced no typed overloaded rejections")
+    if counts["other"]:
+        fail(f"{counts['other']} responses were neither ok nor overloaded")
+    if counts["ok"] == 0:
+        fail("the blast starved every request (nothing completed)")
+
+    with open(transcript_path, "w") as f:
+        for line in transcript:
+            f.write(line + "\n")
+    print(f"fleet_smoke: wrote {transcript_path} ({len(transcript)} lines) "
+          f"and {events_path}")
+
+    if _failures:
+        print(f"fleet_smoke: {len(_failures)} check(s) failed",
+              file=sys.stderr)
+        return 1
+    print("fleet_smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

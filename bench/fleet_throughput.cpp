@@ -1,0 +1,497 @@
+//===-- fleet_throughput.cpp - sharded fleet front-end throughput -----------===//
+//
+// Drives an in-process FleetServer -- the same bound-socket, forked-worker,
+// poll-loop front end `leakchecker --listen` runs -- with a swarm of
+// concurrent TCP clients and measures what the sharding buys:
+//
+//  - prime leg: one client walks the eight paper subjects cold, so every
+//    subject's session lands on its ring-assigned worker;
+//  - hot leg: N concurrent clients (default 32, the acceptance floor)
+//    replay the subjects for R rounds. Consistent-hash routing sends every
+//    repeat to the worker already holding the session, so the leg runs
+//    warm; per-request latency (p50/p99) and aggregate req/sec are the
+//    numbers. Every response -- prime and hot -- must be byte-identical to
+//    what a single-process AnalysisService answers for the same line
+//    (modulo the id and the attribution object), the fleet's core
+//    contract.
+//  - overload leg: a fresh one-worker fleet with a tiny admission bound is
+//    blasted with cold requests from many clients at once. Past the bound
+//    the front end must answer typed `overloaded` rejections on a fast
+//    path that touches no worker: the leg records the rejection p99 and
+//    that in-flight never passed the bound.
+//
+// The warm-routing hit rate comes from the fleet's own stats aggregation
+// ({"control":"stats"} -> per_worker[].stats.sessions): hits over
+// hits+inserts across the fleet. Emits BENCH_fleet.json;
+// check_regression.py --fleet gates byte-identity, the hit-rate floor,
+// the overload contract, and the admission bound.
+//
+// Run:  ./build/bench/fleet_throughput [--quick] [--clients N] [--rounds N]
+//                                      [--workers N] [--out PATH]
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/FleetServer.h"
+#include "fleet/Resolve.h"
+#include "service/AnalysisService.h"
+#include "service/ServiceJson.h"
+#include "subjects/Subjects.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace lc;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point T0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - T0).count();
+}
+
+/// A blocking line-oriented TCP client (one connection).
+struct Client {
+  int Fd = -1;
+  std::string Buf;
+
+  bool connectTo(uint16_t Port) {
+    Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return false;
+    sockaddr_in A{};
+    A.sin_family = AF_INET;
+    A.sin_port = htons(Port);
+    inet_pton(AF_INET, "127.0.0.1", &A.sin_addr);
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&A), sizeof(A)) != 0) {
+      ::close(Fd);
+      Fd = -1;
+      return false;
+    }
+    return true;
+  }
+  ~Client() {
+    if (Fd >= 0)
+      ::close(Fd);
+  }
+
+  bool send(const std::string &Line) {
+    std::string Wire = Line + "\n";
+    size_t Off = 0;
+    while (Off < Wire.size()) {
+      ssize_t N = ::write(Fd, Wire.data() + Off, Wire.size() - Off);
+      if (N <= 0)
+        return false;
+      Off += static_cast<size_t>(N);
+    }
+    return true;
+  }
+
+  std::string recvLine() {
+    for (;;) {
+      size_t Nl = Buf.find('\n');
+      if (Nl != std::string::npos) {
+        std::string Line = Buf.substr(0, Nl);
+        Buf.erase(0, Nl + 1);
+        return Line;
+      }
+      char Chunk[8192];
+      ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+      if (N <= 0)
+        return std::string();
+      Buf.append(Chunk, static_cast<size_t>(N));
+    }
+  }
+};
+
+/// Drops the attribution object (wall times differ run to run) and the
+/// per-request id, leaving exactly the bytes the analysis decided.
+std::string normalize(std::string Line) {
+  size_t At = Line.rfind(",\"observability\":{");
+  if (At != std::string::npos && Line.back() == '}')
+    Line.erase(At, Line.size() - At - 1);
+  size_t IdAt = Line.find("\"id\":\"");
+  if (IdAt != std::string::npos) {
+    size_t End = Line.find('"', IdAt + 6);
+    if (End != std::string::npos)
+      Line.erase(IdAt + 6, End - (IdAt + 6));
+  }
+  return Line;
+}
+
+std::string subjectRequest(const std::string &Id,
+                           const std::string &Subject) {
+  return "{\"v\":2,\"id\":" + json::quote(Id) +
+         ",\"subject\":" + json::quote(Subject) +
+         ",\"loops\":\"all\",\"options\":{\"jobs\":1}}";
+}
+
+/// A distinct throwaway program per index: every overload-leg request is
+/// a cold build, keeping the single worker busy so admissions pile up.
+std::string coldRequest(const std::string &Id, unsigned Tag) {
+  std::string Src = "class Sink" + std::to_string(Tag) +
+                    " { Object[] all = new Object[16]; int n; }\n"
+                    "class Main { static void main() {\n"
+                    "  Sink" + std::to_string(Tag) + " s = new Sink" +
+                    std::to_string(Tag) + "();\n"
+                    "  int i = 0;\n"
+                    "  l: while (i < 4) {\n"
+                    "    s.all[s.n] = new Object(); s.n = s.n + 1;\n"
+                    "    i = i + 1;\n"
+                    "  }\n"
+                    "} }\n";
+  return "{\"v\":2,\"id\":" + json::quote(Id) +
+         ",\"source\":" + json::quote(Src) +
+         ",\"loops\":\"l\",\"options\":{\"jobs\":1}}";
+}
+
+/// What one single-process service answers for \p Line, normalized.
+std::string referenceOutcome(AnalysisService &Svc, const std::string &Line) {
+  json::Value Doc;
+  std::string Error;
+  if (!json::parse(Line, Doc, Error)) {
+    std::fprintf(stderr, "reference parse: %s\n", Error.c_str());
+    std::abort();
+  }
+  AnalysisRequest R;
+  RequestSourceRef Ref;
+  if (!parseAnalysisRequest(Doc, R, Ref, Error) ||
+      !resolveRequestSource(Ref, R, Error)) {
+    std::fprintf(stderr, "reference request: %s\n", Error.c_str());
+    std::abort();
+  }
+  return normalize(renderOutcomeJson(Svc.run(R)));
+}
+
+double percentile(std::vector<double> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0.0;
+  size_t Idx = static_cast<size_t>(P * (Sorted.size() - 1) + 0.5);
+  return Sorted[std::min(Idx, Sorted.size() - 1)];
+}
+
+struct FleetRun {
+  FleetServer Server;
+  std::thread Loop;
+
+  explicit FleetRun(FleetOptions FO) : Server(std::move(FO)) {
+    std::string Error;
+    if (!Server.start(Error)) {
+      std::fprintf(stderr, "fleet start: %s\n", Error.c_str());
+      std::exit(1);
+    }
+    Loop = std::thread([this] { Server.runLoop(); });
+  }
+  ~FleetRun() {
+    Server.stop();
+    Loop.join();
+  }
+};
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Quick = false;
+  unsigned Clients = 32; // the acceptance floor; do not lower in --quick
+  unsigned Rounds = 0;
+  unsigned Workers = 3;
+  std::string OutPath = "BENCH_fleet.json";
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--quick"))
+      Quick = true;
+    else if (!std::strcmp(argv[I], "--clients") && I + 1 < argc)
+      Clients = static_cast<unsigned>(std::atoi(argv[++I]));
+    else if (!std::strcmp(argv[I], "--rounds") && I + 1 < argc)
+      Rounds = static_cast<unsigned>(std::atoi(argv[++I]));
+    else if (!std::strcmp(argv[I], "--workers") && I + 1 < argc)
+      Workers = static_cast<unsigned>(std::atoi(argv[++I]));
+    else if (!std::strcmp(argv[I], "--out") && I + 1 < argc)
+      OutPath = argv[++I];
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--clients N] [--rounds N] "
+                   "[--workers N] [--out PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (Rounds == 0)
+    Rounds = Quick ? 2 : 6;
+
+  const std::vector<subjects::Subject> &Subjects = subjects::all();
+  std::printf("Fleet throughput: %u workers, %u clients x %u rounds over "
+              "%zu subjects\n\n",
+              Workers, Clients, Rounds, Subjects.size());
+
+  // Reference answers from one in-process service: first run per subject
+  // is the cold (substrate built) answer, the repeat is the warm one.
+  // The fleet's prime leg must match the former, the hot leg the latter.
+  std::vector<std::string> RefCold, RefWarm, Requests;
+  {
+    ServiceOptions SO;
+    SO.Attribution = false;
+    AnalysisService Ref(SO);
+    for (const subjects::Subject &S : Subjects) {
+      std::string Line = subjectRequest("ref", S.Name);
+      Requests.push_back(Line);
+      RefCold.push_back(referenceOutcome(Ref, Line));
+      RefWarm.push_back(referenceOutcome(Ref, Line));
+    }
+  }
+
+  FleetOptions FO;
+  FO.Workers = Workers;
+  std::atomic<bool> ByteIdentical{true};
+  std::atomic<unsigned> Failures{0};
+  double PrimeMs = 0, HotMs = 0;
+  std::vector<double> HotLat;
+  uint64_t Admitted = 0, Completed = 0, Rejected = 0, PeakInflight = 0;
+  uint64_t SessionHits = 0, SessionInserts = 0;
+  {
+    FleetRun Fleet(FO);
+
+    // --- prime: every subject lands on its ring-assigned worker ----------
+    Clock::time_point T0 = Clock::now();
+    {
+      Client C;
+      if (!C.connectTo(Fleet.Server.port())) {
+        std::fprintf(stderr, "prime connect failed\n");
+        return 1;
+      }
+      for (size_t I = 0; I < Subjects.size(); ++I) {
+        C.send(Requests[I]);
+        std::string Got = normalize(C.recvLine());
+        if (Got != RefCold[I]) {
+          std::fprintf(stderr, "prime %s diverges from single-process\n",
+                       Subjects[I].Name);
+          ByteIdentical = false;
+        }
+      }
+    }
+    PrimeMs = msSince(T0);
+
+    // --- hot: concurrent clients replay the subjects, all warm -----------
+    std::vector<std::vector<double>> Lat(Clients);
+    std::vector<std::thread> Threads;
+    Threads.reserve(Clients);
+    T0 = Clock::now();
+    for (unsigned Ci = 0; Ci < Clients; ++Ci)
+      Threads.emplace_back([&, Ci] {
+        Client C;
+        if (!C.connectTo(Fleet.Server.port())) {
+          Failures++;
+          return;
+        }
+        for (unsigned R = 0; R < Rounds; ++R)
+          for (size_t I = 0; I < Subjects.size(); ++I) {
+            std::string Id = "c" + std::to_string(Ci) + "-r" +
+                             std::to_string(R) + "-" + Subjects[I].Name;
+            std::string Line = subjectRequest(Id, Subjects[I].Name);
+            Clock::time_point S0 = Clock::now();
+            if (!C.send(Line)) {
+              Failures++;
+              return;
+            }
+            std::string Got = C.recvLine();
+            if (Got.empty()) {
+              Failures++;
+              return;
+            }
+            Lat[Ci].push_back(msSince(S0));
+            if (normalize(Got) != RefWarm[I])
+              ByteIdentical = false;
+          }
+      });
+    for (std::thread &T : Threads)
+      T.join();
+    HotMs = msSince(T0);
+    for (std::vector<double> &L : Lat)
+      HotLat.insert(HotLat.end(), L.begin(), L.end());
+
+    // --- warm-routing hit rate from the fleet's own aggregation ----------
+    {
+      Client C;
+      if (C.connectTo(Fleet.Server.port())) {
+        C.send("{\"control\":\"stats\"}");
+        std::string Stats = C.recvLine();
+        json::Value Doc;
+        std::string Error;
+        if (json::parse(Stats, Doc, Error)) {
+          if (const json::Value *PW = Doc.get("per_worker");
+              PW && PW->isArray())
+            for (const json::Value &W : PW->items())
+              if (const json::Value *St = W.get("stats"); St && St->isObject())
+                if (const json::Value *Se = St->get("sessions");
+                    Se && Se->isObject()) {
+                  SessionHits += static_cast<uint64_t>(
+                      Se->get("hits") ? Se->get("hits")->asInt() : 0);
+                  SessionInserts += static_cast<uint64_t>(
+                      Se->get("inserts") ? Se->get("inserts")->asInt() : 0);
+                }
+        }
+      }
+    }
+    const FleetServer::Counters &S = Fleet.Server.counters();
+    Admitted = S.Admitted;
+    Completed = S.Completed;
+    Rejected = S.Rejected;
+    PeakInflight = S.PeakInflight;
+  }
+
+  size_t HotRequests = static_cast<size_t>(Clients) * Rounds * Subjects.size();
+  std::sort(HotLat.begin(), HotLat.end());
+  double HotP50 = percentile(HotLat, 0.50);
+  double HotP99 = percentile(HotLat, 0.99);
+  double HotRps = HotMs > 0 ? HotRequests / (HotMs / 1e3) : 0.0;
+  double HitRate = (SessionHits + SessionInserts) > 0
+                       ? double(SessionHits) / (SessionHits + SessionInserts)
+                       : 0.0;
+
+  std::printf("%8s %10s %12s %12s %12s %12s\n", "leg", "requests", "wall(ms)",
+              "req/sec", "p50(ms)", "p99(ms)");
+  std::printf("%8s %10zu %12.2f %12s %12s %12s\n", "prime", Subjects.size(),
+              PrimeMs, "-", "-", "-");
+  std::printf("%8s %10zu %12.2f %12.1f %12.3f %12.3f\n", "hot", HotRequests,
+              HotMs, HotRps, HotP50, HotP99);
+  std::printf("\nwarm routing: %llu session hits, %llu inserts "
+              "(hit rate %.1f%%)\n",
+              static_cast<unsigned long long>(SessionHits),
+              static_cast<unsigned long long>(SessionInserts),
+              HitRate * 100.0);
+  std::printf("admission: %llu admitted, %llu completed, %llu rejected, "
+              "peak in-flight %llu\n",
+              static_cast<unsigned long long>(Admitted),
+              static_cast<unsigned long long>(Completed),
+              static_cast<unsigned long long>(Rejected),
+              static_cast<unsigned long long>(PeakInflight));
+
+  // --- overload: a tiny admission bound under a cold-request blast --------
+  FleetOptions OvFO;
+  OvFO.Workers = 1;
+  OvFO.MaxInflight = 2;
+  unsigned OvClients = Quick ? 8 : 16;
+  unsigned OvPerClient = 4;
+  std::atomic<uint64_t> OvOk{0}, OvRejected{0}, OvOther{0};
+  std::vector<std::vector<double>> OvRejLat(OvClients);
+  uint64_t OvPeak = 0;
+  double OvMs = 0;
+  {
+    FleetRun Fleet(OvFO);
+    std::vector<std::thread> Threads;
+    Threads.reserve(OvClients);
+    Clock::time_point T0 = Clock::now();
+    for (unsigned Ci = 0; Ci < OvClients; ++Ci)
+      Threads.emplace_back([&, Ci] {
+        Client C;
+        if (!C.connectTo(Fleet.Server.port())) {
+          OvOther++;
+          return;
+        }
+        for (unsigned I = 0; I < OvPerClient; ++I) {
+          std::string Id = "ov-c" + std::to_string(Ci) + "-" +
+                           std::to_string(I);
+          Clock::time_point S0 = Clock::now();
+          if (!C.send(coldRequest(Id, Ci * 100 + I))) {
+            OvOther++;
+            return;
+          }
+          std::string Got = C.recvLine();
+          double Ms = msSince(S0);
+          if (Got.find("\"status\":\"ok\"") != std::string::npos) {
+            OvOk++;
+          } else if (Got.find("\"status\":\"overloaded\"") !=
+                     std::string::npos) {
+            OvRejected++;
+            OvRejLat[Ci].push_back(Ms);
+          } else {
+            OvOther++;
+          }
+        }
+      });
+    for (std::thread &T : Threads)
+      T.join();
+    OvMs = msSince(T0);
+    OvPeak = Fleet.Server.counters().PeakInflight;
+  }
+  std::vector<double> RejLat;
+  for (std::vector<double> &L : OvRejLat)
+    RejLat.insert(RejLat.end(), L.begin(), L.end());
+  std::sort(RejLat.begin(), RejLat.end());
+  double RejP50 = percentile(RejLat, 0.50);
+  double RejP99 = percentile(RejLat, 0.99);
+  uint64_t OvSent = static_cast<uint64_t>(OvClients) * OvPerClient;
+
+  std::printf("\noverload (1 worker, max in-flight %zu, %u clients x %u "
+              "cold requests):\n",
+              OvFO.MaxInflight, OvClients, OvPerClient);
+  std::printf("  %llu ok, %llu overloaded, %llu other in %.2f ms; "
+              "reject p50 %.3f ms, p99 %.3f ms; peak in-flight %llu\n",
+              static_cast<unsigned long long>(OvOk.load()),
+              static_cast<unsigned long long>(OvRejected.load()),
+              static_cast<unsigned long long>(OvOther.load()), OvMs, RejP50,
+              RejP99, static_cast<unsigned long long>(OvPeak));
+
+  FILE *Out = std::fopen(OutPath.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write %s\n", OutPath.c_str());
+    return 1;
+  }
+  std::fprintf(Out, "{\n  \"bench\": \"fleet_throughput\",\n");
+  std::fprintf(Out, "  \"quick\": %s,\n", Quick ? "true" : "false");
+  std::fprintf(Out, "  \"workers\": %u,\n  \"clients\": %u,\n", Workers,
+               Clients);
+  std::fprintf(Out, "  \"rounds\": %u,\n  \"subjects\": %zu,\n", Rounds,
+               Subjects.size());
+  std::fprintf(Out, "  \"byte_identical\": %s,\n",
+               ByteIdentical.load() ? "true" : "false");
+  std::fprintf(Out, "  \"client_failures\": %u,\n", Failures.load());
+  std::fprintf(Out, "  \"prime_wall_ms\": %.3f,\n", PrimeMs);
+  std::fprintf(Out, "  \"hot_requests\": %zu,\n", HotRequests);
+  std::fprintf(Out, "  \"hot_wall_ms\": %.3f,\n  \"hot_rps\": %.3f,\n", HotMs,
+               HotRps);
+  std::fprintf(Out, "  \"hot_p50_ms\": %.3f,\n  \"hot_p99_ms\": %.3f,\n",
+               HotP50, HotP99);
+  std::fprintf(Out, "  \"warm_hit_rate\": %.4f,\n", HitRate);
+  std::fprintf(Out,
+               "  \"session_hits\": %llu,\n  \"session_inserts\": %llu,\n",
+               static_cast<unsigned long long>(SessionHits),
+               static_cast<unsigned long long>(SessionInserts));
+  std::fprintf(Out, "  \"admitted\": %llu,\n  \"completed\": %llu,\n",
+               static_cast<unsigned long long>(Admitted),
+               static_cast<unsigned long long>(Completed));
+  std::fprintf(Out, "  \"rejected\": %llu,\n",
+               static_cast<unsigned long long>(Rejected));
+  std::fprintf(Out, "  \"peak_inflight\": %llu,\n",
+               static_cast<unsigned long long>(PeakInflight));
+  std::fprintf(Out, "  \"max_inflight\": %zu,\n", FO.MaxInflight);
+  std::fprintf(Out, "  \"overload\": {\n");
+  std::fprintf(Out, "    \"workers\": %zu,\n    \"max_inflight\": %zu,\n",
+               OvFO.Workers, OvFO.MaxInflight);
+  std::fprintf(Out, "    \"clients\": %u,\n    \"sent\": %llu,\n", OvClients,
+               static_cast<unsigned long long>(OvSent));
+  std::fprintf(Out, "    \"ok\": %llu,\n    \"rejected\": %llu,\n",
+               static_cast<unsigned long long>(OvOk.load()),
+               static_cast<unsigned long long>(OvRejected.load()));
+  std::fprintf(Out, "    \"other\": %llu,\n",
+               static_cast<unsigned long long>(OvOther.load()));
+  std::fprintf(Out,
+               "    \"reject_p50_ms\": %.3f,\n    \"reject_p99_ms\": %.3f,\n",
+               RejP50, RejP99);
+  std::fprintf(Out, "    \"peak_inflight\": %llu\n  }\n}\n",
+               static_cast<unsigned long long>(OvPeak));
+  std::fclose(Out);
+  std::printf("\nwrote %s\n", OutPath.c_str());
+  return 0;
+}

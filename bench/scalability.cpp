@@ -25,6 +25,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/LeakChecker.h"
+#include "bench/RunLoop.h"
 
 #include "frontend/Lower.h"
 #include "support/MemStats.h"
@@ -178,7 +179,7 @@ RunSample runOnce(const std::string &Src, uint32_t Jobs, bool Memoize,
     std::exit(1);
   }
   LoopId Loop = Checker->program().findLoop("hot");
-  LeakAnalysisResult R = Checker->check(Loop);
+  LeakAnalysisResult R = bench::runLoop(*Checker, Loop);
   RunSample S;
   S.WallMs = R.Statistics.time("leak-analysis") * 1e3;
   S.StatesVisited = R.Statistics.get("cfl-states-visited");
@@ -252,7 +253,7 @@ int main(int argc, char **argv) {
       return 1;
     }
     LoopId Loop = Checker->program().findLoop("hot");
-    auto Result = Checker->check(Loop);
+    auto Result = bench::runLoop(*Checker, Loop);
     // Per-loop cost comes from the run's own "leak-analysis" timer; only
     // substrate construction (which spans several analyses) is timed here.
     SizeRow Row{N,
@@ -307,7 +308,7 @@ int main(int argc, char **argv) {
     auto Checker = LeakChecker::fromProgram(std::move(P), MemOpts);
     LoopId Loop = Checker->program().findLoop("hot");
     MemSubstrateAllocs = lc::mem::heapAllocs() - Before;
-    LeakAnalysisResult R = Checker->check(Loop);
+    LeakAnalysisResult R = bench::runLoop(*Checker, Loop);
     MemAllocs = lc::mem::heapAllocs() - Before;
     MemCheckAllocs = MemAllocs - MemSubstrateAllocs;
     MemQueries = R.Statistics.get("cfl-queries");

@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/LeakChecker.h"
+#include "bench/RunLoop.h"
 #include "subjects/Scoring.h"
 #include "subjects/Subjects.h"
 
@@ -45,16 +46,12 @@ int main() {
                    Diags.str().c_str());
       return 1;
     }
-    auto Result = Checker->check(S.LoopLabel);
+    LeakAnalysisResult Result =
+        bench::runLoop(*Checker, S.LoopLabel, Checker->options());
     auto T1 = std::chrono::steady_clock::now();
-    if (!Result) {
-      std::fprintf(stderr, "%s: loop %s not found\n", S.Name.c_str(),
-                   S.LoopLabel.c_str());
-      return 1;
-    }
     double Ms =
         std::chrono::duration<double, std::milli>(T1 - T0).count();
-    Score Sc = score(Checker->program(), *Result);
+    Score Sc = score(Checker->program(), Result);
     AnyMiss |= !Sc.Missed.empty();
     if (Sc.Reported) {
       FprSum += Sc.fpr();
@@ -64,9 +61,9 @@ int main() {
     std::printf("%-12s %6zu %7zu %9.1f %5llu %4u %8llu %4u %6.1f%% | %8u %8u\n",
                 S.Name.c_str(), Checker->reachableMethods(),
                 Checker->reachableStmts(), Ms,
-                static_cast<unsigned long long>(Result->NumInsideCtxSites),
+                static_cast<unsigned long long>(Result.NumInsideCtxSites),
                 Sc.Reported,
-                static_cast<unsigned long long>(Result->NumLeakCtxSites),
+                static_cast<unsigned long long>(Result.NumLeakCtxSites),
                 Sc.falsePositives(), Sc.fpr() * 100, S.PaperLeakSites,
                 S.PaperFalsePos);
   }

@@ -154,9 +154,14 @@ def check_outcome_invariants(doc, where):
                         "list the known ones")
         if doc["loops"]:
             fail(where, "loop-not-found outcomes run no loops")
-    if status in ("compile-error", "invalid-request"):
+    if status in ("compile-error", "invalid-request", "overloaded",
+                  "worker-lost", "unsupported-version"):
         if not doc.get("diagnostics"):
             fail(where, f"{status} must carry diagnostics")
+    if status in ("overloaded", "worker-lost", "unsupported-version"):
+        # Fleet rejections never reach a worker: no loop ever runs.
+        if doc["loops"]:
+            fail(where, f"a {status} outcome runs no loops")
     if status == "ok":
         if "loops_not_run" in doc:
             fail(where, "an ok outcome ran every requested loop")
@@ -174,6 +179,13 @@ def check_snapshot_line(doc, where):
                   "by_origin", "sessions", "mem"),
         "health": ("v", "status", "uptime_us", "requests", "sessions",
                    "queue_depth"),
+        "fleet-stats": ("v", "uptime_us", "workers", "workers_live",
+                        "connections", "requests", "admitted", "rejected",
+                        "completed", "inflight", "peak_inflight",
+                        "per_worker"),
+        "fleet-health": ("v", "status", "uptime_us", "workers",
+                         "workers_live", "connections", "inflight"),
+        "fleet-listening": ("v", "host", "port", "workers"),
     }[doc["type"]]
     for key in required:
         if key not in doc:
@@ -196,9 +208,13 @@ def validate_outcomes(path, schema):
             doc = json.loads(line)
         except json.JSONDecodeError as e:
             fail(where, f"not a JSON document: {e}")
-        # Control-verb answers interleave with outcomes on the serve wire;
-        # outcomes never carry a "type" key (the schema is closed).
-        if isinstance(doc, dict) and doc.get("type") in ("stats", "health"):
+        # Control-verb answers interleave with outcomes on the serve and
+        # fleet wires; outcomes never carry a "type" key (the schema is
+        # closed). The fleet-listening banner is the one stdout line a
+        # --listen transcript may lead with.
+        if isinstance(doc, dict) and doc.get("type") in (
+                "stats", "health", "fleet-stats", "fleet-health",
+                "fleet-listening"):
             check_snapshot_line(doc, where)
             snapshots += 1
             continue
@@ -228,6 +244,15 @@ EVENT_PAYLOAD = {
     "deadline-expired": ("id", "req", "loops_completed", "loops_not_run"),
     "cancelled": ("id", "req", "loops_completed", "loops_not_run"),
     "snapshot": ("stats",),
+    "wire-v1-deprecated": ("id",),
+    "worker-spawn": ("worker", "pid"),
+    "worker-exit": ("worker", "pid"),
+    "connection-open": ("conn",),
+    "connection-close": ("conn",),
+    "fleet-admit": ("conn", "id", "worker"),
+    "fleet-route": ("conn", "id", "worker", "key"),
+    "fleet-reject": ("conn", "id", "reason"),
+    "fleet-complete": ("conn", "id", "worker", "status", "wall_us"),
 }
 
 
@@ -285,6 +310,14 @@ def validate_events(path, schema):
     if terminal != len(received):
         fail("$", f"{len(received)} requests received but {terminal} "
                   "completed/degraded events (every request must terminate)")
+    # The fleet's admission invariant: every admitted request is answered
+    # -- by its worker or by the worker-lost drain -- exactly once.
+    admitted = counts.get("fleet-admit", 0)
+    fleet_done = counts.get("fleet-complete", 0)
+    if admitted != fleet_done:
+        fail("$", f"{admitted} fleet-admit events but {fleet_done} "
+                  "fleet-complete events (an admitted request went "
+                  "unanswered)")
     breakdown = ", ".join(f"{k}: {v}" for k, v in sorted(counts.items()))
     print(f"validate_report: OK: {path} holds {n} valid events "
           f"({breakdown})")

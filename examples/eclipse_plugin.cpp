@@ -37,13 +37,16 @@ int main() {
   std::printf("Checking region \"%s\" (the plugin's runCompare entry "
               "point)...\n\n",
               S.LoopLabel.c_str());
-  auto Result = Checker->check(S.LoopLabel);
-  if (!Result)
+  AnalysisRequest Request;
+  Request.Loops = LoopSet::of({S.LoopLabel});
+  AnalysisOutcome Outcome = Checker->run(Request);
+  if (!Outcome.ok())
     return 1;
+  const LeakAnalysisResult &Result = Outcome.Results.front();
 
-  std::printf("%s\n", renderLeakReport(Checker->program(), *Result).c_str());
+  std::printf("%s\n", renderLeakReport(Checker->program(), Result).c_str());
 
-  Score Sc = score(Checker->program(), *Result);
+  Score Sc = score(Checker->program(), Result);
   std::printf("scored against ground truth: %s\n", renderScore(Sc).c_str());
   std::printf("\nTriage hint: reports whose outside holder is a GUI slot "
               "overwritten per\nactivation are the documented false "

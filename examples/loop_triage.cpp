@@ -108,17 +108,23 @@ int main() {
   std::printf("%s\n", renderSuggestions(Checker->program(), Ranked).c_str());
 
   std::printf("Step 2 -- check every labeled loop:\n\n");
-  for (const LeakAnalysisResult &R : Checker->checkAllLabeled()) {
-    const Program &P = Checker->program();
-    std::printf("  %-8s -> %zu report(s)\n",
-                P.Strings.text(P.Loops[R.Loop].Label).c_str(),
-                R.Reports.size());
-  }
+  AnalysisRequest AllReq;
+  AllReq.Loops = LoopSet::allLabeled();
+  AnalysisOutcome All = Checker->run(AllReq);
+  for (size_t I = 0; I < All.Results.size(); ++I)
+    std::printf("  %-8s -> %zu report(s)\n", All.LoopLabels[I].c_str(),
+                All.Results[I].Reports.size());
 
   std::printf("\nStep 3 -- top candidate with the precision refinement on:\n\n");
   LeakOptions Refined;
   Refined.ModelDestructiveUpdates = true;
-  auto Report = Checker->checkWith(Ranked.front().Loop, Refined);
+  const Program &P = Checker->program();
+  AnalysisRequest TopReq;
+  TopReq.Loops =
+      LoopSet::of({P.Strings.text(P.Loops[Ranked.front().Loop].Label)});
+  TopReq.Options = SessionOptionsBuilder().fromLegacy(Refined).build().value();
+  LeakAnalysisResult Report =
+      std::move(Checker->run(TopReq).Results.front());
   std::printf("%s", renderLeakReport(Checker->program(), Report).c_str());
   std::printf("\n(the overwritten 'current' slot is gone; the audit-log "
               "append remains)\n");

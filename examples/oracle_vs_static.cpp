@@ -71,14 +71,17 @@ int main() {
   // --- static analysis ------------------------------------------------------
   DiagnosticEngine Diags2;
   auto Checker = LeakChecker::fromSource(Source, Diags2);
-  auto Result = Checker->check("fill");
-  std::printf("\n%s\n", renderLeakReport(Checker->program(), *Result).c_str());
+  AnalysisRequest Req;
+  Req.Loops = LoopSet::of({"fill"});
+  LeakAnalysisResult Result =
+      std::move(Checker->run(Req).Results.front());
+  std::printf("\n%s\n", renderLeakReport(Checker->program(), Result).c_str());
 
   // Agreement summary.
   for (AllocSiteId S : D.Sites) {
     if (P.AllocSites[S].Ty == kInvalidId)
       continue;
-    bool Reported = Result->reportsSite(S);
+    bool Reported = Result.reportsSite(S);
     std::printf("site %-40s dynamic=LEAK static=%s\n",
                 P.allocSiteName(S).c_str(), Reported ? "LEAK" : "ok");
   }

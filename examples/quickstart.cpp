@@ -72,14 +72,17 @@ int main() {
     return 1;
   }
 
-  auto Result = Checker->check("main");
-  if (!Result) {
+  AnalysisRequest Request;
+  Request.Loops = LoopSet::of({"main"});
+  AnalysisOutcome Outcome = Checker->run(Request);
+  if (Outcome.Status == OutcomeStatus::LoopNotFound) {
     std::fprintf(stderr, "no loop labeled 'main'\n");
     return 1;
   }
 
-  std::printf("%s\n", renderLeakReport(Checker->program(), *Result).c_str());
+  const LeakAnalysisResult &Result = Outcome.Results.front();
+  std::printf("%s\n", renderLeakReport(Checker->program(), Result).c_str());
   std::printf("reachable methods: %zu, statements: %zu\n",
               Checker->reachableMethods(), Checker->reachableStmts());
-  return Result->Reports.empty() ? 1 : 0;
+  return Result.Reports.empty() ? 1 : 0;
 }

@@ -27,7 +27,13 @@ EraCrossCheckResult lc::crossCheckEra(const LeakChecker &LC) {
     // classification of every inside site rather than the filter's.
     LeakOptions O = LC.options();
     O.EscapePrefilter = false;
-    LeakAnalysisResult Matcher = LC.checkWith(L, O);
+    AnalysisRequest Req;
+    Req.Loops = LoopSet::of({P.Strings.text(P.Loops[L].Label)});
+    Req.Options = SessionOptionsBuilder().fromLegacy(O).build().value();
+    AnalysisOutcome Out = LC.run(Req);
+    if (Out.Results.size() != 1)
+      continue; // cross-check is best-effort; skip loops that fail to run
+    LeakAnalysisResult Matcher = std::move(Out.Results.front());
     EffectSummary Effect = runEffectSystem(P, L);
 
     Cap.forEach([&](size_t SI) {

@@ -355,47 +355,6 @@ AnalysisOutcome LeakChecker::run(const AnalysisRequest &R) const {
   return O;
 }
 
-std::optional<LeakAnalysisResult>
-LeakChecker::check(std::string_view LoopLabel) const {
-  LoopId L = P->findLoop(LoopLabel);
-  if (L == kInvalidId)
-    return std::nullopt;
-  return runOne(L, Opts);
-}
-
-LeakAnalysisResult LeakChecker::check(LoopId Loop) const {
-  return runOne(Loop, Opts);
-}
-
-LeakAnalysisResult LeakChecker::checkWith(LoopId Loop,
-                                          const LeakOptions &O) const {
-  return runOne(Loop, O);
-}
-
-std::vector<LeakAnalysisResult> LeakChecker::checkAllLabeled() const {
-  AnalysisRequest R;
-  R.Loops = LoopSet::allLabeled();
-  std::optional<SessionOptions> SO =
-      SessionOptionsBuilder().fromLegacy(Opts).build();
-  if (SO) {
-    R.Options = *SO;
-    AnalysisOutcome O = run(R);
-    return std::move(O.Results);
-  }
-  // The legacy wrappers never validated, so a session constructed with an
-  // option combination build() now rejects still analyzes the old way
-  // instead of crashing its caller.
-  std::vector<LeakAnalysisResult> Out;
-  for (LoopId L = 0; L < P->Loops.size(); ++L) {
-    if (P->Loops[L].Label.isEmpty())
-      continue;
-    if (!CG->isReachable(P->Loops[L].Method))
-      continue;
-    Out.push_back(runOne(L, Opts));
-  }
-  return Out;
-}
-
 size_t LeakChecker::reachableStmts() const {
   size_t N = 0;
   for (MethodId M = 0; M < P->Methods.size(); ++M)

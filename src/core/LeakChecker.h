@@ -75,26 +75,6 @@ public:
   /// runs without re-rendering.
   AnalysisOutcome run(const AnalysisRequest &R) const;
 
-  // --- Deprecated entry points ---------------------------------------------
-  // Thin wrappers over the same path run() takes; they survive one
-  // deprecation cycle for embedders (see docs/API.md) and will be removed.
-
-  /// \deprecated Use run() with LoopSet::of({LoopLabel}); this wrapper
-  /// cannot report the known labels when the lookup fails.
-  /// \returns nullopt when no such loop exists.
-  std::optional<LeakAnalysisResult> check(std::string_view LoopLabel) const;
-  /// \deprecated Use run(); kept for callers holding raw LoopIds.
-  LeakAnalysisResult check(LoopId Loop) const;
-
-  /// \deprecated Use run() with per-request options (substrate is reused).
-  LeakAnalysisResult checkWith(LoopId Loop, const LeakOptions &Opts) const;
-
-  /// \deprecated Use run() with LoopSet::allLabeled(). Checks every
-  /// labeled loop and region of the program (unlabeled loops are skipped:
-  /// they are compiler-introduced or uninteresting inner loops unless the
-  /// user names them). Results come back in loop order.
-  std::vector<LeakAnalysisResult> checkAllLabeled() const;
-
   /// Labels of every labeled loop/region, in loop order (what a
   /// LoopNotFound outcome reports as KnownLabels).
   std::vector<std::string> knownLabels() const;
@@ -109,7 +89,7 @@ public:
   const Summaries *summaries() const { return Sums.get(); }
   const EscapeAnalysis &escape() const { return *Esc; }
   const LeakOptions &options() const { return Opts; }
-  /// The session's query fan-out pool, shared across check() calls.
+  /// The session's query fan-out pool, shared across run() calls.
   ThreadPool &pool() const { return *Pool; }
 
   /// One-time substrate construction statistics (`andersen-*` counters
@@ -130,8 +110,8 @@ private:
   struct PatchTag {};
   explicit LeakChecker(PatchTag) {}
 
-  /// The one place a loop is actually analyzed; run() and every deprecated
-  /// wrapper funnel through here.
+  /// The one place a loop is actually analyzed; run() funnels every
+  /// request's loops through here.
   LeakAnalysisResult runOne(LoopId Loop, const LeakOptions &O) const;
 
   std::unique_ptr<Program> P;

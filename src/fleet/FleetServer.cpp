@@ -1,0 +1,773 @@
+//===-- FleetServer.cpp ---------------------------------------------------===//
+
+#include "fleet/FleetServer.h"
+
+#include "support/Json.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace lc;
+
+namespace {
+
+bool setNonblock(int Fd) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  return Flags >= 0 && ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
+}
+
+void closeFd(int &Fd) {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+/// Output backlog past which a connection's reads pause. Big enough for
+/// a burst of full reports, small enough that a client that never reads
+/// cannot balloon the front end.
+constexpr size_t kMaxConnOutBytes = 4u << 20;
+
+/// Pulls the status name out of a rendered outcome line without a full
+/// JSON parse. Safe as a byte search: json::quote escapes every '"' in
+/// string values as '\"', so the unescaped sequence `,"status":"` can
+/// only be the key itself.
+std::string_view outcomeLineStatus(std::string_view Line) {
+  size_t P = Line.find(",\"status\":\"");
+  if (P == std::string_view::npos)
+    return {};
+  P += 11;
+  size_t E = Line.find('"', P);
+  if (E == std::string_view::npos)
+    return {};
+  return Line.substr(P, E - P);
+}
+
+std::string renderDegradedOutcome(const std::string &Id, OutcomeStatus S,
+                                  std::string Why) {
+  AnalysisOutcome O;
+  O.Id = Id;
+  O.Status = S;
+  O.Diagnostics = std::move(Why);
+  O.SubstrateBuilt = false;
+  return renderOutcomeJson(O);
+}
+
+} // namespace
+
+FleetServer::FleetServer(FleetOptions O, ServiceEventLog *EventLog)
+    : Opts(std::move(O)), Log(EventLog),
+      Ring(Opts.Workers ? Opts.Workers : 1),
+      Epoch(std::chrono::steady_clock::now()) {}
+
+FleetServer::~FleetServer() {
+  for (Conn &C : Conns)
+    closeFd(C.Fd);
+  Conns.clear();
+  closeFd(ListenFd);
+  closeFd(WakeRead);
+  closeFd(WakeWrite);
+  // Pool's destructor shuts the workers down.
+}
+
+uint64_t FleetServer::uptimeUs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Epoch)
+          .count());
+}
+
+bool FleetServer::start(std::string &Error) {
+  if (Opts.Workers == 0) {
+    Error = "--workers must be at least 1";
+    return false;
+  }
+  // A dead client mid-write must be an EPIPE errno, not a fatal signal.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  ListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (ListenFd < 0) {
+    Error = std::string("socket failed: ") + std::strerror(errno);
+    return false;
+  }
+  int One = 1;
+  ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Opts.Port);
+  if (::inet_pton(AF_INET, Opts.Host.c_str(), &Addr.sin_addr) != 1) {
+    Error = "cannot parse listen host \"" + Opts.Host + "\" (IPv4 only)";
+    closeFd(ListenFd);
+    return false;
+  }
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+      0) {
+    Error = std::string("bind failed: ") + std::strerror(errno);
+    closeFd(ListenFd);
+    return false;
+  }
+  if (::listen(ListenFd, 128) != 0) {
+    Error = std::string("listen failed: ") + std::strerror(errno);
+    closeFd(ListenFd);
+    return false;
+  }
+  socklen_t Len = sizeof(Addr);
+  ::getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Addr), &Len);
+  BoundPort = ntohs(Addr.sin_port);
+  setNonblock(ListenFd);
+
+  int Wake[2];
+  if (::pipe(Wake) != 0) {
+    Error = std::string("pipe failed: ") + std::strerror(errno);
+    closeFd(ListenFd);
+    return false;
+  }
+  WakeRead = Wake[0];
+  WakeWrite = Wake[1];
+  setNonblock(WakeRead);
+  setNonblock(WakeWrite);
+
+  // Fork the workers last so they inherit as little as possible (and
+  // close the rest). The budget splits evenly: N workers together
+  // respect the bound one --serve process would.
+  WorkerConfig WC;
+  WC.MemoryBudgetBytes = Opts.MemoryBudgetBytes / Opts.Workers;
+  WC.MaxSessions = Opts.MaxSessionsPerWorker;
+  WC.Attribution = Opts.Attribution;
+  if (!Pool.start(Opts.Workers, WC, Error)) {
+    closeFd(ListenFd);
+    closeFd(WakeRead);
+    closeFd(WakeWrite);
+    return false;
+  }
+  WorkerIo.assign(Opts.Workers, WorkerState());
+  for (size_t I = 0; I < Pool.size(); ++I) {
+    setNonblock(Pool.slot(I).ReqFd);
+    setNonblock(Pool.slot(I).RespFd);
+    if (Log)
+      Log->event("worker-spawn")
+          .num("worker", I)
+          .num("pid", static_cast<uint64_t>(Pool.slot(I).Pid));
+  }
+  return true;
+}
+
+void FleetServer::stop() {
+  if (WakeWrite >= 0) {
+    char B = 1;
+    // Best effort; the pipe full means a wake-up is already pending.
+    (void)!::write(WakeWrite, &B, 1);
+  }
+}
+
+std::vector<pid_t> FleetServer::workerPids() const {
+  std::vector<pid_t> Pids;
+  for (size_t I = 0; I < Pool.size(); ++I)
+    Pids.push_back(Pool.slot(I).Alive ? Pool.slot(I).Pid : -1);
+  return Pids;
+}
+
+FleetServer::Conn *FleetServer::findConn(uint64_t Id) {
+  for (Conn &C : Conns)
+    if (C.Id == Id && !C.Gone)
+      return &C;
+  return nullptr;
+}
+
+void FleetServer::sendLine(Conn &C, const std::string &Line) {
+  if (C.Gone)
+    return;
+  C.Out += Line;
+  C.Out += '\n';
+  handleConnWritable(C); // opportunistic flush; EAGAIN just buffers
+}
+
+void FleetServer::closeConn(Conn &C) {
+  if (C.Gone)
+    return;
+  C.Gone = true;
+  if (Log)
+    Log->event("connection-close").num("conn", C.Id);
+  closeFd(C.Fd);
+  Stats.Connections--;
+  // In-flight requests from this connection stay in their worker FIFOs;
+  // their outcomes are counted when they arrive and dropped on output.
+}
+
+void FleetServer::handleListen() {
+  for (;;) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      return; // EAGAIN or transient accept error: poll again
+    setNonblock(Fd);
+    Conns.emplace_back();
+    Conn &C = Conns.back();
+    C.Fd = Fd;
+    C.Id = NextConnId++;
+    Stats.Accepted++;
+    Stats.Connections++;
+    if (Log)
+      Log->event("connection-open").num("conn", C.Id);
+  }
+}
+
+void FleetServer::handleConnWritable(Conn &C) {
+  while (!C.Out.empty()) {
+    ssize_t W = ::write(C.Fd, C.Out.data(), C.Out.size());
+    if (W > 0) {
+      C.Out.erase(0, static_cast<size_t>(W));
+      continue;
+    }
+    if (W < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      return;
+    if (W < 0 && errno == EINTR)
+      continue;
+    closeConn(C); // EPIPE/reset: the client is gone
+    return;
+  }
+}
+
+void FleetServer::handleConnReadable(Conn &C) {
+  char Buf[4096];
+  for (;;) {
+    ssize_t R = ::read(C.Fd, Buf, sizeof(Buf));
+    if (R > 0) {
+      C.In.append(Buf, static_cast<size_t>(R));
+      // Split complete lines off; enforce the line cap on the residue.
+      size_t Start = 0;
+      for (;;) {
+        size_t Nl = C.In.find('\n', Start);
+        if (Nl == std::string::npos)
+          break;
+        if (C.DiscardLine) {
+          // Tail of an oversized line, already answered: drop it.
+          C.DiscardLine = false;
+        } else if (Nl - Start > Opts.MaxLineBytes) {
+          // A complete line can still blow the cap when it arrives
+          // newline and all in one read -- same typed answer as the
+          // residue check below, then resync at the newline.
+          Stats.Requests++;
+          rejectRequest(C, "", OutcomeStatus::InvalidRequest,
+                        "invalid-request",
+                        "request line exceeds " +
+                            std::to_string(Opts.MaxLineBytes) + " bytes");
+          if (C.Gone)
+            return;
+        } else {
+          std::string Line = C.In.substr(Start, Nl - Start);
+          if (!Line.empty() && Line.back() == '\r')
+            Line.pop_back();
+          processLine(C, Line);
+          if (C.Gone)
+            return;
+        }
+        Start = Nl + 1;
+      }
+      C.In.erase(0, Start);
+      if (!C.DiscardLine && C.In.size() > Opts.MaxLineBytes) {
+        Stats.Requests++;
+        rejectRequest(C, "", OutcomeStatus::InvalidRequest, "invalid-request",
+                      "request line exceeds " +
+                          std::to_string(Opts.MaxLineBytes) + " bytes");
+        C.In.clear();
+        C.DiscardLine = true;
+        if (C.Gone)
+          return;
+      } else if (C.DiscardLine) {
+        C.In.clear();
+      }
+      // Backpressure: stop reading a connection that is saturated; the
+      // poll-set builder re-enables POLLIN once it drains.
+      if (C.Pending >= Opts.MaxPerConnection ||
+          C.Out.size() >= kMaxConnOutBytes)
+        return;
+      continue;
+    }
+    if (R == 0) {
+      closeConn(C); // client EOF (possibly mid-request; see FIFO note)
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return;
+    if (errno == EINTR)
+      continue;
+    closeConn(C);
+    return;
+  }
+}
+
+void FleetServer::rejectRequest(Conn &C, const std::string &ReqId,
+                                OutcomeStatus Status, const char *Reason,
+                                std::string Why) {
+  Stats.Rejected++;
+  if (Status == OutcomeStatus::Overloaded)
+    Stats.RejectedOverload++;
+  else if (Status == OutcomeStatus::UnsupportedVersion)
+    Stats.RejectedVersion++;
+  else
+    Stats.RejectedInvalid++;
+  if (Log)
+    Log->event("fleet-reject")
+        .num("conn", C.Id)
+        .str("id", ReqId)
+        .str("reason", Reason);
+  sendLine(C, renderDegradedOutcome(ReqId, Status, std::move(Why)));
+}
+
+void FleetServer::admitRequest(Conn &C, const std::string &Line,
+                               const RequestSourceRef &Ref,
+                               const std::string &ReqId) {
+  uint64_t Key = fleetRouteKey(Ref);
+  size_t Slot = Ring.route(Key);
+  if (!Pool.slot(Slot).Alive) {
+    // Only reachable when a respawn failed (fork exhaustion); degrade
+    // rather than queue against a worker that may never return.
+    rejectRequest(C, ReqId, OutcomeStatus::WorkerLost, "worker-lost",
+                  "worker " + std::to_string(Slot) + " is down");
+    return;
+  }
+  Stats.Admitted++;
+  Stats.Inflight++;
+  if (Stats.Inflight > Stats.PeakInflight)
+    Stats.PeakInflight = Stats.Inflight;
+  C.Pending++;
+  if (Log) {
+    Log->event("fleet-admit").num("conn", C.Id).str("id", ReqId).num("worker",
+                                                                     Slot);
+    Log->event("fleet-route")
+        .num("conn", C.Id)
+        .str("id", ReqId)
+        .num("worker", Slot)
+        .num("key", Key);
+  }
+  WorkerState &W = WorkerIo[Slot];
+  PendingReply P;
+  P.K = PendingReply::Request;
+  P.ConnId = C.Id;
+  P.ReqId = ReqId;
+  P.Sent = std::chrono::steady_clock::now();
+  W.Fifo.push_back(std::move(P));
+  appendFrame(W.OutBuf, FrameType::Request, Line);
+  flushWorkerOut(Slot);
+}
+
+void FleetServer::processLine(Conn &C, const std::string &Line) {
+  if (Line.find_first_not_of(" \t") == std::string::npos)
+    return;
+  Stats.Requests++;
+
+  json::Value Doc;
+  std::string Error;
+  if (!json::parse(Line, Doc, Error)) {
+    rejectRequest(C, "", OutcomeStatus::InvalidRequest, "invalid-request",
+                  Error);
+    return;
+  }
+  std::string Verb;
+  if (parseControlLine(Doc, Verb, Error)) {
+    if (!Error.empty())
+      rejectRequest(C, "", OutcomeStatus::InvalidRequest, "invalid-request",
+                    Error);
+    else
+      handleControl(C, Verb);
+    return;
+  }
+  // Fleet path: envelope v2 only. --serve keeps accepting v1 for one
+  // release; here a versionless line is a typed rejection the client can
+  // key its migration on.
+  int Ver = wireVersionOf(Doc, Error);
+  if (Ver == 0) {
+    rejectRequest(C, "", OutcomeStatus::InvalidRequest, "invalid-request",
+                  Error);
+    return;
+  }
+  // Pull the id out for the rejection lines below even when the rest of
+  // the request is unusable; a best-effort echo beats an empty id.
+  std::string ReqId;
+  if (const json::Value *IdV = Doc.get("id"); IdV && IdV->isString())
+    ReqId = IdV->asString();
+  if (Ver != kWireVersion) {
+    rejectRequest(C, ReqId, OutcomeStatus::UnsupportedVersion,
+                  "unsupported-version",
+                  "wire envelope v" + std::to_string(Ver) +
+                      " is not accepted on the fleet path; send \"v\":" +
+                      std::to_string(kWireVersion));
+    return;
+  }
+  AnalysisRequest R;
+  RequestSourceRef Ref;
+  if (!parseAnalysisRequest(Doc, R, Ref, Error)) {
+    rejectRequest(C, R.Id.empty() ? ReqId : R.Id,
+                  OutcomeStatus::InvalidRequest, "invalid-request", Error);
+    return;
+  }
+  if (Stats.Inflight >= Opts.MaxInflight) {
+    rejectRequest(C, R.Id, OutcomeStatus::Overloaded, "overloaded",
+                  "in-flight queue full (" +
+                      std::to_string(Opts.MaxInflight) +
+                      " requests); retry later");
+    return;
+  }
+  admitRequest(C, Line, Ref, R.Id);
+}
+
+void FleetServer::handleControl(Conn &C, const std::string &Verb) {
+  if (Verb == "health") {
+    sendLine(C, renderFleetHealth());
+    return;
+  }
+  // stats: fan a StatsQuery out to every live worker and aggregate the
+  // replies; the answer line is deferred until the last reply (or death)
+  // lands. Control traffic rides the same FIFOs as requests, so a stats
+  // verb behind a long analysis answers after it -- in-band means
+  // in-order.
+  StatsCollect SC;
+  SC.Token = NextCollectToken++;
+  SC.ConnId = C.Id;
+  for (size_t I = 0; I < Pool.size(); ++I) {
+    if (!Pool.slot(I).Alive)
+      continue;
+    PendingReply P;
+    P.K = PendingReply::Stats;
+    P.ConnId = C.Id;
+    P.CollectToken = SC.Token;
+    P.Sent = std::chrono::steady_clock::now();
+    WorkerIo[I].Fifo.push_back(std::move(P));
+    appendFrame(WorkerIo[I].OutBuf, FrameType::StatsQuery, {});
+    SC.Remaining++;
+    flushWorkerOut(I);
+  }
+  if (SC.Remaining == 0) {
+    finishCollect(SC);
+    return;
+  }
+  Collects.push_back(std::move(SC));
+}
+
+void FleetServer::finishCollect(StatsCollect &SC) {
+  if (Conn *C = findConn(SC.ConnId))
+    sendLine(*C, renderFleetStats(SC));
+}
+
+std::string FleetServer::renderFleetStats(const StatsCollect &SC) const {
+  size_t Live = 0;
+  for (size_t I = 0; I < Pool.size(); ++I)
+    Live += Pool.slot(I).Alive ? 1 : 0;
+  std::string J = "{\"type\":\"fleet-stats\",\"v\":1";
+  J += ",\"uptime_us\":" + std::to_string(uptimeUs());
+  J += ",\"workers\":" + std::to_string(Pool.size());
+  J += ",\"workers_live\":" + std::to_string(Live);
+  J += ",\"connections\":" + std::to_string(Stats.Connections);
+  J += ",\"requests\":" + std::to_string(Stats.Requests);
+  J += ",\"admitted\":" + std::to_string(Stats.Admitted);
+  J += ",\"rejected\":" + std::to_string(Stats.Rejected);
+  J += ",\"rejected_overload\":" + std::to_string(Stats.RejectedOverload);
+  J += ",\"rejected_version\":" + std::to_string(Stats.RejectedVersion);
+  J += ",\"rejected_invalid\":" + std::to_string(Stats.RejectedInvalid);
+  J += ",\"completed\":" + std::to_string(Stats.Completed);
+  J += ",\"worker_lost\":" + std::to_string(Stats.WorkerLost);
+  J += ",\"inflight\":" + std::to_string(Stats.Inflight);
+  J += ",\"peak_inflight\":" + std::to_string(Stats.PeakInflight);
+  J += ",\"worker_respawns\":" + std::to_string(Stats.WorkerRespawns);
+  J += ",\"per_worker\":[";
+  for (size_t I = 0; I < SC.Replies.size(); ++I) {
+    if (I)
+      J += ",";
+    size_t Slot = SC.Replies[I].first;
+    J += "{\"worker\":" + std::to_string(Slot);
+    J += ",\"pid\":" + std::to_string(Pool.slot(Slot).Pid);
+    J += ",\"spawns\":" + std::to_string(Pool.slot(Slot).Spawns);
+    J += ",\"stats\":" + SC.Replies[I].second;
+    J += "}";
+  }
+  J += "]}";
+  return J;
+}
+
+std::string FleetServer::renderFleetHealth() const {
+  size_t Live = 0;
+  for (size_t I = 0; I < Pool.size(); ++I)
+    Live += Pool.slot(I).Alive ? 1 : 0;
+  std::string J = "{\"type\":\"fleet-health\",\"v\":1";
+  J += ",\"status\":";
+  J += Live ? "\"ok\"" : "\"degraded\"";
+  J += ",\"uptime_us\":" + std::to_string(uptimeUs());
+  J += ",\"workers\":" + std::to_string(Pool.size());
+  J += ",\"workers_live\":" + std::to_string(Live);
+  J += ",\"connections\":" + std::to_string(Stats.Connections);
+  J += ",\"inflight\":" + std::to_string(Stats.Inflight);
+  J += "}";
+  return J;
+}
+
+void FleetServer::flushWorkerOut(size_t Slot) {
+  WorkerState &W = WorkerIo[Slot];
+  int Fd = Pool.slot(Slot).ReqFd;
+  if (Fd < 0)
+    return;
+  while (!W.OutBuf.empty()) {
+    ssize_t N = ::write(Fd, W.OutBuf.data(), W.OutBuf.size());
+    if (N > 0) {
+      W.OutBuf.erase(0, static_cast<size_t>(N));
+      continue;
+    }
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      return; // pipe full; POLLOUT drains it
+    if (N < 0 && errno == EINTR)
+      continue;
+    return; // EPIPE: the response pipe's EOF path declares the death
+  }
+}
+
+void FleetServer::handleWorkerFrame(size_t Slot, Frame &F) {
+  WorkerState &W = WorkerIo[Slot];
+  if (W.Fifo.empty())
+    return; // spurious frame; nothing was asked
+  PendingReply P = std::move(W.Fifo.front());
+  W.Fifo.pop_front();
+
+  if (F.Type == FrameType::Outcome && P.K == PendingReply::Request) {
+    Stats.Completed++;
+    Stats.Inflight--;
+    uint64_t WallUs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - P.Sent)
+            .count());
+    if (Log)
+      Log->event("fleet-complete")
+          .num("conn", P.ConnId)
+          .str("id", P.ReqId)
+          .num("worker", Slot)
+          .str("status", outcomeLineStatus(F.Payload))
+          .num("wall_us", WallUs);
+    if (Conn *C = findConn(P.ConnId)) {
+      if (C->Pending)
+        C->Pending--;
+      sendLine(*C, F.Payload);
+    }
+    return;
+  }
+  if (F.Type == FrameType::StatsReply && P.K == PendingReply::Stats) {
+    for (size_t I = 0; I < Collects.size(); ++I) {
+      StatsCollect &SC = Collects[I];
+      if (SC.Token != P.CollectToken)
+        continue;
+      SC.Replies.emplace_back(Slot, std::move(F.Payload));
+      if (--SC.Remaining == 0) {
+        finishCollect(SC);
+        Collects.erase(Collects.begin() + I);
+      }
+      return;
+    }
+    return;
+  }
+  // Reply kind disagrees with what was asked: the stream is corrupt.
+  markWorkerDead(Slot);
+}
+
+void FleetServer::handleWorkerReadable(size_t Slot) {
+  int Fd = Pool.slot(Slot).RespFd;
+  if (Fd < 0)
+    return;
+  char Buf[8192];
+  for (;;) {
+    ssize_t R = ::read(Fd, Buf, sizeof(Buf));
+    if (R > 0) {
+      WorkerState &W = WorkerIo[Slot];
+      W.Reader.feed(Buf, static_cast<size_t>(R));
+      Frame F;
+      while (W.Reader.pop(F)) {
+        handleWorkerFrame(Slot, F);
+        if (!Pool.slot(Slot).Alive)
+          return; // the frame handler declared the worker dead
+      }
+      if (W.Reader.bad()) {
+        markWorkerDead(Slot);
+        return;
+      }
+      continue;
+    }
+    if (R == 0) {
+      markWorkerDead(Slot);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return;
+    if (errno == EINTR)
+      continue;
+    markWorkerDead(Slot);
+    return;
+  }
+}
+
+void FleetServer::markWorkerDead(size_t Slot) {
+  if (!Pool.slot(Slot).Alive)
+    return;
+  pid_t OldPid = Pool.slot(Slot).Pid;
+  Pool.collect(Slot);
+  if (Log)
+    Log->event("worker-exit")
+        .num("worker", Slot)
+        .num("pid", static_cast<uint64_t>(OldPid));
+
+  // Every request parked in this worker's FIFO is answered now with a
+  // typed worker-lost degradation -- the client sees an outcome, never a
+  // hang. Stats queries in flight just shrink their aggregation.
+  WorkerState Dead = std::move(WorkerIo[Slot]);
+  WorkerIo[Slot] = WorkerState();
+  for (PendingReply &P : Dead.Fifo) {
+    if (P.K == PendingReply::Request) {
+      Stats.Completed++;
+      Stats.WorkerLost++;
+      Stats.Inflight--;
+      if (Log)
+        Log->event("fleet-complete")
+            .num("conn", P.ConnId)
+            .str("id", P.ReqId)
+            .num("worker", Slot)
+            .str("status", "worker-lost")
+            .num("wall_us", 0);
+      if (Conn *C = findConn(P.ConnId)) {
+        if (C->Pending)
+          C->Pending--;
+        sendLine(*C,
+                 renderDegradedOutcome(
+                     P.ReqId, OutcomeStatus::WorkerLost,
+                     "worker " + std::to_string(Slot) +
+                         " died while serving this request; it has been "
+                         "respawned with a cold cache -- retry"));
+      }
+    } else {
+      for (size_t I = 0; I < Collects.size(); ++I) {
+        StatsCollect &SC = Collects[I];
+        if (SC.Token != P.CollectToken)
+          continue;
+        if (--SC.Remaining == 0) {
+          finishCollect(SC);
+          Collects.erase(Collects.begin() + I);
+        }
+        break;
+      }
+    }
+  }
+
+  if (Stopping)
+    return;
+  std::string Error;
+  if (Pool.respawn(Slot, Error)) {
+    Stats.WorkerRespawns++;
+    setNonblock(Pool.slot(Slot).ReqFd);
+    setNonblock(Pool.slot(Slot).RespFd);
+    if (Log)
+      Log->event("worker-spawn")
+          .num("worker", Slot)
+          .num("pid", static_cast<uint64_t>(Pool.slot(Slot).Pid));
+  }
+  // A failed respawn leaves the slot down; requests routing to it get
+  // typed worker-lost rejections (admitRequest checks Alive).
+}
+
+void FleetServer::runLoop() {
+  std::vector<pollfd> Pfds;
+  // (kind, id/slot) aligned with Pfds: 0 = wake, 1 = listen, 2 = conn
+  // (payload = conn id), 3 = worker resp, 4 = worker req.
+  struct Tag {
+    int Kind;
+    uint64_t Payload;
+  };
+  std::vector<Tag> Tags;
+
+  while (!Stopping) {
+    Pfds.clear();
+    Tags.clear();
+    Pfds.push_back({WakeRead, POLLIN, 0});
+    Tags.push_back({0, 0});
+    Pfds.push_back({ListenFd, POLLIN, 0});
+    Tags.push_back({1, 0});
+    for (Conn &C : Conns) {
+      if (C.Gone)
+        continue;
+      short Ev = 0;
+      // Backpressure: a saturated connection is not read until its
+      // pending work or output backlog drains.
+      if (C.Pending < Opts.MaxPerConnection && C.Out.size() < kMaxConnOutBytes)
+        Ev |= POLLIN;
+      if (!C.Out.empty())
+        Ev |= POLLOUT;
+      if (!Ev)
+        continue;
+      Pfds.push_back({C.Fd, Ev, 0});
+      Tags.push_back({2, C.Id});
+    }
+    for (size_t I = 0; I < Pool.size(); ++I) {
+      if (!Pool.slot(I).Alive)
+        continue;
+      Pfds.push_back({Pool.slot(I).RespFd, POLLIN, 0});
+      Tags.push_back({3, I});
+      if (!WorkerIo[I].OutBuf.empty()) {
+        Pfds.push_back({Pool.slot(I).ReqFd, POLLOUT, 0});
+        Tags.push_back({4, I});
+      }
+    }
+
+    int N = ::poll(Pfds.data(), Pfds.size(), -1);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+
+    for (size_t I = 0; I < Pfds.size(); ++I) {
+      if (!Pfds[I].revents)
+        continue;
+      switch (Tags[I].Kind) {
+      case 0: {
+        char Drain[64];
+        while (::read(WakeRead, Drain, sizeof(Drain)) > 0) {
+        }
+        Stopping = true;
+        break;
+      }
+      case 1:
+        handleListen();
+        break;
+      case 2: {
+        Conn *C = findConn(Tags[I].Payload);
+        if (!C)
+          break;
+        if (Pfds[I].revents & POLLOUT)
+          handleConnWritable(*C);
+        if (C->Gone)
+          break;
+        if (Pfds[I].revents & (POLLIN | POLLHUP | POLLERR))
+          handleConnReadable(*C);
+        break;
+      }
+      case 3:
+        handleWorkerReadable(Tags[I].Payload);
+        break;
+      case 4:
+        flushWorkerOut(Tags[I].Payload);
+        break;
+      }
+      if (Stopping)
+        break;
+    }
+
+    Conns.remove_if([](const Conn &C) { return C.Gone; });
+  }
+
+  // Graceful shutdown: close client connections, then EOF the workers.
+  for (Conn &C : Conns)
+    closeConn(C);
+  Conns.clear();
+  closeFd(ListenFd);
+  Pool.shutdown();
+}

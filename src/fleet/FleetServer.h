@@ -1,0 +1,197 @@
+//===-- FleetServer.h - TCP front end for the analysis fleet ---*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `--listen` front end: a single-threaded poll loop accepting many
+/// concurrent TCP connections speaking the JSONL wire format (the same
+/// lines `--serve` reads on stdin), routing each request over a
+/// consistent-hash ring of supervised worker processes, and multiplexing
+/// the answers back. The front end is deliberately thin -- it parses and
+/// screens requests but never analyzes; all engine work happens in
+/// workers, so one slow analysis never blocks accepting, rejecting, or
+/// answering other connections.
+///
+/// Degradation is typed, never silent (docs/API.md "Fleet deployment"):
+///
+///  - Admission control bounds the fleet-wide in-flight queue. A request
+///    arriving past `MaxInflight` is answered immediately with an
+///    `overloaded` outcome -- rejection is a fast path that touches no
+///    worker.
+///  - Per-connection backpressure pauses *reading* a connection whose
+///    admitted-but-unanswered count or output backlog passes its bound,
+///    so one firehose client is flow-controlled by TCP instead of
+///    buffering without bound in the front end.
+///  - A worker crash answers that worker's in-flight requests with
+///    `worker-lost` outcomes and respawns the slot in place; the ring
+///    never changes shape, so other programs' warmth is untouched.
+///  - v1 wire lines (no `"v"` key) are rejected with
+///    `unsupported-version`; the fleet speaks only envelope v2.
+///
+/// The envelope, routing and warmth contract, and the event taxonomy
+/// (connection-open/close, fleet-admit/-reject/-route/-complete,
+/// worker-spawn/-exit) are documented in docs/API.md and
+/// docs/OBSERVABILITY.md. `{"control":"stats"}` aggregates every live
+/// worker's ServiceSnapshot into one `fleet-stats` line;
+/// `{"control":"health"}` answers from front-end counters alone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_FLEET_FLEETSERVER_H
+#define LC_FLEET_FLEETSERVER_H
+
+#include "fleet/Framing.h"
+#include "fleet/HashRing.h"
+#include "fleet/WorkerPool.h"
+#include "service/EventLog.h"
+
+#include <chrono>
+#include <deque>
+#include <list>
+#include <string>
+#include <vector>
+
+namespace lc {
+
+struct FleetOptions {
+  std::string Host = "127.0.0.1";
+  uint16_t Port = 0;    ///< 0 = ephemeral; read the bound port via port()
+  size_t Workers = 3;   ///< worker processes (= ring slots)
+  size_t MaxInflight = 64;      ///< fleet-wide admitted-but-unanswered bound
+  size_t MaxPerConnection = 16; ///< per-connection in-flight bound (pauses reads)
+  size_t MaxLineBytes = kDefaultMaxLineBytes; ///< request line length cap
+  /// Budget for the whole deployment; split evenly across workers so the
+  /// fleet respects the same bound one process would.
+  uint64_t MemoryBudgetBytes = 512ull << 20;
+  size_t MaxSessionsPerWorker = 8;
+  bool Attribution = true;
+};
+
+class FleetServer {
+public:
+  /// Front-end counters, exposed for the bench and tests. All are
+  /// monotonic except Inflight/Connections (gauges).
+  struct Counters {
+    uint64_t Accepted = 0;     ///< connections accepted
+    uint64_t Connections = 0;  ///< currently open connections
+    uint64_t Requests = 0;     ///< request lines seen (any disposition)
+    uint64_t Admitted = 0;     ///< admitted into the in-flight queue
+    uint64_t Rejected = 0;     ///< typed rejections (all reasons)
+    uint64_t RejectedOverload = 0;
+    uint64_t RejectedVersion = 0;
+    uint64_t RejectedInvalid = 0;
+    uint64_t Completed = 0;    ///< admitted requests answered (any status)
+    uint64_t WorkerLost = 0;   ///< completions degraded by a worker death
+    uint64_t Inflight = 0;
+    uint64_t PeakInflight = 0;
+    uint64_t WorkerRespawns = 0;
+  };
+
+  explicit FleetServer(FleetOptions Opts, ServiceEventLog *Log = nullptr);
+  ~FleetServer();
+
+  FleetServer(const FleetServer &) = delete;
+  FleetServer &operator=(const FleetServer &) = delete;
+
+  /// Binds, listens, and forks the workers. Call before any other thread
+  /// exists when possible (fork is cheapest and safest from a
+  /// single-threaded process). False + \p Error on failure.
+  bool start(std::string &Error);
+
+  /// The bound port (resolves Port=0 ephemeral binds).
+  uint16_t port() const { return BoundPort; }
+
+  /// Serves until stop(). Runs poll() on one thread; never throws.
+  void runLoop();
+
+  /// Signal-safe shutdown request: wakes the loop via a self-pipe. The
+  /// loop finishes writing nothing further, closes client connections,
+  /// closes worker request pipes (EOF = worker shutdown), and reaps.
+  void stop();
+
+  const Counters &counters() const { return Stats; }
+  /// Live worker pids by slot (tests kill one to exercise supervision).
+  std::vector<pid_t> workerPids() const;
+
+private:
+  struct Conn {
+    int Fd = -1;
+    uint64_t Id = 0;
+    std::string In;       ///< bytes read, not yet split into lines
+    std::string Out;      ///< bytes to write
+    size_t Pending = 0;   ///< admitted requests not yet answered
+    bool DiscardLine = false; ///< current line blew MaxLineBytes
+    bool Gone = false;    ///< flagged for removal after the poll pass
+  };
+
+  /// What the front end is waiting on from one worker, in send order.
+  struct PendingReply {
+    enum Kind : uint8_t { Request, Stats } K = Request;
+    uint64_t ConnId = 0;
+    std::string ReqId;          ///< Request only
+    uint64_t CollectToken = 0;  ///< Stats only
+    std::chrono::steady_clock::time_point Sent;
+  };
+
+  struct WorkerState {
+    std::string OutBuf; ///< frames not yet written to the request pipe
+    FrameReader Reader;
+    std::deque<PendingReply> Fifo;
+  };
+
+  /// One in-progress {"control":"stats"} aggregation.
+  struct StatsCollect {
+    uint64_t Token = 0;
+    uint64_t ConnId = 0;
+    size_t Remaining = 0;
+    /// (slot, rendered worker snapshot), in reply order.
+    std::vector<std::pair<size_t, std::string>> Replies;
+  };
+
+  void handleListen();
+  void handleConnReadable(Conn &C);
+  void handleConnWritable(Conn &C);
+  void processLine(Conn &C, const std::string &Line);
+  void handleControl(Conn &C, const std::string &Verb);
+  void handleWorkerReadable(size_t Slot);
+  void handleWorkerFrame(size_t Slot, Frame &F);
+  /// EOF/error on a worker's response pipe: collect the child, answer
+  /// its in-flight requests with worker-lost, respawn the slot.
+  void markWorkerDead(size_t Slot);
+  void flushWorkerOut(size_t Slot);
+
+  void admitRequest(Conn &C, const std::string &Line,
+                    const RequestSourceRef &Ref, const std::string &ReqId);
+  void rejectRequest(Conn &C, const std::string &ReqId, OutcomeStatus Status,
+                     const char *Reason, std::string Why);
+  void sendLine(Conn &C, const std::string &Line);
+  void finishCollect(StatsCollect &SC);
+  std::string renderFleetStats(const StatsCollect &SC) const;
+  std::string renderFleetHealth() const;
+  Conn *findConn(uint64_t Id);
+  void closeConn(Conn &C);
+  uint64_t uptimeUs() const;
+
+  FleetOptions Opts;
+  ServiceEventLog *Log = nullptr;
+  Counters Stats;
+  HashRing Ring;
+  WorkerPool Pool;
+  std::vector<WorkerState> WorkerIo;
+  std::list<Conn> Conns; ///< stable references across accept/close
+  std::vector<StatsCollect> Collects;
+  int ListenFd = -1;
+  int WakeRead = -1;  ///< self-pipe read end, in the poll set
+  int WakeWrite = -1; ///< written by stop() (async-signal-safe)
+  uint16_t BoundPort = 0;
+  uint64_t NextConnId = 1;
+  uint64_t NextCollectToken = 1;
+  bool Stopping = false;
+  std::chrono::steady_clock::time_point Epoch;
+};
+
+} // namespace lc
+
+#endif // LC_FLEET_FLEETSERVER_H

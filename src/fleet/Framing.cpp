@@ -1,0 +1,115 @@
+//===-- Framing.cpp -------------------------------------------------------===//
+
+#include "fleet/Framing.h"
+
+#include <cerrno>
+#include <cstring>
+#include <unistd.h>
+
+using namespace lc;
+
+namespace {
+
+bool validType(uint8_t T) {
+  return T >= uint8_t(FrameType::Request) && T <= uint8_t(FrameType::StatsReply);
+}
+
+/// Reads exactly N bytes. Returns 1 on success, 0 on EOF before the
+/// first byte, -1 on mid-read EOF or error.
+int readFull(int Fd, char *Out, size_t N) {
+  size_t Got = 0;
+  while (Got < N) {
+    ssize_t R = ::read(Fd, Out + Got, N - Got);
+    if (R > 0) {
+      Got += static_cast<size_t>(R);
+      continue;
+    }
+    if (R == 0)
+      return Got == 0 ? 0 : -1;
+    if (errno == EINTR)
+      continue;
+    return -1;
+  }
+  return 1;
+}
+
+} // namespace
+
+void lc::appendFrame(std::string &Out, FrameType Type,
+                     std::string_view Payload) {
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  char Hdr[5];
+  Hdr[0] = static_cast<char>(Type);
+  Hdr[1] = static_cast<char>(Len & 0xff);
+  Hdr[2] = static_cast<char>((Len >> 8) & 0xff);
+  Hdr[3] = static_cast<char>((Len >> 16) & 0xff);
+  Hdr[4] = static_cast<char>((Len >> 24) & 0xff);
+  Out.append(Hdr, 5);
+  Out.append(Payload.data(), Payload.size());
+}
+
+bool lc::writeFrame(int Fd, FrameType Type, std::string_view Payload) {
+  std::string Buf;
+  Buf.reserve(Payload.size() + 5);
+  appendFrame(Buf, Type, Payload);
+  size_t Sent = 0;
+  while (Sent < Buf.size()) {
+    ssize_t W = ::write(Fd, Buf.data() + Sent, Buf.size() - Sent);
+    if (W > 0) {
+      Sent += static_cast<size_t>(W);
+      continue;
+    }
+    if (W < 0 && (errno == EINTR || errno == EAGAIN))
+      continue;
+    return false;
+  }
+  return true;
+}
+
+int lc::readFrameBlocking(int Fd, Frame &F) {
+  char Hdr[5];
+  int RC = readFull(Fd, Hdr, 5);
+  if (RC <= 0)
+    return RC;
+  uint8_t T = static_cast<uint8_t>(Hdr[0]);
+  uint32_t Len = static_cast<uint8_t>(Hdr[1]) |
+                 (static_cast<uint32_t>(static_cast<uint8_t>(Hdr[2])) << 8) |
+                 (static_cast<uint32_t>(static_cast<uint8_t>(Hdr[3])) << 16) |
+                 (static_cast<uint32_t>(static_cast<uint8_t>(Hdr[4])) << 24);
+  if (!validType(T) || Len > kMaxFramePayload)
+    return -1;
+  F.Type = static_cast<FrameType>(T);
+  F.Payload.assign(Len, '\0');
+  if (Len && readFull(Fd, F.Payload.data(), Len) != 1)
+    return -1;
+  return 1;
+}
+
+bool FrameReader::pop(Frame &F) {
+  if (Bad)
+    return false;
+  if (Buf.size() - Off < 5)
+    return false;
+  const char *P = Buf.data() + Off;
+  uint8_t T = static_cast<uint8_t>(P[0]);
+  uint32_t Len = static_cast<uint8_t>(P[1]) |
+                 (static_cast<uint32_t>(static_cast<uint8_t>(P[2])) << 8) |
+                 (static_cast<uint32_t>(static_cast<uint8_t>(P[3])) << 16) |
+                 (static_cast<uint32_t>(static_cast<uint8_t>(P[4])) << 24);
+  if (!validType(T) || Len > kMaxFramePayload) {
+    Bad = true;
+    return false;
+  }
+  if (Buf.size() - Off - 5 < Len)
+    return false; // torn frame: wait for more bytes
+  F.Type = static_cast<FrameType>(T);
+  F.Payload.assign(Buf, Off + 5, Len);
+  Off += 5 + size_t(Len);
+  // Compact once the consumed prefix dominates, so the buffer does not
+  // grow without bound across a long-lived pipe.
+  if (Off > 4096 && Off * 2 >= Buf.size()) {
+    Buf.erase(0, Off);
+    Off = 0;
+  }
+  return true;
+}

@@ -1,0 +1,96 @@
+//===-- Framing.h - Length-framed pipe protocol ----------------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The front-end <-> worker pipe protocol: each message is one frame of
+///
+///   [1 byte type][4 bytes payload length, little-endian][payload]
+///
+/// Four frame types exist. Request carries one raw JSONL request line
+/// (forwarded verbatim, so the worker parses exactly the bytes the
+/// client sent); Outcome carries one rendered outcome line back.
+/// StatsQuery (empty payload) asks a worker for its live
+/// ServiceSnapshot; StatsReply carries the rendered snapshot JSON. A
+/// worker answers frames strictly in order, which is the correlation
+/// contract: the front end keeps a FIFO of what it sent each worker and
+/// pairs replies positionally.
+///
+/// Two consumption styles match the two sides: workers block on their
+/// request pipe (readFrameBlocking), the poll-driven front end feeds
+/// whatever bytes arrived into an incremental FrameReader and pops
+/// complete frames -- torn frames are the normal case there, not an
+/// error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_FLEET_FRAMING_H
+#define LC_FLEET_FRAMING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lc {
+
+enum class FrameType : uint8_t {
+  Request = 1,    ///< one raw request line, front end -> worker
+  Outcome = 2,    ///< one rendered outcome line, worker -> front end
+  StatsQuery = 3, ///< snapshot request, empty payload
+  StatsReply = 4, ///< rendered ServiceSnapshot JSON
+};
+
+/// Hard cap on one frame's payload. Far above any real outcome line; a
+/// length past it means a corrupt stream, not a big request.
+inline constexpr size_t kMaxFramePayload = 64u << 20;
+
+struct Frame {
+  FrameType Type = FrameType::Request;
+  std::string Payload;
+};
+
+/// Writes one complete frame to \p Fd, retrying on EINTR and short
+/// writes (the fd may be blocking or not; on EAGAIN it spins via
+/// poll-free retry, so only workers -- whose pipe fds stay blocking --
+/// should use it). Returns false on a write error (EPIPE when the peer
+/// died).
+bool writeFrame(int Fd, FrameType Type, std::string_view Payload);
+
+/// Serializes a frame header+payload into \p Out (the front end appends
+/// to a per-worker buffer and drains it under POLLOUT).
+void appendFrame(std::string &Out, FrameType Type, std::string_view Payload);
+
+/// Blocking read of one complete frame. Returns 1 on a frame, 0 on
+/// clean EOF at a frame boundary, -1 on error (mid-frame EOF, bad type,
+/// oversized length, read failure).
+int readFrameBlocking(int Fd, Frame &F);
+
+/// Incremental decoder for the poll-driven side: feed() whatever bytes
+/// arrived, pop() complete frames until it returns false. A protocol
+/// violation (unknown type byte, oversized length) poisons the reader;
+/// the caller treats the worker as lost.
+class FrameReader {
+public:
+  void feed(const char *Data, size_t N) { Buf.append(Data, N); }
+
+  /// Pops the next complete frame into \p F. Returns false when no
+  /// complete frame is buffered (or the stream is poisoned -- check
+  /// bad()).
+  bool pop(Frame &F);
+
+  bool bad() const { return Bad; }
+  /// Bytes buffered but not yet popped (zero at a frame boundary).
+  size_t pendingBytes() const { return Buf.size() - Off; }
+
+private:
+  std::string Buf;
+  size_t Off = 0; ///< consumed prefix; compacted periodically
+  bool Bad = false;
+};
+
+} // namespace lc
+
+#endif // LC_FLEET_FRAMING_H

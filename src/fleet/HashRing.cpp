@@ -1,0 +1,45 @@
+//===-- HashRing.cpp ------------------------------------------------------===//
+
+#include "fleet/HashRing.h"
+
+#include <algorithm>
+
+using namespace lc;
+
+uint64_t lc::fleetHash(std::string_view Bytes) {
+  uint64_t H = 1469598103934665603ull;
+  for (char C : Bytes) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+uint64_t lc::fleetRouteKey(const RequestSourceRef &Ref) {
+  if (!Ref.Subject.empty())
+    return fleetHash("subject:" + Ref.Subject);
+  if (!Ref.File.empty())
+    return fleetHash("file:" + Ref.File);
+  return fleetHash("source:" + Ref.Source);
+}
+
+HashRing::HashRing(size_t Slots, unsigned VirtualNodes) : SlotCount(Slots) {
+  Points.reserve(Slots * VirtualNodes);
+  for (size_t S = 0; S < Slots; ++S)
+    for (unsigned V = 0; V < VirtualNodes; ++V) {
+      std::string P = "slot:" + std::to_string(S) + ":" + std::to_string(V);
+      Points.emplace_back(fleetHash(P), static_cast<uint32_t>(S));
+    }
+  std::sort(Points.begin(), Points.end());
+}
+
+size_t HashRing::route(uint64_t Key) const {
+  auto It = std::lower_bound(
+      Points.begin(), Points.end(), Key,
+      [](const std::pair<uint64_t, uint32_t> &P, uint64_t K) {
+        return P.first < K;
+      });
+  if (It == Points.end())
+    It = Points.begin(); // wrap around the circle
+  return It->second;
+}

@@ -1,0 +1,67 @@
+//===-- HashRing.h - Consistent-hash request routing -----------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Routing for the analysis fleet: each request is hashed by the
+/// *program it names* and routed over a consistent-hash ring to one of N
+/// worker slots, so every request for the same program lands on the same
+/// worker -- that worker's session cache stays warm for it, and
+/// incremental patches keep applying across a scaled-out deployment.
+///
+/// The ring hashes (slot, virtual-node) pairs onto a 64-bit circle with
+/// many virtual nodes per slot; a key routes to the first point at or
+/// after it (wrapping). Slots are *positions*, not processes: when a
+/// worker crashes and is respawned it reoccupies its slot, so the
+/// routing function never changes over a fleet's lifetime -- only cache
+/// warmth is lost, and only on the slot that died.
+///
+/// The route key deliberately covers the request's unresolved program
+/// reference (subject name, file path, or inline source text): the front
+/// end never reads files or resolves subjects, workers do.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_FLEET_HASHRING_H
+#define LC_FLEET_HASHRING_H
+
+#include "service/ServiceJson.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace lc {
+
+/// FNV-1a over a byte string; the same mixing the service layer uses for
+/// session keys, so routing and caching agree on what "same program"
+/// means.
+uint64_t fleetHash(std::string_view Bytes);
+
+/// The 64-bit route key of one request: a hash of its program reference,
+/// domain-tagged so a subject named "X" and a file named "X" never
+/// collide by construction.
+uint64_t fleetRouteKey(const RequestSourceRef &Ref);
+
+class HashRing {
+public:
+  /// Builds a ring over \p Slots worker slots with \p VirtualNodes ring
+  /// points per slot (more points = smoother key distribution).
+  explicit HashRing(size_t Slots, unsigned VirtualNodes = 64);
+
+  size_t slots() const { return SlotCount; }
+
+  /// The slot \p Key routes to. Total function: every key routes.
+  size_t route(uint64_t Key) const;
+
+private:
+  size_t SlotCount;
+  /// (point hash, slot) sorted by hash; route is a binary search.
+  std::vector<std::pair<uint64_t, uint32_t>> Points;
+};
+
+} // namespace lc
+
+#endif // LC_FLEET_HASHRING_H

@@ -1,0 +1,65 @@
+//===-- Resolve.cpp -------------------------------------------------------===//
+
+#include "fleet/Resolve.h"
+
+#include "subjects/Subjects.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace lc;
+
+namespace {
+
+/// Looks a subject up without subjects::byName's abort-on-unknown.
+const subjects::Subject *findSubject(const std::string &Name) {
+  for (const subjects::Subject &S : subjects::all())
+    if (S.Name == Name)
+      return &S;
+  return nullptr;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  Out = Buf.str();
+  return true;
+}
+
+} // namespace
+
+bool lc::resolveRequestSource(const RequestSourceRef &Ref, AnalysisRequest &R,
+                              std::string &Error) {
+  if (!Ref.Subject.empty()) {
+    const subjects::Subject *S = findSubject(Ref.Subject);
+    if (!S) {
+      Error = "unknown subject \"" + Ref.Subject + "\" (see --list-subjects)";
+      return false;
+    }
+    R.Source = S->Source;
+    R.ProgramName = S->Name;
+    if (R.Loops.Labels.empty() && !R.Loops.AllLabeled)
+      R.Loops = LoopSet::of({S->LoopLabel});
+    if (S->Options.ModelThreads && !R.Options.leakOptions().ModelThreads) {
+      LeakOptions L = R.Options.leakOptions();
+      L.ModelThreads = true;
+      // fromLegacy of an already-validated configuration cannot fail.
+      R.Options = SessionOptionsBuilder().fromLegacy(L).build().value();
+    }
+    return true;
+  }
+  if (!Ref.File.empty()) {
+    if (!readFile(Ref.File, R.Source)) {
+      Error = "cannot open \"" + Ref.File + "\"";
+      return false;
+    }
+    R.ProgramName = Ref.File;
+    return true;
+  }
+  R.Source = Ref.Source;
+  R.ProgramName = "<inline>";
+  return true;
+}

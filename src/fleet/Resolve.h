@@ -1,0 +1,39 @@
+//===-- Resolve.h - Wire request -> engine request resolution --*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Resolving a parsed request's program reference (bundled subject name,
+/// file path, or inline source) into `AnalysisRequest::Source` /
+/// `ProgramName`. This is the one place wire-side program naming touches
+/// the filesystem and the subject table; the service layer itself only
+/// ever sees inline source. It used to live in the CLI driver -- fleet
+/// workers run the same resolution, so it moved here where the CLI, the
+/// worker loop, and tests share one definition (and one behavior for
+/// subject defaults: a subject's thread-modeling default is OR-ed into
+/// the request options, exactly like single-shot --subject).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_FLEET_RESOLVE_H
+#define LC_FLEET_RESOLVE_H
+
+#include "service/ServiceJson.h"
+
+#include <string>
+
+namespace lc {
+
+/// Fills \p R.Source / \p R.ProgramName from \p Ref. For a subject
+/// reference, defaults the loop set to the subject's evaluation loop
+/// when the request named none, and ORs the subject's thread-modeling
+/// default into the options. Returns false with \p Error set on an
+/// unknown subject or unreadable file.
+bool resolveRequestSource(const RequestSourceRef &Ref, AnalysisRequest &R,
+                          std::string &Error);
+
+} // namespace lc
+
+#endif // LC_FLEET_RESOLVE_H

@@ -1,0 +1,74 @@
+//===-- Worker.cpp --------------------------------------------------------===//
+
+#include "fleet/Worker.h"
+
+#include "fleet/Framing.h"
+#include "fleet/Resolve.h"
+#include "service/AnalysisService.h"
+#include "service/ServiceJson.h"
+#include "service/Snapshot.h"
+#include "support/Json.h"
+
+using namespace lc;
+
+namespace {
+
+AnalysisOutcome invalidRequest(std::string Id, std::string Why) {
+  AnalysisOutcome O;
+  O.Id = std::move(Id);
+  O.Status = OutcomeStatus::InvalidRequest;
+  O.Diagnostics = std::move(Why);
+  O.SubstrateBuilt = false;
+  return O;
+}
+
+/// One request line -> one outcome. The front end already screened the
+/// envelope and the request shape, so failures here are either races it
+/// cannot see (a file deleted between screening and resolution) or
+/// defense in depth; both degrade to typed outcomes, never a dead
+/// worker.
+AnalysisOutcome serveLine(AnalysisService &Svc, const std::string &Line) {
+  json::Value Doc;
+  std::string Error;
+  if (!json::parse(Line, Doc, Error))
+    return invalidRequest("", Error);
+  AnalysisRequest R;
+  RequestSourceRef Ref;
+  if (!parseAnalysisRequest(Doc, R, Ref, Error) ||
+      !resolveRequestSource(Ref, R, Error))
+    return invalidRequest(R.Id, Error);
+  return Svc.run(R);
+}
+
+} // namespace
+
+int lc::fleetWorkerMain(int InFd, int OutFd, const WorkerConfig &Config) {
+  ServiceOptions SO;
+  SO.MemoryBudgetBytes = Config.MemoryBudgetBytes;
+  SO.MaxSessions = Config.MaxSessions;
+  SO.Attribution = Config.Attribution;
+  AnalysisService Svc(SO);
+
+  Frame F;
+  int RC;
+  while ((RC = readFrameBlocking(InFd, F)) == 1) {
+    switch (F.Type) {
+    case FrameType::Request: {
+      AnalysisOutcome O = serveLine(Svc, F.Payload);
+      if (!writeFrame(OutFd, FrameType::Outcome, renderOutcomeJson(O)))
+        return 1; // front end gone; nothing left to serve
+      break;
+    }
+    case FrameType::StatsQuery: {
+      ServiceSnapshot Snap = Svc.snapshot();
+      if (!writeFrame(OutFd, FrameType::StatsReply, renderSnapshotJson(Snap)))
+        return 1;
+      break;
+    }
+    case FrameType::Outcome:
+    case FrameType::StatsReply:
+      return 1; // reply frames never flow toward a worker
+    }
+  }
+  return RC == 0 ? 0 : 1;
+}

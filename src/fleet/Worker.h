@@ -1,0 +1,49 @@
+//===-- Worker.h - Fleet worker process loop -------------------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The body of one fleet worker process: a blocking frame loop over the
+/// two pipes the front end gave it, wrapping one ordinary
+/// `AnalysisService` -- the service is reused *unchanged*; the worker is
+/// nothing but the framing glue around it. Each Request frame carries
+/// one raw JSONL request line; the worker parses it with the same strict
+/// v2 parser the front end validated it with, resolves the program
+/// reference, runs the service, and answers one Outcome frame holding
+/// the rendered outcome line. StatsQuery frames answer the worker's live
+/// ServiceSnapshot. Frames are answered strictly in order, which is the
+/// front end's correlation contract.
+///
+/// The loop exits cleanly on EOF of the request pipe (the front end
+/// closing it is the shutdown signal) and with an error on any protocol
+/// violation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_FLEET_WORKER_H
+#define LC_FLEET_WORKER_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lc {
+
+/// Per-worker service sizing, decided by the front end. The fleet splits
+/// the deployment's memory budget evenly across workers so N workers
+/// together respect the same bound one process would.
+struct WorkerConfig {
+  uint64_t MemoryBudgetBytes = 512ull << 20;
+  size_t MaxSessions = 8;
+  bool Attribution = true;
+};
+
+/// Runs the worker loop until EOF on \p InFd. Returns the process exit
+/// code (0 clean shutdown, 1 protocol error). The caller -- a freshly
+/// forked child -- must _exit() with it rather than return through main.
+int fleetWorkerMain(int InFd, int OutFd, const WorkerConfig &Config);
+
+} // namespace lc
+
+#endif // LC_FLEET_WORKER_H

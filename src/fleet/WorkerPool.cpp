@@ -1,0 +1,137 @@
+//===-- WorkerPool.cpp ----------------------------------------------------===//
+
+#include "fleet/WorkerPool.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace lc;
+
+namespace {
+
+void closeFd(int &Fd) {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+/// Closes every descriptor the child inherited except its two pipe ends
+/// and the standard streams. This is what makes pipe EOF a reliable
+/// shutdown signal: no sibling worker may keep a request pipe's write
+/// end alive.
+void closeInheritedFds(int KeepA, int KeepB) {
+  rlimit RL{};
+  int Max = 1024;
+  if (::getrlimit(RLIMIT_NOFILE, &RL) == 0 && RL.rlim_cur != RLIM_INFINITY)
+    Max = static_cast<int>(RL.rlim_cur);
+  if (Max > 65536)
+    Max = 65536;
+  for (int Fd = 3; Fd < Max; ++Fd)
+    if (Fd != KeepA && Fd != KeepB)
+      ::close(Fd);
+}
+
+} // namespace
+
+bool WorkerPool::spawnInto(Slot &S, std::string &Error) {
+  int Req[2], Resp[2]; // [0] read end, [1] write end
+  if (::pipe(Req) != 0) {
+    Error = "pipe failed: ";
+    Error += std::strerror(errno);
+    return false;
+  }
+  if (::pipe(Resp) != 0) {
+    Error = "pipe failed: ";
+    Error += std::strerror(errno);
+    ::close(Req[0]);
+    ::close(Req[1]);
+    return false;
+  }
+  pid_t Pid = ::fork();
+  if (Pid < 0) {
+    Error = "fork failed: ";
+    Error += std::strerror(errno);
+    ::close(Req[0]);
+    ::close(Req[1]);
+    ::close(Resp[0]);
+    ::close(Resp[1]);
+    return false;
+  }
+  if (Pid == 0) {
+    // Child: keep only this worker's pipe ends, restore default signal
+    // dispositions (the front end's handlers write to a self-pipe the
+    // child just closed), run the loop, and _exit without unwinding the
+    // inherited process state.
+    ::signal(SIGTERM, SIG_DFL);
+    ::signal(SIGINT, SIG_DFL);
+    ::signal(SIGPIPE, SIG_IGN);
+    closeInheritedFds(Req[0], Resp[1]);
+    int RC = fleetWorkerMain(Req[0], Resp[1], Config);
+    ::_exit(RC);
+  }
+  ::close(Req[0]);
+  ::close(Resp[1]);
+  S.Pid = Pid;
+  S.ReqFd = Req[1];
+  S.RespFd = Resp[0];
+  S.Alive = true;
+  S.Spawns++;
+  return true;
+}
+
+bool WorkerPool::start(size_t N, const WorkerConfig &C, std::string &Error) {
+  Config = C;
+  Slots.assign(N, Slot());
+  for (size_t I = 0; I < N; ++I)
+    if (!spawnInto(Slots[I], Error)) {
+      shutdown();
+      return false;
+    }
+  return true;
+}
+
+bool WorkerPool::respawn(size_t I, std::string &Error) {
+  Slot &S = Slots[I];
+  closeFd(S.ReqFd);
+  closeFd(S.RespFd);
+  S.Alive = false;
+  return spawnInto(S, Error);
+}
+
+void WorkerPool::collect(size_t I) {
+  Slot &S = Slots[I];
+  if (!S.Alive)
+    return;
+  S.Alive = false;
+  closeFd(S.ReqFd);
+  closeFd(S.RespFd);
+  if (S.Pid > 0) {
+    int Status = 0;
+    while (::waitpid(S.Pid, &Status, 0) < 0 && errno == EINTR) {
+    }
+    S.Pid = -1;
+  }
+}
+
+void WorkerPool::shutdown() {
+  // Close every request pipe first so all workers see EOF and drain in
+  // parallel, then collect them.
+  for (Slot &S : Slots)
+    closeFd(S.ReqFd);
+  for (Slot &S : Slots) {
+    if (S.Pid > 0) {
+      int Status = 0;
+      while (::waitpid(S.Pid, &Status, 0) < 0 && errno == EINTR) {
+      }
+      S.Pid = -1;
+    }
+    S.Alive = false;
+    closeFd(S.RespFd);
+  }
+}

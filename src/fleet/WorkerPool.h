@@ -1,0 +1,83 @@
+//===-- WorkerPool.h - Worker process supervision --------------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Spawning and supervising the fleet's worker processes. Each slot owns
+/// one forked child running `fleetWorkerMain` over a pair of pipes; the
+/// pool can reap exited children without blocking and respawn a slot in
+/// place -- the slot index is what the consistent-hash ring routes to,
+/// so a respawned worker inherits its predecessor's routing (and
+/// rebuilds its cache warmth on demand).
+///
+/// Workers are forked, not exec'd: the binary already contains the whole
+/// engine, and the front end forks either before it serves traffic or
+/// from its single-threaded poll loop, which keeps fork safe. Each child
+/// closes every inherited descriptor except its own two pipe ends --
+/// crucially including the *other* workers' request-pipe write ends,
+/// otherwise closing a pipe at shutdown would not deliver EOF.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_FLEET_WORKERPOOL_H
+#define LC_FLEET_WORKERPOOL_H
+
+#include "fleet/Worker.h"
+
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+namespace lc {
+
+class WorkerPool {
+public:
+  struct Slot {
+    pid_t Pid = -1;
+    int ReqFd = -1;  ///< front end writes Request/StatsQuery frames here
+    int RespFd = -1; ///< front end reads Outcome/StatsReply frames here
+    bool Alive = false;
+    uint64_t Spawns = 0; ///< times this slot has been (re)spawned
+  };
+
+  WorkerPool() = default;
+  ~WorkerPool() { shutdown(); }
+
+  WorkerPool(const WorkerPool &) = delete;
+  WorkerPool &operator=(const WorkerPool &) = delete;
+
+  /// Forks \p N workers with \p Config each. Returns false (with
+  /// \p Error) if any fork or pipe fails; already-spawned workers are
+  /// torn down again.
+  bool start(size_t N, const WorkerConfig &Config, std::string &Error);
+
+  /// Re-forks slot \p I (which must not be alive). The new child serves
+  /// the same ring position with a cold cache.
+  bool respawn(size_t I, std::string &Error);
+
+  /// Declares slot \p I's child dead -- the supervisor saw EOF on its
+  /// response pipe, so the process has exited. Collects the zombie
+  /// (blocking, but the child is already gone) and closes the slot's
+  /// pipes.
+  void collect(size_t I);
+
+  /// Closes all request pipes (EOF = worker shutdown signal) and waits
+  /// for every child. Idempotent.
+  void shutdown();
+
+  size_t size() const { return Slots.size(); }
+  Slot &slot(size_t I) { return Slots[I]; }
+  const Slot &slot(size_t I) const { return Slots[I]; }
+
+private:
+  bool spawnInto(Slot &S, std::string &Error);
+
+  std::vector<Slot> Slots;
+  WorkerConfig Config;
+};
+
+} // namespace lc
+
+#endif // LC_FLEET_WORKERPOOL_H

@@ -368,7 +368,7 @@ ServiceSnapshot AnalysisService::snapshot() const {
   S.UptimeUs = usBetween(Epoch, std::chrono::steady_clock::now());
   S.Requests = RequestSeq;
   S.QueueDepth = QueueDepth;
-  for (size_t I = 0; I < 6; ++I)
+  for (size_t I = 0; I < kOutcomeStatusCount; ++I)
     S.StatusCounts[I] = StatusCounts[I];
   for (size_t I = 0; I < 3; ++I) {
     ServiceSnapshot::OriginLatency &L = S.ByOrigin[I];

@@ -188,7 +188,7 @@ private:
   TimingHistogram OriginLatency[3];
   uint64_t OriginCounts[3] = {};
   /// Outcome counts indexed by OutcomeStatus.
-  uint64_t StatusCounts[6] = {};
+  uint64_t StatusCounts[kOutcomeStatusCount] = {};
   uint64_t SessionInserts = 0; ///< insertSession calls (builds + patches)
 };
 

@@ -18,6 +18,12 @@ const char *lc::outcomeStatusName(OutcomeStatus S) {
     return "compile-error";
   case OutcomeStatus::InvalidRequest:
     return "invalid-request";
+  case OutcomeStatus::Overloaded:
+    return "overloaded";
+  case OutcomeStatus::WorkerLost:
+    return "worker-lost";
+  case OutcomeStatus::UnsupportedVersion:
+    return "unsupported-version";
   }
   return "ok";
 }

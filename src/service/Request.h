@@ -82,7 +82,15 @@ enum class OutcomeStatus : uint8_t {
   LoopNotFound,    ///< a requested label does not exist (KnownLabels set)
   CompileError,    ///< the program failed to compile (Diagnostics set)
   InvalidRequest,  ///< the request itself is malformed (Diagnostics set)
+  // Fleet-path degradations (src/fleet). The front end mints these; a
+  // single-process --serve never produces them.
+  Overloaded,         ///< admission control rejected: in-flight queue full
+  WorkerLost,         ///< the routed worker died mid-request (it respawns)
+  UnsupportedVersion, ///< wire envelope version not accepted on this path
 };
+
+/// Number of OutcomeStatus values; sizes by-status counter arrays.
+inline constexpr size_t kOutcomeStatusCount = 9;
 
 /// Names an outcome status for logs and JSON ("ok", "deadline-expired"...).
 const char *outcomeStatusName(OutcomeStatus S);

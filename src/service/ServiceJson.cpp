@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
 
 using namespace lc;
 using lc::json::Value;
@@ -164,6 +165,47 @@ std::string joinErrors(const std::vector<std::string> &Errors) {
 
 } // namespace
 
+int lc::wireVersionOf(const Value &V, std::string &Error) {
+  Error.clear();
+  if (!V.isObject()) {
+    Error = "request must be a JSON object";
+    return 0;
+  }
+  const Value *Ver = V.get("v");
+  if (!Ver)
+    return 1; // legacy envelope: no version key
+  uint64_t N = 0;
+  if (!asCount(*Ver, N) || N == 0) {
+    Error = "\"v\" must be a positive integer wire version";
+    return 0;
+  }
+  return static_cast<int>(N);
+}
+
+bool lc::readLineBounded(std::istream &In, std::string &Line, size_t MaxBytes,
+                         bool &TooLong) {
+  Line.clear();
+  TooLong = false;
+  bool Any = false;
+  int C;
+  while ((C = In.get()) != std::char_traits<char>::eof()) {
+    Any = true;
+    if (C == '\n')
+      return true;
+    if (Line.size() >= MaxBytes) {
+      // Past the cap: stop accumulating, drain through the newline so the
+      // next read starts on a fresh line.
+      TooLong = true;
+      while ((C = In.get()) != std::char_traits<char>::eof())
+        if (C == '\n')
+          break;
+      return true;
+    }
+    Line.push_back(static_cast<char>(C));
+  }
+  return Any;
+}
+
 bool lc::parseAnalysisRequest(const Value &V, AnalysisRequest &R,
                               RequestSourceRef &Ref, std::string &Error) {
   if (!V.isObject()) {
@@ -182,7 +224,14 @@ bool lc::parseAnalysisRequest(const Value &V, AnalysisRequest &R,
   for (const auto &[Key, Val] : V.members()) {
     if (!checkDuplicate(Seen, Key, "request", Error))
       return false;
-    if (Key == "id") {
+    if (Key == "v") {
+      uint64_t Ver = 0;
+      if (!asCount(Val, Ver) || Ver != uint64_t(kWireVersion)) {
+        Error = "\"v\" must be the wire version " +
+                std::to_string(kWireVersion);
+        return false;
+      }
+    } else if (Key == "id") {
       if (!Val.isString()) {
         Error = "\"id\" must be a string";
         return false;
@@ -314,8 +363,12 @@ bool lc::parseRequestBatch(const Value &V, std::vector<AnalysisRequest> &Rs,
 }
 
 std::string lc::renderOutcomeJson(const AnalysisOutcome &O) {
+  // The envelope version leads every outcome line; all later keys keep
+  // their relative order, so substring greps over stable key runs
+  // ("id" through "substrate_origin") still match.
   std::string J = "{";
-  J += "\"id\":" + json::quote(O.Id);
+  J += "\"v\":" + std::to_string(kWireVersion);
+  J += ",\"id\":" + json::quote(O.Id);
   J += ",\"status\":" + json::quote(outcomeStatusName(O.Status));
   J += ",\"substrate_built\":";
   J += O.SubstrateBuilt ? "true" : "false";

@@ -34,9 +34,41 @@
 #include "service/Request.h"
 #include "support/Json.h"
 
+#include <iosfwd>
 #include <string>
 
 namespace lc {
+
+/// Version of the wire envelope. Every outcome line the tool writes
+/// carries `"v":2` as its first key; request lines carry `"v":2` too.
+/// Lines without a "v" key are the legacy v1 envelope: `--serve` and
+/// `--batch` still accept them for one release (emitting a
+/// `wire-v1-deprecated` event when an event log is attached), the fleet
+/// path rejects them with a typed `unsupported-version` outcome.
+inline constexpr int kWireVersion = 2;
+
+/// Default cap on the length of one wire line (requests and control
+/// verbs). Lines past the cap are answered with an InvalidRequest
+/// outcome instead of buffering without bound; `--max-line-bytes`
+/// overrides it.
+inline constexpr size_t kDefaultMaxLineBytes = 1u << 20;
+
+/// Classifies the envelope of a parsed wire line. Returns kWireVersion
+/// for a line carrying `"v":2`, 1 for a legacy line with no "v" key, and
+/// any other integer the line declared verbatim. Returns 0 and sets
+/// \p Error when the "v" value is not a JSON integer (or \p V is not an
+/// object). Callers decide policy: --serve accepts 1 with a deprecation
+/// event, the fleet front end rejects everything but kWireVersion.
+int wireVersionOf(const json::Value &V, std::string &Error);
+
+/// Reads one newline-terminated line from \p In, enforcing \p MaxBytes.
+/// Returns false only at end of stream with nothing read. When a line
+/// exceeds the cap, \p TooLong is set, the remainder of the line is
+/// discarded (through its newline, so the stream is resynchronized), and
+/// \p Line holds only the truncated prefix -- the caller answers with an
+/// InvalidRequest outcome instead of parsing.
+bool readLineBounded(std::istream &In, std::string &Line, size_t MaxBytes,
+                     bool &TooLong);
 
 /// How a request JSON named its program; exactly one field is non-empty
 /// after a successful parse. The caller resolves Subject/File to source
@@ -50,7 +82,9 @@ struct RequestSourceRef {
 
 /// Parses one request object. On failure returns false and fills
 /// \p Error; the caller typically turns that into an InvalidRequest
-/// outcome rather than aborting the whole batch.
+/// outcome rather than aborting the whole batch. An optional `"v"` key
+/// is accepted and must equal kWireVersion -- callers that tolerate or
+/// reject other versions classify with wireVersionOf() first.
 bool parseAnalysisRequest(const json::Value &V, AnalysisRequest &R,
                           RequestSourceRef &Ref, std::string &Error);
 

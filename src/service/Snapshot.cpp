@@ -29,7 +29,7 @@ std::string lc::renderSnapshotJson(const ServiceSnapshot &S) {
   J += ",\"queue_depth\":" + std::to_string(S.QueueDepth);
 
   J += ",\"by_status\":{";
-  for (int I = 0; I < 6; ++I) {
+  for (size_t I = 0; I < kOutcomeStatusCount; ++I) {
     if (I)
       J += ",";
     J += json::quote(outcomeStatusName(static_cast<OutcomeStatus>(I)));

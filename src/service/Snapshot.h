@@ -26,6 +26,8 @@
 #ifndef LC_SERVICE_SNAPSHOT_H
 #define LC_SERVICE_SNAPSHOT_H
 
+#include "service/Request.h"
+
 #include <cstdint>
 #include <string>
 
@@ -52,8 +54,8 @@ struct ServiceSnapshot {
   uint64_t Requests = 0;   ///< requests ever entered run()
   uint64_t QueueDepth = 0; ///< batch requests admitted but not yet run
 
-  /// Outcome counts indexed by OutcomeStatus (Ok..InvalidRequest).
-  uint64_t StatusCounts[6] = {};
+  /// Outcome counts indexed by OutcomeStatus (Ok..UnsupportedVersion).
+  uint64_t StatusCounts[kOutcomeStatusCount] = {};
   /// Latency indexed by SubstrateOrigin (Built, ReusedWarm,
   /// ReusedIncremental). Only requests that actually analyzed (not
   /// compile-error / invalid-request rejections) are recorded.

@@ -1,0 +1,111 @@
+//===-- RunApi.h - test shims over LeakChecker::run ------------*- C++ -*-===//
+//
+// Part of the LeakChecker reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin helpers the tests use to run a single loop (or every labeled
+/// loop) through the one public entry point, `LeakChecker::run`. They
+/// replace the removed `check`/`checkWith`/`checkAllLabeled` wrappers:
+/// tests mostly want "one result for this label, with these options",
+/// and spelling the full AnalysisRequest at every call site would bury
+/// what each test is about. Unlike the old wrappers these surface
+/// degradations: an unexpected non-Ok status fails the calling test via
+/// ADD_FAILURE rather than silently returning an empty result.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LC_TESTS_COMMON_RUNAPI_H
+#define LC_TESTS_COMMON_RUNAPI_H
+
+#include "core/LeakChecker.h"
+#include "service/Request.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lc::test {
+
+/// Runs one labeled loop under explicit legacy options. The options are
+/// validated through SessionOptionsBuilder::fromLegacy; tests only pass
+/// combinations that validate, so a build() failure is a test bug and
+/// fails loudly.
+inline LeakAnalysisResult runLoop(const LeakChecker &LC,
+                                  std::string_view Label,
+                                  const LeakOptions &Opts) {
+  AnalysisRequest R;
+  R.Loops = LoopSet::of({std::string(Label)});
+  std::optional<SessionOptions> SO =
+      SessionOptionsBuilder().fromLegacy(Opts).build();
+  if (!SO) {
+    ADD_FAILURE() << "runLoop: options failed validation";
+    return {};
+  }
+  R.Options = *SO;
+  AnalysisOutcome O = LC.run(R);
+  if (O.Results.size() != 1) {
+    ADD_FAILURE() << "runLoop(\"" << std::string(Label)
+                  << "\"): " << outcomeStatusName(O.Status) << " "
+                  << O.Diagnostics;
+    return {};
+  }
+  return std::move(O.Results.front());
+}
+
+/// Runs one labeled loop under the session's own options.
+inline LeakAnalysisResult runLoop(const LeakChecker &LC,
+                                  std::string_view Label) {
+  return runLoop(LC, Label, LC.options());
+}
+
+/// checkWith-shaped shim for call sites holding a raw LoopId (they all
+/// obtained it from findLoop, so the loop is labeled).
+inline LeakAnalysisResult runLoop(const LeakChecker &LC, LoopId L,
+                                  const LeakOptions &Opts) {
+  const Program &P = LC.program();
+  return runLoop(LC, P.Strings.text(P.Loops[L].Label), Opts);
+}
+
+inline LeakAnalysisResult runLoop(const LeakChecker &LC, LoopId L) {
+  return runLoop(LC, L, LC.options());
+}
+
+/// True when the label resolves (what the old optional-returning
+/// check(label) signalled via has_value()).
+inline bool loopExists(const LeakChecker &LC, std::string_view Label) {
+  AnalysisRequest R;
+  R.Loops = LoopSet::of({std::string(Label)});
+  std::optional<SessionOptions> SO =
+      SessionOptionsBuilder().fromLegacy(LC.options()).build();
+  if (!SO) {
+    ADD_FAILURE() << "loopExists: options failed validation";
+    return false;
+  }
+  R.Options = *SO;
+  return LC.run(R).Status != OutcomeStatus::LoopNotFound;
+}
+
+/// Every labeled reachable loop in loop order (the old checkAllLabeled).
+inline std::vector<LeakAnalysisResult> runAllLabeled(const LeakChecker &LC) {
+  AnalysisRequest R;
+  R.Loops = LoopSet::allLabeled();
+  std::optional<SessionOptions> SO =
+      SessionOptionsBuilder().fromLegacy(LC.options()).build();
+  if (!SO) {
+    ADD_FAILURE() << "runAllLabeled: options failed validation";
+    return {};
+  }
+  R.Options = *SO;
+  AnalysisOutcome O = LC.run(R);
+  EXPECT_EQ(O.Status, OutcomeStatus::Ok)
+      << "runAllLabeled: " << outcomeStatusName(O.Status);
+  return std::move(O.Results);
+}
+
+} // namespace lc::test
+
+#endif // LC_TESTS_COMMON_RUNAPI_H

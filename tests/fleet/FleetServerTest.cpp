@@ -1,0 +1,501 @@
+//===-- FleetServerTest.cpp - end-to-end fleet front-end tests --------------===//
+//
+// Drives a real FleetServer -- bound socket, forked workers, poll loop on
+// a background thread -- with raw TCP clients. Covers the acceptance
+// contract: concurrent connections answered byte-identically to a
+// single-process AnalysisService (modulo the attribution object), warm
+// repeats routed to the same worker's session cache, typed overload
+// rejections, v1 envelope rejection, worker-crash supervision, and
+// protocol robustness (mid-request disconnect, mixed control+analysis on
+// one connection).
+//
+// The whole file is skipped under ThreadSanitizer: the fleet forks worker
+// processes and TSan does not support fork from a threaded process.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/FleetServer.h"
+#include "fleet/HashRing.h"
+#include "fleet/Resolve.h"
+#include "service/AnalysisService.h"
+#include "service/ServiceJson.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <csignal>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define LC_TSAN 1
+#endif
+#endif
+
+#ifdef LC_TSAN
+#define LC_SKIP_UNDER_TSAN() \
+  GTEST_SKIP() << "fork from a threaded process is unsupported under TSan"
+#else
+#define LC_SKIP_UNDER_TSAN() (void)0
+#endif
+
+using namespace lc;
+
+namespace {
+
+/// A FleetServer on an ephemeral port with its poll loop on a background
+/// thread. Workers are forked in the constructor, before the loop thread
+/// starts.
+struct Fleet {
+  FleetServer Server;
+  std::thread Loop;
+  bool Started = false;
+
+  explicit Fleet(FleetOptions FO) : Server(std::move(FO)) {
+    std::string Error;
+    Started = Server.start(Error);
+    EXPECT_TRUE(Started) << Error;
+    if (Started)
+      Loop = std::thread([this] { Server.runLoop(); });
+  }
+  ~Fleet() {
+    if (Started) {
+      Server.stop();
+      Loop.join();
+    }
+  }
+  uint16_t port() const { return Server.port(); }
+};
+
+/// A blocking line-oriented TCP client.
+struct Client {
+  int Fd = -1;
+  std::string Buf;
+
+  explicit Client(uint16_t Port) {
+    Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return;
+    sockaddr_in A{};
+    A.sin_family = AF_INET;
+    A.sin_port = htons(Port);
+    if (inet_pton(AF_INET, "127.0.0.1", &A.sin_addr) != 1 ||
+        ::connect(Fd, reinterpret_cast<sockaddr *>(&A), sizeof(A)) != 0) {
+      ADD_FAILURE() << "connect: " << strerror(errno);
+      ::close(Fd);
+      Fd = -1;
+    }
+  }
+  ~Client() { close(); }
+
+  void close() {
+    if (Fd >= 0)
+      ::close(Fd);
+    Fd = -1;
+  }
+
+  void send(const std::string &Line) {
+    std::string Wire = Line + "\n";
+    size_t Off = 0;
+    while (Off < Wire.size()) {
+      ssize_t N = ::write(Fd, Wire.data() + Off, Wire.size() - Off);
+      ASSERT_GT(N, 0) << strerror(errno);
+      Off += static_cast<size_t>(N);
+    }
+  }
+
+  /// Blocks until one full line arrives. Empty string = peer closed.
+  std::string recvLine() {
+    for (;;) {
+      size_t Nl = Buf.find('\n');
+      if (Nl != std::string::npos) {
+        std::string Line = Buf.substr(0, Nl);
+        Buf.erase(0, Nl + 1);
+        return Line;
+      }
+      char Chunk[4096];
+      ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+      if (N <= 0)
+        return std::string();
+      Buf.append(Chunk, static_cast<size_t>(N));
+    }
+  }
+};
+
+/// Strips the trailing attribution object -- always the last key when
+/// present -- so fleet and single-process lines byte-compare on
+/// everything the analysis actually decided.
+std::string stripObservability(std::string Line) {
+  size_t At = Line.rfind(",\"observability\":{");
+  if (At != std::string::npos) {
+    EXPECT_EQ(Line.back(), '}');
+    Line.erase(At, Line.size() - At - 1);
+  }
+  return Line;
+}
+
+/// A tiny program with one leaking loop; \p Tag makes each source
+/// distinct so every request builds its own session.
+std::string leakyProgram(unsigned Tag) {
+  return "class Sink" + std::to_string(Tag) +
+         " { Object[] all = new Object[32]; int n; }\n"
+         "class Item { }\n"
+         "class Main { static void main() {\n"
+         "  Sink" +
+         std::to_string(Tag) +
+         " s = new Sink" + std::to_string(Tag) + "();\n"
+         "  int i = 0;\n"
+         "  l: while (i < " + std::to_string(5 + Tag % 3) + ") {\n"
+         "    Item x = new Item();\n"
+         "    s.all[s.n] = x;\n"
+         "    s.n = s.n + 1;\n"
+         "    i = i + 1;\n"
+         "  }\n"
+         "} }\n";
+}
+
+std::string requestLine(const std::string &Id, const std::string &Source) {
+  return "{\"v\":2,\"id\":" + json::quote(Id) +
+         ",\"source\":" + json::quote(Source) +
+         ",\"loops\":\"l\",\"options\":{\"jobs\":1}}";
+}
+
+std::string subjectLine(const std::string &Id, const std::string &Subject) {
+  return "{\"v\":2,\"id\":" + json::quote(Id) +
+         ",\"subject\":" + json::quote(Subject) +
+         ",\"loops\":\"all\",\"options\":{\"jobs\":1}}";
+}
+
+/// What a single-process service answers for the same line (attribution
+/// stripped).
+std::string expectedOutcome(const std::string &Line) {
+  ServiceOptions SO;
+  SO.Attribution = false;
+  AnalysisService Svc(SO);
+  json::Value Doc;
+  std::string Error;
+  EXPECT_TRUE(json::parse(Line, Doc, Error)) << Error;
+  AnalysisRequest R;
+  RequestSourceRef Ref;
+  EXPECT_TRUE(parseAnalysisRequest(Doc, R, Ref, Error)) << Error;
+  EXPECT_TRUE(resolveRequestSource(Ref, R, Error)) << Error;
+  return stripObservability(renderOutcomeJson(Svc.run(R)));
+}
+
+std::string statusOf(const std::string &OutcomeLine) {
+  json::Value V;
+  std::string Error;
+  if (!json::parse(OutcomeLine, V, Error) || !V.isObject())
+    return "<unparseable: " + OutcomeLine + ">";
+  const json::Value *S = V.get("status");
+  if (S && S->isString())
+    return S->asString();
+  const json::Value *T = V.get("type");
+  return T && T->isString() ? "<type:" + T->asString() + ">" : "<none>";
+}
+
+} // namespace
+
+#include "fleet/Resolve.h"
+
+#include <cerrno>
+#include <cstring>
+
+TEST(FleetServer, ManyConcurrentConnectionsAreByteIdenticalToServe) {
+  LC_SKIP_UNDER_TSAN();
+  FleetOptions FO;
+  FO.Workers = 3;
+  Fleet F(FO);
+  ASSERT_TRUE(F.Started);
+
+  // 32 distinct programs: every request is a cold build in the fleet AND
+  // in the single-process reference, so the lines must byte-compare
+  // (attribution aside) including substrate_origin.
+  constexpr unsigned N = 32;
+  std::vector<std::string> Lines(N), Got(N), Want(N);
+  for (unsigned I = 0; I < N; ++I)
+    Lines[I] = requestLine("conn-" + std::to_string(I), leakyProgram(I));
+
+  std::vector<std::thread> Threads;
+  Threads.reserve(N);
+  for (unsigned I = 0; I < N; ++I)
+    Threads.emplace_back([&, I] {
+      Client C(F.port());
+      if (C.Fd < 0)
+        return;
+      C.send(Lines[I]);
+      Got[I] = stripObservability(C.recvLine());
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  for (unsigned I = 0; I < N; ++I)
+    Want[I] = expectedOutcome(Lines[I]);
+  for (unsigned I = 0; I < N; ++I) {
+    EXPECT_FALSE(Got[I].empty()) << "connection " << I << " got no answer";
+    EXPECT_EQ(Got[I], Want[I]) << "connection " << I;
+  }
+  EXPECT_GE(F.Server.counters().Accepted, uint64_t(N));
+  EXPECT_EQ(F.Server.counters().Completed, uint64_t(N));
+  EXPECT_EQ(F.Server.counters().Rejected, 0u);
+}
+
+TEST(FleetServer, WarmRepeatsHitTheSameWorkersSessionCache) {
+  LC_SKIP_UNDER_TSAN();
+  FleetOptions FO;
+  FO.Workers = 3;
+  Fleet F(FO);
+  ASSERT_TRUE(F.Started);
+
+  Client C(F.port());
+  ASSERT_GE(C.Fd, 0);
+  C.send(requestLine("cold", leakyProgram(7)));
+  std::string First = C.recvLine();
+  EXPECT_NE(First.find("\"substrate_origin\":\"built\""), std::string::npos)
+      << First;
+  // Same program again: consistent-hash routing sends it to the same
+  // worker, whose session cache serves it warm.
+  C.send(requestLine("warm", leakyProgram(7)));
+  std::string Second = C.recvLine();
+  EXPECT_NE(Second.find("\"substrate_origin\":\"warm\""), std::string::npos)
+      << Second;
+  // Warmth must not change the analysis: everything past the substrate
+  // provenance (which legitimately differs built vs warm) is
+  // byte-identical across the pair.
+  std::string A = stripObservability(First), B = stripObservability(Second);
+  size_t LoopsA = A.find("\"loops\":"), LoopsB = B.find("\"loops\":");
+  ASSERT_NE(LoopsA, std::string::npos);
+  ASSERT_NE(LoopsB, std::string::npos);
+  EXPECT_EQ(A.substr(LoopsA), B.substr(LoopsB));
+}
+
+TEST(FleetServer, OverloadRejectionsAreTypedAndFast) {
+  LC_SKIP_UNDER_TSAN();
+  FleetOptions FO;
+  FO.Workers = 1;
+  FO.MaxInflight = 0; // every analysis request is past the bound
+  Fleet F(FO);
+  ASSERT_TRUE(F.Started);
+
+  Client C(F.port());
+  ASSERT_GE(C.Fd, 0);
+  C.send(requestLine("r1", leakyProgram(1)));
+  std::string Line = C.recvLine();
+  EXPECT_EQ(statusOf(Line), "overloaded") << Line;
+  EXPECT_NE(Line.find("\"id\":\"r1\""), std::string::npos) << Line;
+  EXPECT_NE(Line.find("retry"), std::string::npos) << Line;
+  // Control lines are not admission-controlled: health still answers.
+  C.send("{\"control\":\"health\"}");
+  std::string Health = C.recvLine();
+  EXPECT_NE(Health.find("\"type\":\"fleet-health\""), std::string::npos)
+      << Health;
+  EXPECT_EQ(F.Server.counters().RejectedOverload, 1u);
+}
+
+TEST(FleetServer, V1LinesAreRejectedWithUnsupportedVersion) {
+  LC_SKIP_UNDER_TSAN();
+  FleetOptions FO;
+  FO.Workers = 1;
+  Fleet F(FO);
+  ASSERT_TRUE(F.Started);
+
+  Client C(F.port());
+  ASSERT_GE(C.Fd, 0);
+  // No "v" key: the legacy envelope --serve still accepts. The fleet
+  // rejects it, echoing the id for correlation.
+  C.send("{\"id\":\"legacy\",\"source\":\"class M {}\",\"loops\":\"l\"}");
+  std::string Line = C.recvLine();
+  EXPECT_EQ(statusOf(Line), "unsupported-version") << Line;
+  EXPECT_NE(Line.find("\"id\":\"legacy\""), std::string::npos) << Line;
+  // Future versions are named in the diagnostics.
+  C.send("{\"v\":9,\"id\":\"hm\",\"source\":\"class M {}\",\"loops\":\"l\"}");
+  Line = C.recvLine();
+  EXPECT_EQ(statusOf(Line), "unsupported-version") << Line;
+  EXPECT_EQ(F.Server.counters().RejectedVersion, 2u);
+}
+
+TEST(FleetServer, MalformedAndOversizedLinesAreInvalidRequests) {
+  LC_SKIP_UNDER_TSAN();
+  FleetOptions FO;
+  FO.Workers = 1;
+  FO.MaxLineBytes = 256;
+  Fleet F(FO);
+  ASSERT_TRUE(F.Started);
+
+  Client C(F.port());
+  ASSERT_GE(C.Fd, 0);
+  C.send("this is not json");
+  EXPECT_EQ(statusOf(C.recvLine()), "invalid-request");
+  // A line past MaxLineBytes is discarded with a typed rejection and the
+  // connection keeps working.
+  C.send("{\"v\":2,\"id\":\"big\",\"source\":\"" + std::string(1024, 'x') +
+         "\"}");
+  std::string Line = C.recvLine();
+  EXPECT_EQ(statusOf(Line), "invalid-request") << Line;
+  EXPECT_NE(Line.find("exceeds"), std::string::npos) << Line;
+  C.send("{\"control\":\"health\"}");
+  EXPECT_NE(C.recvLine().find("fleet-health"), std::string::npos);
+}
+
+TEST(FleetServer, MixedControlAndAnalysisOnOneConnection) {
+  LC_SKIP_UNDER_TSAN();
+  FleetOptions FO;
+  FO.Workers = 2;
+  Fleet F(FO);
+  ASSERT_TRUE(F.Started);
+
+  Client C(F.port());
+  ASSERT_GE(C.Fd, 0);
+  // Pipeline three requests and a stats query without reading replies in
+  // between: analyses answer as workers finish, the stats aggregation
+  // interleaves freely. Every reply must still arrive, exactly once.
+  C.send(requestLine("m1", leakyProgram(100)));
+  C.send("{\"control\":\"stats\"}");
+  C.send(requestLine("m2", leakyProgram(101)));
+  C.send("{\"control\":\"health\"}");
+
+  unsigned GotM1 = 0, GotM2 = 0, GotStats = 0, GotHealth = 0;
+  for (int I = 0; I < 4; ++I) {
+    std::string Line = C.recvLine();
+    ASSERT_FALSE(Line.empty());
+    if (Line.find("\"type\":\"fleet-stats\"") != std::string::npos) {
+      ++GotStats;
+      // The aggregate embeds one per-worker snapshot per live worker.
+      EXPECT_NE(Line.find("\"per_worker\":["), std::string::npos);
+      EXPECT_NE(Line.find("\"workers\":2"), std::string::npos);
+    } else if (Line.find("\"type\":\"fleet-health\"") != std::string::npos) {
+      ++GotHealth;
+    } else if (Line.find("\"id\":\"m1\"") != std::string::npos) {
+      ++GotM1;
+      EXPECT_EQ(statusOf(Line), "ok") << Line;
+    } else if (Line.find("\"id\":\"m2\"") != std::string::npos) {
+      ++GotM2;
+      EXPECT_EQ(statusOf(Line), "ok") << Line;
+    } else {
+      ADD_FAILURE() << "unexpected reply: " << Line;
+    }
+  }
+  EXPECT_EQ(GotM1, 1u);
+  EXPECT_EQ(GotM2, 1u);
+  EXPECT_EQ(GotStats, 1u);
+  EXPECT_EQ(GotHealth, 1u);
+}
+
+TEST(FleetServer, MidRequestClientDisconnectDoesNotWedgeTheFleet) {
+  LC_SKIP_UNDER_TSAN();
+  FleetOptions FO;
+  FO.Workers = 2;
+  Fleet F(FO);
+  ASSERT_TRUE(F.Started);
+
+  {
+    Client C(F.port());
+    ASSERT_GE(C.Fd, 0);
+    C.send(requestLine("goner", leakyProgram(50)));
+    // Disconnect before the answer: the worker still completes; the
+    // front end drops the unroutable reply.
+  }
+  // A fresh connection is served normally afterwards.
+  Client C2(F.port());
+  ASSERT_GE(C2.Fd, 0);
+  C2.send(requestLine("after", leakyProgram(51)));
+  std::string Line = C2.recvLine();
+  EXPECT_EQ(statusOf(Line), "ok") << Line;
+
+  // Also: a half-written line (no newline) at disconnect is simply
+  // dropped.
+  {
+    Client C3(F.port());
+    ASSERT_GE(C3.Fd, 0);
+    std::string Partial = "{\"v\":2,\"id\":\"torn";
+    ASSERT_EQ(::write(C3.Fd, Partial.data(), Partial.size()),
+              ssize_t(Partial.size()));
+  }
+  C2.send("{\"control\":\"health\"}");
+  EXPECT_NE(C2.recvLine().find("\"status\":\"ok\""), std::string::npos);
+}
+
+TEST(FleetServer, KilledWorkerIsRespawnedAndInflightAnsweredWorkerLost) {
+  LC_SKIP_UNDER_TSAN();
+  FleetOptions FO;
+  FO.Workers = 3;
+  Fleet F(FO);
+  ASSERT_TRUE(F.Started);
+
+  std::vector<pid_t> Before = F.Server.workerPids();
+  ASSERT_EQ(Before.size(), 3u);
+
+  // Routing is deterministic: compute which worker serves this subject
+  // and kill it mid-request.
+  RequestSourceRef Ref;
+  Ref.Subject = "Mckoi";
+  HashRing Ring(3);
+  size_t Slot = Ring.route(fleetRouteKey(Ref));
+
+  Client C(F.port());
+  ASSERT_GE(C.Fd, 0);
+  C.send(subjectLine("victim", "Mckoi"));
+  // Give the front end a moment to route, then kill the serving worker.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_EQ(::kill(Before[Slot], SIGKILL), 0);
+
+  std::string Line = C.recvLine();
+  // Almost always worker-lost; "ok" only if the analysis won the race.
+  std::string S = statusOf(Line);
+  EXPECT_TRUE(S == "worker-lost" || S == "ok") << Line;
+  if (S == "worker-lost")
+    EXPECT_NE(Line.find("respawned"), std::string::npos) << Line;
+
+  // Wait until the front end has noticed the death and respawned the
+  // slot -- a retry racing the EOF is (correctly) answered worker-lost.
+  for (int Spin = 0; Spin < 500 && F.Server.counters().WorkerRespawns == 0;
+       ++Spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ASSERT_GE(F.Server.counters().WorkerRespawns, 1u);
+
+  // The slot respawns in place: same ring shape, new pid, and the same
+  // subject is served again (cold, but correctly).
+  C.send(subjectLine("retry", "Mckoi"));
+  std::string Retry = C.recvLine();
+  EXPECT_EQ(statusOf(Retry), "ok") << Retry;
+
+  std::vector<pid_t> After = F.Server.workerPids();
+  ASSERT_EQ(After.size(), 3u);
+  EXPECT_NE(After[Slot], Before[Slot]);
+  for (size_t I = 0; I < 3; ++I)
+    if (I != Slot)
+      EXPECT_EQ(After[I], Before[I]) << "unrelated slot " << I << " respawned";
+  EXPECT_GE(F.Server.counters().WorkerRespawns, 1u);
+}
+
+TEST(FleetServer, StatsAggregateCountsAdmissionsAndCompletions) {
+  LC_SKIP_UNDER_TSAN();
+  FleetOptions FO;
+  FO.Workers = 2;
+  Fleet F(FO);
+  ASSERT_TRUE(F.Started);
+
+  Client C(F.port());
+  ASSERT_GE(C.Fd, 0);
+  for (int I = 0; I < 3; ++I) {
+    C.send(requestLine("s" + std::to_string(I), leakyProgram(200 + I)));
+    EXPECT_EQ(statusOf(C.recvLine()), "ok");
+  }
+  C.send("{\"control\":\"stats\"}");
+  std::string Stats = C.recvLine();
+  EXPECT_NE(Stats.find("\"type\":\"fleet-stats\""), std::string::npos);
+  EXPECT_NE(Stats.find("\"admitted\":3"), std::string::npos) << Stats;
+  EXPECT_NE(Stats.find("\"completed\":3"), std::string::npos) << Stats;
+  EXPECT_NE(Stats.find("\"workers_live\":2"), std::string::npos) << Stats;
+  // Per-worker snapshots carry the session caches that served the work.
+  EXPECT_NE(Stats.find("\"sessions\":{"), std::string::npos) << Stats;
+}

@@ -1,0 +1,158 @@
+//===-- FramingTest.cpp - worker pipe framing tests -------------------------===//
+//
+// The length-framed pipe protocol between the fleet front end and its
+// workers: a 1-byte type + 4-byte little-endian length header. The
+// incremental FrameReader must survive torn frames (bytes arriving one at
+// a time, headers split across reads) and poison itself on oversized or
+// unknown frames rather than desynchronizing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/Framing.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define LC_TSAN 1
+#endif
+#endif
+
+using namespace lc;
+
+namespace {
+
+std::string frameBytes(FrameType T, const std::string &Payload) {
+  std::string Buf;
+  appendFrame(Buf, T, Payload);
+  return Buf;
+}
+
+void feedStr(FrameReader &R, const std::string &S) {
+  R.feed(S.data(), S.size());
+}
+
+} // namespace
+
+TEST(Framing, AppendProducesHeaderPlusPayload) {
+  std::string Buf = frameBytes(FrameType::Request, "hello");
+  ASSERT_EQ(Buf.size(), 5u + 5u);
+  EXPECT_EQ(static_cast<uint8_t>(Buf[0]),
+            static_cast<uint8_t>(FrameType::Request));
+  // Little-endian length.
+  EXPECT_EQ(static_cast<uint8_t>(Buf[1]), 5);
+  EXPECT_EQ(static_cast<uint8_t>(Buf[2]), 0);
+  EXPECT_EQ(Buf.substr(5), "hello");
+}
+
+TEST(Framing, ReaderPopsWholeFrames) {
+  FrameReader R;
+  feedStr(R, frameBytes(FrameType::Outcome, "abc"));
+  Frame F;
+  ASSERT_TRUE(R.pop(F));
+  EXPECT_EQ(F.Type, FrameType::Outcome);
+  EXPECT_EQ(F.Payload, "abc");
+  EXPECT_FALSE(R.pop(F));
+  EXPECT_FALSE(R.bad());
+}
+
+TEST(Framing, TornFramesReassembleByteByByte) {
+  // Two frames delivered one byte at a time: headers and payloads torn
+  // across reads at every possible boundary.
+  std::string Wire = frameBytes(FrameType::Request, "first payload") +
+                     frameBytes(FrameType::StatsQuery, "");
+  FrameReader R;
+  std::vector<Frame> Got;
+  for (char C : Wire) {
+    feedStr(R, std::string(1, C));
+    Frame F;
+    while (R.pop(F))
+      Got.push_back(F);
+  }
+  ASSERT_EQ(Got.size(), 2u);
+  EXPECT_EQ(Got[0].Type, FrameType::Request);
+  EXPECT_EQ(Got[0].Payload, "first payload");
+  EXPECT_EQ(Got[1].Type, FrameType::StatsQuery);
+  EXPECT_TRUE(Got[1].Payload.empty());
+  EXPECT_FALSE(R.bad());
+}
+
+TEST(Framing, TornAcrossArbitraryChunks) {
+  std::string Wire;
+  for (int I = 0; I < 50; ++I)
+    Wire += frameBytes(FrameType::Outcome,
+                       "payload-" + std::to_string(I) +
+                           std::string(I * 7 % 60, 'x'));
+  FrameReader R;
+  size_t Got = 0;
+  // Feed in prime-sized chunks so splits land everywhere.
+  for (size_t At = 0; At < Wire.size(); At += 13) {
+    feedStr(R, Wire.substr(At, 13));
+    Frame F;
+    while (R.pop(F)) {
+      EXPECT_EQ(F.Payload.rfind("payload-" + std::to_string(Got), 0), 0u);
+      ++Got;
+    }
+  }
+  EXPECT_EQ(Got, 50u);
+}
+
+TEST(Framing, OversizedFramePoisonsTheReader) {
+  // A length field past kMaxFramePayload marks the stream bad without
+  // attempting the allocation.
+  std::string Buf;
+  Buf.push_back(static_cast<char>(FrameType::Request));
+  uint32_t Huge = kMaxFramePayload + 1;
+  for (int I = 0; I < 4; ++I)
+    Buf.push_back(static_cast<char>((Huge >> (8 * I)) & 0xff));
+  FrameReader R;
+  feedStr(R, Buf);
+  Frame F;
+  EXPECT_FALSE(R.pop(F));
+  EXPECT_TRUE(R.bad());
+}
+
+TEST(Framing, UnknownFrameTypePoisonsTheReader) {
+  std::string Buf = frameBytes(FrameType::Request, "x");
+  Buf[0] = 99;
+  FrameReader R;
+  feedStr(R, Buf);
+  Frame F;
+  EXPECT_FALSE(R.pop(F));
+  EXPECT_TRUE(R.bad());
+}
+
+TEST(Framing, WriteAndBlockingReadRoundTripOverAPipe) {
+#ifdef LC_TSAN
+  GTEST_SKIP() << "fork is unsupported under ThreadSanitizer";
+#endif
+  int Fds[2];
+  ASSERT_EQ(pipe(Fds), 0);
+  const std::string Payload(100000, 'z'); // larger than PIPE_BUF
+  // Write from a child so the blocking read can drain concurrently.
+  pid_t Pid = fork();
+  ASSERT_GE(Pid, 0);
+  if (Pid == 0) {
+    close(Fds[0]);
+    bool Ok = writeFrame(Fds[1], FrameType::Outcome, Payload);
+    close(Fds[1]);
+    _exit(Ok ? 0 : 1);
+  }
+  close(Fds[1]);
+  Frame F;
+  EXPECT_EQ(readFrameBlocking(Fds[0], F), 1);
+  EXPECT_EQ(F.Type, FrameType::Outcome);
+  EXPECT_EQ(F.Payload, Payload);
+  // Clean EOF after the writer closes.
+  EXPECT_EQ(readFrameBlocking(Fds[0], F), 0);
+  close(Fds[0]);
+  int Status = 0;
+  ASSERT_EQ(waitpid(Pid, &Status, 0), Pid);
+  EXPECT_EQ(Status, 0);
+}

@@ -1,0 +1,61 @@
+//===-- HashRingTest.cpp - consistent-hash routing tests --------------------===//
+
+#include "fleet/HashRing.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+using namespace lc;
+
+TEST(HashRing, RoutesEveryKeyToAValidSlot) {
+  HashRing Ring(5);
+  EXPECT_EQ(Ring.slots(), 5u);
+  for (uint64_t K = 0; K < 10000; ++K)
+    EXPECT_LT(Ring.route(K * 2654435761u), 5u);
+}
+
+TEST(HashRing, RoutingIsDeterministic) {
+  HashRing A(7), B(7);
+  for (uint64_t K = 0; K < 1000; ++K)
+    EXPECT_EQ(A.route(K), B.route(K));
+}
+
+TEST(HashRing, SpreadsKeysAcrossAllSlots) {
+  HashRing Ring(4);
+  std::map<size_t, unsigned> Counts;
+  for (uint64_t K = 0; K < 4000; ++K)
+    ++Counts[Ring.route(fleetHash(std::to_string(K)))];
+  ASSERT_EQ(Counts.size(), 4u) << "every slot owns part of the key space";
+  // Virtual nodes keep the imbalance bounded: no slot owns more than half.
+  for (const auto &[Slot, N] : Counts)
+    EXPECT_LT(N, 2000u) << "slot " << Slot;
+}
+
+TEST(HashRing, SingleSlotTakesEverything) {
+  HashRing Ring(1);
+  for (uint64_t K = 0; K < 100; ++K)
+    EXPECT_EQ(Ring.route(K * 7919), 0u);
+}
+
+TEST(HashRing, RouteKeysAreTaggedBySourceKind) {
+  // A subject named "x", a file named "x" and inline source "x" must not
+  // collide: the tag is part of the key.
+  RequestSourceRef Subject, File, Inline;
+  Subject.Subject = "x";
+  File.File = "x";
+  Inline.Source = "x";
+  std::set<uint64_t> Keys{fleetRouteKey(Subject), fleetRouteKey(File),
+                          fleetRouteKey(Inline)};
+  EXPECT_EQ(Keys.size(), 3u);
+}
+
+TEST(HashRing, SameProgramAlwaysSameKey) {
+  RequestSourceRef A, B;
+  A.Subject = "SPECjbb2000";
+  B.Subject = "SPECjbb2000";
+  EXPECT_EQ(fleetRouteKey(A), fleetRouteKey(B));
+  B.Subject = "Derby";
+  EXPECT_NE(fleetRouteKey(A), fleetRouteKey(B));
+}

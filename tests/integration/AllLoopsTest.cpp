@@ -1,6 +1,7 @@
 //===-- AllLoopsTest.cpp - whole-program checking mode ------------------------===//
 
 #include "core/LeakChecker.h"
+#include "tests/common/RunApi.h"
 #include "subjects/Subjects.h"
 
 #include <gtest/gtest.h>
@@ -22,7 +23,7 @@ TEST(AllLoops, ChecksEveryLabeledLoop) {
       }
       int j = 0;
       clean: while (j < 5) { j = j + 1; }
-      // Unlabeled loop: skipped by checkAllLabeled.
+      // Unlabeled loop: skipped by the all-labeled loop set.
       int k = 0;
       while (k < 5) { k = k + 1; }
       region "zone" {
@@ -34,7 +35,7 @@ TEST(AllLoops, ChecksEveryLabeledLoop) {
   DiagnosticEngine Diags;
   auto LC = LeakChecker::fromSource(Src, Diags);
   ASSERT_NE(LC, nullptr) << Diags.str();
-  auto All = LC->checkAllLabeled();
+  std::vector<LeakAnalysisResult> All = test::runAllLabeled(*LC);
   ASSERT_EQ(All.size(), 3u) << "leaky, clean, zone";
   const Program &P = LC->program();
   for (const LeakAnalysisResult &R : All) {
@@ -62,7 +63,7 @@ TEST(AllLoops, UnreachableLoopsAreSkipped) {
   DiagnosticEngine Diags;
   auto LC = LeakChecker::fromSource(Src, Diags);
   ASSERT_NE(LC, nullptr);
-  auto All = LC->checkAllLabeled();
+  std::vector<LeakAnalysisResult> All = test::runAllLabeled(*LC);
   ASSERT_EQ(All.size(), 1u);
   EXPECT_EQ(LC->program().Strings.text(
                 LC->program().Loops[All[0].Loop].Label),
@@ -77,14 +78,14 @@ TEST(AllLoops, SubjectsProduceOneCheckedLoopEach) {
     DiagnosticEngine Diags;
     auto LC = LeakChecker::fromSource(S.Source, Diags, S.Options);
     ASSERT_NE(LC, nullptr) << S.Name;
-    auto All = LC->checkAllLabeled();
+    std::vector<LeakAnalysisResult> All = test::runAllLabeled(*LC);
     LoopId Target = LC->program().findLoop(S.LoopLabel);
     bool Found = false;
     for (const LeakAnalysisResult &R : All) {
       if (R.Loop != Target)
         continue;
       Found = true;
-      auto Direct = LC->check(Target);
+      LeakAnalysisResult Direct = test::runLoop(*LC, Target);
       EXPECT_EQ(R.Reports.size(), Direct.Reports.size()) << S.Name;
     }
     EXPECT_TRUE(Found) << S.Name;

@@ -9,6 +9,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/LeakChecker.h"
+#include "tests/common/RunApi.h"
 
 #include <gtest/gtest.h>
 
@@ -277,8 +278,7 @@ TEST_P(PatternTest, VerdictMatches) {
   DiagnosticEngine Diags;
   auto LC = LeakChecker::fromSource(Pat.Source, Diags);
   ASSERT_NE(LC, nullptr) << Pat.Name << ":\n" << Diags.str();
-  auto R = LC->check(Pat.Loop);
-  ASSERT_TRUE(R.has_value()) << Pat.Name;
+  LeakAnalysisResult R = test::runLoop(*LC, Pat.Loop);
 
   const Program &P = LC->program();
   AllocSiteId Site = kInvalidId;
@@ -289,9 +289,9 @@ TEST_P(PatternTest, VerdictMatches) {
   }
   ASSERT_NE(Site, kInvalidId) << Pat.Name << ": no site of " << Pat.Class;
 
-  EXPECT_EQ(R->reportsSite(Site), Pat.ExpectReport)
+  EXPECT_EQ(R.reportsSite(Site), Pat.ExpectReport)
       << Pat.Name << "\n"
-      << renderLeakReport(P, *R);
+      << renderLeakReport(P, R);
 }
 
 INSTANTIATE_TEST_SUITE_P(Zoo, PatternTest, ::testing::ValuesIn(Patterns),

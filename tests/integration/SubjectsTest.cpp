@@ -10,6 +10,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/LeakChecker.h"
+#include "tests/common/RunApi.h"
 #include "frontend/Lower.h"
 #include "interp/Interp.h"
 #include "subjects/Scoring.h"
@@ -33,11 +34,7 @@ struct SubjectRun {
     EXPECT_NE(LC, nullptr) << S.Name << ":\n" << Diags.str();
     if (!LC)
       return;
-    auto R = LC->check(S.LoopLabel);
-    EXPECT_TRUE(R.has_value()) << S.Name << ": loop " << S.LoopLabel;
-    if (!R)
-      return;
-    Result = std::move(*R);
+    Result = test::runLoop(*LC, S.LoopLabel);
     Sc = score(LC->program(), Result);
   }
 };
@@ -215,23 +212,22 @@ TEST(CaseStudies, MckoiNeedsThreadModeling) {
   NoThreads.ModelThreads = false;
   auto LC = LeakChecker::fromSource(S.Source, Diags, NoThreads);
   ASSERT_NE(LC, nullptr) << Diags.str();
-  auto R1 = LC->check(S.LoopLabel);
-  ASSERT_TRUE(R1.has_value());
+  LeakAnalysisResult R1 = test::runLoop(*LC, S.LoopLabel);
   const Program &P = LC->program();
-  for (const LeakReport &Rep : R1->Reports) {
+  for (const LeakReport &Rep : R1.Reports) {
     const Type &T = P.Types.get(P.AllocSites[Rep.Site].Ty);
     EXPECT_EQ(P.className(T.Cls), "LocalBootstrap")
-        << renderLeakReport(P, *R1);
+        << renderLeakReport(P, R1);
   }
   // Second run with the workaround: the DatabaseSystem leak appears.
-  auto R2 = LC->checkWith(P.findLoop(S.LoopLabel), S.Options);
+  LeakAnalysisResult R2 = test::runLoop(*LC, S.LoopLabel, S.Options);
   bool FoundSystem = false;
   for (const LeakReport &Rep : R2.Reports) {
     const Type &T = P.Types.get(P.AllocSites[Rep.Site].Ty);
     FoundSystem |= P.className(T.Cls) == "DatabaseSystem";
   }
   EXPECT_TRUE(FoundSystem) << renderLeakReport(P, R2);
-  EXPECT_GT(R2.Reports.size(), R1->Reports.size())
+  EXPECT_GT(R2.Reports.size(), R1.Reports.size())
       << "thread modeling raises the report (and FP) count";
 }
 

@@ -2,6 +2,7 @@
 
 #include "core/LeakChecker.h"
 #include "frontend/Lower.h"
+#include "tests/common/RunApi.h"
 
 #include <gtest/gtest.h>
 
@@ -38,13 +39,19 @@ TEST(CoreFacade, CompileErrorReturnsNullAndDiagnostics) {
   EXPECT_FALSE(Diags.str().empty());
 }
 
-TEST(CoreFacade, UnknownLoopLabelGivesNullopt) {
+TEST(CoreFacade, UnknownLoopLabelGivesLoopNotFound) {
   DiagnosticEngine Diags;
   auto LC = LeakChecker::fromSource(Tiny, Diags);
   ASSERT_NE(LC, nullptr) << Diags.str();
-  EXPECT_FALSE(LC->check("nope").has_value());
-  EXPECT_TRUE(LC->check("l").has_value());
-  EXPECT_TRUE(LC->check("once").has_value());
+  AnalysisRequest R;
+  R.Loops = LoopSet::of({"nope"});
+  AnalysisOutcome O = LC->run(R);
+  EXPECT_EQ(O.Status, OutcomeStatus::LoopNotFound);
+  EXPECT_EQ(O.MissingLabel, "nope");
+  // The degradation carries every label the program does define.
+  EXPECT_EQ(O.KnownLabels, (std::vector<std::string>{"l", "once"}));
+  EXPECT_TRUE(test::loopExists(*LC, "l"));
+  EXPECT_TRUE(test::loopExists(*LC, "once"));
 }
 
 TEST(CoreFacade, SubstrateIsSharedAcrossChecks) {
@@ -52,12 +59,11 @@ TEST(CoreFacade, SubstrateIsSharedAcrossChecks) {
   auto LC = LeakChecker::fromSource(Tiny, Diags);
   ASSERT_NE(LC, nullptr);
   // Both loops checked against the same program/substrate instance.
-  auto R1 = LC->check("l");
-  auto R2 = LC->check("once");
-  ASSERT_TRUE(R1 && R2);
-  EXPECT_EQ(R1->Reports.size(), 1u);
-  EXPECT_EQ(R2->Reports.size(), 1u);
-  EXPECT_NE(R1->Loop, R2->Loop);
+  LeakAnalysisResult R1 = test::runLoop(*LC, "l");
+  LeakAnalysisResult R2 = test::runLoop(*LC, "once");
+  EXPECT_EQ(R1.Reports.size(), 1u);
+  EXPECT_EQ(R2.Reports.size(), 1u);
+  EXPECT_NE(R1.Loop, R2.Loop);
   // Facade accessors are live.
   EXPECT_GT(LC->reachableMethods(), 0u);
   EXPECT_GT(LC->reachableStmts(), 0u);
@@ -70,18 +76,18 @@ TEST(CoreFacade, FromProgramWrapsExistingIr) {
   ASSERT_TRUE(compileSource(Tiny, *P, Diags));
   auto LC = LeakChecker::fromProgram(std::move(P));
   ASSERT_NE(LC, nullptr);
-  EXPECT_TRUE(LC->check("l").has_value());
+  EXPECT_TRUE(test::loopExists(*LC, "l"));
 }
 
-TEST(CoreFacade, CheckWithOverridesOptionsPerRun) {
+TEST(CoreFacade, RequestOptionsOverridePerRun) {
   DiagnosticEngine Diags;
   auto LC = LeakChecker::fromSource(Tiny, Diags);
   ASSERT_NE(LC, nullptr);
   LoopId L = LC->program().findLoop("once");
   LeakOptions Destructive;
   Destructive.ModelDestructiveUpdates = true;
-  auto Refined = LC->checkWith(L, Destructive);
-  auto Default = LC->check(L);
+  LeakAnalysisResult Refined = test::runLoop(*LC, L, Destructive);
+  LeakAnalysisResult Default = test::runLoop(*LC, L);
   // The region's single-slot store is suppressible; the default reports it.
   EXPECT_EQ(Default.Reports.size(), 1u);
   EXPECT_TRUE(Refined.Reports.empty())

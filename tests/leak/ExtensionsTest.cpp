@@ -8,6 +8,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/LeakChecker.h"
+#include "tests/common/RunApi.h"
 #include "frontend/Lower.h"
 #include "leak/LoopSuggestion.h"
 #include "subjects/Scoring.h"
@@ -51,12 +52,12 @@ TEST(DestructiveUpdates, SuppressesUnconditionallyOverwrittenSlot) {
   World W(Src);
   LoopId L = W.P().findLoop("l");
   LeakOptions Off;
-  auto RDefault = W.LC->checkWith(L, Off);
+  auto RDefault = test::runLoop(*W.LC, L, Off);
   EXPECT_EQ(RDefault.Reports.size(), 1u)
       << "paper behaviour: overwritten slot is a (false-positive) report";
   LeakOptions On;
   On.ModelDestructiveUpdates = true;
-  auto ROn = W.LC->checkWith(L, On);
+  auto ROn = test::runLoop(*W.LC, L, On);
   EXPECT_TRUE(ROn.Reports.empty())
       << renderLeakReport(W.P(), ROn)
       << "strong-update evidence must suppress the report";
@@ -84,7 +85,7 @@ TEST(DestructiveUpdates, ConditionalStoreIsNotSuppressed) {
   LeakOptions On;
   On.ModelDestructiveUpdates = true;
   World W(Src, On);
-  auto R = W.LC->checkWith(W.P().findLoop("l"), On);
+  auto R = test::runLoop(*W.LC, "l", On);
   EXPECT_EQ(R.Reports.size(), 1u) << renderLeakReport(W.P(), R);
 }
 
@@ -107,7 +108,7 @@ TEST(DestructiveUpdates, ArraySlotsAreNeverSuppressed) {
   LeakOptions On;
   On.ModelDestructiveUpdates = true;
   World W(Src, On);
-  auto R = W.LC->checkWith(W.P().findLoop("l"), On);
+  auto R = test::runLoop(*W.LC, "l", On);
   EXPECT_EQ(R.Reports.size(), 1u);
 }
 
@@ -132,7 +133,7 @@ TEST(DestructiveUpdates, FreshHolderPerIterationNotSuppressed) {
   LeakOptions On;
   On.ModelDestructiveUpdates = true;
   World W(Src, On);
-  auto R = W.LC->checkWith(W.P().findLoop("l"), On);
+  auto R = test::runLoop(*W.LC, "l", On);
   // Registry.keep IS a strongly-overwritten static slot, so the Wrapper
   // edge is suppressed; the Item inside each discarded Wrapper dies with
   // it, so suppressing the whole structure is precise here.
@@ -152,10 +153,10 @@ TEST(DestructiveUpdates, ReducesFprOnSubjectsWithoutLosingLeaks) {
     auto LC = LeakChecker::fromSource(S.Source, Diags, S.Options);
     ASSERT_NE(LC, nullptr) << S.Name;
     LoopId L = LC->program().findLoop(S.LoopLabel);
-    auto RDefault = LC->checkWith(L, S.Options);
+    auto RDefault = test::runLoop(*LC, L, S.Options);
     LeakOptions Refined = S.Options;
     Refined.ModelDestructiveUpdates = true;
-    auto RRefined = LC->checkWith(L, Refined);
+    auto RRefined = test::runLoop(*LC, L, Refined);
     subjects::Score ScD = subjects::score(LC->program(), RDefault);
     subjects::Score ScR = subjects::score(LC->program(), RRefined);
     EXPECT_TRUE(ScR.Missed.empty())

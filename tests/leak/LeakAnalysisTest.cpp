@@ -1,6 +1,7 @@
 //===-- LeakAnalysisTest.cpp - tests for the interprocedural analysis ------===//
 
 #include "core/LeakChecker.h"
+#include "tests/common/RunApi.h"
 
 #include <gtest/gtest.h>
 
@@ -20,9 +21,7 @@ struct World {
   const Program &P() const { return LC->program(); }
 
   LeakAnalysisResult check(std::string_view Label) {
-    auto R = LC->check(Label);
-    EXPECT_TRUE(R.has_value()) << "no loop " << Label;
-    return std::move(*R);
+    return test::runLoop(*LC, Label);
   }
 
   AllocSiteId siteOf(std::string_view Cls, unsigned Nth = 0) const {
@@ -284,7 +283,7 @@ TEST(LeakAnalysis, PivotModeSuppressesNestedSites) {
     LeakOptions Opts;
     Opts.PivotMode = false;
     World W(Src, Opts);
-    LeakAnalysisResult R = W.LC->checkWith(W.P().findLoop("l"), Opts);
+    LeakAnalysisResult R = test::runLoop(*W.LC, "l", Opts);
     EXPECT_EQ(R.Reports.size(), 2u) << renderLeakReport(W.P(), R);
   }
 }
@@ -374,7 +373,7 @@ TEST(LeakAnalysis, LibraryRuleIgnoresInternalReads) {
     LeakOptions Opts;
     Opts.LibraryRule = false;
     World W(Src, Opts);
-    LeakAnalysisResult R = W.LC->checkWith(W.P().findLoop("l"), Opts);
+    LeakAnalysisResult R = test::runLoop(*W.LC, "l", Opts);
     EXPECT_TRUE(R.Reports.empty())
         << "ablation: internal read hides the leak";
   }
@@ -458,13 +457,13 @@ TEST(LeakAnalysis, ThreadModelingFindsThreadEscape) {
     )";
     LeakOptions Off;
     World W1(Src2, Off);
-    LeakAnalysisResult R1 = W1.LC->checkWith(W1.P().findLoop("l"), Off);
+    LeakAnalysisResult R1 = test::runLoop(*W1.LC, "l", Off);
     EXPECT_TRUE(R1.Reports.empty())
         << "without thread modeling every sink is inside the loop";
     LeakOptions On;
     On.ModelThreads = true;
     World W2(Src2, On);
-    LeakAnalysisResult R2 = W2.LC->checkWith(W2.P().findLoop("l"), On);
+    LeakAnalysisResult R2 = test::runLoop(*W2.LC, "l", On);
     // The root of the leaking structure (the states array held by the
     // started thread) is reported; the State elements are pivot-suppressed
     // under it.

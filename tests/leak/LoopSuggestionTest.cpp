@@ -92,7 +92,7 @@ TEST(LoopSuggestion, NestedLoopsAreBothRankedOuterFirst) {
 TEST(LoopSuggestion, UnlabeledLoopsAreStillCandidates) {
   // Unlabeled loops (e.g. compiler-introduced or ones the user never
   // named) must appear in the structural ranking even though
-  // checkAllLabeled() skips them.
+  // the all-labeled loop set skips them.
   Session S(R"(
     class Sink { Object o; }
     class Item { }

@@ -7,6 +7,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/LeakChecker.h"
+#include "tests/common/RunApi.h"
 
 #include <gtest/gtest.h>
 
@@ -58,12 +59,11 @@ TEST(MatchingRegression, StoreOverwrittenLaterInIterationIsNotAFlowsIn) {
   DiagnosticEngine Diags;
   auto LC = LeakChecker::fromSource(Src, Diags);
   ASSERT_NE(LC, nullptr) << Diags.str();
-  auto R = LC->check("l");
-  ASSERT_TRUE(R.has_value());
+  LeakAnalysisResult R = test::runLoop(*LC, "l");
   AllocSiteId Victim = siteOfNth(LC->program(), "Victim", 0);
-  EXPECT_TRUE(R->reportsSite(Victim))
+  EXPECT_TRUE(R.reportsSite(Victim))
       << "the Victim store never survives to the next iteration\n"
-      << renderLeakReport(LC->program(), *R);
+      << renderLeakReport(LC->program(), R);
 }
 
 // Counter-case: when the possibly-overwriting store sits at an EARLIER
@@ -88,11 +88,10 @@ TEST(MatchingRegression, EarlierOverwriteDoesNotKillTheMatch) {
   DiagnosticEngine Diags;
   auto LC = LeakChecker::fromSource(Src, Diags);
   ASSERT_NE(LC, nullptr) << Diags.str();
-  auto R = LC->check("l");
-  ASSERT_TRUE(R.has_value());
-  EXPECT_TRUE(R->Reports.empty())
+  LeakAnalysisResult R = test::runLoop(*LC, "l");
+  EXPECT_TRUE(R.Reports.empty())
       << "the item survives each iteration and is read back\n"
-      << renderLeakReport(LC->program(), *R);
+      << renderLeakReport(LC->program(), R);
 }
 
 // The k-limit counterexample from the CFL depth tests, at the leak level:
@@ -124,7 +123,7 @@ TEST(MatchingRegression, DeepCallChainLeakStillReported) {
   Opts.ContextDepth = 2; // far below the chain depth
   auto LC = LeakChecker::fromSource(Src, Diags, Opts);
   ASSERT_NE(LC, nullptr) << Diags.str();
-  auto R = LC->checkWith(LC->program().findLoop("l"), Opts);
+  LeakAnalysisResult R = test::runLoop(*LC, "l", Opts);
   AllocSiteId Item = siteOfNth(LC->program(), "Item", 0);
   EXPECT_TRUE(R.reportsSite(Item)) << renderLeakReport(LC->program(), R);
 }

@@ -10,6 +10,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/LeakChecker.h"
+#include "tests/common/RunApi.h"
 #include "subjects/Subjects.h"
 
 #include <gtest/gtest.h>
@@ -30,7 +31,7 @@ std::string renderAll(const LeakChecker &LC, uint32_t Jobs, bool Memoize) {
       continue;
     if (!LC.callGraph().isReachable(LC.program().Loops[L].Method))
       continue;
-    Out += renderLeakReport(LC.program(), LC.checkWith(L, O));
+    Out += renderLeakReport(LC.program(), test::runLoop(LC, L, O));
     Out += "\n";
   }
   return Out;
@@ -136,8 +137,8 @@ TEST(ParallelEngine, DeterministicStatsAgreeAcrossJobCounts) {
     O1.Jobs = 1;
     LeakOptions O4 = LC->options();
     O4.Jobs = 4;
-    LeakAnalysisResult R1 = LC->checkWith(L, O1);
-    LeakAnalysisResult R4 = LC->checkWith(L, O4);
+    LeakAnalysisResult R1 = test::runLoop(*LC, L, O1);
+    LeakAnalysisResult R4 = test::runLoop(*LC, L, O4);
     for (const char *Key : Deterministic)
       EXPECT_EQ(R1.Statistics.get(Key), R4.Statistics.get(Key))
           << S.Name << " counter " << Key;
@@ -150,12 +151,11 @@ TEST(ParallelEngine, CorroborationAggregatesTraversalWork) {
   DiagnosticEngine Diags;
   auto LC = LeakChecker::fromSource(InlinePrograms[0], Diags);
   ASSERT_NE(LC, nullptr) << Diags.str();
-  auto R = LC->check("l");
-  ASSERT_TRUE(R.has_value());
-  EXPECT_GT(R->Statistics.get("cfl-queries"), 0u);
-  EXPECT_GT(R->Statistics.get("cfl-states-visited"), 0u);
+  LeakAnalysisResult R = test::runLoop(*LC, "l");
+  EXPECT_GT(R.Statistics.get("cfl-queries"), 0u);
+  EXPECT_GT(R.Statistics.get("cfl-states-visited"), 0u);
   // Corroboration never refutes the sound Andersen answer on this program.
-  EXPECT_EQ(R->Statistics.get("cfl-refuted-value-sites"), 0u);
+  EXPECT_EQ(R.Statistics.get("cfl-refuted-value-sites"), 0u);
 }
 
 TEST(ParallelEngine, CorroborationCanBeDisabled) {
@@ -166,11 +166,11 @@ TEST(ParallelEngine, CorroborationCanBeDisabled) {
   O.CflCorroborate = false;
   LoopId L = LC->program().findLoop("l");
   ASSERT_NE(L, kInvalidId);
-  LeakAnalysisResult R = LC->checkWith(L, O);
+  LeakAnalysisResult R = test::runLoop(*LC, L, O);
   EXPECT_EQ(R.Statistics.get("cfl-queries"), 0u);
   // Reports are independent of the corroboration pass by construction.
   LeakOptions On = LC->options();
-  LeakAnalysisResult ROn = LC->checkWith(L, On);
+  LeakAnalysisResult ROn = test::runLoop(*LC, L, On);
   EXPECT_EQ(renderLeakReport(LC->program(), R),
             renderLeakReport(LC->program(), ROn));
 }

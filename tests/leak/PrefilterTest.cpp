@@ -11,6 +11,7 @@
 
 #include "core/EraCrossCheck.h"
 #include "core/LeakChecker.h"
+#include "tests/common/RunApi.h"
 #include "subjects/Subjects.h"
 
 #include <gtest/gtest.h>
@@ -30,7 +31,7 @@ std::string renderAll(const LeakChecker &LC, bool Prefilter) {
       continue;
     if (!LC.callGraph().isReachable(LC.program().Loops[L].Method))
       continue;
-    Out += renderLeakReport(LC.program(), LC.checkWith(L, O));
+    Out += renderLeakReport(LC.program(), test::runLoop(LC, L, O));
     Out += "\n";
   }
   return Out;
@@ -107,9 +108,8 @@ TEST(Prefilter, SkipsQueriesOnAtLeastThreeSubjects) {
     DiagnosticEngine Diags;
     auto LC = LeakChecker::fromSource(S.Source, Diags, S.Options);
     ASSERT_NE(LC, nullptr) << S.Name;
-    auto R = LC->check(S.LoopLabel);
-    ASSERT_TRUE(R.has_value()) << S.Name;
-    SubjectsWithSkips += R->Statistics.get("cfl-queries-skipped") > 0;
+    LeakAnalysisResult R = test::runLoop(*LC, S.LoopLabel);
+    SubjectsWithSkips += R.Statistics.get("cfl-queries-skipped") > 0;
   }
   EXPECT_GE(SubjectsWithSkips, 3u);
 }
@@ -118,22 +118,21 @@ TEST(Prefilter, SkippedSitesAreClassifiedCurrent) {
   DiagnosticEngine Diags;
   auto LC = LeakChecker::fromSource(InlinePrograms[0], Diags);
   ASSERT_NE(LC, nullptr) << Diags.str();
-  auto R = LC->check("l");
-  ASSERT_TRUE(R.has_value());
-  EXPECT_GT(R->Statistics.get("cfl-queries-skipped"), 0u);
+  LeakAnalysisResult R = test::runLoop(*LC, "l");
+  EXPECT_GT(R.Statistics.get("cfl-queries-skipped"), 0u);
   // The Scratch temp is skipped and era-Current; the escaping Item is not.
   const Program &P = LC->program();
   for (AllocSiteId S = 0; S < P.AllocSites.size(); ++S) {
     const Type &T = P.Types.get(P.AllocSites[S].Ty);
     if (T.K != Type::Kind::Ref)
       continue;
-    auto It = R->SiteEras.find(S);
+    auto It = R.SiteEras.find(S);
     if (P.className(T.Cls) == "Scratch") {
-      ASSERT_NE(It, R->SiteEras.end());
+      ASSERT_NE(It, R.SiteEras.end());
       EXPECT_EQ(It->second, Era::Current);
     }
     if (P.className(T.Cls) == "Item") {
-      ASSERT_NE(It, R->SiteEras.end());
+      ASSERT_NE(It, R.SiteEras.end());
       EXPECT_NE(It->second, Era::Current);
     }
   }

@@ -10,6 +10,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/LeakChecker.h"
+#include "tests/common/RunApi.h"
 #include "core/RunReport.h"
 #include "subjects/Subjects.h"
 
@@ -32,12 +33,8 @@ std::string renderFor(const Subject &S, uint32_t Jobs, bool Memoize) {
   EXPECT_NE(LC, nullptr) << S.Name << ": " << Diags.str();
   if (!LC)
     return "";
-  auto R = LC->check(S.LoopLabel);
-  EXPECT_TRUE(R.has_value()) << S.Name;
-  if (!R)
-    return "";
   std::vector<LeakAnalysisResult> Results;
-  Results.push_back(std::move(*R));
+  Results.push_back(test::runLoop(*LC, S.LoopLabel));
   MetricsRegistry Merged;
   Merged.merge(LC->substrateStats());
   Merged.merge(Results[0].Statistics);

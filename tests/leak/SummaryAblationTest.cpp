@@ -13,6 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/LeakChecker.h"
+#include "tests/common/RunApi.h"
 #include "subjects/Subjects.h"
 
 #include <gtest/gtest.h>
@@ -43,7 +44,7 @@ std::string renderAll(const LeakChecker &LC, uint32_t Jobs, bool Memoize) {
       continue;
     if (!LC.callGraph().isReachable(LC.program().Loops[L].Method))
       continue;
-    Out += renderLeakReport(LC.program(), LC.checkWith(L, O));
+    Out += renderLeakReport(LC.program(), test::runLoop(LC, L, O));
     Out += "\n";
   }
   return Out;
@@ -82,7 +83,7 @@ TEST(SummaryAblation, SummariesActuallyComposeOnSubjects) {
     TotalReturns += On->summaries()->counters().Returns;
     LoopId L = On->program().findLoop(S.LoopLabel);
     ASSERT_NE(L, kInvalidId) << S.Name;
-    LeakAnalysisResult R = On->checkWith(L, On->options());
+    LeakAnalysisResult R = test::runLoop(*On, L, On->options());
     TotalApplications += R.Statistics.get("cfl-summary-applications");
   }
   EXPECT_GT(TotalReturns, 0u);
@@ -106,8 +107,8 @@ TEST(SummaryAblation, DeterministicStatsAgreeAcrossJobsWithSummaries) {
     O1.Jobs = 1;
     LeakOptions O4 = On->options();
     O4.Jobs = 4;
-    LeakAnalysisResult R1 = On->checkWith(L, O1);
-    LeakAnalysisResult R4 = On->checkWith(L, O4);
+    LeakAnalysisResult R1 = test::runLoop(*On, L, O1);
+    LeakAnalysisResult R4 = test::runLoop(*On, L, O4);
     for (const char *Key : Deterministic)
       EXPECT_EQ(R1.Statistics.get(Key), R4.Statistics.get(Key))
           << S.Name << " counter " << Key;

@@ -11,6 +11,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/LeakChecker.h"
+#include "tests/common/RunApi.h"
 
 #include <gtest/gtest.h>
 
@@ -21,7 +22,7 @@ namespace {
 LeakAnalysisResult checkLoop(LeakChecker &LC, LeakOptions O) {
   LoopId L = LC.program().findLoop("l");
   EXPECT_NE(L, kInvalidId);
-  return LC.checkWith(L, O);
+  return test::runLoop(LC, L, O);
 }
 
 /// Accumulating sink, never read: the classic ERA-Top leak.
@@ -102,10 +103,9 @@ TEST(Witness, TopVerdictSingleHopPathNamesTheBlamedSlot) {
   DiagnosticEngine Diags;
   auto LC = LeakChecker::fromSource(NeverReadSrc, Diags);
   ASSERT_NE(LC, nullptr) << Diags.str();
-  auto R = LC->check("l");
-  ASSERT_TRUE(R.has_value());
-  ASSERT_EQ(R->Reports.size(), 1u);
-  const LeakReport &Rep = R->Reports[0];
+  LeakAnalysisResult R = test::runLoop(*LC, "l");
+  ASSERT_EQ(R.Reports.size(), 1u);
+  const LeakReport &Rep = R.Reports[0];
   const LeakWitness &W = Rep.Witness;
 
   EXPECT_TRUE(Rep.NeverFlowsBack);
@@ -128,10 +128,9 @@ TEST(Witness, FutureVerdictWhenAnotherEdgeFlowsBack) {
   DiagnosticEngine Diags;
   auto LC = LeakChecker::fromSource(FutureSrc, Diags);
   ASSERT_NE(LC, nullptr) << Diags.str();
-  auto R = LC->check("l");
-  ASSERT_TRUE(R.has_value());
-  ASSERT_EQ(R->Reports.size(), 1u);
-  const LeakReport &Rep = R->Reports[0];
+  LeakAnalysisResult R = test::runLoop(*LC, "l");
+  ASSERT_EQ(R.Reports.size(), 1u);
+  const LeakReport &Rep = R.Reports[0];
   EXPECT_FALSE(Rep.NeverFlowsBack);
   EXPECT_EQ(Rep.Witness.Verdict, Era::Future);
   // The reported edge is the unmatched `b` slot; the matched `a` slot is
@@ -143,10 +142,9 @@ TEST(Witness, OrderingRejectedFlowsInFactsAreCounted) {
   DiagnosticEngine Diags;
   auto LC = LeakChecker::fromSource(OrderRejectedSrc, Diags);
   ASSERT_NE(LC, nullptr) << Diags.str();
-  auto R = LC->check("l");
-  ASSERT_TRUE(R.has_value());
-  ASSERT_EQ(R->Reports.size(), 1u);
-  const LeakWitness &W = R->Reports[0].Witness;
+  LeakAnalysisResult R = test::runLoop(*LC, "l");
+  ASSERT_EQ(R.Reports.size(), 1u);
+  const LeakWitness &W = R.Reports[0].Witness;
   // The load of h.a produced a flows-in fact for this very site, but the
   // previous-iteration ordering test rejected it -- the witness must show
   // the fact was seen and say why it did not match.
@@ -187,7 +185,7 @@ TEST(Witness, CflCorroborationIsRecordedAndOptional) {
   ASSERT_NE(L, kInvalidId);
 
   LeakOptions On = LC->options();
-  LeakAnalysisResult ROn = LC->checkWith(L, On);
+  LeakAnalysisResult ROn = test::runLoop(*LC, L, On);
   ASSERT_EQ(ROn.Reports.size(), 1u);
   const LeakWitness &WOn = ROn.Reports[0].Witness;
   EXPECT_TRUE(WOn.CflCorroborated);
@@ -197,7 +195,7 @@ TEST(Witness, CflCorroborationIsRecordedAndOptional) {
 
   LeakOptions Off = LC->options();
   Off.CflCorroborate = false;
-  LeakAnalysisResult ROff = LC->checkWith(L, Off);
+  LeakAnalysisResult ROff = test::runLoop(*LC, L, Off);
   ASSERT_EQ(ROff.Reports.size(), 1u);
   EXPECT_FALSE(ROff.Reports[0].Witness.CflCorroborated);
   EXPECT_EQ(ROff.Reports[0].Witness.CflStatesVisited, 0u);
@@ -207,9 +205,8 @@ TEST(Witness, RenderedExplanationNamesVerdictPathAndFacts) {
   DiagnosticEngine Diags;
   auto LC = LeakChecker::fromSource(OrderRejectedSrc, Diags);
   ASSERT_NE(LC, nullptr) << Diags.str();
-  auto R = LC->check("l");
-  ASSERT_TRUE(R.has_value());
-  std::string E = renderLeakExplanations(LC->program(), *R);
+  LeakAnalysisResult R = test::runLoop(*LC, "l");
+  std::string E = renderLeakExplanations(LC->program(), R);
   EXPECT_NE(E.find("WITNESS"), std::string::npos);
   EXPECT_NE(E.find("verdict: ERA T"), std::string::npos);
   EXPECT_NE(E.find("flows-out (1 hop)"), std::string::npos);
@@ -232,10 +229,9 @@ TEST(Witness, NoReportsRendersEmptyExplanation) {
   DiagnosticEngine Diags;
   auto LC = LeakChecker::fromSource(CleanSrc, Diags);
   ASSERT_NE(LC, nullptr) << Diags.str();
-  auto R = LC->check("l");
-  ASSERT_TRUE(R.has_value());
-  EXPECT_TRUE(R->Reports.empty());
-  EXPECT_EQ(renderLeakExplanations(LC->program(), *R), "");
+  LeakAnalysisResult R = test::runLoop(*LC, "l");
+  EXPECT_TRUE(R.Reports.empty());
+  EXPECT_EQ(renderLeakExplanations(LC->program(), R), "");
 }
 
 TEST(Witness, ExplanationsIdenticalAcrossJobCounts) {
@@ -251,9 +247,9 @@ TEST(Witness, ExplanationsIdenticalAcrossJobCounts) {
     LeakOptions O4 = LC->options();
     O4.Jobs = 4;
     std::string E1 =
-        renderLeakExplanations(LC->program(), LC->checkWith(L, O1));
+        renderLeakExplanations(LC->program(), test::runLoop(*LC, L, O1));
     std::string E4 =
-        renderLeakExplanations(LC->program(), LC->checkWith(L, O4));
+        renderLeakExplanations(LC->program(), test::runLoop(*LC, L, O4));
     EXPECT_EQ(E1, E4) << Src;
     EXPECT_FALSE(E1.empty()) << Src;
   }

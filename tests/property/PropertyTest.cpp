@@ -17,6 +17,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/LeakChecker.h"
+#include "tests/common/RunApi.h"
 #include "effect/EffectSystem.h"
 #include "frontend/Lower.h"
 #include "interp/Interp.h"
@@ -115,8 +116,7 @@ TEST_P(RandomProgramTest, LeakAnalysisSoundOnStrictLeaks) {
   DiagnosticEngine Diags2;
   auto LC = LeakChecker::fromSource(Src, Diags2, Opts);
   ASSERT_NE(LC, nullptr);
-  LeakAnalysisResult Res =
-      LC->checkWith(LC->program().findLoop("loop"), Opts);
+  LeakAnalysisResult Res = test::runLoop(*LC, "loop", Opts);
 
   for (AllocSiteId Site : Strict)
     EXPECT_TRUE(Res.reportsSite(Site))
@@ -241,8 +241,7 @@ TEST_P(BigRandomProgramTest, StaticSoundOnStrictLeaks) {
   DiagnosticEngine Diags2;
   auto LC = LeakChecker::fromSource(Src, Diags2, Opts);
   ASSERT_NE(LC, nullptr);
-  LeakAnalysisResult Res =
-      LC->checkWith(LC->program().findLoop("loop"), Opts);
+  LeakAnalysisResult Res = test::runLoop(*LC, "loop", Opts);
   for (AllocSiteId Site : Strict)
     EXPECT_TRUE(Res.reportsSite(Site))
         << "big seed " << GetParam() << ": missed "

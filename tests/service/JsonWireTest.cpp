@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 using namespace lc;
 
 namespace {
@@ -387,4 +389,109 @@ TEST(ControlJson, MalformedControlLinesCarryDiagnostics) {
   EXPECT_TRUE(
       parseControlLine(parseOk(R"({"control": "stats", "x": 1})"), Verb, Error));
   EXPECT_NE(Error.find("x"), std::string::npos);
+}
+
+// --- v2 wire envelope -------------------------------------------------------
+
+TEST(WireVersion, OutcomesLeadWithTheVersionKey) {
+  AnalysisOutcome O;
+  O.Id = "r1";
+  std::string J = renderOutcomeJson(O);
+  // "v" is the FIRST key of every outcome line: cheap to screen without a
+  // full parse, and older consumers that grep for later key runs still
+  // match.
+  EXPECT_EQ(J.rfind("{\"v\":2,\"id\":", 0), 0u) << J;
+  json::Value V = parseOk(J);
+  EXPECT_EQ(V.get("v")->asInt(), kWireVersion);
+}
+
+TEST(WireVersion, RequestsAcceptOnlyTheCurrentVersion) {
+  AnalysisRequest R;
+  RequestSourceRef Ref;
+  std::string Error;
+  ASSERT_TRUE(parseRequest(
+      R"({"v": 2, "id": "a", "source": "class M {}", "loops": "main"})", R,
+      Ref, Error))
+      << Error;
+  // Legacy lines with no "v" still parse here (--serve's one-release
+  // grace); the fleet screens them out before this parser runs.
+  ASSERT_TRUE(parseRequest(
+      R"({"id": "a", "source": "class M {}", "loops": "main"})", R, Ref,
+      Error))
+      << Error;
+  // A wrong or malformed version is rejected with the expected version.
+  EXPECT_FALSE(parseRequest(
+      R"({"v": 1, "source": "class M {}", "loops": "main"})", R, Ref, Error));
+  EXPECT_NE(Error.find("wire version 2"), std::string::npos);
+  EXPECT_FALSE(parseRequest(
+      R"({"v": "2", "source": "class M {}", "loops": "main"})", R, Ref,
+      Error));
+  EXPECT_FALSE(parseRequest(
+      R"({"v": 3, "source": "class M {}", "loops": "main"})", R, Ref, Error));
+}
+
+TEST(WireVersion, WireVersionOfScreensWithoutFullValidation) {
+  std::string Error;
+  EXPECT_EQ(wireVersionOf(parseOk(R"({"v": 2, "id": "x"})"), Error), 2);
+  // No "v" = the legacy envelope.
+  EXPECT_EQ(wireVersionOf(parseOk(R"({"id": "x"})"), Error), 1);
+  // Future versions are reported verbatim so callers can name them in
+  // their rejection.
+  EXPECT_EQ(wireVersionOf(parseOk(R"({"v": 7})"), Error), 7);
+  // Malformed versions are 0 + diagnostic.
+  EXPECT_EQ(wireVersionOf(parseOk(R"({"v": "two"})"), Error), 0);
+  EXPECT_FALSE(Error.empty());
+  Error.clear();
+  EXPECT_EQ(wireVersionOf(parseOk(R"({"v": 0})"), Error), 0);
+  EXPECT_FALSE(Error.empty());
+  Error.clear();
+  EXPECT_EQ(wireVersionOf(parseOk(R"([1])"), Error), 0);
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(WireVersion, NewStatusesHaveWireNames) {
+  EXPECT_STREQ(outcomeStatusName(OutcomeStatus::Overloaded), "overloaded");
+  EXPECT_STREQ(outcomeStatusName(OutcomeStatus::WorkerLost), "worker-lost");
+  EXPECT_STREQ(outcomeStatusName(OutcomeStatus::UnsupportedVersion),
+               "unsupported-version");
+}
+
+// --- Bounded line reads -----------------------------------------------------
+
+TEST(BoundedRead, ReadsLinesUpToTheCap) {
+  std::istringstream In("short\n" + std::string(32, 'x') + "\nlast");
+  std::string Line;
+  bool TooLong = false;
+  ASSERT_TRUE(readLineBounded(In, Line, 32, TooLong));
+  EXPECT_FALSE(TooLong);
+  EXPECT_EQ(Line, "short");
+  ASSERT_TRUE(readLineBounded(In, Line, 32, TooLong));
+  EXPECT_FALSE(TooLong);
+  EXPECT_EQ(Line, std::string(32, 'x'));
+  // No trailing newline on the final line.
+  ASSERT_TRUE(readLineBounded(In, Line, 32, TooLong));
+  EXPECT_EQ(Line, "last");
+  EXPECT_FALSE(readLineBounded(In, Line, 32, TooLong));
+}
+
+TEST(BoundedRead, OversizedLineIsDiscardedAndStreamResyncs) {
+  std::istringstream In(std::string(100, 'a') + "\nnext\n");
+  std::string Line;
+  bool TooLong = false;
+  // The oversized line reports TooLong and is consumed through its
+  // newline, so the next read lands on the following line.
+  ASSERT_TRUE(readLineBounded(In, Line, 16, TooLong));
+  EXPECT_TRUE(TooLong);
+  ASSERT_TRUE(readLineBounded(In, Line, 16, TooLong));
+  EXPECT_FALSE(TooLong);
+  EXPECT_EQ(Line, "next");
+}
+
+TEST(BoundedRead, OversizedFinalLineWithoutNewlineStillTerminates) {
+  std::istringstream In(std::string(100, 'a'));
+  std::string Line;
+  bool TooLong = false;
+  ASSERT_TRUE(readLineBounded(In, Line, 16, TooLong));
+  EXPECT_TRUE(TooLong);
+  EXPECT_FALSE(readLineBounded(In, Line, 16, TooLong));
 }

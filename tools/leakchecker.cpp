@@ -16,6 +16,10 @@
 //                                           stdin, outcomes on stdout
 //                                           ({"control":"stats"|"health"}
 //                                           answers a live snapshot line)
+//   leakchecker --listen HOST:PORT          the same wire protocol over TCP,
+//                                           sharded across --workers N
+//                                           processes by a consistent-hash
+//                                           ring (docs/API.md)
 //
 //   leakchecker FILE.mj --check-era         cross-check the escape pre-pass
 //                                           against the effect system and
@@ -42,6 +46,8 @@
 #include "core/EraCrossCheck.h"
 #include "core/LeakChecker.h"
 #include "core/RunReport.h"
+#include "fleet/FleetServer.h"
+#include "fleet/Resolve.h"
 #include "frontend/Lower.h"
 #include "interp/Interp.h"
 #include "ir/Printer.h"
@@ -55,6 +61,7 @@
 #include "support/MemStats.h"
 #include "support/Trace.h"
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -84,8 +91,19 @@ int usage(const char *Argv0) {
       "                         stdin, write outcome lines to stdout;\n"
       "                         {\"control\":\"stats\"|\"health\"} lines\n"
       "                         answer a live service snapshot\n"
+      "  --listen HOST:PORT     serve the same wire protocol over TCP,\n"
+      "                         sharded across worker processes by a\n"
+      "                         consistent-hash ring (docs/API.md)\n"
+      "  --workers N            fleet worker processes (default 3;\n"
+      "                         --listen only)\n"
+      "  --max-inflight N       fleet admission limit: requests in flight\n"
+      "                         before typed overloaded rejections\n"
+      "                         (default 64; --listen only)\n"
+      "  --max-line-bytes N     reject request lines longer than N bytes\n"
+      "                         with invalid-request instead of buffering\n"
+      "                         them (default 1048576; serve/listen)\n"
       "  --event-log FILE       stream typed service events (JSONL, one\n"
-      "                         flushed line per event; serve/batch only)\n"
+      "                         flushed line per event; serve/batch/listen)\n"
       "  --snapshot-every N     embed a service snapshot into the event\n"
       "                         log every N requests (needs --event-log)\n"
       "  --no-pivot             report nested sites, not just roots\n"
@@ -160,43 +178,6 @@ const subjects::Subject *findSubject(const std::string &Name) {
   return nullptr;
 }
 
-/// Resolves a parsed request's program reference (subject name, file
-/// path, or inline source) into the request's Source/ProgramName. Subject
-/// defaults (Mckoi's thread modeling) are OR-ed into the request options,
-/// exactly like the single-shot --subject path does.
-bool resolveSourceRef(const RequestSourceRef &Ref, AnalysisRequest &R,
-                      std::string &Error) {
-  if (!Ref.Subject.empty()) {
-    const subjects::Subject *S = findSubject(Ref.Subject);
-    if (!S) {
-      Error = "unknown subject \"" + Ref.Subject + "\" (see --list-subjects)";
-      return false;
-    }
-    R.Source = S->Source;
-    R.ProgramName = S->Name;
-    if (R.Loops.Labels.empty() && !R.Loops.AllLabeled)
-      R.Loops = LoopSet::of({S->LoopLabel});
-    if (S->Options.ModelThreads && !R.Options.leakOptions().ModelThreads) {
-      LeakOptions L = R.Options.leakOptions();
-      L.ModelThreads = true;
-      // fromLegacy of an already-validated configuration cannot fail.
-      R.Options = SessionOptionsBuilder().fromLegacy(L).build().value();
-    }
-    return true;
-  }
-  if (!Ref.File.empty()) {
-    if (!readFile(Ref.File, R.Source)) {
-      Error = "cannot open \"" + Ref.File + "\"";
-      return false;
-    }
-    R.ProgramName = Ref.File;
-    return true;
-  }
-  R.Source = Ref.Source;
-  R.ProgramName = "<inline>";
-  return true;
-}
-
 AnalysisOutcome invalidRequestOutcome(std::string Id, std::string Why) {
   AnalysisOutcome O;
   O.Id = std::move(Id);
@@ -260,7 +241,7 @@ int runBatchMode(const std::string &Path, const ServeObservability &Obs) {
   std::vector<AnalysisRequest> Runnable;
   std::vector<size_t> RunnableIdx;
   for (size_t I = 0; I < Rs.size(); ++I) {
-    if (!resolveSourceRef(Refs[I], Rs[I], Error)) {
+    if (!resolveRequestSource(Refs[I], Rs[I], Error)) {
       Out[I] = invalidRequestOutcome(Rs[I].Id, Error);
       continue;
     }
@@ -291,7 +272,7 @@ int runBatchMode(const std::string &Path, const ServeObservability &Obs) {
 /// requests -- the point of the mode. Control lines
 /// ({"control":"stats"|"health"}) answer a live snapshot line instead of
 /// an outcome.
-int runServeMode(const ServeObservability &Obs) {
+int runServeMode(const ServeObservability &Obs, size_t MaxLineBytes) {
   AnalysisService Svc;
   bool LogOk = true;
   std::unique_ptr<ServiceEventLog> Log = attachEventLog(Svc, Obs, LogOk);
@@ -299,7 +280,19 @@ int runServeMode(const ServeObservability &Obs) {
     return 1;
   std::string Line;
   bool Leaks = false;
-  while (std::getline(std::cin, Line)) {
+  bool TooLong = false;
+  while (readLineBounded(std::cin, Line, MaxLineBytes, TooLong)) {
+    if (TooLong) {
+      // Bounded buffering: the oversized line was discarded through its
+      // newline, the stream is resynchronized, and the client gets a
+      // typed rejection instead of this process growing without bound.
+      AnalysisOutcome O = invalidRequestOutcome(
+          "", "request line exceeds " + std::to_string(MaxLineBytes) +
+                  " bytes");
+      std::printf("%s\n", renderOutcomeJson(O).c_str());
+      std::fflush(stdout);
+      continue;
+    }
     if (Line.find_first_not_of(" \t\r") == std::string::npos)
       continue;
     json::Value Doc;
@@ -324,13 +317,27 @@ int runServeMode(const ServeObservability &Obs) {
           continue;
         }
       } else {
+        // Envelope check. --serve accepts the legacy v1 envelope (no
+        // "v" key) for one more release, recording each use in the
+        // event log so operators can find the stragglers; the fleet
+        // path already rejects them (docs/API.md).
+        int Ver = wireVersionOf(Doc, Error);
+        if (Ver == 1 && Log) {
+          std::string Id;
+          if (const json::Value *IdV = Doc.get("id"); IdV && IdV->isString())
+            Id = IdV->asString();
+          Log->event("wire-v1-deprecated").str("id", Id);
+        }
         AnalysisRequest R;
         RequestSourceRef Ref;
-        if (!parseAnalysisRequest(Doc, R, Ref, Error) ||
-            !resolveSourceRef(Ref, R, Error))
+        if (Ver == 0) {
+          O = invalidRequestOutcome("", Error);
+        } else if (!parseAnalysisRequest(Doc, R, Ref, Error) ||
+                   !resolveRequestSource(Ref, R, Error)) {
           O = invalidRequestOutcome(R.Id, Error);
-        else
+        } else {
           O = Svc.run(R);
+        }
       }
     }
     std::printf("%s\n", renderOutcomeJson(O).c_str());
@@ -340,6 +347,69 @@ int runServeMode(const ServeObservability &Obs) {
   return Leaks ? 2 : 0;
 }
 
+/// The live FleetServer for the signal handlers' stop() relay (write to
+/// a self-pipe; async-signal-safe).
+FleetServer *ActiveFleet = nullptr;
+
+void fleetSignalStop(int) {
+  if (ActiveFleet)
+    ActiveFleet->stop();
+}
+
+/// --listen HOST:PORT: the sharded fleet front end (docs/API.md "Fleet
+/// deployment"). Prints one fleet-listening line (carrying the bound
+/// port, for ephemeral binds) and serves until SIGTERM/SIGINT.
+int runListenMode(const std::string &HostPort, FleetOptions FO,
+                  const ServeObservability &Obs) {
+  size_t Colon = HostPort.rfind(':');
+  if (Colon == std::string::npos || Colon == 0 ||
+      Colon + 1 >= HostPort.size()) {
+    std::fprintf(stderr, "error: --listen needs HOST:PORT\n");
+    return 1;
+  }
+  FO.Host = HostPort.substr(0, Colon);
+  int64_t Port = std::atoll(HostPort.c_str() + Colon + 1);
+  if (Port < 0 || Port > 65535) {
+    std::fprintf(stderr, "error: --listen: bad port\n");
+    return 1;
+  }
+  FO.Port = static_cast<uint16_t>(Port);
+
+  std::unique_ptr<ServiceEventLog> Log;
+  if (!Obs.EventLogPath.empty()) {
+    Log = std::make_unique<ServiceEventLog>(Obs.EventLogPath);
+    if (!Log->ok()) {
+      std::fprintf(stderr,
+                   "error: --event-log: cannot open '%s' for writing\n",
+                   Obs.EventLogPath.c_str());
+      return 1;
+    }
+  }
+
+  FleetServer Server(FO, Log.get());
+  std::string Error;
+  if (!Server.start(Error)) {
+    std::fprintf(stderr, "error: --listen: %s\n", Error.c_str());
+    return 1;
+  }
+  // The one line a supervisor needs: where the fleet is actually bound
+  // (resolves port 0) and how many workers serve it.
+  std::printf("{\"type\":\"fleet-listening\",\"v\":1,\"host\":%s,"
+              "\"port\":%u,\"workers\":%zu}\n",
+              json::quote(FO.Host).c_str(), unsigned(Server.port()),
+              FO.Workers);
+  std::fflush(stdout);
+
+  ActiveFleet = &Server;
+  std::signal(SIGTERM, fleetSignalStop);
+  std::signal(SIGINT, fleetSignalStop);
+  Server.runLoop();
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+  ActiveFleet = nullptr;
+  return 0;
+}
+
 /// The tool proper. Runs inside main so that every session object (in
 /// particular the thread pool, whose join is the happens-before edge the
 /// trace rings need) is destroyed before main exports the trace.
@@ -347,6 +417,9 @@ int runTool(int argc, char **argv, std::string &TraceOut) {
   std::string File, Loop, SubjectName, StatsJson, TraceOutArg, BatchFile;
   bool Suggest = false, Run = false, DumpIr = false, ListSubjects = false;
   bool CheckEra = false, ShowStats = true, Explain = false, Serve = false;
+  std::string Listen;
+  FleetOptions FO;
+  size_t MaxLineBytes = kDefaultMaxLineBytes;
   ServeObservability Obs;
   int64_t DeadlineMs = 0;
   // Flags translate into builder calls; every validation rule lives in
@@ -433,6 +506,42 @@ int runTool(int argc, char **argv, std::string &TraceOut) {
       BatchFile = V;
     } else if (A == "--serve") {
       Serve = true;
+    } else if (A == "--listen") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      Listen = V;
+    } else if (A == "--workers") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      int64_t N = std::atoll(V);
+      if (N <= 0 || N > 256) {
+        std::fprintf(stderr, "error: --workers needs a count in 1..256\n");
+        return 1;
+      }
+      FO.Workers = static_cast<size_t>(N);
+    } else if (A == "--max-inflight") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      int64_t N = std::atoll(V);
+      if (N <= 0) {
+        std::fprintf(stderr, "error: --max-inflight needs a positive count\n");
+        return 1;
+      }
+      FO.MaxInflight = static_cast<size_t>(N);
+    } else if (A == "--max-line-bytes") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      int64_t N = std::atoll(V);
+      if (N < 1024) {
+        std::fprintf(stderr,
+                     "error: --max-line-bytes needs at least 1024\n");
+        return 1;
+      }
+      MaxLineBytes = static_cast<size_t>(N);
     } else if (A == "--event-log") {
       const char *V = Next();
       if (!V)
@@ -474,13 +583,35 @@ int runTool(int argc, char **argv, std::string &TraceOut) {
     return 0;
   }
 
+  // The fleet front end is its own process role; it cannot double as a
+  // stdin server or batch runner, and its snapshots are pulled over the
+  // wire ({"control":"stats"}), not pushed on a request cadence.
+  if (!Listen.empty()) {
+    if (Serve || !BatchFile.empty()) {
+      std::fprintf(stderr,
+                   "error: --listen is incompatible with --serve/--batch\n");
+      return 1;
+    }
+    if (Obs.SnapshotEvery) {
+      std::fprintf(stderr,
+                   "error: --snapshot-every does not apply to --listen\n");
+      return 1;
+    }
+  } else if (FO.Workers != FleetOptions().Workers ||
+             FO.MaxInflight != FleetOptions().MaxInflight) {
+    std::fprintf(stderr,
+                 "error: --workers/--max-inflight require --listen\n");
+    return 1;
+  }
+
   // The event log is a service-mode artifact: a single-shot run has no
   // request stream to record. Reject rather than silently produce an
   // empty file.
-  if (BatchFile.empty() && !Serve) {
+  if (BatchFile.empty() && !Serve && Listen.empty()) {
     if (!Obs.EventLogPath.empty()) {
-      std::fprintf(stderr,
-                   "error: --event-log requires --serve or --batch\n");
+      std::fprintf(
+          stderr,
+          "error: --event-log requires --serve, --batch or --listen\n");
       return 1;
     }
     if (Obs.SnapshotEvery) {
@@ -499,10 +630,14 @@ int runTool(int argc, char **argv, std::string &TraceOut) {
 
   // Service modes carry their own per-request options; flags configuring
   // the single-shot engine don't apply.
+  if (!Listen.empty()) {
+    FO.MaxLineBytes = MaxLineBytes;
+    return runListenMode(Listen, FO, Obs);
+  }
   if (!BatchFile.empty())
     return runBatchMode(BatchFile, Obs);
   if (Serve)
-    return runServeMode(Obs);
+    return runServeMode(Obs, MaxLineBytes);
 
   std::string Source;
   if (!SubjectName.empty()) {
